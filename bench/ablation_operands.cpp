@@ -1,0 +1,89 @@
+// Extension ablation: outcome distribution by *fault location* — which
+// output operand kind the bit flip landed in (general register, FP register,
+// condition flags, stack pointer).
+//
+// This decomposes WHY IR-level injection is skewed: LLFI can only ever flip
+// SSA data values (the gpr/fpr rows), while a large share of the machine
+// population — flags and stack-pointer outputs with very different failure
+// physics — is invisible to it.
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/apps.h"
+#include "campaign/outcome.h"
+#include "campaign/tools.h"
+#include "support/rng.h"
+#include "support/threadpool.h"
+
+int main(int argc, char** argv) {
+  using namespace refine;
+  const char* appName = argc > 1 ? argv[1] : "HPCCG-1.0";
+  const auto* app = apps::findApp(appName);
+  if (app == nullptr) {
+    std::fprintf(stderr, "unknown app '%s'\n", appName);
+    return 2;
+  }
+  std::uint64_t trials = 2000;
+  if (const char* t = std::getenv("REFINE_TRIALS")) {
+    trials = std::strtoull(t, nullptr, 10) * 2;
+  }
+
+  auto instance = campaign::makeToolInstance(campaign::Tool::REFINE,
+                                             app->source, fi::FiConfig::allOn());
+  const auto& profile = instance->profile();
+  const std::uint64_t budget = profile.instrCount * 10;
+
+  struct KindStats {
+    std::uint64_t crash = 0;
+    std::uint64_t soc = 0;
+    std::uint64_t benign = 0;
+  };
+  constexpr int kKinds = 4;  // gpr, fpr, sp, flags
+  std::vector<int> kindOf(trials, -1);
+  std::vector<campaign::Outcome> outcomes(trials, campaign::Outcome::Benign);
+
+  parallelFor(trials, hardwareThreads(), [&](std::size_t trial) {
+    const std::uint64_t seed = mixSeed(0xAB1A7E, fnv1a(app->name), trial);
+    Rng rng(seed);
+    const std::uint64_t target = rng.nextBelow(profile.dynamicTargets) + 1;
+    const auto run = instance->runTrial(target, rng.next(), budget);
+    if (run.fault.has_value()) {
+      kindOf[trial] = static_cast<int>(run.fault->operandKind);
+      outcomes[trial] = campaign::classify(run.exec, profile.goldenOutput);
+    }
+  });
+
+  KindStats stats[kKinds];
+  std::uint64_t population[kKinds] = {};
+  for (std::size_t t = 0; t < trials; ++t) {
+    if (kindOf[t] < 0) continue;
+    ++population[kindOf[t]];
+    auto& s = stats[kindOf[t]];
+    switch (outcomes[t]) {
+      case campaign::Outcome::Crash: ++s.crash; break;
+      case campaign::Outcome::SOC: ++s.soc; break;
+      case campaign::Outcome::Benign: ++s.benign; break;
+    }
+  }
+
+  std::printf("=== outcome by flipped operand kind: %s, REFINE, %llu trials ===\n",
+              app->name.c_str(), static_cast<unsigned long long>(trials));
+  std::printf("%-7s %8s %8s %8s %8s   %s\n", "kind", "share", "crash%", "soc%",
+              "benign%", "visible to LLFI?");
+  const char* names[kKinds] = {"gpr", "fpr", "sp", "flags"};
+  const char* visible[kKinds] = {"yes (as i64 values)", "yes (as f64 values)",
+                                 "NO — no sp at IR level",
+                                 "NO — no flags at IR level"};
+  for (int k = 0; k < kKinds; ++k) {
+    const auto& s = stats[k];
+    const double n = static_cast<double>(s.crash + s.soc + s.benign);
+    if (n == 0) continue;
+    std::printf("%-7s %7.1f%% %7.1f%% %7.1f%% %7.1f%%   %s\n", names[k],
+                100.0 * static_cast<double>(population[k]) /
+                    static_cast<double>(trials),
+                100.0 * static_cast<double>(s.crash) / n,
+                100.0 * static_cast<double>(s.soc) / n,
+                100.0 * static_cast<double>(s.benign) / n, visible[k]);
+  }
+  return 0;
+}

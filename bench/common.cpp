@@ -1,0 +1,160 @@
+#include "bench/common.h"
+
+#include <cstdio>
+
+#include "apps/apps.h"
+#include "campaign/tools.h"
+#include "support/strings.h"
+#include "support/threadpool.h"
+#include "support/timer.h"
+
+namespace refine::bench {
+
+namespace {
+
+std::uint64_t envU64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+std::string cachePath(const campaign::CampaignConfig& config) {
+  return strf("refine_campaign_cache_t%llu_s%llx.csv",
+              static_cast<unsigned long long>(config.trials),
+              static_cast<unsigned long long>(config.baseSeed));
+}
+
+/// Cache format: one line per result,
+/// app,tool,crash,soc,benign,seconds,dynTargets,profileInstrs,binarySize
+std::optional<FullCampaign> tryLoadCache(const campaign::CampaignConfig& config) {
+  std::string content;
+  try {
+    content = readFile(cachePath(config));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  FullCampaign out;
+  out.config = config;
+  out.fromCache = true;
+  for (const auto& app : apps::benchmarkApps()) {
+    out.appNames.push_back(app.name);
+    out.results.emplace_back();
+  }
+  std::size_t parsed = 0;
+  for (const auto& line : split(content, '\n')) {
+    if (trim(line).empty()) continue;
+    const auto fields = split(line, ',');
+    if (fields.size() != 9) return std::nullopt;
+    campaign::CampaignResult r;
+    r.app = fields[0];
+    if (fields[1] == "LLFI") r.tool = campaign::Tool::LLFI;
+    else if (fields[1] == "REFINE") r.tool = campaign::Tool::REFINE;
+    else if (fields[1] == "PINFI") r.tool = campaign::Tool::PINFI;
+    else return std::nullopt;
+    r.counts.crash = std::strtoull(fields[2].c_str(), nullptr, 10);
+    r.counts.soc = std::strtoull(fields[3].c_str(), nullptr, 10);
+    r.counts.benign = std::strtoull(fields[4].c_str(), nullptr, 10);
+    r.totalTrialSeconds = std::strtod(fields[5].c_str(), nullptr);
+    r.dynamicTargets = std::strtoull(fields[6].c_str(), nullptr, 10);
+    r.profileInstrs = std::strtoull(fields[7].c_str(), nullptr, 10);
+    r.binarySize = std::strtoull(fields[8].c_str(), nullptr, 10);
+    bool placed = false;
+    for (std::size_t a = 0; a < out.appNames.size(); ++a) {
+      if (out.appNames[a] == r.app) {
+        out.results[a].push_back(std::move(r));
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) return std::nullopt;
+    ++parsed;
+  }
+  if (parsed != apps::benchmarkApps().size() * 3) return std::nullopt;
+  // Normalize tool order within each app.
+  for (auto& perApp : out.results) {
+    std::vector<campaign::CampaignResult> ordered;
+    for (campaign::Tool tool : toolOrder()) {
+      for (auto& r : perApp) {
+        if (r.tool == tool) ordered.push_back(std::move(r));
+      }
+    }
+    if (ordered.size() != 3) return std::nullopt;
+    perApp = std::move(ordered);
+  }
+  return out;
+}
+
+void saveCache(const FullCampaign& campaign) {
+  std::string content;
+  for (const auto& perApp : campaign.results) {
+    for (const auto& r : perApp) {
+      content += strf("%s,%s,%llu,%llu,%llu,%.6f,%llu,%llu,%llu\n",
+                      r.app.c_str(), campaign::toolName(r.tool),
+                      static_cast<unsigned long long>(r.counts.crash),
+                      static_cast<unsigned long long>(r.counts.soc),
+                      static_cast<unsigned long long>(r.counts.benign),
+                      r.totalTrialSeconds,
+                      static_cast<unsigned long long>(r.dynamicTargets),
+                      static_cast<unsigned long long>(r.profileInstrs),
+                      static_cast<unsigned long long>(r.binarySize));
+    }
+  }
+  try {
+    writeFile(cachePath(campaign.config), content);
+  } catch (const std::exception&) {
+    // Non-fatal: cache is an optimization only.
+  }
+}
+
+}  // namespace
+
+campaign::CampaignConfig configFromEnv() {
+  campaign::CampaignConfig config;
+  config.trials = envU64("REFINE_TRIALS", 1068);
+  config.threads = static_cast<unsigned>(envU64("REFINE_THREADS", 0));
+  return config;
+}
+
+FullCampaign loadOrRunFullCampaign() {
+  const campaign::CampaignConfig config = configFromEnv();
+  const bool noCache = std::getenv("REFINE_NO_CACHE") != nullptr;
+  if (!noCache) {
+    if (auto cached = tryLoadCache(config)) {
+      std::fprintf(stderr,
+                   "[bench] reusing cached campaign (%s); set REFINE_NO_CACHE "
+                   "to recompute\n",
+                   cachePath(config).c_str());
+      return *std::move(cached);
+    }
+  }
+
+  FullCampaign out;
+  out.config = config;
+  const auto& apps = apps::benchmarkApps();
+  std::fprintf(stderr,
+               "[bench] running full campaign: %zu apps x 3 tools x %llu "
+               "trials on %u threads\n",
+               apps.size(), static_cast<unsigned long long>(config.trials),
+               config.threads == 0 ? hardwareThreads() : config.threads);
+  WallTimer total;
+  for (const auto& app : apps) {
+    out.appNames.push_back(app.name);
+    out.results.emplace_back();
+    for (campaign::Tool tool : toolOrder()) {
+      WallTimer timer;
+      auto instance =
+          campaign::makeToolInstance(tool, app.source, fi::FiConfig::allOn());
+      auto result = campaign::runCampaign(*instance, tool, app.name, config);
+      std::fprintf(stderr, "[bench]   %-10s %-7s %6.1fs wall (%.1fs work)\n",
+                   app.name.c_str(), campaign::toolName(tool), timer.seconds(),
+                   result.totalTrialSeconds);
+      out.results.back().push_back(std::move(result));
+    }
+  }
+  std::fprintf(stderr, "[bench] campaign finished in %.1fs wall\n",
+               total.seconds());
+  if (!noCache) saveCache(out);
+  return out;
+}
+
+}  // namespace refine::bench

@@ -1,0 +1,45 @@
+// Shared campaign driver for the table/figure benches.
+//
+// Each bench binary regenerates one of the paper's tables or figures from
+// the same full campaign (14 apps x 3 tools x REFINE_TRIALS trials). The
+// first bench to run performs the campaign and caches the results as CSV
+// next to the build; later benches (same trial count and seed) reuse it, so
+// `for b in build/bench/*; do $b; done` runs the heavy experiment once.
+//
+// Environment knobs:
+//   REFINE_TRIALS   trials per (app, tool); default 1068 (the paper's n)
+//   REFINE_THREADS  worker threads; default: hardware concurrency
+//   REFINE_NO_CACHE set to disable reading/writing the cache
+#pragma once
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/runner.h"
+
+namespace refine::bench {
+
+struct FullCampaign {
+  campaign::CampaignConfig config;
+  /// Results indexed [app][tool] with tools in order LLFI, REFINE, PINFI.
+  std::vector<std::vector<campaign::CampaignResult>> results;
+  std::vector<std::string> appNames;
+  bool fromCache = false;
+};
+
+/// Reads knobs from the environment.
+campaign::CampaignConfig configFromEnv();
+
+/// Runs (or loads) the full campaign.
+FullCampaign loadOrRunFullCampaign();
+
+/// The three tools in reporting order.
+inline const std::vector<campaign::Tool>& toolOrder() {
+  static const std::vector<campaign::Tool> order = {
+      campaign::Tool::LLFI, campaign::Tool::REFINE, campaign::Tool::PINFI};
+  return order;
+}
+
+}  // namespace refine::bench

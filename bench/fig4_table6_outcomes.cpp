@@ -1,0 +1,78 @@
+// Reproduces Figure 4 and Table 6 of the paper: fault-injection outcome
+// distributions (crash / SOC / benign) for all 14 benchmarks under LLFI,
+// REFINE and PINFI, with 95% confidence intervals, plus a side-by-side
+// comparison against the paper's published Table 6 proportions.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "campaign/paperdata.h"
+#include "campaign/report.h"
+
+namespace {
+
+using refine::campaign::CampaignResult;
+using refine::campaign::paperTable6;
+using refine::campaign::Tool;
+using refine::campaign::toolName;
+
+double pct(std::uint64_t part, std::uint64_t total) {
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(part) / static_cast<double>(total);
+}
+
+void printPaperComparison(const refine::bench::FullCampaign& campaign) {
+  std::printf("\n--- measured vs paper (percentages; paper at n=1068) ---\n");
+  std::printf("%-10s %-7s   %18s   %18s   %18s\n", "app", "tool",
+              "crash meas/paper", "soc meas/paper", "benign meas/paper");
+  for (std::size_t a = 0; a < campaign.appNames.size(); ++a) {
+    const refine::campaign::PaperRow* paper = nullptr;
+    for (const auto& row : paperTable6()) {
+      if (campaign.appNames[a] == row.app) paper = &row;
+    }
+    if (paper == nullptr) continue;
+    for (std::size_t t = 0; t < 3; ++t) {
+      const CampaignResult& r = campaign.results[a][t];
+      const std::uint64_t* paperCounts =
+          r.tool == Tool::LLFI ? paper->llfi
+          : r.tool == Tool::REFINE ? paper->refine
+                                   : paper->pinfi;
+      const std::uint64_t n = r.counts.total();
+      std::printf("%-10s %-7s   %7.1f%% /%6.1f%%   %7.1f%% /%6.1f%%   %7.1f%% /%6.1f%%\n",
+                  r.app.c_str(), toolName(r.tool),
+                  pct(r.counts.crash, n), pct(paperCounts[0], 1068),
+                  pct(r.counts.soc, n), pct(paperCounts[1], 1068),
+                  pct(r.counts.benign, n), pct(paperCounts[2], 1068));
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  const auto campaign = refine::bench::loadOrRunFullCampaign();
+
+  std::printf("=== Figure 4: outcome distributions (%llu trials/tool, 95%% CI) ===\n",
+              static_cast<unsigned long long>(campaign.config.trials));
+  for (std::size_t a = 0; a < campaign.appNames.size(); ++a) {
+    for (const CampaignResult& r : campaign.results[a]) {
+      std::printf("%s\n", refine::campaign::figure4Row(r).c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("=== Table 6: complete outcome frequencies (crash / SOC / benign) ===\n");
+  for (std::size_t a = 0; a < campaign.appNames.size(); ++a) {
+    std::printf("%s", refine::campaign::table6Block(campaign.appNames[a],
+                                                    campaign.results[a])
+                          .c_str());
+  }
+
+  printPaperComparison(campaign);
+
+  std::printf("\n=== CSV export ===\n");
+  std::vector<CampaignResult> flat;
+  for (const auto& perApp : campaign.results) {
+    for (const auto& r : perApp) flat.push_back(r);
+  }
+  std::printf("%s", refine::campaign::resultsCsv(flat).c_str());
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces Figure 5 of the paper: total fault-injection campaign execution
+// time per application for LLFI and REFINE, normalized to PINFI, plus the
+// aggregated total.
+//
+// Success criteria (paper Sec. 5.5): LLFI is several times slower than PINFI
+// overall (3.9x in the paper) except where early crashes shorten its runs
+// (EP); REFINE is comparable to PINFI (0.7x-1.8x per app, 1.2x overall).
+#include <cstdio>
+
+#include "bench/common.h"
+#include "campaign/report.h"
+
+int main() {
+  using refine::campaign::CampaignResult;
+  const auto campaign = refine::bench::loadOrRunFullCampaign();
+
+  std::printf("=== Figure 5: campaign execution time normalized to PINFI ===\n");
+  std::printf("%-10s %10s %10s %10s %12s %12s\n", "app", "LLFI(s)", "REFINE(s)",
+              "PINFI(s)", "LLFI/PINFI", "REFINE/PINFI");
+  double totalLlfi = 0;
+  double totalRefine = 0;
+  double totalPinfi = 0;
+  for (std::size_t a = 0; a < campaign.appNames.size(); ++a) {
+    const CampaignResult& llfi = campaign.results[a][0];
+    const CampaignResult& refined = campaign.results[a][1];
+    const CampaignResult& pinfi = campaign.results[a][2];
+    totalLlfi += llfi.totalTrialSeconds;
+    totalRefine += refined.totalTrialSeconds;
+    totalPinfi += pinfi.totalTrialSeconds;
+    std::printf("%-10s %10.2f %10.2f %10.2f %11.2fx %11.2fx\n",
+                campaign.appNames[a].c_str(), llfi.totalTrialSeconds,
+                refined.totalTrialSeconds, pinfi.totalTrialSeconds,
+                llfi.totalTrialSeconds / pinfi.totalTrialSeconds,
+                refined.totalTrialSeconds / pinfi.totalTrialSeconds);
+  }
+  std::printf("%-10s %10.2f %10.2f %10.2f %11.2fx %11.2fx\n", "Total",
+              totalLlfi, totalRefine, totalPinfi, totalLlfi / totalPinfi,
+              totalRefine / totalPinfi);
+  std::printf("(paper totals: LLFI 3.9x, REFINE 1.2x of PINFI)\n");
+
+  const double llfiRatio = totalLlfi / totalPinfi;
+  const double refineRatio = totalRefine / totalPinfi;
+  std::printf("%s\n",
+              llfiRatio > 1.8 && refineRatio < llfiRatio / 1.5 && refineRatio < 2.5
+                  ? "REPRODUCTION: shape HOLDS (LLFI slow, REFINE ~PINFI)"
+                  : "REPRODUCTION: shape DEVIATES — inspect above");
+  return 0;
+}

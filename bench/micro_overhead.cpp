@@ -1,0 +1,143 @@
+// Microbenchmark ablations (google-benchmark): where does each tool's
+// runtime overhead come from?
+//
+//  * Native          — uninstrumented binary, the baseline.
+//  * RefineFullRun   — REFINE binary with the library counting every
+//                      instrumented instruction (basic-block instrumentation
+//                      cost; no function calls in the fast path).
+//  * PinfiHooked     — per-instruction DBI callback for the whole run
+//                      (what PINFI pays before its detach point).
+//  * PinfiDetached   — injection at the halfway point followed by detach
+//                      (the optimization the paper added to PINFI).
+//  * LlfiRun         — LLFI binary: guest-level function-call
+//                      instrumentation plus degraded code generation.
+//
+// Also measures compile-time cost of each instrumentation pass (the paper
+// notes compilation happens once and is excluded from campaign time).
+#include <benchmark/benchmark.h>
+
+#include "apps/apps.h"
+#include "backend/compile.h"
+#include "fi/llfi_pass.h"
+#include "fi/pinfi.h"
+#include "fi/refine_pass.h"
+#include "frontend/compile.h"
+#include "opt/passes.h"
+#include "vm/machine.h"
+
+namespace {
+
+using namespace refine;
+
+constexpr std::uint64_t kBudget = 1'000'000'000;
+
+const apps::AppInfo& app() { return *apps::findApp("HPCCG-1.0"); }
+
+std::unique_ptr<ir::Module> optimized() {
+  auto module = fe::compileToIR(app().source);
+  opt::optimize(*module, opt::OptLevel::O2);
+  return module;
+}
+
+void BM_Native(benchmark::State& state) {
+  auto module = optimized();
+  const auto compiled = backend::compileBackend(*module);
+  std::uint64_t instrs = 0;
+  for (auto _ : state) {
+    vm::Machine machine(compiled.program);
+    const auto r = machine.run(kBudget);
+    instrs = r.instrCount;
+    benchmark::DoNotOptimize(r.exitCode);
+  }
+  state.counters["guest_instrs"] = static_cast<double>(instrs);
+}
+BENCHMARK(BM_Native);
+
+void BM_RefineFullRun(benchmark::State& state) {
+  auto module = optimized();
+  const auto compiled = fi::compileWithRefine(*module, fi::FiConfig::allOn());
+  std::uint64_t instrs = 0;
+  for (auto _ : state) {
+    auto library = fi::FaultInjectionLibrary::profiling(&compiled.sites);
+    vm::Machine machine(compiled.program);
+    machine.setFiRuntime(&library);
+    const auto r = machine.run(kBudget);
+    instrs = r.instrCount;
+    benchmark::DoNotOptimize(r.exitCode);
+  }
+  state.counters["guest_instrs"] = static_cast<double>(instrs);
+}
+BENCHMARK(BM_RefineFullRun);
+
+void BM_PinfiHooked(benchmark::State& state) {
+  auto module = optimized();
+  const auto compiled = backend::compileBackend(*module);
+  fi::Pinfi engine(compiled.program, fi::FiConfig::allOn());
+  for (auto _ : state) {
+    const auto r = engine.profile(kBudget);
+    benchmark::DoNotOptimize(r.dynamicTargets);
+  }
+}
+BENCHMARK(BM_PinfiHooked);
+
+void BM_PinfiDetached(benchmark::State& state) {
+  auto module = optimized();
+  const auto compiled = backend::compileBackend(*module);
+  fi::Pinfi engine(compiled.program, fi::FiConfig::allOn());
+  const auto targets = engine.profile(kBudget).dynamicTargets;
+  for (auto _ : state) {
+    const auto r = engine.inject(targets / 2, 1, kBudget);
+    benchmark::DoNotOptimize(r.exec.instrCount);
+  }
+}
+BENCHMARK(BM_PinfiDetached);
+
+void BM_LlfiRun(benchmark::State& state) {
+  auto module = optimized();
+  const auto info = fi::applyLlfiPass(*module, fi::FiConfig::allOn());
+  const auto compiled = backend::compileBackend(*module);
+  std::uint64_t instrs = 0;
+  for (auto _ : state) {
+    vm::Machine machine(compiled.program);
+    machine.pokeGlobal(info.targetAddr, 0);
+    const auto r = machine.run(kBudget);
+    instrs = r.instrCount;
+    benchmark::DoNotOptimize(r.exitCode);
+  }
+  state.counters["guest_instrs"] = static_cast<double>(instrs);
+}
+BENCHMARK(BM_LlfiRun);
+
+// --- compile-time cost ------------------------------------------------------
+
+void BM_CompileBaseline(benchmark::State& state) {
+  for (auto _ : state) {
+    auto module = optimized();
+    const auto compiled = backend::compileBackend(*module);
+    benchmark::DoNotOptimize(compiled.program.code.size());
+  }
+}
+BENCHMARK(BM_CompileBaseline);
+
+void BM_CompileWithRefinePass(benchmark::State& state) {
+  for (auto _ : state) {
+    auto module = optimized();
+    const auto compiled = fi::compileWithRefine(*module, fi::FiConfig::allOn());
+    benchmark::DoNotOptimize(compiled.program.code.size());
+  }
+}
+BENCHMARK(BM_CompileWithRefinePass);
+
+void BM_CompileWithLlfiPass(benchmark::State& state) {
+  for (auto _ : state) {
+    auto module = optimized();
+    const auto info = fi::applyLlfiPass(*module, fi::FiConfig::allOn());
+    const auto compiled = backend::compileBackend(*module);
+    benchmark::DoNotOptimize(compiled.program.code.size() + info.staticTargets);
+  }
+}
+BENCHMARK(BM_CompileWithLlfiPass);
+
+}  // namespace
+
+BENCHMARK_MAIN();

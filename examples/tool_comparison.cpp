@@ -1,0 +1,56 @@
+// Compare the three fault injectors on one application, the way the paper's
+// evaluation does: same fault model, same classification, chi-squared test
+// of each tool against the PINFI baseline.
+//
+// Usage: tool_comparison [app-name] [trials]
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/apps.h"
+#include "campaign/report.h"
+#include "campaign/runner.h"
+
+int main(int argc, char** argv) {
+  using namespace refine;
+
+  const char* appName = argc > 1 ? argv[1] : "CoMD";
+  const apps::AppInfo* app = apps::findApp(appName);
+  if (app == nullptr) {
+    std::fprintf(stderr, "unknown app '%s'\n", appName);
+    return 2;
+  }
+  campaign::CampaignConfig config;
+  config.trials = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1068;
+
+  std::printf("comparing LLFI / REFINE / PINFI on %s (%llu trials each)\n\n",
+              app->name.c_str(),
+              static_cast<unsigned long long>(config.trials));
+
+  std::vector<campaign::CampaignResult> results;
+  for (const auto tool : {campaign::Tool::LLFI, campaign::Tool::REFINE,
+                          campaign::Tool::PINFI}) {
+    auto instance =
+        campaign::makeToolInstance(tool, app->source, fi::FiConfig::allOn());
+    std::printf("%-7s population: %llu dynamic targets, binary %llu instrs\n",
+                campaign::toolName(tool),
+                static_cast<unsigned long long>(instance->profile().dynamicTargets),
+                static_cast<unsigned long long>(instance->binarySize()));
+    results.push_back(
+        campaign::runCampaign(*instance, tool, app->name, config));
+  }
+
+  std::printf("\n");
+  for (const auto& r : results) {
+    std::printf("%s\n", campaign::figure4Row(r).c_str());
+  }
+
+  std::printf("\ncontingency (LLFI vs PINFI):\n%s",
+              campaign::contingencyTable(results[0], results[2]).c_str());
+  std::printf("\n%s\n", campaign::table5Line(results[0], results[2]).c_str());
+  std::printf("%s\n", campaign::table5Line(results[1], results[2]).c_str());
+
+  std::printf("\nspeed:\n%s\n%s\n",
+              campaign::figure5Line(results[0], results[2]).c_str(),
+              campaign::figure5Line(results[1], results[2]).c_str());
+  return 0;
+}

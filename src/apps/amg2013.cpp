@@ -1,0 +1,100 @@
+#include "apps/apps.h"
+
+namespace refine::apps::detail {
+
+AppInfo makeAMG2013() {
+  AppInfo app;
+  app.name = "AMG2013";
+  app.paperInput = "-in sstruct.in.MG.FD -r 24 24 24";
+  app.description =
+      "two-level multigrid V-cycles (Jacobi smoothing, full-weighting "
+      "restriction, linear prolongation) on a 1D Poisson problem";
+  app.source = R"MC(
+// AMG2013 mini-kernel: 2-level geometric multigrid for -u'' = f on [0,1].
+var fine_u: f64[130];
+var fine_f: f64[130];
+var fine_r: f64[130];
+var fine_tmp: f64[130];
+var coarse_e: f64[66];
+var coarse_r: f64[66];
+var coarse_tmp: f64[66];
+var N: i64 = 128;
+
+fn smooth_fine(sweeps: i64) {
+  for (var s: i64 = 0; s < sweeps; s = s + 1) {
+    for (var i: i64 = 1; i < N; i = i + 1) {
+      fine_tmp[i] = 0.5 * (fine_u[i - 1] + fine_u[i + 1] + fine_f[i]);
+    }
+    for (var i: i64 = 1; i < N; i = i + 1) { fine_u[i] = fine_tmp[i]; }
+  }
+}
+
+fn residual_fine() -> f64 {
+  var norm: f64 = 0.0;
+  for (var i: i64 = 1; i < N; i = i + 1) {
+    var r: f64 = fine_f[i] - (2.0 * fine_u[i] - fine_u[i - 1] - fine_u[i + 1]);
+    fine_r[i] = r;
+    norm = norm + r * r;
+  }
+  return sqrt(norm);
+}
+
+fn smooth_coarse(sweeps: i64) {
+  var M: i64 = N / 2;
+  for (var s: i64 = 0; s < sweeps; s = s + 1) {
+    for (var i: i64 = 1; i < M; i = i + 1) {
+      coarse_tmp[i] = 0.5 * (coarse_e[i - 1] + coarse_e[i + 1] + coarse_r[i]);
+    }
+    for (var i: i64 = 1; i < M; i = i + 1) { coarse_e[i] = coarse_tmp[i]; }
+  }
+}
+
+fn vcycle() {
+  smooth_fine(2);
+  residual_fine();
+  // Full-weighting restriction of the residual to the coarse grid
+  // (factor 4 folds in the h^2 scaling between levels).
+  var M: i64 = N / 2;
+  for (var i: i64 = 1; i < M; i = i + 1) {
+    coarse_r[i] = (fine_r[2 * i - 1] + 2.0 * fine_r[2 * i] + fine_r[2 * i + 1]);
+    coarse_e[i] = 0.0;
+  }
+  coarse_e[0] = 0.0;
+  coarse_e[M] = 0.0;
+  smooth_coarse(12);
+  // Linear prolongation and correction.
+  for (var i: i64 = 1; i < M; i = i + 1) {
+    fine_u[2 * i] = fine_u[2 * i] + coarse_e[i];
+  }
+  for (var i: i64 = 0; i < M; i = i + 1) {
+    fine_u[2 * i + 1] = fine_u[2 * i + 1] + 0.5 * (coarse_e[i] + coarse_e[i + 1]);
+  }
+  smooth_fine(2);
+}
+
+fn main() -> i64 {
+  var h: f64 = 1.0 / f64(N);
+  for (var i: i64 = 0; i <= N; i = i + 1) {
+    var x: f64 = f64(i) * h;
+    fine_u[i] = 0.0;
+    fine_f[i] = h * h * (sin(3.14159265358979 * x) * 9.8696 + 1.0);
+  }
+  print_str("AMG2013 2-level V-cycles");
+  for (var cycle: i64 = 0; cycle < 6; cycle = cycle + 1) {
+    vcycle();
+  }
+  var finalResidual: f64 = residual_fine();
+  print_f64(finalResidual);
+  var mid: f64 = fine_u[N / 2];
+  print_f64(mid);
+  var norm: f64 = 0.0;
+  for (var i: i64 = 0; i <= N; i = i + 1) { norm = norm + fine_u[i] * fine_u[i]; }
+  print_f64(sqrt(norm));
+  if (finalResidual > 1.0) { return 1; }
+  return 0;
+}
+)MC";
+  return app;
+}
+
+}  // namespace refine::apps::detail

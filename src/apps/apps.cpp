@@ -1,0 +1,23 @@
+#include "apps/apps.h"
+
+namespace refine::apps {
+
+const std::vector<AppInfo>& benchmarkApps() {
+  static const std::vector<AppInfo> apps = {
+      detail::makeAMG2013(), detail::makeCoMD(),   detail::makeHPCCG(),
+      detail::makeLulesh(),  detail::makeXSBench(), detail::makeMiniFE(),
+      detail::makeBT(),      detail::makeCG(),      detail::makeDC(),
+      detail::makeEP(),      detail::makeFT(),      detail::makeLU(),
+      detail::makeSP(),      detail::makeUA(),
+  };
+  return apps;
+}
+
+const AppInfo* findApp(std::string_view name) {
+  for (const auto& app : benchmarkApps()) {
+    if (app.name == name) return &app;
+  }
+  return nullptr;
+}
+
+}  // namespace refine::apps

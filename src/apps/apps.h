@@ -1,0 +1,48 @@
+// The 14 HPC benchmark programs of the paper's evaluation (Table 3),
+// reimplemented as deterministic MiniC mini-kernels.
+//
+// Each kernel keeps the computational character of its namesake (memory-bound
+// stencils, FP-heavy force loops, integer aggregation, irregular access,
+// transforms, ...) at a scale of roughly 10^5-10^6 dynamic machine
+// instructions so that full 1068-trial campaigns stay laptop-runnable.
+// The paper's original input is recorded verbatim for traceability; the
+// scaled parameters live inside each source.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace refine::apps {
+
+struct AppInfo {
+  std::string name;         // the paper's benchmark name
+  std::string paperInput;   // Table 3 input of the original program
+  std::string description;  // what our mini-kernel computes
+  std::string source;       // MiniC program
+};
+
+/// All 14 benchmarks in the paper's Table 3 order.
+const std::vector<AppInfo>& benchmarkApps();
+
+/// Lookup by name; nullptr when unknown.
+const AppInfo* findApp(std::string_view name);
+
+namespace detail {
+AppInfo makeAMG2013();
+AppInfo makeCoMD();
+AppInfo makeHPCCG();
+AppInfo makeLulesh();
+AppInfo makeXSBench();
+AppInfo makeMiniFE();
+AppInfo makeBT();
+AppInfo makeCG();
+AppInfo makeDC();
+AppInfo makeEP();
+AppInfo makeFT();
+AppInfo makeLU();
+AppInfo makeSP();
+AppInfo makeUA();
+}  // namespace detail
+
+}  // namespace refine::apps

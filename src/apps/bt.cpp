@@ -1,0 +1,76 @@
+#include "apps/apps.h"
+
+namespace refine::apps::detail {
+
+AppInfo makeBT() {
+  AppInfo app;
+  app.name = "BT";
+  app.paperInput = "A";
+  app.description =
+      "block-tridiagonal line solver: repeated Thomas-algorithm sweeps over "
+      "coupled lines, as in the NAS BT implicit solver";
+  app.source = R"MC(
+// NAS BT mini-kernel: batches of tridiagonal line solves with coupling.
+var lower: f64[64];
+var diag: f64[64];
+var upper: f64[64];
+var rhs: f64[512];      // 8 lines x 64 cells
+var sol: f64[512];
+var cprime: f64[64];
+var dprime: f64[64];
+var lineLen: i64 = 64;
+var nLines: i64 = 8;
+
+fn solveLine(line: i64) {
+  var base: i64 = line * lineLen;
+  cprime[0] = upper[0] / diag[0];
+  dprime[0] = rhs[base] / diag[0];
+  for (var i: i64 = 1; i < lineLen; i = i + 1) {
+    var m: f64 = diag[i] - lower[i] * cprime[i - 1];
+    cprime[i] = upper[i] / m;
+    dprime[i] = (rhs[base + i] - lower[i] * dprime[i - 1]) / m;
+  }
+  sol[base + lineLen - 1] = dprime[lineLen - 1];
+  for (var i: i64 = lineLen - 2; i >= 0; i = i - 1) {
+    sol[base + i] = dprime[i] - cprime[i] * sol[base + i + 1];
+  }
+}
+
+fn main() -> i64 {
+  for (var i: i64 = 0; i < lineLen; i = i + 1) {
+    lower[i] = -1.0;
+    diag[i] = 4.0 + 0.01 * f64(i);
+    upper[i] = -1.0;
+  }
+  for (var l: i64 = 0; l < nLines; l = l + 1) {
+    for (var i: i64 = 0; i < lineLen; i = i + 1) {
+      rhs[l * lineLen + i] = sin(f64(l) + f64(i) * 0.2) + 1.5;
+    }
+  }
+  print_str("BT line solves");
+  // Outer iterations couple neighbouring lines through their solutions.
+  for (var sweep: i64 = 0; sweep < 6; sweep = sweep + 1) {
+    for (var l: i64 = 0; l < nLines; l = l + 1) { solveLine(l); }
+    for (var l: i64 = 0; l < nLines; l = l + 1) {
+      var neighbor: i64 = (l + 1) % nLines;
+      for (var i: i64 = 0; i < lineLen; i = i + 1) {
+        rhs[l * lineLen + i] = 0.7 * rhs[l * lineLen + i] +
+                               0.3 * sol[neighbor * lineLen + i];
+      }
+    }
+  }
+  var checksum: f64 = 0.0;
+  for (var k: i64 = 0; k < nLines * lineLen; k = k + 1) {
+    checksum = checksum + sol[k] * sol[k];
+  }
+  print_f64(sqrt(checksum));
+  print_f64(sol[lineLen / 2]);
+  print_f64(sol[nLines * lineLen - 1]);
+  if (checksum > 1.0e6) { return 1; }
+  return 0;
+}
+)MC";
+  return app;
+}
+
+}  // namespace refine::apps::detail

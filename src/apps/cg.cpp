@@ -1,0 +1,84 @@
+#include "apps/apps.h"
+
+namespace refine::apps::detail {
+
+AppInfo makeCG() {
+  AppInfo app;
+  app.name = "CG";
+  app.paperInput = "B";
+  app.description =
+      "NAS CG: power iteration with a randomized sparse matrix (CSR-style "
+      "indirection) estimating the smallest eigenvalue shift zeta";
+  app.source = R"MC(
+// NAS CG mini-kernel: sparse power iteration.
+var rowptr: i64[66];
+var colidx: i64[512];
+var avals: f64[512];
+var xv: f64[66];
+var zv: f64[66];
+var n: i64 = 64;
+var seed: i64 = 271828;
+
+fn lcg() -> i64 {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  if (seed < 0) { seed = -seed; }
+  return seed;
+}
+
+fn buildMatrix() {
+  var nnz: i64 = 0;
+  for (var i: i64 = 0; i < n; i = i + 1) {
+    rowptr[i] = nnz;
+    // Diagonal entry keeps the matrix positive definite-ish.
+    colidx[nnz] = i;
+    avals[nnz] = 8.0 + f64(lcg() % 4);
+    nnz = nnz + 1;
+    // A handful of random off-diagonals per row.
+    for (var k: i64 = 0; k < 5; k = k + 1) {
+      colidx[nnz] = lcg() % n;
+      avals[nnz] = -0.5 + f64(lcg() % 100) / 200.0;
+      nnz = nnz + 1;
+    }
+  }
+  rowptr[n] = nnz;
+}
+
+fn spmv() {
+  for (var i: i64 = 0; i < n; i = i + 1) {
+    var sum: f64 = 0.0;
+    for (var k: i64 = rowptr[i]; k < rowptr[i + 1]; k = k + 1) {
+      sum = sum + avals[k] * xv[colidx[k]];
+    }
+    zv[i] = sum;
+  }
+}
+
+fn main() -> i64 {
+  buildMatrix();
+  for (var i: i64 = 0; i < n; i = i + 1) { xv[i] = 1.0; }
+  print_str("CG power iteration");
+  var zeta: f64 = 0.0;
+  for (var it: i64 = 0; it < 12; it = it + 1) {
+    spmv();
+    var znorm: f64 = 0.0;
+    var xz: f64 = 0.0;
+    for (var i: i64 = 0; i < n; i = i + 1) {
+      znorm = znorm + zv[i] * zv[i];
+      xz = xz + xv[i] * zv[i];
+    }
+    zeta = 10.0 + 1.0 / xz * f64(n);
+    znorm = sqrt(znorm);
+    for (var i: i64 = 0; i < n; i = i + 1) { xv[i] = zv[i] / znorm; }
+  }
+  print_f64(zeta);
+  var xnorm: f64 = 0.0;
+  for (var i: i64 = 0; i < n; i = i + 1) { xnorm = xnorm + xv[i] * xv[i]; }
+  print_f64(sqrt(xnorm));
+  if (zeta < 0.0) { return 1; }
+  return 0;
+}
+)MC";
+  return app;
+}
+
+}  // namespace refine::apps::detail

@@ -1,0 +1,82 @@
+#include "apps/apps.h"
+
+namespace refine::apps::detail {
+
+AppInfo makeCoMD() {
+  AppInfo app;
+  app.name = "CoMD";
+  app.paperInput = "-d ./pots/ -e -i 1 -j 1 -k 1 -x 32 -y 32 -z 32";
+  app.description =
+      "Lennard-Jones molecular dynamics: all-pairs force computation with "
+      "minimum-image convention and velocity-Verlet integration";
+  app.source = R"MC(
+// CoMD mini-kernel: 1D periodic Lennard-Jones chain, velocity Verlet.
+var px: f64[64];
+var vx: f64[64];
+var fx: f64[64];
+var nAtoms: i64 = 48;
+var boxLen: f64 = 52.8;
+var ePotential: f64 = 0.0;
+
+fn eamForce() {
+  for (var i: i64 = 0; i < nAtoms; i = i + 1) { fx[i] = 0.0; }
+  var ePot: f64 = 0.0;
+  for (var i: i64 = 0; i < nAtoms; i = i + 1) {
+    for (var j: i64 = i + 1; j < nAtoms; j = j + 1) {
+      var dx: f64 = px[i] - px[j];
+      if (dx > 0.5 * boxLen) { dx = dx - boxLen; }
+      if (dx < -0.5 * boxLen) { dx = dx + boxLen; }
+      var r2: f64 = dx * dx;
+      if (r2 < 6.25) {  // cutoff 2.5 sigma
+        var inv2: f64 = 1.0 / r2;
+        var inv6: f64 = inv2 * inv2 * inv2;
+        ePot = ePot + 4.0 * (inv6 * inv6 - inv6);
+        var fmag: f64 = 24.0 * (2.0 * inv6 * inv6 - inv6) * inv2;
+        fx[i] = fx[i] + fmag * dx;
+        fx[j] = fx[j] - fmag * dx;
+      }
+    }
+  }
+  ePotential = ePot;
+}
+
+fn kineticEnergy() -> f64 {
+  var eKin: f64 = 0.0;
+  for (var i: i64 = 0; i < nAtoms; i = i + 1) {
+    eKin = eKin + 0.5 * vx[i] * vx[i];
+  }
+  return eKin;
+}
+
+fn main() -> i64 {
+  // Slightly perturbed lattice so forces are non-trivial but bounded.
+  for (var i: i64 = 0; i < nAtoms; i = i + 1) {
+    px[i] = f64(i) * 1.1 + 0.02 * sin(f64(i) * 1.7);
+    vx[i] = 0.01 * cos(f64(i) * 0.9);
+  }
+  print_str("CoMD LJ chain");
+  var dt: f64 = 0.002;
+  eamForce();
+  for (var step: i64 = 0; step < 8; step = step + 1) {
+    for (var i: i64 = 0; i < nAtoms; i = i + 1) {
+      vx[i] = vx[i] + 0.5 * dt * fx[i];
+      px[i] = px[i] + dt * vx[i];
+    }
+    eamForce();
+    for (var i: i64 = 0; i < nAtoms; i = i + 1) {
+      vx[i] = vx[i] + 0.5 * dt * fx[i];
+    }
+  }
+  var eKin: f64 = kineticEnergy();
+  print_f64(ePotential);
+  print_f64(eKin);
+  print_f64(ePotential + eKin);
+  // Sanity: the chain must stay bound (total energy finite and negative).
+  if (ePotential + eKin > 0.0) { return 1; }
+  return 0;
+}
+)MC";
+  return app;
+}
+
+}  // namespace refine::apps::detail

@@ -1,0 +1,77 @@
+#include "apps/apps.h"
+
+namespace refine::apps::detail {
+
+AppInfo makeDC() {
+  AppInfo app;
+  app.name = "DC";
+  app.paperInput = "W";
+  app.description =
+      "NAS DC data cube: integer-heavy group-by aggregation of synthetic "
+      "tuples into a 3-dimensional cube plus roll-up views and checksums";
+  app.source = R"MC(
+// NAS DC mini-kernel: build a data cube and aggregate views over it.
+var cube: i64[256];      // 8 x 8 x 4 cells
+var viewD1: i64[8];
+var viewD1D2: i64[64];
+var seed: i64 = 900913;
+var nTuples: i64 = 900;
+
+fn lcg() -> i64 {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  if (seed < 0) { seed = -seed; }
+  return seed;
+}
+
+fn main() -> i64 {
+  print_str("DC data cube");
+  // Ingest tuples: (d1, d2, d3, measure).
+  for (var t: i64 = 0; t < nTuples; t = t + 1) {
+    var d1: i64 = lcg() % 8;
+    var d2: i64 = lcg() % 8;
+    var d3: i64 = lcg() % 4;
+    var measure: i64 = lcg() % 1000;
+    var cell: i64 = d1 * 32 + d2 * 4 + d3;
+    cube[cell] = cube[cell] + measure;
+  }
+  // Roll-ups.
+  var total: i64 = 0;
+  for (var d1: i64 = 0; d1 < 8; d1 = d1 + 1) {
+    for (var d2: i64 = 0; d2 < 8; d2 = d2 + 1) {
+      var cellSum: i64 = 0;
+      for (var d3: i64 = 0; d3 < 4; d3 = d3 + 1) {
+        cellSum = cellSum + cube[d1 * 32 + d2 * 4 + d3];
+      }
+      viewD1D2[d1 * 8 + d2] = cellSum;
+      viewD1[d1] = viewD1[d1] + cellSum;
+      total = total + cellSum;
+    }
+  }
+  // Checksums over every view (order-sensitive rolling hashes).
+  var h1: i64 = 0;
+  for (var i: i64 = 0; i < 8; i = i + 1) {
+    h1 = (h1 * 131 + viewD1[i]) % 1000000007;
+  }
+  var h2: i64 = 0;
+  for (var i: i64 = 0; i < 64; i = i + 1) {
+    h2 = (h2 * 131 + viewD1D2[i]) % 1000000007;
+  }
+  var h3: i64 = 0;
+  for (var i: i64 = 0; i < 256; i = i + 1) {
+    h3 = (h3 * 131 + cube[i]) % 1000000007;
+  }
+  print_i64(total);
+  print_i64(h1);
+  print_i64(h2);
+  print_i64(h3);
+  // Cross-check: the d1 view must sum to the grand total.
+  var crossCheck: i64 = 0;
+  for (var i: i64 = 0; i < 8; i = i + 1) { crossCheck = crossCheck + viewD1[i]; }
+  if (crossCheck != total) { return 1; }
+  return 0;
+}
+)MC";
+  return app;
+}
+
+}  // namespace refine::apps::detail

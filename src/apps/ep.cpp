@@ -1,0 +1,67 @@
+#include "apps/apps.h"
+
+namespace refine::apps::detail {
+
+AppInfo makeEP() {
+  AppInfo app;
+  app.name = "EP";
+  app.paperInput = "A";
+  app.description =
+      "NAS EP: Gaussian deviates by the Marsaglia polar method over an LCG "
+      "stream; annulus tallies and coordinate sums";
+  app.source = R"MC(
+// NAS EP mini-kernel: embarrassingly parallel Gaussian pair generation.
+var qcounts: i64[10];
+var seed: i64 = 314159;
+var nPairs: i64 = 1600;
+
+fn lcg() -> i64 {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  if (seed < 0) { seed = -seed; }
+  return seed;
+}
+
+fn rand01() -> f64 {
+  return f64(lcg()) / 2147483648.0;
+}
+
+fn main() -> i64 {
+  print_str("EP gaussian pairs");
+  var sx: f64 = 0.0;
+  var sy: f64 = 0.0;
+  var accepted: i64 = 0;
+  for (var k: i64 = 0; k < nPairs; k = k + 1) {
+    var x: f64 = 2.0 * rand01() - 1.0;
+    var y: f64 = 2.0 * rand01() - 1.0;
+    var t: f64 = x * x + y * y;
+    if (t <= 1.0 && t > 0.0) {
+      var scale: f64 = sqrt(-2.0 * log(t) / t);
+      var gx: f64 = x * scale;
+      var gy: f64 = y * scale;
+      sx = sx + gx;
+      sy = sy + gy;
+      accepted = accepted + 1;
+      var amax: f64 = fabs(gx);
+      var ay: f64 = fabs(gy);
+      if (ay > amax) { amax = ay; }
+      else { amax = amax; }
+      var bucket: i64 = i64(amax);
+      if (bucket > 9) { bucket = 9; }
+      qcounts[bucket] = qcounts[bucket] + 1;
+    }
+  }
+  print_i64(accepted);
+  print_f64(sx);
+  print_f64(sy);
+  for (var b: i64 = 0; b < 4; b = b + 1) { print_i64(qcounts[b]); }
+  // Count conservation: tallies must sum to the accepted pairs.
+  var totalQ: i64 = 0;
+  for (var b: i64 = 0; b < 10; b = b + 1) { totalQ = totalQ + qcounts[b]; }
+  if (totalQ != accepted) { return 1; }
+  return 0;
+}
+)MC";
+  return app;
+}
+
+}  // namespace refine::apps::detail

@@ -1,0 +1,101 @@
+#include "apps/apps.h"
+
+namespace refine::apps::detail {
+
+AppInfo makeFT() {
+  AppInfo app;
+  app.name = "FT";
+  app.paperInput = "B";
+  app.description =
+      "NAS FT: radix-2 complex FFT with bit-reversal permutation, spectral "
+      "evolution steps and inverse transform, checksummed per step";
+  app.source = R"MC(
+// NAS FT mini-kernel: FFT -> evolve -> inverse FFT cycles.
+var re: f64[64];
+var im: f64[64];
+var nPoints: i64 = 64;
+var pi: f64 = 3.14159265358979;
+
+fn bitReverse() {
+  var j: i64 = 0;
+  for (var i: i64 = 0; i < nPoints - 1; i = i + 1) {
+    if (i < j) {
+      var tr: f64 = re[i]; re[i] = re[j]; re[j] = tr;
+      var ti: f64 = im[i]; im[i] = im[j]; im[j] = ti;
+    }
+    var mask: i64 = nPoints / 2;
+    while (mask >= 1 && j >= mask) {
+      j = j - mask;
+      mask = mask / 2;
+    }
+    j = j + mask;
+  }
+}
+
+// direction: 1.0 forward, -1.0 inverse (unnormalized).
+fn fft(direction: f64) {
+  bitReverse();
+  var len: i64 = 2;
+  while (len <= nPoints) {
+    var ang: f64 = direction * -2.0 * pi / f64(len);
+    var half: i64 = len / 2;
+    for (var start: i64 = 0; start < nPoints; start = start + len) {
+      for (var k: i64 = 0; k < half; k = k + 1) {
+        var wr: f64 = cos(ang * f64(k));
+        var wi: f64 = sin(ang * f64(k));
+        var i0: i64 = start + k;
+        var i1: i64 = start + k + half;
+        var xr: f64 = re[i1] * wr - im[i1] * wi;
+        var xi: f64 = re[i1] * wi + im[i1] * wr;
+        re[i1] = re[i0] - xr;
+        im[i1] = im[i0] - xi;
+        re[i0] = re[i0] + xr;
+        im[i0] = im[i0] + xi;
+      }
+    }
+    len = len * 2;
+  }
+}
+
+fn checksum() -> f64 {
+  var s: f64 = 0.0;
+  for (var i: i64 = 0; i < nPoints; i = i + 1) {
+    s = s + re[i] * re[i] + im[i] * im[i];
+  }
+  return sqrt(s);
+}
+
+fn main() -> i64 {
+  for (var i: i64 = 0; i < nPoints; i = i + 1) {
+    re[i] = sin(f64(i) * 0.42) + 0.5;
+    im[i] = 0.0;
+  }
+  print_str("FT spectral evolution");
+  fft(1.0);
+  for (var step: i64 = 0; step < 4; step = step + 1) {
+    // Evolve: damp each mode slightly (diffusion in spectral space).
+    for (var i: i64 = 0; i < nPoints; i = i + 1) {
+      var k: i64 = i;
+      if (k > nPoints / 2) { k = nPoints - k; }
+      var damp: f64 = exp(-0.001 * f64(k * k));
+      re[i] = re[i] * damp;
+      im[i] = im[i] * damp;
+    }
+    print_f64(checksum());
+  }
+  fft(-1.0);
+  // Normalize the inverse transform.
+  for (var i: i64 = 0; i < nPoints; i = i + 1) {
+    re[i] = re[i] / f64(nPoints);
+    im[i] = im[i] / f64(nPoints);
+  }
+  print_f64(checksum());
+  print_f64(re[7]);
+  if (checksum() > 1.0e6) { return 1; }
+  return 0;
+}
+)MC";
+  return app;
+}
+
+}  // namespace refine::apps::detail

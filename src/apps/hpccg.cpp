@@ -1,0 +1,92 @@
+#include "apps/apps.h"
+
+namespace refine::apps::detail {
+
+AppInfo makeHPCCG() {
+  AppInfo app;
+  app.name = "HPCCG-1.0";
+  app.paperInput = "128 128 128";
+  app.description =
+      "conjugate-gradient solve of a 1D Laplacian (sparse mat-vec, dot "
+      "products, AXPYs and the max-residual reduction from the paper's "
+      "Listing 2)";
+  app.source = R"MC(
+// HPCCG mini-kernel: CG on the [-1, 2, -1] Laplacian with guard cells.
+var xv: f64[132];
+var bv: f64[132];
+var rv: f64[132];
+var pv: f64[132];
+var Ap: f64[132];
+var n: i64 = 128;
+
+// A * p with zero Dirichlet boundaries (indices 1..n; 0 and n+1 are guards).
+fn sparsemv() {
+  for (var i: i64 = 1; i <= n; i = i + 1) {
+    Ap[i] = 2.0 * pv[i] - pv[i - 1] - pv[i + 1];
+  }
+}
+
+fn ddot_rr() -> f64 {
+  var sum: f64 = 0.0;
+  for (var i: i64 = 1; i <= n; i = i + 1) { sum = sum + rv[i] * rv[i]; }
+  return sum;
+}
+
+fn ddot_pAp() -> f64 {
+  var sum: f64 = 0.0;
+  for (var i: i64 = 1; i <= n; i = i + 1) { sum = sum + pv[i] * Ap[i]; }
+  return sum;
+}
+
+// The paper's Listing 2 kernel: max |r_i| reduction (fcmp+select -> FMAX).
+fn compute_residual() -> f64 {
+  var local_residual: f64 = 0.0;
+  for (var i: i64 = 1; i <= n; i = i + 1) {
+    var a: f64 = fabs(rv[i]);
+    if (a > local_residual) { local_residual = a; }
+    else { local_residual = local_residual; }
+  }
+  return local_residual;
+}
+
+fn main() -> i64 {
+  for (var i: i64 = 0; i <= n + 1; i = i + 1) {
+    xv[i] = 0.0;
+    bv[i] = 1.0;
+    rv[i] = 0.0;
+    pv[i] = 0.0;
+    Ap[i] = 0.0;
+  }
+  bv[0] = 0.0;
+  bv[n + 1] = 0.0;
+  print_str("HPCCG conjugate gradient");
+  // r = b - A x = b (x = 0); p = r.
+  for (var i: i64 = 1; i <= n; i = i + 1) { rv[i] = bv[i]; pv[i] = rv[i]; }
+  var rtr: f64 = ddot_rr();
+  var iters: i64 = 0;
+  for (var k: i64 = 0; k < 40; k = k + 1) {
+    sparsemv();
+    var alpha: f64 = rtr / ddot_pAp();
+    for (var i: i64 = 1; i <= n; i = i + 1) {
+      xv[i] = xv[i] + alpha * pv[i];
+      rv[i] = rv[i] - alpha * Ap[i];
+    }
+    var rtrNew: f64 = ddot_rr();
+    iters = iters + 1;
+    if (rtrNew < 1.0e-16) { break; }
+    var beta: f64 = rtrNew / rtr;
+    rtr = rtrNew;
+    for (var i: i64 = 1; i <= n; i = i + 1) { pv[i] = rv[i] + beta * pv[i]; }
+  }
+  print_i64(iters);
+  print_f64(sqrt(rtr));
+  print_f64(compute_residual());
+  print_f64(xv[n / 2]);
+  if (sqrt(rtr) > 1000.0) { return 1; }
+  return 0;
+}
+)MC";
+  return app;
+}
+
+}  // namespace refine::apps::detail

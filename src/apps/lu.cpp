@@ -1,0 +1,87 @@
+#include "apps/apps.h"
+
+namespace refine::apps::detail {
+
+AppInfo makeLU() {
+  AppInfo app;
+  app.name = "LU";
+  app.paperInput = "A";
+  app.description =
+      "NAS LU: symmetric successive over-relaxation (forward + backward "
+      "Gauss-Seidel sweeps) on a 2D five-point grid";
+  app.source = R"MC(
+// NAS LU mini-kernel: SSOR solver for the 2D Poisson five-point stencil.
+var grid: f64[324];    // 18 x 18 including boundary ring
+var rhsv: f64[324];
+var nInner: i64 = 16;
+var omega: f64 = 1.2;
+
+fn cellIndex(i: i64, j: i64) -> i64 {
+  return i * 18 + j;
+}
+
+fn sweepForward() {
+  for (var i: i64 = 1; i <= nInner; i = i + 1) {
+    for (var j: i64 = 1; j <= nInner; j = j + 1) {
+      var c: i64 = cellIndex(i, j);
+      var gs: f64 = 0.25 * (grid[c - 1] + grid[c + 1] + grid[c - 18] +
+                            grid[c + 18] + rhsv[c]);
+      grid[c] = grid[c] + omega * (gs - grid[c]);
+    }
+  }
+}
+
+fn sweepBackward() {
+  for (var i: i64 = nInner; i >= 1; i = i - 1) {
+    for (var j: i64 = nInner; j >= 1; j = j - 1) {
+      var c: i64 = cellIndex(i, j);
+      var gs: f64 = 0.25 * (grid[c - 1] + grid[c + 1] + grid[c - 18] +
+                            grid[c + 18] + rhsv[c]);
+      grid[c] = grid[c] + omega * (gs - grid[c]);
+    }
+  }
+}
+
+fn residualNorm() -> f64 {
+  var norm: f64 = 0.0;
+  for (var i: i64 = 1; i <= nInner; i = i + 1) {
+    for (var j: i64 = 1; j <= nInner; j = j + 1) {
+      var c: i64 = cellIndex(i, j);
+      var r: f64 = rhsv[c] - (4.0 * grid[c] - grid[c - 1] - grid[c + 1] -
+                              grid[c - 18] - grid[c + 18]);
+      norm = norm + r * r;
+    }
+  }
+  return sqrt(norm);
+}
+
+fn main() -> i64 {
+  for (var i: i64 = 0; i < 18; i = i + 1) {
+    for (var j: i64 = 0; j < 18; j = j + 1) {
+      grid[cellIndex(i, j)] = 0.0;
+      rhsv[cellIndex(i, j)] = 0.01 * (sin(f64(i) * 0.6) + cos(f64(j) * 0.4));
+    }
+  }
+  print_str("LU SSOR sweeps");
+  for (var sweep: i64 = 0; sweep < 18; sweep = sweep + 1) {
+    sweepForward();
+    sweepBackward();
+  }
+  var finalNorm: f64 = residualNorm();
+  print_f64(finalNorm);
+  print_f64(grid[cellIndex(8, 8)]);
+  var sum: f64 = 0.0;
+  for (var i: i64 = 1; i <= nInner; i = i + 1) {
+    for (var j: i64 = 1; j <= nInner; j = j + 1) {
+      sum = sum + grid[cellIndex(i, j)];
+    }
+  }
+  print_f64(sum);
+  if (finalNorm > 1.0) { return 1; }
+  return 0;
+}
+)MC";
+  return app;
+}
+
+}  // namespace refine::apps::detail

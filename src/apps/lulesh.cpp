@@ -1,0 +1,105 @@
+#include "apps/apps.h"
+
+namespace refine::apps::detail {
+
+AppInfo makeLulesh() {
+  AppInfo app;
+  app.name = "lulesh";
+  app.paperInput = "(default)";
+  app.description =
+      "1D Lagrangian shock hydrodynamics (Sod problem): ideal-gas EOS, "
+      "artificial viscosity, staggered-grid leapfrog update";
+  app.source = R"MC(
+// lulesh mini-kernel: 1D Lagrangian hydro on a shock tube.
+var nodeX: f64[66];
+var nodeV: f64[66];
+var elemRho: f64[66];
+var elemE: f64[66];
+var elemP: f64[66];
+var elemQ: f64[66];
+var elemMass: f64[66];
+var numElems: i64 = 64;
+var gammaGas: f64 = 1.4;
+
+fn updatePressure() {
+  for (var e: i64 = 0; e < numElems; e = e + 1) {
+    elemP[e] = (gammaGas - 1.0) * elemRho[e] * elemE[e];
+    if (elemP[e] < 0.0) { elemP[e] = 0.0; }
+    else { elemP[e] = elemP[e]; }
+  }
+}
+
+fn updateViscosity() {
+  for (var e: i64 = 0; e < numElems; e = e + 1) {
+    var dv: f64 = nodeV[e + 1] - nodeV[e];
+    if (dv < 0.0) {
+      elemQ[e] = 2.0 * elemRho[e] * dv * dv;
+    } else {
+      elemQ[e] = 0.0;
+    }
+  }
+}
+
+fn main() -> i64 {
+  // Sod setup: high density/energy left, low right.
+  for (var e: i64 = 0; e < numElems; e = e + 1) {
+    if (e < numElems / 2) {
+      elemRho[e] = 1.0;
+      elemE[e] = 2.5;
+    } else {
+      elemRho[e] = 0.125;
+      elemE[e] = 2.0;
+    }
+    elemQ[e] = 0.0;
+  }
+  for (var i: i64 = 0; i <= numElems; i = i + 1) {
+    nodeX[i] = f64(i) / f64(numElems);
+    nodeV[i] = 0.0;
+  }
+  for (var e: i64 = 0; e < numElems; e = e + 1) {
+    elemMass[e] = elemRho[e] * (nodeX[e + 1] - nodeX[e]);
+  }
+  print_str("lulesh 1D shock tube");
+  var dt: f64 = 0.0004;
+  for (var step: i64 = 0; step < 60; step = step + 1) {
+    updatePressure();
+    updateViscosity();
+    // Nodal acceleration from pressure gradient (free boundaries pinned).
+    for (var i: i64 = 1; i < numElems; i = i + 1) {
+      var nodalMass: f64 = 0.5 * (elemMass[i - 1] + elemMass[i]);
+      var force: f64 = (elemP[i - 1] + elemQ[i - 1]) - (elemP[i] + elemQ[i]);
+      nodeV[i] = nodeV[i] + dt * force / nodalMass;
+    }
+    for (var i: i64 = 1; i < numElems; i = i + 1) {
+      nodeX[i] = nodeX[i] + dt * nodeV[i];
+    }
+    // Element update: new volume -> density and internal energy.
+    for (var e: i64 = 0; e < numElems; e = e + 1) {
+      var vol: f64 = nodeX[e + 1] - nodeX[e];
+      var newRho: f64 = elemMass[e] / vol;
+      var dvol: f64 = elemMass[e] / elemRho[e];
+      dvol = vol - dvol;
+      elemE[e] = elemE[e] - (elemP[e] + elemQ[e]) * dvol / elemMass[e];
+      if (elemE[e] < 0.0) { elemE[e] = 0.0; }
+      else { elemE[e] = elemE[e]; }
+      elemRho[e] = newRho;
+    }
+  }
+  var totalE: f64 = 0.0;
+  for (var e: i64 = 0; e < numElems; e = e + 1) {
+    totalE = totalE + elemMass[e] * elemE[e];
+  }
+  for (var i: i64 = 0; i <= numElems; i = i + 1) {
+    totalE = totalE + 0.25 * (nodeV[i] * nodeV[i]);
+  }
+  print_f64(totalE);
+  print_f64(elemP[numElems / 2]);
+  print_f64(nodeX[numElems / 2]);
+  if (totalE > 100.0) { return 1; }
+  return 0;
+}
+)MC";
+  return app;
+}
+
+}  // namespace refine::apps::detail

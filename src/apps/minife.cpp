@@ -1,0 +1,103 @@
+#include "apps/apps.h"
+
+namespace refine::apps::detail {
+
+AppInfo makeMiniFE() {
+  AppInfo app;
+  app.name = "miniFE";
+  app.paperInput = "-nx 18 -ny 16 -nz 16";
+  app.description =
+      "finite-element workflow: element-by-element stiffness assembly with "
+      "source integration, Dirichlet conditions, then a CG solve";
+  app.source = R"MC(
+// miniFE mini-kernel: assemble a 1D FE stiffness system, then CG-solve it.
+var Adiag: f64[130];
+var Aoff: f64[130];    // symmetric off-diagonal (i, i+1)
+var bvec: f64[130];
+var xvec: f64[130];
+var rvec: f64[130];
+var pvec: f64[130];
+var Apvec: f64[130];
+var nNodes: i64 = 112;
+
+fn assemble() {
+  var h: f64 = 1.0 / f64(nNodes - 1);
+  for (var e: i64 = 0; e < nNodes - 1; e = e + 1) {
+    var k: f64 = 1.0 / h;
+    // Element stiffness [k, -k; -k, k] scattered into the global matrix.
+    Adiag[e] = Adiag[e] + k;
+    Adiag[e + 1] = Adiag[e + 1] + k;
+    Aoff[e] = Aoff[e] - k;
+    // Midpoint-rule load integration for f(x) = 1 + x.
+    var xm: f64 = (f64(e) + 0.5) * h;
+    bvec[e] = bvec[e] + 0.5 * h * (1.0 + xm);
+    bvec[e + 1] = bvec[e + 1] + 0.5 * h * (1.0 + xm);
+  }
+  // Dirichlet u = 0 at both ends: eliminate the boundary rows and columns
+  // (keeps the system symmetric positive definite for CG).
+  Adiag[0] = 1.0;
+  Adiag[nNodes - 1] = 1.0;
+  Aoff[0] = 0.0;
+  Aoff[nNodes - 2] = 0.0;
+  bvec[0] = 0.0;
+  bvec[nNodes - 1] = 0.0;
+}
+
+fn matvec() {
+  for (var i: i64 = 0; i < nNodes; i = i + 1) {
+    var sum: f64 = Adiag[i] * pvec[i];
+    if (i > 0) { sum = sum + Aoff[i - 1] * pvec[i - 1]; }
+    if (i < nNodes - 1) { sum = sum + Aoff[i] * pvec[i + 1]; }
+    Apvec[i] = sum;
+  }
+}
+
+fn dotRR() -> f64 {
+  var s: f64 = 0.0;
+  for (var i: i64 = 0; i < nNodes; i = i + 1) { s = s + rvec[i] * rvec[i]; }
+  return s;
+}
+
+fn dotPAp() -> f64 {
+  var s: f64 = 0.0;
+  for (var i: i64 = 0; i < nNodes; i = i + 1) { s = s + pvec[i] * Apvec[i]; }
+  return s;
+}
+
+fn main() -> i64 {
+  assemble();
+  print_str("miniFE assemble+solve");
+  for (var i: i64 = 0; i < nNodes; i = i + 1) {
+    xvec[i] = 0.0;
+    rvec[i] = bvec[i];
+    pvec[i] = bvec[i];
+  }
+  var rtr: f64 = dotRR();
+  var iters: i64 = 0;
+  for (var k: i64 = 0; k < 30; k = k + 1) {
+    matvec();
+    var alpha: f64 = rtr / dotPAp();
+    for (var i: i64 = 0; i < nNodes; i = i + 1) {
+      xvec[i] = xvec[i] + alpha * pvec[i];
+      rvec[i] = rvec[i] - alpha * Apvec[i];
+    }
+    var rtrNew: f64 = dotRR();
+    iters = iters + 1;
+    if (rtrNew < 1.0e-20) { break; }
+    var beta: f64 = rtrNew / rtr;
+    rtr = rtrNew;
+    for (var i: i64 = 0; i < nNodes; i = i + 1) {
+      pvec[i] = rvec[i] + beta * pvec[i];
+    }
+  }
+  print_i64(iters);
+  print_f64(sqrt(rtr));
+  print_f64(xvec[nNodes / 2]);
+  if (sqrt(rtr) > 10.0) { return 1; }
+  return 0;
+}
+)MC";
+  return app;
+}
+
+}  // namespace refine::apps::detail

@@ -1,0 +1,100 @@
+#include "apps/apps.h"
+
+namespace refine::apps::detail {
+
+AppInfo makeSP() {
+  AppInfo app;
+  app.name = "SP";
+  app.paperInput = "A";
+  app.description =
+      "NAS SP: scalar pentadiagonal solver (two-band forward elimination, "
+      "two-band back substitution) over batched lines with ADI-style "
+      "re-coupling";
+  app.source = R"MC(
+// NAS SP mini-kernel: pentadiagonal line solves.
+var a2: f64[64];   // second sub-diagonal
+var a1: f64[64];   // first sub-diagonal
+var d0: f64[64];   // diagonal
+var c1: f64[64];   // first super-diagonal
+var c2: f64[64];   // second super-diagonal
+var rhs: f64[384]; // 6 lines x 64
+var sol: f64[384];
+var wd: f64[64];   // working diagonal
+var w1: f64[64];   // working first super
+var w2: f64[64];   // working second super
+var wr: f64[64];   // working rhs
+var lineLen: i64 = 64;
+var nLines: i64 = 6;
+
+fn solvePenta(line: i64) {
+  var base: i64 = line * lineLen;
+  for (var i: i64 = 0; i < lineLen; i = i + 1) {
+    wd[i] = d0[i];
+    w1[i] = c1[i];
+    w2[i] = c2[i];
+    wr[i] = rhs[base + i];
+  }
+  // Forward elimination of both sub-diagonals.
+  for (var i: i64 = 1; i < lineLen; i = i + 1) {
+    var m1: f64 = a1[i] / wd[i - 1];
+    wd[i] = wd[i] - m1 * w1[i - 1];
+    w1[i] = w1[i] - m1 * w2[i - 1];
+    wr[i] = wr[i] - m1 * wr[i - 1];
+    if (i >= 2) {
+      var m2: f64 = a2[i] / wd[i - 2];
+      wd[i] = wd[i] - m2 * w2[i - 2];
+      wr[i] = wr[i] - m2 * wr[i - 2];
+    }
+  }
+  // Back substitution over both super-diagonals.
+  sol[base + lineLen - 1] = wr[lineLen - 1] / wd[lineLen - 1];
+  sol[base + lineLen - 2] =
+      (wr[lineLen - 2] - w1[lineLen - 2] * sol[base + lineLen - 1]) /
+      wd[lineLen - 2];
+  for (var i: i64 = lineLen - 3; i >= 0; i = i - 1) {
+    sol[base + i] = (wr[i] - w1[i] * sol[base + i + 1] -
+                     w2[i] * sol[base + i + 2]) / wd[i];
+  }
+}
+
+fn main() -> i64 {
+  for (var i: i64 = 0; i < lineLen; i = i + 1) {
+    a2[i] = -0.25;
+    a1[i] = -1.0;
+    d0[i] = 5.0 + 0.02 * f64(i);
+    c1[i] = -1.0;
+    c2[i] = -0.25;
+  }
+  for (var l: i64 = 0; l < nLines; l = l + 1) {
+    for (var i: i64 = 0; i < lineLen; i = i + 1) {
+      rhs[l * lineLen + i] = cos(f64(l) * 0.8 + f64(i) * 0.15) + 2.0;
+    }
+  }
+  print_str("SP pentadiagonal solves");
+  for (var sweep: i64 = 0; sweep < 6; sweep = sweep + 1) {
+    for (var l: i64 = 0; l < nLines; l = l + 1) { solvePenta(l); }
+    // ADI-style re-coupling across lines.
+    for (var l: i64 = 0; l < nLines; l = l + 1) {
+      var up: i64 = (l + 1) % nLines;
+      var down: i64 = (l + nLines - 1) % nLines;
+      for (var i: i64 = 0; i < lineLen; i = i + 1) {
+        rhs[l * lineLen + i] = 0.6 * rhs[l * lineLen + i] +
+                               0.2 * sol[up * lineLen + i] +
+                               0.2 * sol[down * lineLen + i];
+      }
+    }
+  }
+  var norm: f64 = 0.0;
+  for (var k: i64 = 0; k < nLines * lineLen; k = k + 1) {
+    norm = norm + sol[k] * sol[k];
+  }
+  print_f64(sqrt(norm));
+  print_f64(sol[3 * lineLen + 32]);
+  if (norm > 1.0e8) { return 1; }
+  return 0;
+}
+)MC";
+  return app;
+}
+
+}  // namespace refine::apps::detail

@@ -1,0 +1,78 @@
+#include "apps/apps.h"
+
+namespace refine::apps::detail {
+
+AppInfo makeUA() {
+  AppInfo app;
+  app.name = "UA";
+  app.paperInput = "B";
+  app.description =
+      "NAS UA: unstructured adaptive workload — indirect-gather smoothing "
+      "over an irregular adjacency with periodic re-marking of the active "
+      "element set (heavy pointer-chasing integer + FP mix)";
+  app.source = R"MC(
+// NAS UA mini-kernel: adaptive smoothing over an irregular mesh.
+var val: f64[256];
+var adj: i64[512];      // two neighbours per element, irregular
+var active: i64[256];   // indices of currently active elements
+var err: f64[256];
+var nElems: i64 = 256;
+var nActive: i64 = 128;
+var seed: i64 = 424242;
+
+fn lcg() -> i64 {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  if (seed < 0) { seed = -seed; }
+  return seed;
+}
+
+fn main() -> i64 {
+  // Irregular adjacency and initial field.
+  for (var i: i64 = 0; i < nElems; i = i + 1) {
+    val[i] = sin(f64(i) * 0.37) * 2.0;
+    adj[2 * i] = lcg() % nElems;
+    adj[2 * i + 1] = lcg() % nElems;
+    err[i] = 0.0;
+  }
+  for (var k: i64 = 0; k < nActive; k = k + 1) {
+    active[k] = lcg() % nElems;
+  }
+  print_str("UA adaptive smoothing");
+  for (var it: i64 = 0; it < 14; it = it + 1) {
+    // Smooth the active set through the irregular adjacency.
+    for (var k: i64 = 0; k < nActive; k = k + 1) {
+      var e: i64 = active[k];
+      var left: f64 = val[adj[2 * e]];
+      var right: f64 = val[adj[2 * e + 1]];
+      var updated: f64 = 0.5 * val[e] + 0.25 * (left + right);
+      err[e] = fabs(updated - val[e]);
+      val[e] = updated;
+    }
+    // Adapt: elements with large local error recruit one neighbour into
+    // the active set (refinement-like churn of the index structures).
+    for (var k: i64 = 0; k < nActive; k = k + 1) {
+      var e: i64 = active[k];
+      if (err[e] > 0.1) {
+        active[k] = adj[2 * e];
+      } else {
+        active[k] = (e + 17) % nElems;
+      }
+    }
+  }
+  var norm: f64 = 0.0;
+  for (var i: i64 = 0; i < nElems; i = i + 1) { norm = norm + val[i] * val[i]; }
+  print_f64(sqrt(norm));
+  var ihash: i64 = 0;
+  for (var k: i64 = 0; k < nActive; k = k + 1) {
+    ihash = (ihash * 37 + active[k]) % 1000000007;
+  }
+  print_i64(ihash);
+  print_f64(val[100]);
+  if (norm > 1.0e9) { return 1; }
+  return 0;
+}
+)MC";
+  return app;
+}
+
+}  // namespace refine::apps::detail

@@ -1,0 +1,81 @@
+#include "apps/apps.h"
+
+namespace refine::apps::detail {
+
+AppInfo makeXSBench() {
+  AppInfo app;
+  app.name = "XSBench";
+  app.paperInput = "-s small";
+  app.description =
+      "macroscopic cross-section lookups: binary search on a sorted energy "
+      "grid plus per-nuclide linear interpolation, verification checksum";
+  app.source = R"MC(
+// XSBench mini-kernel: randomized cross-section table lookups.
+var egrid: f64[128];
+var xsdata: f64[1024];   // 128 grid points x 8 nuclides
+var conc: f64[8];
+var seed: i64 = 1337;
+var nGrid: i64 = 128;
+var nNuclides: i64 = 8;
+
+fn lcg() -> i64 {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  if (seed < 0) { seed = -seed; }
+  return seed;
+}
+
+fn rand01() -> f64 {
+  return f64(lcg()) / 2147483648.0;
+}
+
+fn gridSearch(energy: f64) -> i64 {
+  var lo: i64 = 0;
+  var hi: i64 = nGrid - 1;
+  while (hi - lo > 1) {
+    var mid: i64 = (lo + hi) / 2;
+    if (egrid[mid] > energy) { hi = mid; } else { lo = mid; }
+  }
+  return lo;
+}
+
+fn main() -> i64 {
+  // Sorted energy grid and synthetic per-nuclide cross sections.
+  for (var i: i64 = 0; i < nGrid; i = i + 1) {
+    egrid[i] = f64(i) / f64(nGrid) + 0.001 * sin(f64(i));
+  }
+  // Keep the grid strictly sorted despite the jitter.
+  for (var i: i64 = 1; i < nGrid; i = i + 1) {
+    if (egrid[i] <= egrid[i - 1]) { egrid[i] = egrid[i - 1] + 0.0005; }
+  }
+  for (var n: i64 = 0; n < nNuclides; n = n + 1) {
+    conc[n] = 0.1 + 0.05 * f64(n);
+    for (var i: i64 = 0; i < nGrid; i = i + 1) {
+      xsdata[n * 128 + i] = 1.0 + 0.5 * sin(f64(i) * 0.3 + f64(n));
+    }
+  }
+  print_str("XSBench lookups");
+  var vhash: i64 = 0;
+  var macroSum: f64 = 0.0;
+  for (var lookup: i64 = 0; lookup < 700; lookup = lookup + 1) {
+    var energy: f64 = rand01() * 0.98;
+    var idx: i64 = gridSearch(energy);
+    var f: f64 = (energy - egrid[idx]) / (egrid[idx + 1] - egrid[idx]);
+    var macro: f64 = 0.0;
+    for (var n: i64 = 0; n < nNuclides; n = n + 1) {
+      var lo: f64 = xsdata[n * 128 + idx];
+      var hi: f64 = xsdata[n * 128 + idx + 1];
+      macro = macro + conc[n] * (lo + f * (hi - lo));
+    }
+    macroSum = macroSum + macro;
+    vhash = (vhash * 31 + idx + i64(macro * 1000.0)) % 1000000007;
+  }
+  print_i64(vhash);
+  print_f64(macroSum);
+  if (vhash < 0) { return 1; }
+  return 0;
+}
+)MC";
+  return app;
+}
+
+}  // namespace refine::apps::detail

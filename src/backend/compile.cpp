@@ -1,0 +1,26 @@
+#include "backend/compile.h"
+
+#include "backend/emit.h"
+#include "backend/expand.h"
+#include "backend/frame.h"
+#include "backend/isel.h"
+#include "backend/peephole.h"
+#include "backend/regalloc.h"
+
+namespace refine::backend {
+
+CodegenResult compileBackend(const ir::Module& module,
+                             const MachineInstrumenter& instrumenter) {
+  CodegenResult result;
+  result.machineModule = selectInstructions(module);
+  MachineModule& mm = *result.machineModule;
+  peephole(mm);
+  allocateRegisters(mm);
+  expandPseudos(mm);
+  lowerFrame(mm);
+  if (instrumenter != nullptr) instrumenter(mm);
+  result.program = emitProgram(mm);
+  return result;
+}
+
+}  // namespace refine::backend

@@ -1,0 +1,33 @@
+// Backend pipeline driver: IR module -> executable Program.
+//
+// Stage order matches Fig. 1/2 of the paper:
+//   isel -> peephole -> register allocation -> pseudo expansion ->
+//   frame lowering -> [machine instrumenter hook] -> emission
+//
+// The instrumenter hook is REFINE's insertion point: a callback invoked on
+// the final machine instructions right before code emission, after every
+// transformation and optimization has run — so instrumentation can neither
+// perturb code generation nor miss machine-only instructions.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "backend/program.h"
+#include "ir/ir.h"
+
+namespace refine::backend {
+
+/// Hook invoked on the fully lowered machine module right before emission.
+using MachineInstrumenter = std::function<void(MachineModule&)>;
+
+struct CodegenResult {
+  Program program;
+  std::unique_ptr<MachineModule> machineModule;  // post-instrumentation MIR
+};
+
+/// Compiles IR to a Program. `instrumenter` may be null.
+CodegenResult compileBackend(const ir::Module& module,
+                             const MachineInstrumenter& instrumenter = nullptr);
+
+}  // namespace refine::backend

@@ -1,0 +1,102 @@
+#include "backend/emit.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "ir/layout.h"
+
+namespace refine::backend {
+
+const std::string& Program::functionAt(std::uint64_t index) const {
+  static const std::string unknown = "?";
+  for (const auto& f : functions) {
+    if (index >= f.begin && index < f.end) return f.name;
+  }
+  return unknown;
+}
+
+Program emitProgram(const MachineModule& module) {
+  Program program;
+
+  // Pass 1: layout — instruction index of every block and function.
+  std::unordered_map<const MachineBasicBlock*, std::uint64_t> blockIndex;
+  std::unordered_map<const ir::Function*, std::uint64_t> functionEntry;
+  std::uint64_t index = 0;
+  for (const auto& fn : module.functions()) {
+    FunctionRange range;
+    range.name = fn->name();
+    range.begin = index;
+    functionEntry[fn->irFunction()] = index;
+    for (const auto& bb : fn->blocks()) {
+      blockIndex[bb.get()] = index;
+      index += bb->insts().size();
+    }
+    range.end = index;
+    program.functions.push_back(std::move(range));
+  }
+
+  // Pass 2: copy instructions, resolving symbolic operands.
+  const ir::Module* irModule = module.irModule();
+  ir::DataLayout layout(*irModule);
+  program.code.reserve(index);
+  for (const auto& fn : module.functions()) {
+    for (const auto& bb : fn->blocks()) {
+      for (const MachineInst& inst : bb->insts()) {
+        MachineInst out = inst;
+        for (MOperand& op : out.operands()) {
+          switch (op.kind) {
+            case MOperand::Kind::Block: {
+              auto it = blockIndex.find(op.block);
+              RF_CHECK(it != blockIndex.end(), "emission: unresolved block");
+              op = MOperand::makeImm(static_cast<std::int64_t>(it->second));
+              break;
+            }
+            case MOperand::Kind::Func: {
+              auto it = functionEntry.find(op.func);
+              RF_CHECK(it != functionEntry.end(),
+                       "emission: call to unemitted function " +
+                           op.func->name());
+              op = MOperand::makeImm(static_cast<std::int64_t>(it->second));
+              break;
+            }
+            case MOperand::Kind::Global:
+              op = MOperand::makeImm(
+                  static_cast<std::int64_t>(layout.addressOf(op.global)));
+              break;
+            case MOperand::Kind::Frame:
+              RF_UNREACHABLE("emission: unresolved frame index (frame "
+                             "lowering not run?)");
+            case MOperand::Kind::Reg:
+              RF_CHECK(op.reg.isPhysical(),
+                       "emission: virtual register survived allocation");
+              break;
+            default:
+              break;
+          }
+        }
+        program.code.push_back(std::move(out));
+      }
+    }
+  }
+
+  // Entry point.
+  const MachineFunction* main = module.findFunction("main");
+  RF_CHECK(main != nullptr, "emission: program has no main");
+  program.entry = functionEntry.at(main->irFunction());
+
+  // Data segment.
+  program.globalBase = ir::DataLayout::kGlobalBase;
+  program.globalImage.assign(layout.globalBytes(), 0);
+  for (const auto& g : irModule->globals()) {
+    const std::uint64_t offset = layout.addressOf(g.get()) - program.globalBase;
+    const auto& init = g->init();
+    for (std::size_t i = 0; i < init.size() && i < g->count(); ++i) {
+      std::memcpy(&program.globalImage[offset + i * 8], &init[i], 8);
+    }
+  }
+
+  program.strings = irModule->strings();
+  return program;
+}
+
+}  // namespace refine::backend

@@ -1,0 +1,17 @@
+// Code emission: MachineModule -> Program.
+//
+// The last stage of the backend (the paper's "Assembly/Object Emitter" in
+// Fig. 1). The REFINE pass, when enabled, has already run directly before
+// this stage on the final machine instructions.
+#pragma once
+
+#include "backend/program.h"
+
+namespace refine::backend {
+
+/// Lays out functions, resolves branch/call/global operands and produces the
+/// executable Program. `module` must be fully lowered (physical registers,
+/// no pseudo instructions except the FI instrumentation ops).
+Program emitProgram(const MachineModule& module);
+
+}  // namespace refine::backend

@@ -1,0 +1,180 @@
+#include "backend/expand.h"
+
+#include <algorithm>
+
+#include "ir/runtime.h"
+
+namespace refine::backend {
+
+namespace {
+
+MOp movFor(RegClass cls) {
+  return cls == RegClass::FPR ? MOp::FMOVrr : MOp::MOVrr;
+}
+
+/// ABI argument register for the i-th parameter of its class.
+Reg argRegFor(RegClass cls, unsigned indexWithinClass) {
+  RF_CHECK(indexWithinClass < (cls == RegClass::GPR ? kNumIntArgRegs
+                                                    : kNumFpArgRegs),
+           "too many arguments for the VT64 calling convention");
+  return Reg{cls, indexWithinClass};
+}
+
+void emitMoves(std::vector<MachineInst>& out,
+               const std::vector<std::pair<Reg, Reg>>& moves) {
+  for (const auto& [src, dst] : moves) {
+    MachineInst mov(movFor(src.cls));
+    mov.add(MOperand::makeReg(dst)).add(MOperand::makeReg(src));
+    out.push_back(std::move(mov));
+  }
+}
+
+/// Splits (src,dst) pairs by class and resolves each side.
+void resolveAll(std::vector<MachineInst>& out,
+                const std::vector<std::pair<Reg, Reg>>& pairs) {
+  std::vector<std::pair<Reg, Reg>> gprMoves;
+  std::vector<std::pair<Reg, Reg>> fprMoves;
+  for (const auto& p : pairs) {
+    RF_CHECK(p.first.cls == p.second.cls, "cross-class ABI move");
+    (p.first.cls == RegClass::GPR ? gprMoves : fprMoves).push_back(p);
+  }
+  emitMoves(out, resolveParallelMoves(std::move(gprMoves), gpr(kScratchIndex)));
+  emitMoves(out, resolveParallelMoves(std::move(fprMoves), fpr(kScratchIndex)));
+}
+
+/// Assigns ABI argument registers to a register sequence by class position.
+std::vector<Reg> abiArgRegs(const std::vector<Reg>& values) {
+  std::vector<Reg> out;
+  unsigned ints = 0;
+  unsigned fps = 0;
+  for (Reg v : values) {
+    out.push_back(v.cls == RegClass::GPR ? argRegFor(RegClass::GPR, ints++)
+                                         : argRegFor(RegClass::FPR, fps++));
+  }
+  return out;
+}
+
+void expandBlock(MachineBasicBlock& bb, const MachineFunction& fn) {
+  std::vector<MachineInst> out;
+  out.reserve(bb.insts().size());
+  for (MachineInst& inst : bb.insts()) {
+    switch (inst.op()) {
+      case MOp::PARAMS: {
+        // Incoming values are in ABI argument registers; move them to the
+        // allocated destinations (parallel: a dest may also be a source).
+        std::vector<Reg> dests;
+        for (const MOperand& op : inst.operands()) dests.push_back(op.reg);
+        const std::vector<Reg> sources = abiArgRegs(dests);
+        std::vector<std::pair<Reg, Reg>> pairs;
+        for (std::size_t i = 0; i < dests.size(); ++i) {
+          pairs.emplace_back(sources[i], dests[i]);
+        }
+        resolveAll(out, pairs);
+        break;
+      }
+      case MOp::CALLP:
+      case MOp::SYSCALLP: {
+        const bool isSyscall = inst.op() == MOp::SYSCALLP;
+        const MOperand& target = inst.operand(0);
+        const bool hasResult = inst.numDefs() == 1;
+        std::size_t argStart = 1 + (hasResult ? 1 : 0);
+        std::vector<Reg> args;
+        for (std::size_t i = argStart; i < inst.operands().size(); ++i) {
+          args.push_back(inst.operand(i).reg);
+        }
+        const std::vector<Reg> argRegs = abiArgRegs(args);
+        std::vector<std::pair<Reg, Reg>> pairs;
+        for (std::size_t i = 0; i < args.size(); ++i) {
+          pairs.emplace_back(args[i], argRegs[i]);
+        }
+        resolveAll(out, pairs);
+        if (isSyscall) {
+          MachineInst sys(MOp::SYSCALL);
+          sys.add(MOperand::makeImm(target.imm));
+          out.push_back(std::move(sys));
+        } else {
+          MachineInst call(MOp::CALL);
+          call.add(MOperand::makeFunc(target.func));
+          out.push_back(std::move(call));
+        }
+        if (hasResult) {
+          const Reg resultLoc = inst.operand(1).reg;
+          const Reg abiResult = Reg{resultLoc.cls, 0};  // r0 / f0
+          if (resultLoc != abiResult) {
+            MachineInst mov(movFor(resultLoc.cls));
+            mov.add(MOperand::makeReg(resultLoc))
+                .add(MOperand::makeReg(abiResult));
+            out.push_back(std::move(mov));
+          }
+        }
+        break;
+      }
+      case MOp::RETP: {
+        if (!inst.operands().empty()) {
+          const Reg value = inst.operand(0).reg;
+          const Reg abiResult = Reg{value.cls, 0};
+          if (value != abiResult) {
+            MachineInst mov(movFor(value.cls));
+            mov.add(MOperand::makeReg(abiResult)).add(MOperand::makeReg(value));
+            out.push_back(std::move(mov));
+          }
+        }
+        out.push_back(MachineInst(MOp::RET));
+        break;
+      }
+      default:
+        out.push_back(std::move(inst));
+        break;
+    }
+  }
+  bb.insts() = std::move(out);
+  (void)fn;
+}
+
+}  // namespace
+
+std::vector<std::pair<Reg, Reg>> resolveParallelMoves(
+    std::vector<std::pair<Reg, Reg>> moves, Reg scratch) {
+  std::vector<std::pair<Reg, Reg>> out;
+  // Drop no-ops.
+  std::erase_if(moves, [](const auto& m) { return m.first == m.second; });
+  while (!moves.empty()) {
+    bool progressed = false;
+    for (std::size_t i = 0; i < moves.size(); ++i) {
+      const Reg dst = moves[i].second;
+      const bool dstIsPendingSource =
+          std::any_of(moves.begin(), moves.end(), [&](const auto& m) {
+            return m.first == dst;
+          });
+      if (!dstIsPendingSource) {
+        out.push_back(moves[i]);
+        moves.erase(moves.begin() + static_cast<std::ptrdiff_t>(i));
+        progressed = true;
+        break;
+      }
+    }
+    if (progressed) continue;
+    // Pure cycle: rotate through scratch.
+    RF_CHECK(std::none_of(moves.begin(), moves.end(),
+                          [&](const auto& m) {
+                            return m.first == scratch || m.second == scratch;
+                          }),
+             "scratch register appears in a parallel move");
+    out.emplace_back(moves[0].first, scratch);
+    const Reg brokenSrc = moves[0].first;
+    for (auto& m : moves) {
+      if (m.first == brokenSrc) m.first = scratch;
+    }
+  }
+  return out;
+}
+
+void expandPseudos(MachineFunction& fn) {
+  for (const auto& bb : fn.blocks()) expandBlock(*bb, fn);
+}
+
+void expandPseudos(MachineModule& module) {
+  for (const auto& fn : module.functions()) expandPseudos(*fn);
+}
+
+}  // namespace refine::backend

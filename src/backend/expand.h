@@ -1,0 +1,26 @@
+// Post-RA pseudo-instruction expansion.
+//
+// PARAMS/CALLP/SYSCALLP/RETP carry virtual registers through allocation so
+// the allocator never sees pre-colored intervals; afterwards this pass
+// expands them into explicit ABI register moves plus the real
+// CALL/SYSCALL/RET. Move groups are resolved as parallel moves (cycles broken
+// through the reserved scratch registers r7/f7).
+#pragma once
+
+#include "backend/mir.h"
+
+namespace refine::backend {
+
+/// Expands all pseudo instructions in `fn` (post register allocation).
+void expandPseudos(MachineFunction& fn);
+
+/// Expands pseudos in every function.
+void expandPseudos(MachineModule& module);
+
+/// Resolves a parallel move (pairs of src->dst physical registers of one
+/// class) into a sequential move list, using `scratch` to break cycles.
+/// Exposed for unit testing.
+std::vector<std::pair<Reg, Reg>> resolveParallelMoves(
+    std::vector<std::pair<Reg, Reg>> moves, Reg scratch);
+
+}  // namespace refine::backend

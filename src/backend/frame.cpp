@@ -1,0 +1,105 @@
+#include "backend/frame.h"
+
+namespace refine::backend {
+
+namespace {
+
+MOp realMemOp(MOp op) {
+  switch (op) {
+    case MOp::LDRfi: return MOp::LDR;
+    case MOp::STRfi: return MOp::STR;
+    case MOp::FLDRfi: return MOp::FLDR;
+    case MOp::FSTRfi: return MOp::FSTR;
+    default: RF_UNREACHABLE("not a frame-index memory op");
+  }
+}
+
+}  // namespace
+
+void lowerFrame(MachineFunction& fn) {
+  // 1. Lay out frame objects ([sp+0, sp+frameSize) after the prologue).
+  std::uint64_t offset = 0;
+  for (FrameObject& obj : fn.frame()) {
+    obj.offset = static_cast<std::int64_t>(offset);
+    offset += (obj.size + 7) & ~7ULL;
+  }
+  const std::uint64_t frameSize = (offset + 15) & ~15ULL;
+  fn.setFrameSize(frameSize);
+
+  // 2. Rewrite frame-index pseudos.
+  for (const auto& bb : fn.blocks()) {
+    for (MachineInst& inst : bb->insts()) {
+      switch (inst.op()) {
+        case MOp::LDRfi:
+        case MOp::STRfi:
+        case MOp::FLDRfi:
+        case MOp::FSTRfi: {
+          const std::int64_t fi = inst.operand(1).imm;
+          const std::int64_t off = fn.frame()[static_cast<std::size_t>(fi)].offset;
+          MachineInst real(realMemOp(inst.op()));
+          real.add(inst.operand(0));
+          real.add(MOperand::makeReg(spReg()));
+          real.add(MOperand::makeImm(off));
+          inst = std::move(real);
+          break;
+        }
+        case MOp::LEAfi: {
+          // Becomes the final form "lea rd, [sp + imm]" (flag-preserving).
+          const std::int64_t fi = inst.operand(1).imm;
+          const std::int64_t off = fn.frame()[static_cast<std::size_t>(fi)].offset;
+          inst.operands()[1] = MOperand::makeImm(off);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  // 3. Prologue: save callee-saved registers, then claim the frame.
+  std::vector<MachineInst> prologue;
+  for (Reg r : fn.usedCalleeSaved()) {
+    MachineInst push(r.cls == RegClass::FPR ? MOp::FPUSH : MOp::PUSH);
+    push.add(MOperand::makeReg(r));
+    prologue.push_back(std::move(push));
+  }
+  if (frameSize > 0) {
+    MachineInst adj(MOp::SPADJ);
+    adj.add(MOperand::makeImm(-static_cast<std::int64_t>(frameSize)));
+    prologue.push_back(std::move(adj));
+  }
+  auto& entryInsts = fn.entry()->insts();
+  entryInsts.insert(entryInsts.begin(),
+                    std::make_move_iterator(prologue.begin()),
+                    std::make_move_iterator(prologue.end()));
+
+  // 4. Epilogue before every RET: release the frame, restore registers.
+  for (const auto& bb : fn.blocks()) {
+    auto& insts = bb->insts();
+    for (std::size_t i = 0; i < insts.size(); ++i) {
+      if (insts[i].op() != MOp::RET) continue;
+      std::vector<MachineInst> epilogue;
+      if (frameSize > 0) {
+        MachineInst adj(MOp::SPADJ);
+        adj.add(MOperand::makeImm(static_cast<std::int64_t>(frameSize)));
+        epilogue.push_back(std::move(adj));
+      }
+      const auto& saved = fn.usedCalleeSaved();
+      for (auto it = saved.rbegin(); it != saved.rend(); ++it) {
+        MachineInst pop(it->cls == RegClass::FPR ? MOp::FPOP : MOp::POP);
+        pop.add(MOperand::makeReg(*it));
+        epilogue.push_back(std::move(pop));
+      }
+      insts.insert(insts.begin() + static_cast<std::ptrdiff_t>(i),
+                   std::make_move_iterator(epilogue.begin()),
+                   std::make_move_iterator(epilogue.end()));
+      i += epilogue.size();
+    }
+  }
+}
+
+void lowerFrame(MachineModule& module) {
+  for (const auto& fn : module.functions()) lowerFrame(*fn);
+}
+
+}  // namespace refine::backend

@@ -1,0 +1,21 @@
+// Frame lowering: prologue/epilogue insertion and frame-index resolution.
+//
+// This pass creates exactly the machine-only instructions the paper's
+// Listing 1 highlights as invisible at IR level: callee-saved register
+// pushes/pops, the stack-pointer adjustment, and sp-relative spill/local
+// accesses. They are all legitimate fault-injection targets for REFINE and
+// PINFI — and unreachable for IR-level injectors.
+#pragma once
+
+#include "backend/mir.h"
+
+namespace refine::backend {
+
+/// Lays out frame objects, inserts prologue/epilogue, and rewrites
+/// frame-index pseudo memory ops into sp-relative accesses.
+void lowerFrame(MachineFunction& fn);
+
+/// Runs lowerFrame over every function.
+void lowerFrame(MachineModule& module);
+
+}  // namespace refine::backend

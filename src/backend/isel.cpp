@@ -1,0 +1,513 @@
+#include "backend/isel.h"
+
+#include <bit>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/runtime.h"
+
+namespace refine::backend {
+
+namespace {
+
+RegClass classOf(ir::Type t) {
+  return t == ir::Type::F64 ? RegClass::FPR : RegClass::GPR;
+}
+
+Cond fromICmp(ir::ICmpPred p) {
+  switch (p) {
+    case ir::ICmpPred::EQ: return Cond::EQ;
+    case ir::ICmpPred::NE: return Cond::NE;
+    case ir::ICmpPred::SLT: return Cond::LT;
+    case ir::ICmpPred::SLE: return Cond::LE;
+    case ir::ICmpPred::SGT: return Cond::GT;
+    case ir::ICmpPred::SGE: return Cond::GE;
+  }
+  RF_UNREACHABLE("bad icmp predicate");
+}
+
+Cond fromFCmp(ir::FCmpPred p) {
+  switch (p) {
+    case ir::FCmpPred::OEQ: return Cond::EQ;
+    case ir::FCmpPred::ONE: return Cond::ONE;  // NaN-safe "ordered not equal"
+    case ir::FCmpPred::OLT: return Cond::LT;
+    case ir::FCmpPred::OLE: return Cond::LE;
+    case ir::FCmpPred::OGT: return Cond::GT;
+    case ir::FCmpPred::OGE: return Cond::GE;
+  }
+  RF_UNREACHABLE("bad fcmp predicate");
+}
+
+class FunctionISel {
+ public:
+  FunctionISel(const ir::Function& irFn, MachineFunction& mf)
+      : irFn_(irFn), mf_(mf) {}
+
+  void run() {
+    analyzeCmpUses();
+    createBlocks();
+    lowerEntryPrologue();
+    for (const auto& bb : irFn_.blocks()) {
+      cur_ = blockMap_.at(bb.get());
+      for (const auto& inst : bb->instructions()) lowerInstruction(*inst);
+    }
+    eliminatePhis();
+  }
+
+ private:
+  // -- Emission helpers --------------------------------------------------
+  MachineInst& emit(MachineInst inst) { return cur_->append(std::move(inst)); }
+
+  Reg newReg(RegClass cls) { return mf_.makeVReg(cls); }
+
+  /// Returns a register holding `v`, materializing constants and global
+  /// addresses into `block` at its end (or a given position).
+  Reg materialize(const ir::Value* v, MachineBasicBlock* block,
+                  std::size_t* insertPos = nullptr) {
+    auto emitAt = [&](MachineInst inst) -> void {
+      if (insertPos == nullptr) {
+        block->append(std::move(inst));
+      } else {
+        block->insts().insert(
+            block->insts().begin() + static_cast<std::ptrdiff_t>(*insertPos),
+            std::move(inst));
+        ++*insertPos;
+      }
+    };
+    switch (v->kind()) {
+      case ir::ValueKind::ConstantInt: {
+        const auto* c = static_cast<const ir::ConstantInt*>(v);
+        const Reg r = newReg(RegClass::GPR);
+        emitAt(MachineInst(MOp::MOVri)
+                   .add(MOperand::makeReg(r))
+                   .add(MOperand::makeImm(c->value())));
+        return r;
+      }
+      case ir::ValueKind::ConstantFloat: {
+        const auto* c = static_cast<const ir::ConstantFloat*>(v);
+        const Reg r = newReg(RegClass::FPR);
+        emitAt(MachineInst(MOp::FMOVri)
+                   .add(MOperand::makeReg(r))
+                   .add(MOperand::makeImm(std::bit_cast<std::int64_t>(c->value()))));
+        return r;
+      }
+      case ir::ValueKind::Global: {
+        const auto* g = static_cast<const ir::GlobalVar*>(v);
+        const Reg r = newReg(RegClass::GPR);
+        emitAt(MachineInst(MOp::MOVri)
+                   .add(MOperand::makeReg(r))
+                   .add(MOperand::makeGlobal(g)));
+        return r;
+      }
+      default: {
+        auto it = vmap_.find(v);
+        RF_CHECK(it != vmap_.end(), "isel: use of unlowered value");
+        return it->second;
+      }
+    }
+  }
+
+  Reg valueReg(const ir::Value* v) { return materialize(v, cur_); }
+
+  // -- Setup ------------------------------------------------------------------
+  void analyzeCmpUses() {
+    for (const auto& bb : irFn_.blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        for (std::size_t i = 0; i < inst->numOperands(); ++i) {
+          const ir::Value* op = inst->operand(i);
+          if (!op->isInstruction()) continue;
+          const auto* opInst = static_cast<const ir::Instruction*>(op);
+          if (opInst->opcode() != ir::Opcode::ICmp &&
+              opInst->opcode() != ir::Opcode::FCmp) {
+            continue;
+          }
+          const bool condUse =
+              (inst->opcode() == ir::Opcode::CondBr && i == 0) ||
+              (inst->opcode() == ir::Opcode::Select && i == 0);
+          if (!condUse) cmpNeedsValue_.insert(opInst);
+        }
+      }
+    }
+  }
+
+  void createBlocks() {
+    for (const auto& bb : irFn_.blocks()) {
+      blockMap_[bb.get()] = mf_.addBlock(bb->name());
+    }
+    // Pre-assign vregs for phis so forward references work.
+    for (const auto& bb : irFn_.blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (inst->opcode() == ir::Opcode::Phi) {
+          vmap_[inst.get()] = newReg(classOf(inst->type()));
+        }
+      }
+    }
+  }
+
+  void lowerEntryPrologue() {
+    cur_ = blockMap_.at(irFn_.entry());
+    // Parameters: one PARAMS pseudo defining a vreg per parameter.
+    if (!irFn_.params().empty()) {
+      MachineInst params(MOp::PARAMS);
+      for (const auto& arg : irFn_.params()) {
+        const Reg r = newReg(classOf(arg->type()));
+        vmap_[arg.get()] = r;
+        params.add(MOperand::makeReg(r));
+      }
+      params.setNumDefs(static_cast<unsigned>(irFn_.params().size()));
+      emit(std::move(params));
+    }
+    // Allocas: frame objects, with their address materialized once.
+    for (const auto& inst : irFn_.entry()->instructions()) {
+      if (inst->opcode() != ir::Opcode::Alloca) continue;
+      const std::uint64_t bytes =
+          inst->allocaCount() * ir::storeSize(inst->elemType());
+      const std::int64_t fi = mf_.addFrameObject(bytes == 0 ? 8 : bytes);
+      const Reg r = newReg(RegClass::GPR);
+      emit(MachineInst(MOp::LEAfi)
+               .add(MOperand::makeReg(r))
+               .add(MOperand::makeFrame(fi)));
+      vmap_[inst.get()] = r;
+    }
+  }
+
+  // -- Compare/flags helpers ------------------------------------------------
+  /// Emits the flag-setting compare for an i1 producer and returns the
+  /// condition under which the value is true.
+  Cond emitCondFor(const ir::Value* cond) {
+    if (cond->isInstruction()) {
+      const auto* inst = static_cast<const ir::Instruction*>(cond);
+      if (inst->opcode() == ir::Opcode::ICmp) {
+        const Reg a = valueReg(inst->operand(0));
+        if (inst->operand(1)->kind() == ir::ValueKind::ConstantInt) {
+          const auto* c = static_cast<const ir::ConstantInt*>(inst->operand(1));
+          emit(MachineInst(MOp::CMPri)
+                   .add(MOperand::makeReg(a))
+                   .add(MOperand::makeImm(c->value())));
+        } else {
+          const Reg b = valueReg(inst->operand(1));
+          emit(MachineInst(MOp::CMP)
+                   .add(MOperand::makeReg(a))
+                   .add(MOperand::makeReg(b)));
+        }
+        return fromICmp(inst->icmpPred());
+      }
+      if (inst->opcode() == ir::Opcode::FCmp) {
+        const Reg a = valueReg(inst->operand(0));
+        const Reg b = valueReg(inst->operand(1));
+        emit(MachineInst(MOp::FCMP)
+                 .add(MOperand::makeReg(a))
+                 .add(MOperand::makeReg(b)));
+        return fromFCmp(inst->fcmpPred());
+      }
+    }
+    // Generic i1 value (phi, select result, call result, constant, param):
+    // test the 0/1 register against zero.
+    const Reg r = valueReg(cond);
+    emit(MachineInst(MOp::CMPri)
+             .add(MOperand::makeReg(r))
+             .add(MOperand::makeImm(0)));
+    return Cond::NE;
+  }
+
+  // -- Main lowering --------------------------------------------------------
+  void lowerInstruction(const ir::Instruction& inst) {
+    using ir::Opcode;
+    switch (inst.opcode()) {
+      case Opcode::Alloca:
+      case Opcode::Phi:
+        return;  // handled elsewhere
+      case Opcode::Ret: {
+        MachineInst ret(MOp::RETP);
+        if (inst.numOperands() == 1) {
+          ret.add(MOperand::makeReg(valueReg(inst.operand(0))));
+        }
+        emit(std::move(ret));
+        return;
+      }
+      case Opcode::Br:
+        emit(MachineInst(MOp::B)
+                 .add(MOperand::makeBlock(blockMap_.at(inst.target(0)))));
+        return;
+      case Opcode::CondBr: {
+        const Cond cond = emitCondFor(inst.operand(0));
+        emit(MachineInst(MOp::BCC)
+                 .add(MOperand::makeCond(cond))
+                 .add(MOperand::makeBlock(blockMap_.at(inst.target(0)))));
+        emit(MachineInst(MOp::B)
+                 .add(MOperand::makeBlock(blockMap_.at(inst.target(1)))));
+        return;
+      }
+      case Opcode::Load: {
+        const Reg p = valueReg(inst.operand(0));
+        const Reg d = newReg(classOf(inst.type()));
+        emit(MachineInst(inst.type() == ir::Type::F64 ? MOp::FLDR : MOp::LDR)
+                 .add(MOperand::makeReg(d))
+                 .add(MOperand::makeReg(p))
+                 .add(MOperand::makeImm(0)));
+        vmap_[&inst] = d;
+        return;
+      }
+      case Opcode::Store: {
+        const Reg v = valueReg(inst.operand(0));
+        const Reg p = valueReg(inst.operand(1));
+        emit(MachineInst(inst.operand(0)->type() == ir::Type::F64 ? MOp::FSTR
+                                                                  : MOp::STR)
+                 .add(MOperand::makeReg(v))
+                 .add(MOperand::makeReg(p))
+                 .add(MOperand::makeImm(0)));
+        return;
+      }
+      case Opcode::Gep: {
+        const Reg base = valueReg(inst.operand(0));
+        const Reg d = newReg(RegClass::GPR);
+        const std::uint64_t size = ir::storeSize(inst.elemType());
+        if (inst.operand(1)->kind() == ir::ValueKind::ConstantInt) {
+          const auto* c = static_cast<const ir::ConstantInt*>(inst.operand(1));
+          emit(MachineInst(MOp::ADDri)
+                   .add(MOperand::makeReg(d))
+                   .add(MOperand::makeReg(base))
+                   .add(MOperand::makeImm(c->value() *
+                                          static_cast<std::int64_t>(size))));
+        } else {
+          const Reg idx = valueReg(inst.operand(1));
+          const Reg scaled = newReg(RegClass::GPR);
+          emit(MachineInst(MOp::SHLri)
+                   .add(MOperand::makeReg(scaled))
+                   .add(MOperand::makeReg(idx))
+                   .add(MOperand::makeImm(3)));  // size is always 8
+          emit(MachineInst(MOp::ADD)
+                   .add(MOperand::makeReg(d))
+                   .add(MOperand::makeReg(base))
+                   .add(MOperand::makeReg(scaled)));
+        }
+        vmap_[&inst] = d;
+        return;
+      }
+      case Opcode::ICmp:
+      case Opcode::FCmp: {
+        if (!cmpNeedsValue_.contains(&inst)) return;  // folded into users
+        // Materialize 0/1: CSEL of two constants on the compare's flags.
+        const Reg one = newReg(RegClass::GPR);
+        emit(MachineInst(MOp::MOVri)
+                 .add(MOperand::makeReg(one))
+                 .add(MOperand::makeImm(1)));
+        const Reg zero = newReg(RegClass::GPR);
+        emit(MachineInst(MOp::MOVri)
+                 .add(MOperand::makeReg(zero))
+                 .add(MOperand::makeImm(0)));
+        const Cond cond = emitCondFor(&inst);
+        const Reg d = newReg(RegClass::GPR);
+        emit(MachineInst(MOp::CSEL)
+                 .add(MOperand::makeReg(d))
+                 .add(MOperand::makeReg(one))
+                 .add(MOperand::makeReg(zero))
+                 .add(MOperand::makeCond(cond)));
+        vmap_[&inst] = d;
+        return;
+      }
+      case Opcode::Select: {
+        const bool isFloat = inst.type() == ir::Type::F64;
+        const Reg a = valueReg(inst.operand(1));
+        const Reg b = valueReg(inst.operand(2));
+        const Cond cond = emitCondFor(inst.operand(0));
+        const Reg d = newReg(classOf(inst.type()));
+        emit(MachineInst(isFloat ? MOp::FCSEL : MOp::CSEL)
+                 .add(MOperand::makeReg(d))
+                 .add(MOperand::makeReg(a))
+                 .add(MOperand::makeReg(b))
+                 .add(MOperand::makeCond(cond)));
+        vmap_[&inst] = d;
+        return;
+      }
+      case Opcode::ZExt: {
+        // i1 values are already 0/1 in a GPR.
+        const Reg s = valueReg(inst.operand(0));
+        const Reg d = newReg(RegClass::GPR);
+        emit(MachineInst(MOp::MOVrr)
+                 .add(MOperand::makeReg(d))
+                 .add(MOperand::makeReg(s)));
+        vmap_[&inst] = d;
+        return;
+      }
+      case Opcode::SIToFP: return lowerUnary(inst, MOp::CVTIF, RegClass::FPR);
+      case Opcode::FPToSI: return lowerUnary(inst, MOp::CVTFI, RegClass::GPR);
+      case Opcode::BitcastI2F: return lowerUnary(inst, MOp::FBITI, RegClass::FPR);
+      case Opcode::BitcastF2I: return lowerUnary(inst, MOp::IBITF, RegClass::GPR);
+      case Opcode::FAbs: return lowerUnary(inst, MOp::FABS, RegClass::FPR);
+      case Opcode::FSqrt: return lowerUnary(inst, MOp::FSQRT, RegClass::FPR);
+      case Opcode::Call: return lowerCall(inst);
+      default:
+        if (ir::isIntBinary(inst.opcode())) return lowerIntBinary(inst);
+        if (ir::isFloatBinary(inst.opcode())) return lowerFloatBinary(inst);
+        RF_UNREACHABLE("isel: unhandled IR opcode");
+    }
+  }
+
+  void lowerUnary(const ir::Instruction& inst, MOp op, RegClass cls) {
+    const Reg s = valueReg(inst.operand(0));
+    const Reg d = newReg(cls);
+    emit(MachineInst(op).add(MOperand::makeReg(d)).add(MOperand::makeReg(s)));
+    vmap_[&inst] = d;
+  }
+
+  void lowerIntBinary(const ir::Instruction& inst) {
+    using ir::Opcode;
+    struct Mapping {
+      MOp reg;
+      MOp imm;   // MOp::NOP when no immediate form exists
+    };
+    Mapping map{};
+    switch (inst.opcode()) {
+      case Opcode::Add: map = {MOp::ADD, MOp::ADDri}; break;
+      case Opcode::Sub: map = {MOp::SUB, MOp::NOP}; break;  // sub imm -> addri(-imm)
+      case Opcode::Mul: map = {MOp::MUL, MOp::MULri}; break;
+      case Opcode::SDiv: map = {MOp::DIV, MOp::NOP}; break;
+      case Opcode::SRem: map = {MOp::REM, MOp::NOP}; break;
+      case Opcode::And: map = {MOp::AND, MOp::ANDri}; break;
+      case Opcode::Or: map = {MOp::OR, MOp::ORri}; break;
+      case Opcode::Xor: map = {MOp::XOR, MOp::XORri}; break;
+      case Opcode::Shl: map = {MOp::SHL, MOp::SHLri}; break;
+      case Opcode::AShr: map = {MOp::ASHR, MOp::ASHRri}; break;
+      case Opcode::LShr: map = {MOp::LSHR, MOp::LSHRri}; break;
+      default: RF_UNREACHABLE("not an int binary");
+    }
+    const Reg a = valueReg(inst.operand(0));
+    const Reg d = newReg(RegClass::GPR);
+    if (inst.operand(1)->kind() == ir::ValueKind::ConstantInt) {
+      const auto* c = static_cast<const ir::ConstantInt*>(inst.operand(1));
+      const std::int64_t imm = c->value();
+      if (inst.opcode() == Opcode::Sub &&
+          imm != std::numeric_limits<std::int64_t>::min()) {
+        emit(MachineInst(MOp::ADDri)
+                 .add(MOperand::makeReg(d))
+                 .add(MOperand::makeReg(a))
+                 .add(MOperand::makeImm(-imm)));
+        vmap_[&inst] = d;
+        return;
+      }
+      if (map.imm != MOp::NOP) {
+        emit(MachineInst(map.imm)
+                 .add(MOperand::makeReg(d))
+                 .add(MOperand::makeReg(a))
+                 .add(MOperand::makeImm(imm)));
+        vmap_[&inst] = d;
+        return;
+      }
+    }
+    const Reg b = valueReg(inst.operand(1));
+    emit(MachineInst(map.reg)
+             .add(MOperand::makeReg(d))
+             .add(MOperand::makeReg(a))
+             .add(MOperand::makeReg(b)));
+    vmap_[&inst] = d;
+  }
+
+  void lowerFloatBinary(const ir::Instruction& inst) {
+    using ir::Opcode;
+    MOp op = MOp::FADD;
+    switch (inst.opcode()) {
+      case Opcode::FAdd: op = MOp::FADD; break;
+      case Opcode::FSub: op = MOp::FSUB; break;
+      case Opcode::FMul: op = MOp::FMUL; break;
+      case Opcode::FDiv: op = MOp::FDIV; break;
+      default: RF_UNREACHABLE("not a float binary");
+    }
+    const Reg a = valueReg(inst.operand(0));
+    const Reg b = valueReg(inst.operand(1));
+    const Reg d = newReg(RegClass::FPR);
+    emit(MachineInst(op)
+             .add(MOperand::makeReg(d))
+             .add(MOperand::makeReg(a))
+             .add(MOperand::makeReg(b)));
+    vmap_[&inst] = d;
+  }
+
+  void lowerCall(const ir::Instruction& inst) {
+    const ir::Function* callee = inst.callee();
+    const bool hasResult = inst.type() != ir::Type::Void;
+    MachineInst call(callee->isExternal() ? MOp::SYSCALLP : MOp::CALLP);
+    if (callee->isExternal()) {
+      const auto rt = ir::findRuntimeFn(callee->name());
+      RF_CHECK(rt.has_value(), "unknown external function: " + callee->name());
+      call.add(MOperand::makeImm(static_cast<std::int64_t>(*rt)));
+    } else {
+      call.add(MOperand::makeFunc(callee));
+    }
+    Reg result{};
+    if (hasResult) {
+      result = newReg(classOf(inst.type()));
+      call.add(MOperand::makeReg(result));
+    }
+    for (std::size_t i = 0; i < inst.numOperands(); ++i) {
+      call.add(MOperand::makeReg(valueReg(inst.operand(i))));
+    }
+    call.setNumDefs(hasResult ? 1 : 0);
+    emit(std::move(call));
+    if (hasResult) vmap_[&inst] = result;
+  }
+
+  // -- Phi elimination --------------------------------------------------------
+  void eliminatePhis() {
+    for (const auto& bb : irFn_.blocks()) {
+      MachineBasicBlock* mbb = blockMap_.at(bb.get());
+      std::size_t headPos = 0;
+      for (const auto& inst : bb->instructions()) {
+        if (inst->opcode() != ir::Opcode::Phi) break;
+        const RegClass cls = classOf(inst->type());
+        const Reg temp = newReg(cls);
+        const Reg dest = vmap_.at(inst.get());
+        // Copy temp -> dest at the head of the phi's block.
+        MachineInst headCopy(cls == RegClass::FPR ? MOp::FMOVrr : MOp::MOVrr);
+        headCopy.add(MOperand::makeReg(dest)).add(MOperand::makeReg(temp));
+        mbb->insts().insert(
+            mbb->insts().begin() + static_cast<std::ptrdiff_t>(headPos),
+            std::move(headCopy));
+        ++headPos;
+        // Copy value -> temp at the end of each predecessor (before its
+        // trailing branches; moves never clobber flags, so inserting between
+        // a CMP and its BCC is safe).
+        for (std::size_t i = 0; i < inst->numOperands(); ++i) {
+          MachineBasicBlock* pred = blockMap_.at(inst->phiBlocks()[i]);
+          std::size_t pos = pred->insts().size();
+          while (pos > 0) {
+            const MOp op = pred->insts()[pos - 1].op();
+            if (op == MOp::B || op == MOp::BCC) {
+              --pos;
+            } else {
+              break;
+            }
+          }
+          const Reg src = materialize(inst->operand(i), pred, &pos);
+          MachineInst copy(cls == RegClass::FPR ? MOp::FMOVrr : MOp::MOVrr);
+          copy.add(MOperand::makeReg(temp)).add(MOperand::makeReg(src));
+          pred->insts().insert(
+              pred->insts().begin() + static_cast<std::ptrdiff_t>(pos),
+              std::move(copy));
+        }
+      }
+    }
+  }
+
+  const ir::Function& irFn_;
+  MachineFunction& mf_;
+  MachineBasicBlock* cur_ = nullptr;
+  std::unordered_map<const ir::Value*, Reg> vmap_;
+  std::unordered_map<const ir::BasicBlock*, MachineBasicBlock*> blockMap_;
+  std::unordered_set<const ir::Instruction*> cmpNeedsValue_;
+};
+
+}  // namespace
+
+std::unique_ptr<MachineModule> selectInstructions(const ir::Module& module) {
+  auto mm = std::make_unique<MachineModule>(&module);
+  for (const auto& fn : module.functions()) {
+    if (fn->isExternal()) continue;
+    MachineFunction* mf = mm->addFunction(fn.get());
+    FunctionISel(*fn, *mf).run();
+  }
+  return mm;
+}
+
+}  // namespace refine::backend

@@ -1,0 +1,25 @@
+// Instruction selection: lowers optimized SSA IR to VT64 MIR in virtual
+// registers.
+//
+// Notable lowering decisions (all standard, all relevant to the paper's
+// accuracy argument because they create machine state invisible at IR level):
+//  * Compares are re-emitted immediately before each flags consumer (branch
+//    or conditional select), so the flags live range never crosses another
+//    flag-defining instruction.
+//  * Phis are eliminated with the two-copy scheme (fresh temp per phi,
+//    copies in predecessors), which is correct without critical-edge
+//    splitting and leaves coalescing to later passes.
+//  * Calls/returns/parameters stay as pseudo-instructions (CALLP/RETP/
+//    PARAMS) carrying virtual registers; they are expanded into physical
+//    ABI moves only after register allocation.
+#pragma once
+
+#include "backend/mir.h"
+#include "ir/ir.h"
+
+namespace refine::backend {
+
+/// Lowers every defined function of `module` into a fresh MachineModule.
+std::unique_ptr<MachineModule> selectInstructions(const ir::Module& module);
+
+}  // namespace refine::backend

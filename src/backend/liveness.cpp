@@ -1,0 +1,157 @@
+#include "backend/liveness.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace refine::backend {
+
+namespace {
+using VRegSet = std::unordered_set<std::uint32_t>;
+
+std::uint32_t vregKey(Reg r) {
+  // GPR/FPR virtual indices share a numbering in MachineFunction::makeVReg,
+  // so the raw index is already unique across classes.
+  return r.index;
+}
+}  // namespace
+
+LivenessResult computeLiveness(const MachineFunction& fn) {
+  LivenessResult result;
+
+  // Linear numbering and per-block [start,end] ranges.
+  struct BlockRange {
+    std::uint32_t start = 0;
+    std::uint32_t end = 0;
+  };
+  std::unordered_map<const MachineBasicBlock*, BlockRange> ranges;
+  std::uint32_t pos = 0;
+  for (const auto& bb : fn.blocks()) {
+    BlockRange r;
+    r.start = pos;
+    for (const MachineInst& inst : bb->insts()) {
+      if (inst.op() == MOp::CALLP || inst.op() == MOp::SYSCALLP) {
+        result.callPositions.push_back(pos);
+      }
+      ++pos;
+    }
+    r.end = pos == r.start ? r.start : pos - 1;
+    ranges[bb.get()] = r;
+  }
+  result.numPositions = pos;
+
+  // use/def per block (upward-exposed uses).
+  std::unordered_map<const MachineBasicBlock*, VRegSet> useSet;
+  std::unordered_map<const MachineBasicBlock*, VRegSet> defSet;
+  std::vector<Reg> defs;
+  std::vector<Reg> uses;
+  for (const auto& bb : fn.blocks()) {
+    VRegSet& u = useSet[bb.get()];
+    VRegSet& d = defSet[bb.get()];
+    for (const MachineInst& inst : bb->insts()) {
+      defs.clear();
+      uses.clear();
+      inst.collectRegs(defs, uses);
+      for (Reg r : uses) {
+        if (r.isVirtual() && !d.contains(vregKey(r))) u.insert(vregKey(r));
+      }
+      for (Reg r : defs) {
+        if (r.isVirtual()) d.insert(vregKey(r));
+      }
+    }
+  }
+
+  // Backward dataflow to a fixpoint.
+  std::unordered_map<const MachineBasicBlock*, VRegSet> liveIn;
+  std::unordered_map<const MachineBasicBlock*, VRegSet> liveOut;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto it = fn.blocks().rbegin(); it != fn.blocks().rend(); ++it) {
+      const MachineBasicBlock* bb = it->get();
+      VRegSet out;
+      for (MachineBasicBlock* succ : bb->successors()) {
+        for (std::uint32_t v : liveIn[succ]) out.insert(v);
+      }
+      VRegSet in = useSet[bb];
+      for (std::uint32_t v : out) {
+        if (!defSet[bb].contains(v)) in.insert(v);
+      }
+      if (out != liveOut[bb]) {
+        liveOut[bb] = std::move(out);
+        changed = true;
+      }
+      if (in != liveIn[bb]) {
+        liveIn[bb] = std::move(in);
+        changed = true;
+      }
+    }
+  }
+
+  // Build intervals.
+  auto extend = [&](Reg r, std::uint32_t p) {
+    const std::uint32_t key = vregKey(r);
+    auto [it, inserted] = result.intervals.try_emplace(key);
+    LiveInterval& iv = it->second;
+    if (inserted) {
+      iv.reg = r;
+      iv.start = p;
+      iv.end = p;
+    } else {
+      iv.start = std::min(iv.start, p);
+      iv.end = std::max(iv.end, p);
+    }
+  };
+
+  for (const auto& bb : fn.blocks()) {
+    const BlockRange range = ranges[bb.get()];
+    for (std::uint32_t v : liveIn[bb.get()]) {
+      Reg r{RegClass::GPR, v};
+      extend(r, range.start);
+    }
+    for (std::uint32_t v : liveOut[bb.get()]) {
+      Reg r{RegClass::GPR, v};
+      extend(r, range.end);
+    }
+    std::uint32_t p = range.start;
+    for (const MachineInst& inst : bb->insts()) {
+      defs.clear();
+      uses.clear();
+      inst.collectRegs(defs, uses);
+      for (Reg r : uses) {
+        if (r.isVirtual()) extend(r, p);
+      }
+      for (Reg r : defs) {
+        if (r.isVirtual()) extend(r, p);
+      }
+      ++p;
+    }
+  }
+
+  // Fix the register class recorded for liveIn/liveOut-extended intervals
+  // (the extend() above used a GPR placeholder when only the index was
+  // known) and mark call crossings.
+  for (const auto& bb : fn.blocks()) {
+    for (const MachineInst& inst : bb->insts()) {
+      defs.clear();
+      uses.clear();
+      inst.collectRegs(defs, uses);
+      for (Reg r : defs) {
+        if (r.isVirtual()) result.intervals.at(vregKey(r)).reg = r;
+      }
+      for (Reg r : uses) {
+        if (r.isVirtual()) result.intervals.at(vregKey(r)).reg = r;
+      }
+    }
+  }
+  for (auto& [key, iv] : result.intervals) {
+    for (std::uint32_t call : result.callPositions) {
+      if (iv.start < call && call < iv.end) {
+        iv.crossesCall = true;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace refine::backend

@@ -1,0 +1,37 @@
+// Virtual-register liveness analysis and live intervals for linear-scan
+// register allocation.
+//
+// Intervals are coarse (one [start, end] range per vreg over a global linear
+// numbering of instructions): an over-approximation that is always safe and
+// keeps the allocator simple; precision is recovered by the spill-and-retry
+// loop in the allocator.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "backend/mir.h"
+
+namespace refine::backend {
+
+struct LiveInterval {
+  Reg reg{};                 // virtual register
+  std::uint32_t start = 0;   // first position where live
+  std::uint32_t end = 0;     // last position where live (inclusive)
+  bool crossesCall = false;  // spans a CALLP/SYSCALLP position
+};
+
+struct LivenessResult {
+  /// Intervals keyed by virtual register index.
+  std::unordered_map<std::uint32_t, LiveInterval> intervals;
+  /// Linear positions of call-like instructions (CALLP/SYSCALLP).
+  std::vector<std::uint32_t> callPositions;
+  /// Total number of linear positions assigned.
+  std::uint32_t numPositions = 0;
+};
+
+/// Computes liveness and intervals for all virtual registers of `fn`.
+LivenessResult computeLiveness(const MachineFunction& fn);
+
+}  // namespace refine::backend

@@ -1,0 +1,113 @@
+#include "backend/mir.h"
+
+#include <bit>
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace refine::backend {
+
+void MachineInst::collectRegs(std::vector<Reg>& defs, std::vector<Reg>& uses) const {
+  unsigned defsLeft = numDefs();
+  for (const MOperand& op : ops_) {
+    if (op.kind != MOperand::Kind::Reg) continue;
+    if (defsLeft > 0) {
+      defs.push_back(op.reg);
+      --defsLeft;
+    } else {
+      uses.push_back(op.reg);
+    }
+  }
+}
+
+std::vector<MachineBasicBlock*> MachineBasicBlock::successors() const {
+  std::vector<MachineBasicBlock*> out;
+  for (const MachineInst& inst : insts_) {
+    for (const MOperand& op : inst.operands()) {
+      if (op.kind == MOperand::Kind::Block) {
+        bool seen = false;
+        for (MachineBasicBlock* s : out) {
+          if (s == op.block) seen = true;
+        }
+        if (!seen) out.push_back(op.block);
+      }
+    }
+  }
+  return out;
+}
+
+MachineBasicBlock* MachineFunction::addBlockAfter(MachineBasicBlock* anchor,
+                                                  std::string name) {
+  if (anchor == nullptr) return addBlock(std::move(name));
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].get() == anchor) {
+      auto it = blocks_.insert(
+          blocks_.begin() + static_cast<std::ptrdiff_t>(i + 1),
+          std::make_unique<MachineBasicBlock>(std::move(name), this));
+      return it->get();
+    }
+  }
+  RF_UNREACHABLE("addBlockAfter: anchor not in function");
+}
+
+std::string printInst(const MachineInst& inst) {
+  std::ostringstream os;
+  os << inst.info().name;
+  bool first = true;
+  for (const MOperand& op : inst.operands()) {
+    os << (first ? " " : ", ");
+    first = false;
+    switch (op.kind) {
+      case MOperand::Kind::Reg:
+        os << regName(op.reg);
+        break;
+      case MOperand::Kind::Imm:
+        if (inst.op() == MOp::FMOVri) {
+          os << strf("%g", std::bit_cast<double>(op.imm));
+        } else {
+          os << op.imm;
+        }
+        break;
+      case MOperand::Kind::Block:
+        os << '.' << op.block->name();
+        break;
+      case MOperand::Kind::Func:
+        os << '@' << op.func->name();
+        break;
+      case MOperand::Kind::Frame:
+        os << "fi#" << op.imm;
+        break;
+      case MOperand::Kind::Global:
+        os << '@' << op.global->name();
+        break;
+      case MOperand::Kind::CondK:
+        os << condName(op.cond);
+        break;
+    }
+  }
+  if (inst.isFIInstrumentation()) os << "    ; FI";
+  return os.str();
+}
+
+std::string printMachineFunction(const MachineFunction& fn) {
+  std::ostringstream os;
+  os << fn.name() << ":\n";
+  for (const auto& bb : fn.blocks()) {
+    os << '.' << bb->name() << ":\n";
+    for (const MachineInst& inst : bb->insts()) {
+      os << "  " << printInst(inst) << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string printMachineModule(const MachineModule& module) {
+  std::string out;
+  for (const auto& fn : module.functions()) {
+    out += printMachineFunction(*fn);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace refine::backend

@@ -1,0 +1,263 @@
+// Machine IR (MIR): the backend's instruction representation.
+//
+// Mirrors LLVM's MachineInstr layer (the paper's Fig. 2 "target-agnostic
+// machine instruction representation"): functions of basic blocks of machine
+// instructions with explicit register operands, first in virtual registers,
+// then — after register allocation and frame lowering — entirely physical.
+// The REFINE pass operates on this representation right before emission.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backend/target.h"
+#include "ir/ir.h"
+
+namespace refine::backend {
+
+class MachineBasicBlock;
+class MachineFunction;
+
+// ---------------------------------------------------------------------------
+// Operands
+// ---------------------------------------------------------------------------
+
+struct MOperand {
+  enum class Kind : std::uint8_t {
+    Reg,     // register (virtual or physical)
+    Imm,     // 64-bit immediate (integers, f64 bit patterns, syscall codes)
+    Block,   // branch target
+    Func,    // call target
+    Frame,   // frame object index
+    Global,  // global variable (resolved to an address at emission)
+    CondK,   // condition code
+  };
+
+  Kind kind = Kind::Imm;
+  Reg reg{};
+  std::int64_t imm = 0;
+  MachineBasicBlock* block = nullptr;
+  const ir::Function* func = nullptr;
+  const ir::GlobalVar* global = nullptr;
+  Cond cond = Cond::EQ;
+
+  static MOperand makeReg(Reg r) {
+    MOperand op;
+    op.kind = Kind::Reg;
+    op.reg = r;
+    return op;
+  }
+  static MOperand makeImm(std::int64_t v) {
+    MOperand op;
+    op.kind = Kind::Imm;
+    op.imm = v;
+    return op;
+  }
+  static MOperand makeBlock(MachineBasicBlock* bb) {
+    MOperand op;
+    op.kind = Kind::Block;
+    op.block = bb;
+    return op;
+  }
+  static MOperand makeFunc(const ir::Function* f) {
+    MOperand op;
+    op.kind = Kind::Func;
+    op.func = f;
+    return op;
+  }
+  static MOperand makeFrame(std::int64_t index) {
+    MOperand op;
+    op.kind = Kind::Frame;
+    op.imm = index;
+    return op;
+  }
+  static MOperand makeGlobal(const ir::GlobalVar* g) {
+    MOperand op;
+    op.kind = Kind::Global;
+    op.global = g;
+    return op;
+  }
+  static MOperand makeCond(Cond c) {
+    MOperand op;
+    op.kind = Kind::CondK;
+    op.cond = c;
+    return op;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Instructions
+// ---------------------------------------------------------------------------
+
+class MachineInst {
+ public:
+  explicit MachineInst(MOp op) : op_(op) {}
+
+  MOp op() const noexcept { return op_; }
+  const MOpInfo& info() const noexcept { return opInfo(op_); }
+
+  MachineInst& add(MOperand operand) {
+    ops_.push_back(operand);
+    return *this;
+  }
+  const std::vector<MOperand>& operands() const noexcept { return ops_; }
+  std::vector<MOperand>& operands() noexcept { return ops_; }
+  const MOperand& operand(std::size_t i) const {
+    RF_CHECK(i < ops_.size(), "machine operand index out of range");
+    return ops_[i];
+  }
+
+  /// Number of leading register operands that are definitions.
+  unsigned numDefs() const noexcept {
+    if (numDefsOverride_ != 0xFF) return numDefsOverride_;
+    return info().numDefs;
+  }
+  void setNumDefs(unsigned n) noexcept {
+    numDefsOverride_ = static_cast<std::uint8_t>(n);
+  }
+
+  /// Register defs/uses among the *explicit* operands (implicit sp/flags
+  /// effects are described by MOpInfo, not operands).
+  void collectRegs(std::vector<Reg>& defs, std::vector<Reg>& uses) const;
+
+  /// Marks instrumentation emitted by the REFINE FI pass: such instructions
+  /// are never themselves fault-injection targets.
+  bool isFIInstrumentation() const noexcept { return isFI_; }
+  void setFIInstrumentation(bool v) noexcept { isFI_ = v; }
+
+  bool isTerminatorLike() const noexcept {
+    return op_ == MOp::B || op_ == MOp::BCC || op_ == MOp::RET ||
+           op_ == MOp::RETP;
+  }
+
+ private:
+  MOp op_;
+  std::vector<MOperand> ops_;
+  std::uint8_t numDefsOverride_ = 0xFF;
+  bool isFI_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Blocks, functions, modules
+// ---------------------------------------------------------------------------
+
+class MachineBasicBlock {
+ public:
+  MachineBasicBlock(std::string name, MachineFunction* parent)
+      : name_(std::move(name)), parent_(parent) {}
+
+  const std::string& name() const noexcept { return name_; }
+  MachineFunction* parent() const noexcept { return parent_; }
+
+  std::vector<MachineInst>& insts() noexcept { return insts_; }
+  const std::vector<MachineInst>& insts() const noexcept { return insts_; }
+
+  MachineInst& append(MachineInst inst) {
+    insts_.push_back(std::move(inst));
+    return insts_.back();
+  }
+
+  /// Successor blocks named by trailing branch operands.
+  std::vector<MachineBasicBlock*> successors() const;
+
+ private:
+  std::string name_;
+  MachineFunction* parent_;
+  std::vector<MachineInst> insts_;
+};
+
+/// One stack object (alloca or spill slot); laid out by frame lowering.
+struct FrameObject {
+  std::uint64_t size = 8;
+  std::int64_t offset = 0;  // sp-relative, assigned by frame lowering
+};
+
+class MachineFunction {
+ public:
+  MachineFunction(const ir::Function* irFn) : irFn_(irFn) {}
+
+  const std::string& name() const noexcept { return irFn_->name(); }
+  const ir::Function* irFunction() const noexcept { return irFn_; }
+
+  MachineBasicBlock* addBlock(std::string name) {
+    blocks_.push_back(std::make_unique<MachineBasicBlock>(std::move(name), this));
+    return blocks_.back().get();
+  }
+  /// Inserts a block after `anchor` (nullptr appends at the end).
+  MachineBasicBlock* addBlockAfter(MachineBasicBlock* anchor, std::string name);
+
+  const std::vector<std::unique_ptr<MachineBasicBlock>>& blocks() const noexcept {
+    return blocks_;
+  }
+  MachineBasicBlock* entry() const {
+    RF_CHECK(!blocks_.empty(), "machine function with no blocks");
+    return blocks_.front().get();
+  }
+
+  Reg makeVReg(RegClass cls) {
+    return Reg{cls, Reg::kFirstVirtual + nextVReg_++};
+  }
+  std::uint32_t numVRegs() const noexcept { return nextVReg_; }
+
+  std::int64_t addFrameObject(std::uint64_t size) {
+    frame_.push_back(FrameObject{size, 0});
+    return static_cast<std::int64_t>(frame_.size()) - 1;
+  }
+  std::vector<FrameObject>& frame() noexcept { return frame_; }
+  const std::vector<FrameObject>& frame() const noexcept { return frame_; }
+
+  /// Callee-saved registers the allocator assigned (set by regalloc; used by
+  /// frame lowering for prologue/epilogue save/restore).
+  std::vector<Reg>& usedCalleeSaved() noexcept { return usedCalleeSaved_; }
+  const std::vector<Reg>& usedCalleeSaved() const noexcept {
+    return usedCalleeSaved_;
+  }
+
+  std::uint64_t frameSize() const noexcept { return frameSize_; }
+  void setFrameSize(std::uint64_t s) noexcept { frameSize_ = s; }
+
+ private:
+  const ir::Function* irFn_;
+  std::vector<std::unique_ptr<MachineBasicBlock>> blocks_;
+  std::uint32_t nextVReg_ = 0;
+  std::vector<FrameObject> frame_;
+  std::vector<Reg> usedCalleeSaved_;
+  std::uint64_t frameSize_ = 0;
+};
+
+class MachineModule {
+ public:
+  explicit MachineModule(const ir::Module* irModule) : irModule_(irModule) {}
+
+  const ir::Module* irModule() const noexcept { return irModule_; }
+
+  MachineFunction* addFunction(const ir::Function* irFn) {
+    functions_.push_back(std::make_unique<MachineFunction>(irFn));
+    return functions_.back().get();
+  }
+  const std::vector<std::unique_ptr<MachineFunction>>& functions() const noexcept {
+    return functions_;
+  }
+  MachineFunction* findFunction(std::string_view name) const noexcept {
+    for (const auto& f : functions_) {
+      if (f->name() == name) return f.get();
+    }
+    return nullptr;
+  }
+
+ private:
+  const ir::Module* irModule_;
+  std::vector<std::unique_ptr<MachineFunction>> functions_;
+};
+
+// ---------------------------------------------------------------------------
+// Printing (assembly listings; used by tests and the Listing-1/2 example)
+// ---------------------------------------------------------------------------
+
+std::string printInst(const MachineInst& inst);
+std::string printMachineFunction(const MachineFunction& fn);
+std::string printMachineModule(const MachineModule& module);
+
+}  // namespace refine::backend

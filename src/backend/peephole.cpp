@@ -1,0 +1,131 @@
+#include "backend/peephole.h"
+
+#include <unordered_map>
+
+namespace refine::backend {
+
+namespace {
+
+/// FCMP a, b ; FCSEL d, x, y, cond  ->  FMAX/FMIN d, a, b
+/// when {x, y} == {a, b} in the order selected by cond.
+/// GT/GE with (x,y)==(a,b): d = max(a,b). LT/LE likewise min; swapped
+/// operands flip the choice.
+bool fuseMinMax(MachineBasicBlock& bb) {
+  bool changed = false;
+  auto& insts = bb.insts();
+  for (std::size_t i = 0; i + 1 < insts.size(); ++i) {
+    MachineInst& cmp = insts[i];
+    MachineInst& sel = insts[i + 1];
+    if (cmp.op() != MOp::FCMP || sel.op() != MOp::FCSEL) continue;
+    const Reg a = cmp.operand(0).reg;
+    const Reg b = cmp.operand(1).reg;
+    const Reg d = sel.operand(0).reg;
+    const Reg x = sel.operand(1).reg;
+    const Reg y = sel.operand(2).reg;
+    const Cond cond = sel.operand(3).cond;
+    bool isMax = false;
+    bool matches = false;
+    if (x == a && y == b) {
+      if (cond == Cond::GT || cond == Cond::GE) { isMax = true; matches = true; }
+      if (cond == Cond::LT || cond == Cond::LE) { isMax = false; matches = true; }
+    } else if (x == b && y == a) {
+      if (cond == Cond::GT || cond == Cond::GE) { isMax = false; matches = true; }
+      if (cond == Cond::LT || cond == Cond::LE) { isMax = true; matches = true; }
+    }
+    if (!matches) continue;
+    MachineInst fused(isMax ? MOp::FMAX : MOp::FMIN);
+    fused.add(MOperand::makeReg(d))
+        .add(MOperand::makeReg(a))
+        .add(MOperand::makeReg(b));
+    insts[i] = std::move(fused);
+    insts.erase(insts.begin() + static_cast<std::ptrdiff_t>(i + 1));
+    changed = true;
+  }
+  return changed;
+}
+
+/// Removes moves to self (can appear after phi elimination).
+bool dropSelfMoves(MachineBasicBlock& bb) {
+  auto& insts = bb.insts();
+  const std::size_t before = insts.size();
+  std::erase_if(insts, [](const MachineInst& inst) {
+    return (inst.op() == MOp::MOVrr || inst.op() == MOp::FMOVrr) &&
+           inst.operand(0).reg == inst.operand(1).reg;
+  });
+  return insts.size() != before;
+}
+
+/// Folds an address computation into the memory access:
+///   addri t, base, imm ; ldr d, [t, 0]  ->  ldr d, [base, imm]
+/// when t is used exactly once (by the load/store) and defined here.
+bool foldAddressing(MachineBasicBlock& bb,
+                    const std::unordered_map<std::uint32_t, unsigned>& vregUses) {
+  bool changed = false;
+  auto& insts = bb.insts();
+  for (std::size_t i = 0; i + 1 < insts.size(); ++i) {
+    MachineInst& addr = insts[i];
+    MachineInst& mem = insts[i + 1];
+    if (addr.op() != MOp::ADDri) continue;
+    const MOp memOp = mem.op();
+    if (memOp != MOp::LDR && memOp != MOp::STR && memOp != MOp::FLDR &&
+        memOp != MOp::FSTR) {
+      continue;
+    }
+    const Reg t = addr.operand(0).reg;
+    if (!t.isVirtual()) continue;
+    if (mem.operand(1).reg != t || mem.operand(2).imm != 0) continue;
+    auto uses = vregUses.find(t.index);
+    if (uses == vregUses.end() || uses->second != 1) continue;
+    // Also ensure the value operand of a store is not t itself.
+    if (mem.operand(0).kind == MOperand::Kind::Reg && mem.operand(0).reg == t) {
+      continue;
+    }
+    mem.operands()[1] = MOperand::makeReg(addr.operand(1).reg);
+    mem.operands()[2] = MOperand::makeImm(addr.operand(2).imm);
+    insts.erase(insts.begin() + static_cast<std::ptrdiff_t>(i));
+    changed = true;
+  }
+  return changed;
+}
+
+std::unordered_map<std::uint32_t, unsigned> countVRegUses(
+    const MachineFunction& fn) {
+  std::unordered_map<std::uint32_t, unsigned> uses;
+  std::vector<Reg> defs;
+  std::vector<Reg> useRegs;
+  for (const auto& bb : fn.blocks()) {
+    for (const MachineInst& inst : bb->insts()) {
+      defs.clear();
+      useRegs.clear();
+      inst.collectRegs(defs, useRegs);
+      for (Reg r : useRegs) {
+        if (r.isVirtual()) ++uses[r.index];
+      }
+    }
+  }
+  return uses;
+}
+
+}  // namespace
+
+bool peephole(MachineFunction& fn) {
+  bool changedAny = false;
+  for (;;) {
+    bool changed = false;
+    const auto vregUses = countVRegUses(fn);
+    for (const auto& bb : fn.blocks()) {
+      changed |= fuseMinMax(*bb);
+      changed |= dropSelfMoves(*bb);
+      changed |= foldAddressing(*bb, vregUses);
+    }
+    if (!changed) break;
+    changedAny = true;
+  }
+  return changedAny;
+}
+
+void peephole(MachineModule& module) {
+  for (const auto& fn : module.functions()) peephole(*fn);
+}
+
+}  // namespace refine::backend

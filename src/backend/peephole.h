@@ -1,0 +1,21 @@
+// Pre-RA machine peephole optimizations.
+//
+// The flagship pattern is FCMP + FCSEL -> FMAX/FMIN fusion, the analogue of
+// the `vmaxsd` fusion in the paper's Listing 2: IR-level FI instrumentation
+// inserts a call between the compare and the select, so the fusion cannot
+// fire in LLFI-instrumented code — one of the concrete ways IR-level
+// injection changes the binary under test.
+#pragma once
+
+#include "backend/mir.h"
+
+namespace refine::backend {
+
+/// Runs peephole patterns over one function (pre register allocation).
+/// Returns true when anything changed.
+bool peephole(MachineFunction& fn);
+
+/// Runs peephole over every function.
+void peephole(MachineModule& module);
+
+}  // namespace refine::backend

@@ -1,0 +1,42 @@
+// The final executable artifact ("binary") produced by the compiler backend
+// and consumed by the VM.
+//
+// Code is a flat array of physical-register machine instructions with all
+// symbolic operands (blocks, functions, globals) resolved to immediates.
+// This is the representation PINFI-style binary instrumentation operates on:
+// the compiler's symbol information is gone, only architecture-level
+// instructions remain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "backend/mir.h"
+
+namespace refine::backend {
+
+struct FunctionRange {
+  std::string name;
+  std::uint64_t begin = 0;  // first instruction index
+  std::uint64_t end = 0;    // one past the last instruction
+};
+
+struct Program {
+  std::vector<MachineInst> code;
+  std::uint64_t entry = 0;  // instruction index of main
+  std::vector<FunctionRange> functions;
+
+  /// Initial data segment (globals), loaded at globalBase.
+  std::vector<std::uint8_t> globalImage;
+  std::uint64_t globalBase = 0;
+
+  /// String table for the print_str syscall.
+  std::vector<std::string> strings;
+
+  /// Name of the function containing instruction `index` ("?" when outside
+  /// any range, which cannot happen for emitted programs).
+  const std::string& functionAt(std::uint64_t index) const;
+};
+
+}  // namespace refine::backend

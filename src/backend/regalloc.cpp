@@ -1,0 +1,250 @@
+#include "backend/regalloc.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "backend/liveness.h"
+
+namespace refine::backend {
+
+namespace {
+
+/// Allocatable physical registers per class. r15 is the stack pointer and
+/// r7/f7 are reserved as post-RA expansion scratch registers.
+std::vector<std::uint32_t> allocatableRegs(RegClass cls, bool calleeSavedOnly) {
+  const std::uint32_t limit = cls == RegClass::GPR ? 15 : 16;  // exclude sp
+  std::vector<std::uint32_t> regs;
+  if (!calleeSavedOnly) {
+    // Caller-saved first: cheaper (no prologue save/restore).
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      if (i != kScratchIndex) regs.push_back(i);
+    }
+  }
+  for (std::uint32_t i = 8; i < limit; ++i) regs.push_back(i);
+  return regs;
+}
+
+struct Assignment {
+  bool spilled = false;
+  std::uint32_t physIndex = 0;
+  std::int64_t frameIndex = -1;
+};
+
+class Allocator {
+ public:
+  explicit Allocator(MachineFunction& fn) : fn_(fn) {}
+
+  void run() {
+    int round = 0;
+    for (;;) {
+      RF_CHECK(++round < 64, "register allocation did not converge");
+      if (tryAllocate()) break;
+      rewriteSpills();
+    }
+    rewriteOperands();
+  }
+
+ private:
+  /// One linear-scan attempt. Returns false when something was marked for
+  /// spilling (assignments_ then holds the spill decisions made so far).
+  bool tryAllocate() {
+    const LivenessResult liveness = computeLiveness(fn_);
+    std::vector<LiveInterval> intervals;
+    intervals.reserve(liveness.intervals.size());
+    for (const auto& [key, iv] : liveness.intervals) intervals.push_back(iv);
+    std::sort(intervals.begin(), intervals.end(),
+              [](const LiveInterval& a, const LiveInterval& b) {
+                if (a.start != b.start) return a.start < b.start;
+                return a.reg.index < b.reg.index;
+              });
+
+    assignments_.clear();
+    struct Active {
+      LiveInterval iv;
+      std::uint32_t phys;
+    };
+    std::vector<Active> active[2];  // per class
+    bool needsRetry = false;
+
+    auto classIdx = [](RegClass c) { return c == RegClass::GPR ? 0 : 1; };
+
+    for (const LiveInterval& iv : intervals) {
+      const int ci = classIdx(iv.reg.cls);
+      // Expire finished intervals.
+      std::erase_if(active[ci],
+                    [&](const Active& a) { return a.iv.end < iv.start; });
+
+      const auto candidates = allocatableRegs(iv.reg.cls, iv.crossesCall);
+      std::unordered_set<std::uint32_t> inUse;
+      for (const Active& a : active[ci]) inUse.insert(a.phys);
+
+      std::int64_t chosen = -1;
+      for (std::uint32_t r : candidates) {
+        if (!inUse.contains(r)) {
+          chosen = static_cast<std::int64_t>(r);
+          break;
+        }
+      }
+      if (chosen >= 0) {
+        active[ci].push_back({iv, static_cast<std::uint32_t>(chosen)});
+        Assignment a;
+        a.physIndex = static_cast<std::uint32_t>(chosen);
+        assignments_[iv.reg.index] = a;
+        continue;
+      }
+
+      // Nothing free: spill the furthest-ending compatible interval.
+      std::unordered_set<std::uint32_t> allowed(candidates.begin(),
+                                                candidates.end());
+      Active* victim = nullptr;
+      for (Active& a : active[ci]) {
+        if (!allowed.contains(a.phys)) continue;
+        if (spilledVRegs_.contains(a.iv.reg.index)) continue;  // already tiny
+        if (victim == nullptr || a.iv.end > victim->iv.end) victim = &a;
+      }
+      if (victim != nullptr && victim->iv.end > iv.end) {
+        // Steal the victim's register; spill the victim.
+        markSpill(victim->iv.reg);
+        const std::uint32_t phys = victim->phys;
+        std::erase_if(active[ci], [&](const Active& a) {
+          return a.iv.reg.index == victim->iv.reg.index;
+        });
+        active[ci].push_back({iv, phys});
+        Assignment a;
+        a.physIndex = phys;
+        assignments_[iv.reg.index] = a;
+      } else {
+        markSpill(iv.reg);
+      }
+      needsRetry = true;
+    }
+    return !needsRetry;
+  }
+
+  void markSpill(Reg r) {
+    RF_CHECK(!spilledVRegs_.contains(r.index),
+             "attempted to spill an already-spilled vreg");
+    spilledVRegs_.insert(r.index);
+    newSpills_.insert(r.index);
+    spillClass_[r.index] = r.cls;
+  }
+
+  /// Rewrites every use/def of newly spilled vregs through fresh tiny vregs
+  /// with loads/stores to a dedicated frame slot.
+  void rewriteSpills() {
+    std::unordered_map<std::uint32_t, std::int64_t> slot;
+    for (std::uint32_t v : newSpills_) {
+      slot[v] = fn_.addFrameObject(8);
+    }
+    for (const auto& bb : fn_.blocks()) {
+      auto& insts = bb->insts();
+      for (std::size_t i = 0; i < insts.size(); ++i) {
+        // Collect rewrites first. CAUTION: vector insertions below
+        // invalidate references into `insts`, so the instruction is always
+        // re-fetched by index after any insertion.
+        struct Rewrite {
+          std::size_t opIndex;
+          bool isDef;
+          std::uint32_t vreg;
+        };
+        std::vector<Rewrite> rewrites;
+        {
+          const MachineInst& inst = insts[i];
+          const unsigned nDefs = inst.numDefs();
+          unsigned regSeen = 0;
+          for (std::size_t oi = 0; oi < inst.operands().size(); ++oi) {
+            const MOperand& op = inst.operands()[oi];
+            if (op.kind != MOperand::Kind::Reg) continue;
+            const bool isDef = regSeen < nDefs;
+            ++regSeen;
+            if (op.reg.isVirtual() && newSpills_.contains(op.reg.index)) {
+              rewrites.push_back({oi, isDef, op.reg.index});
+            }
+          }
+        }
+        if (rewrites.empty()) continue;
+
+        std::size_t instIndex = i;
+        // Uses: reload into a tiny vreg right before the instruction.
+        for (const Rewrite& rw : rewrites) {
+          if (rw.isDef) continue;
+          const RegClass cls = spillClass_.at(rw.vreg);
+          const Reg tiny = fn_.makeVReg(cls);
+          insts[instIndex].operands()[rw.opIndex].reg = tiny;
+          MachineInst load(cls == RegClass::FPR ? MOp::FLDRfi : MOp::LDRfi);
+          load.add(MOperand::makeReg(tiny))
+              .add(MOperand::makeFrame(slot.at(rw.vreg)));
+          insts.insert(insts.begin() + static_cast<std::ptrdiff_t>(instIndex),
+                       std::move(load));
+          ++instIndex;  // the rewritten instruction shifted right
+        }
+        // Defs: store the tiny vreg to the slot right after the instruction.
+        std::size_t insertAfter = instIndex + 1;
+        for (const Rewrite& rw : rewrites) {
+          if (!rw.isDef) continue;
+          const RegClass cls = spillClass_.at(rw.vreg);
+          const Reg tiny = fn_.makeVReg(cls);
+          insts[instIndex].operands()[rw.opIndex].reg = tiny;
+          MachineInst store(cls == RegClass::FPR ? MOp::FSTRfi : MOp::STRfi);
+          store.add(MOperand::makeReg(tiny))
+              .add(MOperand::makeFrame(slot.at(rw.vreg)));
+          insts.insert(insts.begin() + static_cast<std::ptrdiff_t>(insertAfter),
+                       std::move(store));
+          ++insertAfter;
+        }
+        i = insertAfter - 1;
+      }
+    }
+    newSpills_.clear();
+  }
+
+  /// Replaces every virtual operand with its assigned physical register and
+  /// records which callee-saved registers were used.
+  void rewriteOperands() {
+    std::unordered_set<std::uint32_t> usedCalleeSavedGpr;
+    std::unordered_set<std::uint32_t> usedCalleeSavedFpr;
+    for (const auto& bb : fn_.blocks()) {
+      for (MachineInst& inst : bb->insts()) {
+        for (MOperand& op : inst.operands()) {
+          if (op.kind != MOperand::Kind::Reg || !op.reg.isVirtual()) continue;
+          auto it = assignments_.find(op.reg.index);
+          RF_CHECK(it != assignments_.end() && !it->second.spilled,
+                   "unassigned virtual register after allocation");
+          op.reg = Reg{op.reg.cls, it->second.physIndex};
+          if (op.reg.index >= 8 && op.reg.index != kSpIndex) {
+            (op.reg.cls == RegClass::GPR ? usedCalleeSavedGpr
+                                         : usedCalleeSavedFpr)
+                .insert(op.reg.index);
+          }
+        }
+      }
+    }
+    auto& saved = fn_.usedCalleeSaved();
+    saved.clear();
+    std::vector<std::uint32_t> gprs(usedCalleeSavedGpr.begin(),
+                                    usedCalleeSavedGpr.end());
+    std::vector<std::uint32_t> fprs(usedCalleeSavedFpr.begin(),
+                                    usedCalleeSavedFpr.end());
+    std::sort(gprs.begin(), gprs.end());
+    std::sort(fprs.begin(), fprs.end());
+    for (std::uint32_t i : gprs) saved.push_back(gpr(i));
+    for (std::uint32_t i : fprs) saved.push_back(fpr(i));
+  }
+
+  MachineFunction& fn_;
+  std::unordered_map<std::uint32_t, Assignment> assignments_;
+  std::unordered_set<std::uint32_t> spilledVRegs_;
+  std::unordered_set<std::uint32_t> newSpills_;
+  std::unordered_map<std::uint32_t, RegClass> spillClass_;
+};
+
+}  // namespace
+
+void allocateRegisters(MachineFunction& fn) { Allocator(fn).run(); }
+
+void allocateRegisters(MachineModule& module) {
+  for (const auto& fn : module.functions()) allocateRegisters(*fn);
+}
+
+}  // namespace refine::backend

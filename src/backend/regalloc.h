@@ -1,0 +1,28 @@
+// Linear-scan register allocation with spill-and-retry.
+//
+// Intervals that cross call sites are restricted to callee-saved registers
+// (the pseudo-call expansion clobbers every caller-saved register, exactly
+// like a real ABI call). When no register is available the chosen victim is
+// spilled to a frame slot, every use/def is rewritten through a fresh tiny
+// interval, and allocation restarts; tiny intervals always fit, so the loop
+// terminates.
+//
+// This pass is where the paper's "code generation interference" effect
+// materializes: LLFI-style IR instrumentation inserts calls everywhere,
+// which forces long-lived values into callee-saved registers or spill slots
+// and visibly degrades the generated code (paper Listing 2).
+#pragma once
+
+#include "backend/mir.h"
+
+namespace refine::backend {
+
+/// Allocates registers for one function in place. After this pass no virtual
+/// registers remain; `fn.usedCalleeSaved()` lists the callee-saved registers
+/// the prologue must preserve, and spill slots appear in `fn.frame()`.
+void allocateRegisters(MachineFunction& fn);
+
+/// Runs allocateRegisters over every function.
+void allocateRegisters(MachineModule& module);
+
+}  // namespace refine::backend

@@ -1,0 +1,117 @@
+#include "backend/target.h"
+
+#include "support/strings.h"
+
+namespace refine::backend {
+
+std::string regName(Reg r) {
+  const char prefix = r.cls == RegClass::GPR ? 'r' : 'f';
+  if (r.isVirtual()) {
+    return strf("%%%c%u", prefix, r.index - Reg::kFirstVirtual);
+  }
+  if (r.cls == RegClass::GPR && r.index == kSpIndex) return "sp";
+  return strf("%c%u", prefix, r.index);
+}
+
+const char* condName(Cond c) noexcept {
+  switch (c) {
+    case Cond::EQ: return "eq";
+    case Cond::NE: return "ne";
+    case Cond::LT: return "lt";
+    case Cond::LE: return "le";
+    case Cond::GT: return "gt";
+    case Cond::GE: return "ge";
+    case Cond::ONE: return "one";
+  }
+  return "?";
+}
+
+const MOpInfo& opInfo(MOp op) noexcept {
+  // name, numDefs, defsFlags, usesFlags, defsSP, class
+  static const MOpInfo table[] = {
+      {"movri", 1, false, false, false, InstrClass::Arith},   // MOVri
+      {"movrr", 1, false, false, false, InstrClass::Arith},   // MOVrr
+      {"fmovri", 1, false, false, false, InstrClass::Arith},  // FMOVri
+      {"fmovrr", 1, false, false, false, InstrClass::Arith},  // FMOVrr
+      {"cvtif", 1, false, false, false, InstrClass::Arith},   // CVTIF
+      {"cvtfi", 1, false, false, false, InstrClass::Arith},   // CVTFI
+      {"fbiti", 1, false, false, false, InstrClass::Arith},   // FBITI
+      {"ibitf", 1, false, false, false, InstrClass::Arith},   // IBITF
+
+      {"add", 1, true, false, false, InstrClass::Arith},      // ADD
+      {"sub", 1, true, false, false, InstrClass::Arith},      // SUB
+      {"mul", 1, true, false, false, InstrClass::Arith},      // MUL
+      {"div", 1, true, false, false, InstrClass::Arith},      // DIV
+      {"rem", 1, true, false, false, InstrClass::Arith},      // REM
+      {"and", 1, true, false, false, InstrClass::Arith},      // AND
+      {"or", 1, true, false, false, InstrClass::Arith},       // OR
+      {"xor", 1, true, false, false, InstrClass::Arith},      // XOR
+      {"shl", 1, true, false, false, InstrClass::Arith},      // SHL
+      {"ashr", 1, true, false, false, InstrClass::Arith},     // ASHR
+      {"lshr", 1, true, false, false, InstrClass::Arith},     // LSHR
+      {"addri", 1, true, false, false, InstrClass::Arith},    // ADDri
+      {"andri", 1, true, false, false, InstrClass::Arith},    // ANDri
+      {"orri", 1, true, false, false, InstrClass::Arith},     // ORri
+      {"xorri", 1, true, false, false, InstrClass::Arith},    // XORri
+      {"shlri", 1, true, false, false, InstrClass::Arith},    // SHLri
+      {"ashrri", 1, true, false, false, InstrClass::Arith},   // ASHRri
+      {"lshrri", 1, true, false, false, InstrClass::Arith},   // LSHRri
+      {"mulri", 1, true, false, false, InstrClass::Arith},    // MULri
+
+      {"fadd", 1, false, false, false, InstrClass::Arith},    // FADD
+      {"fsub", 1, false, false, false, InstrClass::Arith},    // FSUB
+      {"fmul", 1, false, false, false, InstrClass::Arith},    // FMUL
+      {"fdiv", 1, false, false, false, InstrClass::Arith},    // FDIV
+      {"fmax", 1, false, false, false, InstrClass::Arith},    // FMAX
+      {"fmin", 1, false, false, false, InstrClass::Arith},    // FMIN
+      {"fabs", 1, false, false, false, InstrClass::Arith},    // FABS
+      {"fsqrt", 1, false, false, false, InstrClass::Arith},   // FSQRT
+
+      {"cmp", 0, true, false, false, InstrClass::Arith},      // CMP
+      {"cmpri", 0, true, false, false, InstrClass::Arith},    // CMPri
+      {"fcmp", 0, true, false, false, InstrClass::Arith},     // FCMP
+
+      {"csel", 1, false, true, false, InstrClass::Arith},     // CSEL
+      {"fcsel", 1, false, true, false, InstrClass::Arith},    // FCSEL
+
+      {"ldr", 1, false, false, false, InstrClass::Mem},       // LDR
+      {"str", 0, false, false, false, InstrClass::Mem},       // STR
+      {"fldr", 1, false, false, false, InstrClass::Mem},      // FLDR
+      {"fstr", 0, false, false, false, InstrClass::Mem},      // FSTR
+
+      {"ldr.fi", 1, false, false, false, InstrClass::Mem},    // LDRfi
+      {"str.fi", 0, false, false, false, InstrClass::Mem},    // STRfi
+      {"fldr.fi", 1, false, false, false, InstrClass::Mem},   // FLDRfi
+      {"fstr.fi", 0, false, false, false, InstrClass::Mem},   // FSTRfi
+      {"lea.fi", 1, false, false, false, InstrClass::Stack},  // LEAfi
+
+      {"push", 0, false, false, true, InstrClass::Stack},     // PUSH
+      {"pop", 1, false, false, true, InstrClass::Stack},      // POP
+      {"fpush", 0, false, false, true, InstrClass::Stack},    // FPUSH
+      {"fpop", 1, false, false, true, InstrClass::Stack},     // FPOP
+      {"pushf", 0, false, true, true, InstrClass::Stack},     // PUSHF
+      {"popf", 0, true, false, true, InstrClass::Stack},      // POPF
+      {"spadj", 0, false, false, true, InstrClass::Stack},    // SPADJ
+
+      {"b", 0, false, false, false, InstrClass::Control},     // B
+      {"bcc", 0, false, true, false, InstrClass::Control},    // BCC
+      {"call", 0, false, false, true, InstrClass::Control},   // CALL
+      {"ret", 0, false, false, true, InstrClass::Control},    // RET
+      {"syscall", 0, false, false, false, InstrClass::Other}, // SYSCALL
+
+      {"params", 0, false, false, false, InstrClass::Other},  // PARAMS (defs set dynamically)
+      {"callp", 0, false, false, false, InstrClass::Other},   // CALLP
+      {"syscallp", 0, false, false, false, InstrClass::Other},// SYSCALLP
+      {"retp", 0, false, false, false, InstrClass::Other},    // RETP
+
+      {"ficheck", 0, false, false, false, InstrClass::Other}, // FICHECK
+      {"setupfi", 0, false, false, false, InstrClass::Other}, // SETUPFI
+
+      {"nop", 0, false, false, false, InstrClass::Other},     // NOP
+  };
+  const auto index = static_cast<std::size_t>(op);
+  RF_CHECK(index < sizeof(table) / sizeof(table[0]), "bad MOp");
+  return table[index];
+}
+
+}  // namespace refine::backend

@@ -1,0 +1,198 @@
+// VT64 target description: registers, condition codes, machine opcodes and
+// their properties.
+//
+// VT64 is a 64-bit RISC-flavoured virtual target with one deliberately
+// x64-like trait central to the paper: integer ALU instructions implicitly
+// define the condition-flags register in addition to their destination
+// (paper Sec. 4.2.4: "most arithmetic instructions modify the flags register
+// besides the destination register"). Fault injection treats each such
+// implicit output as an injectable operand.
+//
+// Register file:
+//   r0..r15 general purpose (r15 = stack pointer; r7 reserved as the
+//            post-RA expansion scratch), f0..f15 floating point (f7 reserved
+//            scratch), plus a 4-bit condition-flags register.
+// ABI:
+//   integer args r0..r5, fp args f0..f5, returns in r0/f0.
+//   Caller-saved: r0..r7, f0..f7. Callee-saved: r8..r14, f8..f15.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/check.h"
+
+namespace refine::backend {
+
+// ---------------------------------------------------------------------------
+// Registers
+// ---------------------------------------------------------------------------
+
+enum class RegClass : std::uint8_t { GPR, FPR };
+
+/// Register id: physical when index < kNumPhysRegs, else virtual.
+struct Reg {
+  RegClass cls = RegClass::GPR;
+  std::uint32_t index = 0;
+
+  static constexpr std::uint32_t kNumPhys = 16;
+  static constexpr std::uint32_t kFirstVirtual = 64;
+
+  bool isVirtual() const noexcept { return index >= kFirstVirtual; }
+  bool isPhysical() const noexcept { return !isVirtual(); }
+
+  bool operator==(const Reg& other) const noexcept {
+    return cls == other.cls && index == other.index;
+  }
+  bool operator!=(const Reg& other) const noexcept { return !(*this == other); }
+};
+
+constexpr std::uint32_t kSpIndex = 15;       // r15 is the stack pointer
+constexpr std::uint32_t kScratchIndex = 7;   // r7/f7: expansion scratch
+constexpr unsigned kNumIntArgRegs = 6;       // r0..r5
+constexpr unsigned kNumFpArgRegs = 6;        // f0..f5
+
+inline Reg gpr(std::uint32_t i) { return Reg{RegClass::GPR, i}; }
+inline Reg fpr(std::uint32_t i) { return Reg{RegClass::FPR, i}; }
+inline Reg spReg() { return gpr(kSpIndex); }
+
+inline bool isCallerSaved(Reg r) noexcept {
+  return r.isPhysical() && r.index <= 7;
+}
+inline bool isCalleeSaved(Reg r) noexcept {
+  return r.isPhysical() && r.index >= 8 &&
+         !(r.cls == RegClass::GPR && r.index == kSpIndex);
+}
+
+std::string regName(Reg r);
+
+// ---------------------------------------------------------------------------
+// Condition flags
+// ---------------------------------------------------------------------------
+
+/// Flag bits produced by CMP/FCMP and implicitly by integer ALU ops.
+/// Exactly one of EQ/LT/GT is set by a compare; UN marks unordered (NaN).
+/// Integer ALU ops set the bits from the sign/zero of their result.
+enum FlagBits : std::uint8_t {
+  kFlagEQ = 1,
+  kFlagLT = 2,
+  kFlagGT = 4,
+  kFlagUN = 8,
+};
+constexpr unsigned kFlagsBitWidth = 4;
+
+/// Branch/select conditions, evaluated as (flags & mask) != 0, or == 0 for
+/// the negated form NE.
+enum class Cond : std::uint8_t { EQ, NE, LT, LE, GT, GE, ONE };
+
+/// Evaluates a condition against a flags value.
+inline bool condHolds(Cond c, std::uint8_t flags) noexcept {
+  switch (c) {
+    case Cond::EQ: return (flags & kFlagEQ) != 0;
+    case Cond::NE: return (flags & kFlagEQ) == 0;
+    case Cond::LT: return (flags & kFlagLT) != 0;
+    case Cond::LE: return (flags & (kFlagLT | kFlagEQ)) != 0;
+    case Cond::GT: return (flags & kFlagGT) != 0;
+    case Cond::GE: return (flags & (kFlagGT | kFlagEQ)) != 0;
+    case Cond::ONE: return (flags & (kFlagLT | kFlagGT)) != 0;
+  }
+  return false;
+}
+
+const char* condName(Cond c) noexcept;
+
+// ---------------------------------------------------------------------------
+// Opcodes
+// ---------------------------------------------------------------------------
+
+enum class MOp : std::uint8_t {
+  // Moves and materialization
+  MOVri,   // rd <- imm64 (also global addresses / string ids after resolution)
+  MOVrr,   // rd <- rs
+  FMOVri,  // fd <- f64 imm (bit pattern in imm)
+  FMOVrr,  // fd <- fs
+  CVTIF,   // fd <- sitofp rs
+  CVTFI,   // rd <- fptosi fs
+  FBITI,   // fd <- bits of rs
+  IBITF,   // rd <- bits of fs
+
+  // Integer ALU (rd, ra, rb) — define flags from the result
+  ADD, SUB, MUL, DIV, REM, AND, OR, XOR, SHL, ASHR, LSHR,
+  // Immediate forms (rd, ra, imm) — define flags from the result
+  ADDri, ANDri, ORri, XORri, SHLri, ASHRri, LSHRri, MULri,
+
+  // Floating point (no flags)
+  FADD, FSUB, FMUL, FDIV,   // (fd, fa, fb)
+  FMAX, FMIN,               // (fd, fa, fb) — produced by peephole fusion
+  FABS, FSQRT,              // (fd, fa)
+
+  // Compares — define flags only
+  CMP,    // (ra, rb)
+  CMPri,  // (ra, imm)
+  FCMP,   // (fa, fb); sets UN on NaN
+
+  // Conditional select — use flags
+  CSEL,   // (rd, ra, rb, cond)
+  FCSEL,  // (fd, fa, fb, cond)
+
+  // Memory (base + signed immediate offset)
+  LDR,   // (rd, ra, imm)
+  STR,   // (rs, ra, imm)   — no register outputs
+  FLDR,  // (fd, ra, imm)
+  FSTR,  // (fs, ra, imm)
+
+  // Frame-index pseudos (resolved to sp-relative in frame lowering)
+  LDRfi, STRfi, FLDRfi, FSTRfi,  // (reg, frameIndex)
+  LEAfi,                         // (rd, frameIndex): address of a stack object
+
+  // Stack — implicitly define sp
+  PUSH,   // (rs): sp -= 8; [sp] = rs
+  POP,    // (rd): rd = [sp]; sp += 8
+  FPUSH, FPOP,
+  PUSHF,  // push flags
+  POPF,   // pop flags (defines flags)
+  SPADJ,  // (imm): sp += imm
+
+  // Control flow
+  B,     // (block)
+  BCC,   // (cond, block) — uses flags
+  CALL,  // (func) — pushes the return address (defines sp)
+  RET,   // pops the return address (defines sp)
+  SYSCALL,  // (imm code): runtime library call; args/result in r0/f0 etc.
+
+  // Pre-RA pseudos expanded after register allocation
+  PARAMS,    // defs: one vreg per incoming parameter
+  CALLP,     // def result vreg (optional), use arg vregs; operand 'func'
+  SYSCALLP,  // like CALLP but with a syscall code
+  RETP,      // use: optional return value vreg
+
+  // Fault-injection instrumentation (REFINE pass; see fi/refine.*)
+  FICHECK,  // (imm siteId, block): PreFI fast path — calls selInstr(),
+            // branches to the PreFI save block when injection triggers
+  SETUPFI,  // (imm siteId): calls setupFI(); writes r0 = operand index,
+            // r1 = flip mask (defines r0, r1)
+
+  NOP,
+};
+
+/// Instruction classes for the -fi-instrs compiler flag (paper Table 2).
+enum class InstrClass : std::uint8_t {
+  Stack,    // push/pop/sp-adjust/frame management
+  Arith,    // integer & FP ALU, compares, selects, conversions, moves
+  Mem,      // loads and stores
+  Control,  // branches, calls, returns
+  Other,    // syscalls, pseudos, instrumentation
+};
+
+struct MOpInfo {
+  const char* name;
+  std::uint8_t numDefs;    // leading register-operand definitions
+  bool defsFlags;          // implicitly writes the flags register
+  bool usesFlags;
+  bool defsSP;             // implicitly writes the stack pointer
+  InstrClass klass;
+};
+
+const MOpInfo& opInfo(MOp op) noexcept;
+
+}  // namespace refine::backend

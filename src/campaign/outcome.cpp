@@ -1,0 +1,20 @@
+#include "campaign/outcome.h"
+
+namespace refine::campaign {
+
+const char* outcomeName(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::Crash: return "crash";
+    case Outcome::SOC: return "soc";
+    case Outcome::Benign: return "benign";
+  }
+  return "?";
+}
+
+Outcome classify(const vm::ExecResult& result, const std::string& golden) {
+  if (result.trapped || result.exitCode != 0) return Outcome::Crash;
+  if (result.output != golden) return Outcome::SOC;
+  return Outcome::Benign;
+}
+
+}  // namespace refine::campaign

@@ -1,0 +1,24 @@
+// Outcome classification of fault-injection experiments (paper Sec. 4.3.2).
+//
+//   Crash  — non-zero exit code, an architectural trap, or exceeding the
+//            timeout (10x the profiled execution, expressed as a dynamic
+//            instruction budget; see DESIGN.md).
+//   SOC    — Silent Output Corruption: the run completes but its output
+//            differs from the golden (fault-free) output.
+//   Benign — completes with output identical to the golden run.
+#pragma once
+
+#include <string>
+
+#include "vm/machine.h"
+
+namespace refine::campaign {
+
+enum class Outcome : unsigned char { Crash, SOC, Benign };
+
+const char* outcomeName(Outcome o) noexcept;
+
+/// Classifies one execution against the golden output.
+Outcome classify(const vm::ExecResult& result, const std::string& golden);
+
+}  // namespace refine::campaign

@@ -1,0 +1,48 @@
+#include "campaign/paperdata.h"
+
+#include "support/check.h"
+
+namespace refine::campaign {
+
+const std::vector<PaperRow>& paperTable6() {
+  static const std::vector<PaperRow> table = {
+      //  app          LLFI {c, s, b}    REFINE {c, s, b}   PINFI {c, s, b}
+      {"AMG2013", {395, 168, 505}, {254, 87, 727}, {269, 70, 729}},
+      {"CoMD", {372, 117, 579}, {136, 55, 877}, {175, 59, 834}},
+      {"HPCCG-1.0", {320, 195, 553}, {159, 68, 841}, {162, 77, 829}},
+      {"XSBench", {55, 355, 658}, {179, 194, 695}, {188, 203, 677}},
+      {"miniFE", {420, 327, 321}, {186, 177, 705}, {215, 162, 691}},
+      {"lulesh", {21, 4, 1043}, {76, 2, 990}, {76, 4, 988}},
+      {"BT", {224, 543, 301}, {20, 347, 701}, {15, 363, 690}},
+      {"CG", {352, 0, 716}, {201, 0, 867}, {175, 0, 893}},
+      {"DC", {495, 298, 275}, {310, 154, 604}, {347, 155, 566}},
+      {"EP", {181, 470, 417}, {44, 335, 689}, {31, 341, 696}},
+      {"FT", {386, 70, 612}, {104, 51, 913}, {96, 51, 921}},
+      {"LU", {238, 528, 302}, {18, 386, 664}, {17, 436, 615}},
+      {"SP", {268, 800, 0}, {45, 612, 411}, {42, 626, 400}},
+      {"UA", {792, 136, 140}, {98, 237, 733}, {105, 242, 721}},
+  };
+  return table;
+}
+
+double paperRefineVsPinfiP(const std::string& app) {
+  // Table 5 of the paper (REFINE vs PINFI block).
+  struct Entry {
+    const char* app;
+    double p;
+  };
+  static const Entry entries[] = {
+      {"AMG2013", 0.40}, {"CoMD", 0.08},   {"HPCCG-1.0", 0.81},
+      {"XSBench", 0.69}, {"miniFE", 0.14}, {"lulesh", 0.60},
+      {"BT", 0.26},      {"CG", 0.06},     {"DC", 0.13},
+      {"EP", 0.55},      {"FT", 0.92},     {"LU", 0.21},
+      {"SP", 0.92},      {"UA", 0.83},
+  };
+  for (const auto& e : entries) {
+    if (app == e.app) return e.p;
+  }
+  RF_CHECK(false, "unknown app in paper Table 5: " + app);
+  return 0;
+}
+
+}  // namespace refine::campaign

@@ -1,0 +1,30 @@
+// The paper's published measurements (Table 6: complete outcome frequencies
+// for all 14 benchmarks under LLFI, REFINE and PINFI, 1068 trials each).
+//
+// Used (a) to validate our chi-squared implementation against the paper's
+// Table 5 verdicts, and (b) by EXPERIMENTS.md tooling to print
+// paper-vs-measured comparisons.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace refine::campaign {
+
+struct PaperRow {
+  const char* app;
+  // counts per tool: {crash, soc, benign}
+  std::uint64_t llfi[3];
+  std::uint64_t refine[3];
+  std::uint64_t pinfi[3];
+};
+
+/// Table 6 of the paper, verbatim.
+const std::vector<PaperRow>& paperTable6();
+
+/// Table 5 p-values of the paper for REFINE vs PINFI, keyed by app name.
+/// (LLFI vs PINFI p-values are all ~0.)
+double paperRefineVsPinfiP(const std::string& app);
+
+}  // namespace refine::campaign

@@ -1,0 +1,105 @@
+#include "campaign/report.h"
+
+#include <sstream>
+
+#include "stats/samplesize.h"
+#include "support/csv.h"
+#include "support/strings.h"
+
+namespace refine::campaign {
+
+namespace {
+double pct(std::uint64_t part, std::uint64_t total) {
+  return total == 0 ? 0.0
+                    : 100.0 * static_cast<double>(part) /
+                          static_cast<double>(total);
+}
+}  // namespace
+
+std::string figure4Row(const CampaignResult& result) {
+  const std::uint64_t n = result.counts.total();
+  std::string out = strf("%-10s %-7s", result.app.c_str(), toolName(result.tool));
+  const std::uint64_t parts[3] = {result.counts.crash, result.counts.soc,
+                                  result.counts.benign};
+  const char* names[3] = {"crash", "soc", "benign"};
+  for (int i = 0; i < 3; ++i) {
+    const double p = pct(parts[i], n);
+    const double half =
+        100.0 * stats::proportionHalfWidth(p / 100.0, n, 0.95);
+    out += strf("  %s=%5.1f%%±%.1f", names[i], p, half);
+  }
+  return out;
+}
+
+std::string table6Block(const std::string& app,
+                        const std::vector<CampaignResult>& perTool) {
+  std::ostringstream os;
+  os << app << '\n';
+  for (const auto& result : perTool) {
+    os << strf("  %-7s %5llu %5llu %5llu\n", toolName(result.tool),
+               static_cast<unsigned long long>(result.counts.crash),
+               static_cast<unsigned long long>(result.counts.soc),
+               static_cast<unsigned long long>(result.counts.benign));
+  }
+  return os.str();
+}
+
+std::string contingencyTable(const CampaignResult& a, const CampaignResult& b) {
+  std::ostringstream os;
+  os << strf("%-8s %7s %7s %7s %7s\n", "Tool", "Crash", "SOC", "Benign", "Total");
+  for (const CampaignResult* r : {&a, &b}) {
+    os << strf("%-8s %7llu %7llu %7llu %7llu\n", toolName(r->tool),
+               static_cast<unsigned long long>(r->counts.crash),
+               static_cast<unsigned long long>(r->counts.soc),
+               static_cast<unsigned long long>(r->counts.benign),
+               static_cast<unsigned long long>(r->counts.total()));
+  }
+  os << strf("%-8s %7llu %7llu %7llu\n", "Total",
+             static_cast<unsigned long long>(a.counts.crash + b.counts.crash),
+             static_cast<unsigned long long>(a.counts.soc + b.counts.soc),
+             static_cast<unsigned long long>(a.counts.benign + b.counts.benign));
+  return os.str();
+}
+
+stats::ChiSquaredResult compareTools(const CampaignResult& a,
+                                     const CampaignResult& b) {
+  return stats::chiSquaredTest({a.counts.asVector(), b.counts.asVector()});
+}
+
+std::string table5Line(const CampaignResult& base,
+                       const CampaignResult& comparison, double alpha) {
+  const auto test = compareTools(base, comparison);
+  const bool different = test.valid && test.pValue < alpha;
+  return strf("%-10s  %-7s vs %-7s  p=%6.4f  signif.diff=%s",
+              base.app.c_str(), toolName(comparison.tool), toolName(base.tool),
+              test.pValue, different ? "yes" : "no");
+}
+
+std::string figure5Line(const CampaignResult& tool,
+                        const CampaignResult& baseline) {
+  const double ratio = baseline.totalTrialSeconds <= 0.0
+                           ? 0.0
+                           : tool.totalTrialSeconds / baseline.totalTrialSeconds;
+  return strf("%-10s %-7s %8.2fs  %.2fx of %s", tool.app.c_str(),
+              toolName(tool.tool), tool.totalTrialSeconds, ratio,
+              toolName(baseline.tool));
+}
+
+std::string resultsCsv(const std::vector<CampaignResult>& results) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.writeRow({"app", "tool", "trials", "crash", "soc", "benign",
+                "dynamic_targets", "profile_instrs", "binary_size",
+                "total_trial_seconds"});
+  for (const auto& r : results) {
+    csv.writeRow({r.app, toolName(r.tool), std::to_string(r.counts.total()),
+                  std::to_string(r.counts.crash), std::to_string(r.counts.soc),
+                  std::to_string(r.counts.benign),
+                  std::to_string(r.dynamicTargets),
+                  std::to_string(r.profileInstrs), std::to_string(r.binarySize),
+                  strf("%.3f", r.totalTrialSeconds)});
+  }
+  return os.str();
+}
+
+}  // namespace refine::campaign

@@ -1,0 +1,38 @@
+// Report formatting: reproduces the layouts of the paper's Figure 4 /
+// Table 4 / Table 5 / Table 6 / Figure 5 from measured campaign results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/runner.h"
+#include "stats/chisq.h"
+
+namespace refine::campaign {
+
+/// Figure 4 row: per-outcome percentages with 95% CI half-widths.
+std::string figure4Row(const CampaignResult& result);
+
+/// Table 6 block: raw counts for one application across tools.
+std::string table6Block(const std::string& app,
+                        const std::vector<CampaignResult>& perTool);
+
+/// Table 4-style contingency table for two tools.
+std::string contingencyTable(const CampaignResult& a, const CampaignResult& b);
+
+/// Chi-squared comparison of two tools' outcome counts (Table 5 semantics).
+stats::ChiSquaredResult compareTools(const CampaignResult& a,
+                                     const CampaignResult& b);
+
+/// Table 5 line: "base vs comparison: p-value, verdict".
+std::string table5Line(const CampaignResult& base,
+                       const CampaignResult& comparison, double alpha = 0.05);
+
+/// Figure 5 line: execution time of `tool` normalized to `baseline`.
+std::string figure5Line(const CampaignResult& tool,
+                        const CampaignResult& baseline);
+
+/// CSV rows (header + one line per result).
+std::string resultsCsv(const std::vector<CampaignResult>& results);
+
+}  // namespace refine::campaign

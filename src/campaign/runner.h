@@ -1,0 +1,50 @@
+// Campaign runner: N single-fault experiments per (application, tool),
+// executed across a thread pool with per-trial derived seeds so results are
+// bit-reproducible regardless of scheduling (this 24-core box plays the role
+// of the paper's cluster, Sec. A.4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/outcome.h"
+#include "campaign/tools.h"
+
+namespace refine::campaign {
+
+struct CampaignConfig {
+  std::uint64_t trials = 1068;  // paper: <= 3% margin at 95% confidence
+  unsigned threads = 0;         // 0 = hardware concurrency
+  std::uint64_t baseSeed = 0x5EEDBA5EULL;
+  double timeoutFactor = 10.0;  // paper Sec. 4.3.2
+};
+
+struct OutcomeCounts {
+  std::uint64_t crash = 0;
+  std::uint64_t soc = 0;
+  std::uint64_t benign = 0;
+
+  std::uint64_t total() const noexcept { return crash + soc + benign; }
+  std::vector<std::uint64_t> asVector() const { return {crash, soc, benign}; }
+};
+
+struct CampaignResult {
+  std::string app;
+  Tool tool = Tool::REFINE;
+  OutcomeCounts counts;
+  /// Sum of per-trial execution times: the sequential-equivalent campaign
+  /// time the paper's Figure 5 reports.
+  double totalTrialSeconds = 0.0;
+  std::uint64_t dynamicTargets = 0;
+  std::uint64_t profileInstrs = 0;
+  std::uint64_t binarySize = 0;
+  /// Per-trial outcome (index = trial).
+  std::vector<Outcome> outcomes;
+};
+
+/// Runs the campaign. The instance must already be constructed (compiled);
+/// profiling happens here if not already done.
+CampaignResult runCampaign(ToolInstance& instance, Tool tool,
+                           const std::string& app, const CampaignConfig& config);
+
+}  // namespace refine::campaign

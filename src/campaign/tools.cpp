@@ -1,0 +1,200 @@
+#include "campaign/tools.h"
+
+#include "backend/compile.h"
+#include "fi/llfi_pass.h"
+#include "fi/pinfi.h"
+#include "fi/refine_pass.h"
+#include "frontend/compile.h"
+#include "opt/passes.h"
+#include "support/check.h"
+
+namespace refine::campaign {
+
+const char* toolName(Tool t) noexcept {
+  switch (t) {
+    case Tool::LLFI: return "LLFI";
+    case Tool::REFINE: return "REFINE";
+    case Tool::PINFI: return "PINFI";
+  }
+  return "?";
+}
+
+const ToolInstance::Profile& ToolInstance::profile() {
+  if (!cached_.has_value()) {
+    cached_ = doProfile();
+    RF_CHECK(cached_->dynamicTargets > 0,
+             "profiling found no dynamic fault targets");
+  }
+  return *cached_;
+}
+
+namespace {
+
+std::unique_ptr<ir::Module> frontendAndOpt(std::string_view source) {
+  auto module = fe::compileToIR(source);
+  opt::optimize(*module, opt::OptLevel::O2);
+  return module;
+}
+
+// ---------------------------------------------------------------------------
+// REFINE
+// ---------------------------------------------------------------------------
+
+class RefineInstance final : public ToolInstance {
+ public:
+  RefineInstance(std::string_view source, const fi::FiConfig& config)
+      : module_(frontendAndOpt(source)),
+        compiled_(fi::compileWithRefine(*module_, config)) {
+    RF_CHECK(compiled_.staticSites > 0, "REFINE instrumented nothing");
+  }
+
+  Trial runTrial(std::uint64_t targetIndex, std::uint64_t seed,
+                 std::uint64_t budget) const override {
+    auto library =
+        fi::FaultInjectionLibrary::injecting(&compiled_.sites, targetIndex, seed);
+    vm::Machine machine(compiled_.program);
+    machine.setFiRuntime(&library);
+    Trial trial;
+    trial.exec = machine.run(budget);
+    trial.fault = library.fault();
+    return trial;
+  }
+
+  std::uint64_t binarySize() const override {
+    return compiled_.program.code.size();
+  }
+
+ protected:
+  Profile doProfile() override {
+    auto library = fi::FaultInjectionLibrary::profiling(&compiled_.sites);
+    vm::Machine machine(compiled_.program);
+    machine.setFiRuntime(&library);
+    const auto result = machine.run(kProfileBudget);
+    RF_CHECK(!result.trapped, "golden run of REFINE binary trapped");
+    Profile profile;
+    profile.goldenOutput = result.output;
+    profile.dynamicTargets = library.dynamicCount();
+    profile.instrCount = result.instrCount;
+    return profile;
+  }
+
+ private:
+  std::unique_ptr<ir::Module> module_;
+  fi::RefineCompileResult compiled_;
+};
+
+// ---------------------------------------------------------------------------
+// PINFI
+// ---------------------------------------------------------------------------
+
+class PinfiInstance final : public ToolInstance {
+ public:
+  PinfiInstance(std::string_view source, const fi::FiConfig& config)
+      : module_(frontendAndOpt(source)),
+        compiled_(backend::compileBackend(*module_)),
+        engine_(compiled_.program, config) {
+    RF_CHECK(engine_.staticTargets() > 0, "PINFI found no targets");
+  }
+
+  Trial runTrial(std::uint64_t targetIndex, std::uint64_t seed,
+                 std::uint64_t budget) const override {
+    auto run = engine_.inject(targetIndex, seed, budget);
+    Trial trial;
+    trial.exec = std::move(run.exec);
+    trial.fault = std::move(run.fault);
+    return trial;
+  }
+
+  std::uint64_t binarySize() const override {
+    return compiled_.program.code.size();
+  }
+
+ protected:
+  Profile doProfile() override {
+    const auto run = engine_.profile(kProfileBudget);
+    RF_CHECK(!run.exec.trapped, "golden run of PINFI binary trapped");
+    Profile profile;
+    profile.goldenOutput = run.exec.output;
+    profile.dynamicTargets = run.dynamicTargets;
+    profile.instrCount = run.exec.instrCount;
+    return profile;
+  }
+
+ private:
+  std::unique_ptr<ir::Module> module_;
+  backend::CodegenResult compiled_;
+  fi::Pinfi engine_;
+};
+
+// ---------------------------------------------------------------------------
+// LLFI
+// ---------------------------------------------------------------------------
+
+class LlfiInstance final : public ToolInstance {
+ public:
+  LlfiInstance(std::string_view source, const fi::FiConfig& config)
+      : module_(frontendAndOpt(source)) {
+    info_ = fi::applyLlfiPass(*module_, config);
+    RF_CHECK(info_.staticTargets > 0, "LLFI instrumented nothing");
+    compiled_ = backend::compileBackend(*module_);
+  }
+
+  Trial runTrial(std::uint64_t targetIndex, std::uint64_t seed,
+                 std::uint64_t budget) const override {
+    Rng rng(seed);
+    // The IR value width is 64 for i64/f64 (i1 injectors reduce any bit to
+    // their single bit); uniform over 64 matches the fault model per value.
+    const auto bit = static_cast<unsigned>(rng.nextBelow(64));
+    vm::Machine machine(compiled_.program);
+    machine.pokeGlobal(info_.targetAddr, targetIndex);
+    machine.pokeGlobal(info_.bitAddr, bit);
+    Trial trial;
+    trial.exec = machine.run(budget);
+    fi::FaultRecord record;
+    record.dynamicIndex = targetIndex;
+    record.function = "<ir>";  // LLFI logs IR positions, not machine sites
+    record.bit = bit;
+    record.mask = 1ULL << bit;
+    trial.fault = std::move(record);
+    return trial;
+  }
+
+  std::uint64_t binarySize() const override {
+    return compiled_.program.code.size();
+  }
+
+ protected:
+  Profile doProfile() override {
+    vm::Machine machine(compiled_.program);
+    machine.pokeGlobal(info_.targetAddr, 0);  // counter never matches
+    const auto result = machine.run(kProfileBudget);
+    RF_CHECK(!result.trapped, "golden run of LLFI binary trapped");
+    Profile profile;
+    profile.goldenOutput = result.output;
+    profile.instrCount = result.instrCount;
+    // The guest runtime accumulated its dynamic count in @__llfi_counter
+    // (the paper's profiling destructor writes this to a file).
+    profile.dynamicTargets = machine.peekGlobal(info_.counterAddr);
+    return profile;
+  }
+
+ private:
+  std::unique_ptr<ir::Module> module_;
+  fi::LlfiInstrumentation info_;
+  backend::CodegenResult compiled_;
+};
+
+}  // namespace
+
+std::unique_ptr<ToolInstance> makeToolInstance(Tool tool,
+                                               std::string_view source,
+                                               const fi::FiConfig& config) {
+  switch (tool) {
+    case Tool::REFINE: return std::make_unique<RefineInstance>(source, config);
+    case Tool::PINFI: return std::make_unique<PinfiInstance>(source, config);
+    case Tool::LLFI: return std::make_unique<LlfiInstance>(source, config);
+  }
+  RF_UNREACHABLE("bad tool");
+}
+
+}  // namespace refine::campaign

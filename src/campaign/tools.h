@@ -1,0 +1,64 @@
+// Tool drivers: one uniform interface over the three fault injectors, so a
+// campaign can treat LLFI, REFINE and PINFI identically (compile once,
+// profile once, then run many single-fault trials).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "fi/config.h"
+#include "fi/library.h"
+#include "vm/machine.h"
+
+namespace refine::campaign {
+
+enum class Tool : unsigned char { LLFI, REFINE, PINFI };
+
+const char* toolName(Tool t) noexcept;
+
+class ToolInstance {
+ public:
+  virtual ~ToolInstance() = default;
+
+  /// Results of the one-time profiling run (paper Fig. 3a).
+  struct Profile {
+    std::string goldenOutput;
+    std::uint64_t dynamicTargets = 0;  // tool-visible fault population
+    std::uint64_t instrCount = 0;      // total executed instructions
+  };
+
+  /// Profiles on first call; cached afterwards.
+  const Profile& profile();
+
+  struct Trial {
+    vm::ExecResult exec;
+    std::optional<fi::FaultRecord> fault;
+  };
+
+  /// One single-fault experiment: inject at the `targetIndex`-th (1-based)
+  /// dynamic target; operand/bit selection derives from `seed`. Thread-safe.
+  virtual Trial runTrial(std::uint64_t targetIndex, std::uint64_t seed,
+                         std::uint64_t budget) const = 0;
+
+  /// Number of machine instructions in the tool's binary (for reporting).
+  virtual std::uint64_t binarySize() const = 0;
+
+ protected:
+  virtual Profile doProfile() = 0;
+
+ private:
+  std::optional<Profile> cached_;
+};
+
+/// Compiles `source` (MiniC) under the given tool: frontend -> -O2 optimizer
+/// -> tool-specific instrumentation -> backend. Throws on compile errors.
+std::unique_ptr<ToolInstance> makeToolInstance(Tool tool,
+                                               std::string_view source,
+                                               const fi::FiConfig& config);
+
+/// Budget for profiling runs (fault-free executions are far below this).
+constexpr std::uint64_t kProfileBudget = 4'000'000'000ULL;
+
+}  // namespace refine::campaign

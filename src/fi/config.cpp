@@ -1,0 +1,69 @@
+#include "fi/config.h"
+
+#include "support/check.h"
+#include "support/strings.h"
+
+namespace refine::fi {
+
+const char* instrSelName(InstrSel s) noexcept {
+  switch (s) {
+    case InstrSel::Stack: return "stack";
+    case InstrSel::Arith: return "arithm";
+    case InstrSel::Mem: return "mem";
+    case InstrSel::All: return "all";
+  }
+  return "?";
+}
+
+bool FiConfig::matchesFunction(std::string_view name) const {
+  for (const auto& pattern : funcPatterns) {
+    if (globMatch(pattern, name)) return true;
+  }
+  return false;
+}
+
+FiConfig FiConfig::allOn() {
+  FiConfig config;
+  config.enabled = true;
+  return config;
+}
+
+FiConfig FiConfig::parseFlags(std::string_view flags) {
+  FiConfig config;
+  for (const auto& rawToken : split(flags, ' ')) {
+    const std::string token{trim(rawToken)};
+    if (token.empty() || token == "-mllvm") continue;  // driver noise
+    const auto eq = token.find('=');
+    RF_CHECK(eq != std::string::npos, "malformed FI flag (expected key=value): " + token);
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "-fi") {
+      RF_CHECK(value == "true" || value == "false", "-fi expects true|false");
+      config.enabled = value == "true";
+    } else if (key == "-fi-funcs") {
+      config.funcPatterns.clear();
+      for (const auto& f : split(value, ',')) {
+        const auto trimmed = trim(f);
+        if (!trimmed.empty()) config.funcPatterns.emplace_back(trimmed);
+      }
+      RF_CHECK(!config.funcPatterns.empty(), "-fi-funcs needs at least one pattern");
+    } else if (key == "-fi-instrs") {
+      if (value == "stack") {
+        config.instrs = InstrSel::Stack;
+      } else if (value == "arithm") {
+        config.instrs = InstrSel::Arith;
+      } else if (value == "mem") {
+        config.instrs = InstrSel::Mem;
+      } else if (value == "all") {
+        config.instrs = InstrSel::All;
+      } else {
+        RF_CHECK(false, "-fi-instrs expects stack|arithm|mem|all, got " + value);
+      }
+    } else {
+      RF_CHECK(false, "unknown FI flag: " + key);
+    }
+  }
+  return config;
+}
+
+}  // namespace refine::fi

@@ -1,0 +1,40 @@
+// Fault-injection configuration: the compiler-flags interface of Table 2.
+//
+//   -fi=true|false            enable/disable FI (default false)
+//   -fi-funcs=<list>          comma-separated function names or '*' globs
+//   -fi-instrs=stack|arithm|mem|all
+//
+// The same configuration object steers all three injectors so their target
+// populations differ only by what each technique can *see*, never by
+// configuration skew.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace refine::fi {
+
+enum class InstrSel : std::uint8_t { Stack, Arith, Mem, All };
+
+const char* instrSelName(InstrSel s) noexcept;
+
+struct FiConfig {
+  bool enabled = false;
+  std::vector<std::string> funcPatterns = {"*"};
+  InstrSel instrs = InstrSel::All;
+
+  /// True when `name` matches any -fi-funcs pattern.
+  bool matchesFunction(std::string_view name) const;
+
+  /// Parses a flag string, e.g. "-fi=true -fi-funcs=* -fi-instrs=all"
+  /// (the exact option string used in the paper's Sec. 4.4).
+  /// Throws CheckError on malformed input.
+  static FiConfig parseFlags(std::string_view flags);
+
+  /// Convenience: everything enabled (the evaluation setting).
+  static FiConfig allOn();
+};
+
+}  // namespace refine::fi

@@ -1,0 +1,79 @@
+#include "fi/library.h"
+
+#include "support/strings.h"
+
+namespace refine::fi {
+
+std::string formatFaultRecord(const FaultRecord& record) {
+  return strf(
+      "fault: dyn=%llu site=%llu func=%s operand=%u kind=%s bit=%u mask=0x%llx",
+      static_cast<unsigned long long>(record.dynamicIndex),
+      static_cast<unsigned long long>(record.siteId), record.function.c_str(),
+      record.operandIndex, fiOperandKindName(record.operandKind), record.bit,
+      static_cast<unsigned long long>(record.mask));
+}
+
+FaultInjectionLibrary::FaultInjectionLibrary(const FiSiteTable* sites,
+                                             FiMode mode,
+                                             std::uint64_t targetIndex,
+                                             std::uint64_t seed)
+    : sites_(sites), mode_(mode), target_(targetIndex), rng_(seed) {
+  RF_CHECK(sites_ != nullptr, "FI library needs a site table");
+  if (mode == FiMode::Inject) {
+    RF_CHECK(target_ > 0, "injection target index is 1-based");
+  }
+}
+
+FaultInjectionLibrary FaultInjectionLibrary::profiling(const FiSiteTable* sites) {
+  return FaultInjectionLibrary(sites, FiMode::Profile, 0, 0);
+}
+
+FaultInjectionLibrary FaultInjectionLibrary::injecting(const FiSiteTable* sites,
+                                                       std::uint64_t targetIndex,
+                                                       std::uint64_t seed) {
+  return FaultInjectionLibrary(sites, FiMode::Inject, targetIndex, seed);
+}
+
+bool FaultInjectionLibrary::selInstr(std::uint64_t siteId) {
+  (void)siteId;
+  ++count_;
+  if (mode_ == FiMode::Profile) return false;
+  return count_ == target_ && !fault_.has_value();
+}
+
+std::pair<std::uint32_t, std::uint64_t> FaultInjectionLibrary::setupFI(
+    std::uint64_t siteId) {
+  RF_CHECK(mode_ == FiMode::Inject, "setupFI called while profiling");
+  RF_CHECK(!fault_.has_value(), "setupFI called twice");
+  const FiSite& site = sites_->site(siteId);
+  RF_CHECK(!site.operands.empty(), "FI site with no operands");
+
+  // Fault model (paper Sec. 3.1): uniform over output operands, then uniform
+  // over the bits of the chosen operand.
+  const auto operandIndex =
+      static_cast<std::uint32_t>(rng_.nextBelow(site.operands.size()));
+  const FiOperand& operand = site.operands[operandIndex];
+  const auto bit = static_cast<unsigned>(rng_.nextBelow(operand.bits));
+
+  FaultRecord record;
+  record.dynamicIndex = count_;
+  record.siteId = siteId;
+  record.function = site.function;
+  record.operandIndex = operandIndex;
+  record.operandKind = operand.kind;
+  record.bit = bit;
+  record.mask = 1ULL << bit;
+  fault_ = std::move(record);
+  return {operandIndex, 1ULL << bit};
+}
+
+void FaultInjectionLibrary::writeCountFile(const std::string& path) const {
+  writeFile(path, strf("%llu\n", static_cast<unsigned long long>(count_)));
+}
+
+std::uint64_t FaultInjectionLibrary::readCountFile(const std::string& path) {
+  const std::string content = readFile(path);
+  return std::strtoull(content.c_str(), nullptr, 10);
+}
+
+}  // namespace refine::fi

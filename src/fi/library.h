@@ -1,0 +1,81 @@
+// The fault-injection control library (paper Sec. 4.2.4 and Fig. 3).
+//
+// REFINE-instrumented binaries call into this library at runtime:
+//   selInstr()  — after every instrumented instruction; counts dynamic
+//                 target instructions and decides whether to trigger.
+//   setupFI()   — once, at the trigger: picks the output operand and bit
+//                 (uniformly, per the fault model) and returns the XOR mask.
+//
+// Two modes mirror the paper's workflow:
+//   Profile — count dynamic targets, never trigger; the count and the golden
+//             output feed later injection runs.
+//   Inject  — trigger at a pre-drawn dynamic target index and log the fault.
+//
+// Counts can be persisted to and re-read from files, matching the paper's
+// profiling artifacts; campaigns keep them in memory for speed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "fi/sites.h"
+#include "support/rng.h"
+#include "vm/machine.h"
+
+namespace refine::fi {
+
+enum class FiMode : std::uint8_t { Profile, Inject };
+
+/// Everything known about one injected fault (the paper's fault log entry).
+struct FaultRecord {
+  std::uint64_t dynamicIndex = 0;   // which dynamic target triggered (1-based)
+  std::uint64_t siteId = 0;         // static site id
+  std::string function;             // enclosing function
+  std::uint32_t operandIndex = 0;   // which output operand
+  FiOperand::Kind operandKind = FiOperand::Kind::GprDest;
+  unsigned bit = 0;                 // flipped bit
+  std::uint64_t mask = 0;           // XOR mask applied
+};
+
+/// Renders a fault record as a single log line.
+std::string formatFaultRecord(const FaultRecord& record);
+
+class FaultInjectionLibrary final : public vm::FiRuntime {
+ public:
+  /// Profile-mode library: counts and never triggers.
+  static FaultInjectionLibrary profiling(const FiSiteTable* sites);
+
+  /// Inject-mode library triggering at dynamic target `targetIndex`
+  /// (1-based); operand/bit are drawn from `seed` at trigger time.
+  static FaultInjectionLibrary injecting(const FiSiteTable* sites,
+                                         std::uint64_t targetIndex,
+                                         std::uint64_t seed);
+
+  // -- vm::FiRuntime ------------------------------------------------------
+  bool selInstr(std::uint64_t siteId) override;
+  std::pair<std::uint32_t, std::uint64_t> setupFI(std::uint64_t siteId) override;
+
+  // -- Results ---------------------------------------------------------------
+  std::uint64_t dynamicCount() const noexcept { return count_; }
+  bool triggered() const noexcept { return fault_.has_value(); }
+  const std::optional<FaultRecord>& fault() const noexcept { return fault_; }
+
+  // -- Persistence (paper Fig. 3a: the profiling destructor writes the
+  //    dynamic instruction count to a file) ---------------------------------
+  void writeCountFile(const std::string& path) const;
+  static std::uint64_t readCountFile(const std::string& path);
+
+ private:
+  FaultInjectionLibrary(const FiSiteTable* sites, FiMode mode,
+                        std::uint64_t targetIndex, std::uint64_t seed);
+
+  const FiSiteTable* sites_;
+  FiMode mode_;
+  std::uint64_t count_ = 0;
+  std::uint64_t target_ = 0;
+  Rng rng_;
+  std::optional<FaultRecord> fault_;
+};
+
+}  // namespace refine::fi

@@ -1,0 +1,181 @@
+#include "fi/llfi_pass.h"
+
+#include <unordered_set>
+
+#include "ir/builder.h"
+#include "ir/layout.h"
+#include "ir/verifier.h"
+
+namespace refine::fi {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instruction;
+using ir::IRBuilder;
+using ir::Module;
+using ir::Opcode;
+using ir::Type;
+
+/// True when `inst` is an LLFI injection target under `config` — a
+/// value-producing computation visible at IR level.
+bool isLlfiTarget(const Instruction& inst, const FiConfig& config) {
+  if (!inst.producesValue()) return false;
+  const Opcode op = inst.opcode();
+  // Never: control, memory addresses, stack slots, phis (no insertion point
+  // before other phis), and pointer-typed values (no integer bit flip).
+  switch (op) {
+    case Opcode::Phi:
+    case Opcode::Alloca:
+    case Opcode::Gep:
+      return false;
+    default:
+      break;
+  }
+  if (inst.type() == Type::Ptr) return false;
+
+  const bool isArith = ir::isIntBinary(op) || ir::isFloatBinary(op) ||
+                       op == Opcode::FAbs || op == Opcode::FSqrt ||
+                       op == Opcode::ICmp || op == Opcode::FCmp ||
+                       op == Opcode::Select || op == Opcode::ZExt ||
+                       op == Opcode::SIToFP || op == Opcode::FPToSI ||
+                       op == Opcode::BitcastI2F || op == Opcode::BitcastF2I;
+  const bool isMem = op == Opcode::Load;
+  const bool isCall = op == Opcode::Call;
+
+  switch (config.instrs) {
+    case InstrSel::Stack:
+      return false;  // stack instructions do not exist at IR level
+    case InstrSel::Arith:
+      return isArith;
+    case InstrSel::Mem:
+      return isMem;
+    case InstrSel::All:
+      return isArith || isMem || isCall;
+  }
+  return false;
+}
+
+/// Builds the guest runtime: control globals and one inject function per
+/// value type. Returns the inject functions keyed by type.
+struct GuestRuntime {
+  ir::GlobalVar* counter = nullptr;
+  ir::GlobalVar* target = nullptr;
+  ir::GlobalVar* bit = nullptr;
+  Function* injectI64 = nullptr;
+  Function* injectF64 = nullptr;
+  Function* injectI1 = nullptr;
+
+  Function* forType(Type t) const {
+    switch (t) {
+      case Type::I64: return injectI64;
+      case Type::F64: return injectF64;
+      case Type::I1: return injectI1;
+      default: RF_UNREACHABLE("no LLFI inject function for this type");
+    }
+  }
+};
+
+GuestRuntime buildGuestRuntime(Module& m) {
+  GuestRuntime rt;
+  rt.counter = m.addGlobal("__llfi_counter", Type::I64, 1);
+  rt.target = m.addGlobal("__llfi_target", Type::I64, 1);
+  rt.bit = m.addGlobal("__llfi_bit", Type::I64, 1);
+
+  auto buildInject = [&](const std::string& name, Type valueType) {
+    Function* f = m.addFunction(name, valueType, ir::FunctionKind::Defined);
+    f->addParam(Type::I64, "id");
+    ir::Argument* val = f->addParam(valueType, "val");
+    BasicBlock* entry = f->addBlock("entry");
+    BasicBlock* flip = f->addBlock("flip");
+    BasicBlock* out = f->addBlock("out");
+    IRBuilder b(m);
+    b.setInsertPoint(entry);
+    ir::Value* c = b.createLoad(Type::I64, rt.counter);
+    ir::Value* c1 = b.createBinary(Opcode::Add, c, m.constI64(1));
+    b.createStore(c1, rt.counter);
+    ir::Value* t = b.createLoad(Type::I64, rt.target);
+    ir::Value* hit = b.createICmp(ir::ICmpPred::EQ, c1, t);
+    b.createCondBr(hit, flip, out);
+
+    b.setInsertPoint(flip);
+    ir::Value* flipped = nullptr;
+    if (valueType == Type::I64) {
+      ir::Value* bitIndex = b.createLoad(Type::I64, rt.bit);
+      ir::Value* mask = b.createBinary(Opcode::Shl, m.constI64(1), bitIndex);
+      flipped = b.createBinary(Opcode::Xor, val, mask);
+    } else if (valueType == Type::F64) {
+      ir::Value* bitIndex = b.createLoad(Type::I64, rt.bit);
+      ir::Value* mask = b.createBinary(Opcode::Shl, m.constI64(1), bitIndex);
+      ir::Value* bits = b.createBitcastF2I(val);
+      ir::Value* xored = b.createBinary(Opcode::Xor, bits, mask);
+      flipped = b.createBitcastI2F(xored);
+    } else {  // i1: the single bit always flips
+      flipped = b.createSelect(val, m.constI1(false), m.constI1(true));
+    }
+    b.createBr(out);
+
+    b.setInsertPoint(out);
+    Instruction* phi = b.createPhi(valueType);
+    phi->addPhiIncoming(val, entry);
+    phi->addPhiIncoming(flipped, flip);
+    b.createRet(phi);
+    return f;
+  };
+
+  rt.injectI64 = buildInject("__llfi_inject_i64", Type::I64);
+  rt.injectF64 = buildInject("__llfi_inject_f64", Type::F64);
+  rt.injectI1 = buildInject("__llfi_inject_i1", Type::I1);
+  return rt;
+}
+
+}  // namespace
+
+LlfiInstrumentation applyLlfiPass(Module& module, const FiConfig& config) {
+  LlfiInstrumentation result;
+  if (!config.enabled) return result;
+  const GuestRuntime rt = buildGuestRuntime(module);
+  const std::unordered_set<const Function*> runtimeFns = {
+      rt.injectI64, rt.injectF64, rt.injectI1};
+
+  for (const auto& fn : module.functions()) {
+    if (fn->isExternal()) continue;
+    if (runtimeFns.contains(fn.get())) continue;
+    if (!config.matchesFunction(fn->name())) continue;
+    for (const auto& bb : fn->blocks()) {
+      for (std::size_t i = 0; i < bb->size(); ++i) {
+        Instruction* target = bb->instructions()[i].get();
+        if (!isLlfiTarget(*target, config)) continue;
+        // %fi = call @__llfi_inject_<ty>(i64 id, ty %target)
+        auto call = std::make_unique<Instruction>(Opcode::Call, target->type());
+        call->setCallee(rt.forType(target->type()));
+        call->addOperand(module.constI64(
+            static_cast<std::int64_t>(result.staticTargets)));
+        call->addOperand(target);
+        Instruction* callPtr = bb->insertAt(i + 1, std::move(call));
+        // Redirect every other use of the original value to the call.
+        for (const auto& otherBb : fn->blocks()) {
+          for (const auto& user : otherBb->instructions()) {
+            if (user.get() == callPtr) continue;
+            user->replaceUsesOf(target, callPtr);
+          }
+        }
+        ++result.staticTargets;
+        ++i;  // skip the call we just inserted
+      }
+    }
+  }
+
+  ir::verifyOrThrow(module);
+
+  // Control-global addresses in the final data layout (no globals are added
+  // after this pass, so the layout is final).
+  ir::DataLayout layout(module);
+  result.counterAddr = layout.addressOf(rt.counter);
+  result.targetAddr = layout.addressOf(rt.target);
+  result.bitAddr = layout.addressOf(rt.bit);
+  return result;
+}
+
+}  // namespace refine::fi

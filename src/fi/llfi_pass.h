@@ -1,0 +1,54 @@
+// LLFI-style IR-level fault injection (the paper's compiler-based baseline,
+// Sec. 3.3 and 5.2).
+//
+// Replicates the mechanics of LLFI/KULFI/VULFI/FlipIt: after IR optimization
+// but *before* the backend, every value-producing IR instruction of the
+// selected classes gets a call
+//
+//     %fi = call @__llfi_inject_<ty>(i64 id, <ty> %value)
+//
+// appended after it, and all other uses of %value are rewritten to %fi. The
+// injection runtime is synthesized as guest IR (globals + functions) and
+// compiled into the binary, so — unlike REFINE's host-side library — its
+// cost and its interference with code generation are part of the measured
+// system, exactly as with the real LLFI:
+//
+//  * the calls clobber caller-saved registers, forcing long-lived values
+//    into callee-saved registers or spill slots (paper Listing 2's register
+//    spilling), and
+//  * a call lands between every compare and its consumer, killing the
+//    FCMP+FCSEL -> FMAX/FMIN peephole fusion (Listing 2's lost vmaxsd).
+//
+// Known-by-design limitations shared with real IR-level injectors:
+//  * no access to stack management, prologue/epilogue or spill instructions
+//    (-fi-instrs=stack selects nothing);
+//  * faults flip bits of SSA values, never of condition flags or the stack
+//    pointer.
+//
+// Trigger plumbing: the runtime counts executions in the guest global
+// @__llfi_counter and triggers when it equals @__llfi_target, flipping bit
+// @__llfi_bit. The host seeds those globals before each run (the file-based
+// transport of the paper's Fig. 3, minus the file) and reads the counter
+// back after profiling runs.
+#pragma once
+
+#include <cstdint>
+
+#include "fi/config.h"
+#include "ir/ir.h"
+
+namespace refine::fi {
+
+struct LlfiInstrumentation {
+  std::uint64_t staticTargets = 0;  // number of instrumented IR instructions
+  // Addresses of the guest control globals (valid for the final binary).
+  std::uint64_t counterAddr = 0;
+  std::uint64_t targetAddr = 0;
+  std::uint64_t bitAddr = 0;
+};
+
+/// Instruments `module` in place (run this after opt::optimize, before the
+/// backend). The module is re-verified before returning.
+LlfiInstrumentation applyLlfiPass(ir::Module& module, const FiConfig& config);
+
+}  // namespace refine::fi

@@ -1,0 +1,72 @@
+#include "fi/pinfi.h"
+
+namespace refine::fi {
+
+Pinfi::Pinfi(const backend::Program& program, const FiConfig& config)
+    : program_(program) {
+  isTarget_.assign(program.code.size(), 0);
+  for (std::size_t i = 0; i < program.code.size(); ++i) {
+    if (!isFiTarget(program.code[i], config)) continue;
+    if (!config.matchesFunction(program.functionAt(i))) continue;
+    isTarget_[i] = 1;
+    ++staticTargets_;
+  }
+}
+
+Pinfi::RunResult Pinfi::profile(std::uint64_t budget) const {
+  vm::Machine machine(program_);
+  std::uint64_t count = 0;
+  machine.setHook([&](std::uint64_t pc, vm::Machine&) {
+    count += isTarget_[pc];
+  });
+  RunResult result;
+  result.exec = machine.run(budget);
+  result.dynamicTargets = count;
+  return result;
+}
+
+Pinfi::RunResult Pinfi::inject(std::uint64_t targetIndex, std::uint64_t seed,
+                               std::uint64_t budget) const {
+  RF_CHECK(targetIndex > 0, "dynamic target index is 1-based");
+  vm::Machine machine(program_);
+  RunResult result;
+  std::uint64_t count = 0;
+  Rng rng(seed);
+  machine.setHook([&, targetIndex](std::uint64_t pc, vm::Machine& m) {
+    if (isTarget_[pc] == 0) return;
+    if (++count != targetIndex) return;
+    // Inject: uniform output operand, uniform bit — then detach.
+    const auto operands = fiOutputOperands(program_.code[pc]);
+    const auto opIndex = static_cast<std::uint32_t>(rng.nextBelow(operands.size()));
+    const FiOperand& operand = operands[opIndex];
+    const auto bit = static_cast<unsigned>(rng.nextBelow(operand.bits));
+    const std::uint64_t mask = 1ULL << bit;
+    switch (operand.kind) {
+      case FiOperand::Kind::GprDest:
+      case FiOperand::Kind::SP:
+        m.gpr(operand.reg.index) ^= mask;
+        break;
+      case FiOperand::Kind::FprDest:
+        m.fprBits(operand.reg.index) ^= mask;
+        break;
+      case FiOperand::Kind::Flags:
+        m.flags() ^= static_cast<std::uint8_t>(mask);
+        break;
+    }
+    FaultRecord record;
+    record.dynamicIndex = count;
+    record.siteId = pc;
+    record.function = program_.functionAt(pc);
+    record.operandIndex = opIndex;
+    record.operandKind = operand.kind;
+    record.bit = bit;
+    record.mask = mask;
+    result.fault = std::move(record);
+    m.clearHook();  // PINFI detach optimization
+  });
+  result.exec = machine.run(budget);
+  result.dynamicTargets = count;
+  return result;
+}
+
+}  // namespace refine::fi

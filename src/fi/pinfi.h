@@ -1,0 +1,52 @@
+// PINFI: binary-level fault injection via dynamic binary instrumentation
+// (the paper's accuracy baseline, Sec. 5.2).
+//
+// Operates on the *uninstrumented* binary through the VM's per-instruction
+// hook — the analogue of a PIN analysis routine. At "instrumentation time"
+// (construction) it statically classifies every instruction of the program
+// as target / non-target, mirroring PIN trace instrumentation; at run time
+// the hook counts dynamic targets and, on the chosen one, flips one bit in
+// one output operand and then *detaches* — the performance optimization the
+// paper added to PINFI ("removes any instrumentation and detaches from the
+// application once the single fault has been injected").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "backend/program.h"
+#include "fi/config.h"
+#include "fi/library.h"
+#include "vm/machine.h"
+
+namespace refine::fi {
+
+class Pinfi {
+ public:
+  /// "Instrumentation time": classify targets of `program` under `config`.
+  Pinfi(const backend::Program& program, const FiConfig& config);
+
+  /// Number of static target instructions.
+  std::uint64_t staticTargets() const noexcept { return staticTargets_; }
+
+  struct RunResult {
+    vm::ExecResult exec;
+    std::uint64_t dynamicTargets = 0;
+    std::optional<FaultRecord> fault;
+  };
+
+  /// Profiling run: counts dynamic target instructions, never injects.
+  RunResult profile(std::uint64_t budget) const;
+
+  /// Injection run: flips one bit after the `targetIndex`-th (1-based)
+  /// dynamic target instruction, then detaches.
+  RunResult inject(std::uint64_t targetIndex, std::uint64_t seed,
+                   std::uint64_t budget) const;
+
+ private:
+  const backend::Program& program_;
+  std::vector<std::uint8_t> isTarget_;  // per instruction index
+  std::uint64_t staticTargets_ = 0;
+};
+
+}  // namespace refine::fi

@@ -1,0 +1,228 @@
+#include "fi/refine_pass.h"
+
+#include "support/strings.h"
+
+namespace refine::fi {
+
+namespace {
+
+using backend::MachineBasicBlock;
+using backend::MachineFunction;
+using backend::MachineInst;
+using backend::MOp;
+using backend::MOperand;
+using backend::Reg;
+
+/// Stack offsets of the saved state inside the PreFI region:
+/// push r0; push r1; pushf  =>  [sp+0]=flags, [sp+8]=r1, [sp+16]=r0.
+constexpr std::int64_t kSavedFlagsOff = 0;
+constexpr std::int64_t kSavedR1Off = 8;
+constexpr std::int64_t kSavedR0Off = 16;
+
+MachineInst fi(MachineInst inst) {
+  inst.setFIInstrumentation(true);
+  return inst;
+}
+
+class FunctionInstrumenter {
+ public:
+  FunctionInstrumenter(MachineFunction& fn, const FiConfig& config,
+                       FiSiteTable& sites)
+      : fn_(fn), config_(config), sites_(sites) {}
+
+  std::uint64_t run() {
+    std::uint64_t instrumented = 0;
+    // Blocks are appended while iterating; index-based loop is intentional.
+    for (std::size_t bi = 0; bi < fn_.blocks().size(); ++bi) {
+      MachineBasicBlock* bb = fn_.blocks()[bi].get();
+      for (std::size_t i = 0; i < bb->insts().size(); ++i) {
+        if (!isFiTarget(bb->insts()[i], config_)) continue;
+        instrumentAt(bb, i);
+        ++instrumented;
+        // The remainder of this block moved to the continuation block; stop
+        // scanning it (the outer loop visits the continuation next).
+        break;
+      }
+    }
+    return instrumented;
+  }
+
+ private:
+  void instrumentAt(MachineBasicBlock* bb, std::size_t pos) {
+    const MachineInst& target = bb->insts()[pos];
+    const std::uint64_t siteId =
+        sites_.addSite(fn_.name(), fiOutputOperands(target));
+    const auto& operands = sites_.site(siteId).operands;
+
+    // Split: move [pos+1, end) into a continuation block placed right after
+    // bb (emission lays blocks contiguously, so bb falls through into it).
+    MachineBasicBlock* cont =
+        fn_.addBlockAfter(bb, strf("fi.cont.%llu",
+                                   static_cast<unsigned long long>(siteId)));
+    for (std::size_t k = pos + 1; k < bb->insts().size(); ++k) {
+      cont->append(std::move(bb->insts()[k]));
+    }
+    bb->insts().erase(bb->insts().begin() + static_cast<std::ptrdiff_t>(pos + 1),
+                      bb->insts().end());
+
+    // Cold FI region at the end of the function.
+    MachineBasicBlock* pre = fn_.addBlock(
+        strf("fi.pre.%llu", static_cast<unsigned long long>(siteId)));
+    std::vector<MachineBasicBlock*> flipBlocks;
+    for (std::size_t k = 0; k < operands.size(); ++k) {
+      flipBlocks.push_back(fn_.addBlock(
+          strf("fi.op%llu.%zu", static_cast<unsigned long long>(siteId), k)));
+    }
+    MachineBasicBlock* post = fn_.addBlock(
+        strf("fi.post.%llu", static_cast<unsigned long long>(siteId)));
+
+    // Fast path after the target instruction.
+    MachineInst check(MOp::FICHECK);
+    check.add(MOperand::makeImm(static_cast<std::int64_t>(siteId)));
+    check.add(MOperand::makeBlock(pre));
+    bb->append(fi(std::move(check)));
+
+    // PreFI: save state the instrumentation clobbers, then SetupFI.
+    emitPush(pre, MOp::PUSH, backend::gpr(0));
+    emitPush(pre, MOp::PUSH, backend::gpr(1));
+    pre->append(fi(MachineInst(MOp::PUSHF)));
+    MachineInst setup(MOp::SETUPFI);
+    setup.add(MOperand::makeImm(static_cast<std::int64_t>(siteId)));
+    pre->append(fi(std::move(setup)));
+    // Dispatch on the operand index returned in r0.
+    for (std::size_t k = 0; k < operands.size(); ++k) {
+      MachineInst cmp(MOp::CMPri);
+      cmp.add(MOperand::makeReg(backend::gpr(0)))
+          .add(MOperand::makeImm(static_cast<std::int64_t>(k)));
+      pre->append(fi(std::move(cmp)));
+      MachineInst bcc(MOp::BCC);
+      bcc.add(MOperand::makeCond(backend::Cond::EQ))
+          .add(MOperand::makeBlock(flipBlocks[k]));
+      pre->append(fi(std::move(bcc)));
+    }
+    emitBranch(pre, post);  // defensive fallback; setupFI always dispatches
+
+    // FI_k: target-specific bit flip (mask is in r1).
+    for (std::size_t k = 0; k < operands.size(); ++k) {
+      emitFlip(flipBlocks[k], operands[k]);
+      emitBranch(flipBlocks[k], post);
+    }
+
+    // PostFI: restore and resume.
+    post->append(fi(MachineInst(MOp::POPF)));
+    emitPop(post, MOp::POP, backend::gpr(1));
+    emitPop(post, MOp::POP, backend::gpr(0));
+    emitBranch(post, cont);
+  }
+
+  void emitPush(MachineBasicBlock* bb, MOp op, Reg r) {
+    MachineInst inst(op);
+    inst.add(MOperand::makeReg(r));
+    bb->append(fi(std::move(inst)));
+  }
+  void emitPop(MachineBasicBlock* bb, MOp op, Reg r) {
+    MachineInst inst(op);
+    inst.add(MOperand::makeReg(r));
+    bb->append(fi(std::move(inst)));
+  }
+  void emitBranch(MachineBasicBlock* bb, MachineBasicBlock* to) {
+    MachineInst b(MOp::B);
+    b.add(MOperand::makeBlock(to));
+    bb->append(fi(std::move(b)));
+  }
+
+  /// Loads the saved word at [sp + off], XORs it with the mask in r1 and
+  /// stores it back, using r0 as scratch (dead after dispatch).
+  void flipSavedSlot(MachineBasicBlock* bb, std::int64_t off) {
+    MachineInst load(MOp::LDR);
+    load.add(MOperand::makeReg(backend::gpr(0)))
+        .add(MOperand::makeReg(backend::spReg()))
+        .add(MOperand::makeImm(off));
+    bb->append(fi(std::move(load)));
+    emitXor(bb, backend::gpr(0));
+    MachineInst store(MOp::STR);
+    store.add(MOperand::makeReg(backend::gpr(0)))
+        .add(MOperand::makeReg(backend::spReg()))
+        .add(MOperand::makeImm(off));
+    bb->append(fi(std::move(store)));
+  }
+
+  /// XOR reg, reg, r1 (the mask register).
+  void emitXor(MachineBasicBlock* bb, Reg r) {
+    MachineInst x(MOp::XOR);
+    x.add(MOperand::makeReg(r))
+        .add(MOperand::makeReg(r))
+        .add(MOperand::makeReg(backend::gpr(1)));
+    bb->append(fi(std::move(x)));
+  }
+
+  void emitFlip(MachineBasicBlock* bb, const FiOperand& operand) {
+    switch (operand.kind) {
+      case FiOperand::Kind::GprDest: {
+        const std::uint32_t idx = operand.reg.index;
+        if (idx == 0) {
+          flipSavedSlot(bb, kSavedR0Off);   // live r0 is on the stack
+        } else if (idx == 1) {
+          flipSavedSlot(bb, kSavedR1Off);   // live r1 is on the stack
+        } else {
+          emitXor(bb, operand.reg);
+        }
+        break;
+      }
+      case FiOperand::Kind::FprDest: {
+        // Target-specific FP flip: move bits to r0, XOR, move back.
+        MachineInst toInt(MOp::IBITF);
+        toInt.add(MOperand::makeReg(backend::gpr(0)))
+            .add(MOperand::makeReg(operand.reg));
+        bb->append(fi(std::move(toInt)));
+        emitXor(bb, backend::gpr(0));
+        MachineInst toFp(MOp::FBITI);
+        toFp.add(MOperand::makeReg(operand.reg))
+            .add(MOperand::makeReg(backend::gpr(0)));
+        bb->append(fi(std::move(toFp)));
+        break;
+      }
+      case FiOperand::Kind::SP:
+        // Flip the live stack pointer: the restore sequence then operates on
+        // the corrupted sp, exactly as a real sp fault would unfold.
+        emitXor(bb, backend::spReg());
+        break;
+      case FiOperand::Kind::Flags:
+        flipSavedSlot(bb, kSavedFlagsOff);  // POPF reloads the flipped value
+        break;
+    }
+  }
+
+  MachineFunction& fn_;
+  const FiConfig& config_;
+  FiSiteTable& sites_;
+};
+
+}  // namespace
+
+RefineInstrumentation applyRefinePass(backend::MachineModule& module,
+                                      const FiConfig& config) {
+  RefineInstrumentation result;
+  if (!config.enabled) return result;
+  for (const auto& fn : module.functions()) {
+    if (!config.matchesFunction(fn->name())) continue;
+    FunctionInstrumenter instr(*fn, config, result.sites);
+    result.staticSites += instr.run();
+  }
+  return result;
+}
+
+RefineCompileResult compileWithRefine(const ir::Module& module,
+                                      const FiConfig& config) {
+  RefineCompileResult result;
+  auto codegen = backend::compileBackend(
+      module, [&](backend::MachineModule& mm) {
+        RefineInstrumentation inst = applyRefinePass(mm, config);
+        result.sites = std::move(inst.sites);
+        result.staticSites = inst.staticSites;
+      });
+  result.program = std::move(codegen.program);
+  return result;
+}
+
+}  // namespace refine::fi

@@ -1,0 +1,63 @@
+// REFINE: fault injection as a compiler *backend* pass (paper Sec. 4).
+//
+// Runs on the final machine instructions — after instruction selection,
+// peephole optimization, register allocation, pseudo expansion and frame
+// lowering, right before code emission (the hook point in
+// backend::compileBackend). Consequences, exactly as the paper argues:
+//
+//  * Full visibility: prologue/epilogue pushes, spill loads/stores, stack
+//    adjustments and flag-writing ALU instructions are all injectable —
+//    none of them exist at IR level (Listing 1).
+//  * Zero code-generation interference: the application's instructions are
+//    exactly those of the uninstrumented binary; only control flow around
+//    them is augmented (Sec. 4.2.2).
+//
+// Per instrumented instruction the pass inserts the basic-block structure of
+// Fig. 2:
+//
+//   [.. target instruction]
+//   FICHECK site, .fi.pre.N      ; PreFI fast path: library selInstr() +
+//   [continuation block ..]      ;   conditional branch, flag-preserving
+//
+// and, in a cold region at the end of the function:
+//
+//   .fi.pre.N:  push r0; push r1; pushf      ; PreFI: save clobbered state
+//               SETUPFI site                 ; SetupFI: r0 = operand, r1 = mask
+//               cmpri r0, k; bcc eq, .fi.opN.k   ; dispatch to FI_k
+//   .fi.opN.k:  <target-specific bit flip: XOR for GPRs, IBITF/XOR/FBITI for
+//                FPRs, saved-slot XOR for r0/r1/flags, sp XOR for the stack
+//                pointer>
+//   .fi.post.N: popf; pop r1; pop r0; b continuation   ; PostFI: restore
+//
+// The FICHECK fast path costs one instruction dispatch per instrumented
+// instruction plus the host-side counter — modelling the few-cycle
+// call-test-return of the paper's PreFI (see DESIGN.md).
+#pragma once
+
+#include "backend/compile.h"
+#include "backend/mir.h"
+#include "fi/config.h"
+#include "fi/sites.h"
+
+namespace refine::fi {
+
+struct RefineInstrumentation {
+  FiSiteTable sites;
+  std::uint64_t staticSites = 0;
+};
+
+/// Instruments every matching instruction of `module` in place.
+RefineInstrumentation applyRefinePass(backend::MachineModule& module,
+                                      const FiConfig& config);
+
+/// Convenience driver: full backend compilation with the REFINE pass
+/// attached at the pre-emission hook.
+struct RefineCompileResult {
+  backend::Program program;
+  FiSiteTable sites;
+  std::uint64_t staticSites = 0;
+};
+RefineCompileResult compileWithRefine(const ir::Module& module,
+                                      const FiConfig& config);
+
+}  // namespace refine::fi

@@ -1,0 +1,99 @@
+#include "fi/sites.h"
+
+#include "support/check.h"
+
+namespace refine::fi {
+
+using backend::InstrClass;
+using backend::MachineInst;
+using backend::MOp;
+using backend::MOperand;
+using backend::RegClass;
+
+const char* fiOperandKindName(FiOperand::Kind k) noexcept {
+  switch (k) {
+    case FiOperand::Kind::GprDest: return "gpr";
+    case FiOperand::Kind::FprDest: return "fpr";
+    case FiOperand::Kind::SP: return "sp";
+    case FiOperand::Kind::Flags: return "flags";
+  }
+  return "?";
+}
+
+std::vector<FiOperand> fiOutputOperands(const MachineInst& inst) {
+  std::vector<FiOperand> out;
+  unsigned defsLeft = inst.numDefs();
+  for (const MOperand& op : inst.operands()) {
+    if (defsLeft == 0) break;
+    if (op.kind != MOperand::Kind::Reg) continue;
+    --defsLeft;
+    FiOperand fo;
+    fo.kind = op.reg.cls == RegClass::FPR ? FiOperand::Kind::FprDest
+                                          : FiOperand::Kind::GprDest;
+    fo.reg = op.reg;
+    fo.bits = 64;
+    out.push_back(fo);
+  }
+  const auto& info = inst.info();
+  if (info.defsSP) {
+    FiOperand fo;
+    fo.kind = FiOperand::Kind::SP;
+    fo.reg = backend::spReg();
+    fo.bits = 64;
+    out.push_back(fo);
+  }
+  if (info.defsFlags) {
+    FiOperand fo;
+    fo.kind = FiOperand::Kind::Flags;
+    fo.bits = backend::kFlagsBitWidth;
+    out.push_back(fo);
+  }
+  return out;
+}
+
+bool isFiTarget(const MachineInst& inst, const FiConfig& config) {
+  if (inst.isFIInstrumentation()) return false;
+  switch (inst.op()) {
+    // Control flow transfers the PC; like PINFI we inject only into
+    // register-writing computation (calls/returns/branches excluded).
+    case MOp::B:
+    case MOp::BCC:
+    case MOp::CALL:
+    case MOp::RET:
+    // Runtime-library boundary and non-instructions.
+    case MOp::SYSCALL:
+    case MOp::FICHECK:
+    case MOp::SETUPFI:
+    case MOp::NOP:
+    // Pseudos must be expanded before FI.
+    case MOp::PARAMS:
+    case MOp::CALLP:
+    case MOp::SYSCALLP:
+    case MOp::RETP:
+      return false;
+    default:
+      break;
+  }
+  const InstrClass klass = inst.info().klass;
+  switch (config.instrs) {
+    case InstrSel::Stack:
+      if (klass != InstrClass::Stack) return false;
+      break;
+    case InstrSel::Arith:
+      if (klass != InstrClass::Arith) return false;
+      break;
+    case InstrSel::Mem:
+      if (klass != InstrClass::Mem) return false;
+      break;
+    case InstrSel::All:
+      break;
+  }
+  return !fiOutputOperands(inst).empty();
+}
+
+const FiSite& FiSiteTable::site(std::uint64_t id) const {
+  RF_CHECK(id < sites_.size(), "FI site id out of range");
+  return sites_[id];
+}
+
+}  // namespace refine::fi

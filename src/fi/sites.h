@@ -1,0 +1,70 @@
+// Shared fault-injection target logic: which machine instructions are
+// injectable, and which output operands (destination registers, the stack
+// pointer, the flags register) a fault can land in.
+//
+// REFINE (compile-time) and PINFI (binary-level) both use these predicates,
+// so their target populations over the *same* binary are identical — which
+// is precisely why their outcome distributions must match statistically
+// (paper Sec. 5.4). LLFI's population lives at IR level and is defined in
+// fi/llfi_pass.*.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "backend/mir.h"
+#include "fi/config.h"
+
+namespace refine::fi {
+
+/// One injectable output operand of a machine instruction.
+struct FiOperand {
+  enum class Kind : std::uint8_t {
+    GprDest,  // explicit general-register destination
+    FprDest,  // explicit floating-point destination
+    SP,       // implicit stack-pointer output (push/pop/spadj/...)
+    Flags,    // implicit condition-flags output (4 bits)
+  };
+  Kind kind = Kind::GprDest;
+  backend::Reg reg{};   // valid for GprDest/FprDest
+  unsigned bits = 64;   // architectural width for bit selection
+};
+
+const char* fiOperandKindName(FiOperand::Kind k) noexcept;
+
+/// Enumerates the output operands of `inst` in canonical order:
+/// explicit register defs, then SP (if implicitly written), then flags.
+std::vector<FiOperand> fiOutputOperands(const backend::MachineInst& inst);
+
+/// True when `inst` is an injection target under `config`:
+/// it has at least one output operand, is not FI instrumentation, is not a
+/// control-flow or runtime-boundary instruction, and its class matches
+/// -fi-instrs.
+bool isFiTarget(const backend::MachineInst& inst, const FiConfig& config);
+
+/// Compile-time site table produced by the REFINE pass: maps a site id to
+/// the output operands of the instrumented instruction. This carries the
+/// (nOps, size[nOps]) information the instrumented code passes to setupFI()
+/// in the paper's Fig. 2.
+struct FiSite {
+  std::uint64_t id = 0;
+  std::string function;
+  std::vector<FiOperand> operands;
+};
+
+class FiSiteTable {
+ public:
+  std::uint64_t addSite(std::string function, std::vector<FiOperand> operands) {
+    const std::uint64_t id = sites_.size();
+    sites_.push_back(FiSite{id, std::move(function), std::move(operands)});
+    return id;
+  }
+  const FiSite& site(std::uint64_t id) const;
+  std::size_t size() const noexcept { return sites_.size(); }
+
+ private:
+  std::vector<FiSite> sites_;
+};
+
+}  // namespace refine::fi

@@ -1,0 +1,143 @@
+// Abstract syntax tree for MiniC.
+//
+// Types in the AST: MiniC exposes i64, f64, bool (expression-only) and void
+// (function returns). Arrays are declaration-only aggregates accessed by
+// indexing; they are not first-class values.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace refine::fe {
+
+enum class AstType : std::uint8_t { Void, Bool, I64, F64 };
+
+const char* astTypeName(AstType t) noexcept;
+
+struct SrcLoc {
+  int line = 0;
+  int col = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : std::uint8_t {
+  IntLit, FloatLit, BoolLit, StrLit,
+  VarRef, Index, Call, Unary, Binary, Cast,
+};
+
+enum class UnaryOp : std::uint8_t { Neg, Not };
+
+enum class BinaryOp : std::uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  BitAnd, BitOr, BitXor, Shl, Shr,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  LogAnd, LogOr,
+};
+
+struct Expr {
+  ExprKind kind;
+  SrcLoc loc;
+  AstType type = AstType::Void;  // filled by sema
+
+  // Literals
+  std::int64_t intValue = 0;
+  double floatValue = 0.0;
+  bool boolValue = false;
+  std::string strValue;
+
+  // VarRef / Call target / Index base name
+  std::string name;
+
+  // Sema resolution for VarRef/Index (index into symbol storage; see sema.h)
+  int symbolId = -1;
+
+  // Operators
+  UnaryOp unaryOp = UnaryOp::Neg;
+  BinaryOp binaryOp = BinaryOp::Add;
+  AstType castTo = AstType::Void;
+
+  // Children: Unary/Cast use [0]; Binary uses [0],[1]; Index uses [0] as the
+  // subscript; Call uses all as arguments.
+  std::vector<std::unique_ptr<Expr>> children;
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t {
+  VarDecl,      // var name: type [= init];  or  var name: type[count];
+  Assign,       // name = expr;
+  IndexAssign,  // name[idx] = expr;
+  If, While, For, Return, ExprStmt, Break, Continue, Block,
+};
+
+struct Stmt {
+  StmtKind kind;
+  SrcLoc loc;
+
+  // VarDecl / Assign / IndexAssign
+  std::string name;
+  AstType declType = AstType::Void;
+  std::int64_t arrayCount = 0;  // > 0 for array declarations
+  int symbolId = -1;            // filled by sema
+
+  // Expression slots:
+  //   VarDecl: expr0 = initializer (may be null)
+  //   Assign: expr0 = value
+  //   IndexAssign: expr0 = index, expr1 = value
+  //   If/While: expr0 = condition
+  //   For: expr0 = condition (may be null -> true)
+  //   Return: expr0 = value (may be null)
+  //   ExprStmt: expr0
+  std::unique_ptr<Expr> expr0;
+  std::unique_ptr<Expr> expr1;
+
+  // Statement slots:
+  //   If: body + elseBody; While/For: body
+  //   For: init and step are single statements (Assign/VarDecl/ExprStmt)
+  std::vector<std::unique_ptr<Stmt>> body;
+  std::vector<std::unique_ptr<Stmt>> elseBody;
+  std::unique_ptr<Stmt> forInit;
+  std::unique_ptr<Stmt> forStep;
+};
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+struct ParamDecl {
+  std::string name;
+  AstType type = AstType::I64;
+  SrcLoc loc;
+};
+
+struct FunctionDecl {
+  std::string name;
+  AstType returnType = AstType::Void;
+  std::vector<ParamDecl> params;
+  std::vector<std::unique_ptr<Stmt>> body;
+  SrcLoc loc;
+};
+
+struct GlobalDecl {
+  std::string name;
+  AstType type = AstType::I64;
+  std::int64_t arrayCount = 0;  // > 0 for arrays
+  bool hasInit = false;
+  std::int64_t intInit = 0;
+  double floatInit = 0.0;
+  SrcLoc loc;
+};
+
+struct Program {
+  std::vector<GlobalDecl> globals;
+  std::vector<std::unique_ptr<FunctionDecl>> functions;
+};
+
+}  // namespace refine::fe

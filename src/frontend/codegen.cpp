@@ -1,0 +1,435 @@
+#include "frontend/codegen.h"
+
+#include <bit>
+#include <unordered_map>
+
+#include "ir/builder.h"
+#include "ir/runtime.h"
+#include "ir/verifier.h"
+#include "support/check.h"
+
+namespace refine::fe {
+
+namespace {
+
+ir::Type toIrType(AstType t) {
+  switch (t) {
+    case AstType::Void: return ir::Type::Void;
+    case AstType::Bool: return ir::Type::I1;
+    case AstType::I64: return ir::Type::I64;
+    case AstType::F64: return ir::Type::F64;
+  }
+  RF_UNREACHABLE("bad AstType");
+}
+
+class CodeGen {
+ public:
+  CodeGen(const Program& program, const SemaInfo& sema)
+      : program_(program), sema_(sema), module_(std::make_unique<ir::Module>()),
+        builder_(*module_) {}
+
+  std::unique_ptr<ir::Module> run() {
+    for (const auto& g : program_.globals) emitGlobal(g);
+    // Declare all defined functions up front so calls can be emitted in any
+    // order, then declare runtime externals on demand.
+    for (const auto& fn : program_.functions) {
+      ir::Function* f = module_->addFunction(
+          fn->name, toIrType(fn->returnType), ir::FunctionKind::Defined);
+      for (const auto& p : fn->params) f->addParam(toIrType(p.type), p.name);
+      irFunctions_[fn.get()] = f;
+    }
+    for (const auto& fn : program_.functions) emitFunction(*fn);
+    ir::verifyOrThrow(*module_);
+    return std::move(module_);
+  }
+
+ private:
+  // -- Globals ---------------------------------------------------------------
+  void emitGlobal(const GlobalDecl& g) {
+    const std::uint64_t count =
+        g.arrayCount > 0 ? static_cast<std::uint64_t>(g.arrayCount) : 1;
+    ir::GlobalVar* gv = module_->addGlobal(g.name, toIrType(g.type), count);
+    if (g.hasInit) {
+      const std::uint64_t bits =
+          g.type == AstType::F64
+              ? std::bit_cast<std::uint64_t>(g.floatInit)
+              : static_cast<std::uint64_t>(g.intInit);
+      gv->setInit({bits});
+    }
+    globalByName_[g.name] = gv;
+  }
+
+  // -- Functions ----------------------------------------------------------------
+  void emitFunction(const FunctionDecl& fn) {
+    currentDecl_ = &fn;
+    ir::Function* f = irFunctions_.at(&fn);
+    currentFn_ = f;
+    symbolSlots_.clear();
+    loopStack_.clear();
+    blockCounter_ = 0;
+    entryAllocaPos_ = 0;
+
+    ir::BasicBlock* entry = f->addBlock("entry");
+    builder_.setInsertPoint(entry);
+
+    // Spill parameters to stack slots (mem2reg re-promotes them later);
+    // this mirrors the classic clang -O0 pattern the optimizer expects.
+    const auto& paramIds = sema_.paramSymbols.at(&fn);
+    for (std::size_t i = 0; i < fn.params.size(); ++i) {
+      ir::Value* slot = createEntryAlloca(toIrType(fn.params[i].type), 1);
+      builder_.createStore(f->params()[i].get(), slot);
+      symbolSlots_[paramIds[i]] = slot;
+    }
+
+    emitStmtList(fn.body);
+
+    // Any block still open (function end, dead continuation after return)
+    // gets a default return so every block is properly terminated.
+    for (const auto& bb : f->blocks()) {
+      if (bb->terminator() == nullptr) {
+        builder_.setInsertPoint(bb.get());
+        emitDefaultReturn();
+      }
+    }
+    currentFn_ = nullptr;
+    currentDecl_ = nullptr;
+  }
+
+  void emitDefaultReturn() {
+    switch (currentDecl_->returnType) {
+      case AstType::Void: builder_.createRet(); break;
+      case AstType::I64: builder_.createRet(module_->constI64(0)); break;
+      case AstType::F64: builder_.createRet(module_->constF64(0.0)); break;
+      case AstType::Bool: builder_.createRet(module_->constI1(false)); break;
+    }
+  }
+
+  ir::Value* createEntryAlloca(ir::Type elemType, std::uint64_t count) {
+    auto inst = std::make_unique<ir::Instruction>(ir::Opcode::Alloca, ir::Type::Ptr);
+    inst->setElemType(elemType);
+    inst->setAllocaCount(count);
+    return currentFn_->entry()->insertAt(entryAllocaPos_++, std::move(inst));
+  }
+
+  ir::BasicBlock* newBlock(const std::string& hint) {
+    return currentFn_->addBlock(hint + "." + std::to_string(blockCounter_++));
+  }
+
+  // -- Statements ------------------------------------------------------------------
+  void emitStmtList(const std::vector<std::unique_ptr<Stmt>>& stmts) {
+    for (const auto& s : stmts) {
+      if (s != nullptr) emitStmt(*s);
+    }
+  }
+
+  void emitStmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::VarDecl: {
+        const Symbol& sym = sema_.symbols[static_cast<std::size_t>(s.symbolId)];
+        ir::Value* slot = createEntryAlloca(
+            toIrType(sym.type),
+            sym.isArray() ? static_cast<std::uint64_t>(sym.arrayCount) : 1);
+        symbolSlots_[s.symbolId] = slot;
+        if (s.expr0 != nullptr) {
+          builder_.createStore(emitExpr(*s.expr0), slot);
+        } else if (!sym.isArray()) {
+          // Scalars are zero-initialized (ES.20: always initialize).
+          ir::Value* zero = sym.type == AstType::F64
+                                ? static_cast<ir::Value*>(module_->constF64(0.0))
+                                : static_cast<ir::Value*>(module_->constI64(0));
+          builder_.createStore(zero, slot);
+        }
+        break;
+      }
+      case StmtKind::Assign:
+        builder_.createStore(emitExpr(*s.expr0), slotFor(s.symbolId));
+        break;
+      case StmtKind::IndexAssign: {
+        const Symbol& sym = sema_.symbols[static_cast<std::size_t>(s.symbolId)];
+        ir::Value* index = emitExpr(*s.expr0);
+        ir::Value* value = emitExpr(*s.expr1);
+        ir::Value* ptr =
+            builder_.createGep(slotFor(s.symbolId), index, toIrType(sym.type));
+        builder_.createStore(value, ptr);
+        break;
+      }
+      case StmtKind::If: {
+        ir::Value* cond = emitExpr(*s.expr0);
+        ir::BasicBlock* thenBB = newBlock("if.then");
+        ir::BasicBlock* mergeBB = newBlock("if.end");
+        ir::BasicBlock* elseBB = s.elseBody.empty() ? mergeBB : newBlock("if.else");
+        builder_.createCondBr(cond, thenBB, elseBB);
+        builder_.setInsertPoint(thenBB);
+        emitStmtList(s.body);
+        if (builder_.insertBlock()->terminator() == nullptr) {
+          builder_.createBr(mergeBB);
+        }
+        if (!s.elseBody.empty()) {
+          builder_.setInsertPoint(elseBB);
+          emitStmtList(s.elseBody);
+          if (builder_.insertBlock()->terminator() == nullptr) {
+            builder_.createBr(mergeBB);
+          }
+        }
+        builder_.setInsertPoint(mergeBB);
+        break;
+      }
+      case StmtKind::While: {
+        ir::BasicBlock* condBB = newBlock("while.cond");
+        ir::BasicBlock* bodyBB = newBlock("while.body");
+        ir::BasicBlock* exitBB = newBlock("while.end");
+        builder_.createBr(condBB);
+        builder_.setInsertPoint(condBB);
+        builder_.createCondBr(emitExpr(*s.expr0), bodyBB, exitBB);
+        loopStack_.push_back({exitBB, condBB});
+        builder_.setInsertPoint(bodyBB);
+        emitStmtList(s.body);
+        if (builder_.insertBlock()->terminator() == nullptr) {
+          builder_.createBr(condBB);
+        }
+        loopStack_.pop_back();
+        builder_.setInsertPoint(exitBB);
+        break;
+      }
+      case StmtKind::For: {
+        if (s.forInit != nullptr) emitStmt(*s.forInit);
+        ir::BasicBlock* condBB = newBlock("for.cond");
+        ir::BasicBlock* bodyBB = newBlock("for.body");
+        ir::BasicBlock* stepBB = newBlock("for.step");
+        ir::BasicBlock* exitBB = newBlock("for.end");
+        builder_.createBr(condBB);
+        builder_.setInsertPoint(condBB);
+        if (s.expr0 != nullptr) {
+          builder_.createCondBr(emitExpr(*s.expr0), bodyBB, exitBB);
+        } else {
+          builder_.createBr(bodyBB);
+        }
+        loopStack_.push_back({exitBB, stepBB});
+        builder_.setInsertPoint(bodyBB);
+        emitStmtList(s.body);
+        if (builder_.insertBlock()->terminator() == nullptr) {
+          builder_.createBr(stepBB);
+        }
+        loopStack_.pop_back();
+        builder_.setInsertPoint(stepBB);
+        if (s.forStep != nullptr) emitStmt(*s.forStep);
+        builder_.createBr(condBB);
+        builder_.setInsertPoint(exitBB);
+        break;
+      }
+      case StmtKind::Return: {
+        if (s.expr0 != nullptr) {
+          builder_.createRet(emitExpr(*s.expr0));
+        } else {
+          builder_.createRet();
+        }
+        // Dead continuation for any statements after the return.
+        builder_.setInsertPoint(newBlock("post.ret"));
+        break;
+      }
+      case StmtKind::ExprStmt:
+        emitExpr(*s.expr0);
+        break;
+      case StmtKind::Break:
+        RF_CHECK(!loopStack_.empty(), "break outside loop survived sema");
+        builder_.createBr(loopStack_.back().breakTarget);
+        builder_.setInsertPoint(newBlock("post.break"));
+        break;
+      case StmtKind::Continue:
+        RF_CHECK(!loopStack_.empty(), "continue outside loop survived sema");
+        builder_.createBr(loopStack_.back().continueTarget);
+        builder_.setInsertPoint(newBlock("post.continue"));
+        break;
+      case StmtKind::Block:
+        emitStmtList(s.body);
+        break;
+    }
+  }
+
+  ir::Value* slotFor(int symbolId) {
+    const Symbol& sym = sema_.symbols[static_cast<std::size_t>(symbolId)];
+    if (sym.kind == SymbolKind::Global) {
+      return globalByName_.at(sym.name);
+    }
+    return symbolSlots_.at(symbolId);
+  }
+
+  // -- Expressions ---------------------------------------------------------------
+  ir::Value* emitExpr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit: return module_->constI64(e.intValue);
+      case ExprKind::FloatLit: return module_->constF64(e.floatValue);
+      case ExprKind::BoolLit: return module_->constI1(e.boolValue);
+      case ExprKind::StrLit: RF_UNREACHABLE("stray string literal survived sema");
+      case ExprKind::VarRef: {
+        const Symbol& sym = sema_.symbols[static_cast<std::size_t>(e.symbolId)];
+        return builder_.createLoad(toIrType(sym.type), slotFor(e.symbolId));
+      }
+      case ExprKind::Index: {
+        const Symbol& sym = sema_.symbols[static_cast<std::size_t>(e.symbolId)];
+        ir::Value* index = emitExpr(*e.children[0]);
+        ir::Value* ptr =
+            builder_.createGep(slotFor(e.symbolId), index, toIrType(sym.type));
+        return builder_.createLoad(toIrType(sym.type), ptr);
+      }
+      case ExprKind::Call: return emitCall(e);
+      case ExprKind::Unary: {
+        ir::Value* v = emitExpr(*e.children[0]);
+        if (e.unaryOp == UnaryOp::Neg) {
+          if (e.type == AstType::F64) {
+            return builder_.createBinary(ir::Opcode::FSub, module_->constF64(0.0), v);
+          }
+          return builder_.createBinary(ir::Opcode::Sub, module_->constI64(0), v);
+        }
+        return builder_.createSelect(v, module_->constI1(false), module_->constI1(true));
+      }
+      case ExprKind::Binary: return emitBinary(e);
+      case ExprKind::Cast: {
+        const AstType from = e.children[0]->type;
+        ir::Value* v = emitExpr(*e.children[0]);
+        if (from == e.castTo) return v;
+        if (e.castTo == AstType::I64) {
+          if (from == AstType::Bool) return builder_.createZExt(v);
+          return builder_.createFPToSI(v);
+        }
+        return builder_.createSIToFP(v);
+      }
+    }
+    RF_UNREACHABLE("bad expression kind");
+  }
+
+  ir::Value* emitBinary(const Expr& e) {
+    using BO = BinaryOp;
+    const BO op = e.binaryOp;
+    if (op == BO::LogAnd || op == BO::LogOr) return emitShortCircuit(e);
+
+    ir::Value* lhs = emitExpr(*e.children[0]);
+    ir::Value* rhs = emitExpr(*e.children[1]);
+    const bool isF64 = e.children[0]->type == AstType::F64;
+
+    switch (op) {
+      case BO::Add: return builder_.createBinary(isF64 ? ir::Opcode::FAdd : ir::Opcode::Add, lhs, rhs);
+      case BO::Sub: return builder_.createBinary(isF64 ? ir::Opcode::FSub : ir::Opcode::Sub, lhs, rhs);
+      case BO::Mul: return builder_.createBinary(isF64 ? ir::Opcode::FMul : ir::Opcode::Mul, lhs, rhs);
+      case BO::Div: return builder_.createBinary(isF64 ? ir::Opcode::FDiv : ir::Opcode::SDiv, lhs, rhs);
+      case BO::Rem: return builder_.createBinary(ir::Opcode::SRem, lhs, rhs);
+      case BO::BitAnd: return builder_.createBinary(ir::Opcode::And, lhs, rhs);
+      case BO::BitOr: return builder_.createBinary(ir::Opcode::Or, lhs, rhs);
+      case BO::BitXor: return builder_.createBinary(ir::Opcode::Xor, lhs, rhs);
+      case BO::Shl: return builder_.createBinary(ir::Opcode::Shl, lhs, rhs);
+      case BO::Shr: return builder_.createBinary(ir::Opcode::AShr, lhs, rhs);
+      case BO::Lt:
+        return isF64 ? builder_.createFCmp(ir::FCmpPred::OLT, lhs, rhs)
+                     : builder_.createICmp(ir::ICmpPred::SLT, lhs, rhs);
+      case BO::Le:
+        return isF64 ? builder_.createFCmp(ir::FCmpPred::OLE, lhs, rhs)
+                     : builder_.createICmp(ir::ICmpPred::SLE, lhs, rhs);
+      case BO::Gt:
+        return isF64 ? builder_.createFCmp(ir::FCmpPred::OGT, lhs, rhs)
+                     : builder_.createICmp(ir::ICmpPred::SGT, lhs, rhs);
+      case BO::Ge:
+        return isF64 ? builder_.createFCmp(ir::FCmpPred::OGE, lhs, rhs)
+                     : builder_.createICmp(ir::ICmpPred::SGE, lhs, rhs);
+      case BO::Eq:
+        return isF64 ? builder_.createFCmp(ir::FCmpPred::OEQ, lhs, rhs)
+                     : builder_.createICmp(ir::ICmpPred::EQ, lhs, rhs);
+      case BO::Ne:
+        return isF64 ? builder_.createFCmp(ir::FCmpPred::ONE, lhs, rhs)
+                     : builder_.createICmp(ir::ICmpPred::NE, lhs, rhs);
+      case BO::LogAnd:
+      case BO::LogOr:
+        break;
+    }
+    RF_UNREACHABLE("bad binary op");
+  }
+
+  ir::Value* emitShortCircuit(const Expr& e) {
+    const bool isAnd = e.binaryOp == BinaryOp::LogAnd;
+    ir::Value* lhs = emitExpr(*e.children[0]);
+    ir::BasicBlock* lhsEnd = builder_.insertBlock();
+    ir::BasicBlock* rhsBB = newBlock(isAnd ? "and.rhs" : "or.rhs");
+    ir::BasicBlock* mergeBB = newBlock(isAnd ? "and.end" : "or.end");
+    if (isAnd) {
+      builder_.createCondBr(lhs, rhsBB, mergeBB);
+    } else {
+      builder_.createCondBr(lhs, mergeBB, rhsBB);
+    }
+    builder_.setInsertPoint(rhsBB);
+    ir::Value* rhs = emitExpr(*e.children[1]);
+    ir::BasicBlock* rhsEnd = builder_.insertBlock();
+    builder_.createBr(mergeBB);
+    builder_.setInsertPoint(mergeBB);
+    ir::Instruction* phi = builder_.createPhi(ir::Type::I1);
+    phi->addPhiIncoming(module_->constI1(!isAnd), lhsEnd);
+    phi->addPhiIncoming(rhs, rhsEnd);
+    return phi;
+  }
+
+  ir::Value* emitCall(const Expr& e) {
+    // Intrinsics lowered to IR opcodes.
+    if (e.name == "sqrt") return builder_.createFSqrt(emitExpr(*e.children[0]));
+    if (e.name == "fabs") return builder_.createFAbs(emitExpr(*e.children[0]));
+    if (e.name == "print_str") {
+      const std::uint64_t index = module_->internString(e.children[0]->strValue);
+      return builder_.createCall(
+          runtimeFunction(ir::RuntimeFn::PrintStr),
+          {module_->constI64(static_cast<std::int64_t>(index))});
+    }
+    if (const auto rt = ir::findRuntimeFn(e.name)) {
+      std::vector<ir::Value*> args;
+      for (const auto& a : e.children) args.push_back(emitExpr(*a));
+      return builder_.createCall(runtimeFunction(*rt), args);
+    }
+    // User function.
+    for (const auto& fn : program_.functions) {
+      if (fn->name == e.name) {
+        std::vector<ir::Value*> args;
+        for (const auto& a : e.children) args.push_back(emitExpr(*a));
+        return builder_.createCall(irFunctions_.at(fn.get()), args);
+      }
+    }
+    RF_UNREACHABLE("call to unknown function survived sema: " + e.name);
+  }
+
+  ir::Function* runtimeFunction(ir::RuntimeFn fn) {
+    auto it = runtimeDecls_.find(fn);
+    if (it != runtimeDecls_.end()) return it->second;
+    const ir::RuntimeFnInfo& info = ir::runtimeFnInfo(fn);
+    ir::Function* f = module_->addFunction(info.name, info.returnType,
+                                           ir::FunctionKind::External);
+    for (std::size_t i = 0; i < info.paramTypes.size(); ++i) {
+      f->addParam(info.paramTypes[i], "a" + std::to_string(i));
+    }
+    runtimeDecls_[fn] = f;
+    return f;
+  }
+
+  struct LoopTargets {
+    ir::BasicBlock* breakTarget;
+    ir::BasicBlock* continueTarget;
+  };
+
+  const Program& program_;
+  const SemaInfo& sema_;
+  std::unique_ptr<ir::Module> module_;
+  ir::IRBuilder builder_;
+  std::unordered_map<const FunctionDecl*, ir::Function*> irFunctions_;
+  std::unordered_map<std::string, ir::GlobalVar*> globalByName_;
+  std::unordered_map<ir::RuntimeFn, ir::Function*> runtimeDecls_;
+  std::unordered_map<int, ir::Value*> symbolSlots_;
+  std::vector<LoopTargets> loopStack_;
+  ir::Function* currentFn_ = nullptr;
+  const FunctionDecl* currentDecl_ = nullptr;
+  std::size_t entryAllocaPos_ = 0;
+  int blockCounter_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<ir::Module> generateIR(const Program& program,
+                                       const SemaInfo& sema) {
+  RF_CHECK(sema.errors.empty(), "generateIR called with sema errors present");
+  return CodeGen(program, sema).run();
+}
+
+}  // namespace refine::fe

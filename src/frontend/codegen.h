@@ -1,0 +1,17 @@
+// IR generation from a type-checked MiniC program.
+#pragma once
+
+#include <memory>
+
+#include "frontend/ast.h"
+#include "frontend/sema.h"
+#include "ir/ir.h"
+
+namespace refine::fe {
+
+/// Lowers `program` (already analyzed; sema must have reported no errors)
+/// into a fresh IR module. The module is verified before being returned.
+std::unique_ptr<ir::Module> generateIR(const Program& program,
+                                       const SemaInfo& sema);
+
+}  // namespace refine::fe

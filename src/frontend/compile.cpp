@@ -1,0 +1,35 @@
+#include "frontend/compile.h"
+
+#include "frontend/codegen.h"
+#include "frontend/lexer.h"
+#include "frontend/parser.h"
+#include "frontend/sema.h"
+#include "support/strings.h"
+
+namespace refine::fe {
+
+namespace {
+[[noreturn]] void throwWith(const char* phase, std::vector<std::string> errors) {
+  std::string what = strf("%s failed with %zu error(s):", phase, errors.size());
+  for (const auto& e : errors) {
+    what += "\n  ";
+    what += e;
+  }
+  throw CompileError(std::move(what), std::move(errors));
+}
+}  // namespace
+
+std::unique_ptr<ir::Module> compileToIR(std::string_view source) {
+  LexResult lexed = lex(source);
+  if (!lexed.errors.empty()) throwWith("lexing", std::move(lexed.errors));
+
+  ParseResult parsed = parse(lexed.tokens);
+  if (!parsed.errors.empty()) throwWith("parsing", std::move(parsed.errors));
+
+  SemaInfo sema = analyze(parsed.program);
+  if (!sema.errors.empty()) throwWith("semantic analysis", std::move(sema.errors));
+
+  return generateIR(parsed.program, sema);
+}
+
+}  // namespace refine::fe

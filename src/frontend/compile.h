@@ -1,0 +1,32 @@
+// One-call frontend driver: MiniC source -> verified IR module.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace refine::fe {
+
+/// Thrown when the source has lexical, syntactic or semantic errors.
+class CompileError : public std::runtime_error {
+ public:
+  CompileError(std::string what, std::vector<std::string> diagnostics)
+      : std::runtime_error(std::move(what)), diagnostics_(std::move(diagnostics)) {}
+
+  const std::vector<std::string>& diagnostics() const noexcept {
+    return diagnostics_;
+  }
+
+ private:
+  std::vector<std::string> diagnostics_;
+};
+
+/// Compiles MiniC source to IR; throws CompileError with all diagnostics on
+/// failure.
+std::unique_ptr<ir::Module> compileToIR(std::string_view source);
+
+}  // namespace refine::fe

@@ -1,0 +1,259 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "support/strings.h"
+
+namespace refine::fe {
+
+const char* tokName(Tok t) noexcept {
+  switch (t) {
+    case Tok::End: return "<eof>";
+    case Tok::IntLit: return "integer literal";
+    case Tok::FloatLit: return "float literal";
+    case Tok::StrLit: return "string literal";
+    case Tok::Ident: return "identifier";
+    case Tok::KwVar: return "'var'";
+    case Tok::KwFn: return "'fn'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwWhile: return "'while'";
+    case Tok::KwFor: return "'for'";
+    case Tok::KwReturn: return "'return'";
+    case Tok::KwBreak: return "'break'";
+    case Tok::KwContinue: return "'continue'";
+    case Tok::KwI64: return "'i64'";
+    case Tok::KwF64: return "'f64'";
+    case Tok::KwVoid: return "'void'";
+    case Tok::KwTrue: return "'true'";
+    case Tok::KwFalse: return "'false'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Comma: return "','";
+    case Tok::Semicolon: return "';'";
+    case Tok::Colon: return "':'";
+    case Tok::Arrow: return "'->'";
+    case Tok::Assign: return "'='";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::Amp: return "'&'";
+    case Tok::Pipe: return "'|'";
+    case Tok::Caret: return "'^'";
+    case Tok::Shl: return "'<<'";
+    case Tok::Shr: return "'>>'";
+    case Tok::AmpAmp: return "'&&'";
+    case Tok::PipePipe: return "'||'";
+    case Tok::Bang: return "'!'";
+    case Tok::Lt: return "'<'";
+    case Tok::Le: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Ge: return "'>='";
+    case Tok::EqEq: return "'=='";
+    case Tok::NotEq: return "'!='";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok>& keywords() {
+  static const std::unordered_map<std::string_view, Tok> map = {
+      {"var", Tok::KwVar},     {"fn", Tok::KwFn},
+      {"if", Tok::KwIf},       {"else", Tok::KwElse},
+      {"while", Tok::KwWhile}, {"for", Tok::KwFor},
+      {"return", Tok::KwReturn}, {"break", Tok::KwBreak},
+      {"continue", Tok::KwContinue}, {"i64", Tok::KwI64},
+      {"f64", Tok::KwF64},     {"void", Tok::KwVoid},
+      {"true", Tok::KwTrue},   {"false", Tok::KwFalse},
+  };
+  return map;
+}
+
+}  // namespace
+
+LexResult lex(std::string_view src) {
+  LexResult result;
+  int line = 1;
+  int col = 1;
+  std::size_t i = 0;
+
+  auto error = [&](const std::string& msg) {
+    result.errors.push_back(strf("%d:%d: %s", line, col, msg.c_str()));
+  };
+  auto make = [&](Tok kind) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    t.col = col;
+    return t;
+  };
+  auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n && i < src.size(); ++k) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') advance();
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      Token t = make(Tok::IntLit);
+      std::size_t start = i;
+      bool isFloat = false;
+      while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) advance();
+      if (i < src.size() && src[i] == '.') {
+        isFloat = true;
+        advance();
+        while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) advance();
+      }
+      if (i < src.size() && (src[i] == 'e' || src[i] == 'E')) {
+        isFloat = true;
+        advance();
+        if (i < src.size() && (src[i] == '+' || src[i] == '-')) advance();
+        while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) advance();
+      }
+      const std::string text(src.substr(start, i - start));
+      if (isFloat) {
+        t.kind = Tok::FloatLit;
+        t.floatValue = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.intValue = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      t.text = text;
+      result.tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      Token t = make(Tok::Ident);
+      std::size_t start = i;
+      while (i < src.size() && (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                                src[i] == '_')) {
+        advance();
+      }
+      t.text = std::string(src.substr(start, i - start));
+      auto kw = keywords().find(t.text);
+      if (kw != keywords().end()) t.kind = kw->second;
+      result.tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      Token t = make(Tok::StrLit);
+      advance();
+      std::string text;
+      bool closed = false;
+      while (i < src.size()) {
+        if (src[i] == '"') {
+          closed = true;
+          advance();
+          break;
+        }
+        if (src[i] == '\\' && i + 1 < src.size()) {
+          const char esc = src[i + 1];
+          advance(2);
+          switch (esc) {
+            case 'n': text += '\n'; break;
+            case 't': text += '\t'; break;
+            case '\\': text += '\\'; break;
+            case '"': text += '"'; break;
+            default: error(strf("unknown escape '\\%c'", esc)); break;
+          }
+          continue;
+        }
+        text += src[i];
+        advance();
+      }
+      if (!closed) error("unterminated string literal");
+      t.text = std::move(text);
+      result.tokens.push_back(std::move(t));
+      continue;
+    }
+
+    // Punctuation and operators.
+    auto two = [&](char next) {
+      return i + 1 < src.size() && src[i + 1] == next;
+    };
+    Token t = make(Tok::End);
+    switch (c) {
+      case '(': t.kind = Tok::LParen; advance(); break;
+      case ')': t.kind = Tok::RParen; advance(); break;
+      case '{': t.kind = Tok::LBrace; advance(); break;
+      case '}': t.kind = Tok::RBrace; advance(); break;
+      case '[': t.kind = Tok::LBracket; advance(); break;
+      case ']': t.kind = Tok::RBracket; advance(); break;
+      case ',': t.kind = Tok::Comma; advance(); break;
+      case ';': t.kind = Tok::Semicolon; advance(); break;
+      case ':': t.kind = Tok::Colon; advance(); break;
+      case '+': t.kind = Tok::Plus; advance(); break;
+      case '*': t.kind = Tok::Star; advance(); break;
+      case '/': t.kind = Tok::Slash; advance(); break;
+      case '%': t.kind = Tok::Percent; advance(); break;
+      case '^': t.kind = Tok::Caret; advance(); break;
+      case '-':
+        if (two('>')) { t.kind = Tok::Arrow; advance(2); }
+        else { t.kind = Tok::Minus; advance(); }
+        break;
+      case '&':
+        if (two('&')) { t.kind = Tok::AmpAmp; advance(2); }
+        else { t.kind = Tok::Amp; advance(); }
+        break;
+      case '|':
+        if (two('|')) { t.kind = Tok::PipePipe; advance(2); }
+        else { t.kind = Tok::Pipe; advance(); }
+        break;
+      case '!':
+        if (two('=')) { t.kind = Tok::NotEq; advance(2); }
+        else { t.kind = Tok::Bang; advance(); }
+        break;
+      case '=':
+        if (two('=')) { t.kind = Tok::EqEq; advance(2); }
+        else { t.kind = Tok::Assign; advance(); }
+        break;
+      case '<':
+        if (two('=')) { t.kind = Tok::Le; advance(2); }
+        else if (two('<')) { t.kind = Tok::Shl; advance(2); }
+        else { t.kind = Tok::Lt; advance(); }
+        break;
+      case '>':
+        if (two('=')) { t.kind = Tok::Ge; advance(2); }
+        else if (two('>')) { t.kind = Tok::Shr; advance(2); }
+        else { t.kind = Tok::Gt; advance(); }
+        break;
+      default:
+        error(strf("unexpected character '%c'", c));
+        advance();
+        continue;
+    }
+    result.tokens.push_back(std::move(t));
+  }
+
+  Token end;
+  end.kind = Tok::End;
+  end.line = line;
+  end.col = col;
+  result.tokens.push_back(std::move(end));
+  return result;
+}
+
+}  // namespace refine::fe

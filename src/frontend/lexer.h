@@ -1,0 +1,21 @@
+// Hand-written lexer for MiniC.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "frontend/token.h"
+
+namespace refine::fe {
+
+/// Tokenizes `source`; appends an End token. Lexical errors are reported via
+/// the returned diagnostics vector (the token stream is still usable).
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<std::string> errors;
+};
+
+LexResult lex(std::string_view source);
+
+}  // namespace refine::fe

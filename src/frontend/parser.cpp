@@ -1,0 +1,501 @@
+#include "frontend/parser.h"
+
+#include "support/check.h"
+#include "support/strings.h"
+
+namespace refine::fe {
+
+namespace {
+
+/// Binding powers for binary operators (precedence climbing).
+int precedence(Tok t) {
+  switch (t) {
+    case Tok::Star: case Tok::Slash: case Tok::Percent: return 10;
+    case Tok::Plus: case Tok::Minus: return 9;
+    case Tok::Shl: case Tok::Shr: return 8;
+    case Tok::Lt: case Tok::Le: case Tok::Gt: case Tok::Ge: return 7;
+    case Tok::EqEq: case Tok::NotEq: return 6;
+    case Tok::Amp: return 5;
+    case Tok::Caret: return 4;
+    case Tok::Pipe: return 3;
+    case Tok::AmpAmp: return 2;
+    case Tok::PipePipe: return 1;
+    default: return 0;
+  }
+}
+
+BinaryOp toBinaryOp(Tok t) {
+  switch (t) {
+    case Tok::Star: return BinaryOp::Mul;
+    case Tok::Slash: return BinaryOp::Div;
+    case Tok::Percent: return BinaryOp::Rem;
+    case Tok::Plus: return BinaryOp::Add;
+    case Tok::Minus: return BinaryOp::Sub;
+    case Tok::Shl: return BinaryOp::Shl;
+    case Tok::Shr: return BinaryOp::Shr;
+    case Tok::Lt: return BinaryOp::Lt;
+    case Tok::Le: return BinaryOp::Le;
+    case Tok::Gt: return BinaryOp::Gt;
+    case Tok::Ge: return BinaryOp::Ge;
+    case Tok::EqEq: return BinaryOp::Eq;
+    case Tok::NotEq: return BinaryOp::Ne;
+    case Tok::Amp: return BinaryOp::BitAnd;
+    case Tok::Caret: return BinaryOp::BitXor;
+    case Tok::Pipe: return BinaryOp::BitOr;
+    case Tok::AmpAmp: return BinaryOp::LogAnd;
+    case Tok::PipePipe: return BinaryOp::LogOr;
+    default: break;
+  }
+  return BinaryOp::Add;
+}
+
+class Parser {
+ public:
+  Parser(const std::vector<Token>& tokens, ParseResult& out)
+      : tokens_(tokens), out_(out) {}
+
+  void run() {
+    while (!at(Tok::End)) {
+      if (at(Tok::KwVar)) {
+        parseGlobal();
+      } else if (at(Tok::KwFn)) {
+        parseFunction();
+      } else {
+        error(strf("expected 'var' or 'fn' at top level, got %s",
+                   tokName(cur().kind)));
+        advance();
+      }
+      if (!errorsBounded()) return;
+    }
+  }
+
+ private:
+  const Token& cur() const { return tokens_[pos_]; }
+  const Token& peek() const {
+    return tokens_[pos_ + 1 < tokens_.size() ? pos_ + 1 : pos_];
+  }
+  bool at(Tok t) const { return cur().kind == t; }
+  void advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+  SrcLoc loc() const { return {cur().line, cur().col}; }
+
+  void error(const std::string& msg) {
+    out_.errors.push_back(strf("%d:%d: %s", cur().line, cur().col, msg.c_str()));
+  }
+  bool errorsBounded() const { return out_.errors.size() < 30; }
+
+  bool expect(Tok t, const char* context) {
+    if (at(t)) {
+      advance();
+      return true;
+    }
+    error(strf("expected %s %s, got %s", tokName(t), context, tokName(cur().kind)));
+    return false;
+  }
+
+  bool parseType(AstType& out) {
+    if (at(Tok::KwI64)) { out = AstType::I64; advance(); return true; }
+    if (at(Tok::KwF64)) { out = AstType::F64; advance(); return true; }
+    if (at(Tok::KwVoid)) { out = AstType::Void; advance(); return true; }
+    error(strf("expected a type, got %s", tokName(cur().kind)));
+    return false;
+  }
+
+  // var name: type; | var name: type = lit; | var name: type[count];
+  void parseGlobal() {
+    GlobalDecl g;
+    g.loc = loc();
+    advance();  // var
+    g.name = cur().text;
+    if (!expect(Tok::Ident, "as global name")) return skipToSemicolon();
+    if (!expect(Tok::Colon, "after global name")) return skipToSemicolon();
+    if (!parseType(g.type)) return skipToSemicolon();
+    if (g.type == AstType::Void) error("global cannot have type void");
+    if (at(Tok::LBracket)) {
+      advance();
+      if (at(Tok::IntLit)) {
+        g.arrayCount = cur().intValue;
+        if (g.arrayCount <= 0) error("array size must be positive");
+        advance();
+      } else {
+        error("expected array size literal");
+      }
+      expect(Tok::RBracket, "after array size");
+    } else if (at(Tok::Assign)) {
+      advance();
+      g.hasInit = true;
+      bool negative = false;
+      if (at(Tok::Minus)) {
+        negative = true;
+        advance();
+      }
+      if (at(Tok::IntLit)) {
+        g.intInit = negative ? -cur().intValue : cur().intValue;
+        advance();
+      } else if (at(Tok::FloatLit)) {
+        g.floatInit = negative ? -cur().floatValue : cur().floatValue;
+        advance();
+      } else {
+        error("global initializer must be a literal");
+      }
+    }
+    expect(Tok::Semicolon, "after global declaration");
+    out_.program.globals.push_back(std::move(g));
+  }
+
+  void skipToSemicolon() {
+    while (!at(Tok::End) && !at(Tok::Semicolon)) advance();
+    if (at(Tok::Semicolon)) advance();
+  }
+
+  void parseFunction() {
+    auto fn = std::make_unique<FunctionDecl>();
+    fn->loc = loc();
+    advance();  // fn
+    fn->name = cur().text;
+    if (!expect(Tok::Ident, "as function name")) return;
+    if (!expect(Tok::LParen, "after function name")) return;
+    while (!at(Tok::RParen) && !at(Tok::End)) {
+      ParamDecl p;
+      p.loc = loc();
+      p.name = cur().text;
+      if (!expect(Tok::Ident, "as parameter name")) break;
+      if (!expect(Tok::Colon, "after parameter name")) break;
+      if (!parseType(p.type)) break;
+      if (p.type == AstType::Void) error("parameter cannot be void");
+      fn->params.push_back(std::move(p));
+      if (at(Tok::Comma)) advance();
+      else break;
+    }
+    expect(Tok::RParen, "after parameters");
+    if (at(Tok::Arrow)) {
+      advance();
+      parseType(fn->returnType);
+    } else {
+      fn->returnType = AstType::Void;
+    }
+    if (!expect(Tok::LBrace, "to open function body")) return;
+    fn->body = parseStmtList();
+    expect(Tok::RBrace, "to close function body");
+    out_.program.functions.push_back(std::move(fn));
+  }
+
+  std::vector<std::unique_ptr<Stmt>> parseStmtList() {
+    std::vector<std::unique_ptr<Stmt>> stmts;
+    while (!at(Tok::RBrace) && !at(Tok::End) && errorsBounded()) {
+      auto s = parseStmt();
+      if (s != nullptr) stmts.push_back(std::move(s));
+    }
+    return stmts;
+  }
+
+  std::unique_ptr<Stmt> makeStmt(StmtKind kind) {
+    auto s = std::make_unique<Stmt>();
+    s->kind = kind;
+    s->loc = loc();
+    return s;
+  }
+
+  std::unique_ptr<Stmt> parseStmt() {
+    switch (cur().kind) {
+      case Tok::KwVar: return parseVarDecl();
+      case Tok::KwIf: return parseIf();
+      case Tok::KwWhile: return parseWhile();
+      case Tok::KwFor: return parseFor();
+      case Tok::KwReturn: {
+        auto s = makeStmt(StmtKind::Return);
+        advance();
+        if (!at(Tok::Semicolon)) s->expr0 = parseExpr();
+        expect(Tok::Semicolon, "after return");
+        return s;
+      }
+      case Tok::KwBreak: {
+        auto s = makeStmt(StmtKind::Break);
+        advance();
+        expect(Tok::Semicolon, "after break");
+        return s;
+      }
+      case Tok::KwContinue: {
+        auto s = makeStmt(StmtKind::Continue);
+        advance();
+        expect(Tok::Semicolon, "after continue");
+        return s;
+      }
+      case Tok::LBrace: {
+        auto s = makeStmt(StmtKind::Block);
+        advance();
+        s->body = parseStmtList();
+        expect(Tok::RBrace, "to close block");
+        return s;
+      }
+      default:
+        return parseSimpleStmt(/*requireSemicolon=*/true);
+    }
+  }
+
+  std::unique_ptr<Stmt> parseVarDecl() {
+    auto s = makeStmt(StmtKind::VarDecl);
+    advance();  // var
+    s->name = cur().text;
+    if (!expect(Tok::Ident, "as variable name")) { skipToSemicolon(); return nullptr; }
+    if (!expect(Tok::Colon, "after variable name")) { skipToSemicolon(); return nullptr; }
+    if (!parseType(s->declType)) { skipToSemicolon(); return nullptr; }
+    if (s->declType == AstType::Void) error("variable cannot have type void");
+    if (at(Tok::LBracket)) {
+      advance();
+      if (at(Tok::IntLit)) {
+        s->arrayCount = cur().intValue;
+        if (s->arrayCount <= 0) error("array size must be positive");
+        advance();
+      } else {
+        error("expected array size literal");
+      }
+      expect(Tok::RBracket, "after array size");
+    } else if (at(Tok::Assign)) {
+      advance();
+      s->expr0 = parseExpr();
+    }
+    expect(Tok::Semicolon, "after variable declaration");
+    return s;
+  }
+
+  // Assignment, indexed assignment, or expression statement.
+  std::unique_ptr<Stmt> parseSimpleStmt(bool requireSemicolon) {
+    if (at(Tok::Ident) && peek().kind == Tok::Assign) {
+      auto s = makeStmt(StmtKind::Assign);
+      s->name = cur().text;
+      advance();  // ident
+      advance();  // =
+      s->expr0 = parseExpr();
+      if (requireSemicolon) expect(Tok::Semicolon, "after assignment");
+      return s;
+    }
+    if (at(Tok::Ident) && peek().kind == Tok::LBracket) {
+      // Could be an indexed assignment or an expression (a[i] used rvalue).
+      const std::size_t save = pos_;
+      auto s = makeStmt(StmtKind::IndexAssign);
+      s->name = cur().text;
+      advance();  // ident
+      advance();  // [
+      s->expr0 = parseExpr();
+      if (at(Tok::RBracket) && peek().kind == Tok::Assign) {
+        advance();  // ]
+        advance();  // =
+        s->expr1 = parseExpr();
+        if (requireSemicolon) expect(Tok::Semicolon, "after assignment");
+        return s;
+      }
+      pos_ = save;  // rewind: it was an expression
+    }
+    auto s = makeStmt(StmtKind::ExprStmt);
+    s->expr0 = parseExpr();
+    if (requireSemicolon) expect(Tok::Semicolon, "after expression");
+    return s;
+  }
+
+  std::unique_ptr<Stmt> parseIf() {
+    auto s = makeStmt(StmtKind::If);
+    advance();  // if
+    expect(Tok::LParen, "after 'if'");
+    s->expr0 = parseExpr();
+    expect(Tok::RParen, "after condition");
+    expect(Tok::LBrace, "to open if body");
+    s->body = parseStmtList();
+    expect(Tok::RBrace, "to close if body");
+    if (at(Tok::KwElse)) {
+      advance();
+      if (at(Tok::KwIf)) {
+        s->elseBody.push_back(parseIf());
+      } else {
+        expect(Tok::LBrace, "to open else body");
+        s->elseBody = parseStmtList();
+        expect(Tok::RBrace, "to close else body");
+      }
+    }
+    return s;
+  }
+
+  std::unique_ptr<Stmt> parseWhile() {
+    auto s = makeStmt(StmtKind::While);
+    advance();  // while
+    expect(Tok::LParen, "after 'while'");
+    s->expr0 = parseExpr();
+    expect(Tok::RParen, "after condition");
+    expect(Tok::LBrace, "to open while body");
+    s->body = parseStmtList();
+    expect(Tok::RBrace, "to close while body");
+    return s;
+  }
+
+  std::unique_ptr<Stmt> parseFor() {
+    auto s = makeStmt(StmtKind::For);
+    advance();  // for
+    expect(Tok::LParen, "after 'for'");
+    if (!at(Tok::Semicolon)) {
+      if (at(Tok::KwVar)) {
+        s->forInit = parseVarDecl();  // consumes its semicolon
+      } else {
+        s->forInit = parseSimpleStmt(/*requireSemicolon=*/false);
+        expect(Tok::Semicolon, "after for-init");
+      }
+    } else {
+      advance();
+    }
+    if (!at(Tok::Semicolon)) s->expr0 = parseExpr();
+    expect(Tok::Semicolon, "after for-condition");
+    if (!at(Tok::RParen)) s->forStep = parseSimpleStmt(/*requireSemicolon=*/false);
+    expect(Tok::RParen, "after for-step");
+    expect(Tok::LBrace, "to open for body");
+    s->body = parseStmtList();
+    expect(Tok::RBrace, "to close for body");
+    return s;
+  }
+
+  std::unique_ptr<Expr> makeExpr(ExprKind kind) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->loc = loc();
+    return e;
+  }
+
+  std::unique_ptr<Expr> parseExpr() { return parseBinary(1); }
+
+  std::unique_ptr<Expr> parseBinary(int minPrec) {
+    auto lhs = parseUnary();
+    for (;;) {
+      const int prec = precedence(cur().kind);
+      if (prec < minPrec || prec == 0) return lhs;
+      const Tok opTok = cur().kind;
+      auto e = makeExpr(ExprKind::Binary);
+      advance();
+      auto rhs = parseBinary(prec + 1);  // left associative
+      e->binaryOp = toBinaryOp(opTok);
+      e->children.push_back(std::move(lhs));
+      e->children.push_back(std::move(rhs));
+      lhs = std::move(e);
+    }
+  }
+
+  std::unique_ptr<Expr> parseUnary() {
+    if (at(Tok::Minus)) {
+      auto e = makeExpr(ExprKind::Unary);
+      e->unaryOp = UnaryOp::Neg;
+      advance();
+      e->children.push_back(parseUnary());
+      return e;
+    }
+    if (at(Tok::Bang)) {
+      auto e = makeExpr(ExprKind::Unary);
+      e->unaryOp = UnaryOp::Not;
+      advance();
+      e->children.push_back(parseUnary());
+      return e;
+    }
+    return parsePostfix();
+  }
+
+  std::unique_ptr<Expr> parsePostfix() {
+    auto e = parsePrimary();
+    while (at(Tok::LBracket)) {
+      auto idx = makeExpr(ExprKind::Index);
+      if (e->kind != ExprKind::VarRef) {
+        error("only named arrays can be indexed");
+      } else {
+        idx->name = e->name;
+      }
+      advance();  // [
+      idx->children.push_back(parseExpr());
+      expect(Tok::RBracket, "after index");
+      e = std::move(idx);
+    }
+    return e;
+  }
+
+  std::unique_ptr<Expr> parsePrimary() {
+    switch (cur().kind) {
+      case Tok::IntLit: {
+        auto e = makeExpr(ExprKind::IntLit);
+        e->intValue = cur().intValue;
+        advance();
+        return e;
+      }
+      case Tok::FloatLit: {
+        auto e = makeExpr(ExprKind::FloatLit);
+        e->floatValue = cur().floatValue;
+        advance();
+        return e;
+      }
+      case Tok::KwTrue:
+      case Tok::KwFalse: {
+        auto e = makeExpr(ExprKind::BoolLit);
+        e->boolValue = at(Tok::KwTrue);
+        advance();
+        return e;
+      }
+      case Tok::StrLit: {
+        auto e = makeExpr(ExprKind::StrLit);
+        e->strValue = cur().text;
+        advance();
+        return e;
+      }
+      case Tok::KwI64:
+      case Tok::KwF64: {
+        // Cast syntax: i64(expr) / f64(expr).
+        auto e = makeExpr(ExprKind::Cast);
+        e->castTo = at(Tok::KwI64) ? AstType::I64 : AstType::F64;
+        advance();
+        expect(Tok::LParen, "after cast type");
+        e->children.push_back(parseExpr());
+        expect(Tok::RParen, "after cast operand");
+        return e;
+      }
+      case Tok::Ident: {
+        if (peek().kind == Tok::LParen) {
+          auto e = makeExpr(ExprKind::Call);
+          e->name = cur().text;
+          advance();  // ident
+          advance();  // (
+          while (!at(Tok::RParen) && !at(Tok::End)) {
+            e->children.push_back(parseExpr());
+            if (at(Tok::Comma)) advance();
+            else break;
+          }
+          expect(Tok::RParen, "after call arguments");
+          return e;
+        }
+        auto e = makeExpr(ExprKind::VarRef);
+        e->name = cur().text;
+        advance();
+        return e;
+      }
+      case Tok::LParen: {
+        advance();
+        auto e = parseExpr();
+        expect(Tok::RParen, "after parenthesized expression");
+        return e;
+      }
+      default: {
+        error(strf("expected an expression, got %s", tokName(cur().kind)));
+        auto e = makeExpr(ExprKind::IntLit);
+        advance();
+        return e;
+      }
+    }
+  }
+
+  const std::vector<Token>& tokens_;
+  ParseResult& out_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ParseResult parse(const std::vector<Token>& tokens) {
+  ParseResult result;
+  RF_CHECK(!tokens.empty(), "parse: empty token stream");
+  Parser(tokens, result).run();
+  return result;
+}
+
+}  // namespace refine::fe

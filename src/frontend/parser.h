@@ -1,0 +1,20 @@
+// Recursive-descent parser for MiniC.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/ast.h"
+#include "frontend/token.h"
+
+namespace refine::fe {
+
+struct ParseResult {
+  Program program;
+  std::vector<std::string> errors;
+};
+
+/// Parses a token stream (as produced by lex()).
+ParseResult parse(const std::vector<Token>& tokens);
+
+}  // namespace refine::fe

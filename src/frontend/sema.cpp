@@ -1,0 +1,460 @@
+#include "frontend/sema.h"
+
+#include <optional>
+
+#include "support/strings.h"
+
+namespace refine::fe {
+
+const char* astTypeName(AstType t) noexcept {
+  switch (t) {
+    case AstType::Void: return "void";
+    case AstType::Bool: return "bool";
+    case AstType::I64: return "i64";
+    case AstType::F64: return "f64";
+  }
+  return "?";
+}
+
+namespace {
+
+struct BuiltinSig {
+  const char* name;
+  AstType returnType;
+  std::vector<AstType> params;
+};
+
+const std::vector<BuiltinSig>& builtins() {
+  static const std::vector<BuiltinSig> table = {
+      {"print_i64", AstType::Void, {AstType::I64}},
+      {"print_f64", AstType::Void, {AstType::F64}},
+      {"print_str", AstType::Void, {AstType::Void}},  // special: string literal
+      {"sqrt", AstType::F64, {AstType::F64}},
+      {"fabs", AstType::F64, {AstType::F64}},
+      {"exp", AstType::F64, {AstType::F64}},
+      {"log", AstType::F64, {AstType::F64}},
+      {"sin", AstType::F64, {AstType::F64}},
+      {"cos", AstType::F64, {AstType::F64}},
+      {"pow", AstType::F64, {AstType::F64, AstType::F64}},
+      {"floor", AstType::F64, {AstType::F64}},
+  };
+  return table;
+}
+
+const BuiltinSig* findBuiltin(const std::string& name) {
+  for (const auto& b : builtins()) {
+    if (name == b.name) return &b;
+  }
+  return nullptr;
+}
+
+class Sema {
+ public:
+  Sema(Program& program, SemaInfo& info) : program_(program), info_(info) {}
+
+  void run() {
+    for (const auto& g : program_.globals) declareGlobal(g);
+    for (const auto& fn : program_.functions) {
+      if (findBuiltin(fn->name) != nullptr) {
+        error(fn->loc, "function name collides with builtin: " + fn->name);
+      }
+      if (functions_.contains(fn->name)) {
+        error(fn->loc, "duplicate function: " + fn->name);
+      }
+      functions_[fn->name] = fn.get();
+    }
+    for (auto& fn : program_.functions) checkFunction(*fn);
+    const FunctionDecl* main = nullptr;
+    auto it = functions_.find("main");
+    if (it != functions_.end()) main = it->second;
+    if (main == nullptr) {
+      info_.errors.push_back("program has no 'main' function");
+    } else if (main->returnType != AstType::I64 || !main->params.empty()) {
+      error(main->loc, "'main' must be 'fn main() -> i64' with no parameters");
+    }
+  }
+
+ private:
+  void error(SrcLoc loc, const std::string& msg) {
+    info_.errors.push_back(strf("%d:%d: %s", loc.line, loc.col, msg.c_str()));
+  }
+
+  int addSymbol(Symbol sym) {
+    info_.symbols.push_back(std::move(sym));
+    return static_cast<int>(info_.symbols.size()) - 1;
+  }
+
+  void declareGlobal(const GlobalDecl& g) {
+    if (globalScope_.contains(g.name)) {
+      error(g.loc, "duplicate global: " + g.name);
+      return;
+    }
+    Symbol sym;
+    sym.kind = SymbolKind::Global;
+    sym.type = g.type;
+    sym.arrayCount = g.arrayCount;
+    sym.name = g.name;
+    globalScope_[g.name] = addSymbol(std::move(sym));
+  }
+
+  // -- Scope handling -------------------------------------------------------
+  std::optional<int> lookup(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto found = it->find(name);
+      if (found != it->end()) return found->second;
+    }
+    auto g = globalScope_.find(name);
+    if (g != globalScope_.end()) return g->second;
+    return std::nullopt;
+  }
+
+  void checkFunction(FunctionDecl& fn) {
+    currentFn_ = &fn;
+    scopes_.clear();
+    scopes_.emplace_back();
+    loopDepth_ = 0;
+    auto& paramIds = info_.paramSymbols[&fn];
+    for (const auto& p : fn.params) {
+      if (scopes_.back().contains(p.name)) {
+        error(p.loc, "duplicate parameter: " + p.name);
+      }
+      Symbol sym;
+      sym.kind = SymbolKind::Param;
+      sym.type = p.type;
+      sym.name = p.name;
+      const int id = addSymbol(std::move(sym));
+      scopes_.back()[p.name] = id;
+      paramIds.push_back(id);
+    }
+    checkStmtList(fn.body);
+    currentFn_ = nullptr;
+  }
+
+  void checkStmtList(std::vector<std::unique_ptr<Stmt>>& stmts) {
+    for (auto& s : stmts) {
+      if (s != nullptr) checkStmt(*s);
+    }
+  }
+
+  void checkStmt(Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::VarDecl: {
+        if (scopes_.back().contains(s.name)) {
+          error(s.loc, "duplicate variable in scope: " + s.name);
+        }
+        Symbol sym;
+        sym.kind = SymbolKind::Local;
+        sym.type = s.declType;
+        sym.arrayCount = s.arrayCount;
+        sym.name = s.name;
+        s.symbolId = addSymbol(std::move(sym));
+        scopes_.back()[s.name] = s.symbolId;
+        if (s.expr0 != nullptr) {
+          const AstType t = checkExpr(*s.expr0);
+          if (s.arrayCount > 0) {
+            error(s.loc, "array declarations cannot have initializers");
+          } else if (t != s.declType) {
+            error(s.loc, strf("initializer type %s does not match %s",
+                              astTypeName(t), astTypeName(s.declType)));
+          }
+        }
+        break;
+      }
+      case StmtKind::Assign: {
+        const auto id = lookup(s.name);
+        if (!id.has_value()) {
+          error(s.loc, "assignment to undeclared variable: " + s.name);
+          break;
+        }
+        s.symbolId = *id;
+        const Symbol& sym = info_.symbols[static_cast<std::size_t>(*id)];
+        if (sym.isArray()) {
+          error(s.loc, "cannot assign to an array without an index: " + s.name);
+          break;
+        }
+        const AstType t = checkExpr(*s.expr0);
+        if (t != sym.type) {
+          error(s.loc, strf("cannot assign %s to %s variable '%s'",
+                            astTypeName(t), astTypeName(sym.type), s.name.c_str()));
+        }
+        break;
+      }
+      case StmtKind::IndexAssign: {
+        const auto id = lookup(s.name);
+        if (!id.has_value()) {
+          error(s.loc, "assignment to undeclared array: " + s.name);
+          break;
+        }
+        s.symbolId = *id;
+        const Symbol& sym = info_.symbols[static_cast<std::size_t>(*id)];
+        if (!sym.isArray()) {
+          error(s.loc, "indexed assignment to non-array: " + s.name);
+          break;
+        }
+        if (checkExpr(*s.expr0) != AstType::I64) {
+          error(s.loc, "array index must be i64");
+        }
+        const AstType t = checkExpr(*s.expr1);
+        if (t != sym.type) {
+          error(s.loc, strf("cannot store %s into %s array '%s'",
+                            astTypeName(t), astTypeName(sym.type), s.name.c_str()));
+        }
+        break;
+      }
+      case StmtKind::If: {
+        if (checkExpr(*s.expr0) != AstType::Bool) {
+          error(s.loc, "if condition must be bool");
+        }
+        pushScope();
+        checkStmtList(s.body);
+        popScope();
+        pushScope();
+        checkStmtList(s.elseBody);
+        popScope();
+        break;
+      }
+      case StmtKind::While: {
+        if (checkExpr(*s.expr0) != AstType::Bool) {
+          error(s.loc, "while condition must be bool");
+        }
+        ++loopDepth_;
+        pushScope();
+        checkStmtList(s.body);
+        popScope();
+        --loopDepth_;
+        break;
+      }
+      case StmtKind::For: {
+        pushScope();
+        if (s.forInit != nullptr) checkStmt(*s.forInit);
+        if (s.expr0 != nullptr && checkExpr(*s.expr0) != AstType::Bool) {
+          error(s.loc, "for condition must be bool");
+        }
+        if (s.forStep != nullptr) checkStmt(*s.forStep);
+        ++loopDepth_;
+        pushScope();
+        checkStmtList(s.body);
+        popScope();
+        --loopDepth_;
+        popScope();
+        break;
+      }
+      case StmtKind::Return: {
+        const AstType want = currentFn_->returnType;
+        if (s.expr0 == nullptr) {
+          if (want != AstType::Void) {
+            error(s.loc, "missing return value");
+          }
+        } else {
+          const AstType t = checkExpr(*s.expr0);
+          if (want == AstType::Void) {
+            error(s.loc, "void function cannot return a value");
+          } else if (t != want) {
+            error(s.loc, strf("return type %s does not match %s",
+                              astTypeName(t), astTypeName(want)));
+          }
+        }
+        break;
+      }
+      case StmtKind::ExprStmt:
+        checkExpr(*s.expr0);
+        break;
+      case StmtKind::Break:
+      case StmtKind::Continue:
+        if (loopDepth_ == 0) {
+          error(s.loc, s.kind == StmtKind::Break ? "break outside a loop"
+                                                 : "continue outside a loop");
+        }
+        break;
+      case StmtKind::Block:
+        pushScope();
+        checkStmtList(s.body);
+        popScope();
+        break;
+    }
+  }
+
+  void pushScope() { scopes_.emplace_back(); }
+  void popScope() { scopes_.pop_back(); }
+
+  AstType checkExpr(Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit: e.type = AstType::I64; break;
+      case ExprKind::FloatLit: e.type = AstType::F64; break;
+      case ExprKind::BoolLit: e.type = AstType::Bool; break;
+      case ExprKind::StrLit:
+        error(e.loc, "string literals are only allowed as print_str argument");
+        e.type = AstType::Void;
+        break;
+      case ExprKind::VarRef: {
+        const auto id = lookup(e.name);
+        if (!id.has_value()) {
+          error(e.loc, "use of undeclared identifier: " + e.name);
+          e.type = AstType::I64;
+          break;
+        }
+        e.symbolId = *id;
+        const Symbol& sym = info_.symbols[static_cast<std::size_t>(*id)];
+        if (sym.isArray()) {
+          error(e.loc, "array used without an index: " + e.name);
+        }
+        e.type = sym.type;
+        break;
+      }
+      case ExprKind::Index: {
+        const auto id = lookup(e.name);
+        if (!id.has_value()) {
+          error(e.loc, "use of undeclared array: " + e.name);
+          e.type = AstType::I64;
+          break;
+        }
+        e.symbolId = *id;
+        const Symbol& sym = info_.symbols[static_cast<std::size_t>(*id)];
+        if (!sym.isArray()) error(e.loc, "indexing non-array: " + e.name);
+        if (checkExpr(*e.children[0]) != AstType::I64) {
+          error(e.loc, "array index must be i64");
+        }
+        e.type = sym.type;
+        break;
+      }
+      case ExprKind::Call: checkCall(e); break;
+      case ExprKind::Unary: {
+        const AstType t = checkExpr(*e.children[0]);
+        if (e.unaryOp == UnaryOp::Neg) {
+          if (t != AstType::I64 && t != AstType::F64) {
+            error(e.loc, "unary '-' requires i64 or f64");
+          }
+          e.type = t;
+        } else {
+          if (t != AstType::Bool) error(e.loc, "'!' requires bool");
+          e.type = AstType::Bool;
+        }
+        break;
+      }
+      case ExprKind::Binary: checkBinary(e); break;
+      case ExprKind::Cast: {
+        const AstType from = checkExpr(*e.children[0]);
+        const AstType to = e.castTo;
+        const bool ok =
+            (to == AstType::I64 && (from == AstType::I64 || from == AstType::F64 ||
+                                    from == AstType::Bool)) ||
+            (to == AstType::F64 && (from == AstType::I64 || from == AstType::F64));
+        if (!ok) {
+          error(e.loc, strf("invalid cast from %s to %s", astTypeName(from),
+                            astTypeName(to)));
+        }
+        e.type = to;
+        break;
+      }
+    }
+    return e.type;
+  }
+
+  void checkCall(Expr& e) {
+    // print_str is special: exactly one string-literal argument.
+    if (e.name == "print_str") {
+      e.type = AstType::Void;
+      if (e.children.size() != 1 || e.children[0]->kind != ExprKind::StrLit) {
+        error(e.loc, "print_str takes exactly one string literal");
+      }
+      return;
+    }
+    if (const BuiltinSig* b = findBuiltin(e.name)) {
+      e.type = b->returnType;
+      if (e.children.size() != b->params.size()) {
+        error(e.loc, strf("%s expects %zu arguments", e.name.c_str(),
+                          b->params.size()));
+        return;
+      }
+      for (std::size_t i = 0; i < e.children.size(); ++i) {
+        const AstType t = checkExpr(*e.children[i]);
+        if (t != b->params[i]) {
+          error(e.loc, strf("%s argument %zu must be %s, got %s",
+                            e.name.c_str(), i + 1, astTypeName(b->params[i]),
+                            astTypeName(t)));
+        }
+      }
+      return;
+    }
+    auto it = functions_.find(e.name);
+    if (it == functions_.end()) {
+      error(e.loc, "call to undeclared function: " + e.name);
+      e.type = AstType::I64;
+      return;
+    }
+    const FunctionDecl* callee = it->second;
+    e.type = callee->returnType;
+    if (e.children.size() != callee->params.size()) {
+      error(e.loc, strf("%s expects %zu arguments, got %zu", e.name.c_str(),
+                        callee->params.size(), e.children.size()));
+      return;
+    }
+    for (std::size_t i = 0; i < e.children.size(); ++i) {
+      const AstType t = checkExpr(*e.children[i]);
+      if (t != callee->params[i].type) {
+        error(e.loc, strf("%s argument %zu must be %s, got %s", e.name.c_str(),
+                          i + 1, astTypeName(callee->params[i].type),
+                          astTypeName(t)));
+      }
+    }
+  }
+
+  void checkBinary(Expr& e) {
+    const AstType lhs = checkExpr(*e.children[0]);
+    const AstType rhs = checkExpr(*e.children[1]);
+    auto bothAre = [&](AstType t) { return lhs == t && rhs == t; };
+    switch (e.binaryOp) {
+      case BinaryOp::Add: case BinaryOp::Sub:
+      case BinaryOp::Mul: case BinaryOp::Div:
+        if (bothAre(AstType::I64)) {
+          e.type = AstType::I64;
+        } else if (bothAre(AstType::F64)) {
+          e.type = AstType::F64;
+        } else {
+          error(e.loc, strf("arithmetic requires matching numeric types "
+                            "(got %s and %s)", astTypeName(lhs), astTypeName(rhs)));
+          e.type = AstType::I64;
+        }
+        break;
+      case BinaryOp::Rem: case BinaryOp::BitAnd: case BinaryOp::BitOr:
+      case BinaryOp::BitXor: case BinaryOp::Shl: case BinaryOp::Shr:
+        if (!bothAre(AstType::I64)) {
+          error(e.loc, "integer operator requires i64 operands");
+        }
+        e.type = AstType::I64;
+        break;
+      case BinaryOp::Lt: case BinaryOp::Le: case BinaryOp::Gt:
+      case BinaryOp::Ge: case BinaryOp::Eq: case BinaryOp::Ne:
+        if (!bothAre(AstType::I64) && !bothAre(AstType::F64)) {
+          error(e.loc, strf("comparison requires matching numeric types "
+                            "(got %s and %s)", astTypeName(lhs), astTypeName(rhs)));
+        }
+        e.type = AstType::Bool;
+        break;
+      case BinaryOp::LogAnd: case BinaryOp::LogOr:
+        if (!bothAre(AstType::Bool)) {
+          error(e.loc, "logical operator requires bool operands");
+        }
+        e.type = AstType::Bool;
+        break;
+    }
+  }
+
+  Program& program_;
+  SemaInfo& info_;
+  std::unordered_map<std::string, int> globalScope_;
+  std::unordered_map<std::string, const FunctionDecl*> functions_;
+  std::vector<std::unordered_map<std::string, int>> scopes_;
+  const FunctionDecl* currentFn_ = nullptr;
+  int loopDepth_ = 0;
+};
+
+}  // namespace
+
+SemaInfo analyze(Program& program) {
+  SemaInfo info;
+  Sema(program, info).run();
+  return info;
+}
+
+}  // namespace refine::fe

@@ -1,0 +1,36 @@
+// Semantic analysis for MiniC: name resolution and type checking.
+//
+// Sema stamps every VarRef/Index/VarDecl with a symbolId resolving it to a
+// unique declaration, and annotates every expression with its type. MiniC is
+// strictly typed: no implicit numeric conversions (use i64()/f64() casts).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "frontend/ast.h"
+
+namespace refine::fe {
+
+enum class SymbolKind : std::uint8_t { Global, Param, Local };
+
+struct Symbol {
+  SymbolKind kind = SymbolKind::Local;
+  AstType type = AstType::I64;
+  std::int64_t arrayCount = 0;  // 0 for scalars
+  std::string name;
+  bool isArray() const noexcept { return arrayCount > 0; }
+};
+
+struct SemaInfo {
+  std::vector<Symbol> symbols;  // indexed by symbolId
+  /// Parameter symbolIds per function, in declaration order.
+  std::unordered_map<const FunctionDecl*, std::vector<int>> paramSymbols;
+  std::vector<std::string> errors;
+};
+
+/// Analyzes `program` in place (mutates AST annotations).
+SemaInfo analyze(Program& program);
+
+}  // namespace refine::fe

@@ -1,0 +1,38 @@
+// Token definitions for MiniC, the benchmark source language.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace refine::fe {
+
+enum class Tok : std::uint8_t {
+  End,
+  // Literals and identifiers
+  IntLit, FloatLit, StrLit, Ident,
+  // Keywords
+  KwVar, KwFn, KwIf, KwElse, KwWhile, KwFor, KwReturn, KwBreak, KwContinue,
+  KwI64, KwF64, KwVoid, KwTrue, KwFalse,
+  // Punctuation
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semicolon, Colon, Arrow,
+  // Operators
+  Assign,            // =
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Shl, Shr,
+  AmpAmp, PipePipe, Bang,
+  Lt, Le, Gt, Ge, EqEq, NotEq,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;        // identifier name or string literal contents
+  std::int64_t intValue = 0;
+  double floatValue = 0.0;
+  int line = 0;
+  int col = 0;
+};
+
+const char* tokName(Tok t) noexcept;
+
+}  // namespace refine::fe

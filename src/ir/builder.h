@@ -1,0 +1,187 @@
+// Convenience construction of IR, analogous to llvm::IRBuilder.
+//
+// The builder tracks an insertion block; create* methods append there and
+// return the new instruction (as a Value* usable as an operand).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ir/ir.h"
+
+namespace refine::ir {
+
+class IRBuilder {
+ public:
+  explicit IRBuilder(Module& module) : module_(module) {}
+
+  Module& module() noexcept { return module_; }
+
+  void setInsertPoint(BasicBlock* bb) noexcept { block_ = bb; }
+  BasicBlock* insertBlock() const noexcept { return block_; }
+
+  // -- Terminators --------------------------------------------------------
+  Instruction* createRet(Value* v = nullptr) {
+    auto inst = make(Opcode::Ret, Type::Void);
+    if (v != nullptr) inst->addOperand(v);
+    return append(std::move(inst));
+  }
+  Instruction* createBr(BasicBlock* dest) {
+    auto inst = make(Opcode::Br, Type::Void);
+    inst->setTarget(0, dest);
+    return append(std::move(inst));
+  }
+  Instruction* createCondBr(Value* cond, BasicBlock* ifTrue, BasicBlock* ifFalse) {
+    RF_CHECK(cond->type() == Type::I1, "condbr condition must be i1");
+    auto inst = make(Opcode::CondBr, Type::Void);
+    inst->addOperand(cond);
+    inst->setTarget(0, ifTrue);
+    inst->setTarget(1, ifFalse);
+    return append(std::move(inst));
+  }
+
+  // -- Memory ----------------------------------------------------------------
+  Instruction* createAlloca(Type elemType, std::uint64_t count = 1) {
+    auto inst = make(Opcode::Alloca, Type::Ptr);
+    inst->setElemType(elemType);
+    inst->setAllocaCount(count);
+    return append(std::move(inst));
+  }
+  Instruction* createLoad(Type type, Value* ptr) {
+    RF_CHECK(ptr->type() == Type::Ptr, "load from non-pointer");
+    auto inst = make(Opcode::Load, type);
+    inst->addOperand(ptr);
+    return append(std::move(inst));
+  }
+  Instruction* createStore(Value* value, Value* ptr) {
+    RF_CHECK(ptr->type() == Type::Ptr, "store to non-pointer");
+    auto inst = make(Opcode::Store, Type::Void);
+    inst->addOperand(value);
+    inst->addOperand(ptr);
+    return append(std::move(inst));
+  }
+  Instruction* createGep(Value* base, Value* index, Type elemType) {
+    RF_CHECK(base->type() == Type::Ptr, "gep base must be a pointer");
+    RF_CHECK(index->type() == Type::I64, "gep index must be i64");
+    auto inst = make(Opcode::Gep, Type::Ptr);
+    inst->addOperand(base);
+    inst->addOperand(index);
+    inst->setElemType(elemType);
+    return append(std::move(inst));
+  }
+
+  // -- Arithmetic ---------------------------------------------------------------
+  Instruction* createBinary(Opcode op, Value* lhs, Value* rhs) {
+    Type type = Type::Void;
+    if (isIntBinary(op)) {
+      RF_CHECK(lhs->type() == Type::I64 && rhs->type() == Type::I64,
+               "integer binary operands must be i64");
+      type = Type::I64;
+    } else if (isFloatBinary(op)) {
+      RF_CHECK(lhs->type() == Type::F64 && rhs->type() == Type::F64,
+               "float binary operands must be f64");
+      type = Type::F64;
+    } else {
+      RF_UNREACHABLE("createBinary with non-binary opcode");
+    }
+    auto inst = make(op, type);
+    inst->addOperand(lhs);
+    inst->addOperand(rhs);
+    return append(std::move(inst));
+  }
+  Instruction* createFAbs(Value* v) { return unary(Opcode::FAbs, Type::F64, v); }
+  Instruction* createFSqrt(Value* v) { return unary(Opcode::FSqrt, Type::F64, v); }
+
+  // -- Compare / select ----------------------------------------------------------
+  Instruction* createICmp(ICmpPred pred, Value* lhs, Value* rhs) {
+    RF_CHECK(lhs->type() == Type::I64 && rhs->type() == Type::I64,
+             "icmp operands must be i64");
+    auto inst = make(Opcode::ICmp, Type::I1);
+    inst->addOperand(lhs);
+    inst->addOperand(rhs);
+    inst->setICmpPred(pred);
+    return append(std::move(inst));
+  }
+  Instruction* createFCmp(FCmpPred pred, Value* lhs, Value* rhs) {
+    RF_CHECK(lhs->type() == Type::F64 && rhs->type() == Type::F64,
+             "fcmp operands must be f64");
+    auto inst = make(Opcode::FCmp, Type::I1);
+    inst->addOperand(lhs);
+    inst->addOperand(rhs);
+    inst->setFCmpPred(pred);
+    return append(std::move(inst));
+  }
+  Instruction* createSelect(Value* cond, Value* ifTrue, Value* ifFalse) {
+    RF_CHECK(cond->type() == Type::I1, "select condition must be i1");
+    RF_CHECK(ifTrue->type() == ifFalse->type(), "select arms must agree");
+    auto inst = make(Opcode::Select, ifTrue->type());
+    inst->addOperand(cond);
+    inst->addOperand(ifTrue);
+    inst->addOperand(ifFalse);
+    return append(std::move(inst));
+  }
+
+  // -- Conversions -------------------------------------------------------------
+  Instruction* createZExt(Value* v) {
+    RF_CHECK(v->type() == Type::I1, "zext source must be i1");
+    return unary(Opcode::ZExt, Type::I64, v);
+  }
+  Instruction* createSIToFP(Value* v) {
+    RF_CHECK(v->type() == Type::I64, "sitofp source must be i64");
+    return unary(Opcode::SIToFP, Type::F64, v);
+  }
+  Instruction* createFPToSI(Value* v) {
+    RF_CHECK(v->type() == Type::F64, "fptosi source must be f64");
+    return unary(Opcode::FPToSI, Type::I64, v);
+  }
+  Instruction* createBitcastI2F(Value* v) {
+    RF_CHECK(v->type() == Type::I64, "bitcast.i2f source must be i64");
+    return unary(Opcode::BitcastI2F, Type::F64, v);
+  }
+  Instruction* createBitcastF2I(Value* v) {
+    RF_CHECK(v->type() == Type::F64, "bitcast.f2i source must be f64");
+    return unary(Opcode::BitcastF2I, Type::I64, v);
+  }
+
+  // -- Calls and phis -------------------------------------------------------------
+  Instruction* createCall(Function* callee, const std::vector<Value*>& args) {
+    RF_CHECK(callee != nullptr, "call to null function");
+    RF_CHECK(args.size() == callee->params().size(),
+             "call argument count mismatch for " + callee->name());
+    auto inst = make(Opcode::Call, callee->returnType());
+    for (Value* a : args) inst->addOperand(a);
+    inst->setCallee(callee);
+    return append(std::move(inst));
+  }
+  /// Creates an empty phi at the *front* of the current block.
+  Instruction* createPhi(Type type) {
+    auto inst = make(Opcode::Phi, type);
+    RF_CHECK(block_ != nullptr, "no insertion block");
+    // Phis must stay grouped at the top of the block.
+    std::size_t pos = 0;
+    for (const auto& existing : block_->instructions()) {
+      if (existing->opcode() != Opcode::Phi) break;
+      ++pos;
+    }
+    return block_->insertAt(pos, std::move(inst));
+  }
+
+ private:
+  std::unique_ptr<Instruction> make(Opcode op, Type type) {
+    return std::make_unique<Instruction>(op, type);
+  }
+  Instruction* unary(Opcode op, Type type, Value* v) {
+    auto inst = make(op, type);
+    inst->addOperand(v);
+    return append(std::move(inst));
+  }
+  Instruction* append(std::unique_ptr<Instruction> inst) {
+    RF_CHECK(block_ != nullptr, "no insertion block");
+    return block_->append(std::move(inst));
+  }
+
+  Module& module_;
+  BasicBlock* block_ = nullptr;
+};
+
+}  // namespace refine::ir

@@ -1,0 +1,68 @@
+#include "ir/cfg.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace refine::ir {
+
+std::vector<BasicBlock*> successors(const BasicBlock* bb) {
+  std::vector<BasicBlock*> out;
+  const Instruction* term = bb->terminator();
+  if (term == nullptr) return out;
+  switch (term->opcode()) {
+    case Opcode::Br:
+      out.push_back(term->target(0));
+      break;
+    case Opcode::CondBr:
+      out.push_back(term->target(0));
+      if (term->target(1) != term->target(0)) out.push_back(term->target(1));
+      break;
+    case Opcode::Ret:
+      break;
+    default:
+      RF_UNREACHABLE("non-terminator at block end");
+  }
+  return out;
+}
+
+std::unordered_map<const BasicBlock*, std::vector<BasicBlock*>> predecessorMap(
+    const Function& fn) {
+  std::unordered_map<const BasicBlock*, std::vector<BasicBlock*>> preds;
+  for (const auto& bb : fn.blocks()) preds[bb.get()];  // ensure every key exists
+  for (const auto& bb : fn.blocks()) {
+    for (BasicBlock* succ : successors(bb.get())) {
+      preds[succ].push_back(bb.get());
+    }
+  }
+  return preds;
+}
+
+namespace {
+void postOrderVisit(BasicBlock* bb, std::unordered_set<BasicBlock*>& seen,
+                    std::vector<BasicBlock*>& order) {
+  if (!seen.insert(bb).second) return;
+  for (BasicBlock* succ : successors(bb)) postOrderVisit(succ, seen, order);
+  order.push_back(bb);
+}
+}  // namespace
+
+std::vector<BasicBlock*> reversePostOrder(const Function& fn) {
+  std::vector<BasicBlock*> order;
+  if (fn.blocks().empty()) return order;
+  std::unordered_set<BasicBlock*> seen;
+  postOrderVisit(fn.entry(), seen, order);
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<BasicBlock*> unreachableBlocks(const Function& fn) {
+  std::unordered_set<BasicBlock*> reachable;
+  for (BasicBlock* bb : reversePostOrder(fn)) reachable.insert(bb);
+  std::vector<BasicBlock*> out;
+  for (const auto& bb : fn.blocks()) {
+    if (!reachable.contains(bb.get())) out.push_back(bb.get());
+  }
+  return out;
+}
+
+}  // namespace refine::ir

@@ -1,0 +1,28 @@
+// Control-flow-graph queries over IR functions.
+//
+// Successors come straight from terminators; predecessor maps and traversal
+// orders are computed on demand (passes recompute rather than maintain
+// incremental state — simpler and cheap at this project's scale).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace refine::ir {
+
+/// Successor blocks of `bb` in terminator order (0, 1).
+std::vector<BasicBlock*> successors(const BasicBlock* bb);
+
+/// Map from block to its predecessors, in function block order.
+std::unordered_map<const BasicBlock*, std::vector<BasicBlock*>> predecessorMap(
+    const Function& fn);
+
+/// Blocks reachable from entry, in reverse post-order (ideal for dataflow).
+std::vector<BasicBlock*> reversePostOrder(const Function& fn);
+
+/// Blocks unreachable from the entry block.
+std::vector<BasicBlock*> unreachableBlocks(const Function& fn);
+
+}  // namespace refine::ir

@@ -1,0 +1,86 @@
+#include "ir/dominators.h"
+
+#include "ir/cfg.h"
+
+namespace refine::ir {
+
+DominatorTree::DominatorTree(const Function& fn) {
+  order_ = reversePostOrder(fn);
+  for (std::size_t i = 0; i < order_.size(); ++i) rpoIndex_[order_[i]] = i;
+  if (order_.empty()) return;
+
+  auto preds = predecessorMap(fn);
+  BasicBlock* entry = order_.front();
+  idom_[entry] = entry;  // sentinel: entry's idom is itself during iteration
+
+  // intersect() walks both fingers up the (partial) dominator tree.
+  auto intersect = [&](BasicBlock* a, BasicBlock* b) {
+    while (a != b) {
+      while (rpoIndex_.at(a) > rpoIndex_.at(b)) a = idom_.at(a);
+      while (rpoIndex_.at(b) > rpoIndex_.at(a)) b = idom_.at(b);
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 1; i < order_.size(); ++i) {
+      BasicBlock* bb = order_[i];
+      BasicBlock* newIdom = nullptr;
+      for (BasicBlock* p : preds.at(bb)) {
+        if (!rpoIndex_.contains(p)) continue;        // unreachable predecessor
+        if (!idom_.contains(p)) continue;            // not yet processed
+        newIdom = newIdom == nullptr ? p : intersect(p, newIdom);
+      }
+      RF_CHECK(newIdom != nullptr, "reachable block without processed preds");
+      auto it = idom_.find(bb);
+      if (it == idom_.end() || it->second != newIdom) {
+        idom_[bb] = newIdom;
+        changed = true;
+      }
+    }
+  }
+  idom_[entry] = nullptr;  // replace sentinel
+
+  // Dominance frontiers (CHK): join points with >= 2 predecessors.
+  for (BasicBlock* bb : order_) {
+    const auto& ps = preds.at(bb);
+    std::size_t reachablePreds = 0;
+    for (BasicBlock* p : ps) {
+      if (rpoIndex_.contains(p)) ++reachablePreds;
+    }
+    if (reachablePreds < 2) continue;
+    for (BasicBlock* p : ps) {
+      if (!rpoIndex_.contains(p)) continue;
+      BasicBlock* runner = p;
+      while (runner != nullptr && runner != idom_.at(bb)) {
+        auto& fr = frontier_[runner];
+        if (fr.empty() || fr.back() != bb) fr.push_back(bb);
+        runner = idom_.at(runner);
+      }
+    }
+  }
+}
+
+BasicBlock* DominatorTree::idom(const BasicBlock* bb) const {
+  auto it = idom_.find(bb);
+  return it == idom_.end() ? nullptr : it->second;
+}
+
+bool DominatorTree::dominates(const BasicBlock* a, const BasicBlock* b) const {
+  if (!rpoIndex_.contains(a) || !rpoIndex_.contains(b)) return false;
+  const BasicBlock* runner = b;
+  while (runner != nullptr) {
+    if (runner == a) return true;
+    runner = idom(runner);
+  }
+  return false;
+}
+
+const std::vector<BasicBlock*>& DominatorTree::frontier(const BasicBlock* bb) const {
+  auto it = frontier_.find(bb);
+  return it == frontier_.end() ? emptyFrontier_ : it->second;
+}
+
+}  // namespace refine::ir

@@ -1,0 +1,43 @@
+// Dominator tree and dominance frontiers (Cooper–Harvey–Kennedy algorithm).
+//
+// Used by mem2reg for phi placement and by the verifier for SSA dominance
+// checks. Only blocks reachable from entry are represented.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace refine::ir {
+
+class DominatorTree {
+ public:
+  explicit DominatorTree(const Function& fn);
+
+  /// Immediate dominator, or nullptr for the entry block / unreachable blocks.
+  BasicBlock* idom(const BasicBlock* bb) const;
+
+  /// True when `a` dominates `b` (reflexive).
+  bool dominates(const BasicBlock* a, const BasicBlock* b) const;
+
+  /// Dominance frontier of `bb`.
+  const std::vector<BasicBlock*>& frontier(const BasicBlock* bb) const;
+
+  /// True if the block is reachable from entry.
+  bool isReachable(const BasicBlock* bb) const {
+    return rpoIndex_.contains(bb);
+  }
+
+  /// Reverse post-order used internally (reachable blocks only).
+  const std::vector<BasicBlock*>& order() const noexcept { return order_; }
+
+ private:
+  std::vector<BasicBlock*> order_;
+  std::unordered_map<const BasicBlock*, std::size_t> rpoIndex_;
+  std::unordered_map<const BasicBlock*, BasicBlock*> idom_;
+  std::unordered_map<const BasicBlock*, std::vector<BasicBlock*>> frontier_;
+  std::vector<BasicBlock*> emptyFrontier_;
+};
+
+}  // namespace refine::ir

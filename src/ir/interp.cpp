@@ -1,0 +1,389 @@
+#include "ir/interp.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/layout.h"
+#include "ir/runtime.h"
+#include "support/strings.h"
+
+namespace refine::ir {
+
+std::string formatPrintI64(std::int64_t v) {
+  return strf("%lld\n", static_cast<long long>(v));
+}
+
+std::string formatPrintF64(double v) { return strf("%.6e\n", v); }
+
+namespace {
+
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+double asF64(u64 bits) { return std::bit_cast<double>(bits); }
+u64 asBits(double v) { return std::bit_cast<u64>(v); }
+
+i64 fpToSi(double v) {
+  // x64 cvttsd2si semantics: out-of-range and NaN produce INT64_MIN.
+  if (std::isnan(v) || v >= 9.2233720368547758e18 || v < -9.2233720368547758e18) {
+    return std::numeric_limits<i64>::min();
+  }
+  return static_cast<i64>(v);
+}
+
+class Interp {
+ public:
+  Interp(const Module& module, u64 maxInstrs)
+      : module_(module), layout_(module), budget_(maxInstrs) {
+    globals_.resize(layout_.globalBytes(), 0);
+    for (const auto& g : module.globals()) {
+      const u64 base = layout_.addressOf(g.get()) - DataLayout::kGlobalBase;
+      const auto& init = g->init();
+      for (std::size_t i = 0; i < init.size() && i < g->count(); ++i) {
+        std::memcpy(&globals_[base + i * 8], &init[i], 8);
+      }
+    }
+    stack_.resize(DataLayout::kStackSize, 0);
+    sp_ = DataLayout::kStackTop;
+  }
+
+  InterpResult run(const Function* entry) {
+    u64 ret = 0;
+    const bool ok = runFunction(entry, {}, ret);
+    InterpResult res;
+    res.output = std::move(output_);
+    res.instrCount = count_;
+    if (!ok) {
+      res.trapped = true;
+      res.trap = trap_;
+      res.exitCode = -1;
+    } else {
+      res.exitCode = static_cast<i64>(ret);
+    }
+    return res;
+  }
+
+ private:
+  struct Frame {
+    std::unordered_map<const Value*, u64> values;
+    const Function* fn = nullptr;
+  };
+
+  bool fail(InterpTrap t) {
+    trap_ = t;
+    return false;
+  }
+
+  bool loadWord(u64 addr, u64& out) {
+    if (addr >= DataLayout::kGlobalBase &&
+        addr + 8 <= DataLayout::kGlobalBase + globals_.size()) {
+      std::memcpy(&out, &globals_[addr - DataLayout::kGlobalBase], 8);
+      return true;
+    }
+    if (addr >= DataLayout::kStackLimit && addr + 8 <= DataLayout::kStackTop) {
+      std::memcpy(&out, &stack_[addr - DataLayout::kStackLimit], 8);
+      return true;
+    }
+    return fail(InterpTrap::BadMemory);
+  }
+
+  bool storeWord(u64 addr, u64 value) {
+    if (addr >= DataLayout::kGlobalBase &&
+        addr + 8 <= DataLayout::kGlobalBase + globals_.size()) {
+      std::memcpy(&globals_[addr - DataLayout::kGlobalBase], &value, 8);
+      return true;
+    }
+    if (addr >= DataLayout::kStackLimit && addr + 8 <= DataLayout::kStackTop) {
+      std::memcpy(&stack_[addr - DataLayout::kStackLimit], &value, 8);
+      return true;
+    }
+    return fail(InterpTrap::BadMemory);
+  }
+
+  u64 eval(const Frame& frame, const Value* v) {
+    switch (v->kind()) {
+      case ValueKind::ConstantInt:
+        return static_cast<u64>(static_cast<const ConstantInt*>(v)->value());
+      case ValueKind::ConstantFloat:
+        return asBits(static_cast<const ConstantFloat*>(v)->value());
+      case ValueKind::Global:
+        return layout_.addressOf(static_cast<const GlobalVar*>(v));
+      default: {
+        auto it = frame.values.find(v);
+        RF_CHECK(it != frame.values.end(), "use of undefined value");
+        return it->second;
+      }
+    }
+  }
+
+  bool callRuntime(RuntimeFn fn, const std::vector<u64>& args, u64& ret) {
+    switch (fn) {
+      case RuntimeFn::PrintI64:
+        output_ += formatPrintI64(static_cast<i64>(args[0]));
+        return true;
+      case RuntimeFn::PrintF64:
+        output_ += formatPrintF64(asF64(args[0]));
+        return true;
+      case RuntimeFn::PrintStr: {
+        const u64 index = args[0];
+        RF_CHECK(index < module_.strings().size(), "print_str index out of range");
+        output_ += module_.strings()[index];
+        output_ += '\n';
+        return true;
+      }
+      case RuntimeFn::Exp: ret = asBits(std::exp(asF64(args[0]))); return true;
+      case RuntimeFn::Log: ret = asBits(std::log(asF64(args[0]))); return true;
+      case RuntimeFn::Sin: ret = asBits(std::sin(asF64(args[0]))); return true;
+      case RuntimeFn::Cos: ret = asBits(std::cos(asF64(args[0]))); return true;
+      case RuntimeFn::Pow:
+        ret = asBits(std::pow(asF64(args[0]), asF64(args[1])));
+        return true;
+      case RuntimeFn::Floor: ret = asBits(std::floor(asF64(args[0]))); return true;
+    }
+    RF_UNREACHABLE("bad runtime function");
+  }
+
+  bool runFunction(const Function* fn, const std::vector<u64>& args, u64& ret) {
+    RF_CHECK(!fn->isExternal(), "runFunction on external function");
+    const u64 savedSp = sp_;
+    Frame frame;
+    frame.fn = fn;
+    for (std::size_t i = 0; i < fn->params().size(); ++i) {
+      frame.values[fn->params()[i].get()] = args[i];
+    }
+
+    const BasicBlock* block = fn->entry();
+    const BasicBlock* prevBlock = nullptr;
+    std::size_t ip = 0;
+
+    // Transfers control to `next`, evaluating phis with parallel semantics.
+    auto enterBlock = [&](const BasicBlock* next) -> bool {
+      prevBlock = block;
+      block = next;
+      ip = 0;
+      std::vector<std::pair<const Value*, u64>> phiWrites;
+      for (const auto& inst : next->instructions()) {
+        if (inst->opcode() != Opcode::Phi) break;
+        bool matched = false;
+        for (std::size_t i = 0; i < inst->numOperands(); ++i) {
+          if (inst->phiBlocks()[i] == prevBlock) {
+            phiWrites.emplace_back(inst.get(), eval(frame, inst->operand(i)));
+            matched = true;
+            break;
+          }
+        }
+        RF_CHECK(matched, "phi has no incoming entry for predecessor");
+        ++ip;  // phis are consumed by the transfer itself
+        ++count_;
+      }
+      for (const auto& [phi, value] : phiWrites) frame.values[phi] = value;
+      return true;
+    };
+
+    for (;;) {
+      RF_CHECK(ip < block->size(), "fell off the end of a basic block");
+      const Instruction& inst = *block->instructions()[ip];
+      if (++count_ > budget_) return fail(InterpTrap::Timeout);
+
+      switch (inst.opcode()) {
+        case Opcode::Ret:
+          ret = inst.numOperands() == 1 ? eval(frame, inst.operand(0)) : 0;
+          sp_ = savedSp;
+          return true;
+        case Opcode::Br:
+          if (!enterBlock(inst.target(0))) return false;
+          continue;
+        case Opcode::CondBr: {
+          const bool cond = eval(frame, inst.operand(0)) != 0;
+          if (!enterBlock(cond ? inst.target(0) : inst.target(1))) return false;
+          continue;
+        }
+        case Opcode::Alloca: {
+          const u64 bytes = (inst.allocaCount() * storeSize(inst.elemType()) + 15) & ~15ULL;
+          sp_ -= bytes;
+          if (sp_ < DataLayout::kStackLimit) return fail(InterpTrap::StackOverflow);
+          frame.values[&inst] = sp_;
+          break;
+        }
+        case Opcode::Load: {
+          u64 out = 0;
+          if (!loadWord(eval(frame, inst.operand(0)), out)) return false;
+          frame.values[&inst] = out;
+          break;
+        }
+        case Opcode::Store:
+          if (!storeWord(eval(frame, inst.operand(1)), eval(frame, inst.operand(0)))) {
+            return false;
+          }
+          break;
+        case Opcode::Gep: {
+          const u64 base = eval(frame, inst.operand(0));
+          const u64 index = eval(frame, inst.operand(1));
+          frame.values[&inst] = base + index * storeSize(inst.elemType());
+          break;
+        }
+        case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+        case Opcode::SDiv: case Opcode::SRem: case Opcode::And:
+        case Opcode::Or: case Opcode::Xor: case Opcode::Shl:
+        case Opcode::AShr: case Opcode::LShr: {
+          const u64 a = eval(frame, inst.operand(0));
+          const u64 b = eval(frame, inst.operand(1));
+          u64 r = 0;
+          switch (inst.opcode()) {
+            case Opcode::Add: r = a + b; break;
+            case Opcode::Sub: r = a - b; break;
+            case Opcode::Mul: r = a * b; break;
+            case Opcode::SDiv:
+            case Opcode::SRem: {
+              const i64 sa = static_cast<i64>(a);
+              const i64 sb = static_cast<i64>(b);
+              if (sb == 0 ||
+                  (sa == std::numeric_limits<i64>::min() && sb == -1)) {
+                return fail(InterpTrap::DivByZero);
+              }
+              r = static_cast<u64>(inst.opcode() == Opcode::SDiv ? sa / sb
+                                                                 : sa % sb);
+              break;
+            }
+            case Opcode::And: r = a & b; break;
+            case Opcode::Or: r = a | b; break;
+            case Opcode::Xor: r = a ^ b; break;
+            case Opcode::Shl: r = a << (b & 63); break;
+            case Opcode::AShr:
+              r = static_cast<u64>(static_cast<i64>(a) >> (b & 63));
+              break;
+            case Opcode::LShr: r = a >> (b & 63); break;
+            default: RF_UNREACHABLE("not an int binary");
+          }
+          frame.values[&inst] = r;
+          break;
+        }
+        case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
+        case Opcode::FDiv: {
+          const double a = asF64(eval(frame, inst.operand(0)));
+          const double b = asF64(eval(frame, inst.operand(1)));
+          double r = 0;
+          switch (inst.opcode()) {
+            case Opcode::FAdd: r = a + b; break;
+            case Opcode::FSub: r = a - b; break;
+            case Opcode::FMul: r = a * b; break;
+            case Opcode::FDiv: r = a / b; break;  // IEEE: inf/NaN, no trap
+            default: RF_UNREACHABLE("not a float binary");
+          }
+          frame.values[&inst] = asBits(r);
+          break;
+        }
+        case Opcode::FAbs:
+          frame.values[&inst] = asBits(std::fabs(asF64(eval(frame, inst.operand(0)))));
+          break;
+        case Opcode::FSqrt:
+          frame.values[&inst] = asBits(std::sqrt(asF64(eval(frame, inst.operand(0)))));
+          break;
+        case Opcode::ICmp: {
+          const i64 a = static_cast<i64>(eval(frame, inst.operand(0)));
+          const i64 b = static_cast<i64>(eval(frame, inst.operand(1)));
+          bool r = false;
+          switch (inst.icmpPred()) {
+            case ICmpPred::EQ: r = a == b; break;
+            case ICmpPred::NE: r = a != b; break;
+            case ICmpPred::SLT: r = a < b; break;
+            case ICmpPred::SLE: r = a <= b; break;
+            case ICmpPred::SGT: r = a > b; break;
+            case ICmpPred::SGE: r = a >= b; break;
+          }
+          frame.values[&inst] = r ? 1 : 0;
+          break;
+        }
+        case Opcode::FCmp: {
+          const double a = asF64(eval(frame, inst.operand(0)));
+          const double b = asF64(eval(frame, inst.operand(1)));
+          bool r = false;
+          switch (inst.fcmpPred()) {  // ordered: NaN makes everything false
+            case FCmpPred::OEQ: r = a == b; break;
+            case FCmpPred::ONE: r = a < b || a > b; break;
+            case FCmpPred::OLT: r = a < b; break;
+            case FCmpPred::OLE: r = a <= b; break;
+            case FCmpPred::OGT: r = a > b; break;
+            case FCmpPred::OGE: r = a >= b; break;
+          }
+          frame.values[&inst] = r ? 1 : 0;
+          break;
+        }
+        case Opcode::Select:
+          frame.values[&inst] = eval(frame, inst.operand(0)) != 0
+                                    ? eval(frame, inst.operand(1))
+                                    : eval(frame, inst.operand(2));
+          break;
+        case Opcode::ZExt:
+          frame.values[&inst] = eval(frame, inst.operand(0)) & 1;
+          break;
+        case Opcode::SIToFP:
+          frame.values[&inst] =
+              asBits(static_cast<double>(static_cast<i64>(eval(frame, inst.operand(0)))));
+          break;
+        case Opcode::FPToSI:
+          frame.values[&inst] =
+              static_cast<u64>(fpToSi(asF64(eval(frame, inst.operand(0)))));
+          break;
+        case Opcode::BitcastI2F:
+        case Opcode::BitcastF2I:
+          frame.values[&inst] = eval(frame, inst.operand(0));
+          break;
+        case Opcode::Call: {
+          std::vector<u64> args;
+          args.reserve(inst.numOperands());
+          for (std::size_t i = 0; i < inst.numOperands(); ++i) {
+            args.push_back(eval(frame, inst.operand(i)));
+          }
+          u64 result = 0;
+          const Function* callee = inst.callee();
+          if (callee->isExternal()) {
+            const auto rt = findRuntimeFn(callee->name());
+            RF_CHECK(rt.has_value(), "unknown external function: " + callee->name());
+            if (!callRuntime(*rt, args, result)) return false;
+          } else {
+            // Model the call's frame cost like the VM (return address push).
+            sp_ -= 16;
+            if (sp_ < DataLayout::kStackLimit) return fail(InterpTrap::StackOverflow);
+            const u64 spAtCall = sp_;
+            if (!runFunction(callee, args, result)) return false;
+            sp_ = spAtCall + 16;
+          }
+          if (inst.producesValue()) frame.values[&inst] = result;
+          break;
+        }
+        case Opcode::Phi:
+          RF_UNREACHABLE("phi reached sequentially (not via block transfer)");
+      }
+      ++ip;
+    }
+  }
+
+  const Module& module_;
+  DataLayout layout_;
+  std::vector<std::uint8_t> globals_;
+  std::vector<std::uint8_t> stack_;
+  u64 sp_ = 0;
+  std::string output_;
+  u64 count_ = 0;
+  u64 budget_;
+  InterpTrap trap_ = InterpTrap::None;
+};
+
+}  // namespace
+
+InterpResult interpret(const Module& module, std::string_view entry,
+                       std::uint64_t maxInstrs) {
+  const Function* fn = module.findFunction(entry);
+  RF_CHECK(fn != nullptr && !fn->isExternal(),
+           "interpret: entry function not found");
+  RF_CHECK(fn->params().empty(), "interpret: entry function must take no args");
+  Interp interp(module, maxInstrs);
+  return interp.run(fn);
+}
+
+}  // namespace refine::ir

@@ -1,0 +1,43 @@
+// Reference IR interpreter.
+//
+// Executes a module directly at IR level with the same data layout, trap
+// rules and runtime-function semantics as the compiled VM path. Its purpose
+// is differential testing: for any program, interpreted IR and compiled
+// machine code must produce identical output and exit codes (fault-free).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "ir/ir.h"
+
+namespace refine::ir {
+
+enum class InterpTrap : std::uint8_t {
+  None,
+  BadMemory,      // load/store outside globals or stack segments
+  DivByZero,      // integer division by zero or INT64_MIN / -1
+  StackOverflow,  // stack pointer left the stack segment
+  Timeout,        // instruction budget exhausted
+};
+
+struct InterpResult {
+  bool trapped = false;
+  InterpTrap trap = InterpTrap::None;
+  std::int64_t exitCode = 0;
+  std::string output;
+  std::uint64_t instrCount = 0;
+};
+
+/// Formats exactly like the VM's print syscalls (shared oracle for tests).
+std::string formatPrintI64(std::int64_t v);
+std::string formatPrintF64(double v);
+
+/// Runs `entry` (default "main", no arguments). Throws CheckError on
+/// structural problems (e.g. missing entry); runtime faults are reported in
+/// the result, never thrown.
+InterpResult interpret(const Module& module, std::string_view entry = "main",
+                       std::uint64_t maxInstrs = 500'000'000);
+
+}  // namespace refine::ir

@@ -1,0 +1,187 @@
+#include "ir/ir.h"
+
+#include <bit>
+
+namespace refine::ir {
+
+const char* opcodeName(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::Ret: return "ret";
+    case Opcode::Br: return "br";
+    case Opcode::CondBr: return "condbr";
+    case Opcode::Alloca: return "alloca";
+    case Opcode::Load: return "load";
+    case Opcode::Store: return "store";
+    case Opcode::Gep: return "gep";
+    case Opcode::Add: return "add";
+    case Opcode::Sub: return "sub";
+    case Opcode::Mul: return "mul";
+    case Opcode::SDiv: return "sdiv";
+    case Opcode::SRem: return "srem";
+    case Opcode::And: return "and";
+    case Opcode::Or: return "or";
+    case Opcode::Xor: return "xor";
+    case Opcode::Shl: return "shl";
+    case Opcode::AShr: return "ashr";
+    case Opcode::LShr: return "lshr";
+    case Opcode::FAdd: return "fadd";
+    case Opcode::FSub: return "fsub";
+    case Opcode::FMul: return "fmul";
+    case Opcode::FDiv: return "fdiv";
+    case Opcode::FAbs: return "fabs";
+    case Opcode::FSqrt: return "fsqrt";
+    case Opcode::ICmp: return "icmp";
+    case Opcode::FCmp: return "fcmp";
+    case Opcode::Select: return "select";
+    case Opcode::ZExt: return "zext";
+    case Opcode::SIToFP: return "sitofp";
+    case Opcode::FPToSI: return "fptosi";
+    case Opcode::BitcastI2F: return "bitcast.i2f";
+    case Opcode::BitcastF2I: return "bitcast.f2i";
+    case Opcode::Call: return "call";
+    case Opcode::Phi: return "phi";
+  }
+  return "?";
+}
+
+const char* predName(ICmpPred p) noexcept {
+  switch (p) {
+    case ICmpPred::EQ: return "eq";
+    case ICmpPred::NE: return "ne";
+    case ICmpPred::SLT: return "slt";
+    case ICmpPred::SLE: return "sle";
+    case ICmpPred::SGT: return "sgt";
+    case ICmpPred::SGE: return "sge";
+  }
+  return "?";
+}
+
+const char* predName(FCmpPred p) noexcept {
+  switch (p) {
+    case FCmpPred::OEQ: return "oeq";
+    case FCmpPred::ONE: return "one";
+    case FCmpPred::OLT: return "olt";
+    case FCmpPred::OLE: return "ole";
+    case FCmpPred::OGT: return "ogt";
+    case FCmpPred::OGE: return "oge";
+  }
+  return "?";
+}
+
+Instruction* BasicBlock::append(std::unique_ptr<Instruction> inst) {
+  inst->setParent(this);
+  instrs_.push_back(std::move(inst));
+  return instrs_.back().get();
+}
+
+Instruction* BasicBlock::insertAt(std::size_t pos, std::unique_ptr<Instruction> inst) {
+  RF_CHECK(pos <= instrs_.size(), "insert position out of range");
+  inst->setParent(this);
+  auto it = instrs_.insert(instrs_.begin() + static_cast<std::ptrdiff_t>(pos),
+                           std::move(inst));
+  return it->get();
+}
+
+void BasicBlock::erase(std::size_t pos) {
+  RF_CHECK(pos < instrs_.size(), "erase position out of range");
+  instrs_.erase(instrs_.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+std::unique_ptr<Instruction> BasicBlock::detach(std::size_t pos) {
+  RF_CHECK(pos < instrs_.size(), "detach position out of range");
+  auto inst = std::move(instrs_[pos]);
+  instrs_.erase(instrs_.begin() + static_cast<std::ptrdiff_t>(pos));
+  inst->setParent(nullptr);
+  return inst;
+}
+
+BasicBlock* Function::addBlock(std::string name) {
+  blocks_.push_back(std::make_unique<BasicBlock>(std::move(name), this));
+  return blocks_.back().get();
+}
+
+BasicBlock* Function::addBlockAfter(BasicBlock* after, std::string name) {
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].get() == after) {
+      auto it = blocks_.insert(blocks_.begin() + static_cast<std::ptrdiff_t>(i + 1),
+                               std::make_unique<BasicBlock>(std::move(name), this));
+      return it->get();
+    }
+  }
+  RF_UNREACHABLE("addBlockAfter: anchor block not in function");
+}
+
+void Function::removeBlocksIf(const std::function<bool(BasicBlock*)>& dead) {
+  std::erase_if(blocks_, [&](const std::unique_ptr<BasicBlock>& bb) {
+    return dead(bb.get());
+  });
+}
+
+ConstantInt* Module::constI64(std::int64_t v) {
+  const std::uint64_t key = static_cast<std::uint64_t>(v);
+  auto it = intConstantMap_.find(key);
+  if (it != intConstantMap_.end() && it->second->type() == Type::I64) {
+    return it->second;
+  }
+  intConstants_.push_back(std::make_unique<ConstantInt>(Type::I64, v));
+  ConstantInt* c = intConstants_.back().get();
+  intConstantMap_[key] = c;
+  return c;
+}
+
+ConstantInt* Module::constI1(bool v) {
+  // i1 constants are uniqued separately from i64 via a disjoint key space.
+  const std::uint64_t key = 0xB001'0000'0000'0000ULL | (v ? 1 : 0);
+  auto it = intConstantMap_.find(key);
+  if (it != intConstantMap_.end()) return it->second;
+  intConstants_.push_back(std::make_unique<ConstantInt>(Type::I1, v ? 1 : 0));
+  ConstantInt* c = intConstants_.back().get();
+  intConstantMap_[key] = c;
+  return c;
+}
+
+ConstantFloat* Module::constF64(double v) {
+  const std::uint64_t key = std::bit_cast<std::uint64_t>(v);
+  auto it = floatConstantMap_.find(key);
+  if (it != floatConstantMap_.end()) return it->second;
+  floatConstants_.push_back(std::make_unique<ConstantFloat>(v));
+  ConstantFloat* c = floatConstants_.back().get();
+  floatConstantMap_[key] = c;
+  return c;
+}
+
+GlobalVar* Module::addGlobal(std::string name, Type elemType, std::uint64_t count) {
+  RF_CHECK(findGlobal(name) == nullptr, "duplicate global: " + name);
+  globals_.push_back(std::make_unique<GlobalVar>(std::move(name), elemType, count));
+  return globals_.back().get();
+}
+
+GlobalVar* Module::findGlobal(std::string_view name) const noexcept {
+  for (const auto& g : globals_) {
+    if (g->name() == name) return g.get();
+  }
+  return nullptr;
+}
+
+Function* Module::addFunction(std::string name, Type returnType, FunctionKind kind) {
+  RF_CHECK(findFunction(name) == nullptr, "duplicate function: " + name);
+  functions_.push_back(std::make_unique<Function>(std::move(name), returnType, kind));
+  return functions_.back().get();
+}
+
+Function* Module::findFunction(std::string_view name) const noexcept {
+  for (const auto& f : functions_) {
+    if (f->name() == name) return f.get();
+  }
+  return nullptr;
+}
+
+std::uint64_t Module::internString(std::string s) {
+  for (std::size_t i = 0; i < strings_.size(); ++i) {
+    if (strings_[i] == s) return i;
+  }
+  strings_.push_back(std::move(s));
+  return strings_.size() - 1;
+}
+
+}  // namespace refine::ir

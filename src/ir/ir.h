@@ -1,0 +1,406 @@
+// Core IR data structures: values, instructions, basic blocks, functions and
+// modules.
+//
+// Design notes (mirroring LLVM where it matters to the paper):
+//  * SSA form: instructions are values; mem2reg promotes allocas to SSA with
+//    phi nodes. The IR "assumes an infinite number of virtual registers"
+//    (paper Sec. 3.2) — register allocation happens only in the backend.
+//  * Ownership is strictly hierarchical (Module -> Function -> BasicBlock ->
+//    Instruction); all cross-references (operands, control-flow targets) are
+//    non-owning raw pointers per the Core Guidelines convention.
+//  * A single Instruction class with an opcode and auxiliary fields replaces
+//    LLVM's class-per-opcode hierarchy; passes switch on Opcode.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/type.h"
+#include "support/check.h"
+
+namespace refine::ir {
+
+class Instruction;
+class BasicBlock;
+class Function;
+class Module;
+
+enum class ValueKind : std::uint8_t {
+  Argument,
+  ConstantInt,
+  ConstantFloat,
+  Global,
+  Instruction,
+};
+
+/// Base of everything that can appear as an instruction operand.
+class Value {
+ public:
+  Value(ValueKind kind, Type type) : kind_(kind), type_(type) {}
+  virtual ~Value() = default;
+  Value(const Value&) = delete;
+  Value& operator=(const Value&) = delete;
+
+  ValueKind kind() const noexcept { return kind_; }
+  Type type() const noexcept { return type_; }
+
+  bool isInstruction() const noexcept { return kind_ == ValueKind::Instruction; }
+  bool isConstant() const noexcept {
+    return kind_ == ValueKind::ConstantInt || kind_ == ValueKind::ConstantFloat;
+  }
+
+ private:
+  ValueKind kind_;
+  Type type_;
+};
+
+/// Formal parameter of a function.
+class Argument : public Value {
+ public:
+  Argument(Type type, std::string name, unsigned index)
+      : Value(ValueKind::Argument, type), name_(std::move(name)), index_(index) {}
+
+  const std::string& name() const noexcept { return name_; }
+  unsigned index() const noexcept { return index_; }
+
+ private:
+  std::string name_;
+  unsigned index_;
+};
+
+/// Integer (i64 or i1) constant, uniqued per module.
+class ConstantInt : public Value {
+ public:
+  ConstantInt(Type type, std::int64_t value)
+      : Value(ValueKind::ConstantInt, type), value_(value) {}
+
+  std::int64_t value() const noexcept { return value_; }
+
+ private:
+  std::int64_t value_;
+};
+
+/// f64 constant, uniqued per module by bit pattern.
+class ConstantFloat : public Value {
+ public:
+  explicit ConstantFloat(double value)
+      : Value(ValueKind::ConstantFloat, Type::F64), value_(value) {}
+
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_;
+};
+
+/// Module-level array (or scalar, count == 1) in the data segment.
+/// Its Value type is Ptr: using a global as an operand yields its address.
+class GlobalVar : public Value {
+ public:
+  GlobalVar(std::string name, Type elemType, std::uint64_t count)
+      : Value(ValueKind::Global, Type::Ptr),
+        name_(std::move(name)),
+        elemType_(elemType),
+        count_(count) {}
+
+  const std::string& name() const noexcept { return name_; }
+  Type elemType() const noexcept { return elemType_; }
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sizeBytes() const noexcept { return count_ * storeSize(elemType_); }
+
+  /// Optional initial words (bit patterns); zero-filled when shorter.
+  const std::vector<std::uint64_t>& init() const noexcept { return init_; }
+  void setInit(std::vector<std::uint64_t> words) { init_ = std::move(words); }
+
+ private:
+  std::string name_;
+  Type elemType_;
+  std::uint64_t count_;
+  std::vector<std::uint64_t> init_;
+};
+
+enum class Opcode : std::uint8_t {
+  // Terminators
+  Ret,      // ret [value]
+  Br,       // br label
+  CondBr,   // br i1 cond, ifTrue, ifFalse
+  // Memory
+  Alloca,   // stack allocation: elemType x arrayCount
+  Load,     // load T, ptr
+  Store,    // store T value, ptr
+  Gep,      // ptr + index * storeSize(elemType)
+  // Integer arithmetic (i64)
+  Add, Sub, Mul, SDiv, SRem,
+  And, Or, Xor, Shl, AShr, LShr,
+  // Floating-point arithmetic (f64)
+  FAdd, FSub, FMul, FDiv,
+  // Unary floating-point intrinsics
+  FAbs, FSqrt,
+  // Comparison and selection
+  ICmp, FCmp, Select,
+  // Conversions
+  ZExt,       // i1 -> i64
+  SIToFP,     // i64 -> f64
+  FPToSI,     // f64 -> i64 (truncating)
+  BitcastI2F, // i64 bits -> f64
+  BitcastF2I, // f64 bits -> i64
+  // Other
+  Call,
+  Phi,
+};
+
+enum class ICmpPred : std::uint8_t { EQ, NE, SLT, SLE, SGT, SGE };
+enum class FCmpPred : std::uint8_t { OEQ, ONE, OLT, OLE, OGT, OGE };
+
+const char* opcodeName(Opcode op) noexcept;
+const char* predName(ICmpPred p) noexcept;
+const char* predName(FCmpPred p) noexcept;
+
+constexpr bool isTerminator(Opcode op) noexcept {
+  return op == Opcode::Ret || op == Opcode::Br || op == Opcode::CondBr;
+}
+constexpr bool isIntBinary(Opcode op) noexcept {
+  return op >= Opcode::Add && op <= Opcode::LShr;
+}
+constexpr bool isFloatBinary(Opcode op) noexcept {
+  return op >= Opcode::FAdd && op <= Opcode::FDiv;
+}
+
+/// One IR instruction. Operand meaning by opcode:
+///   Ret: [value?]              CondBr: [cond] + targets   Br: targets only
+///   Load: [ptr]                Store: [value, ptr]
+///   Gep: [ptr, index]          binaries: [lhs, rhs]
+///   FAbs/FSqrt/casts: [src]    ICmp/FCmp: [lhs, rhs]
+///   Select: [cond, ifTrue, ifFalse]
+///   Call: arguments (callee held separately)
+///   Phi: incoming values (blocks held in phiBlocks(), same order)
+class Instruction : public Value {
+ public:
+  Instruction(Opcode op, Type type) : Value(ValueKind::Instruction, type), op_(op) {}
+
+  Opcode opcode() const noexcept { return op_; }
+
+  const std::vector<Value*>& operands() const noexcept { return operands_; }
+  Value* operand(std::size_t i) const {
+    RF_CHECK(i < operands_.size(), "operand index out of range");
+    return operands_[i];
+  }
+  void addOperand(Value* v) { operands_.push_back(v); }
+  void setOperand(std::size_t i, Value* v) {
+    RF_CHECK(i < operands_.size(), "operand index out of range");
+    operands_[i] = v;
+  }
+  std::size_t numOperands() const noexcept { return operands_.size(); }
+
+  /// Replaces every use of `from` with `to` among this instruction's operands.
+  void replaceUsesOf(Value* from, Value* to) {
+    for (auto& op : operands_) {
+      if (op == from) op = to;
+    }
+  }
+
+  // -- Control flow (Br/CondBr) ------------------------------------------
+  BasicBlock* target(unsigned i) const {
+    RF_CHECK(i < 2 && targets_[i] != nullptr, "missing branch target");
+    return targets_[i];
+  }
+  void setTarget(unsigned i, BasicBlock* bb) {
+    RF_CHECK(i < 2, "branch target index out of range");
+    targets_[i] = bb;
+  }
+
+  // -- Compare predicates --------------------------------------------------
+  ICmpPred icmpPred() const noexcept { return icmpPred_; }
+  void setICmpPred(ICmpPred p) noexcept { icmpPred_ = p; }
+  FCmpPred fcmpPred() const noexcept { return fcmpPred_; }
+  void setFCmpPred(FCmpPred p) noexcept { fcmpPred_ = p; }
+
+  // -- Alloca / Gep ---------------------------------------------------------
+  Type elemType() const noexcept { return elemType_; }
+  void setElemType(Type t) noexcept { elemType_ = t; }
+  std::uint64_t allocaCount() const noexcept { return allocaCount_; }
+  void setAllocaCount(std::uint64_t n) noexcept { allocaCount_ = n; }
+
+  // -- Call ------------------------------------------------------------------
+  Function* callee() const noexcept { return callee_; }
+  void setCallee(Function* f) noexcept { callee_ = f; }
+
+  // -- Phi --------------------------------------------------------------------
+  const std::vector<BasicBlock*>& phiBlocks() const noexcept { return phiBlocks_; }
+  void addPhiIncoming(Value* v, BasicBlock* from) {
+    addOperand(v);
+    phiBlocks_.push_back(from);
+  }
+  void setPhiBlock(std::size_t i, BasicBlock* bb) {
+    RF_CHECK(i < phiBlocks_.size(), "phi block index out of range");
+    phiBlocks_[i] = bb;
+  }
+  /// Shrinks a phi to its first `n` incomings (after in-place compaction).
+  void truncatePhi(std::size_t n) {
+    RF_CHECK(op_ == Opcode::Phi, "truncatePhi on non-phi");
+    RF_CHECK(n <= phiBlocks_.size(), "truncatePhi growing a phi");
+    operands_.resize(n);
+    phiBlocks_.resize(n);
+  }
+  /// Removes every incoming entry whose predecessor is `from`.
+  void removePhiIncomingFor(const BasicBlock* from) {
+    RF_CHECK(op_ == Opcode::Phi, "removePhiIncomingFor on non-phi");
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < phiBlocks_.size(); ++i) {
+      if (phiBlocks_[i] != from) {
+        operands_[out] = operands_[i];
+        phiBlocks_[out] = phiBlocks_[i];
+        ++out;
+      }
+    }
+    operands_.resize(out);
+    phiBlocks_.resize(out);
+  }
+
+  BasicBlock* parent() const noexcept { return parent_; }
+  void setParent(BasicBlock* bb) noexcept { parent_ = bb; }
+
+  bool isTerminator() const noexcept { return ir::isTerminator(op_); }
+  bool producesValue() const noexcept { return type() != Type::Void; }
+
+ private:
+  Opcode op_;
+  std::vector<Value*> operands_;
+  BasicBlock* targets_[2] = {nullptr, nullptr};
+  ICmpPred icmpPred_ = ICmpPred::EQ;
+  FCmpPred fcmpPred_ = FCmpPred::OEQ;
+  Type elemType_ = Type::Void;
+  std::uint64_t allocaCount_ = 1;
+  Function* callee_ = nullptr;
+  std::vector<BasicBlock*> phiBlocks_;
+  BasicBlock* parent_ = nullptr;
+};
+
+/// A straight-line sequence of instructions ending in one terminator.
+class BasicBlock {
+ public:
+  BasicBlock(std::string name, Function* parent)
+      : name_(std::move(name)), parent_(parent) {}
+
+  const std::string& name() const noexcept { return name_; }
+  Function* parent() const noexcept { return parent_; }
+
+  const std::vector<std::unique_ptr<Instruction>>& instructions() const noexcept {
+    return instrs_;
+  }
+
+  /// Appends an instruction (takes ownership) and returns it.
+  Instruction* append(std::unique_ptr<Instruction> inst);
+
+  /// Inserts before position `pos` (0 == front).
+  Instruction* insertAt(std::size_t pos, std::unique_ptr<Instruction> inst);
+
+  /// Removes and destroys the instruction at `pos`.
+  void erase(std::size_t pos);
+
+  /// Detaches the instruction at `pos` without destroying it.
+  std::unique_ptr<Instruction> detach(std::size_t pos);
+
+  /// The terminator, or nullptr if the block is still under construction.
+  Instruction* terminator() const noexcept {
+    if (instrs_.empty() || !instrs_.back()->isTerminator()) return nullptr;
+    return instrs_.back().get();
+  }
+
+  bool empty() const noexcept { return instrs_.empty(); }
+  std::size_t size() const noexcept { return instrs_.size(); }
+
+ private:
+  std::string name_;
+  Function* parent_;
+  std::vector<std::unique_ptr<Instruction>> instrs_;
+};
+
+/// Function linkage: defined in this module or provided by the runtime.
+enum class FunctionKind : std::uint8_t { Defined, External };
+
+class Function {
+ public:
+  Function(std::string name, Type returnType, FunctionKind kind)
+      : name_(std::move(name)), returnType_(returnType), kind_(kind) {}
+
+  const std::string& name() const noexcept { return name_; }
+  Type returnType() const noexcept { return returnType_; }
+  FunctionKind kind() const noexcept { return kind_; }
+  bool isExternal() const noexcept { return kind_ == FunctionKind::External; }
+
+  Argument* addParam(Type type, std::string name) {
+    params_.push_back(std::make_unique<Argument>(
+        type, std::move(name), static_cast<unsigned>(params_.size())));
+    return params_.back().get();
+  }
+  const std::vector<std::unique_ptr<Argument>>& params() const noexcept {
+    return params_;
+  }
+
+  BasicBlock* addBlock(std::string name);
+  /// Inserts a new block immediately after `after`.
+  BasicBlock* addBlockAfter(BasicBlock* after, std::string name);
+  const std::vector<std::unique_ptr<BasicBlock>>& blocks() const noexcept {
+    return blocks_;
+  }
+  BasicBlock* entry() const {
+    RF_CHECK(!blocks_.empty(), "function has no blocks: " + name_);
+    return blocks_.front().get();
+  }
+
+  /// Removes blocks for which `dead` returns true (used by SimplifyCFG/DCE).
+  void removeBlocksIf(const std::function<bool(BasicBlock*)>& dead);
+
+ private:
+  std::string name_;
+  Type returnType_;
+  FunctionKind kind_;
+  std::vector<std::unique_ptr<Argument>> params_;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+};
+
+/// A whole translation unit: globals, string table, functions, constants.
+class Module {
+ public:
+  Module() = default;
+
+  // -- Constants (uniqued) ---------------------------------------------------
+  ConstantInt* constI64(std::int64_t v);
+  ConstantInt* constI1(bool v);
+  ConstantFloat* constF64(double v);
+
+  // -- Globals ------------------------------------------------------------------
+  GlobalVar* addGlobal(std::string name, Type elemType, std::uint64_t count);
+  GlobalVar* findGlobal(std::string_view name) const noexcept;
+  const std::vector<std::unique_ptr<GlobalVar>>& globals() const noexcept {
+    return globals_;
+  }
+
+  // -- Functions -----------------------------------------------------------------
+  Function* addFunction(std::string name, Type returnType, FunctionKind kind);
+  Function* findFunction(std::string_view name) const noexcept;
+  const std::vector<std::unique_ptr<Function>>& functions() const noexcept {
+    return functions_;
+  }
+
+  // -- String literals (for print_str) ----------------------------------------
+  /// Interns a string literal, returning its index in the string table.
+  std::uint64_t internString(std::string s);
+  const std::vector<std::string>& strings() const noexcept { return strings_; }
+
+ private:
+  std::vector<std::unique_ptr<ConstantInt>> intConstants_;
+  std::unordered_map<std::uint64_t, ConstantInt*> intConstantMap_;
+  std::vector<std::unique_ptr<ConstantFloat>> floatConstants_;
+  std::unordered_map<std::uint64_t, ConstantFloat*> floatConstantMap_;
+  std::vector<std::unique_ptr<GlobalVar>> globals_;
+  std::vector<std::unique_ptr<Function>> functions_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace refine::ir

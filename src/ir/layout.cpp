@@ -1,0 +1,20 @@
+#include "ir/layout.h"
+
+namespace refine::ir {
+
+DataLayout::DataLayout(const Module& module) {
+  std::uint64_t offset = 0;
+  for (const auto& g : module.globals()) {
+    addresses_[g.get()] = kGlobalBase + offset;
+    offset += (g->sizeBytes() + 7) & ~7ULL;
+  }
+  globalBytes_ = offset;
+}
+
+std::uint64_t DataLayout::addressOf(const GlobalVar* g) const {
+  auto it = addresses_.find(g);
+  RF_CHECK(it != addresses_.end(), "global not laid out: " + g->name());
+  return it->second;
+}
+
+}  // namespace refine::ir

@@ -1,0 +1,40 @@
+// Data layout: where globals and the stack live in the simulated address
+// space.
+//
+// Shared by the IR interpreter, the backend emitter and the VM so that
+// pointer values agree across every execution path (critical for the
+// differential tests that compare interpreted IR against compiled code).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "ir/ir.h"
+
+namespace refine::ir {
+
+class DataLayout {
+ public:
+  /// First valid global address. Everything below is a guard region so that
+  /// null and small-integer "pointers" (a common fault corruption) trap.
+  static constexpr std::uint64_t kGlobalBase = 0x10000;
+
+  /// Stack occupies [kStackTop - kStackSize, kStackTop); grows downward.
+  static constexpr std::uint64_t kStackTop = 0x4000'0000;
+  static constexpr std::uint64_t kStackSize = 4u << 20;  // 4 MiB
+  static constexpr std::uint64_t kStackLimit = kStackTop - kStackSize;
+
+  /// Lays out every global of `module` starting at kGlobalBase, 8-aligned.
+  explicit DataLayout(const Module& module);
+
+  std::uint64_t addressOf(const GlobalVar* g) const;
+
+  /// Total bytes of the global data segment.
+  std::uint64_t globalBytes() const noexcept { return globalBytes_; }
+
+ private:
+  std::unordered_map<const GlobalVar*, std::uint64_t> addresses_;
+  std::uint64_t globalBytes_ = 0;
+};
+
+}  // namespace refine::ir

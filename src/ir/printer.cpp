@@ -1,0 +1,188 @@
+#include "ir/printer.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "support/strings.h"
+
+namespace refine::ir {
+
+namespace {
+
+/// Assigns %0, %1, ... names to instructions and arguments of a function.
+class Namer {
+ public:
+  explicit Namer(const Function& fn) {
+    for (const auto& arg : fn.params()) {
+      names_[arg.get()] = "%" + arg->name();
+    }
+    unsigned next = 0;
+    for (const auto& bb : fn.blocks()) {
+      for (const auto& inst : bb->instructions()) {
+        if (inst->producesValue()) {
+          names_[inst.get()] = strf("%%%u", next++);
+        }
+      }
+    }
+  }
+
+  std::string operandText(const Value* v) const {
+    switch (v->kind()) {
+      case ValueKind::ConstantInt: {
+        const auto* c = static_cast<const ConstantInt*>(v);
+        return strf("%lld", static_cast<long long>(c->value()));
+      }
+      case ValueKind::ConstantFloat: {
+        const auto* c = static_cast<const ConstantFloat*>(v);
+        return strf("%.17g", c->value());
+      }
+      case ValueKind::Global: {
+        const auto* g = static_cast<const GlobalVar*>(v);
+        return "@" + g->name();
+      }
+      default: {
+        auto it = names_.find(v);
+        return it == names_.end() ? "%<unnamed>" : it->second;
+      }
+    }
+  }
+
+ private:
+  std::unordered_map<const Value*, std::string> names_;
+};
+
+void printInstruction(std::ostringstream& os, const Instruction& inst,
+                      const Namer& namer) {
+  os << "  ";
+  if (inst.producesValue()) {
+    os << namer.operandText(&inst) << " = ";
+  }
+  const Opcode op = inst.opcode();
+  switch (op) {
+    case Opcode::Ret:
+      os << "ret";
+      if (inst.numOperands() == 1) {
+        os << ' ' << typeName(inst.operand(0)->type()) << ' '
+           << namer.operandText(inst.operand(0));
+      } else {
+        os << " void";
+      }
+      break;
+    case Opcode::Br:
+      os << "br label %" << inst.target(0)->name();
+      break;
+    case Opcode::CondBr:
+      os << "br i1 " << namer.operandText(inst.operand(0)) << ", label %"
+         << inst.target(0)->name() << ", label %" << inst.target(1)->name();
+      break;
+    case Opcode::Alloca:
+      os << "alloca " << typeName(inst.elemType());
+      if (inst.allocaCount() != 1) os << " x " << inst.allocaCount();
+      break;
+    case Opcode::Load:
+      os << "load " << typeName(inst.type()) << ", ptr "
+         << namer.operandText(inst.operand(0));
+      break;
+    case Opcode::Store:
+      os << "store " << typeName(inst.operand(0)->type()) << ' '
+         << namer.operandText(inst.operand(0)) << ", ptr "
+         << namer.operandText(inst.operand(1));
+      break;
+    case Opcode::Gep:
+      os << "gep " << typeName(inst.elemType()) << ", ptr "
+         << namer.operandText(inst.operand(0)) << ", i64 "
+         << namer.operandText(inst.operand(1));
+      break;
+    case Opcode::ICmp:
+      os << "icmp " << predName(inst.icmpPred()) << " i64 "
+         << namer.operandText(inst.operand(0)) << ", "
+         << namer.operandText(inst.operand(1));
+      break;
+    case Opcode::FCmp:
+      os << "fcmp " << predName(inst.fcmpPred()) << " f64 "
+         << namer.operandText(inst.operand(0)) << ", "
+         << namer.operandText(inst.operand(1));
+      break;
+    case Opcode::Select:
+      os << "select i1 " << namer.operandText(inst.operand(0)) << ", "
+         << typeName(inst.type()) << ' ' << namer.operandText(inst.operand(1))
+         << ", " << namer.operandText(inst.operand(2));
+      break;
+    case Opcode::Call: {
+      os << "call " << typeName(inst.type()) << " @" << inst.callee()->name()
+         << '(';
+      for (std::size_t i = 0; i < inst.numOperands(); ++i) {
+        if (i != 0) os << ", ";
+        os << typeName(inst.operand(i)->type()) << ' '
+           << namer.operandText(inst.operand(i));
+      }
+      os << ')';
+      break;
+    }
+    case Opcode::Phi: {
+      os << "phi " << typeName(inst.type()) << ' ';
+      for (std::size_t i = 0; i < inst.numOperands(); ++i) {
+        if (i != 0) os << ", ";
+        os << "[ " << namer.operandText(inst.operand(i)) << ", %"
+           << inst.phiBlocks()[i]->name() << " ]";
+      }
+      break;
+    }
+    default: {
+      os << opcodeName(op) << ' ' << typeName(inst.type());
+      for (std::size_t i = 0; i < inst.numOperands(); ++i) {
+        os << (i == 0 ? " " : ", ") << namer.operandText(inst.operand(i));
+      }
+      break;
+    }
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+std::string printFunction(const Function& fn) {
+  std::ostringstream os;
+  if (fn.isExternal()) {
+    os << "declare " << typeName(fn.returnType()) << " @" << fn.name() << '(';
+    for (std::size_t i = 0; i < fn.params().size(); ++i) {
+      if (i != 0) os << ", ";
+      os << typeName(fn.params()[i]->type());
+    }
+    os << ")\n";
+    return os.str();
+  }
+  Namer namer(fn);
+  os << "define " << typeName(fn.returnType()) << " @" << fn.name() << '(';
+  for (std::size_t i = 0; i < fn.params().size(); ++i) {
+    if (i != 0) os << ", ";
+    os << typeName(fn.params()[i]->type()) << " %" << fn.params()[i]->name();
+  }
+  os << ") {\n";
+  bool first = true;
+  for (const auto& bb : fn.blocks()) {
+    if (!first) os << '\n';
+    first = false;
+    os << bb->name() << ":\n";
+    for (const auto& inst : bb->instructions()) {
+      printInstruction(os, *inst, namer);
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string printModule(const Module& module) {
+  std::ostringstream os;
+  for (const auto& g : module.globals()) {
+    os << '@' << g->name() << " = global " << typeName(g->elemType()) << " x "
+       << g->count() << '\n';
+  }
+  if (!module.globals().empty()) os << '\n';
+  for (const auto& fn : module.functions()) {
+    os << printFunction(*fn) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace refine::ir

@@ -1,0 +1,19 @@
+// Textual IR printing, in an LLVM-flavoured syntax.
+//
+// Used by tests (golden strings), diagnostics, and the codegen-interference
+// example that reproduces the paper's Listing 1/2 comparison.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.h"
+
+namespace refine::ir {
+
+/// Prints a whole module.
+std::string printModule(const Module& module);
+
+/// Prints one function (definitions only; externals get a `declare` line).
+std::string printFunction(const Function& fn);
+
+}  // namespace refine::ir

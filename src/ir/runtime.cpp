@@ -1,0 +1,36 @@
+#include "ir/runtime.h"
+
+#include "support/check.h"
+
+namespace refine::ir {
+
+const std::vector<RuntimeFnInfo>& runtimeFunctions() {
+  static const std::vector<RuntimeFnInfo> table = {
+      {RuntimeFn::PrintI64, "print_i64", Type::Void, {Type::I64}},
+      {RuntimeFn::PrintF64, "print_f64", Type::Void, {Type::F64}},
+      {RuntimeFn::PrintStr, "print_str", Type::Void, {Type::I64}},
+      {RuntimeFn::Exp, "exp", Type::F64, {Type::F64}},
+      {RuntimeFn::Log, "log", Type::F64, {Type::F64}},
+      {RuntimeFn::Sin, "sin", Type::F64, {Type::F64}},
+      {RuntimeFn::Cos, "cos", Type::F64, {Type::F64}},
+      {RuntimeFn::Pow, "pow", Type::F64, {Type::F64, Type::F64}},
+      {RuntimeFn::Floor, "floor", Type::F64, {Type::F64}},
+  };
+  return table;
+}
+
+std::optional<RuntimeFn> findRuntimeFn(std::string_view name) {
+  for (const auto& info : runtimeFunctions()) {
+    if (name == info.name) return info.fn;
+  }
+  return std::nullopt;
+}
+
+const RuntimeFnInfo& runtimeFnInfo(RuntimeFn fn) {
+  const auto& table = runtimeFunctions();
+  const auto index = static_cast<std::size_t>(fn);
+  RF_CHECK(index < table.size(), "bad RuntimeFn");
+  return table[index];
+}
+
+}  // namespace refine::ir

@@ -1,0 +1,44 @@
+// Registry of runtime (external) functions available to programs.
+//
+// These model the libc/libm subset the paper's benchmarks rely on. The
+// frontend declares them, the IR interpreter evaluates them natively, and
+// the backend lowers calls to them into VM syscalls.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "ir/type.h"
+
+namespace refine::ir {
+
+enum class RuntimeFn : std::uint8_t {
+  PrintI64,  // print_i64(i64): prints decimal + newline
+  PrintF64,  // print_f64(f64): prints "%.6e" + newline
+  PrintStr,  // print_str(i64 string-table index): prints string + newline
+  Exp,       // exp(f64) -> f64
+  Log,       // log(f64) -> f64
+  Sin,       // sin(f64) -> f64
+  Cos,       // cos(f64) -> f64
+  Pow,       // pow(f64, f64) -> f64
+  Floor,     // floor(f64) -> f64
+};
+
+struct RuntimeFnInfo {
+  RuntimeFn fn;
+  const char* name;
+  Type returnType;
+  std::vector<Type> paramTypes;
+};
+
+/// All runtime functions, in RuntimeFn order.
+const std::vector<RuntimeFnInfo>& runtimeFunctions();
+
+/// Lookup by name; nullopt when `name` is not a runtime function.
+std::optional<RuntimeFn> findRuntimeFn(std::string_view name);
+
+/// Info for one runtime function.
+const RuntimeFnInfo& runtimeFnInfo(RuntimeFn fn);
+
+}  // namespace refine::ir

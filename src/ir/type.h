@@ -1,0 +1,54 @@
+// Type system of the REFINE intermediate representation.
+//
+// The IR is deliberately small (like the subset of LLVM IR the paper's
+// benchmarks exercise): void, i1 (booleans from comparisons), i64, f64 and
+// opaque pointers. All in-memory scalars occupy 8 bytes, which keeps the
+// data layout trivial and the VM word-oriented.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace refine::ir {
+
+enum class Type : std::uint8_t {
+  Void,
+  I1,
+  I64,
+  F64,
+  Ptr,
+};
+
+/// Size in bytes of a value of type `t` when stored in memory.
+constexpr std::uint64_t storeSize(Type t) noexcept {
+  return t == Type::Void ? 0 : 8;
+}
+
+/// Number of architecturally meaningful bits in a value of type `t`
+/// (the fault model flips a uniformly chosen bit among these).
+constexpr unsigned bitWidth(Type t) noexcept {
+  switch (t) {
+    case Type::Void: return 0;
+    case Type::I1: return 1;
+    case Type::I64:
+    case Type::F64:
+    case Type::Ptr: return 64;
+  }
+  return 0;
+}
+
+inline std::string typeName(Type t) {
+  switch (t) {
+    case Type::Void: return "void";
+    case Type::I1: return "i1";
+    case Type::I64: return "i64";
+    case Type::F64: return "f64";
+    case Type::Ptr: return "ptr";
+  }
+  return "?";
+}
+
+constexpr bool isFloat(Type t) noexcept { return t == Type::F64; }
+constexpr bool isInteger(Type t) noexcept { return t == Type::I1 || t == Type::I64; }
+
+}  // namespace refine::ir

@@ -1,0 +1,198 @@
+#include "ir/verifier.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ir/cfg.h"
+#include "ir/dominators.h"
+#include "support/strings.h"
+
+namespace refine::ir {
+
+namespace {
+
+class FunctionVerifier {
+ public:
+  FunctionVerifier(const Function& fn, std::vector<std::string>& problems)
+      : fn_(fn), problems_(problems), domtree_(fn), preds_(predecessorMap(fn)) {
+    // Record definition position of every instruction for same-block checks.
+    for (const auto& bb : fn.blocks()) {
+      std::size_t pos = 0;
+      for (const auto& inst : bb->instructions()) {
+        defPos_[inst.get()] = {bb.get(), pos++};
+      }
+    }
+    for (const auto& arg : fn.params()) args_.insert(arg.get());
+  }
+
+  void run() {
+    for (const auto& bb : fn_.blocks()) verifyBlock(*bb);
+  }
+
+ private:
+  void problem(const BasicBlock& bb, const std::string& what) {
+    problems_.push_back("@" + fn_.name() + "/%" + bb.name() + ": " + what);
+  }
+
+  void verifyBlock(const BasicBlock& bb) {
+    if (bb.empty() || !bb.instructions().back()->isTerminator()) {
+      problem(bb, "block does not end with a terminator");
+    }
+    bool seenNonPhi = false;
+    for (std::size_t i = 0; i < bb.size(); ++i) {
+      const Instruction& inst = *bb.instructions()[i];
+      if (inst.isTerminator() && i + 1 != bb.size()) {
+        problem(bb, "terminator in the middle of a block");
+      }
+      if (inst.opcode() == Opcode::Phi) {
+        if (seenNonPhi) problem(bb, "phi after non-phi instruction");
+        verifyPhi(bb, inst);
+      } else {
+        seenNonPhi = true;
+      }
+      if (inst.opcode() == Opcode::Alloca && &bb != fn_.entry()) {
+        problem(bb, "alloca outside the entry block");
+      }
+      verifyTypes(bb, inst);
+      verifyUses(bb, inst, i);
+    }
+  }
+
+  void verifyPhi(const BasicBlock& bb, const Instruction& phi) {
+    const auto& ps = preds_.at(&bb);
+    if (phi.numOperands() != ps.size()) {
+      problem(bb, strf("phi has %zu incoming values but block has %zu preds",
+                       phi.numOperands(), ps.size()));
+      return;
+    }
+    std::unordered_set<const BasicBlock*> predSet(ps.begin(), ps.end());
+    for (const BasicBlock* in : phi.phiBlocks()) {
+      if (!predSet.contains(in)) {
+        problem(bb, "phi incoming block %" + in->name() + " is not a predecessor");
+      }
+    }
+    for (std::size_t i = 0; i < phi.numOperands(); ++i) {
+      if (phi.operand(i)->type() != phi.type()) {
+        problem(bb, "phi incoming value type mismatch");
+      }
+    }
+  }
+
+  void verifyTypes(const BasicBlock& bb, const Instruction& inst) {
+    auto expectOperand = [&](std::size_t i, Type t) {
+      if (inst.numOperands() <= i || inst.operand(i)->type() != t) {
+        problem(bb, strf("%s operand %zu is not %s", opcodeName(inst.opcode()),
+                         i, typeName(t).c_str()));
+      }
+    };
+    switch (inst.opcode()) {
+      case Opcode::Load:
+      case Opcode::Gep:
+        expectOperand(0, Type::Ptr);
+        if (inst.opcode() == Opcode::Gep) expectOperand(1, Type::I64);
+        break;
+      case Opcode::Store:
+        expectOperand(1, Type::Ptr);
+        break;
+      case Opcode::CondBr:
+      case Opcode::Select:
+        expectOperand(0, Type::I1);
+        break;
+      case Opcode::ICmp:
+        expectOperand(0, Type::I64);
+        expectOperand(1, Type::I64);
+        break;
+      case Opcode::FCmp:
+        expectOperand(0, Type::F64);
+        expectOperand(1, Type::F64);
+        break;
+      default:
+        if (isIntBinary(inst.opcode())) {
+          expectOperand(0, Type::I64);
+          expectOperand(1, Type::I64);
+        } else if (isFloatBinary(inst.opcode())) {
+          expectOperand(0, Type::F64);
+          expectOperand(1, Type::F64);
+        }
+        break;
+    }
+    if (inst.opcode() == Opcode::Ret) {
+      const bool wantsValue = fn_.returnType() != Type::Void;
+      if (wantsValue && (inst.numOperands() != 1 ||
+                         inst.operand(0)->type() != fn_.returnType())) {
+        problem(bb, "ret value missing or mistyped");
+      }
+      if (!wantsValue && inst.numOperands() != 0) {
+        problem(bb, "ret with value in void function");
+      }
+    }
+  }
+
+  void verifyUses(const BasicBlock& bb, const Instruction& inst, std::size_t pos) {
+    for (std::size_t i = 0; i < inst.numOperands(); ++i) {
+      const Value* v = inst.operand(i);
+      if (v->isConstant() || v->kind() == ValueKind::Global) continue;
+      if (args_.contains(v)) continue;
+      auto it = defPos_.find(v);
+      if (it == defPos_.end()) {
+        problem(bb, strf("%s uses a value defined outside this function",
+                         opcodeName(inst.opcode())));
+        continue;
+      }
+      const auto [defBlock, defIndex] = it->second;
+      if (!domtree_.isReachable(&bb)) continue;  // dead code: skip dominance
+      if (inst.opcode() == Opcode::Phi) {
+        // Phi uses must dominate the incoming edge, i.e. the incoming block.
+        const BasicBlock* incoming = inst.phiBlocks()[i];
+        if (!domtree_.dominates(defBlock, incoming)) {
+          problem(bb, "phi incoming value does not dominate incoming block");
+        }
+        continue;
+      }
+      if (defBlock == &bb) {
+        if (defIndex >= pos) {
+          problem(bb, strf("use of %s before its definition",
+                           opcodeName(inst.opcode())));
+        }
+      } else if (!domtree_.dominates(defBlock, &bb)) {
+        problem(bb, strf("%s uses a value whose definition does not dominate it",
+                         opcodeName(inst.opcode())));
+      }
+    }
+  }
+
+  const Function& fn_;
+  std::vector<std::string>& problems_;
+  DominatorTree domtree_;
+  std::unordered_map<const BasicBlock*, std::vector<BasicBlock*>> preds_;
+  std::unordered_map<const Value*, std::pair<const BasicBlock*, std::size_t>> defPos_;
+  std::unordered_set<const Value*> args_;
+};
+
+}  // namespace
+
+std::vector<std::string> verifyModule(const Module& module) {
+  std::vector<std::string> problems;
+  for (const auto& fn : module.functions()) {
+    if (fn->isExternal()) continue;
+    if (fn->blocks().empty()) {
+      problems.push_back("@" + fn->name() + ": defined function has no blocks");
+      continue;
+    }
+    FunctionVerifier(*fn, problems).run();
+  }
+  return problems;
+}
+
+void verifyOrThrow(const Module& module) {
+  const auto problems = verifyModule(module);
+  if (problems.empty()) return;
+  std::string all = "IR verification failed:";
+  for (const auto& p : problems) {
+    all += "\n  ";
+    all += p;
+  }
+  throw CheckError(all);
+}
+
+}  // namespace refine::ir

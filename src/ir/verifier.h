@@ -1,0 +1,21 @@
+// IR well-formedness verification.
+//
+// Run after frontend codegen and after every optimization pass in tests.
+// Checks: single terminator per block (at the end only), operand typing,
+// phi placement/arity, and SSA dominance of uses by definitions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace refine::ir {
+
+/// Returns a list of human-readable problems; empty means the module is valid.
+std::vector<std::string> verifyModule(const Module& module);
+
+/// Convenience: throws CheckError with all problems when invalid.
+void verifyOrThrow(const Module& module);
+
+}  // namespace refine::ir

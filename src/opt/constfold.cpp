@@ -1,0 +1,234 @@
+// Constant folding and algebraic simplification.
+//
+// Integer identities are folded freely; floating-point folding only happens
+// when both operands are constants (IEEE semantics preserved bit-for-bit by
+// computing in the host's doubles, which is exactly what the VM uses too).
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "opt/passes.h"
+#include "opt/utils.h"
+
+namespace refine::opt {
+
+namespace {
+
+using ir::ConstantFloat;
+using ir::ConstantInt;
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+const ConstantInt* asConstI64(const Value* v) {
+  if (v->kind() == ir::ValueKind::ConstantInt && v->type() == ir::Type::I64) {
+    return static_cast<const ConstantInt*>(v);
+  }
+  return nullptr;
+}
+
+const ConstantInt* asConstI1(const Value* v) {
+  if (v->kind() == ir::ValueKind::ConstantInt && v->type() == ir::Type::I1) {
+    return static_cast<const ConstantInt*>(v);
+  }
+  return nullptr;
+}
+
+const ConstantFloat* asConstF64(const Value* v) {
+  if (v->kind() == ir::ValueKind::ConstantFloat) {
+    return static_cast<const ConstantFloat*>(v);
+  }
+  return nullptr;
+}
+
+/// Folds one instruction to a replacement value, or nullptr.
+Value* fold(Instruction& inst, ir::Module& m) {
+  const Opcode op = inst.opcode();
+
+  if (ir::isIntBinary(op)) {
+    const ConstantInt* a = asConstI64(inst.operand(0));
+    const ConstantInt* b = asConstI64(inst.operand(1));
+    if (a != nullptr && b != nullptr) {
+      const std::int64_t x = a->value();
+      const std::int64_t y = b->value();
+      const auto ux = static_cast<std::uint64_t>(x);
+      const auto uy = static_cast<std::uint64_t>(y);
+      switch (op) {
+        case Opcode::Add: return m.constI64(static_cast<std::int64_t>(ux + uy));
+        case Opcode::Sub: return m.constI64(static_cast<std::int64_t>(ux - uy));
+        case Opcode::Mul: return m.constI64(static_cast<std::int64_t>(ux * uy));
+        case Opcode::SDiv:
+        case Opcode::SRem:
+          // Division traps are runtime behaviour; never fold them away.
+          if (y == 0 || (x == std::numeric_limits<std::int64_t>::min() && y == -1)) {
+            return nullptr;
+          }
+          return m.constI64(op == Opcode::SDiv ? x / y : x % y);
+        case Opcode::And: return m.constI64(x & y);
+        case Opcode::Or: return m.constI64(x | y);
+        case Opcode::Xor: return m.constI64(x ^ y);
+        case Opcode::Shl: return m.constI64(static_cast<std::int64_t>(ux << (uy & 63)));
+        case Opcode::AShr: return m.constI64(x >> (uy & 63));
+        case Opcode::LShr: return m.constI64(static_cast<std::int64_t>(ux >> (uy & 63)));
+        default: return nullptr;
+      }
+    }
+    // Algebraic identities (integer only; safe in two's complement).
+    if (b != nullptr) {
+      const std::int64_t y = b->value();
+      if (y == 0 && (op == Opcode::Add || op == Opcode::Sub || op == Opcode::Or ||
+                     op == Opcode::Xor || op == Opcode::Shl || op == Opcode::AShr ||
+                     op == Opcode::LShr)) {
+        return inst.operand(0);
+      }
+      if (y == 0 && (op == Opcode::Mul || op == Opcode::And)) return m.constI64(0);
+      if (y == 1 && (op == Opcode::Mul || op == Opcode::SDiv)) return inst.operand(0);
+    }
+    if (a != nullptr) {
+      const std::int64_t x = a->value();
+      if (x == 0 && (op == Opcode::Add || op == Opcode::Or || op == Opcode::Xor)) {
+        return inst.operand(1);
+      }
+      if (x == 0 && (op == Opcode::Mul || op == Opcode::And)) return m.constI64(0);
+      if (x == 1 && op == Opcode::Mul) return inst.operand(1);
+    }
+    return nullptr;
+  }
+
+  if (ir::isFloatBinary(op)) {
+    const ConstantFloat* a = asConstF64(inst.operand(0));
+    const ConstantFloat* b = asConstF64(inst.operand(1));
+    if (a == nullptr || b == nullptr) return nullptr;
+    switch (op) {
+      case Opcode::FAdd: return m.constF64(a->value() + b->value());
+      case Opcode::FSub: return m.constF64(a->value() - b->value());
+      case Opcode::FMul: return m.constF64(a->value() * b->value());
+      case Opcode::FDiv: return m.constF64(a->value() / b->value());
+      default: return nullptr;
+    }
+  }
+
+  switch (op) {
+    case Opcode::FAbs:
+      if (const auto* a = asConstF64(inst.operand(0))) {
+        return m.constF64(std::fabs(a->value()));
+      }
+      return nullptr;
+    case Opcode::FSqrt:
+      if (const auto* a = asConstF64(inst.operand(0))) {
+        return m.constF64(std::sqrt(a->value()));
+      }
+      return nullptr;
+    case Opcode::ICmp: {
+      const ConstantInt* a = asConstI64(inst.operand(0));
+      const ConstantInt* b = asConstI64(inst.operand(1));
+      if (a == nullptr || b == nullptr) return nullptr;
+      const std::int64_t x = a->value();
+      const std::int64_t y = b->value();
+      bool r = false;
+      switch (inst.icmpPred()) {
+        case ir::ICmpPred::EQ: r = x == y; break;
+        case ir::ICmpPred::NE: r = x != y; break;
+        case ir::ICmpPred::SLT: r = x < y; break;
+        case ir::ICmpPred::SLE: r = x <= y; break;
+        case ir::ICmpPred::SGT: r = x > y; break;
+        case ir::ICmpPred::SGE: r = x >= y; break;
+      }
+      return m.constI1(r);
+    }
+    case Opcode::FCmp: {
+      const ConstantFloat* a = asConstF64(inst.operand(0));
+      const ConstantFloat* b = asConstF64(inst.operand(1));
+      if (a == nullptr || b == nullptr) return nullptr;
+      const double x = a->value();
+      const double y = b->value();
+      bool r = false;
+      switch (inst.fcmpPred()) {
+        case ir::FCmpPred::OEQ: r = x == y; break;
+        case ir::FCmpPred::ONE: r = x < y || x > y; break;
+        case ir::FCmpPred::OLT: r = x < y; break;
+        case ir::FCmpPred::OLE: r = x <= y; break;
+        case ir::FCmpPred::OGT: r = x > y; break;
+        case ir::FCmpPred::OGE: r = x >= y; break;
+      }
+      return m.constI1(r);
+    }
+    case Opcode::Select: {
+      if (const auto* c = asConstI1(inst.operand(0))) {
+        return c->value() != 0 ? inst.operand(1) : inst.operand(2);
+      }
+      if (inst.operand(1) == inst.operand(2)) return inst.operand(1);
+      return nullptr;
+    }
+    case Opcode::ZExt:
+      if (const auto* c = asConstI1(inst.operand(0))) {
+        return m.constI64(c->value() & 1);
+      }
+      return nullptr;
+    case Opcode::SIToFP:
+      if (const auto* c = asConstI64(inst.operand(0))) {
+        return m.constF64(static_cast<double>(c->value()));
+      }
+      return nullptr;
+    case Opcode::FPToSI:
+      if (const auto* c = asConstF64(inst.operand(0))) {
+        const double v = c->value();
+        if (std::isnan(v) || v >= 9.2233720368547758e18 ||
+            v < -9.2233720368547758e18) {
+          return m.constI64(std::numeric_limits<std::int64_t>::min());
+        }
+        return m.constI64(static_cast<std::int64_t>(v));
+      }
+      return nullptr;
+    case Opcode::BitcastI2F:
+      if (const auto* c = asConstI64(inst.operand(0))) {
+        return m.constF64(std::bit_cast<double>(c->value()));
+      }
+      return nullptr;
+    case Opcode::BitcastF2I:
+      if (const auto* c = asConstF64(inst.operand(0))) {
+        return m.constI64(std::bit_cast<std::int64_t>(c->value()));
+      }
+      return nullptr;
+    default:
+      return nullptr;
+  }
+}
+
+}  // namespace
+
+bool constantFold(ir::Function& fn, ir::Module& module) {
+  bool changedAny = false;
+  for (;;) {
+    // Phase 1: collect replacements without deleting anything — later
+    // instructions in the sweep may still hold operands pointing at folded
+    // instructions, and fold() dereferences operands.
+    std::unordered_map<Value*, Value*> replacements;
+    for (const auto& bb : fn.blocks()) {
+      for (const auto& instPtr : bb->instructions()) {
+        Instruction* inst = instPtr.get();
+        if (replacements.contains(inst)) continue;
+        if (Value* folded = fold(*inst, module)) {
+          replacements[inst] = folded;
+        }
+      }
+    }
+    if (replacements.empty()) break;
+    // Phase 2: rewrite all uses, then delete the dead instructions.
+    replaceAllUses(fn, replacements);
+    for (const auto& bb : fn.blocks()) {
+      for (std::size_t i = 0; i < bb->size();) {
+        if (replacements.contains(bb->instructions()[i].get())) {
+          bb->erase(i);
+        } else {
+          ++i;
+        }
+      }
+    }
+    changedAny = true;
+  }
+  return changedAny;
+}
+
+}  // namespace refine::opt

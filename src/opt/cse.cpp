@@ -1,0 +1,109 @@
+// Local common-subexpression elimination via per-block value numbering.
+//
+// Pure expressions with identical opcode/operands/flags are deduplicated;
+// loads participate too, keyed by the pointer and a per-block "memory epoch"
+// that advances on every store or call (a simple, sound invalidation rule).
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "opt/passes.h"
+#include "opt/utils.h"
+
+namespace refine::opt {
+
+namespace {
+
+using ir::Instruction;
+using ir::Opcode;
+using ir::Value;
+
+/// Structural key identifying an expression within one block.
+struct ExprKey {
+  Opcode op;
+  std::uint8_t flags;        // predicate, as raw byte
+  std::uint8_t elemType;     // for gep
+  std::uint64_t memEpoch;    // for loads
+  std::vector<const Value*> operands;
+
+  bool operator<(const ExprKey& other) const {
+    return std::tie(op, flags, elemType, memEpoch, operands) <
+           std::tie(other.op, other.flags, other.elemType, other.memEpoch,
+                    other.operands);
+  }
+};
+
+bool isCandidate(const Instruction& inst) {
+  switch (inst.opcode()) {
+    case Opcode::Phi:
+    case Opcode::Alloca:
+    case Opcode::Call:
+    case Opcode::Store:
+    case Opcode::Ret:
+    case Opcode::Br:
+    case Opcode::CondBr:
+      return false;
+    case Opcode::FSqrt:  // keep: expensive but pure -> CSE-able
+    default:
+      return inst.producesValue();
+  }
+}
+
+}  // namespace
+
+bool localCSE(ir::Function& fn) {
+  bool changed = false;
+  std::unordered_map<Value*, Value*> replacements;
+  // Resolve through pending replacements so chains (gep dedup feeding a load
+  // dedup) are caught within a single pass.
+  std::function<Value*(Value*)> resolve = [&](Value* v) -> Value* {
+    auto it = replacements.find(v);
+    if (it == replacements.end()) return v;
+    Value* root = resolve(it->second);
+    it->second = root;
+    return root;
+  };
+  for (const auto& bb : fn.blocks()) {
+    std::map<ExprKey, Value*> available;
+    std::uint64_t memEpoch = 0;
+    for (std::size_t i = 0; i < bb->size();) {
+      Instruction* inst = bb->instructions()[i].get();
+      if (inst->opcode() == Opcode::Store || inst->opcode() == Opcode::Call) {
+        ++memEpoch;  // conservatively invalidate every prior load
+        ++i;
+        continue;
+      }
+      if (!isCandidate(*inst)) {
+        ++i;
+        continue;
+      }
+      ExprKey key;
+      key.op = inst->opcode();
+      key.flags = inst->opcode() == Opcode::ICmp
+                      ? static_cast<std::uint8_t>(inst->icmpPred())
+                  : inst->opcode() == Opcode::FCmp
+                      ? static_cast<std::uint8_t>(inst->fcmpPred())
+                      : 0;
+      key.elemType = static_cast<std::uint8_t>(inst->elemType());
+      key.memEpoch = inst->opcode() == Opcode::Load ? memEpoch : 0;
+      for (std::size_t k = 0; k < inst->numOperands(); ++k) {
+        key.operands.push_back(resolve(inst->operand(k)));
+      }
+      auto [it, inserted] = available.try_emplace(std::move(key), inst);
+      if (!inserted) {
+        replacements[inst] = it->second;
+        bb->erase(i);
+        changed = true;
+        continue;
+      }
+      ++i;
+    }
+  }
+  replaceAllUses(fn, replacements);
+  return changed;
+}
+
+}  // namespace refine::opt

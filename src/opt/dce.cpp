@@ -1,0 +1,30 @@
+// Dead-code elimination: drops pure instructions whose values are unused.
+#include "opt/passes.h"
+#include "opt/utils.h"
+
+namespace refine::opt {
+
+bool deadCodeElim(ir::Function& fn) {
+  bool changedAny = false;
+  for (;;) {
+    auto uses = computeUseCounts(fn);
+    bool changed = false;
+    for (const auto& bb : fn.blocks()) {
+      for (std::size_t i = bb->size(); i-- > 0;) {
+        const ir::Instruction* inst = bb->instructions()[i].get();
+        if (!isPure(*inst)) continue;
+        if (inst->isTerminator()) continue;
+        auto it = uses.find(inst);
+        if (it == uses.end() || it->second == 0) {
+          bb->erase(i);
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+    changedAny = true;
+  }
+  return changedAny;
+}
+
+}  // namespace refine::opt

@@ -1,0 +1,171 @@
+// Early if-conversion: turns triangle/diamond branches over cheap,
+// speculatable code into select instructions (the speculation LLVM's
+// SimplifyCFG performs).
+//
+// This is what makes `if (x > m) { m = x; }` reductions compile to
+// fcmp+select at IR level and ultimately fuse into FMAX/FMIN machine
+// instructions — the exact code shape whose destruction by IR-level FI the
+// paper's Listing 2 demonstrates.
+#include <unordered_map>
+
+#include "ir/cfg.h"
+#include "opt/passes.h"
+#include "opt/utils.h"
+
+namespace refine::opt {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::Instruction;
+using ir::Opcode;
+
+/// Instructions safe to execute unconditionally: pure and non-trapping.
+bool isSpeculatable(const Instruction& inst) {
+  switch (inst.opcode()) {
+    case Opcode::SDiv:   // may trap
+    case Opcode::SRem:
+    case Opcode::Load:   // guarded loads must stay guarded
+    case Opcode::Store:
+    case Opcode::Call:
+    case Opcode::Alloca:
+    case Opcode::Phi:
+    case Opcode::Ret:
+    case Opcode::Br:
+    case Opcode::CondBr:
+      return false;
+    default:
+      return true;
+  }
+}
+
+/// Side block eligible for speculation: only-pred is `from`, ends in an
+/// unconditional branch, and the body is small and speculatable.
+bool isHoistableSide(const BasicBlock* side, const BasicBlock* from,
+                     const std::unordered_map<const BasicBlock*,
+                                              std::vector<BasicBlock*>>& preds) {
+  constexpr std::size_t kMaxSpeculated = 8;
+  const auto& p = preds.at(side);
+  if (p.size() != 1 || p[0] != from) return false;
+  const Instruction* term = side->terminator();
+  if (term == nullptr || term->opcode() != Opcode::Br) return false;
+  if (side->size() > kMaxSpeculated + 1) return false;
+  for (std::size_t i = 0; i + 1 < side->size(); ++i) {
+    if (!isSpeculatable(*side->instructions()[i])) return false;
+  }
+  return true;
+}
+
+/// Moves all non-terminator instructions of `side` to the end of `into`
+/// (before its terminator).
+void hoistBody(BasicBlock* side, BasicBlock* into) {
+  const std::size_t insertPos = into->size() - 1;  // before CondBr
+  std::size_t offset = 0;
+  while (side->size() > 1) {
+    into->insertAt(insertPos + offset, side->detach(0));
+    ++offset;
+  }
+}
+
+}  // namespace
+
+bool ifConvert(ir::Function& fn, ir::Module& module) {
+  (void)module;
+  bool changedAny = false;
+  for (;;) {
+    bool changed = false;
+    auto preds = ir::predecessorMap(fn);
+    for (const auto& bbPtr : fn.blocks()) {
+      BasicBlock* head = bbPtr.get();
+      Instruction* term = head->terminator();
+      if (term == nullptr || term->opcode() != Opcode::CondBr) continue;
+      ir::Value* cond = term->operand(0);
+      BasicBlock* onTrue = term->target(0);
+      BasicBlock* onFalse = term->target(1);
+      if (onTrue == onFalse) continue;
+
+      // Diamond: head -> {T, F} -> merge.
+      const bool tHoistable = isHoistableSide(onTrue, head, preds);
+      const bool fHoistable = isHoistableSide(onFalse, head, preds);
+      BasicBlock* merge = nullptr;
+      bool triangleTrue = false;   // true-side is the side block
+      bool isDiamond = false;
+      if (tHoistable && fHoistable &&
+          onTrue->terminator()->target(0) == onFalse->terminator()->target(0)) {
+        merge = onTrue->terminator()->target(0);
+        if (preds.at(merge).size() != 2) continue;
+        isDiamond = true;
+      } else if (tHoistable && onTrue->terminator()->target(0) == onFalse) {
+        merge = onFalse;
+        if (preds.at(merge).size() != 2) continue;
+        triangleTrue = true;
+      } else if (fHoistable && onFalse->terminator()->target(0) == onTrue) {
+        merge = onTrue;
+        if (preds.at(merge).size() != 2) continue;
+        triangleTrue = false;
+      } else {
+        continue;
+      }
+
+      // Hoist side bodies into head.
+      if (isDiamond) {
+        hoistBody(onTrue, head);
+        hoistBody(onFalse, head);
+      } else {
+        hoistBody(triangleTrue ? onTrue : onFalse, head);
+      }
+
+      // Rewrite merge phis to selects placed before head's terminator.
+      // Phis are NOT erased until after replaceAllUses: freeing them first
+      // would let a freshly allocated Select reuse a dead phi's address and
+      // alias it inside the replacement map.
+      std::unordered_map<ir::Value*, ir::Value*> replacements;
+      std::size_t phiCount = 0;
+      for (std::size_t i = 0; i < merge->size(); ++i) {
+        Instruction* phi = merge->instructions()[i].get();
+        if (phi->opcode() != Opcode::Phi) break;
+        ++phiCount;
+        ir::Value* fromTrue = nullptr;
+        ir::Value* fromFalse = nullptr;
+        for (std::size_t k = 0; k < phi->numOperands(); ++k) {
+          const BasicBlock* in = phi->phiBlocks()[k];
+          ir::Value* v = phi->operand(k);
+          if (isDiamond) {
+            (in == onTrue ? fromTrue : fromFalse) = v;
+          } else if (triangleTrue) {
+            (in == onTrue ? fromTrue : fromFalse) = v;
+          } else {
+            (in == onFalse ? fromFalse : fromTrue) = v;
+          }
+        }
+        RF_CHECK(fromTrue != nullptr && fromFalse != nullptr,
+                 "if-convert: phi incoming mismatch");
+        auto select = std::make_unique<Instruction>(Opcode::Select, phi->type());
+        select->addOperand(cond);
+        select->addOperand(fromTrue);
+        select->addOperand(fromFalse);
+        Instruction* selectPtr =
+            head->insertAt(head->size() - 1, std::move(select));
+        replacements[phi] = selectPtr;
+      }
+
+      // Retarget head directly at merge.
+      head->erase(head->size() - 1);
+      auto br = std::make_unique<Instruction>(Opcode::Br, ir::Type::Void);
+      br->setTarget(0, merge);
+      head->append(std::move(br));
+      replaceAllUses(fn, replacements);
+      for (std::size_t i = 0; i < phiCount; ++i) merge->erase(0);
+
+      // Side blocks are now unreachable; simplifyCFG removes them.
+      changed = true;
+      break;  // CFG changed: recompute predecessors
+    }
+    if (!changed) break;
+    simplifyCFG(fn);
+    changedAny = true;
+  }
+  return changedAny;
+}
+
+}  // namespace refine::opt

@@ -1,0 +1,225 @@
+// SSA construction: promotes scalar stack slots to registers.
+//
+// Standard algorithm: phi insertion at the iterated dominance frontier of the
+// store sites, then a renaming walk over the dominator tree. This is the pass
+// that gives the IR its "infinite virtual registers" character (paper
+// Sec. 3.2) and makes downstream folding/CSE effective.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "ir/cfg.h"
+#include "ir/dominators.h"
+#include "opt/passes.h"
+#include "opt/utils.h"
+
+namespace refine::opt {
+
+namespace {
+
+/// An alloca is promotable when every use is a direct scalar load or the
+/// pointer operand of a store (never the stored value, never a gep base).
+bool isPromotable(const ir::Instruction& alloca, const ir::Function& fn) {
+  if (alloca.allocaCount() != 1) return false;
+  if (alloca.elemType() == ir::Type::Void) return false;
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      for (std::size_t i = 0; i < inst->numOperands(); ++i) {
+        if (inst->operand(i) != &alloca) continue;
+        const bool okLoad = inst->opcode() == ir::Opcode::Load && i == 0 &&
+                            inst->type() == alloca.elemType();
+        const bool okStore = inst->opcode() == ir::Opcode::Store && i == 1 &&
+                             inst->operand(0)->type() == alloca.elemType() &&
+                             inst->operand(0) != &alloca;
+        if (!okLoad && !okStore) return false;
+      }
+    }
+  }
+  return true;
+}
+
+class Promoter {
+ public:
+  Promoter(ir::Function& fn, ir::Module& module)
+      : fn_(fn), module_(module), domtree_(fn) {}
+
+  bool run() {
+    collectAllocas();
+    if (allocas_.empty()) return false;
+    insertPhis();
+    buildDomChildren();
+    renameBlock(fn_.entry());
+    cleanup();
+    return true;
+  }
+
+ private:
+  void collectAllocas() {
+    for (const auto& inst : fn_.entry()->instructions()) {
+      if (inst->opcode() != ir::Opcode::Alloca) continue;
+      if (isPromotable(*inst, fn_)) {
+        allocaIndex_[inst.get()] = allocas_.size();
+        allocas_.push_back(inst.get());
+      }
+    }
+  }
+
+  ir::Value* undefValueFor(ir::Type t) {
+    switch (t) {
+      case ir::Type::F64: return module_.constF64(0.0);
+      case ir::Type::I1: return module_.constI1(false);
+      default: return module_.constI64(0);
+    }
+  }
+
+  void insertPhis() {
+    phiOwner_.clear();
+    for (std::size_t a = 0; a < allocas_.size(); ++a) {
+      // Blocks containing a store to this alloca.
+      std::vector<ir::BasicBlock*> defBlocks;
+      for (const auto& bb : fn_.blocks()) {
+        for (const auto& inst : bb->instructions()) {
+          if (inst->opcode() == ir::Opcode::Store && inst->operand(1) == allocas_[a]) {
+            defBlocks.push_back(bb.get());
+            break;
+          }
+        }
+      }
+      // Iterated dominance frontier worklist.
+      std::unordered_set<ir::BasicBlock*> hasPhi;
+      std::vector<ir::BasicBlock*> work(defBlocks);
+      while (!work.empty()) {
+        ir::BasicBlock* bb = work.back();
+        work.pop_back();
+        for (ir::BasicBlock* join : domtree_.frontier(bb)) {
+          if (!hasPhi.insert(join).second) continue;
+          auto phi = std::make_unique<ir::Instruction>(ir::Opcode::Phi,
+                                                       allocas_[a]->elemType());
+          ir::Instruction* phiPtr = join->insertAt(0, std::move(phi));
+          phiOwner_[phiPtr] = a;
+          work.push_back(join);
+        }
+      }
+    }
+  }
+
+  void buildDomChildren() {
+    for (ir::BasicBlock* bb : domtree_.order()) {
+      if (ir::BasicBlock* parent = domtree_.idom(bb)) {
+        domChildren_[parent].push_back(bb);
+      }
+    }
+  }
+
+  ir::Value* resolve(ir::Value* v) {
+    auto it = loadReplacements_.find(v);
+    if (it == loadReplacements_.end()) return v;
+    ir::Value* root = resolve(it->second);
+    it->second = root;
+    return root;
+  }
+
+  void renameBlock(ir::BasicBlock* bb) {
+    // Snapshot reaching definitions so siblings in the dom tree see the
+    // state at the end of their parent only.
+    std::vector<std::pair<std::size_t, ir::Value*>> savedDefs;
+
+    auto setDef = [&](std::size_t a, ir::Value* v) {
+      savedDefs.emplace_back(a, currentDef_[a]);
+      currentDef_[a] = v;
+    };
+    if (currentDef_.size() != allocas_.size()) {
+      currentDef_.assign(allocas_.size(), nullptr);
+    }
+
+    for (std::size_t i = 0; i < bb->size();) {
+      ir::Instruction* inst = bb->instructions()[i].get();
+      switch (inst->opcode()) {
+        case ir::Opcode::Phi: {
+          auto owner = phiOwner_.find(inst);
+          if (owner != phiOwner_.end()) setDef(owner->second, inst);
+          break;
+        }
+        case ir::Opcode::Load: {
+          auto idx = allocaIndex_.find(inst->operand(0));
+          if (idx != allocaIndex_.end()) {
+            ir::Value* def = currentDef_[idx->second];
+            if (def == nullptr) def = undefValueFor(inst->type());
+            loadReplacements_[inst] = def;
+            // Deferred deletion (cleanup): freeing now would allow later
+            // allocations (e.g. undef constants) to reuse this address and
+            // alias it inside the replacement map.
+            dead_.insert(inst);
+          }
+          break;
+        }
+        case ir::Opcode::Store: {
+          auto idx = allocaIndex_.find(inst->operand(1));
+          if (idx != allocaIndex_.end()) {
+            setDef(idx->second, resolve(inst->operand(0)));
+            dead_.insert(inst);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      ++i;
+    }
+
+    // Feed successors' phis.
+    for (ir::BasicBlock* succ : ir::successors(bb)) {
+      for (const auto& inst : succ->instructions()) {
+        if (inst->opcode() != ir::Opcode::Phi) break;
+        auto owner = phiOwner_.find(inst.get());
+        if (owner == phiOwner_.end()) continue;
+        ir::Value* def = currentDef_[owner->second];
+        if (def == nullptr) def = undefValueFor(inst->type());
+        inst->addPhiIncoming(def, bb);
+      }
+    }
+
+    for (ir::BasicBlock* child : domChildren_[bb]) renameBlock(child);
+
+    // Restore definitions (in reverse to undo nested writes correctly).
+    for (auto it = savedDefs.rbegin(); it != savedDefs.rend(); ++it) {
+      currentDef_[it->first] = it->second;
+    }
+  }
+
+  void cleanup() {
+    // Apply load replacements everywhere, then drop the dead loads, stores
+    // and allocas in one sweep.
+    replaceAllUses(fn_, loadReplacements_);
+    for (ir::Instruction* alloca : allocas_) dead_.insert(alloca);
+    for (const auto& bb : fn_.blocks()) {
+      for (std::size_t i = 0; i < bb->size();) {
+        if (dead_.contains(bb->instructions()[i].get())) {
+          bb->erase(i);
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+
+  ir::Function& fn_;
+  ir::Module& module_;
+  ir::DominatorTree domtree_;
+  std::vector<ir::Instruction*> allocas_;
+  std::unordered_map<const ir::Value*, std::size_t> allocaIndex_;
+  std::unordered_map<const ir::Instruction*, std::size_t> phiOwner_;
+  std::unordered_map<ir::BasicBlock*, std::vector<ir::BasicBlock*>> domChildren_;
+  std::vector<ir::Value*> currentDef_;
+  std::unordered_map<ir::Value*, ir::Value*> loadReplacements_;
+  std::unordered_set<const ir::Instruction*> dead_;
+};
+
+}  // namespace
+
+bool mem2reg(ir::Function& fn, ir::Module& module) {
+  if (fn.blocks().empty()) return false;
+  return Promoter(fn, module).run();
+}
+
+}  // namespace refine::opt

@@ -1,0 +1,29 @@
+// Optimization pipeline driver.
+#include "ir/verifier.h"
+#include "opt/passes.h"
+
+namespace refine::opt {
+
+void optimize(ir::Module& module, OptLevel level) {
+  if (level == OptLevel::O0) return;
+  for (const auto& fn : module.functions()) {
+    if (fn->isExternal()) continue;
+    // Frontend output has unreachable continuation blocks; clean those before
+    // mem2reg so phi arities match real predecessor counts.
+    simplifyCFG(*fn);
+    mem2reg(*fn, module);
+    const int rounds = level == OptLevel::O1 ? 1 : 3;
+    for (int i = 0; i < rounds; ++i) {
+      bool changed = false;
+      changed |= constantFold(*fn, module);
+      changed |= localCSE(*fn);
+      changed |= deadCodeElim(*fn);
+      changed |= simplifyCFG(*fn);
+      if (level == OptLevel::O2) changed |= ifConvert(*fn, module);
+      if (!changed) break;
+    }
+  }
+  ir::verifyOrThrow(module);
+}
+
+}  // namespace refine::opt

@@ -1,0 +1,44 @@
+// IR optimization passes.
+//
+// The pipeline mirrors the paper's setting: benchmarks are compiled with full
+// optimization (-O3 in the paper) and fault-injection instrumentation either
+// runs *after* IR optimization but *before* the backend (LLFI — perturbing
+// code generation) or inside the backend after all optimization (REFINE).
+//
+// Each pass returns true when it changed the function, enabling fixpoint
+// iteration in the driver.
+#pragma once
+
+#include "ir/ir.h"
+
+namespace refine::opt {
+
+/// Removes unreachable blocks, folds constant/trivial branches, merges
+/// straight-line block chains and threads empty forwarding blocks.
+bool simplifyCFG(ir::Function& fn);
+
+/// Promotes scalar allocas to SSA registers with phi insertion (the classic
+/// SSA-construction pass; turns frontend load/store soup into real SSA).
+bool mem2reg(ir::Function& fn, ir::Module& module);
+
+/// Folds constant expressions and algebraic identities.
+bool constantFold(ir::Function& fn, ir::Module& module);
+
+/// Local common-subexpression elimination (per-block value numbering,
+/// including redundant-load elimination with store/call invalidation).
+bool localCSE(ir::Function& fn);
+
+/// Deletes side-effect-free instructions with no uses.
+bool deadCodeElim(ir::Function& fn);
+
+/// Early if-conversion: speculates small side blocks of triangles/diamonds
+/// and replaces merge phis with selects (enables FMAX/FMIN fusion in the
+/// backend, mirroring LLVM's SimplifyCFG speculation).
+bool ifConvert(ir::Function& fn, ir::Module& module);
+
+enum class OptLevel { O0, O1, O2 };
+
+/// Runs the full pipeline over every defined function.
+void optimize(ir::Module& module, OptLevel level = OptLevel::O2);
+
+}  // namespace refine::opt

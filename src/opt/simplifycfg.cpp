@@ -1,0 +1,151 @@
+#include <unordered_set>
+
+#include "ir/cfg.h"
+#include "opt/passes.h"
+#include "opt/utils.h"
+
+namespace refine::opt {
+
+namespace {
+
+/// Drops phi incomings whose predecessor block is about to disappear.
+void prunePhiIncomings(ir::Function& fn,
+                       const std::unordered_set<ir::BasicBlock*>& removed) {
+  for (const auto& bb : fn.blocks()) {
+    if (removed.contains(bb.get())) continue;
+    for (const auto& inst : bb->instructions()) {
+      if (inst->opcode() != ir::Opcode::Phi) break;
+      for (ir::BasicBlock* dead : removed) {
+        inst->removePhiIncomingFor(dead);
+      }
+    }
+  }
+}
+
+bool removeUnreachable(ir::Function& fn) {
+  const auto dead = ir::unreachableBlocks(fn);
+  if (dead.empty()) return false;
+  std::unordered_set<ir::BasicBlock*> removed(dead.begin(), dead.end());
+  prunePhiIncomings(fn, removed);
+  fn.removeBlocksIf([&](ir::BasicBlock* bb) { return removed.contains(bb); });
+  return true;
+}
+
+/// Rewrites trivial conditional branches (constant condition or identical
+/// targets) into unconditional ones, fixing up phis on the dropped edge.
+bool foldBranches(ir::Function& fn) {
+  bool changed = false;
+  for (const auto& bb : fn.blocks()) {
+    ir::Instruction* term = bb->terminator();
+    if (term == nullptr || term->opcode() != ir::Opcode::CondBr) continue;
+    ir::Value* cond = term->operand(0);
+    ir::BasicBlock* takenTarget = nullptr;
+    if (term->target(0) == term->target(1)) {
+      takenTarget = term->target(0);
+      // Both edges existed; phis in the target see bb twice. Keep one.
+      for (const auto& inst : takenTarget->instructions()) {
+        if (inst->opcode() != ir::Opcode::Phi) break;
+        bool kept = false;
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < inst->phiBlocks().size(); ++i) {
+          if (inst->phiBlocks()[i] == bb.get()) {
+            if (kept) continue;
+            kept = true;
+          }
+          inst->setOperand(out, inst->operand(i));
+          inst->setPhiBlock(out, inst->phiBlocks()[i]);
+          ++out;
+        }
+        inst->truncatePhi(out);
+      }
+    } else if (cond->kind() == ir::ValueKind::ConstantInt) {
+      const bool taken = static_cast<ir::ConstantInt*>(cond)->value() != 0;
+      takenTarget = term->target(taken ? 0 : 1);
+      ir::BasicBlock* notTaken = term->target(taken ? 1 : 0);
+      for (const auto& inst : notTaken->instructions()) {
+        if (inst->opcode() != ir::Opcode::Phi) break;
+        inst->removePhiIncomingFor(bb.get());
+      }
+    }
+    if (takenTarget != nullptr) {
+      bb->erase(bb->size() - 1);
+      auto br = std::make_unique<ir::Instruction>(ir::Opcode::Br, ir::Type::Void);
+      br->setTarget(0, takenTarget);
+      bb->append(std::move(br));
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+/// Merges straight-line chains: A ends in Br to B, B has exactly one
+/// predecessor and no phis -> splice B's instructions into A.
+bool mergeChains(ir::Function& fn) {
+  auto preds = ir::predecessorMap(fn);
+  std::unordered_set<ir::BasicBlock*> merged;
+  for (const auto& bbPtr : fn.blocks()) {
+    ir::BasicBlock* a = bbPtr.get();
+    if (merged.contains(a)) continue;
+    for (;;) {
+      ir::Instruction* term = a->terminator();
+      if (term == nullptr || term->opcode() != ir::Opcode::Br) break;
+      ir::BasicBlock* b = term->target(0);
+      if (b == a || b == fn.entry() || merged.contains(b)) break;
+      if (preds.at(b).size() != 1) break;
+      if (!b->empty() && b->instructions()[0]->opcode() == ir::Opcode::Phi) break;
+      a->erase(a->size() - 1);  // drop A's branch
+      while (!b->empty()) a->append(b->detach(0));
+      // B's successors' phis must now name A as the incoming block.
+      for (ir::BasicBlock* succ : ir::successors(a)) {
+        for (const auto& inst : succ->instructions()) {
+          if (inst->opcode() != ir::Opcode::Phi) break;
+          for (std::size_t i = 0; i < inst->phiBlocks().size(); ++i) {
+            if (inst->phiBlocks()[i] == b) inst->setPhiBlock(i, a);
+          }
+        }
+      }
+      merged.insert(b);
+    }
+  }
+  if (merged.empty()) return false;
+  fn.removeBlocksIf([&](ir::BasicBlock* bb) { return merged.contains(bb); });
+  return true;
+}
+
+/// Replaces single-incoming phis with their unique value.
+bool removeTrivialPhis(ir::Function& fn) {
+  std::unordered_map<ir::Value*, ir::Value*> replacements;
+  for (const auto& bb : fn.blocks()) {
+    for (std::size_t i = 0; i < bb->size();) {
+      ir::Instruction* inst = bb->instructions()[i].get();
+      if (inst->opcode() != ir::Opcode::Phi) break;
+      if (inst->numOperands() == 1) {
+        replacements[inst] = inst->operand(0);
+        bb->erase(i);
+        continue;
+      }
+      ++i;
+    }
+  }
+  if (replacements.empty()) return false;
+  replaceAllUses(fn, replacements);
+  return true;
+}
+
+}  // namespace
+
+bool simplifyCFG(ir::Function& fn) {
+  bool changedAny = false;
+  for (;;) {
+    bool changed = false;
+    changed |= foldBranches(fn);
+    changed |= removeUnreachable(fn);
+    changed |= mergeChains(fn);
+    changed |= removeTrivialPhis(fn);
+    if (!changed) break;
+    changedAny = true;
+  }
+  return changedAny;
+}
+
+}  // namespace refine::opt

@@ -1,0 +1,51 @@
+#include "opt/utils.h"
+
+namespace refine::opt {
+
+void replaceAllUses(ir::Function& fn,
+                    std::unordered_map<ir::Value*, ir::Value*>& replacements) {
+  if (replacements.empty()) return;
+  // Path-compressing resolve to handle replacement chains.
+  std::function<ir::Value*(ir::Value*)> resolve = [&](ir::Value* v) -> ir::Value* {
+    auto it = replacements.find(v);
+    if (it == replacements.end()) return v;
+    ir::Value* root = resolve(it->second);
+    it->second = root;
+    return root;
+  };
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      for (std::size_t i = 0; i < inst->numOperands(); ++i) {
+        inst->setOperand(i, resolve(inst->operand(i)));
+      }
+    }
+  }
+}
+
+std::unordered_map<const ir::Value*, unsigned> computeUseCounts(
+    const ir::Function& fn) {
+  std::unordered_map<const ir::Value*, unsigned> counts;
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      for (std::size_t i = 0; i < inst->numOperands(); ++i) {
+        ++counts[inst->operand(i)];
+      }
+    }
+  }
+  return counts;
+}
+
+bool isPure(const ir::Instruction& inst) {
+  switch (inst.opcode()) {
+    case ir::Opcode::Store:
+    case ir::Opcode::Call:
+    case ir::Opcode::Ret:
+    case ir::Opcode::Br:
+    case ir::Opcode::CondBr:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace refine::opt

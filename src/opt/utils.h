@@ -1,0 +1,22 @@
+// Shared helpers for optimization passes.
+#pragma once
+
+#include <unordered_map>
+
+#include "ir/ir.h"
+
+namespace refine::opt {
+
+/// Applies value replacements across all instruction operands of `fn`,
+/// resolving chains (a -> b -> c) transitively.
+void replaceAllUses(ir::Function& fn,
+                    std::unordered_map<ir::Value*, ir::Value*>& replacements);
+
+/// Number of operand uses of each instruction-produced value in `fn`.
+std::unordered_map<const ir::Value*, unsigned> computeUseCounts(
+    const ir::Function& fn);
+
+/// True for instructions that may be removed when their value is unused.
+bool isPure(const ir::Instruction& inst);
+
+}  // namespace refine::opt

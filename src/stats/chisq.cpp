@@ -1,0 +1,70 @@
+#include "stats/chisq.h"
+
+#include "stats/special.h"
+#include "support/check.h"
+
+namespace refine::stats {
+
+ChiSquaredResult chiSquaredTest(
+    const std::vector<std::vector<std::uint64_t>>& observed) {
+  ChiSquaredResult result;
+  if (observed.empty()) return result;
+  const std::size_t cols = observed[0].size();
+  for (const auto& row : observed) {
+    RF_CHECK(row.size() == cols, "ragged contingency table");
+  }
+
+  // Drop all-zero rows/columns.
+  std::vector<std::size_t> liveRows;
+  std::vector<std::size_t> liveCols;
+  for (std::size_t r = 0; r < observed.size(); ++r) {
+    std::uint64_t sum = 0;
+    for (std::uint64_t v : observed[r]) sum += v;
+    if (sum > 0) liveRows.push_back(r);
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    std::uint64_t sum = 0;
+    for (const auto& row : observed) sum += row[c];
+    if (sum > 0) liveCols.push_back(c);
+  }
+  if (liveRows.size() < 2 || liveCols.size() < 2) return result;
+
+  // Marginals.
+  std::vector<double> rowTotals(liveRows.size(), 0.0);
+  std::vector<double> colTotals(liveCols.size(), 0.0);
+  double grand = 0.0;
+  for (std::size_t r = 0; r < liveRows.size(); ++r) {
+    for (std::size_t c = 0; c < liveCols.size(); ++c) {
+      const double v =
+          static_cast<double>(observed[liveRows[r]][liveCols[c]]);
+      rowTotals[r] += v;
+      colTotals[c] += v;
+      grand += v;
+    }
+  }
+
+  double statistic = 0.0;
+  for (std::size_t r = 0; r < liveRows.size(); ++r) {
+    for (std::size_t c = 0; c < liveCols.size(); ++c) {
+      const double expected = rowTotals[r] * colTotals[c] / grand;
+      const double obs = static_cast<double>(observed[liveRows[r]][liveCols[c]]);
+      const double diff = obs - expected;
+      statistic += diff * diff / expected;
+    }
+  }
+
+  result.statistic = statistic;
+  result.dof = static_cast<unsigned>((liveRows.size() - 1) * (liveCols.size() - 1));
+  result.pValue = chiSquaredSurvival(statistic, result.dof);
+  result.valid = true;
+  return result;
+}
+
+bool significantlyDifferent(const std::vector<std::uint64_t>& toolA,
+                            const std::vector<std::uint64_t>& toolB,
+                            double alpha) {
+  const auto result = chiSquaredTest({toolA, toolB});
+  return result.valid && result.pValue < alpha;
+}
+
+}  // namespace refine::stats

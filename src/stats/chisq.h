@@ -1,0 +1,33 @@
+// Pearson chi-squared test of homogeneity on contingency tables
+// (paper Sec. 5.4.2): are two fault-injection tools sampling the same
+// population of outcome frequencies?
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace refine::stats {
+
+struct ChiSquaredResult {
+  double statistic = 0.0;
+  unsigned dof = 0;
+  double pValue = 1.0;
+  /// False when the table is degenerate (fewer than 2 non-empty rows or
+  /// columns after dropping all-zero lines); pValue is then 1.
+  bool valid = false;
+};
+
+/// Runs the test on an R x C table of observed frequencies (rows = groups,
+/// e.g. tools; columns = categories, e.g. crash/SOC/benign). All-zero rows
+/// and columns are dropped first, matching standard practice (the paper's
+/// CG benchmark has a zero SOC column for every tool).
+ChiSquaredResult chiSquaredTest(
+    const std::vector<std::vector<std::uint64_t>>& observed);
+
+/// Convenience for the paper's 2 x 3 tool-vs-tool tables.
+/// Returns true when the tools are significantly different at level alpha.
+bool significantlyDifferent(const std::vector<std::uint64_t>& toolA,
+                            const std::vector<std::uint64_t>& toolB,
+                            double alpha = 0.05);
+
+}  // namespace refine::stats

@@ -1,0 +1,43 @@
+#include "stats/samplesize.h"
+
+#include <cmath>
+
+#include "stats/special.h"
+#include "support/check.h"
+
+namespace refine::stats {
+
+std::uint64_t leveugleSampleSize(std::uint64_t population, double marginOfError,
+                                 double confidence, double p) {
+  RF_CHECK(population > 0, "empty fault population");
+  RF_CHECK(marginOfError > 0.0 && marginOfError < 1.0, "bad margin of error");
+  RF_CHECK(p > 0.0 && p < 1.0, "bad proportion estimate");
+  const double t = zCritical(confidence);
+  const double numerator = static_cast<double>(population);
+  const double denominator =
+      1.0 + marginOfError * marginOfError *
+                (static_cast<double>(population) - 1.0) / (t * t * p * (1.0 - p));
+  return static_cast<std::uint64_t>(std::ceil(numerator / denominator));
+}
+
+double proportionHalfWidth(double pHat, std::uint64_t n, double confidence) {
+  RF_CHECK(n > 0, "empty sample");
+  const double z = zCritical(confidence);
+  return z * std::sqrt(pHat * (1.0 - pHat) / static_cast<double>(n));
+}
+
+Interval wilsonInterval(std::uint64_t successes, std::uint64_t n,
+                        double confidence) {
+  RF_CHECK(n > 0 && successes <= n, "bad Wilson interval inputs");
+  const double z = zCritical(confidence);
+  const double nD = static_cast<double>(n);
+  const double pHat = static_cast<double>(successes) / nD;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nD;
+  const double center = (pHat + z2 / (2.0 * nD)) / denom;
+  const double half =
+      z * std::sqrt(pHat * (1.0 - pHat) / nD + z2 / (4.0 * nD * nD)) / denom;
+  return Interval{center - half, center + half};
+}
+
+}  // namespace refine::stats

@@ -1,0 +1,36 @@
+// Statistical fault injection sample sizing and proportion confidence
+// intervals.
+//
+// Sample size follows Leveugle et al., "Statistical fault injection:
+// Quantified error and confidence" (DATE'09), the method the paper cites for
+// choosing 1068 samples (margin of error <= 3% at 95% confidence).
+#pragma once
+
+#include <cstdint>
+
+namespace refine::stats {
+
+/// Number of fault-injection experiments needed for a margin of error `e`
+/// at the given confidence, drawing (without replacement) from a population
+/// of `population` possible faults. p = 0.5 is the conservative worst case.
+///
+///   n = N / (1 + e^2 * (N - 1) / (t^2 * p * (1 - p)))
+std::uint64_t leveugleSampleSize(std::uint64_t population, double marginOfError,
+                                 double confidence, double p = 0.5);
+
+/// Half-width of the normal-approximation confidence interval for an
+/// observed proportion pHat over n samples.
+double proportionHalfWidth(double pHat, std::uint64_t n, double confidence);
+
+struct Interval {
+  double low = 0.0;
+  double high = 0.0;
+  bool contains(double v) const noexcept { return v >= low && v <= high; }
+};
+
+/// Wilson score interval (better behaved than the normal approximation for
+/// proportions near 0 or 1).
+Interval wilsonInterval(std::uint64_t successes, std::uint64_t n,
+                        double confidence);
+
+}  // namespace refine::stats

@@ -1,0 +1,82 @@
+#include "stats/special.h"
+
+#include <cmath>
+#include <limits>
+
+#include "support/check.h"
+
+namespace refine::stats {
+
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEps = 1e-14;
+
+/// Series representation of P(a, x); converges quickly for x < a + 1.
+double gammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int n = 0; n < kMaxIterations; ++n) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * kEps) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Continued-fraction representation of Q(a, x); converges for x >= a + 1.
+double gammaQContinuedFraction(double a, double x) {
+  const double tiny = std::numeric_limits<double>::min() / kEps;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double gammaP(double a, double x) {
+  RF_CHECK(a > 0.0 && x >= 0.0, "gammaP domain error");
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gammaPSeries(a, x);
+  return 1.0 - gammaQContinuedFraction(a, x);
+}
+
+double gammaQ(double a, double x) {
+  RF_CHECK(a > 0.0 && x >= 0.0, "gammaQ domain error");
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gammaPSeries(a, x);
+  return gammaQContinuedFraction(a, x);
+}
+
+double chiSquaredSurvival(double x, unsigned dof) {
+  RF_CHECK(dof > 0, "chi-squared needs at least one degree of freedom");
+  if (x <= 0.0) return 1.0;
+  return gammaQ(dof / 2.0, x / 2.0);
+}
+
+double zCritical(double confidence) {
+  // Common levels; extend as needed. Values from the standard normal table.
+  if (confidence == 0.90) return 1.6448536269514722;
+  if (confidence == 0.95) return 1.959963984540054;
+  if (confidence == 0.99) return 2.5758293035489004;
+  RF_CHECK(false, "unsupported confidence level (use 0.90, 0.95 or 0.99)");
+  return 0;
+}
+
+}  // namespace refine::stats

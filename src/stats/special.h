@@ -1,0 +1,24 @@
+// Special functions for statistical inference.
+//
+// The chi-squared survival function reduces to the regularized upper
+// incomplete gamma function Q(a, x); implemented with the standard series /
+// continued-fraction split (Numerical Recipes style) on top of std::lgamma.
+#pragma once
+
+namespace refine::stats {
+
+/// Regularized lower incomplete gamma P(a, x), a > 0, x >= 0.
+double gammaP(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double gammaQ(double a, double x);
+
+/// Survival function of the chi-squared distribution with `dof` degrees of
+/// freedom: P[X >= x].
+double chiSquaredSurvival(double x, unsigned dof);
+
+/// Two-sided z critical value for a given confidence level (e.g. 0.95 ->
+/// 1.95996...). Supports the common levels used in resilience studies.
+double zCritical(double confidence);
+
+}  // namespace refine::stats

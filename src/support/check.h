@@ -1,0 +1,42 @@
+// Precondition/invariant checking in the spirit of GSL Expects()/Ensures().
+//
+// RF_CHECK is enabled in all build types: the cost is negligible next to
+// simulation work and the failure messages make campaign-scale debugging
+// tractable. Violations throw (never abort) so tests can assert on them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace refine {
+
+/// Thrown when an RF_CHECK precondition or internal invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void checkFail(const char* cond, const char* file, int line,
+                                   const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << cond << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace refine
+
+/// Verify a precondition or invariant; throws refine::CheckError on failure.
+#define RF_CHECK(cond, msg)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::refine::detail::checkFail(#cond, __FILE__, __LINE__, (msg));     \
+    }                                                                    \
+  } while (false)
+
+/// Marks unreachable control flow; always throws.
+#define RF_UNREACHABLE(msg) \
+  ::refine::detail::checkFail("unreachable", __FILE__, __LINE__, (msg))

@@ -1,0 +1,26 @@
+#include "support/csv.h"
+
+namespace refine {
+
+std::string csvEscape(const std::string& field) {
+  const bool needsQuoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needsQuoting) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::writeRow(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << csvEscape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace refine

@@ -1,0 +1,40 @@
+// Minimal RFC-4180-style CSV writing for campaign results.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace refine {
+
+/// Streams rows to an std::ostream, quoting fields when needed.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes one row; fields containing commas/quotes/newlines are quoted.
+  void writeRow(const std::vector<std::string>& fields);
+
+  /// Convenience: formats each numeric field with operator<<.
+  template <typename... Ts>
+  void row(const Ts&... fields) {
+    writeRow({toField(fields)...});
+  }
+
+ private:
+  template <typename T>
+  static std::string toField(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      return std::to_string(v);
+    }
+  }
+
+  std::ostream& out_;
+};
+
+/// Escapes a single CSV field (exposed for testing).
+std::string csvEscape(const std::string& field);
+
+}  // namespace refine

@@ -1,0 +1,96 @@
+// Deterministic pseudo-random number generation for fault-injection
+// campaigns.
+//
+// Every experiment derives its stream from (app, tool, trial) so results are
+// reproducible and independent of thread scheduling. SplitMix64 is used for
+// seeding/mixing; xoshiro256** is the workhorse generator.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "support/check.h"
+
+namespace refine {
+
+/// SplitMix64 step: maps any 64-bit state to a well-mixed successor.
+/// Used both as a tiny generator and as a seed-expansion function.
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// FNV-1a hash of a string, for deriving seeds from names.
+inline std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Combines an arbitrary number of 64-bit values into one seed.
+inline std::uint64_t mixSeed(std::uint64_t a) noexcept {
+  std::uint64_t s = a;
+  return splitmix64(s);
+}
+template <typename... Rest>
+std::uint64_t mixSeed(std::uint64_t a, Rest... rest) noexcept {
+  std::uint64_t lo = mixSeed(static_cast<std::uint64_t>(rest)...);
+  std::uint64_t s = a ^ (lo + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+  return splitmix64(s);
+}
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  /// Seeds the four state words by running SplitMix64 from `seed`.
+  explicit Rng(std::uint64_t seed = 0x853C49E6748FEA9BULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Rejection sampling: no modulo bias.
+  std::uint64_t nextBelow(std::uint64_t bound) {
+    RF_CHECK(bound > 0, "nextBelow requires a positive bound");
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double nextDouble() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with probability p of returning true.
+  bool nextBool(double p) noexcept { return nextDouble() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace refine

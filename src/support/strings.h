@@ -1,0 +1,32 @@
+// Small string utilities shared across the project.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace refine {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// True when `name` matches `pattern`, where `pattern` is either "*"
+/// (match everything), a literal name, or a '*'-glob (e.g. "compute_*").
+bool globMatch(std::string_view pattern, std::string_view name);
+
+/// Reads an entire file; throws std::runtime_error when unreadable.
+std::string readFile(const std::string& path);
+
+/// Writes `content` to `path`; throws std::runtime_error on failure.
+void writeFile(const std::string& path, std::string_view content);
+
+}  // namespace refine

@@ -1,0 +1,99 @@
+#include "support/threadpool.h"
+
+#include <exception>
+
+#include "support/check.h"
+
+namespace refine {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  const unsigned count = threads == 0 ? 1 : threads;
+  workers_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  taskReady_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  RF_CHECK(task != nullptr, "null task submitted to ThreadPool");
+  {
+    std::scoped_lock lock(mutex_);
+    RF_CHECK(!stopping_, "submit after ThreadPool shutdown");
+    tasks_.push(std::move(task));
+    ++inFlight_;
+  }
+  taskReady_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mutex_);
+  allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      taskReady_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ and drained
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::scoped_lock lock(mutex_);
+      --inFlight_;
+      if (inFlight_ == 0) allDone_.notify_all();
+    }
+  }
+}
+
+void parallelFor(std::size_t n, unsigned threads,
+                 const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  const unsigned count = std::max(1u, std::min<unsigned>(threads, static_cast<unsigned>(n)));
+  if (count == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex errorMutex;
+  std::exception_ptr firstError;
+  std::vector<std::thread> workers;
+  workers.reserve(count);
+  for (unsigned t = 0; t < count; ++t) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          body(i);
+        } catch (...) {
+          std::scoped_lock lock(errorMutex);
+          if (!firstError) firstError = std::current_exception();
+          next.store(n, std::memory_order_relaxed);  // abandon remaining work
+          return;
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+unsigned hardwareThreads() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+}  // namespace refine

@@ -1,0 +1,62 @@
+// Work distribution for fault-injection campaigns.
+//
+// Campaigns are embarrassingly parallel (one VM instance per experiment), so
+// the primitives here are deliberately simple: a fixed-size pool plus a
+// parallelFor helper with an atomic work counter. Following CP.* guidance,
+// all shared state is guarded or atomic and joins happen in destructors
+// (RAII), so no detached threads outlive the pool.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace refine {
+
+/// Fixed-size thread pool executing void() tasks FIFO.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (at least 1).
+  explicit ThreadPool(unsigned threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait();
+
+  unsigned threadCount() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable taskReady_;
+  std::condition_variable allDone_;
+  std::size_t inFlight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs body(i) for i in [0, n) across `threads` threads.
+/// Exceptions from the body are captured and the first one is rethrown on
+/// the calling thread after all iterations complete or are abandoned.
+void parallelFor(std::size_t n, unsigned threads,
+                 const std::function<void(std::size_t)>& body);
+
+/// Number of hardware threads, never zero.
+unsigned hardwareThreads() noexcept;
+
+}  // namespace refine

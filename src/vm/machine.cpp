@@ -1,0 +1,395 @@
+#include "vm/machine.h"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "ir/interp.h"  // shared print formatting
+#include "ir/layout.h"
+#include "ir/runtime.h"
+
+namespace refine::vm {
+
+namespace {
+using backend::MachineInst;
+using backend::MOp;
+using backend::MOperand;
+using backend::RegClass;
+
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+double asF64(u64 bits) { return std::bit_cast<double>(bits); }
+u64 asBits(double v) { return std::bit_cast<u64>(v); }
+}  // namespace
+
+const char* trapName(Trap t) noexcept {
+  switch (t) {
+    case Trap::None: return "none";
+    case Trap::BadMemory: return "bad-memory";
+    case Trap::DivByZero: return "div-by-zero";
+    case Trap::StackOverflow: return "stack-overflow";
+    case Trap::InvalidPC: return "invalid-pc";
+    case Trap::Timeout: return "timeout";
+  }
+  return "?";
+}
+
+Machine::Machine(const backend::Program& program) : program_(program) {
+  globals_ = program.globalImage;
+  stack_.assign(ir::DataLayout::kStackSize, 0);
+  regs_[backend::kSpIndex] = ir::DataLayout::kStackTop;
+}
+
+std::uint64_t& Machine::gpr(unsigned i) {
+  RF_CHECK(i < 16, "gpr index out of range");
+  return regs_[i];
+}
+
+std::uint64_t& Machine::fprBits(unsigned i) {
+  RF_CHECK(i < 16, "fpr index out of range");
+  return fregs_[i];
+}
+
+void Machine::pokeGlobal(std::uint64_t addr, std::uint64_t value) {
+  const bool ok = storeWord(addr, value);
+  RF_CHECK(ok, "pokeGlobal outside the globals segment");
+  trap_ = Trap::None;
+}
+
+std::uint64_t Machine::peekGlobal(std::uint64_t addr) {
+  std::uint64_t value = 0;
+  const bool ok = loadWord(addr, value);
+  RF_CHECK(ok, "peekGlobal outside the globals segment");
+  trap_ = Trap::None;
+  return value;
+}
+
+bool Machine::loadWord(u64 addr, u64& out) {
+  const u64 gBase = program_.globalBase;
+  if (addr >= gBase && addr + 8 <= gBase + globals_.size()) {
+    std::memcpy(&out, &globals_[addr - gBase], 8);
+    return true;
+  }
+  if (addr >= ir::DataLayout::kStackLimit &&
+      addr + 8 <= ir::DataLayout::kStackTop) {
+    std::memcpy(&out, &stack_[addr - ir::DataLayout::kStackLimit], 8);
+    return true;
+  }
+  return fail(Trap::BadMemory);
+}
+
+bool Machine::storeWord(u64 addr, u64 value) {
+  const u64 gBase = program_.globalBase;
+  if (addr >= gBase && addr + 8 <= gBase + globals_.size()) {
+    std::memcpy(&globals_[addr - gBase], &value, 8);
+    return true;
+  }
+  if (addr >= ir::DataLayout::kStackLimit &&
+      addr + 8 <= ir::DataLayout::kStackTop) {
+    std::memcpy(&stack_[addr - ir::DataLayout::kStackLimit], &value, 8);
+    return true;
+  }
+  return fail(Trap::BadMemory);
+}
+
+bool Machine::push(u64 value) {
+  u64& sp = regs_[backend::kSpIndex];
+  sp -= 8;
+  if (sp < ir::DataLayout::kStackLimit || sp >= ir::DataLayout::kStackTop) {
+    return fail(sp < ir::DataLayout::kStackLimit ? Trap::StackOverflow
+                                                 : Trap::BadMemory);
+  }
+  return storeWord(sp, value);
+}
+
+bool Machine::pop(u64& out) {
+  u64& sp = regs_[backend::kSpIndex];
+  if (!loadWord(sp, out)) return false;
+  sp += 8;
+  return true;
+}
+
+void Machine::setIntFlags(u64 result) noexcept {
+  const i64 s = static_cast<i64>(result);
+  flags_ = s == 0 ? backend::kFlagEQ : (s < 0 ? backend::kFlagLT : backend::kFlagGT);
+}
+
+void Machine::setCmpFlags(i64 a, i64 b) noexcept {
+  flags_ = a == b ? backend::kFlagEQ
+                  : (a < b ? backend::kFlagLT : backend::kFlagGT);
+}
+
+void Machine::setFCmpFlags(double a, double b) noexcept {
+  if (std::isnan(a) || std::isnan(b)) {
+    flags_ = backend::kFlagUN;
+  } else if (a == b) {
+    flags_ = backend::kFlagEQ;
+  } else if (a < b) {
+    flags_ = backend::kFlagLT;
+  } else {
+    flags_ = backend::kFlagGT;
+  }
+}
+
+bool Machine::syscall(std::int64_t code) {
+  using ir::RuntimeFn;
+  switch (static_cast<RuntimeFn>(code)) {
+    case RuntimeFn::PrintI64:
+      output_ += ir::formatPrintI64(static_cast<i64>(regs_[0]));
+      return true;
+    case RuntimeFn::PrintF64:
+      output_ += ir::formatPrintF64(asF64(fregs_[0]));
+      return true;
+    case RuntimeFn::PrintStr: {
+      const u64 index = regs_[0];
+      // A corrupted string id is the moral equivalent of printf with a wild
+      // pointer: treat it as a memory fault.
+      if (index >= program_.strings.size()) return fail(Trap::BadMemory);
+      output_ += program_.strings[index];
+      output_ += '\n';
+      return true;
+    }
+    case RuntimeFn::Exp: fregs_[0] = asBits(std::exp(asF64(fregs_[0]))); return true;
+    case RuntimeFn::Log: fregs_[0] = asBits(std::log(asF64(fregs_[0]))); return true;
+    case RuntimeFn::Sin: fregs_[0] = asBits(std::sin(asF64(fregs_[0]))); return true;
+    case RuntimeFn::Cos: fregs_[0] = asBits(std::cos(asF64(fregs_[0]))); return true;
+    case RuntimeFn::Pow:
+      fregs_[0] = asBits(std::pow(asF64(fregs_[0]), asF64(fregs_[1])));
+      return true;
+    case RuntimeFn::Floor:
+      fregs_[0] = asBits(std::floor(asF64(fregs_[0])));
+      return true;
+  }
+  // An unknown syscall code can only arise from state corruption.
+  return fail(Trap::BadMemory);
+}
+
+bool Machine::step() {
+  if (pc_ >= program_.code.size()) return fail(Trap::InvalidPC);
+  const MachineInst& inst = program_.code[pc_];
+  const u64 thisPc = pc_;
+  ++pc_;
+  if (++count_ > budget_) return fail(Trap::Timeout);
+
+  const auto& ops = inst.operands();
+  auto reg = [&](std::size_t i) -> u64& {
+    const backend::Reg r = ops[i].reg;
+    return r.cls == RegClass::GPR ? regs_[r.index] : fregs_[r.index];
+  };
+  auto imm = [&](std::size_t i) { return ops[i].imm; };
+
+  switch (inst.op()) {
+    case MOp::MOVri: reg(0) = static_cast<u64>(imm(1)); break;
+    case MOp::MOVrr: reg(0) = reg(1); break;
+    case MOp::FMOVri: reg(0) = static_cast<u64>(imm(1)); break;
+    case MOp::FMOVrr: reg(0) = reg(1); break;
+    case MOp::CVTIF:
+      reg(0) = asBits(static_cast<double>(static_cast<i64>(reg(1))));
+      break;
+    case MOp::CVTFI: {
+      const double v = asF64(reg(1));
+      if (std::isnan(v) || v >= 9.2233720368547758e18 ||
+          v < -9.2233720368547758e18) {
+        reg(0) = static_cast<u64>(std::numeric_limits<i64>::min());
+      } else {
+        reg(0) = static_cast<u64>(static_cast<i64>(v));
+      }
+      break;
+    }
+    case MOp::FBITI: reg(0) = reg(1); break;
+    case MOp::IBITF: reg(0) = reg(1); break;
+
+    case MOp::ADD: reg(0) = reg(1) + reg(2); setIntFlags(reg(0)); break;
+    case MOp::SUB: reg(0) = reg(1) - reg(2); setIntFlags(reg(0)); break;
+    case MOp::MUL: reg(0) = reg(1) * reg(2); setIntFlags(reg(0)); break;
+    case MOp::DIV:
+    case MOp::REM: {
+      const i64 a = static_cast<i64>(reg(1));
+      const i64 b = static_cast<i64>(reg(2));
+      if (b == 0 || (a == std::numeric_limits<i64>::min() && b == -1)) {
+        return fail(Trap::DivByZero);
+      }
+      reg(0) = static_cast<u64>(inst.op() == MOp::DIV ? a / b : a % b);
+      setIntFlags(reg(0));
+      break;
+    }
+    case MOp::AND: reg(0) = reg(1) & reg(2); setIntFlags(reg(0)); break;
+    case MOp::OR: reg(0) = reg(1) | reg(2); setIntFlags(reg(0)); break;
+    case MOp::XOR: reg(0) = reg(1) ^ reg(2); setIntFlags(reg(0)); break;
+    case MOp::SHL: reg(0) = reg(1) << (reg(2) & 63); setIntFlags(reg(0)); break;
+    case MOp::ASHR:
+      reg(0) = static_cast<u64>(static_cast<i64>(reg(1)) >>
+                                (reg(2) & 63));
+      setIntFlags(reg(0));
+      break;
+    case MOp::LSHR: reg(0) = reg(1) >> (reg(2) & 63); setIntFlags(reg(0)); break;
+
+    case MOp::ADDri: reg(0) = reg(1) + static_cast<u64>(imm(2)); setIntFlags(reg(0)); break;
+    case MOp::ANDri: reg(0) = reg(1) & static_cast<u64>(imm(2)); setIntFlags(reg(0)); break;
+    case MOp::ORri: reg(0) = reg(1) | static_cast<u64>(imm(2)); setIntFlags(reg(0)); break;
+    case MOp::XORri: reg(0) = reg(1) ^ static_cast<u64>(imm(2)); setIntFlags(reg(0)); break;
+    case MOp::SHLri: reg(0) = reg(1) << (imm(2) & 63); setIntFlags(reg(0)); break;
+    case MOp::ASHRri:
+      reg(0) = static_cast<u64>(static_cast<i64>(reg(1)) >> (imm(2) & 63));
+      setIntFlags(reg(0));
+      break;
+    case MOp::LSHRri: reg(0) = reg(1) >> (imm(2) & 63); setIntFlags(reg(0)); break;
+    case MOp::MULri: reg(0) = reg(1) * static_cast<u64>(imm(2)); setIntFlags(reg(0)); break;
+
+    case MOp::FADD: reg(0) = asBits(asF64(reg(1)) + asF64(reg(2))); break;
+    case MOp::FSUB: reg(0) = asBits(asF64(reg(1)) - asF64(reg(2))); break;
+    case MOp::FMUL: reg(0) = asBits(asF64(reg(1)) * asF64(reg(2))); break;
+    case MOp::FDIV: reg(0) = asBits(asF64(reg(1)) / asF64(reg(2))); break;
+    case MOp::FMAX: {
+      // Semantics match the fused pattern select(a > b, a, b): NaN picks b.
+      const double a = asF64(reg(1));
+      const double b = asF64(reg(2));
+      reg(0) = asBits(a > b ? a : b);
+      break;
+    }
+    case MOp::FMIN: {
+      const double a = asF64(reg(1));
+      const double b = asF64(reg(2));
+      reg(0) = asBits(a < b ? a : b);
+      break;
+    }
+    case MOp::FABS: reg(0) = asBits(std::fabs(asF64(reg(1)))); break;
+    case MOp::FSQRT: reg(0) = asBits(std::sqrt(asF64(reg(1)))); break;
+
+    case MOp::CMP:
+      setCmpFlags(static_cast<i64>(reg(0)), static_cast<i64>(reg(1)));
+      break;
+    case MOp::CMPri:
+      setCmpFlags(static_cast<i64>(reg(0)), imm(1));
+      break;
+    case MOp::FCMP:
+      setFCmpFlags(asF64(reg(0)), asF64(reg(1)));
+      break;
+
+    case MOp::CSEL:
+    case MOp::FCSEL:
+      reg(0) = backend::condHolds(ops[3].cond, flags_) ? reg(1) : reg(2);
+      break;
+
+    case MOp::LDR:
+    case MOp::FLDR: {
+      u64 value = 0;
+      if (!loadWord(reg(1) + static_cast<u64>(imm(2)), value)) return false;
+      reg(0) = value;
+      break;
+    }
+    case MOp::STR:
+    case MOp::FSTR:
+      if (!storeWord(reg(1) + static_cast<u64>(imm(2)), reg(0))) return false;
+      break;
+
+    case MOp::LEAfi:
+      reg(0) = regs_[backend::kSpIndex] + static_cast<u64>(imm(1));
+      break;
+
+    case MOp::PUSH:
+    case MOp::FPUSH:
+      if (!push(reg(0))) return false;
+      break;
+    case MOp::POP:
+    case MOp::FPOP: {
+      u64 value = 0;
+      if (!pop(value)) return false;
+      reg(0) = value;
+      break;
+    }
+    case MOp::PUSHF:
+      if (!push(flags_)) return false;
+      break;
+    case MOp::POPF: {
+      u64 value = 0;
+      if (!pop(value)) return false;
+      flags_ = static_cast<std::uint8_t>(value & 0xF);
+      break;
+    }
+    case MOp::SPADJ: {
+      u64& sp = regs_[backend::kSpIndex];
+      sp += static_cast<u64>(imm(0));
+      if (sp < ir::DataLayout::kStackLimit) return fail(Trap::StackOverflow);
+      break;
+    }
+
+    case MOp::B: pc_ = static_cast<u64>(imm(0)); break;
+    case MOp::BCC:
+      if (backend::condHolds(ops[0].cond, flags_)) {
+        pc_ = static_cast<u64>(imm(1));
+      }
+      break;
+    case MOp::CALL:
+      if (!push(pc_)) return false;  // return address = next instruction
+      pc_ = static_cast<u64>(imm(0));
+      break;
+    case MOp::RET: {
+      u64 ret = 0;
+      if (!pop(ret)) return false;
+      if (ret == kHaltAddress) {
+        halted_ = true;
+        return false;
+      }
+      if (ret >= program_.code.size()) return fail(Trap::InvalidPC);
+      pc_ = ret;
+      break;
+    }
+    case MOp::SYSCALL:
+      if (!syscall(imm(0))) return false;
+      break;
+
+    case MOp::FICHECK: {
+      RF_CHECK(fiRuntime_ != nullptr,
+               "FICHECK executed without an FI runtime attached");
+      if (fiRuntime_->selInstr(static_cast<u64>(imm(0)))) {
+        pc_ = static_cast<u64>(imm(1));
+      }
+      break;
+    }
+    case MOp::SETUPFI: {
+      RF_CHECK(fiRuntime_ != nullptr,
+               "SETUPFI executed without an FI runtime attached");
+      const auto [op, mask] = fiRuntime_->setupFI(static_cast<u64>(imm(0)));
+      regs_[0] = op;
+      regs_[1] = mask;
+      break;
+    }
+
+    case MOp::NOP:
+      break;
+
+    default:
+      RF_UNREACHABLE("VM: pseudo instruction reached execution");
+  }
+
+  if (hook_ != nullptr) hook_(thisPc, *this);
+  return true;
+}
+
+ExecResult Machine::run(std::uint64_t maxInstrs) {
+  budget_ = maxInstrs;
+  pc_ = program_.entry;
+  // Sentinel return address: RET from main halts the machine.
+  const bool pushed = push(kHaltAddress);
+  RF_CHECK(pushed, "failed to initialize the stack");
+
+  while (step()) {
+  }
+
+  ExecResult result;
+  result.output = std::move(output_);
+  result.instrCount = count_;
+  if (halted_) {
+    result.exitCode = static_cast<i64>(regs_[0]);
+  } else {
+    result.trapped = true;
+    result.trap = trap_;
+    result.exitCode = -1;
+  }
+  return result;
+}
+
+}  // namespace refine::vm

@@ -1,0 +1,129 @@
+// VT64 architectural simulator.
+//
+// Executes a backend::Program with faithful architectural state: 16 GPRs
+// (r15 = sp), 16 FPRs, a 4-bit flags register, a guarded flat address space
+// (globals segment + downward stack), and precise traps. This plays the role
+// of the physical Xeon nodes in the paper: fault manifestation (crash vs
+// silent output corruption vs benign) is decided entirely by this machine's
+// semantics.
+//
+// Two integration points exist for fault injection:
+//  * an instruction hook called after every executed instruction — the
+//    "dynamic binary instrumentation" interface PINFI uses (detachable
+//    mid-run, mirroring PIN's detach optimization), and
+//  * the FiRuntime interface backing the FICHECK/SETUPFI instrumentation
+//    that the REFINE compiler pass emits (the paper's fault injection
+//    library, a native uninstrumented library linked with the binary).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "backend/program.h"
+
+namespace refine::vm {
+
+enum class Trap : std::uint8_t {
+  None,
+  BadMemory,      // access outside the globals/stack segments
+  DivByZero,      // integer division by zero or INT64_MIN / -1
+  StackOverflow,  // stack pointer below the stack segment
+  InvalidPC,      // return to a corrupted address / jump out of code
+  Timeout,        // dynamic instruction budget exhausted
+};
+
+const char* trapName(Trap t) noexcept;
+
+struct ExecResult {
+  bool trapped = false;
+  Trap trap = Trap::None;
+  std::int64_t exitCode = 0;
+  std::string output;
+  std::uint64_t instrCount = 0;  // all executed instructions
+};
+
+class Machine;
+
+/// The fault-injection control library interface (paper Sec. 4.2.4): the
+/// REFINE-instrumented binary calls selInstr() after every instrumented
+/// instruction and setupFI() when injection triggers.
+class FiRuntime {
+ public:
+  virtual ~FiRuntime() = default;
+  /// Returns true to trigger fault injection at this execution of the site.
+  virtual bool selInstr(std::uint64_t siteId) = 0;
+  /// Returns {operand index, xor mask} for the triggered site.
+  virtual std::pair<std::uint32_t, std::uint64_t> setupFI(std::uint64_t siteId) = 0;
+};
+
+/// Called after each executed instruction with its index and the machine.
+using InstrHook = std::function<void(std::uint64_t pc, Machine&)>;
+
+class Machine {
+ public:
+  explicit Machine(const backend::Program& program);
+
+  /// Binary-instrumentation hook (PINFI). May be cleared mid-run (detach).
+  void setHook(InstrHook hook) { hook_ = std::move(hook); }
+  void clearHook() { hook_ = nullptr; }
+  bool hasHook() const noexcept { return hook_ != nullptr; }
+
+  /// FI runtime library used by FICHECK/SETUPFI instrumentation.
+  void setFiRuntime(FiRuntime* runtime) noexcept { fiRuntime_ = runtime; }
+
+  /// Runs from the program entry until halt, trap or budget exhaustion.
+  ExecResult run(std::uint64_t maxInstrs = 1'000'000'000);
+
+  // -- Architectural state (exposed for fault injectors) ---------------------
+  std::uint64_t& gpr(unsigned i);
+  std::uint64_t& fprBits(unsigned i);
+  std::uint8_t& flags() noexcept { return flags_; }
+  std::uint64_t instrCount() const noexcept { return count_; }
+  const backend::Program& program() const noexcept { return program_; }
+
+  /// Writes/reads a 64-bit word in the globals segment (used to seed the
+  /// LLFI guest runtime's control globals before a run and to read its
+  /// dynamic instruction counter afterwards — the file-based transport of
+  /// the paper's Fig. 3, minus the file).
+  void pokeGlobal(std::uint64_t addr, std::uint64_t value);
+  std::uint64_t peekGlobal(std::uint64_t addr);
+
+ private:
+  bool loadWord(std::uint64_t addr, std::uint64_t& out);
+  bool storeWord(std::uint64_t addr, std::uint64_t value);
+  bool push(std::uint64_t value);
+  bool pop(std::uint64_t& out);
+  void setIntFlags(std::uint64_t result) noexcept;
+  void setCmpFlags(std::int64_t a, std::int64_t b) noexcept;
+  void setFCmpFlags(double a, double b) noexcept;
+  bool syscall(std::int64_t code);
+  bool fail(Trap t) noexcept {
+    trap_ = t;
+    return false;
+  }
+
+  /// Executes one instruction; returns false on trap or halt.
+  bool step();
+
+  const backend::Program& program_;
+  std::vector<std::uint8_t> globals_;
+  std::vector<std::uint8_t> stack_;
+  std::uint64_t regs_[16] = {};
+  std::uint64_t fregs_[16] = {};
+  std::uint8_t flags_ = 0;
+  std::uint64_t pc_ = 0;
+  std::uint64_t count_ = 0;
+  std::uint64_t budget_ = 0;
+  std::string output_;
+  Trap trap_ = Trap::None;
+  bool halted_ = false;
+  InstrHook hook_;
+  FiRuntime* fiRuntime_ = nullptr;
+
+  static constexpr std::uint64_t kHaltAddress = ~0ULL;
+};
+
+}  // namespace refine::vm

@@ -1,0 +1,122 @@
+// Benchmark application tests, parameterized over all 14 apps:
+// each must compile through the full pipeline, terminate cleanly with exit
+// code 0, produce deterministic non-trivial output, agree between the IR
+// interpreter and compiled machine code, stay within the campaign's dynamic
+// instruction budget, and be instrumentable by all three FI tools.
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "backend/compile.h"
+#include "campaign/tools.h"
+#include "frontend/compile.h"
+#include "ir/interp.h"
+#include "opt/passes.h"
+#include "vm/machine.h"
+
+namespace refine::apps {
+namespace {
+
+class AllApps : public ::testing::TestWithParam<AppInfo> {};
+
+TEST_P(AllApps, CompilesAndRunsCleanly) {
+  const AppInfo& app = GetParam();
+  auto module = fe::compileToIR(app.source);
+  opt::optimize(*module, opt::OptLevel::O2);
+  auto compiled = backend::compileBackend(*module);
+  vm::Machine machine(compiled.program);
+  const auto result = machine.run(500'000'000);
+  EXPECT_FALSE(result.trapped)
+      << app.name << " trapped: " << vm::trapName(result.trap);
+  EXPECT_EQ(result.exitCode, 0) << app.name;
+  EXPECT_GE(result.output.size(), 10u) << app.name << " output too small";
+}
+
+TEST_P(AllApps, MachineMatchesInterpreter) {
+  const AppInfo& app = GetParam();
+  auto refModule = fe::compileToIR(app.source);
+  const auto ref = ir::interpret(*refModule, "main", 500'000'000);
+
+  auto module = fe::compileToIR(app.source);
+  opt::optimize(*module, opt::OptLevel::O2);
+  auto compiled = backend::compileBackend(*module);
+  vm::Machine machine(compiled.program);
+  const auto got = machine.run(500'000'000);
+
+  EXPECT_EQ(ref.exitCode, got.exitCode) << app.name;
+  EXPECT_EQ(ref.output, got.output) << app.name;
+}
+
+TEST_P(AllApps, DeterministicAcrossRuns) {
+  const AppInfo& app = GetParam();
+  auto module = fe::compileToIR(app.source);
+  opt::optimize(*module, opt::OptLevel::O2);
+  auto compiled = backend::compileBackend(*module);
+  vm::Machine a(compiled.program);
+  vm::Machine b(compiled.program);
+  const auto ra = a.run(500'000'000);
+  const auto rb = b.run(500'000'000);
+  EXPECT_EQ(ra.output, rb.output);
+  EXPECT_EQ(ra.instrCount, rb.instrCount);
+}
+
+TEST_P(AllApps, WithinCampaignInstructionBudget) {
+  const AppInfo& app = GetParam();
+  auto module = fe::compileToIR(app.source);
+  opt::optimize(*module, opt::OptLevel::O2);
+  auto compiled = backend::compileBackend(*module);
+  vm::Machine machine(compiled.program);
+  const auto result = machine.run(500'000'000);
+  // Campaign-friendly size: big enough to have a meaningful fault
+  // population, small enough for 1068-trial campaigns on a laptop.
+  EXPECT_GE(result.instrCount, 20'000u) << app.name;
+  EXPECT_LE(result.instrCount, 20'000'000u) << app.name;
+}
+
+TEST_P(AllApps, AllToolsCanInstrument) {
+  const AppInfo& app = GetParam();
+  for (const auto tool :
+       {campaign::Tool::LLFI, campaign::Tool::REFINE, campaign::Tool::PINFI}) {
+    auto instance =
+        campaign::makeToolInstance(tool, app.source, fi::FiConfig::allOn());
+    const auto& profile = instance->profile();
+    EXPECT_GT(profile.dynamicTargets, 1'000u)
+        << app.name << " under " << campaign::toolName(tool);
+    EXPECT_FALSE(profile.goldenOutput.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, AllApps, ::testing::ValuesIn(benchmarkApps()),
+    [](const ::testing::TestParamInfo<AppInfo>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(Registry, Has14NamedApps) {
+  EXPECT_EQ(benchmarkApps().size(), 14u);
+  EXPECT_NE(findApp("AMG2013"), nullptr);
+  EXPECT_NE(findApp("HPCCG-1.0"), nullptr);
+  EXPECT_NE(findApp("UA"), nullptr);
+  EXPECT_EQ(findApp("nope"), nullptr);
+  // Paper inputs are recorded for traceability.
+  EXPECT_EQ(findApp("XSBench")->paperInput, "-s small");
+  EXPECT_EQ(findApp("CG")->paperInput, "B");
+}
+
+TEST(Registry, HpccgStillFusesFmax) {
+  // Guard: the Listing-2 kernel keeps its FMAX fusion in the clean build.
+  auto module = fe::compileToIR(findApp("HPCCG-1.0")->source);
+  opt::optimize(*module, opt::OptLevel::O2);
+  auto compiled = backend::compileBackend(*module);
+  int fmax = 0;
+  for (const auto& inst : compiled.program.code) {
+    if (inst.op() == backend::MOp::FMAX) ++fmax;
+  }
+  EXPECT_GT(fmax, 0);
+}
+
+}  // namespace
+}  // namespace refine::apps

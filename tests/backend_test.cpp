@@ -1,0 +1,407 @@
+// Backend tests: parallel-move resolution, peephole fusion, register
+// allocation invariants, frame lowering structure and emission, plus
+// end-to-end execution checks of hand-built machine programs.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "backend/compile.h"
+#include "backend/expand.h"
+#include "backend/isel.h"
+#include "backend/mir.h"
+#include "backend/peephole.h"
+#include "backend/regalloc.h"
+#include "frontend/compile.h"
+#include "ir/builder.h"
+#include "ir/interp.h"
+#include "opt/passes.h"
+#include "support/strings.h"
+#include "vm/machine.h"
+
+namespace refine::backend {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parallel moves
+// ---------------------------------------------------------------------------
+
+TEST(ParallelMoves, IndependentMovesPassThrough) {
+  auto moves = resolveParallelMoves({{gpr(1), gpr(2)}, {gpr(3), gpr(4)}},
+                                    gpr(kScratchIndex));
+  EXPECT_EQ(moves.size(), 2u);
+}
+
+TEST(ParallelMoves, DropsNoops) {
+  auto moves = resolveParallelMoves({{gpr(1), gpr(1)}}, gpr(kScratchIndex));
+  EXPECT_TRUE(moves.empty());
+}
+
+TEST(ParallelMoves, OrdersChains) {
+  // r1->r2 and r2->r3: must move r2->r3 first.
+  auto moves = resolveParallelMoves({{gpr(1), gpr(2)}, {gpr(2), gpr(3)}},
+                                    gpr(kScratchIndex));
+  ASSERT_EQ(moves.size(), 2u);
+  EXPECT_EQ(moves[0].first.index, 2u);
+  EXPECT_EQ(moves[0].second.index, 3u);
+  EXPECT_EQ(moves[1].first.index, 1u);
+  EXPECT_EQ(moves[1].second.index, 2u);
+}
+
+TEST(ParallelMoves, BreaksSwapCycleWithScratch) {
+  auto moves = resolveParallelMoves({{gpr(1), gpr(2)}, {gpr(2), gpr(1)}},
+                                    gpr(kScratchIndex));
+  ASSERT_EQ(moves.size(), 3u);
+  // Simulate to verify correctness.
+  std::uint64_t regs[16] = {};
+  regs[1] = 111;
+  regs[2] = 222;
+  for (const auto& [src, dst] : moves) regs[dst.index] = regs[src.index];
+  EXPECT_EQ(regs[1], 222u);
+  EXPECT_EQ(regs[2], 111u);
+}
+
+TEST(ParallelMoves, ThreeCycle) {
+  auto moves = resolveParallelMoves(
+      {{gpr(1), gpr(2)}, {gpr(2), gpr(3)}, {gpr(3), gpr(1)}},
+      gpr(kScratchIndex));
+  std::uint64_t regs[16] = {};
+  regs[1] = 1;
+  regs[2] = 2;
+  regs[3] = 3;
+  for (const auto& [src, dst] : moves) regs[dst.index] = regs[src.index];
+  EXPECT_EQ(regs[2], 1u);
+  EXPECT_EQ(regs[3], 2u);
+  EXPECT_EQ(regs[1], 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Helpers: compile MiniC through the whole pipeline
+// ---------------------------------------------------------------------------
+
+Program compileSource(std::string_view src, opt::OptLevel level = opt::OptLevel::O2) {
+  auto module = fe::compileToIR(src);
+  opt::optimize(*module, level);
+  // The IR module must outlive the program for this test scope; keep it in a
+  // static stash (tests only).
+  static std::vector<std::unique_ptr<ir::Module>> stash;
+  stash.push_back(std::move(module));
+  return compileBackend(*stash.back()).program;
+}
+
+vm::ExecResult runSource(std::string_view src,
+                         opt::OptLevel level = opt::OptLevel::O2) {
+  const Program program = compileSource(src, level);
+  vm::Machine machine(program);
+  return machine.run(100'000'000);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end correctness of the backend
+// ---------------------------------------------------------------------------
+
+TEST(Backend, SimpleReturn) {
+  const auto r = runSource("fn main() -> i64 { return 41 + 1; }");
+  EXPECT_FALSE(r.trapped) << vm::trapName(r.trap);
+  EXPECT_EQ(r.exitCode, 42);
+}
+
+TEST(Backend, CallsAndArguments) {
+  const auto r = runSource(
+      "fn madd(a: i64, b: i64, c: i64) -> i64 { return a * b + c; }\n"
+      "fn main() -> i64 { return madd(6, 7, madd(1, 2, 3)); }");
+  EXPECT_FALSE(r.trapped);
+  EXPECT_EQ(r.exitCode, 47);
+}
+
+TEST(Backend, ManyArgumentsBothClasses) {
+  const auto r = runSource(
+      "fn mix(a: i64, x: f64, b: i64, y: f64, c: i64, z: f64) -> f64 {\n"
+      "  return f64(a + b + c) + x + y + z;\n"
+      "}\n"
+      "fn main() -> i64 { return i64(mix(1, 0.5, 2, 0.25, 3, 0.25)); }");
+  EXPECT_FALSE(r.trapped);
+  EXPECT_EQ(r.exitCode, 7);
+}
+
+TEST(Backend, RecursionDeepEnough) {
+  const auto r = runSource(
+      "fn fib(n: i64) -> i64 { if (n < 2) { return n; }"
+      " return fib(n - 1) + fib(n - 2); }\n"
+      "fn main() -> i64 { return fib(18); }");
+  EXPECT_FALSE(r.trapped);
+  EXPECT_EQ(r.exitCode, 2584);
+}
+
+TEST(Backend, HighRegisterPressureSpills) {
+  // 20 simultaneously live values exceed the 14 allocatable GPRs and force
+  // spilling; the result must still be correct.
+  std::string src = "fn main() -> i64 {\n";
+  for (int i = 0; i < 20; ++i) {
+    src += strf("  var v%d: i64 = %d;\n", i, i + 1);
+  }
+  // Use them all after a barrier of updates so they stay live together.
+  for (int i = 0; i < 20; ++i) {
+    const int other = (i + 7) % 20;
+    src += strf("  v%d = v%d * 3 + %d;\n", i, other, i);
+  }
+  src += "  return v0 + v1 + v2 + v3 + v4 + v5 + v6 + v7 + v8 + v9 + v10 +"
+         " v11 + v12 + v13 + v14 + v15 + v16 + v17 + v18 + v19;\n}\n";
+  const auto compiled = runSource(src);
+  // Differential against the IR interpreter.
+  auto module = fe::compileToIR(src);
+  const auto ref = ir::interpret(*module);
+  EXPECT_FALSE(compiled.trapped);
+  EXPECT_EQ(compiled.exitCode, ref.exitCode);
+}
+
+TEST(Backend, GlobalArraysAndLoops) {
+  const auto r = runSource(
+      "var a: f64[100];\n"
+      "fn main() -> i64 {\n"
+      "  for (var i: i64 = 0; i < 100; i = i + 1) { a[i] = f64(i); }\n"
+      "  var s: f64 = 0.0;\n"
+      "  for (var i: i64 = 0; i < 100; i = i + 1) { s = s + a[i]; }\n"
+      "  return i64(s);\n"
+      "}");
+  EXPECT_FALSE(r.trapped);
+  EXPECT_EQ(r.exitCode, 4950);
+}
+
+TEST(Backend, LocalArraysOnStack) {
+  const auto r = runSource(
+      "fn sum3(base: i64) -> i64 {\n"
+      "  var t: i64[3];\n"
+      "  t[0] = base; t[1] = base * 2; t[2] = base * 3;\n"
+      "  return t[0] + t[1] + t[2];\n"
+      "}\n"
+      "fn main() -> i64 { return sum3(5) + sum3(1); }");
+  EXPECT_FALSE(r.trapped);
+  EXPECT_EQ(r.exitCode, 36);
+}
+
+// ---------------------------------------------------------------------------
+// Peephole: FMAX/FMIN fusion
+// ---------------------------------------------------------------------------
+
+int countOp(const MachineModule& mm, MOp op) {
+  int n = 0;
+  for (const auto& fn : mm.functions()) {
+    for (const auto& bb : fn->blocks()) {
+      for (const auto& inst : bb->insts()) {
+        if (inst.op() == op) ++n;
+      }
+    }
+  }
+  return n;
+}
+
+TEST(Peephole, FusesMaxPattern) {
+  auto module = fe::compileToIR(
+      "fn maxv(a: f64, b: f64) -> f64 { if (a > b) { return a; } return b; }\n"
+      "fn reduce(x: f64, acc: f64) -> f64 {\n"
+      "  var m: f64 = acc;\n"
+      "  if (x > m) { m = x; } \n"
+      "  return m;\n"
+      "}\n"
+      "fn main() -> i64 { return i64(reduce(3.0, maxv(1.0, 2.0))); }");
+  opt::optimize(*module, opt::OptLevel::O2);
+  auto result = compileBackend(*module);
+  // At least one select-based max survives to fuse. (Branches in `maxv`
+  // may or may not become selects; `reduce` after mem2reg gives a phi...
+  // so check via an explicit select-shaped source below too.)
+  auto module2 = fe::compileToIR(
+      "var v: f64[8];\n"
+      "fn main() -> i64 {\n"
+      "  var m: f64 = v[0];\n"
+      "  for (var i: i64 = 1; i < 8; i = i + 1) {\n"
+      "    var x: f64 = v[i];\n"
+      "    var cur: f64 = m;\n"
+      "    if (x > cur) { m = x; } else { m = cur; }\n"
+      "  }\n"
+      "  return i64(m);\n"
+      "}");
+  opt::optimize(*module2, opt::OptLevel::O2);
+  auto r2 = compileBackend(*module2);
+  (void)result;
+  (void)r2;
+  SUCCEED();  // structural fusion is asserted in FusesExplicitSelect below
+}
+
+TEST(Peephole, FusesExplicitSelectPattern) {
+  // Build FCMP+FCSEL over register values (parameters) and check fusion.
+  ir::Module m;
+  ir::Function* f = m.addFunction("fmaxish", ir::Type::F64, ir::FunctionKind::Defined);
+  ir::Argument* x = f->addParam(ir::Type::F64, "x");
+  ir::Argument* y = f->addParam(ir::Type::F64, "y");
+  ir::BasicBlock* entry = f->addBlock("entry");
+  ir::IRBuilder b(m);
+  b.setInsertPoint(entry);
+  ir::Value* cmp = b.createFCmp(ir::FCmpPred::OGT, x, y);
+  ir::Value* sel = b.createSelect(cmp, x, y);  // max(x, y)
+  b.createRet(sel);
+
+  auto mm = selectInstructions(m);
+  EXPECT_EQ(countOp(*mm, MOp::FMAX), 0);
+  peephole(*mm);
+  EXPECT_EQ(countOp(*mm, MOp::FMAX), 1);
+  EXPECT_EQ(countOp(*mm, MOp::FCSEL), 0);
+  EXPECT_EQ(countOp(*mm, MOp::FCMP), 0);
+}
+
+TEST(Peephole, MinPatternSwappedOperands) {
+  ir::Module m;
+  ir::Function* f = m.addFunction("fminish", ir::Type::F64, ir::FunctionKind::Defined);
+  ir::Argument* x = f->addParam(ir::Type::F64, "x");
+  ir::Argument* y = f->addParam(ir::Type::F64, "y");
+  ir::BasicBlock* entry = f->addBlock("entry");
+  ir::IRBuilder b(m);
+  b.setInsertPoint(entry);
+  ir::Value* cmp = b.createFCmp(ir::FCmpPred::OLT, x, y);
+  ir::Value* sel = b.createSelect(cmp, x, y);  // min(x, y)
+  b.createRet(sel);
+  auto mm = selectInstructions(m);
+  peephole(*mm);
+  EXPECT_EQ(countOp(*mm, MOp::FMIN), 1);
+}
+
+TEST(Peephole, EndToEndMinMaxCorrect) {
+  // Behavioural check: fused FMAX/FMIN match select semantics, NaN included.
+  const auto r = runSource(
+      "fn mx(a: f64, b: f64) -> f64 { if (a > b) { return a; } return b; }\n"
+      "fn mn(a: f64, b: f64) -> f64 { if (a < b) { return a; } return b; }\n"
+      "fn main() -> i64 {\n"
+      "  var bad: f64 = 0.0;\n"
+      "  var nan: f64 = bad / bad;\n"
+      "  var r: f64 = mx(1.0, 2.0) * 100.0 + mn(1.0, 2.0) * 10.0 + mx(nan, 5.0);\n"
+      "  return i64(r);\n"
+      "}");
+  EXPECT_FALSE(r.trapped);
+  EXPECT_EQ(r.exitCode, 215);  // 200 + 10 + 5 (NaN > 5.0 is false -> 5.0)
+}
+
+// ---------------------------------------------------------------------------
+// Register allocation invariants
+// ---------------------------------------------------------------------------
+
+TEST(RegAlloc, NoVirtualRegistersSurvive) {
+  auto module = fe::compileToIR(
+      "fn main() -> i64 {\n"
+      "  var s: i64 = 0;\n"
+      "  for (var i: i64 = 0; i < 10; i = i + 1) { s = s + i * i; }\n"
+      "  return s;\n"
+      "}");
+  opt::optimize(*module, opt::OptLevel::O2);
+  auto mm = selectInstructions(*module);
+  peephole(*mm);
+  allocateRegisters(*mm);
+  for (const auto& fn : mm->functions()) {
+    for (const auto& bb : fn->blocks()) {
+      for (const auto& inst : bb->insts()) {
+        for (const auto& op : inst.operands()) {
+          if (op.kind == MOperand::Kind::Reg) {
+            EXPECT_TRUE(op.reg.isPhysical());
+            EXPECT_NE(op.reg.index, kScratchIndex)
+                << "allocator must not use the reserved scratch register";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(RegAlloc, CalleeSavedUsedAcrossCalls) {
+  // A value live across a call cannot sit in a caller-saved register.
+  auto module = fe::compileToIR(
+      "fn g(x: i64) -> i64 { return x + 1; }\n"
+      "fn main() -> i64 {\n"
+      "  var keep: i64 = 123;\n"
+      "  var a: i64 = g(1);\n"
+      "  var b: i64 = g(2);\n"
+      "  return keep + a + b;\n"
+      "}");
+  opt::optimize(*module, opt::OptLevel::O2);
+  auto result = compileBackend(*module);
+  vm::Machine machine(result.program);
+  const auto r = machine.run();
+  EXPECT_FALSE(r.trapped);
+  EXPECT_EQ(r.exitCode, 123 + 2 + 3);
+}
+
+// ---------------------------------------------------------------------------
+// Frame lowering and emission structure
+// ---------------------------------------------------------------------------
+
+TEST(Frame, PrologueEpiloguePairing) {
+  auto module = fe::compileToIR(
+      "fn leafy(x: i64) -> i64 {\n"
+      "  var buf: i64[4];\n"
+      "  buf[0] = x; buf[1] = x * 2; buf[2] = buf[0] + buf[1]; buf[3] = 7;\n"
+      "  return buf[2] + buf[3];\n"
+      "}\n"
+      "fn main() -> i64 { return leafy(10); }");
+  opt::optimize(*module, opt::OptLevel::O2);
+  auto result = compileBackend(*module);
+  const MachineFunction* leafy = result.machineModule->findFunction("leafy");
+  ASSERT_NE(leafy, nullptr);
+  EXPECT_GT(leafy->frameSize(), 0u);
+  // First instruction(s): pushes then SPADJ(-frame); every RET preceded by
+  // SPADJ(+frame).
+  const auto& entryInsts = leafy->entry()->insts();
+  bool sawNegativeAdj = false;
+  for (const auto& inst : entryInsts) {
+    if (inst.op() == MOp::SPADJ) {
+      EXPECT_LT(inst.operand(0).imm, 0);
+      sawNegativeAdj = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(sawNegativeAdj);
+  vm::Machine machine(result.program);
+  const auto r = machine.run();
+  EXPECT_FALSE(r.trapped);
+  EXPECT_EQ(r.exitCode, 37);
+}
+
+TEST(Emit, ResolvesEverything) {
+  auto module = fe::compileToIR(
+      "var g: i64 = 5;\n"
+      "fn main() -> i64 { if (g > 2) { return g; } return 0; }");
+  opt::optimize(*module, opt::OptLevel::O2);
+  auto result = compileBackend(*module);
+  for (const auto& inst : result.program.code) {
+    for (const auto& op : inst.operands()) {
+      EXPECT_NE(op.kind, MOperand::Kind::Block);
+      EXPECT_NE(op.kind, MOperand::Kind::Func);
+      EXPECT_NE(op.kind, MOperand::Kind::Global);
+      EXPECT_NE(op.kind, MOperand::Kind::Frame);
+    }
+  }
+  EXPECT_FALSE(result.program.functions.empty());
+  EXPECT_EQ(result.program.functionAt(result.program.entry), "main");
+}
+
+TEST(Emit, MachineOnlyInstructionsExist) {
+  // The paper's Listing 1 point: prologue/epilogue and stack management
+  // instructions exist only at machine level. Verify they are present in the
+  // emitted binary of a register-heavy function (callee-saved pushes).
+  auto module = fe::compileToIR(
+      "fn g(x: i64) -> i64 { return x * 2 + 1; }\n"
+      "fn busy(n: i64) -> i64 {\n"
+      "  var acc: i64 = 0;\n"
+      "  for (var i: i64 = 0; i < n; i = i + 1) { acc = acc + g(i) * g(i + 1); }\n"
+      "  return acc;\n"
+      "}\n"
+      "fn main() -> i64 { return busy(3); }");
+  opt::optimize(*module, opt::OptLevel::O2);
+  auto result = compileBackend(*module);
+  int stackInstrs = 0;
+  for (const auto& inst : result.program.code) {
+    const InstrClass k = inst.info().klass;
+    if (k == InstrClass::Stack) ++stackInstrs;
+  }
+  EXPECT_GT(stackInstrs, 0)
+      << "expected push/pop/spadj/lea machine-only instructions";
+}
+
+}  // namespace
+}  // namespace refine::backend

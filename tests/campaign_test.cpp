@@ -1,0 +1,237 @@
+// Campaign harness tests: classification rules, tool drivers, determinism of
+// parallel campaigns, timeout handling and reporting formats.
+#include <gtest/gtest.h>
+
+#include "campaign/paperdata.h"
+#include "campaign/report.h"
+#include "campaign/runner.h"
+#include "campaign/tools.h"
+
+namespace refine::campaign {
+namespace {
+
+const char* kAppSource =
+    "var vec: f64[48];\n"
+    "fn norm(n: i64) -> f64 {\n"
+    "  var acc: f64 = 0.0;\n"
+    "  for (var i: i64 = 0; i < n; i = i + 1) { acc = acc + vec[i] * vec[i]; }\n"
+    "  return sqrt(acc);\n"
+    "}\n"
+    "fn main() -> i64 {\n"
+    "  for (var i: i64 = 0; i < 48; i = i + 1) { vec[i] = cos(f64(i)) + 1.5; }\n"
+    "  print_f64(norm(48));\n"
+    "  var checksum: i64 = 0;\n"
+    "  for (var i: i64 = 0; i < 48; i = i + 1) {\n"
+    "    checksum = (checksum * 31 + i64(vec[i] * 1000.0)) % 1000003;\n"
+    "  }\n"
+    "  print_i64(checksum);\n"
+    "  return 0;\n"
+    "}\n";
+
+// ---------------------------------------------------------------------------
+// Classification
+// ---------------------------------------------------------------------------
+
+TEST(Classify, TrapIsCrash) {
+  vm::ExecResult r;
+  r.trapped = true;
+  r.trap = vm::Trap::BadMemory;
+  r.exitCode = -1;
+  EXPECT_EQ(classify(r, "x"), Outcome::Crash);
+}
+
+TEST(Classify, NonZeroExitIsCrash) {
+  vm::ExecResult r;
+  r.exitCode = 3;
+  r.output = "golden";
+  EXPECT_EQ(classify(r, "golden"), Outcome::Crash);
+}
+
+TEST(Classify, WrongOutputIsSoc) {
+  vm::ExecResult r;
+  r.exitCode = 0;
+  r.output = "2.000001e+00\n";
+  EXPECT_EQ(classify(r, "2.000000e+00\n"), Outcome::SOC);
+}
+
+TEST(Classify, MatchingRunIsBenign) {
+  vm::ExecResult r;
+  r.exitCode = 0;
+  r.output = "ok\n";
+  EXPECT_EQ(classify(r, "ok\n"), Outcome::Benign);
+}
+
+// ---------------------------------------------------------------------------
+// Tool drivers
+// ---------------------------------------------------------------------------
+
+class ToolDrivers : public ::testing::TestWithParam<Tool> {};
+
+TEST_P(ToolDrivers, ProfilesAndRunsTrials) {
+  auto instance = makeToolInstance(GetParam(), kAppSource, fi::FiConfig::allOn());
+  const auto& profile = instance->profile();
+  EXPECT_FALSE(profile.goldenOutput.empty());
+  EXPECT_GT(profile.dynamicTargets, 50u);
+  EXPECT_GT(profile.instrCount, profile.dynamicTargets / 2);
+
+  // A mid-run injection executes and classifies to one of the 3 outcomes.
+  const auto trial = instance->runTrial(profile.dynamicTargets / 2, 42,
+                                        profile.instrCount * 10);
+  const Outcome outcome = classify(trial.exec, profile.goldenOutput);
+  EXPECT_TRUE(outcome == Outcome::Crash || outcome == Outcome::SOC ||
+              outcome == Outcome::Benign);
+}
+
+TEST_P(ToolDrivers, TrialsAreDeterministic) {
+  auto instance = makeToolInstance(GetParam(), kAppSource, fi::FiConfig::allOn());
+  const auto& profile = instance->profile();
+  const std::uint64_t budget = profile.instrCount * 10;
+  for (std::uint64_t target : {std::uint64_t{1}, profile.dynamicTargets / 2,
+                               profile.dynamicTargets}) {
+    const auto a = instance->runTrial(target, 7, budget);
+    const auto b = instance->runTrial(target, 7, budget);
+    EXPECT_EQ(a.exec.output, b.exec.output);
+    EXPECT_EQ(a.exec.exitCode, b.exec.exitCode);
+    EXPECT_EQ(a.exec.trapped, b.exec.trapped);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTools, ToolDrivers,
+                         ::testing::Values(Tool::LLFI, Tool::REFINE,
+                                           Tool::PINFI),
+                         [](const ::testing::TestParamInfo<Tool>& info) {
+                           return toolName(info.param);
+                         });
+
+TEST(ToolDrivers, PopulationOrdering) {
+  // REFINE == PINFI (same machine population); LLFI smaller (IR view).
+  auto llfi = makeToolInstance(Tool::LLFI, kAppSource, fi::FiConfig::allOn());
+  auto refine = makeToolInstance(Tool::REFINE, kAppSource, fi::FiConfig::allOn());
+  auto pinfi = makeToolInstance(Tool::PINFI, kAppSource, fi::FiConfig::allOn());
+  EXPECT_EQ(refine->profile().dynamicTargets, pinfi->profile().dynamicTargets);
+  EXPECT_LT(llfi->profile().dynamicTargets, pinfi->profile().dynamicTargets);
+}
+
+TEST(ToolDrivers, GoldenOutputsAgreeAcrossTools) {
+  // All three binaries compute the same program: identical golden output.
+  auto llfi = makeToolInstance(Tool::LLFI, kAppSource, fi::FiConfig::allOn());
+  auto refine = makeToolInstance(Tool::REFINE, kAppSource, fi::FiConfig::allOn());
+  auto pinfi = makeToolInstance(Tool::PINFI, kAppSource, fi::FiConfig::allOn());
+  EXPECT_EQ(llfi->profile().goldenOutput, pinfi->profile().goldenOutput);
+  EXPECT_EQ(refine->profile().goldenOutput, pinfi->profile().goldenOutput);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign runner
+// ---------------------------------------------------------------------------
+
+CampaignConfig smallCampaign(unsigned threads) {
+  CampaignConfig config;
+  config.trials = 120;
+  config.threads = threads;
+  return config;
+}
+
+TEST(Runner, CountsSumToTrials) {
+  auto instance = makeToolInstance(Tool::REFINE, kAppSource, fi::FiConfig::allOn());
+  const auto result = runCampaign(*instance, Tool::REFINE, "norm", smallCampaign(8));
+  EXPECT_EQ(result.counts.total(), 120u);
+  EXPECT_EQ(result.outcomes.size(), 120u);
+  EXPECT_GT(result.totalTrialSeconds, 0.0);
+  EXPECT_GT(result.dynamicTargets, 0u);
+}
+
+TEST(Runner, DeterministicAcrossThreadCounts) {
+  auto a = makeToolInstance(Tool::PINFI, kAppSource, fi::FiConfig::allOn());
+  auto b = makeToolInstance(Tool::PINFI, kAppSource, fi::FiConfig::allOn());
+  const auto serial = runCampaign(*a, Tool::PINFI, "norm", smallCampaign(1));
+  const auto parallel = runCampaign(*b, Tool::PINFI, "norm", smallCampaign(16));
+  EXPECT_EQ(serial.outcomes, parallel.outcomes);
+  EXPECT_EQ(serial.counts.crash, parallel.counts.crash);
+  EXPECT_EQ(serial.counts.soc, parallel.counts.soc);
+  EXPECT_EQ(serial.counts.benign, parallel.counts.benign);
+}
+
+TEST(Runner, AllOutcomeKindsAppearUnderFaults) {
+  // With enough trials a real fault campaign produces a mix of outcomes;
+  // all-benign would mean injection is broken.
+  auto instance = makeToolInstance(Tool::PINFI, kAppSource, fi::FiConfig::allOn());
+  auto config = smallCampaign(16);
+  config.trials = 300;
+  const auto result = runCampaign(*instance, Tool::PINFI, "norm", config);
+  EXPECT_GT(result.counts.crash, 0u);
+  EXPECT_GT(result.counts.benign, 0u);
+  EXPECT_LT(result.counts.benign, 300u);
+}
+
+TEST(Runner, RefineMatchesPinfiStatistically) {
+  // The headline property on a small scale: same app, REFINE vs PINFI
+  // outcome distributions must not differ significantly.
+  auto refine = makeToolInstance(Tool::REFINE, kAppSource, fi::FiConfig::allOn());
+  auto pinfi = makeToolInstance(Tool::PINFI, kAppSource, fi::FiConfig::allOn());
+  auto config = smallCampaign(16);
+  config.trials = 400;
+  const auto a = runCampaign(*refine, Tool::REFINE, "norm", config);
+  const auto b = runCampaign(*pinfi, Tool::PINFI, "norm", config);
+  const auto test = compareTools(a, b);
+  ASSERT_TRUE(test.valid);
+  EXPECT_GE(test.pValue, 0.05)
+      << "REFINE vs PINFI should sample the same outcome population";
+}
+
+// ---------------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------------
+
+CampaignResult fakeResult(Tool tool, std::uint64_t c, std::uint64_t s,
+                          std::uint64_t b, double seconds = 1.0) {
+  CampaignResult r;
+  r.app = "AMG2013";
+  r.tool = tool;
+  r.counts = {c, s, b};
+  r.totalTrialSeconds = seconds;
+  return r;
+}
+
+TEST(Report, Figure4RowFormat) {
+  const auto row = figure4Row(fakeResult(Tool::LLFI, 395, 168, 505));
+  EXPECT_NE(row.find("AMG2013"), std::string::npos);
+  EXPECT_NE(row.find("LLFI"), std::string::npos);
+  EXPECT_NE(row.find("crash= 37.0%"), std::string::npos);
+  EXPECT_NE(row.find("benign= 47.3%"), std::string::npos);
+}
+
+TEST(Report, Table5LineMatchesPaperVerdicts) {
+  const auto llfi = fakeResult(Tool::LLFI, 395, 168, 505);
+  const auto refine = fakeResult(Tool::REFINE, 254, 87, 727);
+  const auto pinfi = fakeResult(Tool::PINFI, 269, 70, 729);
+  const auto llfiLine = table5Line(llfi, pinfi);
+  EXPECT_NE(llfiLine.find("signif.diff=yes"), std::string::npos);
+  const auto refineLine = table5Line(refine, pinfi);
+  EXPECT_NE(refineLine.find("signif.diff=no"), std::string::npos);
+  EXPECT_NE(refineLine.find("p=0.32"), std::string::npos);  // paper prints 0.40
+}
+
+TEST(Report, Figure5Normalization) {
+  const auto llfi = fakeResult(Tool::LLFI, 1, 1, 1, 5.5);
+  const auto pinfi = fakeResult(Tool::PINFI, 1, 1, 1, 1.0);
+  const auto line = figure5Line(llfi, pinfi);
+  EXPECT_NE(line.find("5.50x"), std::string::npos);
+}
+
+TEST(Report, ContingencyTableTotals) {
+  const auto table = contingencyTable(fakeResult(Tool::LLFI, 395, 168, 505),
+                                      fakeResult(Tool::PINFI, 269, 70, 729));
+  EXPECT_NE(table.find("664"), std::string::npos);   // crash column total
+  EXPECT_NE(table.find("238"), std::string::npos);   // soc column total
+  EXPECT_NE(table.find("1234"), std::string::npos);  // benign column total
+}
+
+TEST(Report, CsvHasHeaderAndRows) {
+  const auto csv = resultsCsv({fakeResult(Tool::REFINE, 10, 20, 70)});
+  EXPECT_NE(csv.find("app,tool,trials"), std::string::npos);
+  EXPECT_NE(csv.find("AMG2013,REFINE,100,10,20,70"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace refine::campaign

@@ -1,0 +1,532 @@
+// Fault-injection subsystem tests: config parsing (Table 2), output-operand
+// enumeration, and the three injectors (REFINE backend pass, PINFI binary
+// instrumentation, LLFI IR pass).
+//
+// The load-bearing properties:
+//  * REFINE instrumentation is semantics-preserving when injection never
+//    triggers, and leaves the application's own instructions untouched
+//    (zero code-generation interference).
+//  * REFINE and PINFI count exactly the same dynamic target population over
+//    the same binary — the root of the paper's accuracy result.
+//  * LLFI's instrumentation perturbs code generation (spills appear, fusion
+//    disappears) and cannot see stack-class instructions at all.
+#include <gtest/gtest.h>
+
+#include "backend/compile.h"
+#include "fi/config.h"
+#include "fi/library.h"
+#include "fi/llfi_pass.h"
+#include "fi/pinfi.h"
+#include "fi/refine_pass.h"
+#include "fi/sites.h"
+#include "frontend/compile.h"
+#include "opt/passes.h"
+#include "support/strings.h"
+#include "vm/machine.h"
+
+namespace refine::fi {
+namespace {
+
+constexpr std::uint64_t kBudget = 200'000'000;
+
+const char* kKernelSource =
+    "var data: f64[64];\n"
+    "fn compute_residual(n: i64) -> f64 {\n"
+    "  var local_residual: f64 = 0.0;\n"
+    "  for (var i: i64 = 0; i < n; i = i + 1) {\n"
+    "    var diff: f64 = fabs(data[i] - 0.5);\n"
+    "    if (diff > local_residual) { local_residual = diff; }\n"
+    "    else { local_residual = local_residual; }\n"
+    "  }\n"
+    "  return local_residual;\n"
+    "}\n"
+    "fn setup(n: i64) {\n"
+    "  for (var i: i64 = 0; i < n; i = i + 1) { data[i] = sin(f64(i)) * 0.7; }\n"
+    "}\n"
+    "fn main() -> i64 {\n"
+    "  setup(64);\n"
+    "  print_f64(compute_residual(64));\n"
+    "  return 0;\n"
+    "}\n";
+
+std::unique_ptr<ir::Module> optimizedModule(const char* src = kKernelSource) {
+  auto module = fe::compileToIR(src);
+  opt::optimize(*module, opt::OptLevel::O2);
+  return module;
+}
+
+// ---------------------------------------------------------------------------
+// FiConfig (Table 2)
+// ---------------------------------------------------------------------------
+
+TEST(FiConfig, ParsesPaperFlagString) {
+  // The exact option string from the paper's Sec. 4.4.
+  const auto config = FiConfig::parseFlags(
+      "-mllvm -fi=true -mllvm -fi-funcs=* -fi-instrs=all");
+  EXPECT_TRUE(config.enabled);
+  EXPECT_TRUE(config.matchesFunction("anything"));
+  EXPECT_EQ(config.instrs, InstrSel::All);
+}
+
+TEST(FiConfig, ParsesFunctionLists) {
+  const auto config =
+      FiConfig::parseFlags("-fi=true -fi-funcs=compute_*,eamForce");
+  EXPECT_TRUE(config.matchesFunction("compute_residual"));
+  EXPECT_TRUE(config.matchesFunction("eamForce"));
+  EXPECT_FALSE(config.matchesFunction("main"));
+}
+
+TEST(FiConfig, ParsesInstrClasses) {
+  EXPECT_EQ(FiConfig::parseFlags("-fi-instrs=stack").instrs, InstrSel::Stack);
+  EXPECT_EQ(FiConfig::parseFlags("-fi-instrs=arithm").instrs, InstrSel::Arith);
+  EXPECT_EQ(FiConfig::parseFlags("-fi-instrs=mem").instrs, InstrSel::Mem);
+  EXPECT_FALSE(FiConfig::parseFlags("-fi=false").enabled);
+}
+
+TEST(FiConfig, RejectsMalformedFlags) {
+  EXPECT_THROW(FiConfig::parseFlags("-fi=maybe"), CheckError);
+  EXPECT_THROW(FiConfig::parseFlags("-fi-instrs=registers"), CheckError);
+  EXPECT_THROW(FiConfig::parseFlags("-unknown=1"), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Output operand enumeration
+// ---------------------------------------------------------------------------
+
+backend::MachineInst makeInst(backend::MOp op,
+                              std::vector<backend::MOperand> ops) {
+  backend::MachineInst inst(op);
+  for (auto& o : ops) inst.add(o);
+  return inst;
+}
+
+TEST(FiOperands, IntAluHasDestAndFlags) {
+  using backend::MOp;
+  using backend::MOperand;
+  const auto inst = makeInst(MOp::ADD, {MOperand::makeReg(backend::gpr(3)),
+                                        MOperand::makeReg(backend::gpr(1)),
+                                        MOperand::makeReg(backend::gpr(2))});
+  const auto ops = fiOutputOperands(inst);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0].kind, FiOperand::Kind::GprDest);
+  EXPECT_EQ(ops[0].reg.index, 3u);
+  EXPECT_EQ(ops[0].bits, 64u);
+  EXPECT_EQ(ops[1].kind, FiOperand::Kind::Flags);
+  EXPECT_EQ(ops[1].bits, backend::kFlagsBitWidth);
+}
+
+TEST(FiOperands, CompareHasOnlyFlags) {
+  using backend::MOp;
+  using backend::MOperand;
+  const auto inst = makeInst(MOp::CMP, {MOperand::makeReg(backend::gpr(1)),
+                                        MOperand::makeReg(backend::gpr(2))});
+  const auto ops = fiOutputOperands(inst);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].kind, FiOperand::Kind::Flags);
+}
+
+TEST(FiOperands, PopWritesRegisterAndSp) {
+  using backend::MOp;
+  using backend::MOperand;
+  const auto inst = makeInst(MOp::POP, {MOperand::makeReg(backend::gpr(4))});
+  const auto ops = fiOutputOperands(inst);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0].kind, FiOperand::Kind::GprDest);
+  EXPECT_EQ(ops[1].kind, FiOperand::Kind::SP);
+}
+
+TEST(FiOperands, StoreHasNoOutputs) {
+  using backend::MOp;
+  using backend::MOperand;
+  const auto inst = makeInst(MOp::STR, {MOperand::makeReg(backend::gpr(1)),
+                                        MOperand::makeReg(backend::gpr(2)),
+                                        MOperand::makeImm(0)});
+  EXPECT_TRUE(fiOutputOperands(inst).empty());
+  EXPECT_FALSE(isFiTarget(inst, FiConfig::allOn()));
+}
+
+TEST(FiOperands, FloatLoadIsFprDest) {
+  using backend::MOp;
+  using backend::MOperand;
+  const auto inst = makeInst(MOp::FLDR, {MOperand::makeReg(backend::fpr(2)),
+                                         MOperand::makeReg(backend::gpr(1)),
+                                         MOperand::makeImm(8)});
+  const auto ops = fiOutputOperands(inst);
+  ASSERT_EQ(ops.size(), 1u);
+  EXPECT_EQ(ops[0].kind, FiOperand::Kind::FprDest);
+}
+
+TEST(FiOperands, ControlFlowNeverTargeted) {
+  using backend::MOp;
+  using backend::MOperand;
+  const FiConfig config = FiConfig::allOn();
+  EXPECT_FALSE(isFiTarget(makeInst(MOp::RET, {}), config));
+  EXPECT_FALSE(isFiTarget(makeInst(MOp::CALL, {MOperand::makeImm(0)}), config));
+  EXPECT_FALSE(isFiTarget(makeInst(MOp::SYSCALL, {MOperand::makeImm(0)}), config));
+  EXPECT_FALSE(isFiTarget(makeInst(MOp::B, {MOperand::makeImm(0)}), config));
+}
+
+TEST(FiOperands, ClassFiltering) {
+  using backend::MOp;
+  using backend::MOperand;
+  const auto push = makeInst(MOp::PUSH, {MOperand::makeReg(backend::gpr(1))});
+  const auto add = makeInst(MOp::ADD, {MOperand::makeReg(backend::gpr(1)),
+                                       MOperand::makeReg(backend::gpr(2)),
+                                       MOperand::makeReg(backend::gpr(3))});
+  const auto load = makeInst(MOp::LDR, {MOperand::makeReg(backend::gpr(1)),
+                                        MOperand::makeReg(backend::gpr(2)),
+                                        MOperand::makeImm(0)});
+  FiConfig stack = FiConfig::allOn();
+  stack.instrs = InstrSel::Stack;
+  FiConfig arith = FiConfig::allOn();
+  arith.instrs = InstrSel::Arith;
+  FiConfig mem = FiConfig::allOn();
+  mem.instrs = InstrSel::Mem;
+
+  EXPECT_TRUE(isFiTarget(push, stack));
+  EXPECT_FALSE(isFiTarget(add, stack));
+  EXPECT_FALSE(isFiTarget(load, stack));
+
+  EXPECT_FALSE(isFiTarget(push, arith));
+  EXPECT_TRUE(isFiTarget(add, arith));
+  EXPECT_FALSE(isFiTarget(load, arith));
+
+  EXPECT_FALSE(isFiTarget(push, mem));
+  EXPECT_FALSE(isFiTarget(add, mem));
+  EXPECT_TRUE(isFiTarget(load, mem));
+}
+
+// ---------------------------------------------------------------------------
+// REFINE pass
+// ---------------------------------------------------------------------------
+
+TEST(RefinePass, SemanticsPreservedWhenNeverTriggering) {
+  auto module = optimizedModule();
+  const auto plain = backend::compileBackend(*module);
+  vm::Machine plainMachine(plain.program);
+  const auto reference = plainMachine.run(kBudget);
+
+  auto module2 = optimizedModule();
+  const auto instrumented = compileWithRefine(*module2, FiConfig::allOn());
+  auto library = FaultInjectionLibrary::profiling(&instrumented.sites);
+  vm::Machine machine(instrumented.program);
+  machine.setFiRuntime(&library);
+  const auto result = machine.run(kBudget);
+
+  EXPECT_FALSE(result.trapped) << vm::trapName(result.trap);
+  EXPECT_EQ(result.exitCode, reference.exitCode);
+  EXPECT_EQ(result.output, reference.output);
+  EXPECT_GT(library.dynamicCount(), 0u);
+}
+
+TEST(RefinePass, ZeroCodeGenerationInterference) {
+  // The application's own instructions must be bit-identical to the plain
+  // binary: REFINE only adds instrumentation around them (Sec. 4.2.2).
+  auto module = optimizedModule();
+  const auto plain = backend::compileBackend(*module);
+  auto module2 = optimizedModule();
+  const auto instrumented = compileWithRefine(*module2, FiConfig::allOn());
+
+  std::vector<std::string> plainText;
+  for (const auto& inst : plain.program.code) {
+    plainText.push_back(backend::printInst(inst));
+  }
+  std::vector<std::string> appText;
+  for (const auto& inst : instrumented.program.code) {
+    if (!inst.isFIInstrumentation()) {
+      appText.push_back(backend::printInst(inst));
+    }
+  }
+  // Branch/FICHECK targets differ (indices shift), so compare only the
+  // opcode+register shape for branch-free instructions; the instruction
+  // *sequence* must match one-to-one.
+  ASSERT_EQ(appText.size(), plainText.size());
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < plainText.size(); ++i) {
+    const bool isBranch = plainText[i].rfind("b ", 0) == 0 ||
+                          plainText[i].rfind("bcc", 0) == 0 ||
+                          plainText[i].rfind("call", 0) == 0;
+    if (!isBranch && appText[i] != plainText[i]) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0u);
+}
+
+TEST(RefinePass, InjectsExactlyAtTarget) {
+  auto module = optimizedModule();
+  const auto instrumented = compileWithRefine(*module, FiConfig::allOn());
+
+  auto profileLib = FaultInjectionLibrary::profiling(&instrumented.sites);
+  {
+    vm::Machine machine(instrumented.program);
+    machine.setFiRuntime(&profileLib);
+    machine.run(kBudget);
+  }
+  const std::uint64_t total = profileLib.dynamicCount();
+  ASSERT_GT(total, 100u);
+
+  auto injectLib =
+      FaultInjectionLibrary::injecting(&instrumented.sites, total / 2, 1234);
+  vm::Machine machine(instrumented.program);
+  machine.setFiRuntime(&injectLib);
+  machine.run(kBudget);
+  ASSERT_TRUE(injectLib.triggered());
+  const FaultRecord& fault = *injectLib.fault();
+  EXPECT_EQ(fault.dynamicIndex, total / 2);
+  EXPECT_LT(fault.bit, 64u);
+  EXPECT_EQ(fault.mask, 1ULL << fault.bit);
+  EXPECT_FALSE(fault.function.empty());
+  const FiSite& site = instrumented.sites.site(fault.siteId);
+  EXPECT_LT(fault.operandIndex, site.operands.size());
+}
+
+TEST(RefinePass, FunctionFilterRestrictsSites) {
+  auto module = optimizedModule();
+  auto config = FiConfig::parseFlags("-fi=true -fi-funcs=compute_*");
+  const auto instrumented = compileWithRefine(*module, config);
+  ASSERT_GT(instrumented.staticSites, 0u);
+  for (std::uint64_t id = 0; id < instrumented.sites.size(); ++id) {
+    EXPECT_TRUE(instrumented.sites.site(id).function.rfind("compute_", 0) == 0);
+  }
+}
+
+TEST(RefinePass, StackClassSelectsStackInstructions) {
+  auto module = optimizedModule();
+  auto config = FiConfig::parseFlags("-fi=true -fi-instrs=stack");
+  const auto instrumented = compileWithRefine(*module, config);
+  // Prologue/epilogue and frame instructions exist in this program.
+  EXPECT_GT(instrumented.staticSites, 0u);
+  // All selected operands are GPR/SP (stack instructions never write FPRs
+  // except fpush/fpop, and never the flags).
+  for (std::uint64_t id = 0; id < instrumented.sites.size(); ++id) {
+    for (const auto& op : instrumented.sites.site(id).operands) {
+      EXPECT_NE(op.kind, FiOperand::Kind::Flags);
+    }
+  }
+}
+
+TEST(RefinePass, DisabledConfigLeavesModuleAlone) {
+  auto module = optimizedModule();
+  FiConfig off;  // -fi=false
+  const auto instrumented = compileWithRefine(*module, off);
+  EXPECT_EQ(instrumented.staticSites, 0u);
+  vm::Machine machine(instrumented.program);
+  const auto r = machine.run(kBudget);  // no FI runtime attached: must not need one
+  EXPECT_FALSE(r.trapped);
+}
+
+// ---------------------------------------------------------------------------
+// PINFI
+// ---------------------------------------------------------------------------
+
+TEST(Pinfi, ProfileCountsDeterministically) {
+  auto module = optimizedModule();
+  const auto plain = backend::compileBackend(*module);
+  Pinfi pinfi(plain.program, FiConfig::allOn());
+  EXPECT_GT(pinfi.staticTargets(), 0u);
+  const auto a = pinfi.profile(kBudget);
+  const auto b = pinfi.profile(kBudget);
+  EXPECT_FALSE(a.exec.trapped);
+  EXPECT_EQ(a.dynamicTargets, b.dynamicTargets);
+  EXPECT_GT(a.dynamicTargets, 100u);
+}
+
+TEST(Pinfi, InjectTriggersOnceAndDetaches) {
+  auto module = optimizedModule();
+  const auto plain = backend::compileBackend(*module);
+  Pinfi pinfi(plain.program, FiConfig::allOn());
+  const auto prof = pinfi.profile(kBudget);
+  const auto r = pinfi.inject(prof.dynamicTargets / 3, 99, kBudget);
+  ASSERT_TRUE(r.fault.has_value());
+  EXPECT_EQ(r.fault->dynamicIndex, prof.dynamicTargets / 3);
+  // After detach the counter stops: dynamicTargets == the trigger index.
+  EXPECT_EQ(r.dynamicTargets, prof.dynamicTargets / 3);
+}
+
+TEST(Pinfi, RefineAndPinfiSeeTheSamePopulation) {
+  // The core accuracy property: REFINE instruments the same machine
+  // instruction population PINFI observes, so the dynamic target counts
+  // must be *exactly* equal.
+  auto module = optimizedModule();
+  const auto plain = backend::compileBackend(*module);
+  Pinfi pinfi(plain.program, FiConfig::allOn());
+  const auto pinfiCount = pinfi.profile(kBudget).dynamicTargets;
+
+  auto module2 = optimizedModule();
+  const auto instrumented = compileWithRefine(*module2, FiConfig::allOn());
+  auto library = FaultInjectionLibrary::profiling(&instrumented.sites);
+  vm::Machine machine(instrumented.program);
+  machine.setFiRuntime(&library);
+  machine.run(kBudget);
+
+  EXPECT_EQ(library.dynamicCount(), pinfiCount);
+  EXPECT_EQ(instrumented.staticSites, pinfi.staticTargets());
+}
+
+TEST(Pinfi, SameSeedSameFault) {
+  auto module = optimizedModule();
+  const auto plain = backend::compileBackend(*module);
+  Pinfi pinfi(plain.program, FiConfig::allOn());
+  const auto a = pinfi.inject(500, 7, kBudget);
+  const auto b = pinfi.inject(500, 7, kBudget);
+  ASSERT_TRUE(a.fault.has_value());
+  ASSERT_TRUE(b.fault.has_value());
+  EXPECT_EQ(a.fault->siteId, b.fault->siteId);
+  EXPECT_EQ(a.fault->bit, b.fault->bit);
+  EXPECT_EQ(a.exec.output, b.exec.output);
+  EXPECT_EQ(a.exec.exitCode, b.exec.exitCode);
+}
+
+// ---------------------------------------------------------------------------
+// LLFI
+// ---------------------------------------------------------------------------
+
+struct LlfiBinary {
+  LlfiInstrumentation info;
+  backend::Program program;
+};
+
+LlfiBinary buildLlfi(const FiConfig& config, const char* src = kKernelSource) {
+  auto module = fe::compileToIR(src);
+  opt::optimize(*module, opt::OptLevel::O2);
+  LlfiBinary out;
+  out.info = applyLlfiPass(*module, config);
+  static std::vector<std::unique_ptr<ir::Module>> stash;
+  stash.push_back(std::move(module));
+  out.program = backend::compileBackend(*stash.back()).program;
+  return out;
+}
+
+TEST(LlfiPass, SemanticsPreservedWithoutTrigger) {
+  auto plainModule = optimizedModule();
+  const auto plain = backend::compileBackend(*plainModule);
+  vm::Machine plainMachine(plain.program);
+  const auto reference = plainMachine.run(kBudget);
+
+  const auto llfi = buildLlfi(FiConfig::allOn());
+  ASSERT_GT(llfi.info.staticTargets, 0u);
+  vm::Machine machine(llfi.program);
+  machine.pokeGlobal(llfi.info.targetAddr, 0);  // never triggers
+  const auto result = machine.run(kBudget);
+  EXPECT_FALSE(result.trapped) << vm::trapName(result.trap);
+  EXPECT_EQ(result.output, reference.output);
+  EXPECT_EQ(result.exitCode, reference.exitCode);
+  // The guest counter recorded the dynamic IR-level population.
+  EXPECT_GT(machine.peekGlobal(llfi.info.counterAddr), 100u);
+}
+
+TEST(LlfiPass, InjectionFlipsChosenDynamicInstance) {
+  const auto llfi = buildLlfi(FiConfig::allOn());
+  // Profile.
+  vm::Machine profiler(llfi.program);
+  profiler.pokeGlobal(llfi.info.targetAddr, 0);
+  profiler.run(kBudget);
+  const std::uint64_t total = profiler.peekGlobal(llfi.info.counterAddr);
+  ASSERT_GT(total, 10u);
+  // Inject at the midpoint with bit 62 (high exponent bit: visible effect
+  // on f64 values, sign-ish for integers).
+  vm::Machine machine(llfi.program);
+  machine.pokeGlobal(llfi.info.targetAddr, total / 2);
+  machine.pokeGlobal(llfi.info.bitAddr, 62);
+  const auto faulty = machine.run(kBudget);
+  vm::Machine cleanMachine(llfi.program);
+  cleanMachine.pokeGlobal(llfi.info.targetAddr, 0);
+  const auto clean = cleanMachine.run(kBudget);
+  // The run must differ in some observable way (output, exit or trap) OR
+  // be benign; determinism makes this repeatable either way. At minimum the
+  // counter progressed identically until the trigger.
+  EXPECT_EQ(clean.trapped, false);
+  // Determinism of the faulty run.
+  vm::Machine machine2(llfi.program);
+  machine2.pokeGlobal(llfi.info.targetAddr, total / 2);
+  machine2.pokeGlobal(llfi.info.bitAddr, 62);
+  const auto faulty2 = machine2.run(kBudget);
+  EXPECT_EQ(faulty.output, faulty2.output);
+  EXPECT_EQ(faulty.exitCode, faulty2.exitCode);
+  EXPECT_EQ(faulty.trapped, faulty2.trapped);
+}
+
+TEST(LlfiPass, StackClassSelectsNothingAtIrLevel) {
+  // The paper's central limitation: stack management instructions do not
+  // exist at IR level, so -fi-instrs=stack selects zero targets for LLFI
+  // while REFINE (same config) finds plenty.
+  auto config = FiConfig::parseFlags("-fi=true -fi-instrs=stack");
+  const auto llfi = buildLlfi(config);
+  EXPECT_EQ(llfi.info.staticTargets, 0u);
+
+  auto module = optimizedModule();
+  const auto refined = compileWithRefine(*module, config);
+  EXPECT_GT(refined.staticSites, 0u);
+}
+
+TEST(LlfiPass, CodeGenerationInterferenceIsReal) {
+  // LLFI instrumentation degrades the generated code: more instructions,
+  // spill traffic appears, and the FMAX fusion of compute_residual is lost
+  // (paper Listing 2).
+  auto plainModule = optimizedModule();
+  const auto plain = backend::compileBackend(*plainModule);
+  const auto llfi = buildLlfi(FiConfig::allOn());
+
+  auto countOp = [](const backend::Program& p, backend::MOp op) {
+    int n = 0;
+    for (const auto& inst : p.code) {
+      if (inst.op() == op) ++n;
+    }
+    return n;
+  };
+  const int plainFmax = countOp(plain.program, backend::MOp::FMAX);
+  const int llfiFmax = countOp(llfi.program, backend::MOp::FMAX);
+  EXPECT_GT(plainFmax, 0) << "kernel must fuse FMAX in the clean build";
+  EXPECT_LT(llfiFmax, plainFmax) << "IR-level FI must break the fusion";
+  EXPECT_GT(llfi.program.code.size(), plain.program.code.size() * 2)
+      << "call-based instrumentation must bloat the binary";
+}
+
+TEST(LlfiPass, DynamicPopulationDiffersFromBinaryLevel) {
+  // LLFI's dynamic population (IR values) differs from the machine-level
+  // population the other tools see — the quantitative root of the accuracy
+  // gap.
+  const auto llfi = buildLlfi(FiConfig::allOn());
+  vm::Machine profiler(llfi.program);
+  profiler.pokeGlobal(llfi.info.targetAddr, 0);
+  profiler.run(kBudget);
+  const std::uint64_t llfiPop = profiler.peekGlobal(llfi.info.counterAddr);
+
+  auto module = optimizedModule();
+  const auto plain = backend::compileBackend(*module);
+  Pinfi pinfi(plain.program, FiConfig::allOn());
+  const std::uint64_t binaryPop = pinfi.profile(kBudget).dynamicTargets;
+
+  EXPECT_LT(llfiPop, binaryPop)
+      << "IR level must expose fewer dynamic fault sites than machine level";
+}
+
+// ---------------------------------------------------------------------------
+// Fault record formatting / persistence
+// ---------------------------------------------------------------------------
+
+TEST(FaultRecord, FormatsReadably) {
+  FaultRecord record;
+  record.dynamicIndex = 42;
+  record.siteId = 7;
+  record.function = "compute_residual";
+  record.operandIndex = 1;
+  record.operandKind = FiOperand::Kind::Flags;
+  record.bit = 2;
+  record.mask = 4;
+  const std::string line = formatFaultRecord(record);
+  EXPECT_NE(line.find("dyn=42"), std::string::npos);
+  EXPECT_NE(line.find("compute_residual"), std::string::npos);
+  EXPECT_NE(line.find("kind=flags"), std::string::npos);
+}
+
+TEST(FaultLibrary, CountFileRoundTrip) {
+  FiSiteTable sites;
+  auto library = FaultInjectionLibrary::profiling(&sites);
+  for (int i = 0; i < 5; ++i) library.selInstr(0);
+  const std::string path = "/tmp/refine_test_count.txt";
+  library.writeCountFile(path);
+  EXPECT_EQ(FaultInjectionLibrary::readCountFile(path), 5u);
+}
+
+}  // namespace
+}  // namespace refine::fi

@@ -1,0 +1,352 @@
+// Tests for the MiniC frontend: lexer, parser, sema diagnostics and
+// generated-IR structure. End-to-end behaviour is covered in interp_test.
+#include <gtest/gtest.h>
+
+#include "frontend/compile.h"
+#include "frontend/lexer.h"
+#include "frontend/parser.h"
+#include "frontend/sema.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+
+namespace refine::fe {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+TEST(Lexer, TokenizesArithmetic) {
+  const auto r = lex("x = a + b * 2;");
+  ASSERT_TRUE(r.errors.empty());
+  std::vector<Tok> kinds;
+  for (const auto& t : r.tokens) kinds.push_back(t.kind);
+  const std::vector<Tok> expected = {Tok::Ident, Tok::Assign, Tok::Ident,
+                                     Tok::Plus,  Tok::Ident,  Tok::Star,
+                                     Tok::IntLit, Tok::Semicolon, Tok::End};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(Lexer, DistinguishesFloatAndIntLiterals) {
+  const auto r = lex("1 1.5 2e3 7.25e-2 10");
+  ASSERT_TRUE(r.errors.empty());
+  EXPECT_EQ(r.tokens[0].kind, Tok::IntLit);
+  EXPECT_EQ(r.tokens[0].intValue, 1);
+  EXPECT_EQ(r.tokens[1].kind, Tok::FloatLit);
+  EXPECT_DOUBLE_EQ(r.tokens[1].floatValue, 1.5);
+  EXPECT_EQ(r.tokens[2].kind, Tok::FloatLit);
+  EXPECT_DOUBLE_EQ(r.tokens[2].floatValue, 2000.0);
+  EXPECT_EQ(r.tokens[3].kind, Tok::FloatLit);
+  EXPECT_DOUBLE_EQ(r.tokens[3].floatValue, 0.0725);
+  EXPECT_EQ(r.tokens[4].kind, Tok::IntLit);
+}
+
+TEST(Lexer, KeywordsVsIdentifiers) {
+  const auto r = lex("for forx if ifx var true");
+  EXPECT_EQ(r.tokens[0].kind, Tok::KwFor);
+  EXPECT_EQ(r.tokens[1].kind, Tok::Ident);
+  EXPECT_EQ(r.tokens[2].kind, Tok::KwIf);
+  EXPECT_EQ(r.tokens[3].kind, Tok::Ident);
+  EXPECT_EQ(r.tokens[4].kind, Tok::KwVar);
+  EXPECT_EQ(r.tokens[5].kind, Tok::KwTrue);
+}
+
+TEST(Lexer, TwoCharOperators) {
+  const auto r = lex("<= >= == != && || << >> ->");
+  std::vector<Tok> kinds;
+  for (const auto& t : r.tokens) kinds.push_back(t.kind);
+  const std::vector<Tok> expected = {Tok::Le,  Tok::Ge,  Tok::EqEq,
+                                     Tok::NotEq, Tok::AmpAmp, Tok::PipePipe,
+                                     Tok::Shl, Tok::Shr, Tok::Arrow, Tok::End};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(Lexer, CommentsSkipped) {
+  const auto r = lex("a // whole line comment\nb");
+  ASSERT_TRUE(r.errors.empty());
+  EXPECT_EQ(r.tokens[0].text, "a");
+  EXPECT_EQ(r.tokens[1].text, "b");
+  EXPECT_EQ(r.tokens[1].line, 2);
+}
+
+TEST(Lexer, StringLiteralsWithEscapes) {
+  const auto r = lex(R"("hello\nworld")");
+  ASSERT_TRUE(r.errors.empty());
+  EXPECT_EQ(r.tokens[0].kind, Tok::StrLit);
+  EXPECT_EQ(r.tokens[0].text, "hello\nworld");
+}
+
+TEST(Lexer, ReportsUnknownCharacter) {
+  const auto r = lex("a $ b");
+  EXPECT_FALSE(r.errors.empty());
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto r = lex("a\n  b");
+  EXPECT_EQ(r.tokens[0].line, 1);
+  EXPECT_EQ(r.tokens[0].col, 1);
+  EXPECT_EQ(r.tokens[1].line, 2);
+  EXPECT_EQ(r.tokens[1].col, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+ParseResult parseSource(std::string_view src) {
+  auto lexed = lex(src);
+  EXPECT_TRUE(lexed.errors.empty());
+  return parse(lexed.tokens);
+}
+
+TEST(Parser, FunctionSkeleton) {
+  const auto r = parseSource("fn main() -> i64 { return 0; }");
+  ASSERT_TRUE(r.errors.empty());
+  ASSERT_EQ(r.program.functions.size(), 1u);
+  const auto& fn = *r.program.functions[0];
+  EXPECT_EQ(fn.name, "main");
+  EXPECT_EQ(fn.returnType, AstType::I64);
+  ASSERT_EQ(fn.body.size(), 1u);
+  EXPECT_EQ(fn.body[0]->kind, StmtKind::Return);
+}
+
+TEST(Parser, GlobalDeclarations) {
+  const auto r = parseSource(
+      "var n: i64 = 4;\nvar x: f64 = -1.5;\nvar arr: f64[128];\n"
+      "fn main() -> i64 { return 0; }");
+  ASSERT_TRUE(r.errors.empty());
+  ASSERT_EQ(r.program.globals.size(), 3u);
+  EXPECT_EQ(r.program.globals[0].intInit, 4);
+  EXPECT_DOUBLE_EQ(r.program.globals[1].floatInit, -1.5);
+  EXPECT_EQ(r.program.globals[2].arrayCount, 128);
+}
+
+TEST(Parser, PrecedenceMulBeforeAdd) {
+  const auto r = parseSource("fn f() -> i64 { return 1 + 2 * 3; }");
+  ASSERT_TRUE(r.errors.empty());
+  const Expr& e = *r.program.functions[0]->body[0]->expr0;
+  ASSERT_EQ(e.kind, ExprKind::Binary);
+  EXPECT_EQ(e.binaryOp, BinaryOp::Add);
+  EXPECT_EQ(e.children[1]->binaryOp, BinaryOp::Mul);
+}
+
+TEST(Parser, ComparisonBindsLooserThanShift) {
+  const auto r = parseSource("fn f(a: i64) -> i64 { if (a << 1 < 8) { return 1; } return 0; }");
+  ASSERT_TRUE(r.errors.empty());
+  const Expr& cond = *r.program.functions[0]->body[0]->expr0;
+  EXPECT_EQ(cond.binaryOp, BinaryOp::Lt);
+  EXPECT_EQ(cond.children[0]->binaryOp, BinaryOp::Shl);
+}
+
+TEST(Parser, ForLoopPieces) {
+  const auto r = parseSource(
+      "fn f() -> i64 { var s: i64 = 0;"
+      " for (var i: i64 = 0; i < 10; i = i + 1) { s = s + i; } return s; }");
+  ASSERT_TRUE(r.errors.empty());
+  const Stmt& loop = *r.program.functions[0]->body[1];
+  ASSERT_EQ(loop.kind, StmtKind::For);
+  ASSERT_NE(loop.forInit, nullptr);
+  EXPECT_EQ(loop.forInit->kind, StmtKind::VarDecl);
+  ASSERT_NE(loop.expr0, nullptr);
+  ASSERT_NE(loop.forStep, nullptr);
+  EXPECT_EQ(loop.forStep->kind, StmtKind::Assign);
+}
+
+TEST(Parser, IndexAssignVsIndexExpr) {
+  const auto r = parseSource(
+      "var a: i64[4];\n"
+      "fn f() -> i64 { a[0] = 1; return a[0] + 1; }");
+  ASSERT_TRUE(r.errors.empty());
+  const auto& body = r.program.functions[0]->body;
+  EXPECT_EQ(body[0]->kind, StmtKind::IndexAssign);
+  EXPECT_EQ(body[1]->kind, StmtKind::Return);
+}
+
+TEST(Parser, ElseIfChains) {
+  const auto r = parseSource(
+      "fn f(x: i64) -> i64 {"
+      " if (x < 0) { return -1; } else if (x == 0) { return 0; }"
+      " else { return 1; } }");
+  ASSERT_TRUE(r.errors.empty());
+  const Stmt& ifStmt = *r.program.functions[0]->body[0];
+  ASSERT_EQ(ifStmt.elseBody.size(), 1u);
+  EXPECT_EQ(ifStmt.elseBody[0]->kind, StmtKind::If);
+}
+
+TEST(Parser, ReportsMissingSemicolon) {
+  const auto r = parseSource("fn f() -> i64 { return 0 }");
+  EXPECT_FALSE(r.errors.empty());
+}
+
+TEST(Parser, CastExpressions) {
+  const auto r = parseSource("fn f(x: f64) -> i64 { return i64(x) + i64(1.5); }");
+  ASSERT_TRUE(r.errors.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Sema
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> semaErrors(std::string_view src) {
+  auto lexed = lex(src);
+  EXPECT_TRUE(lexed.errors.empty());
+  auto parsed = parse(lexed.tokens);
+  EXPECT_TRUE(parsed.errors.empty());
+  return analyze(parsed.program).errors;
+}
+
+TEST(Sema, AcceptsValidProgram) {
+  EXPECT_TRUE(semaErrors(
+      "var a: f64[8];\n"
+      "fn axpy(n: i64, alpha: f64) -> f64 {\n"
+      "  var s: f64 = 0.0;\n"
+      "  for (var i: i64 = 0; i < n; i = i + 1) { s = s + alpha * a[i]; }\n"
+      "  return s;\n"
+      "}\n"
+      "fn main() -> i64 { print_f64(axpy(8, 2.0)); return 0; }").empty());
+}
+
+TEST(Sema, UndeclaredVariable) {
+  const auto errs = semaErrors("fn main() -> i64 { return x; }");
+  ASSERT_FALSE(errs.empty());
+  EXPECT_NE(errs[0].find("undeclared"), std::string::npos);
+}
+
+TEST(Sema, TypeMismatchAssign) {
+  const auto errs = semaErrors(
+      "fn main() -> i64 { var x: i64 = 0; x = 1.5; return x; }");
+  ASSERT_FALSE(errs.empty());
+}
+
+TEST(Sema, NoImplicitIntFloatMix) {
+  EXPECT_FALSE(semaErrors("fn main() -> i64 { var x: f64 = 1.0 + 1; return 0; }")
+                   .empty());
+}
+
+TEST(Sema, ConditionMustBeBool) {
+  EXPECT_FALSE(semaErrors("fn main() -> i64 { if (1) { } return 0; }").empty());
+  EXPECT_TRUE(semaErrors("fn main() -> i64 { if (1 < 2) { } return 0; }").empty());
+}
+
+TEST(Sema, BreakOutsideLoopRejected) {
+  EXPECT_FALSE(semaErrors("fn main() -> i64 { break; return 0; }").empty());
+}
+
+TEST(Sema, ArrayMisuse) {
+  EXPECT_FALSE(semaErrors(
+      "var a: i64[4]; fn main() -> i64 { return a; }").empty());
+  EXPECT_FALSE(semaErrors(
+      "fn main() -> i64 { var x: i64 = 0; return x[0]; }").empty());
+  EXPECT_FALSE(semaErrors(
+      "var a: i64[4]; fn main() -> i64 { a = 3; return 0; }").empty());
+}
+
+TEST(Sema, ScopingShadowsAndExpires) {
+  // Inner scope may shadow; using the inner name after the block must fail
+  // only if not declared outside.
+  EXPECT_TRUE(semaErrors(
+      "fn main() -> i64 { var x: i64 = 1; { var y: i64 = 2; x = y; } return x; }")
+      .empty());
+  EXPECT_FALSE(semaErrors(
+      "fn main() -> i64 { { var y: i64 = 2; } return y; }").empty());
+}
+
+TEST(Sema, CallArityAndTypes) {
+  EXPECT_FALSE(semaErrors(
+      "fn g(x: i64) -> i64 { return x; }\n"
+      "fn main() -> i64 { return g(); }").empty());
+  EXPECT_FALSE(semaErrors(
+      "fn g(x: i64) -> i64 { return x; }\n"
+      "fn main() -> i64 { return g(1.5); }").empty());
+  EXPECT_FALSE(semaErrors("fn main() -> i64 { return nosuch(1); }").empty());
+}
+
+TEST(Sema, BuiltinSignatures) {
+  EXPECT_TRUE(semaErrors(
+      "fn main() -> i64 { print_f64(sqrt(2.0)); return 0; }").empty());
+  EXPECT_FALSE(semaErrors("fn main() -> i64 { print_f64(sqrt(2)); return 0; }")
+                   .empty());
+  EXPECT_FALSE(semaErrors("fn main() -> i64 { print_str(42); return 0; }")
+                   .empty());
+  EXPECT_TRUE(semaErrors(R"(fn main() -> i64 { print_str("ok"); return 0; })")
+                  .empty());
+}
+
+TEST(Sema, MainSignatureEnforced) {
+  EXPECT_FALSE(semaErrors("fn main() -> f64 { return 0.0; }").empty());
+  EXPECT_FALSE(semaErrors("fn main(x: i64) -> i64 { return x; }").empty());
+  EXPECT_FALSE(semaErrors("fn notmain() -> i64 { return 0; }").empty());
+}
+
+TEST(Sema, ReturnTypeChecked) {
+  EXPECT_FALSE(semaErrors("fn main() -> i64 { return 1.5; }").empty());
+  EXPECT_FALSE(semaErrors(
+      "fn v() { return 3; } fn main() -> i64 { v(); return 0; }").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Codegen structure (compileToIR)
+// ---------------------------------------------------------------------------
+
+TEST(Codegen, ProducesVerifiedModule) {
+  auto m = compileToIR(
+      "var data: f64[16];\n"
+      "fn sum(n: i64) -> f64 {\n"
+      "  var s: f64 = 0.0;\n"
+      "  for (var i: i64 = 0; i < n; i = i + 1) { s = s + data[i]; }\n"
+      "  return s;\n"
+      "}\n"
+      "fn main() -> i64 { print_f64(sum(16)); return 0; }");
+  EXPECT_TRUE(ir::verifyModule(*m).empty());
+  EXPECT_NE(m->findFunction("sum"), nullptr);
+  EXPECT_NE(m->findFunction("main"), nullptr);
+  EXPECT_NE(m->findGlobal("data"), nullptr);
+}
+
+TEST(Codegen, CompileErrorCarriesDiagnostics) {
+  try {
+    compileToIR("fn main() -> i64 { return x; }");
+    FAIL() << "expected CompileError";
+  } catch (const CompileError& e) {
+    ASSERT_FALSE(e.diagnostics().empty());
+    EXPECT_NE(e.diagnostics()[0].find("undeclared"), std::string::npos);
+  }
+}
+
+TEST(Codegen, ShortCircuitGeneratesPhi) {
+  auto m = compileToIR(
+      "fn f(a: i64, b: i64) -> i64 {\n"
+      "  if (a < 1 && b < 2) { return 1; }\n"
+      "  return 0;\n"
+      "}\n"
+      "fn main() -> i64 { return f(0, 0); }");
+  const std::string text = ir::printFunction(*m->findFunction("f"));
+  EXPECT_NE(text.find("phi i1"), std::string::npos);
+}
+
+TEST(Codegen, GlobalScalarInitializer) {
+  auto m = compileToIR(
+      "var n: i64 = 77;\nvar pi: f64 = 3.25;\n"
+      "fn main() -> i64 { return n; }");
+  const ir::GlobalVar* n = m->findGlobal("n");
+  ASSERT_NE(n, nullptr);
+  ASSERT_EQ(n->init().size(), 1u);
+  EXPECT_EQ(n->init()[0], 77u);
+  const ir::GlobalVar* pi = m->findGlobal("pi");
+  ASSERT_EQ(pi->init().size(), 1u);
+  EXPECT_EQ(pi->init()[0], std::bit_cast<std::uint64_t>(3.25));
+}
+
+TEST(Codegen, SqrtFabsLoweredToIntrinsics) {
+  auto m = compileToIR(
+      "fn main() -> i64 { print_f64(sqrt(fabs(-2.0))); return 0; }");
+  const std::string text = ir::printFunction(*m->findFunction("main"));
+  EXPECT_NE(text.find("fsqrt"), std::string::npos);
+  EXPECT_NE(text.find("fabs"), std::string::npos);
+  // sqrt/fabs are opcodes, not runtime calls.
+  EXPECT_EQ(m->findFunction("sqrt"), nullptr);
+  EXPECT_EQ(m->findFunction("fabs"), nullptr);
+}
+
+}  // namespace
+}  // namespace refine::fe

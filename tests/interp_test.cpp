@@ -1,0 +1,264 @@
+// End-to-end tests of MiniC -> IR -> interpreter execution: language
+// semantics, runtime functions, traps and instruction budgeting.
+#include <gtest/gtest.h>
+
+#include "frontend/compile.h"
+#include "ir/interp.h"
+
+namespace refine {
+namespace {
+
+using fe::compileToIR;
+using ir::InterpResult;
+using ir::InterpTrap;
+using ir::interpret;
+
+InterpResult runSource(std::string_view src,
+                       std::uint64_t budget = 50'000'000) {
+  auto module = compileToIR(src);
+  return interpret(*module, "main", budget);
+}
+
+TEST(Interp, ReturnsExitCode) {
+  const auto r = runSource("fn main() -> i64 { return 42; }");
+  EXPECT_FALSE(r.trapped);
+  EXPECT_EQ(r.exitCode, 42);
+}
+
+TEST(Interp, IntegerArithmetic) {
+  const auto r = runSource(
+      "fn main() -> i64 { return (7 * 6 - 2) / 4 % 7; }");  // (40/4)%7 = 3
+  EXPECT_EQ(r.exitCode, 3);
+}
+
+TEST(Interp, BitwiseAndShifts) {
+  const auto r = runSource(
+      "fn main() -> i64 { return ((255 & 15) | 32) ^ (1 << 4); }");
+  EXPECT_EQ(r.exitCode, ((255 & 15) | 32) ^ (1 << 4));
+}
+
+TEST(Interp, NegativeShiftSemantics) {
+  const auto r = runSource("fn main() -> i64 { return (-8) >> 1; }");
+  EXPECT_EQ(r.exitCode, -4);  // arithmetic shift
+}
+
+TEST(Interp, FloatArithmeticAndPrint) {
+  const auto r = runSource(
+      "fn main() -> i64 { print_f64(1.5 * 4.0 + 0.25); return 0; }");
+  EXPECT_EQ(r.output, ir::formatPrintF64(6.25));
+}
+
+TEST(Interp, PrintFormatting) {
+  const auto r = runSource(
+      "fn main() -> i64 { print_i64(-7); print_f64(0.5); print_str(\"done\");"
+      " return 0; }");
+  EXPECT_EQ(r.output, "-7\n5.000000e-01\ndone\n");
+}
+
+TEST(Interp, GlobalScalarsAndArrays) {
+  const auto r = runSource(
+      "var n: i64 = 5;\nvar acc: f64[8];\n"
+      "fn main() -> i64 {\n"
+      "  for (var i: i64 = 0; i < n; i = i + 1) { acc[i] = f64(i) * 2.0; }\n"
+      "  var s: f64 = 0.0;\n"
+      "  for (var i: i64 = 0; i < n; i = i + 1) { s = s + acc[i]; }\n"
+      "  return i64(s);\n"
+      "}");
+  EXPECT_EQ(r.exitCode, 20);  // 2*(0+1+2+3+4)
+}
+
+TEST(Interp, LocalArrays) {
+  const auto r = runSource(
+      "fn main() -> i64 {\n"
+      "  var a: i64[10];\n"
+      "  for (var i: i64 = 0; i < 10; i = i + 1) { a[i] = i * i; }\n"
+      "  return a[7];\n"
+      "}");
+  EXPECT_EQ(r.exitCode, 49);
+}
+
+TEST(Interp, WhileAndBreakContinue) {
+  const auto r = runSource(
+      "fn main() -> i64 {\n"
+      "  var s: i64 = 0;\n"
+      "  var i: i64 = 0;\n"
+      "  while (true) {\n"
+      "    i = i + 1;\n"
+      "    if (i % 2 == 0) { continue; }\n"
+      "    if (i > 9) { break; }\n"
+      "    s = s + i;\n"  // 1+3+5+7+9 = 25
+      "  }\n"
+      "  return s;\n"
+      "}");
+  EXPECT_EQ(r.exitCode, 25);
+}
+
+TEST(Interp, ShortCircuitEvaluationSkipsRhs) {
+  // The rhs would trap with division by zero if evaluated.
+  const auto r = runSource(
+      "fn main() -> i64 {\n"
+      "  var zero: i64 = 0;\n"
+      "  if (zero != 0 && 10 / zero > 0) { return 1; }\n"
+      "  if (zero == 0 || 10 / zero > 0) { return 7; }\n"
+      "  return 2;\n"
+      "}");
+  EXPECT_FALSE(r.trapped);
+  EXPECT_EQ(r.exitCode, 7);
+}
+
+TEST(Interp, RecursionWorks) {
+  const auto r = runSource(
+      "fn fib(n: i64) -> i64 {\n"
+      "  if (n < 2) { return n; }\n"
+      "  return fib(n - 1) + fib(n - 2);\n"
+      "}\n"
+      "fn main() -> i64 { return fib(15); }");
+  EXPECT_EQ(r.exitCode, 610);
+}
+
+TEST(Interp, MathBuiltins) {
+  const auto r = runSource(
+      "fn main() -> i64 {\n"
+      "  print_f64(sqrt(16.0));\n"
+      "  print_f64(fabs(-2.5));\n"
+      "  print_f64(exp(0.0));\n"
+      "  print_f64(pow(2.0, 10.0));\n"
+      "  print_f64(floor(2.9));\n"
+      "  return 0;\n"
+      "}");
+  const std::string expected = ir::formatPrintF64(4.0) + ir::formatPrintF64(2.5) +
+                               ir::formatPrintF64(1.0) + ir::formatPrintF64(1024.0) +
+                               ir::formatPrintF64(2.0);
+  EXPECT_EQ(r.output, expected);
+}
+
+TEST(Interp, CastsRoundTowardZero) {
+  const auto r = runSource(
+      "fn main() -> i64 { return i64(2.9) * 100 + i64(-2.9) * -1; }");
+  EXPECT_EQ(r.exitCode, 2 * 100 + 2);
+}
+
+TEST(Interp, BoolCastToInt) {
+  const auto r = runSource(
+      "fn main() -> i64 { return i64(3 < 4) * 10 + i64(4 < 3); }");
+  EXPECT_EQ(r.exitCode, 10);
+}
+
+TEST(Interp, DivByZeroTraps) {
+  const auto r = runSource(
+      "fn main() -> i64 { var z: i64 = 0; return 10 / z; }");
+  EXPECT_TRUE(r.trapped);
+  EXPECT_EQ(r.trap, InterpTrap::DivByZero);
+}
+
+TEST(Interp, RemByZeroTraps) {
+  const auto r = runSource(
+      "fn main() -> i64 { var z: i64 = 0; return 10 % z; }");
+  EXPECT_TRUE(r.trapped);
+  EXPECT_EQ(r.trap, InterpTrap::DivByZero);
+}
+
+TEST(Interp, OutOfBoundsGlobalAccessTraps) {
+  // Index far outside any segment: the wild address must trap, exactly the
+  // behaviour fault injection relies on for crash classification.
+  const auto r = runSource(
+      "var a: i64[4];\n"
+      "fn main() -> i64 { return a[1000000000]; }");
+  EXPECT_TRUE(r.trapped);
+  EXPECT_EQ(r.trap, InterpTrap::BadMemory);
+}
+
+TEST(Interp, FloatDivByZeroIsIEEE) {
+  const auto r = runSource(
+      "fn main() -> i64 {\n"
+      "  var z: f64 = 0.0;\n"
+      "  var inf: f64 = 1.0 / z;\n"
+      "  if (inf > 1.0e300) { return 1; }\n"
+      "  return 0;\n"
+      "}");
+  EXPECT_FALSE(r.trapped);
+  EXPECT_EQ(r.exitCode, 1);
+}
+
+TEST(Interp, InfiniteLoopHitsBudget) {
+  const auto r = runSource("fn main() -> i64 { while (true) { } return 0; }",
+                           /*budget=*/10'000);
+  EXPECT_TRUE(r.trapped);
+  EXPECT_EQ(r.trap, InterpTrap::Timeout);
+}
+
+TEST(Interp, DeepRecursionOverflowsStack) {
+  const auto r = runSource(
+      "fn down(n: i64) -> i64 {\n"
+      "  var pad: f64[64];\n"
+      "  pad[0] = f64(n);\n"
+      "  if (n == 0) { return 0; }\n"
+      "  return down(n - 1) + i64(pad[0]);\n"
+      "}\n"
+      "fn main() -> i64 { return down(100000); }");
+  EXPECT_TRUE(r.trapped);
+  EXPECT_EQ(r.trap, InterpTrap::StackOverflow);
+}
+
+TEST(Interp, InstructionCountIsDeterministic) {
+  const char* src =
+      "fn main() -> i64 {\n"
+      "  var s: i64 = 0;\n"
+      "  for (var i: i64 = 0; i < 100; i = i + 1) { s = s + i; }\n"
+      "  return s;\n"
+      "}";
+  const auto a = runSource(src);
+  const auto b = runSource(src);
+  EXPECT_EQ(a.instrCount, b.instrCount);
+  EXPECT_GT(a.instrCount, 100u);
+  EXPECT_EQ(a.exitCode, 4950);
+}
+
+TEST(Interp, NestedLoopsMatrixMultiplySmall) {
+  const auto r = runSource(
+      "var A: f64[16];\nvar B: f64[16];\nvar C: f64[16];\n"
+      "fn main() -> i64 {\n"
+      "  for (var i: i64 = 0; i < 16; i = i + 1) { A[i] = f64(i); B[i] = f64(i % 4); }\n"
+      "  for (var i: i64 = 0; i < 4; i = i + 1) {\n"
+      "    for (var j: i64 = 0; j < 4; j = j + 1) {\n"
+      "      var acc: f64 = 0.0;\n"
+      "      for (var k: i64 = 0; k < 4; k = k + 1) {\n"
+      "        acc = acc + A[i * 4 + k] * B[k * 4 + j];\n"
+      "      }\n"
+      "      C[i * 4 + j] = acc;\n"
+      "    }\n"
+      "  }\n"
+      "  var checksum: f64 = 0.0;\n"
+      "  for (var i: i64 = 0; i < 16; i = i + 1) { checksum = checksum + C[i]; }\n"
+      "  return i64(checksum);\n"
+      "}");
+  EXPECT_FALSE(r.trapped);
+  // Row sums of A times column pattern of B, computed independently:
+  // sum(C) = sum_i sum_j sum_k A[i][k] * B[k][j]; B columns are k%4 so
+  // each B row sums to 0+1+2+3=6; sum over A entries * 6 / ... verified: 720.
+  EXPECT_EQ(r.exitCode, 720);
+}
+
+TEST(Interp, GlobalInitializersApplied) {
+  const auto r = runSource(
+      "var scale: f64 = 2.5;\nvar offset: i64 = -3;\n"
+      "fn main() -> i64 { return i64(scale * 4.0) + offset; }");
+  EXPECT_EQ(r.exitCode, 7);
+}
+
+TEST(Interp, VoidFunctionCalls) {
+  const auto r = runSource(
+      "var count: i64 = 0;\n"
+      "fn bump() { count = count + 1; }\n"
+      "fn main() -> i64 { bump(); bump(); bump(); return count; }");
+  EXPECT_EQ(r.exitCode, 3);
+}
+
+TEST(Interp, UninitializedLocalsAreZero) {
+  const auto r = runSource(
+      "fn main() -> i64 { var x: i64; var y: f64; return x + i64(y); }");
+  EXPECT_EQ(r.exitCode, 0);
+}
+
+}  // namespace
+}  // namespace refine

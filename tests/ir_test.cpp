@@ -1,0 +1,303 @@
+// Tests for the IR core: builder, module constant uniquing, CFG queries,
+// dominator tree, verifier diagnostics, printing and data layout.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/cfg.h"
+#include "ir/dominators.h"
+#include "ir/ir.h"
+#include "ir/layout.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+
+namespace refine::ir {
+namespace {
+
+TEST(Module, ConstantsAreUniqued) {
+  Module m;
+  EXPECT_EQ(m.constI64(42), m.constI64(42));
+  EXPECT_NE(m.constI64(42), m.constI64(43));
+  EXPECT_EQ(m.constF64(1.5), m.constF64(1.5));
+  EXPECT_NE(m.constF64(1.5), m.constF64(-1.5));
+  EXPECT_EQ(m.constI1(true), m.constI1(true));
+  EXPECT_NE(m.constI1(true), m.constI1(false));
+  // i1 and i64 zero are distinct values with distinct types.
+  EXPECT_NE(static_cast<Value*>(m.constI1(false)),
+            static_cast<Value*>(m.constI64(0)));
+}
+
+TEST(Module, StringInterning) {
+  Module m;
+  const auto a = m.internString("hello");
+  const auto b = m.internString("world");
+  const auto c = m.internString("hello");
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(m.strings().size(), 2u);
+}
+
+TEST(Module, DuplicateGlobalRejected) {
+  Module m;
+  m.addGlobal("g", Type::F64, 4);
+  EXPECT_THROW(m.addGlobal("g", Type::I64, 1), CheckError);
+}
+
+/// Builds: fn add1(x) { return x + 1 }
+std::unique_ptr<Module> makeAdd1() {
+  auto m = std::make_unique<Module>();
+  Function* f = m->addFunction("add1", Type::I64, FunctionKind::Defined);
+  Argument* x = f->addParam(Type::I64, "x");
+  BasicBlock* entry = f->addBlock("entry");
+  IRBuilder b(*m);
+  b.setInsertPoint(entry);
+  Value* sum = b.createBinary(Opcode::Add, x, m->constI64(1));
+  b.createRet(sum);
+  return m;
+}
+
+TEST(Builder, SimpleFunctionVerifies) {
+  auto m = makeAdd1();
+  EXPECT_TRUE(verifyModule(*m).empty());
+}
+
+TEST(Builder, TypeMismatchThrows) {
+  Module m;
+  Function* f = m.addFunction("f", Type::Void, FunctionKind::Defined);
+  BasicBlock* entry = f->addBlock("entry");
+  IRBuilder b(m);
+  b.setInsertPoint(entry);
+  EXPECT_THROW(b.createBinary(Opcode::FAdd, m.constI64(1), m.constI64(2)),
+               CheckError);
+  EXPECT_THROW(b.createICmp(ICmpPred::EQ, m.constF64(1), m.constF64(2)),
+               CheckError);
+  EXPECT_THROW(b.createLoad(Type::I64, m.constI64(0)), CheckError);
+}
+
+TEST(Printer, ContainsExpectedPieces) {
+  auto m = makeAdd1();
+  const std::string text = printFunction(*m->findFunction("add1"));
+  EXPECT_NE(text.find("define i64 @add1(i64 %x)"), std::string::npos);
+  EXPECT_NE(text.find("add i64 %x, 1"), std::string::npos);
+  EXPECT_NE(text.find("ret i64"), std::string::npos);
+}
+
+TEST(Verifier, MissingTerminatorDetected) {
+  Module m;
+  Function* f = m.addFunction("f", Type::Void, FunctionKind::Defined);
+  f->addBlock("entry");  // empty block, no terminator
+  const auto problems = verifyModule(m);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, UseBeforeDefDetected) {
+  Module m;
+  Function* f = m.addFunction("f", Type::I64, FunctionKind::Defined);
+  BasicBlock* entry = f->addBlock("entry");
+  IRBuilder b(m);
+  b.setInsertPoint(entry);
+  // Manually create a use-before-def: ret uses an instruction defined later.
+  auto add = std::make_unique<Instruction>(Opcode::Add, Type::I64);
+  add->addOperand(m.constI64(1));
+  add->addOperand(m.constI64(2));
+  Instruction* addPtr = add.get();
+  auto ret = std::make_unique<Instruction>(Opcode::Ret, Type::Void);
+  ret->addOperand(addPtr);
+  entry->append(std::move(ret));
+  entry->append(std::move(add));
+  const auto problems = verifyModule(m);
+  EXPECT_FALSE(problems.empty());
+}
+
+TEST(Verifier, AllocaOutsideEntryDetected) {
+  Module m;
+  Function* f = m.addFunction("f", Type::Void, FunctionKind::Defined);
+  BasicBlock* entry = f->addBlock("entry");
+  BasicBlock* next = f->addBlock("next");
+  IRBuilder b(m);
+  b.setInsertPoint(entry);
+  b.createBr(next);
+  b.setInsertPoint(next);
+  b.createAlloca(Type::I64, 1);
+  b.createRet();
+  const auto problems = verifyModule(m);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("alloca"), std::string::npos);
+}
+
+/// Diamond CFG: entry -> (left|right) -> merge.
+struct Diamond {
+  Module m;
+  Function* f;
+  BasicBlock* entry;
+  BasicBlock* left;
+  BasicBlock* right;
+  BasicBlock* merge;
+
+  Diamond() {
+    f = m.addFunction("f", Type::I64, FunctionKind::Defined);
+    Argument* c = f->addParam(Type::I64, "c");
+    entry = f->addBlock("entry");
+    left = f->addBlock("left");
+    right = f->addBlock("right");
+    merge = f->addBlock("merge");
+    IRBuilder b(m);
+    b.setInsertPoint(entry);
+    Value* cond = b.createICmp(ICmpPred::NE, c, m.constI64(0));
+    b.createCondBr(cond, left, right);
+    b.setInsertPoint(left);
+    b.createBr(merge);
+    b.setInsertPoint(right);
+    b.createBr(merge);
+    b.setInsertPoint(merge);
+    Instruction* phi = b.createPhi(Type::I64);
+    phi->addPhiIncoming(m.constI64(1), left);
+    phi->addPhiIncoming(m.constI64(2), right);
+    b.createRet(phi);
+  }
+};
+
+TEST(Cfg, SuccessorsAndPredecessors) {
+  Diamond d;
+  EXPECT_EQ(successors(d.entry).size(), 2u);
+  EXPECT_EQ(successors(d.merge).size(), 0u);
+  auto preds = predecessorMap(*d.f);
+  EXPECT_EQ(preds.at(d.merge).size(), 2u);
+  EXPECT_EQ(preds.at(d.entry).size(), 0u);
+}
+
+TEST(Cfg, ReversePostOrderStartsAtEntry) {
+  Diamond d;
+  const auto order = reversePostOrder(*d.f);
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.front(), d.entry);
+  EXPECT_EQ(order.back(), d.merge);
+}
+
+TEST(Dominators, DiamondStructure) {
+  Diamond d;
+  DominatorTree dt(*d.f);
+  EXPECT_EQ(dt.idom(d.entry), nullptr);
+  EXPECT_EQ(dt.idom(d.left), d.entry);
+  EXPECT_EQ(dt.idom(d.right), d.entry);
+  EXPECT_EQ(dt.idom(d.merge), d.entry);
+  EXPECT_TRUE(dt.dominates(d.entry, d.merge));
+  EXPECT_FALSE(dt.dominates(d.left, d.merge));
+  EXPECT_TRUE(dt.dominates(d.left, d.left));
+}
+
+TEST(Dominators, FrontierOfBranchesIsMerge) {
+  Diamond d;
+  DominatorTree dt(*d.f);
+  const auto& fl = dt.frontier(d.left);
+  ASSERT_EQ(fl.size(), 1u);
+  EXPECT_EQ(fl[0], d.merge);
+  const auto& fr = dt.frontier(d.right);
+  ASSERT_EQ(fr.size(), 1u);
+  EXPECT_EQ(fr[0], d.merge);
+  EXPECT_TRUE(dt.frontier(d.entry).empty());
+}
+
+TEST(Dominators, LoopBackEdge) {
+  Module m;
+  Function* f = m.addFunction("f", Type::Void, FunctionKind::Defined);
+  Argument* n = f->addParam(Type::I64, "n");
+  BasicBlock* entry = f->addBlock("entry");
+  BasicBlock* header = f->addBlock("header");
+  BasicBlock* body = f->addBlock("body");
+  BasicBlock* exit = f->addBlock("exit");
+  IRBuilder b(m);
+  b.setInsertPoint(entry);
+  b.createBr(header);
+  b.setInsertPoint(header);
+  Value* cond = b.createICmp(ICmpPred::SLT, m.constI64(0), n);
+  b.createCondBr(cond, body, exit);
+  b.setInsertPoint(body);
+  b.createBr(header);
+  b.setInsertPoint(exit);
+  b.createRet();
+
+  DominatorTree dt(*f);
+  EXPECT_EQ(dt.idom(header), entry);
+  EXPECT_EQ(dt.idom(body), header);
+  EXPECT_EQ(dt.idom(exit), header);
+  // The loop header is in its own body's dominance frontier (back edge).
+  const auto& fr = dt.frontier(body);
+  ASSERT_EQ(fr.size(), 1u);
+  EXPECT_EQ(fr[0], header);
+}
+
+TEST(Verifier, ValidDiamondPasses) {
+  Diamond d;
+  EXPECT_TRUE(verifyModule(d.m).empty());
+}
+
+TEST(Verifier, PhiArityMismatchDetected) {
+  Diamond d;
+  // Remove one phi incoming: arity no longer matches the two predecessors.
+  Instruction* phi = d.merge->instructions()[0].get();
+  ASSERT_EQ(phi->opcode(), Opcode::Phi);
+  // Rebuild a phi with a single incoming in-place is not supported via the
+  // public API, so build a bad function directly instead.
+  Module m;
+  Function* f = m.addFunction("g", Type::I64, FunctionKind::Defined);
+  Argument* c = f->addParam(Type::I64, "c");
+  BasicBlock* entry = f->addBlock("entry");
+  BasicBlock* a = f->addBlock("a");
+  BasicBlock* bb = f->addBlock("b");
+  BasicBlock* merge = f->addBlock("m");
+  IRBuilder b(m);
+  b.setInsertPoint(entry);
+  b.createCondBr(b.createICmp(ICmpPred::NE, c, m.constI64(0)), a, bb);
+  b.setInsertPoint(a);
+  b.createBr(merge);
+  b.setInsertPoint(bb);
+  b.createBr(merge);
+  b.setInsertPoint(merge);
+  Instruction* badPhi = b.createPhi(Type::I64);
+  badPhi->addPhiIncoming(m.constI64(1), a);  // missing incoming for bb
+  b.createRet(badPhi);
+  EXPECT_FALSE(verifyModule(m).empty());
+}
+
+TEST(Layout, GlobalsPackedAndAligned) {
+  Module m;
+  GlobalVar* a = m.addGlobal("a", Type::F64, 10);   // 80 bytes
+  GlobalVar* b = m.addGlobal("b", Type::I64, 1);    // 8 bytes
+  GlobalVar* c = m.addGlobal("c", Type::F64, 3);    // 24 bytes
+  DataLayout layout(m);
+  EXPECT_EQ(layout.addressOf(a), DataLayout::kGlobalBase);
+  EXPECT_EQ(layout.addressOf(b), DataLayout::kGlobalBase + 80);
+  EXPECT_EQ(layout.addressOf(c), DataLayout::kGlobalBase + 88);
+  EXPECT_EQ(layout.globalBytes(), 112u);
+  EXPECT_EQ(layout.addressOf(a) % 8, 0u);
+}
+
+TEST(Layout, StackConstantsSane) {
+  EXPECT_GT(DataLayout::kStackTop, DataLayout::kStackLimit);
+  EXPECT_EQ(DataLayout::kStackTop - DataLayout::kStackLimit,
+            DataLayout::kStackSize);
+  EXPECT_GT(DataLayout::kStackLimit, DataLayout::kGlobalBase);
+}
+
+TEST(BasicBlock, InsertDetachErase) {
+  Module m;
+  Function* f = m.addFunction("f", Type::Void, FunctionKind::Defined);
+  BasicBlock* entry = f->addBlock("entry");
+  IRBuilder b(m);
+  b.setInsertPoint(entry);
+  b.createAlloca(Type::I64, 1);
+  b.createRet();
+  EXPECT_EQ(entry->size(), 2u);
+  auto detached = entry->detach(0);
+  EXPECT_EQ(detached->opcode(), Opcode::Alloca);
+  EXPECT_EQ(entry->size(), 1u);
+  entry->insertAt(0, std::move(detached));
+  EXPECT_EQ(entry->size(), 2u);
+  entry->erase(0);
+  EXPECT_EQ(entry->size(), 1u);
+  EXPECT_EQ(entry->instructions()[0]->opcode(), Opcode::Ret);
+}
+
+}  // namespace
+}  // namespace refine::ir

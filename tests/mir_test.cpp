@@ -1,0 +1,234 @@
+// Unit tests for the backend's machine-IR layer: target descriptions,
+// condition-code semantics, operand def/use bookkeeping, block structure and
+// the assembly printer.
+#include <gtest/gtest.h>
+
+#include "backend/mir.h"
+#include "backend/target.h"
+
+namespace refine::backend {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Target description
+// ---------------------------------------------------------------------------
+
+TEST(Target, RegisterNames) {
+  EXPECT_EQ(regName(gpr(0)), "r0");
+  EXPECT_EQ(regName(gpr(kSpIndex)), "sp");
+  EXPECT_EQ(regName(fpr(3)), "f3");
+  EXPECT_EQ(regName(Reg{RegClass::GPR, Reg::kFirstVirtual + 5}), "%r5");
+  EXPECT_EQ(regName(Reg{RegClass::FPR, Reg::kFirstVirtual}), "%f0");
+}
+
+TEST(Target, VirtualPhysicalSplit) {
+  EXPECT_TRUE(gpr(15).isPhysical());
+  EXPECT_TRUE((Reg{RegClass::GPR, Reg::kFirstVirtual}).isVirtual());
+}
+
+TEST(Target, CallingConventionSets) {
+  EXPECT_TRUE(isCallerSaved(gpr(0)));
+  EXPECT_TRUE(isCallerSaved(fpr(7)));
+  EXPECT_FALSE(isCallerSaved(gpr(8)));
+  EXPECT_TRUE(isCalleeSaved(gpr(8)));
+  EXPECT_TRUE(isCalleeSaved(fpr(15)));
+  EXPECT_FALSE(isCalleeSaved(spReg())) << "sp is not allocatable";
+}
+
+TEST(Target, OpInfoFlagsSemantics) {
+  // The x64-like trait the fault model depends on: integer ALU ops define
+  // flags; moves, FP ops and loads do not.
+  EXPECT_TRUE(opInfo(MOp::ADD).defsFlags);
+  EXPECT_TRUE(opInfo(MOp::XORri).defsFlags);
+  EXPECT_TRUE(opInfo(MOp::CMP).defsFlags);
+  EXPECT_FALSE(opInfo(MOp::MOVrr).defsFlags);
+  EXPECT_FALSE(opInfo(MOp::FADD).defsFlags);
+  EXPECT_FALSE(opInfo(MOp::LDR).defsFlags);
+  EXPECT_TRUE(opInfo(MOp::BCC).usesFlags);
+  EXPECT_TRUE(opInfo(MOp::CSEL).usesFlags);
+}
+
+TEST(Target, OpInfoStackSemantics) {
+  for (MOp op : {MOp::PUSH, MOp::POP, MOp::FPUSH, MOp::FPOP, MOp::PUSHF,
+                 MOp::POPF, MOp::SPADJ, MOp::CALL, MOp::RET}) {
+    EXPECT_TRUE(opInfo(op).defsSP) << opInfo(op).name;
+  }
+  EXPECT_FALSE(opInfo(MOp::ADD).defsSP);
+  EXPECT_EQ(opInfo(MOp::PUSH).klass, InstrClass::Stack);
+  EXPECT_EQ(opInfo(MOp::LDR).klass, InstrClass::Mem);
+  EXPECT_EQ(opInfo(MOp::FMAX).klass, InstrClass::Arith);
+  EXPECT_EQ(opInfo(MOp::B).klass, InstrClass::Control);
+}
+
+// ---------------------------------------------------------------------------
+// Condition codes
+// ---------------------------------------------------------------------------
+
+TEST(Conditions, TruthTableOnCompareResults) {
+  // flags after "cmp a, b": exactly one of EQ/LT/GT.
+  const std::uint8_t eq = kFlagEQ;
+  const std::uint8_t lt = kFlagLT;
+  const std::uint8_t gt = kFlagGT;
+  EXPECT_TRUE(condHolds(Cond::EQ, eq));
+  EXPECT_FALSE(condHolds(Cond::EQ, lt));
+  EXPECT_TRUE(condHolds(Cond::NE, lt));
+  EXPECT_FALSE(condHolds(Cond::NE, eq));
+  EXPECT_TRUE(condHolds(Cond::LT, lt));
+  EXPECT_TRUE(condHolds(Cond::LE, lt));
+  EXPECT_TRUE(condHolds(Cond::LE, eq));
+  EXPECT_FALSE(condHolds(Cond::LE, gt));
+  EXPECT_TRUE(condHolds(Cond::GT, gt));
+  EXPECT_TRUE(condHolds(Cond::GE, gt));
+  EXPECT_TRUE(condHolds(Cond::GE, eq));
+  EXPECT_FALSE(condHolds(Cond::GE, lt));
+  EXPECT_TRUE(condHolds(Cond::ONE, lt));
+  EXPECT_TRUE(condHolds(Cond::ONE, gt));
+  EXPECT_FALSE(condHolds(Cond::ONE, eq));
+}
+
+TEST(Conditions, UnorderedMakesOrderedConditionsFalse) {
+  const std::uint8_t un = kFlagUN;  // NaN compare
+  for (Cond c : {Cond::EQ, Cond::LT, Cond::LE, Cond::GT, Cond::GE, Cond::ONE}) {
+    EXPECT_FALSE(condHolds(c, un)) << condName(c);
+  }
+  EXPECT_TRUE(condHolds(Cond::NE, un));  // why fcmp ONE != icmp NE
+}
+
+// ---------------------------------------------------------------------------
+// MachineInst def/use bookkeeping
+// ---------------------------------------------------------------------------
+
+TEST(MachineInstRegs, DefsComeFirst) {
+  MachineInst add(MOp::ADD);
+  add.add(MOperand::makeReg(gpr(1)))
+      .add(MOperand::makeReg(gpr(2)))
+      .add(MOperand::makeReg(gpr(3)));
+  std::vector<Reg> defs;
+  std::vector<Reg> uses;
+  add.collectRegs(defs, uses);
+  ASSERT_EQ(defs.size(), 1u);
+  EXPECT_EQ(defs[0].index, 1u);
+  ASSERT_EQ(uses.size(), 2u);
+}
+
+TEST(MachineInstRegs, StoreHasOnlyUses) {
+  MachineInst str(MOp::STR);
+  str.add(MOperand::makeReg(gpr(1)))
+      .add(MOperand::makeReg(gpr(2)))
+      .add(MOperand::makeImm(8));
+  std::vector<Reg> defs;
+  std::vector<Reg> uses;
+  str.collectRegs(defs, uses);
+  EXPECT_TRUE(defs.empty());
+  EXPECT_EQ(uses.size(), 2u);
+}
+
+TEST(MachineInstRegs, NumDefsOverrideForPseudos) {
+  MachineInst params(MOp::PARAMS);
+  params.add(MOperand::makeReg(gpr(64))).add(MOperand::makeReg(fpr(65)));
+  params.setNumDefs(2);
+  std::vector<Reg> defs;
+  std::vector<Reg> uses;
+  params.collectRegs(defs, uses);
+  EXPECT_EQ(defs.size(), 2u);
+  EXPECT_TRUE(uses.empty());
+}
+
+TEST(MachineInstRegs, FIInstrumentationFlag) {
+  MachineInst nop(MOp::NOP);
+  EXPECT_FALSE(nop.isFIInstrumentation());
+  nop.setFIInstrumentation(true);
+  EXPECT_TRUE(nop.isFIInstrumentation());
+}
+
+// ---------------------------------------------------------------------------
+// Blocks and successors
+// ---------------------------------------------------------------------------
+
+TEST(MachineBlocks, SuccessorsFromBranchOperands) {
+  ir::Module irm;
+  irm.addFunction("main", ir::Type::I64, ir::FunctionKind::Defined);
+  MachineModule mm(&irm);
+  MachineFunction* mf = mm.addFunction(irm.findFunction("main"));
+  auto* a = mf->addBlock("a");
+  auto* b = mf->addBlock("b");
+  auto* c = mf->addBlock("c");
+  MachineInst bcc(MOp::BCC);
+  bcc.add(MOperand::makeCond(Cond::EQ)).add(MOperand::makeBlock(b));
+  a->append(std::move(bcc));
+  MachineInst br(MOp::B);
+  br.add(MOperand::makeBlock(c));
+  a->append(std::move(br));
+  const auto succs = a->successors();
+  ASSERT_EQ(succs.size(), 2u);
+  EXPECT_EQ(succs[0], b);
+  EXPECT_EQ(succs[1], c);
+  EXPECT_TRUE(b->successors().empty());
+}
+
+TEST(MachineBlocks, AddBlockAfterOrdersBlocks) {
+  ir::Module irm;
+  irm.addFunction("main", ir::Type::I64, ir::FunctionKind::Defined);
+  MachineModule mm(&irm);
+  MachineFunction* mf = mm.addFunction(irm.findFunction("main"));
+  auto* a = mf->addBlock("a");
+  auto* c = mf->addBlock("c");
+  auto* b = mf->addBlockAfter(a, "b");
+  ASSERT_EQ(mf->blocks().size(), 3u);
+  EXPECT_EQ(mf->blocks()[0].get(), a);
+  EXPECT_EQ(mf->blocks()[1].get(), b);
+  EXPECT_EQ(mf->blocks()[2].get(), c);
+}
+
+// ---------------------------------------------------------------------------
+// Assembly printer
+// ---------------------------------------------------------------------------
+
+TEST(AsmPrinter, FormatsCommonInstructions) {
+  MachineInst add(MOp::ADD);
+  add.add(MOperand::makeReg(gpr(1)))
+      .add(MOperand::makeReg(gpr(2)))
+      .add(MOperand::makeReg(gpr(15)));
+  EXPECT_EQ(printInst(add), "add r1, r2, sp");
+
+  MachineInst movri(MOp::MOVri);
+  movri.add(MOperand::makeReg(gpr(0))).add(MOperand::makeImm(-7));
+  EXPECT_EQ(printInst(movri), "movri r0, -7");
+
+  MachineInst fmovri(MOp::FMOVri);
+  fmovri.add(MOperand::makeReg(fpr(1)))
+      .add(MOperand::makeImm(std::bit_cast<std::int64_t>(2.5)));
+  EXPECT_EQ(printInst(fmovri), "fmovri f1, 2.5");
+
+  MachineInst csel(MOp::CSEL);
+  csel.add(MOperand::makeReg(gpr(1)))
+      .add(MOperand::makeReg(gpr(2)))
+      .add(MOperand::makeReg(gpr(3)))
+      .add(MOperand::makeCond(Cond::GE));
+  EXPECT_EQ(printInst(csel), "csel r1, r2, r3, ge");
+}
+
+TEST(AsmPrinter, MarksInstrumentation) {
+  MachineInst check(MOp::FICHECK);
+  check.add(MOperand::makeImm(4)).add(MOperand::makeImm(99));
+  check.setFIInstrumentation(true);
+  const std::string text = printInst(check);
+  EXPECT_NE(text.find("ficheck"), std::string::npos);
+  EXPECT_NE(text.find("; FI"), std::string::npos);
+}
+
+TEST(AsmPrinter, FunctionListingHasLabels) {
+  ir::Module irm;
+  irm.addFunction("kernel", ir::Type::Void, ir::FunctionKind::Defined);
+  MachineModule mm(&irm);
+  MachineFunction* mf = mm.addFunction(irm.findFunction("kernel"));
+  auto* entry = mf->addBlock("entry");
+  entry->append(MachineInst(MOp::RET));
+  const std::string text = printMachineFunction(*mf);
+  EXPECT_NE(text.find("kernel:"), std::string::npos);
+  EXPECT_NE(text.find(".entry:"), std::string::npos);
+  EXPECT_NE(text.find("  ret"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace refine::backend

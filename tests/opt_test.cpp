@@ -1,0 +1,465 @@
+// Tests for the optimizer: each pass in isolation on hand-built IR, plus
+// differential end-to-end checks (interp(unoptimized) == interp(optimized))
+// on a parameterized corpus of MiniC programs.
+#include <gtest/gtest.h>
+
+#include "frontend/compile.h"
+#include "ir/builder.h"
+#include "ir/interp.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "opt/passes.h"
+
+namespace refine::opt {
+namespace {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::IRBuilder;
+using ir::Instruction;
+using ir::Module;
+using ir::Opcode;
+using ir::Type;
+
+int countOpcode(const Function& fn, Opcode op) {
+  int n = 0;
+  for (const auto& bb : fn.blocks()) {
+    for (const auto& inst : bb->instructions()) {
+      if (inst->opcode() == op) ++n;
+    }
+  }
+  return n;
+}
+
+int countInstructions(const Function& fn) {
+  int n = 0;
+  for (const auto& bb : fn.blocks()) n += static_cast<int>(bb->size());
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// mem2reg
+// ---------------------------------------------------------------------------
+
+TEST(Mem2Reg, PromotesScalarsInLoopToPhis) {
+  auto m = fe::compileToIR(
+      "fn f(n: i64) -> i64 {\n"
+      "  var s: i64 = 0;\n"
+      "  for (var i: i64 = 0; i < n; i = i + 1) { s = s + i; }\n"
+      "  return s;\n"
+      "}\n"
+      "fn main() -> i64 { return f(10); }");
+  Function* f = m->findFunction("f");
+  simplifyCFG(*f);
+  EXPECT_GT(countOpcode(*f, Opcode::Load), 0);
+  EXPECT_TRUE(mem2reg(*f, *m));
+  ir::verifyOrThrow(*m);
+  // All scalar traffic gone; loop-carried values became phis.
+  EXPECT_EQ(countOpcode(*f, Opcode::Load), 0);
+  EXPECT_EQ(countOpcode(*f, Opcode::Store), 0);
+  EXPECT_EQ(countOpcode(*f, Opcode::Alloca), 0);
+  EXPECT_GE(countOpcode(*f, Opcode::Phi), 2);  // i and s
+}
+
+TEST(Mem2Reg, DoesNotPromoteArrays) {
+  auto m = fe::compileToIR(
+      "fn f() -> i64 {\n"
+      "  var a: i64[4];\n"
+      "  a[0] = 7;\n"
+      "  return a[0];\n"
+      "}\n"
+      "fn main() -> i64 { return f(); }");
+  Function* f = m->findFunction("f");
+  simplifyCFG(*f);
+  mem2reg(*f, *m);
+  ir::verifyOrThrow(*m);
+  EXPECT_EQ(countOpcode(*f, Opcode::Alloca), 1);  // the array stays
+  EXPECT_GE(countOpcode(*f, Opcode::Load), 1);
+}
+
+TEST(Mem2Reg, PreservesSemantics) {
+  const char* src =
+      "fn collatz(n: i64) -> i64 {\n"
+      "  var steps: i64 = 0;\n"
+      "  var x: i64 = n;\n"
+      "  while (x != 1) {\n"
+      "    if (x % 2 == 0) { x = x / 2; } else { x = 3 * x + 1; }\n"
+      "    steps = steps + 1;\n"
+      "  }\n"
+      "  return steps;\n"
+      "}\n"
+      "fn main() -> i64 { return collatz(27); }";
+  auto before = fe::compileToIR(src);
+  const auto refResult = ir::interpret(*before);
+  auto after = fe::compileToIR(src);
+  for (const auto& fn : after->functions()) {
+    if (fn->isExternal()) continue;
+    simplifyCFG(*fn);
+    mem2reg(*fn, *after);
+  }
+  ir::verifyOrThrow(*after);
+  const auto optResult = ir::interpret(*after);
+  EXPECT_EQ(refResult.exitCode, optResult.exitCode);  // 111 steps
+  EXPECT_EQ(optResult.exitCode, 111);
+  EXPECT_LT(optResult.instrCount, refResult.instrCount);
+}
+
+// ---------------------------------------------------------------------------
+// constant folding
+// ---------------------------------------------------------------------------
+
+TEST(ConstFold, FoldsIntegerExpressionTree) {
+  Module m;
+  Function* f = m.addFunction("f", Type::I64, ir::FunctionKind::Defined);
+  BasicBlock* entry = f->addBlock("entry");
+  IRBuilder b(m);
+  b.setInsertPoint(entry);
+  auto* v1 = b.createBinary(Opcode::Add, m.constI64(2), m.constI64(3));
+  auto* v2 = b.createBinary(Opcode::Mul, v1, m.constI64(4));
+  auto* v3 = b.createBinary(Opcode::Sub, v2, m.constI64(6));
+  b.createRet(v3);
+  EXPECT_TRUE(constantFold(*f, m));
+  EXPECT_EQ(countInstructions(*f), 1);  // just the ret
+  const Instruction* ret = entry->instructions()[0].get();
+  const auto* c = static_cast<const ir::ConstantInt*>(ret->operand(0));
+  EXPECT_EQ(c->value(), 14);
+}
+
+TEST(ConstFold, DoesNotFoldDivisionByZero) {
+  Module m;
+  Function* f = m.addFunction("f", Type::I64, ir::FunctionKind::Defined);
+  BasicBlock* entry = f->addBlock("entry");
+  IRBuilder b(m);
+  b.setInsertPoint(entry);
+  auto* v = b.createBinary(Opcode::SDiv, m.constI64(1), m.constI64(0));
+  b.createRet(v);
+  constantFold(*f, m);
+  EXPECT_EQ(countOpcode(*f, Opcode::SDiv), 1);  // trap preserved for runtime
+}
+
+TEST(ConstFold, IntegerIdentities) {
+  Module m;
+  Function* f = m.addFunction("f", Type::I64, ir::FunctionKind::Defined);
+  ir::Argument* x = f->addParam(Type::I64, "x");
+  BasicBlock* entry = f->addBlock("entry");
+  IRBuilder b(m);
+  b.setInsertPoint(entry);
+  auto* a1 = b.createBinary(Opcode::Add, x, m.constI64(0));   // x
+  auto* a2 = b.createBinary(Opcode::Mul, a1, m.constI64(1));  // x
+  auto* a3 = b.createBinary(Opcode::Mul, a2, m.constI64(0));  // 0
+  auto* a4 = b.createBinary(Opcode::Add, a3, x);              // x
+  b.createRet(a4);
+  EXPECT_TRUE(constantFold(*f, m));
+  EXPECT_EQ(countInstructions(*f), 1);
+  EXPECT_EQ(entry->instructions()[0]->operand(0), x);
+}
+
+TEST(ConstFold, FloatOnlyFoldsFullyConstant) {
+  Module m;
+  Function* f = m.addFunction("f", Type::F64, ir::FunctionKind::Defined);
+  ir::Argument* x = f->addParam(Type::F64, "x");
+  BasicBlock* entry = f->addBlock("entry");
+  IRBuilder b(m);
+  b.setInsertPoint(entry);
+  auto* c = b.createBinary(Opcode::FMul, m.constF64(2.0), m.constF64(3.0));
+  auto* keep = b.createBinary(Opcode::FAdd, x, m.constF64(0.0));  // NOT folded
+  auto* sum = b.createBinary(Opcode::FAdd, c, keep);
+  b.createRet(sum);
+  constantFold(*f, m);
+  // 2*3 folded; x+0.0 must stay (x could be -0.0; IEEE identity unsafe).
+  EXPECT_EQ(countOpcode(*f, Opcode::FMul), 0);
+  EXPECT_EQ(countOpcode(*f, Opcode::FAdd), 2);
+}
+
+TEST(ConstFold, ComparisonsAndSelect) {
+  Module m;
+  Function* f = m.addFunction("f", Type::I64, ir::FunctionKind::Defined);
+  BasicBlock* entry = f->addBlock("entry");
+  IRBuilder b(m);
+  b.setInsertPoint(entry);
+  auto* cond = b.createICmp(ir::ICmpPred::SLT, m.constI64(3), m.constI64(5));
+  auto* sel = b.createSelect(cond, m.constI64(10), m.constI64(20));
+  b.createRet(sel);
+  constantFold(*f, m);
+  EXPECT_EQ(countInstructions(*f), 1);
+  const auto* c = static_cast<const ir::ConstantInt*>(
+      entry->instructions()[0]->operand(0));
+  EXPECT_EQ(c->value(), 10);
+}
+
+TEST(ConstFold, CastFolding) {
+  Module m;
+  Function* f = m.addFunction("f", Type::I64, ir::FunctionKind::Defined);
+  BasicBlock* entry = f->addBlock("entry");
+  IRBuilder b(m);
+  b.setInsertPoint(entry);
+  auto* asF = b.createSIToFP(m.constI64(7));
+  auto* back = b.createFPToSI(asF);
+  b.createRet(back);
+  constantFold(*f, m);
+  EXPECT_EQ(countInstructions(*f), 1);
+  const auto* c = static_cast<const ir::ConstantInt*>(
+      entry->instructions()[0]->operand(0));
+  EXPECT_EQ(c->value(), 7);
+}
+
+// ---------------------------------------------------------------------------
+// CSE
+// ---------------------------------------------------------------------------
+
+TEST(Cse, DeduplicatesPureExpressions) {
+  Module m;
+  Function* f = m.addFunction("f", Type::I64, ir::FunctionKind::Defined);
+  ir::Argument* x = f->addParam(Type::I64, "x");
+  ir::Argument* y = f->addParam(Type::I64, "y");
+  BasicBlock* entry = f->addBlock("entry");
+  IRBuilder b(m);
+  b.setInsertPoint(entry);
+  auto* s1 = b.createBinary(Opcode::Add, x, y);
+  auto* s2 = b.createBinary(Opcode::Add, x, y);  // duplicate
+  auto* r = b.createBinary(Opcode::Mul, s1, s2);
+  b.createRet(r);
+  EXPECT_TRUE(localCSE(*f));
+  EXPECT_EQ(countOpcode(*f, Opcode::Add), 1);
+}
+
+TEST(Cse, RespectsPredicateDifferences) {
+  Module m;
+  Function* f = m.addFunction("f", Type::I64, ir::FunctionKind::Defined);
+  ir::Argument* x = f->addParam(Type::I64, "x");
+  BasicBlock* entry = f->addBlock("entry");
+  IRBuilder b(m);
+  b.setInsertPoint(entry);
+  auto* c1 = b.createICmp(ir::ICmpPred::SLT, x, m.constI64(5));
+  auto* c2 = b.createICmp(ir::ICmpPred::SGT, x, m.constI64(5));
+  auto* z1 = b.createZExt(c1);
+  auto* z2 = b.createZExt(c2);
+  b.createRet(b.createBinary(Opcode::Add, z1, z2));
+  localCSE(*f);
+  EXPECT_EQ(countOpcode(*f, Opcode::ICmp), 2);  // different predicates stay
+}
+
+TEST(Cse, RedundantLoadEliminatedUntilStore) {
+  auto m = fe::compileToIR(
+      "var g: i64[4];\n"
+      "fn f() -> i64 {\n"
+      "  var a: i64 = g[0] + g[0];\n"  // second load CSE'd
+      "  g[1] = a;\n"                  // invalidates memory
+      "  return a + g[0];\n"           // fresh load required
+      "}\n"
+      "fn main() -> i64 { return f(); }");
+  Function* f = m->findFunction("f");
+  simplifyCFG(*f);
+  mem2reg(*f, *m);
+  const int loadsBefore = countOpcode(*f, Opcode::Load);
+  localCSE(*f);
+  deadCodeElim(*f);
+  const int loadsAfter = countOpcode(*f, Opcode::Load);
+  EXPECT_EQ(loadsBefore, 3);
+  EXPECT_EQ(loadsAfter, 2);  // one dedup before the store, none after
+  ir::verifyOrThrow(*m);
+}
+
+// ---------------------------------------------------------------------------
+// DCE
+// ---------------------------------------------------------------------------
+
+TEST(Dce, RemovesUnusedChains) {
+  Module m;
+  Function* f = m.addFunction("f", Type::I64, ir::FunctionKind::Defined);
+  ir::Argument* x = f->addParam(Type::I64, "x");
+  BasicBlock* entry = f->addBlock("entry");
+  IRBuilder b(m);
+  b.setInsertPoint(entry);
+  auto* dead1 = b.createBinary(Opcode::Add, x, m.constI64(1));
+  b.createBinary(Opcode::Mul, dead1, m.constI64(2));  // dead2 uses dead1
+  b.createRet(x);
+  EXPECT_TRUE(deadCodeElim(*f));
+  EXPECT_EQ(countInstructions(*f), 1);
+}
+
+TEST(Dce, KeepsSideEffects) {
+  auto m = fe::compileToIR(
+      "fn main() -> i64 { print_i64(1); var dead: i64 = 2 + 3; return 0; }");
+  Function* f = m->findFunction("main");
+  simplifyCFG(*f);
+  mem2reg(*f, *m);
+  deadCodeElim(*f);
+  EXPECT_EQ(countOpcode(*f, Opcode::Call), 1);
+}
+
+// ---------------------------------------------------------------------------
+// SimplifyCFG
+// ---------------------------------------------------------------------------
+
+TEST(SimplifyCfg, RemovesUnreachableBlocks) {
+  auto m = fe::compileToIR(
+      "fn f() -> i64 { return 1; return 2; }\n"
+      "fn main() -> i64 { return f(); }");
+  Function* f = m->findFunction("f");
+  const auto blocksBefore = f->blocks().size();
+  EXPECT_TRUE(simplifyCFG(*f));
+  EXPECT_LT(f->blocks().size(), blocksBefore);
+  ir::verifyOrThrow(*m);
+}
+
+TEST(SimplifyCfg, FoldsConstantBranches) {
+  Module m;
+  Function* f = m.addFunction("f", Type::I64, ir::FunctionKind::Defined);
+  BasicBlock* entry = f->addBlock("entry");
+  BasicBlock* yes = f->addBlock("yes");
+  BasicBlock* no = f->addBlock("no");
+  IRBuilder b(m);
+  b.setInsertPoint(entry);
+  b.createCondBr(m.constI1(true), yes, no);
+  b.setInsertPoint(yes);
+  b.createRet(m.constI64(1));
+  b.setInsertPoint(no);
+  b.createRet(m.constI64(2));
+  EXPECT_TRUE(simplifyCFG(*f));
+  ir::verifyOrThrow(m);
+  // Everything collapses into a single block returning 1.
+  EXPECT_EQ(f->blocks().size(), 1u);
+  const auto result = countOpcode(*f, Opcode::CondBr);
+  EXPECT_EQ(result, 0);
+}
+
+TEST(SimplifyCfg, MergesStraightLineChains) {
+  Module m;
+  Function* f = m.addFunction("f", Type::I64, ir::FunctionKind::Defined);
+  BasicBlock* a = f->addBlock("a");
+  BasicBlock* bBlk = f->addBlock("b");
+  BasicBlock* c = f->addBlock("c");
+  IRBuilder b(m);
+  b.setInsertPoint(a);
+  b.createBr(bBlk);
+  b.setInsertPoint(bBlk);
+  b.createBr(c);
+  b.setInsertPoint(c);
+  b.createRet(m.constI64(3));
+  EXPECT_TRUE(simplifyCFG(*f));
+  EXPECT_EQ(f->blocks().size(), 1u);
+  ir::verifyOrThrow(m);
+}
+
+// ---------------------------------------------------------------------------
+// Full-pipeline differential tests (parameterized corpus)
+// ---------------------------------------------------------------------------
+
+struct CorpusCase {
+  const char* name;
+  const char* source;
+};
+
+class OptimizeDifferential : public ::testing::TestWithParam<CorpusCase> {};
+
+TEST_P(OptimizeDifferential, SameBehaviourFewerInstructions) {
+  const auto& param = GetParam();
+  auto reference = fe::compileToIR(param.source);
+  const auto ref = ir::interpret(*reference);
+
+  auto optimized = fe::compileToIR(param.source);
+  optimize(*optimized, OptLevel::O2);
+  const auto opt = ir::interpret(*optimized);
+
+  EXPECT_EQ(ref.trapped, opt.trapped);
+  EXPECT_EQ(ref.exitCode, opt.exitCode);
+  EXPECT_EQ(ref.output, opt.output);
+  if (!ref.trapped) {
+    EXPECT_LE(opt.instrCount, ref.instrCount)
+        << "optimization made the program slower";
+  }
+}
+
+const CorpusCase kCorpus[] = {
+    {"accumulate",
+     "fn main() -> i64 { var s: i64 = 0;"
+     " for (var i: i64 = 0; i < 1000; i = i + 1) { s = s + i * i; }"
+     " return s % 1000; }"},
+    {"nested_branches",
+     "fn cls(x: i64) -> i64 { if (x < 10) { if (x < 5) { return 0; } return 1; }"
+     " else { if (x < 100) { return 2; } } return 3; }\n"
+     "fn main() -> i64 { var s: i64 = 0;"
+     " for (var i: i64 = 0; i < 200; i = i + 7) { s = s * 4 + cls(i); }"
+     " return s % 100000; }"},
+    {"float_kernel",
+     "var v: f64[64];\n"
+     "fn main() -> i64 {"
+     " for (var i: i64 = 0; i < 64; i = i + 1) { v[i] = f64(i) * 0.5; }"
+     " var norm: f64 = 0.0;"
+     " for (var i: i64 = 0; i < 64; i = i + 1) { norm = norm + v[i] * v[i]; }"
+     " print_f64(sqrt(norm)); return 0; }"},
+    {"short_circuit",
+     "fn main() -> i64 { var hits: i64 = 0; var zero: i64 = 0;"
+     " for (var i: i64 = 0; i < 50; i = i + 1) {"
+     "   if (i % 3 == 0 && i % 5 == 0) { hits = hits + 1; }"
+     "   if (i == 0 || 100 / (i + zero) > 10) { hits = hits + 2; }"
+     " } return hits; }"},
+    {"recursion_mix",
+     "fn ack(m: i64, n: i64) -> i64 {"
+     " if (m == 0) { return n + 1; }"
+     " if (n == 0) { return ack(m - 1, 1); }"
+     " return ack(m - 1, ack(m, n - 1)); }\n"
+     "fn main() -> i64 { return ack(2, 3); }"},
+    {"string_and_prints",
+     "fn main() -> i64 { print_str(\"header\");"
+     " for (var i: i64 = 0; i < 3; i = i + 1) { print_i64(i * 11); }"
+     " print_f64(2.5); return 0; }"},
+    {"array_shuffle",
+     "var a: i64[32];\n"
+     "fn main() -> i64 {"
+     " for (var i: i64 = 0; i < 32; i = i + 1) { a[i] = (i * 17 + 3) % 32; }"
+     " var acc: i64 = 0;"
+     " for (var i: i64 = 0; i < 32; i = i + 1) { acc = acc ^ (a[a[i] % 32] << (i % 8)); }"
+     " return acc % 65536; }"},
+    {"math_functions",
+     "fn main() -> i64 { var s: f64 = 0.0;"
+     " for (var i: i64 = 1; i <= 20; i = i + 1) {"
+     "   s = s + log(exp(f64(i) * 0.1)) + sin(f64(i)) * sin(f64(i)) + cos(f64(i)) * cos(f64(i));"
+     " } print_f64(s); return 0; }"},
+};
+
+INSTANTIATE_TEST_SUITE_P(Corpus, OptimizeDifferential,
+                         ::testing::ValuesIn(kCorpus),
+                         [](const ::testing::TestParamInfo<CorpusCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(Optimize, PipelineVerifiesAndShrinks) {
+  const char* src =
+      "var data: f64[128];\n"
+      "fn smooth(n: i64) -> f64 {\n"
+      "  var acc: f64 = 0.0;\n"
+      "  for (var i: i64 = 1; i + 1 < n; i = i + 1) {\n"
+      "    var stencil: f64 = 0.25 * data[i - 1] + 0.5 * data[i] + 0.25 * data[i + 1];\n"
+      "    acc = acc + stencil * stencil;\n"
+      "  }\n"
+      "  return acc;\n"
+      "}\n"
+      "fn main() -> i64 {\n"
+      "  for (var i: i64 = 0; i < 128; i = i + 1) { data[i] = f64(i % 9) * 0.125; }\n"
+      "  print_f64(smooth(128));\n"
+      "  return 0;\n"
+      "}";
+  auto unopt = fe::compileToIR(src);
+  auto opt = fe::compileToIR(src);
+  optimize(*opt, OptLevel::O2);
+  int sizeUnopt = 0;
+  int sizeOpt = 0;
+  for (const auto& fn : unopt->functions()) {
+    if (!fn->isExternal()) sizeUnopt += countInstructions(*fn);
+  }
+  for (const auto& fn : opt->functions()) {
+    if (!fn->isExternal()) sizeOpt += countInstructions(*fn);
+  }
+  EXPECT_LT(sizeOpt, sizeUnopt);
+  const auto a = ir::interpret(*unopt);
+  const auto b = ir::interpret(*opt);
+  EXPECT_EQ(a.output, b.output);
+  // The optimizer should cut dynamic instructions substantially (>30%).
+  EXPECT_LT(static_cast<double>(b.instrCount),
+            0.7 * static_cast<double>(a.instrCount));
+}
+
+}  // namespace
+}  // namespace refine::opt

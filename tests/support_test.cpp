@@ -1,0 +1,196 @@
+// Tests for src/support: RNG determinism and distribution sanity, string
+// utilities, CSV escaping, thread pool and parallelFor behaviour.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <sstream>
+
+#include "support/check.h"
+#include "support/csv.h"
+#include "support/rng.h"
+#include "support/strings.h"
+#include "support/threadpool.h"
+
+namespace refine {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.nextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowOneAlwaysZero) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.nextBelow(1), 0u);
+}
+
+TEST(Rng, NextBelowZeroThrows) {
+  Rng rng(3);
+  EXPECT_THROW(rng.nextBelow(0), CheckError);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(12345);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.nextBelow(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, expected * 0.05);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.nextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, MixSeedOrderSensitive) {
+  EXPECT_NE(mixSeed(1, 2), mixSeed(2, 1));
+  EXPECT_NE(mixSeed(1, 2, 3), mixSeed(1, 2, 4));
+  EXPECT_EQ(mixSeed(5, 6, 7), mixSeed(5, 6, 7));
+}
+
+TEST(Rng, Fnv1aKnownValues) {
+  // FNV-1a reference: empty string hashes to the offset basis.
+  EXPECT_EQ(fnv1a(""), 0xCBF29CE484222325ULL);
+  EXPECT_NE(fnv1a("AMG2013"), fnv1a("CoMD"));
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, JoinRoundTrip) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(join(parts, ","), "x,y,z");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, TrimWhitespace) {
+  EXPECT_EQ(trim("  hi \n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+}
+
+TEST(Strings, StrfFormats) {
+  EXPECT_EQ(strf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(strf("%.2f", 1.5), "1.50");
+}
+
+TEST(Strings, GlobMatch) {
+  EXPECT_TRUE(globMatch("*", "anything"));
+  EXPECT_TRUE(globMatch("main", "main"));
+  EXPECT_FALSE(globMatch("main", "main2"));
+  EXPECT_TRUE(globMatch("compute_*", "compute_residual"));
+  EXPECT_FALSE(globMatch("compute_*", "kompute_residual"));
+  EXPECT_TRUE(globMatch("*Force*", "eamForce"));
+  EXPECT_FALSE(globMatch("*force*", "eamForce"));  // matching is case-sensitive
+  EXPECT_TRUE(globMatch("a*b*c", "aXXbYYc"));
+  EXPECT_FALSE(globMatch("a*b*c", "aXXbYY"));
+  EXPECT_FALSE(globMatch("", "x"));
+  EXPECT_TRUE(globMatch("", ""));
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csvEscape("plain"), "plain");
+  EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.writeRow({"app", "tool", "crash"});
+  w.row("AMG2013", "REFINE", 254);
+  EXPECT_EQ(os.str(), "app,tool,crash\nAMG2013,REFINE,254\n");
+}
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 5000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallelFor(kN, 8, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  EXPECT_THROW(
+      parallelFor(100, 4,
+                  [](std::size_t i) {
+                    if (i == 13) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  parallelFor(0, 4, [](std::size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    RF_CHECK(false, "context info");
+    FAIL() << "RF_CHECK did not throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("context info"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace refine

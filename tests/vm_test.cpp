@@ -1,0 +1,399 @@
+// VM tests: opcode semantics on hand-built machine programs, trap behaviour,
+// instruction budget, the PINFI instrumentation hook (including detach), and
+// large differential sweeps (compiled machine code vs the IR interpreter).
+#include <gtest/gtest.h>
+
+#include "backend/compile.h"
+#include "backend/emit.h"
+#include "frontend/compile.h"
+#include "ir/interp.h"
+#include "opt/passes.h"
+#include "vm/machine.h"
+
+namespace refine::vm {
+namespace {
+
+using backend::Cond;
+using backend::gpr;
+using backend::MachineInst;
+using backend::MachineModule;
+using backend::MOp;
+using backend::MOperand;
+
+/// Builds a one-block machine "main" from raw instructions and runs it.
+struct RawProgram {
+  ir::Module irModule;
+  std::unique_ptr<MachineModule> mm;
+  backend::MachineBasicBlock* block = nullptr;
+
+  RawProgram() {
+    irModule.addFunction("main", ir::Type::I64, ir::FunctionKind::Defined);
+    mm = std::make_unique<MachineModule>(&irModule);
+    auto* mf = mm->addFunction(irModule.findFunction("main"));
+    block = mf->addBlock("entry");
+  }
+
+  void add(MachineInst inst) { block->append(std::move(inst)); }
+
+  ExecResult run(std::uint64_t budget = 1'000'000) {
+    const backend::Program program = backend::emitProgram(*mm);
+    Machine machine(program);
+    return machine.run(budget);
+  }
+};
+
+MachineInst movri(unsigned rd, std::int64_t v) {
+  MachineInst inst(MOp::MOVri);
+  inst.add(MOperand::makeReg(gpr(rd))).add(MOperand::makeImm(v));
+  return inst;
+}
+
+MachineInst ret() { return MachineInst(MOp::RET); }
+
+TEST(Vm, HaltReturnsR0) {
+  RawProgram p;
+  p.add(movri(0, 123));
+  p.add(ret());
+  const auto r = p.run();
+  EXPECT_FALSE(r.trapped);
+  EXPECT_EQ(r.exitCode, 123);
+}
+
+TEST(Vm, IntFlagsFromAluResult) {
+  // sub r0, r1, r2 with equal values must set EQ; BCC EQ takes the branch.
+  RawProgram p;
+  auto* mf = p.mm->functions()[0].get();
+  auto* taken = mf->addBlock("taken");
+  p.add(movri(1, 5));
+  p.add(movri(2, 5));
+  MachineInst sub(MOp::SUB);
+  sub.add(MOperand::makeReg(gpr(0)))
+      .add(MOperand::makeReg(gpr(1)))
+      .add(MOperand::makeReg(gpr(2)));
+  p.add(std::move(sub));
+  MachineInst bcc(MOp::BCC);
+  bcc.add(MOperand::makeCond(Cond::EQ)).add(MOperand::makeBlock(taken));
+  p.add(std::move(bcc));
+  p.add(movri(0, 1));  // fallthrough: r0 = 1
+  p.add(ret());
+  taken->append(movri(0, 99));  // taken: r0 = 99
+  taken->append(ret());
+  const auto r = p.run();
+  EXPECT_EQ(r.exitCode, 99);
+}
+
+TEST(Vm, DivByZeroTraps) {
+  RawProgram p;
+  p.add(movri(1, 10));
+  p.add(movri(2, 0));
+  MachineInst div(MOp::DIV);
+  div.add(MOperand::makeReg(gpr(0)))
+      .add(MOperand::makeReg(gpr(1)))
+      .add(MOperand::makeReg(gpr(2)));
+  p.add(std::move(div));
+  p.add(ret());
+  const auto r = p.run();
+  EXPECT_TRUE(r.trapped);
+  EXPECT_EQ(r.trap, Trap::DivByZero);
+}
+
+TEST(Vm, IntMinDivMinusOneTraps) {
+  RawProgram p;
+  p.add(movri(1, std::numeric_limits<std::int64_t>::min()));
+  p.add(movri(2, -1));
+  MachineInst div(MOp::DIV);
+  div.add(MOperand::makeReg(gpr(0)))
+      .add(MOperand::makeReg(gpr(1)))
+      .add(MOperand::makeReg(gpr(2)));
+  p.add(std::move(div));
+  p.add(ret());
+  const auto r = p.run();
+  EXPECT_TRUE(r.trapped);
+  EXPECT_EQ(r.trap, Trap::DivByZero);
+}
+
+TEST(Vm, WildLoadTraps) {
+  RawProgram p;
+  p.add(movri(1, 0x12));  // below the global base: guard page
+  MachineInst ldr(MOp::LDR);
+  ldr.add(MOperand::makeReg(gpr(0)))
+      .add(MOperand::makeReg(gpr(1)))
+      .add(MOperand::makeImm(0));
+  p.add(std::move(ldr));
+  p.add(ret());
+  const auto r = p.run();
+  EXPECT_TRUE(r.trapped);
+  EXPECT_EQ(r.trap, Trap::BadMemory);
+}
+
+TEST(Vm, CorruptedReturnAddressTraps) {
+  // Pop the sentinel and push garbage: RET must trap with InvalidPC.
+  RawProgram p;
+  MachineInst popIt(MOp::POP);
+  popIt.add(MOperand::makeReg(gpr(3)));
+  p.add(std::move(popIt));
+  p.add(movri(4, 0x123456789));  // far outside the code
+  MachineInst pushIt(MOp::PUSH);
+  pushIt.add(MOperand::makeReg(gpr(4)));
+  p.add(std::move(pushIt));
+  p.add(ret());
+  const auto r = p.run();
+  EXPECT_TRUE(r.trapped);
+  EXPECT_EQ(r.trap, Trap::InvalidPC);
+}
+
+TEST(Vm, StackOverflowOnRunawayPush) {
+  RawProgram p;
+  auto* mf = p.mm->functions()[0].get();
+  auto* loop = mf->addBlock("loop");
+  MachineInst jump(MOp::B);
+  jump.add(MOperand::makeBlock(loop));
+  p.add(std::move(jump));
+  MachineInst pushIt(MOp::PUSH);
+  pushIt.add(MOperand::makeReg(gpr(1)));
+  loop->append(std::move(pushIt));
+  MachineInst again(MOp::B);
+  again.add(MOperand::makeBlock(loop));
+  loop->append(std::move(again));
+  const auto r = p.run(100'000'000);
+  EXPECT_TRUE(r.trapped);
+  EXPECT_EQ(r.trap, Trap::StackOverflow);
+}
+
+TEST(Vm, TimeoutBudget) {
+  RawProgram p;
+  auto* mf = p.mm->functions()[0].get();
+  auto* loop = mf->addBlock("loop");
+  MachineInst jump(MOp::B);
+  jump.add(MOperand::makeBlock(loop));
+  p.add(std::move(jump));
+  MachineInst again(MOp::B);
+  again.add(MOperand::makeBlock(loop));
+  loop->append(std::move(again));
+  const auto r = p.run(5'000);
+  EXPECT_TRUE(r.trapped);
+  EXPECT_EQ(r.trap, Trap::Timeout);
+  EXPECT_GE(r.instrCount, 5'000u);
+}
+
+TEST(Vm, FlagsSavedAndRestoredByPushfPopf) {
+  RawProgram p;
+  p.add(movri(1, 1));
+  MachineInst cmp(MOp::CMPri);  // 1 > 0 -> GT
+  cmp.add(MOperand::makeReg(gpr(1))).add(MOperand::makeImm(0));
+  p.add(std::move(cmp));
+  p.add(MachineInst(MOp::PUSHF));
+  MachineInst clobber(MOp::CMPri);  // 1 < 7 -> LT (clobbers GT)
+  clobber.add(MOperand::makeReg(gpr(1))).add(MOperand::makeImm(7));
+  p.add(std::move(clobber));
+  p.add(MachineInst(MOp::POPF));
+  // CSEL on GT must see the restored flags.
+  p.add(movri(2, 42));
+  p.add(movri(3, 7));
+  MachineInst csel(MOp::CSEL);
+  csel.add(MOperand::makeReg(gpr(0)))
+      .add(MOperand::makeReg(gpr(2)))
+      .add(MOperand::makeReg(gpr(3)))
+      .add(MOperand::makeCond(Cond::GT));
+  p.add(std::move(csel));
+  p.add(ret());
+  const auto r = p.run();
+  EXPECT_EQ(r.exitCode, 42);
+}
+
+TEST(Vm, FcmpNaNSetsUnordered) {
+  RawProgram p;
+  MachineInst fmovNan(MOp::FMOVri);
+  fmovNan.add(MOperand::makeReg(backend::fpr(1)))
+      .add(MOperand::makeImm(
+          std::bit_cast<std::int64_t>(std::numeric_limits<double>::quiet_NaN())));
+  p.add(std::move(fmovNan));
+  MachineInst fmovOne(MOp::FMOVri);
+  fmovOne.add(MOperand::makeReg(backend::fpr(2)))
+      .add(MOperand::makeImm(std::bit_cast<std::int64_t>(1.0)));
+  p.add(std::move(fmovOne));
+  MachineInst fcmp(MOp::FCMP);
+  fcmp.add(MOperand::makeReg(backend::fpr(1)))
+      .add(MOperand::makeReg(backend::fpr(2)));
+  p.add(std::move(fcmp));
+  // All ordered conditions must be false; NE (no EQ bit) is true.
+  p.add(movri(2, 1));
+  p.add(movri(3, 0));
+  for (const Cond c : {Cond::LT, Cond::GT, Cond::EQ, Cond::LE, Cond::GE, Cond::ONE}) {
+    MachineInst csel(MOp::CSEL);
+    csel.add(MOperand::makeReg(gpr(4)))
+        .add(MOperand::makeReg(gpr(2)))
+        .add(MOperand::makeReg(gpr(3)))
+        .add(MOperand::makeCond(c));
+    p.add(std::move(csel));
+    MachineInst accum(MOp::ADD);  // r5 += r4 (clobbers flags!)... use OR trick
+    accum.add(MOperand::makeReg(gpr(5)))
+        .add(MOperand::makeReg(gpr(5)))
+        .add(MOperand::makeReg(gpr(4)));
+    // NOTE: ADD clobbers flags; re-do the FCMP before the next CSEL.
+    p.add(std::move(accum));
+    MachineInst again(MOp::FCMP);
+    again.add(MOperand::makeReg(backend::fpr(1)))
+        .add(MOperand::makeReg(backend::fpr(2)));
+    p.add(std::move(again));
+  }
+  MachineInst mov(MOp::MOVrr);
+  mov.add(MOperand::makeReg(gpr(0))).add(MOperand::makeReg(gpr(5)));
+  p.add(std::move(mov));
+  p.add(ret());
+  const auto r = p.run();
+  EXPECT_EQ(r.exitCode, 0) << "no ordered condition may hold on NaN";
+}
+
+// ---------------------------------------------------------------------------
+// Instrumentation hook (the PINFI attachment point)
+// ---------------------------------------------------------------------------
+
+TEST(VmHook, CountsAndDetaches) {
+  auto module = fe::compileToIR(
+      "fn main() -> i64 {\n"
+      "  var s: i64 = 0;\n"
+      "  for (var i: i64 = 0; i < 50; i = i + 1) { s = s + i; }\n"
+      "  return s;\n"
+      "}");
+  opt::optimize(*module, opt::OptLevel::O2);
+  auto result = backend::compileBackend(*module);
+
+  Machine machine(result.program);
+  std::uint64_t calls = 0;
+  machine.setHook([&](std::uint64_t, Machine& m) {
+    ++calls;
+    if (calls == 100) m.clearHook();  // detach mid-run
+  });
+  const auto r = machine.run();
+  EXPECT_FALSE(r.trapped);
+  EXPECT_EQ(r.exitCode, 1225);
+  EXPECT_EQ(calls, 100u) << "hook must stop firing after detach";
+  EXPECT_GT(r.instrCount, 200u);
+}
+
+TEST(VmHook, CanFlipRegisterState) {
+  // Flip a bit in r0 right before the final RET: exit code changes.
+  auto module = fe::compileToIR("fn main() -> i64 { return 0; }");
+  opt::optimize(*module, opt::OptLevel::O2);
+  auto result = backend::compileBackend(*module);
+  Machine machine(result.program);
+  machine.setHook([](std::uint64_t pc, Machine& m) {
+    // After the MOVri that sets the return value (any instruction works for
+    // this test; the flip persists until halt).
+    (void)pc;
+    m.gpr(0) ^= 1ULL << 3;
+  });
+  const auto r = machine.run();
+  EXPECT_FALSE(r.trapped);
+  EXPECT_EQ(r.exitCode, 8);
+}
+
+// ---------------------------------------------------------------------------
+// Differential: compiled machine code vs IR interpreter (both opt levels)
+// ---------------------------------------------------------------------------
+
+struct DiffCase {
+  const char* name;
+  const char* source;
+};
+
+using DiffParam = std::tuple<DiffCase, opt::OptLevel>;
+
+class MachineVsInterp : public ::testing::TestWithParam<DiffParam> {};
+
+TEST_P(MachineVsInterp, IdenticalBehaviour) {
+  const auto& [diffCase, level] = GetParam();
+  auto refModule = fe::compileToIR(diffCase.source);
+  const auto ref = ir::interpret(*refModule);
+
+  auto module = fe::compileToIR(diffCase.source);
+  opt::optimize(*module, level);
+  auto compiled = backend::compileBackend(*module);
+  Machine machine(compiled.program);
+  const auto got = machine.run(500'000'000);
+
+  EXPECT_EQ(ref.trapped, got.trapped);
+  EXPECT_EQ(ref.exitCode, got.exitCode);
+  EXPECT_EQ(ref.output, got.output);
+}
+
+const DiffCase kDiffCases[] = {
+    {"arith", "fn main() -> i64 { return ((12345 * 678) % 1000003) ^ 255; }"},
+    {"fp_pipeline",
+     "fn main() -> i64 { var x: f64 = 1.0;"
+     " for (var i: i64 = 1; i < 40; i = i + 1) {"
+     "   x = x * 1.01 + sqrt(f64(i)) - log(f64(i) + 1.0); }"
+     " print_f64(x); return 0; }"},
+    {"minmax_loop",
+     "var d: f64[50];\n"
+     "fn main() -> i64 {"
+     " for (var i: i64 = 0; i < 50; i = i + 1) { d[i] = sin(f64(i) * 0.7); }"
+     " var lo: f64 = d[0]; var hi: f64 = d[0];"
+     " for (var i: i64 = 1; i < 50; i = i + 1) {"
+     "   var x: f64 = d[i];"
+     "   if (x < lo) { lo = x; } else { lo = lo; }"
+     "   if (x > hi) { hi = x; } else { hi = hi; }"
+     " } print_f64(lo); print_f64(hi); return 0; }"},
+    {"calls_every_shape",
+     "fn a(x: i64) -> i64 { return x + 1; }\n"
+     "fn b(x: f64) -> f64 { return x * 2.0; }\n"
+     "fn c(x: i64, y: f64) -> f64 { return f64(a(x)) + b(y); }\n"
+     "fn main() -> i64 { print_f64(c(3, 1.5)); return a(a(a(0))); }"},
+    {"control_heavy",
+     "fn main() -> i64 { var n: i64 = 0;"
+     " for (var i: i64 = 2; i < 300; i = i + 1) {"
+     "   var isPrime: i64 = 1;"
+     "   for (var j: i64 = 2; j * j <= i; j = j + 1) {"
+     "     if (i % j == 0) { isPrime = 0; break; }"
+     "   }"
+     "   if (isPrime == 1) { n = n + 1; }"
+     " } return n; }"},
+    {"memory_heavy",
+     "var grid: f64[400];\n"
+     "fn main() -> i64 {"
+     " for (var i: i64 = 0; i < 400; i = i + 1) { grid[i] = f64(i % 7); }"
+     " for (var t: i64 = 0; t < 10; t = t + 1) {"
+     "   for (var i: i64 = 1; i < 399; i = i + 1) {"
+     "     grid[i] = 0.25 * grid[i - 1] + 0.5 * grid[i] + 0.25 * grid[i + 1];"
+     "   }"
+     " }"
+     " var s: f64 = 0.0;"
+     " for (var i: i64 = 0; i < 400; i = i + 1) { s = s + grid[i]; }"
+     " print_f64(s); return 0; }"},
+    {"recursion_and_locals",
+     "fn walk(n: i64) -> i64 {"
+     "  var pad: i64[6];"
+     "  pad[0] = n; pad[5] = n * 2;"
+     "  if (n == 0) { return 0; }"
+     "  return pad[0] + pad[5] + walk(n - 1); }\n"
+     "fn main() -> i64 { return walk(40); }"},
+    {"traps_divzero",
+     "fn main() -> i64 { var z: i64 = 0; return 7 / z; }"},
+    {"bool_plumbing",
+     "fn main() -> i64 { var yes: i64 = 0;"
+     " for (var i: i64 = 0; i < 64; i = i + 1) {"
+     "   if ((i % 2 == 0 && i % 3 == 0) || i % 17 == 5) { yes = yes + 1; }"
+     " } return yes; }"},
+    {"casts_everywhere",
+     "fn main() -> i64 { var acc: f64 = 0.0;"
+     " for (var i: i64 = -20; i < 20; i = i + 1) {"
+     "   acc = acc + f64(i) * 0.5 + f64(i64(f64(i) * 0.3));"
+     " } return i64(acc); }"},
+};
+
+std::string diffParamName(const ::testing::TestParamInfo<DiffParam>& info) {
+  const DiffCase& diffCase = std::get<0>(info.param);
+  const opt::OptLevel level = std::get<1>(info.param);
+  return std::string(diffCase.name) +
+         (level == opt::OptLevel::O0 ? "_O0" : "_O2");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, MachineVsInterp,
+    ::testing::Combine(::testing::ValuesIn(kDiffCases),
+                       ::testing::Values(opt::OptLevel::O0, opt::OptLevel::O2)),
+    diffParamName);
+
+}  // namespace
+}  // namespace refine::vm
