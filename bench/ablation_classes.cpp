@@ -8,8 +8,8 @@
 #include <cstdio>
 
 #include "apps/apps.h"
+#include "campaign/engine.h"
 #include "campaign/report.h"
-#include "campaign/runner.h"
 #include "fi/llfi_pass.h"
 #include "frontend/compile.h"
 #include "opt/passes.h"
@@ -31,14 +31,15 @@ int main() {
   std::printf("%-7s %14s %16s | %7s %7s %7s\n", "class", "static sites",
               "dynamic targets", "crash%", "soc%", "benign%");
 
+  // One engine: the four class campaigns share its pool back to back.
+  campaign::CampaignEngine engine(config);
+  const auto& refineFactory = campaign::InjectorRegistry::global().get("REFINE");
   for (const char* cls : {"all", "arithm", "mem", "stack"}) {
     const auto fiConfig =
         fi::FiConfig::parseFlags(strf("-fi=true -fi-instrs=%s", cls));
-    auto instance =
-        campaign::makeToolInstance(campaign::Tool::REFINE, app.source, fiConfig);
+    auto instance = refineFactory.create(app.source, fiConfig);
     const auto& profile = instance->profile();
-    const auto result = campaign::runCampaign(*instance, campaign::Tool::REFINE,
-                                              app.name, config);
+    const auto result = engine.run(*instance, "REFINE", app.name);
     const double n = static_cast<double>(result.counts.total());
     std::printf("%-7s %14s %16llu | %6.1f%% %6.1f%% %6.1f%%\n", cls, "-",
                 static_cast<unsigned long long>(profile.dynamicTargets),

@@ -11,7 +11,7 @@
 
 #include "apps/apps.h"
 #include "campaign/outcome.h"
-#include "campaign/tools.h"
+#include "campaign/registry.h"
 #include "support/rng.h"
 #include "support/threadpool.h"
 
@@ -28,8 +28,8 @@ int main(int argc, char** argv) {
     trials = std::strtoull(t, nullptr, 10) * 2;
   }
 
-  auto instance = campaign::makeToolInstance(campaign::Tool::REFINE,
-                                             app->source, fi::FiConfig::allOn());
+  auto instance = campaign::InjectorRegistry::global().get("REFINE").create(
+      app->source, fi::FiConfig::allOn());
   const auto& profile = instance->profile();
   const std::uint64_t budget = profile.instrCount * 10;
 

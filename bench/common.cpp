@@ -3,7 +3,7 @@
 #include <cstdio>
 
 #include "apps/apps.h"
-#include "campaign/tools.h"
+#include "campaign/engine.h"
 #include "support/strings.h"
 #include "support/threadpool.h"
 #include "support/timer.h"
@@ -47,10 +47,10 @@ std::optional<FullCampaign> tryLoadCache(const campaign::CampaignConfig& config)
     if (fields.size() != 9) return std::nullopt;
     campaign::CampaignResult r;
     r.app = fields[0];
-    if (fields[1] == "LLFI") r.tool = campaign::Tool::LLFI;
-    else if (fields[1] == "REFINE") r.tool = campaign::Tool::REFINE;
-    else if (fields[1] == "PINFI") r.tool = campaign::Tool::PINFI;
-    else return std::nullopt;
+    bool knownTool = false;
+    for (const auto& tool : toolOrder()) knownTool |= (fields[1] == tool);
+    if (!knownTool) return std::nullopt;
+    r.tool = fields[1];
     r.counts.crash = std::strtoull(fields[2].c_str(), nullptr, 10);
     r.counts.soc = std::strtoull(fields[3].c_str(), nullptr, 10);
     r.counts.benign = std::strtoull(fields[4].c_str(), nullptr, 10);
@@ -69,16 +69,16 @@ std::optional<FullCampaign> tryLoadCache(const campaign::CampaignConfig& config)
     if (!placed) return std::nullopt;
     ++parsed;
   }
-  if (parsed != apps::benchmarkApps().size() * 3) return std::nullopt;
+  if (parsed != apps::benchmarkApps().size() * toolOrder().size()) return std::nullopt;
   // Normalize tool order within each app.
   for (auto& perApp : out.results) {
     std::vector<campaign::CampaignResult> ordered;
-    for (campaign::Tool tool : toolOrder()) {
+    for (const auto& tool : toolOrder()) {
       for (auto& r : perApp) {
         if (r.tool == tool) ordered.push_back(std::move(r));
       }
     }
-    if (ordered.size() != 3) return std::nullopt;
+    if (ordered.size() != toolOrder().size()) return std::nullopt;
     perApp = std::move(ordered);
   }
   return out;
@@ -89,7 +89,7 @@ void saveCache(const FullCampaign& campaign) {
   for (const auto& perApp : campaign.results) {
     for (const auto& r : perApp) {
       content += strf("%s,%s,%llu,%llu,%llu,%.6f,%llu,%llu,%llu\n",
-                      r.app.c_str(), campaign::toolName(r.tool),
+                      r.app.c_str(), r.tool.c_str(),
                       static_cast<unsigned long long>(r.counts.crash),
                       static_cast<unsigned long long>(r.counts.soc),
                       static_cast<unsigned long long>(r.counts.benign),
@@ -132,24 +132,38 @@ FullCampaign loadOrRunFullCampaign() {
   out.config = config;
   const auto& apps = apps::benchmarkApps();
   std::fprintf(stderr,
-               "[bench] running full campaign: %zu apps x 3 tools x %llu "
-               "trials on %u threads\n",
-               apps.size(), static_cast<unsigned long long>(config.trials),
+               "[bench] running full campaign: %zu apps x %zu tools x %llu "
+               "trials on %u threads (one shared pool)\n",
+               apps.size(), toolOrder().size(),
+               static_cast<unsigned long long>(config.trials),
                config.threads == 0 ? hardwareThreads() : config.threads);
   WallTimer total;
+
+  // The whole (app x tool) matrix goes through one engine: every cell's
+  // trial chunks share the work-stealing pool, so no cell's stragglers idle
+  // the machine while the next cell waits.
+  std::vector<campaign::MatrixJob> jobs;
+  for (const auto& app : apps) {
+    for (const auto& tool : toolOrder()) {
+      jobs.push_back({app.name, tool, app.source, fi::FiConfig::allOn()});
+    }
+  }
+  campaign::CampaignEngine engine(config);
+  auto results =
+      engine.runMatrix(jobs, [&](const campaign::CampaignResult& r) {
+        // Streams from worker threads as each cell finishes, so a long
+        // matrix shows progress instead of going silent until the drain.
+        std::fprintf(stderr, "[bench]   %-10s %-7s %6.1fs work (%.1fs wall)\n",
+                     r.app.c_str(), r.tool.c_str(), r.totalTrialSeconds,
+                     total.seconds());
+      });
+
   for (const auto& app : apps) {
     out.appNames.push_back(app.name);
     out.results.emplace_back();
-    for (campaign::Tool tool : toolOrder()) {
-      WallTimer timer;
-      auto instance =
-          campaign::makeToolInstance(tool, app.source, fi::FiConfig::allOn());
-      auto result = campaign::runCampaign(*instance, tool, app.name, config);
-      std::fprintf(stderr, "[bench]   %-10s %-7s %6.1fs wall (%.1fs work)\n",
-                   app.name.c_str(), campaign::toolName(tool), timer.seconds(),
-                   result.totalTrialSeconds);
-      out.results.back().push_back(std::move(result));
-    }
+  }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out.results[i / toolOrder().size()].push_back(std::move(results[i]));
   }
   std::fprintf(stderr, "[bench] campaign finished in %.1fs wall\n",
                total.seconds());

@@ -32,13 +32,14 @@ struct FullCampaign {
 /// Reads knobs from the environment.
 campaign::CampaignConfig configFromEnv();
 
-/// Runs (or loads) the full campaign.
+/// Runs (or loads) the full campaign. Fresh runs go through one shared
+/// CampaignEngine pool: all (app x tool) cells are compiled, profiled and
+/// trial-scheduled together instead of as 42 sequential barrier campaigns.
 FullCampaign loadOrRunFullCampaign();
 
-/// The three tools in reporting order.
-inline const std::vector<campaign::Tool>& toolOrder() {
-  static const std::vector<campaign::Tool> order = {
-      campaign::Tool::LLFI, campaign::Tool::REFINE, campaign::Tool::PINFI};
+/// The three tools in reporting order (injector registry keys).
+inline const std::vector<std::string>& toolOrder() {
+  static const std::vector<std::string> order = {"LLFI", "REFINE", "PINFI"};
   return order;
 }
 

@@ -12,8 +12,6 @@ namespace {
 
 using refine::campaign::CampaignResult;
 using refine::campaign::paperTable6;
-using refine::campaign::Tool;
-using refine::campaign::toolName;
 
 double pct(std::uint64_t part, std::uint64_t total) {
   return total == 0 ? 0.0 : 100.0 * static_cast<double>(part) / static_cast<double>(total);
@@ -29,15 +27,16 @@ void printPaperComparison(const refine::bench::FullCampaign& campaign) {
       if (campaign.appNames[a] == row.app) paper = &row;
     }
     if (paper == nullptr) continue;
-    for (std::size_t t = 0; t < 3; ++t) {
-      const CampaignResult& r = campaign.results[a][t];
+    for (const CampaignResult& r : campaign.results[a]) {
       const std::uint64_t* paperCounts =
-          r.tool == Tool::LLFI ? paper->llfi
-          : r.tool == Tool::REFINE ? paper->refine
-                                   : paper->pinfi;
+          r.tool == "LLFI" ? paper->llfi
+          : r.tool == "REFINE" ? paper->refine
+          : r.tool == "PINFI" ? paper->pinfi
+                              : nullptr;
+      if (paperCounts == nullptr) continue;  // no paper data for this tool
       const std::uint64_t n = r.counts.total();
       std::printf("%-10s %-7s   %7.1f%% /%6.1f%%   %7.1f%% /%6.1f%%   %7.1f%% /%6.1f%%\n",
-                  r.app.c_str(), toolName(r.tool),
+                  r.app.c_str(), r.tool.c_str(),
                   pct(r.counts.crash, n), pct(paperCounts[0], 1068),
                   pct(r.counts.soc, n), pct(paperCounts[1], 1068),
                   pct(r.counts.benign, n), pct(paperCounts[2], 1068));

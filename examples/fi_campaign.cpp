@@ -9,8 +9,8 @@
 #include <cstdlib>
 
 #include "apps/apps.h"
+#include "campaign/engine.h"
 #include "campaign/report.h"
-#include "campaign/runner.h"
 #include "stats/samplesize.h"
 
 int main(int argc, char** argv) {
@@ -26,8 +26,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto instance = campaign::makeToolInstance(campaign::Tool::REFINE,
-                                             app->source, fi::FiConfig::allOn());
+  auto instance = campaign::InjectorRegistry::global().get("REFINE").create(
+      app->source, fi::FiConfig::allOn());
   const auto& profile = instance->profile();
 
   // Sample size per Leveugle et al.: population = all (instruction, bit)
@@ -45,8 +45,8 @@ int main(int argc, char** argv) {
   campaign::CampaignConfig config;
   config.trials = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : recommended;
 
-  const auto result =
-      campaign::runCampaign(*instance, campaign::Tool::REFINE, app->name, config);
+  campaign::CampaignEngine engine(config);
+  const auto result = engine.run(*instance, "REFINE", app->name);
 
   std::printf("\n%s\n", campaign::figure4Row(result).c_str());
   std::printf("raw counts: crash=%llu soc=%llu benign=%llu (total %llu)\n",

@@ -2,13 +2,18 @@
 // evaluation does: same fault model, same classification, chi-squared test
 // of each tool against the PINFI baseline.
 //
+// The whole (1 app x 3 tools) matrix runs through one CampaignEngine pool,
+// and the comparison finishes with the registry's REFINE-STACK scenario — an
+// injector that exists only as an InjectorRegistration, demonstrating that
+// new tools need no enum or engine edits.
+//
 // Usage: tool_comparison [app-name] [trials]
 #include <cstdio>
 #include <cstdlib>
 
 #include "apps/apps.h"
+#include "campaign/engine.h"
 #include "campaign/report.h"
-#include "campaign/runner.h"
 
 int main(int argc, char** argv) {
   using namespace refine;
@@ -22,21 +27,26 @@ int main(int argc, char** argv) {
   campaign::CampaignConfig config;
   config.trials = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1068;
 
-  std::printf("comparing LLFI / REFINE / PINFI on %s (%llu trials each)\n\n",
+  std::printf("registered injectors:");
+  for (const auto& name : campaign::InjectorRegistry::global().names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n\ncomparing LLFI / REFINE / PINFI on %s (%llu trials each)\n\n",
               app->name.c_str(),
               static_cast<unsigned long long>(config.trials));
 
-  std::vector<campaign::CampaignResult> results;
-  for (const auto tool : {campaign::Tool::LLFI, campaign::Tool::REFINE,
-                          campaign::Tool::PINFI}) {
-    auto instance =
-        campaign::makeToolInstance(tool, app->source, fi::FiConfig::allOn());
+  campaign::CampaignEngine engine(config);
+  std::vector<campaign::MatrixJob> jobs;
+  for (const char* tool : {"LLFI", "REFINE", "PINFI"}) {
+    jobs.push_back({app->name, tool, app->source, fi::FiConfig::allOn()});
+  }
+  const auto results = engine.runMatrix(jobs);
+
+  for (const auto& r : results) {
     std::printf("%-7s population: %llu dynamic targets, binary %llu instrs\n",
-                campaign::toolName(tool),
-                static_cast<unsigned long long>(instance->profile().dynamicTargets),
-                static_cast<unsigned long long>(instance->binarySize()));
-    results.push_back(
-        campaign::runCampaign(*instance, tool, app->name, config));
+                r.tool.c_str(),
+                static_cast<unsigned long long>(r.dynamicTargets),
+                static_cast<unsigned long long>(r.binarySize));
   }
 
   std::printf("\n");
@@ -52,5 +62,20 @@ int main(int argc, char** argv) {
   std::printf("\nspeed:\n%s\n%s\n",
               campaign::figure5Line(results[0], results[2]).c_str(),
               campaign::figure5Line(results[1], results[2]).c_str());
+
+  // Scenario injector, added via registry registration only: REFINE
+  // restricted to the machine-only stack-management instruction class.
+  auto stack = campaign::InjectorRegistry::global()
+                   .get("REFINE-STACK")
+                   .create(app->source, fi::FiConfig::allOn());
+  const auto stackResult = engine.run(*stack, "REFINE-STACK", app->name);
+  std::printf("\nscenario (registry-only injector):\n%s\n",
+              campaign::figure4Row(stackResult).c_str());
+  std::printf("REFINE-STACK population: %llu dynamic targets "
+              "(%.1f%% of REFINE's %llu — instructions invisible at IR level)\n",
+              static_cast<unsigned long long>(stackResult.dynamicTargets),
+              100.0 * static_cast<double>(stackResult.dynamicTargets) /
+                  static_cast<double>(results[1].dynamicTargets),
+              static_cast<unsigned long long>(results[1].dynamicTargets));
   return 0;
 }

@@ -1,0 +1,178 @@
+#include "campaign/engine.h"
+
+#include <atomic>
+#include <memory>
+#include <optional>
+
+#include "support/rng.h"
+#include "support/timer.h"
+
+namespace refine::campaign {
+
+/// Execution state of one matrix cell while its trials are in flight.
+struct CampaignEngine::CellRun {
+  ToolInstance* instance = nullptr;
+  std::string app;
+  std::string tool;
+  std::uint64_t appKey = 0;   // fnv1a(app)
+  std::uint64_t seedKey = 0;  // injectorSeedKey(tool)
+  std::uint64_t budget = 0;   // timeoutFactor * profiled instruction count
+
+  struct Partial {
+    OutcomeCounts counts;
+    double seconds = 0.0;
+  };
+  std::vector<Partial> perWorker;  // indexed by pool worker id
+  std::vector<Outcome> outcomes;   // sized only when recordPerTrial
+
+  std::atomic<std::size_t> pendingChunks{0};
+  std::optional<CampaignResult> finished;  // set by the last chunk to drain
+};
+
+CampaignEngine::CampaignEngine(CampaignConfig config)
+    : config_(config),
+      pool_(config.threads == 0 ? hardwareThreads() : config.threads) {}
+
+void CampaignEngine::enqueueTrials(CellRun& cell,
+                                   const ResultCallback& onCellDone) {
+  const auto& profile = cell.instance->profile();
+  cell.budget = static_cast<std::uint64_t>(
+      config_.timeoutFactor * static_cast<double>(profile.instrCount));
+  cell.perWorker.assign(pool_.threadCount(), {});
+  if (config_.recordPerTrial) {
+    cell.outcomes.assign(config_.trials, Outcome::Benign);
+  }
+
+  const bool record = config_.recordPerTrial;
+  const std::uint64_t baseSeed = config_.baseSeed;
+  std::vector<WorkStealingPool::Task> tasks;
+  forEachChunk(
+      config_.trials, static_cast<std::size_t>(pool_.threadCount()) * 8,
+      [&](std::size_t begin, std::size_t end) {
+        tasks.push_back([this, &cell, &profile, &onCellDone, baseSeed, record,
+                         begin, end](unsigned worker) {
+          auto& partial = cell.perWorker[worker];
+          for (std::size_t trial = begin; trial < end; ++trial) {
+            // Derive everything from (seed, app, tool, trial): the outcome is
+            // independent of which worker runs the trial and when.
+            const std::uint64_t seed =
+                mixSeed(baseSeed, cell.appKey, cell.seedKey,
+                        static_cast<std::uint64_t>(trial));
+            Rng rng(seed);
+            const std::uint64_t target =
+                rng.nextBelow(profile.dynamicTargets) + 1;
+            const std::uint64_t trialSeed = rng.next();
+
+            WallTimer timer;
+            const auto run =
+                cell.instance->runTrial(target, trialSeed, cell.budget);
+            partial.seconds += timer.seconds();
+            const Outcome outcome = classify(run.exec, profile.goldenOutput);
+            partial.counts.add(outcome);
+            if (record) cell.outcomes[trial] = outcome;
+          }
+          // Last chunk of this cell: every partial is final (the acq_rel
+          // fetch_sub orders them), so drain here and stream the result
+          // while the rest of the matrix is still running.
+          if (cell.pendingChunks.fetch_sub(1, std::memory_order_acq_rel) ==
+              1) {
+            cell.finished = drain(cell);
+            if (onCellDone) {
+              std::scoped_lock lock(callbackMutex_);
+              onCellDone(*cell.finished);
+            }
+          }
+        });
+      });
+  cell.pendingChunks.store(tasks.size(), std::memory_order_relaxed);
+  pool_.submitBulk(std::move(tasks));
+}
+
+CampaignResult CampaignEngine::drain(CellRun& cell) const {
+  const auto& profile = cell.instance->profile();
+  CampaignResult result;
+  result.app = cell.app;
+  result.tool = cell.tool;
+  result.dynamicTargets = profile.dynamicTargets;
+  result.profileInstrs = profile.instrCount;
+  result.binarySize = cell.instance->binarySize();
+  for (const auto& partial : cell.perWorker) {
+    result.counts += partial.counts;
+    result.totalTrialSeconds += partial.seconds;
+  }
+  result.outcomes = std::move(cell.outcomes);
+  return result;
+}
+
+CampaignResult CampaignEngine::run(ToolInstance& instance,
+                                   std::string_view toolKey,
+                                   const std::string& app) {
+  CellRun cell;
+  cell.instance = &instance;
+  cell.app = app;
+  cell.tool = std::string(toolKey);
+  cell.appKey = fnv1a(app);
+  cell.seedKey = injectorSeedKey(toolKey);
+  const ResultCallback noCallback;  // must outlive the enqueued chunks
+  enqueueTrials(cell, noCallback);
+  pool_.wait();
+  return cell.finished ? *std::move(cell.finished) : drain(cell);
+}
+
+std::vector<CampaignResult> CampaignEngine::runMatrix(
+    const std::vector<MatrixJob>& jobs, const ResultCallback& onCellDone) {
+  // Phase 1: compile + profile every cell concurrently on the pool. The
+  // factories are resolved up front so an unknown tool key fails fast on the
+  // caller's thread instead of from inside a worker.
+  std::vector<const InjectorFactory*> factories;
+  factories.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    factories.push_back(&InjectorRegistry::global().get(job.tool));
+  }
+
+  std::vector<std::unique_ptr<ToolInstance>> instances(jobs.size());
+  {
+    std::vector<WorkStealingPool::Task> buildTasks;
+    buildTasks.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      buildTasks.push_back([&jobs, &factories, &instances, i](unsigned) {
+        instances[i] = factories[i]->create(jobs[i].source, jobs[i].fiConfig);
+        instances[i]->profile();
+      });
+    }
+    pool_.submitBulk(std::move(buildTasks));
+    pool_.wait();  // rethrows the first compile/profile error
+  }
+
+  // Phase 2: enqueue ALL cells' trial chunks at once — one shared pool, no
+  // barrier between campaigns.
+  std::vector<CellRun> cells(jobs.size());
+  try {
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      cells[i].instance = instances[i].get();
+      cells[i].app = jobs[i].app;
+      cells[i].tool = jobs[i].tool;
+      cells[i].appKey = fnv1a(jobs[i].app);
+      cells[i].seedKey = injectorSeedKey(jobs[i].tool);
+      enqueueTrials(cells[i], onCellDone);
+    }
+  } catch (...) {
+    // Chunks already enqueued still reference `cells`/`instances`: drain them
+    // before unwinding. A task error surfacing here loses to the setup error.
+    try {
+      pool_.wait();
+    } catch (...) {
+    }
+    throw;
+  }
+  pool_.wait();
+
+  std::vector<CampaignResult> results;
+  results.reserve(cells.size());
+  for (auto& cell : cells) {
+    results.push_back(cell.finished ? *std::move(cell.finished) : drain(cell));
+  }
+  return results;
+}
+
+}  // namespace refine::campaign

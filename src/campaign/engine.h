@@ -1,0 +1,79 @@
+// CampaignEngine: schedules an entire (application x tool) fault-injection
+// matrix through ONE persistent work-stealing pool.
+//
+// The pre-engine flow ran each (app, tool) cell as an isolated parallelFor
+// barrier over a freshly spun-up pool: every campaign paid thread start-up,
+// and every campaign's stragglers idled the whole machine before the next
+// could begin. The engine instead:
+//
+//   1. compiles + profiles every cell as pool tasks (instances build
+//      concurrently; ToolInstance::profile() is once-flag guarded),
+//   2. enqueues ALL cells' trial chunks into the shared pool at once, so
+//      the tail of one campaign overlaps the head of the next and
+//      steal-half rebalances across cells,
+//   3. streams outcomes into per-worker OutcomeCounts slots, merged only at
+//      drain (no trials-sized vectors unless recordPerTrial asks for them).
+//
+// Determinism: every trial derives from mixSeed(baseSeed, fnv1a(app),
+// injectorSeedKey(tool), trial) — nothing depends on which worker runs it or
+// in what order, so aggregate counts are bit-identical to per-campaign
+// runCampaign() at any thread count. See DESIGN.md.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/registry.h"
+#include "campaign/runner.h"
+#include "support/threadpool.h"
+
+namespace refine::campaign {
+
+/// One cell of the (application x tool) matrix.
+struct MatrixJob {
+  std::string app;                             // label + seed component
+  std::string tool;                            // injector registry key
+  std::string source;                          // MiniC program
+  fi::FiConfig fiConfig = fi::FiConfig::allOn();
+};
+
+class CampaignEngine {
+ public:
+  explicit CampaignEngine(CampaignConfig config = {});
+
+  /// Called as each cell's trials complete, from a worker thread (calls are
+  /// serialized; the whole matrix is still in flight). Lets long matrices
+  /// stream progress instead of going silent until the final drain.
+  using ResultCallback = std::function<void(const CampaignResult&)>;
+
+  /// Compiles, profiles and runs every job through the shared pool with no
+  /// per-campaign barrier. Results are returned in job order.
+  std::vector<CampaignResult> runMatrix(const std::vector<MatrixJob>& jobs,
+                                        const ResultCallback& onCellDone = {});
+
+  /// Runs the trials of one already-constructed instance through the shared
+  /// pool (profiling it first if needed). The building block runCampaign()
+  /// wraps with a transient engine.
+  CampaignResult run(ToolInstance& instance, std::string_view toolKey,
+                     const std::string& app);
+
+  unsigned threadCount() const noexcept { return pool_.threadCount(); }
+  const CampaignConfig& config() const noexcept { return config_; }
+
+ private:
+  struct CellRun;
+
+  /// Enqueues the cell's trial chunks on the pool (does not wait). The last
+  /// chunk to finish drains the cell and, when set, fires `onCellDone`.
+  void enqueueTrials(CellRun& cell, const ResultCallback& onCellDone);
+
+  /// Folds the cell's per-worker partials into its CampaignResult.
+  CampaignResult drain(CellRun& cell) const;
+
+  CampaignConfig config_;
+  WorkStealingPool pool_;
+  std::mutex callbackMutex_;  // serializes onCellDone invocations
+};
+
+}  // namespace refine::campaign

@@ -1,0 +1,71 @@
+#include "campaign/registry.h"
+
+#include "support/check.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace refine::campaign {
+
+std::uint64_t InjectorFactory::seedKey() const { return fnv1a(name()); }
+
+InjectorRegistry& InjectorRegistry::global() {
+  static InjectorRegistry registry;
+  return registry;
+}
+
+void InjectorRegistry::add(std::unique_ptr<InjectorFactory> factory) {
+  RF_CHECK(factory != nullptr, "null InjectorFactory registered");
+  const std::string_view name = factory->name();
+  RF_CHECK(!name.empty(), "InjectorFactory with empty name");
+  std::scoped_lock lock(mutex_);
+  for (const auto& existing : factories_) {
+    RF_CHECK(existing->name() != name,
+             strf("duplicate injector registration: %.*s",
+                  static_cast<int>(name.size()), name.data()));
+  }
+  factories_.push_back(std::move(factory));
+}
+
+const InjectorFactory* InjectorRegistry::find(
+    std::string_view name) const noexcept {
+  std::scoped_lock lock(mutex_);
+  for (const auto& factory : factories_) {
+    if (factory->name() == name) return factory.get();
+  }
+  return nullptr;
+}
+
+const InjectorFactory& InjectorRegistry::get(std::string_view name) const {
+  const InjectorFactory* factory = find(name);
+  if (factory == nullptr) {
+    std::string known;
+    for (const auto& n : names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    RF_CHECK(false, strf("no injector registered under '%.*s' (registered: %s)",
+                         static_cast<int>(name.size()), name.data(),
+                         known.c_str()));
+  }
+  return *factory;
+}
+
+std::vector<std::string> InjectorRegistry::names() const {
+  std::scoped_lock lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& factory : factories_) out.emplace_back(factory->name());
+  return out;
+}
+
+InjectorRegistration::InjectorRegistration(
+    std::unique_ptr<InjectorFactory> factory) {
+  InjectorRegistry::global().add(std::move(factory));
+}
+
+std::uint64_t injectorSeedKey(std::string_view name) {
+  const InjectorFactory* factory = InjectorRegistry::global().find(name);
+  return factory != nullptr ? factory->seedKey() : fnv1a(name);
+}
+
+}  // namespace refine::campaign

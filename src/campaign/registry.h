@@ -1,0 +1,72 @@
+// String-keyed injector registry: the open-ended replacement for the closed
+// Tool enum. A fault-injection technique (or a scenario composed from one,
+// e.g. REFINE restricted to an instruction class) is published by registering
+// an InjectorFactory under a unique name — no enum edit, no switch edit, no
+// change to the campaign engine. The three paper tools self-register from
+// tools.cpp; scenario variants self-register from scenarios.cpp.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/tools.h"
+
+namespace refine::campaign {
+
+/// Builds ToolInstances for one injection technique.
+class InjectorFactory {
+ public:
+  virtual ~InjectorFactory() = default;
+
+  /// Unique registry key, also used in reports and CSV output.
+  virtual std::string_view name() const = 0;
+
+  /// 64-bit key mixed into every per-trial seed as the "tool" component of
+  /// mixSeed(baseSeed, app, tool, trial). Defaults to fnv1a(name()); the
+  /// three paper tools override it with their legacy enum value so campaign
+  /// results stay bit-identical to the pre-registry runner.
+  virtual std::uint64_t seedKey() const;
+
+  /// Compiles `source` (MiniC) under this injector: frontend -> -O2
+  /// optimizer -> technique-specific instrumentation -> backend.
+  /// Throws on compile errors.
+  virtual std::unique_ptr<ToolInstance> create(
+      std::string_view source, const fi::FiConfig& config) const = 0;
+};
+
+/// Process-wide factory table. Thread-safe; iteration order is registration
+/// order (static-init for the built-ins, then anything added at runtime).
+class InjectorRegistry {
+ public:
+  static InjectorRegistry& global();
+
+  /// Takes ownership. Throws CheckError on a duplicate name.
+  void add(std::unique_ptr<InjectorFactory> factory);
+
+  /// nullptr when no factory is registered under `name`.
+  const InjectorFactory* find(std::string_view name) const noexcept;
+
+  /// Throws CheckError (listing the registered names) when absent.
+  const InjectorFactory& get(std::string_view name) const;
+
+  std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<InjectorFactory>> factories_;
+};
+
+/// Static-initialization helper:
+///   const InjectorRegistration reg(std::make_unique<MyFactory>());
+struct InjectorRegistration {
+  explicit InjectorRegistration(std::unique_ptr<InjectorFactory> factory);
+};
+
+/// Seed key for a tool key: the registered factory's seedKey(), falling back
+/// to fnv1a(name) for keys that are not (yet) registered.
+std::uint64_t injectorSeedKey(std::string_view name);
+
+}  // namespace refine::campaign

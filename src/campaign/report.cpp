@@ -18,7 +18,7 @@ double pct(std::uint64_t part, std::uint64_t total) {
 
 std::string figure4Row(const CampaignResult& result) {
   const std::uint64_t n = result.counts.total();
-  std::string out = strf("%-10s %-7s", result.app.c_str(), toolName(result.tool));
+  std::string out = strf("%-10s %-7s", result.app.c_str(), result.tool.c_str());
   const std::uint64_t parts[3] = {result.counts.crash, result.counts.soc,
                                   result.counts.benign};
   const char* names[3] = {"crash", "soc", "benign"};
@@ -36,7 +36,7 @@ std::string table6Block(const std::string& app,
   std::ostringstream os;
   os << app << '\n';
   for (const auto& result : perTool) {
-    os << strf("  %-7s %5llu %5llu %5llu\n", toolName(result.tool),
+    os << strf("  %-7s %5llu %5llu %5llu\n", result.tool.c_str(),
                static_cast<unsigned long long>(result.counts.crash),
                static_cast<unsigned long long>(result.counts.soc),
                static_cast<unsigned long long>(result.counts.benign));
@@ -48,7 +48,7 @@ std::string contingencyTable(const CampaignResult& a, const CampaignResult& b) {
   std::ostringstream os;
   os << strf("%-8s %7s %7s %7s %7s\n", "Tool", "Crash", "SOC", "Benign", "Total");
   for (const CampaignResult* r : {&a, &b}) {
-    os << strf("%-8s %7llu %7llu %7llu %7llu\n", toolName(r->tool),
+    os << strf("%-8s %7llu %7llu %7llu %7llu\n", r->tool.c_str(),
                static_cast<unsigned long long>(r->counts.crash),
                static_cast<unsigned long long>(r->counts.soc),
                static_cast<unsigned long long>(r->counts.benign),
@@ -71,7 +71,7 @@ std::string table5Line(const CampaignResult& base,
   const auto test = compareTools(base, comparison);
   const bool different = test.valid && test.pValue < alpha;
   return strf("%-10s  %-7s vs %-7s  p=%6.4f  signif.diff=%s",
-              base.app.c_str(), toolName(comparison.tool), toolName(base.tool),
+              base.app.c_str(), comparison.tool.c_str(), base.tool.c_str(),
               test.pValue, different ? "yes" : "no");
 }
 
@@ -81,8 +81,8 @@ std::string figure5Line(const CampaignResult& tool,
                            ? 0.0
                            : tool.totalTrialSeconds / baseline.totalTrialSeconds;
   return strf("%-10s %-7s %8.2fs  %.2fx of %s", tool.app.c_str(),
-              toolName(tool.tool), tool.totalTrialSeconds, ratio,
-              toolName(baseline.tool));
+              tool.tool.c_str(), tool.totalTrialSeconds, ratio,
+              baseline.tool.c_str());
 }
 
 std::string resultsCsv(const std::vector<CampaignResult>& results) {
@@ -92,7 +92,7 @@ std::string resultsCsv(const std::vector<CampaignResult>& results) {
                 "dynamic_targets", "profile_instrs", "binary_size",
                 "total_trial_seconds"});
   for (const auto& r : results) {
-    csv.writeRow({r.app, toolName(r.tool), std::to_string(r.counts.total()),
+    csv.writeRow({r.app, r.tool, std::to_string(r.counts.total()),
                   std::to_string(r.counts.crash), std::to_string(r.counts.soc),
                   std::to_string(r.counts.benign),
                   std::to_string(r.dynamicTargets),

@@ -1,56 +1,29 @@
 #include "campaign/runner.h"
 
-#include <atomic>
+#include <algorithm>
 
-#include "support/rng.h"
-#include "support/threadpool.h"
-#include "support/timer.h"
+#include "campaign/engine.h"
 
 namespace refine::campaign {
+
+CampaignResult runCampaign(ToolInstance& instance, std::string_view toolKey,
+                           const std::string& app,
+                           const CampaignConfig& config) {
+  // The transient engine serves exactly `trials` tasks: never spin up more
+  // workers than that (matters for tiny campaigns on wide machines).
+  CampaignConfig clamped = config;
+  const std::uint64_t requested =
+      config.threads == 0 ? hardwareThreads() : config.threads;
+  clamped.threads = static_cast<unsigned>(
+      std::clamp<std::uint64_t>(config.trials, 1, requested));
+  CampaignEngine engine(clamped);
+  return engine.run(instance, toolKey, app);
+}
 
 CampaignResult runCampaign(ToolInstance& instance, Tool tool,
                            const std::string& app,
                            const CampaignConfig& config) {
-  const auto& profile = instance.profile();
-  const auto budget = static_cast<std::uint64_t>(
-      config.timeoutFactor * static_cast<double>(profile.instrCount));
-
-  CampaignResult result;
-  result.app = app;
-  result.tool = tool;
-  result.dynamicTargets = profile.dynamicTargets;
-  result.profileInstrs = profile.instrCount;
-  result.binarySize = instance.binarySize();
-  result.outcomes.assign(config.trials, Outcome::Benign);
-
-  std::vector<double> seconds(config.trials, 0.0);
-  const unsigned threads =
-      config.threads == 0 ? hardwareThreads() : config.threads;
-
-  parallelFor(config.trials, threads, [&](std::size_t trial) {
-    // Derive everything from (seed, app, tool, trial): scheduling-immune.
-    const std::uint64_t seed =
-        mixSeed(config.baseSeed, fnv1a(app), static_cast<std::uint64_t>(tool),
-                static_cast<std::uint64_t>(trial));
-    Rng rng(seed);
-    const std::uint64_t target = rng.nextBelow(profile.dynamicTargets) + 1;
-    const std::uint64_t trialSeed = rng.next();
-
-    WallTimer timer;
-    const auto trialRun = instance.runTrial(target, trialSeed, budget);
-    seconds[trial] = timer.seconds();
-    result.outcomes[trial] = classify(trialRun.exec, profile.goldenOutput);
-  });
-
-  for (std::size_t i = 0; i < config.trials; ++i) {
-    result.totalTrialSeconds += seconds[i];
-    switch (result.outcomes[i]) {
-      case Outcome::Crash: ++result.counts.crash; break;
-      case Outcome::SOC: ++result.counts.soc; break;
-      case Outcome::Benign: ++result.counts.benign; break;
-    }
-  }
-  return result;
+  return runCampaign(instance, std::string_view(toolName(tool)), app, config);
 }
 
 }  // namespace refine::campaign

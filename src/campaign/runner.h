@@ -1,10 +1,16 @@
 // Campaign runner: N single-fault experiments per (application, tool),
-// executed across a thread pool with per-trial derived seeds so results are
-// bit-reproducible regardless of scheduling (this 24-core box plays the role
-// of the paper's cluster, Sec. A.4).
+// executed across a work-stealing thread pool with per-trial derived seeds
+// so results are bit-reproducible regardless of scheduling (this 24-core box
+// plays the role of the paper's cluster, Sec. A.4).
+//
+// runCampaign() runs one (app, tool) cell on a transient pool; CampaignEngine
+// (campaign/engine.h) runs the whole matrix on one shared persistent pool.
+// Both derive every trial from mixSeed(baseSeed, app, tool, trial), so their
+// outcome counts are bit-identical to each other at any thread count.
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "campaign/outcome.h"
@@ -17,6 +23,10 @@ struct CampaignConfig {
   unsigned threads = 0;         // 0 = hardware concurrency
   std::uint64_t baseSeed = 0x5EEDBA5EULL;
   double timeoutFactor = 10.0;  // paper Sec. 4.3.2
+  /// Outcomes stream into per-worker counters by default; set this to also
+  /// keep the trials-sized per-trial record in CampaignResult::outcomes
+  /// (needed only by per-trial analyses, e.g. operand-kind breakdowns).
+  bool recordPerTrial = false;
 };
 
 struct OutcomeCounts {
@@ -26,11 +36,29 @@ struct OutcomeCounts {
 
   std::uint64_t total() const noexcept { return crash + soc + benign; }
   std::vector<std::uint64_t> asVector() const { return {crash, soc, benign}; }
+
+  void add(Outcome o) noexcept {
+    switch (o) {
+      case Outcome::Crash: ++crash; break;
+      case Outcome::SOC: ++soc; break;
+      case Outcome::Benign: ++benign; break;
+    }
+  }
+
+  OutcomeCounts& operator+=(const OutcomeCounts& rhs) noexcept {
+    crash += rhs.crash;
+    soc += rhs.soc;
+    benign += rhs.benign;
+    return *this;
+  }
+
+  friend bool operator==(const OutcomeCounts&,
+                         const OutcomeCounts&) noexcept = default;
 };
 
 struct CampaignResult {
   std::string app;
-  Tool tool = Tool::REFINE;
+  std::string tool = "REFINE";  // injector registry key
   OutcomeCounts counts;
   /// Sum of per-trial execution times: the sequential-equivalent campaign
   /// time the paper's Figure 5 reports.
@@ -38,13 +66,22 @@ struct CampaignResult {
   std::uint64_t dynamicTargets = 0;
   std::uint64_t profileInstrs = 0;
   std::uint64_t binarySize = 0;
-  /// Per-trial outcome (index = trial).
+  /// Per-trial outcome (index = trial); filled only when
+  /// CampaignConfig::recordPerTrial is set, empty otherwise.
   std::vector<Outcome> outcomes;
 };
 
-/// Runs the campaign. The instance must already be constructed (compiled);
-/// profiling happens here if not already done.
+/// Runs the campaign for one (app, tool) cell on a transient pool. The
+/// instance must already be constructed (compiled); profiling happens here
+/// if not already done. `toolKey` is the injector registry key; it selects
+/// the seed component via injectorSeedKey() and labels the result.
+CampaignResult runCampaign(ToolInstance& instance, std::string_view toolKey,
+                           const std::string& app,
+                           const CampaignConfig& config);
+
+/// Compatibility shim for pre-registry call sites welded to the Tool enum.
 CampaignResult runCampaign(ToolInstance& instance, Tool tool,
-                           const std::string& app, const CampaignConfig& config);
+                           const std::string& app,
+                           const CampaignConfig& config);
 
 }  // namespace refine::campaign

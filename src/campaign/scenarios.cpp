@@ -1,0 +1,38 @@
+// Scenario injectors composed purely through the registry: each one here is
+// a single InjectorRegistration — no edits to the Tool enum, the campaign
+// engine, the runner, or any switch. This file is the template for adding
+// further scenarios (new instruction-class filters, function subsets, ...).
+#include "campaign/registry.h"
+
+namespace refine::campaign {
+namespace {
+
+/// REFINE with the fault population restricted to one -fi-instrs instruction
+/// class from fi::FiConfig. The stack class is the interesting default: it
+/// selects exactly the machine-only stack-management instructions of the
+/// paper's Listing 1, a population that is EMPTY for IR-level tools.
+class RefineClassFactory final : public InjectorFactory {
+ public:
+  RefineClassFactory(std::string name, fi::InstrSel instrs)
+      : name_(std::move(name)), instrs_(instrs) {}
+
+  std::string_view name() const override { return name_; }
+
+  std::unique_ptr<ToolInstance> create(
+      std::string_view source, const fi::FiConfig& config) const override {
+    fi::FiConfig restricted = config;
+    restricted.enabled = true;
+    restricted.instrs = instrs_;
+    return InjectorRegistry::global().get("REFINE").create(source, restricted);
+  }
+
+ private:
+  std::string name_;
+  fi::InstrSel instrs_;
+};
+
+const InjectorRegistration registerRefineStack(
+    std::make_unique<RefineClassFactory>("REFINE-STACK", fi::InstrSel::Stack));
+
+}  // namespace
+}  // namespace refine::campaign

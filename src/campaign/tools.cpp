@@ -1,6 +1,7 @@
 #include "campaign/tools.h"
 
 #include "backend/compile.h"
+#include "campaign/registry.h"
 #include "fi/llfi_pass.h"
 #include "fi/pinfi.h"
 #include "fi/refine_pass.h"
@@ -20,11 +21,11 @@ const char* toolName(Tool t) noexcept {
 }
 
 const ToolInstance::Profile& ToolInstance::profile() {
-  if (!cached_.has_value()) {
+  std::call_once(profileOnce_, [this] {
     cached_ = doProfile();
     RF_CHECK(cached_->dynamicTargets > 0,
              "profiling found no dynamic fault targets");
-  }
+  });
   return *cached_;
 }
 
@@ -184,17 +185,48 @@ class LlfiInstance final : public ToolInstance {
   backend::CodegenResult compiled_;
 };
 
+// ---------------------------------------------------------------------------
+// Registry factories
+// ---------------------------------------------------------------------------
+
+/// Factory for one of the three paper tools. seedKey() returns the legacy
+/// enum value (0/1/2), not fnv1a(name): per-trial seeds are derived as
+/// mixSeed(baseSeed, app, seedKey, trial) and the pre-registry runner used
+/// static_cast<uint64_t>(tool) there, so this keeps every published campaign
+/// bit-identical.
+template <typename InstanceT>
+class PaperToolFactory final : public InjectorFactory {
+ public:
+  explicit PaperToolFactory(Tool tool) : tool_(tool) {}
+
+  std::string_view name() const override { return toolName(tool_); }
+
+  std::uint64_t seedKey() const override {
+    return static_cast<std::uint64_t>(tool_);
+  }
+
+  std::unique_ptr<ToolInstance> create(
+      std::string_view source, const fi::FiConfig& config) const override {
+    return std::make_unique<InstanceT>(source, config);
+  }
+
+ private:
+  Tool tool_;
+};
+
+const InjectorRegistration registerLlfi(
+    std::make_unique<PaperToolFactory<LlfiInstance>>(Tool::LLFI));
+const InjectorRegistration registerRefine(
+    std::make_unique<PaperToolFactory<RefineInstance>>(Tool::REFINE));
+const InjectorRegistration registerPinfi(
+    std::make_unique<PaperToolFactory<PinfiInstance>>(Tool::PINFI));
+
 }  // namespace
 
 std::unique_ptr<ToolInstance> makeToolInstance(Tool tool,
                                                std::string_view source,
                                                const fi::FiConfig& config) {
-  switch (tool) {
-    case Tool::REFINE: return std::make_unique<RefineInstance>(source, config);
-    case Tool::PINFI: return std::make_unique<PinfiInstance>(source, config);
-    case Tool::LLFI: return std::make_unique<LlfiInstance>(source, config);
-  }
-  RF_UNREACHABLE("bad tool");
+  return InjectorRegistry::global().get(toolName(tool)).create(source, config);
 }
 
 }  // namespace refine::campaign

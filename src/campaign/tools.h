@@ -1,9 +1,13 @@
-// Tool drivers: one uniform interface over the three fault injectors, so a
-// campaign can treat LLFI, REFINE and PINFI identically (compile once,
-// profile once, then run many single-fault trials).
+// Tool drivers: one uniform interface over the fault injectors, so a
+// campaign can treat LLFI, REFINE, PINFI and any registered scenario variant
+// identically (compile once, profile once, then run many single-fault
+// trials). Injectors are looked up by name in the InjectorRegistry
+// (campaign/registry.h); the Tool enum below survives only as a
+// compatibility shim for pre-registry call sites.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -14,6 +18,8 @@
 
 namespace refine::campaign {
 
+/// Compatibility shim: the three paper tools of the closed pre-registry
+/// enum. New injectors get a registry name only — never an enum value.
 enum class Tool : unsigned char { LLFI, REFINE, PINFI };
 
 const char* toolName(Tool t) noexcept;
@@ -29,7 +35,10 @@ class ToolInstance {
     std::uint64_t instrCount = 0;      // total executed instructions
   };
 
-  /// Profiles on first call; cached afterwards.
+  /// Profiles on first call; cached afterwards. Thread-safe: the campaign
+  /// engine may profile two tools (or ask twice for one) concurrently, so
+  /// the lazy init is serialized through a once-flag. A doProfile() that
+  /// throws leaves the flag unset and the next caller retries.
   const Profile& profile();
 
   struct Trial {
@@ -49,11 +58,13 @@ class ToolInstance {
   virtual Profile doProfile() = 0;
 
  private:
+  std::once_flag profileOnce_;
   std::optional<Profile> cached_;
 };
 
-/// Compiles `source` (MiniC) under the given tool: frontend -> -O2 optimizer
-/// -> tool-specific instrumentation -> backend. Throws on compile errors.
+/// Compatibility shim: forwards to the InjectorRegistry factory registered
+/// under toolName(tool). Prefer InjectorRegistry::global().get(name).create()
+/// for anything not welded to the legacy enum.
 std::unique_ptr<ToolInstance> makeToolInstance(Tool tool,
                                                std::string_view source,
                                                const fi::FiConfig& config);

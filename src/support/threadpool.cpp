@@ -1,10 +1,166 @@
 #include "support/threadpool.h"
 
+#include <algorithm>
 #include <exception>
+#include <utility>
 
 #include "support/check.h"
 
 namespace refine {
+
+// ---------------------------------------------------------------------------
+// WorkStealingPool
+// ---------------------------------------------------------------------------
+
+WorkStealingPool::WorkStealingPool(unsigned threads) {
+  const unsigned count = threads == 0 ? 1 : threads;
+  queues_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  threads_.reserve(count);
+  for (unsigned i = 0; i < count; ++i) {
+    threads_.emplace_back([this, i] { workerLoop(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    stopping_ = true;
+  }
+  taskReady_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void WorkStealingPool::submit(Task task) {
+  RF_CHECK(task != nullptr, "null task submitted to WorkStealingPool");
+  // Count before publishing: once a task is visible in a deque a worker may
+  // pop, run and decrement it, and a decrement overtaking its increment would
+  // wrap the unsigned counters and release wait() with work still running.
+  // The cost of this order is only a transient queued_ > 0 with the deque
+  // still empty, which wakes a worker into one failed pop/steal loop.
+  inFlight_.fetch_add(1, std::memory_order_relaxed);
+  queued_.fetch_add(1, std::memory_order_release);
+  const unsigned slot =
+      submitCursor_.fetch_add(1, std::memory_order_relaxed) % threadCount();
+  {
+    std::scoped_lock lock(queues_[slot]->mutex);
+    queues_[slot]->tasks.push_back(std::move(task));
+  }
+  {
+    // Empty critical section: pairs with the predicate check in workerLoop so
+    // the increment above cannot land between a worker's check and its wait.
+    std::scoped_lock lock(mutex_);
+  }
+  taskReady_.notify_one();
+}
+
+void WorkStealingPool::submitBulk(std::vector<Task> tasks) {
+  if (tasks.empty()) return;
+  // Validate the whole batch before publishing any of it: a throw must leave
+  // the pool untouched, never with part of the batch enqueued but uncounted.
+  for (const Task& task : tasks) {
+    RF_CHECK(task != nullptr, "null task submitted to WorkStealingPool");
+  }
+  inFlight_.fetch_add(tasks.size(), std::memory_order_relaxed);
+  queued_.fetch_add(tasks.size(), std::memory_order_release);
+  const unsigned count = threadCount();
+  const unsigned start = submitCursor_.fetch_add(
+      static_cast<unsigned>(tasks.size()), std::memory_order_relaxed);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    auto& queue = *queues_[(start + i) % count];
+    std::scoped_lock lock(queue.mutex);
+    queue.tasks.push_back(std::move(tasks[i]));
+  }
+  {
+    std::scoped_lock lock(mutex_);
+  }
+  taskReady_.notify_all();
+}
+
+void WorkStealingPool::wait() {
+  std::unique_lock lock(mutex_);
+  allDone_.wait(lock, [this] {
+    return inFlight_.load(std::memory_order_acquire) == 0;
+  });
+  if (firstError_) {
+    std::exception_ptr error = std::exchange(firstError_, nullptr);
+    cancelled_.store(false, std::memory_order_relaxed);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+  cancelled_.store(false, std::memory_order_relaxed);
+}
+
+bool WorkStealingPool::popLocal(unsigned self, Task& out) {
+  auto& queue = *queues_[self];
+  std::scoped_lock lock(queue.mutex);
+  if (queue.tasks.empty()) return false;
+  out = std::move(queue.tasks.back());  // LIFO: newest chunk is cache-warm
+  queue.tasks.pop_back();
+  queued_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool WorkStealingPool::stealHalf(unsigned self, Task& out) {
+  const unsigned count = threadCount();
+  for (unsigned offset = 1; offset < count; ++offset) {
+    const unsigned victim = (self + offset) % count;
+    auto& theirs = *queues_[victim];
+    auto& mine = *queues_[self];
+    std::scoped_lock lock(theirs.mutex, mine.mutex);
+    const std::size_t size = theirs.tasks.size();
+    if (size == 0) continue;
+    // Steal the oldest half in one grab (FIFO end, opposite the owner's LIFO
+    // end): one lock pairing amortizes over size/2 tasks.
+    std::size_t take = (size + 1) / 2;
+    out = std::move(theirs.tasks.front());
+    theirs.tasks.pop_front();
+    for (--take; take > 0; --take) {
+      mine.tasks.push_back(std::move(theirs.tasks.front()));
+      theirs.tasks.pop_front();
+    }
+    queued_.fetch_sub(1, std::memory_order_relaxed);  // only `out` left queued_
+    return true;
+  }
+  return false;
+}
+
+void WorkStealingPool::runTask(Task& task, unsigned self) {
+  if (!cancelled_.load(std::memory_order_relaxed)) {
+    try {
+      task(self);
+    } catch (...) {
+      std::scoped_lock lock(mutex_);
+      if (!firstError_) firstError_ = std::current_exception();
+      cancelled_.store(true, std::memory_order_relaxed);
+    }
+  }
+  if (inFlight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::scoped_lock lock(mutex_);
+    allDone_.notify_all();
+  }
+}
+
+void WorkStealingPool::workerLoop(unsigned self) {
+  for (;;) {
+    Task task;
+    if (popLocal(self, task) || stealHalf(self, task)) {
+      runTask(task, self);
+      continue;
+    }
+    std::unique_lock lock(mutex_);
+    taskReady_.wait(lock, [this] {
+      return stopping_ || queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stopping_ && queued_.load(std::memory_order_acquire) == 0) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool (FIFO)
+// ---------------------------------------------------------------------------
 
 ThreadPool::ThreadPool(unsigned threads) {
   const unsigned count = threads == 0 ? 1 : threads;
@@ -58,37 +214,45 @@ void ThreadPool::workerLoop() {
   }
 }
 
+// ---------------------------------------------------------------------------
+// parallelFor
+// ---------------------------------------------------------------------------
+
+void forEachChunk(std::size_t n, std::size_t pieces,
+                  const std::function<void(std::size_t, std::size_t)>& chunk) {
+  if (n == 0) return;
+  const std::size_t count = std::max<std::size_t>(1, std::min(pieces, n));
+  const std::size_t base = n / count;
+  const std::size_t extra = n % count;  // first `extra` chunks get one more
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t end = begin + base + (i < extra ? 1 : 0);
+    chunk(begin, end);
+    begin = end;
+  }
+}
+
 void parallelFor(std::size_t n, unsigned threads,
                  const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
-  const unsigned count = std::max(1u, std::min<unsigned>(threads, static_cast<unsigned>(n)));
+  const unsigned count =
+      std::max(1u, std::min<unsigned>(threads, static_cast<unsigned>(n)));
   if (count == 1) {
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
-  std::atomic<std::size_t> next{0};
-  std::mutex errorMutex;
-  std::exception_ptr firstError;
-  std::vector<std::thread> workers;
-  workers.reserve(count);
-  for (unsigned t = 0; t < count; ++t) {
-    workers.emplace_back([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
-        try {
-          body(i);
-        } catch (...) {
-          std::scoped_lock lock(errorMutex);
-          if (!firstError) firstError = std::current_exception();
-          next.store(n, std::memory_order_relaxed);  // abandon remaining work
-          return;
-        }
-      }
-    });
-  }
-  for (auto& worker : workers) worker.join();
-  if (firstError) std::rethrow_exception(firstError);
+  WorkStealingPool pool(count);
+  // ~8 chunks per worker: enough slack for steal-half to rebalance uneven
+  // iteration costs without paying per-index scheduling overhead.
+  std::vector<WorkStealingPool::Task> tasks;
+  forEachChunk(n, static_cast<std::size_t>(count) * 8,
+               [&](std::size_t begin, std::size_t end) {
+                 tasks.push_back([&body, begin, end](unsigned) {
+                   for (std::size_t i = begin; i < end; ++i) body(i);
+                 });
+               });
+  pool.submitBulk(std::move(tasks));
+  pool.wait();
 }
 
 unsigned hardwareThreads() noexcept {

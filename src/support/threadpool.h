@@ -1,22 +1,96 @@
 // Work distribution for fault-injection campaigns.
 //
-// Campaigns are embarrassingly parallel (one VM instance per experiment), so
-// the primitives here are deliberately simple: a fixed-size pool plus a
-// parallelFor helper with an atomic work counter. Following CP.* guidance,
-// all shared state is guarded or atomic and joins happen in destructors
-// (RAII), so no detached threads outlive the pool.
+// The workhorse is WorkStealingPool: a persistent pool with one deque per
+// worker. Owners pop newest-first from their own deque (cache-warm LIFO);
+// an idle worker steals the oldest *half* of a victim's deque in one grab,
+// so imbalance is amortized instead of contended one task at a time. This is
+// what lets a whole (application x tool) campaign matrix share a single pool:
+// short campaigns drain early and their workers immediately steal from the
+// long ones, with no per-campaign barrier.
+//
+// ThreadPool (FIFO, single queue) remains for simple task submission, and
+// parallelFor is now a thin chunking wrapper over WorkStealingPool so the
+// pre-engine call sites keep compiling. Following CP.* guidance, all shared
+// state is guarded or atomic and joins happen in destructors (RAII), so no
+// detached threads outlive a pool.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
 
 namespace refine {
+
+/// Persistent work-stealing pool. Tasks receive the executing worker's id
+/// (in [0, threadCount())) so callers can keep per-worker accumulators and
+/// merge them only at drain time.
+class WorkStealingPool {
+ public:
+  using Task = std::function<void(unsigned worker)>;
+
+  /// Creates `threads` workers (at least 1).
+  explicit WorkStealingPool(unsigned threads);
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  /// Enqueues one task on the least-recently-fed worker deque.
+  void submit(Task task);
+
+  /// Enqueues a batch, dealt round-robin across the worker deques so every
+  /// worker starts with local work and stealing only handles the tail.
+  void submitBulk(std::vector<Task> tasks);
+
+  /// Blocks until every submitted task has finished. Rethrows the first
+  /// exception any task threw (remaining tasks are abandoned, i.e. counted
+  /// as finished without running). Reusable: submit/wait cycles compose.
+  void wait();
+
+  // Reads queues_, not threads_: workers spawned early call this (via
+  // stealHalf) while the constructor is still emplacing into threads_, and
+  // queues_ is complete and immutable before the first thread starts.
+  unsigned threadCount() const noexcept {
+    return static_cast<unsigned>(queues_.size());
+  }
+
+ private:
+  // One deque per worker, each with its own lock: owner and thieves contend
+  // only pairwise, never globally.
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void workerLoop(unsigned self);
+  bool popLocal(unsigned self, Task& out);
+  bool stealHalf(unsigned self, Task& out);
+  void runTask(Task& task, unsigned self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+
+  // Wake/sleep + completion signalling.
+  std::mutex mutex_;
+  std::condition_variable taskReady_;
+  std::condition_variable allDone_;
+  std::exception_ptr firstError_;  // guarded by mutex_
+  bool stopping_ = false;          // guarded by mutex_
+
+  std::atomic<std::size_t> queued_{0};    // enqueued, not yet dequeued
+  std::atomic<std::size_t> inFlight_{0};  // enqueued, not yet finished
+  std::atomic<bool> cancelled_{false};    // set on first task exception
+  std::atomic<unsigned> submitCursor_{0};
+};
 
 /// Fixed-size thread pool executing void() tasks FIFO.
 class ThreadPool {
@@ -50,7 +124,14 @@ class ThreadPool {
   bool stopping_ = false;
 };
 
-/// Runs body(i) for i in [0, n) across `threads` threads.
+/// Splits [0, n) into at most `pieces` contiguous ranges of near-equal size
+/// and calls chunk(begin, end) for each. Ranges are emitted in order and
+/// cover every index exactly once.
+void forEachChunk(std::size_t n, std::size_t pieces,
+                  const std::function<void(std::size_t, std::size_t)>& chunk);
+
+/// Runs body(i) for i in [0, n) across `threads` threads (a chunked wrapper
+/// over a transient WorkStealingPool; kept so pre-engine call sites compile).
 /// Exceptions from the body are captured and the first one is rethrown on
 /// the calling thread after all iterations complete or are abandoned.
 void parallelFor(std::size_t n, unsigned threads,

@@ -134,22 +134,34 @@ CampaignConfig smallCampaign(unsigned threads) {
 
 TEST(Runner, CountsSumToTrials) {
   auto instance = makeToolInstance(Tool::REFINE, kAppSource, fi::FiConfig::allOn());
-  const auto result = runCampaign(*instance, Tool::REFINE, "norm", smallCampaign(8));
+  auto config = smallCampaign(8);
+  config.recordPerTrial = true;
+  const auto result = runCampaign(*instance, Tool::REFINE, "norm", config);
   EXPECT_EQ(result.counts.total(), 120u);
   EXPECT_EQ(result.outcomes.size(), 120u);
   EXPECT_GT(result.totalTrialSeconds, 0.0);
   EXPECT_GT(result.dynamicTargets, 0u);
 }
 
+TEST(Runner, StreamingAggregationByDefault) {
+  // Without recordPerTrial the trials-sized vector is never materialized;
+  // only the streamed counters are.
+  auto instance = makeToolInstance(Tool::REFINE, kAppSource, fi::FiConfig::allOn());
+  const auto result = runCampaign(*instance, Tool::REFINE, "norm", smallCampaign(8));
+  EXPECT_EQ(result.counts.total(), 120u);
+  EXPECT_TRUE(result.outcomes.empty());
+}
+
 TEST(Runner, DeterministicAcrossThreadCounts) {
   auto a = makeToolInstance(Tool::PINFI, kAppSource, fi::FiConfig::allOn());
   auto b = makeToolInstance(Tool::PINFI, kAppSource, fi::FiConfig::allOn());
-  const auto serial = runCampaign(*a, Tool::PINFI, "norm", smallCampaign(1));
-  const auto parallel = runCampaign(*b, Tool::PINFI, "norm", smallCampaign(16));
+  auto serialConfig = smallCampaign(1);
+  auto parallelConfig = smallCampaign(16);
+  serialConfig.recordPerTrial = parallelConfig.recordPerTrial = true;
+  const auto serial = runCampaign(*a, Tool::PINFI, "norm", serialConfig);
+  const auto parallel = runCampaign(*b, Tool::PINFI, "norm", parallelConfig);
   EXPECT_EQ(serial.outcomes, parallel.outcomes);
-  EXPECT_EQ(serial.counts.crash, parallel.counts.crash);
-  EXPECT_EQ(serial.counts.soc, parallel.counts.soc);
-  EXPECT_EQ(serial.counts.benign, parallel.counts.benign);
+  EXPECT_EQ(serial.counts, parallel.counts);
 }
 
 TEST(Runner, AllOutcomeKindsAppearUnderFaults) {
@@ -183,7 +195,7 @@ TEST(Runner, RefineMatchesPinfiStatistically) {
 // Reporting
 // ---------------------------------------------------------------------------
 
-CampaignResult fakeResult(Tool tool, std::uint64_t c, std::uint64_t s,
+CampaignResult fakeResult(const char* tool, std::uint64_t c, std::uint64_t s,
                           std::uint64_t b, double seconds = 1.0) {
   CampaignResult r;
   r.app = "AMG2013";
@@ -194,7 +206,7 @@ CampaignResult fakeResult(Tool tool, std::uint64_t c, std::uint64_t s,
 }
 
 TEST(Report, Figure4RowFormat) {
-  const auto row = figure4Row(fakeResult(Tool::LLFI, 395, 168, 505));
+  const auto row = figure4Row(fakeResult("LLFI", 395, 168, 505));
   EXPECT_NE(row.find("AMG2013"), std::string::npos);
   EXPECT_NE(row.find("LLFI"), std::string::npos);
   EXPECT_NE(row.find("crash= 37.0%"), std::string::npos);
@@ -202,9 +214,9 @@ TEST(Report, Figure4RowFormat) {
 }
 
 TEST(Report, Table5LineMatchesPaperVerdicts) {
-  const auto llfi = fakeResult(Tool::LLFI, 395, 168, 505);
-  const auto refine = fakeResult(Tool::REFINE, 254, 87, 727);
-  const auto pinfi = fakeResult(Tool::PINFI, 269, 70, 729);
+  const auto llfi = fakeResult("LLFI", 395, 168, 505);
+  const auto refine = fakeResult("REFINE", 254, 87, 727);
+  const auto pinfi = fakeResult("PINFI", 269, 70, 729);
   const auto llfiLine = table5Line(llfi, pinfi);
   EXPECT_NE(llfiLine.find("signif.diff=yes"), std::string::npos);
   const auto refineLine = table5Line(refine, pinfi);
@@ -213,22 +225,22 @@ TEST(Report, Table5LineMatchesPaperVerdicts) {
 }
 
 TEST(Report, Figure5Normalization) {
-  const auto llfi = fakeResult(Tool::LLFI, 1, 1, 1, 5.5);
-  const auto pinfi = fakeResult(Tool::PINFI, 1, 1, 1, 1.0);
+  const auto llfi = fakeResult("LLFI", 1, 1, 1, 5.5);
+  const auto pinfi = fakeResult("PINFI", 1, 1, 1, 1.0);
   const auto line = figure5Line(llfi, pinfi);
   EXPECT_NE(line.find("5.50x"), std::string::npos);
 }
 
 TEST(Report, ContingencyTableTotals) {
-  const auto table = contingencyTable(fakeResult(Tool::LLFI, 395, 168, 505),
-                                      fakeResult(Tool::PINFI, 269, 70, 729));
+  const auto table = contingencyTable(fakeResult("LLFI", 395, 168, 505),
+                                      fakeResult("PINFI", 269, 70, 729));
   EXPECT_NE(table.find("664"), std::string::npos);   // crash column total
   EXPECT_NE(table.find("238"), std::string::npos);   // soc column total
   EXPECT_NE(table.find("1234"), std::string::npos);  // benign column total
 }
 
 TEST(Report, CsvHasHeaderAndRows) {
-  const auto csv = resultsCsv({fakeResult(Tool::REFINE, 10, 20, 70)});
+  const auto csv = resultsCsv({fakeResult("REFINE", 10, 20, 70)});
   EXPECT_NE(csv.find("app,tool,trials"), std::string::npos);
   EXPECT_NE(csv.find("AMG2013,REFINE,100,10,20,70"), std::string::npos);
 }

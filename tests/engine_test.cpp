@@ -1,0 +1,235 @@
+// CampaignEngine + InjectorRegistry tests: scheduler determinism across
+// thread counts, matrix-vs-single-campaign bit-identity, registry round
+// trips, seed-key compatibility with the legacy Tool enum, and the
+// registry-only REFINE-STACK scenario injector.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "campaign/engine.h"
+#include "campaign/registry.h"
+#include "campaign/runner.h"
+#include "support/rng.h"
+#include "support/threadpool.h"
+
+namespace refine::campaign {
+namespace {
+
+// Two small deterministic MiniC kernels so a matrix has app diversity
+// without campaign-scale runtimes.
+const char* kNormSource =
+    "var vec: f64[48];\n"
+    "fn norm(n: i64) -> f64 {\n"
+    "  var acc: f64 = 0.0;\n"
+    "  for (var i: i64 = 0; i < n; i = i + 1) { acc = acc + vec[i] * vec[i]; }\n"
+    "  return sqrt(acc);\n"
+    "}\n"
+    "fn main() -> i64 {\n"
+    "  for (var i: i64 = 0; i < 48; i = i + 1) { vec[i] = cos(f64(i)) + 1.5; }\n"
+    "  print_f64(norm(48));\n"
+    "  return 0;\n"
+    "}\n";
+
+const char* kChecksumSource =
+    "fn main() -> i64 {\n"
+    "  var checksum: i64 = 7;\n"
+    "  for (var i: i64 = 0; i < 160; i = i + 1) {\n"
+    "    checksum = (checksum * 131 + i * i) % 1000003;\n"
+    "  }\n"
+    "  print_i64(checksum);\n"
+    "  return 0;\n"
+    "}\n";
+
+CampaignConfig tinyConfig(unsigned threads, std::uint64_t trials = 60) {
+  CampaignConfig config;
+  config.trials = trials;
+  config.threads = threads;
+  return config;
+}
+
+std::vector<MatrixJob> twoAppThreeToolMatrix() {
+  std::vector<MatrixJob> jobs;
+  for (const char* app : {"norm", "checksum"}) {
+    for (const char* tool : {"LLFI", "REFINE", "PINFI"}) {
+      jobs.push_back({app, tool,
+                      app == std::string("norm") ? kNormSource : kChecksumSource,
+                      fi::FiConfig::allOn()});
+    }
+  }
+  return jobs;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, BuiltinsAndScenariosAreRegistered) {
+  const auto names = InjectorRegistry::global().names();
+  for (const char* expected : {"LLFI", "REFINE", "PINFI", "REFINE-STACK"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected << " missing from registry";
+  }
+}
+
+TEST(Registry, NameRoundTripsToFactory) {
+  for (const auto& name : InjectorRegistry::global().names()) {
+    const InjectorFactory* factory = InjectorRegistry::global().find(name);
+    ASSERT_NE(factory, nullptr) << name;
+    EXPECT_EQ(factory->name(), name);
+    EXPECT_EQ(&InjectorRegistry::global().get(name), factory);
+  }
+}
+
+TEST(Registry, UnknownNameFindsNothingAndGetThrows) {
+  EXPECT_EQ(InjectorRegistry::global().find("NO-SUCH-TOOL"), nullptr);
+  EXPECT_THROW(InjectorRegistry::global().get("NO-SUCH-TOOL"), CheckError);
+}
+
+TEST(Registry, PaperToolSeedKeysMatchLegacyEnum) {
+  // The pre-registry runner mixed static_cast<uint64_t>(tool) into every
+  // trial seed; these values are locked forever for reproducibility.
+  EXPECT_EQ(injectorSeedKey("LLFI"), static_cast<std::uint64_t>(Tool::LLFI));
+  EXPECT_EQ(injectorSeedKey("REFINE"),
+            static_cast<std::uint64_t>(Tool::REFINE));
+  EXPECT_EQ(injectorSeedKey("PINFI"), static_cast<std::uint64_t>(Tool::PINFI));
+}
+
+TEST(Registry, UnregisteredSeedKeyFallsBackToFnv1a) {
+  EXPECT_EQ(injectorSeedKey("NO-SUCH-TOOL"), fnv1a("NO-SUCH-TOOL"));
+}
+
+TEST(Registry, EnumShimUsesRegistry) {
+  // makeToolInstance(Tool) and a direct registry create produce instances
+  // with identical profiles.
+  auto viaEnum = makeToolInstance(Tool::PINFI, kNormSource, fi::FiConfig::allOn());
+  auto viaRegistry = InjectorRegistry::global().get("PINFI").create(
+      kNormSource, fi::FiConfig::allOn());
+  EXPECT_EQ(viaEnum->profile().dynamicTargets,
+            viaRegistry->profile().dynamicTargets);
+  EXPECT_EQ(viaEnum->profile().goldenOutput,
+            viaRegistry->profile().goldenOutput);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario injector (registry-only addition)
+// ---------------------------------------------------------------------------
+
+TEST(Scenario, RefineStackRestrictsThePopulation) {
+  auto full = InjectorRegistry::global().get("REFINE").create(
+      kNormSource, fi::FiConfig::allOn());
+  auto stack = InjectorRegistry::global().get("REFINE-STACK").create(
+      kNormSource, fi::FiConfig::allOn());
+  EXPECT_GT(stack->profile().dynamicTargets, 0u);
+  EXPECT_LT(stack->profile().dynamicTargets, full->profile().dynamicTargets);
+  // Same program underneath: golden outputs agree.
+  EXPECT_EQ(stack->profile().goldenOutput, full->profile().goldenOutput);
+}
+
+TEST(Scenario, RefineStackRunsThroughTheEngine) {
+  CampaignEngine engine(tinyConfig(8, 40));
+  auto instance = InjectorRegistry::global().get("REFINE-STACK").create(
+      kNormSource, fi::FiConfig::allOn());
+  const auto result = engine.run(*instance, "REFINE-STACK", "norm");
+  EXPECT_EQ(result.tool, "REFINE-STACK");
+  EXPECT_EQ(result.counts.total(), 40u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine determinism
+// ---------------------------------------------------------------------------
+
+TEST(Engine, MatrixCountsIdenticalAcrossThreadCounts) {
+  const auto jobs = twoAppThreeToolMatrix();
+  std::vector<std::vector<CampaignResult>> runs;
+  for (unsigned threads : {1u, 4u, hardwareThreads()}) {
+    CampaignEngine engine(tinyConfig(threads));
+    runs.push_back(engine.runMatrix(jobs));
+  }
+  for (std::size_t run = 1; run < runs.size(); ++run) {
+    ASSERT_EQ(runs[run].size(), runs[0].size());
+    for (std::size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_EQ(runs[run][i].counts, runs[0][i].counts)
+          << runs[0][i].app << " x " << runs[0][i].tool << " at thread count #"
+          << run;
+    }
+  }
+}
+
+TEST(Engine, MatrixMatchesPerCampaignRunsBitForBit) {
+  // The acceptance property: a >=2-app x 3-tool matrix through ONE shared
+  // pool aggregates exactly what isolated per-campaign runs produce.
+  const auto jobs = twoAppThreeToolMatrix();
+  CampaignEngine engine(tinyConfig(hardwareThreads()));
+  const auto matrix = engine.runMatrix(jobs);
+  ASSERT_EQ(matrix.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    auto instance = InjectorRegistry::global()
+                        .get(jobs[i].tool)
+                        .create(jobs[i].source, jobs[i].fiConfig);
+    const auto single = runCampaign(*instance, std::string_view(jobs[i].tool),
+                                    jobs[i].app, tinyConfig(3));
+    EXPECT_EQ(matrix[i].counts, single.counts)
+        << jobs[i].app << " x " << jobs[i].tool;
+    EXPECT_EQ(matrix[i].dynamicTargets, single.dynamicTargets);
+  }
+}
+
+TEST(Engine, StreamsEachCellExactlyOnceAsItCompletes) {
+  const auto jobs = twoAppThreeToolMatrix();
+  CampaignEngine engine(tinyConfig(4, 20));
+  std::vector<std::string> streamed;  // callback calls are serialized
+  const auto results = engine.runMatrix(jobs, [&](const CampaignResult& r) {
+    EXPECT_EQ(r.counts.total(), 20u);  // fully drained when streamed
+    streamed.push_back(r.app + "/" + r.tool);
+  });
+  ASSERT_EQ(streamed.size(), jobs.size());
+  std::sort(streamed.begin(), streamed.end());
+  EXPECT_EQ(std::unique(streamed.begin(), streamed.end()), streamed.end());
+  // Streamed results and returned results agree.
+  for (const auto& r : results) {
+    EXPECT_NE(std::find(streamed.begin(), streamed.end(), r.app + "/" + r.tool),
+              streamed.end());
+  }
+}
+
+TEST(Engine, PerTrialRecordMatchesStreamedCounts) {
+  auto config = tinyConfig(8, 80);
+  config.recordPerTrial = true;
+  CampaignEngine engine(config);
+  auto instance = InjectorRegistry::global().get("PINFI").create(
+      kChecksumSource, fi::FiConfig::allOn());
+  const auto result = engine.run(*instance, "PINFI", "checksum");
+  ASSERT_EQ(result.outcomes.size(), 80u);
+  OutcomeCounts recount;
+  for (const Outcome o : result.outcomes) recount.add(o);
+  EXPECT_EQ(recount, result.counts);
+}
+
+TEST(Engine, SharedPoolIsReusableAcrossRuns) {
+  CampaignEngine engine(tinyConfig(4, 30));
+  auto instance = InjectorRegistry::global().get("REFINE").create(
+      kNormSource, fi::FiConfig::allOn());
+  const auto first = engine.run(*instance, "REFINE", "norm");
+  const auto second = engine.run(*instance, "REFINE", "norm");
+  EXPECT_EQ(first.counts, second.counts);
+}
+
+TEST(Engine, ConcurrentProfilingIsSafe) {
+  // Two threads racing into the same instance's lazy profile() must agree
+  // (the once-flag guard added for the shared-pool engine).
+  auto instance = InjectorRegistry::global().get("REFINE").create(
+      kNormSource, fi::FiConfig::allOn());
+  const ToolInstance::Profile* a = nullptr;
+  const ToolInstance::Profile* b = nullptr;
+  std::thread t1([&] { a = &instance->profile(); });
+  std::thread t2([&] { b = &instance->profile(); });
+  t1.join();
+  t2.join();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);  // same cached object, initialized exactly once
+  EXPECT_GT(a->dynamicTargets, 0u);
+}
+
+}  // namespace
+}  // namespace refine::campaign

@@ -163,6 +163,100 @@ TEST(ThreadPool, WaitIsReusable) {
   EXPECT_EQ(counter.load(), 2);
 }
 
+TEST(WorkStealingPool, RunsAllTasksWithValidWorkerIds) {
+  WorkStealingPool pool(4);
+  std::atomic<int> counter{0};
+  std::atomic<bool> badWorkerId{false};
+  std::vector<WorkStealingPool::Task> tasks;
+  for (int i = 0; i < 200; ++i) {
+    tasks.push_back([&](unsigned worker) {
+      if (worker >= pool.threadCount()) badWorkerId.store(true);
+      counter.fetch_add(1);
+    });
+  }
+  pool.submitBulk(std::move(tasks));
+  pool.wait();
+  EXPECT_EQ(counter.load(), 200);
+  EXPECT_FALSE(badWorkerId.load());
+}
+
+TEST(WorkStealingPool, StealsFromLoadedWorkers) {
+  // All tasks land on worker deques round-robin, but the first task parks
+  // its worker; the rest must still complete via stealing.
+  WorkStealingPool pool(4);
+  std::atomic<int> counter{0};
+  std::mutex parkMutex;
+  parkMutex.lock();
+  pool.submit([&](unsigned) {
+    std::scoped_lock hold(parkMutex);  // blocks until the end of the test
+    counter.fetch_add(1);
+  });
+  std::vector<WorkStealingPool::Task> tasks;
+  for (int i = 0; i < 99; ++i) {
+    tasks.push_back([&](unsigned) { counter.fetch_add(1); });
+  }
+  pool.submitBulk(std::move(tasks));
+  // Everything except the parked task must finish without it.
+  while (counter.load() < 99) std::this_thread::yield();
+  parkMutex.unlock();
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(WorkStealingPool, NullTaskInBulkLeavesPoolIntact) {
+  // Validation happens before any task is published: after the throw the
+  // pool's counters are untouched and it keeps working.
+  WorkStealingPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<WorkStealingPool::Task> bad;
+  bad.push_back([&](unsigned) { counter.fetch_add(1); });
+  bad.emplace_back();  // null
+  EXPECT_THROW(pool.submitBulk(std::move(bad)), CheckError);
+  pool.wait();  // must not hang
+  EXPECT_EQ(counter.load(), 0);  // nothing from the bad batch ran
+  pool.submit([&](unsigned) { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(WorkStealingPool, WaitIsReusable) {
+  WorkStealingPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&](unsigned) { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.submit([&](unsigned) { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(WorkStealingPool, PropagatesFirstExceptionAndRecovers) {
+  WorkStealingPool pool(4);
+  pool.submit([](unsigned) { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The pool stays usable after an exceptional drain.
+  std::atomic<int> counter{0};
+  pool.submit([&](unsigned) { counter.fetch_add(1); });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ForEachChunk, PartitionsExactly) {
+  for (std::size_t n : {1ul, 7ul, 64ul, 1000ul}) {
+    for (std::size_t pieces : {1ul, 3ul, 8ul, 2000ul}) {
+      std::size_t covered = 0;
+      std::size_t expectedBegin = 0;
+      forEachChunk(n, pieces, [&](std::size_t begin, std::size_t end) {
+        EXPECT_EQ(begin, expectedBegin);
+        EXPECT_GT(end, begin);
+        covered += end - begin;
+        expectedBegin = end;
+      });
+      EXPECT_EQ(covered, n) << "n=" << n << " pieces=" << pieces;
+    }
+  }
+}
+
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   constexpr std::size_t kN = 5000;
   std::vector<std::atomic<int>> hits(kN);
