@@ -1,9 +1,11 @@
 #include "bench/common.h"
 
 #include <cstdio>
+#include <optional>
 
 #include "apps/apps.h"
 #include "campaign/engine.h"
+#include "campaign/persist.h"
 #include "support/strings.h"
 #include "support/threadpool.h"
 #include "support/timer.h"
@@ -19,20 +21,16 @@ std::uint64_t envU64(const char* name, std::uint64_t fallback) {
 }
 
 std::string cachePath(const campaign::CampaignConfig& config) {
-  return strf("refine_campaign_cache_t%llu_s%llx.csv",
+  return strf("refine_campaign_cache_t%llu_s%llx.ckpt",
               static_cast<unsigned long long>(config.trials),
               static_cast<unsigned long long>(config.baseSeed));
 }
 
-/// Cache format: one line per result,
-/// app,tool,crash,soc,benign,seconds,dynTargets,profileInstrs,binarySize
-std::optional<FullCampaign> tryLoadCache(const campaign::CampaignConfig& config) {
-  std::string content;
-  try {
-    content = readFile(cachePath(config));
-  } catch (const std::exception&) {
-    return std::nullopt;
-  }
+/// Arranges flat checkpoint records into the [app][tool] grid; nullopt
+/// unless every (app, tool) cell is present exactly once.
+std::optional<FullCampaign> arrange(
+    const std::vector<campaign::CampaignResult>& records,
+    const campaign::CampaignConfig& config) {
   FullCampaign out;
   out.config = config;
   out.fromCache = true;
@@ -40,70 +38,20 @@ std::optional<FullCampaign> tryLoadCache(const campaign::CampaignConfig& config)
     out.appNames.push_back(app.name);
     out.results.emplace_back();
   }
-  std::size_t parsed = 0;
-  for (const auto& line : split(content, '\n')) {
-    if (trim(line).empty()) continue;
-    const auto fields = split(line, ',');
-    if (fields.size() != 9) return std::nullopt;
-    campaign::CampaignResult r;
-    r.app = fields[0];
-    bool knownTool = false;
-    for (const auto& tool : toolOrder()) knownTool |= (fields[1] == tool);
-    if (!knownTool) return std::nullopt;
-    r.tool = fields[1];
-    r.counts.crash = std::strtoull(fields[2].c_str(), nullptr, 10);
-    r.counts.soc = std::strtoull(fields[3].c_str(), nullptr, 10);
-    r.counts.benign = std::strtoull(fields[4].c_str(), nullptr, 10);
-    r.totalTrialSeconds = std::strtod(fields[5].c_str(), nullptr);
-    r.dynamicTargets = std::strtoull(fields[6].c_str(), nullptr, 10);
-    r.profileInstrs = std::strtoull(fields[7].c_str(), nullptr, 10);
-    r.binarySize = std::strtoull(fields[8].c_str(), nullptr, 10);
-    bool placed = false;
-    for (std::size_t a = 0; a < out.appNames.size(); ++a) {
-      if (out.appNames[a] == r.app) {
-        out.results[a].push_back(std::move(r));
-        placed = true;
-        break;
-      }
-    }
-    if (!placed) return std::nullopt;
-    ++parsed;
-  }
-  if (parsed != apps::benchmarkApps().size() * toolOrder().size()) return std::nullopt;
-  // Normalize tool order within each app.
-  for (auto& perApp : out.results) {
-    std::vector<campaign::CampaignResult> ordered;
+  for (std::size_t a = 0; a < out.appNames.size(); ++a) {
     for (const auto& tool : toolOrder()) {
-      for (auto& r : perApp) {
-        if (r.tool == tool) ordered.push_back(std::move(r));
+      const campaign::CampaignResult* found = nullptr;
+      for (const auto& r : records) {
+        if (r.app == out.appNames[a] && r.tool == tool) {
+          if (found != nullptr) return std::nullopt;  // duplicate cell
+          found = &r;
+        }
       }
+      if (found == nullptr) return std::nullopt;  // incomplete campaign
+      out.results[a].push_back(*found);
     }
-    if (ordered.size() != toolOrder().size()) return std::nullopt;
-    perApp = std::move(ordered);
   }
   return out;
-}
-
-void saveCache(const FullCampaign& campaign) {
-  std::string content;
-  for (const auto& perApp : campaign.results) {
-    for (const auto& r : perApp) {
-      content += strf("%s,%s,%llu,%llu,%llu,%.6f,%llu,%llu,%llu\n",
-                      r.app.c_str(), r.tool.c_str(),
-                      static_cast<unsigned long long>(r.counts.crash),
-                      static_cast<unsigned long long>(r.counts.soc),
-                      static_cast<unsigned long long>(r.counts.benign),
-                      r.totalTrialSeconds,
-                      static_cast<unsigned long long>(r.dynamicTargets),
-                      static_cast<unsigned long long>(r.profileInstrs),
-                      static_cast<unsigned long long>(r.binarySize));
-    }
-  }
-  try {
-    writeFile(cachePath(campaign.config), content);
-  } catch (const std::exception&) {
-    // Non-fatal: cache is an optimization only.
-  }
 }
 
 }  // namespace
@@ -118,13 +66,40 @@ campaign::CampaignConfig configFromEnv() {
 FullCampaign loadOrRunFullCampaign() {
   const campaign::CampaignConfig config = configFromEnv();
   const bool noCache = std::getenv("REFINE_NO_CACHE") != nullptr;
+
+  // The cache IS a checkpoint store: a complete one is returned without
+  // running anything, and a partial one (an interrupted earlier bench run)
+  // resumes — only the missing cells execute.
+  std::optional<campaign::CheckpointStore> store;
   if (!noCache) {
-    if (auto cached = tryLoadCache(config)) {
+    try {
+      store.emplace(cachePath(config));
+    } catch (const std::exception& e) {
+      // A foreign/unreadable file at the cache path: discard it and start a
+      // fresh store so one bad file doesn't disable caching forever.
+      std::fprintf(stderr, "[bench] discarding unusable campaign cache: %s\n",
+                   e.what());
+      std::remove(cachePath(config).c_str());
+      try {
+        store.emplace(cachePath(config));
+      } catch (const std::exception&) {
+        // Non-fatal: the cache is an optimization only (e.g. read-only cwd).
+      }
+    }
+  }
+  if (store) {
+    if (auto cached = arrange(store->records(), config)) {
       std::fprintf(stderr,
                    "[bench] reusing cached campaign (%s); set REFINE_NO_CACHE "
                    "to recompute\n",
                    cachePath(config).c_str());
       return *std::move(cached);
+    }
+    if (!store->records().empty()) {
+      std::fprintf(stderr,
+                   "[bench] resuming interrupted campaign (%s): %zu cells "
+                   "already done\n",
+                   cachePath(config).c_str(), store->records().size());
     }
   }
 
@@ -149,8 +124,10 @@ FullCampaign loadOrRunFullCampaign() {
     }
   }
   campaign::CampaignEngine engine(config);
-  auto results =
-      engine.runMatrix(jobs, [&](const campaign::CampaignResult& r) {
+  campaign::MatrixOptions options;
+  options.checkpoint = store ? &*store : nullptr;
+  auto results = engine.runMatrix(
+      jobs, options, [&](const campaign::CampaignResult& r) {
         // Streams from worker threads as each cell finishes, so a long
         // matrix shows progress instead of going silent until the drain.
         std::fprintf(stderr, "[bench]   %-10s %-7s %6.1fs work (%.1fs wall)\n",
@@ -167,7 +144,6 @@ FullCampaign loadOrRunFullCampaign() {
   }
   std::fprintf(stderr, "[bench] campaign finished in %.1fs wall\n",
                total.seconds());
-  if (!noCache) saveCache(out);
   return out;
 }
 

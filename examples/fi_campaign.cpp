@@ -2,14 +2,19 @@
 // paper's benchmarks (default: HPCCG) with the REFINE injector.
 //
 // Demonstrates the campaign machinery end to end: Leveugle sample sizing,
-// parallel trial execution, outcome percentages with confidence intervals.
+// parallel trial execution, outcome percentages with confidence intervals,
+// and (when a checkpoint path is given) crash-safe persistence — rerun the
+// same command after an interruption and the completed cell is loaded
+// instead of recomputed.
 //
-// Usage: fi_campaign [app-name] [trials]
+// Usage: fi_campaign [app-name] [trials] [checkpoint-file]
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 
 #include "apps/apps.h"
 #include "campaign/engine.h"
+#include "campaign/persist.h"
 #include "campaign/report.h"
 #include "stats/samplesize.h"
 
@@ -26,27 +31,55 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto instance = campaign::InjectorRegistry::global().get("REFINE").create(
-      app->source, fi::FiConfig::allOn());
-  const auto& profile = instance->profile();
-
-  // Sample size per Leveugle et al.: population = all (instruction, bit)
-  // faults; with a population this large the answer is the paper's 1068.
-  const std::uint64_t population = profile.dynamicTargets * 64;
-  const std::uint64_t recommended =
-      stats::leveugleSampleSize(population, 0.03, 0.95);
-  std::printf("%s: %llu dynamic targets (population ~%llu) -> %llu trials "
-              "for <=3%% error at 95%% confidence\n",
-              app->name.c_str(),
-              static_cast<unsigned long long>(profile.dynamicTargets),
-              static_cast<unsigned long long>(population),
-              static_cast<unsigned long long>(recommended));
+  // A checkpointed run with an explicit trial count never needs the
+  // compile+profile below: a completed cell resumes straight from the
+  // store, and a fresh one compiles inside the engine.
+  std::optional<campaign::CheckpointStore> store;
+  if (argc > 3) store.emplace(argv[3]);
+  const bool resumable =
+      store && argc > 2 && store->contains(app->name, "REFINE");
 
   campaign::CampaignConfig config;
-  config.trials = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : recommended;
+  if (argc > 2) {
+    config.trials = std::strtoull(argv[2], nullptr, 10);
+  }
+  std::unique_ptr<campaign::ToolInstance> instance;
+  if (!resumable) {
+    instance = campaign::InjectorRegistry::global().get("REFINE").create(
+        app->source, fi::FiConfig::allOn());
+    const auto& profile = instance->profile();
+
+    // Sample size per Leveugle et al.: population = all (instruction, bit)
+    // faults; with a population this large the answer is the paper's 1068.
+    const std::uint64_t population = profile.dynamicTargets * 64;
+    const std::uint64_t recommended =
+        stats::leveugleSampleSize(population, 0.03, 0.95);
+    std::printf("%s: %llu dynamic targets (population ~%llu) -> %llu trials "
+                "for <=3%% error at 95%% confidence\n",
+                app->name.c_str(),
+                static_cast<unsigned long long>(profile.dynamicTargets),
+                static_cast<unsigned long long>(population),
+                static_cast<unsigned long long>(recommended));
+    if (argc <= 2) config.trials = recommended;
+  }
 
   campaign::CampaignEngine engine(config);
-  const auto result = engine.run(*instance, "REFINE", app->name);
+  campaign::CampaignResult result;
+  if (store) {
+    // Checkpointed variant: the cell goes through runMatrix so a completed
+    // record in the store is returned without re-running any trial.
+    const bool resumed = store->contains(app->name, "REFINE");
+    campaign::MatrixOptions options;
+    options.checkpoint = &*store;
+    const std::vector<campaign::MatrixJob> jobs = {
+        {app->name, "REFINE", app->source, fi::FiConfig::allOn()}};
+    result = engine.runMatrix(jobs, options).at(0);
+    std::printf("%s %s\n",
+                resumed ? "loaded completed campaign from" : "checkpointed to",
+                argv[3]);
+  } else {
+    result = engine.run(*instance, "REFINE", app->name);
+  }
 
   std::printf("\n%s\n", campaign::figure4Row(result).c_str());
   std::printf("raw counts: crash=%llu soc=%llu benign=%llu (total %llu)\n",

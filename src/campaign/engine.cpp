@@ -34,7 +34,8 @@ CampaignEngine::CampaignEngine(CampaignConfig config)
       pool_(config.threads == 0 ? hardwareThreads() : config.threads) {}
 
 void CampaignEngine::enqueueTrials(CellRun& cell,
-                                   const ResultCallback& onCellDone) {
+                                   const ResultCallback& onCellDone,
+                                   CheckpointStore* checkpoint) {
   const auto& profile = cell.instance->profile();
   cell.budget = static_cast<std::uint64_t>(
       config_.timeoutFactor * static_cast<double>(profile.instrCount));
@@ -49,8 +50,8 @@ void CampaignEngine::enqueueTrials(CellRun& cell,
   forEachChunk(
       config_.trials, static_cast<std::size_t>(pool_.threadCount()) * 8,
       [&](std::size_t begin, std::size_t end) {
-        tasks.push_back([this, &cell, &profile, &onCellDone, baseSeed, record,
-                         begin, end](unsigned worker) {
+        tasks.push_back([this, &cell, &profile, &onCellDone, checkpoint,
+                         baseSeed, record, begin, end](unsigned worker) {
           auto& partial = cell.perWorker[worker];
           for (std::size_t trial = begin; trial < end; ++trial) {
             // Derive everything from (seed, app, tool, trial): the outcome is
@@ -77,6 +78,9 @@ void CampaignEngine::enqueueTrials(CellRun& cell,
           if (cell.pendingChunks.fetch_sub(1, std::memory_order_acq_rel) ==
               1) {
             cell.finished = drain(cell);
+            // Persist before notifying: when the callback observes a cell,
+            // its record is already durable in the store.
+            if (checkpoint != nullptr) checkpoint->append(*cell.finished);
             if (onCellDone) {
               std::scoped_lock lock(callbackMutex_);
               onCellDone(*cell.finished);
@@ -114,47 +118,106 @@ CampaignResult CampaignEngine::run(ToolInstance& instance,
   cell.appKey = fnv1a(app);
   cell.seedKey = injectorSeedKey(toolKey);
   const ResultCallback noCallback;  // must outlive the enqueued chunks
-  enqueueTrials(cell, noCallback);
+  enqueueTrials(cell, noCallback, nullptr);
   pool_.wait();
   return cell.finished ? *std::move(cell.finished) : drain(cell);
 }
 
 std::vector<CampaignResult> CampaignEngine::runMatrix(
     const std::vector<MatrixJob>& jobs, const ResultCallback& onCellDone) {
-  // Phase 1: compile + profile every cell concurrently on the pool. The
-  // factories are resolved up front so an unknown tool key fails fast on the
-  // caller's thread instead of from inside a worker.
-  std::vector<const InjectorFactory*> factories;
-  factories.reserve(jobs.size());
-  for (const auto& job : jobs) {
-    factories.push_back(&InjectorRegistry::global().get(job.tool));
+  return runMatrix(jobs, MatrixOptions{}, onCellDone);
+}
+
+std::vector<CampaignResult> CampaignEngine::runMatrix(
+    const std::vector<MatrixJob>& jobs, const MatrixOptions& options,
+    const ResultCallback& onCellDone) {
+  RF_CHECK(options.shard.count >= 1, "shard count must be at least 1");
+  RF_CHECK(options.shard.index < options.shard.count,
+           "shard index out of range");
+  if (options.checkpoint != nullptr) {
+    // Stores persist counts only: a resumed cell could never supply the
+    // trials-sized outcome vector recordPerTrial promises.
+    RF_CHECK(!config_.recordPerTrial,
+             "recordPerTrial campaigns cannot use a checkpoint (per-trial "
+             "outcomes are not persisted; run those analyses live)");
+    // Stamp (or verify) the campaign the store belongs to before trusting
+    // any of its records — a store written under a different base seed,
+    // trial count or timeout factor would mislabel old results (the timeout
+    // factor decides which trials classify as Crash) as this campaign's.
+    options.checkpoint->bindCampaign(
+        {config_.baseSeed, config_.trials, config_.timeoutFactor});
   }
 
-  std::vector<std::unique_ptr<ToolInstance>> instances(jobs.size());
+  // Phase 0: select this shard's slice and split it into cells resumed from
+  // the checkpoint (no compile, no trials) and cells to run live. Resumed
+  // records are copied out immediately: the store's backing vector grows as
+  // workers append during the run, so references into it would dangle.
+  struct Selected {
+    std::size_t job;  // index into `jobs`
+    std::optional<CampaignResult> resumed;
+  };
+  std::vector<Selected> selected;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!options.shard.contains(i)) continue;
+    Selected s{i, std::nullopt};
+    if (options.checkpoint != nullptr) {
+      const CampaignResult* record =
+          options.checkpoint->find(jobs[i].app, jobs[i].tool);
+      if (record != nullptr) {
+        RF_CHECK(record->counts.total() == config_.trials,
+                 "checkpoint " + options.checkpoint->path() + " holds " +
+                     std::to_string(record->counts.total()) +
+                     " trials for cell " + jobs[i].app + " x " +
+                     jobs[i].tool + " but this engine runs " +
+                     std::to_string(config_.trials));
+        s.resumed = *record;
+      }
+    }
+    selected.push_back(std::move(s));
+  }
+
+  std::vector<std::size_t> live;  // indices into `selected`
+  for (std::size_t s = 0; s < selected.size(); ++s) {
+    if (!selected[s].resumed) live.push_back(s);
+  }
+
+  // Phase 1: compile + profile every live cell concurrently on the pool.
+  // The factories are resolved up front so an unknown tool key fails fast on
+  // the caller's thread instead of from inside a worker.
+  std::vector<const InjectorFactory*> factories(live.size());
+  for (std::size_t l = 0; l < live.size(); ++l) {
+    const MatrixJob& job = jobs[selected[live[l]].job];
+    factories[l] = &InjectorRegistry::global().get(job.tool);
+  }
+
+  std::vector<std::unique_ptr<ToolInstance>> instances(live.size());
   {
     std::vector<WorkStealingPool::Task> buildTasks;
-    buildTasks.reserve(jobs.size());
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      buildTasks.push_back([&jobs, &factories, &instances, i](unsigned) {
-        instances[i] = factories[i]->create(jobs[i].source, jobs[i].fiConfig);
-        instances[i]->profile();
-      });
+    buildTasks.reserve(live.size());
+    for (std::size_t l = 0; l < live.size(); ++l) {
+      buildTasks.push_back(
+          [&jobs, &selected, &live, &factories, &instances, l](unsigned) {
+            const MatrixJob& job = jobs[selected[live[l]].job];
+            instances[l] = factories[l]->create(job.source, job.fiConfig);
+            instances[l]->profile();
+          });
     }
     pool_.submitBulk(std::move(buildTasks));
     pool_.wait();  // rethrows the first compile/profile error
   }
 
-  // Phase 2: enqueue ALL cells' trial chunks at once — one shared pool, no
-  // barrier between campaigns.
-  std::vector<CellRun> cells(jobs.size());
+  // Phase 2: enqueue ALL live cells' trial chunks at once — one shared pool,
+  // no barrier between campaigns. Drained cells stream into the checkpoint.
+  std::vector<CellRun> cells(live.size());
   try {
-    for (std::size_t i = 0; i < jobs.size(); ++i) {
-      cells[i].instance = instances[i].get();
-      cells[i].app = jobs[i].app;
-      cells[i].tool = jobs[i].tool;
-      cells[i].appKey = fnv1a(jobs[i].app);
-      cells[i].seedKey = injectorSeedKey(jobs[i].tool);
-      enqueueTrials(cells[i], onCellDone);
+    for (std::size_t l = 0; l < live.size(); ++l) {
+      const MatrixJob& job = jobs[selected[live[l]].job];
+      cells[l].instance = instances[l].get();
+      cells[l].app = job.app;
+      cells[l].tool = job.tool;
+      cells[l].appKey = fnv1a(job.app);
+      cells[l].seedKey = injectorSeedKey(job.tool);
+      enqueueTrials(cells[l], onCellDone, options.checkpoint);
     }
   } catch (...) {
     // Chunks already enqueued still reference `cells`/`instances`: drain them
@@ -167,10 +230,14 @@ std::vector<CampaignResult> CampaignEngine::runMatrix(
   }
   pool_.wait();
 
-  std::vector<CampaignResult> results;
-  results.reserve(cells.size());
-  for (auto& cell : cells) {
-    results.push_back(cell.finished ? *std::move(cell.finished) : drain(cell));
+  // Stitch resumed and live results back into job order.
+  std::vector<CampaignResult> results(selected.size());
+  for (std::size_t l = 0; l < live.size(); ++l) {
+    auto& cell = cells[l];
+    results[live[l]] = cell.finished ? *std::move(cell.finished) : drain(cell);
+  }
+  for (std::size_t s = 0; s < selected.size(); ++s) {
+    if (selected[s].resumed) results[s] = *std::move(selected[s].resumed);
   }
   return results;
 }

@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "campaign/persist.h"
 #include "campaign/registry.h"
 #include "campaign/runner.h"
 #include "support/threadpool.h"
@@ -36,6 +37,19 @@ struct MatrixJob {
   std::string tool;                            // injector registry key
   std::string source;                          // MiniC program
   fi::FiConfig fiConfig = fi::FiConfig::allOn();
+};
+
+/// How runMatrix slices and persists a job list. Cells are independent and
+/// every trial seed derives from (baseSeed, app, tool, trial), so any
+/// shard/resume/thread-count combination aggregates to identical counts.
+struct MatrixOptions {
+  /// Run only job indices i with i % shard.count == shard.index. The
+  /// default 0/1 runs everything.
+  ShardSpec shard;
+  /// When set: cells already in the store are returned from it without
+  /// compiling or running (resume), and every freshly drained cell is
+  /// appended to it. Resumed cells do not re-fire the result callback.
+  CheckpointStore* checkpoint = nullptr;
 };
 
 class CampaignEngine {
@@ -52,6 +66,16 @@ class CampaignEngine {
   std::vector<CampaignResult> runMatrix(const std::vector<MatrixJob>& jobs,
                                         const ResultCallback& onCellDone = {});
 
+  /// Sharded/resumable variant: runs only the jobs selected by
+  /// options.shard, skipping (and returning) cells already present in
+  /// options.checkpoint, and streaming each freshly drained cell into the
+  /// store. Results cover exactly this shard's jobs, in job order. Throws
+  /// CheckError when a checkpointed cell's trial count differs from this
+  /// engine's config (a store from a different campaign setup).
+  std::vector<CampaignResult> runMatrix(const std::vector<MatrixJob>& jobs,
+                                        const MatrixOptions& options,
+                                        const ResultCallback& onCellDone = {});
+
   /// Runs the trials of one already-constructed instance through the shared
   /// pool (profiling it first if needed). The building block runCampaign()
   /// wraps with a transient engine.
@@ -65,8 +89,10 @@ class CampaignEngine {
   struct CellRun;
 
   /// Enqueues the cell's trial chunks on the pool (does not wait). The last
-  /// chunk to finish drains the cell and, when set, fires `onCellDone`.
-  void enqueueTrials(CellRun& cell, const ResultCallback& onCellDone);
+  /// chunk to finish drains the cell, appends it to `checkpoint` when set,
+  /// and then fires `onCellDone` when set.
+  void enqueueTrials(CellRun& cell, const ResultCallback& onCellDone,
+                     CheckpointStore* checkpoint);
 
   /// Folds the cell's per-worker partials into its CampaignResult.
   CampaignResult drain(CellRun& cell) const;

@@ -1,0 +1,313 @@
+#include "campaign/persist.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <tuple>
+
+#include "support/check.h"
+#include "support/csv.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace refine::campaign {
+
+namespace {
+
+constexpr std::string_view kHeader = "#refine-checkpoint v1";
+constexpr std::size_t kFieldCount = 9;  // payload fields, checksum excluded
+
+std::string encodePayload(const CampaignResult& r) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row(r.app, r.tool, r.counts.crash, r.counts.soc, r.counts.benign,
+          r.dynamicTargets, r.profileInstrs, r.binarySize,
+          r.totalTrialSeconds);
+  std::string line = os.str();
+  line.pop_back();  // CsvWriter terminates the row with '\n'
+  return line;
+}
+
+std::string formatMetaLine(const CampaignMeta& meta) {
+  return strf("#campaign seed=%016llx trials=%llu timeout=%s",
+              static_cast<unsigned long long>(meta.baseSeed),
+              static_cast<unsigned long long>(meta.trials),
+              formatDouble(meta.timeoutFactor).c_str());
+}
+
+std::optional<CampaignMeta> parseMetaLine(std::string_view line) {
+  constexpr std::string_view seedPrefix = "#campaign seed=";
+  if (line.substr(0, seedPrefix.size()) != seedPrefix) return std::nullopt;
+  const std::string_view rest = line.substr(seedPrefix.size());
+  const std::size_t trialsAt = rest.find(" trials=");
+  if (trialsAt != 16) return std::nullopt;
+  const std::string_view afterSeed = rest.substr(trialsAt + 8);
+  const std::size_t timeoutAt = afterSeed.find(" timeout=");
+  if (timeoutAt == std::string_view::npos) return std::nullopt;
+  const auto seed = parseU64(rest.substr(0, trialsAt), 16);
+  const auto trials = parseU64(afterSeed.substr(0, timeoutAt));
+  const auto timeout = parseF64(afterSeed.substr(timeoutAt + 9));
+  if (!seed || !trials || !timeout) return std::nullopt;
+  return CampaignMeta{*seed, *trials, *timeout};
+}
+
+/// Parsed prefix of a checkpoint file: everything up to the first torn or
+/// corrupt line. Shared by the store constructor, readAll and merge.
+struct ScanResult {
+  std::optional<CampaignMeta> meta;
+  std::vector<CampaignResult> records;
+  std::size_t goodBytes = 0;  // prefix that parsed cleanly
+  std::size_t dropped = 0;    // torn/corrupt lines in the tail
+};
+
+ScanResult scanContent(const std::string& content, const std::string& path) {
+  ScanResult out;
+  const std::size_t headerEnd = content.find('\n');
+  RF_CHECK(headerEnd != std::string::npos &&
+               std::string_view(content).substr(0, headerEnd) == kHeader,
+           "not a refine checkpoint (bad header): " + path);
+  out.goodBytes = headerEnd + 1;
+  std::size_t lineStart = out.goodBytes;
+  while (lineStart < content.size()) {
+    const std::size_t lineEnd = content.find('\n', lineStart);
+    if (lineEnd == std::string::npos) {
+      ++out.dropped;  // torn final line: no newline reached the disk
+      break;
+    }
+    const std::string_view line =
+        std::string_view(content).substr(lineStart, lineEnd - lineStart);
+    bool ok = false;
+    if (!line.empty() && line.front() == '#') {
+      // Meta line; a duplicate must agree (a mismatch means two campaigns
+      // were interleaved into one file — treat the tail as untrustworthy).
+      const auto meta = parseMetaLine(line);
+      ok = meta && (!out.meta || *out.meta == *meta);
+      if (ok) out.meta = meta;
+    } else if (auto record = CheckpointStore::decode(line)) {
+      out.records.push_back(*std::move(record));
+      ok = true;
+    }
+    if (!ok) {
+      // Corrupt line: drop it and everything after (a record past a
+      // corruption point cannot be trusted to be where a resume left off).
+      const std::string_view tail =
+          std::string_view(content).substr(lineEnd + 1);
+      out.dropped += 1 + static_cast<std::size_t>(
+                             std::count(tail.begin(), tail.end(), '\n'));
+      if (!tail.empty() && tail.back() != '\n') ++out.dropped;
+      break;
+    }
+    lineStart = out.goodBytes = lineEnd + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+ShardSpec parseShardSpec(std::string_view text) {
+  const std::size_t slash = text.find('/');
+  RF_CHECK(slash != std::string_view::npos,
+           "shard spec must be I/N, e.g. 0/3; got '" + std::string(text) + "'");
+  const auto index = parseU64(text.substr(0, slash));
+  const auto count = parseU64(text.substr(slash + 1));
+  RF_CHECK(index && count,
+           "shard spec must be I/N with numeric I and N; got '" +
+               std::string(text) + "'");
+  RF_CHECK(*count >= 1, "shard count must be at least 1");
+  RF_CHECK(*count <= 0xFFFFFFFFULL,
+           "shard count " + std::to_string(*count) + " does not fit uint32");
+  RF_CHECK(*index < *count,
+           "shard index " + std::to_string(*index) +
+               " out of range for count " + std::to_string(*count));
+  return ShardSpec{static_cast<std::uint32_t>(*index),
+                   static_cast<std::uint32_t>(*count)};
+}
+
+std::string CheckpointStore::encode(const CampaignResult& result) {
+  const std::string payload = encodePayload(result);
+  return payload + ',' + strf("%016llx",
+                              static_cast<unsigned long long>(fnv1a(payload)));
+}
+
+std::optional<CampaignResult> CheckpointStore::decode(std::string_view line) {
+  // The checksum is always the last field and contains no comma, so the
+  // final ',' frames it even when a quoted payload field holds commas.
+  const std::size_t comma = line.rfind(',');
+  if (comma == std::string_view::npos) return std::nullopt;
+  const std::string_view payload = line.substr(0, comma);
+  const std::string_view sumHex = line.substr(comma + 1);
+  const auto sum = parseU64(sumHex, 16);
+  if (!sum || sumHex.size() != 16 || *sum != fnv1a(payload)) {
+    return std::nullopt;
+  }
+
+  std::vector<std::string> fields;
+  try {
+    fields = csvParseLine(payload);
+  } catch (const CheckError&) {
+    return std::nullopt;
+  }
+  if (fields.size() != kFieldCount) return std::nullopt;
+
+  const auto crash = parseU64(fields[2]);
+  const auto soc = parseU64(fields[3]);
+  const auto benign = parseU64(fields[4]);
+  const auto targets = parseU64(fields[5]);
+  const auto instrs = parseU64(fields[6]);
+  const auto binSize = parseU64(fields[7]);
+  const auto seconds = parseF64(fields[8]);
+  if (!crash || !soc || !benign || !targets || !instrs || !binSize ||
+      !seconds) {
+    return std::nullopt;
+  }
+
+  CampaignResult r;
+  r.app = std::move(fields[0]);
+  r.tool = std::move(fields[1]);
+  r.counts.crash = *crash;
+  r.counts.soc = *soc;
+  r.counts.benign = *benign;
+  r.dynamicTargets = *targets;
+  r.profileInstrs = *instrs;
+  r.binarySize = *binSize;
+  r.totalTrialSeconds = *seconds;
+  return r;
+}
+
+CheckpointStore::CheckpointStore(std::string path) : path_(std::move(path)) {
+  std::string content;
+  bool exists = true;
+  try {
+    content = readFile(path_);
+  } catch (const std::exception&) {
+    // Only a genuinely missing file may fall through to "create new":
+    // opening an *unreadable* existing store with "wb" would destroy every
+    // durable record the layer promises to preserve.
+    std::error_code ec;
+    RF_CHECK(!std::filesystem::exists(path_, ec),
+             "checkpoint exists but cannot be read: " + path_);
+    exists = false;
+  }
+
+  if (exists && !content.empty()) {
+    ScanResult scan = scanContent(content, path_);
+    meta_ = scan.meta;
+    records_ = std::move(scan.records);
+    dropped_ = scan.dropped;
+    if (scan.goodBytes < content.size()) {
+      // Truncate the bad tail so appended records follow the last good one.
+      std::filesystem::resize_file(path_, scan.goodBytes);
+    }
+  }
+
+  const bool needsHeader = !exists || content.empty();
+  file_ = std::fopen(path_.c_str(), needsHeader ? "wb" : "ab");
+  RF_CHECK(file_ != nullptr, "cannot open checkpoint for append: " + path_ +
+                                 " (" + std::strerror(errno) + ")");
+  if (needsHeader) {
+    std::fprintf(file_, "%.*s\n", static_cast<int>(kHeader.size()),
+                 kHeader.data());
+  }
+  std::fflush(file_);
+}
+
+CheckpointStore::~CheckpointStore() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void CheckpointStore::bindCampaign(const CampaignMeta& meta) {
+  std::scoped_lock lock(mutex_);
+  if (meta_) {
+    RF_CHECK(*meta_ == meta,
+             "checkpoint " + path_ + " belongs to campaign " +
+                 formatMetaLine(*meta_) + " but this run is " +
+                 formatMetaLine(meta) +
+                 " — its records would mislabel a different campaign's "
+                 "results; use a fresh checkpoint file");
+    return;
+  }
+  const std::string line = formatMetaLine(meta);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  RF_CHECK(std::fflush(file_) == 0,
+           "failed flushing checkpoint meta to " + path_);
+  meta_ = meta;
+}
+
+void CheckpointStore::append(const CampaignResult& result) {
+  RF_CHECK(result.app.find_first_of("\n\r") == std::string::npos &&
+               result.tool.find_first_of("\n\r") == std::string::npos,
+           "checkpoint keys cannot contain newlines (records are lines)");
+  const std::string line = encode(result);
+  std::scoped_lock lock(mutex_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  RF_CHECK(std::fflush(file_) == 0,
+           "failed flushing checkpoint record to " + path_);
+  CampaignResult stored = result;
+  stored.outcomes.clear();  // per-trial outcomes are not persisted
+  records_.push_back(std::move(stored));
+}
+
+const CampaignResult* CheckpointStore::find(
+    std::string_view app, std::string_view tool) const noexcept {
+  std::scoped_lock lock(mutex_);
+  for (const auto& r : records_) {
+    if (r.app == app && r.tool == tool) return &r;
+  }
+  return nullptr;
+}
+
+std::vector<CampaignResult> CheckpointStore::readAll(const std::string& path) {
+  const std::string content = readFile(path);  // throws when missing
+  return scanContent(content, path).records;
+}
+
+std::vector<CampaignResult> mergeCheckpoints(
+    const std::vector<std::string>& paths, std::size_t* droppedRecords) {
+  std::vector<CampaignResult> merged;
+  std::optional<CampaignMeta> meta;
+  std::string metaPath;
+  if (droppedRecords != nullptr) *droppedRecords = 0;
+  for (const auto& path : paths) {
+    ScanResult scan = scanContent(readFile(path), path);
+    if (droppedRecords != nullptr) *droppedRecords += scan.dropped;
+    if (scan.meta) {
+      RF_CHECK(!meta || *meta == *scan.meta,
+               "cannot merge " + path + " (" + formatMetaLine(*scan.meta) +
+                   ") with " + metaPath + " (" + formatMetaLine(*meta) +
+                   "): shards of different campaigns");
+      if (!meta) {
+        meta = scan.meta;
+        metaPath = path;
+      }
+    }
+    for (auto& record : scan.records) {
+      auto existing = std::find_if(
+          merged.begin(), merged.end(), [&](const CampaignResult& r) {
+            return r.app == record.app && r.tool == record.tool;
+          });
+      if (existing == merged.end()) {
+        merged.push_back(std::move(record));
+        continue;
+      }
+      RF_CHECK(existing->counts == record.counts &&
+                   existing->dynamicTargets == record.dynamicTargets &&
+                   existing->profileInstrs == record.profileInstrs &&
+                   existing->binarySize == record.binarySize,
+               "conflicting duplicate for cell " + record.app + " x " +
+                   record.tool + " in " + path +
+                   " (shards disagree on deterministic fields)");
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const CampaignResult& a, const CampaignResult& b) {
+              return std::tie(a.app, a.tool) < std::tie(b.app, b.tool);
+            });
+  return merged;
+}
+
+}  // namespace refine::campaign

@@ -1,0 +1,156 @@
+// Checkpoint persistence and shard arithmetic for campaign matrices.
+//
+// A CheckpointStore is an append-only, crash-safe record of completed matrix
+// cells: one CSV line per CampaignResult, each carrying its own checksum,
+// under a versioned header. The engine streams every drained cell into the
+// store, so an interrupted matrix resumes by skipping the cells already on
+// disk — only the cell that was in flight when the process died re-runs.
+//
+// Because every trial's seed derives from (baseSeed, app, tool, trial) and
+// cells are independent, a matrix can also be *sharded*: ShardSpec selects a
+// deterministic slice of the job list, N processes (or hosts) each run one
+// slice into their own store, and mergeCheckpoints() recombines them into
+// exactly the records a single-process run produces. See DESIGN.md
+// "Checkpointing and sharding".
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/runner.h"
+
+namespace refine::campaign {
+
+/// Deterministic slice of a job list: job index i belongs to shard `index`
+/// of `count` iff i % count == index. Every job lands in exactly one shard.
+struct ShardSpec {
+  std::uint32_t index = 0;
+  std::uint32_t count = 1;
+
+  bool contains(std::size_t jobIndex) const noexcept {
+    return jobIndex % count == index;
+  }
+  friend bool operator==(const ShardSpec&, const ShardSpec&) noexcept = default;
+};
+
+/// Parses "I/N" (e.g. "0/3"). Throws CheckError when malformed or I >= N.
+ShardSpec parseShardSpec(std::string_view text);
+
+/// The engine parameters a checkpoint belongs to. Counts depend on all
+/// three (timeoutFactor decides which trials classify as Crash): records
+/// from a store bound to different parameters must never be passed off as
+/// this campaign's results. Per-job inputs (source, FiConfig) are the
+/// caller's to keep stable — cells are keyed by (app, tool) only, so use a
+/// fresh store when a job's source or injection config changes.
+struct CampaignMeta {
+  std::uint64_t baseSeed = 0;
+  std::uint64_t trials = 0;
+  double timeoutFactor = 0.0;
+  friend bool operator==(const CampaignMeta&,
+                         const CampaignMeta&) noexcept = default;
+};
+
+/// Append-only, checksummed store of completed matrix cells.
+///
+/// File format (see DESIGN.md):
+///   line 1:  #refine-checkpoint v1
+///   line 2:  #campaign seed=<16 hex> trials=<dec> timeout=<double>  (once
+///            bound)
+///   line 3+: app,tool,crash,soc,benign,dynamic_targets,profile_instrs,
+///            binary_size,total_trial_seconds,<fnv1a of payload as 16 hex>
+///
+/// Loading stops at the first torn or checksum-failing record; everything
+/// from that point is dropped and the file is truncated back to the last
+/// good record, so a crash mid-append costs exactly one cell. The per-trial
+/// outcome vector is intentionally not persisted (counts are the
+/// deterministic contract; recordPerTrial analyses re-run live).
+class CheckpointStore {
+ public:
+  /// Opens `path` for append, creating it (with a header) when missing, and
+  /// loads all complete records. Throws on an unwritable path or a header
+  /// from an unknown format version.
+  explicit CheckpointStore(std::string path);
+  ~CheckpointStore();
+
+  CheckpointStore(const CheckpointStore&) = delete;
+  CheckpointStore& operator=(const CheckpointStore&) = delete;
+
+  /// Appends one record and flushes it to the OS before returning, so a
+  /// subsequent crash cannot lose it. Thread-safe (the engine appends from
+  /// worker threads). Newlines in app/tool names are rejected: records are
+  /// framed by lines.
+  void append(const CampaignResult& result);
+
+  /// Declares which campaign this store belongs to. An unbound store writes
+  /// the meta line; a bound one verifies it and throws CheckError on a
+  /// mismatch — resuming with a different base seed or trial count would
+  /// silently mislabel old results as the new campaign's. The engine binds
+  /// before its resume scan; call sites using the store directly may too.
+  void bindCampaign(const CampaignMeta& meta);
+
+  /// The campaign parameters the store is bound to, if any.
+  const std::optional<CampaignMeta>& meta() const noexcept { return meta_; }
+
+  /// Records loaded at open plus records appended since, in file order.
+  /// Read these (and find/contains) only while no worker is appending —
+  /// i.e. before runMatrix starts or after it returns; append may grow the
+  /// backing vector and invalidate references.
+  const std::vector<CampaignResult>& records() const noexcept {
+    return records_;
+  }
+
+  /// First record for (app, tool); nullptr when the cell is not present.
+  const CampaignResult* find(std::string_view app,
+                             std::string_view tool) const noexcept;
+  bool contains(std::string_view app, std::string_view tool) const noexcept {
+    return find(app, tool) != nullptr;
+  }
+
+  /// Torn/corrupt records dropped (and truncated away) while opening.
+  std::size_t droppedRecords() const noexcept { return dropped_; }
+
+  const std::string& path() const noexcept { return path_; }
+
+  /// Reads every complete record of an existing store without opening it
+  /// for append. Throws when the file is missing or its header is wrong.
+  static std::vector<CampaignResult> readAll(const std::string& path);
+
+  /// Serializes one record as a checkpoint line (checksum included, no
+  /// trailing newline). Exposed for tests.
+  static std::string encode(const CampaignResult& result);
+
+  /// Parses one checkpoint line; nullopt on any framing, checksum or field
+  /// error. Exposed for tests.
+  static std::optional<CampaignResult> decode(std::string_view line);
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;  // append handle, guarded by mutex_
+  std::vector<CampaignResult> records_;
+  std::optional<CampaignMeta> meta_;
+  std::size_t dropped_ = 0;
+  mutable std::mutex mutex_;
+};
+
+/// Reads several checkpoint stores and returns their records sorted by
+/// (app, tool). All bound stores must agree on their campaign meta (same
+/// base seed and trial count), and duplicate cells (the same cell completed
+/// by two shards or a re-run) must agree on every deterministic field —
+/// counts, targets, instruction count, binary size — and collapse to one
+/// record; conflicts of either kind throw CheckError. The result is
+/// byte-stable input for countsCsv(): merged shards reproduce a
+/// single-process run exactly.
+///
+/// Torn/corrupt trailing records are skipped exactly as a resume would
+/// skip them; when `droppedRecords` is non-null it receives how many were
+/// skipped across all inputs, so callers can warn that the merge may be
+/// missing cells (the fix is to resume the affected shard, then re-merge).
+std::vector<CampaignResult> mergeCheckpoints(
+    const std::vector<std::string>& paths,
+    std::size_t* droppedRecords = nullptr);
+
+}  // namespace refine::campaign

@@ -1,6 +1,8 @@
 #include "campaign/report.h"
 
+#include <algorithm>
 #include <sstream>
+#include <tuple>
 
 #include "stats/samplesize.h"
 #include "support/csv.h"
@@ -98,6 +100,22 @@ std::string resultsCsv(const std::vector<CampaignResult>& results) {
                   std::to_string(r.dynamicTargets),
                   std::to_string(r.profileInstrs), std::to_string(r.binarySize),
                   strf("%.3f", r.totalTrialSeconds)});
+  }
+  return os.str();
+}
+
+std::string countsCsv(std::vector<CampaignResult> results) {
+  std::sort(results.begin(), results.end(),
+            [](const CampaignResult& a, const CampaignResult& b) {
+              return std::tie(a.app, a.tool) < std::tie(b.app, b.tool);
+            });
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.writeRow({"app", "tool", "trials", "crash", "soc", "benign",
+                "dynamic_targets", "profile_instrs", "binary_size"});
+  for (const auto& r : results) {
+    csv.row(r.app, r.tool, r.counts.total(), r.counts.crash, r.counts.soc,
+            r.counts.benign, r.dynamicTargets, r.profileInstrs, r.binarySize);
   }
   return os.str();
 }

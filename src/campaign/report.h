@@ -35,4 +35,10 @@ std::string figure5Line(const CampaignResult& tool,
 /// CSV rows (header + one line per result).
 std::string resultsCsv(const std::vector<CampaignResult>& results);
 
+/// Deterministic CSV: only bit-stable fields (no wall-clock times), rows
+/// sorted by (app, tool). Byte-identical across thread counts, sharding,
+/// checkpoint resume and shard merges — the output the CI determinism job
+/// diffs. See DESIGN.md "Checkpointing and sharding".
+std::string countsCsv(std::vector<CampaignResult> results);
+
 }  // namespace refine::campaign

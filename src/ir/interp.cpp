@@ -78,6 +78,22 @@ class Interp {
     return false;
   }
 
+  // Each simulated call also consumes a native C++ frame (runFunction
+  // recurses), so the simulated 4 MiB stack alone cannot protect the host
+  // stack: a tiny-frame program could nest ~260k simulated calls and
+  // overflow the real 8 MiB stack long before sp_ hits kStackLimit. Cap the
+  // native depth and report the same trap the simulated guard raises. The
+  // cap is far below what an 8 MiB host stack holds (~1 KiB/frame), and is
+  // lowered under ASan, whose redzones inflate frames several-fold.
+#ifndef __has_feature
+#define __has_feature(x) 0  // GCC signals ASan via __SANITIZE_ADDRESS__
+#endif
+#if defined(__SANITIZE_ADDRESS__) || __has_feature(address_sanitizer)
+  static constexpr unsigned kMaxNativeDepth = 400;
+#else
+  static constexpr unsigned kMaxNativeDepth = 6000;
+#endif
+
   bool loadWord(u64 addr, u64& out) {
     if (addr >= DataLayout::kGlobalBase &&
         addr + 8 <= DataLayout::kGlobalBase + globals_.size()) {
@@ -148,6 +164,15 @@ class Interp {
   }
 
   bool runFunction(const Function* fn, const std::vector<u64>& args, u64& ret) {
+    if (depth_ >= kMaxNativeDepth) return fail(InterpTrap::StackOverflow);
+    ++depth_;
+    const bool ok = runFunctionAtDepth(fn, args, ret);
+    --depth_;
+    return ok;
+  }
+
+  bool runFunctionAtDepth(const Function* fn, const std::vector<u64>& args,
+                          u64& ret) {
     RF_CHECK(!fn->isExternal(), "runFunction on external function");
     const u64 savedSp = sp_;
     Frame frame;
@@ -368,6 +393,7 @@ class Interp {
   std::vector<std::uint8_t> globals_;
   std::vector<std::uint8_t> stack_;
   u64 sp_ = 0;
+  unsigned depth_ = 0;  // native runFunction nesting, capped by kMaxNativeDepth
   std::string output_;
   u64 count_ = 0;
   u64 budget_;

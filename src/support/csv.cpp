@@ -1,5 +1,7 @@
 #include "support/csv.h"
 
+#include "support/check.h"
+
 namespace refine {
 
 std::string csvEscape(const std::string& field) {
@@ -13,6 +15,43 @@ std::string csvEscape(const std::string& field) {
   }
   out += '"';
   return out;
+}
+
+std::vector<std::string> csvParseLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;       // currently inside "..."
+  bool quoteClosed = false;  // a quoted field just ended; only ',' may follow
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          quoted = false;
+          quoteClosed = true;
+        }
+      } else {
+        field += c;
+      }
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+      quoteClosed = false;
+    } else if (c == '"' && field.empty() && !quoteClosed) {
+      quoted = true;
+    } else {
+      RF_CHECK(!quoteClosed, "text after closing quote in CSV field");
+      field += c;
+    }
+  }
+  RF_CHECK(!quoted, "unterminated quote in CSV line");
+  fields.push_back(std::move(field));
+  return fields;
 }
 
 void CsvWriter::writeRow(const std::vector<std::string>& fields) {

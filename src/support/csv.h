@@ -1,9 +1,13 @@
-// Minimal RFC-4180-style CSV writing for campaign results.
+// Minimal RFC-4180-style CSV writing and line parsing for campaign results
+// and checkpoint records.
 #pragma once
 
 #include <ostream>
 #include <string>
+#include <type_traits>
 #include <vector>
+
+#include "support/strings.h"
 
 namespace refine {
 
@@ -26,6 +30,10 @@ class CsvWriter {
   static std::string toField(const T& v) {
     if constexpr (std::is_convertible_v<T, std::string>) {
       return std::string(v);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      // std::to_string truncates doubles to a fixed 6 decimals and honours
+      // the locale; checkpoint/report fields must round-trip exactly.
+      return formatDouble(static_cast<double>(v));
     } else {
       return std::to_string(v);
     }
@@ -36,5 +44,10 @@ class CsvWriter {
 
 /// Escapes a single CSV field (exposed for testing).
 std::string csvEscape(const std::string& field);
+
+/// Parses one CSV line (no embedded newlines: record framing is
+/// line-per-record) into its fields, reversing csvEscape. Throws CheckError
+/// on malformed quoting (unterminated quote, text after a closing quote).
+std::vector<std::string> csvParseLine(std::string_view line);
 
 }  // namespace refine

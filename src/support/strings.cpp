@@ -1,7 +1,11 @@
 #include "support/strings.h"
 
+#include <cctype>
+#include <cerrno>
+#include <charconv>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -51,6 +55,47 @@ std::string strf(const char* fmt, ...) {
   }
   va_end(args);
   return out;
+}
+
+std::string formatDouble(double value) {
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+  // Shortest round-trip form; "1068" stays "1068", 0.1 stays "0.1".
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec == std::errc()) return std::string(buf, end);
+#endif
+  // Fallback: 17 significant digits always round-trip an IEEE double, just
+  // not in the shortest form. snprintf with "%.17g" is locale-sensitive for
+  // the decimal point only through LC_NUMERIC, which this project never sets.
+  return strf("%.17g", value);
+}
+
+std::optional<std::uint64_t> parseU64(std::string_view s, int base) {
+  if (s.empty()) return std::nullopt;
+  const unsigned char first = static_cast<unsigned char>(s.front());
+  if (base == 16 ? !std::isxdigit(first) : !std::isdigit(first)) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const std::string owned(s);  // strtoull needs a terminator
+  const unsigned long long v = std::strtoull(owned.c_str(), &end, base);
+  if (errno != 0 || end != owned.c_str() + owned.size()) return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+std::optional<double> parseF64(std::string_view s) {
+  if (s.empty() ||
+      (!std::isdigit(static_cast<unsigned char>(s.front())) &&
+       s.front() != '-')) {
+    return std::nullopt;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const std::string owned(s);
+  const double v = std::strtod(owned.c_str(), &end);
+  if (errno != 0 || end != owned.c_str() + owned.size()) return std::nullopt;
+  return v;
 }
 
 bool globMatch(std::string_view pattern, std::string_view name) {

@@ -1,6 +1,8 @@
 // Small string utilities shared across the project.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -18,6 +20,21 @@ std::string_view trim(std::string_view s);
 
 /// printf-style formatting into a std::string.
 std::string strf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Shortest decimal representation that parses back to exactly `value`
+/// (std::to_chars round-trip guarantee); locale-independent. Use this for
+/// any double that must survive a write/parse cycle, e.g. CSV fields and
+/// checkpoint records.
+std::string formatDouble(double value);
+
+/// Strict unsigned parse (base 10 or 16): the whole string must be digits
+/// of the base — no leading whitespace or signs (strtoull skips whitespace
+/// and silently wraps negatives), no trailing junk. nullopt on violation.
+std::optional<std::uint64_t> parseU64(std::string_view s, int base = 10);
+
+/// Strict double parse: whole string, no leading whitespace/'+'. nullopt on
+/// violation. Accepts everything formatDouble produces for finite values.
+std::optional<double> parseF64(std::string_view s);
 
 /// True when `name` matches `pattern`, where `pattern` is either "*"
 /// (match everything), a literal name, or a '*'-glob (e.g. "compute_*").

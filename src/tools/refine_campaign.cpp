@@ -1,0 +1,246 @@
+// refine-campaign: sharded, resumable fault-injection campaign driver.
+//
+// Run mode builds the (apps x tools) matrix in a canonical order, runs one
+// deterministic shard of it (default: everything) with optional checkpoint
+// persistence, and emits the bit-stable countsCsv report. Merge mode
+// recombines shard checkpoints into the same report a single-process run
+// produces — the CI determinism job diffs exactly that.
+//
+//   refine-campaign --apps EP,DC --tools LLFI,REFINE,PINFI --trials 24 \
+//       --shard 0/3 --checkpoint shard0.ckpt
+//   refine-campaign --merge shard0.ckpt shard1.ckpt shard2.ckpt
+//
+// Interrupted runs resume: cells already in --checkpoint are skipped, so
+// re-running the same command finishes only what is missing.
+#include <cstdio>
+#include <exception>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "campaign/engine.h"
+#include "campaign/persist.h"
+#include "campaign/report.h"
+#include "support/check.h"
+#include "support/strings.h"
+
+namespace {
+
+using namespace refine;
+
+int usage(std::FILE* out) {
+  std::fputs(
+      "usage:\n"
+      "  refine-campaign [options]               run a (apps x tools) matrix\n"
+      "  refine-campaign --merge FILE...         merge shard checkpoints\n"
+      "  refine-campaign --list-apps|--list-tools\n"
+      "\n"
+      "run options:\n"
+      "  --apps A,B,...       benchmark apps (default: all 14 paper apps)\n"
+      "  --tools T1,T2,...    injector registry keys (default: "
+      "LLFI,REFINE,PINFI)\n"
+      "  --trials N           trials per cell (default 1068)\n"
+      "  --threads N          worker threads (default: hardware)\n"
+      "  --seed HEX           base seed (default 5EEDBA5E)\n"
+      "  --shard I/N          run only cells i with i % N == I (default "
+      "0/1)\n"
+      "  --checkpoint FILE    resume from + stream completed cells into "
+      "FILE\n"
+      "  --report FILE        write the countsCsv report to FILE (default "
+      "stdout)\n"
+      "\n"
+      "The report contains only bit-stable fields sorted by (app, tool): a\n"
+      "merge of N shard checkpoints is byte-identical to a single-process\n"
+      "run of the same matrix at any thread count.\n",
+      out);
+  return out == stdout ? 0 : 2;
+}
+
+std::vector<std::string> splitList(const std::string& csv) {
+  std::vector<std::string> out;
+  for (auto& part : split(csv, ',')) {
+    if (!trim(part).empty()) out.push_back(std::string(trim(part)));
+  }
+  return out;
+}
+
+struct Options {
+  std::vector<std::string> apps;
+  std::vector<std::string> tools = {"LLFI", "REFINE", "PINFI"};
+  campaign::CampaignConfig config;
+  campaign::ShardSpec shard;
+  std::optional<std::string> checkpointPath;
+  std::optional<std::string> reportPath;
+  std::vector<std::string> mergePaths;
+  bool merge = false;
+  bool listApps = false;
+  bool listTools = false;
+  bool help = false;
+};
+
+Options parseArgs(int argc, char** argv) {
+  Options opt;
+  auto value = [&](int& i, const char* flag) -> std::string {
+    RF_CHECK(i + 1 < argc, std::string(flag) + " requires a value");
+    return argv[++i];
+  };
+  // Strict numerics: "-1", "10k" or "zzz" must be errors, not silent wraps.
+  auto number = [&](int& i, const char* flag, int base = 10) -> std::uint64_t {
+    const std::string text = value(i, flag);
+    const auto parsed = parseU64(text, base);
+    RF_CHECK(parsed.has_value(), std::string(flag) + " expects a " +
+                                     (base == 16 ? "hex" : "decimal") +
+                                     " number; got '" + text + "'");
+    return *parsed;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      opt.help = true;
+    } else if (arg == "--merge") {
+      opt.merge = true;
+      while (i + 1 < argc && argv[i + 1][0] != '-') {
+        opt.mergePaths.push_back(argv[++i]);
+      }
+    } else if (arg == "--list-apps") {
+      opt.listApps = true;
+    } else if (arg == "--list-tools") {
+      opt.listTools = true;
+    } else if (arg == "--apps") {
+      opt.apps = splitList(value(i, "--apps"));
+    } else if (arg == "--tools") {
+      opt.tools = splitList(value(i, "--tools"));
+    } else if (arg == "--trials") {
+      opt.config.trials = number(i, "--trials");
+      RF_CHECK(opt.config.trials > 0, "--trials must be positive");
+    } else if (arg == "--threads") {
+      const std::uint64_t threads = number(i, "--threads");
+      RF_CHECK(threads <= 4096, "--threads out of range");
+      opt.config.threads = static_cast<unsigned>(threads);
+    } else if (arg == "--seed") {
+      opt.config.baseSeed = number(i, "--seed", 16);
+    } else if (arg == "--shard") {
+      opt.shard = campaign::parseShardSpec(value(i, "--shard"));
+    } else if (arg == "--checkpoint") {
+      opt.checkpointPath = value(i, "--checkpoint");
+    } else if (arg == "--report") {
+      opt.reportPath = value(i, "--report");
+    } else {
+      RF_CHECK(false, "unknown argument '" + std::string(arg) +
+                          "' (see --help)");
+    }
+  }
+  return opt;
+}
+
+void emitReport(const Options& opt, const std::string& report) {
+  if (opt.reportPath) {
+    writeFile(*opt.reportPath, report);
+  } else {
+    std::fputs(report.c_str(), stdout);
+  }
+}
+
+int runMode(const Options& opt) {
+  // Canonical matrix order: apps in the order given (paper Table 3 order by
+  // default), tools innermost. Every process of a sharded run must build
+  // the same job list for i % N == I to mean the same cells everywhere.
+  std::vector<campaign::MatrixJob> jobs;
+  const auto appNames = opt.apps.empty()
+                            ? [] {
+                                std::vector<std::string> all;
+                                for (const auto& a : apps::benchmarkApps()) {
+                                  all.push_back(a.name);
+                                }
+                                return all;
+                              }()
+                            : opt.apps;
+  for (const auto& name : appNames) {
+    const apps::AppInfo* app = apps::findApp(name);
+    if (app == nullptr) {
+      std::fprintf(stderr, "unknown app '%s'; --list-apps shows choices\n",
+                   name.c_str());
+      return 2;
+    }
+    for (const auto& tool : opt.tools) {
+      if (campaign::InjectorRegistry::global().find(tool) == nullptr) {
+        std::fprintf(stderr, "unknown tool '%s'; --list-tools shows choices\n",
+                     tool.c_str());
+        return 2;
+      }
+      jobs.push_back({app->name, tool, app->source, fi::FiConfig::allOn()});
+    }
+  }
+
+  std::optional<campaign::CheckpointStore> store;
+  campaign::MatrixOptions matrixOptions;
+  matrixOptions.shard = opt.shard;
+  if (opt.checkpointPath) {
+    store.emplace(*opt.checkpointPath);
+    matrixOptions.checkpoint = &*store;
+    if (!store->records().empty() || store->droppedRecords() > 0) {
+      std::fprintf(stderr,
+                   "[refine-campaign] resuming from %s: %zu completed "
+                   "cell(s), %zu torn record(s) dropped\n",
+                   store->path().c_str(), store->records().size(),
+                   store->droppedRecords());
+    }
+  }
+
+  std::fprintf(stderr,
+               "[refine-campaign] %zu jobs, shard %u/%u, %llu trials/cell\n",
+               jobs.size(), opt.shard.index, opt.shard.count,
+               static_cast<unsigned long long>(opt.config.trials));
+  campaign::CampaignEngine engine(opt.config);
+  const auto results = engine.runMatrix(
+      jobs, matrixOptions, [](const campaign::CampaignResult& r) {
+        std::fprintf(stderr, "[refine-campaign]   done %-10s %-12s %6.1fs\n",
+                     r.app.c_str(), r.tool.c_str(), r.totalTrialSeconds);
+      });
+  emitReport(opt, campaign::countsCsv(results));
+  return 0;
+}
+
+int mergeMode(const Options& opt) {
+  if (opt.mergePaths.empty()) {
+    std::fprintf(stderr, "--merge requires at least one checkpoint file\n");
+    return 2;
+  }
+  std::size_t dropped = 0;
+  const auto merged = campaign::mergeCheckpoints(opt.mergePaths, &dropped);
+  if (dropped > 0) {
+    std::fprintf(stderr,
+                 "[refine-campaign] warning: %zu torn record(s) skipped — "
+                 "the merged report may be missing cells; resume the "
+                 "affected shard(s), then re-merge\n",
+                 dropped);
+  }
+  emitReport(opt, campaign::countsCsv(merged));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options opt = parseArgs(argc, argv);
+    if (opt.help) return usage(stdout);
+    if (opt.listApps) {
+      for (const auto& a : apps::benchmarkApps()) {
+        std::printf("%s\n", a.name.c_str());
+      }
+      return 0;
+    }
+    if (opt.listTools) {
+      for (const auto& name : campaign::InjectorRegistry::global().names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
+    return opt.merge ? mergeMode(opt) : runMode(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "refine-campaign: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,474 @@
+// CheckpointStore + sharding tests: record encode/decode round trips,
+// crash-safe truncation recovery, engine resume semantics (completed cells
+// skipped, torn cell re-run), shard partition coverage, and the acceptance
+// property — shards + resume + merge reproduce a single-process run's
+// deterministic report byte for byte.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "campaign/engine.h"
+#include "campaign/persist.h"
+#include "campaign/report.h"
+#include "support/check.h"
+#include "support/strings.h"
+
+namespace refine::campaign {
+namespace {
+
+// Tiny deterministic kernels (same shape as engine_test) so matrices stay
+// test-fast while still exercising every tool.
+const char* kNormSource =
+    "var vec: f64[48];\n"
+    "fn norm(n: i64) -> f64 {\n"
+    "  var acc: f64 = 0.0;\n"
+    "  for (var i: i64 = 0; i < n; i = i + 1) { acc = acc + vec[i] * vec[i]; }\n"
+    "  return sqrt(acc);\n"
+    "}\n"
+    "fn main() -> i64 {\n"
+    "  for (var i: i64 = 0; i < 48; i = i + 1) { vec[i] = cos(f64(i)) + 1.5; }\n"
+    "  print_f64(norm(48));\n"
+    "  return 0;\n"
+    "}\n";
+
+const char* kChecksumSource =
+    "fn main() -> i64 {\n"
+    "  var checksum: i64 = 7;\n"
+    "  for (var i: i64 = 0; i < 160; i = i + 1) {\n"
+    "    checksum = (checksum * 131 + i * i) % 1000003;\n"
+    "  }\n"
+    "  print_i64(checksum);\n"
+    "  return 0;\n"
+    "}\n";
+
+std::vector<MatrixJob> twoAppThreeToolMatrix() {
+  std::vector<MatrixJob> jobs;
+  for (const char* app : {"norm", "checksum"}) {
+    for (const char* tool : {"LLFI", "REFINE", "PINFI"}) {
+      jobs.push_back({app, tool,
+                      app == std::string("norm") ? kNormSource
+                                                 : kChecksumSource,
+                      fi::FiConfig::allOn()});
+    }
+  }
+  return jobs;
+}
+
+CampaignConfig tinyConfig(unsigned threads, std::uint64_t trials = 40) {
+  CampaignConfig config;
+  config.trials = trials;
+  config.threads = threads;
+  return config;
+}
+
+CampaignResult sampleResult() {
+  CampaignResult r;
+  r.app = "AMG2013";
+  r.tool = "REFINE";
+  r.counts = {254, 300, 514};
+  r.totalTrialSeconds = 12.345678901234567;
+  r.dynamicTargets = 78614;
+  r.profileInstrs = 179806;
+  r.binarySize = 3902;
+  return r;
+}
+
+/// Unique temp path per test; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& stem)
+      : path_((std::filesystem::temp_directory_path() /
+               ("refine_persist_" + stem + "_" +
+                std::to_string(::testing::UnitTest::GetInstance()
+                                   ->random_seed()) +
+                ".ckpt"))
+                  .string()) {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ---------------------------------------------------------------------------
+// Record encoding
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointRecord, EncodeDecodeRoundTrips) {
+  const CampaignResult r = sampleResult();
+  const auto decoded = CheckpointStore::decode(CheckpointStore::encode(r));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->app, r.app);
+  EXPECT_EQ(decoded->tool, r.tool);
+  EXPECT_EQ(decoded->counts, r.counts);
+  EXPECT_EQ(decoded->dynamicTargets, r.dynamicTargets);
+  EXPECT_EQ(decoded->profileInstrs, r.profileInstrs);
+  EXPECT_EQ(decoded->binarySize, r.binarySize);
+  // formatDouble guarantees the wall-time round-trips exactly too.
+  EXPECT_EQ(decoded->totalTrialSeconds, r.totalTrialSeconds);
+}
+
+TEST(CheckpointRecord, QuotedKeysRoundTrip) {
+  CampaignResult r = sampleResult();
+  r.app = "app,with \"commas\"";
+  r.tool = "TOOL,X";
+  const auto decoded = CheckpointStore::decode(CheckpointStore::encode(r));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->app, r.app);
+  EXPECT_EQ(decoded->tool, r.tool);
+}
+
+TEST(CheckpointRecord, CorruptionIsDetected) {
+  std::string line = CheckpointStore::encode(sampleResult());
+  EXPECT_TRUE(CheckpointStore::decode(line).has_value());
+  // Flip one payload byte: the checksum no longer matches.
+  std::string flipped = line;
+  flipped[3] = flipped[3] == '9' ? '8' : '9';
+  EXPECT_FALSE(CheckpointStore::decode(flipped).has_value());
+  // Truncations anywhere in the line fail too.
+  for (std::size_t keep : {line.size() - 1, line.size() / 2, std::size_t{3}}) {
+    EXPECT_FALSE(CheckpointStore::decode(line.substr(0, keep)).has_value())
+        << "kept " << keep << " bytes";
+  }
+  EXPECT_FALSE(CheckpointStore::decode("").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Store round trips and crash recovery
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointStore, WriteReopenReadsBack) {
+  TempFile file("roundtrip");
+  CampaignResult a = sampleResult();
+  CampaignResult b = sampleResult();
+  b.app = "CoMD";
+  b.counts = {100, 200, 768};
+  {
+    CheckpointStore store(file.path());
+    EXPECT_TRUE(store.records().empty());
+    store.append(a);
+    store.append(b);
+  }
+  CheckpointStore reopened(file.path());
+  ASSERT_EQ(reopened.records().size(), 2u);
+  EXPECT_EQ(reopened.droppedRecords(), 0u);
+  EXPECT_EQ(reopened.records()[0].app, "AMG2013");
+  EXPECT_EQ(reopened.records()[1].app, "CoMD");
+  EXPECT_EQ(reopened.records()[1].counts, b.counts);
+  EXPECT_TRUE(reopened.contains("CoMD", "REFINE"));
+  EXPECT_FALSE(reopened.contains("CoMD", "LLFI"));
+  ASSERT_NE(reopened.find("AMG2013", "REFINE"), nullptr);
+  EXPECT_EQ(reopened.find("AMG2013", "REFINE")->counts, a.counts);
+}
+
+TEST(CheckpointStore, TornTailIsDroppedAndTruncated) {
+  TempFile file("torn");
+  {
+    CheckpointStore store(file.path());
+    store.append(sampleResult());
+    CampaignResult second = sampleResult();
+    second.app = "CoMD";
+    store.append(second);
+  }
+  // Simulate a crash mid-append: cut the file inside the last record.
+  const auto fullSize = std::filesystem::file_size(file.path());
+  std::filesystem::resize_file(file.path(), fullSize - 9);
+  {
+    CheckpointStore recovered(file.path());
+    ASSERT_EQ(recovered.records().size(), 1u);
+    EXPECT_EQ(recovered.droppedRecords(), 1u);
+    EXPECT_EQ(recovered.records()[0].app, "AMG2013");
+    // The torn bytes are gone: appending again yields a clean file.
+    CampaignResult replacement = sampleResult();
+    replacement.app = "HPCCG";
+    recovered.append(replacement);
+  }
+  const auto records = CheckpointStore::readAll(file.path());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].app, "AMG2013");
+  EXPECT_EQ(records[1].app, "HPCCG");
+}
+
+TEST(CheckpointStore, CorruptMiddleRecordDropsTail) {
+  TempFile file("corrupt");
+  {
+    CheckpointStore store(file.path());
+    for (const char* app : {"A", "B", "C"}) {
+      CampaignResult r = sampleResult();
+      r.app = app;
+      store.append(r);
+    }
+  }
+  // Flip a byte inside record B's counts.
+  std::string content = readFile(file.path());
+  const std::size_t pos = content.find("B,REFINE,254");
+  ASSERT_NE(pos, std::string::npos);
+  content[pos + 9] = '9';  // 254 -> 954, checksum now stale
+  writeFile(file.path(), content);
+  CheckpointStore recovered(file.path());
+  ASSERT_EQ(recovered.records().size(), 1u);  // A survives; B and C dropped
+  EXPECT_EQ(recovered.records()[0].app, "A");
+  EXPECT_EQ(recovered.droppedRecords(), 2u);
+}
+
+TEST(CheckpointStore, RejectsForeignFiles) {
+  TempFile file("foreign");
+  writeFile(file.path(), "app,tool,crash\nAMG2013,REFINE,254\n");
+  EXPECT_THROW(CheckpointStore store(file.path()), CheckError);
+  EXPECT_THROW(CheckpointStore::readAll(file.path()), CheckError);
+}
+
+TEST(CheckpointStore, RejectsNewlineKeys) {
+  TempFile file("newline");
+  CheckpointStore store(file.path());
+  CampaignResult r = sampleResult();
+  r.app = "two\nlines";
+  EXPECT_THROW(store.append(r), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Shard arithmetic
+// ---------------------------------------------------------------------------
+
+TEST(Shard, EveryJobInExactlyOneShard) {
+  for (std::uint32_t count : {1u, 2u, 3u, 5u, 7u, 16u}) {
+    for (std::size_t job = 0; job < 100; ++job) {
+      std::size_t owners = 0;
+      for (std::uint32_t index = 0; index < count; ++index) {
+        owners += ShardSpec{index, count}.contains(job) ? 1 : 0;
+      }
+      EXPECT_EQ(owners, 1u) << "job " << job << " of " << count << " shards";
+    }
+  }
+}
+
+TEST(Shard, ParseAcceptsValidSpecs) {
+  EXPECT_EQ(parseShardSpec("0/1"), (ShardSpec{0, 1}));
+  EXPECT_EQ(parseShardSpec("2/3"), (ShardSpec{2, 3}));
+  EXPECT_EQ(parseShardSpec("15/16"), (ShardSpec{15, 16}));
+}
+
+TEST(Shard, ParseRejectsMalformedSpecs) {
+  for (const char* bad : {"", "3", "1/", "/3", "a/b", "3/3", "4/3", "1/0",
+                          "-1/3", "1/3x", " 1/3",
+                          // would truncate to a different, valid-looking
+                          // shard if uint32 overflow were not rejected
+                          "4294967296/4294967298"}) {
+    EXPECT_THROW(parseShardSpec(bad), CheckError) << bad;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine integration: resume + shard + merge
+// ---------------------------------------------------------------------------
+
+TEST(EngineResume, SkipsCompletedCellsAndRerunsTornOne) {
+  const auto jobs = twoAppThreeToolMatrix();
+  TempFile file("resume");
+
+  // Full checkpointed run: every cell lands in the store.
+  CampaignEngine first(tinyConfig(4));
+  std::vector<CampaignResult> reference;
+  {
+    CheckpointStore store(file.path());
+    MatrixOptions options;
+    options.checkpoint = &store;
+    reference = first.runMatrix(jobs, options);
+    EXPECT_EQ(store.records().size(), jobs.size());
+  }
+
+  // Kill simulation: tear the final record mid-line.
+  const auto fullSize = std::filesystem::file_size(file.path());
+  std::filesystem::resize_file(file.path(), fullSize - 5);
+
+  // Resume at a different thread count: only the torn cell re-runs, and the
+  // stitched results equal the uninterrupted run bit for bit.
+  CheckpointStore store(file.path());
+  EXPECT_EQ(store.records().size(), jobs.size() - 1);
+  EXPECT_EQ(store.droppedRecords(), 1u);
+  CampaignEngine second(tinyConfig(2));
+  MatrixOptions options;
+  options.checkpoint = &store;
+  std::vector<std::string> reran;
+  const auto resumed =
+      second.runMatrix(jobs, options, [&](const CampaignResult& r) {
+        reran.push_back(r.app + "/" + r.tool);
+      });
+  ASSERT_EQ(reran.size(), 1u);  // exactly the torn cell went live again
+  ASSERT_EQ(resumed.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(resumed[i].app, reference[i].app);
+    EXPECT_EQ(resumed[i].tool, reference[i].tool);
+    EXPECT_EQ(resumed[i].counts, reference[i].counts) << reference[i].app;
+    EXPECT_EQ(resumed[i].dynamicTargets, reference[i].dynamicTargets);
+  }
+  // The store is whole again: a further resume runs nothing.
+  std::size_t liveCells = 0;
+  const auto third = second.runMatrix(jobs, options, [&](const CampaignResult&) {
+    ++liveCells;
+  });
+  EXPECT_EQ(liveCells, 0u);
+  EXPECT_EQ(third.size(), jobs.size());
+}
+
+TEST(CheckpointStore, BindCampaignStampsAndVerifies) {
+  TempFile file("bind");
+  {
+    CheckpointStore store(file.path());
+    EXPECT_FALSE(store.meta().has_value());
+    store.bindCampaign({0xDEADBEEFu, 1068});
+    ASSERT_TRUE(store.meta().has_value());
+    store.bindCampaign({0xDEADBEEFu, 1068});  // same campaign: fine
+    store.append(sampleResult());
+  }
+  CheckpointStore reopened(file.path());
+  ASSERT_TRUE(reopened.meta().has_value());
+  EXPECT_EQ(reopened.meta()->baseSeed, 0xDEADBEEFu);
+  EXPECT_EQ(reopened.meta()->trials, 1068u);
+  EXPECT_EQ(reopened.records().size(), 1u);
+  EXPECT_THROW(reopened.bindCampaign({0xDEADBEEFu, 500}), CheckError);
+  EXPECT_THROW(reopened.bindCampaign({0xBAD5EEDu, 1068}), CheckError);
+  // timeoutFactor decides which trials classify as Crash: part of identity.
+  EXPECT_THROW(reopened.bindCampaign({0xDEADBEEFu, 1068, 5.0}), CheckError);
+}
+
+TEST(EngineResume, DifferentBaseSeedIsRejected) {
+  const auto jobs = twoAppThreeToolMatrix();
+  TempFile file("seedmismatch");
+  {
+    CheckpointStore store(file.path());
+    CampaignEngine engine(tinyConfig(2, 20));
+    MatrixOptions options;
+    options.checkpoint = &store;
+    engine.runMatrix(jobs, options);
+  }
+  CheckpointStore store(file.path());
+  auto config = tinyConfig(2, 20);
+  config.baseSeed ^= 1;  // a different campaign entirely
+  CampaignEngine engine(config);
+  MatrixOptions options;
+  options.checkpoint = &store;
+  EXPECT_THROW(engine.runMatrix(jobs, options), CheckError);
+}
+
+TEST(EngineResume, RecordPerTrialCannotCheckpoint) {
+  // Stores persist counts only; a resumed cell could never supply the
+  // trials-sized outcome vector recordPerTrial promises.
+  TempFile file("pertrial");
+  CheckpointStore store(file.path());
+  auto config = tinyConfig(2, 20);
+  config.recordPerTrial = true;
+  CampaignEngine engine(config);
+  MatrixOptions options;
+  options.checkpoint = &store;
+  EXPECT_THROW(engine.runMatrix(twoAppThreeToolMatrix(), options), CheckError);
+}
+
+TEST(Merge, ReportsTornRecordsItSkipped) {
+  TempFile file("mergeTorn");
+  {
+    CheckpointStore store(file.path());
+    store.append(sampleResult());
+    CampaignResult second = sampleResult();
+    second.app = "CoMD";
+    store.append(second);
+  }
+  std::filesystem::resize_file(file.path(),
+                               std::filesystem::file_size(file.path()) - 4);
+  std::size_t dropped = 0;
+  const auto merged = mergeCheckpoints({file.path()}, &dropped);
+  EXPECT_EQ(merged.size(), 1u);
+  EXPECT_EQ(dropped, 1u);  // callers can warn the report may miss cells
+}
+
+TEST(Merge, DifferentCampaignsCannotMerge) {
+  TempFile a("mergeSeedA");
+  TempFile b("mergeSeedB");
+  {
+    CheckpointStore storeA(a.path());
+    storeA.bindCampaign({1, 40});
+    storeA.append(sampleResult());
+    CheckpointStore storeB(b.path());
+    storeB.bindCampaign({2, 40});  // different base seed
+    CampaignResult other = sampleResult();
+    other.app = "CoMD";
+    storeB.append(other);
+  }
+  EXPECT_THROW(mergeCheckpoints({a.path(), b.path()}), CheckError);
+}
+
+TEST(EngineResume, MismatchedTrialCountThrows) {
+  const auto jobs = twoAppThreeToolMatrix();
+  TempFile file("mismatch");
+  {
+    CheckpointStore store(file.path());
+    CampaignEngine engine(tinyConfig(2, 20));
+    MatrixOptions options;
+    options.checkpoint = &store;
+    engine.runMatrix(jobs, options);
+  }
+  CheckpointStore store(file.path());
+  CampaignEngine engine(tinyConfig(2, 30));  // different trials/cell
+  MatrixOptions options;
+  options.checkpoint = &store;
+  EXPECT_THROW(engine.runMatrix(jobs, options), CheckError);
+}
+
+TEST(EngineShard, ShardsPartitionTheMatrixAndMergeReproducesIt) {
+  const auto jobs = twoAppThreeToolMatrix();
+
+  // Single-process reference report.
+  CampaignEngine reference(tinyConfig(4));
+  const std::string single = countsCsv(reference.runMatrix(jobs));
+
+  // Three shards at three different thread counts, each with its own store.
+  std::vector<std::string> paths;
+  TempFile files[3] = {TempFile("shard0"), TempFile("shard1"),
+                       TempFile("shard2")};
+  std::size_t totalCells = 0;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    CheckpointStore store(files[i].path());
+    MatrixOptions options;
+    options.shard = ShardSpec{i, 3};
+    options.checkpoint = &store;
+    CampaignEngine engine(tinyConfig(i + 1));
+    const auto slice = engine.runMatrix(jobs, options);
+    EXPECT_EQ(slice.size(), store.records().size());
+    totalCells += slice.size();
+    paths.push_back(files[i].path());
+  }
+  EXPECT_EQ(totalCells, jobs.size());  // shards partition the job list
+
+  // Merged shards reproduce the single-process deterministic report.
+  EXPECT_EQ(countsCsv(mergeCheckpoints(paths)), single);
+}
+
+TEST(Merge, ConsistentDuplicatesCollapseConflictsThrow) {
+  TempFile a("mergeA");
+  TempFile b("mergeB");
+  {
+    CheckpointStore storeA(a.path());
+    storeA.append(sampleResult());
+    CheckpointStore storeB(b.path());
+    storeB.append(sampleResult());  // same cell, same counts
+  }
+  const auto merged = mergeCheckpoints({a.path(), b.path()});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].counts, sampleResult().counts);
+
+  {
+    CheckpointStore storeB(b.path());
+    CampaignResult conflicting = sampleResult();
+    conflicting.counts = {255, 299, 514};
+    storeB.append(conflicting);
+  }
+  EXPECT_THROW(mergeCheckpoints({a.path(), b.path()}), CheckError);
+}
+
+}  // namespace
+}  // namespace refine::campaign

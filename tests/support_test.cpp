@@ -142,6 +142,66 @@ TEST(Csv, WritesRows) {
   EXPECT_EQ(os.str(), "app,tool,crash\nAMG2013,REFINE,254\n");
 }
 
+TEST(Csv, DoubleFieldsAreShortestRoundTrip) {
+  // std::to_string would write 0.100000 (fixed 6 decimals) and destroy
+  // 12.3456789012345678 entirely; fields must parse back to the same double.
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.row(0.1, 12.345678901234567, 1.0e-300, 3.0);
+  EXPECT_EQ(os.str(), "0.1,12.345678901234567,1e-300,3\n");
+}
+
+TEST(Strings, ParseU64IsStrict) {
+  EXPECT_EQ(parseU64("1068"), 1068u);
+  EXPECT_EQ(parseU64("0"), 0u);
+  EXPECT_EQ(parseU64("ff", 16), 255u);
+  // strtoull would accept all of these (whitespace skip / sign wrap / junk).
+  for (const char* bad : {" 1", "-1", "+1", " -1", "1x", "", "0x10"}) {
+    EXPECT_FALSE(parseU64(bad).has_value()) << bad;
+  }
+  EXPECT_FALSE(parseU64("zz", 16).has_value());
+}
+
+TEST(Strings, ParseF64RoundTripsFormatDouble) {
+  for (double v : {0.25, -3.5, 1068.0, 1e-300}) {
+    const auto parsed = parseF64(formatDouble(v));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, v);
+  }
+  for (const char* bad : {" 1.0", "+1.0", "1.0x", ""}) {
+    EXPECT_FALSE(parseF64(bad).has_value()) << bad;
+  }
+}
+
+TEST(Strings, FormatDoubleRoundTrips) {
+  for (double v : {0.1, 1.0 / 3.0, 12.345678901234567, 1.0e-300, 1.0e300,
+                   -0.0, 6.25, 1068.0}) {
+    const std::string s = formatDouble(v);
+    EXPECT_EQ(std::stod(s), v) << s;
+  }
+}
+
+TEST(Csv, ParseLineReversesEscaping) {
+  const std::vector<std::string> fields = {"plain", "a,b", "say \"hi\"", "",
+                                           "trailing"};
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.writeRow(fields);
+  std::string line = os.str();
+  line.pop_back();  // writeRow appends '\n'; records are parsed per line
+  EXPECT_EQ(csvParseLine(line), fields);
+}
+
+TEST(Csv, ParseLineHandlesEdgeCases) {
+  EXPECT_EQ(csvParseLine(""), std::vector<std::string>{""});
+  EXPECT_EQ(csvParseLine(","), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(csvParseLine("\"\""), std::vector<std::string>{""});
+  EXPECT_EQ(csvParseLine("a,\"b,c\",d"),
+            (std::vector<std::string>{"a", "b,c", "d"}));
+  EXPECT_THROW(csvParseLine("\"unterminated"), CheckError);
+  EXPECT_THROW(csvParseLine("\"closed\"junk"), CheckError);
+}
+
 TEST(ThreadPool, RunsAllTasks) {
   ThreadPool pool(4);
   std::atomic<int> counter{0};
