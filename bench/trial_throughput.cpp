@@ -1,0 +1,212 @@
+// Trial-throughput bench: the perf trajectory anchor for the execution
+// pipeline (predecoded VM core + snapshot fast-forward).
+//
+// Runs the full (app x tool) matrix with per-trial seeds derived exactly
+// like the campaign engine's, once with snapshot fast-forward enabled (the
+// production path) and once cold-started (the pre-fast-forward behavior on
+// the same predecoded core), and emits a machine-readable BENCH_trials.json:
+//
+//   * trials/sec per tool (fast-forward and cold) and their ratio,
+//   * VM MIPS (instructions actually executed per wall second),
+//   * mean executed-suffix fraction (how much of each trial's dynamic
+//     length still runs after the snapshot restore).
+//
+// Environment knobs:
+//   REFINE_BENCH_TRIALS  trials per (app, tool); default 100
+//   REFINE_BENCH_APPS    comma-separated app subset; default: all 14
+//   REFINE_BENCH_OUT     output path; default BENCH_trials.json
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "campaign/registry.h"
+#include "campaign/runner.h"
+#include "campaign/tools.h"
+#include "support/rng.h"
+#include "support/strings.h"
+#include "support/timer.h"
+
+namespace {
+
+using namespace refine;
+
+struct CellStats {
+  std::string app;
+  std::string tool;
+  std::uint64_t trials = 0;
+  double fastSeconds = 0.0;
+  double coldSeconds = 0.0;
+  std::uint64_t fastExecutedInstrs = 0;  // suffix instructions actually run
+  std::uint64_t coldExecutedInstrs = 0;
+  double suffixFractionSum = 0.0;  // sum over trials of executed/total
+
+  double speedup() const {
+    return fastSeconds > 0.0 ? coldSeconds / fastSeconds : 0.0;
+  }
+};
+
+/// Runs `trials` single-fault experiments with engine-identical seed
+/// derivation; returns wall seconds and fills instruction tallies.
+double runTrials(const campaign::ToolInstance& instance,
+                 const campaign::ToolInstance::Profile& profile,
+                 std::uint64_t appKey, std::uint64_t seedKey,
+                 std::uint64_t trials, std::uint64_t budget,
+                 std::uint64_t& executedInstrs, double* suffixFractionSum) {
+  const std::uint64_t baseSeed = campaign::CampaignConfig{}.baseSeed;
+  WallTimer timer;
+  for (std::uint64_t trial = 0; trial < trials; ++trial) {
+    const std::uint64_t seed = mixSeed(baseSeed, appKey, seedKey, trial);
+    Rng rng(seed);
+    const std::uint64_t target = rng.nextBelow(profile.dynamicTargets) + 1;
+    const std::uint64_t trialSeed = rng.next();
+    const auto run = instance.runTrial(target, trialSeed, budget);
+    executedInstrs += run.exec.instrCount - run.fastForwardedInstrs;
+    if (suffixFractionSum != nullptr && run.exec.instrCount > 0) {
+      *suffixFractionSum +=
+          static_cast<double>(run.exec.instrCount - run.fastForwardedInstrs) /
+          static_cast<double>(run.exec.instrCount);
+    }
+  }
+  return timer.seconds();
+}
+
+std::string jsonNumber(double v) { return formatDouble(v); }
+
+}  // namespace
+
+int main() {
+  const char* trialsEnv = std::getenv("REFINE_BENCH_TRIALS");
+  const std::uint64_t trials =
+      trialsEnv != nullptr && *trialsEnv != '\0'
+          ? std::strtoull(trialsEnv, nullptr, 10)
+          : 100;
+  const char* outEnv = std::getenv("REFINE_BENCH_OUT");
+  const std::string outPath =
+      outEnv != nullptr && *outEnv != '\0' ? outEnv : "BENCH_trials.json";
+
+  std::vector<apps::AppInfo> selected;
+  if (const char* appsEnv = std::getenv("REFINE_BENCH_APPS");
+      appsEnv != nullptr && *appsEnv != '\0') {
+    for (const std::string& name : split(appsEnv, ',')) {
+      if (const apps::AppInfo* app = apps::findApp(name)) {
+        selected.push_back(*app);
+      } else if (!name.empty()) {
+        std::fprintf(stderr, "[bench] unknown app '%s' ignored\n", name.c_str());
+      }
+    }
+  } else {
+    selected = apps::benchmarkApps();
+  }
+  if (selected.empty()) {
+    std::fprintf(stderr, "[bench] no apps selected\n");
+    return 1;
+  }
+
+  const std::vector<std::string> tools = {"LLFI", "REFINE", "PINFI"};
+  const double timeoutFactor = campaign::CampaignConfig{}.timeoutFactor;
+
+  std::fprintf(stderr,
+               "[bench] trial throughput: %zu apps x %zu tools x %llu trials "
+               "(fast-forward vs cold start)\n",
+               selected.size(), tools.size(),
+               static_cast<unsigned long long>(trials));
+
+  std::vector<CellStats> cells;
+  for (const auto& app : selected) {
+    for (const auto& tool : tools) {
+      auto instance = campaign::InjectorRegistry::global().get(tool).create(
+          app.source, fi::FiConfig::allOn());
+      const auto& profile = instance->profile();
+      const std::uint64_t budget = static_cast<std::uint64_t>(
+          timeoutFactor * static_cast<double>(profile.instrCount));
+      const std::uint64_t appKey = fnv1a(app.name);
+      const std::uint64_t seedKey = campaign::injectorSeedKey(tool);
+
+      CellStats cell;
+      cell.app = app.name;
+      cell.tool = tool;
+      cell.trials = trials;
+      instance->setFastForward(true);
+      cell.fastSeconds =
+          runTrials(*instance, profile, appKey, seedKey, trials, budget,
+                    cell.fastExecutedInstrs, &cell.suffixFractionSum);
+      instance->setFastForward(false);
+      cell.coldSeconds =
+          runTrials(*instance, profile, appKey, seedKey, trials, budget,
+                    cell.coldExecutedInstrs, nullptr);
+      std::fprintf(stderr,
+                   "[bench]   %-10s %-7s fast %8.1f trials/s  cold %8.1f "
+                   "trials/s  speedup %5.2fx  suffix %4.1f%%\n",
+                   cell.app.c_str(), cell.tool.c_str(),
+                   trials / cell.fastSeconds, trials / cell.coldSeconds,
+                   cell.speedup(),
+                   100.0 * cell.suffixFractionSum / static_cast<double>(trials));
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  // Aggregate per tool and overall.
+  std::string json = "{\n";
+  json += "  \"trials_per_cell\": " + std::to_string(trials) + ",\n";
+  json += "  \"apps\": " + std::to_string(selected.size()) + ",\n";
+  json += "  \"tools\": {\n";
+  for (std::size_t t = 0; t < tools.size(); ++t) {
+    std::uint64_t n = 0;
+    std::uint64_t executed = 0;
+    double fastSec = 0, coldSec = 0, suffixSum = 0;
+    for (const auto& cell : cells) {
+      if (cell.tool != tools[t]) continue;
+      n += cell.trials;
+      executed += cell.fastExecutedInstrs;
+      fastSec += cell.fastSeconds;
+      coldSec += cell.coldSeconds;
+      suffixSum += cell.suffixFractionSum;
+    }
+    json += "    \"" + tools[t] + "\": {";
+    json += "\"trials_per_sec\": " + jsonNumber(n / fastSec) + ", ";
+    json += "\"cold_trials_per_sec\": " + jsonNumber(n / coldSec) + ", ";
+    json += "\"speedup\": " + jsonNumber(coldSec / fastSec) + ", ";
+    json += "\"vm_mips\": " + jsonNumber(executed / fastSec / 1e6) + ", ";
+    json += "\"mean_suffix_fraction\": " +
+            jsonNumber(suffixSum / static_cast<double>(n)) + "}";
+    json += t + 1 < tools.size() ? ",\n" : "\n";
+  }
+  json += "  },\n";
+
+  std::vector<double> speedups;
+  std::uint64_t totalTrials = 0;
+  std::uint64_t totalExecuted = 0;
+  double totalFast = 0, totalCold = 0, totalSuffix = 0;
+  for (const auto& cell : cells) {
+    speedups.push_back(cell.speedup());
+    totalTrials += cell.trials;
+    totalExecuted += cell.fastExecutedInstrs;
+    totalFast += cell.fastSeconds;
+    totalCold += cell.coldSeconds;
+    totalSuffix += cell.suffixFractionSum;
+  }
+  std::sort(speedups.begin(), speedups.end());
+  const double median =
+      speedups.size() % 2 == 1
+          ? speedups[speedups.size() / 2]
+          : 0.5 * (speedups[speedups.size() / 2 - 1] +
+                   speedups[speedups.size() / 2]);
+  json += "  \"overall\": {";
+  json += "\"trials_per_sec\": " + jsonNumber(totalTrials / totalFast) + ", ";
+  json += "\"cold_trials_per_sec\": " + jsonNumber(totalTrials / totalCold) + ", ";
+  json += "\"speedup\": " + jsonNumber(totalCold / totalFast) + ", ";
+  json += "\"median_cell_speedup\": " + jsonNumber(median) + ", ";
+  json += "\"vm_mips\": " + jsonNumber(totalExecuted / totalFast / 1e6) + ", ";
+  json += "\"mean_suffix_fraction\": " +
+          jsonNumber(totalSuffix / static_cast<double>(totalTrials)) + "}\n";
+  json += "}\n";
+
+  writeFile(outPath, json);
+  std::printf("%s", json.c_str());
+  std::fprintf(stderr, "[bench] wrote %s (median cell speedup %.2fx)\n",
+               outPath.c_str(), median);
+  return 0;
+}

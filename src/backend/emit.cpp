@@ -1,6 +1,8 @@
 #include "backend/emit.h"
 
+#include <algorithm>
 #include <cstring>
+#include <iterator>
 #include <unordered_map>
 
 #include "ir/layout.h"
@@ -9,10 +11,12 @@ namespace refine::backend {
 
 const std::string& Program::functionAt(std::uint64_t index) const {
   static const std::string unknown = "?";
-  for (const auto& f : functions) {
-    if (index >= f.begin && index < f.end) return f.name;
-  }
-  return unknown;
+  const auto it = std::upper_bound(
+      functions.begin(), functions.end(), index,
+      [](std::uint64_t idx, const FunctionRange& f) { return idx < f.begin; });
+  if (it == functions.begin()) return unknown;
+  const FunctionRange& range = *std::prev(it);
+  return index < range.end ? range.name : unknown;
 }
 
 Program emitProgram(const MachineModule& module) {

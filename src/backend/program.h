@@ -35,7 +35,10 @@ struct Program {
   std::vector<std::string> strings;
 
   /// Name of the function containing instruction `index` ("?" when outside
-  /// any range, which cannot happen for emitted programs).
+  /// any range, which cannot happen for emitted programs). Binary search:
+  /// emission lays functions out contiguously in increasing index order, so
+  /// `functions` is sorted by `begin`. PINFI classification calls this once
+  /// per instruction.
   const std::string& functionAt(std::uint64_t index) const;
 };
 

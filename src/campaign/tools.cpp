@@ -45,7 +45,8 @@ class RefineInstance final : public ToolInstance {
  public:
   RefineInstance(std::string_view source, const fi::FiConfig& config)
       : module_(frontendAndOpt(source)),
-        compiled_(fi::compileWithRefine(*module_, config)) {
+        compiled_(fi::compileWithRefine(*module_, config)),
+        decoded_(compiled_.program) {
     RF_CHECK(compiled_.staticSites > 0, "REFINE instrumented nothing");
   }
 
@@ -53,10 +54,21 @@ class RefineInstance final : public ToolInstance {
                  std::uint64_t budget) const override {
     auto library =
         fi::FaultInjectionLibrary::injecting(&compiled_.sites, targetIndex, seed);
-    vm::Machine machine(compiled_.program);
+    vm::Machine machine(compiled_.program, decoded_);
     machine.setFiRuntime(&library);
     Trial trial;
-    trial.exec = machine.run(budget);
+    if (const vm::Snapshot* snap = resumePoint(targetIndex, budget)) {
+      // Reserve before restore: the assignment of the snapshot's prefix
+      // output then lands in a buffer already sized for the full run.
+      machine.reserveOutput(goldenSize_);
+      machine.restore(*snap);
+      library.fastForwardTo(snap->dynamicCount);
+      trial.fastForwardedInstrs = snap->instrCount;
+      trial.exec = machine.resume(budget);
+    } else {
+      machine.reserveOutput(goldenSize_);
+      trial.exec = machine.run(budget);
+    }
     trial.fault = library.fault();
     return trial;
   }
@@ -68,20 +80,28 @@ class RefineInstance final : public ToolInstance {
  protected:
   Profile doProfile() override {
     auto library = fi::FaultInjectionLibrary::profiling(&compiled_.sites);
-    vm::Machine machine(compiled_.program);
+    vm::Machine machine(compiled_.program, decoded_);
     machine.setFiRuntime(&library);
+    // The profiling run doubles as the snapshot producer: capture periodic
+    // restore points tagged with the FI library's dynamic-target count.
+    machine.setHook([&](std::uint64_t, vm::Machine& m) {
+      if (snapshots_.due(m)) snapshots_.capture(m, library.dynamicCount());
+    });
     const auto result = machine.run(kProfileBudget);
     RF_CHECK(!result.trapped, "golden run of REFINE binary trapped");
     Profile profile;
     profile.goldenOutput = result.output;
     profile.dynamicTargets = library.dynamicCount();
     profile.instrCount = result.instrCount;
+    goldenSize_ = profile.goldenOutput.size();
     return profile;
   }
 
  private:
   std::unique_ptr<ir::Module> module_;
   fi::RefineCompileResult compiled_;
+  vm::DecodedProgram decoded_;
+  std::size_t goldenSize_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -99,10 +119,13 @@ class PinfiInstance final : public ToolInstance {
 
   Trial runTrial(std::uint64_t targetIndex, std::uint64_t seed,
                  std::uint64_t budget) const override {
-    auto run = engine_.inject(targetIndex, seed, budget);
+    auto run = engine_.inject(targetIndex, seed, budget,
+                              fastForward() ? &snapshots_ : nullptr,
+                              goldenSize_);
     Trial trial;
     trial.exec = std::move(run.exec);
     trial.fault = std::move(run.fault);
+    trial.fastForwardedInstrs = run.fastForwardedInstrs;
     return trial;
   }
 
@@ -112,12 +135,13 @@ class PinfiInstance final : public ToolInstance {
 
  protected:
   Profile doProfile() override {
-    const auto run = engine_.profile(kProfileBudget);
+    const auto run = engine_.profile(kProfileBudget, &snapshots_);
     RF_CHECK(!run.exec.trapped, "golden run of PINFI binary trapped");
     Profile profile;
     profile.goldenOutput = run.exec.output;
     profile.dynamicTargets = run.dynamicTargets;
     profile.instrCount = run.exec.instrCount;
+    goldenSize_ = profile.goldenOutput.size();
     return profile;
   }
 
@@ -125,6 +149,7 @@ class PinfiInstance final : public ToolInstance {
   std::unique_ptr<ir::Module> module_;
   backend::CodegenResult compiled_;
   fi::Pinfi engine_;
+  std::size_t goldenSize_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -138,6 +163,7 @@ class LlfiInstance final : public ToolInstance {
     info_ = fi::applyLlfiPass(*module_, config);
     RF_CHECK(info_.staticTargets > 0, "LLFI instrumented nothing");
     compiled_ = backend::compileBackend(*module_);
+    decoded_.emplace(compiled_.program);
   }
 
   Trial runTrial(std::uint64_t targetIndex, std::uint64_t seed,
@@ -146,11 +172,24 @@ class LlfiInstance final : public ToolInstance {
     // The IR value width is 64 for i64/f64 (i1 injectors reduce any bit to
     // their single bit); uniform over 64 matches the fault model per value.
     const auto bit = static_cast<unsigned>(rng.nextBelow(64));
-    vm::Machine machine(compiled_.program);
-    machine.pokeGlobal(info_.targetAddr, targetIndex);
-    machine.pokeGlobal(info_.bitAddr, bit);
+    vm::Machine machine(compiled_.program, *decoded_);
     Trial trial;
-    trial.exec = machine.run(budget);
+    if (const vm::Snapshot* snap = resumePoint(targetIndex, budget)) {
+      // Reserve before restore (prefix output lands in a full-size buffer);
+      // restore before the pokes (it rewrites the whole globals segment,
+      // including the guest counter).
+      machine.reserveOutput(goldenSize_);
+      machine.restore(*snap);
+      trial.fastForwardedInstrs = snap->instrCount;
+      machine.pokeGlobal(info_.targetAddr, targetIndex);
+      machine.pokeGlobal(info_.bitAddr, bit);
+      trial.exec = machine.resume(budget);
+    } else {
+      machine.pokeGlobal(info_.targetAddr, targetIndex);
+      machine.pokeGlobal(info_.bitAddr, bit);
+      machine.reserveOutput(goldenSize_);
+      trial.exec = machine.run(budget);
+    }
     fi::FaultRecord record;
     record.dynamicIndex = targetIndex;
     record.function = "<ir>";  // LLFI logs IR positions, not machine sites
@@ -166,8 +205,14 @@ class LlfiInstance final : public ToolInstance {
 
  protected:
   Profile doProfile() override {
-    vm::Machine machine(compiled_.program);
+    vm::Machine machine(compiled_.program, *decoded_);
     machine.pokeGlobal(info_.targetAddr, 0);  // counter never matches
+    // Tag snapshots with the guest runtime's own dynamic-target counter (the
+    // IR-level population LLFI draws targets from lives in guest memory).
+    const std::uint64_t counterAddr = info_.counterAddr;
+    machine.setHook([this, counterAddr](std::uint64_t, vm::Machine& m) {
+      if (snapshots_.due(m)) snapshots_.capture(m, m.peekGlobal(counterAddr));
+    });
     const auto result = machine.run(kProfileBudget);
     RF_CHECK(!result.trapped, "golden run of LLFI binary trapped");
     Profile profile;
@@ -176,6 +221,7 @@ class LlfiInstance final : public ToolInstance {
     // The guest runtime accumulated its dynamic count in @__llfi_counter
     // (the paper's profiling destructor writes this to a file).
     profile.dynamicTargets = machine.peekGlobal(info_.counterAddr);
+    goldenSize_ = profile.goldenOutput.size();
     return profile;
   }
 
@@ -183,6 +229,8 @@ class LlfiInstance final : public ToolInstance {
   std::unique_ptr<ir::Module> module_;
   fi::LlfiInstrumentation info_;
   backend::CodegenResult compiled_;
+  std::optional<vm::DecodedProgram> decoded_;
+  std::size_t goldenSize_ = 0;
 };
 
 // ---------------------------------------------------------------------------

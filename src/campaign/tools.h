@@ -15,6 +15,7 @@
 #include "fi/config.h"
 #include "fi/library.h"
 #include "vm/machine.h"
+#include "vm/snapshot.h"
 
 namespace refine::campaign {
 
@@ -44,22 +45,50 @@ class ToolInstance {
   struct Trial {
     vm::ExecResult exec;
     std::optional<fi::FaultRecord> fault;
+    /// Instructions skipped by snapshot fast-forward (0 = cold start).
+    /// exec.instrCount still counts from program start either way.
+    std::uint64_t fastForwardedInstrs = 0;
   };
 
   /// One single-fault experiment: inject at the `targetIndex`-th (1-based)
   /// dynamic target; operand/bit selection derives from `seed`. Thread-safe.
+  /// With fast-forward enabled (the default) the trial resumes from the
+  /// nearest profiling snapshot below `targetIndex` and executes only the
+  /// suffix; results are bit-identical to a cold start.
   virtual Trial runTrial(std::uint64_t targetIndex, std::uint64_t seed,
                          std::uint64_t budget) const = 0;
 
   /// Number of machine instructions in the tool's binary (for reporting).
   virtual std::uint64_t binarySize() const = 0;
 
+  /// Enables/disables snapshot fast-forward for subsequent trials (enabled
+  /// by default; the off switch exists for equivalence tests and cold-start
+  /// baselines). Not thread-safe: set it before trials start.
+  void setFastForward(bool on) noexcept { fastForward_ = on; }
+  bool fastForward() const noexcept { return fastForward_; }
+
+  /// Profiling snapshots (filled by doProfile; read-only afterwards).
+  const vm::SnapshotChain& snapshots() const noexcept { return snapshots_; }
+
  protected:
   virtual Profile doProfile() = 0;
+
+  /// The restore point for a trial targeting dynamic index `targetIndex`
+  /// under `budget`, honoring the fast-forward switch; nullptr means
+  /// cold-start (also when every snapshot lies past the budget horizon).
+  const vm::Snapshot* resumePoint(std::uint64_t targetIndex,
+                                  std::uint64_t budget) const noexcept {
+    return fastForward_ ? snapshots_.findBefore(targetIndex, budget) : nullptr;
+  }
+
+  /// Snapshot store, populated during the (serialized) doProfile call and
+  /// immutable afterwards, so concurrent trials share it without locks.
+  vm::SnapshotChain snapshots_;
 
  private:
   std::once_flag profileOnce_;
   std::optional<Profile> cached_;
+  bool fastForward_ = true;
 };
 
 /// Compatibility shim: forwards to the InjectorRegistry factory registered

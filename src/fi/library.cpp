@@ -34,6 +34,15 @@ FaultInjectionLibrary FaultInjectionLibrary::injecting(const FiSiteTable* sites,
   return FaultInjectionLibrary(sites, FiMode::Inject, targetIndex, seed);
 }
 
+void FaultInjectionLibrary::fastForwardTo(std::uint64_t executedTargets) {
+  RF_CHECK(mode_ == FiMode::Inject, "fastForwardTo is for injection runs");
+  RF_CHECK(count_ == 0 && !fault_.has_value(),
+           "fastForwardTo before any target executed");
+  RF_CHECK(executedTargets < target_,
+           "fast-forward point must precede the injection trigger");
+  count_ = executedTargets;
+}
+
 bool FaultInjectionLibrary::selInstr(std::uint64_t siteId) {
   (void)siteId;
   ++count_;
@@ -44,7 +53,14 @@ bool FaultInjectionLibrary::selInstr(std::uint64_t siteId) {
 std::pair<std::uint32_t, std::uint64_t> FaultInjectionLibrary::setupFI(
     std::uint64_t siteId) {
   RF_CHECK(mode_ == FiMode::Inject, "setupFI called while profiling");
-  RF_CHECK(!fault_.has_value(), "setupFI called twice");
+  if (fault_.has_value()) {
+    // Fault-corrupted control flow can jump straight into a PreFI save block
+    // and re-execute SETUPFI without a triggering FICHECK. Answer with the
+    // already-chosen fault parameters (single-fault model: no second record,
+    // no fresh RNG draw) so the wild execution proceeds deterministically
+    // instead of aborting the whole campaign.
+    return {fault_->operandIndex, fault_->mask};
+  }
   const FiSite& site = sites_->site(siteId);
   RF_CHECK(!site.operands.empty(), "FI site with no operands");
 

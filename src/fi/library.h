@@ -52,6 +52,13 @@ class FaultInjectionLibrary final : public vm::FiRuntime {
                                          std::uint64_t targetIndex,
                                          std::uint64_t seed);
 
+  /// Trial fast-forward (snapshot resume): primes the dynamic-target counter
+  /// as if `executedTargets` target instructions had already run, so a
+  /// machine restored from a snapshot taken at that point triggers at the
+  /// same dynamic index as a cold-start run. Inject mode only; must stay
+  /// strictly below the trigger index.
+  void fastForwardTo(std::uint64_t executedTargets);
+
   // -- vm::FiRuntime ------------------------------------------------------
   bool selInstr(std::uint64_t siteId) override;
   std::pair<std::uint32_t, std::uint64_t> setupFI(std::uint64_t siteId) override;

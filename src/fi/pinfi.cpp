@@ -3,7 +3,7 @@
 namespace refine::fi {
 
 Pinfi::Pinfi(const backend::Program& program, const FiConfig& config)
-    : program_(program) {
+    : program_(program), decoded_(program) {
   isTarget_.assign(program.code.size(), 0);
   for (std::size_t i = 0; i < program.code.size(); ++i) {
     if (!isFiTarget(program.code[i], config)) continue;
@@ -13,12 +13,20 @@ Pinfi::Pinfi(const backend::Program& program, const FiConfig& config)
   }
 }
 
-Pinfi::RunResult Pinfi::profile(std::uint64_t budget) const {
-  vm::Machine machine(program_);
+Pinfi::RunResult Pinfi::profile(std::uint64_t budget,
+                                vm::SnapshotChain* snapshots) const {
+  vm::Machine machine(program_, decoded_);
   std::uint64_t count = 0;
-  machine.setHook([&](std::uint64_t pc, vm::Machine&) {
-    count += isTarget_[pc];
-  });
+  if (snapshots == nullptr) {
+    machine.setHook([&](std::uint64_t pc, vm::Machine&) {
+      count += isTarget_[pc];
+    });
+  } else {
+    machine.setHook([&](std::uint64_t pc, vm::Machine& m) {
+      count += isTarget_[pc];
+      if (snapshots->due(m)) snapshots->capture(m, count);
+    });
+  }
   RunResult result;
   result.exec = machine.run(budget);
   result.dynamicTargets = count;
@@ -26,9 +34,11 @@ Pinfi::RunResult Pinfi::profile(std::uint64_t budget) const {
 }
 
 Pinfi::RunResult Pinfi::inject(std::uint64_t targetIndex, std::uint64_t seed,
-                               std::uint64_t budget) const {
+                               std::uint64_t budget,
+                               const vm::SnapshotChain* snapshots,
+                               std::size_t outputReserve) const {
   RF_CHECK(targetIndex > 0, "dynamic target index is 1-based");
-  vm::Machine machine(program_);
+  vm::Machine machine(program_, decoded_);
   RunResult result;
   std::uint64_t count = 0;
   Rng rng(seed);
@@ -64,7 +74,24 @@ Pinfi::RunResult Pinfi::inject(std::uint64_t targetIndex, std::uint64_t seed,
     result.fault = std::move(record);
     m.clearHook();  // PINFI detach optimization
   });
-  result.exec = machine.run(budget);
+
+  // Trial fast-forward: resume from the latest profiling snapshot taken
+  // before the trigger; the deterministic prefix is skipped and the hook's
+  // dynamic-target counter starts at the snapshot's count.
+  const vm::Snapshot* snap =
+      snapshots != nullptr ? snapshots->findBefore(targetIndex, budget) : nullptr;
+  if (snap != nullptr) {
+    count = snap->dynamicCount;
+    // Reserve before restore: the assignment of the snapshot's prefix
+    // output then lands in a buffer already sized for the full run.
+    machine.reserveOutput(outputReserve);
+    machine.restore(*snap);
+    result.fastForwardedInstrs = snap->instrCount;
+    result.exec = machine.resume(budget);
+  } else {
+    machine.reserveOutput(outputReserve);
+    result.exec = machine.run(budget);
+  }
   result.dynamicTargets = count;
   return result;
 }

@@ -9,6 +9,10 @@
 // one output operand and then *detaches* — the performance optimization the
 // paper added to PINFI ("removes any instrumentation and detaches from the
 // application once the single fault has been injected").
+//
+// The engine predecodes the program once (vm/decoded.h) and shares the
+// decode across all trials; profile() can additionally fill a snapshot chain
+// that inject() then uses to fast-forward trials to the fault point.
 #pragma once
 
 #include <cstdint>
@@ -18,12 +22,14 @@
 #include "fi/config.h"
 #include "fi/library.h"
 #include "vm/machine.h"
+#include "vm/snapshot.h"
 
 namespace refine::fi {
 
 class Pinfi {
  public:
-  /// "Instrumentation time": classify targets of `program` under `config`.
+  /// "Instrumentation time": classify targets of `program` under `config`
+  /// and predecode it for the VM.
   Pinfi(const backend::Program& program, const FiConfig& config);
 
   /// Number of static target instructions.
@@ -33,18 +39,28 @@ class Pinfi {
     vm::ExecResult exec;
     std::uint64_t dynamicTargets = 0;
     std::optional<FaultRecord> fault;
+    std::uint64_t fastForwardedInstrs = 0;  // prefix skipped via snapshot
   };
 
-  /// Profiling run: counts dynamic target instructions, never injects.
-  RunResult profile(std::uint64_t budget) const;
+  /// Profiling run: counts dynamic target instructions, never injects. When
+  /// `snapshots` is given, fills it with periodic restore points tagged with
+  /// the dynamic-target count (for later fast-forwarded injections).
+  RunResult profile(std::uint64_t budget,
+                    vm::SnapshotChain* snapshots = nullptr) const;
 
   /// Injection run: flips one bit after the `targetIndex`-th (1-based)
-  /// dynamic target instruction, then detaches.
+  /// dynamic target instruction, then detaches. When `snapshots` holds a
+  /// restore point before the trigger, the run resumes there and executes
+  /// only the suffix (bit-identical to a cold start). `outputReserve`
+  /// pre-sizes the output accumulator (pass the golden-output length).
   RunResult inject(std::uint64_t targetIndex, std::uint64_t seed,
-                   std::uint64_t budget) const;
+                   std::uint64_t budget,
+                   const vm::SnapshotChain* snapshots = nullptr,
+                   std::size_t outputReserve = 0) const;
 
  private:
   const backend::Program& program_;
+  vm::DecodedProgram decoded_;
   std::vector<std::uint8_t> isTarget_;  // per instruction index
   std::uint64_t staticTargets_ = 0;
 };

@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <limits>
 #include <unordered_map>
@@ -13,11 +14,30 @@
 
 namespace refine::ir {
 
-std::string formatPrintI64(std::int64_t v) {
-  return strf("%lld\n", static_cast<long long>(v));
+void formatPrintI64Into(std::string& out, std::int64_t v) {
+  char buf[24];  // 20 digits + sign + newline + NUL fits comfortably
+  const int n =
+      std::snprintf(buf, sizeof(buf), "%lld\n", static_cast<long long>(v));
+  out.append(buf, static_cast<std::size_t>(n));
 }
 
-std::string formatPrintF64(double v) { return strf("%.6e\n", v); }
+void formatPrintF64Into(std::string& out, double v) {
+  char buf[40];  // "%.6e" worst case: sign + 8 mantissa + e+XXX + newline
+  const int n = std::snprintf(buf, sizeof(buf), "%.6e\n", v);
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+std::string formatPrintI64(std::int64_t v) {
+  std::string s;
+  formatPrintI64Into(s, v);
+  return s;
+}
+
+std::string formatPrintF64(double v) {
+  std::string s;
+  formatPrintF64Into(s, v);
+  return s;
+}
 
 namespace {
 
@@ -139,10 +159,10 @@ class Interp {
   bool callRuntime(RuntimeFn fn, const std::vector<u64>& args, u64& ret) {
     switch (fn) {
       case RuntimeFn::PrintI64:
-        output_ += formatPrintI64(static_cast<i64>(args[0]));
+        formatPrintI64Into(output_, static_cast<i64>(args[0]));
         return true;
       case RuntimeFn::PrintF64:
-        output_ += formatPrintF64(asF64(args[0]));
+        formatPrintF64Into(output_, asF64(args[0]));
         return true;
       case RuntimeFn::PrintStr: {
         const u64 index = args[0];

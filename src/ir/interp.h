@@ -34,6 +34,12 @@ struct InterpResult {
 std::string formatPrintI64(std::int64_t v);
 std::string formatPrintF64(double v);
 
+/// Append-style variants used on the execution hot paths (VM syscalls, the
+/// interpreter's print runtime): format into a caller-owned buffer instead
+/// of materializing a temporary std::string per print.
+void formatPrintI64Into(std::string& out, std::int64_t v);
+void formatPrintF64Into(std::string& out, double v);
+
 /// Runs `entry` (default "main", no arguments). Throws CheckError on
 /// structural problems (e.g. missing entry); runtime faults are reported in
 /// the result, never thrown.

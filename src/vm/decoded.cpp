@@ -1,0 +1,172 @@
+#include "vm/decoded.h"
+
+#include "support/check.h"
+
+namespace refine::vm {
+
+namespace {
+using backend::MachineInst;
+using backend::MOp;
+using backend::MOperand;
+using backend::RegClass;
+
+/// Unified register-file slot of a register operand.
+std::uint8_t slotOf(const MOperand& op) {
+  RF_CHECK(op.kind == MOperand::Kind::Reg, "decode: expected register operand");
+  RF_CHECK(op.reg.index < backend::Reg::kNumPhys,
+           "decode: virtual register survived to execution");
+  const std::uint8_t base = op.reg.cls == RegClass::FPR ? 16 : 0;
+  return static_cast<std::uint8_t>(base + op.reg.index);
+}
+
+/// True when executing `op` can move the pc non-sequentially: these end the
+/// straight-line segments the budget check is amortized over.
+bool isControlTransfer(MOp op) noexcept {
+  switch (op) {
+    case MOp::B:
+    case MOp::BCC:
+    case MOp::CALL:
+    case MOp::RET:
+    case MOp::FICHECK:
+      return true;
+    default:
+      return false;
+  }
+}
+
+DecodedInst decodeInst(const MachineInst& inst) {
+  const auto& ops = inst.operands();
+  DecodedInst d;
+  d.op = inst.op();
+  switch (inst.op()) {
+    // rd <- imm
+    case MOp::MOVri:
+    case MOp::FMOVri:
+      d.a = slotOf(ops[0]);
+      d.imm = ops[1].imm;
+      break;
+
+    // rd <- rs unary forms
+    case MOp::MOVrr:
+    case MOp::FMOVrr:
+    case MOp::CVTIF:
+    case MOp::CVTFI:
+    case MOp::FBITI:
+    case MOp::IBITF:
+    case MOp::FABS:
+    case MOp::FSQRT:
+      d.a = slotOf(ops[0]);
+      d.b = slotOf(ops[1]);
+      break;
+
+    // rd <- ra op rb
+    case MOp::ADD: case MOp::SUB: case MOp::MUL: case MOp::DIV:
+    case MOp::REM: case MOp::AND: case MOp::OR: case MOp::XOR:
+    case MOp::SHL: case MOp::ASHR: case MOp::LSHR:
+    case MOp::FADD: case MOp::FSUB: case MOp::FMUL: case MOp::FDIV:
+    case MOp::FMAX: case MOp::FMIN:
+      d.a = slotOf(ops[0]);
+      d.b = slotOf(ops[1]);
+      d.c = slotOf(ops[2]);
+      break;
+
+    // rd <- ra op imm
+    case MOp::ADDri: case MOp::ANDri: case MOp::ORri: case MOp::XORri:
+    case MOp::SHLri: case MOp::ASHRri: case MOp::LSHRri: case MOp::MULri:
+      d.a = slotOf(ops[0]);
+      d.b = slotOf(ops[1]);
+      d.imm = ops[2].imm;
+      break;
+
+    case MOp::CMP:
+    case MOp::FCMP:
+      d.a = slotOf(ops[0]);
+      d.b = slotOf(ops[1]);
+      break;
+    case MOp::CMPri:
+      d.a = slotOf(ops[0]);
+      d.imm = ops[1].imm;
+      break;
+
+    case MOp::CSEL:
+    case MOp::FCSEL:
+      d.a = slotOf(ops[0]);
+      d.b = slotOf(ops[1]);
+      d.c = slotOf(ops[2]);
+      d.aux = static_cast<std::uint32_t>(ops[3].cond);
+      break;
+
+    case MOp::LDR: case MOp::FLDR:
+    case MOp::STR: case MOp::FSTR:
+      d.a = slotOf(ops[0]);
+      d.b = slotOf(ops[1]);
+      d.imm = ops[2].imm;
+      break;
+
+    case MOp::LEAfi:
+      d.a = slotOf(ops[0]);
+      d.imm = ops[1].imm;
+      break;
+
+    case MOp::PUSH: case MOp::FPUSH:
+    case MOp::POP: case MOp::FPOP:
+      d.a = slotOf(ops[0]);
+      break;
+
+    case MOp::PUSHF:
+    case MOp::POPF:
+    case MOp::RET:
+    case MOp::NOP:
+      break;
+
+    case MOp::SPADJ:
+    case MOp::B:
+    case MOp::CALL:
+    case MOp::SYSCALL:
+    case MOp::SETUPFI:
+      d.imm = ops[0].imm;
+      break;
+
+    case MOp::BCC:
+      d.aux = static_cast<std::uint32_t>(ops[0].cond);
+      d.imm = ops[1].imm;
+      break;
+
+    case MOp::FICHECK:
+      d.imm = ops[0].imm;  // site id
+      RF_CHECK(ops[1].imm >= 0 && ops[1].imm <= INT64_C(0xFFFFFFFF),
+               "decode: FICHECK target out of range");
+      d.aux = static_cast<std::uint32_t>(ops[1].imm);
+      break;
+
+    default:
+      // Pre-RA pseudos (PARAMS/CALLP/...) never appear in emitted programs;
+      // keep the opcode so execution reports them exactly like the
+      // un-decoded interpreter did (RF_UNREACHABLE in the run loop).
+      break;
+  }
+  return d;
+}
+
+}  // namespace
+
+DecodedProgram::DecodedProgram(const backend::Program& program)
+    : program_(&program) {
+  code_.reserve(program.code.size());
+  for (const MachineInst& inst : program.code) {
+    code_.push_back(decodeInst(inst));
+  }
+
+  // Straight-line segment lengths, computed backwards: a control transfer is
+  // a segment of its own end; anything else extends the following segment.
+  span_.assign(code_.size(), 1);
+  for (std::size_t i = code_.size(); i-- > 0;) {
+    if (isControlTransfer(code_[i].op) || i + 1 == code_.size()) {
+      span_[i] = 1;
+    } else {
+      span_[i] = span_[i + 1] + 1;
+    }
+  }
+}
+
+}  // namespace refine::vm

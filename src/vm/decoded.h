@@ -1,0 +1,64 @@
+// Predecoded execution form of a backend::Program.
+//
+// backend::MachineInst keeps operands in a heap-allocated vector of tagged
+// unions — ideal for the compiler, hostile to an interpreter: every executed
+// instruction chases the vector pointer, re-reads operand tags and re-decides
+// GPR vs FPR. A fault-injection campaign executes the same program millions
+// of times (trials x dynamic length), so the VM decodes each program ONCE
+// into a flat array of fixed 16-byte DecodedInst records:
+//
+//   * register operands become direct indices into the machine's unified
+//     32-slot register file (GPR i -> slot i, FPR i -> slot 16 + i), so the
+//     run loop never branches on a register class;
+//   * immediates, branch targets and condition codes are pre-resolved into
+//     scalar fields;
+//   * straight-line run lengths (to the next control transfer) are
+//     precomputed so the budget check amortizes per basic block instead of
+//     per instruction.
+//
+// One DecodedProgram is built per ToolInstance and shared read-only across
+// all worker threads / trials (vm::Machine borrows it by reference).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "backend/program.h"
+
+namespace refine::vm {
+
+/// Fixed-size predecoded instruction. Field use by opcode:
+///   a/b/c — unified register-file slots (0..15 GPR, 16..31 FPR)
+///   imm   — immediate / branch target / syscall code / FI site id
+///   aux   — condition code (BCC/CSEL/FCSEL) or FICHECK branch target
+struct DecodedInst {
+  backend::MOp op = backend::MOp::NOP;
+  std::uint8_t a = 0;
+  std::uint8_t b = 0;
+  std::uint8_t c = 0;
+  std::uint32_t aux = 0;
+  std::int64_t imm = 0;
+};
+static_assert(sizeof(DecodedInst) == 16, "keep DecodedInst cache-dense");
+
+class DecodedProgram {
+ public:
+  explicit DecodedProgram(const backend::Program& program);
+
+  const backend::Program& program() const noexcept { return *program_; }
+  const DecodedInst* code() const noexcept { return code_.data(); }
+  std::uint64_t size() const noexcept { return code_.size(); }
+
+  /// Number of instructions from `pc` up to and including the next control
+  /// transfer (B/BCC/CALL/RET/FICHECK) or the end of the code array: the
+  /// length of the straight-line segment the run loop may execute with a
+  /// single up-front budget check.
+  const std::uint32_t* spans() const noexcept { return span_.data(); }
+
+ private:
+  const backend::Program* program_;
+  std::vector<DecodedInst> code_;
+  std::vector<std::uint32_t> span_;
+};
+
+}  // namespace refine::vm

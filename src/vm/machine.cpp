@@ -12,10 +12,7 @@
 namespace refine::vm {
 
 namespace {
-using backend::MachineInst;
 using backend::MOp;
-using backend::MOperand;
-using backend::RegClass;
 
 using u64 = std::uint64_t;
 using i64 = std::int64_t;
@@ -36,20 +33,34 @@ const char* trapName(Trap t) noexcept {
   return "?";
 }
 
-Machine::Machine(const backend::Program& program) : program_(program) {
+Machine::Machine(const backend::Program& program)
+    : program_(program),
+      owned_(std::make_unique<DecodedProgram>(program)) {
+  decoded_ = owned_.get();
   globals_ = program.globalImage;
   stack_.assign(ir::DataLayout::kStackSize, 0);
-  regs_[backend::kSpIndex] = ir::DataLayout::kStackTop;
+  regfile_[kSpSlot] = ir::DataLayout::kStackTop;
+  stackLo_ = ir::DataLayout::kStackTop;
+}
+
+Machine::Machine(const backend::Program& program, const DecodedProgram& decoded)
+    : program_(program), decoded_(&decoded) {
+  RF_CHECK(&decoded.program() == &program,
+           "decoded program does not match the program it runs");
+  globals_ = program.globalImage;
+  stack_.assign(ir::DataLayout::kStackSize, 0);
+  regfile_[kSpSlot] = ir::DataLayout::kStackTop;
+  stackLo_ = ir::DataLayout::kStackTop;
 }
 
 std::uint64_t& Machine::gpr(unsigned i) {
   RF_CHECK(i < 16, "gpr index out of range");
-  return regs_[i];
+  return regfile_[i];
 }
 
 std::uint64_t& Machine::fprBits(unsigned i) {
   RF_CHECK(i < 16, "fpr index out of range");
-  return fregs_[i];
+  return regfile_[16 + i];
 }
 
 void Machine::pokeGlobal(std::uint64_t addr, std::uint64_t value) {
@@ -88,6 +99,7 @@ bool Machine::storeWord(u64 addr, u64 value) {
   }
   if (addr >= ir::DataLayout::kStackLimit &&
       addr + 8 <= ir::DataLayout::kStackTop) {
+    if (addr < stackLo_) stackLo_ = addr;  // low-water mark for snapshots
     std::memcpy(&stack_[addr - ir::DataLayout::kStackLimit], &value, 8);
     return true;
   }
@@ -95,7 +107,7 @@ bool Machine::storeWord(u64 addr, u64 value) {
 }
 
 bool Machine::push(u64 value) {
-  u64& sp = regs_[backend::kSpIndex];
+  u64& sp = regfile_[kSpSlot];
   sp -= 8;
   if (sp < ir::DataLayout::kStackLimit || sp >= ir::DataLayout::kStackTop) {
     return fail(sp < ir::DataLayout::kStackLimit ? Trap::StackOverflow
@@ -105,7 +117,7 @@ bool Machine::push(u64 value) {
 }
 
 bool Machine::pop(u64& out) {
-  u64& sp = regs_[backend::kSpIndex];
+  u64& sp = regfile_[kSpSlot];
   if (!loadWord(sp, out)) return false;
   sp += 8;
   return true;
@@ -137,13 +149,13 @@ bool Machine::syscall(std::int64_t code) {
   using ir::RuntimeFn;
   switch (static_cast<RuntimeFn>(code)) {
     case RuntimeFn::PrintI64:
-      output_ += ir::formatPrintI64(static_cast<i64>(regs_[0]));
+      ir::formatPrintI64Into(output_, static_cast<i64>(regfile_[0]));
       return true;
     case RuntimeFn::PrintF64:
-      output_ += ir::formatPrintF64(asF64(fregs_[0]));
+      ir::formatPrintF64Into(output_, asF64(regfile_[16]));
       return true;
     case RuntimeFn::PrintStr: {
-      const u64 index = regs_[0];
+      const u64 index = regfile_[0];
       // A corrupted string id is the moral equivalent of printf with a wild
       // pointer: treat it as a memory fault.
       if (index >= program_.strings.size()) return fail(Trap::BadMemory);
@@ -151,245 +163,415 @@ bool Machine::syscall(std::int64_t code) {
       output_ += '\n';
       return true;
     }
-    case RuntimeFn::Exp: fregs_[0] = asBits(std::exp(asF64(fregs_[0]))); return true;
-    case RuntimeFn::Log: fregs_[0] = asBits(std::log(asF64(fregs_[0]))); return true;
-    case RuntimeFn::Sin: fregs_[0] = asBits(std::sin(asF64(fregs_[0]))); return true;
-    case RuntimeFn::Cos: fregs_[0] = asBits(std::cos(asF64(fregs_[0]))); return true;
+    case RuntimeFn::Exp:
+      regfile_[16] = asBits(std::exp(asF64(regfile_[16])));
+      return true;
+    case RuntimeFn::Log:
+      regfile_[16] = asBits(std::log(asF64(regfile_[16])));
+      return true;
+    case RuntimeFn::Sin:
+      regfile_[16] = asBits(std::sin(asF64(regfile_[16])));
+      return true;
+    case RuntimeFn::Cos:
+      regfile_[16] = asBits(std::cos(asF64(regfile_[16])));
+      return true;
     case RuntimeFn::Pow:
-      fregs_[0] = asBits(std::pow(asF64(fregs_[0]), asF64(fregs_[1])));
+      regfile_[16] = asBits(std::pow(asF64(regfile_[16]), asF64(regfile_[17])));
       return true;
     case RuntimeFn::Floor:
-      fregs_[0] = asBits(std::floor(asF64(fregs_[0])));
+      regfile_[16] = asBits(std::floor(asF64(regfile_[16])));
       return true;
   }
   // An unknown syscall code can only arise from state corruption.
   return fail(Trap::BadMemory);
 }
 
-bool Machine::step() {
-  if (pc_ >= program_.code.size()) return fail(Trap::InvalidPC);
-  const MachineInst& inst = program_.code[pc_];
-  const u64 thisPc = pc_;
-  ++pc_;
-  if (++count_ > budget_) return fail(Trap::Timeout);
+template <bool Hooked>
+void Machine::execLoop() {
+  const DecodedInst* const code = decoded_->code();
+  const std::uint32_t* const spans = decoded_->spans();
+  const u64 codeSize = decoded_->size();
 
-  const auto& ops = inst.operands();
-  auto reg = [&](std::size_t i) -> u64& {
-    const backend::Reg r = ops[i].reg;
-    return r.cls == RegClass::GPR ? regs_[r.index] : fregs_[r.index];
-  };
-  auto imm = [&](std::size_t i) { return ops[i].imm; };
+  for (;;) {
+    if (pc_ >= codeSize) {
+      fail(Trap::InvalidPC);
+      return;
+    }
+    // Straight-line segment: only its last instruction can transfer control,
+    // so one up-front comparison covers the budget for the whole span.
+    u64 n = spans[pc_];
+    const u64 headroom = budget_ > count_ ? budget_ - count_ : 0;
+    const bool timesOut = n > headroom;
+    if (timesOut) n = headroom;
 
-  switch (inst.op()) {
-    case MOp::MOVri: reg(0) = static_cast<u64>(imm(1)); break;
-    case MOp::MOVrr: reg(0) = reg(1); break;
-    case MOp::FMOVri: reg(0) = static_cast<u64>(imm(1)); break;
-    case MOp::FMOVrr: reg(0) = reg(1); break;
-    case MOp::CVTIF:
-      reg(0) = asBits(static_cast<double>(static_cast<i64>(reg(1))));
-      break;
-    case MOp::CVTFI: {
-      const double v = asF64(reg(1));
-      if (std::isnan(v) || v >= 9.2233720368547758e18 ||
-          v < -9.2233720368547758e18) {
-        reg(0) = static_cast<u64>(std::numeric_limits<i64>::min());
-      } else {
-        reg(0) = static_cast<u64>(static_cast<i64>(v));
+    for (u64 i = 0; i < n; ++i) {
+      const DecodedInst& di = code[pc_];
+      const u64 thisPc = pc_;
+      ++pc_;
+      ++count_;
+
+      switch (di.op) {
+        case MOp::MOVri:
+        case MOp::FMOVri:
+          regfile_[di.a] = static_cast<u64>(di.imm);
+          break;
+        case MOp::MOVrr:
+        case MOp::FMOVrr:
+        case MOp::FBITI:
+        case MOp::IBITF:
+          regfile_[di.a] = regfile_[di.b];
+          break;
+        case MOp::CVTIF:
+          regfile_[di.a] =
+              asBits(static_cast<double>(static_cast<i64>(regfile_[di.b])));
+          break;
+        case MOp::CVTFI: {
+          const double v = asF64(regfile_[di.b]);
+          if (std::isnan(v) || v >= 9.2233720368547758e18 ||
+              v < -9.2233720368547758e18) {
+            regfile_[di.a] = static_cast<u64>(std::numeric_limits<i64>::min());
+          } else {
+            regfile_[di.a] = static_cast<u64>(static_cast<i64>(v));
+          }
+          break;
+        }
+
+        case MOp::ADD:
+          regfile_[di.a] = regfile_[di.b] + regfile_[di.c];
+          setIntFlags(regfile_[di.a]);
+          break;
+        case MOp::SUB:
+          regfile_[di.a] = regfile_[di.b] - regfile_[di.c];
+          setIntFlags(regfile_[di.a]);
+          break;
+        case MOp::MUL:
+          regfile_[di.a] = regfile_[di.b] * regfile_[di.c];
+          setIntFlags(regfile_[di.a]);
+          break;
+        case MOp::DIV:
+        case MOp::REM: {
+          const i64 a = static_cast<i64>(regfile_[di.b]);
+          const i64 b = static_cast<i64>(regfile_[di.c]);
+          if (b == 0 || (a == std::numeric_limits<i64>::min() && b == -1)) {
+            fail(Trap::DivByZero);
+            return;
+          }
+          regfile_[di.a] = static_cast<u64>(di.op == MOp::DIV ? a / b : a % b);
+          setIntFlags(regfile_[di.a]);
+          break;
+        }
+        case MOp::AND:
+          regfile_[di.a] = regfile_[di.b] & regfile_[di.c];
+          setIntFlags(regfile_[di.a]);
+          break;
+        case MOp::OR:
+          regfile_[di.a] = regfile_[di.b] | regfile_[di.c];
+          setIntFlags(regfile_[di.a]);
+          break;
+        case MOp::XOR:
+          regfile_[di.a] = regfile_[di.b] ^ regfile_[di.c];
+          setIntFlags(regfile_[di.a]);
+          break;
+        case MOp::SHL:
+          regfile_[di.a] = regfile_[di.b] << (regfile_[di.c] & 63);
+          setIntFlags(regfile_[di.a]);
+          break;
+        case MOp::ASHR:
+          regfile_[di.a] = static_cast<u64>(static_cast<i64>(regfile_[di.b]) >>
+                                            (regfile_[di.c] & 63));
+          setIntFlags(regfile_[di.a]);
+          break;
+        case MOp::LSHR:
+          regfile_[di.a] = regfile_[di.b] >> (regfile_[di.c] & 63);
+          setIntFlags(regfile_[di.a]);
+          break;
+
+        case MOp::ADDri:
+          regfile_[di.a] = regfile_[di.b] + static_cast<u64>(di.imm);
+          setIntFlags(regfile_[di.a]);
+          break;
+        case MOp::ANDri:
+          regfile_[di.a] = regfile_[di.b] & static_cast<u64>(di.imm);
+          setIntFlags(regfile_[di.a]);
+          break;
+        case MOp::ORri:
+          regfile_[di.a] = regfile_[di.b] | static_cast<u64>(di.imm);
+          setIntFlags(regfile_[di.a]);
+          break;
+        case MOp::XORri:
+          regfile_[di.a] = regfile_[di.b] ^ static_cast<u64>(di.imm);
+          setIntFlags(regfile_[di.a]);
+          break;
+        case MOp::SHLri:
+          regfile_[di.a] = regfile_[di.b] << (di.imm & 63);
+          setIntFlags(regfile_[di.a]);
+          break;
+        case MOp::ASHRri:
+          regfile_[di.a] =
+              static_cast<u64>(static_cast<i64>(regfile_[di.b]) >> (di.imm & 63));
+          setIntFlags(regfile_[di.a]);
+          break;
+        case MOp::LSHRri:
+          regfile_[di.a] = regfile_[di.b] >> (di.imm & 63);
+          setIntFlags(regfile_[di.a]);
+          break;
+        case MOp::MULri:
+          regfile_[di.a] = regfile_[di.b] * static_cast<u64>(di.imm);
+          setIntFlags(regfile_[di.a]);
+          break;
+
+        case MOp::FADD:
+          regfile_[di.a] = asBits(asF64(regfile_[di.b]) + asF64(regfile_[di.c]));
+          break;
+        case MOp::FSUB:
+          regfile_[di.a] = asBits(asF64(regfile_[di.b]) - asF64(regfile_[di.c]));
+          break;
+        case MOp::FMUL:
+          regfile_[di.a] = asBits(asF64(regfile_[di.b]) * asF64(regfile_[di.c]));
+          break;
+        case MOp::FDIV:
+          regfile_[di.a] = asBits(asF64(regfile_[di.b]) / asF64(regfile_[di.c]));
+          break;
+        case MOp::FMAX: {
+          // Semantics match the fused pattern select(a > b, a, b): NaN picks b.
+          const double a = asF64(regfile_[di.b]);
+          const double b = asF64(regfile_[di.c]);
+          regfile_[di.a] = asBits(a > b ? a : b);
+          break;
+        }
+        case MOp::FMIN: {
+          const double a = asF64(regfile_[di.b]);
+          const double b = asF64(regfile_[di.c]);
+          regfile_[di.a] = asBits(a < b ? a : b);
+          break;
+        }
+        case MOp::FABS:
+          regfile_[di.a] = asBits(std::fabs(asF64(regfile_[di.b])));
+          break;
+        case MOp::FSQRT:
+          regfile_[di.a] = asBits(std::sqrt(asF64(regfile_[di.b])));
+          break;
+
+        case MOp::CMP:
+          setCmpFlags(static_cast<i64>(regfile_[di.a]),
+                      static_cast<i64>(regfile_[di.b]));
+          break;
+        case MOp::CMPri:
+          setCmpFlags(static_cast<i64>(regfile_[di.a]), di.imm);
+          break;
+        case MOp::FCMP:
+          setFCmpFlags(asF64(regfile_[di.a]), asF64(regfile_[di.b]));
+          break;
+
+        case MOp::CSEL:
+        case MOp::FCSEL:
+          regfile_[di.a] =
+              backend::condHolds(static_cast<backend::Cond>(di.aux), flags_)
+                  ? regfile_[di.b]
+                  : regfile_[di.c];
+          break;
+
+        case MOp::LDR:
+        case MOp::FLDR: {
+          u64 value = 0;
+          if (!loadWord(regfile_[di.b] + static_cast<u64>(di.imm), value)) {
+            return;
+          }
+          regfile_[di.a] = value;
+          break;
+        }
+        case MOp::STR:
+        case MOp::FSTR:
+          if (!storeWord(regfile_[di.b] + static_cast<u64>(di.imm),
+                         regfile_[di.a])) {
+            return;
+          }
+          break;
+
+        case MOp::LEAfi:
+          regfile_[di.a] = regfile_[kSpSlot] + static_cast<u64>(di.imm);
+          break;
+
+        case MOp::PUSH:
+        case MOp::FPUSH:
+          if (!push(regfile_[di.a])) return;
+          break;
+        case MOp::POP:
+        case MOp::FPOP: {
+          u64 value = 0;
+          if (!pop(value)) return;
+          regfile_[di.a] = value;
+          break;
+        }
+        case MOp::PUSHF:
+          if (!push(flags_)) return;
+          break;
+        case MOp::POPF: {
+          u64 value = 0;
+          if (!pop(value)) return;
+          flags_ = static_cast<std::uint8_t>(value & 0xF);
+          break;
+        }
+        case MOp::SPADJ: {
+          u64& sp = regfile_[kSpSlot];
+          sp += static_cast<u64>(di.imm);
+          if (sp < ir::DataLayout::kStackLimit) {
+            fail(Trap::StackOverflow);
+            return;
+          }
+          break;
+        }
+
+        case MOp::B:
+          pc_ = static_cast<u64>(di.imm);
+          break;
+        case MOp::BCC:
+          if (backend::condHolds(static_cast<backend::Cond>(di.aux), flags_)) {
+            pc_ = static_cast<u64>(di.imm);
+          }
+          break;
+        case MOp::CALL:
+          if (!push(pc_)) return;  // return address = next instruction
+          pc_ = static_cast<u64>(di.imm);
+          break;
+        case MOp::RET: {
+          u64 ret = 0;
+          if (!pop(ret)) return;
+          if (ret == kHaltAddress) {
+            halted_ = true;
+            return;
+          }
+          if (ret >= codeSize) {
+            fail(Trap::InvalidPC);
+            return;
+          }
+          pc_ = ret;
+          break;
+        }
+        case MOp::SYSCALL:
+          if (!syscall(di.imm)) return;
+          break;
+
+        case MOp::FICHECK: {
+          RF_CHECK(fiRuntime_ != nullptr,
+                   "FICHECK executed without an FI runtime attached");
+          if (fiRuntime_->selInstr(static_cast<u64>(di.imm))) {
+            pc_ = di.aux;
+          }
+          break;
+        }
+        case MOp::SETUPFI: {
+          RF_CHECK(fiRuntime_ != nullptr,
+                   "SETUPFI executed without an FI runtime attached");
+          const auto [op, mask] = fiRuntime_->setupFI(static_cast<u64>(di.imm));
+          regfile_[0] = op;
+          regfile_[1] = mask;
+          break;
+        }
+
+        case MOp::NOP:
+          break;
+
+        default:
+          RF_UNREACHABLE("VM: pseudo instruction reached execution");
       }
-      break;
-    }
-    case MOp::FBITI: reg(0) = reg(1); break;
-    case MOp::IBITF: reg(0) = reg(1); break;
 
-    case MOp::ADD: reg(0) = reg(1) + reg(2); setIntFlags(reg(0)); break;
-    case MOp::SUB: reg(0) = reg(1) - reg(2); setIntFlags(reg(0)); break;
-    case MOp::MUL: reg(0) = reg(1) * reg(2); setIntFlags(reg(0)); break;
-    case MOp::DIV:
-    case MOp::REM: {
-      const i64 a = static_cast<i64>(reg(1));
-      const i64 b = static_cast<i64>(reg(2));
-      if (b == 0 || (a == std::numeric_limits<i64>::min() && b == -1)) {
-        return fail(Trap::DivByZero);
+      if constexpr (Hooked) {
+        hook_(thisPc, *this);
+        if (!hook_) return;  // detached mid-run: re-dispatch unhooked
       }
-      reg(0) = static_cast<u64>(inst.op() == MOp::DIV ? a / b : a % b);
-      setIntFlags(reg(0));
-      break;
-    }
-    case MOp::AND: reg(0) = reg(1) & reg(2); setIntFlags(reg(0)); break;
-    case MOp::OR: reg(0) = reg(1) | reg(2); setIntFlags(reg(0)); break;
-    case MOp::XOR: reg(0) = reg(1) ^ reg(2); setIntFlags(reg(0)); break;
-    case MOp::SHL: reg(0) = reg(1) << (reg(2) & 63); setIntFlags(reg(0)); break;
-    case MOp::ASHR:
-      reg(0) = static_cast<u64>(static_cast<i64>(reg(1)) >>
-                                (reg(2) & 63));
-      setIntFlags(reg(0));
-      break;
-    case MOp::LSHR: reg(0) = reg(1) >> (reg(2) & 63); setIntFlags(reg(0)); break;
-
-    case MOp::ADDri: reg(0) = reg(1) + static_cast<u64>(imm(2)); setIntFlags(reg(0)); break;
-    case MOp::ANDri: reg(0) = reg(1) & static_cast<u64>(imm(2)); setIntFlags(reg(0)); break;
-    case MOp::ORri: reg(0) = reg(1) | static_cast<u64>(imm(2)); setIntFlags(reg(0)); break;
-    case MOp::XORri: reg(0) = reg(1) ^ static_cast<u64>(imm(2)); setIntFlags(reg(0)); break;
-    case MOp::SHLri: reg(0) = reg(1) << (imm(2) & 63); setIntFlags(reg(0)); break;
-    case MOp::ASHRri:
-      reg(0) = static_cast<u64>(static_cast<i64>(reg(1)) >> (imm(2) & 63));
-      setIntFlags(reg(0));
-      break;
-    case MOp::LSHRri: reg(0) = reg(1) >> (imm(2) & 63); setIntFlags(reg(0)); break;
-    case MOp::MULri: reg(0) = reg(1) * static_cast<u64>(imm(2)); setIntFlags(reg(0)); break;
-
-    case MOp::FADD: reg(0) = asBits(asF64(reg(1)) + asF64(reg(2))); break;
-    case MOp::FSUB: reg(0) = asBits(asF64(reg(1)) - asF64(reg(2))); break;
-    case MOp::FMUL: reg(0) = asBits(asF64(reg(1)) * asF64(reg(2))); break;
-    case MOp::FDIV: reg(0) = asBits(asF64(reg(1)) / asF64(reg(2))); break;
-    case MOp::FMAX: {
-      // Semantics match the fused pattern select(a > b, a, b): NaN picks b.
-      const double a = asF64(reg(1));
-      const double b = asF64(reg(2));
-      reg(0) = asBits(a > b ? a : b);
-      break;
-    }
-    case MOp::FMIN: {
-      const double a = asF64(reg(1));
-      const double b = asF64(reg(2));
-      reg(0) = asBits(a < b ? a : b);
-      break;
-    }
-    case MOp::FABS: reg(0) = asBits(std::fabs(asF64(reg(1)))); break;
-    case MOp::FSQRT: reg(0) = asBits(std::sqrt(asF64(reg(1)))); break;
-
-    case MOp::CMP:
-      setCmpFlags(static_cast<i64>(reg(0)), static_cast<i64>(reg(1)));
-      break;
-    case MOp::CMPri:
-      setCmpFlags(static_cast<i64>(reg(0)), imm(1));
-      break;
-    case MOp::FCMP:
-      setFCmpFlags(asF64(reg(0)), asF64(reg(1)));
-      break;
-
-    case MOp::CSEL:
-    case MOp::FCSEL:
-      reg(0) = backend::condHolds(ops[3].cond, flags_) ? reg(1) : reg(2);
-      break;
-
-    case MOp::LDR:
-    case MOp::FLDR: {
-      u64 value = 0;
-      if (!loadWord(reg(1) + static_cast<u64>(imm(2)), value)) return false;
-      reg(0) = value;
-      break;
-    }
-    case MOp::STR:
-    case MOp::FSTR:
-      if (!storeWord(reg(1) + static_cast<u64>(imm(2)), reg(0))) return false;
-      break;
-
-    case MOp::LEAfi:
-      reg(0) = regs_[backend::kSpIndex] + static_cast<u64>(imm(1));
-      break;
-
-    case MOp::PUSH:
-    case MOp::FPUSH:
-      if (!push(reg(0))) return false;
-      break;
-    case MOp::POP:
-    case MOp::FPOP: {
-      u64 value = 0;
-      if (!pop(value)) return false;
-      reg(0) = value;
-      break;
-    }
-    case MOp::PUSHF:
-      if (!push(flags_)) return false;
-      break;
-    case MOp::POPF: {
-      u64 value = 0;
-      if (!pop(value)) return false;
-      flags_ = static_cast<std::uint8_t>(value & 0xF);
-      break;
-    }
-    case MOp::SPADJ: {
-      u64& sp = regs_[backend::kSpIndex];
-      sp += static_cast<u64>(imm(0));
-      if (sp < ir::DataLayout::kStackLimit) return fail(Trap::StackOverflow);
-      break;
     }
 
-    case MOp::B: pc_ = static_cast<u64>(imm(0)); break;
-    case MOp::BCC:
-      if (backend::condHolds(ops[0].cond, flags_)) {
-        pc_ = static_cast<u64>(imm(1));
-      }
-      break;
-    case MOp::CALL:
-      if (!push(pc_)) return false;  // return address = next instruction
-      pc_ = static_cast<u64>(imm(0));
-      break;
-    case MOp::RET: {
-      u64 ret = 0;
-      if (!pop(ret)) return false;
-      if (ret == kHaltAddress) {
-        halted_ = true;
-        return false;
-      }
-      if (ret >= program_.code.size()) return fail(Trap::InvalidPC);
-      pc_ = ret;
-      break;
+    if (timesOut) {
+      // The (headroom+1)-th instruction of the segment is the one that
+      // exceeds the budget: it counts but does not execute, exactly as in
+      // the per-step formulation.
+      ++count_;
+      fail(Trap::Timeout);
+      return;
     }
-    case MOp::SYSCALL:
-      if (!syscall(imm(0))) return false;
-      break;
-
-    case MOp::FICHECK: {
-      RF_CHECK(fiRuntime_ != nullptr,
-               "FICHECK executed without an FI runtime attached");
-      if (fiRuntime_->selInstr(static_cast<u64>(imm(0)))) {
-        pc_ = static_cast<u64>(imm(1));
-      }
-      break;
-    }
-    case MOp::SETUPFI: {
-      RF_CHECK(fiRuntime_ != nullptr,
-               "SETUPFI executed without an FI runtime attached");
-      const auto [op, mask] = fiRuntime_->setupFI(static_cast<u64>(imm(0)));
-      regs_[0] = op;
-      regs_[1] = mask;
-      break;
-    }
-
-    case MOp::NOP:
-      break;
-
-    default:
-      RF_UNREACHABLE("VM: pseudo instruction reached execution");
   }
-
-  if (hook_ != nullptr) hook_(thisPc, *this);
-  return true;
 }
 
-ExecResult Machine::run(std::uint64_t maxInstrs) {
-  budget_ = maxInstrs;
-  pc_ = program_.entry;
-  // Sentinel return address: RET from main halts the machine.
-  const bool pushed = push(kHaltAddress);
-  RF_CHECK(pushed, "failed to initialize the stack");
-
-  while (step()) {
+void Machine::execute() {
+  while (!halted_ && trap_ == Trap::None) {
+    if (hook_ != nullptr) {
+      execLoop<true>();
+    } else {
+      execLoop<false>();
+    }
   }
+}
 
+ExecResult Machine::finish() {
   ExecResult result;
   result.output = std::move(output_);
   result.instrCount = count_;
   if (halted_) {
-    result.exitCode = static_cast<i64>(regs_[0]);
+    result.exitCode = static_cast<i64>(regfile_[0]);
   } else {
     result.trapped = true;
     result.trap = trap_;
     result.exitCode = -1;
   }
   return result;
+}
+
+ExecResult Machine::run(std::uint64_t maxInstrs) {
+  RF_CHECK(!started_, "run() on a machine that already executed");
+  started_ = true;
+  budget_ = maxInstrs;
+  pc_ = program_.entry;
+  // Sentinel return address: RET from main halts the machine.
+  const bool pushed = push(kHaltAddress);
+  RF_CHECK(pushed, "failed to initialize the stack");
+
+  execute();
+  return finish();
+}
+
+Snapshot Machine::snapshot() const {
+  Snapshot snap;
+  std::memcpy(snap.regs, regfile_, sizeof(regfile_));
+  snap.flags = flags_;
+  snap.pc = pc_;
+  snap.instrCount = count_;
+  snap.stackLo = stackLo_;
+  snap.stackBytes.assign(
+      stack_.begin() + static_cast<std::ptrdiff_t>(
+                           stackLo_ - ir::DataLayout::kStackLimit),
+      stack_.end());
+  snap.globals = globals_;
+  snap.output = output_;
+  return snap;
+}
+
+void Machine::restore(const Snapshot& snap) {
+  RF_CHECK(!started_, "restore() requires a freshly constructed machine");
+  RF_CHECK(snap.instrCount > 0, "restore() of an empty snapshot");
+  started_ = true;
+  std::memcpy(regfile_, snap.regs, sizeof(regfile_));
+  flags_ = snap.flags;
+  pc_ = snap.pc;
+  count_ = snap.instrCount;
+  stackLo_ = snap.stackLo;
+  // Bytes below stackLo were never written when the snapshot was taken and
+  // are still zero in this fresh machine, so copying [stackLo, top) rebuilds
+  // the full stack image.
+  std::memcpy(&stack_[snap.stackLo - ir::DataLayout::kStackLimit],
+              snap.stackBytes.data(), snap.stackBytes.size());
+  RF_CHECK(snap.globals.size() == globals_.size(),
+           "snapshot globals do not match this program");
+  globals_ = snap.globals;
+  output_ = snap.output;
+}
+
+ExecResult Machine::resume(std::uint64_t maxInstrs) {
+  RF_CHECK(started_ && count_ > 0 && !halted_ && trap_ == Trap::None,
+           "resume() requires a restored machine");
+  budget_ = maxInstrs;
+  execute();
+  return finish();
 }
 
 }  // namespace refine::vm

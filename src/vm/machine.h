@@ -7,6 +7,12 @@
 // silent output corruption vs benign) is decided entirely by this machine's
 // semantics.
 //
+// Execution runs on a predecoded core (vm/decoded.h): the program is decoded
+// once into a flat DecodedInst array, the run loop is instantiated separately
+// for the hooked and unhooked cases (the common no-hook path has no per-step
+// indirection at all), and the instruction-budget check is amortized over
+// straight-line segments instead of being paid per step.
+//
 // Two integration points exist for fault injection:
 //  * an instruction hook called after every executed instruction — the
 //    "dynamic binary instrumentation" interface PINFI uses (detachable
@@ -14,15 +20,23 @@
 //  * the FiRuntime interface backing the FICHECK/SETUPFI instrumentation
 //    that the REFINE compiler pass emits (the paper's fault injection
 //    library, a native uninstrumented library linked with the binary).
+//
+// For trial fast-forward, a machine can snapshot() its full state mid-run
+// (from a hook) and a fresh machine for the same program can restore() that
+// snapshot and resume(): the resumed run is bit-identical to a cold start
+// that executed the prefix, because the prefix is deterministic.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "backend/program.h"
+#include "vm/decoded.h"
+#include "vm/snapshot.h"
 
 namespace refine::vm {
 
@@ -64,7 +78,13 @@ using InstrHook = std::function<void(std::uint64_t pc, Machine&)>;
 
 class Machine {
  public:
+  /// Decodes `program` privately. For one-off runs (examples, tests).
   explicit Machine(const backend::Program& program);
+
+  /// Shares a prebuilt decode of the same program: the campaign path, where
+  /// one DecodedProgram serves millions of trials. `decoded` must outlive
+  /// the machine and have been built from `program`.
+  Machine(const backend::Program& program, const DecodedProgram& decoded);
 
   /// Binary-instrumentation hook (PINFI). May be cleared mid-run (detach).
   void setHook(InstrHook hook) { hook_ = std::move(hook); }
@@ -75,7 +95,29 @@ class Machine {
   void setFiRuntime(FiRuntime* runtime) noexcept { fiRuntime_ = runtime; }
 
   /// Runs from the program entry until halt, trap or budget exhaustion.
+  /// Only valid on a machine that has not executed yet.
   ExecResult run(std::uint64_t maxInstrs = 1'000'000'000);
+
+  // -- Snapshot / resume (trial fast-forward) --------------------------------
+
+  /// Copies the full architectural state (callable mid-run from a hook).
+  /// Snapshot::dynamicCount is the caller's to fill (see SnapshotChain).
+  Snapshot snapshot() const;
+
+  /// Loads `snap` into this machine. Only valid on a freshly constructed
+  /// machine (its stack is still all-zero below the snapshot's low-water
+  /// mark, which restore relies on). Follow with resume().
+  void restore(const Snapshot& snap);
+
+  /// Continues a restored machine until halt, trap or budget exhaustion.
+  /// `maxInstrs` counts from program start (instrCount continues from the
+  /// snapshot), so passing the same budget as a cold run() reproduces its
+  /// timeout behavior exactly.
+  ExecResult resume(std::uint64_t maxInstrs = 1'000'000'000);
+
+  /// Pre-sizes the output accumulator (e.g. to the profiled golden-output
+  /// length) so print syscalls never reallocate mid-run.
+  void reserveOutput(std::size_t bytes) { output_.reserve(bytes); }
 
   // -- Architectural state (exposed for fault injectors) ---------------------
   std::uint64_t& gpr(unsigned i);
@@ -105,25 +147,41 @@ class Machine {
     return false;
   }
 
-  /// Executes one instruction; returns false on trap or halt.
-  bool step();
+  /// Dispatches between the hooked and unhooked run-loop instantiations
+  /// until the machine halts or traps.
+  void execute();
+
+  /// The predecoded run loop. Executes until halt or trap; the Hooked
+  /// instantiation also returns when the hook detaches itself mid-run (the
+  /// dispatcher then re-enters the unhooked loop).
+  template <bool Hooked>
+  void execLoop();
+
+  ExecResult finish();
 
   const backend::Program& program_;
+  const DecodedProgram* decoded_;               // owned_ or caller-provided
+  std::unique_ptr<DecodedProgram> owned_;
   std::vector<std::uint8_t> globals_;
   std::vector<std::uint8_t> stack_;
-  std::uint64_t regs_[16] = {};
-  std::uint64_t fregs_[16] = {};
+  /// Unified register file: slots 0..15 = r0..r15 (r15 = sp), 16..31 =
+  /// f0..f15. Predecoded register operands index it directly.
+  std::uint64_t regfile_[32] = {};
   std::uint8_t flags_ = 0;
   std::uint64_t pc_ = 0;
   std::uint64_t count_ = 0;
   std::uint64_t budget_ = 0;
+  /// Low-water mark of stack writes: every byte below this is still zero.
+  std::uint64_t stackLo_ = 0;
   std::string output_;
   Trap trap_ = Trap::None;
   bool halted_ = false;
+  bool started_ = false;
   InstrHook hook_;
   FiRuntime* fiRuntime_ = nullptr;
 
   static constexpr std::uint64_t kHaltAddress = ~0ULL;
+  static constexpr unsigned kSpSlot = 15;  // r15 in the unified file
 };
 
 }  // namespace refine::vm

@@ -1,0 +1,68 @@
+#include "vm/snapshot.h"
+
+#include "support/check.h"
+#include "vm/machine.h"
+
+namespace refine::vm {
+
+SnapshotChain::SnapshotChain(std::uint64_t initialInterval,
+                             std::size_t maxSnapshots)
+    : interval_(initialInterval),
+      nextCapture_(initialInterval),
+      maxSnapshots_(maxSnapshots) {
+  RF_CHECK(initialInterval > 0, "snapshot interval must be positive");
+  // Even and >= 2: decimation keeps every second snapshot, and only an even
+  // bound keeps the post-decimation capture points on the doubled-interval
+  // grid (the documented even-spacing invariant).
+  RF_CHECK(maxSnapshots >= 2 && maxSnapshots % 2 == 0,
+           "snapshot chain capacity must be an even number >= 2");
+}
+
+bool SnapshotChain::due(const Machine& m) const noexcept {
+  return m.instrCount() >= nextCapture_;
+}
+
+void SnapshotChain::capture(const Machine& m, std::uint64_t dynamicCount) {
+  if (snapshots_.size() >= maxSnapshots_) {
+    // Decimate *instead of* capturing: keep every second snapshot, double
+    // the interval, and skip this (now off-grid) capture point, so no
+    // full-state copy is ever taken just to be discarded. Surviving
+    // snapshots and future capture points are all multiples of the new
+    // interval — spacing stays even across arbitrarily long runs.
+    std::vector<Snapshot> kept;
+    kept.reserve(snapshots_.size() / 2);
+    for (std::size_t i = 1; i < snapshots_.size(); i += 2) {
+      kept.push_back(std::move(snapshots_[i]));
+    }
+    snapshots_ = std::move(kept);
+    nextCapture_ += interval_;
+    interval_ *= 2;
+    return;
+  }
+
+  RF_CHECK(snapshots_.empty() ||
+               snapshots_.back().instrCount < m.instrCount(),
+           "snapshots must be captured in execution order");
+  snapshots_.push_back(m.snapshot());
+  snapshots_.back().dynamicCount = dynamicCount;
+  nextCapture_ += interval_;
+}
+
+const Snapshot* SnapshotChain::findBefore(
+    std::uint64_t targetDynamicIndex,
+    std::uint64_t instrBudget) const noexcept {
+  // Chains hold at most ~maxSnapshots entries ordered by execution time, so
+  // a reverse linear scan beats binary search bookkeeping. The instrCount
+  // bound keeps resumes behind the budget horizon: a cold run times out
+  // after `instrBudget` executed instructions, so a snapshot at or below it
+  // reproduces that timeout exactly, while one past it would not.
+  for (std::size_t i = snapshots_.size(); i-- > 0;) {
+    if (snapshots_[i].dynamicCount < targetDynamicIndex &&
+        snapshots_[i].instrCount <= instrBudget) {
+      return &snapshots_[i];
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace refine::vm

@@ -1,0 +1,85 @@
+// Periodic machine snapshots for trial fast-forward (ZOFI-style, see
+// PAPERS.md): the fault-free prefix of every injection trial is pure
+// overhead, so the one-time profiling run captures K evenly spaced copies of
+// the full architectural state; each injecting trial then restores the
+// nearest snapshot below its drawn dynamic-target index and executes only
+// the suffix.
+//
+// Soundness: the fault-free prefix is deterministic and the trial's RNG is
+// consumed only at the trigger point, so a restored machine is bit-identical
+// to one that cold-started — outcomes, outputs and instruction counts match
+// exactly (tests/snapshot_test.cpp proves this per app x tool).
+//
+// A chain is filled once, during profiling (single-threaded), and is
+// read-only afterwards: campaign workers share it without locks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace refine::vm {
+
+class Machine;
+
+/// Full architectural state at one instant of a run, restorable into a
+/// freshly constructed Machine for the same program.
+struct Snapshot {
+  std::uint64_t regs[32] = {};    // unified register file (GPR 0-15, FPR 16-31)
+  std::uint8_t flags = 0;
+  std::uint64_t pc = 0;
+  std::uint64_t instrCount = 0;   // instructions executed before this point
+  /// Tool-visible dynamic fault targets executed before this point (REFINE:
+  /// FI-library count, PINFI: hook count, LLFI: guest counter global).
+  std::uint64_t dynamicCount = 0;
+  /// Stack bytes in [stackLo, DataLayout::kStackTop); everything below
+  /// stackLo was never written and is still zero (the machine tracks the
+  /// low-water mark of stack writes).
+  std::uint64_t stackLo = 0;
+  std::vector<std::uint8_t> stackBytes;
+  std::vector<std::uint8_t> globals;
+  std::string output;
+
+  std::uint64_t memoryBytes() const noexcept {
+    return stackBytes.size() + globals.size() + output.size() + sizeof(*this);
+  }
+};
+
+/// Evenly spaced snapshot history with bounded cardinality: captures every
+/// `interval` instructions; when the chain would exceed `maxSnapshots`, every
+/// second snapshot is dropped and the interval doubles, so arbitrarily long
+/// profiling runs keep <= maxSnapshots evenly spaced restore points.
+class SnapshotChain {
+ public:
+  explicit SnapshotChain(std::uint64_t initialInterval = 1 << 13,
+                         std::size_t maxSnapshots = 32);
+
+  /// Cheap per-instruction test: true when the machine just crossed the next
+  /// capture point (call from an instruction hook, then call capture()).
+  bool due(const Machine& m) const noexcept;
+
+  /// Captures the machine state tagged with the tool's dynamic-target count.
+  void capture(const Machine& m, std::uint64_t dynamicCount);
+
+  /// Latest snapshot whose dynamicCount is strictly below
+  /// `targetDynamicIndex` (1-based), i.e. whose restore point lies before
+  /// the injection trigger, and whose instrCount is within `instrBudget`
+  /// (a snapshot past the trial's budget would resume beyond the point a
+  /// cold run times out at, breaking bit-identity). nullptr when no
+  /// snapshot qualifies — the caller falls back to a cold start.
+  const Snapshot* findBefore(std::uint64_t targetDynamicIndex,
+                             std::uint64_t instrBudget = ~0ULL) const noexcept;
+
+  std::size_t size() const noexcept { return snapshots_.size(); }
+  bool empty() const noexcept { return snapshots_.empty(); }
+  std::uint64_t interval() const noexcept { return interval_; }
+  const std::vector<Snapshot>& snapshots() const noexcept { return snapshots_; }
+
+ private:
+  std::uint64_t interval_;
+  std::uint64_t nextCapture_;
+  std::size_t maxSnapshots_;
+  std::vector<Snapshot> snapshots_;
+};
+
+}  // namespace refine::vm

@@ -1,0 +1,380 @@
+// Trial fast-forward tests: snapshot capture/restore at the Machine level,
+// SnapshotChain bookkeeping, and the campaign-level soundness property the
+// whole optimization rests on — for every app x tool, a snapshot-resumed
+// injection trial is bit-identical to a cold-start trial (outcome class,
+// output, fault record, instruction count), with a cold-start fallback when
+// no snapshot precedes the drawn target.
+#include <gtest/gtest.h>
+
+#include "apps/apps.h"
+#include "backend/compile.h"
+#include "campaign/outcome.h"
+#include "campaign/tools.h"
+#include "frontend/compile.h"
+#include "ir/interp.h"
+#include "opt/passes.h"
+#include "support/check.h"
+#include "vm/decoded.h"
+#include "vm/machine.h"
+#include "vm/snapshot.h"
+
+namespace refine {
+namespace {
+
+backend::CodegenResult compileApp(const std::string& source) {
+  auto module = fe::compileToIR(source);
+  opt::optimize(*module, opt::OptLevel::O2);
+  return backend::compileBackend(*module);
+}
+
+const char* kLoopSource =
+    "fn main() -> i64 {\n"
+    "  var acc: i64 = 0;\n"
+    "  for (var i: i64 = 0; i < 5000; i = i + 1) {\n"
+    "    acc = (acc * 31 + i) % 1000003;\n"
+    "    if (i % 1000 == 0) { print_i64(acc); }\n"
+    "  }\n"
+    "  print_i64(acc);\n"
+    "  return 0;\n"
+    "}\n";
+
+// ---------------------------------------------------------------------------
+// Machine snapshot/restore/resume
+// ---------------------------------------------------------------------------
+
+TEST(MachineSnapshot, ResumedRunBitIdenticalToColdRun) {
+  const auto compiled = compileApp(kLoopSource);
+  vm::Machine cold(compiled.program);
+  const auto coldResult = cold.run();
+  ASSERT_FALSE(coldResult.trapped);
+
+  // Capture one snapshot mid-run, then finish from it on a fresh machine.
+  for (const std::uint64_t at :
+       {std::uint64_t{1000}, std::uint64_t{20000}, coldResult.instrCount - 5}) {
+    vm::Snapshot snap;
+    vm::Machine probe(compiled.program);
+    probe.setHook([&](std::uint64_t, vm::Machine& m) {
+      if (m.instrCount() == at) {
+        snap = m.snapshot();
+        m.clearHook();
+      }
+    });
+    const auto probeResult = probe.run();
+    ASSERT_EQ(snap.instrCount, at);
+
+    vm::Machine resumed(compiled.program);
+    resumed.restore(snap);
+    const auto result = resumed.resume();
+    EXPECT_EQ(result.trapped, coldResult.trapped);
+    EXPECT_EQ(result.exitCode, coldResult.exitCode);
+    EXPECT_EQ(result.output, coldResult.output);
+    EXPECT_EQ(result.instrCount, coldResult.instrCount);
+    EXPECT_EQ(probeResult.output, coldResult.output);
+  }
+}
+
+TEST(MachineSnapshot, ResumePreservesTimeoutPointExactly) {
+  const auto compiled = compileApp(kLoopSource);
+  const std::uint64_t budget = 5000;
+
+  vm::Machine cold(compiled.program);
+  const auto coldResult = cold.run(budget);
+  ASSERT_TRUE(coldResult.trapped);
+  ASSERT_EQ(coldResult.trap, vm::Trap::Timeout);
+  // The budget-exceeding instruction counts but does not execute.
+  ASSERT_EQ(coldResult.instrCount, budget + 1);
+
+  vm::Snapshot snap;
+  vm::Machine probe(compiled.program);
+  probe.setHook([&](std::uint64_t, vm::Machine& m) {
+    if (m.instrCount() == 3000) {
+      snap = m.snapshot();
+      m.clearHook();
+    }
+  });
+  probe.run(budget);
+
+  vm::Machine resumed(compiled.program);
+  resumed.restore(snap);
+  const auto result = resumed.resume(budget);
+  EXPECT_TRUE(result.trapped);
+  EXPECT_EQ(result.trap, vm::Trap::Timeout);
+  EXPECT_EQ(result.instrCount, coldResult.instrCount);
+  EXPECT_EQ(result.output, coldResult.output);
+}
+
+TEST(MachineSnapshot, RestoreRequiresFreshMachine) {
+  const auto compiled = compileApp(kLoopSource);
+  vm::Snapshot snap;
+  vm::Machine probe(compiled.program);
+  probe.setHook([&](std::uint64_t, vm::Machine& m) {
+    if (m.instrCount() == 100) {
+      snap = m.snapshot();
+      m.clearHook();
+    }
+  });
+  probe.run();
+
+  vm::Machine used(compiled.program);
+  used.run();
+  EXPECT_THROW(used.restore(snap), CheckError);
+
+  vm::Machine fresh(compiled.program);
+  EXPECT_THROW(fresh.resume(), CheckError);  // resume without restore
+}
+
+TEST(MachineSnapshot, SharedDecodeMatchesPrivateDecode) {
+  const auto compiled = compileApp(kLoopSource);
+  const vm::DecodedProgram decoded(compiled.program);
+  vm::Machine shared(compiled.program, decoded);
+  vm::Machine owned(compiled.program);
+  const auto a = shared.run();
+  const auto b = owned.run();
+  EXPECT_EQ(a.output, b.output);
+  EXPECT_EQ(a.instrCount, b.instrCount);
+  EXPECT_EQ(a.exitCode, b.exitCode);
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotChain
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotChain, CapturesPeriodicallyAndDecimates) {
+  const auto compiled = compileApp(kLoopSource);
+  vm::SnapshotChain chain(/*initialInterval=*/512, /*maxSnapshots=*/4);
+  vm::Machine machine(compiled.program);
+  machine.setHook([&](std::uint64_t, vm::Machine& m) {
+    if (chain.due(m)) chain.capture(m, m.instrCount());
+  });
+  const auto result = machine.run();
+  ASSERT_FALSE(result.trapped);
+  ASSERT_GT(result.instrCount, 4u * 512u);  // enough to force decimation
+
+  EXPECT_GE(chain.size(), 2u);
+  EXPECT_LE(chain.size(), 4u);
+  EXPECT_GT(chain.interval(), 512u);  // decimation doubled the interval
+  // Snapshots stay ordered by execution time.
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    EXPECT_LT(chain.snapshots()[i - 1].instrCount,
+              chain.snapshots()[i].instrCount);
+  }
+}
+
+TEST(SnapshotChain, FindBeforeIsStrictlyBelowTarget) {
+  const auto compiled = compileApp(kLoopSource);
+  vm::SnapshotChain chain(/*initialInterval=*/1000, /*maxSnapshots=*/64);
+  vm::Machine machine(compiled.program);
+  machine.setHook([&](std::uint64_t, vm::Machine& m) {
+    if (chain.due(m)) chain.capture(m, m.instrCount());
+  });
+  machine.run();
+  ASSERT_GE(chain.size(), 3u);
+
+  const auto& snaps = chain.snapshots();
+  // A target below (or at) the first snapshot's count has no restore point:
+  // the snapshot would already be past the injection trigger.
+  EXPECT_EQ(chain.findBefore(1), nullptr);
+  EXPECT_EQ(chain.findBefore(snaps[0].dynamicCount), nullptr);
+  // Just above the first snapshot: exactly that snapshot qualifies.
+  EXPECT_EQ(chain.findBefore(snaps[0].dynamicCount + 1), &snaps[0]);
+  // A huge target gets the latest snapshot.
+  EXPECT_EQ(chain.findBefore(~0ULL), &snaps[chain.size() - 1]);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign-level equivalence: every app x tool
+// ---------------------------------------------------------------------------
+
+struct CellParam {
+  apps::AppInfo app;
+  campaign::Tool tool;
+};
+
+class SnapshotEquivalence : public ::testing::TestWithParam<CellParam> {};
+
+TEST_P(SnapshotEquivalence, ResumedTrialMatchesColdStartBitForBit) {
+  const auto& [app, tool] = GetParam();
+  auto instance =
+      campaign::makeToolInstance(tool, app.source, fi::FiConfig::allOn());
+  const auto& profile = instance->profile();
+  ASSERT_GT(profile.dynamicTargets, 2u);
+  // Profiling filled the snapshot chain (every app runs >= 20k instructions,
+  // far beyond the initial capture interval).
+  EXPECT_FALSE(instance->snapshots().empty())
+      << app.name << " x " << campaign::toolName(tool);
+
+  const std::uint64_t budget = 10 * profile.instrCount;
+  const std::uint64_t targets[] = {1, profile.dynamicTargets / 2,
+                                   profile.dynamicTargets};
+  bool anyFastForwarded = false;
+  for (const std::uint64_t target : targets) {
+    for (const std::uint64_t seed : {7ULL, 1234567ULL}) {
+      instance->setFastForward(true);
+      const auto fast = instance->runTrial(target, seed, budget);
+      instance->setFastForward(false);
+      const auto cold = instance->runTrial(target, seed, budget);
+      ASSERT_EQ(cold.fastForwardedInstrs, 0u);
+      anyFastForwarded |= fast.fastForwardedInstrs > 0;
+
+      const std::string label = std::string(app.name) + " x " +
+                                campaign::toolName(tool) + " target " +
+                                std::to_string(target);
+      // Bit-for-bit: execution result...
+      EXPECT_EQ(fast.exec.trapped, cold.exec.trapped) << label;
+      EXPECT_EQ(fast.exec.trap, cold.exec.trap) << label;
+      EXPECT_EQ(fast.exec.exitCode, cold.exec.exitCode) << label;
+      EXPECT_EQ(fast.exec.output, cold.exec.output) << label;
+      EXPECT_EQ(fast.exec.instrCount, cold.exec.instrCount) << label;
+      // ...outcome class...
+      EXPECT_EQ(campaign::classify(fast.exec, profile.goldenOutput),
+                campaign::classify(cold.exec, profile.goldenOutput))
+          << label;
+      // ...and the fault record.
+      ASSERT_EQ(fast.fault.has_value(), cold.fault.has_value()) << label;
+      if (fast.fault && cold.fault) {
+        EXPECT_EQ(fast.fault->dynamicIndex, cold.fault->dynamicIndex) << label;
+        EXPECT_EQ(fast.fault->siteId, cold.fault->siteId) << label;
+        EXPECT_EQ(fast.fault->function, cold.fault->function) << label;
+        EXPECT_EQ(fast.fault->operandIndex, cold.fault->operandIndex) << label;
+        EXPECT_EQ(fast.fault->operandKind, cold.fault->operandKind) << label;
+        EXPECT_EQ(fast.fault->bit, cold.fault->bit) << label;
+        EXPECT_EQ(fast.fault->mask, cold.fault->mask) << label;
+      }
+    }
+  }
+  // At least the late targets must actually have skipped their prefix —
+  // otherwise this test proves nothing about the fast path.
+  EXPECT_TRUE(anyFastForwarded)
+      << app.name << " x " << campaign::toolName(tool)
+      << ": no trial resumed from a snapshot";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, SnapshotEquivalence,
+    ::testing::ValuesIn([] {
+      std::vector<CellParam> cells;
+      for (const auto& app : apps::benchmarkApps()) {
+        for (const auto tool : {campaign::Tool::LLFI, campaign::Tool::REFINE,
+                                campaign::Tool::PINFI}) {
+          cells.push_back({app, tool});
+        }
+      }
+      return cells;
+    }()),
+    [](const ::testing::TestParamInfo<CellParam>& info) {
+      std::string name = info.param.app.name;
+      name += "_";
+      name += campaign::toolName(info.param.tool);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Fallback: no snapshot precedes the target
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotFallback, TinyProgramRunsColdAndMatches) {
+  // ~300 dynamic instructions: far below the first capture point, so the
+  // chain stays empty and every trial must fall back to a cold start.
+  const char* tiny =
+      "fn main() -> i64 {\n"
+      "  var acc: i64 = 0;\n"
+      "  for (var i: i64 = 0; i < 20; i = i + 1) { acc = acc + i * i; }\n"
+      "  print_i64(acc);\n"
+      "  return 0;\n"
+      "}\n";
+  for (const auto tool : {campaign::Tool::LLFI, campaign::Tool::REFINE,
+                          campaign::Tool::PINFI}) {
+    auto instance =
+        campaign::makeToolInstance(tool, tiny, fi::FiConfig::allOn());
+    const auto& profile = instance->profile();
+    EXPECT_TRUE(instance->snapshots().empty()) << campaign::toolName(tool);
+
+    const std::uint64_t budget = 10 * profile.instrCount;
+    const auto fast = instance->runTrial(profile.dynamicTargets, 99, budget);
+    EXPECT_EQ(fast.fastForwardedInstrs, 0u) << campaign::toolName(tool);
+    instance->setFastForward(false);
+    const auto cold = instance->runTrial(profile.dynamicTargets, 99, budget);
+    EXPECT_EQ(fast.exec.output, cold.exec.output);
+    EXPECT_EQ(fast.exec.instrCount, cold.exec.instrCount);
+  }
+}
+
+TEST(SnapshotFallback, SnapshotsPastTheBudgetHorizonAreSkipped) {
+  // A trial budget below every snapshot's instrCount must cold-start: a
+  // resume from beyond the budget would never reproduce the cold run's
+  // timeout point. Both paths must still agree bit-for-bit.
+  const auto& app = *apps::findApp("EP");
+  for (const auto tool : {campaign::Tool::LLFI, campaign::Tool::REFINE,
+                          campaign::Tool::PINFI}) {
+    auto instance =
+        campaign::makeToolInstance(tool, app.source, fi::FiConfig::allOn());
+    const auto& profile = instance->profile();
+    ASSERT_FALSE(instance->snapshots().empty());
+    const std::uint64_t tinyBudget =
+        instance->snapshots().snapshots().front().instrCount / 2;
+
+    const auto fast =
+        instance->runTrial(profile.dynamicTargets, 11, tinyBudget);
+    EXPECT_EQ(fast.fastForwardedInstrs, 0u) << campaign::toolName(tool);
+    instance->setFastForward(false);
+    const auto cold =
+        instance->runTrial(profile.dynamicTargets, 11, tinyBudget);
+    EXPECT_EQ(fast.exec.trap, cold.exec.trap) << campaign::toolName(tool);
+    EXPECT_EQ(fast.exec.instrCount, cold.exec.instrCount)
+        << campaign::toolName(tool);
+    EXPECT_EQ(fast.exec.output, cold.exec.output) << campaign::toolName(tool);
+  }
+}
+
+TEST(SnapshotFallback, EarlyTargetFallsBackWhileLateTargetResumes) {
+  // On a real app the first dynamic target precedes the first snapshot, so
+  // target 1 must cold-start even though the chain is populated.
+  const auto& app = *apps::findApp("EP");
+  auto instance = campaign::makeToolInstance(campaign::Tool::REFINE,
+                                             app.source, fi::FiConfig::allOn());
+  const auto& profile = instance->profile();
+  ASSERT_FALSE(instance->snapshots().empty());
+
+  const std::uint64_t budget = 10 * profile.instrCount;
+  const auto early = instance->runTrial(1, 5, budget);
+  EXPECT_EQ(early.fastForwardedInstrs, 0u);
+  const auto late = instance->runTrial(profile.dynamicTargets, 5, budget);
+  EXPECT_GT(late.fastForwardedInstrs, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Predecoded core vs the reference IR interpreter, across all apps
+// ---------------------------------------------------------------------------
+
+class PredecodedDifferential : public ::testing::TestWithParam<apps::AppInfo> {};
+
+TEST_P(PredecodedDifferential, AgreesWithInterpreterOnOutputAndTraps) {
+  const auto& app = GetParam();
+  auto refModule = fe::compileToIR(app.source);
+  const auto ref = ir::interpret(*refModule, "main", 500'000'000);
+
+  const auto compiled = compileApp(app.source);
+  const vm::DecodedProgram decoded(compiled.program);
+  vm::Machine machine(compiled.program, decoded);
+  const auto got = machine.run(500'000'000);
+
+  EXPECT_EQ(ref.trapped, got.trapped) << app.name;
+  EXPECT_EQ(ref.exitCode, got.exitCode) << app.name;
+  EXPECT_EQ(ref.output, got.output) << app.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllApps, PredecodedDifferential, ::testing::ValuesIn(apps::benchmarkApps()),
+    [](const ::testing::TestParamInfo<apps::AppInfo>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace refine
