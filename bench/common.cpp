@@ -72,18 +72,30 @@ FullCampaign loadOrRunFullCampaign() {
   // resumes — only the missing cells execute.
   std::optional<campaign::CheckpointStore> store;
   if (!noCache) {
-    try {
+    const auto openAndBind = [&] {
       store.emplace(cachePath(config));
+      // Bind the campaign meta eagerly (the engine would do it inside
+      // runMatrix anyway): a cache from a different campaign — including a
+      // pre-fault-model store without the tools= binding — fails HERE,
+      // where it can be discarded, instead of aborting the bench mid-run.
+      store->bindCampaign({config.baseSeed, config.trials,
+                           config.timeoutFactor, join(toolOrder(), ";")});
+    };
+    try {
+      openAndBind();
     } catch (const std::exception& e) {
-      // A foreign/unreadable file at the cache path: discard it and start a
-      // fresh store so one bad file doesn't disable caching forever.
+      // A foreign/unreadable/mis-bound file at the cache path: discard it
+      // and start a fresh store so one bad file doesn't disable caching
+      // forever.
       std::fprintf(stderr, "[bench] discarding unusable campaign cache: %s\n",
                    e.what());
+      store.reset();
       std::remove(cachePath(config).c_str());
       try {
-        store.emplace(cachePath(config));
+        openAndBind();
       } catch (const std::exception&) {
         // Non-fatal: the cache is an optimization only (e.g. read-only cwd).
+        store.reset();
       }
     }
   }

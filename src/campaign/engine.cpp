@@ -1,10 +1,12 @@
 #include "campaign/engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <optional>
 
 #include "support/rng.h"
+#include "support/strings.h"
 #include "support/timer.h"
 
 namespace refine::campaign {
@@ -142,10 +144,26 @@ std::vector<CampaignResult> CampaignEngine::runMatrix(
              "outcomes are not persisted; run those analyses live)");
     // Stamp (or verify) the campaign the store belongs to before trusting
     // any of its records — a store written under a different base seed,
-    // trial count or timeout factor would mislabel old results (the timeout
-    // factor decides which trials classify as Crash) as this campaign's.
-    options.checkpoint->bindCampaign(
-        {config_.baseSeed, config_.trials, config_.timeoutFactor});
+    // trial count, timeout factor or tool-spec set would mislabel old
+    // results (the timeout factor decides which trials classify as Crash;
+    // the specs decide which fault population each cell sampled) as this
+    // campaign's. The tool list derives from the FULL job list, not the
+    // shard slice, so every shard of one matrix binds the same meta.
+    std::vector<std::string> toolKeys;
+    for (const auto& job : jobs) {
+      if (std::find(toolKeys.begin(), toolKeys.end(), job.tool) !=
+          toolKeys.end()) {
+        continue;
+      }
+      RF_CHECK(job.tool.find_first_of(" \t\n\r;") == std::string::npos,
+               "tool key '" + job.tool +
+                   "' cannot be bound into checkpoint meta (whitespace and "
+                   "';' break the meta line framing)");
+      toolKeys.push_back(job.tool);
+    }
+    options.checkpoint->bindCampaign({config_.baseSeed, config_.trials,
+                                      config_.timeoutFactor,
+                                      join(toolKeys, ";")});
   }
 
   // Phase 0: select this shard's slice and split it into cells resumed from

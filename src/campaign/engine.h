@@ -71,7 +71,9 @@ class CampaignEngine {
   /// options.checkpoint, and streaming each freshly drained cell into the
   /// store. Results cover exactly this shard's jobs, in job order. Throws
   /// CheckError when a checkpointed cell's trial count differs from this
-  /// engine's config (a store from a different campaign setup).
+  /// engine's config (a store from a different campaign setup), or when the
+  /// store's campaign meta lacks or contradicts this matrix's tool-spec
+  /// list (resuming would silently mix fault populations).
   std::vector<CampaignResult> runMatrix(const std::vector<MatrixJob>& jobs,
                                         const MatrixOptions& options,
                                         const ResultCallback& onCellDone = {});

@@ -32,10 +32,10 @@ std::string encodePayload(const CampaignResult& r) {
 }
 
 std::string formatMetaLine(const CampaignMeta& meta) {
-  return strf("#campaign seed=%016llx trials=%llu timeout=%s",
+  return strf("#campaign seed=%016llx trials=%llu timeout=%s tools=%s",
               static_cast<unsigned long long>(meta.baseSeed),
               static_cast<unsigned long long>(meta.trials),
-              formatDouble(meta.timeoutFactor).c_str());
+              formatDouble(meta.timeoutFactor).c_str(), meta.tools.c_str());
 }
 
 std::optional<CampaignMeta> parseMetaLine(std::string_view line) {
@@ -47,11 +47,22 @@ std::optional<CampaignMeta> parseMetaLine(std::string_view line) {
   const std::string_view afterSeed = rest.substr(trialsAt + 8);
   const std::size_t timeoutAt = afterSeed.find(" timeout=");
   if (timeoutAt == std::string_view::npos) return std::nullopt;
+  const std::string_view afterTimeout = afterSeed.substr(timeoutAt + 9);
+  // tools= was added with the fault-model library; a line without it is a
+  // legacy store and parses to an empty tools string, which bindCampaign
+  // then rejects for resumes (the records' fault models are unknowable).
+  const std::size_t toolsAt = afterTimeout.find(" tools=");
+  const std::string_view timeoutText =
+      toolsAt == std::string_view::npos ? afterTimeout
+                                        : afterTimeout.substr(0, toolsAt);
   const auto seed = parseU64(rest.substr(0, trialsAt), 16);
   const auto trials = parseU64(afterSeed.substr(0, timeoutAt));
-  const auto timeout = parseF64(afterSeed.substr(timeoutAt + 9));
+  const auto timeout = parseF64(timeoutText);
   if (!seed || !trials || !timeout) return std::nullopt;
-  return CampaignMeta{*seed, *trials, *timeout};
+  std::string tools = toolsAt == std::string_view::npos
+                          ? std::string()
+                          : std::string(afterTimeout.substr(toolsAt + 7));
+  return CampaignMeta{*seed, *trials, *timeout, std::move(tools)};
 }
 
 /// Parsed prefix of a checkpoint file: everything up to the first torn or
@@ -221,6 +232,17 @@ CheckpointStore::~CheckpointStore() {
 void CheckpointStore::bindCampaign(const CampaignMeta& meta) {
   std::scoped_lock lock(mutex_);
   if (meta_) {
+    // A store stamped before the fault-model library has no tool-spec
+    // binding: its records cannot be attributed to a fault population, so
+    // resuming it against any spec-bound campaign would silently mix
+    // models. Reject it with its own message (the generic mismatch text
+    // below would read as a seed/trials problem).
+    RF_CHECK(!(meta_->tools.empty() && !meta.tools.empty()),
+             "checkpoint " + path_ +
+                 " was written without a tool spec in its campaign meta "
+                 "(pre-fault-model store): its records cannot be matched to "
+                 "this run's fault models; re-run into a fresh checkpoint "
+                 "file");
     RF_CHECK(*meta_ == meta,
              "checkpoint " + path_ + " belongs to campaign " +
                  formatMetaLine(*meta_) + " but this run is " +

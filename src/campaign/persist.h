@@ -40,16 +40,23 @@ struct ShardSpec {
 /// Parses "I/N" (e.g. "0/3"). Throws CheckError when malformed or I >= N.
 ShardSpec parseShardSpec(std::string_view text);
 
-/// The engine parameters a checkpoint belongs to. Counts depend on all
-/// three (timeoutFactor decides which trials classify as Crash): records
-/// from a store bound to different parameters must never be passed off as
-/// this campaign's results. Per-job inputs (source, FiConfig) are the
-/// caller's to keep stable — cells are keyed by (app, tool) only, so use a
-/// fresh store when a job's source or injection config changes.
+/// The engine parameters a checkpoint belongs to. Counts depend on all of
+/// them (timeoutFactor decides which trials classify as Crash; the tool
+/// specs decide which fault population each cell sampled): records from a
+/// store bound to different parameters must never be passed off as this
+/// campaign's results. Per-job inputs (source) are the caller's to keep
+/// stable — cells are keyed by (app, tool) only, so use a fresh store when
+/// a job's source changes.
 struct CampaignMeta {
   std::uint64_t baseSeed = 0;
   std::uint64_t trials = 0;
   double timeoutFactor = 0.0;
+  /// ';'-joined injector keys of the matrix, in first-appearance job order
+  /// (canonical spec spellings — see campaign/spec.h). Two shards of one
+  /// campaign always derive the identical string from the identical job
+  /// list; a resumed shard whose store lacks it (a pre-spec store) or
+  /// disagrees on it is rejected rather than silently mixing fault models.
+  std::string tools;
   friend bool operator==(const CampaignMeta&,
                          const CampaignMeta&) noexcept = default;
 };
@@ -58,8 +65,9 @@ struct CampaignMeta {
 ///
 /// File format (see DESIGN.md):
 ///   line 1:  #refine-checkpoint v1
-///   line 2:  #campaign seed=<16 hex> trials=<dec> timeout=<double>  (once
-///            bound)
+///   line 2:  #campaign seed=<16 hex> trials=<dec> timeout=<double>
+///            tools=<';'-joined specs>  (once bound; tools= was added with
+///            the fault-model library — stores without it no longer resume)
 ///   line 3+: app,tool,crash,soc,benign,dynamic_targets,profile_instrs,
 ///            binary_size,total_trial_seconds,<fnv1a of payload as 16 hex>
 ///

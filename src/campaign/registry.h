@@ -3,7 +3,13 @@
 // e.g. REFINE restricted to an instruction class) is published by registering
 // an InjectorFactory under a unique name — no enum edit, no switch edit, no
 // change to the campaign engine. The three paper tools self-register from
-// tools.cpp; scenario variants self-register from scenarios.cpp.
+// tools.cpp; the named scenario battery self-registers from scenarios.cpp.
+//
+// Beyond pre-registered names, the registry has a spec-resolution path
+// (campaign/spec.h): `resolveToolSpec("REFINE:instrs=fp,bits=2,...")`
+// registers a parameterized injector on the fly under the spec's canonical
+// spelling, so fault models compose declaratively at the CLI instead of
+// requiring a factory class per scenario.
 #pragma once
 
 #include <memory>

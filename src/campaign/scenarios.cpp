@@ -1,38 +1,54 @@
-// Scenario injectors composed purely through the registry: each one here is
-// a single InjectorRegistration — no edits to the Tool enum, the campaign
-// engine, the runner, or any switch. This file is the template for adding
-// further scenarios (new instruction-class filters, function subsets, ...).
-#include "campaign/registry.h"
+// The shipped scenario battery: every named scenario is ONE spec line
+// registered through a SpecFactory — no factory subclass, no enum edit, no
+// engine change. A named scenario is an alias for the spec's canonical
+// spelling, pinned here so campaign matrices, checkpoint metas and reports
+// can refer to a stable short key; the same fault models are reachable
+// anonymously via `refine-campaign --tool '<spec>'`.
+//
+// Keep this table in sync with the README "Scenario cookbook" table — CI
+// diffs the README against the registry (`refine-campaign --list-tools`)
+// and fails on drift.
+#include "campaign/spec.h"
 
 namespace refine::campaign {
 namespace {
 
-/// REFINE with the fault population restricted to one -fi-instrs instruction
-/// class from fi::FiConfig. The stack class is the interesting default: it
-/// selects exactly the machine-only stack-management instructions of the
-/// paper's Listing 1, a population that is EMPTY for IR-level tools.
-class RefineClassFactory final : public InjectorFactory {
- public:
-  RefineClassFactory(std::string name, fi::InstrSel instrs)
-      : name_(std::move(name)), instrs_(instrs) {}
+/// One registration per scenario. parseToolSpec never touches the registry,
+/// so building the ToolSpec during static initialization is order-safe; the
+/// base tool is resolved lazily at create() time.
+InjectorRegistration scenario(const char* name, const char* spec) {
+  return InjectorRegistration(
+      std::make_unique<SpecFactory>(name, parseToolSpec(spec)));
+}
 
-  std::string_view name() const override { return name_; }
+// Instruction-class populations (REFINE sees all of these; the stack class
+// is EMPTY for IR-level tools — the paper's Listing 1 argument).
+const InjectorRegistration regStack = scenario("REFINE-STACK",
+                                               "REFINE:instrs=stack");
+const InjectorRegistration regArith = scenario("REFINE-ARITH",
+                                               "REFINE:instrs=arithm");
+const InjectorRegistration regMem = scenario("REFINE-MEM",
+                                             "REFINE:instrs=mem");
 
-  std::unique_ptr<ToolInstance> create(
-      std::string_view source, const fi::FiConfig& config) const override {
-    fi::FiConfig restricted = config;
-    restricted.enabled = true;
-    restricted.instrs = instrs_;
-    return InjectorRegistry::global().get("REFINE").create(source, restricted);
-  }
+// FP-register populations: faults land only in floating-point destinations.
+// Registered for all three techniques so the paper's accuracy comparison
+// (REFINE vs PINFI populations identical, LLFI's IR view diverging) extends
+// to the FP-only model.
+const InjectorRegistration regFp = scenario("REFINE-FP", "REFINE:instrs=fp");
+const InjectorRegistration regPinfiFp = scenario("PINFI-FP",
+                                                 "PINFI:instrs=fp");
+const InjectorRegistration regLlfiFp = scenario("LLFI-FP", "LLFI:instrs=fp");
 
- private:
-  std::string name_;
-  fi::InstrSel instrs_;
-};
+// Multi-bit upsets: a 2-bit adjacent burst (the classic MCU pattern) and a
+// 4-bit independent scatter.
+const InjectorRegistration reg2Bit = scenario("REFINE-2BIT", "REFINE:bits=2");
+const InjectorRegistration reg4BitScatter =
+    scenario("REFINE-4BIT-SCATTER", "REFINE:bits=4,mode=independent");
 
-const InjectorRegistration registerRefineStack(
-    std::make_unique<RefineClassFactory>("REFINE-STACK", fi::InstrSel::Stack));
+// Per-function targeting: every benchmark app has a main, so this scenario
+// is total over the app set while still exercising the funcs filter.
+const InjectorRegistration regMain = scenario("REFINE-MAIN",
+                                              "REFINE:funcs=main");
 
 }  // namespace
 }  // namespace refine::campaign

@@ -1,0 +1,176 @@
+#include "campaign/spec.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "support/check.h"
+#include "support/strings.h"
+
+namespace refine::campaign {
+
+namespace {
+
+/// The bases a spec may compose. Specs deliberately cannot stack on named
+/// scenarios (REFINE-STACK:bits=2 would apply two overlays in a
+/// registration-dependent order); spell the full model out instead.
+constexpr std::string_view kSpecBases[] = {"LLFI", "REFINE", "PINFI"};
+
+bool isSpecBase(std::string_view name) {
+  return std::find(std::begin(kSpecBases), std::end(kSpecBases), name) !=
+         std::end(kSpecBases);
+}
+
+/// Glob patterns travel through spec strings, checkpoint meta lines
+/// (space-framed) and CSV records (line-framed), and '+' separates them:
+/// restrict them to characters that cannot break any of those frames.
+bool validGlob(std::string_view pattern) {
+  if (pattern.empty()) return false;
+  for (const char c : pattern) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '*' ||
+                    c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+fi::InstrSel parseInstrs(const std::string& value) {
+  if (value == "stack") return fi::InstrSel::Stack;
+  if (value == "arithm") return fi::InstrSel::Arith;
+  if (value == "mem") return fi::InstrSel::Mem;
+  if (value == "fp") return fi::InstrSel::FP;
+  if (value == "all") return fi::InstrSel::All;
+  RF_CHECK(false, "tool spec: instrs expects stack|arithm|mem|fp|all, got '" +
+                      value + "'");
+}
+
+}  // namespace
+
+ToolSpec parseToolSpec(std::string_view text) {
+  ToolSpec spec;
+  const std::size_t colon = text.find(':');
+  spec.base = std::string(text.substr(0, colon));
+  RF_CHECK(isSpecBase(spec.base),
+           "tool spec '" + std::string(text) +
+               "': base must be one of LLFI, REFINE, PINFI (named scenarios "
+               "cannot be composed further — spell the full model out)");
+  if (colon == std::string_view::npos) return spec;
+
+  const std::string_view params = text.substr(colon + 1);
+  RF_CHECK(!params.empty(),
+           "tool spec '" + std::string(text) + "': empty parameter list");
+  bool seenInstrs = false, seenBits = false, seenMode = false,
+       seenFuncs = false;
+  for (const auto& param : split(params, ',')) {
+    const std::size_t eq = param.find('=');
+    RF_CHECK(eq != std::string::npos && eq > 0,
+             "tool spec: malformed parameter '" + param +
+                 "' (expected key=value)");
+    const std::string key = param.substr(0, eq);
+    const std::string value = param.substr(eq + 1);
+    if (key == "instrs") {
+      RF_CHECK(!seenInstrs, "tool spec: duplicate key 'instrs'");
+      seenInstrs = true;
+      spec.instrs = parseInstrs(value);
+    } else if (key == "bits") {
+      RF_CHECK(!seenBits, "tool spec: duplicate key 'bits'");
+      seenBits = true;
+      const auto bits = parseU64(value);
+      RF_CHECK(bits && *bits >= 1 && *bits <= 64,
+               "tool spec: bits expects an integer in 1..64, got '" + value +
+                   "'");
+      spec.flip.bits = static_cast<unsigned>(*bits);
+    } else if (key == "mode") {
+      RF_CHECK(!seenMode, "tool spec: duplicate key 'mode'");
+      seenMode = true;
+      if (value == "adjacent") {
+        spec.flip.mode = fi::BitMode::Adjacent;
+      } else if (value == "independent") {
+        spec.flip.mode = fi::BitMode::Independent;
+      } else {
+        RF_CHECK(false,
+                 "tool spec: mode expects adjacent|independent, got '" +
+                     value + "'");
+      }
+    } else if (key == "funcs") {
+      RF_CHECK(!seenFuncs, "tool spec: duplicate key 'funcs'");
+      seenFuncs = true;
+      spec.funcs.clear();
+      for (const auto& glob : split(value, '+')) {
+        RF_CHECK(validGlob(glob),
+                 "tool spec: funcs glob '" + glob +
+                     "' is empty or holds characters outside "
+                     "[A-Za-z0-9_*.-]");
+        spec.funcs.push_back(glob);
+      }
+      RF_CHECK(!spec.funcs.empty(),
+               "tool spec: funcs needs at least one glob");
+    } else {
+      RF_CHECK(false, "tool spec: unknown key '" + key +
+                          "' (known: instrs, bits, mode, funcs)");
+    }
+  }
+  // Normalizations that keep equivalent specs canonically equal: the
+  // placement mode is meaningless for single-bit flips; the funcs list is
+  // an any-of match, so order and repeats carry no meaning and a bare "*"
+  // subsumes every other glob.
+  if (spec.flip.bits == 1) spec.flip.mode = fi::BitMode::Adjacent;
+  if (std::find(spec.funcs.begin(), spec.funcs.end(), "*") !=
+      spec.funcs.end()) {
+    spec.funcs = {"*"};
+  }
+  std::sort(spec.funcs.begin(), spec.funcs.end());
+  spec.funcs.erase(std::unique(spec.funcs.begin(), spec.funcs.end()),
+                   spec.funcs.end());
+  return spec;
+}
+
+std::string ToolSpec::canonical() const {
+  std::string out = base;
+  char sep = ':';
+  const auto emit = [&](std::string_view key, std::string_view value) {
+    out += sep;
+    out += key;
+    out += '=';
+    out += value;
+    sep = ',';
+  };
+  if (instrs != fi::InstrSel::All) emit("instrs", fi::instrSelName(instrs));
+  if (flip.bits != 1) emit("bits", std::to_string(flip.bits));
+  if (flip.bits != 1 && flip.mode != fi::BitMode::Adjacent) {
+    emit("mode", fi::bitModeName(flip.mode));
+  }
+  if (funcs != std::vector<std::string>{"*"}) emit("funcs", join(funcs, "+"));
+  return out;
+}
+
+fi::FiConfig ToolSpec::apply(fi::FiConfig config) const {
+  config.enabled = true;
+  config.instrs = instrs;
+  config.flip = flip;
+  config.funcPatterns = funcs;
+  return config;
+}
+
+std::unique_ptr<ToolInstance> SpecFactory::create(
+    std::string_view source, const fi::FiConfig& config) const {
+  return InjectorRegistry::global().get(spec_.base).create(source,
+                                                           spec_.apply(config));
+}
+
+std::string resolveToolSpec(std::string_view text) {
+  InjectorRegistry& registry = InjectorRegistry::global();
+  if (registry.find(text) != nullptr) return std::string(text);
+  const ToolSpec spec = parseToolSpec(text);
+  std::string key = spec.canonical();
+  // Serialize resolution so two threads resolving spellings of the same
+  // model cannot race find-then-add into a duplicate-registration error.
+  static std::mutex resolveMutex;
+  std::scoped_lock lock(resolveMutex);
+  if (registry.find(key) == nullptr) {
+    registry.add(std::make_unique<SpecFactory>(key, spec));
+  }
+  return key;
+}
+
+}  // namespace refine::campaign

@@ -1,0 +1,87 @@
+// Declarative fault-model specs: the registry's spec-resolution path.
+//
+// A tool spec names a fault population as text instead of a hand-written
+// factory class:
+//
+//   BASE[:key=value,...]      e.g.  REFINE:instrs=fp,bits=2,funcs=kernel*
+//
+//   BASE    one of the paper tools (LLFI, REFINE, PINFI)
+//   instrs  stack | arithm | mem | fp | all          (default all)
+//   bits    1..64 bits flipped per fault             (default 1)
+//   mode    adjacent | independent bit placement     (default adjacent;
+//                                                     meaningless at bits=1)
+//   funcs   '+'-separated function-name globs        (default *)
+//
+// parseToolSpec() turns the text into a ToolSpec; canonical() renders it
+// back in a fixed key order with defaults omitted, so every spelling of the
+// same fault model resolves to ONE registry key — the property that keeps
+// matrix cells, checkpoint records and shard merges keyed consistently.
+// resolveToolSpec() is the CLI entry point: registered names pass through,
+// anything else must parse as a spec and gets a SpecFactory registered
+// under its canonical spelling. Named scenarios (scenarios.cpp) are the
+// same SpecFactory registered under an alias.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/registry.h"
+
+namespace refine::campaign {
+
+/// A parsed fault-model spec: a base injector plus an FiConfig overlay.
+struct ToolSpec {
+  std::string base;  // paper-tool registry key (LLFI, REFINE, PINFI)
+  fi::InstrSel instrs = fi::InstrSel::All;
+  fi::BitFlip flip;
+  std::vector<std::string> funcs = {"*"};  // sorted + deduped by the parser
+
+  /// Canonical spelling: base, then instrs/bits/mode/funcs in that order,
+  /// defaults omitted. A spec that is all defaults canonicalizes to the
+  /// bare base name. Contains no whitespace, ever (checkpoint meta lines
+  /// are space-framed).
+  std::string canonical() const;
+
+  /// Overlays this spec onto `config`: enables injection and replaces the
+  /// population fields (instrs, flip, funcPatterns). The spec fully
+  /// determines the fault model; unrelated fields pass through.
+  fi::FiConfig apply(fi::FiConfig config) const;
+
+  friend bool operator==(const ToolSpec&, const ToolSpec&) noexcept = default;
+};
+
+/// Parses `text` as BASE[:key=value,...]. Throws CheckError on an unknown
+/// base or key, an out-of-range or duplicate value, or malformed syntax.
+/// Does not touch the registry (safe during static initialization).
+ToolSpec parseToolSpec(std::string_view text);
+
+/// Factory composed from a spec: create() resolves the base tool in the
+/// registry (lazily, so registration order never matters) and hands it the
+/// overlaid config. Registered under the canonical spelling by
+/// resolveToolSpec(), or under an alias by named-scenario registrations.
+class SpecFactory final : public InjectorFactory {
+ public:
+  SpecFactory(std::string name, ToolSpec spec)
+      : name_(std::move(name)), spec_(std::move(spec)) {}
+
+  std::string_view name() const override { return name_; }
+
+  std::unique_ptr<ToolInstance> create(
+      std::string_view source, const fi::FiConfig& config) const override;
+
+  const ToolSpec& spec() const noexcept { return spec_; }
+
+ private:
+  std::string name_;
+  ToolSpec spec_;
+};
+
+/// Resolves a --tool argument to a registry key: a registered injector name
+/// is returned as-is; otherwise the text must parse as a spec, a
+/// SpecFactory is registered under the canonical spelling (once, however
+/// many spellings resolve to it) and the canonical key is returned. Throws
+/// CheckError when the text is neither.
+std::string resolveToolSpec(std::string_view text);
+
+}  // namespace refine::campaign

@@ -1,5 +1,7 @@
 #include "campaign/tools.h"
 
+#include <bit>
+
 #include "backend/compile.h"
 #include "campaign/registry.h"
 #include "fi/llfi_pass.h"
@@ -46,14 +48,15 @@ class RefineInstance final : public ToolInstance {
   RefineInstance(std::string_view source, const fi::FiConfig& config)
       : module_(frontendAndOpt(source)),
         compiled_(fi::compileWithRefine(*module_, config)),
-        decoded_(compiled_.program) {
+        decoded_(compiled_.program),
+        flip_(config.flip) {
     RF_CHECK(compiled_.staticSites > 0, "REFINE instrumented nothing");
   }
 
   Trial runTrial(std::uint64_t targetIndex, std::uint64_t seed,
                  std::uint64_t budget) const override {
-    auto library =
-        fi::FaultInjectionLibrary::injecting(&compiled_.sites, targetIndex, seed);
+    auto library = fi::FaultInjectionLibrary::injecting(
+        &compiled_.sites, targetIndex, seed, flip_);
     vm::Machine machine(compiled_.program, decoded_);
     machine.setFiRuntime(&library);
     Trial trial;
@@ -101,6 +104,7 @@ class RefineInstance final : public ToolInstance {
   std::unique_ptr<ir::Module> module_;
   fi::RefineCompileResult compiled_;
   vm::DecodedProgram decoded_;
+  fi::BitFlip flip_;
   std::size_t goldenSize_ = 0;
 };
 
@@ -159,7 +163,7 @@ class PinfiInstance final : public ToolInstance {
 class LlfiInstance final : public ToolInstance {
  public:
   LlfiInstance(std::string_view source, const fi::FiConfig& config)
-      : module_(frontendAndOpt(source)) {
+      : module_(frontendAndOpt(source)), flip_(config.flip) {
     info_ = fi::applyLlfiPass(*module_, config);
     RF_CHECK(info_.staticTargets > 0, "LLFI instrumented nothing");
     compiled_ = backend::compileBackend(*module_);
@@ -169,9 +173,10 @@ class LlfiInstance final : public ToolInstance {
   Trial runTrial(std::uint64_t targetIndex, std::uint64_t seed,
                  std::uint64_t budget) const override {
     Rng rng(seed);
-    // The IR value width is 64 for i64/f64 (i1 injectors reduce any bit to
-    // their single bit); uniform over 64 matches the fault model per value.
-    const auto bit = static_cast<unsigned>(rng.nextBelow(64));
+    // The IR value width is 64 for i64/f64 (i1 injectors reduce any mask to
+    // their single bit); a mask over 64 bits matches the fault model per
+    // value, single- or multi-bit alike.
+    const std::uint64_t mask = fi::drawFaultMask(rng, 64, flip_);
     vm::Machine machine(compiled_.program, *decoded_);
     Trial trial;
     if (const vm::Snapshot* snap = resumePoint(targetIndex, budget)) {
@@ -182,19 +187,19 @@ class LlfiInstance final : public ToolInstance {
       machine.restore(*snap);
       trial.fastForwardedInstrs = snap->instrCount;
       machine.pokeGlobal(info_.targetAddr, targetIndex);
-      machine.pokeGlobal(info_.bitAddr, bit);
+      machine.pokeGlobal(info_.maskAddr, mask);
       trial.exec = machine.resume(budget);
     } else {
       machine.pokeGlobal(info_.targetAddr, targetIndex);
-      machine.pokeGlobal(info_.bitAddr, bit);
+      machine.pokeGlobal(info_.maskAddr, mask);
       machine.reserveOutput(goldenSize_);
       trial.exec = machine.run(budget);
     }
     fi::FaultRecord record;
     record.dynamicIndex = targetIndex;
     record.function = "<ir>";  // LLFI logs IR positions, not machine sites
-    record.bit = bit;
-    record.mask = 1ULL << bit;
+    record.bit = static_cast<unsigned>(std::countr_zero(mask));
+    record.mask = mask;
     trial.fault = std::move(record);
     return trial;
   }
@@ -227,6 +232,7 @@ class LlfiInstance final : public ToolInstance {
 
  private:
   std::unique_ptr<ir::Module> module_;
+  fi::BitFlip flip_;
   fi::LlfiInstrumentation info_;
   backend::CodegenResult compiled_;
   std::optional<vm::DecodedProgram> decoded_;

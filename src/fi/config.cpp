@@ -10,6 +10,7 @@ const char* instrSelName(InstrSel s) noexcept {
     case InstrSel::Stack: return "stack";
     case InstrSel::Arith: return "arithm";
     case InstrSel::Mem: return "mem";
+    case InstrSel::FP: return "fp";
     case InstrSel::All: return "all";
   }
   return "?";
@@ -54,10 +55,27 @@ FiConfig FiConfig::parseFlags(std::string_view flags) {
         config.instrs = InstrSel::Arith;
       } else if (value == "mem") {
         config.instrs = InstrSel::Mem;
+      } else if (value == "fp") {
+        config.instrs = InstrSel::FP;
       } else if (value == "all") {
         config.instrs = InstrSel::All;
       } else {
-        RF_CHECK(false, "-fi-instrs expects stack|arithm|mem|all, got " + value);
+        RF_CHECK(false,
+                 "-fi-instrs expects stack|arithm|mem|fp|all, got " + value);
+      }
+    } else if (key == "-fi-bits") {
+      const auto bits = parseU64(value);
+      RF_CHECK(bits && *bits >= 1 && *bits <= 64,
+               "-fi-bits expects an integer in 1..64, got " + value);
+      config.flip.bits = static_cast<unsigned>(*bits);
+    } else if (key == "-fi-bit-mode") {
+      if (value == "adjacent") {
+        config.flip.mode = BitMode::Adjacent;
+      } else if (value == "independent") {
+        config.flip.mode = BitMode::Independent;
+      } else {
+        RF_CHECK(false,
+                 "-fi-bit-mode expects adjacent|independent, got " + value);
       }
     } else {
       RF_CHECK(false, "unknown FI flag: " + key);

@@ -1,12 +1,17 @@
-// Fault-injection configuration: the compiler-flags interface of Table 2.
+// Fault-injection configuration: the compiler-flags interface of Table 2,
+// extended with the scenario library's fault-model parameters.
 //
 //   -fi=true|false            enable/disable FI (default false)
 //   -fi-funcs=<list>          comma-separated function names or '*' globs
-//   -fi-instrs=stack|arithm|mem|all
+//   -fi-instrs=stack|arithm|mem|fp|all
+//   -fi-bits=<k>              bits flipped per fault (default 1)
+//   -fi-bit-mode=adjacent|independent   placement of multi-bit flips
 //
 // The same configuration object steers all three injectors so their target
 // populations differ only by what each technique can *see*, never by
-// configuration skew.
+// configuration skew. The campaign layer composes these fields from spec
+// strings (campaign/spec.h): `REFINE:instrs=fp,bits=2,funcs=kernel*` is an
+// FiConfig overlay resolved at instrumentation time.
 #pragma once
 
 #include <cstdint>
@@ -14,9 +19,15 @@
 #include <string_view>
 #include <vector>
 
+#include "fi/faultmodel.h"
+
 namespace refine::fi {
 
-enum class InstrSel : std::uint8_t { Stack, Arith, Mem, All };
+/// Instruction-class selector. FP is population-defining rather than a
+/// backend InstrClass: it selects instructions that write at least one
+/// floating-point register (whatever their class — arithmetic or FP loads),
+/// and restricts the injectable operands to those FPR destinations.
+enum class InstrSel : std::uint8_t { Stack, Arith, Mem, FP, All };
 
 const char* instrSelName(InstrSel s) noexcept;
 
@@ -24,6 +35,9 @@ struct FiConfig {
   bool enabled = false;
   std::vector<std::string> funcPatterns = {"*"};
   InstrSel instrs = InstrSel::All;
+  /// Bits flipped per fault and their placement; {1, Adjacent} is the
+  /// paper's single-bit model and reproduces it bit-identically.
+  BitFlip flip;
 
   /// True when `name` matches any -fi-funcs pattern.
   bool matchesFunction(std::string_view name) const;

@@ -1,0 +1,40 @@
+#include "fi/faultmodel.h"
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace refine::fi {
+
+const char* bitModeName(BitMode m) noexcept {
+  switch (m) {
+    case BitMode::Adjacent: return "adjacent";
+    case BitMode::Independent: return "independent";
+  }
+  return "?";
+}
+
+std::uint64_t drawFaultMask(Rng& rng, unsigned operandBits,
+                            const BitFlip& flip) {
+  RF_CHECK(operandBits >= 1 && operandBits <= 64,
+           "fault mask operand width out of range");
+  RF_CHECK(flip.bits >= 1, "a fault flips at least one bit");
+  const unsigned k = flip.bits < operandBits ? flip.bits : operandBits;
+  if (flip.mode == BitMode::Adjacent || k == 1) {
+    // Uniformly placed k-bit run. k == 1 reduces to the paper's single-bit
+    // draw: one nextBelow(operandBits) call, mask = 1 << bit.
+    const auto base = static_cast<unsigned>(rng.nextBelow(operandBits - k + 1));
+    const std::uint64_t run = k == 64 ? ~0ULL : ((1ULL << k) - 1);
+    return run << base;
+  }
+  std::uint64_t mask = 0;
+  unsigned placed = 0;
+  while (placed < k) {
+    const auto bit = static_cast<unsigned>(rng.nextBelow(operandBits));
+    if ((mask >> bit) & 1) continue;  // rejection keeps bits uniform+distinct
+    mask |= 1ULL << bit;
+    ++placed;
+  }
+  return mask;
+}
+
+}  // namespace refine::fi

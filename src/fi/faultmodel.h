@@ -1,0 +1,46 @@
+// Multi-bit fault-mask generation shared by every injector.
+//
+// The paper's fault model flips exactly one uniformly drawn bit of one
+// output operand. The scenario library generalizes this to k-bit faults —
+// either k *adjacent* bits (a burst, the classic multi-bit upset pattern)
+// or k *independent* uniformly drawn bits — while keeping the k = 1 case
+// bit-identical to the original single-flip draw (same RNG consumption,
+// same chosen bit), so every published single-bit campaign reproduces
+// unchanged. All three injectors (REFINE's setupFI, PINFI's hook, LLFI's
+// host-side mask poke) draw through this one function, so a given spec
+// describes the same fault shape no matter which technique applies it.
+#pragma once
+
+#include <cstdint>
+
+namespace refine {
+class Rng;
+}
+
+namespace refine::fi {
+
+/// How the k flipped bits of a multi-bit fault are placed in the operand.
+enum class BitMode : std::uint8_t {
+  Adjacent,     // one uniformly placed run of k contiguous bits (burst)
+  Independent,  // k distinct uniformly drawn bits (scattered upset)
+};
+
+const char* bitModeName(BitMode m) noexcept;
+
+/// Bit granularity of one injected fault. `bits` is clamped to the operand
+/// width at draw time (e.g. the 4-bit flags operand under bits=8 flips all
+/// four of its bits).
+struct BitFlip {
+  unsigned bits = 1;
+  BitMode mode = BitMode::Adjacent;
+  friend bool operator==(const BitFlip&, const BitFlip&) noexcept = default;
+};
+
+/// Draws the XOR mask for one fault on an operand `operandBits` (1..64)
+/// wide, consuming `rng` deterministically. With flip.bits == 1 this is
+/// exactly the legacy draw: one nextBelow(operandBits) call, mask = 1 <<
+/// bit — the invariant that keeps pre-spec campaign results bit-identical.
+std::uint64_t drawFaultMask(Rng& rng, unsigned operandBits,
+                            const BitFlip& flip);
+
+}  // namespace refine::fi

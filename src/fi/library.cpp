@@ -1,5 +1,7 @@
 #include "fi/library.h"
 
+#include <bit>
+
 #include "support/strings.h"
 
 namespace refine::fi {
@@ -16,8 +18,9 @@ std::string formatFaultRecord(const FaultRecord& record) {
 FaultInjectionLibrary::FaultInjectionLibrary(const FiSiteTable* sites,
                                              FiMode mode,
                                              std::uint64_t targetIndex,
-                                             std::uint64_t seed)
-    : sites_(sites), mode_(mode), target_(targetIndex), rng_(seed) {
+                                             std::uint64_t seed, BitFlip flip)
+    : sites_(sites), mode_(mode), target_(targetIndex), rng_(seed),
+      flip_(flip) {
   RF_CHECK(sites_ != nullptr, "FI library needs a site table");
   if (mode == FiMode::Inject) {
     RF_CHECK(target_ > 0, "injection target index is 1-based");
@@ -25,13 +28,14 @@ FaultInjectionLibrary::FaultInjectionLibrary(const FiSiteTable* sites,
 }
 
 FaultInjectionLibrary FaultInjectionLibrary::profiling(const FiSiteTable* sites) {
-  return FaultInjectionLibrary(sites, FiMode::Profile, 0, 0);
+  return FaultInjectionLibrary(sites, FiMode::Profile, 0, 0, {});
 }
 
 FaultInjectionLibrary FaultInjectionLibrary::injecting(const FiSiteTable* sites,
                                                        std::uint64_t targetIndex,
-                                                       std::uint64_t seed) {
-  return FaultInjectionLibrary(sites, FiMode::Inject, targetIndex, seed);
+                                                       std::uint64_t seed,
+                                                       BitFlip flip) {
+  return FaultInjectionLibrary(sites, FiMode::Inject, targetIndex, seed, flip);
 }
 
 void FaultInjectionLibrary::fastForwardTo(std::uint64_t executedTargets) {
@@ -64,12 +68,13 @@ std::pair<std::uint32_t, std::uint64_t> FaultInjectionLibrary::setupFI(
   const FiSite& site = sites_->site(siteId);
   RF_CHECK(!site.operands.empty(), "FI site with no operands");
 
-  // Fault model (paper Sec. 3.1): uniform over output operands, then uniform
-  // over the bits of the chosen operand.
+  // Fault model (paper Sec. 3.1): uniform over output operands, then a mask
+  // over the bits of the chosen operand — a single uniform bit under the
+  // paper's model, k bits under a multi-bit spec.
   const auto operandIndex =
       static_cast<std::uint32_t>(rng_.nextBelow(site.operands.size()));
   const FiOperand& operand = site.operands[operandIndex];
-  const auto bit = static_cast<unsigned>(rng_.nextBelow(operand.bits));
+  const std::uint64_t mask = drawFaultMask(rng_, operand.bits, flip_);
 
   FaultRecord record;
   record.dynamicIndex = count_;
@@ -77,10 +82,10 @@ std::pair<std::uint32_t, std::uint64_t> FaultInjectionLibrary::setupFI(
   record.function = site.function;
   record.operandIndex = operandIndex;
   record.operandKind = operand.kind;
-  record.bit = bit;
-  record.mask = 1ULL << bit;
+  record.bit = static_cast<unsigned>(std::countr_zero(mask));
+  record.mask = mask;
   fault_ = std::move(record);
-  return {operandIndex, 1ULL << bit};
+  return {operandIndex, mask};
 }
 
 void FaultInjectionLibrary::writeCountFile(const std::string& path) const {

@@ -34,8 +34,9 @@ struct FaultRecord {
   std::string function;             // enclosing function
   std::uint32_t operandIndex = 0;   // which output operand
   FiOperand::Kind operandKind = FiOperand::Kind::GprDest;
-  unsigned bit = 0;                 // flipped bit
-  std::uint64_t mask = 0;           // XOR mask applied
+  unsigned bit = 0;                 // lowest flipped bit (the bit, under
+                                    // the single-bit model)
+  std::uint64_t mask = 0;           // XOR mask applied (may flip k bits)
 };
 
 /// Renders a fault record as a single log line.
@@ -47,10 +48,14 @@ class FaultInjectionLibrary final : public vm::FiRuntime {
   static FaultInjectionLibrary profiling(const FiSiteTable* sites);
 
   /// Inject-mode library triggering at dynamic target `targetIndex`
-  /// (1-based); operand/bit are drawn from `seed` at trigger time.
+  /// (1-based); operand and XOR mask are drawn from `seed` at trigger time.
+  /// `flip` selects the bit granularity (default: the paper's single-bit
+  /// model); multi-bit masks are drawn via fi::drawFaultMask so the flip
+  /// shape matches PINFI's and LLFI's for the same spec.
   static FaultInjectionLibrary injecting(const FiSiteTable* sites,
                                          std::uint64_t targetIndex,
-                                         std::uint64_t seed);
+                                         std::uint64_t seed,
+                                         BitFlip flip = {});
 
   /// Trial fast-forward (snapshot resume): primes the dynamic-target counter
   /// as if `executedTargets` target instructions had already run, so a
@@ -75,13 +80,15 @@ class FaultInjectionLibrary final : public vm::FiRuntime {
 
  private:
   FaultInjectionLibrary(const FiSiteTable* sites, FiMode mode,
-                        std::uint64_t targetIndex, std::uint64_t seed);
+                        std::uint64_t targetIndex, std::uint64_t seed,
+                        BitFlip flip);
 
   const FiSiteTable* sites_;
   FiMode mode_;
   std::uint64_t count_ = 0;
   std::uint64_t target_ = 0;
   Rng rng_;
+  BitFlip flip_;
   std::optional<FaultRecord> fault_;
 };
 

@@ -51,6 +51,10 @@ bool isLlfiTarget(const Instruction& inst, const FiConfig& config) {
       return isArith;
     case InstrSel::Mem:
       return isMem;
+    case InstrSel::FP:
+      // The IR-level analogue of "writes an FP register": any visible
+      // F64-valued computation (arith, loads, calls alike).
+      return (isArith || isMem || isCall) && inst.type() == Type::F64;
     case InstrSel::All:
       return isArith || isMem || isCall;
   }
@@ -62,7 +66,7 @@ bool isLlfiTarget(const Instruction& inst, const FiConfig& config) {
 struct GuestRuntime {
   ir::GlobalVar* counter = nullptr;
   ir::GlobalVar* target = nullptr;
-  ir::GlobalVar* bit = nullptr;
+  ir::GlobalVar* mask = nullptr;
   Function* injectI64 = nullptr;
   Function* injectF64 = nullptr;
   Function* injectI1 = nullptr;
@@ -81,7 +85,7 @@ GuestRuntime buildGuestRuntime(Module& m) {
   GuestRuntime rt;
   rt.counter = m.addGlobal("__llfi_counter", Type::I64, 1);
   rt.target = m.addGlobal("__llfi_target", Type::I64, 1);
-  rt.bit = m.addGlobal("__llfi_bit", Type::I64, 1);
+  rt.mask = m.addGlobal("__llfi_mask", Type::I64, 1);
 
   auto buildInject = [&](const std::string& name, Type valueType) {
     Function* f = m.addFunction(name, valueType, ir::FunctionKind::Defined);
@@ -102,16 +106,14 @@ GuestRuntime buildGuestRuntime(Module& m) {
     b.setInsertPoint(flip);
     ir::Value* flipped = nullptr;
     if (valueType == Type::I64) {
-      ir::Value* bitIndex = b.createLoad(Type::I64, rt.bit);
-      ir::Value* mask = b.createBinary(Opcode::Shl, m.constI64(1), bitIndex);
+      ir::Value* mask = b.createLoad(Type::I64, rt.mask);
       flipped = b.createBinary(Opcode::Xor, val, mask);
     } else if (valueType == Type::F64) {
-      ir::Value* bitIndex = b.createLoad(Type::I64, rt.bit);
-      ir::Value* mask = b.createBinary(Opcode::Shl, m.constI64(1), bitIndex);
+      ir::Value* mask = b.createLoad(Type::I64, rt.mask);
       ir::Value* bits = b.createBitcastF2I(val);
       ir::Value* xored = b.createBinary(Opcode::Xor, bits, mask);
       flipped = b.createBitcastI2F(xored);
-    } else {  // i1: the single bit always flips
+    } else {  // i1: the single bit always flips, whatever the mask
       flipped = b.createSelect(val, m.constI1(false), m.constI1(true));
     }
     b.createBr(out);
@@ -174,7 +176,7 @@ LlfiInstrumentation applyLlfiPass(Module& module, const FiConfig& config) {
   ir::DataLayout layout(module);
   result.counterAddr = layout.addressOf(rt.counter);
   result.targetAddr = layout.addressOf(rt.target);
-  result.bitAddr = layout.addressOf(rt.bit);
+  result.maskAddr = layout.addressOf(rt.mask);
   return result;
 }
 

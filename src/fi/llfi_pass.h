@@ -26,10 +26,12 @@
 //    pointer.
 //
 // Trigger plumbing: the runtime counts executions in the guest global
-// @__llfi_counter and triggers when it equals @__llfi_target, flipping bit
-// @__llfi_bit. The host seeds those globals before each run (the file-based
-// transport of the paper's Fig. 3, minus the file) and reads the counter
-// back after profiling runs.
+// @__llfi_counter and triggers when it equals @__llfi_target, XORing the
+// value with @__llfi_mask (a full mask rather than a bit index, so
+// multi-bit fault models need no guest-side mask construction). The host
+// seeds those globals before each run (the file-based transport of the
+// paper's Fig. 3, minus the file) and reads the counter back after
+// profiling runs.
 #pragma once
 
 #include <cstdint>
@@ -44,7 +46,7 @@ struct LlfiInstrumentation {
   // Addresses of the guest control globals (valid for the final binary).
   std::uint64_t counterAddr = 0;
   std::uint64_t targetAddr = 0;
-  std::uint64_t bitAddr = 0;
+  std::uint64_t maskAddr = 0;
 };
 
 /// Instruments `module` in place (run this after opt::optimize, before the

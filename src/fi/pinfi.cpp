@@ -1,9 +1,11 @@
 #include "fi/pinfi.h"
 
+#include <bit>
+
 namespace refine::fi {
 
 Pinfi::Pinfi(const backend::Program& program, const FiConfig& config)
-    : program_(program), decoded_(program) {
+    : program_(program), decoded_(program), config_(config) {
   isTarget_.assign(program.code.size(), 0);
   for (std::size_t i = 0; i < program.code.size(); ++i) {
     if (!isFiTarget(program.code[i], config)) continue;
@@ -45,12 +47,12 @@ Pinfi::RunResult Pinfi::inject(std::uint64_t targetIndex, std::uint64_t seed,
   machine.setHook([&, targetIndex](std::uint64_t pc, vm::Machine& m) {
     if (isTarget_[pc] == 0) return;
     if (++count != targetIndex) return;
-    // Inject: uniform output operand, uniform bit — then detach.
-    const auto operands = fiOutputOperands(program_.code[pc]);
+    // Inject: uniform output operand (under the config's operand filter),
+    // then the config's mask shape — then detach.
+    const auto operands = fiOutputOperands(program_.code[pc], config_);
     const auto opIndex = static_cast<std::uint32_t>(rng.nextBelow(operands.size()));
     const FiOperand& operand = operands[opIndex];
-    const auto bit = static_cast<unsigned>(rng.nextBelow(operand.bits));
-    const std::uint64_t mask = 1ULL << bit;
+    const std::uint64_t mask = drawFaultMask(rng, operand.bits, config_.flip);
     switch (operand.kind) {
       case FiOperand::Kind::GprDest:
       case FiOperand::Kind::SP:
@@ -69,7 +71,7 @@ Pinfi::RunResult Pinfi::inject(std::uint64_t targetIndex, std::uint64_t seed,
     record.function = program_.functionAt(pc);
     record.operandIndex = opIndex;
     record.operandKind = operand.kind;
-    record.bit = bit;
+    record.bit = static_cast<unsigned>(std::countr_zero(mask));
     record.mask = mask;
     result.fault = std::move(record);
     m.clearHook();  // PINFI detach optimization

@@ -61,6 +61,10 @@ class Pinfi {
  private:
   const backend::Program& program_;
   vm::DecodedProgram decoded_;
+  /// Retained for injection-time draws: the operand population (FP-only
+  /// restriction) and the bit-flip shape must match what instrumentation
+  /// time classified.
+  FiConfig config_;
   std::vector<std::uint8_t> isTarget_;  // per instruction index
   std::uint64_t staticTargets_ = 0;
 };

@@ -50,8 +50,10 @@ class FunctionInstrumenter {
  private:
   void instrumentAt(MachineBasicBlock* bb, std::size_t pos) {
     const MachineInst& target = bb->insts()[pos];
+    // Config-aware operand set: under -fi-instrs=fp the site (and therefore
+    // the PreFI dispatch blocks) covers only the FPR destinations.
     const std::uint64_t siteId =
-        sites_.addSite(fn_.name(), fiOutputOperands(target));
+        sites_.addSite(fn_.name(), fiOutputOperands(target, config_));
     const auto& operands = sites_.site(siteId).operands;
 
     // Split: move [pos+1, end) into a continuation block placed right after

@@ -51,6 +51,17 @@ std::vector<FiOperand> fiOutputOperands(const MachineInst& inst) {
   return out;
 }
 
+std::vector<FiOperand> fiOutputOperands(const MachineInst& inst,
+                                        const FiConfig& config) {
+  std::vector<FiOperand> out = fiOutputOperands(inst);
+  if (config.instrs == InstrSel::FP) {
+    std::erase_if(out, [](const FiOperand& op) {
+      return op.kind != FiOperand::Kind::FprDest;
+    });
+  }
+  return out;
+}
+
 bool isFiTarget(const MachineInst& inst, const FiConfig& config) {
   if (inst.isFIInstrumentation()) return false;
   switch (inst.op()) {
@@ -85,10 +96,14 @@ bool isFiTarget(const MachineInst& inst, const FiConfig& config) {
     case InstrSel::Mem:
       if (klass != InstrClass::Mem) return false;
       break;
+    case InstrSel::FP:
+      // Class-independent: the operand filter below keeps only instructions
+      // that write at least one floating-point register.
+      break;
     case InstrSel::All:
       break;
   }
-  return !fiOutputOperands(inst).empty();
+  return !fiOutputOperands(inst, config).empty();
 }
 
 const FiSite& FiSiteTable::site(std::uint64_t id) const {

@@ -37,10 +37,18 @@ const char* fiOperandKindName(FiOperand::Kind k) noexcept;
 /// explicit register defs, then SP (if implicitly written), then flags.
 std::vector<FiOperand> fiOutputOperands(const backend::MachineInst& inst);
 
+/// Config-aware variant: the population an injector actually draws from.
+/// Under -fi-instrs=fp the set is restricted to the FPR destinations, so
+/// faults of the FP scenario land in floating-point registers only; every
+/// other selector keeps the full canonical set.
+std::vector<FiOperand> fiOutputOperands(const backend::MachineInst& inst,
+                                        const FiConfig& config);
+
 /// True when `inst` is an injection target under `config`:
-/// it has at least one output operand, is not FI instrumentation, is not a
-/// control-flow or runtime-boundary instruction, and its class matches
-/// -fi-instrs.
+/// it has at least one output operand surviving the config's operand
+/// filter, is not FI instrumentation, is not a control-flow or
+/// runtime-boundary instruction, and its class matches -fi-instrs
+/// (-fi-instrs=fp is class-independent: any instruction writing an FPR).
 bool isFiTarget(const backend::MachineInst& inst, const FiConfig& config);
 
 /// Compile-time site table produced by the REFINE pass: maps a site id to

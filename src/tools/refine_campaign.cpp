@@ -8,10 +8,15 @@
 //
 //   refine-campaign --apps EP,DC --tools LLFI,REFINE,PINFI --trials 24 \
 //       --shard 0/3 --checkpoint shard0.ckpt
+//   refine-campaign --apps EP --tool 'REFINE:instrs=fp,bits=2,funcs=main'
 //   refine-campaign --merge shard0.ckpt shard1.ckpt shard2.ckpt
 //
-// Interrupted runs resume: cells already in --checkpoint are skipped, so
-// re-running the same command finishes only what is missing.
+// Tools are injector registry keys OR declarative fault-model specs
+// (BASE:key=value,..., registered on the fly under their canonical
+// spelling — see campaign/spec.h and docs/refine-campaign.md). Interrupted
+// runs resume: cells already in --checkpoint are skipped, so re-running the
+// same command finishes only what is missing.
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <optional>
@@ -22,6 +27,7 @@
 #include "campaign/engine.h"
 #include "campaign/persist.h"
 #include "campaign/report.h"
+#include "campaign/spec.h"
 #include "support/check.h"
 #include "support/strings.h"
 
@@ -40,6 +46,12 @@ int usage(std::FILE* out) {
       "  --apps A,B,...       benchmark apps (default: all 14 paper apps)\n"
       "  --tools T1,T2,...    injector registry keys (default: "
       "LLFI,REFINE,PINFI)\n"
+      "  --tool SPEC          one key or fault-model spec; repeatable.\n"
+      "                       SPEC = BASE[:key=value,...] with BASE one of\n"
+      "                       LLFI|REFINE|PINFI and keys instrs=stack|\n"
+      "                       arithm|mem|fp|all, bits=1..64, mode=adjacent|\n"
+      "                       independent, funcs=glob[+glob...]\n"
+      "                       e.g. 'REFINE:instrs=fp,bits=2,funcs=kernel*'\n"
       "  --trials N           trials per cell (default 1068)\n"
       "  --threads N          worker threads (default: hardware)\n"
       "  --seed HEX           base seed (default 5EEDBA5E)\n"
@@ -52,7 +64,9 @@ int usage(std::FILE* out) {
       "\n"
       "The report contains only bit-stable fields sorted by (app, tool): a\n"
       "merge of N shard checkpoints is byte-identical to a single-process\n"
-      "run of the same matrix at any thread count.\n",
+      "run of the same matrix at any thread count. Checkpoint metas bind\n"
+      "the resolved tool specs, so shards of different fault models cannot\n"
+      "be mixed. Full reference: docs/refine-campaign.md.\n",
       out);
   return out == stdout ? 0 : 2;
 }
@@ -68,6 +82,7 @@ std::vector<std::string> splitList(const std::string& csv) {
 struct Options {
   std::vector<std::string> apps;
   std::vector<std::string> tools = {"LLFI", "REFINE", "PINFI"};
+  bool toolsExplicit = false;  // first --tool/--tools replaces the default
   campaign::CampaignConfig config;
   campaign::ShardSpec shard;
   std::optional<std::string> checkpointPath;
@@ -110,7 +125,23 @@ Options parseArgs(int argc, char** argv) {
     } else if (arg == "--apps") {
       opt.apps = splitList(value(i, "--apps"));
     } else if (arg == "--tools") {
-      opt.tools = splitList(value(i, "--tools"));
+      // CSV list of registered keys. Spec strings contain commas, so they
+      // must come through --tool (one spec per occurrence) instead.
+      if (!opt.toolsExplicit) {
+        opt.tools.clear();
+        opt.toolsExplicit = true;
+      }
+      for (const auto& tool : splitList(value(i, "--tools"))) {
+        opt.tools.push_back(tool);
+      }
+    } else if (arg == "--tool") {
+      if (!opt.toolsExplicit) {
+        opt.tools.clear();
+        opt.toolsExplicit = true;
+      }
+      const std::string spec{trim(value(i, "--tool"))};
+      RF_CHECK(!spec.empty(), "--tool requires a non-empty key or spec");
+      opt.tools.push_back(spec);
     } else if (arg == "--trials") {
       opt.config.trials = number(i, "--trials");
       RF_CHECK(opt.config.trials > 0, "--trials must be positive");
@@ -143,6 +174,31 @@ void emitReport(const Options& opt, const std::string& report) {
 }
 
 int runMode(const Options& opt) {
+  // Resolve every --tool/--tools entry to a registry key first: registered
+  // names pass through, fault-model specs register a parameterized injector
+  // under their canonical spelling. Canonical keys label matrix cells,
+  // checkpoint records and the report, so differently spelled specs of one
+  // model always land in the same cell.
+  std::vector<std::string> toolKeys;
+  for (const auto& tool : opt.tools) {
+    std::string key;
+    try {
+      key = campaign::resolveToolSpec(tool);
+    } catch (const CheckError& e) {
+      std::fprintf(stderr,
+                   "%s\n--list-tools shows registered injectors; "
+                   "BASE:key=value,... defines one on the fly (see "
+                   "docs/refine-campaign.md)\n",
+                   e.what());
+      return 2;
+    }
+    // Two spellings of one model resolve to one key; keep one cell for it
+    // (a duplicate cell would double report rows that --merge collapses).
+    if (std::find(toolKeys.begin(), toolKeys.end(), key) == toolKeys.end()) {
+      toolKeys.push_back(std::move(key));
+    }
+  }
+
   // Canonical matrix order: apps in the order given (paper Table 3 order by
   // default), tools innermost. Every process of a sharded run must build
   // the same job list for i % N == I to mean the same cells everywhere.
@@ -163,12 +219,7 @@ int runMode(const Options& opt) {
                    name.c_str());
       return 2;
     }
-    for (const auto& tool : opt.tools) {
-      if (campaign::InjectorRegistry::global().find(tool) == nullptr) {
-        std::fprintf(stderr, "unknown tool '%s'; --list-tools shows choices\n",
-                     tool.c_str());
-        return 2;
-      }
+    for (const auto& tool : toolKeys) {
       jobs.push_back({app->name, tool, app->source, fi::FiConfig::allOn()});
     }
   }

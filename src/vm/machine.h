@@ -69,7 +69,9 @@ class FiRuntime {
   virtual ~FiRuntime() = default;
   /// Returns true to trigger fault injection at this execution of the site.
   virtual bool selInstr(std::uint64_t siteId) = 0;
-  /// Returns {operand index, xor mask} for the triggered site.
+  /// Returns {operand index, xor mask} for the triggered site. The mask may
+  /// have any number of bits set (multi-bit fault models); the instrumented
+  /// flip blocks XOR it in whole.
   virtual std::pair<std::uint32_t, std::uint64_t> setupFI(std::uint64_t siteId) = 0;
 };
 

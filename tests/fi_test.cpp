@@ -80,13 +80,28 @@ TEST(FiConfig, ParsesInstrClasses) {
   EXPECT_EQ(FiConfig::parseFlags("-fi-instrs=stack").instrs, InstrSel::Stack);
   EXPECT_EQ(FiConfig::parseFlags("-fi-instrs=arithm").instrs, InstrSel::Arith);
   EXPECT_EQ(FiConfig::parseFlags("-fi-instrs=mem").instrs, InstrSel::Mem);
+  EXPECT_EQ(FiConfig::parseFlags("-fi-instrs=fp").instrs, InstrSel::FP);
   EXPECT_FALSE(FiConfig::parseFlags("-fi=false").enabled);
+}
+
+TEST(FiConfig, ParsesBitFlipModel) {
+  // The default is the paper's single-bit model.
+  EXPECT_EQ(FiConfig::parseFlags("-fi=true").flip, (BitFlip{}));
+  const auto config =
+      FiConfig::parseFlags("-fi=true -fi-bits=3 -fi-bit-mode=independent");
+  EXPECT_EQ(config.flip.bits, 3u);
+  EXPECT_EQ(config.flip.mode, BitMode::Independent);
+  EXPECT_EQ(FiConfig::parseFlags("-fi-bit-mode=adjacent").flip.mode,
+            BitMode::Adjacent);
 }
 
 TEST(FiConfig, RejectsMalformedFlags) {
   EXPECT_THROW(FiConfig::parseFlags("-fi=maybe"), CheckError);
   EXPECT_THROW(FiConfig::parseFlags("-fi-instrs=registers"), CheckError);
   EXPECT_THROW(FiConfig::parseFlags("-unknown=1"), CheckError);
+  EXPECT_THROW(FiConfig::parseFlags("-fi-bits=0"), CheckError);
+  EXPECT_THROW(FiConfig::parseFlags("-fi-bits=65"), CheckError);
+  EXPECT_THROW(FiConfig::parseFlags("-fi-bit-mode=burst"), CheckError);
 }
 
 // ---------------------------------------------------------------------------
@@ -423,10 +438,11 @@ TEST(LlfiPass, InjectionFlipsChosenDynamicInstance) {
   const std::uint64_t total = profiler.peekGlobal(llfi.info.counterAddr);
   ASSERT_GT(total, 10u);
   // Inject at the midpoint with bit 62 (high exponent bit: visible effect
-  // on f64 values, sign-ish for integers).
+  // on f64 values, sign-ish for integers). The guest applies the poked XOR
+  // mask in whole.
   vm::Machine machine(llfi.program);
   machine.pokeGlobal(llfi.info.targetAddr, total / 2);
-  machine.pokeGlobal(llfi.info.bitAddr, 62);
+  machine.pokeGlobal(llfi.info.maskAddr, 1ULL << 62);
   const auto faulty = machine.run(kBudget);
   vm::Machine cleanMachine(llfi.program);
   cleanMachine.pokeGlobal(llfi.info.targetAddr, 0);
@@ -438,7 +454,7 @@ TEST(LlfiPass, InjectionFlipsChosenDynamicInstance) {
   // Determinism of the faulty run.
   vm::Machine machine2(llfi.program);
   machine2.pokeGlobal(llfi.info.targetAddr, total / 2);
-  machine2.pokeGlobal(llfi.info.bitAddr, 62);
+  machine2.pokeGlobal(llfi.info.maskAddr, 1ULL << 62);
   const auto faulty2 = machine2.run(kBudget);
   EXPECT_EQ(faulty.output, faulty2.output);
   EXPECT_EQ(faulty.exitCode, faulty2.exitCode);

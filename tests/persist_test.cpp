@@ -123,6 +123,16 @@ TEST(CheckpointRecord, QuotedKeysRoundTrip) {
   EXPECT_EQ(decoded->tool, r.tool);
 }
 
+TEST(CheckpointRecord, CanonicalSpecKeysRoundTrip) {
+  // Spec-derived tool keys contain commas; CSV quoting plus the trailing
+  // checksum framing must still round-trip them exactly.
+  CampaignResult r = sampleResult();
+  r.tool = "REFINE:instrs=fp,bits=2,funcs=kernel*";
+  const auto decoded = CheckpointStore::decode(CheckpointStore::encode(r));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->tool, r.tool);
+}
+
 TEST(CheckpointRecord, CorruptionIsDetected) {
   std::string line = CheckpointStore::encode(sampleResult());
   EXPECT_TRUE(CheckpointStore::decode(line).has_value());

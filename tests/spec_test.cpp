@@ -1,0 +1,487 @@
+// Declarative fault-model library tests: spec parsing (round trips,
+// canonicalization, rejection), the shared multi-bit mask generator, the
+// registry's spec-resolution path, and the load-bearing campaign
+// properties of parameterized scenarios —
+//  * FP-only populations are identical between REFINE and PINFI (the
+//    paper's accuracy parity, extended to a derived fault model);
+//  * per-function filters partition the full population and match a
+//    hand-counted example;
+//  * multi-bit trials are bit-identical between snapshot fast-forward and
+//    cold starts, across thread counts, and across shard + merge;
+//  * checkpoint metas bind the spec list and reject stores that lack or
+//    contradict it.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "campaign/engine.h"
+#include "campaign/persist.h"
+#include "campaign/report.h"
+#include "campaign/spec.h"
+#include "fi/faultmodel.h"
+#include "fi/llfi_pass.h"
+#include "fi/refine_pass.h"
+#include "frontend/compile.h"
+#include "opt/passes.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace refine::campaign {
+namespace {
+
+// Two distinctly named non-main functions (one FP, one integer) so
+// per-function and FP-only populations are all non-empty and disjoint.
+const char* kTwoFnSource =
+    "var data: f64[32];\n"
+    "fn kernel_scale(n: i64) -> f64 {\n"
+    "  var acc: f64 = 0.0;\n"
+    "  for (var i: i64 = 0; i < n; i = i + 1) { acc = acc + data[i] * 1.5; }\n"
+    "  return acc;\n"
+    "}\n"
+    "fn checksum(n: i64) -> i64 {\n"
+    "  var sum: i64 = 7;\n"
+    "  for (var i: i64 = 0; i < n; i = i + 1) {\n"
+    "    sum = (sum * 131 + i) % 1000003;\n"
+    "  }\n"
+    "  return sum;\n"
+    "}\n"
+    "fn main() -> i64 {\n"
+    "  for (var i: i64 = 0; i < 32; i = i + 1) { data[i] = sin(f64(i)); }\n"
+    "  print_f64(kernel_scale(32));\n"
+    "  print_i64(checksum(32));\n"
+    "  return 0;\n"
+    "}\n";
+
+std::unique_ptr<ToolInstance> makeSpecInstance(const std::string& specText,
+                                               const char* source =
+                                                   kTwoFnSource) {
+  const std::string key = resolveToolSpec(specText);
+  return InjectorRegistry::global().get(key).create(source,
+                                                    fi::FiConfig::allOn());
+}
+
+CampaignConfig tinyConfig(unsigned threads, std::uint64_t trials = 40) {
+  CampaignConfig config;
+  config.trials = trials;
+  config.threads = threads;
+  return config;
+}
+
+/// Unique temp path per test; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& stem)
+      : path_((std::filesystem::temp_directory_path() /
+               ("refine_spec_" + stem + "_" +
+                std::to_string(
+                    ::testing::UnitTest::GetInstance()->random_seed()) +
+                ".ckpt"))
+                  .string()) {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// ---------------------------------------------------------------------------
+// Spec parsing and canonicalization
+// ---------------------------------------------------------------------------
+
+TEST(ToolSpecParse, CanonicalRoundTrips) {
+  const auto spec = parseToolSpec("REFINE:instrs=fp,bits=2,funcs=kernel*");
+  EXPECT_EQ(spec.base, "REFINE");
+  EXPECT_EQ(spec.instrs, fi::InstrSel::FP);
+  EXPECT_EQ(spec.flip.bits, 2u);
+  EXPECT_EQ(spec.funcs, std::vector<std::string>{"kernel*"});
+  EXPECT_EQ(spec.canonical(), "REFINE:instrs=fp,bits=2,funcs=kernel*");
+  // Parsing the canonical spelling is a fixed point.
+  EXPECT_EQ(parseToolSpec(spec.canonical()), spec);
+}
+
+TEST(ToolSpecParse, KeyOrderDoesNotMatter) {
+  const auto a = parseToolSpec("REFINE:instrs=fp,bits=2,funcs=kernel*");
+  const auto b = parseToolSpec("REFINE:funcs=kernel*,bits=2,instrs=fp");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.canonical(), b.canonical());
+}
+
+TEST(ToolSpecParse, DefaultsAreOmittedFromCanonical) {
+  EXPECT_EQ(parseToolSpec("PINFI").canonical(), "PINFI");
+  EXPECT_EQ(
+      parseToolSpec("REFINE:instrs=all,bits=1,mode=adjacent,funcs=*")
+          .canonical(),
+      "REFINE");
+  // mode is meaningless for single-bit flips and normalizes away.
+  EXPECT_EQ(parseToolSpec("LLFI:mode=independent").canonical(), "LLFI");
+  EXPECT_EQ(parseToolSpec("REFINE:bits=4,mode=independent").canonical(),
+            "REFINE:bits=4,mode=independent");
+}
+
+TEST(ToolSpecParse, FuncGlobsAreSortedAndDeduped) {
+  EXPECT_EQ(parseToolSpec("REFINE:funcs=z*+alpha+z*").canonical(),
+            "REFINE:funcs=alpha+z*");
+}
+
+TEST(ToolSpecParse, StarGlobSubsumesTheFuncsList) {
+  // funcs is an any-of match: a bare "*" makes the filter total, so the
+  // spec canonicalizes to the unfiltered model (one model, one key).
+  EXPECT_EQ(parseToolSpec("REFINE:funcs=*+foo").canonical(), "REFINE");
+  EXPECT_EQ(parseToolSpec("REFINE:bits=2,funcs=foo+*").canonical(),
+            "REFINE:bits=2");
+}
+
+TEST(ToolSpecParse, MalformedSpecsAreRejected) {
+  // Unknown or composed bases.
+  EXPECT_THROW(parseToolSpec("ZOFI:bits=2"), CheckError);
+  EXPECT_THROW(parseToolSpec("REFINE-STACK:bits=2"), CheckError);
+  EXPECT_THROW(parseToolSpec(""), CheckError);
+  // Bad keys and values.
+  EXPECT_THROW(parseToolSpec("REFINE:"), CheckError);
+  EXPECT_THROW(parseToolSpec("REFINE:bogus=1"), CheckError);
+  EXPECT_THROW(parseToolSpec("REFINE:instrs=float"), CheckError);
+  EXPECT_THROW(parseToolSpec("REFINE:bits=0"), CheckError);
+  EXPECT_THROW(parseToolSpec("REFINE:bits=65"), CheckError);
+  EXPECT_THROW(parseToolSpec("REFINE:bits=two"), CheckError);
+  EXPECT_THROW(parseToolSpec("REFINE:mode=burst"), CheckError);
+  EXPECT_THROW(parseToolSpec("REFINE:bits"), CheckError);
+  EXPECT_THROW(parseToolSpec("REFINE:=2"), CheckError);
+  // Duplicate keys cannot silently override each other.
+  EXPECT_THROW(parseToolSpec("REFINE:bits=2,bits=3"), CheckError);
+  // Globs that would break spec/meta/CSV framing.
+  EXPECT_THROW(parseToolSpec("REFINE:funcs="), CheckError);
+  EXPECT_THROW(parseToolSpec("REFINE:funcs=a+"), CheckError);
+  EXPECT_THROW(parseToolSpec("REFINE:funcs=a b"), CheckError);
+  EXPECT_THROW(parseToolSpec("REFINE:funcs=a;b"), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Registry spec resolution
+// ---------------------------------------------------------------------------
+
+TEST(SpecResolution, RegisteredNamesPassThrough) {
+  EXPECT_EQ(resolveToolSpec("REFINE"), "REFINE");
+  EXPECT_EQ(resolveToolSpec("REFINE-STACK"), "REFINE-STACK");
+}
+
+TEST(SpecResolution, EquivalentSpellingsResolveToOneKey) {
+  const std::string a = resolveToolSpec("REFINE:bits=3,instrs=mem");
+  const std::string b = resolveToolSpec("REFINE:instrs=mem,bits=3");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, "REFINE:instrs=mem,bits=3");
+  const InjectorFactory* factory = InjectorRegistry::global().find(a);
+  ASSERT_NE(factory, nullptr);
+  EXPECT_EQ(factory->name(), a);
+  // Anonymous spec keys seed via the default fnv1a(name) path.
+  EXPECT_EQ(injectorSeedKey(a), fnv1a(a));
+}
+
+TEST(SpecResolution, GarbageIsRejected) {
+  EXPECT_THROW(resolveToolSpec("NO-SUCH-TOOL"), CheckError);
+  EXPECT_THROW(resolveToolSpec("REFINE:bits=99"), CheckError);
+}
+
+TEST(SpecResolution, NamedScenariosAreSpecAliases) {
+  // The shipped battery is data, not code: each named scenario's factory
+  // carries the spec it aliases.
+  const auto* factory = dynamic_cast<const SpecFactory*>(
+      InjectorRegistry::global().find("REFINE-STACK"));
+  ASSERT_NE(factory, nullptr);
+  EXPECT_EQ(factory->spec().canonical(), "REFINE:instrs=stack");
+}
+
+// ---------------------------------------------------------------------------
+// Multi-bit mask generation
+// ---------------------------------------------------------------------------
+
+TEST(DrawFaultMask, SingleBitMatchesTheLegacyDraw) {
+  for (std::uint64_t seed : {1ULL, 42ULL, 0xDEADBEEFULL}) {
+    Rng specRng(seed);
+    Rng legacyRng(seed);
+    const std::uint64_t mask = fi::drawFaultMask(specRng, 64, {1});
+    EXPECT_EQ(mask, 1ULL << legacyRng.nextBelow(64));
+  }
+}
+
+TEST(DrawFaultMask, AdjacentBurstsAreContiguous) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t mask =
+        fi::drawFaultMask(rng, 64, {3, fi::BitMode::Adjacent});
+    EXPECT_EQ(std::popcount(mask), 3);
+    EXPECT_EQ(mask >> std::countr_zero(mask), 0b111u);
+  }
+}
+
+TEST(DrawFaultMask, IndependentDrawsDistinctBits) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t mask =
+        fi::drawFaultMask(rng, 64, {4, fi::BitMode::Independent});
+    EXPECT_EQ(std::popcount(mask), 4);  // distinct by construction
+  }
+}
+
+TEST(DrawFaultMask, ClampsToNarrowOperands) {
+  // The 4-bit flags operand under an 8-bit spec flips all four bits.
+  Rng rng(7);
+  EXPECT_EQ(fi::drawFaultMask(rng, 4, {8, fi::BitMode::Adjacent}), 0xFu);
+  Rng rng2(7);
+  EXPECT_EQ(fi::drawFaultMask(rng2, 4, {8, fi::BitMode::Independent}), 0xFu);
+}
+
+TEST(DrawFaultMask, DeterministicFromSeed) {
+  for (const fi::BitMode mode :
+       {fi::BitMode::Adjacent, fi::BitMode::Independent}) {
+    Rng a(99);
+    Rng b(99);
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_EQ(fi::drawFaultMask(a, 64, {5, mode}),
+                fi::drawFaultMask(b, 64, {5, mode}));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FP-only populations
+// ---------------------------------------------------------------------------
+
+TEST(FpPopulation, FaultsLandOnlyInFpRegisters) {
+  auto instance = makeSpecInstance("REFINE:instrs=fp");
+  const auto& profile = instance->profile();
+  ASSERT_GT(profile.dynamicTargets, 0u);
+  const std::uint64_t budget = profile.instrCount * 10;
+  for (std::uint64_t t = 1; t <= 10; ++t) {
+    const std::uint64_t target = 1 + (t * 7919) % profile.dynamicTargets;
+    const auto trial = instance->runTrial(target, 1234 + t, budget);
+    ASSERT_TRUE(trial.fault.has_value());
+    EXPECT_EQ(trial.fault->operandKind, fi::FiOperand::Kind::FprDest)
+        << "target " << target;
+  }
+}
+
+TEST(FpPopulation, RefineAndPinfiSeeTheSamePopulation) {
+  // The paper's accuracy parity (identical REFINE/PINFI target populations
+  // over the same binary) must survive the derived FP-only model.
+  auto refine = makeSpecInstance("REFINE:instrs=fp");
+  auto pinfi = makeSpecInstance("PINFI:instrs=fp");
+  EXPECT_EQ(refine->profile().dynamicTargets, pinfi->profile().dynamicTargets);
+  EXPECT_EQ(refine->profile().goldenOutput, pinfi->profile().goldenOutput);
+}
+
+TEST(FpPopulation, FpIsAProperSubsetOfAll) {
+  auto fp = makeSpecInstance("REFINE:instrs=fp");
+  auto all = makeSpecInstance("REFINE");
+  EXPECT_GT(fp->profile().dynamicTargets, 0u);
+  EXPECT_LT(fp->profile().dynamicTargets, all->profile().dynamicTargets);
+}
+
+// ---------------------------------------------------------------------------
+// Per-function filters
+// ---------------------------------------------------------------------------
+
+TEST(PerFunctionFilter, FunctionsPartitionThePopulation) {
+  // Resolved at instrumentation time, the per-function populations of the
+  // program's three functions partition the unfiltered population exactly.
+  const std::uint64_t all = makeSpecInstance("REFINE")->profile().dynamicTargets;
+  std::uint64_t sum = 0;
+  for (const char* fn : {"kernel_scale", "checksum", "main"}) {
+    const auto one =
+        makeSpecInstance("REFINE:funcs=" + std::string(fn))->profile();
+    EXPECT_GT(one.dynamicTargets, 0u) << fn;
+    sum += one.dynamicTargets;
+  }
+  EXPECT_EQ(sum, all);
+}
+
+TEST(PerFunctionFilter, GlobSelectsMatchingFunctionsAcrossTools) {
+  // PINFI filters at instrumentation time too: same glob, same population.
+  auto refine = makeSpecInstance("REFINE:funcs=kernel*");
+  auto pinfi = makeSpecInstance("PINFI:funcs=kernel*");
+  EXPECT_EQ(refine->profile().dynamicTargets,
+            pinfi->profile().dynamicTargets);
+}
+
+TEST(PerFunctionFilter, HandCountedLlfiPopulation) {
+  // Hand count of the LLFI arithmetic population of mix3 (IR after -O2):
+  //   %1 = mul a, b     -- 1
+  //   %2 = add %1, a    -- 2
+  //   %3 = sub %2, b    -- 3
+  // Nothing else in the function is arith-class, so funcs=mix3 must
+  // instrument exactly those 3 IR instructions.
+  const char* source =
+      "fn mix3(a: i64, b: i64) -> i64 {\n"
+      "  return a * b + a - b;\n"
+      "}\n"
+      "fn main() -> i64 {\n"
+      "  print_i64(mix3(6, 7));\n"
+      "  return 0;\n"
+      "}\n";
+  auto module = fe::compileToIR(source);
+  opt::optimize(*module, opt::OptLevel::O2);
+  const auto config = parseToolSpec("LLFI:instrs=arithm,funcs=mix3")
+                          .apply(fi::FiConfig::allOn());
+  const auto info = fi::applyLlfiPass(*module, config);
+  EXPECT_EQ(info.staticTargets, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-bit campaign determinism
+// ---------------------------------------------------------------------------
+
+TEST(MultiBit, TrialMasksMatchTheSpec) {
+  auto instance = makeSpecInstance("REFINE:bits=2");
+  const auto& profile = instance->profile();
+  const std::uint64_t budget = profile.instrCount * 10;
+  for (std::uint64_t t = 1; t <= 10; ++t) {
+    const std::uint64_t target = 1 + (t * 104729) % profile.dynamicTargets;
+    const auto trial = instance->runTrial(target, 555 + t, budget);
+    ASSERT_TRUE(trial.fault.has_value());
+    EXPECT_EQ(std::popcount(trial.fault->mask), 2) << "target " << target;
+    // Adjacent default: the two bits form a contiguous burst.
+    EXPECT_EQ(trial.fault->mask >> std::countr_zero(trial.fault->mask), 0b11u);
+  }
+}
+
+TEST(MultiBit, FastForwardMatchesColdStartBitForBit) {
+  auto fast = makeSpecInstance("REFINE:bits=2,funcs=kernel*+main");
+  auto cold = makeSpecInstance("REFINE:bits=2,funcs=kernel*+main");
+  cold->setFastForward(false);
+  const auto& profile = fast->profile();
+  ASSERT_EQ(cold->profile().dynamicTargets, profile.dynamicTargets);
+  const std::uint64_t budget = profile.instrCount * 10;
+  for (std::uint64_t t = 1; t <= 12; ++t) {
+    const std::uint64_t target = 1 + (t * 7919) % profile.dynamicTargets;
+    const auto a = fast->runTrial(target, 42 + t, budget);
+    const auto b = cold->runTrial(target, 42 + t, budget);
+    EXPECT_EQ(a.exec.output, b.exec.output) << "target " << target;
+    EXPECT_EQ(a.exec.exitCode, b.exec.exitCode);
+    EXPECT_EQ(a.exec.trapped, b.exec.trapped);
+    EXPECT_EQ(a.exec.instrCount, b.exec.instrCount);
+    ASSERT_TRUE(a.fault.has_value() && b.fault.has_value());
+    EXPECT_EQ(a.fault->mask, b.fault->mask);
+    EXPECT_EQ(a.fault->dynamicIndex, b.fault->dynamicIndex);
+    EXPECT_EQ(b.fastForwardedInstrs, 0u);
+  }
+}
+
+std::vector<MatrixJob> specMatrix() {
+  std::vector<MatrixJob> jobs;
+  for (const char* tool :
+       {"REFINE:instrs=fp,bits=2", "PINFI:bits=4,mode=independent",
+        "LLFI:bits=2"}) {
+    jobs.push_back({"twofn", resolveToolSpec(tool), kTwoFnSource,
+                    fi::FiConfig::allOn()});
+  }
+  return jobs;
+}
+
+TEST(MultiBit, CountsAreThreadCountInvariant) {
+  const auto jobs = specMatrix();
+  CampaignEngine one(tinyConfig(1));
+  CampaignEngine four(tinyConfig(4));
+  const auto a = one.runMatrix(jobs);
+  const auto b = four.runMatrix(jobs);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].counts, b[i].counts) << a[i].tool;
+    EXPECT_EQ(a[i].dynamicTargets, b[i].dynamicTargets);
+  }
+}
+
+TEST(MultiBit, ShardsResumeAndMergeToTheSingleProcessReport) {
+  const auto jobs = specMatrix();
+  CampaignEngine reference(tinyConfig(3));
+  const std::string single = countsCsv(reference.runMatrix(jobs));
+
+  TempFile files[2] = {TempFile("shard0"), TempFile("shard1")};
+  std::vector<std::string> paths;
+  for (std::uint32_t i = 0; i < 2; ++i) {
+    CheckpointStore store(files[i].path());
+    MatrixOptions options;
+    options.shard = ShardSpec{i, 2};
+    options.checkpoint = &store;
+    CampaignEngine engine(tinyConfig(i + 1));
+    engine.runMatrix(jobs, options);
+    // The canonical spec list is bound into every shard's meta.
+    ASSERT_TRUE(store.meta().has_value());
+    EXPECT_EQ(store.meta()->tools,
+              "REFINE:instrs=fp,bits=2;PINFI:bits=4,mode=independent;"
+              "LLFI:bits=2");
+    paths.push_back(files[i].path());
+  }
+  EXPECT_EQ(countsCsv(mergeCheckpoints(paths)), single);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint meta: the spec string must round-trip and gate resumes
+// ---------------------------------------------------------------------------
+
+TEST(SpecMeta, ResumingADifferentFaultModelThrows) {
+  TempFile file("model_mismatch");
+  {
+    CheckpointStore store(file.path());
+    CampaignEngine engine(tinyConfig(2, 20));
+    MatrixOptions options;
+    options.checkpoint = &store;
+    engine.runMatrix(specMatrix(), options);
+  }
+  // Same apps, same engine config — but one cell's fault model changed.
+  auto jobs = specMatrix();
+  jobs[0].tool = resolveToolSpec("REFINE:instrs=fp,bits=4");
+  CheckpointStore store(file.path());
+  CampaignEngine engine(tinyConfig(2, 20));
+  MatrixOptions options;
+  options.checkpoint = &store;
+  EXPECT_THROW(engine.runMatrix(jobs, options), CheckError);
+}
+
+TEST(SpecMeta, PreSpecStoresAreRejectedWithAClearError) {
+  // A store whose #campaign line predates the fault-model library has no
+  // tools= binding: resuming it could silently mix populations, so it must
+  // be rejected with a message naming the problem.
+  TempFile file("legacy");
+  writeFile(file.path(),
+            "#refine-checkpoint v1\n"
+            "#campaign seed=000000005eedba5e trials=40 timeout=10\n");
+  CheckpointStore store(file.path());
+  ASSERT_TRUE(store.meta().has_value());
+  EXPECT_TRUE(store.meta()->tools.empty());
+  CampaignEngine engine(tinyConfig(2));
+  MatrixOptions options;
+  options.checkpoint = &store;
+  try {
+    engine.runMatrix(specMatrix(), options);
+    FAIL() << "pre-spec store was accepted";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("pre-fault-model store"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SpecMeta, ToolListRoundTripsThroughTheMetaLine) {
+  TempFile file("roundtrip");
+  const CampaignMeta meta{0x5EEDBA5E, 24, 10.0,
+                          "REFINE:instrs=fp,bits=2;LLFI"};
+  {
+    CheckpointStore store(file.path());
+    store.bindCampaign(meta);
+  }
+  CheckpointStore reopened(file.path());
+  ASSERT_TRUE(reopened.meta().has_value());
+  EXPECT_EQ(*reopened.meta(), meta);
+  reopened.bindCampaign(meta);  // same campaign: accepted
+  CampaignMeta other = meta;
+  other.tools = "REFINE";
+  EXPECT_THROW(reopened.bindCampaign(other), CheckError);
+}
+
+}  // namespace
+}  // namespace refine::campaign
