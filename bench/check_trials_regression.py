@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Trial-throughput regression gate: BENCH_trials.json vs the committed
+bench/baseline_trials.json.
+
+Absolute trials/s depends on the host (the committed baseline was recorded
+on a developer box; CI runners differ), so the HARD gate runs on the
+hardware-normalized throughput ratio
+
+    normalized = trials_per_sec / cold_trials_per_sec
+
+i.e. the fast path measured against a cold-start reference from the very
+same run on the very same machine. A >threshold drop of that ratio (per
+tool or overall) means the fast path itself regressed — machine speed
+cancels out. Absolute trials/s deltas are always printed for the record and
+can be promoted to a hard gate with REFINE_BENCH_GATE_ABSOLUTE=1 when the
+current host matches the baseline host.
+
+Exit code 0 = pass, 1 = regression, 2 = usage/inputs broken.
+
+Usage: check_trials_regression.py CURRENT.json BASELINE.json [--max-regression 0.25]
+"""
+
+import json
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def normalized(entry):
+    cold = entry.get("cold_trials_per_sec", 0.0)
+    fast = entry.get("trials_per_sec", 0.0)
+    return fast / cold if cold > 0 else 0.0
+
+
+def main(argv):
+    args = []
+    threshold = 0.25
+    i = 1
+    while i < len(argv):
+        if argv[i] == "--max-regression":
+            threshold = float(argv[i + 1])
+            i += 2
+        else:
+            args.append(argv[i])
+            i += 1
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    current, baseline = load(args[0]), load(args[1])
+    gate_absolute = os.environ.get("REFINE_BENCH_GATE_ABSOLUTE") == "1"
+
+    failures = []
+    rows = []
+    keys = ["overall"] + sorted(baseline.get("tools", {}).keys())
+    for key in keys:
+        base = baseline["tools"].get(key) if key != "overall" else baseline.get("overall")
+        cur = current["tools"].get(key) if key != "overall" else current.get("overall")
+        if base is None or cur is None:
+            failures.append(f"{key}: missing from current or baseline JSON")
+            continue
+        base_norm, cur_norm = normalized(base), normalized(cur)
+        norm_delta = cur_norm / base_norm - 1.0 if base_norm > 0 else 0.0
+        abs_delta = (
+            cur["trials_per_sec"] / base["trials_per_sec"] - 1.0
+            if base.get("trials_per_sec", 0) > 0
+            else 0.0
+        )
+        rows.append(
+            f"  {key:8s} normalized {base_norm:6.2f} -> {cur_norm:6.2f} "
+            f"({norm_delta:+7.1%})   absolute {base['trials_per_sec']:8.1f} -> "
+            f"{cur['trials_per_sec']:8.1f} trials/s ({abs_delta:+7.1%})"
+        )
+        if norm_delta < -threshold:
+            failures.append(
+                f"{key}: normalized throughput regressed {norm_delta:.1%} "
+                f"(limit -{threshold:.0%})"
+            )
+        if gate_absolute and abs_delta < -threshold:
+            failures.append(
+                f"{key}: absolute trials/s regressed {abs_delta:.1%} "
+                f"(limit -{threshold:.0%}, REFINE_BENCH_GATE_ABSOLUTE=1)"
+            )
+
+    print(f"trial-throughput gate (max regression {threshold:.0%}, "
+          f"absolute gate {'ON' if gate_absolute else 'record-only'}):")
+    for row in rows:
+        print(row)
+    if failures:
+        print("\nFAIL:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nPASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -2,14 +2,21 @@
 // pipeline (predecoded VM core + snapshot fast-forward).
 //
 // Runs the full (app x tool) matrix with per-trial seeds derived exactly
-// like the campaign engine's, once with snapshot fast-forward enabled (the
-// production path) and once cold-started (the pre-fast-forward behavior on
-// the same predecoded core), and emits a machine-readable BENCH_trials.json:
+// like the campaign engine's — per-worker TrialScratch, streaming golden
+// classification, trials sorted by target within a chunk so the delta
+// restore stays small — once with snapshot fast-forward enabled (the
+// production path) and once cold-started. "Cold" disables fast-forward but
+// keeps the same reused-scratch/streaming hot path, so fast/cold isolates
+// the snapshot-restore benefit on identical machinery (the same-run,
+// same-hardware denominator the CI regression gate normalizes by); it is
+// NOT the historical fresh-machine-per-trial behavior. Emits a
+// machine-readable BENCH_trials.json:
 //
 //   * trials/sec per tool (fast-forward and cold) and their ratio,
 //   * VM MIPS (instructions actually executed per wall second),
 //   * mean executed-suffix fraction (how much of each trial's dynamic
-//     length still runs after the snapshot restore).
+//     length still runs after the snapshot restore),
+//   * restored bytes per trial (the delta-restore copy cost).
 //
 // Environment knobs:
 //   REFINE_BENCH_TRIALS  trials per (app, tool); default 100
@@ -24,6 +31,7 @@
 #include "apps/apps.h"
 #include "campaign/registry.h"
 #include "campaign/runner.h"
+#include "campaign/scratch.h"
 #include "campaign/tools.h"
 #include "support/rng.h"
 #include "support/strings.h"
@@ -41,34 +49,40 @@ struct CellStats {
   double coldSeconds = 0.0;
   std::uint64_t fastExecutedInstrs = 0;  // suffix instructions actually run
   std::uint64_t coldExecutedInstrs = 0;
-  double suffixFractionSum = 0.0;  // sum over trials of executed/total
+  double suffixFractionSum = 0.0;     // sum over trials of executed/total
+  std::uint64_t fastRestoredBytes = 0;  // delta-restore copy cost (fast path)
 
   double speedup() const {
     return fastSeconds > 0.0 ? coldSeconds / fastSeconds : 0.0;
   }
 };
 
-/// Runs `trials` single-fault experiments with engine-identical seed
-/// derivation; returns wall seconds and fills instruction tallies.
+/// Runs `trials` single-fault experiments exactly like one engine chunk:
+/// engine-identical seed derivation, target-sorted execution on a reused
+/// TrialScratch with streaming golden classification. Returns wall seconds
+/// and fills instruction/restore tallies.
 double runTrials(const campaign::ToolInstance& instance,
                  const campaign::ToolInstance::Profile& profile,
                  std::uint64_t appKey, std::uint64_t seedKey,
                  std::uint64_t trials, std::uint64_t budget,
-                 std::uint64_t& executedInstrs, double* suffixFractionSum) {
+                 std::uint64_t& executedInstrs, double* suffixFractionSum,
+                 std::uint64_t* restoredBytes) {
   const std::uint64_t baseSeed = campaign::CampaignConfig{}.baseSeed;
+  std::vector<campaign::TrialDraw> draws;
+  campaign::drawTrialChunk(baseSeed, appKey, seedKey, profile.dynamicTargets,
+                           0, trials, draws);
+  campaign::TrialScratch scratch;
+  scratch.setGolden(&profile.goldenOutput);
   WallTimer timer;
-  for (std::uint64_t trial = 0; trial < trials; ++trial) {
-    const std::uint64_t seed = mixSeed(baseSeed, appKey, seedKey, trial);
-    Rng rng(seed);
-    const std::uint64_t target = rng.nextBelow(profile.dynamicTargets) + 1;
-    const std::uint64_t trialSeed = rng.next();
-    const auto run = instance.runTrial(target, trialSeed, budget);
+  for (const campaign::TrialDraw& d : draws) {
+    const auto& run = instance.runTrial(d.target, d.seed, budget, scratch);
     executedInstrs += run.exec.instrCount - run.fastForwardedInstrs;
     if (suffixFractionSum != nullptr && run.exec.instrCount > 0) {
       *suffixFractionSum +=
           static_cast<double>(run.exec.instrCount - run.fastForwardedInstrs) /
           static_cast<double>(run.exec.instrCount);
     }
+    if (restoredBytes != nullptr) *restoredBytes += run.restoredBytes;
   }
   return timer.seconds();
 }
@@ -130,20 +144,24 @@ int main() {
       cell.tool = tool;
       cell.trials = trials;
       instance->setFastForward(true);
-      cell.fastSeconds =
-          runTrials(*instance, profile, appKey, seedKey, trials, budget,
-                    cell.fastExecutedInstrs, &cell.suffixFractionSum);
+      cell.fastSeconds = runTrials(
+          *instance, profile, appKey, seedKey, trials, budget,
+          cell.fastExecutedInstrs, &cell.suffixFractionSum,
+          &cell.fastRestoredBytes);
       instance->setFastForward(false);
       cell.coldSeconds =
           runTrials(*instance, profile, appKey, seedKey, trials, budget,
-                    cell.coldExecutedInstrs, nullptr);
+                    cell.coldExecutedInstrs, nullptr, nullptr);
       std::fprintf(stderr,
                    "[bench]   %-10s %-7s fast %8.1f trials/s  cold %8.1f "
-                   "trials/s  speedup %5.2fx  suffix %4.1f%%\n",
+                   "trials/s  speedup %5.2fx  suffix %4.1f%%  restored "
+                   "%6.0f KB/trial\n",
                    cell.app.c_str(), cell.tool.c_str(),
                    trials / cell.fastSeconds, trials / cell.coldSeconds,
                    cell.speedup(),
-                   100.0 * cell.suffixFractionSum / static_cast<double>(trials));
+                   100.0 * cell.suffixFractionSum / static_cast<double>(trials),
+                   static_cast<double>(cell.fastRestoredBytes) /
+                       static_cast<double>(trials) / 1024.0);
       cells.push_back(std::move(cell));
     }
   }
@@ -156,11 +174,13 @@ int main() {
   for (std::size_t t = 0; t < tools.size(); ++t) {
     std::uint64_t n = 0;
     std::uint64_t executed = 0;
+    std::uint64_t restored = 0;
     double fastSec = 0, coldSec = 0, suffixSum = 0;
     for (const auto& cell : cells) {
       if (cell.tool != tools[t]) continue;
       n += cell.trials;
       executed += cell.fastExecutedInstrs;
+      restored += cell.fastRestoredBytes;
       fastSec += cell.fastSeconds;
       coldSec += cell.coldSeconds;
       suffixSum += cell.suffixFractionSum;
@@ -171,7 +191,10 @@ int main() {
     json += "\"speedup\": " + jsonNumber(coldSec / fastSec) + ", ";
     json += "\"vm_mips\": " + jsonNumber(executed / fastSec / 1e6) + ", ";
     json += "\"mean_suffix_fraction\": " +
-            jsonNumber(suffixSum / static_cast<double>(n)) + "}";
+            jsonNumber(suffixSum / static_cast<double>(n)) + ", ";
+    json += "\"restored_bytes_per_trial\": " +
+            jsonNumber(static_cast<double>(restored) / static_cast<double>(n)) +
+            "}";
     json += t + 1 < tools.size() ? ",\n" : "\n";
   }
   json += "  },\n";
@@ -179,11 +202,13 @@ int main() {
   std::vector<double> speedups;
   std::uint64_t totalTrials = 0;
   std::uint64_t totalExecuted = 0;
+  std::uint64_t totalRestored = 0;
   double totalFast = 0, totalCold = 0, totalSuffix = 0;
   for (const auto& cell : cells) {
     speedups.push_back(cell.speedup());
     totalTrials += cell.trials;
     totalExecuted += cell.fastExecutedInstrs;
+    totalRestored += cell.fastRestoredBytes;
     totalFast += cell.fastSeconds;
     totalCold += cell.coldSeconds;
     totalSuffix += cell.suffixFractionSum;
@@ -201,7 +226,11 @@ int main() {
   json += "\"median_cell_speedup\": " + jsonNumber(median) + ", ";
   json += "\"vm_mips\": " + jsonNumber(totalExecuted / totalFast / 1e6) + ", ";
   json += "\"mean_suffix_fraction\": " +
-          jsonNumber(totalSuffix / static_cast<double>(totalTrials)) + "}\n";
+          jsonNumber(totalSuffix / static_cast<double>(totalTrials)) + ", ";
+  json += "\"restored_bytes_per_trial\": " +
+          jsonNumber(static_cast<double>(totalRestored) /
+                     static_cast<double>(totalTrials)) +
+          "}\n";
   json += "}\n";
 
   writeFile(outPath, json);

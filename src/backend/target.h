@@ -167,7 +167,7 @@ enum class MOp : std::uint8_t {
   RETP,      // use: optional return value vreg
 
   // Fault-injection instrumentation (REFINE pass; see fi/refine.*)
-  FICHECK,  // (imm siteId, block): PreFI fast path — calls selInstr(),
+  FICHECK,  // (imm siteId, block): PreFI fast path — counts/compares inline,
             // branches to the PreFI save block when injection triggers
   SETUPFI,  // (imm siteId): calls setupFI(); writes r0 = operand index,
             // r1 = flip mask (defines r0, r1)

@@ -33,7 +33,11 @@ struct CampaignEngine::CellRun {
 
 CampaignEngine::CampaignEngine(CampaignConfig config)
     : config_(config),
-      pool_(config.threads == 0 ? hardwareThreads() : config.threads) {}
+      pool_(config.threads == 0 ? hardwareThreads() : config.threads) {
+  scratch_.resize(pool_.threadCount());
+  for (auto& s : scratch_) s = std::make_unique<TrialScratch>();
+  draws_.resize(pool_.threadCount());
+}
 
 void CampaignEngine::enqueueTrials(CellRun& cell,
                                    const ResultCallback& onCellDone,
@@ -55,25 +59,31 @@ void CampaignEngine::enqueueTrials(CellRun& cell,
         tasks.push_back([this, &cell, &profile, &onCellDone, checkpoint,
                          baseSeed, record, begin, end](unsigned worker) {
           auto& partial = cell.perWorker[worker];
-          for (std::size_t trial = begin; trial < end; ++trial) {
-            // Derive everything from (seed, app, tool, trial): the outcome is
-            // independent of which worker runs the trial and when.
-            const std::uint64_t seed =
-                mixSeed(baseSeed, cell.appKey, cell.seedKey,
-                        static_cast<std::uint64_t>(trial));
-            Rng rng(seed);
-            const std::uint64_t target =
-                rng.nextBelow(profile.dynamicTargets) + 1;
-            const std::uint64_t trialSeed = rng.next();
-
-            WallTimer timer;
-            const auto run =
-                cell.instance->runTrial(target, trialSeed, cell.budget);
-            partial.seconds += timer.seconds();
+          TrialScratch& scratch = *scratch_[worker];
+          auto& draws = draws_[worker];
+          // Derive everything from (seed, app, tool, trial) — the outcome
+          // is independent of which worker runs the trial and when — and
+          // execute sorted by drawn target: consecutive trials restore the
+          // same snapshot, so the scratch machine's delta restore copies
+          // only what the previous trial dirtied. Outcomes are recorded
+          // under the original trial index and counts are order-free, so
+          // results stay bit-identical to in-order execution.
+          drawTrialChunk(baseSeed, cell.appKey, cell.seedKey,
+                         profile.dynamicTargets, begin, end, draws);
+          // Stream-classify against this cell's golden: trials accumulate
+          // no output, print syscalls compare bytes as they are produced.
+          scratch.setGolden(&profile.goldenOutput);
+          // One clock pair per chunk (not two syscalls per trial); see
+          // CampaignResult::totalTrialSeconds for the semantics.
+          WallTimer timer;
+          for (const TrialDraw& d : draws) {
+            const auto& run =
+                cell.instance->runTrial(d.target, d.seed, cell.budget, scratch);
             const Outcome outcome = classify(run.exec, profile.goldenOutput);
             partial.counts.add(outcome);
-            if (record) cell.outcomes[trial] = outcome;
+            if (record) cell.outcomes[d.trial] = outcome;
           }
+          partial.seconds += timer.seconds();
           // Last chunk of this cell: every partial is final (the acq_rel
           // fetch_sub orders them), so drain here and stream the result
           // while the rest of the matrix is still running.

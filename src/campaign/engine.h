@@ -20,6 +20,7 @@
 // runCampaign() at any thread count. See DESIGN.md.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "campaign/persist.h"
 #include "campaign/registry.h"
 #include "campaign/runner.h"
+#include "campaign/scratch.h"
 #include "support/threadpool.h"
 
 namespace refine::campaign {
@@ -101,6 +103,12 @@ class CampaignEngine {
 
   CampaignConfig config_;
   WorkStealingPool pool_;
+  /// Per-worker reusable trial state (machine, result slot) and draw
+  /// buffers, indexed by pool worker id. Trials of any cell run on the
+  /// worker's scratch; the machine rebinds when a chunk of a different cell
+  /// lands on the worker.
+  std::vector<std::unique_ptr<TrialScratch>> scratch_;
+  std::vector<std::vector<TrialDraw>> draws_;
   std::mutex callbackMutex_;  // serializes onCellDone invocations
 };
 

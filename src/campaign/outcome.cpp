@@ -13,7 +13,12 @@ const char* outcomeName(Outcome o) noexcept {
 
 Outcome classify(const vm::ExecResult& result, const std::string& golden) {
   if (result.trapped || result.exitCode != 0) return Outcome::Crash;
-  if (result.output != golden) return Outcome::SOC;
+  // A run that streamed against a bound golden already knows the answer
+  // (and carries no output to compare); the flag is computed byte-for-byte
+  // like the string comparison, so both paths classify identically.
+  if (result.goldenBound ? result.diverged : result.output != golden) {
+    return Outcome::SOC;
+  }
   return Outcome::Benign;
 }
 

@@ -18,7 +18,9 @@ enum class Outcome : unsigned char { Crash, SOC, Benign };
 
 const char* outcomeName(Outcome o) noexcept;
 
-/// Classifies one execution against the golden output.
+/// Classifies one execution against the golden output. Runs produced with a
+/// streaming golden bound (Machine::bindGolden) carry goldenBound/diverged
+/// instead of accumulated output; both forms classify identically.
 Outcome classify(const vm::ExecResult& result, const std::string& golden);
 
 }  // namespace refine::campaign

@@ -28,7 +28,10 @@ stats::ChiSquaredResult compareTools(const CampaignResult& a,
 std::string table5Line(const CampaignResult& base,
                        const CampaignResult& comparison, double alpha = 0.05);
 
-/// Figure 5 line: execution time of `tool` normalized to `baseline`.
+/// Figure 5 line: execution time of `tool` normalized to `baseline`. Times
+/// are CampaignResult::totalTrialSeconds — per-chunk wall time summed over
+/// workers (sequential-equivalent trial time; see runner.h), so the ratio
+/// compares tools' trial throughput independent of thread count.
 std::string figure5Line(const CampaignResult& tool,
                         const CampaignResult& baseline);
 

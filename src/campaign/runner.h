@@ -60,8 +60,13 @@ struct CampaignResult {
   std::string app;
   std::string tool = "REFINE";  // injector registry key
   OutcomeCounts counts;
-  /// Sum of per-trial execution times: the sequential-equivalent campaign
-  /// time the paper's Figure 5 reports.
+  /// Sequential-equivalent campaign time (the paper's Figure 5 metric):
+  /// the sum of per-CHUNK wall times across workers. Each scheduler chunk
+  /// is timed with one clock pair around its whole trial loop — per-trial
+  /// clock syscalls would dominate sub-millisecond trials — so this
+  /// includes the (tiny) per-trial draw/classify overhead and excludes
+  /// compile/profile time and scheduler idle time. Not bit-stable; never
+  /// part of countsCsv. See report.h figure5Line.
   double totalTrialSeconds = 0.0;
   std::uint64_t dynamicTargets = 0;
   std::uint64_t profileInstrs = 0;

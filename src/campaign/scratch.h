@@ -1,0 +1,124 @@
+// Per-worker reusable trial state: the zero-allocation campaign hot path.
+//
+// Every runTrial() used to construct a fresh vm::Machine (a 4 MiB stack
+// zeroing, a globals vector and an output string per trial), copy the
+// snapshot's prefix output and whole-string-compare the result against the
+// golden. A TrialScratch instead owns ONE machine per worker that trials
+// rewind in place (Machine::beginTrial — delta restore of only the state the
+// previous trial dirtied), streams output against the golden instead of
+// accumulating it, and reuses the Trial result slot so steady-state trials
+// allocate nothing (tests/alloc_guard_test.cpp pins this).
+//
+// A scratch is single-threaded by construction: the campaign engine keeps
+// one per pool worker; one-off callers (tests, tools without the engine) use
+// the transient-scratch runTrial(target, seed, budget) convenience overload.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fi/library.h"
+#include "support/rng.h"
+#include "vm/decoded.h"
+#include "vm/machine.h"
+
+namespace refine::campaign {
+
+/// Result of one single-fault experiment.
+struct Trial {
+  vm::ExecResult exec;
+  std::optional<fi::FaultRecord> fault;
+  /// Instructions skipped by snapshot fast-forward (0 = cold start).
+  /// exec.instrCount still counts from program start either way.
+  std::uint64_t fastForwardedInstrs = 0;
+  /// Machine-state bytes copied to prepare this trial (registers excluded):
+  /// the delta-restore cost the bench reports as restoredBytes/trial.
+  std::uint64_t restoredBytes = 0;
+};
+
+/// One trial drawn for a chunk: the per-trial seed derivation is done up
+/// front so the chunk can execute trials sorted by target while outcomes
+/// stay keyed by the original trial index.
+struct TrialDraw {
+  std::uint64_t target = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t trial = 0;  // original trial index (the outcome key)
+};
+
+/// Derives the (target, trial-seed) pair of every trial in [begin, end)
+/// exactly as the campaign engine does — one Rng from
+/// mixSeed(baseSeed, appKey, seedKey, trial), target first, trial seed
+/// second — and sorts the chunk by target (trial-index tiebreak) so
+/// consecutive trials restore the same snapshot and the delta restore stays
+/// small. This is the ONE chunk-draw implementation: the engine, the
+/// throughput bench and the allocation guard all call it, so the bench
+/// measures exactly the production sequence. `out` is reused (cleared,
+/// capacity kept). Sorting is a pure reordering: every trial's outcome is a
+/// function of its own draw only, so aggregated results are bit-identical
+/// to in-order execution.
+inline void drawTrialChunk(std::uint64_t baseSeed, std::uint64_t appKey,
+                           std::uint64_t seedKey,
+                           std::uint64_t dynamicTargets, std::size_t begin,
+                           std::size_t end, std::vector<TrialDraw>& out) {
+  out.clear();
+  for (std::size_t trial = begin; trial < end; ++trial) {
+    const std::uint64_t seed = mixSeed(baseSeed, appKey, seedKey,
+                                       static_cast<std::uint64_t>(trial));
+    Rng rng(seed);
+    const std::uint64_t target = rng.nextBelow(dynamicTargets) + 1;
+    out.push_back({target, rng.next(), static_cast<std::uint64_t>(trial)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TrialDraw& a, const TrialDraw& b) {
+              return a.target != b.target ? a.target < b.target
+                                          : a.trial < b.trial;
+            });
+}
+
+class TrialScratch {
+ public:
+  TrialScratch() = default;
+  TrialScratch(const TrialScratch&) = delete;
+  TrialScratch& operator=(const TrialScratch&) = delete;
+
+  /// The worker's machine, bound to (program, decoded). The first call (and
+  /// any call switching to a different program — interleaved chunks of two
+  /// matrix cells on one worker) rebinds, keeping the program-independent
+  /// stack buffer; steady-state calls just return the machine. Both objects
+  /// must outlive the scratch's use of them (the campaign engine keeps every
+  /// cell's ToolInstance alive for the whole matrix).
+  vm::Machine& machine(const backend::Program& program,
+                       const vm::DecodedProgram& decoded) {
+    if (!machine_) {
+      machine_.emplace(program, decoded);
+      bound_ = &decoded;
+    } else if (bound_ != &decoded || &machine_->program() != &program) {
+      machine_->rebind(program, decoded);
+      bound_ = &decoded;
+    }
+    return *machine_;
+  }
+
+  /// Golden output for streaming SDC classification. When set, runTrial
+  /// binds it to the machine: trials store no output and ExecResult reports
+  /// goldenBound/diverged (classify() understands both). Callers that need
+  /// the literal trial output (equivalence tests) leave it unset. Must be
+  /// re-set when the scratch moves to a different cell's trials.
+  void setGolden(const std::string* golden) noexcept { golden_ = golden; }
+  const std::string* golden() const noexcept { return golden_; }
+
+  /// Result slot reused across trials: the returned Trial& of
+  /// runTrial(..., scratch) points here and is valid until the next trial
+  /// on this scratch.
+  Trial trial;
+
+ private:
+  std::optional<vm::Machine> machine_;
+  const vm::DecodedProgram* bound_ = nullptr;
+  const std::string* golden_ = nullptr;
+};
+
+}  // namespace refine::campaign

@@ -53,25 +53,27 @@ class RefineInstance final : public ToolInstance {
     RF_CHECK(compiled_.staticSites > 0, "REFINE instrumented nothing");
   }
 
-  Trial runTrial(std::uint64_t targetIndex, std::uint64_t seed,
-                 std::uint64_t budget) const override {
+  const Trial& runTrial(std::uint64_t targetIndex, std::uint64_t seed,
+                        std::uint64_t budget,
+                        TrialScratch& scratch) const override {
     auto library = fi::FaultInjectionLibrary::injecting(
         &compiled_.sites, targetIndex, seed, flip_);
-    vm::Machine machine(compiled_.program, decoded_);
+    vm::Machine& machine = scratch.machine(compiled_.program, decoded_);
+    machine.bindGolden(scratch.golden());
+    const vm::Snapshot* snap = resumePoint(targetIndex, budget);
+    Trial& trial = scratch.trial;
+    trial.restoredBytes = machine.beginTrial(snap, goldenSize_);
     machine.setFiRuntime(&library);
-    Trial trial;
-    if (const vm::Snapshot* snap = resumePoint(targetIndex, budget)) {
-      // Reserve before restore: the assignment of the snapshot's prefix
-      // output then lands in a buffer already sized for the full run.
-      machine.reserveOutput(goldenSize_);
-      machine.restore(*snap);
+    if (snap != nullptr) {
       library.fastForwardTo(snap->dynamicCount);
       trial.fastForwardedInstrs = snap->instrCount;
       trial.exec = machine.resume(budget);
     } else {
-      machine.reserveOutput(goldenSize_);
+      trial.fastForwardedInstrs = 0;
       trial.exec = machine.run(budget);
     }
+    // Copy (not move): an engaged-to-engaged assignment reuses the slot's
+    // string capacity across trials.
     trial.fault = library.fault();
     return trial;
   }
@@ -121,15 +123,18 @@ class PinfiInstance final : public ToolInstance {
     RF_CHECK(engine_.staticTargets() > 0, "PINFI found no targets");
   }
 
-  Trial runTrial(std::uint64_t targetIndex, std::uint64_t seed,
-                 std::uint64_t budget) const override {
-    auto run = engine_.inject(targetIndex, seed, budget,
-                              fastForward() ? &snapshots_ : nullptr,
-                              goldenSize_);
-    Trial trial;
-    trial.exec = std::move(run.exec);
-    trial.fault = std::move(run.fault);
-    trial.fastForwardedInstrs = run.fastForwardedInstrs;
+  const Trial& runTrial(std::uint64_t targetIndex, std::uint64_t seed,
+                        std::uint64_t budget,
+                        TrialScratch& scratch) const override {
+    vm::Machine& machine =
+        scratch.machine(compiled_.program, engine_.decoded());
+    machine.bindGolden(scratch.golden());
+    Trial& trial = scratch.trial;
+    const auto stats = engine_.inject(
+        targetIndex, seed, budget, fastForward() ? &snapshots_ : nullptr,
+        goldenSize_, machine, trial.exec, trial.fault);
+    trial.fastForwardedInstrs = stats.fastForwardedInstrs;
+    trial.restoredBytes = stats.restoredBytes;
     return trial;
   }
 
@@ -170,29 +175,28 @@ class LlfiInstance final : public ToolInstance {
     decoded_.emplace(compiled_.program);
   }
 
-  Trial runTrial(std::uint64_t targetIndex, std::uint64_t seed,
-                 std::uint64_t budget) const override {
+  const Trial& runTrial(std::uint64_t targetIndex, std::uint64_t seed,
+                        std::uint64_t budget,
+                        TrialScratch& scratch) const override {
     Rng rng(seed);
     // The IR value width is 64 for i64/f64 (i1 injectors reduce any mask to
     // their single bit); a mask over 64 bits matches the fault model per
     // value, single- or multi-bit alike.
     const std::uint64_t mask = fi::drawFaultMask(rng, 64, flip_);
-    vm::Machine machine(compiled_.program, *decoded_);
-    Trial trial;
-    if (const vm::Snapshot* snap = resumePoint(targetIndex, budget)) {
-      // Reserve before restore (prefix output lands in a full-size buffer);
-      // restore before the pokes (it rewrites the whole globals segment,
-      // including the guest counter).
-      machine.reserveOutput(goldenSize_);
-      machine.restore(*snap);
+    vm::Machine& machine = scratch.machine(compiled_.program, *decoded_);
+    machine.bindGolden(scratch.golden());
+    const vm::Snapshot* snap = resumePoint(targetIndex, budget);
+    Trial& trial = scratch.trial;
+    // beginTrial before the pokes: a restore rewrites the whole globals
+    // segment (including the guest counter), a cold start re-pristines it.
+    trial.restoredBytes = machine.beginTrial(snap, goldenSize_);
+    machine.pokeGlobal(info_.targetAddr, targetIndex);
+    machine.pokeGlobal(info_.maskAddr, mask);
+    if (snap != nullptr) {
       trial.fastForwardedInstrs = snap->instrCount;
-      machine.pokeGlobal(info_.targetAddr, targetIndex);
-      machine.pokeGlobal(info_.maskAddr, mask);
       trial.exec = machine.resume(budget);
     } else {
-      machine.pokeGlobal(info_.targetAddr, targetIndex);
-      machine.pokeGlobal(info_.maskAddr, mask);
-      machine.reserveOutput(goldenSize_);
+      trial.fastForwardedInstrs = 0;
       trial.exec = machine.run(budget);
     }
     fi::FaultRecord record;
@@ -200,7 +204,9 @@ class LlfiInstance final : public ToolInstance {
     record.function = "<ir>";  // LLFI logs IR positions, not machine sites
     record.bit = static_cast<unsigned>(std::countr_zero(mask));
     record.mask = mask;
-    trial.fault = std::move(record);
+    // Engaged-to-engaged assignment reuses the slot across trials ("<ir>"
+    // sits in the small-string buffer: no allocation either way).
+    trial.fault = record;
     return trial;
   }
 

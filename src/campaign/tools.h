@@ -12,6 +12,7 @@
 #include <string>
 #include <string_view>
 
+#include "campaign/scratch.h"
 #include "fi/config.h"
 #include "fi/library.h"
 #include "vm/machine.h"
@@ -42,21 +43,35 @@ class ToolInstance {
   /// throws leaves the flag unset and the next caller retries.
   const Profile& profile();
 
-  struct Trial {
-    vm::ExecResult exec;
-    std::optional<fi::FaultRecord> fault;
-    /// Instructions skipped by snapshot fast-forward (0 = cold start).
-    /// exec.instrCount still counts from program start either way.
-    std::uint64_t fastForwardedInstrs = 0;
-  };
+  /// Compatibility alias: the trial result now lives in campaign/scratch.h
+  /// so TrialScratch can own the reusable slot.
+  using Trial = campaign::Trial;
 
   /// One single-fault experiment: inject at the `targetIndex`-th (1-based)
-  /// dynamic target; operand/bit selection derives from `seed`. Thread-safe.
-  /// With fast-forward enabled (the default) the trial resumes from the
-  /// nearest profiling snapshot below `targetIndex` and executes only the
-  /// suffix; results are bit-identical to a cold start.
-  virtual Trial runTrial(std::uint64_t targetIndex, std::uint64_t seed,
-                         std::uint64_t budget) const = 0;
+  /// dynamic target; operand/bit selection derives from `seed`. Thread-safe
+  /// as long as each thread passes its own scratch. With fast-forward
+  /// enabled (the default) the trial resumes from the nearest profiling
+  /// snapshot below `targetIndex` and executes only the suffix; results are
+  /// bit-identical to a cold start.
+  ///
+  /// The trial runs on `scratch`'s reusable machine (delta-rewound in
+  /// place, zero steady-state heap allocations) and fills scratch.trial;
+  /// the returned reference points there and is valid until the next trial
+  /// on the same scratch. When scratch carries a golden
+  /// (TrialScratch::setGolden), output is stream-classified: exec.output
+  /// stays empty and exec.goldenBound/diverged feed classify().
+  virtual const Trial& runTrial(std::uint64_t targetIndex, std::uint64_t seed,
+                                std::uint64_t budget,
+                                TrialScratch& scratch) const = 0;
+
+  /// Convenience overload on a transient scratch (fresh machine, full
+  /// output accumulation): the pre-scratch behavior, for one-off callers
+  /// and equivalence tests. Returns a copy the caller owns.
+  Trial runTrial(std::uint64_t targetIndex, std::uint64_t seed,
+                 std::uint64_t budget) const {
+    TrialScratch scratch;
+    return runTrial(targetIndex, seed, budget, scratch);
+  }
 
   /// Number of machine instructions in the tool's binary (for reporting).
   virtual std::uint64_t binarySize() const = 0;

@@ -19,11 +19,13 @@ FaultInjectionLibrary::FaultInjectionLibrary(const FiSiteTable* sites,
                                              FiMode mode,
                                              std::uint64_t targetIndex,
                                              std::uint64_t seed, BitFlip flip)
-    : sites_(sites), mode_(mode), target_(targetIndex), rng_(seed),
-      flip_(flip) {
+    : sites_(sites), mode_(mode), rng_(seed), flip_(flip) {
   RF_CHECK(sites_ != nullptr, "FI library needs a site table");
   if (mode == FiMode::Inject) {
-    RF_CHECK(target_ > 0, "injection target index is 1-based");
+    RF_CHECK(targetIndex > 0, "injection target index is 1-based");
+    // Arms the VM's inlined PreFI fast path; profile mode leaves the
+    // trigger at "never" and only accumulates fiCount.
+    fiTrigger = targetIndex;
   }
 }
 
@@ -40,18 +42,20 @@ FaultInjectionLibrary FaultInjectionLibrary::injecting(const FiSiteTable* sites,
 
 void FaultInjectionLibrary::fastForwardTo(std::uint64_t executedTargets) {
   RF_CHECK(mode_ == FiMode::Inject, "fastForwardTo is for injection runs");
-  RF_CHECK(count_ == 0 && !fault_.has_value(),
+  RF_CHECK(fiCount == 0 && !fault_.has_value(),
            "fastForwardTo before any target executed");
-  RF_CHECK(executedTargets < target_,
+  RF_CHECK(executedTargets < fiTrigger,
            "fast-forward point must precede the injection trigger");
-  count_ = executedTargets;
+  fiCount = executedTargets;
 }
 
-bool FaultInjectionLibrary::selInstr(std::uint64_t siteId) {
+bool FaultInjectionLibrary::onFiTrigger(std::uint64_t siteId) {
   (void)siteId;
-  ++count_;
-  if (mode_ == FiMode::Profile) return false;
-  return count_ == target_ && !fault_.has_value();
+  RF_CHECK(mode_ == FiMode::Inject,
+           "trigger fired on a profile-mode library");
+  // The trigger count is reached exactly once (fiCount only grows); the
+  // fault guard mirrors the pre-inline selInstr defensively.
+  return !fault_.has_value();
 }
 
 std::pair<std::uint32_t, std::uint64_t> FaultInjectionLibrary::setupFI(
@@ -77,7 +81,7 @@ std::pair<std::uint32_t, std::uint64_t> FaultInjectionLibrary::setupFI(
   const std::uint64_t mask = drawFaultMask(rng_, operand.bits, flip_);
 
   FaultRecord record;
-  record.dynamicIndex = count_;
+  record.dynamicIndex = fiCount;
   record.siteId = siteId;
   record.function = site.function;
   record.operandIndex = operandIndex;
@@ -89,7 +93,7 @@ std::pair<std::uint32_t, std::uint64_t> FaultInjectionLibrary::setupFI(
 }
 
 void FaultInjectionLibrary::writeCountFile(const std::string& path) const {
-  writeFile(path, strf("%llu\n", static_cast<unsigned long long>(count_)));
+  writeFile(path, strf("%llu\n", static_cast<unsigned long long>(fiCount)));
 }
 
 std::uint64_t FaultInjectionLibrary::readCountFile(const std::string& path) {

@@ -1,8 +1,12 @@
 // The fault-injection control library (paper Sec. 4.2.4 and Fig. 3).
 //
 // REFINE-instrumented binaries call into this library at runtime:
-//   selInstr()  — after every instrumented instruction; counts dynamic
-//                 target instructions and decides whether to trigger.
+//   FICHECK     — after every instrumented instruction; counts dynamic
+//                 target instructions and decides whether to trigger. The
+//                 count-and-compare is the paper's few-cycle PreFI fast
+//                 path and is inlined by the VM (vm::FiRuntime::fiCount /
+//                 fiTrigger); the library is called (onFiTrigger) only at
+//                 the trigger.
 //   setupFI()   — once, at the trigger: picks the output operand and bit
 //                 (uniformly, per the fault model) and returns the XOR mask.
 //
@@ -65,11 +69,11 @@ class FaultInjectionLibrary final : public vm::FiRuntime {
   void fastForwardTo(std::uint64_t executedTargets);
 
   // -- vm::FiRuntime ------------------------------------------------------
-  bool selInstr(std::uint64_t siteId) override;
+  bool onFiTrigger(std::uint64_t siteId) override;
   std::pair<std::uint32_t, std::uint64_t> setupFI(std::uint64_t siteId) override;
 
   // -- Results ---------------------------------------------------------------
-  std::uint64_t dynamicCount() const noexcept { return count_; }
+  std::uint64_t dynamicCount() const noexcept { return fiCount; }
   bool triggered() const noexcept { return fault_.has_value(); }
   const std::optional<FaultRecord>& fault() const noexcept { return fault_; }
 
@@ -85,8 +89,6 @@ class FaultInjectionLibrary final : public vm::FiRuntime {
 
   const FiSiteTable* sites_;
   FiMode mode_;
-  std::uint64_t count_ = 0;
-  std::uint64_t target_ = 0;
   Rng rng_;
   BitFlip flip_;
   std::optional<FaultRecord> fault_;

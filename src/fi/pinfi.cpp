@@ -35,66 +35,112 @@ Pinfi::RunResult Pinfi::profile(std::uint64_t budget,
   return result;
 }
 
-Pinfi::RunResult Pinfi::inject(std::uint64_t targetIndex, std::uint64_t seed,
-                               std::uint64_t budget,
-                               const vm::SnapshotChain* snapshots,
-                               std::size_t outputReserve) const {
-  RF_CHECK(targetIndex > 0, "dynamic target index is 1-based");
-  vm::Machine machine(program_, decoded_);
-  RunResult result;
-  std::uint64_t count = 0;
-  Rng rng(seed);
-  machine.setHook([&, targetIndex](std::uint64_t pc, vm::Machine& m) {
-    if (isTarget_[pc] == 0) return;
-    if (++count != targetIndex) return;
-    // Inject: uniform output operand (under the config's operand filter),
-    // then the config's mask shape — then detach.
-    const auto operands = fiOutputOperands(program_.code[pc], config_);
-    const auto opIndex = static_cast<std::uint32_t>(rng.nextBelow(operands.size()));
-    const FiOperand& operand = operands[opIndex];
-    const std::uint64_t mask = drawFaultMask(rng, operand.bits, config_.flip);
-    switch (operand.kind) {
-      case FiOperand::Kind::GprDest:
-      case FiOperand::Kind::SP:
-        m.gpr(operand.reg.index) ^= mask;
-        break;
-      case FiOperand::Kind::FprDest:
-        m.fprBits(operand.reg.index) ^= mask;
-        break;
-      case FiOperand::Kind::Flags:
-        m.flags() ^= static_cast<std::uint8_t>(mask);
-        break;
-    }
-    FaultRecord record;
-    record.dynamicIndex = count;
-    record.siteId = pc;
-    record.function = program_.functionAt(pc);
-    record.operandIndex = opIndex;
-    record.operandKind = operand.kind;
-    record.bit = static_cast<unsigned>(std::countr_zero(mask));
-    record.mask = mask;
-    result.fault = std::move(record);
-    m.clearHook();  // PINFI detach optimization
-  });
+namespace {
 
+/// Per-trial hook state, reached through ONE captured pointer so the
+/// injection hook fits std::function's inline (small-buffer) storage — the
+/// per-trial hook assignment must not heap-allocate on the campaign hot
+/// path.
+struct InjectCtx {
+  const backend::Program* program;
+  const FiConfig* config;
+  const std::uint8_t* isTarget;
+  std::optional<FaultRecord>* fault;
+  std::uint64_t count;
+  std::uint64_t target;
+  Rng rng;
+};
+
+void injectHook(InjectCtx& ctx, std::uint64_t pc, vm::Machine& m) {
+  if (ctx.isTarget[pc] == 0) return;
+  if (++ctx.count != ctx.target) return;
+  // Inject: uniform output operand (under the config's operand filter),
+  // then the config's mask shape — then detach. The fixed-capacity operand
+  // set keeps the triggered path allocation-free.
+  const auto operands = fiOutputOperandSet(ctx.program->code[pc], *ctx.config);
+  const auto opIndex =
+      static_cast<std::uint32_t>(ctx.rng.nextBelow(operands.size()));
+  const FiOperand& operand = operands[opIndex];
+  const std::uint64_t mask = drawFaultMask(ctx.rng, operand.bits, ctx.config->flip);
+  switch (operand.kind) {
+    case FiOperand::Kind::GprDest:
+    case FiOperand::Kind::SP:
+      m.gpr(operand.reg.index) ^= mask;
+      break;
+    case FiOperand::Kind::FprDest:
+      m.fprBits(operand.reg.index) ^= mask;
+      break;
+    case FiOperand::Kind::Flags:
+      m.flags() ^= static_cast<std::uint8_t>(mask);
+      break;
+  }
+  // Fill the caller's fault slot in place. Allocation-free for function
+  // names within the small-string optimization (the realistic case; the
+  // alloc-guard test pins it).
+  if (!ctx.fault->has_value()) ctx.fault->emplace();
+  FaultRecord& record = **ctx.fault;
+  record.dynamicIndex = ctx.count;
+  record.siteId = pc;
+  record.function = ctx.program->functionAt(pc);
+  record.operandIndex = opIndex;
+  record.operandKind = operand.kind;
+  record.bit = static_cast<unsigned>(std::countr_zero(mask));
+  record.mask = mask;
+  m.clearHook();  // PINFI detach optimization
+}
+
+}  // namespace
+
+Pinfi::InjectStats Pinfi::inject(std::uint64_t targetIndex, std::uint64_t seed,
+                                 std::uint64_t budget,
+                                 const vm::SnapshotChain* snapshots,
+                                 std::size_t outputReserve,
+                                 vm::Machine& machine, vm::ExecResult& exec,
+                                 std::optional<FaultRecord>& fault) const {
+  RF_CHECK(targetIndex > 0, "dynamic target index is 1-based");
+  // A trial that never reaches its trigger (trap/timeout first) must report
+  // no fault.
+  fault.reset();
+  InjectStats stats;
   // Trial fast-forward: resume from the latest profiling snapshot taken
   // before the trigger; the deterministic prefix is skipped and the hook's
   // dynamic-target counter starts at the snapshot's count.
   const vm::Snapshot* snap =
       snapshots != nullptr ? snapshots->findBefore(targetIndex, budget) : nullptr;
+  stats.restoredBytes = machine.beginTrial(snap, outputReserve);
+
+  InjectCtx ctx{&program_,
+                &config_,
+                isTarget_.data(),
+                &fault,
+                snap != nullptr ? snap->dynamicCount : 0,
+                targetIndex,
+                Rng(seed)};
+  machine.setHook([&ctx](std::uint64_t pc, vm::Machine& m) {
+    injectHook(ctx, pc, m);
+  });
+
   if (snap != nullptr) {
-    count = snap->dynamicCount;
-    // Reserve before restore: the assignment of the snapshot's prefix
-    // output then lands in a buffer already sized for the full run.
-    machine.reserveOutput(outputReserve);
-    machine.restore(*snap);
-    result.fastForwardedInstrs = snap->instrCount;
-    result.exec = machine.resume(budget);
+    stats.fastForwardedInstrs = snap->instrCount;
+    exec = machine.resume(budget);
   } else {
-    machine.reserveOutput(outputReserve);
-    result.exec = machine.run(budget);
+    exec = machine.run(budget);
   }
-  result.dynamicTargets = count;
+  stats.dynamicTargets = ctx.count;
+  return stats;
+}
+
+Pinfi::RunResult Pinfi::inject(std::uint64_t targetIndex, std::uint64_t seed,
+                               std::uint64_t budget,
+                               const vm::SnapshotChain* snapshots,
+                               std::size_t outputReserve) const {
+  vm::Machine machine(program_, decoded_);
+  RunResult result;
+  const InjectStats stats =
+      inject(targetIndex, seed, budget, snapshots, outputReserve, machine,
+             result.exec, result.fault);
+  result.dynamicTargets = stats.dynamicTargets;
+  result.fastForwardedInstrs = stats.fastForwardedInstrs;
   return result;
 }
 

@@ -58,6 +58,28 @@ class Pinfi {
                    const vm::SnapshotChain* snapshots = nullptr,
                    std::size_t outputReserve = 0) const;
 
+  /// Small POD tail of an injection run, for the out-parameter variant.
+  struct InjectStats {
+    std::uint64_t dynamicTargets = 0;
+    std::uint64_t fastForwardedInstrs = 0;
+    std::uint64_t restoredBytes = 0;
+  };
+
+  /// Hot-path variant on a caller-provided reusable machine (must be bound
+  /// to this engine's program/decoded() — the campaign TrialScratch path):
+  /// rewinds `machine` in place via beginTrial (delta restore), installs a
+  /// hook whose per-trial state fits std::function's inline storage, and
+  /// writes the execution result and fault straight into the caller's slots
+  /// (reusing their capacity). Zero steady-state heap allocations.
+  InjectStats inject(std::uint64_t targetIndex, std::uint64_t seed,
+                     std::uint64_t budget, const vm::SnapshotChain* snapshots,
+                     std::size_t outputReserve, vm::Machine& machine,
+                     vm::ExecResult& exec,
+                     std::optional<FaultRecord>& fault) const;
+
+  /// The shared predecode (campaign workers bind reusable machines to it).
+  const vm::DecodedProgram& decoded() const noexcept { return decoded_; }
+
  private:
   const backend::Program& program_;
   vm::DecodedProgram decoded_;

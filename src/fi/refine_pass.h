@@ -16,7 +16,7 @@
 // Fig. 2:
 //
 //   [.. target instruction]
-//   FICHECK site, .fi.pre.N      ; PreFI fast path: library selInstr() +
+//   FICHECK site, .fi.pre.N      ; PreFI fast path: count-and-compare +
 //   [continuation block ..]      ;   conditional branch, flag-preserving
 //
 // and, in a cold region at the end of the function:

@@ -20,8 +20,20 @@ const char* fiOperandKindName(FiOperand::Kind k) noexcept {
   return "?";
 }
 
-std::vector<FiOperand> fiOutputOperands(const MachineInst& inst) {
-  std::vector<FiOperand> out;
+namespace {
+
+/// The ONE operand enumeration: canonical order (explicit register defs,
+/// then SP, then flags), optionally restricted to FPR destinations. Both
+/// the vector forms (instrumentation time) and the fixed-capacity set
+/// (injection hot path) are views of this, so the populations cannot
+/// drift apart.
+FiOperandSet enumerateOutputOperands(const MachineInst& inst, bool fpOnly) {
+  FiOperandSet out;
+  const auto add = [&out, fpOnly](const FiOperand& fo) {
+    if (fpOnly && fo.kind != FiOperand::Kind::FprDest) return;
+    RF_CHECK(out.count < FiOperandSet::kMax, "FI operand set overflow");
+    out.ops[out.count++] = fo;
+  };
   unsigned defsLeft = inst.numDefs();
   for (const MOperand& op : inst.operands()) {
     if (defsLeft == 0) break;
@@ -32,7 +44,7 @@ std::vector<FiOperand> fiOutputOperands(const MachineInst& inst) {
                                           : FiOperand::Kind::GprDest;
     fo.reg = op.reg;
     fo.bits = 64;
-    out.push_back(fo);
+    add(fo);
   }
   const auto& info = inst.info();
   if (info.defsSP) {
@@ -40,26 +52,34 @@ std::vector<FiOperand> fiOutputOperands(const MachineInst& inst) {
     fo.kind = FiOperand::Kind::SP;
     fo.reg = backend::spReg();
     fo.bits = 64;
-    out.push_back(fo);
+    add(fo);
   }
   if (info.defsFlags) {
     FiOperand fo;
     fo.kind = FiOperand::Kind::Flags;
     fo.bits = backend::kFlagsBitWidth;
-    out.push_back(fo);
+    add(fo);
   }
   return out;
 }
 
+}  // namespace
+
+std::vector<FiOperand> fiOutputOperands(const MachineInst& inst) {
+  const FiOperandSet set = enumerateOutputOperands(inst, /*fpOnly=*/false);
+  return {set.ops, set.ops + set.count};
+}
+
 std::vector<FiOperand> fiOutputOperands(const MachineInst& inst,
                                         const FiConfig& config) {
-  std::vector<FiOperand> out = fiOutputOperands(inst);
-  if (config.instrs == InstrSel::FP) {
-    std::erase_if(out, [](const FiOperand& op) {
-      return op.kind != FiOperand::Kind::FprDest;
-    });
-  }
-  return out;
+  const FiOperandSet set =
+      enumerateOutputOperands(inst, config.instrs == InstrSel::FP);
+  return {set.ops, set.ops + set.count};
+}
+
+FiOperandSet fiOutputOperandSet(const MachineInst& inst,
+                                const FiConfig& config) {
+  return enumerateOutputOperands(inst, config.instrs == InstrSel::FP);
 }
 
 bool isFiTarget(const MachineInst& inst, const FiConfig& config) {

@@ -44,6 +44,24 @@ std::vector<FiOperand> fiOutputOperands(const backend::MachineInst& inst);
 std::vector<FiOperand> fiOutputOperands(const backend::MachineInst& inst,
                                         const FiConfig& config);
 
+/// Fixed-capacity operand set for the per-trial injection hot path: same
+/// contents and order as the vector form, no heap allocation. A machine
+/// instruction defines at most one explicit register plus the implicit
+/// SP/flags outputs, so the capacity is a hard architectural bound.
+struct FiOperandSet {
+  static constexpr unsigned kMax = 4;
+  FiOperand ops[kMax];
+  unsigned count = 0;
+
+  bool empty() const noexcept { return count == 0; }
+  unsigned size() const noexcept { return count; }
+  const FiOperand& operator[](unsigned i) const noexcept { return ops[i]; }
+};
+
+/// Allocation-free equivalent of fiOutputOperands(inst, config).
+FiOperandSet fiOutputOperandSet(const backend::MachineInst& inst,
+                                const FiConfig& config);
+
 /// True when `inst` is an injection target under `config`:
 /// it has at least one output operand surviving the config's operand
 /// filter, is not FI instrumentation, is not a control-flow or

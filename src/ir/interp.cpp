@@ -14,17 +14,24 @@
 
 namespace refine::ir {
 
+std::size_t formatPrintI64Buf(char* buf, std::int64_t v) {
+  return static_cast<std::size_t>(std::snprintf(
+      buf, kPrintI64BufSize, "%lld\n", static_cast<long long>(v)));
+}
+
+std::size_t formatPrintF64Buf(char* buf, double v) {
+  return static_cast<std::size_t>(
+      std::snprintf(buf, kPrintF64BufSize, "%.6e\n", v));
+}
+
 void formatPrintI64Into(std::string& out, std::int64_t v) {
-  char buf[24];  // 20 digits + sign + newline + NUL fits comfortably
-  const int n =
-      std::snprintf(buf, sizeof(buf), "%lld\n", static_cast<long long>(v));
-  out.append(buf, static_cast<std::size_t>(n));
+  char buf[kPrintI64BufSize];
+  out.append(buf, formatPrintI64Buf(buf, v));
 }
 
 void formatPrintF64Into(std::string& out, double v) {
-  char buf[40];  // "%.6e" worst case: sign + 8 mantissa + e+XXX + newline
-  const int n = std::snprintf(buf, sizeof(buf), "%.6e\n", v);
-  out.append(buf, static_cast<std::size_t>(n));
+  char buf[kPrintF64BufSize];
+  out.append(buf, formatPrintF64Buf(buf, v));
 }
 
 std::string formatPrintI64(std::int64_t v) {

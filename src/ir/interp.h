@@ -40,6 +40,14 @@ std::string formatPrintF64(double v);
 void formatPrintI64Into(std::string& out, std::int64_t v);
 void formatPrintF64Into(std::string& out, double v);
 
+/// Raw-buffer variants for allocation-free consumers (the VM's streaming
+/// golden-output comparison): format into `buf` and return the byte count.
+/// Buffer sizes: >= kPrintI64BufSize / kPrintF64BufSize bytes.
+constexpr std::size_t kPrintI64BufSize = 24;  // 20 digits + sign + '\n' + NUL
+constexpr std::size_t kPrintF64BufSize = 40;  // "%.6e" + sign + exp + '\n' + NUL
+std::size_t formatPrintI64Buf(char* buf, std::int64_t v);
+std::size_t formatPrintF64Buf(char* buf, double v);
+
 /// Runs `entry` (default "main", no arguments). Throws CheckError on
 /// structural problems (e.g. missing entry); runtime faults are reported in
 /// the result, never thrown.

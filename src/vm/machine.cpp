@@ -19,6 +19,16 @@ using i64 = std::int64_t;
 
 double asF64(u64 bits) { return std::bit_cast<double>(bits); }
 u64 asBits(double v) { return std::bit_cast<u64>(v); }
+
+/// memcpy/memset that tolerate empty ranges (an empty vector's data() is
+/// null, which the raw libc calls must never see) and avoid forming
+/// past-the-end references through operator[].
+void copyBytes(std::uint8_t* dst, const std::uint8_t* src, std::size_t n) {
+  if (n != 0) std::memcpy(dst, src, n);
+}
+void zeroBytes(std::uint8_t* dst, std::size_t n) {
+  if (n != 0) std::memset(dst, 0, n);
+}
 }  // namespace
 
 const char* trapName(Trap t) noexcept {
@@ -34,23 +44,64 @@ const char* trapName(Trap t) noexcept {
 }
 
 Machine::Machine(const backend::Program& program)
-    : program_(program),
+    : program_(&program),
       owned_(std::make_unique<DecodedProgram>(program)) {
   decoded_ = owned_.get();
   globals_ = program.globalImage;
   stack_.assign(ir::DataLayout::kStackSize, 0);
   regfile_[kSpSlot] = ir::DataLayout::kStackTop;
   stackLo_ = ir::DataLayout::kStackTop;
+  dirtyLo_ = ir::DataLayout::kStackTop;
 }
 
 Machine::Machine(const backend::Program& program, const DecodedProgram& decoded)
-    : program_(program), decoded_(&decoded) {
+    : program_(&program), decoded_(&decoded) {
   RF_CHECK(&decoded.program() == &program,
            "decoded program does not match the program it runs");
   globals_ = program.globalImage;
   stack_.assign(ir::DataLayout::kStackSize, 0);
   regfile_[kSpSlot] = ir::DataLayout::kStackTop;
   stackLo_ = ir::DataLayout::kStackTop;
+  dirtyLo_ = ir::DataLayout::kStackTop;
+}
+
+void Machine::reset() {
+  // Every stack byte below stackLo_ is still zero; zeroing [stackLo_, top)
+  // re-establishes the all-zero stack without touching the untouched span.
+  zeroBytes(stack_.data() + (stackLo_ - ir::DataLayout::kStackLimit),
+            ir::DataLayout::kStackTop - stackLo_);
+  stackLo_ = ir::DataLayout::kStackTop;
+  dirtyLo_ = ir::DataLayout::kStackTop;
+  copyBytes(globals_.data(), program_->globalImage.data(), globals_.size());
+  std::memset(regfile_, 0, sizeof(regfile_));
+  regfile_[kSpSlot] = ir::DataLayout::kStackTop;
+  flags_ = 0;
+  pc_ = 0;
+  count_ = 0;
+  budget_ = 0;
+  output_.clear();  // keeps capacity
+  goldenPos_ = 0;
+  diverged_ = false;
+  trap_ = Trap::None;
+  halted_ = false;
+  started_ = false;
+  lastSnap_ = nullptr;
+  hook_ = nullptr;
+  fiRuntime_ = nullptr;
+}
+
+void Machine::rebind(const backend::Program& program,
+                     const DecodedProgram& decoded) {
+  RF_CHECK(&decoded.program() == &program,
+           "decoded program does not match the program it runs");
+  // reset() zeroes the dirty stack span under the OLD program's low-water
+  // mark before the pointers move: the stack buffer is program-independent.
+  program_ = &program;
+  decoded_ = &decoded;
+  owned_.reset();
+  golden_ = nullptr;  // a golden belongs to one program's profiling run
+  globals_.resize(program.globalImage.size());
+  reset();
 }
 
 std::uint64_t& Machine::gpr(unsigned i) {
@@ -77,14 +128,20 @@ std::uint64_t Machine::peekGlobal(std::uint64_t addr) {
   return value;
 }
 
+// Segment bound checks are written as `addr <= segEnd - 8` (never
+// `addr + 8 <= segEnd`): a fault-corrupted address near 2^64 would wrap the
+// addition and slip past the upper bound into an out-of-bounds host access.
+// Both segment bases exceed 8, so the subtraction cannot underflow even for
+// an empty globals segment.
+
 bool Machine::loadWord(u64 addr, u64& out) {
-  const u64 gBase = program_.globalBase;
-  if (addr >= gBase && addr + 8 <= gBase + globals_.size()) {
+  const u64 gBase = program_->globalBase;
+  if (addr >= gBase && addr <= gBase + globals_.size() - 8) {
     std::memcpy(&out, &globals_[addr - gBase], 8);
     return true;
   }
   if (addr >= ir::DataLayout::kStackLimit &&
-      addr + 8 <= ir::DataLayout::kStackTop) {
+      addr <= ir::DataLayout::kStackTop - 8) {
     std::memcpy(&out, &stack_[addr - ir::DataLayout::kStackLimit], 8);
     return true;
   }
@@ -92,14 +149,17 @@ bool Machine::loadWord(u64 addr, u64& out) {
 }
 
 bool Machine::storeWord(u64 addr, u64 value) {
-  const u64 gBase = program_.globalBase;
-  if (addr >= gBase && addr + 8 <= gBase + globals_.size()) {
+  const u64 gBase = program_->globalBase;
+  if (addr >= gBase && addr <= gBase + globals_.size() - 8) {
     std::memcpy(&globals_[addr - gBase], &value, 8);
     return true;
   }
   if (addr >= ir::DataLayout::kStackLimit &&
-      addr + 8 <= ir::DataLayout::kStackTop) {
-    if (addr < stackLo_) stackLo_ = addr;  // low-water mark for snapshots
+      addr <= ir::DataLayout::kStackTop - 8) {
+    if (addr < dirtyLo_) {  // low-water marks: snapshot span + restore delta
+      dirtyLo_ = addr;
+      if (addr < stackLo_) stackLo_ = addr;
+    }
     std::memcpy(&stack_[addr - ir::DataLayout::kStackLimit], &value, 8);
     return true;
   }
@@ -109,58 +169,87 @@ bool Machine::storeWord(u64 addr, u64 value) {
 bool Machine::push(u64 value) {
   u64& sp = regfile_[kSpSlot];
   sp -= 8;
+  // Fast path: the write lies fully inside the stack segment (the upper
+  // bound covers all 8 bytes and is overflow-safe — a fault-corrupted sp
+  // that is misaligned near the top, or wraps past 2^64 - 8, must not slip
+  // through). Write directly instead of re-classifying in storeWord.
+  if (sp >= ir::DataLayout::kStackLimit &&
+      sp <= ir::DataLayout::kStackTop - 8) [[likely]] {
+    if (sp < dirtyLo_) {
+      dirtyLo_ = sp;
+      if (sp < stackLo_) stackLo_ = sp;
+    }
+    std::memcpy(&stack_[sp - ir::DataLayout::kStackLimit], &value, 8);
+    return true;
+  }
   if (sp < ir::DataLayout::kStackLimit || sp >= ir::DataLayout::kStackTop) {
     return fail(sp < ir::DataLayout::kStackLimit ? Trap::StackOverflow
                                                  : Trap::BadMemory);
   }
+  // sp in (kStackTop - 8, kStackTop): let storeWord classify it exactly as
+  // the pre-fast-path code did (BadMemory unless it happens to hit another
+  // mapped segment).
   return storeWord(sp, value);
 }
 
 bool Machine::pop(u64& out) {
   u64& sp = regfile_[kSpSlot];
+  // Fast path: sp inside the stack segment (always, unless a fault corrupted
+  // it). The fallback loadWord keeps the corrupted-sp semantics — a pop
+  // through a globals-pointing sp still reads the globals segment.
+  if (sp >= ir::DataLayout::kStackLimit &&
+      sp <= ir::DataLayout::kStackTop - 8) [[likely]] {
+    std::memcpy(&out, &stack_[sp - ir::DataLayout::kStackLimit], 8);
+    sp += 8;
+    return true;
+  }
   if (!loadWord(sp, out)) return false;
   sp += 8;
   return true;
 }
 
-void Machine::setIntFlags(u64 result) noexcept {
-  const i64 s = static_cast<i64>(result);
-  flags_ = s == 0 ? backend::kFlagEQ : (s < 0 ? backend::kFlagLT : backend::kFlagGT);
-}
-
-void Machine::setCmpFlags(i64 a, i64 b) noexcept {
-  flags_ = a == b ? backend::kFlagEQ
-                  : (a < b ? backend::kFlagLT : backend::kFlagGT);
-}
-
-void Machine::setFCmpFlags(double a, double b) noexcept {
-  if (std::isnan(a) || std::isnan(b)) {
-    flags_ = backend::kFlagUN;
-  } else if (a == b) {
-    flags_ = backend::kFlagEQ;
-  } else if (a < b) {
-    flags_ = backend::kFlagLT;
-  } else {
-    flags_ = backend::kFlagGT;
+void Machine::matchGolden(const char* data, std::size_t n) noexcept {
+  if (diverged_) return;  // first divergence decides; nothing else matters
+  if (goldenPos_ + n > golden_->size() ||
+      std::memcmp(golden_->data() + goldenPos_, data, n) != 0) {
+    diverged_ = true;
+    return;
   }
+  goldenPos_ += n;
 }
 
 bool Machine::syscall(std::int64_t code) {
   using ir::RuntimeFn;
   switch (static_cast<RuntimeFn>(code)) {
     case RuntimeFn::PrintI64:
-      ir::formatPrintI64Into(output_, static_cast<i64>(regfile_[0]));
+      if (golden_ != nullptr) {
+        char buf[ir::kPrintI64BufSize];
+        matchGolden(buf, ir::formatPrintI64Buf(buf, static_cast<i64>(regfile_[0])));
+      } else {
+        ir::formatPrintI64Into(output_, static_cast<i64>(regfile_[0]));
+      }
       return true;
     case RuntimeFn::PrintF64:
-      ir::formatPrintF64Into(output_, asF64(regfile_[16]));
+      if (golden_ != nullptr) {
+        char buf[ir::kPrintF64BufSize];
+        matchGolden(buf, ir::formatPrintF64Buf(buf, asF64(regfile_[16])));
+      } else {
+        ir::formatPrintF64Into(output_, asF64(regfile_[16]));
+      }
       return true;
     case RuntimeFn::PrintStr: {
       const u64 index = regfile_[0];
       // A corrupted string id is the moral equivalent of printf with a wild
       // pointer: treat it as a memory fault.
-      if (index >= program_.strings.size()) return fail(Trap::BadMemory);
-      output_ += program_.strings[index];
-      output_ += '\n';
+      if (index >= program_->strings.size()) return fail(Trap::BadMemory);
+      if (golden_ != nullptr) {
+        const std::string& s = program_->strings[index];
+        matchGolden(s.data(), s.size());
+        matchGolden("\n", 1);
+      } else {
+        output_ += program_->strings[index];
+        output_ += '\n';
+      }
       return true;
     }
     case RuntimeFn::Exp:
@@ -192,305 +281,536 @@ void Machine::execLoop() {
   const std::uint32_t* const spans = decoded_->spans();
   const u64 codeSize = decoded_->size();
 
+  // The hot architectural scalars live in locals for the whole loop: the
+  // byte-typed stack/globals writes inside loadWord/storeWord may alias any
+  // member (char aliasing), so keeping pc/count/flags as members would force
+  // the compiler to reload them from memory after every store. Locals sync
+  // back to the members at every exit and around hook calls (a hook observes
+  // — and may mutate — the machine's full state through `Machine&`).
+  u64 pc = pc_;
+  u64 count = count_;
+  std::uint8_t flags = flags_;
+  const u64 budget = budget_;
+
+  const auto intFlags = [](u64 result) noexcept -> std::uint8_t {
+    const i64 s = static_cast<i64>(result);
+    return s == 0 ? backend::kFlagEQ
+                  : (s < 0 ? backend::kFlagLT : backend::kFlagGT);
+  };
+  const auto cmpFlags = [](i64 a, i64 b) noexcept -> std::uint8_t {
+    return a == b ? backend::kFlagEQ
+                  : (a < b ? backend::kFlagLT : backend::kFlagGT);
+  };
+
+#if defined(__GNUC__) || defined(__clang__)
+#define REFINE_VM_COMPUTED_GOTO 1
+#else
+#define REFINE_VM_COMPUTED_GOTO 0
+#endif
+
+  const DecodedInst* di = nullptr;
+  u64 thisPc = 0;
+  u64 i = 0;
+  u64 n = 0;
+  bool timesOut = false;
+
+#if REFINE_VM_COMPUTED_GOTO
+  // Replicated ("threaded") dispatch: every opcode body ends in its own
+  // indirect jump to the next opcode's label, so the branch predictor keeps
+  // one target history per opcode instead of one for a shared switch jump —
+  // the classic interpreter-dispatch optimization. The table is indexed by
+  // the raw MOp value and MUST stay in target.h enum order (anchored by the
+  // static_asserts below); pseudos that never reach execution map to the
+  // unreachable label.
+  static_assert(static_cast<int>(MOp::MOVri) == 0 &&
+                    static_cast<int>(MOp::ADD) == 8 &&
+                    static_cast<int>(MOp::ADDri) == 19 &&
+                    static_cast<int>(MOp::FADD) == 27 &&
+                    static_cast<int>(MOp::CMP) == 35 &&
+                    static_cast<int>(MOp::LDR) == 40 &&
+                    static_cast<int>(MOp::LEAfi) == 48 &&
+                    static_cast<int>(MOp::PUSH) == 49 &&
+                    static_cast<int>(MOp::B) == 56 &&
+                    static_cast<int>(MOp::FICHECK) == 65 &&
+                    static_cast<int>(MOp::NOP) == 67,
+                "dispatch table below must match the MOp enum order");
+  static const void* const kDispatch[] = {
+      &&op_MOVri, &&op_MOVrr, &&op_FMOVri, &&op_FMOVrr,    // MOVri..FMOVrr
+      &&op_CVTIF, &&op_CVTFI, &&op_FBITI, &&op_IBITF,      // CVTIF..IBITF
+      &&op_ADD, &&op_SUB, &&op_MUL, &&op_DIV, &&op_REM,    // ADD..REM
+      &&op_AND, &&op_OR, &&op_XOR, &&op_SHL, &&op_ASHR,    // AND..ASHR
+      &&op_LSHR,                                           // LSHR
+      &&op_ADDri, &&op_ANDri, &&op_ORri, &&op_XORri,       // ADDri..XORri
+      &&op_SHLri, &&op_ASHRri, &&op_LSHRri, &&op_MULri,    // SHLri..MULri
+      &&op_FADD, &&op_FSUB, &&op_FMUL, &&op_FDIV,          // FADD..FDIV
+      &&op_FMAX, &&op_FMIN, &&op_FABS, &&op_FSQRT,         // FMAX..FSQRT
+      &&op_CMP, &&op_CMPri, &&op_FCMP,                     // CMP..FCMP
+      &&op_CSEL, &&op_FCSEL,                               // CSEL, FCSEL
+      &&op_LDR, &&op_STR, &&op_FLDR, &&op_FSTR,            // LDR..FSTR
+      &&op_bad, &&op_bad, &&op_bad, &&op_bad,              // LDRfi..FSTRfi
+      &&op_LEAfi,                                          // LEAfi
+      &&op_PUSH, &&op_POP, &&op_FPUSH, &&op_FPOP,          // PUSH..FPOP
+      &&op_PUSHF, &&op_POPF, &&op_SPADJ,                   // PUSHF..SPADJ
+      &&op_B, &&op_BCC, &&op_CALL, &&op_RET, &&op_SYSCALL, // B..SYSCALL
+      &&op_bad, &&op_bad, &&op_bad, &&op_bad,              // PARAMS..RETP
+      &&op_FICHECK, &&op_SETUPFI,                          // FICHECK, SETUPFI
+      &&op_NOP,                                            // NOP
+  };
+  static_assert(sizeof(kDispatch) / sizeof(kDispatch[0]) ==
+                static_cast<std::size_t>(MOp::NOP) + 1);
+
+// Fetch the next instruction of the span (or leave it at its end) and jump
+// straight to the opcode's body.
+#define VM_FETCH()                                        \
+  do {                                                    \
+    if (i == n) goto spanEnd;                             \
+    ++i;                                                  \
+    thisPc = pc;                                          \
+    di = code + pc;                                       \
+    ++pc;                                                 \
+    ++count;                                              \
+    goto* kDispatch[static_cast<std::size_t>(di->op)];    \
+  } while (0)
+
+// End of an opcode body: run the instrumentation hook (hooked instantiation
+// only), then dispatch. The hook sees the machine, not our locals: publish,
+// call, re-adopt (snapshot hooks read count/pc; injection hooks flip
+// registers and flags; a detaching hook returns to the dispatcher).
+#define VM_CASE(name) op_##name:
+#define VM_CASE_BAD op_bad:
+#define VM_NEXT_OP                                        \
+  do {                                                    \
+    if constexpr (Hooked) {                               \
+      pc_ = pc;                                           \
+      count_ = count;                                     \
+      flags_ = flags;                                     \
+      hook_(thisPc, *this);                               \
+      pc = pc_;                                           \
+      count = count_;                                     \
+      flags = flags_;                                     \
+      if (!hook_) return;                                 \
+    }                                                     \
+    VM_FETCH();                                           \
+  } while (0)
+
+spanStart:
+  if (pc >= codeSize) {
+    fail(Trap::InvalidPC);
+    goto sync;
+  }
+  // Straight-line segment: only its last instruction can transfer control,
+  // so one up-front comparison covers the budget for the whole span.
+  n = spans[pc];
+  {
+    const u64 headroom = budget > count ? budget - count : 0;
+    timesOut = n > headroom;
+    if (timesOut) n = headroom;
+  }
+  i = 0;
+  VM_FETCH();
+
+#else  // !REFINE_VM_COMPUTED_GOTO: portable switch dispatch, same bodies.
+
+#define VM_CASE(name) case MOp::name:
+#define VM_CASE_BAD default:
+#define VM_NEXT_OP break
+
   for (;;) {
-    if (pc_ >= codeSize) {
+    if (pc >= codeSize) {
       fail(Trap::InvalidPC);
-      return;
+      goto sync;
     }
     // Straight-line segment: only its last instruction can transfer control,
     // so one up-front comparison covers the budget for the whole span.
-    u64 n = spans[pc_];
-    const u64 headroom = budget_ > count_ ? budget_ - count_ : 0;
-    const bool timesOut = n > headroom;
-    if (timesOut) n = headroom;
+    n = spans[pc];
+    {
+      const u64 headroom = budget > count ? budget - count : 0;
+      timesOut = n > headroom;
+      if (timesOut) n = headroom;
+    }
+    for (i = 0; i < n; ++i) {
+      di = code + pc;
+      thisPc = pc;
+      ++pc;
+      ++count;
 
-    for (u64 i = 0; i < n; ++i) {
-      const DecodedInst& di = code[pc_];
-      const u64 thisPc = pc_;
-      ++pc_;
-      ++count_;
+      switch (di->op) {
+#endif
 
-      switch (di.op) {
-        case MOp::MOVri:
-        case MOp::FMOVri:
-          regfile_[di.a] = static_cast<u64>(di.imm);
-          break;
-        case MOp::MOVrr:
-        case MOp::FMOVrr:
-        case MOp::FBITI:
-        case MOp::IBITF:
-          regfile_[di.a] = regfile_[di.b];
-          break;
-        case MOp::CVTIF:
-          regfile_[di.a] =
-              asBits(static_cast<double>(static_cast<i64>(regfile_[di.b])));
-          break;
-        case MOp::CVTFI: {
-          const double v = asF64(regfile_[di.b]);
+        // -- Opcode bodies, shared by both dispatch scaffolds -----------------
+
+        VM_CASE(MOVri)
+        VM_CASE(FMOVri)
+        regfile_[di->a] = static_cast<u64>(di->imm);
+        VM_NEXT_OP;
+
+        VM_CASE(MOVrr)
+        VM_CASE(FMOVrr)
+        VM_CASE(FBITI)
+        VM_CASE(IBITF)
+        regfile_[di->a] = regfile_[di->b];
+        VM_NEXT_OP;
+
+        VM_CASE(CVTIF)
+        regfile_[di->a] =
+            asBits(static_cast<double>(static_cast<i64>(regfile_[di->b])));
+        VM_NEXT_OP;
+
+        VM_CASE(CVTFI) {
+          const double v = asF64(regfile_[di->b]);
           if (std::isnan(v) || v >= 9.2233720368547758e18 ||
               v < -9.2233720368547758e18) {
-            regfile_[di.a] = static_cast<u64>(std::numeric_limits<i64>::min());
+            regfile_[di->a] = static_cast<u64>(std::numeric_limits<i64>::min());
           } else {
-            regfile_[di.a] = static_cast<u64>(static_cast<i64>(v));
+            regfile_[di->a] = static_cast<u64>(static_cast<i64>(v));
           }
-          break;
+          VM_NEXT_OP;
         }
 
-        case MOp::ADD:
-          regfile_[di.a] = regfile_[di.b] + regfile_[di.c];
-          setIntFlags(regfile_[di.a]);
-          break;
-        case MOp::SUB:
-          regfile_[di.a] = regfile_[di.b] - regfile_[di.c];
-          setIntFlags(regfile_[di.a]);
-          break;
-        case MOp::MUL:
-          regfile_[di.a] = regfile_[di.b] * regfile_[di.c];
-          setIntFlags(regfile_[di.a]);
-          break;
-        case MOp::DIV:
-        case MOp::REM: {
-          const i64 a = static_cast<i64>(regfile_[di.b]);
-          const i64 b = static_cast<i64>(regfile_[di.c]);
+        VM_CASE(ADD)
+        regfile_[di->a] = regfile_[di->b] + regfile_[di->c];
+        flags = intFlags(regfile_[di->a]);
+        VM_NEXT_OP;
+
+        VM_CASE(SUB)
+        regfile_[di->a] = regfile_[di->b] - regfile_[di->c];
+        flags = intFlags(regfile_[di->a]);
+        VM_NEXT_OP;
+
+        VM_CASE(MUL)
+        regfile_[di->a] = regfile_[di->b] * regfile_[di->c];
+        flags = intFlags(regfile_[di->a]);
+        VM_NEXT_OP;
+
+        VM_CASE(DIV)
+        VM_CASE(REM) {
+          const i64 a = static_cast<i64>(regfile_[di->b]);
+          const i64 b = static_cast<i64>(regfile_[di->c]);
           if (b == 0 || (a == std::numeric_limits<i64>::min() && b == -1)) {
             fail(Trap::DivByZero);
-            return;
+            goto sync;
           }
-          regfile_[di.a] = static_cast<u64>(di.op == MOp::DIV ? a / b : a % b);
-          setIntFlags(regfile_[di.a]);
-          break;
+          regfile_[di->a] = static_cast<u64>(di->op == MOp::DIV ? a / b : a % b);
+          flags = intFlags(regfile_[di->a]);
+          VM_NEXT_OP;
         }
-        case MOp::AND:
-          regfile_[di.a] = regfile_[di.b] & regfile_[di.c];
-          setIntFlags(regfile_[di.a]);
-          break;
-        case MOp::OR:
-          regfile_[di.a] = regfile_[di.b] | regfile_[di.c];
-          setIntFlags(regfile_[di.a]);
-          break;
-        case MOp::XOR:
-          regfile_[di.a] = regfile_[di.b] ^ regfile_[di.c];
-          setIntFlags(regfile_[di.a]);
-          break;
-        case MOp::SHL:
-          regfile_[di.a] = regfile_[di.b] << (regfile_[di.c] & 63);
-          setIntFlags(regfile_[di.a]);
-          break;
-        case MOp::ASHR:
-          regfile_[di.a] = static_cast<u64>(static_cast<i64>(regfile_[di.b]) >>
-                                            (regfile_[di.c] & 63));
-          setIntFlags(regfile_[di.a]);
-          break;
-        case MOp::LSHR:
-          regfile_[di.a] = regfile_[di.b] >> (regfile_[di.c] & 63);
-          setIntFlags(regfile_[di.a]);
-          break;
 
-        case MOp::ADDri:
-          regfile_[di.a] = regfile_[di.b] + static_cast<u64>(di.imm);
-          setIntFlags(regfile_[di.a]);
-          break;
-        case MOp::ANDri:
-          regfile_[di.a] = regfile_[di.b] & static_cast<u64>(di.imm);
-          setIntFlags(regfile_[di.a]);
-          break;
-        case MOp::ORri:
-          regfile_[di.a] = regfile_[di.b] | static_cast<u64>(di.imm);
-          setIntFlags(regfile_[di.a]);
-          break;
-        case MOp::XORri:
-          regfile_[di.a] = regfile_[di.b] ^ static_cast<u64>(di.imm);
-          setIntFlags(regfile_[di.a]);
-          break;
-        case MOp::SHLri:
-          regfile_[di.a] = regfile_[di.b] << (di.imm & 63);
-          setIntFlags(regfile_[di.a]);
-          break;
-        case MOp::ASHRri:
-          regfile_[di.a] =
-              static_cast<u64>(static_cast<i64>(regfile_[di.b]) >> (di.imm & 63));
-          setIntFlags(regfile_[di.a]);
-          break;
-        case MOp::LSHRri:
-          regfile_[di.a] = regfile_[di.b] >> (di.imm & 63);
-          setIntFlags(regfile_[di.a]);
-          break;
-        case MOp::MULri:
-          regfile_[di.a] = regfile_[di.b] * static_cast<u64>(di.imm);
-          setIntFlags(regfile_[di.a]);
-          break;
+        VM_CASE(AND)
+        regfile_[di->a] = regfile_[di->b] & regfile_[di->c];
+        flags = intFlags(regfile_[di->a]);
+        VM_NEXT_OP;
 
-        case MOp::FADD:
-          regfile_[di.a] = asBits(asF64(regfile_[di.b]) + asF64(regfile_[di.c]));
-          break;
-        case MOp::FSUB:
-          regfile_[di.a] = asBits(asF64(regfile_[di.b]) - asF64(regfile_[di.c]));
-          break;
-        case MOp::FMUL:
-          regfile_[di.a] = asBits(asF64(regfile_[di.b]) * asF64(regfile_[di.c]));
-          break;
-        case MOp::FDIV:
-          regfile_[di.a] = asBits(asF64(regfile_[di.b]) / asF64(regfile_[di.c]));
-          break;
-        case MOp::FMAX: {
+        VM_CASE(OR)
+        regfile_[di->a] = regfile_[di->b] | regfile_[di->c];
+        flags = intFlags(regfile_[di->a]);
+        VM_NEXT_OP;
+
+        VM_CASE(XOR)
+        regfile_[di->a] = regfile_[di->b] ^ regfile_[di->c];
+        flags = intFlags(regfile_[di->a]);
+        VM_NEXT_OP;
+
+        VM_CASE(SHL)
+        regfile_[di->a] = regfile_[di->b] << (regfile_[di->c] & 63);
+        flags = intFlags(regfile_[di->a]);
+        VM_NEXT_OP;
+
+        VM_CASE(ASHR)
+        regfile_[di->a] = static_cast<u64>(static_cast<i64>(regfile_[di->b]) >>
+                                           (regfile_[di->c] & 63));
+        flags = intFlags(regfile_[di->a]);
+        VM_NEXT_OP;
+
+        VM_CASE(LSHR)
+        regfile_[di->a] = regfile_[di->b] >> (regfile_[di->c] & 63);
+        flags = intFlags(regfile_[di->a]);
+        VM_NEXT_OP;
+
+        VM_CASE(ADDri)
+        regfile_[di->a] = regfile_[di->b] + static_cast<u64>(di->imm);
+        flags = intFlags(regfile_[di->a]);
+        VM_NEXT_OP;
+
+        VM_CASE(ANDri)
+        regfile_[di->a] = regfile_[di->b] & static_cast<u64>(di->imm);
+        flags = intFlags(regfile_[di->a]);
+        VM_NEXT_OP;
+
+        VM_CASE(ORri)
+        regfile_[di->a] = regfile_[di->b] | static_cast<u64>(di->imm);
+        flags = intFlags(regfile_[di->a]);
+        VM_NEXT_OP;
+
+        VM_CASE(XORri)
+        regfile_[di->a] = regfile_[di->b] ^ static_cast<u64>(di->imm);
+        flags = intFlags(regfile_[di->a]);
+        VM_NEXT_OP;
+
+        VM_CASE(SHLri)
+        regfile_[di->a] = regfile_[di->b] << (di->imm & 63);
+        flags = intFlags(regfile_[di->a]);
+        VM_NEXT_OP;
+
+        VM_CASE(ASHRri)
+        regfile_[di->a] = static_cast<u64>(static_cast<i64>(regfile_[di->b]) >>
+                                           (di->imm & 63));
+        flags = intFlags(regfile_[di->a]);
+        VM_NEXT_OP;
+
+        VM_CASE(LSHRri)
+        regfile_[di->a] = regfile_[di->b] >> (di->imm & 63);
+        flags = intFlags(regfile_[di->a]);
+        VM_NEXT_OP;
+
+        VM_CASE(MULri)
+        regfile_[di->a] = regfile_[di->b] * static_cast<u64>(di->imm);
+        flags = intFlags(regfile_[di->a]);
+        VM_NEXT_OP;
+
+        VM_CASE(FADD)
+        regfile_[di->a] = asBits(asF64(regfile_[di->b]) + asF64(regfile_[di->c]));
+        VM_NEXT_OP;
+
+        VM_CASE(FSUB)
+        regfile_[di->a] = asBits(asF64(regfile_[di->b]) - asF64(regfile_[di->c]));
+        VM_NEXT_OP;
+
+        VM_CASE(FMUL)
+        regfile_[di->a] = asBits(asF64(regfile_[di->b]) * asF64(regfile_[di->c]));
+        VM_NEXT_OP;
+
+        VM_CASE(FDIV)
+        regfile_[di->a] = asBits(asF64(regfile_[di->b]) / asF64(regfile_[di->c]));
+        VM_NEXT_OP;
+
+        VM_CASE(FMAX) {
           // Semantics match the fused pattern select(a > b, a, b): NaN picks b.
-          const double a = asF64(regfile_[di.b]);
-          const double b = asF64(regfile_[di.c]);
-          regfile_[di.a] = asBits(a > b ? a : b);
-          break;
+          const double a = asF64(regfile_[di->b]);
+          const double b = asF64(regfile_[di->c]);
+          regfile_[di->a] = asBits(a > b ? a : b);
+          VM_NEXT_OP;
         }
-        case MOp::FMIN: {
-          const double a = asF64(regfile_[di.b]);
-          const double b = asF64(regfile_[di.c]);
-          regfile_[di.a] = asBits(a < b ? a : b);
-          break;
+
+        VM_CASE(FMIN) {
+          const double a = asF64(regfile_[di->b]);
+          const double b = asF64(regfile_[di->c]);
+          regfile_[di->a] = asBits(a < b ? a : b);
+          VM_NEXT_OP;
         }
-        case MOp::FABS:
-          regfile_[di.a] = asBits(std::fabs(asF64(regfile_[di.b])));
-          break;
-        case MOp::FSQRT:
-          regfile_[di.a] = asBits(std::sqrt(asF64(regfile_[di.b])));
-          break;
 
-        case MOp::CMP:
-          setCmpFlags(static_cast<i64>(regfile_[di.a]),
-                      static_cast<i64>(regfile_[di.b]));
-          break;
-        case MOp::CMPri:
-          setCmpFlags(static_cast<i64>(regfile_[di.a]), di.imm);
-          break;
-        case MOp::FCMP:
-          setFCmpFlags(asF64(regfile_[di.a]), asF64(regfile_[di.b]));
-          break;
+        VM_CASE(FABS)
+        regfile_[di->a] = asBits(std::fabs(asF64(regfile_[di->b])));
+        VM_NEXT_OP;
 
-        case MOp::CSEL:
-        case MOp::FCSEL:
-          regfile_[di.a] =
-              backend::condHolds(static_cast<backend::Cond>(di.aux), flags_)
-                  ? regfile_[di.b]
-                  : regfile_[di.c];
-          break;
+        VM_CASE(FSQRT)
+        regfile_[di->a] = asBits(std::sqrt(asF64(regfile_[di->b])));
+        VM_NEXT_OP;
 
-        case MOp::LDR:
-        case MOp::FLDR: {
-          u64 value = 0;
-          if (!loadWord(regfile_[di.b] + static_cast<u64>(di.imm), value)) {
-            return;
+        VM_CASE(CMP)
+        flags = cmpFlags(static_cast<i64>(regfile_[di->a]),
+                         static_cast<i64>(regfile_[di->b]));
+        VM_NEXT_OP;
+
+        VM_CASE(CMPri)
+        flags = cmpFlags(static_cast<i64>(regfile_[di->a]), di->imm);
+        VM_NEXT_OP;
+
+        VM_CASE(FCMP) {
+          const double a = asF64(regfile_[di->a]);
+          const double b = asF64(regfile_[di->b]);
+          if (std::isnan(a) || std::isnan(b)) {
+            flags = backend::kFlagUN;
+          } else if (a == b) {
+            flags = backend::kFlagEQ;
+          } else if (a < b) {
+            flags = backend::kFlagLT;
+          } else {
+            flags = backend::kFlagGT;
           }
-          regfile_[di.a] = value;
-          break;
+          VM_NEXT_OP;
         }
-        case MOp::STR:
-        case MOp::FSTR:
-          if (!storeWord(regfile_[di.b] + static_cast<u64>(di.imm),
-                         regfile_[di.a])) {
-            return;
+
+        VM_CASE(CSEL)
+        VM_CASE(FCSEL)
+        regfile_[di->a] =
+            backend::condHolds(static_cast<backend::Cond>(di->aux), flags)
+                ? regfile_[di->b]
+                : regfile_[di->c];
+        VM_NEXT_OP;
+
+        VM_CASE(LDR)
+        VM_CASE(FLDR) {
+          u64 value = 0;
+          if (!loadWord(regfile_[di->b] + static_cast<u64>(di->imm), value)) {
+            goto sync;
           }
-          break;
-
-        case MOp::LEAfi:
-          regfile_[di.a] = regfile_[kSpSlot] + static_cast<u64>(di.imm);
-          break;
-
-        case MOp::PUSH:
-        case MOp::FPUSH:
-          if (!push(regfile_[di.a])) return;
-          break;
-        case MOp::POP:
-        case MOp::FPOP: {
-          u64 value = 0;
-          if (!pop(value)) return;
-          regfile_[di.a] = value;
-          break;
+          regfile_[di->a] = value;
+          VM_NEXT_OP;
         }
-        case MOp::PUSHF:
-          if (!push(flags_)) return;
-          break;
-        case MOp::POPF: {
-          u64 value = 0;
-          if (!pop(value)) return;
-          flags_ = static_cast<std::uint8_t>(value & 0xF);
-          break;
+
+        VM_CASE(STR)
+        VM_CASE(FSTR)
+        if (!storeWord(regfile_[di->b] + static_cast<u64>(di->imm),
+                       regfile_[di->a])) {
+          goto sync;
         }
-        case MOp::SPADJ: {
+        VM_NEXT_OP;
+
+        VM_CASE(LEAfi)
+        regfile_[di->a] = regfile_[kSpSlot] + static_cast<u64>(di->imm);
+        VM_NEXT_OP;
+
+        VM_CASE(PUSH)
+        VM_CASE(FPUSH)
+        if (!push(regfile_[di->a])) goto sync;
+        VM_NEXT_OP;
+
+        VM_CASE(POP)
+        VM_CASE(FPOP) {
+          u64 value = 0;
+          if (!pop(value)) goto sync;
+          regfile_[di->a] = value;
+          VM_NEXT_OP;
+        }
+
+        VM_CASE(PUSHF)
+        if (!push(flags)) goto sync;
+        VM_NEXT_OP;
+
+        VM_CASE(POPF) {
+          u64 value = 0;
+          if (!pop(value)) goto sync;
+          flags = static_cast<std::uint8_t>(value & 0xF);
+          VM_NEXT_OP;
+        }
+
+        VM_CASE(SPADJ) {
           u64& sp = regfile_[kSpSlot];
-          sp += static_cast<u64>(di.imm);
+          sp += static_cast<u64>(di->imm);
           if (sp < ir::DataLayout::kStackLimit) {
             fail(Trap::StackOverflow);
-            return;
+            goto sync;
           }
-          break;
+          VM_NEXT_OP;
         }
 
-        case MOp::B:
-          pc_ = static_cast<u64>(di.imm);
-          break;
-        case MOp::BCC:
-          if (backend::condHolds(static_cast<backend::Cond>(di.aux), flags_)) {
-            pc_ = static_cast<u64>(di.imm);
-          }
-          break;
-        case MOp::CALL:
-          if (!push(pc_)) return;  // return address = next instruction
-          pc_ = static_cast<u64>(di.imm);
-          break;
-        case MOp::RET: {
+        VM_CASE(B)
+        pc = static_cast<u64>(di->imm);
+        VM_NEXT_OP;
+
+        VM_CASE(BCC)
+        if (backend::condHolds(static_cast<backend::Cond>(di->aux), flags)) {
+          pc = static_cast<u64>(di->imm);
+        }
+        VM_NEXT_OP;
+
+        VM_CASE(CALL)
+        if (!push(pc)) goto sync;  // return address = next instruction
+        pc = static_cast<u64>(di->imm);
+        VM_NEXT_OP;
+
+        VM_CASE(RET) {
           u64 ret = 0;
-          if (!pop(ret)) return;
+          if (!pop(ret)) goto sync;
           if (ret == kHaltAddress) {
             halted_ = true;
-            return;
+            goto sync;
           }
           if (ret >= codeSize) {
             fail(Trap::InvalidPC);
-            return;
+            goto sync;
           }
-          pc_ = ret;
-          break;
+          pc = ret;
+          VM_NEXT_OP;
         }
-        case MOp::SYSCALL:
-          if (!syscall(di.imm)) return;
-          break;
 
-        case MOp::FICHECK: {
+        VM_CASE(SYSCALL)
+        if (!syscall(di->imm)) goto sync;
+        VM_NEXT_OP;
+
+        VM_CASE(FICHECK) {
           RF_CHECK(fiRuntime_ != nullptr,
                    "FICHECK executed without an FI runtime attached");
-          if (fiRuntime_->selInstr(static_cast<u64>(di.imm))) {
-            pc_ = di.aux;
+          // PreFI fast path inlined (paper Fig. 2): count and compare; the
+          // virtual call happens once, at the trigger.
+          FiRuntime& rt = *fiRuntime_;
+          ++rt.fiCount;
+          if (rt.fiCount == rt.fiTrigger) [[unlikely]] {
+            if (rt.onFiTrigger(static_cast<u64>(di->imm))) {
+              pc = di->aux;
+            }
           }
-          break;
+          VM_NEXT_OP;
         }
-        case MOp::SETUPFI: {
+
+        VM_CASE(SETUPFI) {
           RF_CHECK(fiRuntime_ != nullptr,
                    "SETUPFI executed without an FI runtime attached");
-          const auto [op, mask] = fiRuntime_->setupFI(static_cast<u64>(di.imm));
+          const auto [op, mask] = fiRuntime_->setupFI(static_cast<u64>(di->imm));
           regfile_[0] = op;
           regfile_[1] = mask;
-          break;
+          VM_NEXT_OP;
         }
 
-        case MOp::NOP:
-          break;
+        VM_CASE(NOP)
+        VM_NEXT_OP;
 
-        default:
-          RF_UNREACHABLE("VM: pseudo instruction reached execution");
-      }
+        VM_CASE_BAD
+        RF_UNREACHABLE("VM: pseudo instruction reached execution");
+
+        // -- End of shared opcode bodies --------------------------------------
+
+#if REFINE_VM_COMPUTED_GOTO
+spanEnd:
+  if (timesOut) {
+    // The (headroom+1)-th instruction of the segment is the one that exceeds
+    // the budget: it counts but does not execute, exactly as in the per-step
+    // formulation.
+    ++count;
+    fail(Trap::Timeout);
+    goto sync;
+  }
+  goto spanStart;
+#else
+      }  // switch
 
       if constexpr (Hooked) {
+        // The hook sees the machine, not our locals: publish, call,
+        // re-adopt (snapshot hooks read count/pc; injection hooks flip
+        // registers and flags).
+        pc_ = pc;
+        count_ = count;
+        flags_ = flags;
         hook_(thisPc, *this);
-        if (!hook_) return;  // detached mid-run: re-dispatch unhooked
+        pc = pc_;
+        count = count_;
+        flags = flags_;
+        if (!hook_) return;  // detached mid-run (already synced above)
       }
-    }
-
+    }  // span loop
     if (timesOut) {
       // The (headroom+1)-th instruction of the segment is the one that
       // exceeds the budget: it counts but does not execute, exactly as in
       // the per-step formulation.
-      ++count_;
+      ++count;
       fail(Trap::Timeout);
-      return;
+      goto sync;
     }
-  }
+  }  // for (;;)
+#endif
+
+#undef VM_CASE
+#undef VM_CASE_BAD
+#undef VM_NEXT_OP
+#if REFINE_VM_COMPUTED_GOTO
+#undef VM_FETCH
+#endif
+#undef REFINE_VM_COMPUTED_GOTO
+
+sync:
+  pc_ = pc;
+  count_ = count;
+  flags_ = flags;
 }
 
 void Machine::execute() {
@@ -507,6 +827,12 @@ ExecResult Machine::finish() {
   ExecResult result;
   result.output = std::move(output_);
   result.instrCount = count_;
+  if (golden_ != nullptr) {
+    result.goldenBound = true;
+    // Divergence = any mismatched/extra byte seen while streaming, or a
+    // completed run that produced fewer bytes than the golden output.
+    result.diverged = diverged_ || goldenPos_ != golden_->size();
+  }
   if (halted_) {
     result.exitCode = static_cast<i64>(regfile_[0]);
   } else {
@@ -521,7 +847,7 @@ ExecResult Machine::run(std::uint64_t maxInstrs) {
   RF_CHECK(!started_, "run() on a machine that already executed");
   started_ = true;
   budget_ = maxInstrs;
-  pc_ = program_.entry;
+  pc_ = program_->entry;
   // Sentinel return address: RET from main halts the machine.
   const bool pushed = push(kHaltAddress);
   RF_CHECK(pushed, "failed to initialize the stack");
@@ -531,6 +857,9 @@ ExecResult Machine::run(std::uint64_t maxInstrs) {
 }
 
 Snapshot Machine::snapshot() const {
+  RF_CHECK(golden_ == nullptr,
+           "snapshot() on a streaming-classification machine would lose the "
+           "accumulated output");
   Snapshot snap;
   std::memcpy(snap.regs, regfile_, sizeof(regfile_));
   snap.flags = flags_;
@@ -555,15 +884,89 @@ void Machine::restore(const Snapshot& snap) {
   pc_ = snap.pc;
   count_ = snap.instrCount;
   stackLo_ = snap.stackLo;
+  dirtyLo_ = ir::DataLayout::kStackTop;
+  lastSnap_ = &snap;
   // Bytes below stackLo were never written when the snapshot was taken and
   // are still zero in this fresh machine, so copying [stackLo, top) rebuilds
   // the full stack image.
-  std::memcpy(&stack_[snap.stackLo - ir::DataLayout::kStackLimit],
-              snap.stackBytes.data(), snap.stackBytes.size());
+  copyBytes(stack_.data() + (snap.stackLo - ir::DataLayout::kStackLimit),
+            snap.stackBytes.data(), snap.stackBytes.size());
   RF_CHECK(snap.globals.size() == globals_.size(),
            "snapshot globals do not match this program");
-  globals_ = snap.globals;
-  output_ = snap.output;
+  copyBytes(globals_.data(), snap.globals.data(), globals_.size());
+  if (golden_ != nullptr) {
+    // Streaming classification: the snapshot was captured during the golden
+    // run, so its accumulated output is a prefix of the golden — no copy,
+    // the cursor just advances past it.
+    RF_CHECK(snap.output.size() <= golden_->size(),
+             "snapshot output is not a prefix of the bound golden output");
+    goldenPos_ = snap.output.size();
+    diverged_ = false;
+    output_.clear();
+  } else {
+    output_ = snap.output;
+  }
+}
+
+std::uint64_t Machine::rebase(const Snapshot& snap) {
+  RF_CHECK(started_, "rebase() targets a machine that already ran");
+  RF_CHECK(snap.instrCount > 0, "rebase() onto an empty snapshot");
+  std::memcpy(regfile_, snap.regs, sizeof(regfile_));
+  flags_ = snap.flags;
+  pc_ = snap.pc;
+  count_ = snap.instrCount;
+  const u64 limit = ir::DataLayout::kStackLimit;
+  const u64 top = ir::DataLayout::kStackTop;
+  // Every byte below stackLo_ is still zero; re-zero the dirtied bytes that
+  // fall below the snapshot's span so the all-zero-below invariant holds.
+  if (stackLo_ < snap.stackLo) {
+    zeroBytes(stack_.data() + (stackLo_ - limit), snap.stackLo - stackLo_);
+  }
+  // Within the snapshot's span, only [dirtyLo_, top) changed since the last
+  // restore — and only when that restore loaded this very snapshot does the
+  // rest still hold its image. Otherwise copy the full span.
+  const u64 copyFrom =
+      lastSnap_ == &snap ? std::max(dirtyLo_, snap.stackLo) : snap.stackLo;
+  const u64 nCopy = top - copyFrom;
+  copyBytes(stack_.data() + (copyFrom - limit),
+            snap.stackBytes.data() + (copyFrom - snap.stackLo), nCopy);
+  stackLo_ = snap.stackLo;
+  dirtyLo_ = top;
+  lastSnap_ = &snap;
+  RF_CHECK(snap.globals.size() == globals_.size(),
+           "snapshot globals do not match this program");
+  copyBytes(globals_.data(), snap.globals.data(), globals_.size());
+  std::uint64_t restored = nCopy + globals_.size();
+  if (golden_ != nullptr) {
+    RF_CHECK(snap.output.size() <= golden_->size(),
+             "snapshot output is not a prefix of the bound golden output");
+    goldenPos_ = snap.output.size();
+    diverged_ = false;
+    output_.clear();
+  } else {
+    output_.assign(snap.output);
+    restored += snap.output.size();
+  }
+  budget_ = 0;
+  trap_ = Trap::None;
+  halted_ = false;
+  started_ = true;
+  hook_ = nullptr;
+  fiRuntime_ = nullptr;
+  return restored;
+}
+
+std::uint64_t Machine::beginTrial(const Snapshot* snap,
+                                  std::size_t outputReserve) {
+  if (golden_ == nullptr && outputReserve > 0) output_.reserve(outputReserve);
+  if (snap == nullptr) {
+    if (started_) reset();
+    return 0;
+  }
+  if (started_) return rebase(*snap);
+  restore(*snap);
+  return snap->restoreStateBytes() +
+         (golden_ == nullptr ? snap->output.size() : 0);
 }
 
 ExecResult Machine::resume(std::uint64_t maxInstrs) {

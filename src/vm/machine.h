@@ -25,6 +25,15 @@
 // (from a hook) and a fresh machine for the same program can restore() that
 // snapshot and resume(): the resumed run is bit-identical to a cold start
 // that executed the prefix, because the prefix is deterministic.
+//
+// For the campaign hot loop, a machine is REUSABLE: beginTrial() rewinds a
+// finished machine to a pristine state (or directly onto a snapshot — a
+// delta restore touching only the state the previous trial dirtied) without
+// freeing any buffer, and bindGolden() switches output handling from
+// accumulation to a streaming comparison against the golden run (no output
+// bytes are stored; print syscalls advance a cursor and set a divergence
+// flag). Steady-state trials on a reused machine perform zero heap
+// allocations (tests/alloc_guard_test.cpp).
 #pragma once
 
 #include <cstdint>
@@ -57,18 +66,38 @@ struct ExecResult {
   std::int64_t exitCode = 0;
   std::string output;
   std::uint64_t instrCount = 0;  // all executed instructions
+  /// Streaming golden comparison (Machine::bindGolden). When a golden was
+  /// bound, `output` stays empty and `diverged` answers "did the produced
+  /// bytes differ from the golden output?" (including missing or extra
+  /// bytes) — exactly what `output != golden` would on an accumulated run.
+  bool goldenBound = false;
+  bool diverged = false;
 };
 
 class Machine;
 
 /// The fault-injection control library interface (paper Sec. 4.2.4): the
-/// REFINE-instrumented binary calls selInstr() after every instrumented
-/// instruction and setupFI() when injection triggers.
+/// REFINE-instrumented binary checks in after every instrumented
+/// instruction (FICHECK) and calls setupFI() when injection triggers.
+///
+/// The per-site check is the paper's few-cycle PreFI fast path, so the VM
+/// inlines it: FICHECK increments `fiCount` and compares it against
+/// `fiTrigger` directly — no call on the non-triggering path — and invokes
+/// the virtual onFiTrigger() only at the trigger count. Profiling runs
+/// leave fiTrigger at ~0 (never) and just read the count back.
 class FiRuntime {
  public:
   virtual ~FiRuntime() = default;
-  /// Returns true to trigger fault injection at this execution of the site.
-  virtual bool selInstr(std::uint64_t siteId) = 0;
+
+  /// Dynamic target instructions executed so far (maintained by FICHECK).
+  std::uint64_t fiCount = 0;
+  /// fiCount value at which FICHECK calls onFiTrigger(); ~0 = never
+  /// (profile mode, or an injection already delivered).
+  std::uint64_t fiTrigger = ~0ULL;
+
+  /// Called when fiCount reaches fiTrigger. Returns true to take the PreFI
+  /// save-block branch (the machine then reaches SETUPFI).
+  virtual bool onFiTrigger(std::uint64_t siteId) = 0;
   /// Returns {operand index, xor mask} for the triggered site. The mask may
   /// have any number of bits set (multi-bit fault models); the instrumented
   /// flip blocks XOR it in whole.
@@ -97,8 +126,53 @@ class Machine {
   void setFiRuntime(FiRuntime* runtime) noexcept { fiRuntime_ = runtime; }
 
   /// Runs from the program entry until halt, trap or budget exhaustion.
-  /// Only valid on a machine that has not executed yet.
+  /// Only valid on a machine that has not executed yet (fresh, reset() or
+  /// rebind()).
   ExecResult run(std::uint64_t maxInstrs = 1'000'000'000);
+
+  // -- Reuse (zero-allocation trial hot path) --------------------------------
+
+  /// Rewinds a machine to its freshly constructed state without freeing any
+  /// buffer: zeroes only the stack span above the write low-water mark,
+  /// memcpys the globals back from the program's pristine image, and clears
+  /// the output accumulator keeping its capacity. Clears the hook and FI
+  /// runtime; keeps the golden binding (cursor rewound). After reset() the
+  /// machine satisfies every "freshly constructed" precondition (run(),
+  /// restore()).
+  void reset();
+
+  /// Rebinds a reused machine to a different program, keeping the
+  /// (program-independent) stack buffer. Reallocates only when the new
+  /// globals segment outgrows the old capacity. Leaves the machine in the
+  /// freshly constructed state for the new program. `decoded` must outlive
+  /// the machine and have been built from `program`.
+  void rebind(const backend::Program& program, const DecodedProgram& decoded);
+
+  /// Prepares one injection trial on a reusable machine: rewinds to a
+  /// pristine state (snap == nullptr; follow with run()) or onto `snap`
+  /// (follow with resume()). On a machine that already ran, a snapshot is
+  /// applied as a DELTA restore: registers always, the globals segment as
+  /// one memcpy, and only the dirtied stack span — when the previous trial
+  /// restored this same snapshot, just the bytes it wrote since. Clears the
+  /// hook and FI runtime. `outputReserve` pre-sizes the output accumulator
+  /// (ignored while a golden is bound — streaming stores no output).
+  /// Returns the number of state bytes copied (the delta-restore metric).
+  std::uint64_t beginTrial(const Snapshot* snap, std::size_t outputReserve = 0);
+
+  /// Binds (or with nullptr unbinds) a golden output for streaming SDC
+  /// classification: print syscalls compare their bytes against `golden` at
+  /// a cursor instead of accumulating them, and the ExecResult reports
+  /// goldenBound/diverged instead of output. restore()/beginTrial() of a
+  /// profiling snapshot then skip the prefix-output copy entirely (the
+  /// cursor advances to the snapshot's output length — snapshots taken
+  /// during the golden run hold a prefix of it by construction). `golden`
+  /// must outlive the binding.
+  void bindGolden(const std::string* golden) noexcept {
+    golden_ = golden;
+    goldenPos_ = 0;
+    diverged_ = false;
+  }
+  bool goldenBound() const noexcept { return golden_ != nullptr; }
 
   // -- Snapshot / resume (trial fast-forward) --------------------------------
 
@@ -106,9 +180,11 @@ class Machine {
   /// Snapshot::dynamicCount is the caller's to fill (see SnapshotChain).
   Snapshot snapshot() const;
 
-  /// Loads `snap` into this machine. Only valid on a freshly constructed
-  /// machine (its stack is still all-zero below the snapshot's low-water
-  /// mark, which restore relies on). Follow with resume().
+  /// Loads `snap` into this machine. Only valid on a fresh machine — newly
+  /// constructed, reset() or rebind() — whose stack is all-zero below the
+  /// snapshot's low-water mark, which restore relies on. Follow with
+  /// resume(). (A machine that already ran rewinds via beginTrial(), which
+  /// restores only the dirtied delta.)
   void restore(const Snapshot& snap);
 
   /// Continues a restored machine until halt, trap or budget exhaustion.
@@ -117,16 +193,12 @@ class Machine {
   /// timeout behavior exactly.
   ExecResult resume(std::uint64_t maxInstrs = 1'000'000'000);
 
-  /// Pre-sizes the output accumulator (e.g. to the profiled golden-output
-  /// length) so print syscalls never reallocate mid-run.
-  void reserveOutput(std::size_t bytes) { output_.reserve(bytes); }
-
   // -- Architectural state (exposed for fault injectors) ---------------------
   std::uint64_t& gpr(unsigned i);
   std::uint64_t& fprBits(unsigned i);
   std::uint8_t& flags() noexcept { return flags_; }
   std::uint64_t instrCount() const noexcept { return count_; }
-  const backend::Program& program() const noexcept { return program_; }
+  const backend::Program& program() const noexcept { return *program_; }
 
   /// Writes/reads a 64-bit word in the globals segment (used to seed the
   /// LLFI guest runtime's control globals before a run and to read its
@@ -136,13 +208,18 @@ class Machine {
   std::uint64_t peekGlobal(std::uint64_t addr);
 
  private:
+  /// Delta restore onto a machine that already ran: copies registers, the
+  /// globals segment and only the dirty stack span; returns bytes copied.
+  std::uint64_t rebase(const Snapshot& snap);
+
+  /// Streams `n` produced output bytes against the bound golden at the
+  /// cursor; sets diverged_ on the first mismatch or overrun.
+  void matchGolden(const char* data, std::size_t n) noexcept;
+
   bool loadWord(std::uint64_t addr, std::uint64_t& out);
   bool storeWord(std::uint64_t addr, std::uint64_t value);
   bool push(std::uint64_t value);
   bool pop(std::uint64_t& out);
-  void setIntFlags(std::uint64_t result) noexcept;
-  void setCmpFlags(std::int64_t a, std::int64_t b) noexcept;
-  void setFCmpFlags(double a, double b) noexcept;
   bool syscall(std::int64_t code);
   bool fail(Trap t) noexcept {
     trap_ = t;
@@ -161,7 +238,7 @@ class Machine {
 
   ExecResult finish();
 
-  const backend::Program& program_;
+  const backend::Program* program_;             // rebind() retargets it
   const DecodedProgram* decoded_;               // owned_ or caller-provided
   std::unique_ptr<DecodedProgram> owned_;
   std::vector<std::uint8_t> globals_;
@@ -175,7 +252,19 @@ class Machine {
   std::uint64_t budget_ = 0;
   /// Low-water mark of stack writes: every byte below this is still zero.
   std::uint64_t stackLo_ = 0;
+  /// Low-water mark of stack writes since the last restore/rebase: bytes in
+  /// [stackLo of that snapshot, dirtyLo_) still hold the snapshot's image,
+  /// which is what lets a same-snapshot rebase copy only the dirtied tail.
+  std::uint64_t dirtyLo_ = 0;
+  /// The snapshot the machine last restored (delta-restore identity); null
+  /// after reset()/rebind() or on a machine that never restored.
+  const Snapshot* lastSnap_ = nullptr;
   std::string output_;
+  /// Streaming golden comparison (bindGolden): produced output bytes are
+  /// checked against *golden_ at goldenPos_ instead of being accumulated.
+  const std::string* golden_ = nullptr;
+  std::size_t goldenPos_ = 0;
+  bool diverged_ = false;
   Trap trap_ = Trap::None;
   bool halted_ = false;
   bool started_ = false;

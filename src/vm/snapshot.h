@@ -43,6 +43,14 @@ struct Snapshot {
   std::uint64_t memoryBytes() const noexcept {
     return stackBytes.size() + globals.size() + output.size() + sizeof(*this);
   }
+
+  /// Bytes a full (non-delta) machine-state restore copies: the written
+  /// stack span plus the globals segment. Output is accounted separately —
+  /// a machine with a streaming golden bound never copies it (the cursor
+  /// just advances past the prefix).
+  std::uint64_t restoreStateBytes() const noexcept {
+    return stackBytes.size() + globals.size();
+  }
 };
 
 /// Evenly spaced snapshot history with bounded cardinality: captures every

@@ -1,0 +1,142 @@
+// Allocation guard for the trial hot path: steady-state trials on a reused
+// TrialScratch — snapshot fast-forward, streaming golden classification,
+// delta restore — must perform ZERO heap allocations per trial, for each of
+// the three paper tools. The guard replaces the global allocation functions
+// with counting wrappers and asserts the counter does not move across a
+// window of warmed-up trials.
+//
+// What "zero" relies on (and what this test pins down):
+//   * Machine::beginTrial rewinds in place (no vector/string churn),
+//   * streaming classification stores no output bytes,
+//   * PINFI's per-trial hook state fits std::function's inline storage
+//     (one captured pointer),
+//   * FaultRecord reuse keeps function-name strings inside the small-string
+//     optimization — the test app's function names are deliberately short;
+//     a >15-char name would cost one allocation per triggered trial and
+//     fail this guard.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "campaign/registry.h"
+#include "campaign/runner.h"
+#include "campaign/scratch.h"
+#include "campaign/tools.h"
+#include "support/rng.h"
+
+namespace {
+
+std::atomic<std::uint64_t> gAllocCount{0};
+
+void* countedAlloc(std::size_t size) {
+  gAllocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+// Replace the global allocation functions for this test binary. The aligned
+// forms matter too: libstdc++ routes over-aligned containers through them.
+void* operator new(std::size_t size) { return countedAlloc(size); }
+void* operator new[](std::size_t size) { return countedAlloc(size); }
+void* operator new(std::size_t size, std::align_val_t) {
+  return countedAlloc(size);
+}
+void* operator new[](std::size_t size, std::align_val_t) {
+  return countedAlloc(size);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace refine {
+namespace {
+
+// Long enough (~60k dynamic instructions) to populate the snapshot chain so
+// steady-state trials fast-forward; function names short enough for SSO.
+const char* kGuardSource =
+    "fn kern(x: i64) -> i64 {\n"
+    "  var acc: i64 = x;\n"
+    "  for (var i: i64 = 0; i < 120; i = i + 1) {\n"
+    "    acc = (acc * 31 + i) % 1000003;\n"
+    "  }\n"
+    "  return acc;\n"
+    "}\n"
+    "fn main() -> i64 {\n"
+    "  var acc: i64 = 0;\n"
+    "  var f: f64 = 1.0;\n"
+    "  for (var i: i64 = 0; i < 80; i = i + 1) {\n"
+    "    acc = kern(acc + i);\n"
+    "    f = f * 1.000001 + 0.5;\n"
+    "    if (i % 16 == 0) { print_i64(acc); print_f64(f); }\n"
+    "  }\n"
+    "  print_i64(acc);\n"
+    "  return 0;\n"
+    "}\n";
+
+TEST(AllocGuard, SteadyStateTrialsAllocateNothingPerTool) {
+  for (const char* tool : {"LLFI", "REFINE", "PINFI"}) {
+    auto instance = campaign::InjectorRegistry::global().get(tool).create(
+        kGuardSource, fi::FiConfig::allOn());
+    const auto& profile = instance->profile();
+    ASSERT_GT(profile.dynamicTargets, 8u) << tool;
+    ASSERT_FALSE(instance->snapshots().empty())
+        << tool << ": no snapshots — steady state would cold-start";
+    const std::uint64_t budget = 10 * profile.instrCount;
+
+    // Engine-identical draws, sorted by target like the chunk loop.
+    std::vector<campaign::TrialDraw> draws;
+    campaign::drawTrialChunk(campaign::CampaignConfig{}.baseSeed,
+                             fnv1a("alloc-guard"),
+                             campaign::injectorSeedKey(tool),
+                             profile.dynamicTargets, 0, 96, draws);
+
+    campaign::TrialScratch scratch;
+    scratch.setGolden(&profile.goldenOutput);
+
+    // Warm up: bind the machine, touch every restore path once, engage the
+    // fault-record slot, grow any lazily-sized buffer.
+    std::uint64_t warmFastForwarded = 0;
+    for (std::size_t i = 0; i < 32; ++i) {
+      const auto& t =
+          instance->runTrial(draws[i].target, draws[i].seed, budget, scratch);
+      warmFastForwarded += t.fastForwardedInstrs;
+    }
+
+    // Steady state: not one allocation across the remaining trials.
+    const std::uint64_t before =
+        gAllocCount.load(std::memory_order_relaxed);
+    std::uint64_t outcomes[3] = {0, 0, 0};
+    for (std::size_t i = 32; i < draws.size(); ++i) {
+      const auto& t =
+          instance->runTrial(draws[i].target, draws[i].seed, budget, scratch);
+      ++outcomes[static_cast<int>(
+          campaign::classify(t.exec, profile.goldenOutput))];
+    }
+    const std::uint64_t after = gAllocCount.load(std::memory_order_relaxed);
+
+    EXPECT_EQ(after - before, 0u)
+        << tool << ": " << (after - before) << " heap allocation(s) across "
+        << (draws.size() - 32) << " steady-state trials";
+    // Sanity: the measured window really was the production path.
+    EXPECT_GT(warmFastForwarded, 0u) << tool;
+    EXPECT_GT(outcomes[0] + outcomes[1] + outcomes[2], 0u);
+  }
+}
+
+}  // namespace
+}  // namespace refine

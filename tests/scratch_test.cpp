@@ -1,0 +1,384 @@
+// Zero-allocation hot-path equivalence: the production trial pipeline —
+// per-worker TrialScratch reuse (delta snapshot restore on a rewound
+// machine), streaming golden classification, target-sorted execution — must
+// be bit-identical to fresh-machine cold-start trials for every app x tool:
+// same ExecResult (trap, exit code, instruction count), same outcome class,
+// same FaultRecord. Also covers the nasty orderings: a trial right after a
+// trapped/timed-out trial on the same scratch, and a scratch rebound across
+// cells of different programs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "backend/compile.h"
+#include "campaign/outcome.h"
+#include "campaign/registry.h"
+#include "campaign/runner.h"
+#include "campaign/scratch.h"
+#include "campaign/tools.h"
+#include "frontend/compile.h"
+#include "ir/layout.h"
+#include "opt/passes.h"
+#include "support/rng.h"
+#include "vm/machine.h"
+
+namespace refine {
+namespace {
+
+backend::CodegenResult compileApp(const std::string& source) {
+  auto module = fe::compileToIR(source);
+  opt::optimize(*module, opt::OptLevel::O2);
+  return backend::compileBackend(*module);
+}
+
+void expectSameTrial(const campaign::Trial& got, const campaign::Trial& want,
+                     const std::string& golden, const std::string& label) {
+  EXPECT_EQ(got.exec.trapped, want.exec.trapped) << label;
+  EXPECT_EQ(got.exec.trap, want.exec.trap) << label;
+  EXPECT_EQ(got.exec.exitCode, want.exec.exitCode) << label;
+  EXPECT_EQ(got.exec.instrCount, want.exec.instrCount) << label;
+  EXPECT_EQ(campaign::classify(got.exec, golden),
+            campaign::classify(want.exec, golden))
+      << label;
+  ASSERT_EQ(got.fault.has_value(), want.fault.has_value()) << label;
+  if (got.fault && want.fault) {
+    EXPECT_EQ(got.fault->dynamicIndex, want.fault->dynamicIndex) << label;
+    EXPECT_EQ(got.fault->siteId, want.fault->siteId) << label;
+    EXPECT_EQ(got.fault->function, want.fault->function) << label;
+    EXPECT_EQ(got.fault->operandIndex, want.fault->operandIndex) << label;
+    EXPECT_EQ(got.fault->operandKind, want.fault->operandKind) << label;
+    EXPECT_EQ(got.fault->bit, want.fault->bit) << label;
+    EXPECT_EQ(got.fault->mask, want.fault->mask) << label;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Machine-level streaming golden classification
+// ---------------------------------------------------------------------------
+
+const char* kPrintSource =
+    "fn main() -> i64 {\n"
+    "  var acc: i64 = 0;\n"
+    "  for (var i: i64 = 0; i < 2000; i = i + 1) {\n"
+    "    acc = (acc * 31 + i) % 1000003;\n"
+    "    if (i % 250 == 0) { print_i64(acc); }\n"
+    "  }\n"
+    "  print_f64(1.5);\n"
+    "  print_i64(acc);\n"
+    "  return 0;\n"
+    "}\n";
+
+TEST(StreamingGolden, MatchingRunDoesNotDivergeAndStoresNoOutput) {
+  const auto compiled = compileApp(kPrintSource);
+  vm::Machine ref(compiled.program);
+  const auto golden = ref.run();
+  ASSERT_FALSE(golden.trapped);
+  ASSERT_FALSE(golden.output.empty());
+
+  vm::Machine m(compiled.program);
+  m.bindGolden(&golden.output);
+  const auto got = m.run();
+  EXPECT_TRUE(got.goldenBound);
+  EXPECT_FALSE(got.diverged);
+  EXPECT_TRUE(got.output.empty());  // streamed, not accumulated
+  EXPECT_EQ(got.instrCount, golden.instrCount);
+}
+
+TEST(StreamingGolden, MismatchShortAndLongGoldensAllDiverge) {
+  const auto compiled = compileApp(kPrintSource);
+  vm::Machine ref(compiled.program);
+  const auto golden = ref.run();
+  ASSERT_FALSE(golden.trapped);
+
+  // Mismatched byte mid-stream.
+  std::string mismatched = golden.output;
+  mismatched[mismatched.size() / 2] ^= 1;
+  vm::Machine m1(compiled.program);
+  m1.bindGolden(&mismatched);
+  EXPECT_TRUE(m1.run().diverged);
+
+  // Golden longer than the produced output (missing tail = SDC).
+  std::string longer = golden.output + "tail\n";
+  vm::Machine m2(compiled.program);
+  m2.bindGolden(&longer);
+  EXPECT_TRUE(m2.run().diverged);
+
+  // Golden shorter than the produced output (extra bytes = SDC).
+  std::string shorter = golden.output.substr(0, golden.output.size() - 2);
+  vm::Machine m3(compiled.program);
+  m3.bindGolden(&shorter);
+  EXPECT_TRUE(m3.run().diverged);
+}
+
+TEST(StreamingGolden, ClassifyAgreesWithStringComparison) {
+  const auto compiled = compileApp(kPrintSource);
+  vm::Machine ref(compiled.program);
+  const auto golden = ref.run();
+
+  vm::Machine streamed(compiled.program);
+  streamed.bindGolden(&golden.output);
+  const auto a = streamed.run();
+  vm::Machine accumulated(compiled.program);
+  const auto b = accumulated.run();
+  EXPECT_EQ(campaign::classify(a, golden.output),
+            campaign::classify(b, golden.output));
+  EXPECT_EQ(campaign::classify(a, golden.output), campaign::Outcome::Benign);
+}
+
+// ---------------------------------------------------------------------------
+// Machine reuse: reset / delta rebase via beginTrial
+// ---------------------------------------------------------------------------
+
+TEST(MachineReuse, ResetMachineReproducesFreshRunBitForBit) {
+  const auto compiled = compileApp(kPrintSource);
+  vm::Machine fresh(compiled.program);
+  const auto want = fresh.run();
+
+  vm::Machine reused(compiled.program);
+  (void)reused.run();         // dirty it
+  reused.beginTrial(nullptr); // reset in place
+  const auto got = reused.run();
+  EXPECT_EQ(got.output, want.output);
+  EXPECT_EQ(got.instrCount, want.instrCount);
+  EXPECT_EQ(got.exitCode, want.exitCode);
+}
+
+TEST(MachineReuse, DeltaRebaseMatchesFreshRestoreIncludingSameSnapshotTwice) {
+  const auto compiled = compileApp(kPrintSource);
+  vm::Machine probe(compiled.program);
+  std::vector<vm::Snapshot> snaps;
+  probe.setHook([&](std::uint64_t, vm::Machine& m) {
+    if (m.instrCount() == 2000 || m.instrCount() == 9000) {
+      snaps.push_back(m.snapshot());
+    }
+  });
+  const auto want = probe.run();
+  ASSERT_EQ(snaps.size(), 2u);
+
+  vm::Machine m(compiled.program);
+  // Cold, then rebase onto snap0 (different-snapshot delta), then snap0
+  // again (same-snapshot delta), then snap1, then reset back to cold.
+  const auto cold1 = m.run();
+  EXPECT_EQ(cold1.output, want.output);
+  for (const std::size_t which : {0u, 0u, 1u, 0u}) {
+    const std::uint64_t restored = m.beginTrial(&snaps[which]);
+    EXPECT_GT(restored, 0u);
+    const auto got = m.resume();
+    EXPECT_EQ(got.output, want.output) << "snapshot " << which;
+    EXPECT_EQ(got.instrCount, want.instrCount) << "snapshot " << which;
+  }
+  EXPECT_EQ(m.beginTrial(nullptr), 0u);
+  const auto cold2 = m.run();
+  EXPECT_EQ(cold2.output, want.output);
+  EXPECT_EQ(cold2.instrCount, want.instrCount);
+}
+
+TEST(MachineReuse, CorruptedSpJustAboveStackTopTrapsOnPush) {
+  // SP is a first-class injection target: a flipped stack pointer can land
+  // in (kStackTop, kStackTop + 8), where the next push's 8-byte write would
+  // straddle the segment end. It must trap BadMemory — exactly like the
+  // pre-fast-path storeWord classification — never write out of bounds.
+  const char* callSource =
+      "fn f(x: i64) -> i64 { return x + 1; }\n"
+      "fn main() -> i64 {\n"
+      "  var a: i64 = 0;\n"
+      "  for (var i: i64 = 0; i < 200; i = i + 1) { a = f(a); }\n"
+      "  print_i64(a);\n"
+      "  return 0;\n"
+      "}\n";
+  const auto compiled = compileApp(callSource);
+  // Misaligned sp just above the top: the pushed word would straddle the
+  // segment end. And sp near zero: the push's sp -= 8 wraps past 2^64 - 8,
+  // where a naive `sp + 8 <= top` bound check would wrap right back into
+  // range.
+  for (const std::uint64_t corrupted :
+       {ir::DataLayout::kStackTop + 5, std::uint64_t{3}}) {
+    vm::Machine m(compiled.program);
+    m.setHook([&](std::uint64_t, vm::Machine& mm) {
+      if (mm.instrCount() == 400) {
+        mm.gpr(15) = corrupted;
+        mm.clearHook();
+      }
+    });
+    const auto result = m.run();
+    ASSERT_TRUE(result.trapped) << "sp=" << corrupted;
+    // Which memory trap fires depends on the instruction that touches the
+    // stack first (a push/load faults BadMemory, an epilogue SPADJ may see
+    // StackOverflow); the property under test is "traps, never writes out
+    // of bounds" (the latter enforced by the sanitizer jobs).
+    EXPECT_TRUE(result.trap == vm::Trap::BadMemory ||
+                result.trap == vm::Trap::StackOverflow)
+        << "sp=" << corrupted << " trap=" << vm::trapName(result.trap);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Campaign-level equivalence: every app x tool
+// ---------------------------------------------------------------------------
+
+struct CellParam {
+  apps::AppInfo app;
+  campaign::Tool tool;
+};
+
+class ScratchEquivalence : public ::testing::TestWithParam<CellParam> {};
+
+TEST_P(ScratchEquivalence, EngineHotPathMatchesFreshColdTrialsBitForBit) {
+  const auto& [app, tool] = GetParam();
+  auto instance =
+      campaign::makeToolInstance(tool, app.source, fi::FiConfig::allOn());
+  const auto& profile = instance->profile();
+  const std::uint64_t budget = 10 * profile.instrCount;
+
+  // Engine-identical draws, derived HERE by hand (not via drawTrialChunk):
+  // this test is the independent oracle for the seed-derivation contract,
+  // so it must not share the implementation it checks.
+  struct Draw {
+    std::uint64_t target, seed, trial;
+  };
+  const std::uint64_t baseSeed = campaign::CampaignConfig{}.baseSeed;
+  const std::uint64_t appKey = fnv1a(app.name);
+  const std::uint64_t seedKey =
+      campaign::injectorSeedKey(campaign::toolName(tool));
+  std::vector<Draw> draws;
+  for (std::uint64_t trial = 0; trial < 12; ++trial) {
+    const std::uint64_t seed = mixSeed(baseSeed, appKey, seedKey, trial);
+    Rng rng(seed);
+    const std::uint64_t target = rng.nextBelow(profile.dynamicTargets) + 1;
+    draws.push_back({target, rng.next(), trial});
+  }
+
+  // Reference: fresh-machine cold starts (transient scratch, no golden, no
+  // fast-forward), in original trial order.
+  instance->setFastForward(false);
+  std::vector<campaign::Trial> reference;
+  for (const Draw& d : draws) {
+    reference.push_back(instance->runTrial(d.target, d.seed, budget));
+    EXPECT_EQ(reference.back().fastForwardedInstrs, 0u);
+    EXPECT_EQ(reference.back().restoredBytes, 0u);
+  }
+  instance->setFastForward(true);
+
+  // Production: ONE reused scratch, streaming golden, target-sorted (the
+  // engine chunk loop ordering).
+  std::sort(draws.begin(), draws.end(), [](const Draw& a, const Draw& b) {
+    return a.target != b.target ? a.target < b.target : a.trial < b.trial;
+  });
+  campaign::TrialScratch scratch;
+  scratch.setGolden(&profile.goldenOutput);
+  bool anyFastForwarded = false;
+  bool anyDeltaRestored = false;
+  for (const Draw& d : draws) {
+    const auto& run = instance->runTrial(d.target, d.seed, budget, scratch);
+    anyFastForwarded |= run.fastForwardedInstrs > 0;
+    anyDeltaRestored |= run.restoredBytes > 0;
+    EXPECT_TRUE(run.exec.goldenBound);
+    EXPECT_TRUE(run.exec.output.empty());
+    const std::string label = std::string(app.name) + " x " +
+                              campaign::toolName(tool) + " trial " +
+                              std::to_string(d.trial);
+    expectSameTrial(run, reference[d.trial], profile.goldenOutput, label);
+  }
+  // The hot path must actually have exercised fast-forward + delta restore
+  // on real apps, or this test proves nothing about it.
+  EXPECT_TRUE(anyFastForwarded)
+      << app.name << " x " << campaign::toolName(tool);
+  EXPECT_TRUE(anyDeltaRestored)
+      << app.name << " x " << campaign::toolName(tool);
+}
+
+TEST_P(ScratchEquivalence, TrialAfterTrappedAndTimedOutTrialsOnSameScratch) {
+  const auto& [app, tool] = GetParam();
+  auto instance =
+      campaign::makeToolInstance(tool, app.source, fi::FiConfig::allOn());
+  const auto& profile = instance->profile();
+  const std::uint64_t budget = 10 * profile.instrCount;
+  const std::uint64_t target = profile.dynamicTargets / 2 + 1;
+
+  const auto want = instance->runTrial(target, 77, budget);  // fresh scratch
+
+  campaign::TrialScratch scratch;
+  scratch.setGolden(&profile.goldenOutput);
+  // 1) A timed-out trial (tiny budget -> Trap::Timeout) dirties the scratch.
+  const auto& timedOut =
+      instance->runTrial(profile.dynamicTargets, 11, profile.instrCount / 4,
+                         scratch);
+  EXPECT_TRUE(timedOut.exec.trapped);
+  EXPECT_EQ(timedOut.exec.trap, vm::Trap::Timeout);
+  // 2) The next trial on the same scratch must still match a fresh run.
+  {
+    const auto& got = instance->runTrial(target, 77, budget, scratch);
+    expectSameTrial(got, want, profile.goldenOutput,
+                    std::string(app.name) + " after timeout");
+  }
+  // 3) Hunt a trapping (crash) trial, then verify the trial after it too.
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    const auto& trial = instance->runTrial(target, seed, budget, scratch);
+    if (!trial.exec.trapped) continue;
+    const auto& got = instance->runTrial(target, 77, budget, scratch);
+    expectSameTrial(got, want, profile.goldenOutput,
+                    std::string(app.name) + " after trap (seed " +
+                        std::to_string(seed) + ")");
+    break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCells, ScratchEquivalence,
+    ::testing::ValuesIn([] {
+      std::vector<CellParam> cells;
+      for (const auto& app : apps::benchmarkApps()) {
+        for (const auto tool : {campaign::Tool::LLFI, campaign::Tool::REFINE,
+                                campaign::Tool::PINFI}) {
+          cells.push_back({app, tool});
+        }
+      }
+      return cells;
+    }()),
+    [](const ::testing::TestParamInfo<CellParam>& info) {
+      std::string name = info.param.app.name;
+      name += "_";
+      name += campaign::toolName(info.param.tool);
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Scratch rebinding across cells of different programs
+// ---------------------------------------------------------------------------
+
+TEST(ScratchRebind, OneScratchInterleavedAcrossTwoAppsMatchesFreshRuns) {
+  const auto& a = *apps::findApp("EP");
+  const auto& b = *apps::findApp("DC");
+  auto ia = campaign::makeToolInstance(campaign::Tool::REFINE, a.source,
+                                       fi::FiConfig::allOn());
+  auto ib = campaign::makeToolInstance(campaign::Tool::REFINE, b.source,
+                                       fi::FiConfig::allOn());
+  const auto& pa = ia->profile();
+  const auto& pb = ib->profile();
+
+  const auto wantA = ia->runTrial(pa.dynamicTargets, 5, 10 * pa.instrCount);
+  const auto wantB = ib->runTrial(pb.dynamicTargets, 5, 10 * pb.instrCount);
+
+  // The engine's interleaving: chunks of different cells landing on one
+  // worker's scratch back-to-back (machine rebinds across programs).
+  campaign::TrialScratch scratch;
+  for (int round = 0; round < 2; ++round) {
+    scratch.setGolden(&pa.goldenOutput);
+    const auto gotA =
+        ia->runTrial(pa.dynamicTargets, 5, 10 * pa.instrCount, scratch);
+    expectSameTrial(gotA, wantA, pa.goldenOutput, "EP round");
+    scratch.setGolden(&pb.goldenOutput);
+    const auto gotB =
+        ib->runTrial(pb.dynamicTargets, 5, 10 * pb.instrCount, scratch);
+    expectSameTrial(gotB, wantB, pb.goldenOutput, "DC round");
+  }
+}
+
+}  // namespace
+}  // namespace refine
