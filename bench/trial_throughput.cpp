@@ -16,7 +16,14 @@
 //   * VM MIPS (instructions actually executed per wall second),
 //   * mean executed-suffix fraction (how much of each trial's dynamic
 //     length still runs after the snapshot restore),
-//   * restored bytes per trial (the delta-restore copy cost).
+//   * restored bytes per trial (the delta-restore copy cost),
+//   * per-tier numbers: the fast/cold passes run with the compiled
+//     execution tier engaged (vm/jit.h) and a third pass repeats the
+//     fast-forward path interpreter-only, so the JSON splits trials/s and
+//     VM MIPS per tier (trials_per_sec / vm_mips vs interp_trials_per_sec /
+//     interp_vm_mips), reports their ratio (tier_speedup), and the fraction
+//     of executed suffix instructions that ran as native code
+//     (jit_coverage).
 //
 // Environment knobs:
 //   REFINE_BENCH_TRIALS  trials per (app, tool); default 100
@@ -47,8 +54,11 @@ struct CellStats {
   std::uint64_t trials = 0;
   double fastSeconds = 0.0;
   double coldSeconds = 0.0;
+  double interpSeconds = 0.0;  // fast-forward pass, compiled tier disabled
   std::uint64_t fastExecutedInstrs = 0;  // suffix instructions actually run
   std::uint64_t coldExecutedInstrs = 0;
+  std::uint64_t interpExecutedInstrs = 0;
+  std::uint64_t fastJitInstrs = 0;  // of fastExecutedInstrs, ran as native
   double suffixFractionSum = 0.0;     // sum over trials of executed/total
   std::uint64_t fastRestoredBytes = 0;  // delta-restore copy cost (fast path)
 
@@ -66,7 +76,8 @@ double runTrials(const campaign::ToolInstance& instance,
                  std::uint64_t appKey, std::uint64_t seedKey,
                  std::uint64_t trials, std::uint64_t budget,
                  std::uint64_t& executedInstrs, double* suffixFractionSum,
-                 std::uint64_t* restoredBytes) {
+                 std::uint64_t* restoredBytes,
+                 std::uint64_t* jitInstrs = nullptr) {
   const std::uint64_t baseSeed = campaign::CampaignConfig{}.baseSeed;
   std::vector<campaign::TrialDraw> draws;
   campaign::drawTrialChunk(baseSeed, appKey, seedKey, profile.dynamicTargets,
@@ -83,6 +94,7 @@ double runTrials(const campaign::ToolInstance& instance,
           static_cast<double>(run.exec.instrCount);
     }
     if (restoredBytes != nullptr) *restoredBytes += run.restoredBytes;
+    if (jitInstrs != nullptr) *jitInstrs += run.exec.jitInstrCount;
   }
   return timer.seconds();
 }
@@ -143,22 +155,39 @@ int main() {
       cell.app = app.name;
       cell.tool = tool;
       cell.trials = trials;
+      // Production path: fast-forward with the compiled tier engaged
+      // (silently interpreted where the host has no tier support).
+      instance->setExecTier(true);
       instance->setFastForward(true);
       cell.fastSeconds = runTrials(
           *instance, profile, appKey, seedKey, trials, budget,
           cell.fastExecutedInstrs, &cell.suffixFractionSum,
-          &cell.fastRestoredBytes);
+          &cell.fastRestoredBytes, &cell.fastJitInstrs);
       instance->setFastForward(false);
       cell.coldSeconds =
           runTrials(*instance, profile, appKey, seedKey, trials, budget,
                     cell.coldExecutedInstrs, nullptr, nullptr);
+      // Interpreter tier on the same fast-forward machinery: fast/interp
+      // isolates the compiled tier exactly like fast/cold isolates the
+      // snapshot restore.
+      instance->setExecTier(false);
+      instance->setFastForward(true);
+      cell.interpSeconds =
+          runTrials(*instance, profile, appKey, seedKey, trials, budget,
+                    cell.interpExecutedInstrs, nullptr, nullptr);
       std::fprintf(stderr,
                    "[bench]   %-10s %-7s fast %8.1f trials/s  cold %8.1f "
-                   "trials/s  speedup %5.2fx  suffix %4.1f%%  restored "
+                   "trials/s  interp %8.1f trials/s  speedup %5.2fx  tier "
+                   "%5.2fx  jit %4.1f%%  suffix %4.1f%%  restored "
                    "%6.0f KB/trial\n",
                    cell.app.c_str(), cell.tool.c_str(),
                    trials / cell.fastSeconds, trials / cell.coldSeconds,
-                   cell.speedup(),
+                   trials / cell.interpSeconds, cell.speedup(),
+                   cell.interpSeconds / cell.fastSeconds,
+                   cell.fastExecutedInstrs > 0
+                       ? 100.0 * static_cast<double>(cell.fastJitInstrs) /
+                             static_cast<double>(cell.fastExecutedInstrs)
+                       : 0.0,
                    100.0 * cell.suffixFractionSum / static_cast<double>(trials),
                    static_cast<double>(cell.fastRestoredBytes) /
                        static_cast<double>(trials) / 1024.0);
@@ -174,22 +203,36 @@ int main() {
   for (std::size_t t = 0; t < tools.size(); ++t) {
     std::uint64_t n = 0;
     std::uint64_t executed = 0;
+    std::uint64_t interpExecuted = 0;
+    std::uint64_t jitInstrs = 0;
     std::uint64_t restored = 0;
-    double fastSec = 0, coldSec = 0, suffixSum = 0;
+    double fastSec = 0, coldSec = 0, interpSec = 0, suffixSum = 0;
     for (const auto& cell : cells) {
       if (cell.tool != tools[t]) continue;
       n += cell.trials;
       executed += cell.fastExecutedInstrs;
+      interpExecuted += cell.interpExecutedInstrs;
+      jitInstrs += cell.fastJitInstrs;
       restored += cell.fastRestoredBytes;
       fastSec += cell.fastSeconds;
       coldSec += cell.coldSeconds;
+      interpSec += cell.interpSeconds;
       suffixSum += cell.suffixFractionSum;
     }
     json += "    \"" + tools[t] + "\": {";
     json += "\"trials_per_sec\": " + jsonNumber(n / fastSec) + ", ";
     json += "\"cold_trials_per_sec\": " + jsonNumber(n / coldSec) + ", ";
+    json += "\"interp_trials_per_sec\": " + jsonNumber(n / interpSec) + ", ";
     json += "\"speedup\": " + jsonNumber(coldSec / fastSec) + ", ";
+    json += "\"tier_speedup\": " + jsonNumber(interpSec / fastSec) + ", ";
     json += "\"vm_mips\": " + jsonNumber(executed / fastSec / 1e6) + ", ";
+    json += "\"interp_vm_mips\": " +
+            jsonNumber(interpExecuted / interpSec / 1e6) + ", ";
+    json += "\"jit_coverage\": " +
+            jsonNumber(executed > 0 ? static_cast<double>(jitInstrs) /
+                                          static_cast<double>(executed)
+                                    : 0.0) +
+            ", ";
     json += "\"mean_suffix_fraction\": " +
             jsonNumber(suffixSum / static_cast<double>(n)) + ", ";
     json += "\"restored_bytes_per_trial\": " +
@@ -202,15 +245,20 @@ int main() {
   std::vector<double> speedups;
   std::uint64_t totalTrials = 0;
   std::uint64_t totalExecuted = 0;
+  std::uint64_t totalInterpExecuted = 0;
+  std::uint64_t totalJit = 0;
   std::uint64_t totalRestored = 0;
-  double totalFast = 0, totalCold = 0, totalSuffix = 0;
+  double totalFast = 0, totalCold = 0, totalInterp = 0, totalSuffix = 0;
   for (const auto& cell : cells) {
     speedups.push_back(cell.speedup());
     totalTrials += cell.trials;
     totalExecuted += cell.fastExecutedInstrs;
+    totalInterpExecuted += cell.interpExecutedInstrs;
+    totalJit += cell.fastJitInstrs;
     totalRestored += cell.fastRestoredBytes;
     totalFast += cell.fastSeconds;
     totalCold += cell.coldSeconds;
+    totalInterp += cell.interpSeconds;
     totalSuffix += cell.suffixFractionSum;
   }
   std::sort(speedups.begin(), speedups.end());
@@ -222,9 +270,19 @@ int main() {
   json += "  \"overall\": {";
   json += "\"trials_per_sec\": " + jsonNumber(totalTrials / totalFast) + ", ";
   json += "\"cold_trials_per_sec\": " + jsonNumber(totalTrials / totalCold) + ", ";
+  json += "\"interp_trials_per_sec\": " +
+          jsonNumber(totalTrials / totalInterp) + ", ";
   json += "\"speedup\": " + jsonNumber(totalCold / totalFast) + ", ";
+  json += "\"tier_speedup\": " + jsonNumber(totalInterp / totalFast) + ", ";
   json += "\"median_cell_speedup\": " + jsonNumber(median) + ", ";
   json += "\"vm_mips\": " + jsonNumber(totalExecuted / totalFast / 1e6) + ", ";
+  json += "\"interp_vm_mips\": " +
+          jsonNumber(totalInterpExecuted / totalInterp / 1e6) + ", ";
+  json += "\"jit_coverage\": " +
+          jsonNumber(totalExecuted > 0 ? static_cast<double>(totalJit) /
+                                             static_cast<double>(totalExecuted)
+                                       : 0.0) +
+          ", ";
   json += "\"mean_suffix_fraction\": " +
           jsonNumber(totalSuffix / static_cast<double>(totalTrials)) + ", ";
   json += "\"restored_bytes_per_trial\": " +

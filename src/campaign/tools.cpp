@@ -49,6 +49,7 @@ class RefineInstance final : public ToolInstance {
       : module_(frontendAndOpt(source)),
         compiled_(fi::compileWithRefine(*module_, config)),
         decoded_(compiled_.program),
+        jit_(decoded_),
         flip_(config.flip) {
     RF_CHECK(compiled_.staticSites > 0, "REFINE instrumented nothing");
   }
@@ -59,6 +60,7 @@ class RefineInstance final : public ToolInstance {
     auto library = fi::FaultInjectionLibrary::injecting(
         &compiled_.sites, targetIndex, seed, flip_);
     vm::Machine& machine = scratch.machine(compiled_.program, decoded_);
+    machine.setJit(execTierEnabled() ? &jit_ : nullptr);
     machine.bindGolden(scratch.golden());
     const vm::Snapshot* snap = resumePoint(targetIndex, budget);
     Trial& trial = scratch.trial;
@@ -106,6 +108,7 @@ class RefineInstance final : public ToolInstance {
   std::unique_ptr<ir::Module> module_;
   fi::RefineCompileResult compiled_;
   vm::DecodedProgram decoded_;
+  vm::JitProgram jit_;  // shared native code cache, compiled on first trial
   fi::BitFlip flip_;
   std::size_t goldenSize_ = 0;
 };
@@ -119,7 +122,8 @@ class PinfiInstance final : public ToolInstance {
   PinfiInstance(std::string_view source, const fi::FiConfig& config)
       : module_(frontendAndOpt(source)),
         compiled_(backend::compileBackend(*module_)),
-        engine_(compiled_.program, config) {
+        engine_(compiled_.program, config),
+        jit_(engine_.decoded()) {
     RF_CHECK(engine_.staticTargets() > 0, "PINFI found no targets");
   }
 
@@ -128,6 +132,7 @@ class PinfiInstance final : public ToolInstance {
                         TrialScratch& scratch) const override {
     vm::Machine& machine =
         scratch.machine(compiled_.program, engine_.decoded());
+    machine.setJit(execTierEnabled() ? &jit_ : nullptr);
     machine.bindGolden(scratch.golden());
     Trial& trial = scratch.trial;
     const auto stats = engine_.inject(
@@ -158,6 +163,7 @@ class PinfiInstance final : public ToolInstance {
   std::unique_ptr<ir::Module> module_;
   backend::CodegenResult compiled_;
   fi::Pinfi engine_;
+  vm::JitProgram jit_;  // shared native code cache, compiled on first trial
   std::size_t goldenSize_ = 0;
 };
 
@@ -173,6 +179,7 @@ class LlfiInstance final : public ToolInstance {
     RF_CHECK(info_.staticTargets > 0, "LLFI instrumented nothing");
     compiled_ = backend::compileBackend(*module_);
     decoded_.emplace(compiled_.program);
+    jit_.emplace(*decoded_);
   }
 
   const Trial& runTrial(std::uint64_t targetIndex, std::uint64_t seed,
@@ -184,6 +191,7 @@ class LlfiInstance final : public ToolInstance {
     // value, single- or multi-bit alike.
     const std::uint64_t mask = fi::drawFaultMask(rng, 64, flip_);
     vm::Machine& machine = scratch.machine(compiled_.program, *decoded_);
+    machine.setJit(execTierEnabled() ? &*jit_ : nullptr);
     machine.bindGolden(scratch.golden());
     const vm::Snapshot* snap = resumePoint(targetIndex, budget);
     Trial& trial = scratch.trial;
@@ -242,6 +250,7 @@ class LlfiInstance final : public ToolInstance {
   fi::LlfiInstrumentation info_;
   backend::CodegenResult compiled_;
   std::optional<vm::DecodedProgram> decoded_;
+  std::optional<vm::JitProgram> jit_;  // shared code cache (lazy compile)
   std::size_t goldenSize_ = 0;
 };
 

@@ -15,6 +15,7 @@
 #include "campaign/scratch.h"
 #include "fi/config.h"
 #include "fi/library.h"
+#include "vm/jit.h"
 #include "vm/machine.h"
 #include "vm/snapshot.h"
 
@@ -82,6 +83,16 @@ class ToolInstance {
   void setFastForward(bool on) noexcept { fastForward_ = on; }
   bool fastForward() const noexcept { return fastForward_; }
 
+  /// Per-instance override of the compiled execution tier (vm/jit.h).
+  /// Unset (the default) defers to the process-wide knob — REFINE_EXEC_TIER
+  /// / --exec-tier via vm::execTierEnabled(). Not thread-safe: set it before
+  /// trials start. Results are bit-identical either way; only speed changes.
+  void setExecTier(bool on) noexcept { execTier_ = on; }
+  void clearExecTierOverride() noexcept { execTier_.reset(); }
+  bool execTierEnabled() const noexcept {
+    return execTier_.value_or(vm::execTierEnabled());
+  }
+
   /// Profiling snapshots (filled by doProfile; read-only afterwards).
   const vm::SnapshotChain& snapshots() const noexcept { return snapshots_; }
 
@@ -104,6 +115,7 @@ class ToolInstance {
   std::once_flag profileOnce_;
   std::optional<Profile> cached_;
   bool fastForward_ = true;
+  std::optional<bool> execTier_;
 };
 
 /// Compatibility shim: forwards to the InjectorRegistry factory registered

@@ -30,6 +30,7 @@
 #include "campaign/spec.h"
 #include "support/check.h"
 #include "support/strings.h"
+#include "vm/jit.h"
 
 namespace {
 
@@ -61,6 +62,14 @@ int usage(std::FILE* out) {
       "FILE\n"
       "  --report FILE        write the countsCsv report to FILE (default "
       "stdout)\n"
+      "  --exec-tier MODE     on|off|auto: compiled execution tier "
+      "(default\n"
+      "                       auto = on where supported unless "
+      "REFINE_EXEC_TIER\n"
+      "                       is set to off/0/false/no; the flag beats the\n"
+      "                       environment). Reports are byte-identical "
+      "either\n"
+      "                       way; only throughput changes.\n"
       "\n"
       "The report contains only bit-stable fields sorted by (app, tool): a\n"
       "merge of N shard checkpoints is byte-identical to a single-process\n"
@@ -157,6 +166,17 @@ Options parseArgs(int argc, char** argv) {
       opt.checkpointPath = value(i, "--checkpoint");
     } else if (arg == "--report") {
       opt.reportPath = value(i, "--report");
+    } else if (arg == "--exec-tier") {
+      const std::string mode = value(i, "--exec-tier");
+      if (mode == "on") {
+        vm::setExecTierMode(vm::ExecTierMode::On);
+      } else if (mode == "off") {
+        vm::setExecTierMode(vm::ExecTierMode::Off);
+      } else if (mode == "auto") {
+        vm::setExecTierMode(vm::ExecTierMode::Auto);
+      } else {
+        RF_CHECK(false, "--exec-tier expects on|off|auto; got '" + mode + "'");
+      }
     } else {
       RF_CHECK(false, "unknown argument '" + std::string(arg) +
                           "' (see --help)");

@@ -1,0 +1,1189 @@
+// x86-64 template JIT for the VT64 predecoded core. See jit.h for the tier
+// contract; this file is the emitter.
+//
+// Register plan inside compiled code (SysV callee-saved, so C helpers can be
+// called without spilling machine state):
+//   rbp = JitContext*          rbx = register file (32 x u64)
+//   r12 = stack bias           r13 = globals bias
+//   r14 = flags                r15 = instruction count
+//   rax/rcx/rdx (+ xmm0)       scratch
+//
+// Emission is two tables deep: enterTable_ (run-loop entries; the caller has
+// performed the span budget check, so every pc maps to its code) and
+// retTable_ (compiled RET targets; pcs without an inline budget check map to
+// deopt stubs — a fault-corrupted return address must not skip into the
+// middle of a span and run past the budget).
+//
+// Bit-identity notes (the reasons compiled results match the interpreter):
+//   * SSE scalar double arithmetic (addsd/subsd/mulsd/divsd/sqrtsd) is
+//     exactly what the compiler emits for the interpreter's double ops.
+//   * maxsd/minsd implement `a > b ? a : b` / `a < b ? a : b` including the
+//     NaN-and-equal cases (both return the second operand).
+//   * cvttsd2si returns INT64_MIN for NaN/out-of-range, matching the
+//     interpreter's explicit clamp; x86 shifts mask the count mod 64,
+//     matching the interpreter's `& 63`.
+//   * Math syscalls call the same libm entry points on the same host.
+//   * Deopting instructions commit nothing; the interpreter re-executes
+//     them, reproducing partial side effects (e.g. sp already moved on a
+//     failing push) exactly.
+#include "vm/jit.h"
+
+#include <atomic>
+#include <bit>
+#include <cctype>
+#include <cmath>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "backend/target.h"
+#include "ir/layout.h"
+#include "ir/runtime.h"
+#include "support/check.h"
+#include "vm/machine.h"
+
+#if defined(__x86_64__) && (defined(__linux__) || defined(__APPLE__))
+#define REFINE_JIT_SUPPORTED 1
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define REFINE_JIT_SUPPORTED 0
+#endif
+
+namespace refine::vm {
+
+// The shim gives compiled code access to Machine::syscall (print formatting,
+// golden streaming, trap signaling) without widening the Machine API.
+struct JitShims {
+  static int syscall(Machine* m, std::int64_t code) noexcept {
+    return m->syscall(code) ? 1 : 0;
+  }
+};
+
+namespace {
+
+using backend::Cond;
+using backend::MOp;
+using u8 = std::uint8_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+
+// JitContext field offsets the emitter bakes into instructions.
+constexpr int kCtxRegfile = 0;
+constexpr int kCtxMachine = 8;
+constexpr int kCtxStackBias = 16;
+constexpr int kCtxGlobalsBias = 24;
+constexpr int kCtxPc = 32;
+constexpr int kCtxCount = 40;
+constexpr int kCtxFlags = 48;
+constexpr int kCtxBudget = 56;
+constexpr int kCtxDirtyLo = 64;
+constexpr int kCtxStackLo = 72;
+constexpr int kCtxFiCount = 80;
+constexpr int kCtxFiTrigger = 88;
+static_assert(offsetof(JitContext, regfile) == kCtxRegfile);
+static_assert(offsetof(JitContext, machine) == kCtxMachine);
+static_assert(offsetof(JitContext, stackBias) == kCtxStackBias);
+static_assert(offsetof(JitContext, globalsBias) == kCtxGlobalsBias);
+static_assert(offsetof(JitContext, pc) == kCtxPc);
+static_assert(offsetof(JitContext, count) == kCtxCount);
+static_assert(offsetof(JitContext, flags) == kCtxFlags);
+static_assert(offsetof(JitContext, budget) == kCtxBudget);
+static_assert(offsetof(JitContext, dirtyLo) == kCtxDirtyLo);
+static_assert(offsetof(JitContext, stackLo) == kCtxStackLo);
+static_assert(offsetof(JitContext, fiCount) == kCtxFiCount);
+static_assert(offsetof(JitContext, fiTrigger) == kCtxFiTrigger);
+
+#if REFINE_JIT_SUPPORTED
+
+// Host GPR encodings.
+constexpr int RAX = 0, RCX = 1, RDX = 2, RBX = 3, RBP = 5, RSI = 6, RDI = 7;
+constexpr int R12 = 12, R13 = 13, R14 = 14, R15 = 15;
+
+// x86 condition-code nibbles (for 0F 8x / 0F 4x).
+constexpr u8 CC_B = 0x2, CC_AE = 0x3, CC_E = 0x4, CC_NE = 0x5, CC_BE = 0x6,
+             CC_A = 0x7, CC_S = 0x8, CC_P = 0xA, CC_L = 0xC;
+
+constexpr u64 kEpilogueLabel = ~0ULL;
+
+bool fitsI32(i64 v) {
+  return v >= INT32_MIN && v <= INT32_MAX;
+}
+
+// Math syscall helpers: same libm calls as the interpreter, on the shared
+// register file (f0 = slot 16, f1 = slot 17).
+double f64(u64 bits) { return std::bit_cast<double>(bits); }
+u64 bits(double v) { return std::bit_cast<u64>(v); }
+void helpExp(u64* rf) noexcept { rf[16] = bits(std::exp(f64(rf[16]))); }
+void helpLog(u64* rf) noexcept { rf[16] = bits(std::log(f64(rf[16]))); }
+void helpSin(u64* rf) noexcept { rf[16] = bits(std::sin(f64(rf[16]))); }
+void helpCos(u64* rf) noexcept { rf[16] = bits(std::cos(f64(rf[16]))); }
+void helpPow(u64* rf) noexcept {
+  rf[16] = bits(std::pow(f64(rf[16]), f64(rf[17])));
+}
+void helpFloor(u64* rf) noexcept { rf[16] = bits(std::floor(f64(rf[16]))); }
+
+void* mathHelper(ir::RuntimeFn fn) {
+  switch (fn) {
+    case ir::RuntimeFn::Exp: return reinterpret_cast<void*>(&helpExp);
+    case ir::RuntimeFn::Log: return reinterpret_cast<void*>(&helpLog);
+    case ir::RuntimeFn::Sin: return reinterpret_cast<void*>(&helpSin);
+    case ir::RuntimeFn::Cos: return reinterpret_cast<void*>(&helpCos);
+    case ir::RuntimeFn::Pow: return reinterpret_cast<void*>(&helpPow);
+    case ir::RuntimeFn::Floor: return reinterpret_cast<void*>(&helpFloor);
+    default: return nullptr;
+  }
+}
+
+/// Byte emitter with rel32 fixups against per-pc labels.
+class Emitter {
+ public:
+  std::vector<u8> buf;
+
+  void b(u8 v) { buf.push_back(v); }
+  void w32(u32 v) {
+    for (int i = 0; i < 4; ++i) b(static_cast<u8>(v >> (8 * i)));
+  }
+  void w64(u64 v) {
+    for (int i = 0; i < 8; ++i) b(static_cast<u8>(v >> (8 * i)));
+  }
+
+  // REX prefix for (reg, index, rm) extensions; emitted when any bit is set.
+  void rex(bool w, int reg, int index, int rm) {
+    const u8 v = static_cast<u8>(0x40 | (w ? 8 : 0) | ((reg >> 3) << 2) |
+                                 ((index >> 3) << 1) | (rm >> 3));
+    if (v != 0x40) b(v);
+  }
+
+  // [base + disp] operand for `reg`, no index. Handles the rbp/r13 "mod 00
+  // means RIP/disp32" special case by forcing disp8, and rsp/r12's SIB.
+  void mem(int reg, int base, int disp) {
+    const int baseLow = base & 7;
+    const bool needSib = baseLow == 4;  // rsp/r12
+    const bool forceDisp = baseLow == 5;  // rbp/r13
+    int mod;
+    if (disp == 0 && !forceDisp) mod = 0;
+    else if (disp >= -128 && disp <= 127) mod = 1;
+    else mod = 2;
+    b(static_cast<u8>((mod << 6) | ((reg & 7) << 3) | (needSib ? 4 : baseLow)));
+    if (needSib) b(static_cast<u8>(0x24));  // scale 0, no index, base
+    if (mod == 1) b(static_cast<u8>(disp));
+    else if (mod == 2) w32(static_cast<u32>(disp));
+  }
+
+  // [base + index] operand (scale 1, disp 0; disp8=0 for rbp/r13 bases).
+  void memIndex(int reg, int base, int index) {
+    const int baseLow = base & 7;
+    const bool forceDisp = baseLow == 5;
+    b(static_cast<u8>(((forceDisp ? 1 : 0) << 6) | ((reg & 7) << 3) | 4));
+    b(static_cast<u8>(((index & 7) << 3) | baseLow));  // scale 1
+    if (forceDisp) b(0);
+  }
+
+  void modrmReg(int reg, int rm) {
+    b(static_cast<u8>(0xC0 | ((reg & 7) << 3) | (rm & 7)));
+  }
+
+  // -- Moves ---------------------------------------------------------------
+  void movRegMem(int reg, int base, int disp) {  // mov reg, [base+disp]
+    rex(true, reg, 0, base);
+    b(0x8B);
+    mem(reg, base, disp);
+  }
+  void movMemReg(int base, int disp, int reg) {  // mov [base+disp], reg
+    rex(true, reg, 0, base);
+    b(0x89);
+    mem(reg, base, disp);
+  }
+  void movRegReg(int dst, int src) {
+    rex(true, dst, 0, src);
+    b(0x8B);
+    modrmReg(dst, src);
+  }
+  void movRegImm64(int reg, u64 imm) {
+    rex(true, 0, 0, reg);
+    b(static_cast<u8>(0xB8 | (reg & 7)));
+    w64(imm);
+  }
+  void movMemImm32(int base, int disp, u32 imm) {  // mov qword [..], imm32
+    rex(true, 0, 0, base);
+    b(0xC7);
+    mem(0, base, disp);
+    w32(imm);
+  }
+  void movRegIndexed(int reg, int base, int index) {  // mov reg, [base+index]
+    rex(true, reg, index, base);
+    b(0x8B);
+    memIndex(reg, base, index);
+  }
+  void movIndexedReg(int base, int index, int reg) {  // mov [base+index], reg
+    rex(true, reg, index, base);
+    b(0x89);
+    memIndex(reg, base, index);
+  }
+  void movIndexedImm32(int base, int index, u32 imm) {
+    rex(true, 0, index, base);
+    b(0xC7);
+    memIndex(0, base, index);
+    w32(imm);
+  }
+  void slotLoad(int reg, unsigned slot) { movRegMem(reg, RBX, slot * 8); }
+  void slotStore(unsigned slot, int reg) { movMemReg(RBX, slot * 8, reg); }
+
+  // -- ALU -----------------------------------------------------------------
+  void aluRegMem(u8 op, int reg, int base, int disp) {  // op reg, [base+disp]
+    rex(true, reg, 0, base);
+    b(op);
+    mem(reg, base, disp);
+  }
+  void aluRegReg(u8 op, int reg, int rm) {
+    rex(true, reg, 0, rm);
+    b(op);
+    modrmReg(reg, rm);
+  }
+  void aluRegImm32(u8 ext, int reg, u32 imm) {  // 81 /ext reg, imm32
+    rex(true, 0, 0, reg);
+    b(0x81);
+    modrmReg(ext, reg);
+    w32(imm);
+  }
+  void imulRegMem(int reg, int base, int disp) {
+    rex(true, reg, 0, base);
+    b(0x0F);
+    b(0xAF);
+    mem(reg, base, disp);
+  }
+  void imulRegReg(int reg, int rm) {
+    rex(true, reg, 0, rm);
+    b(0x0F);
+    b(0xAF);
+    modrmReg(reg, rm);
+  }
+  void imulRegRegImm32(int reg, int rm, u32 imm) {  // imul reg, rm, imm32
+    rex(true, reg, 0, rm);
+    b(0x69);
+    modrmReg(reg, rm);
+    w32(imm);
+  }
+  void testRegReg(int a, int bb) {  // test a, b
+    rex(true, bb, 0, a);
+    b(0x85);
+    modrmReg(bb, a);
+  }
+  void test32RegImm(int reg, u32 imm) {  // test reg32, imm32
+    rex(false, 0, 0, reg);
+    b(0xF7);
+    modrmReg(0, reg);
+    w32(imm);
+  }
+  void leaRegMem(int reg, int base, int disp) {
+    rex(true, reg, 0, base);
+    b(0x8D);
+    mem(reg, base, disp);
+  }
+  void shiftRegCl(u8 ext, int reg) {  // D3 /ext reg
+    rex(true, 0, 0, reg);
+    b(0xD3);
+    modrmReg(ext, reg);
+  }
+  void shiftRegImm8(u8 ext, int reg, u8 imm) {
+    rex(true, 0, 0, reg);
+    b(0xC1);
+    modrmReg(ext, reg);
+    b(imm);
+  }
+  void mov32RegImm(int reg, u32 imm) {  // mov reg32, imm32
+    rex(false, 0, 0, reg);
+    b(static_cast<u8>(0xB8 | (reg & 7)));
+    w32(imm);
+  }
+  void cmov32(u8 cc, int dst, int src) {  // cmovcc dst32, src32
+    rex(false, dst, 0, src);
+    b(0x0F);
+    b(static_cast<u8>(0x40 | cc));
+    modrmReg(dst, src);
+  }
+  void cmov64(u8 cc, int dst, int src) {  // cmovcc dst64, src64
+    rex(true, dst, 0, src);
+    b(0x0F);
+    b(static_cast<u8>(0x40 | cc));
+    modrmReg(dst, src);
+  }
+  void cqo() {
+    b(0x48);
+    b(0x99);
+  }
+  void idivReg(int reg) {
+    rex(true, 0, 0, reg);
+    b(0xF7);
+    modrmReg(7, reg);
+  }
+  void incR15() {
+    b(0x49);
+    b(0xFF);
+    b(0xC7);
+  }
+  void decMem(int base) {  // dec qword [base]
+    rex(true, 0, 0, base);
+    b(0xFF);
+    mem(1, base, 0);
+  }
+
+  // -- SSE scalar double ---------------------------------------------------
+  void sseRegMem(u8 prefix, u8 op, int xmm, int base, int disp) {
+    if (prefix) b(prefix);
+    b(0x0F);
+    b(op);
+    mem(xmm, base, disp);
+  }
+  void movsdLoad(int xmm, int base, int disp) {
+    sseRegMem(0xF2, 0x10, xmm, base, disp);
+  }
+  void movsdStore(int base, int disp, int xmm) {
+    sseRegMem(0xF2, 0x11, xmm, base, disp);
+  }
+  void cvtsi2sdMem(int xmm, int base, int disp) {  // F2 REX.W 0F 2A
+    b(0xF2);
+    rex(true, xmm, 0, base);
+    b(0x0F);
+    b(0x2A);
+    mem(xmm, base, disp);
+  }
+  void cvttsd2siMem(int reg, int base, int disp) {  // F2 REX.W 0F 2C
+    b(0xF2);
+    rex(true, reg, 0, base);
+    b(0x0F);
+    b(0x2C);
+    mem(reg, base, disp);
+  }
+
+  // -- Control flow --------------------------------------------------------
+  std::size_t jcc8(u8 cc) {  // returns patch position
+    b(static_cast<u8>(0x70 | cc));
+    b(0);
+    return buf.size() - 1;
+  }
+  std::size_t jmp8() {
+    b(0xEB);
+    b(0);
+    return buf.size() - 1;
+  }
+  void bind8(std::size_t pos) {
+    const std::ptrdiff_t rel =
+        static_cast<std::ptrdiff_t>(buf.size()) -
+        static_cast<std::ptrdiff_t>(pos) - 1;
+    RF_CHECK(rel >= -128 && rel <= 127, "JIT: short jump out of range");
+    buf[pos] = static_cast<u8>(rel);
+  }
+
+  struct Fix {
+    std::size_t pos;  // position of the rel32 field
+    u64 label;        // pc index or kEpilogueLabel
+  };
+  std::vector<Fix> fixes;
+
+  void jmp32(u64 label) {
+    b(0xE9);
+    fixes.push_back({buf.size(), label});
+    w32(0);
+  }
+  void jcc32(u8 cc, u64 label) {
+    b(0x0F);
+    b(static_cast<u8>(0x80 | cc));
+    fixes.push_back({buf.size(), label});
+    w32(0);
+  }
+  void callRax() {
+    b(0xFF);
+    b(0xD0);
+  }
+  void jmpRsi() {
+    b(0xFF);
+    b(0xE6);
+  }
+  void jmpTableRcxRax() {  // jmp qword [rcx + rax*8]
+    b(0xFF);
+    b(0x24);
+    b(0xC1);
+  }
+};
+
+/// Compiles one DecodedProgram. Owns the emitter state for a single
+/// compile() run.
+class Compiler {
+ public:
+  Compiler(const DecodedProgram& decoded, std::vector<const void*>& retTable)
+      : decoded_(decoded),
+        code_(decoded.code()),
+        spans_(decoded.spans()),
+        size_(decoded.size()),
+        gSize_(decoded.program().globalImage.size()),
+        retTable_(retTable) {}
+
+  // Emits everything into e_.buf; returns false when the program shape is
+  // outside what the template compiler handles (degenerate sizes).
+  bool emit() {
+    if (size_ == 0 || size_ >= (1ULL << 30)) return false;
+    computeChecks();
+    off_.assign(size_, 0);
+    stubOff_.assign(size_, 0);
+
+    emitThunk();
+    for (u64 pc = 0; pc < size_; ++pc) {
+      off_[pc] = e_.buf.size();
+      if (needsCheck_[pc]) emitBudgetCheck(pc);
+      emitInst(pc, code_[pc]);
+    }
+    // Fallthrough past the last instruction: the interpreter's next
+    // span-start check fails with InvalidPC at pc == size.
+    fallOff_ = e_.buf.size();
+    emitDeopt(size_);
+    epilogueOff_ = e_.buf.size();
+    emitEpilogue();
+    for (u64 pc = 0; pc < size_; ++pc) {
+      if (!needsCheck_[pc]) {
+        stubOff_[pc] = e_.buf.size();
+        emitDeopt(pc);
+      }
+    }
+    patch();
+    return true;
+  }
+
+  const std::vector<u8>& bytes() const { return e_.buf; }
+  std::size_t offsetOf(u64 pc) const { return off_[pc]; }
+  std::size_t stubOffsetOf(u64 pc) const {
+    return needsCheck_[pc] ? off_[pc] : stubOff_[pc];
+  }
+
+ private:
+  bool targetInCode(i64 t) const {
+    return t >= 0 && static_cast<u64>(t) < size_;
+  }
+
+  static bool isTerminator(MOp op) {
+    return op == MOp::B || op == MOp::BCC || op == MOp::CALL ||
+           op == MOp::RET || op == MOp::FICHECK;
+  }
+
+  void computeChecks() {
+    needsCheck_.assign(size_, false);
+    needsCheck_[0] = true;
+    for (u64 pc = 0; pc < size_; ++pc) {
+      const MOp op = code_[pc].op;
+      if (isTerminator(op) && pc + 1 < size_) needsCheck_[pc + 1] = true;
+      if (op == MOp::B || op == MOp::BCC || op == MOp::CALL) {
+        const i64 t = code_[pc].imm;
+        if (t >= 0 && static_cast<u64>(t) < size_) {
+          needsCheck_[static_cast<u64>(t)] = true;
+        }
+      }
+    }
+  }
+
+  void emitThunk() {
+    // void thunk(JitContext* rdi, const void* rsi)
+    e_.b(0x55);              // push rbp
+    e_.b(0x53);              // push rbx
+    e_.b(0x41); e_.b(0x54);  // push r12
+    e_.b(0x41); e_.b(0x55);  // push r13
+    e_.b(0x41); e_.b(0x56);  // push r14
+    e_.b(0x41); e_.b(0x57);  // push r15
+    // Keep rsp 16-aligned at helper call sites.
+    e_.b(0x48); e_.b(0x83); e_.b(0xEC); e_.b(0x08);  // sub rsp, 8
+    e_.movRegReg(RBP, RDI);
+    e_.movRegMem(RBX, RBP, kCtxRegfile);
+    e_.movRegMem(R12, RBP, kCtxStackBias);
+    e_.movRegMem(R13, RBP, kCtxGlobalsBias);
+    e_.movRegMem(R14, RBP, kCtxFlags);
+    e_.movRegMem(R15, RBP, kCtxCount);
+    e_.jmpRsi();
+  }
+
+  void emitEpilogue() {
+    e_.movMemReg(RBP, kCtxCount, R15);
+    e_.movMemReg(RBP, kCtxFlags, R14);
+    e_.b(0x48); e_.b(0x83); e_.b(0xC4); e_.b(0x08);  // add rsp, 8
+    e_.b(0x41); e_.b(0x5F);  // pop r15
+    e_.b(0x41); e_.b(0x5E);  // pop r14
+    e_.b(0x41); e_.b(0x5D);  // pop r13
+    e_.b(0x41); e_.b(0x5C);  // pop r12
+    e_.b(0x5B);              // pop rbx
+    e_.b(0x5D);              // pop rbp
+    e_.b(0xC3);              // ret
+  }
+
+  // Exit to the interpreter with ctx.pc = `pc` (first unexecuted).
+  void emitDeopt(u64 pc) {
+    e_.movMemImm32(RBP, kCtxPc, static_cast<u32>(pc));
+    e_.jmp32(kEpilogueLabel);
+  }
+
+  // Deopt when `cc` holds (branches over the inline deopt otherwise).
+  void emitDeoptIf(u8 cc, u64 pc) {
+    const std::size_t skip = e_.jcc8(cc ^ 1);
+    emitDeopt(pc);
+    e_.bind8(skip);
+  }
+
+  // Span-start budget check: deopt unless count + spans[pc] <= budget. The
+  // interpreter then recomputes the headroom, runs the partial span and
+  // times out at the exact per-step index.
+  void emitBudgetCheck(u64 pc) {
+    e_.leaRegMem(RAX, R15, static_cast<int>(spans_[pc]));
+    e_.aluRegMem(0x3B, RAX, RBP, kCtxBudget);  // cmp rax, [budget]
+    emitDeoptIf(CC_A, pc);
+  }
+
+  // flags = EQ/LT/GT from the signed value in `reg` (interpreter intFlags).
+  void emitIntFlags(int reg) {
+    e_.testRegReg(reg, reg);
+    e_.mov32RegImm(R14, backend::kFlagGT);
+    e_.mov32RegImm(RCX, backend::kFlagLT);
+    e_.cmov32(CC_S, R14, RCX);
+    e_.mov32RegImm(RCX, backend::kFlagEQ);
+    e_.cmov32(CC_E, R14, RCX);
+  }
+
+  // flags from a preceding signed compare (interpreter cmpFlags).
+  void emitCmpFlags() {
+    e_.mov32RegImm(R14, backend::kFlagGT);
+    e_.mov32RegImm(RCX, backend::kFlagLT);
+    e_.cmov32(CC_L, R14, RCX);
+    e_.mov32RegImm(RCX, backend::kFlagEQ);
+    e_.cmov32(CC_E, R14, RCX);
+  }
+
+  // rax += imm (no-op for 0; movabs fallback for 64-bit immediates).
+  void emitAddRaxImm(i64 imm) {
+    if (imm == 0) return;
+    if (fitsI32(imm)) {
+      e_.aluRegImm32(0, RAX, static_cast<u32>(imm));
+    } else {
+      e_.movRegImm64(RCX, static_cast<u64>(imm));
+      e_.aluRegReg(0x03, RAX, RCX);
+    }
+  }
+
+  // Guest address in rax -> host access. Emits the stack-segment branch
+  // with dirty tracking (stores) and the globals branch; out-of-segment
+  // deopts (the interpreter raises the precise trap).
+  // Uses rcx/rdx as scratch; `value` preloaded in rdx for stores.
+  void emitStackRangeTest() {
+    // rcx = addr - kStackLimit; unsigned compare covers both bounds and a
+    // near-2^64 wrap (matches the interpreter's overflow-safe form).
+    e_.leaRegMem(RCX, RAX, -static_cast<int>(ir::DataLayout::kStackLimit));
+    e_.aluRegImm32(7, RCX,
+                   static_cast<u32>(ir::DataLayout::kStackSize - 8));  // cmp
+  }
+
+  void emitDirtyTrack(int addrReg) {
+    // if (addr < dirtyLo) { dirtyLo = addr; if (addr < stackLo) stackLo=addr; }
+    e_.aluRegMem(0x3B, addrReg, RBP, kCtxDirtyLo);
+    const std::size_t skip1 = e_.jcc8(CC_AE);
+    e_.movMemReg(RBP, kCtxDirtyLo, addrReg);
+    e_.aluRegMem(0x3B, addrReg, RBP, kCtxStackLo);
+    const std::size_t skip2 = e_.jcc8(CC_AE);
+    e_.movMemReg(RBP, kCtxStackLo, addrReg);
+    e_.bind8(skip1);
+    e_.bind8(skip2);
+  }
+
+  // cond -> (mask, invert) for `test r14d, mask` + jcc/cmovcc.
+  static std::pair<u32, bool> condMask(u32 aux) {
+    switch (static_cast<Cond>(aux)) {
+      case Cond::EQ: return {backend::kFlagEQ, false};
+      case Cond::NE: return {backend::kFlagEQ, true};
+      case Cond::LT: return {backend::kFlagLT, false};
+      case Cond::LE: return {backend::kFlagLT | backend::kFlagEQ, false};
+      case Cond::GT: return {backend::kFlagGT, false};
+      case Cond::GE: return {backend::kFlagGT | backend::kFlagEQ, false};
+      case Cond::ONE: return {backend::kFlagLT | backend::kFlagGT, false};
+    }
+    RF_UNREACHABLE("JIT: bad condition code");
+  }
+
+  void emitPushCommon(u64 pc, bool fromSlot, unsigned slot, bool fromFlags,
+                      i64 immValue) {
+    // Value first: PUSH of sp itself must capture the pre-decrement value.
+    if (fromSlot) e_.slotLoad(RAX, slot);
+    e_.slotLoad(RCX, 15);
+    e_.leaRegMem(RCX, RCX, -8);
+    e_.leaRegMem(RDX, RCX, -static_cast<int>(ir::DataLayout::kStackLimit));
+    e_.aluRegImm32(7, RDX, static_cast<u32>(ir::DataLayout::kStackSize - 8));
+    emitDeoptIf(CC_A, pc);  // uncommitted: interpreter replays the push
+    emitDirtyTrack(RCX);
+    e_.slotStore(15, RCX);
+    if (fromSlot) {
+      e_.movIndexedReg(R12, RCX, RAX);
+    } else if (fromFlags) {
+      e_.movIndexedReg(R12, RCX, R14);
+    } else {
+      e_.movIndexedImm32(R12, RCX, static_cast<u32>(immValue));
+    }
+    e_.incR15();
+  }
+
+  // sp -> rcx, popped value -> rax, sp updated. Deopts (uncommitted) when
+  // sp is outside the stack segment (the interpreter's loadWord fallback
+  // then decides globals-read vs trap).
+  void emitPopCommon(u64 pc) {
+    e_.slotLoad(RCX, 15);
+    e_.leaRegMem(RDX, RCX, -static_cast<int>(ir::DataLayout::kStackLimit));
+    e_.aluRegImm32(7, RDX, static_cast<u32>(ir::DataLayout::kStackSize - 8));
+    emitDeoptIf(CC_A, pc);
+    e_.movRegIndexed(RAX, R12, RCX);
+    e_.leaRegMem(RCX, RCX, 8);
+    e_.slotStore(15, RCX);
+  }
+
+  void emitInst(u64 pc, const DecodedInst& di) {
+    switch (di.op) {
+      case MOp::MOVri:
+      case MOp::FMOVri:
+        if (fitsI32(di.imm)) {
+          e_.movMemImm32(RBX, di.a * 8, static_cast<u32>(di.imm));
+        } else {
+          e_.movRegImm64(RAX, static_cast<u64>(di.imm));
+          e_.slotStore(di.a, RAX);
+        }
+        e_.incR15();
+        break;
+
+      case MOp::MOVrr:
+      case MOp::FMOVrr:
+      case MOp::FBITI:
+      case MOp::IBITF:
+        e_.slotLoad(RAX, di.b);
+        e_.slotStore(di.a, RAX);
+        e_.incR15();
+        break;
+
+      case MOp::CVTIF:
+        e_.cvtsi2sdMem(0, RBX, di.b * 8);
+        e_.movsdStore(RBX, di.a * 8, 0);
+        e_.incR15();
+        break;
+
+      case MOp::CVTFI:
+        // cvttsd2si: NaN / out-of-range convert to INT64_MIN, exactly the
+        // interpreter's clamp.
+        e_.cvttsd2siMem(RAX, RBX, di.b * 8);
+        e_.slotStore(di.a, RAX);
+        e_.incR15();
+        break;
+
+      case MOp::ADD:
+      case MOp::SUB:
+      case MOp::AND:
+      case MOp::OR:
+      case MOp::XOR: {
+        u8 op = 0x03;
+        if (di.op == MOp::SUB) op = 0x2B;
+        else if (di.op == MOp::AND) op = 0x23;
+        else if (di.op == MOp::OR) op = 0x0B;
+        else if (di.op == MOp::XOR) op = 0x33;
+        e_.slotLoad(RAX, di.b);
+        e_.aluRegMem(op, RAX, RBX, di.c * 8);
+        e_.slotStore(di.a, RAX);
+        emitIntFlags(RAX);
+        e_.incR15();
+        break;
+      }
+
+      case MOp::MUL:
+        e_.slotLoad(RAX, di.b);
+        e_.imulRegMem(RAX, RBX, di.c * 8);
+        e_.slotStore(di.a, RAX);
+        emitIntFlags(RAX);
+        e_.incR15();
+        break;
+
+      case MOp::DIV:
+      case MOp::REM: {
+        e_.slotLoad(RAX, di.b);
+        e_.slotLoad(RCX, di.c);
+        e_.testRegReg(RCX, RCX);
+        emitDeoptIf(CC_E, pc);  // div by zero -> interpreter traps
+        // INT64_MIN / -1 overflow would fault the host idiv: deopt.
+        e_.aluRegImm32(7, RCX, static_cast<u32>(-1));  // cmp rcx, -1
+        const std::size_t ok = e_.jcc8(CC_NE);
+        e_.movRegImm64(RDX, 0x8000000000000000ULL);
+        e_.aluRegReg(0x3B, RAX, RDX);  // cmp rax, rdx
+        emitDeoptIf(CC_E, pc);
+        e_.bind8(ok);
+        e_.cqo();
+        e_.idivReg(RCX);
+        if (di.op == MOp::REM) e_.movRegReg(RAX, RDX);
+        e_.slotStore(di.a, RAX);
+        emitIntFlags(RAX);
+        e_.incR15();
+        break;
+      }
+
+      case MOp::SHL:
+      case MOp::ASHR:
+      case MOp::LSHR: {
+        const u8 ext = di.op == MOp::SHL ? 4 : (di.op == MOp::ASHR ? 7 : 5);
+        e_.slotLoad(RAX, di.b);
+        e_.slotLoad(RCX, di.c);
+        e_.shiftRegCl(ext, RAX);  // hardware masks cl mod 64 == `& 63`
+        e_.slotStore(di.a, RAX);
+        emitIntFlags(RAX);
+        e_.incR15();
+        break;
+      }
+
+      case MOp::ADDri:
+      case MOp::ANDri:
+      case MOp::ORri:
+      case MOp::XORri: {
+        u8 ext = 0, op = 0x03;
+        if (di.op == MOp::ANDri) { ext = 4; op = 0x23; }
+        else if (di.op == MOp::ORri) { ext = 1; op = 0x0B; }
+        else if (di.op == MOp::XORri) { ext = 6; op = 0x33; }
+        e_.slotLoad(RAX, di.b);
+        if (fitsI32(di.imm)) {
+          e_.aluRegImm32(ext, RAX, static_cast<u32>(di.imm));
+        } else {
+          e_.movRegImm64(RCX, static_cast<u64>(di.imm));
+          e_.aluRegReg(op, RAX, RCX);
+        }
+        e_.slotStore(di.a, RAX);
+        emitIntFlags(RAX);
+        e_.incR15();
+        break;
+      }
+
+      case MOp::MULri:
+        e_.slotLoad(RAX, di.b);
+        if (fitsI32(di.imm)) {
+          e_.imulRegRegImm32(RAX, RAX, static_cast<u32>(di.imm));
+        } else {
+          e_.movRegImm64(RCX, static_cast<u64>(di.imm));
+          e_.imulRegReg(RAX, RCX);
+        }
+        e_.slotStore(di.a, RAX);
+        emitIntFlags(RAX);
+        e_.incR15();
+        break;
+
+      case MOp::SHLri:
+      case MOp::ASHRri:
+      case MOp::LSHRri: {
+        const u8 ext = di.op == MOp::SHLri ? 4 : (di.op == MOp::ASHRri ? 7 : 5);
+        e_.slotLoad(RAX, di.b);
+        e_.shiftRegImm8(ext, RAX, static_cast<u8>(di.imm & 63));
+        e_.slotStore(di.a, RAX);
+        emitIntFlags(RAX);
+        e_.incR15();
+        break;
+      }
+
+      case MOp::FADD:
+      case MOp::FSUB:
+      case MOp::FMUL:
+      case MOp::FDIV:
+      case MOp::FMAX:
+      case MOp::FMIN: {
+        u8 op = 0x58;  // addsd
+        if (di.op == MOp::FSUB) op = 0x5C;
+        else if (di.op == MOp::FMUL) op = 0x59;
+        else if (di.op == MOp::FDIV) op = 0x5E;
+        else if (di.op == MOp::FMAX) op = 0x5F;  // maxsd == a > b ? a : b
+        else if (di.op == MOp::FMIN) op = 0x5D;  // minsd == a < b ? a : b
+        e_.movsdLoad(0, RBX, di.b * 8);
+        e_.sseRegMem(0xF2, op, 0, RBX, di.c * 8);
+        e_.movsdStore(RBX, di.a * 8, 0);
+        e_.incR15();
+        break;
+      }
+
+      case MOp::FABS:
+        e_.slotLoad(RAX, di.b);
+        e_.movRegImm64(RCX, 0x7FFFFFFFFFFFFFFFULL);
+        e_.aluRegReg(0x23, RAX, RCX);  // and
+        e_.slotStore(di.a, RAX);
+        e_.incR15();
+        break;
+
+      case MOp::FSQRT:
+        e_.sseRegMem(0xF2, 0x51, 0, RBX, di.b * 8);  // sqrtsd
+        e_.movsdStore(RBX, di.a * 8, 0);
+        e_.incR15();
+        break;
+
+      case MOp::CMP:
+        e_.slotLoad(RAX, di.a);
+        e_.aluRegMem(0x3B, RAX, RBX, di.b * 8);
+        emitCmpFlags();
+        e_.incR15();
+        break;
+
+      case MOp::CMPri:
+        e_.slotLoad(RAX, di.a);
+        if (fitsI32(di.imm)) {
+          e_.aluRegImm32(7, RAX, static_cast<u32>(di.imm));
+        } else {
+          e_.movRegImm64(RCX, static_cast<u64>(di.imm));
+          e_.aluRegReg(0x3B, RAX, RCX);
+        }
+        emitCmpFlags();
+        e_.incR15();
+        break;
+
+      case MOp::FCMP:
+        // ucomisd: unordered sets ZF|PF|CF, so materialize UN last.
+        e_.movsdLoad(0, RBX, di.a * 8);
+        e_.sseRegMem(0x66, 0x2E, 0, RBX, di.b * 8);
+        e_.mov32RegImm(R14, backend::kFlagGT);
+        e_.mov32RegImm(RCX, backend::kFlagLT);
+        e_.cmov32(CC_B, R14, RCX);
+        e_.mov32RegImm(RCX, backend::kFlagEQ);
+        e_.cmov32(CC_E, R14, RCX);
+        e_.mov32RegImm(RCX, backend::kFlagUN);
+        e_.cmov32(CC_P, R14, RCX);
+        e_.incR15();
+        break;
+
+      case MOp::CSEL:
+      case MOp::FCSEL: {
+        const auto [mask, invert] = condMask(di.aux);
+        e_.slotLoad(RAX, di.b);
+        e_.slotLoad(RCX, di.c);
+        e_.test32RegImm(R14, mask);
+        // rax holds the taken operand; replace with rcx when the condition
+        // fails (normal conds fail on ZF=1, NE fails on ZF=0).
+        e_.cmov64(invert ? CC_NE : CC_E, RAX, RCX);
+        e_.slotStore(di.a, RAX);
+        e_.incR15();
+        break;
+      }
+
+      case MOp::LDR:
+      case MOp::FLDR: {
+        e_.slotLoad(RAX, di.b);
+        emitAddRaxImm(di.imm);
+        emitStackRangeTest();
+        const std::size_t glob = e_.jcc8(CC_A);
+        e_.movRegIndexed(RDX, R12, RAX);
+        e_.slotStore(di.a, RDX);
+        const std::size_t done = e_.jmp8();
+        e_.bind8(glob);
+        emitGlobalsAccess(pc, di.a, /*isStore=*/false);
+        e_.bind8(done);
+        e_.incR15();
+        break;
+      }
+
+      case MOp::STR:
+      case MOp::FSTR: {
+        e_.slotLoad(RAX, di.b);
+        emitAddRaxImm(di.imm);
+        e_.slotLoad(RDX, di.a);  // value
+        emitStackRangeTest();
+        const std::size_t glob = e_.jcc8(CC_A);
+        emitDirtyTrack(RAX);
+        e_.movIndexedReg(R12, RAX, RDX);
+        const std::size_t done = e_.jmp8();
+        e_.bind8(glob);
+        emitGlobalsAccess(pc, di.a, /*isStore=*/true);
+        e_.bind8(done);
+        e_.incR15();
+        break;
+      }
+
+      case MOp::LEAfi:
+        e_.slotLoad(RAX, 15);
+        emitAddRaxImm(di.imm);
+        e_.slotStore(di.a, RAX);
+        e_.incR15();
+        break;
+
+      case MOp::PUSH:
+      case MOp::FPUSH:
+        emitPushCommon(pc, /*fromSlot=*/true, di.a, false, 0);
+        break;
+
+      case MOp::PUSHF:
+        emitPushCommon(pc, false, 0, /*fromFlags=*/true, 0);
+        break;
+
+      case MOp::POP:
+      case MOp::FPOP:
+        emitPopCommon(pc);
+        e_.slotStore(di.a, RAX);
+        e_.incR15();
+        break;
+
+      case MOp::POPF:
+        emitPopCommon(pc);
+        e_.movRegReg(R14, RAX);
+        // flags = value & 0xF
+        e_.b(0x49); e_.b(0x83); e_.b(0xE6); e_.b(0x0F);  // and r14, 15
+        e_.incR15();
+        break;
+
+      case MOp::SPADJ:
+        e_.slotLoad(RAX, 15);
+        emitAddRaxImm(di.imm);
+        // Deopt below the stack limit WITHOUT committing sp; the interpreter
+        // re-executes, commits, and raises StackOverflow on the same state.
+        e_.movRegImm64(RCX, ir::DataLayout::kStackLimit);
+        e_.aluRegReg(0x3B, RAX, RCX);
+        emitDeoptIf(CC_B, pc);
+        e_.slotStore(15, RAX);
+        e_.incR15();
+        break;
+
+      case MOp::B:
+        if (!targetInCode(di.imm)) {  // interpreter raises InvalidPC
+          emitDeopt(pc);
+          break;
+        }
+        e_.incR15();
+        e_.jmp32(static_cast<u64>(di.imm));
+        break;
+
+      case MOp::BCC: {
+        if (!targetInCode(di.imm)) {
+          emitDeopt(pc);
+          break;
+        }
+        const auto [mask, invert] = condMask(di.aux);
+        e_.incR15();
+        e_.test32RegImm(R14, mask);
+        e_.jcc32(invert ? CC_E : CC_NE, static_cast<u64>(di.imm));
+        break;
+      }
+
+      case MOp::CALL:
+        if (!targetInCode(di.imm)) {
+          emitDeopt(pc);
+          break;
+        }
+        emitPushCommon(pc, false, 0, false, static_cast<i64>(pc + 1));
+        e_.jmp32(static_cast<u64>(di.imm));
+        break;
+
+      case MOp::RET:
+        e_.slotLoad(RCX, 15);
+        e_.leaRegMem(RDX, RCX, -static_cast<int>(ir::DataLayout::kStackLimit));
+        e_.aluRegImm32(7, RDX,
+                       static_cast<u32>(ir::DataLayout::kStackSize - 8));
+        emitDeoptIf(CC_A, pc);
+        e_.movRegIndexed(RAX, R12, RCX);
+        // Halt sentinel (~0) and out-of-code targets deopt with sp
+        // uncommitted; the interpreter re-pops and decides halt vs trap.
+        e_.aluRegImm32(7, RAX, static_cast<u32>(size_));  // cmp rax, size
+        emitDeoptIf(CC_AE, pc);
+        e_.leaRegMem(RCX, RCX, 8);
+        e_.slotStore(15, RCX);
+        e_.incR15();
+        e_.movRegImm64(RCX, reinterpret_cast<u64>(retTable_.data()));
+        e_.jmpTableRcxRax();
+        break;
+
+      case MOp::SYSCALL: {
+        void* helper = di.imm >= 0 && di.imm <= 0xFF
+                           ? mathHelper(static_cast<ir::RuntimeFn>(di.imm))
+                           : nullptr;
+        if (helper != nullptr) {
+          // Pure-math runtime call: same libm entry as the interpreter.
+          e_.movRegReg(RDI, RBX);
+          e_.movRegImm64(RAX, reinterpret_cast<u64>(helper));
+          e_.callRax();
+          e_.incR15();
+        } else {
+          // Print/unknown syscalls run through the Machine shim so golden
+          // streaming and output accumulation stay in one place. A false
+          // return means the machine trapped: exit (the syscall itself
+          // counts, like the interpreter's pre-incremented fetch).
+          e_.movRegMem(RDI, RBP, kCtxMachine);
+          e_.movRegImm64(RSI, static_cast<u64>(di.imm));
+          e_.movRegImm64(RAX, reinterpret_cast<u64>(&JitShims::syscall));
+          e_.callRax();
+          e_.incR15();
+          e_.b(0x85); e_.b(0xC0);  // test eax, eax
+          const std::size_t ok = e_.jcc8(CC_NE);
+          e_.movMemImm32(RBP, kCtxPc, static_cast<u32>(pc + 1));
+          e_.jmp32(kEpilogueLabel);
+          e_.bind8(ok);
+        }
+        break;
+      }
+
+      case MOp::FICHECK: {
+        // PreFI fast path: count and compare inline; at the trigger, roll
+        // the increment back and deopt so the interpreter re-executes the
+        // FICHECK and drives onFiTrigger/SETUPFI.
+        e_.movRegMem(RAX, RBP, kCtxFiCount);
+        e_.movRegMem(RCX, RAX, 0);
+        e_.leaRegMem(RCX, RCX, 1);
+        e_.movMemReg(RAX, 0, RCX);
+        e_.aluRegMem(0x3B, RCX, RBP, kCtxFiTrigger);
+        const std::size_t cont = e_.jcc8(CC_NE);
+        e_.decMem(RAX);
+        emitDeopt(pc);
+        e_.bind8(cont);
+        e_.incR15();
+        break;
+      }
+
+      case MOp::SETUPFI:
+      default:
+        // SETUPFI (at most once per trial), frame-index pseudos and pre-RA
+        // pseudos: leave them to the interpreter.
+        emitDeopt(pc);
+        break;
+    }
+  }
+
+  void emitGlobalsAccess(u64 pc, unsigned slot, bool isStore) {
+    if (gSize_ < 8) {
+      emitDeopt(pc);
+      return;
+    }
+    e_.leaRegMem(RCX, RAX, -static_cast<int>(ir::DataLayout::kGlobalBase));
+    e_.aluRegImm32(7, RCX, static_cast<u32>(gSize_ - 8));
+    emitDeoptIf(CC_A, pc);  // outside both segments -> interpreter traps
+    if (isStore) {
+      e_.movIndexedReg(R13, RAX, RDX);
+    } else {
+      e_.movRegIndexed(RDX, R13, RAX);
+      e_.slotStore(slot, RDX);
+    }
+  }
+
+  void patch() {
+    for (const auto& f : e_.fixes) {
+      const std::size_t target =
+          f.label == kEpilogueLabel ? epilogueOff_ : off_[f.label];
+      const std::ptrdiff_t rel = static_cast<std::ptrdiff_t>(target) -
+                                 static_cast<std::ptrdiff_t>(f.pos) - 4;
+      const u32 v = static_cast<u32>(static_cast<std::int32_t>(rel));
+      std::memcpy(e_.buf.data() + f.pos, &v, 4);
+    }
+  }
+
+  const DecodedProgram& decoded_;
+  const DecodedInst* code_;
+  const std::uint32_t* spans_;
+  u64 size_;
+  std::size_t gSize_;
+  std::vector<const void*>& retTable_;
+  Emitter e_;
+  std::vector<bool> needsCheck_;
+  std::vector<std::size_t> off_;
+  std::vector<std::size_t> stubOff_;
+  std::size_t epilogueOff_ = 0;
+  std::size_t fallOff_ = 0;
+};
+
+#endif  // REFINE_JIT_SUPPORTED
+
+std::atomic<ExecTierMode> gTierMode{ExecTierMode::Auto};
+
+bool envTierEnabled() {
+  static const bool enabled = [] {
+    const char* e = std::getenv("REFINE_EXEC_TIER");
+    if (e == nullptr) return true;
+    std::string v(e);
+    for (char& c : v) c = static_cast<char>(std::tolower(c));
+    return !(v == "off" || v == "0" || v == "false" || v == "no");
+  }();
+  return enabled;
+}
+
+}  // namespace
+
+JitProgram::JitProgram(const DecodedProgram& decoded) : decoded_(&decoded) {
+  for (u64 i = 0; i < decoded.size(); ++i) {
+    if (decoded.code()[i].op == MOp::FICHECK) {
+      hasFicheck_ = true;
+      break;
+    }
+  }
+}
+
+JitProgram::~JitProgram() {
+#if REFINE_JIT_SUPPORTED
+  if (buf_ != nullptr) munmap(buf_, bufSize_);
+#endif
+}
+
+bool JitProgram::supported() noexcept {
+  return REFINE_JIT_SUPPORTED != 0;
+}
+
+JitProgram::Entry JitProgram::entry() const {
+  std::call_once(once_, [this] { compile(); });
+  Entry e;
+  e.enter = enter_;
+  e.table = enterTable_.data();
+  return e;
+}
+
+void JitProgram::compile() const {
+#if REFINE_JIT_SUPPORTED
+  const u64 size = decoded_->size();
+  if (size == 0) return;
+  // The ret table address is baked into compiled RETs: size it first so
+  // data() is final.
+  retTable_.assign(size, nullptr);
+  Compiler compiler(*decoded_, retTable_);
+  if (!compiler.emit()) return;
+
+  const std::vector<u8>& codeBytes = compiler.bytes();
+  const long page = sysconf(_SC_PAGESIZE);
+  const std::size_t pageSize = page > 0 ? static_cast<std::size_t>(page) : 4096;
+  bufSize_ = (codeBytes.size() + pageSize - 1) / pageSize * pageSize;
+  void* mem = mmap(nullptr, bufSize_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) return;  // fall back to the interpreter
+  std::memcpy(mem, codeBytes.data(), codeBytes.size());
+  if (mprotect(mem, bufSize_, PROT_READ | PROT_EXEC) != 0) {
+    munmap(mem, bufSize_);
+    return;  // W^X policy or similar: interpreter fallback
+  }
+  buf_ = mem;
+
+  auto* base = static_cast<const u8*>(mem);
+  enterTable_.assign(size, nullptr);
+  for (u64 pc = 0; pc < size; ++pc) {
+    enterTable_[pc] = base + compiler.offsetOf(pc);
+    retTable_[pc] = base + compiler.stubOffsetOf(pc);
+  }
+  enter_ = reinterpret_cast<EnterFn>(const_cast<u8*>(base));
+#endif
+}
+
+#if defined(__clang__)
+__attribute__((no_sanitize("function", "undefined")))
+#endif
+void jitInvoke(JitProgram::EnterFn fn, JitContext* ctx,
+               const void* target) noexcept {
+  fn(ctx, target);
+}
+
+void setExecTierMode(ExecTierMode mode) noexcept {
+  gTierMode.store(mode, std::memory_order_relaxed);
+}
+
+ExecTierMode execTierMode() noexcept {
+  return gTierMode.load(std::memory_order_relaxed);
+}
+
+bool execTierEnabled() noexcept {
+  switch (execTierMode()) {
+    case ExecTierMode::On: return JitProgram::supported();
+    case ExecTierMode::Off: return false;
+    case ExecTierMode::Auto:
+      return JitProgram::supported() && envTierEnabled();
+  }
+  return false;
+}
+
+}  // namespace refine::vm

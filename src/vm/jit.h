@@ -1,0 +1,141 @@
+// Native execution tier: a template (baseline) JIT over the predecoded
+// program.
+//
+// The unhooked run loop already executes straight-line spans with one
+// up-front budget check (vm/decoded.h); this tier compiles those same spans
+// into x86-64 machine code in an mmap'd executable buffer and chains them
+// with direct jumps, so injection-free stretches of a trial run at native
+// speed — the ZOFI direction named in the ROADMAP. Compiled code keeps the
+// hot architectural scalars in host registers (count, flags) and deopts back
+// to the interpreter at every observable boundary:
+//
+//   * FICHECK at the trigger count (after rolling its increment back, so the
+//     interpreter re-executes the check and drives the injection),
+//   * SETUPFI, unknown/print-trapping syscalls, and every trap condition
+//     (bad memory, division, stack overflow, invalid return target),
+//   * any span whose execution would cross the instruction budget — the
+//     interpreter then replays the partial span and times out at the exact
+//     per-step index a pure interpreter run would.
+//
+// The deopt contract: compiled code exits with ctx.pc = the first
+// UNEXECUTED instruction and ctx.count covering only executed instructions,
+// without having committed any side effect of the deopting instruction.
+// Because DecodedProgram::spans() is defined at every pc, the interpreter
+// resumes mid-span transparently; re-executing the deopted instruction in
+// the interpreter reproduces the exact architectural state a pure
+// interpreter run reaches (including "sp already moved" trap states, which
+// the compiled tier never commits early). Results are bit-identical per
+// (app x tool x seed) — tests/jit_test.cpp holds the proof obligation.
+//
+// One JitProgram lives next to each shared DecodedProgram (per
+// ToolInstance); compilation happens once, on the first entered run, and the
+// read-only code buffer is shared by all worker threads. When the host
+// cannot map executable memory (or is not x86-64), entry() stays null and
+// the machine silently runs interpreted — same results, lower speed.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "vm/decoded.h"
+
+namespace refine::vm {
+
+class Machine;
+
+/// Communication block between the run loop and compiled code. Plain data,
+/// fixed layout: the emitter addresses fields by byte offset (asserted in
+/// jit.cpp). Pointers bias host addresses so compiled code can index guest
+/// memory directly: host = bias + guest address.
+struct JitContext {
+  std::uint64_t* regfile = nullptr;    // unified 32-slot register file
+  Machine* machine = nullptr;          // for the syscall shim
+  std::uint64_t stackBias = 0;         // stack data - DataLayout::kStackLimit
+  std::uint64_t globalsBias = 0;       // globals data - program globalBase
+  std::uint64_t pc = 0;                // in: entry pc / out: first unexecuted
+  std::uint64_t count = 0;             // executed instructions (in/out)
+  std::uint64_t flags = 0;             // 4-bit flags register (in/out)
+  std::uint64_t budget = 0;            // dynamic instruction budget
+  std::uint64_t dirtyLo = 0;           // stack-write low-water marks (in/out)
+  std::uint64_t stackLo = 0;
+  std::uint64_t* fiCount = nullptr;    // FiRuntime::fiCount (or a dummy)
+  std::uint64_t fiTrigger = ~0ULL;     // FiRuntime::fiTrigger at entry
+};
+
+/// Lazily compiled native code for one DecodedProgram. Construction is
+/// cheap (no compilation); the first entry() call emits the code under a
+/// once-flag, so tier-off campaigns never pay for it. Thread-safe and
+/// immutable after compilation.
+class JitProgram {
+ public:
+  explicit JitProgram(const DecodedProgram& decoded);
+  ~JitProgram();
+  JitProgram(const JitProgram&) = delete;
+  JitProgram& operator=(const JitProgram&) = delete;
+
+  using EnterFn = void (*)(JitContext*, const void*);
+
+  struct Entry {
+    /// Entry thunk: loads machine state from the context, jumps to `target`.
+    /// Null when the tier is unavailable on this host.
+    EnterFn enter = nullptr;
+    /// Per-pc native entry points for the thunk. Valid to enter at ANY pc:
+    /// the caller must have verified the current span fits the budget
+    /// (exactly the run loop's span check), mirroring the interpreter.
+    const void* const* table = nullptr;
+  };
+
+  /// Compiles on first call; returns the (possibly null) entry afterwards.
+  Entry entry() const;
+
+  const DecodedProgram& decoded() const noexcept { return *decoded_; }
+
+  /// True when the program contains FICHECK instrumentation: the machine
+  /// only engages the tier with an FiRuntime attached then, preserving the
+  /// interpreter's hard failure on FICHECK-without-runtime.
+  bool hasFicheck() const noexcept { return hasFicheck_; }
+
+  /// Compile-time support for this host (x86-64 with POSIX mmap).
+  static bool supported() noexcept;
+
+ private:
+  void compile() const;
+
+  const DecodedProgram* decoded_;
+  bool hasFicheck_ = false;
+  mutable std::once_flag once_;
+  mutable void* buf_ = nullptr;
+  mutable std::size_t bufSize_ = 0;
+  mutable EnterFn enter_ = nullptr;
+  /// enterTable_: thunk entries (pre-checked by the run loop, so every pc
+  /// points straight at its code). retTable_: targets of compiled RET — a
+  /// fault-corrupted return address may name a mid-span pc whose inline
+  /// budget check was never emitted, so unchecked pcs route to per-pc deopt
+  /// stubs instead (the interpreter then re-checks and continues).
+  mutable std::vector<const void*> enterTable_;
+  mutable std::vector<const void*> retTable_;
+};
+
+/// Calls into compiled code. Isolated here so sanitizer builds can exempt
+/// the one indirect call whose callee has no instrumentation metadata.
+void jitInvoke(JitProgram::EnterFn fn, JitContext* ctx,
+               const void* target) noexcept;
+
+// ---------------------------------------------------------------------------
+// Process-wide tier knob
+// ---------------------------------------------------------------------------
+
+/// Auto honors the REFINE_EXEC_TIER environment variable (off/0/false/no
+/// disables; anything else — or unset — enables) and host support. On/Off
+/// are explicit overrides, e.g. from the --exec-tier CLI flag, which wins
+/// over the environment.
+enum class ExecTierMode : unsigned char { Auto, On, Off };
+
+void setExecTierMode(ExecTierMode mode) noexcept;
+ExecTierMode execTierMode() noexcept;
+
+/// The effective process-wide default ToolInstances consult per trial.
+bool execTierEnabled() noexcept;
+
+}  // namespace refine::vm

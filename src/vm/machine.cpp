@@ -8,6 +8,7 @@
 #include "ir/interp.h"  // shared print formatting
 #include "ir/layout.h"
 #include "ir/runtime.h"
+#include "vm/jit.h"
 
 namespace refine::vm {
 
@@ -88,6 +89,7 @@ void Machine::reset() {
   lastSnap_ = nullptr;
   hook_ = nullptr;
   fiRuntime_ = nullptr;
+  jitCount_ = 0;  // jit_ itself survives: same program, next trial reuses it
 }
 
 void Machine::rebind(const backend::Program& program,
@@ -100,8 +102,15 @@ void Machine::rebind(const backend::Program& program,
   decoded_ = &decoded;
   owned_.reset();
   golden_ = nullptr;  // a golden belongs to one program's profiling run
+  jit_ = nullptr;     // compiled code is per-DecodedProgram
   globals_.resize(program.globalImage.size());
   reset();
+}
+
+void Machine::setJit(const JitProgram* jit) {
+  RF_CHECK(jit == nullptr || &jit->decoded() == decoded_,
+           "JIT program does not match the decode this machine runs");
+  jit_ = jit;
 }
 
 std::uint64_t& Machine::gpr(unsigned i) {
@@ -292,6 +301,66 @@ void Machine::execLoop() {
   std::uint8_t flags = flags_;
   const u64 budget = budget_;
 
+  // Compiled tier (vm/jit.h): engaged only in the unhooked loop — hooks are
+  // an observable per-instruction boundary — and, when the program carries
+  // FICHECK instrumentation, only with an FiRuntime attached (a FICHECK
+  // without one must keep hard-failing in the interpreter). Compilation
+  // happens once per JitProgram, on the first entered run.
+  [[maybe_unused]] JitProgram::EnterFn jitEnter = nullptr;
+  [[maybe_unused]] const void* const* jitTable = nullptr;
+  [[maybe_unused]] JitContext jctx;
+  if constexpr (!Hooked) {
+    if (jit_ != nullptr && (fiRuntime_ != nullptr || !jit_->hasFicheck())) {
+      const JitProgram::Entry jentry = jit_->entry();
+      if (jentry.enter != nullptr) {
+        jitEnter = jentry.enter;
+        jitTable = jentry.table;
+        jctx.regfile = regfile_;
+        jctx.machine = this;
+        jctx.stackBias =
+            reinterpret_cast<u64>(stack_.data()) - ir::DataLayout::kStackLimit;
+        jctx.globalsBias =
+            reinterpret_cast<u64>(globals_.data()) - program_->globalBase;
+        jctx.budget = budget;
+      }
+    }
+  }
+
+// Span-start JIT entry, shared by both dispatch scaffolds: when the next
+// span fits the budget, run compiled code from `pc` until it deopts. On
+// progress, re-adopt the machine scalars and re-run the span check at the
+// deopt pc (NEXT re-enters the loop scaffold); a no-progress return means
+// the span starts with an instruction only the interpreter handles —
+// fall through and interpret this segment.
+#define VM_TRY_JIT(NEXT)                                          \
+  if constexpr (!Hooked) {                                        \
+    if (jitEnter != nullptr && !timesOut) {                       \
+      jctx.pc = pc;                                               \
+      jctx.count = count;                                         \
+      jctx.flags = flags;                                         \
+      jctx.dirtyLo = dirtyLo_;                                    \
+      jctx.stackLo = stackLo_;                                    \
+      if (fiRuntime_ != nullptr) {                                \
+        jctx.fiCount = &fiRuntime_->fiCount;                      \
+        jctx.fiTrigger = fiRuntime_->fiTrigger;                   \
+      } else {                                                    \
+        jctx.fiCount = &jitDummyFiCount_;                         \
+        jctx.fiTrigger = ~0ULL;                                   \
+      }                                                           \
+      jitInvoke(jitEnter, &jctx, jitTable[pc]);                   \
+      if (jctx.count != count) {                                  \
+        jitCount_ += jctx.count - count;                          \
+        pc = jctx.pc;                                             \
+        count = jctx.count;                                       \
+        flags = static_cast<std::uint8_t>(jctx.flags);            \
+        dirtyLo_ = jctx.dirtyLo;                                  \
+        stackLo_ = jctx.stackLo;                                  \
+        if (trap_ != Trap::None) goto sync; /* syscall trapped */ \
+        NEXT;                                                     \
+      }                                                           \
+    }                                                             \
+  }
+
   const auto intFlags = [](u64 result) noexcept -> std::uint8_t {
     const i64 s = static_cast<i64>(result);
     return s == 0 ? backend::kFlagEQ
@@ -302,7 +371,13 @@ void Machine::execLoop() {
                   : (a < b ? backend::kFlagLT : backend::kFlagGT);
   };
 
-#if defined(__GNUC__) || defined(__clang__)
+// REFINE_VM_FORCE_SWITCH exists so CI/tests can exercise the portable
+// switch scaffold on compilers that would otherwise always take the
+// computed-goto path (both scaffolds share the opcode bodies AND the
+// compiled-tier entry glue, so both need coverage).
+#if defined(REFINE_VM_FORCE_SWITCH)
+#define REFINE_VM_COMPUTED_GOTO 0
+#elif defined(__GNUC__) || defined(__clang__)
 #define REFINE_VM_COMPUTED_GOTO 1
 #else
 #define REFINE_VM_COMPUTED_GOTO 0
@@ -406,6 +481,7 @@ spanStart:
     timesOut = n > headroom;
     if (timesOut) n = headroom;
   }
+  VM_TRY_JIT(goto spanStart)
   i = 0;
   VM_FETCH();
 
@@ -428,6 +504,7 @@ spanStart:
       timesOut = n > headroom;
       if (timesOut) n = headroom;
     }
+    VM_TRY_JIT(continue)
     for (i = 0; i < n; ++i) {
       di = code + pc;
       thisPc = pc;
@@ -804,6 +881,7 @@ spanEnd:
 #undef VM_NEXT_OP
 #if REFINE_VM_COMPUTED_GOTO
 #undef VM_FETCH
+#undef VM_TRY_JIT
 #endif
 #undef REFINE_VM_COMPUTED_GOTO
 
@@ -827,6 +905,7 @@ ExecResult Machine::finish() {
   ExecResult result;
   result.output = std::move(output_);
   result.instrCount = count_;
+  result.jitInstrCount = jitCount_;
   if (golden_ != nullptr) {
     result.goldenBound = true;
     // Divergence = any mismatched/extra byte seen while streaming, or a
@@ -953,6 +1032,7 @@ std::uint64_t Machine::rebase(const Snapshot& snap) {
   started_ = true;
   hook_ = nullptr;
   fiRuntime_ = nullptr;
+  jitCount_ = 0;
   return restored;
 }
 

@@ -66,6 +66,10 @@ struct ExecResult {
   std::int64_t exitCode = 0;
   std::string output;
   std::uint64_t instrCount = 0;  // all executed instructions
+  /// Instructions executed by the compiled tier (vm/jit.h); 0 on a pure
+  /// interpreter run. Always <= instrCount; purely a performance metric —
+  /// architectural results are bit-identical across tiers.
+  std::uint64_t jitInstrCount = 0;
   /// Streaming golden comparison (Machine::bindGolden). When a golden was
   /// bound, `output` stays empty and `diverged` answers "did the produced
   /// bytes differ from the golden output?" (including missing or extra
@@ -75,6 +79,7 @@ struct ExecResult {
 };
 
 class Machine;
+class JitProgram;
 
 /// The fault-injection control library interface (paper Sec. 4.2.4): the
 /// REFINE-instrumented binary checks in after every instrumented
@@ -124,6 +129,18 @@ class Machine {
 
   /// FI runtime library used by FICHECK/SETUPFI instrumentation.
   void setFiRuntime(FiRuntime* runtime) noexcept { fiRuntime_ = runtime; }
+
+  /// Attaches (or with nullptr detaches) the compiled execution tier. `jit`
+  /// must have been built over this machine's DecodedProgram and outlive the
+  /// machine (or the next rebind/setJit). The unhooked run loop then enters
+  /// compiled spans and deopts back at every observable boundary; results
+  /// are bit-identical to the interpreter (tests/jit_test.cpp). Survives
+  /// reset()/beginTrial(); cleared by rebind().
+  void setJit(const JitProgram* jit);
+
+  /// Instructions the compiled tier executed since the last rewind (the
+  /// compiled-coverage numerator; also reported in ExecResult).
+  std::uint64_t jitInstrCount() const noexcept { return jitCount_; }
 
   /// Runs from the program entry until halt, trap or budget exhaustion.
   /// Only valid on a machine that has not executed yet (fresh, reset() or
@@ -270,9 +287,19 @@ class Machine {
   bool started_ = false;
   InstrHook hook_;
   FiRuntime* fiRuntime_ = nullptr;
+  /// Compiled execution tier (optional; see setJit). The machine only
+  /// engages it in the unhooked loop, and only when FICHECK instrumentation
+  /// has a runtime to report to.
+  const JitProgram* jit_ = nullptr;
+  std::uint64_t jitCount_ = 0;
+  /// FICHECK counter target for compiled code when no FiRuntime is attached
+  /// (programs without instrumentation never read it).
+  std::uint64_t jitDummyFiCount_ = 0;
 
   static constexpr std::uint64_t kHaltAddress = ~0ULL;
   static constexpr unsigned kSpSlot = 15;  // r15 in the unified file
+
+  friend struct JitShims;  // compiled code's syscall trampoline (jit.cpp)
 };
 
 }  // namespace refine::vm

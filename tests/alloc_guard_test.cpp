@@ -13,7 +13,12 @@
 //   * FaultRecord reuse keeps function-name strings inside the small-string
 //     optimization — the test app's function names are deliberately short;
 //     a >15-char name would cost one allocation per triggered trial and
-//     fail this guard.
+//     fail this guard,
+//   * the compiled execution tier (vm/jit.h) allocates only at its one-time
+//     lazy compile — on the first warm-up trial, before the guarded
+//     window — so steady-state trials stay allocation-free with native
+//     code engaged (the guard pins the tier on explicitly and asserts it
+//     actually executed instructions inside the measured window).
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -27,6 +32,7 @@
 #include "campaign/scratch.h"
 #include "campaign/tools.h"
 #include "support/rng.h"
+#include "vm/jit.h"
 
 namespace {
 
@@ -92,6 +98,9 @@ TEST(AllocGuard, SteadyStateTrialsAllocateNothingPerTool) {
   for (const char* tool : {"LLFI", "REFINE", "PINFI"}) {
     auto instance = campaign::InjectorRegistry::global().get(tool).create(
         kGuardSource, fi::FiConfig::allOn());
+    // Explicitly engage the compiled tier: its code-cache fill must happen
+    // on the first warm-up trial, never inside the guarded window.
+    instance->setExecTier(true);
     const auto& profile = instance->profile();
     ASSERT_GT(profile.dynamicTargets, 8u) << tool;
     ASSERT_FALSE(instance->snapshots().empty())
@@ -121,9 +130,11 @@ TEST(AllocGuard, SteadyStateTrialsAllocateNothingPerTool) {
     const std::uint64_t before =
         gAllocCount.load(std::memory_order_relaxed);
     std::uint64_t outcomes[3] = {0, 0, 0};
+    std::uint64_t steadyJitInstrs = 0;
     for (std::size_t i = 32; i < draws.size(); ++i) {
       const auto& t =
           instance->runTrial(draws[i].target, draws[i].seed, budget, scratch);
+      steadyJitInstrs += t.exec.jitInstrCount;
       ++outcomes[static_cast<int>(
           campaign::classify(t.exec, profile.goldenOutput))];
     }
@@ -135,6 +146,10 @@ TEST(AllocGuard, SteadyStateTrialsAllocateNothingPerTool) {
     // Sanity: the measured window really was the production path.
     EXPECT_GT(warmFastForwarded, 0u) << tool;
     EXPECT_GT(outcomes[0] + outcomes[1] + outcomes[2], 0u);
+    if (vm::JitProgram::supported()) {
+      EXPECT_GT(steadyJitInstrs, 0u)
+          << tool << ": zero-alloc window never ran compiled code";
+    }
   }
 }
 

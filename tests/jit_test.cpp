@@ -1,0 +1,358 @@
+// Differential proof obligation of the compiled execution tier (vm/jit.h):
+// every observable result must be bit-identical to the interpreter.
+//
+// Three layers of evidence:
+//   * a machine-level corpus (including traps raised INSIDE compiled spans:
+//     division, out-of-bounds stores, stack overflow) compared field by
+//     field at both opt levels,
+//   * an instruction-budget sweep proving timeouts fire at the exact
+//     per-step index the interpreter's span-amortized check produces —
+//     including budgets that land mid-span, where the compiled tier must
+//     deopt and let the interpreter replay the partial span,
+//   * the full 14-app x 3-tool campaign matrix: compiled-tier fast-forward
+//     trials vs interpreter cold starts (exec result, outcome class,
+//     FaultRecord, instrCount), which also exercises deopt-at-FICHECK
+//     trigger on every REFINE trial.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "backend/compile.h"
+#include "campaign/outcome.h"
+#include "campaign/registry.h"
+#include "campaign/runner.h"
+#include "campaign/scratch.h"
+#include "campaign/tools.h"
+#include "frontend/compile.h"
+#include "opt/passes.h"
+#include "support/rng.h"
+#include "vm/decoded.h"
+#include "vm/jit.h"
+#include "vm/machine.h"
+
+namespace refine {
+namespace {
+
+bool tierAvailable() { return vm::JitProgram::supported(); }
+
+void expectSameExec(const vm::ExecResult& interp, const vm::ExecResult& jit,
+                    const std::string& label) {
+  EXPECT_EQ(interp.trapped, jit.trapped) << label;
+  EXPECT_EQ(static_cast<int>(interp.trap), static_cast<int>(jit.trap))
+      << label;
+  EXPECT_EQ(interp.exitCode, jit.exitCode) << label;
+  EXPECT_EQ(interp.output, jit.output) << label;
+  EXPECT_EQ(interp.instrCount, jit.instrCount) << label;
+  EXPECT_EQ(interp.goldenBound, jit.goldenBound) << label;
+  EXPECT_EQ(interp.diverged, jit.diverged) << label;
+  EXPECT_LE(jit.jitInstrCount, jit.instrCount) << label;
+  EXPECT_EQ(interp.jitInstrCount, 0u) << label << ": reference ran compiled";
+}
+
+// ---------------------------------------------------------------------------
+// Machine-level corpus: interpreter vs compiled tier on the same decode
+// ---------------------------------------------------------------------------
+
+struct DiffCase {
+  const char* name;
+  const char* source;
+};
+
+// Control flow, FP, memory, calls — plus cases whose whole point is to trap
+// in the middle of a compiled span.
+const DiffCase kJitCases[] = {
+    {"arith", "fn main() -> i64 { return ((12345 * 678) % 1000003) ^ 255; }"},
+    {"fp_pipeline",
+     "fn main() -> i64 { var x: f64 = 1.0;"
+     " for (var i: i64 = 1; i < 400; i = i + 1) {"
+     "   x = x * 1.01 + sqrt(f64(i)) - log(f64(i) + 1.0); }"
+     " print_f64(x); return 0; }"},
+    {"minmax_csel",
+     "var d: f64[50];\n"
+     "fn main() -> i64 {"
+     " for (var i: i64 = 0; i < 50; i = i + 1) { d[i] = sin(f64(i) * 0.7); }"
+     " var lo: f64 = d[0]; var hi: f64 = d[0];"
+     " for (var i: i64 = 1; i < 50; i = i + 1) {"
+     "   var x: f64 = d[i];"
+     "   if (x < lo) { lo = x; } else { lo = lo; }"
+     "   if (x > hi) { hi = x; } else { hi = hi; }"
+     " } print_f64(lo); print_f64(hi); return 0; }"},
+    {"calls_and_recursion",
+     "fn a(x: i64) -> i64 { return x + 1; }\n"
+     "fn walk(n: i64) -> i64 {"
+     "  var pad: i64[6];"
+     "  pad[0] = n; pad[5] = n * 2;"
+     "  if (n == 0) { return 0; }"
+     "  return pad[0] + pad[5] + walk(n - 1); }\n"
+     "fn main() -> i64 { return walk(40) + a(a(0)); }"},
+    {"memory_stencil",
+     "var grid: f64[400];\n"
+     "fn main() -> i64 {"
+     " for (var i: i64 = 0; i < 400; i = i + 1) { grid[i] = f64(i % 7); }"
+     " for (var t: i64 = 0; t < 10; t = t + 1) {"
+     "   for (var i: i64 = 1; i < 399; i = i + 1) {"
+     "     grid[i] = 0.25 * grid[i - 1] + 0.5 * grid[i] + 0.25 * grid[i + 1];"
+     "   }"
+     " }"
+     " var s: f64 = 0.0;"
+     " for (var i: i64 = 0; i < 400; i = i + 1) { s = s + grid[i]; }"
+     " print_f64(s); return 0; }"},
+    {"shifts_and_bits",
+     "fn main() -> i64 { var acc: i64 = 0; var x: i64 = 0 - 12345;"
+     " for (var i: i64 = 0; i < 70; i = i + 1) {"
+     "   acc = acc + ((x << (i % 64)) ^ (x >> (i % 64))) + (acc & x) - "
+     "(acc | i);"
+     " } return acc; }"},
+    {"casts_everywhere",
+     "fn main() -> i64 { var acc: f64 = 0.0;"
+     " for (var i: i64 = -20; i < 20; i = i + 1) {"
+     "   acc = acc + f64(i) * 0.5 + f64(i64(f64(i) * 0.3));"
+     " } return i64(acc); }"},
+    // Trap inside a compiled span: the divisor becomes zero only on the
+    // last iteration, so compiled code has been executing this span hot.
+    {"trap_divzero_hot",
+     "fn main() -> i64 { var s: i64 = 0;"
+     " for (var i: i64 = 10; i > -1; i = i - 1) { s = s + 1000 / i; }"
+     " return s; }"},
+    {"trap_modzero_hot",
+     "fn main() -> i64 { var s: i64 = 0;"
+     " for (var i: i64 = 5; i > -1; i = i - 1) { s = s + 1000 % i; }"
+     " return s; }"},
+    // INT64_MIN / -1 would fault host idiv; the tier must deopt and match
+    // whatever the interpreter defines.
+    {"trap_intmin_div",
+     "fn main() -> i64 { var a: i64 = 1;"
+     " for (var i: i64 = 0; i < 63; i = i + 1) { a = a * 2; }"
+     " var m: i64 = 0 - 1; return a / m; }"},
+    // Out-of-bounds store mid-loop (globals segment).
+    {"trap_oob_store",
+     "var a: f64[4];\n"
+     "fn main() -> i64 {"
+     " for (var i: i64 = 0; i < 100; i = i + 1) { a[i] = f64(i); }"
+     " return 0; }"},
+    // Stack overflow through deep recursion: the failing push must leave
+    // identical partial state (sp already moved) in both tiers.
+    {"trap_stack_overflow",
+     "fn f(n: i64) -> i64 { if (n == 0) { return 0; }"
+     " return 1 + f(n - 1); }\n"
+     "fn main() -> i64 { return f(100000000); }"},
+};
+
+using JitDiffParam = std::tuple<DiffCase, opt::OptLevel>;
+
+class JitVsInterp : public ::testing::TestWithParam<JitDiffParam> {};
+
+TEST_P(JitVsInterp, BitIdenticalResults) {
+  const auto& [diffCase, level] = GetParam();
+  auto module = fe::compileToIR(diffCase.source);
+  opt::optimize(*module, level);
+  auto compiled = backend::compileBackend(*module);
+  vm::DecodedProgram decoded(compiled.program);
+  vm::JitProgram jit(decoded);
+
+  vm::Machine interp(compiled.program, decoded);
+  const auto ref = interp.run(500'000'000);
+
+  vm::Machine native(compiled.program, decoded);
+  native.setJit(&jit);
+  const auto got = native.run(500'000'000);
+
+  expectSameExec(ref, got, diffCase.name);
+  if (tierAvailable() && !ref.trapped) {
+    EXPECT_GT(got.jitInstrCount, 0u)
+        << diffCase.name << ": compiled tier never engaged";
+  }
+}
+
+std::string jitParamName(const ::testing::TestParamInfo<JitDiffParam>& info) {
+  return std::string(std::get<0>(info.param).name) +
+         (std::get<1>(info.param) == opt::OptLevel::O0 ? "_O0" : "_O2");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, JitVsInterp,
+    ::testing::Combine(::testing::ValuesIn(kJitCases),
+                       ::testing::Values(opt::OptLevel::O0, opt::OptLevel::O2)),
+    jitParamName);
+
+// ---------------------------------------------------------------------------
+// Timeout at the exact per-step index, including budgets landing mid-span
+// ---------------------------------------------------------------------------
+
+TEST(JitTimeout, FiresAtExactInstructionIndex) {
+  const char* source =
+      "fn kern(x: i64) -> i64 {\n"
+      "  var acc: i64 = x;\n"
+      "  for (var i: i64 = 0; i < 40; i = i + 1) {\n"
+      "    acc = (acc * 31 + i) % 1000003;\n"
+      "  }\n"
+      "  return acc;\n"
+      "}\n"
+      "fn main() -> i64 {\n"
+      "  var acc: i64 = 0;\n"
+      "  var f: f64 = 1.0;\n"
+      "  for (var i: i64 = 0; i < 25; i = i + 1) {\n"
+      "    acc = kern(acc + i);\n"
+      "    f = f * 1.000001 + 0.5;\n"
+      "    if (i % 8 == 0) { print_i64(acc); print_f64(f); }\n"
+      "  }\n"
+      "  print_i64(acc);\n"
+      "  return 0;\n"
+      "}\n";
+  auto module = fe::compileToIR(source);
+  opt::optimize(*module, opt::OptLevel::O2);
+  auto compiled = backend::compileBackend(*module);
+  vm::DecodedProgram decoded(compiled.program);
+  vm::JitProgram jit(decoded);
+
+  vm::Machine probe(compiled.program, decoded);
+  const auto full = probe.run(500'000'000);
+  ASSERT_FALSE(full.trapped);
+  const std::uint64_t n = full.instrCount;
+  ASSERT_GT(n, 200u);
+
+  std::vector<std::uint64_t> budgets;
+  for (std::uint64_t b = 0; b <= 48; ++b) budgets.push_back(b);
+  for (std::uint64_t b = n - 48; b <= n + 2; ++b) budgets.push_back(b);
+  // Budgets spread across the run: most land mid-span, so the compiled
+  // tier must hand the final partial span back to the interpreter.
+  for (int k = 1; k <= 32; ++k)
+    budgets.push_back(49 + (n - 100) * static_cast<std::uint64_t>(k) / 33);
+
+  std::uint64_t jitTotal = 0;
+  for (const std::uint64_t budget : budgets) {
+    vm::Machine interp(compiled.program, decoded);
+    const auto ref = interp.run(budget);
+
+    vm::Machine native(compiled.program, decoded);
+    native.setJit(&jit);
+    const auto got = native.run(budget);
+
+    expectSameExec(ref, got, "budget=" + std::to_string(budget));
+    if (budget < n) {
+      EXPECT_TRUE(got.trapped) << budget;
+      // The interpreter counts the instruction whose execution crossed the
+      // budget (spanEnd does ++count before fail(Timeout)); the tier must
+      // land on the identical index even when the budget falls mid-span.
+      EXPECT_EQ(got.instrCount, budget + 1)
+          << "timeout must stop at the exact instruction index";
+    } else {
+      EXPECT_FALSE(got.trapped) << budget;
+    }
+    jitTotal += got.jitInstrCount;
+  }
+  if (tierAvailable()) EXPECT_GT(jitTotal, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign matrix: compiled-tier trials vs interpreter cold starts
+// ---------------------------------------------------------------------------
+
+void expectSameTrial(const campaign::Trial& ref, const campaign::Trial& got,
+                     const std::string& golden, const std::string& label) {
+  expectSameExec(ref.exec, got.exec, label);
+  EXPECT_EQ(static_cast<int>(campaign::classify(ref.exec, golden)),
+            static_cast<int>(campaign::classify(got.exec, golden)))
+      << label;
+  ASSERT_EQ(ref.fault.has_value(), got.fault.has_value()) << label;
+  if (ref.fault.has_value()) {
+    EXPECT_EQ(ref.fault->dynamicIndex, got.fault->dynamicIndex) << label;
+    EXPECT_EQ(ref.fault->siteId, got.fault->siteId) << label;
+    EXPECT_EQ(ref.fault->function, got.fault->function) << label;
+    EXPECT_EQ(ref.fault->operandIndex, got.fault->operandIndex) << label;
+    EXPECT_EQ(static_cast<int>(ref.fault->operandKind),
+              static_cast<int>(got.fault->operandKind))
+        << label;
+    EXPECT_EQ(ref.fault->bit, got.fault->bit) << label;
+    EXPECT_EQ(ref.fault->mask, got.fault->mask) << label;
+  }
+}
+
+TEST(JitCampaign, TierMatchesInterpreterColdPerAppAndTool) {
+  constexpr std::size_t kTrialsPerPair = 8;
+  std::uint64_t jitTotal = 0;
+  std::uint64_t outcomes[3] = {0, 0, 0};
+
+  for (const auto& app : apps::benchmarkApps()) {
+    for (const char* tool : {"LLFI", "REFINE", "PINFI"}) {
+      auto instance = campaign::InjectorRegistry::global().get(tool).create(
+          app.source, fi::FiConfig::allOn());
+      const auto& profile = instance->profile();
+      ASSERT_GT(profile.dynamicTargets, 0u) << app.name << "/" << tool;
+      const std::uint64_t budget = 10 * profile.instrCount;
+
+      std::vector<campaign::TrialDraw> draws;
+      campaign::drawTrialChunk(campaign::CampaignConfig{}.baseSeed,
+                               fnv1a(app.name),
+                               campaign::injectorSeedKey(tool),
+                               profile.dynamicTargets, 0, kTrialsPerPair,
+                               draws);
+
+      for (const auto& draw : draws) {
+        const std::string label =
+            app.name + "/" + tool + " target=" + std::to_string(draw.target) +
+            " seed=" + std::to_string(draw.seed);
+
+        // Reference: interpreter, cold start (no snapshot fast-forward).
+        instance->setExecTier(false);
+        instance->setFastForward(false);
+        const campaign::Trial ref =
+            instance->runTrial(draw.target, draw.seed, budget);
+        EXPECT_EQ(ref.exec.jitInstrCount, 0u) << label;
+
+        // Candidate: compiled tier, production fast-forward path.
+        instance->setExecTier(true);
+        instance->setFastForward(true);
+        const campaign::Trial got =
+            instance->runTrial(draw.target, draw.seed, budget);
+
+        expectSameTrial(ref, got, profile.goldenOutput, label);
+        jitTotal += got.exec.jitInstrCount;
+        ++outcomes[static_cast<int>(
+            campaign::classify(got.exec, profile.goldenOutput))];
+      }
+    }
+  }
+
+  if (tierAvailable()) {
+    EXPECT_GT(jitTotal, 0u) << "compiled tier never engaged in any trial";
+  }
+  // The matrix must have exercised traps inside compiled code (Crash) and
+  // clean continuations (Benign/SOC) alike, or the differential is hollow.
+  EXPECT_GT(outcomes[static_cast<int>(campaign::Outcome::Crash)], 0u);
+  EXPECT_GT(outcomes[static_cast<int>(campaign::Outcome::Benign)] +
+                outcomes[static_cast<int>(campaign::Outcome::SOC)],
+            0u);
+}
+
+// ---------------------------------------------------------------------------
+// Tier knob plumbing
+// ---------------------------------------------------------------------------
+
+TEST(JitKnob, ModeOverridesAndInstanceOverrides) {
+  const vm::ExecTierMode saved = vm::execTierMode();
+  vm::setExecTierMode(vm::ExecTierMode::Off);
+  EXPECT_FALSE(vm::execTierEnabled());
+  vm::setExecTierMode(vm::ExecTierMode::On);
+  EXPECT_EQ(vm::execTierEnabled(), vm::JitProgram::supported());
+
+  // Instance override beats the process-wide mode in both directions.
+  auto instance = campaign::InjectorRegistry::global().get("LLFI").create(
+      "fn main() -> i64 { var s: i64 = 0;"
+      " for (var i: i64 = 0; i < 10; i = i + 1) { s = s + i; }"
+      " return s; }",
+      fi::FiConfig::allOn());
+  vm::setExecTierMode(vm::ExecTierMode::Off);
+  EXPECT_FALSE(instance->execTierEnabled());
+  instance->setExecTier(true);
+  EXPECT_TRUE(instance->execTierEnabled());
+  instance->clearExecTierOverride();
+  EXPECT_FALSE(instance->execTierEnabled());
+  vm::setExecTierMode(saved);
+}
+
+}  // namespace
+}  // namespace refine
