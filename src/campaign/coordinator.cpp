@@ -1,0 +1,529 @@
+#include "campaign/coordinator.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <poll.h>
+#include <utility>
+
+#include "campaign/report.h"
+#include "support/check.h"
+#include "support/socket.h"
+#include "support/strings.h"
+
+namespace refine::campaign {
+
+namespace {
+
+double steadySeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Coordinator core (I/O-free)
+// ---------------------------------------------------------------------------
+
+Coordinator::Coordinator(CoordinatorConfig config, CheckpointStore& store,
+                         double now)
+    : config_(std::move(config)), store_(store), startTime_(now) {
+  RF_CHECK(!config_.apps.empty(), "a campaign needs at least one app");
+  RF_CHECK(!config_.tools.empty(), "a campaign needs at least one tool");
+  RF_CHECK(config_.leaseCount >= 1, "lease count must be at least 1");
+  RF_CHECK(config_.trials >= 1, "trials must be at least 1");
+  RF_CHECK(config_.heartbeatTimeout > 0, "heartbeat timeout must be > 0");
+
+  // Canonical cell order: apps outer, tools inner — identical to the job
+  // list every worker reconstructs from a grant, so lease L's shard slice
+  // means the same cells on every host.
+  for (const auto& app : config_.apps) {
+    for (const auto& tool : config_.tools) {
+      cells_.emplace_back(app, tool);
+    }
+  }
+
+  // Bind the store to this campaign before trusting (or ingesting) any
+  // record — the same derivation CampaignEngine::runMatrix uses, so the
+  // coordinator store merges interchangeably with manual shard stores.
+  for (const auto& tool : config_.tools) {
+    RF_CHECK(tool.find_first_of(" \t\n\r;") == std::string::npos,
+             "tool key '" + tool + "' cannot be bound into checkpoint meta");
+  }
+  store_.bindCampaign({config_.baseSeed, config_.trials,
+                       config_.timeoutFactor, join(config_.tools, ";")});
+  for (const auto& record : store_.records()) {
+    RF_CHECK(record.counts.total() == config_.trials,
+             "checkpoint " + store_.path() + " holds " +
+                 std::to_string(record.counts.total()) +
+                 " trials for cell " + record.app + " x " + record.tool +
+                 " but this campaign runs " + std::to_string(config_.trials));
+  }
+
+  leases_.resize(config_.leaseCount);
+  for (std::uint32_t l = 0; l < config_.leaseCount; ++l) {
+    Lease& lease = leases_[l];
+    lease.shard = ShardSpec{l, config_.leaseCount};
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      if (lease.shard.contains(i)) lease.cells.push_back(i);
+    }
+    // A restarted coordinator resumes: leases already fully on disk (and
+    // leases with no cells at all, when leaseCount > cells) start out Done.
+    if (leaseComplete(lease)) lease.state = LeaseState::Done;
+  }
+}
+
+bool Coordinator::leaseComplete(const Lease& lease) const {
+  return std::all_of(lease.cells.begin(), lease.cells.end(),
+                     [&](std::size_t cell) {
+                       return store_.contains(cells_[cell].first,
+                                              cells_[cell].second);
+                     });
+}
+
+std::uint64_t Coordinator::addWorker() {
+  ++workersConnected_;
+  return nextWorker_++;
+}
+
+void Coordinator::reissue(Lease& lease) {
+  lease.state = LeaseState::Unassigned;
+  lease.worker = 0;
+  ++lease.epoch;  // fences every in-flight message of the old holder
+  ++leaseReissues_;
+}
+
+std::size_t Coordinator::removeWorker(std::uint64_t worker, double) {
+  if (workersConnected_ > 0) --workersConnected_;
+  std::size_t reclaimed = 0;
+  for (Lease& lease : leases_) {
+    if (lease.state == LeaseState::Active && lease.worker == worker) {
+      reissue(lease);
+      ++reclaimed;
+    }
+  }
+  return reclaimed;
+}
+
+Coordinator::RequestReply Coordinator::onRequest(std::uint64_t worker,
+                                                 double now) {
+  if (complete()) return {RequestKind::Complete, {}};
+  for (std::size_t l = 0; l < leases_.size(); ++l) {
+    Lease& lease = leases_[l];
+    if (lease.state != LeaseState::Unassigned) continue;
+    lease.state = LeaseState::Active;
+    lease.worker = worker;
+    lease.lastTraffic = now;
+
+    LeaseGrant grant;
+    grant.leaseId = l;
+    grant.epoch = lease.epoch;
+    grant.shard = lease.shard;
+    grant.baseSeed = config_.baseSeed;
+    grant.trials = config_.trials;
+    grant.timeoutFactor = config_.timeoutFactor;
+    grant.heartbeatTimeout = config_.heartbeatTimeout;
+    grant.apps = config_.apps;
+    grant.tools = config_.tools;
+    return {RequestKind::Grant, std::move(grant)};
+  }
+  return {RequestKind::Wait, {}};
+}
+
+Coordinator::Lease* Coordinator::fence(std::uint64_t worker,
+                                       const LeaseRef& ref) {
+  if (ref.leaseId >= leases_.size()) return nullptr;
+  Lease& lease = leases_[ref.leaseId];
+  if (lease.state != LeaseState::Active || lease.worker != worker ||
+      lease.epoch != ref.epoch) {
+    return nullptr;
+  }
+  return &lease;
+}
+
+Coordinator::Ingest Coordinator::onRecord(std::uint64_t worker,
+                                          std::string_view payload,
+                                          double now) {
+  const auto decoded = decodeRecord(payload);
+  if (!decoded) {
+    ++corruptRecords_;
+    return Ingest::Corrupt;
+  }
+  const auto record = CheckpointStore::decode(decoded->line);
+  if (!record) {
+    ++corruptRecords_;
+    return Ingest::Corrupt;
+  }
+  Lease* lease = fence(worker, decoded->ref);
+  if (lease == nullptr) {
+    // A zombie holder of a re-issued lease: its records are (by the
+    // determinism contract) identical to the new holder's, but accepting
+    // them would launder unverifiable traffic — drop and count instead.
+    ++staleRecords_;
+    return Ingest::Stale;
+  }
+  lease->lastTraffic = now;
+
+  RF_CHECK(record->counts.total() == config_.trials,
+           "worker streamed " + std::to_string(record->counts.total()) +
+               " trials for cell " + record->app + " x " + record->tool +
+               " but this campaign runs " + std::to_string(config_.trials));
+
+  if (const CampaignResult* existing =
+          store_.find(record->app, record->tool)) {
+    // Same dedup rule as mergeCheckpoints: duplicates must agree on every
+    // deterministic field; wall time is measurement, not contract.
+    RF_CHECK(existing->counts == record->counts &&
+                 existing->dynamicTargets == record->dynamicTargets &&
+                 existing->profileInstrs == record->profileInstrs &&
+                 existing->binarySize == record->binarySize,
+             "conflicting duplicate for cell " + record->app + " x " +
+                 record->tool +
+                 " (a worker disagrees with the stored deterministic "
+                 "fields — determinism contract broken)");
+    return Ingest::Duplicate;
+  }
+  store_.append(*record);
+  trialsIngested_ += record->counts.total();
+  return Ingest::Accepted;
+}
+
+bool Coordinator::onHeartbeat(std::uint64_t worker, std::string_view payload,
+                              double now) {
+  const auto ref = decodeLeaseRef(payload);
+  if (!ref) return false;
+  Lease* lease = fence(worker, *ref);
+  if (lease == nullptr) return false;
+  lease->lastTraffic = now;
+  return true;
+}
+
+Coordinator::DoneResult Coordinator::onLeaseDone(std::uint64_t worker,
+                                                 std::string_view payload,
+                                                 double) {
+  const auto ref = decodeLeaseRef(payload);
+  if (!ref) return DoneResult::Stale;
+  Lease* lease = fence(worker, *ref);
+  if (lease == nullptr) return DoneResult::Stale;
+  if (!leaseComplete(*lease)) {
+    // Records precede LeaseDone in the protocol; a hand-back with cells
+    // missing means frames were lost or the worker misbehaved. Re-issue
+    // instead of trusting it.
+    reissue(*lease);
+    return DoneResult::Incomplete;
+  }
+  lease->state = LeaseState::Done;
+  lease->worker = 0;
+  return DoneResult::Ok;
+}
+
+std::vector<std::uint64_t> Coordinator::checkExpiry(double now) {
+  std::vector<std::uint64_t> reissued;
+  for (std::size_t l = 0; l < leases_.size(); ++l) {
+    Lease& lease = leases_[l];
+    if (lease.state == LeaseState::Active &&
+        now - lease.lastTraffic > config_.heartbeatTimeout) {
+      reissue(lease);
+      reissued.push_back(l);
+    }
+  }
+  return reissued;
+}
+
+bool Coordinator::complete() const noexcept {
+  return std::all_of(leases_.begin(), leases_.end(), [](const Lease& lease) {
+    return lease.state == LeaseState::Done;
+  });
+}
+
+std::size_t Coordinator::cellsDone() const noexcept {
+  return store_.records().size();
+}
+
+std::string Coordinator::statusJson(double now) const {
+  std::size_t unassigned = 0, active = 0, done = 0;
+  for (const Lease& lease : leases_) {
+    switch (lease.state) {
+      case LeaseState::Unassigned: ++unassigned; break;
+      case LeaseState::Active: ++active; break;
+      case LeaseState::Done: ++done; break;
+    }
+  }
+
+  // Per-tool outcome aggregates over everything ingested so far (including
+  // cells resumed from a pre-existing store: they are campaign progress).
+  std::map<std::string, OutcomeCounts> perTool;
+  std::uint64_t trialsDone = 0;
+  for (const auto& record : store_.records()) {
+    perTool[record.tool] += record.counts;
+    trialsDone += record.counts.total();
+  }
+
+  const double elapsed = std::max(now - startTime_, 0.0);
+  const double trialsPerSec =
+      elapsed > 0 ? static_cast<double>(trialsIngested_) / elapsed : 0.0;
+
+  std::string perToolJson;
+  for (const auto& tool : config_.tools) {
+    const OutcomeCounts counts = perTool.count(tool) ? perTool.at(tool)
+                                                     : OutcomeCounts{};
+    if (!perToolJson.empty()) perToolJson += ',';
+    perToolJson += strf("\"%s\":{\"crash\":%llu,\"soc\":%llu,\"benign\":%llu}",
+                        tool.c_str(),
+                        static_cast<unsigned long long>(counts.crash),
+                        static_cast<unsigned long long>(counts.soc),
+                        static_cast<unsigned long long>(counts.benign));
+  }
+
+  return strf(
+      "{\"complete\":%s,\"cells_total\":%zu,\"cells_done\":%zu,"
+      "\"trials_total\":%llu,\"trials_done\":%llu,\"trials_per_sec\":%s,"
+      "\"elapsed_sec\":%s,\"workers\":%zu,\"leases_total\":%zu,"
+      "\"leases_unassigned\":%zu,\"leases_active\":%zu,\"leases_done\":%zu,"
+      "\"lease_reissues\":%llu,\"stale_records\":%llu,"
+      "\"corrupt_records\":%llu,\"per_tool\":{%s}}",
+      complete() ? "true" : "false", cells_.size(), cellsDone(),
+      static_cast<unsigned long long>(config_.trials * cells_.size()),
+      static_cast<unsigned long long>(trialsDone),
+      formatDouble(trialsPerSec).c_str(), formatDouble(elapsed).c_str(),
+      workersConnected_, leases_.size(), unassigned, active, done,
+      static_cast<unsigned long long>(leaseReissues_),
+      static_cast<unsigned long long>(staleRecords_),
+      static_cast<unsigned long long>(corruptRecords_), perToolJson.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Serving loop
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One accepted connection. A connection becomes a *worker* after a valid
+/// Hello; status clients never greet and only ever ask for status.
+struct Connection {
+  UniqueFd fd;
+  std::optional<std::uint64_t> worker;
+};
+
+void diag(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void diag(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::fputs("[refine-campaign] ", stderr);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+  va_end(args);
+}
+
+}  // namespace
+
+int serveCampaign(const ServeOptions& options) {
+  ListenSocket listener = tcpListen(options.port);
+  CheckpointStore store(options.checkpointPath);
+  if (!store.records().empty() || store.droppedRecords() > 0) {
+    diag("resuming from %s: %zu completed cell(s), %zu torn record(s) "
+         "dropped",
+         store.path().c_str(), store.records().size(),
+         store.droppedRecords());
+  }
+  Coordinator core(options.config, store, steadySeconds());
+
+  diag("serving on port %u: %zu cells, %u leases, %llu trials/cell, "
+       "heartbeat timeout %.1fs, checkpoint %s",
+       listener.port, core.cellsTotal(), options.config.leaseCount,
+       static_cast<unsigned long long>(options.config.trials),
+       options.config.heartbeatTimeout, options.checkpointPath.c_str());
+  if (options.onListening) options.onListening(listener.port);
+
+  std::vector<Connection> connections;
+  bool reportWritten = false;
+  double exitDeadline = 0.0;
+
+  auto dropConnection = [&](std::size_t index, double now,
+                            const char* why) {
+    Connection& conn = connections[index];
+    if (conn.worker) {
+      const std::size_t reclaimed = core.removeWorker(*conn.worker, now);
+      diag("worker %llu gone (%s)%s",
+           static_cast<unsigned long long>(*conn.worker), why,
+           reclaimed > 0 ? strf(", re-issuing %zu lease(s)", reclaimed)
+                               .c_str()
+                         : "");
+    }
+    connections.erase(connections.begin() + static_cast<std::ptrdiff_t>(index));
+  };
+
+  while (true) {
+    std::vector<pollfd> fds;
+    fds.push_back({listener.fd.get(), POLLIN, 0});
+    for (const Connection& conn : connections) {
+      fds.push_back({conn.fd.get(), POLLIN, 0});
+    }
+    // The timeout bounds how late a heartbeat expiry can be noticed.
+    const int rc = ::poll(fds.data(), fds.size(), 200);
+    RF_CHECK(rc >= 0 || errno == EINTR, "poll() failed");
+    double now = steadySeconds();
+
+    for (const std::uint64_t leaseId : core.checkExpiry(now)) {
+      diag("lease %llu missed its heartbeat deadline, re-issuing",
+           static_cast<unsigned long long>(leaseId));
+    }
+
+    if (fds[0].revents & POLLIN) {
+      connections.push_back({tcpAccept(listener.fd.get()), std::nullopt});
+    }
+
+    // Walk backwards so dropping a connection cannot shift unvisited ones.
+    for (std::size_t i = connections.size(); i-- > 0;) {
+      if (!(fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR))) continue;
+      Connection& conn = connections[i];
+      std::optional<Frame> frame;
+      try {
+        frame = readFrame(conn.fd.get());
+      } catch (const CheckError& e) {
+        // Torn mid-frame (a worker SIGKILLed mid-write) or garbage bytes:
+        // either way the stream is unusable — reclaim and move on.
+        now = steadySeconds();
+        diag("dropping connection: %s", e.what());
+        dropConnection(i, now, "bad stream");
+        continue;
+      }
+      now = steadySeconds();
+      if (!frame) {
+        dropConnection(i, now, "disconnected");
+        continue;
+      }
+
+      switch (frame->type) {
+        case MsgType::Hello:
+          if (frame->payload != kNetHello) {
+            writeFrame(conn.fd.get(), MsgType::Reject,
+                       strf("protocol mismatch: coordinator speaks '%.*s'",
+                            static_cast<int>(kNetHello.size()),
+                            kNetHello.data()));
+            dropConnection(i, now, "version mismatch");
+            break;
+          }
+          conn.worker = core.addWorker();
+          diag("worker %llu connected",
+               static_cast<unsigned long long>(*conn.worker));
+          break;
+
+        case MsgType::Request: {
+          if (!conn.worker) {
+            writeFrame(conn.fd.get(), MsgType::Reject, "Hello first");
+            dropConnection(i, now, "no hello");
+            break;
+          }
+          const auto reply = core.onRequest(*conn.worker, now);
+          switch (reply.kind) {
+            case Coordinator::RequestKind::Grant:
+              diag("lease %llu (epoch %llu, shard %u/%u) -> worker %llu",
+                   static_cast<unsigned long long>(reply.grant.leaseId),
+                   static_cast<unsigned long long>(reply.grant.epoch),
+                   reply.grant.shard.index, reply.grant.shard.count,
+                   static_cast<unsigned long long>(*conn.worker));
+              writeFrame(conn.fd.get(), MsgType::Grant,
+                         encodeGrant(reply.grant));
+              break;
+            case Coordinator::RequestKind::Wait:
+              writeFrame(conn.fd.get(), MsgType::Wait, "250");
+              break;
+            case Coordinator::RequestKind::Complete:
+              writeFrame(conn.fd.get(), MsgType::Complete, "");
+              break;
+          }
+          break;
+        }
+
+        case MsgType::Record: {
+          if (!conn.worker) break;
+          const auto result = core.onRecord(*conn.worker, frame->payload,
+                                            now);
+          if (result == Coordinator::Ingest::Accepted) {
+            diag("ingested cell %zu/%zu from worker %llu", core.cellsDone(),
+                 core.cellsTotal(),
+                 static_cast<unsigned long long>(*conn.worker));
+          } else if (result == Coordinator::Ingest::Stale) {
+            diag("fenced stale record from worker %llu (lease re-issued "
+                 "under a newer epoch)",
+                 static_cast<unsigned long long>(*conn.worker));
+          } else if (result == Coordinator::Ingest::Corrupt) {
+            diag("dropped corrupt record frame from worker %llu",
+                 static_cast<unsigned long long>(*conn.worker));
+          }
+          break;
+        }
+
+        case MsgType::Heartbeat:
+          if (conn.worker) core.onHeartbeat(*conn.worker, frame->payload, now);
+          break;
+
+        case MsgType::LeaseDone: {
+          if (!conn.worker) break;
+          const auto result =
+              core.onLeaseDone(*conn.worker, frame->payload, now);
+          if (result == Coordinator::DoneResult::Incomplete) {
+            diag("worker %llu handed back an incomplete lease; re-issuing",
+                 static_cast<unsigned long long>(*conn.worker));
+          }
+          break;
+        }
+
+        case MsgType::StatusRequest:
+          writeFrame(conn.fd.get(), MsgType::StatusReply,
+                     core.statusJson(now));
+          break;
+
+        default:
+          writeFrame(conn.fd.get(), MsgType::Reject,
+                     "unexpected message type");
+          dropConnection(i, now, "protocol violation");
+          break;
+      }
+    }
+
+    if (core.complete() && !reportWritten) {
+      // The acceptance property, held across the network boundary: the
+      // final report goes through the SAME meta-binding and sorted-merge
+      // path a manual shard merge takes, so it is byte-identical to a
+      // single-process run whatever happened to workers and leases.
+      std::size_t dropped = 0;
+      const auto merged =
+          mergeCheckpoints({options.checkpointPath}, &dropped);
+      RF_CHECK(dropped == 0, "coordinator store has torn records after a "
+                             "complete campaign");
+      const std::string report = countsCsv(merged);
+      if (options.reportPath) {
+        writeFile(*options.reportPath, report);
+      } else {
+        std::fputs(report.c_str(), stdout);
+      }
+      reportWritten = true;
+      exitDeadline = now + options.lingerSeconds;
+      diag("campaign complete: %zu cells, %llu re-issue(s), %llu stale "
+           "record(s) fenced; report %s",
+           core.cellsDone(),
+           static_cast<unsigned long long>(core.leaseReissues()),
+           static_cast<unsigned long long>(core.staleRecords()),
+           options.reportPath ? options.reportPath->c_str() : "-> stdout");
+    }
+
+    if (reportWritten) {
+      // Linger until every worker has drained (each exits on Complete and
+      // closes) or the grace period runs out — whichever comes first.
+      const bool workersLeft =
+          std::any_of(connections.begin(), connections.end(),
+                      [](const Connection& c) { return c.worker.has_value(); });
+      if (!workersLeft || now >= exitDeadline) break;
+    }
+  }
+  return 0;
+}
+
+}  // namespace refine::campaign

@@ -1,0 +1,181 @@
+// Campaign coordinator: shard leases, checkpoint ingest, live progress.
+//
+// `refine-campaign --serve PORT` turns the shard/checkpoint/merge machinery
+// into a service. The coordinator partitions the (apps x tools) job list
+// into `leaseCount` shard leases (lease L covers job indices i with
+// i % leaseCount == L — the exact ShardSpec arithmetic manual sharding
+// uses), hands leases to workers over the campaign/net.h protocol, ingests
+// each streamed cell record into a CheckpointStore, and re-issues leases
+// whose workers disconnect or miss heartbeats. The final report is produced
+// by mergeCheckpoints() + countsCsv() over that store — the same
+// meta-bound, sorted-merge path a manual shard merge takes — so it is
+// byte-identical to a single-process run regardless of worker count, worker
+// deaths or lease reassignment.
+//
+// Fencing and determinism:
+//   * Every re-issue bumps the lease's epoch. Records, heartbeats and
+//     hand-backs carrying a stale (lease, epoch) pair — a zombie worker
+//     that lost its lease but kept streaming — are counted and dropped.
+//   * Ingest validates each record with CheckpointStore::decode (checksum
+//     and all), deduplicates by (app, tool), and verifies duplicates agree
+//     on every deterministic field exactly as mergeCheckpoints does; a
+//     conflicting duplicate throws, because it would mean the determinism
+//     contract broke somewhere.
+//   * The store is meta-bound to (seed, trials, timeout, tool specs) before
+//     anything is ingested, so a coordinator restarted on an existing
+//     checkpoint resumes — leases whose cells are already all on disk start
+//     out Done and are never handed out.
+//
+// The Coordinator class is an I/O-free state machine: every method takes
+// the current monotonic time as a parameter and no method blocks, sleeps or
+// touches a socket. serveCampaign() drives it from a poll() loop; the
+// protocol tests drive it with a hand-rolled clock, so heartbeat-expiry
+// reassignment is tested without real sleeps.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/net.h"
+#include "campaign/persist.h"
+
+namespace refine::campaign {
+
+struct CoordinatorConfig {
+  std::vector<std::string> apps;   // matrix order (apps outer, tools inner)
+  std::vector<std::string> tools;  // canonical registry keys, deduped
+  std::uint64_t trials = 1068;
+  std::uint64_t baseSeed = 0x5EEDBA5EULL;
+  double timeoutFactor = 10.0;
+  std::uint32_t leaseCount = 8;
+  double heartbeatTimeout = 10.0;  // seconds without traffic => re-issue
+};
+
+class Coordinator {
+ public:
+  /// Binds `store` to the campaign meta derived from the config (throws on
+  /// a store from a different campaign) and marks leases whose cells are
+  /// all already present as Done — restarting the coordinator on an
+  /// existing checkpoint is a resume. `now` is the serving start time.
+  Coordinator(CoordinatorConfig config, CheckpointStore& store, double now);
+
+  // -- worker lifecycle ----------------------------------------------------
+
+  /// Registers a connection that sent a valid Hello; returns its worker id.
+  std::uint64_t addWorker();
+
+  /// The worker's connection closed: its active leases re-enter the pool
+  /// immediately (epoch bumped) — a SIGKILLed worker is replaced without
+  /// waiting for a heartbeat timeout. Returns how many leases re-entered.
+  std::size_t removeWorker(std::uint64_t worker, double now);
+
+  // -- protocol events -----------------------------------------------------
+
+  enum class RequestKind { Grant, Wait, Complete };
+  struct RequestReply {
+    RequestKind kind = RequestKind::Wait;
+    LeaseGrant grant;  // meaningful only when kind == Grant
+  };
+  /// A worker asks for work: the lowest unassigned lease is granted, or
+  /// Wait when every remaining lease is active elsewhere, or Complete when
+  /// the campaign is finished.
+  RequestReply onRequest(std::uint64_t worker, double now);
+
+  enum class Ingest { Accepted, Duplicate, Stale, Corrupt };
+  /// A worker streamed one completed cell. Accepted => appended to the
+  /// store; Duplicate => cell already present and verified identical;
+  /// Stale => epoch/owner fence rejected it; Corrupt => the payload failed
+  /// to decode (counted as a protocol error). A duplicate whose
+  /// deterministic fields disagree with the stored record throws
+  /// CheckError — determinism is the contract, not a best effort.
+  Ingest onRecord(std::uint64_t worker, std::string_view payload, double now);
+
+  /// Heartbeat from a worker; false when fenced (stale lease/epoch/owner).
+  bool onHeartbeat(std::uint64_t worker, std::string_view payload,
+                   double now);
+
+  enum class DoneResult { Ok, Stale, Incomplete };
+  /// A worker hands a lease back. Incomplete means cells of the lease are
+  /// missing from the store (a protocol violation — records precede
+  /// LeaseDone); the lease is re-issued rather than trusted.
+  DoneResult onLeaseDone(std::uint64_t worker, std::string_view payload,
+                         double now);
+
+  /// Re-issues every active lease whose last traffic is older than
+  /// heartbeatTimeout. Returns the re-issued lease ids.
+  std::vector<std::uint64_t> checkExpiry(double now);
+
+  // -- progress ------------------------------------------------------------
+
+  /// True once every lease is Done (equivalently: every cell ingested).
+  bool complete() const noexcept;
+
+  /// One-line JSON progress document: cells done, trials/s, per-tool
+  /// outcome counts, lease and worker state. Stable key order.
+  std::string statusJson(double now) const;
+
+  std::size_t cellsTotal() const noexcept { return cells_.size(); }
+  std::size_t cellsDone() const noexcept;
+  std::uint64_t staleRecords() const noexcept { return staleRecords_; }
+  std::uint64_t leaseReissues() const noexcept { return leaseReissues_; }
+
+ private:
+  enum class LeaseState { Unassigned, Active, Done };
+  struct Lease {
+    ShardSpec shard;
+    std::uint64_t epoch = 1;
+    LeaseState state = LeaseState::Unassigned;
+    std::uint64_t worker = 0;     // meaningful while Active
+    double lastTraffic = 0.0;     // grant/record/heartbeat time
+    std::vector<std::size_t> cells;  // indices into cells_
+  };
+
+  /// True when every cell of `lease` is present in the store.
+  bool leaseComplete(const Lease& lease) const;
+
+  /// Fences a lease-scoped message: the lease must exist, be Active, be
+  /// owned by `worker` and carry the current epoch. Returns the lease or
+  /// nullptr (fenced).
+  Lease* fence(std::uint64_t worker, const LeaseRef& ref);
+
+  void reissue(Lease& lease);
+
+  CoordinatorConfig config_;
+  CheckpointStore& store_;
+  std::vector<std::pair<std::string, std::string>> cells_;  // (app, tool)
+  std::vector<Lease> leases_;
+  std::uint64_t nextWorker_ = 1;
+  std::size_t workersConnected_ = 0;
+  double startTime_ = 0.0;
+  std::uint64_t trialsIngested_ = 0;  // live this serve, excludes resumed
+  std::uint64_t staleRecords_ = 0;
+  std::uint64_t corruptRecords_ = 0;
+  std::uint64_t leaseReissues_ = 0;
+};
+
+/// Runtime options of the serving loop around a Coordinator.
+struct ServeOptions {
+  CoordinatorConfig config;
+  std::uint16_t port = 0;          // 0 = ephemeral (reported via onListening)
+  std::string checkpointPath;      // coordinator-side store (resume point)
+  std::optional<std::string> reportPath;  // final report; stdout when unset
+  /// Called once the listening socket is bound, with the actual port —
+  /// lets tests serve on port 0 and discover where.
+  std::function<void(std::uint16_t)> onListening;
+  /// Seconds the coordinator keeps answering (Complete/status) after the
+  /// campaign finishes, so workers drain cleanly before it exits.
+  double lingerSeconds = 5.0;
+};
+
+/// Runs the coordinator until the campaign completes: accepts connections,
+/// dispatches protocol frames, re-issues leases on disconnect/expiry, and
+/// finally writes the merged report. Returns a process exit code. All
+/// diagnostics go to stderr; only the report (when reportPath is unset)
+/// goes to stdout.
+int serveCampaign(const ServeOptions& options);
+
+}  // namespace refine::campaign

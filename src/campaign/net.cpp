@@ -1,0 +1,246 @@
+#include "campaign/net.h"
+
+#include <array>
+#include <cstring>
+
+#include "support/check.h"
+#include "support/socket.h"
+#include "support/strings.h"
+
+namespace refine::campaign {
+
+namespace {
+
+bool knownType(std::uint8_t type) {
+  return type >= static_cast<std::uint8_t>(MsgType::Hello) &&
+         type <= static_cast<std::uint8_t>(MsgType::StatusReply);
+}
+
+/// Splits a key=value token list; returns false on any token without '='.
+bool splitKeyValues(std::string_view payload,
+                    std::vector<std::pair<std::string_view,
+                                          std::string_view>>& out) {
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    std::size_t end = payload.find(' ', pos);
+    if (end == std::string_view::npos) end = payload.size();
+    const std::string_view token = payload.substr(pos, end - pos);
+    const std::size_t eq = token.find('=');
+    if (token.empty() || eq == 0 || eq == std::string_view::npos) {
+      return false;
+    }
+    out.emplace_back(token.substr(0, eq), token.substr(eq + 1));
+    pos = end + 1;
+  }
+  return true;
+}
+
+}  // namespace
+
+void writeFrame(int fd, MsgType type, std::string_view payload) {
+  RF_CHECK(payload.size() <= kMaxFramePayload,
+           "frame payload of " + std::to_string(payload.size()) +
+               " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+               "-byte protocol bound");
+  const std::uint32_t length =
+      static_cast<std::uint32_t>(payload.size()) + 1;  // + type byte
+  std::array<unsigned char, 5> header{
+      static_cast<unsigned char>(length >> 24),
+      static_cast<unsigned char>(length >> 16),
+      static_cast<unsigned char>(length >> 8),
+      static_cast<unsigned char>(length),
+      static_cast<unsigned char>(type),
+  };
+  // One buffer, one writeAll: frames from different threads (records from
+  // pool workers, heartbeats from the timer) must still be guarded by a
+  // caller-side mutex, but a single contiguous write keeps any interleaving
+  // at frame granularity rather than byte granularity.
+  std::string buffer;
+  buffer.reserve(header.size() + payload.size());
+  buffer.append(reinterpret_cast<const char*>(header.data()), header.size());
+  buffer.append(payload);
+  writeAll(fd, buffer.data(), buffer.size());
+}
+
+std::optional<Frame> readFrame(int fd) {
+  std::array<unsigned char, 4> lengthBytes;
+  if (!readAll(fd, lengthBytes.data(), lengthBytes.size())) {
+    return std::nullopt;  // clean EOF between frames
+  }
+  const std::uint32_t length =
+      (static_cast<std::uint32_t>(lengthBytes[0]) << 24) |
+      (static_cast<std::uint32_t>(lengthBytes[1]) << 16) |
+      (static_cast<std::uint32_t>(lengthBytes[2]) << 8) |
+      static_cast<std::uint32_t>(lengthBytes[3]);
+  RF_CHECK(length >= 1 && length <= kMaxFramePayload + 1,
+           "garbage frame: length " + std::to_string(length) +
+               " outside [1, " + std::to_string(kMaxFramePayload + 1) + "]");
+
+  std::uint8_t type = 0;
+  RF_CHECK(readAll(fd, &type, 1), "truncated frame: EOF before type byte");
+  RF_CHECK(knownType(type),
+           "garbage frame: unknown message type " + std::to_string(type));
+
+  Frame frame;
+  frame.type = static_cast<MsgType>(type);
+  frame.payload.resize(length - 1);
+  if (!frame.payload.empty()) {
+    RF_CHECK(readAll(fd, frame.payload.data(), frame.payload.size()),
+             "truncated frame: EOF inside a " + std::to_string(length - 1) +
+                 "-byte payload");
+  }
+  return frame;
+}
+
+std::string encodeGrant(const LeaseGrant& grant) {
+  for (const auto& app : grant.apps) {
+    RF_CHECK(app.find_first_of(" ,\t\n\r") == std::string::npos && !app.empty(),
+             "app name '" + app + "' cannot cross the wire (grant payloads "
+             "are space-framed, app lists comma-joined)");
+  }
+  for (const auto& tool : grant.tools) {
+    RF_CHECK(tool.find_first_of(" ;\t\n\r") == std::string::npos &&
+                 !tool.empty(),
+             "tool key '" + tool + "' cannot cross the wire (grant payloads "
+             "are space-framed, tool lists ';'-joined)");
+  }
+  return strf("lease=%llu epoch=%llu shard=%u/%u seed=%016llx trials=%llu "
+              "timeout=%s hb=%s apps=%s tools=%s",
+              static_cast<unsigned long long>(grant.leaseId),
+              static_cast<unsigned long long>(grant.epoch), grant.shard.index,
+              grant.shard.count,
+              static_cast<unsigned long long>(grant.baseSeed),
+              static_cast<unsigned long long>(grant.trials),
+              formatDouble(grant.timeoutFactor).c_str(),
+              formatDouble(grant.heartbeatTimeout).c_str(),
+              join(grant.apps, ",").c_str(), join(grant.tools, ";").c_str());
+}
+
+std::optional<LeaseGrant> decodeGrant(std::string_view payload) {
+  std::vector<std::pair<std::string_view, std::string_view>> pairs;
+  if (!splitKeyValues(payload, pairs)) return std::nullopt;
+
+  LeaseGrant grant;
+  // Bit set of required keys, in payload order.
+  enum { kLease, kEpoch, kShard, kSeed, kTrials, kTimeout, kHb, kApps, kTools,
+         kCount };
+  bool seen[kCount] = {};
+  auto once = [&](int key) {
+    if (seen[key]) return false;
+    seen[key] = true;
+    return true;
+  };
+
+  for (const auto& [key, value] : pairs) {
+    if (key == "lease") {
+      const auto v = parseU64(value);
+      if (!v || !once(kLease)) return std::nullopt;
+      grant.leaseId = *v;
+    } else if (key == "epoch") {
+      const auto v = parseU64(value);
+      if (!v || !once(kEpoch)) return std::nullopt;
+      grant.epoch = *v;
+    } else if (key == "shard") {
+      if (!once(kShard)) return std::nullopt;
+      try {
+        grant.shard = parseShardSpec(value);
+      } catch (const CheckError&) {
+        return std::nullopt;
+      }
+    } else if (key == "seed") {
+      const auto v = parseU64(value, 16);
+      if (!v || value.size() != 16 || !once(kSeed)) return std::nullopt;
+      grant.baseSeed = *v;
+    } else if (key == "trials") {
+      const auto v = parseU64(value);
+      if (!v || *v == 0 || !once(kTrials)) return std::nullopt;
+      grant.trials = *v;
+    } else if (key == "timeout") {
+      const auto v = parseF64(value);
+      if (!v || *v <= 0 || !once(kTimeout)) return std::nullopt;
+      grant.timeoutFactor = *v;
+    } else if (key == "hb") {
+      const auto v = parseF64(value);
+      if (!v || *v <= 0 || !once(kHb)) return std::nullopt;
+      grant.heartbeatTimeout = *v;
+    } else if (key == "apps") {
+      if (!once(kApps)) return std::nullopt;
+      for (const auto& app : split(value, ',')) {
+        if (app.empty()) return std::nullopt;
+        grant.apps.push_back(app);
+      }
+    } else if (key == "tools") {
+      if (!once(kTools)) return std::nullopt;
+      for (const auto& tool : split(value, ';')) {
+        if (tool.empty()) return std::nullopt;
+        grant.tools.push_back(tool);
+      }
+    } else {
+      return std::nullopt;  // unknown key: not this protocol version
+    }
+  }
+  for (const bool s : seen) {
+    if (!s) return std::nullopt;
+  }
+  if (grant.apps.empty() || grant.tools.empty()) return std::nullopt;
+  return grant;
+}
+
+std::string encodeLeaseRef(const LeaseRef& ref) {
+  return strf("%llu %llu", static_cast<unsigned long long>(ref.leaseId),
+              static_cast<unsigned long long>(ref.epoch));
+}
+
+std::optional<LeaseRef> decodeLeaseRef(std::string_view payload) {
+  const std::size_t space = payload.find(' ');
+  if (space == std::string_view::npos) return std::nullopt;
+  const auto lease = parseU64(payload.substr(0, space));
+  const auto epoch = parseU64(payload.substr(space + 1));
+  if (!lease || !epoch) return std::nullopt;
+  return LeaseRef{*lease, *epoch};
+}
+
+std::string encodeRecord(const LeaseRef& ref, std::string_view line) {
+  RF_CHECK(line.find('\n') == std::string_view::npos,
+           "record lines are newline-free by checkpoint framing");
+  std::string payload = encodeLeaseRef(ref);
+  payload += ' ';
+  payload += line;
+  return payload;
+}
+
+std::optional<RecordPayload> decodeRecord(std::string_view payload) {
+  const std::size_t first = payload.find(' ');
+  if (first == std::string_view::npos) return std::nullopt;
+  const std::size_t second = payload.find(' ', first + 1);
+  if (second == std::string_view::npos) return std::nullopt;
+  const auto ref = decodeLeaseRef(payload.substr(0, second));
+  if (!ref) return std::nullopt;
+  return RecordPayload{*ref, payload.substr(second + 1)};
+}
+
+std::pair<std::string, std::uint16_t> parseHostPort(std::string_view text) {
+  const std::size_t colon = text.rfind(':');
+  RF_CHECK(colon != std::string_view::npos && colon > 0,
+           "expected HOST:PORT, got '" + std::string(text) + "'");
+  const auto port = parseU64(text.substr(colon + 1));
+  RF_CHECK(port && *port >= 1 && *port <= 65535,
+           "port in '" + std::string(text) + "' must be 1..65535");
+  return {std::string(text.substr(0, colon)),
+          static_cast<std::uint16_t>(*port)};
+}
+
+std::string requestStatusLine(const std::string& host, std::uint16_t port) {
+  UniqueFd fd = tcpConnect(host, port);
+  writeFrame(fd.get(), MsgType::StatusRequest, "");
+  const auto reply = readFrame(fd.get());
+  RF_CHECK(reply.has_value(), "coordinator closed before replying to a "
+                              "status request");
+  RF_CHECK(reply->type == MsgType::StatusReply,
+           "unexpected reply type " +
+               std::to_string(static_cast<int>(reply->type)) +
+               " to a status request");
+  return reply->payload;
+}
+
+}  // namespace refine::campaign

@@ -1,0 +1,140 @@
+// Wire protocol of the distributed campaign service.
+//
+// The coordinator (campaign/coordinator.h) and workers (campaign/worker.h)
+// speak a small length-prefixed message protocol over TCP:
+//
+//   frame := u32 big-endian length (type byte + payload) | u8 type | payload
+//
+// Payloads are text built from the same strict primitives the checkpoint
+// layer uses (parseU64/parseF64, CheckpointStore::encode lines with their
+// FNV-1a checksums), so every value that crosses the network is validated
+// exactly like a value read back from disk. readFrame() distinguishes a
+// clean close at a frame boundary (nullopt) from a truncated or garbage
+// stream (CheckError): the coordinator treats the former as a worker
+// leaving and the latter as a worker dying mid-write — both reclaim the
+// lease, neither can corrupt ingested state.
+//
+// Conversation (worker-initiated, coordinator replies):
+//
+//   worker                         coordinator
+//   Hello "refine-net v1"     ->                 (version gate; Reject+close
+//                                                 on mismatch)
+//   Request ""                ->   Grant key=value...   one shard lease
+//                             |    Wait <millis>        all leases active
+//                             |    Complete ""          campaign finished
+//   Record  "<lease> <epoch> <ckpt-line>" ->      (streamed per drained
+//                                                 cell; no reply)
+//   Heartbeat "<lease> <epoch>" ->                (liveness; no reply)
+//   LeaseDone "<lease> <epoch>" ->                (hand-back; no reply)
+//   StatusRequest ""          ->   StatusReply <one-line JSON>
+//
+// Every lease-scoped message carries (leaseId, epoch). The coordinator
+// bumps the epoch each time a lease is re-issued, so a zombie worker still
+// streaming records for a reassigned lease is fenced off by the epoch
+// check alone — see coordinator.h.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/persist.h"
+
+namespace refine::campaign {
+
+/// Protocol identification sent as the Hello payload. Bump the version on
+/// any frame- or payload-format change: a coordinator rejects workers that
+/// do not greet with exactly this string.
+inline constexpr std::string_view kNetHello = "refine-net v1";
+
+enum class MsgType : std::uint8_t {
+  Hello = 1,
+  Request = 2,
+  Grant = 3,
+  Record = 4,
+  Heartbeat = 5,
+  LeaseDone = 6,
+  Wait = 7,
+  Complete = 8,
+  Reject = 9,
+  StatusRequest = 10,
+  StatusReply = 11,
+};
+
+/// Largest accepted payload. Grants carry app/tool lists and records carry
+/// one checkpoint line; anything near this bound is garbage, not traffic.
+inline constexpr std::size_t kMaxFramePayload = 1u << 20;  // 1 MiB
+
+struct Frame {
+  MsgType type{};
+  std::string payload;
+};
+
+/// Writes one frame (blocking, complete). Throws CheckError on I/O failure
+/// or an oversized payload.
+void writeFrame(int fd, MsgType type, std::string_view payload);
+
+/// Reads one frame (blocking). Returns nullopt on a clean EOF at a frame
+/// boundary; throws CheckError on a truncated frame, an unknown type byte,
+/// or a length outside (0, kMaxFramePayload] — a garbage or torn stream.
+std::optional<Frame> readFrame(int fd);
+
+/// One shard lease as granted to a worker: everything a bare
+/// `refine-campaign --worker host:port` needs to reconstruct its slice of
+/// the matrix — the campaign parameters travel with the lease, workers are
+/// started with nothing but the coordinator address.
+struct LeaseGrant {
+  std::uint64_t leaseId = 0;
+  std::uint64_t epoch = 0;
+  ShardSpec shard;                  // this lease's slice of the job list
+  std::uint64_t baseSeed = 0;
+  std::uint64_t trials = 0;
+  double timeoutFactor = 0.0;
+  double heartbeatTimeout = 0.0;    // worker paces heartbeats off this
+  std::vector<std::string> apps;    // matrix order; names resolve locally
+  std::vector<std::string> tools;   // canonical registry keys / spec keys
+
+  friend bool operator==(const LeaseGrant&, const LeaseGrant&) = default;
+};
+
+/// Grant payload: space-separated key=value pairs in fixed order
+/// (`lease= epoch= shard= seed= trials= timeout= hb= apps= tools=`).
+/// App names may not contain spaces or commas and tool keys may not
+/// contain spaces or semicolons — the same framing rules the checkpoint
+/// meta line already enforces. encodeGrant throws on a violation.
+std::string encodeGrant(const LeaseGrant& grant);
+
+/// Parses a grant payload; nullopt on any missing/duplicate/garbled field.
+std::optional<LeaseGrant> decodeGrant(std::string_view payload);
+
+/// (leaseId, epoch) pair carried by Record/Heartbeat/LeaseDone frames.
+struct LeaseRef {
+  std::uint64_t leaseId = 0;
+  std::uint64_t epoch = 0;
+  friend bool operator==(const LeaseRef&, const LeaseRef&) = default;
+};
+
+/// "<leaseId> <epoch>" — Heartbeat and LeaseDone payloads.
+std::string encodeLeaseRef(const LeaseRef& ref);
+std::optional<LeaseRef> decodeLeaseRef(std::string_view payload);
+
+/// "<leaseId> <epoch> <checkpoint line>" — Record payloads. The line part
+/// is a verbatim CheckpointStore::encode() line, checksum included, so the
+/// ingest side validates it with the exact decoder a resume uses.
+std::string encodeRecord(const LeaseRef& ref, std::string_view line);
+struct RecordPayload {
+  LeaseRef ref;
+  std::string_view line;  // view into the payload passed to decodeRecord
+};
+std::optional<RecordPayload> decodeRecord(std::string_view payload);
+
+/// Parses "host:port" (the --worker/--status argument form). Throws
+/// CheckError when malformed or the port is not 1..65535.
+std::pair<std::string, std::uint16_t> parseHostPort(std::string_view text);
+
+/// Connects to a serving coordinator and fetches one status JSON line.
+std::string requestStatusLine(const std::string& host, std::uint16_t port);
+
+}  // namespace refine::campaign

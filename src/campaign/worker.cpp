@@ -1,0 +1,167 @@
+#include "campaign/worker.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "apps/apps.h"
+#include "campaign/spec.h"
+#include "support/check.h"
+#include "support/periodic.h"
+#include "support/socket.h"
+#include "support/strings.h"
+
+namespace refine::campaign {
+
+namespace {
+
+void diag(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void diag(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::fputs("[refine-worker] ", stderr);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+  va_end(args);
+}
+
+}  // namespace
+
+std::vector<MatrixJob> buildMatrixJobs(
+    const std::vector<std::string>& appNames,
+    const std::vector<std::string>& toolKeys) {
+  std::vector<MatrixJob> jobs;
+  for (const auto& name : appNames) {
+    const apps::AppInfo* app = apps::findApp(name);
+    RF_CHECK(app != nullptr, "unknown app '" + name + "'");
+    for (const auto& tool : toolKeys) {
+      // Resolve through the spec path: registered keys pass through and
+      // spec keys (e.g. "REFINE:instrs=fp,bits=2") register their factory
+      // here, so a lease of any fault model reconstructs locally. The
+      // canonical key must equal the granted key — the coordinator already
+      // canonicalized — or cells would be labeled inconsistently.
+      const std::string key = resolveToolSpec(tool);
+      RF_CHECK(key == tool, "granted tool key '" + tool +
+                                "' is not canonical (resolves to '" + key +
+                                "')");
+      jobs.push_back({app->name, key, app->source, fi::FiConfig::allOn()});
+    }
+  }
+  return jobs;
+}
+
+namespace {
+
+/// Serializes every frame written to the coordinator: records come from
+/// engine pool threads, heartbeats from the timer thread.
+class FrameWriter {
+ public:
+  explicit FrameWriter(int fd) : fd_(fd) {}
+  void send(MsgType type, std::string_view payload) {
+    std::scoped_lock lock(mutex_);
+    writeFrame(fd_, type, payload);
+  }
+
+ private:
+  int fd_;
+  std::mutex mutex_;
+};
+
+/// Runs one granted lease: builds the slice, streams records, hands back.
+void runLease(const LeaseGrant& grant, FrameWriter& writer,
+              const WorkerOptions& options) {
+  const std::vector<MatrixJob> jobs =
+      buildMatrixJobs(grant.apps, grant.tools);
+  const LeaseRef ref{grant.leaseId, grant.epoch};
+
+  CampaignConfig config;
+  config.trials = grant.trials;
+  config.threads = options.threads;
+  config.baseSeed = grant.baseSeed;
+  config.timeoutFactor = grant.timeoutFactor;
+  CampaignEngine engine(config);
+
+  // Liveness while compiles/profiles/trials occupy the pool. A quarter of
+  // the coordinator's deadline (clamped to a sane range) survives three
+  // lost or late beats before the lease is re-issued.
+  PeriodicTask heartbeat(
+      std::clamp(grant.heartbeatTimeout / 4.0, 0.2, 5.0), [&] {
+        writer.send(MsgType::Heartbeat, encodeLeaseRef(ref));
+      });
+
+  MatrixOptions matrixOptions;
+  matrixOptions.shard = grant.shard;
+  engine.runMatrix(jobs, matrixOptions,
+                   [&](const CampaignResult& result) {
+                     writer.send(MsgType::Record,
+                                 encodeRecord(ref,
+                                              CheckpointStore::encode(
+                                                  result)));
+                   });
+  writer.send(MsgType::LeaseDone, encodeLeaseRef(ref));
+}
+
+}  // namespace
+
+int runWorker(const std::string& host, std::uint16_t port,
+              const WorkerOptions& options) {
+  UniqueFd fd = tcpConnect(host, port);
+  FrameWriter writer(fd.get());
+  writer.send(MsgType::Hello, kNetHello);
+  diag("connected to %s:%u", host.c_str(), port);
+
+  std::uint64_t leasesRun = 0;
+  while (true) {
+    writer.send(MsgType::Request, "");
+    std::optional<Frame> frame;
+    try {
+      frame = readFrame(fd.get());
+    } catch (const CheckError& e) {
+      diag("coordinator stream broke: %s", e.what());
+      return 1;
+    }
+    if (!frame) {
+      diag("coordinator closed the connection");
+      return 1;
+    }
+    switch (frame->type) {
+      case MsgType::Grant: {
+        const auto grant = decodeGrant(frame->payload);
+        RF_CHECK(grant.has_value(), "coordinator sent an undecodable grant");
+        diag("lease %llu (epoch %llu, shard %u/%u): %zu app(s) x %zu "
+             "tool(s), %llu trials/cell",
+             static_cast<unsigned long long>(grant->leaseId),
+             static_cast<unsigned long long>(grant->epoch),
+             grant->shard.index, grant->shard.count, grant->apps.size(),
+             grant->tools.size(),
+             static_cast<unsigned long long>(grant->trials));
+        runLease(*grant, writer, options);
+        ++leasesRun;
+        break;
+      }
+      case MsgType::Wait: {
+        const auto millis = parseU64(frame->payload);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(millis.value_or(250)));
+        break;
+      }
+      case MsgType::Complete:
+        diag("campaign complete after %llu lease(s); exiting",
+             static_cast<unsigned long long>(leasesRun));
+        return 0;
+      case MsgType::Reject:
+        diag("rejected by coordinator: %s", frame->payload.c_str());
+        return 1;
+      default:
+        diag("unexpected message type %d from coordinator",
+             static_cast<int>(frame->type));
+        return 1;
+    }
+  }
+}
+
+}  // namespace refine::campaign

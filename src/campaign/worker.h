@@ -1,0 +1,45 @@
+// Campaign worker: the execution side of the distributed service.
+//
+// `refine-campaign --worker host:port` connects to a serving coordinator,
+// greets, and then loops: request a shard lease, reconstruct the lease's
+// slice of the (apps x tools) matrix from the grant (app names resolve to
+// built-in benchmark sources locally; tool keys resolve through the spec
+// registry), run it on a CampaignEngine, stream every drained cell to the
+// coordinator as a checksummed checkpoint record, and hand the lease back.
+// A heartbeat timer keeps liveness traffic flowing while trials occupy the
+// pool. The worker owns nothing durable — a SIGKILLed worker loses only
+// its in-flight lease, which the coordinator re-issues.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/engine.h"
+#include "campaign/net.h"
+
+namespace refine::campaign {
+
+struct WorkerOptions {
+  unsigned threads = 0;  // engine pool size; 0 = hardware concurrency
+};
+
+/// Builds the canonical (apps x tools) job list — apps outer, tools inner —
+/// from benchmark-app names and injector registry keys. This is THE matrix
+/// order: the coordinator numbers its lease cells with it and the
+/// single-process CLI builds jobs with it, so shard index i means the same
+/// cell everywhere. Throws CheckError on an unknown app name; tool keys
+/// are resolved through resolveToolSpec (registering spec keys on the
+/// fly), so a worker granted a spec-keyed lease reconstructs the exact
+/// fault model.
+std::vector<MatrixJob> buildMatrixJobs(
+    const std::vector<std::string>& appNames,
+    const std::vector<std::string>& toolKeys);
+
+/// Runs the worker loop against a serving coordinator until the campaign
+/// completes (returns 0) or the coordinator rejects or vanishes (returns
+/// 1). All diagnostics go to stderr.
+int runWorker(const std::string& host, std::uint16_t port,
+              const WorkerOptions& options);
+
+}  // namespace refine::campaign

@@ -1,0 +1,60 @@
+// PeriodicTask: a background heartbeat timer.
+//
+// Runs `fn` every `intervalSeconds` on its own thread until destroyed. The
+// worker side of the campaign service uses this to keep heartbeat frames
+// flowing while a lease's trials occupy every pool thread; the destructor
+// wakes the timer immediately (condition variable, not a sleep), so tearing
+// one down never stalls a lease hand-back.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace refine {
+
+class PeriodicTask {
+ public:
+  /// Starts the timer; the first firing happens one interval from now (the
+  /// caller's own setup message covers time zero).
+  PeriodicTask(double intervalSeconds, std::function<void()> fn)
+      : fn_(std::move(fn)), interval_(intervalSeconds) {
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  /// Stops and joins. Any in-flight `fn` call completes first.
+  ~PeriodicTask() {
+    {
+      std::scoped_lock lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+ private:
+  void loop() {
+    std::unique_lock lock(mutex_);
+    const auto interval = std::chrono::duration<double>(interval_);
+    while (!cv_.wait_for(lock, interval, [this] { return stop_; })) {
+      lock.unlock();
+      fn_();
+      lock.lock();
+    }
+  }
+
+  std::function<void()> fn_;
+  double interval_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace refine

@@ -1,0 +1,137 @@
+#include "support/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "support/check.h"
+
+namespace refine {
+
+namespace {
+
+std::string errnoText() { return std::strerror(errno); }
+
+}  // namespace
+
+void UniqueFd::reset(int fd) noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+ListenSocket tcpListen(std::uint16_t port, int backlog) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  RF_CHECK(fd.valid(), "socket(): " + errnoText());
+
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  RF_CHECK(::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0,
+           "bind(port " + std::to_string(port) + "): " + errnoText());
+  RF_CHECK(::listen(fd.get(), backlog) == 0, "listen(): " + errnoText());
+
+  // Report the actually-bound port (resolves a requested port of 0).
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  RF_CHECK(::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound),
+                         &len) == 0,
+           "getsockname(): " + errnoText());
+  return ListenSocket{std::move(fd), ntohs(bound.sin_port)};
+}
+
+UniqueFd tcpAccept(int listenFd) {
+  int fd;
+  do {
+    fd = ::accept(listenFd, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  RF_CHECK(fd >= 0, "accept(): " + errnoText());
+  return UniqueFd(fd);
+}
+
+UniqueFd tcpConnect(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(),
+                               &hints, &results);
+  RF_CHECK(rc == 0, "cannot resolve '" + host + "': " + gai_strerror(rc));
+
+  UniqueFd fd;
+  std::string lastError = "no addresses";
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    UniqueFd candidate(::socket(ai->ai_family, ai->ai_socktype,
+                                ai->ai_protocol));
+    if (!candidate.valid()) {
+      lastError = errnoText();
+      continue;
+    }
+    int rcConnect;
+    do {
+      rcConnect = ::connect(candidate.get(), ai->ai_addr, ai->ai_addrlen);
+    } while (rcConnect != 0 && errno == EINTR);
+    if (rcConnect == 0) {
+      fd = std::move(candidate);
+      break;
+    }
+    lastError = errnoText();
+  }
+  ::freeaddrinfo(results);
+  RF_CHECK(fd.valid(), "cannot connect to " + host + ":" +
+                           std::to_string(port) + ": " + lastError);
+  return fd;
+}
+
+std::pair<UniqueFd, UniqueFd> localSocketPair() {
+  int fds[2];
+  RF_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
+           "socketpair(): " + errnoText());
+  return {UniqueFd(fds[0]), UniqueFd(fds[1])};
+}
+
+void writeAll(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t remaining = size;
+  while (remaining > 0) {
+    // MSG_NOSIGNAL turns a closed peer into EPIPE instead of SIGPIPE; for
+    // non-socket fds (ENOTSOCK) fall back to plain write.
+    ssize_t n = ::send(fd, p, remaining, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) n = ::write(fd, p, remaining);
+    if (n < 0 && errno == EINTR) continue;
+    RF_CHECK(n > 0, "write to fd " + std::to_string(fd) +
+                        " failed: " + errnoText());
+    p += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+}
+
+bool readAll(int fd, void* data, std::size_t size) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, p + got, size - got);
+    if (n < 0 && errno == EINTR) continue;
+    RF_CHECK(n >= 0,
+             "read from fd " + std::to_string(fd) + " failed: " + errnoText());
+    if (n == 0) {
+      if (got == 0) return false;  // clean EOF at a message boundary
+      RF_CHECK(false, "unexpected EOF mid-message (" + std::to_string(got) +
+                          "/" + std::to_string(size) + " bytes)");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace refine

@@ -1,0 +1,82 @@
+// POSIX socket primitives for the distributed campaign service: an RAII
+// file descriptor, TCP listen/accept/connect, a socketpair for in-process
+// protocol tests, and exact-length read/write loops.
+//
+// Everything here is blocking I/O with EINTR retry; framing and protocol
+// semantics live one layer up in campaign/net.h. Writes use MSG_NOSIGNAL
+// (falling back to write(2) for non-sockets) so a peer that died mid-stream
+// surfaces as a CheckError instead of a process-killing SIGPIPE — the
+// coordinator must survive any worker dying at any byte boundary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace refine {
+
+/// RAII POSIX file descriptor: closes on destruction, move-only.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) noexcept : fd_(fd) {}
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) reset(other.release());
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  ~UniqueFd() { reset(); }
+
+  int get() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Relinquishes ownership without closing.
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the current descriptor (if any) and adopts `fd`.
+  void reset(int fd = -1) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// A bound+listening TCP socket. `port` is the actually-bound port, so
+/// requesting port 0 yields an ephemeral port callers can advertise.
+struct ListenSocket {
+  UniqueFd fd;
+  std::uint16_t port = 0;
+};
+
+/// Listens on all interfaces (workers may connect from other hosts).
+/// Throws CheckError when the port cannot be bound.
+ListenSocket tcpListen(std::uint16_t port, int backlog = 64);
+
+/// Accepts one pending connection. Throws CheckError on failure.
+UniqueFd tcpAccept(int listenFd);
+
+/// Connects to host:port (name or numeric address). Throws CheckError when
+/// resolution or connection fails.
+UniqueFd tcpConnect(const std::string& host, std::uint16_t port);
+
+/// Connected AF_UNIX stream pair — both ends in this process. The protocol
+/// tests drive framing through this instead of real TCP, so they need no
+/// ports, no listeners and no sleeps.
+std::pair<UniqueFd, UniqueFd> localSocketPair();
+
+/// Writes exactly `size` bytes. Throws CheckError on any error, including a
+/// peer that closed (EPIPE/ECONNRESET) — never raises SIGPIPE.
+void writeAll(int fd, const void* data, std::size_t size);
+
+/// Reads exactly `size` bytes. Returns false when EOF arrives before the
+/// FIRST byte (a clean close at a message boundary); throws CheckError when
+/// EOF or an error interrupts a partially-read buffer (a truncated stream).
+bool readAll(int fd, void* data, std::size_t size);
+
+}  // namespace refine

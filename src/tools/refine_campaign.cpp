@@ -1,22 +1,37 @@
-// refine-campaign: sharded, resumable fault-injection campaign driver.
+// refine-campaign: sharded, resumable fault-injection campaign driver —
+// single-process, manually sharded, or as a distributed service.
 //
 // Run mode builds the (apps x tools) matrix in a canonical order, runs one
 // deterministic shard of it (default: everything) with optional checkpoint
 // persistence, and emits the bit-stable countsCsv report. Merge mode
 // recombines shard checkpoints into the same report a single-process run
-// produces — the CI determinism job diffs exactly that.
+// produces — the CI determinism job diffs exactly that. Serve mode starts a
+// coordinator that partitions the matrix into shard leases and hands them
+// to workers over TCP; worker mode connects to one and needs nothing but
+// the address (the campaign travels with the lease).
 //
 //   refine-campaign --apps EP,DC --tools LLFI,REFINE,PINFI --trials 24 \
 //       --shard 0/3 --checkpoint shard0.ckpt
 //   refine-campaign --apps EP --tool 'REFINE:instrs=fp,bits=2,funcs=main'
 //   refine-campaign --merge shard0.ckpt shard1.ckpt shard2.ckpt
+//   refine-campaign --serve 47617 --apps EP,DC --trials 1068 \
+//       --checkpoint serve.ckpt --report full.csv
+//   refine-campaign --worker coordinator-host:47617 --threads 8
+//   refine-campaign --status coordinator-host:47617
 //
 // Tools are injector registry keys OR declarative fault-model specs
 // (BASE:key=value,..., registered on the fly under their canonical
 // spelling — see campaign/spec.h and docs/refine-campaign.md). Interrupted
 // runs resume: cells already in --checkpoint are skipped, so re-running the
-// same command finishes only what is missing.
+// same command finishes only what is missing. A restarted coordinator
+// resumes the same way from its --checkpoint.
+//
+// Stream discipline: stdout carries ONLY requested payloads (the report
+// when --report is unset, list-mode output, --status JSON). Every
+// diagnostic — progress, resume notes, torn-record warnings — goes to
+// stderr via diag(), so piped reports stay byte-clean. CI enforces this.
 #include <algorithm>
+#include <cstdarg>
 #include <cstdio>
 #include <exception>
 #include <optional>
@@ -24,10 +39,13 @@
 #include <vector>
 
 #include "apps/apps.h"
+#include "campaign/coordinator.h"
 #include "campaign/engine.h"
+#include "campaign/net.h"
 #include "campaign/persist.h"
 #include "campaign/report.h"
 #include "campaign/spec.h"
+#include "campaign/worker.h"
 #include "support/check.h"
 #include "support/strings.h"
 #include "vm/jit.h"
@@ -36,11 +54,28 @@ namespace {
 
 using namespace refine;
 
+/// The single funnel for diagnostics: always stderr, never stdout — a
+/// `refine-campaign ... | tool` pipe must see only the report.
+void diag(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void diag(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::fputs("[refine-campaign] ", stderr);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+  va_end(args);
+}
+
 int usage(std::FILE* out) {
   std::fputs(
       "usage:\n"
       "  refine-campaign [options]               run a (apps x tools) matrix\n"
       "  refine-campaign --merge FILE...         merge shard checkpoints\n"
+      "  refine-campaign --serve PORT [options]  coordinate a distributed "
+      "campaign\n"
+      "  refine-campaign --worker HOST:PORT      run leases for a "
+      "coordinator\n"
+      "  refine-campaign --status HOST:PORT      print live progress JSON\n"
       "  refine-campaign --list-apps|--list-tools\n"
       "\n"
       "run options:\n"
@@ -71,11 +106,28 @@ int usage(std::FILE* out) {
       "either\n"
       "                       way; only throughput changes.\n"
       "\n"
+      "serve options (plus --apps/--tool(s)/--trials/--seed/--checkpoint/\n"
+      "--report from above; --checkpoint is the coordinator's resume "
+      "point):\n"
+      "  --lease-shards N         shard leases to partition into (default "
+      "8)\n"
+      "  --heartbeat-timeout SEC  re-issue a lease after SEC without "
+      "traffic\n"
+      "                           from its worker (default 10)\n"
+      "\n"
+      "worker options: --threads, --exec-tier (everything else arrives "
+      "with\n"
+      "the lease grant).\n"
+      "\n"
       "The report contains only bit-stable fields sorted by (app, tool): a\n"
-      "merge of N shard checkpoints is byte-identical to a single-process\n"
-      "run of the same matrix at any thread count. Checkpoint metas bind\n"
-      "the resolved tool specs, so shards of different fault models cannot\n"
-      "be mixed. Full reference: docs/refine-campaign.md.\n",
+      "merge of N shard checkpoints — and a coordinator+workers run with "
+      "any\n"
+      "number of worker deaths and lease re-issues — is byte-identical to "
+      "a\n"
+      "single-process run. Checkpoint metas bind the resolved tool specs, "
+      "so\n"
+      "shards of different fault models cannot be mixed. Full reference:\n"
+      "docs/refine-campaign.md.\n",
       out);
   return out == stdout ? 0 : 2;
 }
@@ -101,6 +153,12 @@ struct Options {
   bool listApps = false;
   bool listTools = false;
   bool help = false;
+  // Distributed service modes.
+  std::optional<std::uint16_t> servePort;
+  std::optional<std::string> workerTarget;  // HOST:PORT
+  std::optional<std::string> statusTarget;  // HOST:PORT
+  std::uint32_t leaseShards = 8;
+  double heartbeatTimeout = 10.0;
 };
 
 Options parseArgs(int argc, char** argv) {
@@ -166,6 +224,26 @@ Options parseArgs(int argc, char** argv) {
       opt.checkpointPath = value(i, "--checkpoint");
     } else if (arg == "--report") {
       opt.reportPath = value(i, "--report");
+    } else if (arg == "--serve") {
+      const std::uint64_t port = number(i, "--serve");
+      RF_CHECK(port <= 65535, "--serve port must be 0..65535 (0 = "
+                              "ephemeral, reported on stderr)");
+      opt.servePort = static_cast<std::uint16_t>(port);
+    } else if (arg == "--worker") {
+      opt.workerTarget = value(i, "--worker");
+    } else if (arg == "--status") {
+      opt.statusTarget = value(i, "--status");
+    } else if (arg == "--lease-shards") {
+      const std::uint64_t leases = number(i, "--lease-shards");
+      RF_CHECK(leases >= 1 && leases <= 0xFFFFFFFFULL,
+               "--lease-shards out of range");
+      opt.leaseShards = static_cast<std::uint32_t>(leases);
+    } else if (arg == "--heartbeat-timeout") {
+      const std::string text = value(i, "--heartbeat-timeout");
+      const auto seconds = parseF64(text);
+      RF_CHECK(seconds.has_value() && *seconds > 0,
+               "--heartbeat-timeout expects seconds > 0; got '" + text + "'");
+      opt.heartbeatTimeout = *seconds;
     } else if (arg == "--exec-tier") {
       const std::string mode = value(i, "--exec-tier");
       if (mode == "on") {
@@ -193,14 +271,16 @@ void emitReport(const Options& opt, const std::string& report) {
   }
 }
 
-int runMode(const Options& opt) {
-  // Resolve every --tool/--tools entry to a registry key first: registered
-  // names pass through, fault-model specs register a parameterized injector
-  // under their canonical spelling. Canonical keys label matrix cells,
-  // checkpoint records and the report, so differently spelled specs of one
-  // model always land in the same cell.
+/// Resolves every --tool/--tools entry to a canonical registry key:
+/// registered names pass through, fault-model specs register a
+/// parameterized injector under their canonical spelling. Canonical keys
+/// label matrix cells, checkpoint records, lease grants and the report, so
+/// differently spelled specs of one model always land in the same cell.
+/// Returns nullopt (after explaining on stderr) on an unresolvable entry.
+std::optional<std::vector<std::string>> resolveToolKeys(
+    const std::vector<std::string>& tools) {
   std::vector<std::string> toolKeys;
-  for (const auto& tool : opt.tools) {
+  for (const auto& tool : tools) {
     std::string key;
     try {
       key = campaign::resolveToolSpec(tool);
@@ -210,7 +290,7 @@ int runMode(const Options& opt) {
                    "BASE:key=value,... defines one on the fly (see "
                    "docs/refine-campaign.md)\n",
                    e.what());
-      return 2;
+      return std::nullopt;
     }
     // Two spellings of one model resolve to one key; keep one cell for it
     // (a duplicate cell would double report rows that --merge collapses).
@@ -218,31 +298,41 @@ int runMode(const Options& opt) {
       toolKeys.push_back(std::move(key));
     }
   }
+  return toolKeys;
+}
 
-  // Canonical matrix order: apps in the order given (paper Table 3 order by
-  // default), tools innermost. Every process of a sharded run must build
-  // the same job list for i % N == I to mean the same cells everywhere.
-  std::vector<campaign::MatrixJob> jobs;
-  const auto appNames = opt.apps.empty()
-                            ? [] {
-                                std::vector<std::string> all;
-                                for (const auto& a : apps::benchmarkApps()) {
-                                  all.push_back(a.name);
-                                }
-                                return all;
-                              }()
-                            : opt.apps;
-  for (const auto& name : appNames) {
-    const apps::AppInfo* app = apps::findApp(name);
-    if (app == nullptr) {
+/// The app-name list of the matrix: --apps as given (paper Table 3 order
+/// by default). Returns nullopt (after explaining on stderr) on an unknown
+/// name.
+std::optional<std::vector<std::string>> resolveAppNames(
+    const std::vector<std::string>& apps) {
+  std::vector<std::string> names;
+  if (apps.empty()) {
+    for (const auto& a : apps::benchmarkApps()) names.push_back(a.name);
+    return names;
+  }
+  for (const auto& name : apps) {
+    if (apps::findApp(name) == nullptr) {
       std::fprintf(stderr, "unknown app '%s'; --list-apps shows choices\n",
                    name.c_str());
-      return 2;
+      return std::nullopt;
     }
-    for (const auto& tool : toolKeys) {
-      jobs.push_back({app->name, tool, app->source, fi::FiConfig::allOn()});
-    }
+    names.push_back(name);
   }
+  return names;
+}
+
+int runMode(const Options& opt) {
+  const auto toolKeys = resolveToolKeys(opt.tools);
+  if (!toolKeys) return 2;
+  const auto appNames = resolveAppNames(opt.apps);
+  if (!appNames) return 2;
+
+  // Canonical matrix order (apps outer, tools innermost), shared with the
+  // worker/coordinator path: every process of a sharded run must build the
+  // same job list for i % N == I to mean the same cells everywhere.
+  const std::vector<campaign::MatrixJob> jobs =
+      campaign::buildMatrixJobs(*appNames, *toolKeys);
 
   std::optional<campaign::CheckpointStore> store;
   campaign::MatrixOptions matrixOptions;
@@ -251,23 +341,21 @@ int runMode(const Options& opt) {
     store.emplace(*opt.checkpointPath);
     matrixOptions.checkpoint = &*store;
     if (!store->records().empty() || store->droppedRecords() > 0) {
-      std::fprintf(stderr,
-                   "[refine-campaign] resuming from %s: %zu completed "
-                   "cell(s), %zu torn record(s) dropped\n",
-                   store->path().c_str(), store->records().size(),
-                   store->droppedRecords());
+      diag("resuming from %s: %zu completed cell(s), %zu torn record(s) "
+           "dropped",
+           store->path().c_str(), store->records().size(),
+           store->droppedRecords());
     }
   }
 
-  std::fprintf(stderr,
-               "[refine-campaign] %zu jobs, shard %u/%u, %llu trials/cell\n",
-               jobs.size(), opt.shard.index, opt.shard.count,
-               static_cast<unsigned long long>(opt.config.trials));
+  diag("%zu jobs, shard %u/%u, %llu trials/cell", jobs.size(),
+       opt.shard.index, opt.shard.count,
+       static_cast<unsigned long long>(opt.config.trials));
   campaign::CampaignEngine engine(opt.config);
   const auto results = engine.runMatrix(
       jobs, matrixOptions, [](const campaign::CampaignResult& r) {
-        std::fprintf(stderr, "[refine-campaign]   done %-10s %-12s %6.1fs\n",
-                     r.app.c_str(), r.tool.c_str(), r.totalTrialSeconds);
+        diag("  done %-10s %-12s %6.1fs", r.app.c_str(), r.tool.c_str(),
+             r.totalTrialSeconds);
       });
   emitReport(opt, campaign::countsCsv(results));
   return 0;
@@ -281,13 +369,49 @@ int mergeMode(const Options& opt) {
   std::size_t dropped = 0;
   const auto merged = campaign::mergeCheckpoints(opt.mergePaths, &dropped);
   if (dropped > 0) {
-    std::fprintf(stderr,
-                 "[refine-campaign] warning: %zu torn record(s) skipped — "
-                 "the merged report may be missing cells; resume the "
-                 "affected shard(s), then re-merge\n",
-                 dropped);
+    // Diagnostics only ever go to stderr: `--merge ... | tool` must see a
+    // byte-clean report on stdout (CI pipes exactly this).
+    diag("warning: %zu torn record(s) skipped — the merged report may be "
+         "missing cells; resume the affected shard(s), then re-merge",
+         dropped);
   }
   emitReport(opt, campaign::countsCsv(merged));
+  return 0;
+}
+
+int serveMode(const Options& opt) {
+  const auto toolKeys = resolveToolKeys(opt.tools);
+  if (!toolKeys) return 2;
+  const auto appNames = resolveAppNames(opt.apps);
+  if (!appNames) return 2;
+
+  campaign::ServeOptions serve;
+  serve.config.apps = *appNames;
+  serve.config.tools = *toolKeys;
+  serve.config.trials = opt.config.trials;
+  serve.config.baseSeed = opt.config.baseSeed;
+  serve.config.timeoutFactor = opt.config.timeoutFactor;
+  serve.config.leaseCount = opt.leaseShards;
+  serve.config.heartbeatTimeout = opt.heartbeatTimeout;
+  serve.port = *opt.servePort;
+  // The coordinator's store doubles as its crash-recovery point: re-serving
+  // with the same checkpoint resumes instead of re-running finished cells.
+  serve.checkpointPath = opt.checkpointPath.value_or("refine-serve.ckpt");
+  serve.reportPath = opt.reportPath;
+  return campaign::serveCampaign(serve);
+}
+
+int workerMode(const Options& opt) {
+  const auto [host, port] = campaign::parseHostPort(*opt.workerTarget);
+  campaign::WorkerOptions workerOptions;
+  workerOptions.threads = opt.config.threads;
+  return campaign::runWorker(host, port, workerOptions);
+}
+
+int statusMode(const Options& opt) {
+  const auto [host, port] = campaign::parseHostPort(*opt.statusTarget);
+  const std::string status = campaign::requestStatusLine(host, port);
+  std::printf("%s\n", status.c_str());
   return 0;
 }
 
@@ -309,7 +433,16 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
-    return opt.merge ? mergeMode(opt) : runMode(opt);
+    const int modes = (opt.merge ? 1 : 0) + (opt.servePort ? 1 : 0) +
+                      (opt.workerTarget ? 1 : 0) + (opt.statusTarget ? 1 : 0);
+    RF_CHECK(modes <= 1,
+             "--merge, --serve, --worker and --status are mutually "
+             "exclusive modes");
+    if (opt.merge) return mergeMode(opt);
+    if (opt.servePort) return serveMode(opt);
+    if (opt.workerTarget) return workerMode(opt);
+    if (opt.statusTarget) return statusMode(opt);
+    return runMode(opt);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "refine-campaign: %s\n", e.what());
     return 1;

@@ -1,0 +1,532 @@
+// Distributed campaign service tests: wire framing round-trips and
+// truncated/garbage rejection over a real socketpair, payload codecs,
+// lease-epoch fencing (a zombie worker's records are refused), and
+// heartbeat-expiry reassignment — all against the I/O-free Coordinator
+// core with a hand-rolled clock, so nothing here sleeps. The final test
+// runs a real coordinator + two workers over loopback TCP and proves the
+// served report byte-identical to an in-process engine run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/coordinator.h"
+#include "campaign/engine.h"
+#include "campaign/net.h"
+#include "campaign/persist.h"
+#include "campaign/report.h"
+#include "campaign/worker.h"
+#include "support/check.h"
+#include "support/socket.h"
+#include "support/strings.h"
+
+namespace refine::campaign {
+namespace {
+
+/// Unique temp path per test; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& stem)
+      : path_((std::filesystem::temp_directory_path() /
+               ("refine_net_" + stem + "_" +
+                std::to_string(::testing::UnitTest::GetInstance()
+                                   ->random_seed()) +
+                ".ckpt"))
+                  .string()) {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+CampaignResult makeResult(const std::string& app, const std::string& tool,
+                          std::uint64_t trials) {
+  CampaignResult r;
+  r.app = app;
+  r.tool = tool;
+  r.counts.crash = trials / 3;
+  r.counts.soc = trials / 4;
+  r.counts.benign = trials - r.counts.crash - r.counts.soc;
+  r.dynamicTargets = 1000;
+  r.profileInstrs = 5000;
+  r.binarySize = 240;
+  r.totalTrialSeconds = 0.5;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+TEST(NetFraming, RoundTripsFramesOfVariousSizes) {
+  auto [a, b] = localSocketPair();
+  const std::vector<std::pair<MsgType, std::string>> frames = {
+      {MsgType::Request, ""},
+      {MsgType::Hello, std::string(kNetHello)},
+      {MsgType::Record, "1 2 EP,REFINE,1,2,3,4,5,6,7,0123456789abcdef"},
+      // Big enough to span several TCP-ish segments, small enough to fit a
+      // socketpair buffer so the single-threaded write cannot block.
+      {MsgType::StatusReply, std::string(100'000, 'x')},
+  };
+  for (const auto& [type, payload] : frames) {
+    writeFrame(a.get(), type, payload);
+  }
+  for (const auto& [type, payload] : frames) {
+    const auto frame = readFrame(b.get());
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_EQ(frame->type, type);
+    EXPECT_EQ(frame->payload, payload);
+  }
+}
+
+TEST(NetFraming, CleanCloseAtBoundaryIsEof) {
+  auto [a, b] = localSocketPair();
+  writeFrame(a.get(), MsgType::Heartbeat, "0 1");
+  a.reset();  // close after a complete frame
+  EXPECT_TRUE(readFrame(b.get()).has_value());
+  EXPECT_FALSE(readFrame(b.get()).has_value());  // EOF, not an error
+}
+
+TEST(NetFraming, TruncatedHeaderIsRejected) {
+  auto [a, b] = localSocketPair();
+  const unsigned char partial[2] = {0, 0};  // half a length prefix
+  writeAll(a.get(), partial, sizeof(partial));
+  a.reset();
+  EXPECT_THROW(readFrame(b.get()), CheckError);
+}
+
+TEST(NetFraming, TruncatedPayloadIsRejected) {
+  auto [a, b] = localSocketPair();
+  // Header promises 100 payload bytes; deliver the type byte and 3 bytes.
+  const unsigned char header[5] = {0, 0, 0, 101,
+                                   static_cast<unsigned char>(MsgType::Record)};
+  writeAll(a.get(), header, sizeof(header));
+  writeAll(a.get(), "abc", 3);
+  a.reset();  // worker SIGKILLed mid-write
+  EXPECT_THROW(readFrame(b.get()), CheckError);
+}
+
+TEST(NetFraming, GarbageLengthIsRejected) {
+  auto [a, b] = localSocketPair();
+  const unsigned char absurd[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+  writeAll(a.get(), absurd, sizeof(absurd));
+  EXPECT_THROW(readFrame(b.get()), CheckError);
+
+  auto [c, d] = localSocketPair();
+  const unsigned char zero[4] = {0, 0, 0, 0};  // no room for a type byte
+  writeAll(c.get(), zero, sizeof(zero));
+  EXPECT_THROW(readFrame(d.get()), CheckError);
+}
+
+TEST(NetFraming, UnknownTypeByteIsRejected) {
+  auto [a, b] = localSocketPair();
+  const unsigned char frame[5] = {0, 0, 0, 1, 200};  // type 200 undefined
+  writeAll(a.get(), frame, sizeof(frame));
+  EXPECT_THROW(readFrame(b.get()), CheckError);
+}
+
+TEST(NetFraming, OversizedPayloadRefusesToSend) {
+  auto [a, b] = localSocketPair();
+  const std::string huge(kMaxFramePayload + 1, 'x');
+  EXPECT_THROW(writeFrame(a.get(), MsgType::Record, huge), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Payload codecs
+// ---------------------------------------------------------------------------
+
+TEST(NetCodec, GrantRoundTrips) {
+  LeaseGrant grant;
+  grant.leaseId = 3;
+  grant.epoch = 7;
+  grant.shard = ShardSpec{3, 8};
+  grant.baseSeed = 0x5EEDBA5EULL;
+  grant.trials = 1068;
+  grant.timeoutFactor = 10.0;
+  grant.heartbeatTimeout = 7.5;
+  grant.apps = {"EP", "DC"};
+  grant.tools = {"LLFI", "REFINE:instrs=fp,bits=2"};
+  const auto decoded = decodeGrant(encodeGrant(grant));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, grant);
+}
+
+TEST(NetCodec, GrantRejectsMalformedPayloads) {
+  LeaseGrant grant;
+  grant.shard = ShardSpec{0, 2};
+  grant.trials = 10;
+  grant.timeoutFactor = 10.0;
+  grant.heartbeatTimeout = 10.0;
+  grant.apps = {"EP"};
+  grant.tools = {"LLFI"};
+  const std::string good = encodeGrant(grant);
+  EXPECT_TRUE(decodeGrant(good).has_value());
+
+  EXPECT_FALSE(decodeGrant("").has_value());
+  EXPECT_FALSE(decodeGrant("lease=1").has_value());          // missing keys
+  EXPECT_FALSE(decodeGrant(good + " junk").has_value());     // bare token
+  EXPECT_FALSE(decodeGrant(good + " zz=1").has_value());     // unknown key
+  EXPECT_FALSE(decodeGrant(good + " lease=2").has_value());  // duplicate
+  // Tampered fields must fail strict parsing.
+  std::string bad = good;
+  bad.replace(bad.find("shard=0/2"), 9, "shard=9/2");
+  EXPECT_FALSE(decodeGrant(bad).has_value());
+}
+
+TEST(NetCodec, GrantRefusesUnframableNames) {
+  LeaseGrant grant;
+  grant.shard = ShardSpec{0, 1};
+  grant.trials = 1;
+  grant.timeoutFactor = 1.0;
+  grant.heartbeatTimeout = 1.0;
+  grant.apps = {"EP two"};  // space would break the payload framing
+  grant.tools = {"LLFI"};
+  EXPECT_THROW(encodeGrant(grant), CheckError);
+  grant.apps = {"EP"};
+  grant.tools = {"LL;FI"};  // ';' is the tool-list joiner
+  EXPECT_THROW(encodeGrant(grant), CheckError);
+}
+
+TEST(NetCodec, LeaseRefAndRecordRoundTrip) {
+  const LeaseRef ref{5, 9};
+  EXPECT_EQ(decodeLeaseRef(encodeLeaseRef(ref)), ref);
+  EXPECT_FALSE(decodeLeaseRef("5").has_value());
+  EXPECT_FALSE(decodeLeaseRef("5 x").has_value());
+
+  const std::string line = CheckpointStore::encode(makeResult("EP", "LLFI", 12));
+  // decodeRecord's line is a view into the payload: keep it alive.
+  const std::string payload = encodeRecord(ref, line);
+  const auto decoded = decodeRecord(payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->ref, ref);
+  EXPECT_EQ(decoded->line, line);
+  EXPECT_FALSE(decodeRecord("5 9").has_value());  // no record part
+}
+
+TEST(NetCodec, ParseHostPort) {
+  const auto [host, port] = parseHostPort("node7.cluster:47617");
+  EXPECT_EQ(host, "node7.cluster");
+  EXPECT_EQ(port, 47617);
+  EXPECT_THROW(parseHostPort("noport"), CheckError);
+  EXPECT_THROW(parseHostPort(":80"), CheckError);
+  EXPECT_THROW(parseHostPort("host:0"), CheckError);
+  EXPECT_THROW(parseHostPort("host:99999"), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator core: leases, fencing, expiry (hand-rolled clock, no sleeps)
+// ---------------------------------------------------------------------------
+
+CoordinatorConfig smallConfig() {
+  CoordinatorConfig config;
+  config.apps = {"A"};
+  config.tools = {"T1", "T2"};
+  config.trials = 12;
+  config.leaseCount = 2;  // lease 0 -> cell (A,T1), lease 1 -> cell (A,T2)
+  config.heartbeatTimeout = 10.0;
+  return config;
+}
+
+std::string recordPayload(std::uint64_t lease, std::uint64_t epoch,
+                          const std::string& app, const std::string& tool,
+                          std::uint64_t trials = 12) {
+  return encodeRecord(LeaseRef{lease, epoch},
+                      CheckpointStore::encode(makeResult(app, tool, trials)));
+}
+
+TEST(CoordinatorCore, GrantRunDoneLifecycle) {
+  TempFile ckpt("lifecycle");
+  CheckpointStore store(ckpt.path());
+  Coordinator core(smallConfig(), store, 0.0);
+  EXPECT_EQ(core.cellsTotal(), 2u);
+  EXPECT_FALSE(core.complete());
+
+  const std::uint64_t w1 = core.addWorker();
+  auto reply = core.onRequest(w1, 1.0);
+  ASSERT_EQ(reply.kind, Coordinator::RequestKind::Grant);
+  EXPECT_EQ(reply.grant.leaseId, 0u);
+  EXPECT_EQ(reply.grant.epoch, 1u);
+  EXPECT_EQ(reply.grant.shard, (ShardSpec{0, 2}));
+  EXPECT_EQ(reply.grant.trials, 12u);
+  EXPECT_EQ(reply.grant.apps, std::vector<std::string>{"A"});
+
+  // Hand-back before streaming the cell: a protocol violation — re-issued,
+  // not trusted.
+  EXPECT_EQ(core.onLeaseDone(w1, encodeLeaseRef({0, 1}), 2.0),
+            Coordinator::DoneResult::Incomplete);
+  // The re-issue bumped the epoch, so the old pair is now fenced.
+  EXPECT_EQ(core.onLeaseDone(w1, encodeLeaseRef({0, 1}), 2.0),
+            Coordinator::DoneResult::Stale);
+
+  // Re-grant (epoch 2 now), stream the cell, hand back: done.
+  reply = core.onRequest(w1, 3.0);
+  ASSERT_EQ(reply.kind, Coordinator::RequestKind::Grant);
+  EXPECT_EQ(reply.grant.leaseId, 0u);
+  EXPECT_EQ(reply.grant.epoch, 2u);
+  EXPECT_EQ(core.onRecord(w1, recordPayload(0, 2, "A", "T1"), 4.0),
+            Coordinator::Ingest::Accepted);
+  EXPECT_EQ(core.onLeaseDone(w1, encodeLeaseRef({0, 2}), 5.0),
+            Coordinator::DoneResult::Ok);
+
+  // Second lease to a second worker; campaign completes.
+  const std::uint64_t w2 = core.addWorker();
+  reply = core.onRequest(w2, 6.0);
+  ASSERT_EQ(reply.kind, Coordinator::RequestKind::Grant);
+  EXPECT_EQ(reply.grant.leaseId, 1u);
+  EXPECT_EQ(core.onRecord(w2, recordPayload(1, 1, "A", "T2"), 7.0),
+            Coordinator::Ingest::Accepted);
+  EXPECT_EQ(core.onLeaseDone(w2, encodeLeaseRef({1, 1}), 8.0),
+            Coordinator::DoneResult::Ok);
+  EXPECT_TRUE(core.complete());
+  EXPECT_EQ(core.onRequest(w1, 9.0).kind, Coordinator::RequestKind::Complete);
+  EXPECT_EQ(core.cellsDone(), 2u);
+}
+
+TEST(CoordinatorCore, AllLeasesActiveMeansWait) {
+  TempFile ckpt("wait");
+  CheckpointStore store(ckpt.path());
+  Coordinator core(smallConfig(), store, 0.0);
+  const std::uint64_t w1 = core.addWorker();
+  const std::uint64_t w2 = core.addWorker();
+  const std::uint64_t w3 = core.addWorker();
+  EXPECT_EQ(core.onRequest(w1, 0.0).kind, Coordinator::RequestKind::Grant);
+  EXPECT_EQ(core.onRequest(w2, 0.0).kind, Coordinator::RequestKind::Grant);
+  EXPECT_EQ(core.onRequest(w3, 0.0).kind, Coordinator::RequestKind::Wait);
+}
+
+TEST(CoordinatorCore, HeartbeatExpiryReassignsWithBumpedEpoch) {
+  TempFile ckpt("expiry");
+  CheckpointStore store(ckpt.path());
+  Coordinator core(smallConfig(), store, 0.0);  // timeout 10s
+  const std::uint64_t w1 = core.addWorker();
+  ASSERT_EQ(core.onRequest(w1, 0.0).kind, Coordinator::RequestKind::Grant);
+
+  // Heartbeats keep the lease alive past the original deadline...
+  EXPECT_TRUE(core.onHeartbeat(w1, encodeLeaseRef({0, 1}), 8.0));
+  EXPECT_TRUE(core.checkExpiry(12.0).empty());
+  // ...but silence past the timeout re-issues exactly that lease.
+  const auto reissued = core.checkExpiry(18.5);
+  ASSERT_EQ(reissued.size(), 1u);
+  EXPECT_EQ(reissued[0], 0u);
+  EXPECT_EQ(core.leaseReissues(), 1u);
+
+  // The next requester inherits it under a NEW epoch.
+  const std::uint64_t w2 = core.addWorker();
+  const auto reply = core.onRequest(w2, 19.0);
+  ASSERT_EQ(reply.kind, Coordinator::RequestKind::Grant);
+  EXPECT_EQ(reply.grant.leaseId, 0u);
+  EXPECT_EQ(reply.grant.epoch, 2u);
+}
+
+TEST(CoordinatorCore, StaleEpochRecordsAreFenced) {
+  TempFile ckpt("fence");
+  CheckpointStore store(ckpt.path());
+  Coordinator core(smallConfig(), store, 0.0);
+  const std::uint64_t w1 = core.addWorker();
+  ASSERT_EQ(core.onRequest(w1, 0.0).kind, Coordinator::RequestKind::Grant);
+
+  // w1 goes silent; its lease is re-issued to w2 under epoch 2.
+  ASSERT_EQ(core.checkExpiry(20.0).size(), 1u);
+  const std::uint64_t w2 = core.addWorker();
+  ASSERT_EQ(core.onRequest(w2, 20.0).kind, Coordinator::RequestKind::Grant);
+
+  // The zombie wakes up and streams its (bit-identical, but unverifiable)
+  // record under the old epoch: fenced, nothing ingested.
+  EXPECT_EQ(core.onRecord(w1, recordPayload(0, 1, "A", "T1"), 21.0),
+            Coordinator::Ingest::Stale);
+  EXPECT_EQ(core.staleRecords(), 1u);
+  EXPECT_EQ(core.cellsDone(), 0u);
+  // Its heartbeats and hand-backs are fenced too.
+  EXPECT_FALSE(core.onHeartbeat(w1, encodeLeaseRef({0, 1}), 21.0));
+  EXPECT_EQ(core.onLeaseDone(w1, encodeLeaseRef({0, 1}), 21.0),
+            Coordinator::DoneResult::Stale);
+
+  // The current holder's record lands.
+  EXPECT_EQ(core.onRecord(w2, recordPayload(0, 2, "A", "T1"), 22.0),
+            Coordinator::Ingest::Accepted);
+  EXPECT_EQ(core.cellsDone(), 1u);
+}
+
+TEST(CoordinatorCore, DisconnectReclaimsImmediately) {
+  TempFile ckpt("disconnect");
+  CheckpointStore store(ckpt.path());
+  Coordinator core(smallConfig(), store, 0.0);
+  const std::uint64_t w1 = core.addWorker();
+  ASSERT_EQ(core.onRequest(w1, 0.0).kind, Coordinator::RequestKind::Grant);
+  // SIGKILL shows up as a closed connection: no heartbeat wait needed.
+  EXPECT_EQ(core.removeWorker(w1, 1.0), 1u);
+  const std::uint64_t w2 = core.addWorker();
+  const auto reply = core.onRequest(w2, 1.5);
+  ASSERT_EQ(reply.kind, Coordinator::RequestKind::Grant);
+  EXPECT_EQ(reply.grant.leaseId, 0u);
+  EXPECT_EQ(reply.grant.epoch, 2u);
+}
+
+TEST(CoordinatorCore, DuplicatesDedupButConflictsThrow) {
+  TempFile ckpt("dup");
+  CheckpointStore store(ckpt.path());
+  Coordinator core(smallConfig(), store, 0.0);
+  const std::uint64_t w1 = core.addWorker();
+  ASSERT_EQ(core.onRequest(w1, 0.0).kind, Coordinator::RequestKind::Grant);
+
+  EXPECT_EQ(core.onRecord(w1, recordPayload(0, 1, "A", "T1"), 1.0),
+            Coordinator::Ingest::Accepted);
+  // A re-send of the identical record collapses, exactly like --merge.
+  EXPECT_EQ(core.onRecord(w1, recordPayload(0, 1, "A", "T1"), 2.0),
+            Coordinator::Ingest::Duplicate);
+  EXPECT_EQ(core.cellsDone(), 1u);
+
+  // A record disagreeing on deterministic fields breaks the contract the
+  // whole system is built on: loud failure, not silent preference.
+  CampaignResult conflicting = makeResult("A", "T1", 12);
+  conflicting.counts.crash += 1;
+  conflicting.counts.benign -= 1;
+  EXPECT_THROW(
+      core.onRecord(w1,
+                    encodeRecord(LeaseRef{0, 1},
+                                 CheckpointStore::encode(conflicting)),
+                    3.0),
+      CheckError);
+}
+
+TEST(CoordinatorCore, CorruptAndWrongTrialRecordsAreRejected) {
+  TempFile ckpt("corrupt");
+  CheckpointStore store(ckpt.path());
+  Coordinator core(smallConfig(), store, 0.0);
+  const std::uint64_t w1 = core.addWorker();
+  ASSERT_EQ(core.onRequest(w1, 0.0).kind, Coordinator::RequestKind::Grant);
+
+  EXPECT_EQ(core.onRecord(w1, "not a record", 1.0),
+            Coordinator::Ingest::Corrupt);
+  // Valid framing, corrupted checksum line.
+  std::string payload = recordPayload(0, 1, "A", "T1");
+  payload.back() = payload.back() == '0' ? '1' : '0';
+  EXPECT_EQ(core.onRecord(w1, payload, 1.0), Coordinator::Ingest::Corrupt);
+  // A record with the wrong trial count is a different campaign's.
+  EXPECT_THROW(core.onRecord(w1, recordPayload(0, 1, "A", "T1", 99), 1.0),
+               CheckError);
+  EXPECT_EQ(core.cellsDone(), 0u);
+}
+
+TEST(CoordinatorCore, RestartOnExistingStoreResumes) {
+  TempFile ckpt("resume");
+  {
+    CheckpointStore store(ckpt.path());
+    CoordinatorConfig config = smallConfig();
+    store.bindCampaign({config.baseSeed, config.trials, config.timeoutFactor,
+                        "T1;T2"});
+    store.append(makeResult("A", "T1", 12));  // lease 0's only cell
+  }
+  CheckpointStore store(ckpt.path());
+  Coordinator core(smallConfig(), store, 0.0);
+  EXPECT_EQ(core.cellsDone(), 1u);
+
+  // Lease 0 is Done from disk: the only grant left is lease 1.
+  const std::uint64_t w1 = core.addWorker();
+  const auto reply = core.onRequest(w1, 0.0);
+  ASSERT_EQ(reply.kind, Coordinator::RequestKind::Grant);
+  EXPECT_EQ(reply.grant.leaseId, 1u);
+  EXPECT_EQ(core.onRecord(w1, recordPayload(1, 1, "A", "T2"), 1.0),
+            Coordinator::Ingest::Accepted);
+  EXPECT_EQ(core.onLeaseDone(w1, encodeLeaseRef({1, 1}), 2.0),
+            Coordinator::DoneResult::Ok);
+  EXPECT_TRUE(core.complete());
+}
+
+TEST(CoordinatorCore, StatusJsonTracksProgress) {
+  TempFile ckpt("status");
+  CheckpointStore store(ckpt.path());
+  Coordinator core(smallConfig(), store, 100.0);
+  const std::uint64_t w1 = core.addWorker();
+  ASSERT_EQ(core.onRequest(w1, 101.0).kind, Coordinator::RequestKind::Grant);
+  ASSERT_EQ(core.onRecord(w1, recordPayload(0, 1, "A", "T1"), 102.0),
+            Coordinator::Ingest::Accepted);
+
+  const std::string status = core.statusJson(104.0);
+  EXPECT_NE(status.find("\"complete\":false"), std::string::npos);
+  EXPECT_NE(status.find("\"cells_total\":2"), std::string::npos);
+  EXPECT_NE(status.find("\"cells_done\":1"), std::string::npos);
+  EXPECT_NE(status.find("\"trials_total\":24"), std::string::npos);
+  EXPECT_NE(status.find("\"trials_done\":12"), std::string::npos);
+  EXPECT_NE(status.find("\"trials_per_sec\":3"), std::string::npos);
+  EXPECT_NE(status.find("\"elapsed_sec\":4"), std::string::npos);
+  EXPECT_NE(status.find("\"workers\":1"), std::string::npos);
+  EXPECT_NE(status.find("\"leases_active\":1"), std::string::npos);
+  // Per-tool outcome counts, tools in matrix order.
+  const CampaignResult r = makeResult("A", "T1", 12);
+  EXPECT_NE(status.find(strf("\"T1\":{\"crash\":%llu,\"soc\":%llu,"
+                             "\"benign\":%llu}",
+                             static_cast<unsigned long long>(r.counts.crash),
+                             static_cast<unsigned long long>(r.counts.soc),
+                             static_cast<unsigned long long>(
+                                 r.counts.benign))),
+            std::string::npos);
+  EXPECT_NE(status.find("\"T2\":{\"crash\":0,\"soc\":0,\"benign\":0}"),
+            std::string::npos);
+}
+
+TEST(CoordinatorCore, RejectsStoreOfDifferentCampaign) {
+  TempFile ckpt("mismatch");
+  {
+    CheckpointStore store(ckpt.path());
+    store.bindCampaign({0xDEADULL, 99, 10.0, "T1;T2"});
+  }
+  CheckpointStore store(ckpt.path());
+  EXPECT_THROW(Coordinator(smallConfig(), store, 0.0), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// End to end over loopback TCP: coordinator + 2 workers == engine run
+// ---------------------------------------------------------------------------
+
+TEST(DistributedE2E, ServedReportMatchesEngineByteForByte) {
+  const std::vector<std::string> apps = {"EP"};
+  const std::vector<std::string> tools = {"LLFI", "REFINE"};
+
+  CampaignConfig config;
+  config.trials = 8;
+  config.threads = 2;
+  CampaignEngine engine(config);
+  const std::string reference =
+      countsCsv(engine.runMatrix(buildMatrixJobs(apps, tools)));
+
+  TempFile ckpt("e2e");
+  TempFile report("e2e_report");
+  ServeOptions serve;
+  serve.config.apps = apps;
+  serve.config.tools = tools;
+  serve.config.trials = config.trials;
+  serve.config.leaseCount = 2;
+  serve.config.heartbeatTimeout = 30.0;  // no expiry in a healthy run
+  serve.port = 0;
+  serve.checkpointPath = ckpt.path();
+  serve.reportPath = report.path();
+  std::promise<std::uint16_t> portPromise;
+  auto portFuture = portPromise.get_future();
+  serve.onListening = [&](std::uint16_t p) { portPromise.set_value(p); };
+
+  std::thread coordinator([&] { EXPECT_EQ(serveCampaign(serve), 0); });
+  const std::uint16_t port = portFuture.get();
+
+  WorkerOptions workerOptions;
+  workerOptions.threads = 2;
+  std::thread w1(
+      [&] { EXPECT_EQ(runWorker("127.0.0.1", port, workerOptions), 0); });
+  std::thread w2(
+      [&] { EXPECT_EQ(runWorker("127.0.0.1", port, workerOptions), 0); });
+  w1.join();
+  w2.join();
+  coordinator.join();
+
+  EXPECT_EQ(readFile(report.path()), reference);
+}
+
+}  // namespace
+}  // namespace refine::campaign
