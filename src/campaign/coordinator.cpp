@@ -24,6 +24,27 @@ double steadySeconds() {
       .count();
 }
 
+/// Escapes `s` for use inside a JSON string literal. Tool keys are the only
+/// free-form text statusJson embeds; meta-binding rejects framing characters
+/// but not quotes or backslashes.
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += strf("\\u%04x", static_cast<unsigned>(c));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -91,11 +112,19 @@ std::uint64_t Coordinator::addWorker() {
   return nextWorker_++;
 }
 
-void Coordinator::reissue(Lease& lease) {
-  lease.state = LeaseState::Unassigned;
-  lease.worker = 0;
+bool Coordinator::reissue(Lease& lease) {
   ++lease.epoch;  // fences every in-flight message of the old holder
+  lease.worker = 0;
+  if (leaseComplete(lease)) {
+    // The holder died after streaming every record but before LeaseDone:
+    // nothing is left to compute, so finish the lease instead of handing
+    // the shard to another worker just to have every record deduplicated.
+    lease.state = LeaseState::Done;
+    return false;
+  }
+  lease.state = LeaseState::Unassigned;
   ++leaseReissues_;
+  return true;
 }
 
 std::size_t Coordinator::removeWorker(std::uint64_t worker, double) {
@@ -103,8 +132,7 @@ std::size_t Coordinator::removeWorker(std::uint64_t worker, double) {
   std::size_t reclaimed = 0;
   for (Lease& lease : leases_) {
     if (lease.state == LeaseState::Active && lease.worker == worker) {
-      reissue(lease);
-      ++reclaimed;
+      if (reissue(lease)) ++reclaimed;
     }
   }
   return reclaimed;
@@ -228,8 +256,7 @@ std::vector<std::uint64_t> Coordinator::checkExpiry(double now) {
     Lease& lease = leases_[l];
     if (lease.state == LeaseState::Active &&
         now - lease.lastTraffic > config_.heartbeatTimeout) {
-      reissue(lease);
-      reissued.push_back(l);
+      if (reissue(lease)) reissued.push_back(l);
     }
   }
   return reissued;
@@ -274,7 +301,7 @@ std::string Coordinator::statusJson(double now) const {
                                                      : OutcomeCounts{};
     if (!perToolJson.empty()) perToolJson += ',';
     perToolJson += strf("\"%s\":{\"crash\":%llu,\"soc\":%llu,\"benign\":%llu}",
-                        tool.c_str(),
+                        jsonEscape(tool).c_str(),
                         static_cast<unsigned long long>(counts.crash),
                         static_cast<unsigned long long>(counts.soc),
                         static_cast<unsigned long long>(counts.benign));
@@ -358,6 +385,23 @@ int serveCampaign(const ServeOptions& options) {
     connections.erase(connections.begin() + static_cast<std::ptrdiff_t>(index));
   };
 
+  // Replies can hit EPIPE/ECONNRESET when the peer died between its request
+  // and our answer; the coordinator must outlive any client, so a failed
+  // write reclaims that one connection (re-issuing its leases) instead of
+  // propagating out of the serve loop. Returns false when the connection
+  // was dropped — `connections[index]` is invalid afterwards.
+  auto trySend = [&](std::size_t index, double now, MsgType type,
+                     std::string_view payload) -> bool {
+    try {
+      writeFrame(connections[index].fd.get(), type, payload);
+      return true;
+    } catch (const CheckError& e) {
+      diag("dropping connection: %s", e.what());
+      dropConnection(index, now, "write failed");
+      return false;
+    }
+  };
+
   while (true) {
     std::vector<pollfd> fds;
     fds.push_back({listener.fd.get(), POLLIN, 0});
@@ -374,11 +418,10 @@ int serveCampaign(const ServeOptions& options) {
            static_cast<unsigned long long>(leaseId));
     }
 
-    if (fds[0].revents & POLLIN) {
-      connections.push_back({tcpAccept(listener.fd.get()), std::nullopt});
-    }
-
     // Walk backwards so dropping a connection cannot shift unvisited ones.
+    // New connections are accepted only AFTER this loop: fds[i + 1] maps to
+    // connections[i] exactly because `connections` has not grown since the
+    // poll() that filled fds.
     for (std::size_t i = connections.size(); i-- > 0;) {
       if (!(fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR))) continue;
       Connection& conn = connections[i];
@@ -402,11 +445,12 @@ int serveCampaign(const ServeOptions& options) {
       switch (frame->type) {
         case MsgType::Hello:
           if (frame->payload != kNetHello) {
-            writeFrame(conn.fd.get(), MsgType::Reject,
-                       strf("protocol mismatch: coordinator speaks '%.*s'",
-                            static_cast<int>(kNetHello.size()),
-                            kNetHello.data()));
-            dropConnection(i, now, "version mismatch");
+            if (trySend(i, now, MsgType::Reject,
+                        strf("protocol mismatch: coordinator speaks '%.*s'",
+                             static_cast<int>(kNetHello.size()),
+                             kNetHello.data()))) {
+              dropConnection(i, now, "version mismatch");
+            }
             break;
           }
           conn.worker = core.addWorker();
@@ -416,8 +460,9 @@ int serveCampaign(const ServeOptions& options) {
 
         case MsgType::Request: {
           if (!conn.worker) {
-            writeFrame(conn.fd.get(), MsgType::Reject, "Hello first");
-            dropConnection(i, now, "no hello");
+            if (trySend(i, now, MsgType::Reject, "Hello first")) {
+              dropConnection(i, now, "no hello");
+            }
             break;
           }
           const auto reply = core.onRequest(*conn.worker, now);
@@ -428,14 +473,15 @@ int serveCampaign(const ServeOptions& options) {
                    static_cast<unsigned long long>(reply.grant.epoch),
                    reply.grant.shard.index, reply.grant.shard.count,
                    static_cast<unsigned long long>(*conn.worker));
-              writeFrame(conn.fd.get(), MsgType::Grant,
-                         encodeGrant(reply.grant));
+              // A failed Grant write reclaims the just-activated lease via
+              // dropConnection -> removeWorker, epoch bumped as usual.
+              trySend(i, now, MsgType::Grant, encodeGrant(reply.grant));
               break;
             case Coordinator::RequestKind::Wait:
-              writeFrame(conn.fd.get(), MsgType::Wait, "250");
+              trySend(i, now, MsgType::Wait, "250");
               break;
             case Coordinator::RequestKind::Complete:
-              writeFrame(conn.fd.get(), MsgType::Complete, "");
+              trySend(i, now, MsgType::Complete, "");
               break;
           }
           break;
@@ -476,16 +522,24 @@ int serveCampaign(const ServeOptions& options) {
         }
 
         case MsgType::StatusRequest:
-          writeFrame(conn.fd.get(), MsgType::StatusReply,
-                     core.statusJson(now));
+          trySend(i, now, MsgType::StatusReply, core.statusJson(now));
           break;
 
         default:
-          writeFrame(conn.fd.get(), MsgType::Reject,
-                     "unexpected message type");
-          dropConnection(i, now, "protocol violation");
+          if (trySend(i, now, MsgType::Reject, "unexpected message type")) {
+            dropConnection(i, now, "protocol violation");
+          }
           break;
       }
+    }
+
+    // Accept AFTER dispatch: pushing into `connections` during the dispatch
+    // loop would desynchronize it from `fds` (one fewer entry) and read one
+    // past the end of the pollfd vector. The new socket is polled next
+    // iteration; nothing is read from it until it actually signals POLLIN,
+    // so a client that connects and goes silent cannot block the loop.
+    if (fds[0].revents & POLLIN) {
+      connections.push_back({tcpAccept(listener.fd.get()), std::nullopt});
     }
 
     if (core.complete() && !reportWritten) {

@@ -70,7 +70,9 @@ class Coordinator {
 
   /// The worker's connection closed: its active leases re-enter the pool
   /// immediately (epoch bumped) — a SIGKILLed worker is replaced without
-  /// waiting for a heartbeat timeout. Returns how many leases re-entered.
+  /// waiting for a heartbeat timeout. Leases whose cells were all streamed
+  /// before the death are marked Done instead of re-issued. Returns how
+  /// many leases re-entered the pool.
   std::size_t removeWorker(std::uint64_t worker, double now);
 
   // -- protocol events -----------------------------------------------------
@@ -106,7 +108,8 @@ class Coordinator {
                          double now);
 
   /// Re-issues every active lease whose last traffic is older than
-  /// heartbeatTimeout. Returns the re-issued lease ids.
+  /// heartbeatTimeout (fully-streamed leases go Done instead, as in
+  /// removeWorker). Returns the re-issued lease ids.
   std::vector<std::uint64_t> checkExpiry(double now);
 
   // -- progress ------------------------------------------------------------
@@ -142,7 +145,11 @@ class Coordinator {
   /// nullptr (fenced).
   Lease* fence(std::uint64_t worker, const LeaseRef& ref);
 
-  void reissue(Lease& lease);
+  /// Bumps the epoch (fencing the old holder) and returns the lease to the
+  /// pool — unless every cell is already in the store, in which case the
+  /// lease is finished (Done) and false is returned: re-computing a fully
+  /// streamed shard would only produce duplicates.
+  bool reissue(Lease& lease);
 
   CoordinatorConfig config_;
   CheckpointStore& store_;

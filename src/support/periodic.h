@@ -4,7 +4,10 @@
 // worker side of the campaign service uses this to keep heartbeat frames
 // flowing while a lease's trials occupy every pool thread; the destructor
 // wakes the timer immediately (condition variable, not a sleep), so tearing
-// one down never stalls a lease hand-back.
+// one down never stalls a lease hand-back. A `fn` that throws stops the
+// timer (no further firings) instead of escaping the timer thread and
+// taking the process down via std::terminate — the owner notices the
+// underlying failure (e.g. a dead peer) through its own I/O.
 #pragma once
 
 #include <chrono>
@@ -44,7 +47,15 @@ class PeriodicTask {
     const auto interval = std::chrono::duration<double>(interval_);
     while (!cv_.wait_for(lock, interval, [this] { return stop_; })) {
       lock.unlock();
-      fn_();
+      try {
+        fn_();
+      } catch (...) {
+        // e.g. a heartbeat write hitting EPIPE after the coordinator exits:
+        // stop beating and wait for destruction rather than std::terminate.
+        lock.lock();
+        stop_ = true;
+        return;
+      }
       lock.lock();
     }
   }

@@ -369,6 +369,53 @@ TEST(CoordinatorCore, DisconnectReclaimsImmediately) {
   EXPECT_EQ(reply.grant.epoch, 2u);
 }
 
+TEST(CoordinatorCore, FullyStreamedLeaseFinishesOnDisconnect) {
+  TempFile ckpt("fullstream");
+  CheckpointStore store(ckpt.path());
+  Coordinator core(smallConfig(), store, 0.0);
+  const std::uint64_t w1 = core.addWorker();
+  ASSERT_EQ(core.onRequest(w1, 0.0).kind, Coordinator::RequestKind::Grant);
+
+  // w1 streams its lease's only cell, then dies before LeaseDone. Every
+  // record is already in the store: the lease goes Done, not back into the
+  // pool — re-computing it would only produce duplicates.
+  ASSERT_EQ(core.onRecord(w1, recordPayload(0, 1, "A", "T1"), 1.0),
+            Coordinator::Ingest::Accepted);
+  EXPECT_EQ(core.removeWorker(w1, 2.0), 0u);
+  EXPECT_EQ(core.leaseReissues(), 0u);
+
+  // The next worker is granted lease 1 straight away; finishing it
+  // completes the campaign without anyone revisiting lease 0.
+  const std::uint64_t w2 = core.addWorker();
+  const auto reply = core.onRequest(w2, 3.0);
+  ASSERT_EQ(reply.kind, Coordinator::RequestKind::Grant);
+  EXPECT_EQ(reply.grant.leaseId, 1u);
+  ASSERT_EQ(core.onRecord(w2, recordPayload(1, 1, "A", "T2"), 4.0),
+            Coordinator::Ingest::Accepted);
+  EXPECT_EQ(core.onLeaseDone(w2, encodeLeaseRef({1, 1}), 5.0),
+            Coordinator::DoneResult::Ok);
+  EXPECT_TRUE(core.complete());
+}
+
+TEST(CoordinatorCore, FullyStreamedLeaseFinishesOnExpiry) {
+  TempFile ckpt("fullexpiry");
+  CheckpointStore store(ckpt.path());
+  Coordinator core(smallConfig(), store, 0.0);
+  const std::uint64_t w1 = core.addWorker();
+  ASSERT_EQ(core.onRequest(w1, 0.0).kind, Coordinator::RequestKind::Grant);
+  ASSERT_EQ(core.onRecord(w1, recordPayload(0, 1, "A", "T1"), 1.0),
+            Coordinator::Ingest::Accepted);
+
+  // The worker goes silent after streaming everything: expiry finds the
+  // lease complete and finishes it instead of re-issuing.
+  EXPECT_TRUE(core.checkExpiry(30.0).empty());
+  EXPECT_EQ(core.leaseReissues(), 0u);
+  const std::uint64_t w2 = core.addWorker();
+  const auto reply = core.onRequest(w2, 31.0);
+  ASSERT_EQ(reply.kind, Coordinator::RequestKind::Grant);
+  EXPECT_EQ(reply.grant.leaseId, 1u);
+}
+
 TEST(CoordinatorCore, DuplicatesDedupButConflictsThrow) {
   TempFile ckpt("dup");
   CheckpointStore store(ckpt.path());
@@ -472,6 +519,20 @@ TEST(CoordinatorCore, StatusJsonTracksProgress) {
             std::string::npos);
 }
 
+TEST(CoordinatorCore, StatusJsonEscapesToolKeys) {
+  // Meta-binding rejects framing characters (spaces, ';') but not quotes or
+  // backslashes; those must come out JSON-escaped, not verbatim.
+  TempFile ckpt("escape");
+  CheckpointStore store(ckpt.path());
+  CoordinatorConfig config = smallConfig();
+  config.tools = {"T\"1", "T\\2"};
+  Coordinator core(config, store, 0.0);
+  const std::string status = core.statusJson(1.0);
+  EXPECT_NE(status.find("\"T\\\"1\":{"), std::string::npos);
+  EXPECT_NE(status.find("\"T\\\\2\":{"), std::string::npos);
+  EXPECT_EQ(status.find("\"T\"1\""), std::string::npos);
+}
+
 TEST(CoordinatorCore, RejectsStoreOfDifferentCampaign) {
   TempFile ckpt("mismatch");
   {
@@ -514,6 +575,28 @@ TEST(DistributedE2E, ServedReportMatchesEngineByteForByte) {
 
   std::thread coordinator([&] { EXPECT_EQ(serveCampaign(serve), 0); });
   const std::uint16_t port = portFuture.get();
+
+  // A connection that never sends a byte must not block or confuse the
+  // single-threaded serve loop (it stays open for the whole campaign), and
+  // a status client that vanishes without reading its reply must not kill
+  // the coordinator.
+  UniqueFd idle = tcpConnect("127.0.0.1", port);
+  {
+    UniqueFd probe = tcpConnect("127.0.0.1", port);
+    writeFrame(probe.get(), MsgType::StatusRequest, "");
+  }  // closed before the reply is read
+
+  // A live probe round-trips even with the idle connection parked: the
+  // serve loop is not stuck waiting for the silent socket.
+  {
+    UniqueFd probe = tcpConnect("127.0.0.1", port);
+    writeFrame(probe.get(), MsgType::StatusRequest, "");
+    const auto reply = readFrame(probe.get());
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->type, MsgType::StatusReply);
+    EXPECT_NE(reply->payload.find("\"complete\":false"), std::string::npos);
+    EXPECT_NE(reply->payload.find("\"cells_total\":2"), std::string::npos);
+  }
 
   WorkerOptions workerOptions;
   workerOptions.threads = 2;

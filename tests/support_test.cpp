@@ -3,12 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "support/check.h"
 #include "support/csv.h"
+#include "support/periodic.h"
 #include "support/rng.h"
 #include "support/strings.h"
 #include "support/threadpool.h"
@@ -335,6 +338,35 @@ TEST(ParallelFor, PropagatesFirstException) {
 
 TEST(ParallelFor, ZeroIterationsIsNoop) {
   parallelFor(0, 4, [](std::size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(PeriodicTask, FiresRepeatedlyAndStopsOnDestruction) {
+  std::atomic<int> fired{0};
+  {
+    PeriodicTask task(0.005, [&] { fired.fetch_add(1); });
+    while (fired.load() < 3) std::this_thread::sleep_for(
+        std::chrono::milliseconds(1));
+  }
+  const int atDestruction = fired.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(fired.load(), atDestruction);  // destroyed timers never fire
+}
+
+TEST(PeriodicTask, ThrowingTaskStopsTimerInsteadOfTerminating) {
+  // A heartbeat whose write hits EPIPE throws on the timer thread; that
+  // must stop the timer, not std::terminate the worker.
+  std::atomic<int> fired{0};
+  {
+    PeriodicTask task(0.005, [&] {
+      fired.fetch_add(1);
+      throw CheckError("peer went away");
+    });
+    while (fired.load() == 0) std::this_thread::sleep_for(
+        std::chrono::milliseconds(1));
+    // Give the timer a chance to (wrongly) fire again; it must not.
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  EXPECT_EQ(fired.load(), 1);
 }
 
 TEST(Check, ThrowsWithMessage) {
