@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdarg>
 #include <cstdio>
 #include <map>
 #include <poll.h>
+#include <signal.h>
 #include <utility>
 
 #include "campaign/report.h"
@@ -89,6 +91,10 @@ Coordinator::Coordinator(CoordinatorConfig config, CheckpointStore& store,
   leases_.resize(config_.leaseCount);
   for (std::uint32_t l = 0; l < config_.leaseCount; ++l) {
     Lease& lease = leases_[l];
+    // Epochs of this incarnation start above every epoch a previous
+    // incarnation could have granted (see epochBase), so a zombie worker
+    // from before a coordinator restart is fenced by the normal epoch check.
+    lease.epoch = config_.epochBase + 1;
     lease.shard = ShardSpec{l, config_.leaseCount};
     for (std::size_t i = 0; i < cells_.size(); ++i) {
       if (lease.shard.contains(i)) lease.cells.push_back(i);
@@ -122,6 +128,16 @@ bool Coordinator::reissue(Lease& lease) {
     lease.state = LeaseState::Done;
     return false;
   }
+  ++lease.reissues;
+  if (config_.maxLeaseReissues > 0 &&
+      lease.reissues > config_.maxLeaseReissues) {
+    // Something about this shard kills every worker that touches it (or
+    // eats their records). Granting it again would only feed the grinder;
+    // park it terminally and let the serve loop decide between waiting for
+    // an operator and emitting a partial report.
+    lease.state = LeaseState::Quarantined;
+    return false;
+  }
   lease.state = LeaseState::Unassigned;
   ++leaseReissues_;
   return true;
@@ -140,7 +156,10 @@ std::size_t Coordinator::removeWorker(std::uint64_t worker, double) {
 
 Coordinator::RequestReply Coordinator::onRequest(std::uint64_t worker,
                                                  double now) {
-  if (complete()) return {RequestKind::Complete, {}};
+  // Settled (not merely complete): once every lease is Done or Quarantined
+  // there is no work a worker could ever be granted, so tell it the
+  // campaign is over rather than making it Wait-poll a stuck coordinator.
+  if (settled()) return {RequestKind::Complete, {}};
   for (std::size_t l = 0; l < leases_.size(); ++l) {
     Lease& lease = leases_[l];
     if (lease.state != LeaseState::Unassigned) continue;
@@ -268,17 +287,33 @@ bool Coordinator::complete() const noexcept {
   });
 }
 
+bool Coordinator::settled() const noexcept {
+  return std::all_of(leases_.begin(), leases_.end(), [](const Lease& lease) {
+    return lease.state == LeaseState::Done ||
+           lease.state == LeaseState::Quarantined;
+  });
+}
+
+std::vector<std::uint64_t> Coordinator::quarantinedLeases() const {
+  std::vector<std::uint64_t> ids;
+  for (std::size_t l = 0; l < leases_.size(); ++l) {
+    if (leases_[l].state == LeaseState::Quarantined) ids.push_back(l);
+  }
+  return ids;
+}
+
 std::size_t Coordinator::cellsDone() const noexcept {
   return store_.records().size();
 }
 
 std::string Coordinator::statusJson(double now) const {
-  std::size_t unassigned = 0, active = 0, done = 0;
+  std::size_t unassigned = 0, active = 0, done = 0, quarantined = 0;
   for (const Lease& lease : leases_) {
     switch (lease.state) {
       case LeaseState::Unassigned: ++unassigned; break;
       case LeaseState::Active: ++active; break;
       case LeaseState::Done: ++done; break;
+      case LeaseState::Quarantined: ++quarantined; break;
     }
   }
 
@@ -308,17 +343,21 @@ std::string Coordinator::statusJson(double now) const {
   }
 
   return strf(
-      "{\"complete\":%s,\"cells_total\":%zu,\"cells_done\":%zu,"
+      "{\"complete\":%s,\"settled\":%s,\"cells_total\":%zu,"
+      "\"cells_done\":%zu,"
       "\"trials_total\":%llu,\"trials_done\":%llu,\"trials_per_sec\":%s,"
       "\"elapsed_sec\":%s,\"workers\":%zu,\"leases_total\":%zu,"
       "\"leases_unassigned\":%zu,\"leases_active\":%zu,\"leases_done\":%zu,"
+      "\"leases_quarantined\":%zu,"
       "\"lease_reissues\":%llu,\"stale_records\":%llu,"
       "\"corrupt_records\":%llu,\"per_tool\":{%s}}",
-      complete() ? "true" : "false", cells_.size(), cellsDone(),
+      complete() ? "true" : "false", settled() ? "true" : "false",
+      cells_.size(), cellsDone(),
       static_cast<unsigned long long>(config_.trials * cells_.size()),
       static_cast<unsigned long long>(trialsDone),
       formatDouble(trialsPerSec).c_str(), formatDouble(elapsed).c_str(),
       workersConnected_, leases_.size(), unassigned, active, done,
+      quarantined,
       static_cast<unsigned long long>(leaseReissues_),
       static_cast<unsigned long long>(staleRecords_),
       static_cast<unsigned long long>(corruptRecords_), perToolJson.c_str());
@@ -347,6 +386,60 @@ void diag(const char* fmt, ...) {
   va_end(args);
 }
 
+/// Which drain signal (SIGTERM/SIGINT) arrived, 0 for none. The handler is
+/// installed without SA_RESTART on purpose: a drain must interrupt the
+/// blocked poll() (EINTR) so the serve loop notices within one iteration,
+/// not within one poll timeout.
+volatile std::sig_atomic_t gDrainSignal = 0;
+
+extern "C" void drainSignalHandler(int sig) { gDrainSignal = sig; }
+
+/// Installs SIGTERM/SIGINT -> drain for the lifetime of one serve and
+/// restores the previous dispositions afterwards, so tests running many
+/// serves in one process don't leak handlers into each other.
+class ScopedDrainHandlers {
+ public:
+  explicit ScopedDrainHandlers(bool install) : installed_(install) {
+    if (!installed_) return;
+    gDrainSignal = 0;
+    struct sigaction action {};
+    action.sa_handler = drainSignalHandler;
+    ::sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;  // no SA_RESTART: poll() must see EINTR
+    ::sigaction(SIGTERM, &action, &oldTerm_);
+    ::sigaction(SIGINT, &action, &oldInt_);
+  }
+  ~ScopedDrainHandlers() {
+    if (!installed_) return;
+    ::sigaction(SIGTERM, &oldTerm_, nullptr);
+    ::sigaction(SIGINT, &oldInt_, nullptr);
+  }
+  ScopedDrainHandlers(const ScopedDrainHandlers&) = delete;
+  ScopedDrainHandlers& operator=(const ScopedDrainHandlers&) = delete;
+
+ private:
+  bool installed_;
+  struct sigaction oldTerm_ {};
+  struct sigaction oldInt_ {};
+};
+
+/// Reads and bumps the incarnation counter stored next to the checkpoint
+/// (`<checkpoint>.generation`). Returns how many serves have run against
+/// this checkpoint BEFORE this one (0 on first start, missing or garbled
+/// sidecar included — worst case some fencing headroom is lost once, and
+/// the dedup-equality rule still holds behind it).
+std::uint64_t bumpGeneration(const std::string& checkpointPath) {
+  const std::string path = checkpointPath + ".generation";
+  std::uint64_t prior = 0;
+  try {
+    prior = parseU64(trim(readFile(path))).value_or(0);
+  } catch (const std::exception&) {
+    // First incarnation, or an unreadable sidecar: start from zero.
+  }
+  writeFile(path, std::to_string(prior + 1) + "\n");
+  return prior;
+}
+
 }  // namespace
 
 int serveCampaign(const ServeOptions& options) {
@@ -358,18 +451,40 @@ int serveCampaign(const ServeOptions& options) {
          store.path().c_str(), store.records().size(),
          store.droppedRecords());
   }
-  Coordinator core(options.config, store, steadySeconds());
+
+  // Fence this incarnation above every epoch a previous one could have
+  // granted: a worker still streaming against a pre-crash lease is rejected
+  // by the ordinary epoch check instead of being mistaken for current.
+  CoordinatorConfig config = options.config;
+  const std::uint64_t priorIncarnations =
+      bumpGeneration(options.checkpointPath);
+  config.epochBase += priorIncarnations * kEpochGenerationStride;
+  if (priorIncarnations > 0) {
+    diag("incarnation %llu of this checkpoint: epochs start above %llu "
+         "(pre-restart grants are fenced)",
+         static_cast<unsigned long long>(priorIncarnations + 1),
+         static_cast<unsigned long long>(config.epochBase));
+  }
+  Coordinator core(config, store, steadySeconds());
 
   diag("serving on port %u: %zu cells, %u leases, %llu trials/cell, "
        "heartbeat timeout %.1fs, checkpoint %s",
-       listener.port, core.cellsTotal(), options.config.leaseCount,
-       static_cast<unsigned long long>(options.config.trials),
-       options.config.heartbeatTimeout, options.checkpointPath.c_str());
+       listener.port, core.cellsTotal(), config.leaseCount,
+       static_cast<unsigned long long>(config.trials),
+       config.heartbeatTimeout, options.checkpointPath.c_str());
   if (options.onListening) options.onListening(listener.port);
+
+  ScopedDrainHandlers drainHandlers(options.installSignalHandlers);
+  const double serveStart = steadySeconds();
+  const double deadlineAt = options.deadlineSeconds > 0
+                                ? serveStart + options.deadlineSeconds
+                                : 0.0;
 
   std::vector<Connection> connections;
   bool reportWritten = false;
+  int exitCode = kServeExitOk;
   double exitDeadline = 0.0;
+  std::size_t quarantinedLogged = 0;
 
   auto dropConnection = [&](std::size_t index, double now,
                             const char* why) {
@@ -413,16 +528,45 @@ int serveCampaign(const ServeOptions& options) {
     RF_CHECK(rc >= 0 || errno == EINTR, "poll() failed");
     double now = steadySeconds();
 
+    // A drain (signal or test stop-flag) ends the serve resumable: the
+    // store flushes on every append, so whatever is on disk IS the resume
+    // point — re-running the same command picks up from it.
+    const bool stopRequested =
+        gDrainSignal != 0 ||
+        (options.stopFlag != nullptr && options.stopFlag->load());
+    if (stopRequested && !reportWritten) {
+      diag("drain requested (%s): checkpoint %s holds %zu cell(s); exiting "
+           "resumable",
+           gDrainSignal == SIGTERM  ? "SIGTERM"
+           : gDrainSignal == SIGINT ? "SIGINT"
+                                    : "stop flag",
+           options.checkpointPath.c_str(), core.cellsDone());
+      return kServeExitResumable;
+    }
+
     for (const std::uint64_t leaseId : core.checkExpiry(now)) {
       diag("lease %llu missed its heartbeat deadline, re-issuing",
            static_cast<unsigned long long>(leaseId));
     }
+    const auto quarantined = core.quarantinedLeases();
+    for (std::size_t q = quarantinedLogged; q < quarantined.size(); ++q) {
+      diag("lease %llu quarantined: re-issued %llu times without "
+           "completing — its shard is poisoned and will not be granted "
+           "again",
+           static_cast<unsigned long long>(quarantined[q]),
+           static_cast<unsigned long long>(config.maxLeaseReissues));
+    }
+    quarantinedLogged = quarantined.size();
 
+    // rc < 0 means EINTR: `fds` was never filled in, so its revents are
+    // whatever the previous iteration left there — dispatching on them
+    // would re-read connections that signalled nothing (and block on
+    // sockets with no data). Skip straight to the time-based work.
     // Walk backwards so dropping a connection cannot shift unvisited ones.
     // New connections are accepted only AFTER this loop: fds[i + 1] maps to
     // connections[i] exactly because `connections` has not grown since the
     // poll() that filled fds.
-    for (std::size_t i = connections.size(); i-- > 0;) {
+    for (std::size_t i = rc > 0 ? connections.size() : 0; i-- > 0;) {
       if (!(fds[i + 1].revents & (POLLIN | POLLHUP | POLLERR))) continue;
       Connection& conn = connections[i];
       std::optional<Frame> frame;
@@ -489,8 +633,22 @@ int serveCampaign(const ServeOptions& options) {
 
         case MsgType::Record: {
           if (!conn.worker) break;
-          const auto result = core.onRecord(*conn.worker, frame->payload,
-                                            now);
+          Coordinator::Ingest result;
+          try {
+            result = core.onRecord(*conn.worker, frame->payload, now);
+          } catch (const CheckError& e) {
+            // A record that decodes and checksums cleanly but contradicts
+            // the campaign (wrong trial count, deterministic fields that
+            // disagree with the store): the WORKER is poisoned — a grant
+            // corrupted in flight, a diverging build — and nothing it
+            // streams can be trusted. Containment beats dying: drop the
+            // connection, re-issue its leases, and let the re-issue cap
+            // quarantine the shard if the poison persists.
+            diag("worker %llu streamed a contradictory record: %s",
+                 static_cast<unsigned long long>(*conn.worker), e.what());
+            dropConnection(i, now, "contradictory record");
+            break;
+          }
           if (result == Coordinator::Ingest::Accepted) {
             diag("ingested cell %zu/%zu from worker %llu", core.cellsDone(),
                  core.cellsTotal(),
@@ -538,8 +696,21 @@ int serveCampaign(const ServeOptions& options) {
     // past the end of the pollfd vector. The new socket is polled next
     // iteration; nothing is read from it until it actually signals POLLIN,
     // so a client that connects and goes silent cannot block the loop.
-    if (fds[0].revents & POLLIN) {
-      connections.push_back({tcpAccept(listener.fd.get()), std::nullopt});
+    if (rc > 0 && (fds[0].revents & POLLIN)) {
+      try {
+        UniqueFd accepted = tcpAccept(listener.fd.get());
+        // Bound every syscall on this peer: once it signals readability it
+        // must produce a whole frame (and drain our replies) within the
+        // heartbeat budget, or it is treated as dead. A peer trickling one
+        // byte per timeout could otherwise blackhole the dispatch loop.
+        setSocketDeadline(accepted.get(),
+                          std::max(1.0, config.heartbeatTimeout));
+        connections.push_back({std::move(accepted), std::nullopt});
+      } catch (const CheckError& e) {
+        // ECONNABORTED and friends: the peer vanished between the listen
+        // queue and our accept. Its lease state is untouched; carry on.
+        diag("accept failed: %s", e.what());
+      }
     }
 
     if (core.complete() && !reportWritten) {
@@ -568,6 +739,56 @@ int serveCampaign(const ServeOptions& options) {
            options.reportPath ? options.reportPath->c_str() : "-> stdout");
     }
 
+    if (!reportWritten && !core.complete()) {
+      // Two ways a campaign stops being finishable: every remaining lease
+      // is quarantined (settled but incomplete), or the wall-clock budget
+      // ran out. Without --allow-partial that is a hard stop (the
+      // checkpoint keeps everything done so far); with it, an explicitly
+      // marked partial report is emitted and the exit code says so.
+      const bool poisoned = core.settled();
+      const bool expired = deadlineAt > 0 && now >= deadlineAt;
+      if (poisoned || expired) {
+        const char* why = poisoned ? "every remaining lease is quarantined"
+                                   : "campaign deadline expired";
+        if (!options.allowPartial) {
+          diag("campaign cannot finish: %s; %zu/%zu cells are in %s — "
+               "fix the cause and re-run to resume, or re-run with "
+               "--allow-partial for an explicit partial report",
+               why, core.cellsDone(), core.cellsTotal(),
+               options.checkpointPath.c_str());
+          return kServeExitStuck;
+        }
+        std::size_t dropped = 0;
+        const auto merged =
+            mergeCheckpoints({options.checkpointPath}, &dropped);
+        std::string quarantineList;
+        for (const std::uint64_t id : core.quarantinedLeases()) {
+          if (!quarantineList.empty()) quarantineList += ',';
+          quarantineList += std::to_string(id);
+        }
+        // The marker line makes a partial report impossible to mistake for
+        // a complete one in any downstream diff or ingestion.
+        std::string report = countsCsv(merged);
+        report += strf("# partial: %zu/%zu cells (%s; quarantined leases: "
+                       "%s)\n",
+                       core.cellsDone(), core.cellsTotal(), why,
+                       quarantineList.empty() ? "none"
+                                              : quarantineList.c_str());
+        if (options.reportPath) {
+          writeFile(*options.reportPath, report);
+        } else {
+          std::fputs(report.c_str(), stdout);
+        }
+        reportWritten = true;
+        exitCode = kServeExitPartial;
+        exitDeadline = now + options.lingerSeconds;
+        diag("partial report (%s): %zu/%zu cells; report %s", why,
+             core.cellsDone(), core.cellsTotal(),
+             options.reportPath ? options.reportPath->c_str()
+                                : "-> stdout");
+      }
+    }
+
     if (reportWritten) {
       // Linger until every worker has drained (each exits on Complete and
       // closes) or the grace period runs out — whichever comes first.
@@ -577,7 +798,7 @@ int serveCampaign(const ServeOptions& options) {
       if (!workersLeft || now >= exitDeadline) break;
     }
   }
-  return 0;
+  return exitCode;
 }
 
 }  // namespace refine::campaign

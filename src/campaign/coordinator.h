@@ -33,6 +33,7 @@
 // reassignment is tested without real sleeps.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -53,7 +54,24 @@ struct CoordinatorConfig {
   double timeoutFactor = 10.0;
   std::uint32_t leaseCount = 8;
   double heartbeatTimeout = 10.0;  // seconds without traffic => re-issue
+  /// Epochs start at epochBase + 1. serveCampaign derives the base from a
+  /// per-checkpoint generation counter so a restarted coordinator issues
+  /// strictly larger epochs than any pre-crash grant: a zombie worker
+  /// streaming records for a lease granted by the previous incarnation is
+  /// fenced by the ordinary epoch check, with no extra protocol state.
+  std::uint64_t epochBase = 0;
+  /// Re-issues a lease survives before it is quarantined (terminal state,
+  /// never granted again): a shard whose worker dies every time it runs —
+  /// or whose records never make it back intact — must stop the campaign
+  /// explicitly instead of re-running forever. 0 disables the cap.
+  std::uint64_t maxLeaseReissues = 25;
 };
+
+/// Epoch room per coordinator incarnation: generation G starts epochs at
+/// G * kEpochGenerationStride, so a restart out-fences every earlier grant
+/// while leaving ~1M re-issues per incarnation (the quarantine cap ends any
+/// campaign long before that).
+inline constexpr std::uint64_t kEpochGenerationStride = 1'000'000;
 
 class Coordinator {
  public:
@@ -117,6 +135,16 @@ class Coordinator {
   /// True once every lease is Done (equivalently: every cell ingested).
   bool complete() const noexcept;
 
+  /// True once no lease can make further progress: every lease is Done or
+  /// Quarantined. A settled-but-incomplete campaign has poisoned shards and
+  /// can only end in a partial report (or an operator fixing the poison and
+  /// resuming from the checkpoint).
+  bool settled() const noexcept;
+
+  /// Ids of quarantined leases, ascending. Empty while the campaign is
+  /// healthy.
+  std::vector<std::uint64_t> quarantinedLeases() const;
+
   /// One-line JSON progress document: cells done, trials/s, per-tool
   /// outcome counts, lease and worker state. Stable key order.
   std::string statusJson(double now) const;
@@ -127,13 +155,14 @@ class Coordinator {
   std::uint64_t leaseReissues() const noexcept { return leaseReissues_; }
 
  private:
-  enum class LeaseState { Unassigned, Active, Done };
+  enum class LeaseState { Unassigned, Active, Done, Quarantined };
   struct Lease {
     ShardSpec shard;
     std::uint64_t epoch = 1;
     LeaseState state = LeaseState::Unassigned;
     std::uint64_t worker = 0;     // meaningful while Active
     double lastTraffic = 0.0;     // grant/record/heartbeat time
+    std::uint64_t reissues = 0;   // times returned to the pool after a grant
     std::vector<std::size_t> cells;  // indices into cells_
   };
 
@@ -148,7 +177,9 @@ class Coordinator {
   /// Bumps the epoch (fencing the old holder) and returns the lease to the
   /// pool — unless every cell is already in the store, in which case the
   /// lease is finished (Done) and false is returned: re-computing a fully
-  /// streamed shard would only produce duplicates.
+  /// streamed shard would only produce duplicates. A lease that has been
+  /// re-issued maxLeaseReissues times is quarantined instead of pooled
+  /// (also false): whatever keeps killing its workers will keep doing so.
   bool reissue(Lease& lease);
 
   CoordinatorConfig config_;
@@ -164,6 +195,18 @@ class Coordinator {
   std::uint64_t leaseReissues_ = 0;
 };
 
+// Exit codes of serveCampaign — scripts branch on these, so they are API.
+inline constexpr int kServeExitOk = 0;        // campaign complete, report out
+/// Drained on SIGTERM/SIGINT: store flushed, no report. Re-running the same
+/// command resumes from the checkpoint — "resumable" is the contract.
+inline constexpr int kServeExitResumable = 3;
+/// Campaign could not finish (quarantine or --deadline) and --allow-partial
+/// was given: a report over the completed cells was emitted, marked partial.
+inline constexpr int kServeExitPartial = 4;
+/// Campaign cannot finish (quarantine or --deadline) and partial reports
+/// were not allowed. The checkpoint holds everything completed so far.
+inline constexpr int kServeExitStuck = 5;
+
 /// Runtime options of the serving loop around a Coordinator.
 struct ServeOptions {
   CoordinatorConfig config;
@@ -176,10 +219,27 @@ struct ServeOptions {
   /// Seconds the coordinator keeps answering (Complete/status) after the
   /// campaign finishes, so workers drain cleanly before it exits.
   double lingerSeconds = 5.0;
+  /// Wall-clock budget for the whole campaign; 0 = none. When it expires
+  /// the serve ends with a partial report (kServeExitPartial) under
+  /// allowPartial, else kServeExitStuck.
+  double deadlineSeconds = 0.0;
+  /// Emit an explicitly-marked partial report (and exit kServeExitPartial)
+  /// when the campaign settles with quarantined shards or hits the
+  /// deadline, instead of exiting kServeExitStuck with no report.
+  bool allowPartial = false;
+  /// Observed between poll iterations: when it becomes true the serve
+  /// drains exactly as on SIGTERM (kServeExitResumable). Lets tests "kill"
+  /// an in-process coordinator at a chosen moment.
+  const std::atomic<bool>* stopFlag = nullptr;
+  /// Install SIGTERM/SIGINT handlers for the duration of the serve that
+  /// trigger the same drain. The CLI enables this; tests (which share a
+  /// process with many serves) leave it off.
+  bool installSignalHandlers = false;
 };
 
-/// Runs the coordinator until the campaign completes: accepts connections,
-/// dispatches protocol frames, re-issues leases on disconnect/expiry, and
+/// Runs the coordinator until the campaign completes (or drains early — see
+/// the kServeExit* codes): accepts connections, dispatches protocol frames,
+/// re-issues leases on disconnect/expiry, quarantines poisoned shards, and
 /// finally writes the merged report. Returns a process exit code. All
 /// diagnostics go to stderr; only the report (when reportPath is unset)
 /// goes to stdout.

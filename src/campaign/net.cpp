@@ -230,8 +230,10 @@ std::pair<std::string, std::uint16_t> parseHostPort(std::string_view text) {
           static_cast<std::uint16_t>(*port)};
 }
 
-std::string requestStatusLine(const std::string& host, std::uint16_t port) {
-  UniqueFd fd = tcpConnect(host, port);
+std::string requestStatusLine(const std::string& host, std::uint16_t port,
+                              double timeoutSeconds) {
+  UniqueFd fd = tcpConnect(host, port, timeoutSeconds);
+  if (timeoutSeconds > 0) setSocketDeadline(fd.get(), timeoutSeconds);
   writeFrame(fd.get(), MsgType::StatusRequest, "");
   const auto reply = readFrame(fd.get());
   RF_CHECK(reply.has_value(), "coordinator closed before replying to a "

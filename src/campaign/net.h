@@ -135,6 +135,10 @@ std::optional<RecordPayload> decodeRecord(std::string_view payload);
 std::pair<std::string, std::uint16_t> parseHostPort(std::string_view text);
 
 /// Connects to a serving coordinator and fetches one status JSON line.
-std::string requestStatusLine(const std::string& host, std::uint16_t port);
+/// `timeoutSeconds` bounds the connect AND each read/write syscall — a
+/// wedged coordinator makes a status probe fail, not hang (monitoring must
+/// never inherit the failure it is probing for). 0 disables both bounds.
+std::string requestStatusLine(const std::string& host, std::uint16_t port,
+                              double timeoutSeconds = 10.0);
 
 }  // namespace refine::campaign

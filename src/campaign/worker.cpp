@@ -7,11 +7,13 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <unistd.h>
 
 #include "apps/apps.h"
 #include "campaign/spec.h"
 #include "support/check.h"
 #include "support/periodic.h"
+#include "support/rng.h"
 #include "support/socket.h"
 #include "support/strings.h"
 
@@ -56,14 +58,31 @@ std::vector<MatrixJob> buildMatrixJobs(
 
 namespace {
 
+/// The coordinator connection died (refused connect, reset, torn frame,
+/// expired socket deadline). Unlike every other CheckError this one is
+/// RETRYABLE: the session loop catches it, tears the session down and
+/// re-enters the backoff reconnect loop. It is a CheckError subclass so it
+/// travels intact through the engine pool's exception_ptr rethrow — a
+/// record send that fails on a pool thread surfaces here as SessionLost,
+/// not as a generic engine failure.
+struct SessionLost : CheckError {
+  using CheckError::CheckError;
+};
+
 /// Serializes every frame written to the coordinator: records come from
-/// engine pool threads, heartbeats from the timer thread.
+/// engine pool threads, heartbeats from the timer thread. Any write
+/// failure means the session is gone — translated to SessionLost so every
+/// sender, on every thread, reports the loss the same way.
 class FrameWriter {
  public:
   explicit FrameWriter(int fd) : fd_(fd) {}
   void send(MsgType type, std::string_view payload) {
     std::scoped_lock lock(mutex_);
-    writeFrame(fd_, type, payload);
+    try {
+      writeFrame(fd_, type, payload);
+    } catch (const CheckError& e) {
+      throw SessionLost(e.what());
+    }
   }
 
  private:
@@ -71,11 +90,11 @@ class FrameWriter {
   std::mutex mutex_;
 };
 
-/// Runs one granted lease: builds the slice, streams records, hands back.
-void runLease(const LeaseGrant& grant, FrameWriter& writer,
-              const WorkerOptions& options) {
-  const std::vector<MatrixJob> jobs =
-      buildMatrixJobs(grant.apps, grant.tools);
+/// Runs one granted lease: streams records, hands back. `jobs` was built
+/// (and its grant validated) by the caller; failures here are either
+/// SessionLost (retryable, connection died) or real engine errors.
+void runLease(const LeaseGrant& grant, const std::vector<MatrixJob>& jobs,
+              FrameWriter& writer, const WorkerOptions& options) {
   const LeaseRef ref{grant.leaseId, grant.epoch};
 
   CampaignConfig config;
@@ -105,33 +124,61 @@ void runLease(const LeaseGrant& grant, FrameWriter& writer,
   writer.send(MsgType::LeaseDone, encodeLeaseRef(ref));
 }
 
-}  // namespace
-
-int runWorker(const std::string& host, std::uint16_t port,
-              const WorkerOptions& options) {
-  UniqueFd fd = tcpConnect(host, port);
+/// One connected session: connect, Hello, then the request/run loop.
+/// Returns a terminal exit code, or throws SessionLost when the connection
+/// died and the caller should reconnect. `leasesRun` and `backoff` outlive
+/// sessions — progress in any session resets the reconnect budget.
+int runSession(const std::string& host, std::uint16_t port,
+               const WorkerOptions& options, std::uint64_t& leasesRun,
+               Backoff& backoff) {
+  UniqueFd fd;
+  try {
+    fd = tcpConnect(host, port, options.connectTimeoutSeconds);
+  } catch (const CheckError& e) {
+    throw SessionLost(e.what());  // coordinator down or unreachable: retry
+  }
+  if (options.ioTimeoutSeconds > 0) {
+    setSocketDeadline(fd.get(), options.ioTimeoutSeconds);
+  }
   FrameWriter writer(fd.get());
   writer.send(MsgType::Hello, kNetHello);
   diag("connected to %s:%u", host.c_str(), port);
 
-  std::uint64_t leasesRun = 0;
   while (true) {
     writer.send(MsgType::Request, "");
     std::optional<Frame> frame;
     try {
       frame = readFrame(fd.get());
     } catch (const CheckError& e) {
-      diag("coordinator stream broke: %s", e.what());
-      return 1;
+      throw SessionLost(e.what());  // torn frame / deadline: retry
     }
     if (!frame) {
-      diag("coordinator closed the connection");
-      return 1;
+      // A clean close can be the coordinator restarting — retryable — or
+      // the coordinator exiting after completion; if so, the next session
+      // fails to connect and the backoff budget bounds the confusion.
+      throw SessionLost("coordinator closed the connection");
     }
     switch (frame->type) {
       case MsgType::Grant: {
         const auto grant = decodeGrant(frame->payload);
-        RF_CHECK(grant.has_value(), "coordinator sent an undecodable grant");
+        if (!grant) {
+          diag("undecodable grant from coordinator; exiting (grant "
+               "mismatch, exit %d)",
+               kWorkerExitGrantMismatch);
+          return kWorkerExitGrantMismatch;
+        }
+        std::vector<MatrixJob> jobs;
+        try {
+          jobs = buildMatrixJobs(grant->apps, grant->tools);
+        } catch (const CheckError& e) {
+          // This build does not know an app/tool the coordinator granted:
+          // a heterogeneous fleet, not a transient fault. Retrying would
+          // just be granted the same lease again.
+          diag("cannot reconstruct granted lease: %s (grant mismatch, "
+               "exit %d)",
+               e.what(), kWorkerExitGrantMismatch);
+          return kWorkerExitGrantMismatch;
+        }
         diag("lease %llu (epoch %llu, shard %u/%u): %zu app(s) x %zu "
              "tool(s), %llu trials/cell",
              static_cast<unsigned long long>(grant->leaseId),
@@ -139,7 +186,22 @@ int runWorker(const std::string& host, std::uint16_t port,
              grant->shard.index, grant->shard.count, grant->apps.size(),
              grant->tools.size(),
              static_cast<unsigned long long>(grant->trials));
-        runLease(*grant, writer, options);
+        // A grant in hand is progress: the coordinator is alive and
+        // talking to us, so the reconnect budget starts over.
+        backoff.reset();
+        try {
+          runLease(*grant, jobs, writer, options);
+        } catch (const SessionLost&) {
+          throw;  // connection died mid-lease: reconnect and re-request
+        } catch (const CheckError& e) {
+          // The engine itself failed (compile, profile, invariant): not a
+          // network fault, so retrying against the coordinator is wrong —
+          // report it and let a supervisor decide.
+          diag("lease %llu failed in the engine: %s (exit %d)",
+               static_cast<unsigned long long>(grant->leaseId), e.what(),
+               kWorkerExitError);
+          return kWorkerExitError;
+        }
         ++leasesRun;
         break;
       }
@@ -152,15 +214,54 @@ int runWorker(const std::string& host, std::uint16_t port,
       case MsgType::Complete:
         diag("campaign complete after %llu lease(s); exiting",
              static_cast<unsigned long long>(leasesRun));
-        return 0;
+        return kWorkerExitOk;
       case MsgType::Reject:
-        diag("rejected by coordinator: %s", frame->payload.c_str());
-        return 1;
+        diag("rejected by coordinator: %s (exit %d)",
+             frame->payload.c_str(), kWorkerExitRejected);
+        return kWorkerExitRejected;
       default:
-        diag("unexpected message type %d from coordinator",
-             static_cast<int>(frame->type));
-        return 1;
+        diag("unexpected message type %d from coordinator (exit %d)",
+             static_cast<int>(frame->type), kWorkerExitError);
+        return kWorkerExitError;
     }
+  }
+}
+
+}  // namespace
+
+int runWorker(const std::string& host, std::uint16_t port,
+              const WorkerOptions& options) {
+  // Distinct per-process jitter seed by default: a fleet restarted by the
+  // same supervisor at the same moment must not retry in lockstep.
+  std::uint64_t seed = options.backoffSeed;
+  if (seed == 0) {
+    seed = mixSeed(static_cast<std::uint64_t>(::getpid()),
+                   static_cast<std::uint64_t>(
+                       std::chrono::steady_clock::now()
+                           .time_since_epoch()
+                           .count()),
+                   0);
+  }
+  Backoff backoff(options.reconnect, seed);
+
+  std::uint64_t leasesRun = 0;
+  while (true) {
+    try {
+      return runSession(host, port, options, leasesRun, backoff);
+    } catch (const SessionLost& e) {
+      diag("session lost: %s", e.what());
+    }
+    const auto delay = backoff.next();
+    if (!delay) {
+      diag("no coordinator after %llu consecutive failed attempts; giving "
+           "up (exit %d)",
+           static_cast<unsigned long long>(backoff.attempts()),
+           kWorkerExitRetriesExhausted);
+      return kWorkerExitRetriesExhausted;
+    }
+    diag("reconnecting in %.2fs (attempt %llu)", *delay,
+         static_cast<unsigned long long>(backoff.attempts()));
+    std::this_thread::sleep_for(std::chrono::duration<double>(*delay));
   }
 }
 

@@ -9,6 +9,16 @@
 // A heartbeat timer keeps liveness traffic flowing while trials occupy the
 // pool. The worker owns nothing durable — a SIGKILLed worker loses only
 // its in-flight lease, which the coordinator re-issues.
+//
+// Resilience: the coordinator is allowed to die. Any session-level failure
+// — refused connect, mid-lease disconnect, torn frame, expired socket
+// deadline — tears down the current session and re-enters a seeded
+// exponential-backoff reconnect loop: connect, Hello, request work again.
+// No protocol state is carried across sessions on purpose: a lease
+// interrupted mid-stream is simply re-requested, and any cells the old
+// session already delivered are absorbed by the coordinator's
+// dedup-equality rule (re-sent records must agree byte-for-byte on the
+// deterministic fields, and do, by the determinism contract).
 #pragma once
 
 #include <cstdint>
@@ -17,11 +27,48 @@
 
 #include "campaign/engine.h"
 #include "campaign/net.h"
+#include "support/backoff.h"
 
 namespace refine::campaign {
 
+// Exit codes of runWorker — supervisors (and the chaos drill) branch on
+// them, so they are API. 0 = campaign complete; 1 = unexpected runtime
+// failure (engine errors, protocol violations we caused).
+inline constexpr int kWorkerExitOk = 0;
+inline constexpr int kWorkerExitError = 1;
+/// The coordinator rejected us (protocol version / bad handshake).
+/// Reconnecting would only be rejected again — a supervisor must upgrade
+/// or fix the worker, not restart it.
+inline constexpr int kWorkerExitRejected = 6;
+/// A grant was undecodable or referenced apps/tools this build does not
+/// know. Retrying cannot help: the fleet is heterogeneous in a way the
+/// operator has to resolve.
+inline constexpr int kWorkerExitGrantMismatch = 7;
+/// The reconnect budget ran out without reaching a coordinator. The
+/// campaign may still be running; a supervisor may restart the worker when
+/// it believes the coordinator is back.
+inline constexpr int kWorkerExitRetriesExhausted = 8;
+
 struct WorkerOptions {
   unsigned threads = 0;  // engine pool size; 0 = hardware concurrency
+  /// Connect handshake budget per attempt (see tcpConnect); keeps a
+  /// blackholed coordinator address from eating the kernel's multi-minute
+  /// SYN retry budget per reconnect attempt.
+  double connectTimeoutSeconds = 10.0;
+  /// Per-syscall socket deadline on the coordinator connection (see
+  /// setSocketDeadline). A coordinator that accepts bytes and goes silent
+  /// is treated as dead (session torn down, reconnect loop entered) after
+  /// this long. 0 disables.
+  double ioTimeoutSeconds = 30.0;
+  /// Pacing and budget of the reconnect loop. attemptBudget bounds
+  /// CONSECUTIVE failed attempts — any successfully granted lease resets
+  /// it, so a long campaign through a flaky network retries indefinitely
+  /// as long as it keeps making progress.
+  BackoffPolicy reconnect{0.25, 2.0, 10.0, 0.5, 40};
+  /// Seed of the backoff jitter. 0 = derive from the process id and clock,
+  /// so a fleet of workers restarted together does not reconnect in
+  /// lockstep (thundering herd); tests pin it for determinism.
+  std::uint64_t backoffSeed = 0;
 };
 
 /// Builds the canonical (apps x tools) job list — apps outer, tools inner —
@@ -37,8 +84,12 @@ std::vector<MatrixJob> buildMatrixJobs(
     const std::vector<std::string>& toolKeys);
 
 /// Runs the worker loop against a serving coordinator until the campaign
-/// completes (returns 0) or the coordinator rejects or vanishes (returns
-/// 1). All diagnostics go to stderr.
+/// completes or a terminal condition is reached; returns one of the
+/// kWorkerExit* codes above. Connection loss at ANY point — including
+/// before the first successful connect — is not terminal: the worker
+/// reconnects under options.reconnect, re-greets and re-requests work,
+/// relying on coordinator-side dedup for anything delivered twice. All
+/// diagnostics go to stderr.
 int runWorker(const std::string& host, std::uint16_t port,
               const WorkerOptions& options);
 

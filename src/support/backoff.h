@@ -1,0 +1,80 @@
+// Seeded exponential backoff for reconnect loops.
+//
+// Backoff is a pure delay calculator: it never sleeps, so callers own the
+// clock (and tests need none). Each next() draws the current delay from
+// [base * (1 - jitter), base] — "equal jitter" keeps retries from
+// synchronizing across workers while still guaranteeing a floor — then
+// doubles the base up to a cap. The draw sequence is fully determined by
+// the seed, so any reconnect schedule can be replayed exactly; give every
+// worker a distinct seed or they will hammer a recovering coordinator in
+// lockstep. An attempt budget turns "retry forever" into an explicit
+// terminal state the caller must handle (the worker exits with a distinct
+// code instead of spinning against a coordinator that is never coming
+// back).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace refine {
+
+struct BackoffPolicy {
+  double initialSeconds = 0.25;  // base delay of the first retry
+  double multiplier = 2.0;       // base grows by this factor per attempt
+  double capSeconds = 10.0;      // base never exceeds this
+  double jitter = 0.5;           // delay drawn from [base*(1-jitter), base]
+  std::uint64_t attemptBudget = 0;  // retries before giving up; 0 = unlimited
+};
+
+class Backoff {
+ public:
+  Backoff(const BackoffPolicy& policy, std::uint64_t seed)
+      : policy_(policy), rng_(seed) {
+    RF_CHECK(policy_.initialSeconds > 0, "backoff initial delay must be > 0");
+    RF_CHECK(policy_.multiplier >= 1.0, "backoff multiplier must be >= 1");
+    RF_CHECK(policy_.capSeconds >= policy_.initialSeconds,
+             "backoff cap must be >= the initial delay");
+    RF_CHECK(policy_.jitter >= 0.0 && policy_.jitter <= 1.0,
+             "backoff jitter must be in [0, 1]");
+  }
+
+  /// Seconds to wait before the next attempt, or nullopt when the attempt
+  /// budget is exhausted (the caller should stop retrying and say why).
+  std::optional<double> next() {
+    if (policy_.attemptBudget != 0 && attempts_ >= policy_.attemptBudget) {
+      return std::nullopt;
+    }
+    const double base =
+        std::min(policy_.capSeconds,
+                 policy_.initialSeconds * power(policy_.multiplier, attempts_));
+    ++attempts_;
+    const double floor = base * (1.0 - policy_.jitter);
+    return floor + (base - floor) * rng_.nextDouble();
+  }
+
+  /// Forgets accumulated attempts after the caller made real progress, so
+  /// one long-lived worker does not exhaust its budget over a week of
+  /// isolated blips.
+  void reset() { attempts_ = 0; }
+
+  /// Attempts handed out since construction or the last reset().
+  std::uint64_t attempts() const noexcept { return attempts_; }
+
+ private:
+  /// pow() without libm edge cases; exponents here are small integers.
+  static double power(double base, std::uint64_t exp) {
+    double result = 1.0;
+    for (std::uint64_t i = 0; i < exp && result < 1e12; ++i) result *= base;
+    return result;
+  }
+
+  BackoffPolicy policy_;
+  Rng rng_;
+  std::uint64_t attempts_ = 0;
+};
+
+}  // namespace refine

@@ -1,0 +1,201 @@
+#include "support/chaosproxy.h"
+
+#include <cerrno>
+#include <chrono>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/check.h"
+#include "support/rng.h"
+
+namespace refine {
+
+namespace {
+
+/// Polls one fd for readability with a short timeout so pump threads notice
+/// stop() promptly. Returns -1 on error/hangup-without-data, 0 on timeout,
+/// 1 when readable.
+int waitReadable(int fd, int timeoutMs) {
+  pollfd pfd{fd, POLLIN, 0};
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeoutMs);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return -1;
+  if (rc == 0) return 0;
+  if (pfd.revents & POLLIN) return 1;  // data (or EOF) is readable
+  return -1;                           // POLLERR/POLLNVAL with nothing to read
+}
+
+/// Best-effort exact write; false when the peer is gone. The proxy must
+/// never throw across a pump thread — a failed forward is just another way
+/// a connection dies.
+bool forward(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+/// One proxied connection. `dead` flips when either pump ends; shutdown(2)
+/// on both sockets unblocks the other pump so the pair always winds down
+/// together (a half-dead proxied link would mask drop faults).
+struct ChaosProxy::Link {
+  UniqueFd client;
+  UniqueFd target;
+  std::thread up;    // client -> target
+  std::thread down;  // target -> client
+  std::atomic<bool> dead{false};
+
+  void sever() {
+    if (!dead.exchange(true)) {
+      ::shutdown(client.get(), SHUT_RDWR);
+      ::shutdown(target.get(), SHUT_RDWR);
+    }
+  }
+};
+
+ChaosProxy::ChaosProxy(std::string targetHost, std::uint16_t targetPort,
+                       ChaosPlan plan, std::uint64_t seed,
+                       std::uint16_t listenPort)
+    : targetHost_(std::move(targetHost)),
+      targetPort_(targetPort),
+      plan_(plan),
+      seed_(seed),
+      listener_(tcpListen(listenPort)) {
+  port_ = listener_.port;
+  acceptThread_ = std::thread([this] { acceptLoop(); });
+}
+
+ChaosProxy::~ChaosProxy() { stop(); }
+
+void ChaosProxy::stop() {
+  if (stop_.exchange(true)) {
+    if (acceptThread_.joinable()) acceptThread_.join();
+    return;
+  }
+  // Closing the listener makes any blocked accept fail; pumps notice the
+  // flag within one poll timeout and the sever() unblocks reads.
+  {
+    std::scoped_lock lock(linksMutex_);
+    for (auto& link : links_) link->sever();
+  }
+  if (acceptThread_.joinable()) acceptThread_.join();
+  std::scoped_lock lock(linksMutex_);
+  for (auto& link : links_) {
+    if (link->up.joinable()) link->up.join();
+    if (link->down.joinable()) link->down.join();
+  }
+  links_.clear();
+}
+
+void ChaosProxy::acceptLoop() {
+  while (!stop_.load()) {
+    const int ready = waitReadable(listener_.fd.get(), 100);
+    if (ready <= 0) continue;
+    int rawFd;
+    do {
+      rawFd = ::accept(listener_.fd.get(), nullptr, nullptr);
+    } while (rawFd < 0 && errno == EINTR);
+    if (rawFd < 0) continue;
+    UniqueFd client(rawFd);
+    ++accepted_;
+
+    UniqueFd target;
+    try {
+      target = tcpConnect(targetHost_, targetPort_.load(), 2.0);
+    } catch (const CheckError&) {
+      continue;  // target down: sever the client, as a dead coordinator would
+    }
+
+    auto link = std::make_unique<Link>();
+    link->client = std::move(client);
+    link->target = std::move(target);
+    const std::uint64_t connId = nextConnId_++;
+    Link* raw = link.get();
+    link->up = std::thread([this, raw, connId] {
+      pump(*raw, true, mixSeed(seed_, connId, 0));
+    });
+    link->down = std::thread([this, raw, connId] {
+      pump(*raw, false, mixSeed(seed_, connId, 1));
+    });
+    std::scoped_lock lock(linksMutex_);
+    // Reap fully-dead links so a long soak does not accumulate threads.
+    for (auto it = links_.begin(); it != links_.end();) {
+      if ((*it)->dead.load()) {
+        if ((*it)->up.joinable()) (*it)->up.join();
+        if ((*it)->down.joinable()) (*it)->down.join();
+        it = links_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    links_.push_back(std::move(link));
+  }
+}
+
+void ChaosProxy::pump(Link& link, bool clientToTarget,
+                      std::uint64_t rngSeed) {
+  Rng rng(rngSeed);
+  const int src = clientToTarget ? link.client.get() : link.target.get();
+  const int dst = clientToTarget ? link.target.get() : link.client.get();
+  char buffer[64 * 1024];
+
+  while (!stop_.load() && !link.dead.load()) {
+    const int ready = waitReadable(src, 100);
+    if (ready == 0) continue;
+    if (ready < 0) break;
+    ssize_t n;
+    do {
+      n = ::read(src, buffer, sizeof(buffer));
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) break;  // EOF or error: propagate the close
+    std::size_t size = static_cast<std::size_t>(n);
+
+    // Fault rolls, in severity order. Rolls are consumed unconditionally-
+    // in-order from this pump's private stream, so the schedule depends
+    // only on (seed, connection, direction, chunk index).
+    const bool doDrop = rng.nextBool(plan_.dropRate);
+    const bool doTruncate = rng.nextBool(plan_.truncateRate);
+    const bool doBitflip = rng.nextBool(plan_.bitflipRate);
+    const bool doDuplicate = rng.nextBool(plan_.duplicateRate);
+    const bool doDelay = rng.nextBool(plan_.delayRate);
+    const std::uint64_t truncateAt = rng.nextBelow(size + 1);
+    const std::uint64_t flipBit = rng.nextBelow(size * 8);
+    const double delayMs = rng.nextDouble() * plan_.delayMaxMs;
+
+    if (doDrop) {
+      ++drops_;
+      break;
+    }
+    if (doTruncate) {
+      ++truncates_;
+      forward(dst, buffer, static_cast<std::size_t>(truncateAt));
+      break;  // sever after the torn prefix, like a peer killed mid-write
+    }
+    if (doBitflip) {
+      ++bitflips_;
+      buffer[flipBit / 8] ^= static_cast<char>(1u << (flipBit % 8));
+    }
+    if (doDelay) {
+      ++delays_;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delayMs));
+    }
+    if (!forward(dst, buffer, size)) break;
+    if (doDuplicate) {
+      ++duplicates_;
+      if (!forward(dst, buffer, size)) break;
+    }
+  }
+  link.sever();
+}
+
+}  // namespace refine

@@ -1,0 +1,115 @@
+// ChaosProxy: a seeded fault-injecting TCP proxy for torture-testing the
+// distributed campaign service with its own medicine.
+//
+// The proxy listens on an ephemeral port and forwards byte streams to a
+// fixed target (the coordinator). Every forwarded chunk rolls against a
+// ChaosPlan using an RNG derived from (seed, connection id, direction), so
+// a given seed replays the same fault schedule against the same connection
+// order: any soak failure is reproducible from the one number the harness
+// prints. Faults are the transport failures the service must survive:
+//
+//   * drop      — sever the connection without forwarding (worker/coord
+//                 sees a clean or mid-frame EOF, depending on luck)
+//   * truncate  — forward a strict prefix of the chunk, then sever (a peer
+//                 SIGKILLed mid-write: torn frame)
+//   * delay     — hold the chunk for a bounded time (congestion; heartbeat
+//                 pressure)
+//   * duplicate — forward the chunk twice (a retransmit bug; desyncs the
+//                 length-prefixed framing, which the reader must reject)
+//   * bitflip   — flip one random bit (line corruption; the FNV-1a record
+//                 checksum and frame bounds must reject it — a flipped
+//                 record may NEVER be ingested as a valid different one)
+//
+// The proxy never parses frames: it injects faults at the byte level, below
+// the protocol, exactly where a real network fails. One thread per pump
+// direction; stop() (or destruction) severs everything and joins.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/socket.h"
+
+namespace refine {
+
+/// Per-chunk fault probabilities, all independent rolls. A chunk is one
+/// read(2) worth of bytes (≤ 64 KiB), so rates are per-segment, not
+/// per-byte. Rolls are checked in the order drop, truncate, bitflip,
+/// duplicate, delay; drop/truncate end the connection.
+struct ChaosPlan {
+  double dropRate = 0.0;
+  double truncateRate = 0.0;
+  double bitflipRate = 0.0;
+  double duplicateRate = 0.0;
+  double delayRate = 0.0;
+  double delayMaxMs = 50.0;
+};
+
+class ChaosProxy {
+ public:
+  /// Starts listening on `listenPort` (0 = ephemeral; see port()) and
+  /// forwarding to targetHost:targetPort. Connections to a dead target are
+  /// accepted and immediately severed — exactly how a worker experiences a
+  /// coordinator that is down.
+  ChaosProxy(std::string targetHost, std::uint16_t targetPort, ChaosPlan plan,
+             std::uint64_t seed, std::uint16_t listenPort = 0);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Re-points forwarding at a new target port (e.g. a coordinator
+  /// restarted on a different ephemeral port). Existing connections keep
+  /// their original target; only new accepts see the change.
+  void retarget(std::uint16_t targetPort) { targetPort_.store(targetPort); }
+
+  /// Severs every connection, stops accepting, joins all threads.
+  /// Idempotent; the destructor calls it.
+  void stop();
+
+  // -- fault counters (for assertions that chaos actually happened) --------
+  std::uint64_t connectionsAccepted() const noexcept { return accepted_; }
+  std::uint64_t faultsInjected() const noexcept {
+    return drops_ + truncates_ + bitflips_ + duplicates_ + delays_;
+  }
+  std::uint64_t drops() const noexcept { return drops_; }
+  std::uint64_t truncates() const noexcept { return truncates_; }
+  std::uint64_t bitflips() const noexcept { return bitflips_; }
+  std::uint64_t duplicates() const noexcept { return duplicates_; }
+  std::uint64_t delays() const noexcept { return delays_; }
+
+ private:
+  struct Link;  // one proxied connection (client fd + target fd + pumps)
+
+  void acceptLoop();
+  void pump(Link& link, bool clientToTarget, std::uint64_t rngSeed);
+
+  std::string targetHost_;
+  std::atomic<std::uint16_t> targetPort_;
+  ChaosPlan plan_;
+  std::uint64_t seed_ = 0;
+  ListenSocket listener_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread acceptThread_;
+  std::mutex linksMutex_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::uint64_t nextConnId_ = 1;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> truncates_{0};
+  std::atomic<std::uint64_t> bitflips_{0};
+  std::atomic<std::uint64_t> duplicates_{0};
+  std::atomic<std::uint64_t> delays_{0};
+};
+
+}  // namespace refine

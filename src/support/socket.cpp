@@ -2,11 +2,15 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/types.h>
 #include <unistd.h>
 
@@ -17,6 +21,58 @@ namespace refine {
 namespace {
 
 std::string errnoText() { return std::strerror(errno); }
+
+/// One connect attempt against a resolved address, bounded by
+/// `timeoutSeconds` via non-blocking connect + poll. Returns false (with
+/// `error` set) on any failure; the socket is back in blocking mode on
+/// success.
+bool connectWithTimeout(int fd, const sockaddr* addr, socklen_t addrlen,
+                        double timeoutSeconds, std::string& error) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    error = errnoText();
+    return false;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, addr, addrlen);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int timeoutMs =
+        static_cast<int>(std::ceil(timeoutSeconds * 1000.0));
+    do {
+      rc = ::poll(&pfd, 1, timeoutMs);
+    } while (rc < 0 && errno == EINTR);
+    if (rc == 0) {
+      error = "connect timed out after " + std::to_string(timeoutSeconds) +
+              "s";
+      return false;
+    }
+    if (rc < 0) {
+      error = errnoText();
+      return false;
+    }
+    int soError = 0;
+    socklen_t len = sizeof(soError);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soError, &len) < 0) {
+      error = errnoText();
+      return false;
+    }
+    if (soError != 0) {
+      error = std::strerror(soError);
+      return false;
+    }
+  } else if (rc != 0) {
+    error = errnoText();
+    return false;
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {  // restore blocking mode
+    error = errnoText();
+    return false;
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -59,7 +115,8 @@ UniqueFd tcpAccept(int listenFd) {
   return UniqueFd(fd);
 }
 
-UniqueFd tcpConnect(const std::string& host, std::uint16_t port) {
+UniqueFd tcpConnect(const std::string& host, std::uint16_t port,
+                    double timeoutSeconds) {
   addrinfo hints{};
   hints.ai_family = AF_UNSPEC;
   hints.ai_socktype = SOCK_STREAM;
@@ -75,6 +132,14 @@ UniqueFd tcpConnect(const std::string& host, std::uint16_t port) {
                                 ai->ai_protocol));
     if (!candidate.valid()) {
       lastError = errnoText();
+      continue;
+    }
+    if (timeoutSeconds > 0) {
+      if (connectWithTimeout(candidate.get(), ai->ai_addr, ai->ai_addrlen,
+                             timeoutSeconds, lastError)) {
+        fd = std::move(candidate);
+        break;
+      }
       continue;
     }
     int rcConnect;
@@ -93,6 +158,20 @@ UniqueFd tcpConnect(const std::string& host, std::uint16_t port) {
   return fd;
 }
 
+void setSocketDeadline(int fd, double seconds) {
+  timeval tv{};
+  if (seconds > 0) {
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;  // 0 = disarm
+  }
+  RF_CHECK(::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) == 0,
+           "setsockopt(SO_RCVTIMEO): " + errnoText());
+  RF_CHECK(::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) == 0,
+           "setsockopt(SO_SNDTIMEO): " + errnoText());
+}
+
 std::pair<UniqueFd, UniqueFd> localSocketPair() {
   int fds[2];
   RF_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
@@ -109,6 +188,9 @@ void writeAll(int fd, const void* data, std::size_t size) {
     ssize_t n = ::send(fd, p, remaining, MSG_NOSIGNAL);
     if (n < 0 && errno == ENOTSOCK) n = ::write(fd, p, remaining);
     if (n < 0 && errno == EINTR) continue;
+    RF_CHECK(n >= 0 || (errno != EAGAIN && errno != EWOULDBLOCK),
+             "write to fd " + std::to_string(fd) +
+                 " deadline expired (peer not draining)");
     RF_CHECK(n > 0, "write to fd " + std::to_string(fd) +
                         " failed: " + errnoText());
     p += n;
@@ -122,6 +204,10 @@ bool readAll(int fd, void* data, std::size_t size) {
   while (got < size) {
     const ssize_t n = ::read(fd, p + got, size - got);
     if (n < 0 && errno == EINTR) continue;
+    RF_CHECK(n >= 0 || (errno != EAGAIN && errno != EWOULDBLOCK),
+             "read from fd " + std::to_string(fd) +
+                 " deadline expired (silent peer, " + std::to_string(got) +
+                 "/" + std::to_string(size) + " bytes)");
     RF_CHECK(n >= 0,
              "read from fd " + std::to_string(fd) + " failed: " + errnoText());
     if (n == 0) {

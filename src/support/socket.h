@@ -7,6 +7,12 @@
 // (falling back to write(2) for non-sockets) so a peer that died mid-stream
 // surfaces as a CheckError instead of a process-killing SIGPIPE — the
 // coordinator must survive any worker dying at any byte boundary.
+//
+// Deadlines: tcpConnect takes an optional connect timeout (non-blocking
+// connect + poll), and setSocketDeadline arms SO_RCVTIMEO/SO_SNDTIMEO so a
+// peer that accepts bytes and then goes silent — a blackhole, not a crash —
+// surfaces as a CheckError from readAll/writeAll instead of hanging the
+// caller forever. No peer may own our liveness.
 #pragma once
 
 #include <cstddef>
@@ -62,8 +68,19 @@ ListenSocket tcpListen(std::uint16_t port, int backlog = 64);
 UniqueFd tcpAccept(int listenFd);
 
 /// Connects to host:port (name or numeric address). Throws CheckError when
-/// resolution or connection fails.
-UniqueFd tcpConnect(const std::string& host, std::uint16_t port);
+/// resolution or connection fails — including when `timeoutSeconds` > 0 and
+/// no address completes its handshake in time (non-blocking connect + poll;
+/// a blackholed or firewalled coordinator cannot hang the caller for the
+/// kernel's multi-minute SYN retry budget). 0 keeps the classic blocking
+/// connect. The returned socket is blocking either way.
+UniqueFd tcpConnect(const std::string& host, std::uint16_t port,
+                    double timeoutSeconds = 0.0);
+
+/// Arms SO_RCVTIMEO and SO_SNDTIMEO: any single read/write syscall on `fd`
+/// that makes no progress for `seconds` fails, which readAll/writeAll turn
+/// into a CheckError ("deadline expired"). 0 disarms. Sub-microsecond
+/// values are rounded up to one microsecond (0 would mean "no timeout").
+void setSocketDeadline(int fd, double seconds);
 
 /// Connected AF_UNIX stream pair — both ends in this process. The protocol
 /// tests drive framing through this instead of real TCP, so they need no
@@ -71,12 +88,15 @@ UniqueFd tcpConnect(const std::string& host, std::uint16_t port);
 std::pair<UniqueFd, UniqueFd> localSocketPair();
 
 /// Writes exactly `size` bytes. Throws CheckError on any error, including a
-/// peer that closed (EPIPE/ECONNRESET) — never raises SIGPIPE.
+/// peer that closed (EPIPE/ECONNRESET) — never raises SIGPIPE — and a
+/// send deadline expiring (see setSocketDeadline).
 void writeAll(int fd, const void* data, std::size_t size);
 
 /// Reads exactly `size` bytes. Returns false when EOF arrives before the
 /// FIRST byte (a clean close at a message boundary); throws CheckError when
-/// EOF or an error interrupts a partially-read buffer (a truncated stream).
+/// EOF or an error interrupts a partially-read buffer (a truncated stream)
+/// or a receive deadline expires (see setSocketDeadline) — a silent peer is
+/// indistinguishable from a dead one and is treated as one.
 bool readAll(int fd, void* data, std::size_t size);
 
 }  // namespace refine

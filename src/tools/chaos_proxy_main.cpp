@@ -1,0 +1,149 @@
+// refine-chaos-proxy: a seeded fault-injecting TCP proxy in front of a
+// campaign coordinator (or anything else speaking TCP).
+//
+// Point workers at the proxy's port instead of the coordinator's, pick
+// fault rates, and the service gets tortured with connection drops, torn
+// frames, duplicated chunks, delays and bit-flips — deterministically: the
+// proxy prints its seed on startup, and re-running with the same seed
+// against the same connection order replays the same fault schedule. The
+// CI resilience drill runs an entire campaign through this binary and
+// diffs the final report against a single-process run.
+//
+//   refine-chaos-proxy --target localhost:47617 --port 47618 \
+//       --drop 0.02 --truncate 0.01 --bitflip 0.01 --duplicate 0.02 \
+//       --delay 0.05 --seed C0FFEE
+//
+// Runs until SIGTERM/SIGINT, then prints fault counters to stderr. The
+// listen port is printed on stderr as "listening on port N" (useful with
+// --port 0). Exit codes: 0 on clean shutdown, 2 on usage errors.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <exception>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "campaign/net.h"
+#include "support/chaosproxy.h"
+#include "support/check.h"
+#include "support/strings.h"
+
+namespace {
+
+using namespace refine;
+
+std::atomic<bool> gStop{false};
+extern "C" void stopHandler(int) { gStop.store(true); }
+
+int usage(std::FILE* out) {
+  std::fputs(
+      "usage: refine-chaos-proxy --target HOST:PORT [options]\n"
+      "  --port N        listen port (default 0 = ephemeral, printed)\n"
+      "  --seed HEX      fault schedule seed (default: from the clock,\n"
+      "                  printed either way so any run can be replayed)\n"
+      "  --drop P        P(sever instead of forwarding a chunk)   [0]\n"
+      "  --truncate P    P(forward a torn prefix, then sever)     [0]\n"
+      "  --bitflip P     P(flip one random bit of a chunk)        [0]\n"
+      "  --duplicate P   P(forward a chunk twice)                 [0]\n"
+      "  --delay P       P(hold a chunk up to --delay-max-ms)     [0]\n"
+      "  --delay-max-ms MS  upper bound of an injected delay      [50]\n"
+      "Probabilities are per forwarded chunk (one read(2), <= 64 KiB).\n"
+      "Runs until SIGTERM/SIGINT; prints fault counters on exit.\n",
+      out);
+  return out == stdout ? 0 : 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string target;
+  std::uint16_t port = 0;
+  std::optional<std::uint64_t> seed;
+  ChaosPlan plan;
+  try {
+    auto value = [&](int& i, const char* flag) -> std::string {
+      RF_CHECK(i + 1 < argc, std::string(flag) + " requires a value");
+      return argv[++i];
+    };
+    auto rate = [&](int& i, const char* flag) -> double {
+      const std::string text = value(i, flag);
+      const auto parsed = parseF64(text);
+      RF_CHECK(parsed && *parsed >= 0.0 && *parsed <= 1.0,
+               std::string(flag) + " expects a probability in [0, 1]; got '" +
+                   text + "'");
+      return *parsed;
+    };
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg == "--help" || arg == "-h") return usage(stdout);
+      if (arg == "--target") {
+        target = value(i, "--target");
+      } else if (arg == "--port") {
+        const auto parsed = parseU64(value(i, "--port"));
+        RF_CHECK(parsed && *parsed <= 65535, "--port must be 0..65535");
+        port = static_cast<std::uint16_t>(*parsed);
+      } else if (arg == "--seed") {
+        const auto parsed = parseU64(value(i, "--seed"), 16);
+        RF_CHECK(parsed.has_value(), "--seed expects a hex number");
+        seed = *parsed;
+      } else if (arg == "--drop") {
+        plan.dropRate = rate(i, "--drop");
+      } else if (arg == "--truncate") {
+        plan.truncateRate = rate(i, "--truncate");
+      } else if (arg == "--bitflip") {
+        plan.bitflipRate = rate(i, "--bitflip");
+      } else if (arg == "--duplicate") {
+        plan.duplicateRate = rate(i, "--duplicate");
+      } else if (arg == "--delay") {
+        plan.delayRate = rate(i, "--delay");
+      } else if (arg == "--delay-max-ms") {
+        const auto parsed = parseF64(value(i, "--delay-max-ms"));
+        RF_CHECK(parsed && *parsed >= 0, "--delay-max-ms expects ms >= 0");
+        plan.delayMaxMs = *parsed;
+      } else {
+        RF_CHECK(false,
+                 "unknown argument '" + std::string(arg) + "' (see --help)");
+      }
+    }
+    RF_CHECK(!target.empty(), "--target HOST:PORT is required");
+    const auto [host, targetPort] = campaign::parseHostPort(target);
+
+    if (!seed) {
+      seed = static_cast<std::uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count());
+    }
+
+    // The port goes to stderr with everything else: anything piping this
+    // tool wants its own output streams undisturbed.
+    ChaosProxy proxy(host, targetPort, plan, *seed, port);
+    std::fprintf(stderr,
+                 "[refine-chaos-proxy] listening on port %u -> %s:%u "
+                 "seed=%llX\n",
+                 proxy.port(), host.c_str(), targetPort,
+                 static_cast<unsigned long long>(*seed));
+
+    std::signal(SIGTERM, stopHandler);
+    std::signal(SIGINT, stopHandler);
+    while (!gStop.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    proxy.stop();
+    std::fprintf(stderr,
+                 "[refine-chaos-proxy] %llu connection(s), faults: %llu "
+                 "drop, %llu truncate, %llu bitflip, %llu duplicate, %llu "
+                 "delay (seed=%llX)\n",
+                 static_cast<unsigned long long>(proxy.connectionsAccepted()),
+                 static_cast<unsigned long long>(proxy.drops()),
+                 static_cast<unsigned long long>(proxy.truncates()),
+                 static_cast<unsigned long long>(proxy.bitflips()),
+                 static_cast<unsigned long long>(proxy.duplicates()),
+                 static_cast<unsigned long long>(proxy.delays()),
+                 static_cast<unsigned long long>(*seed));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "refine-chaos-proxy: %s\n", e.what());
+    return 2;
+  }
+}

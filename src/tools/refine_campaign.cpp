@@ -113,11 +113,41 @@ int usage(std::FILE* out) {
       "8)\n"
       "  --heartbeat-timeout SEC  re-issue a lease after SEC without "
       "traffic\n"
-      "                           from its worker (default 10)\n"
+      "                           from its worker (default 10, floor 0.5)\n"
+      "  --max-lease-reissues N   quarantine a lease after N re-issues "
+      "(default\n"
+      "                           25; 0 = never — a poisoned shard re-runs "
+      "forever)\n"
+      "  --deadline SEC           stop the campaign after SEC wall-clock\n"
+      "  --allow-partial          when quarantine/deadline stops the "
+      "campaign,\n"
+      "                           emit a '# partial'-marked report (exit 4)\n"
+      "                           instead of no report (exit 5)\n"
+      "\n"
+      "serve exits: 0 complete, 3 drained on SIGTERM/SIGINT (re-run the "
+      "same\n"
+      "command to resume from --checkpoint), 4 partial report emitted, 5 "
+      "stuck.\n"
       "\n"
       "worker options: --threads, --exec-tier (everything else arrives "
       "with\n"
-      "the lease grant).\n"
+      "the lease grant), plus resilience knobs:\n"
+      "  --connect-timeout SEC    per-attempt connect budget (default 10)\n"
+      "  --io-timeout SEC         per-syscall socket deadline (default 30;\n"
+      "                           0 = never time out)\n"
+      "  --reconnect-attempts N   consecutive failed reconnects before "
+      "giving\n"
+      "                           up, exit 8 (default 40; 0 = retry "
+      "forever)\n"
+      "  --backoff-seed HEX       pin the reconnect jitter schedule "
+      "(default:\n"
+      "                           per-process, so fleets don't retry in "
+      "lockstep)\n"
+      "\n"
+      "worker exits: 0 campaign complete, 1 engine/protocol failure, 6 "
+      "rejected\n"
+      "by coordinator, 7 grant this build cannot run, 8 reconnect budget "
+      "spent.\n"
       "\n"
       "The report contains only bit-stable fields sorted by (app, tool): a\n"
       "merge of N shard checkpoints — and a coordinator+workers run with "
@@ -159,6 +189,10 @@ struct Options {
   std::optional<std::string> statusTarget;  // HOST:PORT
   std::uint32_t leaseShards = 8;
   double heartbeatTimeout = 10.0;
+  double deadlineSeconds = 0.0;  // --deadline; 0 = no campaign deadline
+  bool allowPartial = false;
+  std::uint64_t maxLeaseReissues = 25;  // 0 = never quarantine
+  campaign::WorkerOptions worker;       // resilience knobs of --worker mode
 };
 
 Options parseArgs(int argc, char** argv) {
@@ -243,7 +277,42 @@ Options parseArgs(int argc, char** argv) {
       const auto seconds = parseF64(text);
       RF_CHECK(seconds.has_value() && *seconds > 0,
                "--heartbeat-timeout expects seconds > 0; got '" + text + "'");
+      // Floor, don't reject: below half a second the derived worker beat
+      // interval and the coordinator's poll cadence turn into a busy loop
+      // that re-issues healthy leases. Honor the intent (fast failover) at
+      // the fastest sane rate instead.
       opt.heartbeatTimeout = *seconds;
+      if (opt.heartbeatTimeout < 0.5) {
+        diag("--heartbeat-timeout %s is below the 0.5s floor; clamping",
+             text.c_str());
+        opt.heartbeatTimeout = 0.5;
+      }
+    } else if (arg == "--deadline") {
+      const std::string text = value(i, "--deadline");
+      const auto seconds = parseF64(text);
+      RF_CHECK(seconds.has_value() && *seconds > 0,
+               "--deadline expects seconds > 0; got '" + text + "'");
+      opt.deadlineSeconds = *seconds;
+    } else if (arg == "--allow-partial") {
+      opt.allowPartial = true;
+    } else if (arg == "--max-lease-reissues") {
+      opt.maxLeaseReissues = number(i, "--max-lease-reissues");
+    } else if (arg == "--connect-timeout") {
+      const std::string text = value(i, "--connect-timeout");
+      const auto seconds = parseF64(text);
+      RF_CHECK(seconds.has_value() && *seconds >= 0,
+               "--connect-timeout expects seconds >= 0; got '" + text + "'");
+      opt.worker.connectTimeoutSeconds = *seconds;
+    } else if (arg == "--io-timeout") {
+      const std::string text = value(i, "--io-timeout");
+      const auto seconds = parseF64(text);
+      RF_CHECK(seconds.has_value() && *seconds >= 0,
+               "--io-timeout expects seconds >= 0; got '" + text + "'");
+      opt.worker.ioTimeoutSeconds = *seconds;
+    } else if (arg == "--reconnect-attempts") {
+      opt.worker.reconnect.attemptBudget = number(i, "--reconnect-attempts");
+    } else if (arg == "--backoff-seed") {
+      opt.worker.backoffSeed = number(i, "--backoff-seed", 16);
     } else if (arg == "--exec-tier") {
       const std::string mode = value(i, "--exec-tier");
       if (mode == "on") {
@@ -393,17 +462,23 @@ int serveMode(const Options& opt) {
   serve.config.timeoutFactor = opt.config.timeoutFactor;
   serve.config.leaseCount = opt.leaseShards;
   serve.config.heartbeatTimeout = opt.heartbeatTimeout;
+  serve.config.maxLeaseReissues = opt.maxLeaseReissues;
   serve.port = *opt.servePort;
   // The coordinator's store doubles as its crash-recovery point: re-serving
   // with the same checkpoint resumes instead of re-running finished cells.
   serve.checkpointPath = opt.checkpointPath.value_or("refine-serve.ckpt");
   serve.reportPath = opt.reportPath;
+  serve.deadlineSeconds = opt.deadlineSeconds;
+  serve.allowPartial = opt.allowPartial;
+  // SIGTERM/SIGINT drain the serve (flush + exit kServeExitResumable) so an
+  // orchestrator's ordinary stop is a resume point, not a crash.
+  serve.installSignalHandlers = true;
   return campaign::serveCampaign(serve);
 }
 
 int workerMode(const Options& opt) {
   const auto [host, port] = campaign::parseHostPort(*opt.workerTarget);
-  campaign::WorkerOptions workerOptions;
+  campaign::WorkerOptions workerOptions = opt.worker;
   workerOptions.threads = opt.config.threads;
   return campaign::runWorker(host, port, workerOptions);
 }

@@ -1,0 +1,843 @@
+// Resilience tests for the distributed campaign service: the "survive
+// anything" suite.
+//
+// Layers, bottom up:
+//   * Backoff — the seeded delay calculator the worker reconnect loop runs
+//     on (deterministic schedules, jitter band, cap, attempt budget).
+//   * ChaosProxy — the seeded fault-injecting TCP proxy itself (clean
+//     pass-through with zero rates; certain drop severs both sides).
+//   * Record safety — EVERY single-bit flip of a checkpoint line either
+//     fails to decode or decodes to the byte-identical record: corruption
+//     can never ingest as a valid different result.
+//   * Worker terminal exit codes — Reject, undecodable/unsatisfiable
+//     grants, exhausted reconnect budget; and a worker started before its
+//     coordinator exists that retries its way into a completed campaign.
+//   * Coordinator survival — a signal storm against the serve loop (the
+//     EINTR regression), deadline expiry with and without --allow-partial,
+//     contradictory records contained instead of fatal, and a poisoned
+//     shard quarantined into an explicitly-marked partial report.
+//   * The chaos soak — a full campaign through the proxy with the
+//     coordinator stopped and restarted on the same port mid-flight; the
+//     final report must be byte-identical to a single-process engine run,
+//     and the proxy seed is printed so any failure replays.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <optional>
+#include <pthread.h>
+#include <signal.h>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "campaign/coordinator.h"
+#include "campaign/engine.h"
+#include "campaign/net.h"
+#include "campaign/persist.h"
+#include "campaign/report.h"
+#include "campaign/worker.h"
+#include "support/backoff.h"
+#include "support/chaosproxy.h"
+#include "support/check.h"
+#include "support/socket.h"
+#include "support/strings.h"
+
+namespace refine::campaign {
+namespace {
+
+/// Unique temp path per test; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& stem)
+      : path_((std::filesystem::temp_directory_path() /
+               ("refine_chaos_" + stem + "_" +
+                std::to_string(::testing::UnitTest::GetInstance()
+                                   ->random_seed()) +
+                ".ckpt"))
+                  .string()) {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".generation").c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+CampaignResult makeResult(const std::string& app, const std::string& tool,
+                          std::uint64_t trials) {
+  CampaignResult r;
+  r.app = app;
+  r.tool = tool;
+  r.counts.crash = trials / 3;
+  r.counts.soc = trials / 4;
+  r.counts.benign = trials - r.counts.crash - r.counts.soc;
+  r.dynamicTargets = 1000;
+  r.profileInstrs = 5000;
+  r.binarySize = 240;
+  r.totalTrialSeconds = 0.5;
+  return r;
+}
+
+/// One StatusRequest round-trip; nullopt when the coordinator is
+/// unreachable or mid-restart.
+std::optional<std::string> probeStatus(std::uint16_t port) {
+  try {
+    UniqueFd fd = tcpConnect("127.0.0.1", port, 2.0);
+    setSocketDeadline(fd.get(), 2.0);
+    writeFrame(fd.get(), MsgType::StatusRequest, "");
+    const auto reply = readFrame(fd.get());
+    if (reply && reply->type == MsgType::StatusReply) return reply->payload;
+  } catch (const CheckError&) {
+  }
+  return std::nullopt;
+}
+
+void sleepMs(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+// ---------------------------------------------------------------------------
+// Backoff
+// ---------------------------------------------------------------------------
+
+TEST(BackoffTest, SameSeedReplaysTheSameSchedule) {
+  const BackoffPolicy policy{0.1, 2.0, 5.0, 0.5, 0};
+  Backoff a(policy, 42), b(policy, 42), c(policy, 43);
+  bool anyDifferent = false;
+  for (int i = 0; i < 20; ++i) {
+    const auto da = a.next(), db = b.next(), dc = c.next();
+    ASSERT_TRUE(da && db && dc);
+    EXPECT_EQ(*da, *db);  // bit-identical: same seed, same draw sequence
+    anyDifferent = anyDifferent || *da != *dc;
+  }
+  EXPECT_TRUE(anyDifferent);  // a different seed jitters differently
+}
+
+TEST(BackoffTest, DelaysStayInTheJitterBandAndUnderTheCap) {
+  const BackoffPolicy policy{0.25, 2.0, 3.0, 0.5, 0};
+  Backoff backoff(policy, 7);
+  double base = policy.initialSeconds;
+  for (int i = 0; i < 12; ++i) {
+    const auto delay = backoff.next();
+    ASSERT_TRUE(delay.has_value());
+    EXPECT_GE(*delay, base * (1.0 - policy.jitter));
+    EXPECT_LE(*delay, base);
+    base = std::min(policy.capSeconds, base * policy.multiplier);
+  }
+  EXPECT_LE(base, policy.capSeconds);
+}
+
+TEST(BackoffTest, BudgetExhaustsAndResetRestoresIt) {
+  Backoff backoff({0.01, 2.0, 0.1, 0.5, 3}, 1);
+  EXPECT_TRUE(backoff.next().has_value());
+  EXPECT_TRUE(backoff.next().has_value());
+  EXPECT_TRUE(backoff.next().has_value());
+  EXPECT_FALSE(backoff.next().has_value());  // budget of 3 spent
+  EXPECT_FALSE(backoff.next().has_value());  // stays exhausted
+  backoff.reset();                           // progress forgives the past
+  EXPECT_EQ(backoff.attempts(), 0u);
+  EXPECT_TRUE(backoff.next().has_value());
+}
+
+TEST(BackoffTest, RejectsNonsensePolicies) {
+  EXPECT_THROW(Backoff({0.0, 2.0, 1.0, 0.5, 0}, 1), CheckError);   // no delay
+  EXPECT_THROW(Backoff({1.0, 0.5, 2.0, 0.5, 0}, 1), CheckError);   // shrinking
+  EXPECT_THROW(Backoff({1.0, 2.0, 0.5, 0.5, 0}, 1), CheckError);   // cap<init
+  EXPECT_THROW(Backoff({1.0, 2.0, 2.0, 1.5, 0}, 1), CheckError);   // jitter>1
+}
+
+// ---------------------------------------------------------------------------
+// ChaosProxy
+// ---------------------------------------------------------------------------
+
+/// Accepts one connection and echoes bytes until EOF. Any failure just ends
+/// the thread — severed connections are the expected case in these tests.
+std::thread echoOnce(ListenSocket& listener) {
+  return std::thread([&listener] {
+    try {
+      UniqueFd conn = tcpAccept(listener.fd.get());
+      char buf[4096];
+      while (true) {
+        ssize_t n;
+        do {
+          n = ::read(conn.get(), buf, sizeof(buf));
+        } while (n < 0 && errno == EINTR);
+        if (n <= 0) break;
+        writeAll(conn.get(), buf, static_cast<std::size_t>(n));
+      }
+    } catch (const CheckError&) {
+    }
+  });
+}
+
+TEST(ChaosProxyTest, ZeroRatesPassBytesThroughUnchanged) {
+  ListenSocket echo = tcpListen(0);
+  std::thread server = echoOnce(echo);
+  ChaosProxy proxy("127.0.0.1", echo.port, ChaosPlan{}, 0x5EED);
+
+  UniqueFd client = tcpConnect("127.0.0.1", proxy.port());
+  std::string sent(100'000, '\0');
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    sent[i] = static_cast<char>('A' + i % 23);
+  }
+  writeAll(client.get(), sent.data(), sent.size());
+  std::string got(sent.size(), '\0');
+  ASSERT_TRUE(readAll(client.get(), got.data(), got.size()));
+  EXPECT_EQ(got, sent);
+
+  EXPECT_EQ(proxy.connectionsAccepted(), 1u);
+  EXPECT_EQ(proxy.faultsInjected(), 0u);
+  client.reset();
+  server.join();
+  proxy.stop();
+}
+
+TEST(ChaosProxyTest, CertainDropSeversBothSidesOfTheLink) {
+  ListenSocket echo = tcpListen(0);
+  std::thread server = echoOnce(echo);
+  ChaosPlan plan;
+  plan.dropRate = 1.0;
+  ChaosProxy proxy("127.0.0.1", echo.port, plan, 0x5EED);
+
+  UniqueFd client = tcpConnect("127.0.0.1", proxy.port());
+  writeAll(client.get(), "doomed", 6);
+  char byte;
+  EXPECT_FALSE(readAll(client.get(), &byte, 1));  // clean EOF: link severed
+  EXPECT_GE(proxy.drops(), 1u);
+  client.reset();
+  server.join();  // the echo side saw EOF too, or the test hangs here
+  proxy.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Record safety under corruption
+// ---------------------------------------------------------------------------
+
+// The determinism contract survives bitflips only if a corrupted record can
+// NEVER decode as a valid, different record. Exhaustively flip every single
+// bit of an encoded line: each mutation must either fail to decode or
+// decode to the byte-identical canonical record (a case-flip inside a hex
+// field, which parses to the same value).
+TEST(ChaosRecordSafety, NoSingleBitflipYieldsADifferentValidRecord) {
+  const std::string line = CheckpointStore::encode(makeResult("EP", "REFINE",
+                                                              1068));
+  std::size_t rejected = 0;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = line;
+      mutated[i] = static_cast<char>(mutated[i] ^ (1 << bit));
+      const auto decoded = CheckpointStore::decode(mutated);
+      if (!decoded) {
+        ++rejected;
+        continue;
+      }
+      EXPECT_EQ(CheckpointStore::encode(*decoded), line)
+          << "flipping bit " << bit << " of byte " << i
+          << " produced a DIFFERENT valid record: " << mutated;
+    }
+  }
+  // The checksum must be doing real work, not letting everything through.
+  EXPECT_GT(rejected, line.size() * 8 / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Worker terminal exit codes
+// ---------------------------------------------------------------------------
+
+/// Options tuned so a failing worker fails in milliseconds, not minutes.
+WorkerOptions fastWorker(std::uint64_t attempts) {
+  WorkerOptions options;
+  options.threads = 1;
+  options.connectTimeoutSeconds = 2.0;
+  options.ioTimeoutSeconds = 5.0;
+  options.reconnect = BackoffPolicy{0.01, 1.5, 0.05, 0.5, attempts};
+  options.backoffSeed = 0xB0FF;
+  return options;
+}
+
+/// A scripted one-connection coordinator: reads Hello + Request, replies
+/// with one frame, holds the connection until the worker is done with it.
+std::thread scriptedCoordinator(ListenSocket& listener, MsgType reply,
+                                std::string payload) {
+  return std::thread([&listener, reply, payload = std::move(payload)] {
+    try {
+      UniqueFd conn = tcpAccept(listener.fd.get());
+      ASSERT_TRUE(readFrame(conn.get()).has_value());  // Hello
+      ASSERT_TRUE(readFrame(conn.get()).has_value());  // Request
+      writeFrame(conn.get(), reply, payload);
+      while (readFrame(conn.get()).has_value()) {
+      }  // drain until the worker closes
+    } catch (const CheckError&) {
+    }
+  });
+}
+
+TEST(WorkerExitCodes, RejectIsTerminal) {
+  ListenSocket listener = tcpListen(0);
+  std::thread coord = scriptedCoordinator(listener, MsgType::Reject,
+                                          "protocol mismatch");
+  EXPECT_EQ(runWorker("127.0.0.1", listener.port, fastWorker(2)),
+            kWorkerExitRejected);
+  coord.join();
+}
+
+TEST(WorkerExitCodes, UndecodableGrantIsTerminal) {
+  ListenSocket listener = tcpListen(0);
+  std::thread coord = scriptedCoordinator(listener, MsgType::Grant,
+                                          "lease=not a grant at all");
+  EXPECT_EQ(runWorker("127.0.0.1", listener.port, fastWorker(2)),
+            kWorkerExitGrantMismatch);
+  coord.join();
+}
+
+TEST(WorkerExitCodes, GrantForAnUnknownAppIsTerminal) {
+  LeaseGrant grant;
+  grant.leaseId = 0;
+  grant.epoch = 1;
+  grant.shard = ShardSpec{0, 1};
+  grant.baseSeed = 1;
+  grant.trials = 4;
+  grant.timeoutFactor = 10.0;
+  grant.heartbeatTimeout = 10.0;
+  grant.apps = {"NO-SUCH-APP"};
+  grant.tools = {"LLFI"};
+
+  ListenSocket listener = tcpListen(0);
+  std::thread coord = scriptedCoordinator(listener, MsgType::Grant,
+                                          encodeGrant(grant));
+  EXPECT_EQ(runWorker("127.0.0.1", listener.port, fastWorker(2)),
+            kWorkerExitGrantMismatch);
+  coord.join();
+}
+
+TEST(WorkerExitCodes, ReconnectBudgetExhaustsAgainstADeadPort) {
+  std::uint16_t deadPort;
+  {
+    ListenSocket reserve = tcpListen(0);
+    deadPort = reserve.port;
+  }  // closed: connections are now refused
+  EXPECT_EQ(runWorker("127.0.0.1", deadPort, fastWorker(3)),
+            kWorkerExitRetriesExhausted);
+}
+
+TEST(WorkerResilience, RetriesUntilTheCoordinatorShowsUp) {
+  std::uint16_t port;
+  {
+    ListenSocket reserve = tcpListen(0);
+    port = reserve.port;
+  }  // the worker starts against a port where nothing is listening yet
+
+  CampaignConfig config;
+  config.trials = 4;
+  config.threads = 2;
+  CampaignEngine engine(config);
+  const std::string reference =
+      countsCsv(engine.runMatrix(buildMatrixJobs({"EP"}, {"LLFI"})));
+
+  WorkerOptions options;
+  options.threads = 2;
+  options.connectTimeoutSeconds = 2.0;
+  options.reconnect = BackoffPolicy{0.02, 1.5, 0.2, 0.5, 200};
+  options.backoffSeed = 0xA11CE;
+  std::thread worker([&] {
+    EXPECT_EQ(runWorker("127.0.0.1", port, options), kWorkerExitOk);
+  });
+
+  sleepMs(250);  // let the worker fail its first connects for real
+
+  TempFile ckpt("late_coord");
+  TempFile report("late_coord_report");
+  ServeOptions serve;
+  serve.config.apps = {"EP"};
+  serve.config.tools = {"LLFI"};
+  serve.config.trials = config.trials;
+  serve.config.leaseCount = 1;
+  serve.config.heartbeatTimeout = 30.0;
+  serve.port = port;
+  serve.checkpointPath = ckpt.path();
+  serve.reportPath = report.path();
+  serve.lingerSeconds = 2.0;
+  EXPECT_EQ(serveCampaign(serve), kServeExitOk);
+  worker.join();
+  EXPECT_EQ(readFile(report.path()), reference);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator survival
+// ---------------------------------------------------------------------------
+
+void noopSignalHandler(int) {}
+
+// The EINTR regression: a poll() interrupted by a signal returns -1 and
+// fills in nothing; dispatching on the stale pollfd array would read
+// sockets that signalled nothing. Storm the serve thread with SIGUSR1 (no
+// SA_RESTART), then prove the loop still answers probes and finishes a
+// campaign with a byte-correct report.
+TEST(ServeResilience, SurvivesASignalStormWhileServing) {
+  struct sigaction storm{}, previous{};
+  storm.sa_handler = noopSignalHandler;
+  sigemptyset(&storm.sa_mask);
+  storm.sa_flags = 0;  // deliberately NOT SA_RESTART: every poll() is torn
+  ASSERT_EQ(sigaction(SIGUSR1, &storm, &previous), 0);
+
+  CampaignConfig config;
+  config.trials = 4;
+  config.threads = 2;
+  CampaignEngine engine(config);
+  const std::string reference =
+      countsCsv(engine.runMatrix(buildMatrixJobs({"EP"}, {"LLFI"})));
+
+  TempFile ckpt("storm");
+  TempFile report("storm_report");
+  ServeOptions serve;
+  serve.config.apps = {"EP"};
+  serve.config.tools = {"LLFI"};
+  serve.config.trials = config.trials;
+  serve.config.leaseCount = 1;
+  serve.config.heartbeatTimeout = 30.0;
+  serve.port = 0;
+  serve.checkpointPath = ckpt.path();
+  serve.reportPath = report.path();
+  serve.lingerSeconds = 2.0;
+  std::promise<std::uint16_t> portPromise;
+  auto portFuture = portPromise.get_future();
+  serve.onListening = [&](std::uint16_t p) { portPromise.set_value(p); };
+
+  std::thread coordinator([&] { EXPECT_EQ(serveCampaign(serve), 0); });
+  const std::uint16_t port = portFuture.get();
+
+  // 300 interruptions while the loop idles (campaign incomplete, so the
+  // serve thread is guaranteed to still be in its loop the whole time).
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_EQ(pthread_kill(coordinator.native_handle(), SIGUSR1), 0);
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+
+  const auto status = probeStatus(port);  // the loop still dispatches
+  ASSERT_TRUE(status.has_value());
+  EXPECT_NE(status->find("\"complete\":false"), std::string::npos);
+
+  WorkerOptions workerOptions;
+  workerOptions.threads = 2;
+  EXPECT_EQ(runWorker("127.0.0.1", port, workerOptions), kWorkerExitOk);
+  coordinator.join();
+  EXPECT_EQ(readFile(report.path()), reference);
+
+  ASSERT_EQ(sigaction(SIGUSR1, &previous, nullptr), 0);
+}
+
+TEST(ServeResilience, StopFlagDrainsResumableAndARerunFinishes) {
+  CampaignConfig config;
+  config.trials = 4;
+  config.threads = 2;
+  CampaignEngine engine(config);
+  const std::string reference =
+      countsCsv(engine.runMatrix(buildMatrixJobs({"EP"}, {"LLFI"})));
+
+  TempFile ckpt("drain");
+  TempFile report("drain_report");
+  ServeOptions serve;
+  serve.config.apps = {"EP"};
+  serve.config.tools = {"LLFI"};
+  serve.config.trials = config.trials;
+  serve.config.leaseCount = 1;
+  serve.config.heartbeatTimeout = 30.0;
+  serve.checkpointPath = ckpt.path();
+  serve.reportPath = report.path();
+  serve.lingerSeconds = 1.0;
+
+  // First incarnation: no workers, drained via the stop flag — the
+  // in-process equivalent of SIGTERM.
+  std::atomic<bool> stop{false};
+  ServeOptions first = serve;
+  first.port = 0;
+  first.stopFlag = &stop;
+  std::promise<std::uint16_t> portPromise;
+  auto portFuture = portPromise.get_future();
+  first.onListening = [&](std::uint16_t p) { portPromise.set_value(p); };
+  std::thread incarnation1(
+      [&] { EXPECT_EQ(serveCampaign(first), kServeExitResumable); });
+  (void)portFuture.get();
+  stop.store(true);
+  incarnation1.join();
+  EXPECT_FALSE(std::filesystem::exists(report.path()));  // no report yet
+
+  // Re-running the same command resumes from the checkpoint and finishes.
+  ServeOptions second = serve;
+  second.port = 0;
+  std::promise<std::uint16_t> portPromise2;
+  auto portFuture2 = portPromise2.get_future();
+  second.onListening = [&](std::uint16_t p) { portPromise2.set_value(p); };
+  std::thread incarnation2([&] { EXPECT_EQ(serveCampaign(second), 0); });
+  const std::uint16_t port = portFuture2.get();
+  WorkerOptions workerOptions;
+  workerOptions.threads = 2;
+  EXPECT_EQ(runWorker("127.0.0.1", port, workerOptions), kWorkerExitOk);
+  incarnation2.join();
+  EXPECT_EQ(readFile(report.path()), reference);
+}
+
+TEST(ServeResilience, DeadlineWithoutAllowPartialExitsStuck) {
+  TempFile ckpt("stuck");
+  TempFile report("stuck_report");
+  ServeOptions serve;
+  serve.config.apps = {"EP"};
+  serve.config.tools = {"LLFI"};
+  serve.config.trials = 4;
+  serve.config.leaseCount = 1;
+  serve.port = 0;
+  serve.checkpointPath = ckpt.path();
+  serve.reportPath = report.path();
+  serve.deadlineSeconds = 0.3;  // expires with zero workers ever connecting
+  EXPECT_EQ(serveCampaign(serve), kServeExitStuck);
+  EXPECT_FALSE(std::filesystem::exists(report.path()));
+}
+
+TEST(ServeResilience, DeadlineWithAllowPartialEmitsMarkedReport) {
+  TempFile ckpt("partial_deadline");
+  TempFile report("partial_deadline_report");
+  ServeOptions serve;
+  serve.config.apps = {"EP"};
+  serve.config.tools = {"LLFI"};
+  serve.config.trials = 4;
+  serve.config.leaseCount = 1;
+  serve.port = 0;
+  serve.checkpointPath = ckpt.path();
+  serve.reportPath = report.path();
+  serve.deadlineSeconds = 0.3;
+  serve.allowPartial = true;
+  serve.lingerSeconds = 0.2;
+  EXPECT_EQ(serveCampaign(serve), kServeExitPartial);
+  EXPECT_EQ(readFile(report.path()),
+            countsCsv({}) + "# partial: 0/1 cells (campaign deadline "
+                            "expired; quarantined leases: none)\n");
+}
+
+// A record that decodes and checksums cleanly but contradicts the campaign
+// (here: the wrong trial count, as a worker running under a corrupted grant
+// would stream) must not kill the coordinator — the poisoned connection is
+// dropped, the lease re-issued, and an honest worker still finishes the
+// campaign with a byte-correct report.
+TEST(ServeResilience, ContradictoryRecordsAreContainedNotFatal) {
+  CampaignConfig config;
+  config.trials = 4;
+  config.threads = 2;
+  CampaignEngine engine(config);
+  const std::string reference =
+      countsCsv(engine.runMatrix(buildMatrixJobs({"EP"}, {"LLFI"})));
+
+  TempFile ckpt("contradict");
+  TempFile report("contradict_report");
+  ServeOptions serve;
+  serve.config.apps = {"EP"};
+  serve.config.tools = {"LLFI"};
+  serve.config.trials = config.trials;
+  serve.config.leaseCount = 1;
+  serve.config.heartbeatTimeout = 30.0;
+  serve.port = 0;
+  serve.checkpointPath = ckpt.path();
+  serve.reportPath = report.path();
+  serve.lingerSeconds = 1.0;
+  std::promise<std::uint16_t> portPromise;
+  auto portFuture = portPromise.get_future();
+  serve.onListening = [&](std::uint16_t p) { portPromise.set_value(p); };
+  std::thread coordinator([&] { EXPECT_EQ(serveCampaign(serve), 0); });
+  const std::uint16_t port = portFuture.get();
+
+  {
+    UniqueFd poison = tcpConnect("127.0.0.1", port);
+    writeFrame(poison.get(), MsgType::Hello, kNetHello);
+    writeFrame(poison.get(), MsgType::Request, "");
+    const auto granted = readFrame(poison.get());
+    ASSERT_TRUE(granted && granted->type == MsgType::Grant);
+    const auto grant = decodeGrant(granted->payload);
+    ASSERT_TRUE(grant.has_value());
+    // Checksummed, decodable — and claiming 99 trials in a 4-trial
+    // campaign. The coordinator must drop us, not die.
+    writeFrame(poison.get(), MsgType::Record,
+               encodeRecord({grant->leaseId, grant->epoch},
+                            CheckpointStore::encode(
+                                makeResult("EP", "LLFI", 99))));
+    char byte;
+    EXPECT_FALSE(readAll(poison.get(), &byte, 1));  // dropped: clean EOF
+  }
+
+  const auto status = probeStatus(port);  // still alive and serving
+  ASSERT_TRUE(status.has_value());
+  EXPECT_NE(status->find("\"cells_done\":0"), std::string::npos);
+
+  WorkerOptions workerOptions;
+  workerOptions.threads = 2;
+  EXPECT_EQ(runWorker("127.0.0.1", port, workerOptions), kWorkerExitOk);
+  coordinator.join();
+  EXPECT_EQ(readFile(report.path()), reference);
+}
+
+// The full quarantine story over real sockets: a client that takes lease 0
+// and dies mid-lease, three times in a row (cap 2), poisons the shard into
+// quarantine; an honest worker completes the other lease; the serve ends
+// with an explicitly-marked partial report and the partial exit code.
+TEST(ServeResilience, PoisonedShardQuarantinesIntoAPartialReport) {
+  CampaignConfig config;
+  config.trials = 6;
+  config.threads = 2;
+  CampaignEngine engine(config);
+  // Lease 1 covers cell (EP, REFINE) — the only cell that will complete.
+  const std::string survivingCell =
+      countsCsv(engine.runMatrix(buildMatrixJobs({"EP"}, {"REFINE"})));
+
+  TempFile ckpt("poison");
+  TempFile report("poison_report");
+  ServeOptions serve;
+  serve.config.apps = {"EP"};
+  serve.config.tools = {"LLFI", "REFINE"};
+  serve.config.trials = config.trials;
+  serve.config.leaseCount = 2;
+  serve.config.heartbeatTimeout = 30.0;
+  serve.config.maxLeaseReissues = 2;
+  serve.port = 0;
+  serve.checkpointPath = ckpt.path();
+  serve.reportPath = report.path();
+  serve.allowPartial = true;
+  serve.lingerSeconds = 1.0;
+  std::promise<std::uint16_t> portPromise;
+  auto portFuture = portPromise.get_future();
+  serve.onListening = [&](std::uint16_t p) { portPromise.set_value(p); };
+  std::thread coordinator(
+      [&] { EXPECT_EQ(serveCampaign(serve), kServeExitPartial); });
+  const std::uint16_t port = portFuture.get();
+
+  // Poison lease 0: grab it and die, until the coordinator gives up on the
+  // shard. Between kills, wait for the disconnect to be absorbed (no lease
+  // active) so every grab is deterministically granted lease 0.
+  int kills = 0;
+  while (true) {
+    const auto status = probeStatus(port);
+    ASSERT_TRUE(status.has_value());
+    if (status->find("\"leases_quarantined\":1") != std::string::npos) break;
+    if (status->find("\"leases_active\":0") == std::string::npos) {
+      sleepMs(10);
+      continue;
+    }
+    ASSERT_LT(kills, 3) << "lease 0 was returned 3 times but never "
+                           "quarantined (cap is 2)";
+    UniqueFd victim = tcpConnect("127.0.0.1", port);
+    writeFrame(victim.get(), MsgType::Hello, kNetHello);
+    writeFrame(victim.get(), MsgType::Request, "");
+    const auto granted = readFrame(victim.get());
+    ASSERT_TRUE(granted && granted->type == MsgType::Grant);
+    const auto grant = decodeGrant(granted->payload);
+    ASSERT_TRUE(grant && grant->leaseId == 0);
+    ++kills;
+  }  // each scope exit closes the socket: a worker SIGKILLed mid-lease
+  EXPECT_EQ(kills, 3);  // cap 2: the third return quarantines
+
+  WorkerOptions workerOptions;
+  workerOptions.threads = 2;
+  EXPECT_EQ(runWorker("127.0.0.1", port, workerOptions), kWorkerExitOk);
+  coordinator.join();
+
+  EXPECT_EQ(readFile(report.path()),
+            survivingCell +
+                "# partial: 1/2 cells (every remaining lease is "
+                "quarantined; quarantined leases: 0)\n");
+}
+
+// ---------------------------------------------------------------------------
+// The chaos soak
+// ---------------------------------------------------------------------------
+
+// A whole campaign with every safety net load-bearing at once: three
+// workers speak to the coordinator only through a fault-injecting proxy
+// (drops, torn frames, bitflips, duplicates, delays), a raw client holds
+// one lease hostage so the campaign cannot finish early, the coordinator is
+// then stopped mid-campaign (exit: resumable) and restarted on the SAME
+// port and checkpoint, and a rescue worker joins on a clean connection. The
+// final report must be byte-identical to a single-process engine run, and
+// the proxy must have actually injected faults. The proxy seed is printed
+// so a failing schedule can be replayed.
+TEST(ChaosSoak, CampaignSurvivesProxyChaosAndCoordinatorRestart) {
+  const std::vector<std::string> apps = {"EP"};
+  const std::vector<std::string> tools = {"LLFI", "REFINE", "PINFI"};
+  CampaignConfig config;
+  config.trials = 6;
+  config.threads = 2;
+  CampaignEngine engine(config);
+  const std::string reference =
+      countsCsv(engine.runMatrix(buildMatrixJobs(apps, tools)));
+
+  TempFile ckpt("soak");
+  TempFile report("soak_report");
+  ServeOptions base;
+  base.config.apps = apps;
+  base.config.tools = tools;
+  base.config.trials = config.trials;
+  base.config.leaseCount = 3;
+  base.config.heartbeatTimeout = 5.0;
+  base.config.maxLeaseReissues = 0;  // chaos may re-issue a lot; no poison here
+  base.checkpointPath = ckpt.path();
+  base.reportPath = report.path();
+  base.lingerSeconds = 2.0;
+
+  // ---- incarnation 1, stopped mid-campaign -------------------------------
+  std::atomic<bool> stop1{false};
+  ServeOptions serve1 = base;
+  serve1.port = 0;
+  serve1.stopFlag = &stop1;
+  std::promise<std::uint16_t> portPromise;
+  auto portFuture = portPromise.get_future();
+  serve1.onListening = [&](std::uint16_t p) { portPromise.set_value(p); };
+  std::promise<int> exit1Promise;
+  auto exit1 = exit1Promise.get_future();
+  std::thread incarnation1(
+      [&] { exit1Promise.set_value(serveCampaign(serve1)); });
+  const std::uint16_t port = portFuture.get();
+
+  // A hostage holder pins lease 0 on a clean connection so the campaign
+  // cannot complete before we get to kill the coordinator mid-flight.
+  UniqueFd hostage = tcpConnect("127.0.0.1", port);
+  writeFrame(hostage.get(), MsgType::Hello, kNetHello);
+  writeFrame(hostage.get(), MsgType::Request, "");
+  const auto hostageGrant = readFrame(hostage.get());
+  ASSERT_TRUE(hostageGrant && hostageGrant->type == MsgType::Grant);
+  const auto held = decodeGrant(hostageGrant->payload);
+  ASSERT_TRUE(held && held->leaseId == 0);
+  std::atomic<bool> stopHostage{false};
+  std::thread hostageBeat([&] {
+    const std::string beat = encodeLeaseRef({held->leaseId, held->epoch});
+    while (!stopHostage.load()) {
+      try {
+        writeFrame(hostage.get(), MsgType::Heartbeat, beat);
+      } catch (const CheckError&) {
+        break;  // the incarnation died; the hostage lease dies with it
+      }
+      sleepMs(200);
+    }
+  });
+
+  // All worker traffic goes through the proxy. Rates are moderate: most
+  // sessions reach a grant, but every run injects plenty of faults.
+  ChaosPlan plan;
+  plan.dropRate = 0.04;
+  plan.truncateRate = 0.02;
+  plan.bitflipRate = 0.02;
+  plan.duplicateRate = 0.06;
+  plan.delayRate = 0.12;
+  plan.delayMaxMs = 15.0;
+  const std::uint64_t chaosSeed = 0xC4A0511;
+  ChaosProxy proxy("127.0.0.1", port, plan, chaosSeed);
+  std::fprintf(stderr, "[chaos_test] proxy seed=%llX port=%u -> %u\n",
+               static_cast<unsigned long long>(proxy.seed()), proxy.port(),
+               port);
+
+  auto chaosWorkerOptions = [](int i) {
+    WorkerOptions options;
+    options.threads = 1;
+    options.connectTimeoutSeconds = 2.0;
+    options.ioTimeoutSeconds = 5.0;
+    options.reconnect = BackoffPolicy{0.02, 1.5, 0.15, 0.5, 40};
+    options.backoffSeed = 0xC4A05 + static_cast<std::uint64_t>(i);
+    return options;
+  };
+  std::vector<int> chaosExit(3, -1);
+  std::vector<std::thread> chaosWorkers;
+  for (int i = 0; i < 3; ++i) {
+    chaosWorkers.emplace_back([&, i] {
+      chaosExit[i] =
+          runWorker("127.0.0.1", proxy.port(), chaosWorkerOptions(i));
+    });
+  }
+
+  // Wait for real progress to reach the checkpoint through the chaos, so
+  // the restart genuinely resumes mid-campaign.
+  const auto progressDeadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(120);
+  while (true) {
+    const auto status = probeStatus(port);
+    if (status &&
+        status->find("\"cells_done\":0,") == std::string::npos) {
+      break;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), progressDeadline)
+        << "no cell made it through the chaos proxy in 120s "
+        << "(proxy seed " << std::hex << chaosSeed << ")";
+    sleepMs(50);
+  }
+
+  // Kill incarnation 1 mid-campaign. Lease 0 is still live (the hostage is
+  // heartbeating) — exactly the state a real crash leaves behind.
+  stop1.store(true);
+  EXPECT_EQ(exit1.get(), kServeExitResumable);
+  incarnation1.join();
+  stopHostage.store(true);
+  hostageBeat.join();
+  hostage.reset();
+
+  // ---- incarnation 2: same port, same checkpoint -------------------------
+  ServeOptions serve2 = base;
+  serve2.port = port;
+  std::promise<int> exit2Promise;
+  auto exit2 = exit2Promise.get_future();
+  std::thread incarnation2(
+      [&] { exit2Promise.set_value(serveCampaign(serve2)); });
+
+  // A rescue worker on a clean connection guarantees completion even if
+  // every chaos worker has burned its luck.
+  WorkerOptions rescueOptions;
+  rescueOptions.threads = 2;
+  rescueOptions.connectTimeoutSeconds = 2.0;
+  rescueOptions.ioTimeoutSeconds = 10.0;
+  rescueOptions.reconnect = BackoffPolicy{0.02, 1.5, 0.25, 0.5, 300};
+  rescueOptions.backoffSeed = 0x5AFE;
+  int rescueExit = -1;
+  std::thread rescue(
+      [&] { rescueExit = runWorker("127.0.0.1", port, rescueOptions); });
+
+  rescue.join();
+  for (auto& worker : chaosWorkers) worker.join();
+  EXPECT_EQ(rescueExit, kWorkerExitOk);
+  for (int i = 0; i < 3; ++i) {
+    // Chaos can end a worker any documented way — completing the campaign,
+    // a bitflipped frame read as a protocol violation (1), a corrupted
+    // Hello answered with Reject (6), a bitflipped grant (7), or an
+    // exhausted budget (8) — but never an undocumented one.
+    EXPECT_TRUE(chaosExit[i] == kWorkerExitOk ||
+                chaosExit[i] == kWorkerExitError ||
+                chaosExit[i] == kWorkerExitRejected ||
+                chaosExit[i] == kWorkerExitGrantMismatch ||
+                chaosExit[i] == kWorkerExitRetriesExhausted)
+        << "chaos worker " << i << " exited " << chaosExit[i]
+        << " (proxy seed " << std::hex << chaosSeed << ")";
+  }
+  EXPECT_EQ(exit2.get(), kServeExitOk);
+  incarnation2.join();
+
+  EXPECT_EQ(readFile(report.path()), reference);
+  EXPECT_GT(proxy.faultsInjected(), 0u);
+  std::fprintf(stderr,
+               "[chaos_test] soak done: %llu connection(s); faults: %llu "
+               "drop %llu truncate %llu bitflip %llu duplicate %llu delay "
+               "(seed=%llX)\n",
+               static_cast<unsigned long long>(proxy.connectionsAccepted()),
+               static_cast<unsigned long long>(proxy.drops()),
+               static_cast<unsigned long long>(proxy.truncates()),
+               static_cast<unsigned long long>(proxy.bitflips()),
+               static_cast<unsigned long long>(proxy.duplicates()),
+               static_cast<unsigned long long>(proxy.delays()),
+               static_cast<unsigned long long>(chaosSeed));
+  proxy.stop();
+}
+
+}  // namespace
+}  // namespace refine::campaign

@@ -39,7 +39,11 @@ class TempFile {
                   .string()) {
     std::remove(path_.c_str());
   }
-  ~TempFile() { std::remove(path_.c_str()); }
+  ~TempFile() {
+    std::remove(path_.c_str());
+    // serveCampaign writes an incarnation counter next to the checkpoint.
+    std::remove((path_ + ".generation").c_str());
+  }
   const std::string& path() const { return path_; }
 
  private:
@@ -531,6 +535,110 @@ TEST(CoordinatorCore, StatusJsonEscapesToolKeys) {
   EXPECT_NE(status.find("\"T\\\"1\":{"), std::string::npos);
   EXPECT_NE(status.find("\"T\\\\2\":{"), std::string::npos);
   EXPECT_EQ(status.find("\"T\"1\""), std::string::npos);
+}
+
+TEST(CoordinatorCore, PoisonedLeaseIsQuarantinedAfterReissueCap) {
+  TempFile ckpt("quarantine");
+  CheckpointStore store(ckpt.path());
+  CoordinatorConfig config = smallConfig();
+  config.maxLeaseReissues = 2;
+  Coordinator core(config, store, 0.0);
+
+  // Lease 0 kills every worker that touches it: grant -> disconnect, three
+  // times. The first two disconnects re-pool it; the third trips the cap.
+  for (int round = 0; round < 3; ++round) {
+    const std::uint64_t w = core.addWorker();
+    const auto reply = core.onRequest(w, round * 1.0);
+    ASSERT_EQ(reply.kind, Coordinator::RequestKind::Grant);
+    ASSERT_EQ(reply.grant.leaseId, 0u);
+    core.removeWorker(w, round * 1.0 + 0.5);
+  }
+  EXPECT_EQ(core.quarantinedLeases(), std::vector<std::uint64_t>{0});
+  EXPECT_FALSE(core.settled());  // lease 1 still has work
+
+  // The next requester is NOT handed the poisoned shard again.
+  const std::uint64_t w = core.addWorker();
+  const auto reply = core.onRequest(w, 10.0);
+  ASSERT_EQ(reply.kind, Coordinator::RequestKind::Grant);
+  EXPECT_EQ(reply.grant.leaseId, 1u);
+  ASSERT_EQ(core.onRecord(w, recordPayload(1, 1, "A", "T2"), 11.0),
+            Coordinator::Ingest::Accepted);
+  EXPECT_EQ(core.onLeaseDone(w, encodeLeaseRef({1, 1}), 12.0),
+            Coordinator::DoneResult::Ok);
+
+  // Settled-but-incomplete: nothing left to grant, campaign cannot finish.
+  EXPECT_TRUE(core.settled());
+  EXPECT_FALSE(core.complete());
+  EXPECT_EQ(core.onRequest(w, 13.0).kind, Coordinator::RequestKind::Complete);
+
+  const std::string status = core.statusJson(14.0);
+  EXPECT_NE(status.find("\"complete\":false"), std::string::npos);
+  EXPECT_NE(status.find("\"settled\":true"), std::string::npos);
+  EXPECT_NE(status.find("\"leases_quarantined\":1"), std::string::npos);
+}
+
+TEST(CoordinatorCore, QuarantineDisabledWithZeroCap) {
+  TempFile ckpt("noquarantine");
+  CheckpointStore store(ckpt.path());
+  CoordinatorConfig config = smallConfig();
+  config.maxLeaseReissues = 0;  // opt out: re-issue forever
+  Coordinator core(config, store, 0.0);
+  for (int round = 0; round < 50; ++round) {
+    const std::uint64_t w = core.addWorker();
+    const auto reply = core.onRequest(w, round * 1.0);
+    ASSERT_EQ(reply.kind, Coordinator::RequestKind::Grant);
+    ASSERT_EQ(reply.grant.leaseId, 0u);
+    core.removeWorker(w, round * 1.0 + 0.5);
+  }
+  EXPECT_TRUE(core.quarantinedLeases().empty());
+  EXPECT_EQ(core.leaseReissues(), 50u);
+}
+
+TEST(CoordinatorCore, EpochBaseFencesPreRestartZombie) {
+  TempFile ckpt("epochbase");
+  // Incarnation 1: grant lease 0 (epoch 1) to a worker that will outlive
+  // the coordinator.
+  {
+    CheckpointStore store(ckpt.path());
+    Coordinator core(smallConfig(), store, 0.0);
+    const std::uint64_t w = core.addWorker();
+    const auto reply = core.onRequest(w, 0.0);
+    ASSERT_EQ(reply.kind, Coordinator::RequestKind::Grant);
+    EXPECT_EQ(reply.grant.epoch, 1u);
+  }  // coordinator "crashes" — the zombie never heard
+
+  // Incarnation 2 starts its epochs above everything incarnation 1 could
+  // have granted (serveCampaign derives epochBase from the generation
+  // sidecar; the core just honors the config).
+  CheckpointStore store(ckpt.path());
+  CoordinatorConfig config = smallConfig();
+  config.epochBase = kEpochGenerationStride;
+  Coordinator core(config, store, 100.0);
+
+  // The reconnected worker is re-granted lease 0 under the fenced-up
+  // epoch. Without epochBase the new incarnation would hand out epoch 1 —
+  // the SAME pair the zombie grant carried — and stale traffic on this
+  // very connection would pass the fence.
+  const std::uint64_t w2 = core.addWorker();
+  const auto reply = core.onRequest(w2, 102.0);
+  ASSERT_EQ(reply.kind, Coordinator::RequestKind::Grant);
+  EXPECT_EQ(reply.grant.leaseId, 0u);
+  EXPECT_EQ(reply.grant.epoch, kEpochGenerationStride + 1);
+
+  // A leftover pre-restart record surfaces on the current holder's own
+  // connection (right lease, right worker, ancient epoch): fenced.
+  EXPECT_EQ(core.onRecord(w2, recordPayload(0, 1, "A", "T1"), 103.0),
+            Coordinator::Ingest::Stale);
+  EXPECT_EQ(core.onLeaseDone(w2, encodeLeaseRef({0, 1}), 103.0),
+            Coordinator::DoneResult::Stale);
+  EXPECT_EQ(core.cellsDone(), 0u);
+  EXPECT_EQ(core.staleRecords(), 1u);
+
+  // Current-epoch traffic on the same connection lands normally.
+  EXPECT_EQ(core.onRecord(
+                w2, recordPayload(0, kEpochGenerationStride + 1, "A", "T1"),
+                104.0),
+            Coordinator::Ingest::Accepted);
 }
 
 TEST(CoordinatorCore, RejectsStoreOfDifferentCampaign) {
