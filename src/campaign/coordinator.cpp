@@ -6,6 +6,7 @@
 #include <csignal>
 #include <cstdarg>
 #include <cstdio>
+#include <limits>
 #include <map>
 #include <poll.h>
 #include <signal.h>
@@ -61,6 +62,17 @@ Coordinator::Coordinator(CoordinatorConfig config, CheckpointStore& store,
   RF_CHECK(config_.leaseCount >= 1, "lease count must be at least 1");
   RF_CHECK(config_.trials >= 1, "trials must be at least 1");
   RF_CHECK(config_.heartbeatTimeout > 0, "heartbeat timeout must be > 0");
+  if (!config_.plan.empty()) {
+    plan_ = parsePlanSpec(config_.plan);
+    // The config carries the CANONICAL spelling (it goes into checkpoint
+    // meta verbatim); accepting an alias here would let two spellings of
+    // one plan fail each other's meta binding.
+    RF_CHECK(plan_->canonical() == config_.plan,
+             "coordinator plan spec must be canonical: got '" + config_.plan +
+                 "', canonical is '" + plan_->canonical() + "'");
+    RF_CHECK(config_.trials == plan_->maxTrials,
+             "planned campaigns carry the plan's max cap as trials");
+  }
 
   // Canonical cell order: apps outer, tools inner — identical to the job
   // list every worker reconstructs from a grant, so lease L's shard slice
@@ -79,7 +91,41 @@ Coordinator::Coordinator(CoordinatorConfig config, CheckpointStore& store,
              "tool key '" + tool + "' cannot be bound into checkpoint meta");
   }
   store_.bindCampaign({config_.baseSeed, config_.trials,
-                       config_.timeoutFactor, join(config_.tools, ";")});
+                       config_.timeoutFactor, join(config_.tools, ";"),
+                       config_.plan});
+
+  if (plan_) {
+    // Planned campaigns lease (cell, round) pairs, and rounds only exist
+    // as the plan unfolds — so instead of a fixed lease pool, replay the
+    // store into per-cell planner state and create exactly one lease per
+    // unretired cell (its next round). Ingest pushes the following round's
+    // lease, growing leases_ as the campaign progresses. leaseCount is
+    // meaningless here and ignored.
+    RF_CHECK(cells_.size() <= std::numeric_limits<std::uint32_t>::max(),
+             "planned campaigns address cells through 32-bit shard indices");
+    planCells_.resize(cells_.size());
+    std::vector<std::vector<const CampaignResult*>> rounds(cells_.size());
+    for (const auto& record : store_.records()) {
+      for (std::size_t i = 0; i < cells_.size(); ++i) {
+        if (record.app == cells_[i].first && record.tool == cells_[i].second) {
+          rounds[i].push_back(&record);
+          break;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      if (rounds[i].empty()) continue;
+      planCells_[i] = replayPlanRounds(
+          *plan_, rounds[i],
+          "checkpoint " + store_.path() + " cell " + cells_[i].first + " x " +
+              cells_[i].second);
+    }
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      if (!planRetired(*plan_, planCells_[i].counts)) pushPlanLease(i);
+    }
+    return;
+  }
+
   for (const auto& record : store_.records()) {
     RF_CHECK(record.counts.total() == config_.trials,
              "checkpoint " + store_.path() + " holds " +
@@ -105,7 +151,34 @@ Coordinator::Coordinator(CoordinatorConfig config, CheckpointStore& store,
   }
 }
 
+void Coordinator::pushPlanLease(std::size_t cell) {
+  const PlanProgress& progress = planCells_[cell];
+  Lease lease;
+  lease.epoch = config_.epochBase + 1;
+  // The shard selects the one cell this lease covers out of the full
+  // matrix — the worker rebuilds the same apps-outer/tools-inner job list
+  // from the grant and the shard picks index `cell` from it.
+  lease.shard = ShardSpec{static_cast<std::uint32_t>(cell),
+                          static_cast<std::uint32_t>(cells_.size())};
+  lease.cells.push_back(cell);
+  lease.cell = cell;
+  lease.batch.round = progress.roundsDone;
+  lease.batch.begin = progress.counts.total();
+  lease.batch.count =
+      planNextBatch(*plan_, progress.roundsDone, progress.counts);
+  RF_CHECK(lease.batch.count > 0,
+           "pushPlanLease on a retired cell (planner invariant broken)");
+  leases_.push_back(std::move(lease));
+}
+
 bool Coordinator::leaseComplete(const Lease& lease) const {
+  if (plan_) {
+    // A (cell, round) lease is complete exactly when its round's record is
+    // in the store — ingest is what advances the plan.
+    return store_.findRound(cells_[lease.cell].first,
+                            cells_[lease.cell].second,
+                            lease.batch.round) != nullptr;
+  }
   return std::all_of(lease.cells.begin(), lease.cells.end(),
                      [&](std::size_t cell) {
                        return store_.contains(cells_[cell].first,
@@ -177,6 +250,7 @@ Coordinator::RequestReply Coordinator::onRequest(std::uint64_t worker,
     grant.heartbeatTimeout = config_.heartbeatTimeout;
     grant.apps = config_.apps;
     grant.tools = config_.tools;
+    if (plan_) grant.batch = lease.batch;
     return {RequestKind::Grant, std::move(grant)};
   }
   return {RequestKind::Wait, {}};
@@ -215,6 +289,75 @@ Coordinator::Ingest Coordinator::onRecord(std::uint64_t worker,
     return Ingest::Stale;
   }
   lease->lastTraffic = now;
+
+  if (plan_) {
+    const std::size_t cell = lease->cell;
+    const auto& cellKey = cells_[cell];
+    // A planned record must be exactly the round this lease leased: same
+    // cell, same round tag, the batch's trial count. Anything else means
+    // the worker diverged from its grant — contradictory-worker
+    // containment (the serve loop drops it) rather than ingesting poison.
+    RF_CHECK(record->planRound.has_value(),
+             "worker streamed an untagged record into a planned campaign "
+             "(cell " + record->app + " x " + record->tool + ")");
+    RF_CHECK(record->app == cellKey.first && record->tool == cellKey.second,
+             "worker streamed cell " + record->app + " x " + record->tool +
+                 " for a lease covering " + cellKey.first + " x " +
+                 cellKey.second);
+    RF_CHECK(*record->planRound == lease->batch.round,
+             "worker streamed round " + std::to_string(*record->planRound) +
+                 " for a lease covering round " +
+                 std::to_string(lease->batch.round) + " of cell " +
+                 cellKey.first + " x " + cellKey.second);
+    RF_CHECK(record->counts.total() == lease->batch.count,
+             "worker streamed " + std::to_string(record->counts.total()) +
+                 " trials for a batch of " +
+                 std::to_string(lease->batch.count) + " (cell " +
+                 cellKey.first + " x " + cellKey.second + " round " +
+                 std::to_string(lease->batch.round) + ")");
+
+    PlanProgress& progress = planCells_[cell];
+    if (const CampaignResult* existing =
+            store_.findRound(record->app, record->tool, lease->batch.round)) {
+      RF_CHECK(existing->counts == record->counts &&
+                   existing->dynamicTargets == record->dynamicTargets &&
+                   existing->profileInstrs == record->profileInstrs &&
+                   existing->binarySize == record->binarySize,
+               "conflicting duplicate for cell " + record->app + " x " +
+                   record->tool + " round " +
+                   std::to_string(lease->batch.round) +
+                   " (a worker disagrees with the stored deterministic "
+                   "fields — determinism contract broken)");
+      lease->state = LeaseState::Done;
+      lease->worker = 0;
+      return Ingest::Duplicate;
+    }
+    if (progress.roundsDone == 0) {
+      progress.dynamicTargets = record->dynamicTargets;
+      progress.profileInstrs = record->profileInstrs;
+      progress.binarySize = record->binarySize;
+    } else {
+      RF_CHECK(progress.dynamicTargets == record->dynamicTargets &&
+                   progress.profileInstrs == record->profileInstrs &&
+                   progress.binarySize == record->binarySize,
+               "cell " + cellKey.first + " x " + cellKey.second +
+                   " round " + std::to_string(lease->batch.round) +
+                   " disagrees with earlier rounds on the deterministic "
+                   "fields — determinism contract broken");
+    }
+    store_.append(*record);
+    trialsIngested_ += record->counts.total();
+    progress.counts += record->counts;
+    progress.seconds += record->totalTrialSeconds;
+    ++progress.roundsDone;
+    // Re-plan on ingest: this round's evidence decides whether the cell
+    // retires or gets its next round leased. pushPlanLease may reallocate
+    // leases_, so settle this lease first and never touch `lease` after.
+    lease->state = LeaseState::Done;
+    lease->worker = 0;
+    if (!planRetired(*plan_, progress.counts)) pushPlanLease(cell);
+    return Ingest::Accepted;
+  }
 
   RF_CHECK(record->counts.total() == config_.trials,
            "worker streamed " + std::to_string(record->counts.total()) +
@@ -282,9 +425,19 @@ std::vector<std::uint64_t> Coordinator::checkExpiry(double now) {
 }
 
 bool Coordinator::complete() const noexcept {
-  return std::all_of(leases_.begin(), leases_.end(), [](const Lease& lease) {
-    return lease.state == LeaseState::Done;
-  });
+  const bool leasesDone =
+      std::all_of(leases_.begin(), leases_.end(), [](const Lease& lease) {
+        return lease.state == LeaseState::Done;
+      });
+  if (!plan_) return leasesDone;
+  // Planned: every lease Done is necessary but not sufficient — the
+  // campaign is over when every CELL retired (ingest pushes a fresh lease
+  // whenever a cell has rounds left, so both conditions settle together).
+  if (!leasesDone) return false;
+  for (const PlanProgress& progress : planCells_) {
+    if (!planRetired(*plan_, progress.counts)) return false;
+  }
+  return true;
 }
 
 bool Coordinator::settled() const noexcept {
@@ -303,6 +456,13 @@ std::vector<std::uint64_t> Coordinator::quarantinedLeases() const {
 }
 
 std::size_t Coordinator::cellsDone() const noexcept {
+  if (plan_) {
+    std::size_t retired = 0;
+    for (const PlanProgress& progress : planCells_) {
+      if (planRetired(*plan_, progress.counts)) ++retired;
+    }
+    return retired;
+  }
   return store_.records().size();
 }
 
@@ -342,8 +502,15 @@ std::string Coordinator::statusJson(double now) const {
                         static_cast<unsigned long long>(counts.benign));
   }
 
+  // Planned campaigns interpose a "plan" key (and trials_total becomes the
+  // worst-case cap, max·cells — actual totals land lower, that is the
+  // point). Flat status lines are byte-identical to pre-planner builds.
+  const std::string planField =
+      plan_ ? strf("\"plan\":\"%s\",", jsonEscape(config_.plan).c_str())
+            : std::string();
+
   return strf(
-      "{\"complete\":%s,\"settled\":%s,\"cells_total\":%zu,"
+      "{\"complete\":%s,\"settled\":%s,%s\"cells_total\":%zu,"
       "\"cells_done\":%zu,"
       "\"trials_total\":%llu,\"trials_done\":%llu,\"trials_per_sec\":%s,"
       "\"elapsed_sec\":%s,\"workers\":%zu,\"leases_total\":%zu,"
@@ -352,7 +519,7 @@ std::string Coordinator::statusJson(double now) const {
       "\"lease_reissues\":%llu,\"stale_records\":%llu,"
       "\"corrupt_records\":%llu,\"per_tool\":{%s}}",
       complete() ? "true" : "false", settled() ? "true" : "false",
-      cells_.size(), cellsDone(),
+      planField.c_str(), cells_.size(), cellsDone(),
       static_cast<unsigned long long>(config_.trials * cells_.size()),
       static_cast<unsigned long long>(trialsDone),
       formatDouble(trialsPerSec).c_str(), formatDouble(elapsed).c_str(),
@@ -467,12 +634,29 @@ int serveCampaign(const ServeOptions& options) {
   }
   Coordinator core(config, store, steadySeconds());
 
-  diag("serving on port %u: %zu cells, %u leases, %llu trials/cell, "
-       "heartbeat timeout %.1fs, checkpoint %s",
-       listener.port, core.cellsTotal(), config.leaseCount,
-       static_cast<unsigned long long>(config.trials),
-       config.heartbeatTimeout, options.checkpointPath.c_str());
+  if (config.plan.empty()) {
+    diag("serving on port %u: %zu cells, %u leases, %llu trials/cell, "
+         "heartbeat timeout %.1fs, checkpoint %s",
+         listener.port, core.cellsTotal(), config.leaseCount,
+         static_cast<unsigned long long>(config.trials),
+         config.heartbeatTimeout, options.checkpointPath.c_str());
+  } else {
+    diag("serving on port %u: %zu cells, planned (%s), heartbeat timeout "
+         "%.1fs, checkpoint %s",
+         listener.port, core.cellsTotal(), config.plan.c_str(),
+         config.heartbeatTimeout, options.checkpointPath.c_str());
+  }
   if (options.onListening) options.onListening(listener.port);
+
+  // Flat campaigns report through countsCsv; planned campaigns fold their
+  // per-round records back through the planner — the SAME path a local
+  // planned run or a manual merge takes, which is what makes the served
+  // report byte-identical to both.
+  auto renderReport = [&config](const std::vector<CampaignResult>& merged) {
+    if (config.plan.empty()) return countsCsv(merged);
+    const PlanSpec spec = parsePlanSpec(config.plan);
+    return plannedCountsCsv(foldPlannedRecords(merged, spec), spec);
+  };
 
   ScopedDrainHandlers drainHandlers(options.installSignalHandlers);
   const double serveStart = steadySeconds();
@@ -723,7 +907,7 @@ int serveCampaign(const ServeOptions& options) {
           mergeCheckpoints({options.checkpointPath}, &dropped);
       RF_CHECK(dropped == 0, "coordinator store has torn records after a "
                              "complete campaign");
-      const std::string report = countsCsv(merged);
+      const std::string report = renderReport(merged);
       if (options.reportPath) {
         writeFile(*options.reportPath, report);
       } else {
@@ -768,7 +952,7 @@ int serveCampaign(const ServeOptions& options) {
         }
         // The marker line makes a partial report impossible to mistake for
         // a complete one in any downstream diff or ingestion.
-        std::string report = countsCsv(merged);
+        std::string report = renderReport(merged);
         report += strf("# partial: %zu/%zu cells (%s; quarantined leases: "
                        "%s)\n",
                        core.cellsDone(), core.cellsTotal(), why,

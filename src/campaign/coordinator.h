@@ -43,6 +43,7 @@
 
 #include "campaign/net.h"
 #include "campaign/persist.h"
+#include "campaign/planner.h"
 
 namespace refine::campaign {
 
@@ -50,6 +51,14 @@ struct CoordinatorConfig {
   std::vector<std::string> apps;   // matrix order (apps outer, tools inner)
   std::vector<std::string> tools;  // canonical registry keys, deduped
   std::uint64_t trials = 1068;
+  /// Canonical plan spec (campaign/planner.h) for an adaptively-planned
+  /// campaign; empty = flat fixed-trials. Planned mode replaces the fixed
+  /// shard leases with one lease per (cell, round): each ingest folds the
+  /// round into the cell's planner state and — unless the cell retired —
+  /// immediately creates the next round's lease with the batch
+  /// planNextBatch() derives. `leaseCount` is ignored and `trials` carries
+  /// the plan's max cap.
+  std::string plan;
   std::uint64_t baseSeed = 0x5EEDBA5EULL;
   double timeoutFactor = 10.0;
   std::uint32_t leaseCount = 8;
@@ -164,10 +173,20 @@ class Coordinator {
     double lastTraffic = 0.0;     // grant/record/heartbeat time
     std::uint64_t reissues = 0;   // times returned to the pool after a grant
     std::vector<std::size_t> cells;  // indices into cells_
+    // Planned mode only: the single cell this (cell, round) lease covers
+    // and the batch its grants carry.
+    std::size_t cell = 0;
+    PlannedBatch batch;
   };
 
-  /// True when every cell of `lease` is present in the store.
+  /// True when every cell of `lease` is present in the store (planned
+  /// mode: when the lease's (cell, round) record is).
   bool leaseComplete(const Lease& lease) const;
+
+  /// Planned mode: appends the next-round lease of `cell`, its batch
+  /// derived from the cell's current planner state. Must only be called
+  /// for unretired cells.
+  void pushPlanLease(std::size_t cell);
 
   /// Fences a lease-scoped message: the lease must exist, be Active, be
   /// owned by `worker` and carry the current epoch. Returns the lease or
@@ -186,6 +205,10 @@ class Coordinator {
   CheckpointStore& store_;
   std::vector<std::pair<std::string, std::string>> cells_;  // (app, tool)
   std::vector<Lease> leases_;
+  /// Planned mode: the parsed plan and per-cell planner progress (indexed
+  /// like cells_), rebuilt from the store's per-round records on restart.
+  std::optional<PlanSpec> plan_;
+  std::vector<PlanProgress> planCells_;
   std::uint64_t nextWorker_ = 1;
   std::size_t workersConnected_ = 0;
   double startTime_ = 0.0;

@@ -16,9 +16,12 @@ struct CampaignEngine::CellRun {
   ToolInstance* instance = nullptr;
   std::string app;
   std::string tool;
-  std::uint64_t appKey = 0;   // fnv1a(app)
-  std::uint64_t seedKey = 0;  // injectorSeedKey(tool)
-  std::uint64_t budget = 0;   // timeoutFactor * profiled instruction count
+  std::uint64_t appKey = 0;     // fnv1a(app)
+  std::uint64_t seedKey = 0;    // injectorSeedKey(tool)
+  std::uint64_t budget = 0;     // timeoutFactor * profiled instruction count
+  std::uint64_t trialBegin = 0; // absolute trial range [begin, end) to run
+  std::uint64_t trialEnd = 0;
+  std::optional<std::uint64_t> planRound;  // tags the drained record
 
   struct Partial {
     OutcomeCounts counts;
@@ -46,18 +49,22 @@ void CampaignEngine::enqueueTrials(CellRun& cell,
   cell.budget = static_cast<std::uint64_t>(
       config_.timeoutFactor * static_cast<double>(profile.instrCount));
   cell.perWorker.assign(pool_.threadCount(), {});
+  RF_CHECK(cell.trialEnd >= cell.trialBegin, "inverted trial range");
+  const std::uint64_t trialCount = cell.trialEnd - cell.trialBegin;
   if (config_.recordPerTrial) {
-    cell.outcomes.assign(config_.trials, Outcome::Benign);
+    cell.outcomes.assign(trialCount, Outcome::Benign);
   }
 
   const bool record = config_.recordPerTrial;
   const std::uint64_t baseSeed = config_.baseSeed;
+  const std::uint64_t trialBase = cell.trialBegin;
   std::vector<WorkStealingPool::Task> tasks;
   forEachChunk(
-      config_.trials, static_cast<std::size_t>(pool_.threadCount()) * 8,
+      trialCount, static_cast<std::size_t>(pool_.threadCount()) * 8,
       [&](std::size_t begin, std::size_t end) {
         tasks.push_back([this, &cell, &profile, &onCellDone, checkpoint,
-                         baseSeed, record, begin, end](unsigned worker) {
+                         baseSeed, trialBase, record, begin,
+                         end](unsigned worker) {
           auto& partial = cell.perWorker[worker];
           TrialScratch& scratch = *scratch_[worker];
           auto& draws = draws_[worker];
@@ -69,7 +76,8 @@ void CampaignEngine::enqueueTrials(CellRun& cell,
           // under the original trial index and counts are order-free, so
           // results stay bit-identical to in-order execution.
           drawTrialChunk(baseSeed, cell.appKey, cell.seedKey,
-                         profile.dynamicTargets, begin, end, draws);
+                         profile.dynamicTargets, trialBase + begin,
+                         trialBase + end, draws);
           // Stream-classify against this cell's golden: trials accumulate
           // no output, print syscalls compare bytes as they are produced.
           scratch.setGolden(&profile.goldenOutput);
@@ -81,7 +89,7 @@ void CampaignEngine::enqueueTrials(CellRun& cell,
                 cell.instance->runTrial(d.target, d.seed, cell.budget, scratch);
             const Outcome outcome = classify(run.exec, profile.goldenOutput);
             partial.counts.add(outcome);
-            if (record) cell.outcomes[d.trial] = outcome;
+            if (record) cell.outcomes[d.trial - trialBase] = outcome;
           }
           partial.seconds += timer.seconds();
           // Last chunk of this cell: every partial is final (the acq_rel
@@ -117,6 +125,7 @@ CampaignResult CampaignEngine::drain(CellRun& cell) const {
     result.totalTrialSeconds += partial.seconds;
   }
   result.outcomes = std::move(cell.outcomes);
+  result.planRound = cell.planRound;
   return result;
 }
 
@@ -129,6 +138,7 @@ CampaignResult CampaignEngine::run(ToolInstance& instance,
   cell.tool = std::string(toolKey);
   cell.appKey = fnv1a(app);
   cell.seedKey = injectorSeedKey(toolKey);
+  cell.trialEnd = config_.trials;
   const ResultCallback noCallback;  // must outlive the enqueued chunks
   enqueueTrials(cell, noCallback, nullptr);
   pool_.wait();
@@ -138,6 +148,87 @@ CampaignResult CampaignEngine::run(ToolInstance& instance,
 std::vector<CampaignResult> CampaignEngine::runMatrix(
     const std::vector<MatrixJob>& jobs, const ResultCallback& onCellDone) {
   return runMatrix(jobs, MatrixOptions{}, onCellDone);
+}
+
+std::string checkpointToolList(const std::vector<MatrixJob>& jobs) {
+  std::vector<std::string> toolKeys;
+  for (const auto& job : jobs) {
+    if (std::find(toolKeys.begin(), toolKeys.end(), job.tool) !=
+        toolKeys.end()) {
+      continue;
+    }
+    RF_CHECK(job.tool.find_first_of(" \t\n\r;") == std::string::npos,
+             "tool key '" + job.tool +
+                 "' cannot be bound into checkpoint meta (whitespace and "
+                 "';' break the meta line framing)");
+    toolKeys.push_back(job.tool);
+  }
+  return join(toolKeys, ";");
+}
+
+std::vector<std::unique_ptr<ToolInstance>> CampaignEngine::buildInstances(
+    const std::vector<MatrixJob>& jobs) {
+  // Factories resolve up front so an unknown tool key fails fast on the
+  // caller's thread instead of from inside a worker.
+  std::vector<const InjectorFactory*> factories(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    factories[i] = &InjectorRegistry::global().get(jobs[i].tool);
+  }
+  std::vector<std::unique_ptr<ToolInstance>> instances(jobs.size());
+  std::vector<WorkStealingPool::Task> buildTasks;
+  buildTasks.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    buildTasks.push_back([&jobs, &factories, &instances, i](unsigned) {
+      instances[i] = factories[i]->create(jobs[i].source, jobs[i].fiConfig);
+      instances[i]->profile();
+    });
+  }
+  pool_.submitBulk(std::move(buildTasks));
+  pool_.wait();  // rethrows the first compile/profile error
+  return instances;
+}
+
+std::vector<CampaignResult> CampaignEngine::runBatches(
+    const std::vector<BatchJob>& batches, CheckpointStore* checkpoint,
+    const ResultCallback& onBatchDone) {
+  RF_CHECK(!config_.recordPerTrial,
+           "planned batches persist counts only; per-trial analyses must "
+           "run as flat fixed-trial campaigns");
+  std::vector<CellRun> cells(batches.size());
+  try {
+    for (std::size_t i = 0; i < batches.size(); ++i) {
+      const BatchJob& batch = batches[i];
+      RF_CHECK(batch.instance != nullptr, "batch without an instance");
+      RF_CHECK(batch.trialEnd > batch.trialBegin,
+               "empty trial range for batch " + batch.app + " x " +
+                   batch.tool);
+      cells[i].instance = batch.instance;
+      cells[i].app = batch.app;
+      cells[i].tool = batch.tool;
+      cells[i].appKey = fnv1a(batch.app);
+      cells[i].seedKey = injectorSeedKey(batch.tool);
+      cells[i].trialBegin = batch.trialBegin;
+      cells[i].trialEnd = batch.trialEnd;
+      cells[i].planRound = batch.round;
+      enqueueTrials(cells[i], onBatchDone, checkpoint);
+    }
+  } catch (...) {
+    // Chunks already enqueued still reference `cells`: drain them before
+    // unwinding. A task error surfacing here loses to the setup error.
+    try {
+      pool_.wait();
+    } catch (...) {
+    }
+    throw;
+  }
+  pool_.wait();
+
+  std::vector<CampaignResult> results(batches.size());
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    auto& cell = cells[i];
+    results[i] = cell.finished ? *std::move(cell.finished) : drain(cell);
+  }
+  return results;
 }
 
 std::vector<CampaignResult> CampaignEngine::runMatrix(
@@ -159,21 +250,9 @@ std::vector<CampaignResult> CampaignEngine::runMatrix(
     // the specs decide which fault population each cell sampled) as this
     // campaign's. The tool list derives from the FULL job list, not the
     // shard slice, so every shard of one matrix binds the same meta.
-    std::vector<std::string> toolKeys;
-    for (const auto& job : jobs) {
-      if (std::find(toolKeys.begin(), toolKeys.end(), job.tool) !=
-          toolKeys.end()) {
-        continue;
-      }
-      RF_CHECK(job.tool.find_first_of(" \t\n\r;") == std::string::npos,
-               "tool key '" + job.tool +
-                   "' cannot be bound into checkpoint meta (whitespace and "
-                   "';' break the meta line framing)");
-      toolKeys.push_back(job.tool);
-    }
     options.checkpoint->bindCampaign({config_.baseSeed, config_.trials,
                                       config_.timeoutFactor,
-                                      join(toolKeys, ";")});
+                                      checkpointToolList(jobs)});
   }
 
   // Phase 0: select this shard's slice and split it into cells resumed from
@@ -210,29 +289,13 @@ std::vector<CampaignResult> CampaignEngine::runMatrix(
   }
 
   // Phase 1: compile + profile every live cell concurrently on the pool.
-  // The factories are resolved up front so an unknown tool key fails fast on
-  // the caller's thread instead of from inside a worker.
-  std::vector<const InjectorFactory*> factories(live.size());
+  std::vector<MatrixJob> liveJobs;
+  liveJobs.reserve(live.size());
   for (std::size_t l = 0; l < live.size(); ++l) {
-    const MatrixJob& job = jobs[selected[live[l]].job];
-    factories[l] = &InjectorRegistry::global().get(job.tool);
+    liveJobs.push_back(jobs[selected[live[l]].job]);
   }
-
-  std::vector<std::unique_ptr<ToolInstance>> instances(live.size());
-  {
-    std::vector<WorkStealingPool::Task> buildTasks;
-    buildTasks.reserve(live.size());
-    for (std::size_t l = 0; l < live.size(); ++l) {
-      buildTasks.push_back(
-          [&jobs, &selected, &live, &factories, &instances, l](unsigned) {
-            const MatrixJob& job = jobs[selected[live[l]].job];
-            instances[l] = factories[l]->create(job.source, job.fiConfig);
-            instances[l]->profile();
-          });
-    }
-    pool_.submitBulk(std::move(buildTasks));
-    pool_.wait();  // rethrows the first compile/profile error
-  }
+  std::vector<std::unique_ptr<ToolInstance>> instances =
+      buildInstances(liveJobs);
 
   // Phase 2: enqueue ALL live cells' trial chunks at once — one shared pool,
   // no barrier between campaigns. Drained cells stream into the checkpoint.
@@ -245,6 +308,7 @@ std::vector<CampaignResult> CampaignEngine::runMatrix(
       cells[l].tool = job.tool;
       cells[l].appKey = fnv1a(job.app);
       cells[l].seedKey = injectorSeedKey(job.tool);
+      cells[l].trialEnd = config_.trials;
       enqueueTrials(cells[l], onCellDone, options.checkpoint);
     }
   } catch (...) {

@@ -41,6 +41,24 @@ struct MatrixJob {
   fi::FiConfig fiConfig = fi::FiConfig::allOn();
 };
 
+/// ';'-joined tool keys of a job list in first-appearance order — the string
+/// checkpoint metas bind (see CampaignMeta::tools). Derives from the FULL
+/// job list so every shard of one matrix binds the same meta. Throws when a
+/// key contains characters that would break the meta line framing.
+std::string checkpointToolList(const std::vector<MatrixJob>& jobs);
+
+/// One planned batch: trials [trialBegin, trialEnd) of a single cell, tagged
+/// with the planner round that produced it (campaign/planner.h). The
+/// instance must already be built; profile() may still be pending.
+struct BatchJob {
+  ToolInstance* instance = nullptr;
+  std::string app;
+  std::string tool;
+  std::uint64_t trialBegin = 0;
+  std::uint64_t trialEnd = 0;
+  std::uint64_t round = 0;
+};
+
 /// How runMatrix slices and persists a job list. Cells are independent and
 /// every trial seed derives from (baseSeed, app, tool, trial), so any
 /// shard/resume/thread-count combination aggregates to identical counts.
@@ -85,6 +103,26 @@ class CampaignEngine {
   /// wraps with a transient engine.
   CampaignResult run(ToolInstance& instance, std::string_view toolKey,
                      const std::string& app);
+
+  /// Compiles + profiles one instance per job concurrently on the pool and
+  /// returns them in job order. The planner uses this to build each
+  /// unretired cell exactly once and then feed its instance to several
+  /// rounds of runBatches().
+  std::vector<std::unique_ptr<ToolInstance>> buildInstances(
+      const std::vector<MatrixJob>& jobs);
+
+  /// Runs every batch's trial range through the shared pool at once (no
+  /// barrier between batches) and returns one CampaignResult per batch, in
+  /// batch order, each tagged with its round and covering only its own
+  /// trial range. Trial (target, seed) pairs derive from (baseSeed, app,
+  /// tool, absolute trial index), so counts over [0, a) plus [a, b) equal a
+  /// flat run of b trials — the identity planned campaigns are built on.
+  /// Freshly drained batches stream into `checkpoint` when set (the store
+  /// must already be bound by the caller). recordPerTrial is rejected:
+  /// per-round records persist counts only.
+  std::vector<CampaignResult> runBatches(const std::vector<BatchJob>& batches,
+                                         CheckpointStore* checkpoint = nullptr,
+                                         const ResultCallback& onBatchDone = {});
 
   unsigned threadCount() const noexcept { return pool_.threadCount(); }
   const CampaignConfig& config() const noexcept { return config_; }

@@ -104,16 +104,24 @@ std::string encodeGrant(const LeaseGrant& grant) {
              "tool key '" + tool + "' cannot cross the wire (grant payloads "
              "are space-framed, tool lists ';'-joined)");
   }
-  return strf("lease=%llu epoch=%llu shard=%u/%u seed=%016llx trials=%llu "
-              "timeout=%s hb=%s apps=%s tools=%s",
-              static_cast<unsigned long long>(grant.leaseId),
-              static_cast<unsigned long long>(grant.epoch), grant.shard.index,
-              grant.shard.count,
-              static_cast<unsigned long long>(grant.baseSeed),
-              static_cast<unsigned long long>(grant.trials),
-              formatDouble(grant.timeoutFactor).c_str(),
-              formatDouble(grant.heartbeatTimeout).c_str(),
-              join(grant.apps, ",").c_str(), join(grant.tools, ";").c_str());
+  std::string payload =
+      strf("lease=%llu epoch=%llu shard=%u/%u seed=%016llx trials=%llu "
+           "timeout=%s hb=%s apps=%s tools=%s",
+           static_cast<unsigned long long>(grant.leaseId),
+           static_cast<unsigned long long>(grant.epoch), grant.shard.index,
+           grant.shard.count,
+           static_cast<unsigned long long>(grant.baseSeed),
+           static_cast<unsigned long long>(grant.trials),
+           formatDouble(grant.timeoutFactor).c_str(),
+           formatDouble(grant.heartbeatTimeout).c_str(),
+           join(grant.apps, ",").c_str(), join(grant.tools, ";").c_str());
+  if (grant.batch) {
+    payload += strf(" round=%llu begin=%llu count=%llu",
+                    static_cast<unsigned long long>(grant.batch->round),
+                    static_cast<unsigned long long>(grant.batch->begin),
+                    static_cast<unsigned long long>(grant.batch->count));
+  }
+  return payload;
 }
 
 std::optional<LeaseGrant> decodeGrant(std::string_view payload) {
@@ -121,10 +129,15 @@ std::optional<LeaseGrant> decodeGrant(std::string_view payload) {
   if (!splitKeyValues(payload, pairs)) return std::nullopt;
 
   LeaseGrant grant;
-  // Bit set of required keys, in payload order.
+  // Bit set of required keys, in payload order. The planned-batch trio
+  // (round/begin/count) is OPTIONAL — tracked separately so the
+  // all-required loop below stays a pure completeness check.
   enum { kLease, kEpoch, kShard, kSeed, kTrials, kTimeout, kHb, kApps, kTools,
          kCount };
   bool seen[kCount] = {};
+  enum { kRound, kBegin, kBatchCount, kOptCount };
+  bool seenOpt[kOptCount] = {};
+  PlannedBatch batch;
   auto once = [&](int key) {
     if (seen[key]) return false;
     seen[key] = true;
@@ -175,6 +188,21 @@ std::optional<LeaseGrant> decodeGrant(std::string_view payload) {
         if (tool.empty()) return std::nullopt;
         grant.tools.push_back(tool);
       }
+    } else if (key == "round") {
+      const auto v = parseU64(value);
+      if (!v || seenOpt[kRound]) return std::nullopt;
+      seenOpt[kRound] = true;
+      batch.round = *v;
+    } else if (key == "begin") {
+      const auto v = parseU64(value);
+      if (!v || seenOpt[kBegin]) return std::nullopt;
+      seenOpt[kBegin] = true;
+      batch.begin = *v;
+    } else if (key == "count") {
+      const auto v = parseU64(value);
+      if (!v || *v == 0 || seenOpt[kBatchCount]) return std::nullopt;
+      seenOpt[kBatchCount] = true;
+      batch.count = *v;
     } else {
       return std::nullopt;  // unknown key: not this protocol version
     }
@@ -182,6 +210,12 @@ std::optional<LeaseGrant> decodeGrant(std::string_view payload) {
   for (const bool s : seen) {
     if (!s) return std::nullopt;
   }
+  // The planned trio is all-or-none: a partial trio is a garbled grant.
+  const int optSeen = static_cast<int>(seenOpt[kRound]) +
+                      static_cast<int>(seenOpt[kBegin]) +
+                      static_cast<int>(seenOpt[kBatchCount]);
+  if (optSeen != 0 && optSeen != kOptCount) return std::nullopt;
+  if (optSeen == kOptCount) grant.batch = batch;
   if (grant.apps.empty() || grant.tools.empty()) return std::nullopt;
   return grant;
 }

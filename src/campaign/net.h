@@ -46,7 +46,11 @@ namespace refine::campaign {
 
 /// Protocol identification sent as the Hello payload. Bump the version on
 /// any frame- or payload-format change: a coordinator rejects workers that
-/// do not greet with exactly this string.
+/// do not greet with exactly this string. Additive OPTIONAL grant keys (the
+/// planned-batch trio below) do not bump the version — coordinators never
+/// send them to flat campaigns, so old workers interoperate fully there,
+/// and an old worker granted a planned lease rejects the unknown keys and
+/// exits with its grant-mismatch code instead of running wrong trials.
 inline constexpr std::string_view kNetHello = "refine-net v1";
 
 enum class MsgType : std::uint8_t {
@@ -81,6 +85,19 @@ void writeFrame(int fd, MsgType type, std::string_view payload);
 /// or a length outside (0, kMaxFramePayload] — a garbage or torn stream.
 std::optional<Frame> readFrame(int fd);
 
+/// Planned-campaign rider on a lease grant: run exactly trials
+/// [begin, begin+count) of the single cell the grant's shard selects, and
+/// tag the streamed record with `round`. The coordinator derives the batch
+/// from its planner state (campaign/planner.h) and re-plans on ingest, so
+/// workers need no plan spec — the explicit trial range IS the plan's
+/// verdict for this (cell, round).
+struct PlannedBatch {
+  std::uint64_t round = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t count = 0;
+  friend bool operator==(const PlannedBatch&, const PlannedBatch&) = default;
+};
+
 /// One shard lease as granted to a worker: everything a bare
 /// `refine-campaign --worker host:port` needs to reconstruct its slice of
 /// the matrix — the campaign parameters travel with the lease, workers are
@@ -95,15 +112,21 @@ struct LeaseGrant {
   double heartbeatTimeout = 0.0;    // worker paces heartbeats off this
   std::vector<std::string> apps;    // matrix order; names resolve locally
   std::vector<std::string> tools;   // canonical registry keys / spec keys
+  /// Present on planned-campaign grants only; the shard then selects
+  /// exactly one cell (index/count with count == apps·tools) and `trials`
+  /// carries the plan's max cap rather than a per-cell count.
+  std::optional<PlannedBatch> batch;
 
   friend bool operator==(const LeaseGrant&, const LeaseGrant&) = default;
 };
 
 /// Grant payload: space-separated key=value pairs in fixed order
-/// (`lease= epoch= shard= seed= trials= timeout= hb= apps= tools=`).
-/// App names may not contain spaces or commas and tool keys may not
-/// contain spaces or semicolons — the same framing rules the checkpoint
-/// meta line already enforces. encodeGrant throws on a violation.
+/// (`lease= epoch= shard= seed= trials= timeout= hb= apps= tools=`),
+/// followed — on planned grants only — by the all-or-none optional trio
+/// `round= begin= count=`. App names may not contain spaces or commas and
+/// tool keys may not contain spaces or semicolons — the same framing rules
+/// the checkpoint meta line already enforces. encodeGrant throws on a
+/// violation.
 std::string encodeGrant(const LeaseGrant& grant);
 
 /// Parses a grant payload; nullopt on any missing/duplicate/garbled field.

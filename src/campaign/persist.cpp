@@ -19,23 +19,34 @@ namespace {
 
 constexpr std::string_view kHeader = "#refine-checkpoint v1";
 constexpr std::size_t kFieldCount = 9;  // payload fields, checksum excluded
+// Planned campaigns append the planner round as a 10th payload field.
+constexpr std::size_t kPlannedFieldCount = kFieldCount + 1;
 
 std::string encodePayload(const CampaignResult& r) {
   std::ostringstream os;
   CsvWriter csv(os);
-  csv.row(r.app, r.tool, r.counts.crash, r.counts.soc, r.counts.benign,
-          r.dynamicTargets, r.profileInstrs, r.binarySize,
-          r.totalTrialSeconds);
+  if (r.planRound) {
+    csv.row(r.app, r.tool, r.counts.crash, r.counts.soc, r.counts.benign,
+            r.dynamicTargets, r.profileInstrs, r.binarySize,
+            r.totalTrialSeconds, *r.planRound);
+  } else {
+    csv.row(r.app, r.tool, r.counts.crash, r.counts.soc, r.counts.benign,
+            r.dynamicTargets, r.profileInstrs, r.binarySize,
+            r.totalTrialSeconds);
+  }
   std::string line = os.str();
   line.pop_back();  // CsvWriter terminates the row with '\n'
   return line;
 }
 
 std::string formatMetaLine(const CampaignMeta& meta) {
-  return strf("#campaign seed=%016llx trials=%llu timeout=%s tools=%s",
-              static_cast<unsigned long long>(meta.baseSeed),
-              static_cast<unsigned long long>(meta.trials),
-              formatDouble(meta.timeoutFactor).c_str(), meta.tools.c_str());
+  std::string line =
+      strf("#campaign seed=%016llx trials=%llu timeout=%s tools=%s",
+           static_cast<unsigned long long>(meta.baseSeed),
+           static_cast<unsigned long long>(meta.trials),
+           formatDouble(meta.timeoutFactor).c_str(), meta.tools.c_str());
+  if (!meta.plan.empty()) line += " plan=" + meta.plan;
+  return line;
 }
 
 std::optional<CampaignMeta> parseMetaLine(std::string_view line) {
@@ -59,10 +70,20 @@ std::optional<CampaignMeta> parseMetaLine(std::string_view line) {
   const auto trials = parseU64(afterSeed.substr(0, timeoutAt));
   const auto timeout = parseF64(timeoutText);
   if (!seed || !trials || !timeout) return std::nullopt;
-  std::string tools = toolsAt == std::string_view::npos
-                          ? std::string()
-                          : std::string(afterTimeout.substr(toolsAt + 7));
-  return CampaignMeta{*seed, *trials, *timeout, std::move(tools)};
+  // plan= (planned campaigns only) trails tools=; canonical plan specs and
+  // tool-spec lists contain no spaces, so the first " plan=" frames both.
+  std::string tools;
+  std::string plan;
+  if (toolsAt != std::string_view::npos) {
+    const std::string_view afterTools = afterTimeout.substr(toolsAt + 7);
+    const std::size_t planAt = afterTools.find(" plan=");
+    tools = std::string(afterTools.substr(0, planAt));
+    if (planAt != std::string_view::npos) {
+      plan = std::string(afterTools.substr(planAt + 6));
+    }
+  }
+  return CampaignMeta{*seed, *trials, *timeout, std::move(tools),
+                      std::move(plan)};
 }
 
 /// Parsed prefix of a checkpoint file: everything up to the first torn or
@@ -161,7 +182,9 @@ std::optional<CampaignResult> CheckpointStore::decode(std::string_view line) {
   } catch (const CheckError&) {
     return std::nullopt;
   }
-  if (fields.size() != kFieldCount) return std::nullopt;
+  if (fields.size() != kFieldCount && fields.size() != kPlannedFieldCount) {
+    return std::nullopt;
+  }
 
   const auto crash = parseU64(fields[2]);
   const auto soc = parseU64(fields[3]);
@@ -174,6 +197,11 @@ std::optional<CampaignResult> CheckpointStore::decode(std::string_view line) {
       !seconds) {
     return std::nullopt;
   }
+  std::optional<std::uint64_t> planRound;
+  if (fields.size() == kPlannedFieldCount) {
+    planRound = parseU64(fields[9]);
+    if (!planRound) return std::nullopt;
+  }
 
   CampaignResult r;
   r.app = std::move(fields[0]);
@@ -185,6 +213,7 @@ std::optional<CampaignResult> CheckpointStore::decode(std::string_view line) {
   r.profileInstrs = *instrs;
   r.binarySize = *binSize;
   r.totalTrialSeconds = *seconds;
+  r.planRound = planRound;
   return r;
 }
 
@@ -283,13 +312,24 @@ const CampaignResult* CheckpointStore::find(
   return nullptr;
 }
 
+const CampaignResult* CheckpointStore::findRound(
+    std::string_view app, std::string_view tool,
+    std::uint64_t round) const noexcept {
+  std::scoped_lock lock(mutex_);
+  for (const auto& r : records_) {
+    if (r.planRound == round && r.app == app && r.tool == tool) return &r;
+  }
+  return nullptr;
+}
+
 std::vector<CampaignResult> CheckpointStore::readAll(const std::string& path) {
   const std::string content = readFile(path);  // throws when missing
   return scanContent(content, path).records;
 }
 
 std::vector<CampaignResult> mergeCheckpoints(
-    const std::vector<std::string>& paths, std::size_t* droppedRecords) {
+    const std::vector<std::string>& paths, std::size_t* droppedRecords,
+    std::optional<CampaignMeta>* metaOut) {
   std::vector<CampaignResult> merged;
   std::optional<CampaignMeta> meta;
   std::string metaPath;
@@ -308,9 +348,13 @@ std::vector<CampaignResult> mergeCheckpoints(
       }
     }
     for (auto& record : scan.records) {
+      // Planned stores keep one record per (cell, round); a flat and a
+      // planned record for the same cell can never meet here because the
+      // meta check above already rejects mixing the two campaign kinds.
       auto existing = std::find_if(
           merged.begin(), merged.end(), [&](const CampaignResult& r) {
-            return r.app == record.app && r.tool == record.tool;
+            return r.planRound == record.planRound && r.app == record.app &&
+                   r.tool == record.tool;
           });
       if (existing == merged.end()) {
         merged.push_back(std::move(record));
@@ -327,8 +371,10 @@ std::vector<CampaignResult> mergeCheckpoints(
   }
   std::sort(merged.begin(), merged.end(),
             [](const CampaignResult& a, const CampaignResult& b) {
-              return std::tie(a.app, a.tool) < std::tie(b.app, b.tool);
+              return std::tie(a.app, a.tool, a.planRound) <
+                     std::tie(b.app, b.tool, b.planRound);
             });
+  if (metaOut != nullptr) *metaOut = std::move(meta);
   return merged;
 }
 

@@ -57,6 +57,13 @@ struct CampaignMeta {
   /// list; a resumed shard whose store lacks it (a pre-spec store) or
   /// disagrees on it is rejected rather than silently mixing fault models.
   std::string tools;
+  /// Canonical plan spec (campaign/planner.h) for adaptively-planned
+  /// campaigns, empty for flat fixed-trial ones. Planned stores hold
+  /// per-round records whose batch sizes are derived from the plan, so
+  /// resuming under a different plan (or flat) is a different campaign —
+  /// meta equality makes such resumes fail loudly. Planned metas record
+  /// the plan's `max` cap in `trials`.
+  std::string plan;
   friend bool operator==(const CampaignMeta&,
                          const CampaignMeta&) noexcept = default;
 };
@@ -66,10 +73,14 @@ struct CampaignMeta {
 /// File format (see DESIGN.md):
 ///   line 1:  #refine-checkpoint v1
 ///   line 2:  #campaign seed=<16 hex> trials=<dec> timeout=<double>
-///            tools=<';'-joined specs>  (once bound; tools= was added with
-///            the fault-model library — stores without it no longer resume)
+///            tools=<';'-joined specs>[ plan=<canonical plan spec>]
+///            (once bound; tools= was added with the fault-model library —
+///            stores without it no longer resume; plan= only on planned
+///            campaigns)
 ///   line 3+: app,tool,crash,soc,benign,dynamic_targets,profile_instrs,
-///            binary_size,total_trial_seconds,<fnv1a of payload as 16 hex>
+///            binary_size,total_trial_seconds[,round],<fnv1a of payload as
+///            16 hex> — the optional 10th field is the planner round of a
+///            planned campaign's per-round record
 ///
 /// Loading stops at the first torn or checksum-failing record; everything
 /// from that point is dropped and the file is truncated back to the last
@@ -118,6 +129,11 @@ class CheckpointStore {
     return find(app, tool) != nullptr;
   }
 
+  /// Record for planner round `round` of cell (app, tool); nullptr when
+  /// absent. Only planned campaigns write round-tagged records.
+  const CampaignResult* findRound(std::string_view app, std::string_view tool,
+                                  std::uint64_t round) const noexcept;
+
   /// Torn/corrupt records dropped (and truncated away) while opening.
   std::size_t droppedRecords() const noexcept { return dropped_; }
 
@@ -145,20 +161,25 @@ class CheckpointStore {
 };
 
 /// Reads several checkpoint stores and returns their records sorted by
-/// (app, tool). All bound stores must agree on their campaign meta (same
-/// base seed and trial count), and duplicate cells (the same cell completed
-/// by two shards or a re-run) must agree on every deterministic field —
-/// counts, targets, instruction count, binary size — and collapse to one
-/// record; conflicts of either kind throw CheckError. The result is
-/// byte-stable input for countsCsv(): merged shards reproduce a
+/// (app, tool[, round]). All bound stores must agree on their campaign meta
+/// (same base seed and trial count), and duplicate cells (the same cell —
+/// or, on planned campaigns, the same (cell, round) — completed by two
+/// shards or a re-run) must agree on every deterministic field — counts,
+/// targets, instruction count, binary size — and collapse to one record;
+/// conflicts of either kind throw CheckError. The result is byte-stable
+/// input for countsCsv() / plannedCountsCsv(): merged shards reproduce a
 /// single-process run exactly.
 ///
 /// Torn/corrupt trailing records are skipped exactly as a resume would
 /// skip them; when `droppedRecords` is non-null it receives how many were
 /// skipped across all inputs, so callers can warn that the merge may be
 /// missing cells (the fix is to resume the affected shard, then re-merge).
+/// When `metaOut` is non-null it receives the shared campaign meta (unset
+/// if no input carried one), letting callers pick the planned vs flat
+/// report format without re-opening a store.
 std::vector<CampaignResult> mergeCheckpoints(
     const std::vector<std::string>& paths,
-    std::size_t* droppedRecords = nullptr);
+    std::size_t* droppedRecords = nullptr,
+    std::optional<CampaignMeta>* metaOut = nullptr);
 
 }  // namespace refine::campaign

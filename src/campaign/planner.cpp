@@ -1,0 +1,404 @@
+#include "campaign/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "stats/samplesize.h"
+#include "stats/special.h"
+#include "support/check.h"
+#include "support/csv.h"
+#include "support/strings.h"
+
+namespace refine::campaign {
+
+namespace {
+
+double wilsonHalfWidth(std::uint64_t successes, std::uint64_t n,
+                       double confidence) {
+  const stats::Interval iv = stats::wilsonInterval(successes, n, confidence);
+  return (iv.high - iv.low) / 2.0;
+}
+
+/// Wilson half-width a FUTURE sample of m trials would have if the observed
+/// rate came out at p — the continuous form of the interval in
+/// stats::wilsonInterval with pHat = p.
+double predictedHalfWidth(double p, double m, double z) {
+  const double z2 = z * z;
+  return z * std::sqrt(p * (1.0 - p) / m + z2 / (4.0 * m * m)) /
+         (1.0 + z2 / m);
+}
+
+/// Smallest m with predictedHalfWidth(p, m) <= ci. The half-width is
+/// monotone decreasing in m, so double an upper bound then binary search.
+std::uint64_t trialsForHalfWidth(double p, double ci, double z) {
+  std::uint64_t hi = 1;
+  while (predictedHalfWidth(p, static_cast<double>(hi), z) > ci) {
+    RF_CHECK(hi <= (std::uint64_t{1} << 62), "plan target ci unreachable");
+    hi *= 2;
+  }
+  std::uint64_t lo = hi / 2 + 1;
+  if (hi == 1) return 1;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (predictedHalfWidth(p, static_cast<double>(mid), z) <= ci) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return hi;
+}
+
+/// The rate in `iv` closest to 0.5: the variance-maximal value the true
+/// rate could still plausibly take given the observed interval.
+double towardHalf(const stats::Interval& iv) {
+  if (iv.low > 0.5) return iv.low;
+  if (iv.high < 0.5) return iv.high;
+  return 0.5;
+}
+
+}  // namespace
+
+std::string PlanSpec::canonical() const {
+  return "ci=" + formatDouble(ci) + ",conf=" + formatDouble(confidence) +
+         ",min=" + std::to_string(minTrials) +
+         ",max=" + std::to_string(maxTrials);
+}
+
+PlanSpec parsePlanSpec(std::string_view text) {
+  PlanSpec spec;
+  RF_CHECK(!text.empty(), "plan spec: empty spec");
+  bool seenCi = false, seenConf = false, seenMin = false, seenMax = false;
+  for (const auto& param : split(text, ',')) {
+    const std::size_t eq = param.find('=');
+    RF_CHECK(eq != std::string::npos && eq > 0,
+             "plan spec: malformed parameter '" + param +
+                 "' (expected key=value)");
+    const std::string key = param.substr(0, eq);
+    const std::string value = param.substr(eq + 1);
+    if (key == "ci") {
+      RF_CHECK(!seenCi, "plan spec: duplicate key 'ci'");
+      seenCi = true;
+      const auto ci = parseF64(value);
+      RF_CHECK(ci && *ci > 0.0 && *ci < 1.0,
+               "plan spec: ci expects a half-width in (0, 1), got '" + value +
+                   "'");
+      spec.ci = *ci;
+    } else if (key == "conf") {
+      RF_CHECK(!seenConf, "plan spec: duplicate key 'conf'");
+      seenConf = true;
+      const auto conf = parseF64(value);
+      RF_CHECK(conf && (*conf == 0.90 || *conf == 0.95 || *conf == 0.99),
+               "plan spec: conf expects 0.9, 0.95 or 0.99 (the zCritical "
+               "table), got '" +
+                   value + "'");
+      spec.confidence = *conf;
+    } else if (key == "min") {
+      RF_CHECK(!seenMin, "plan spec: duplicate key 'min'");
+      seenMin = true;
+      const auto min = parseU64(value);
+      RF_CHECK(min && *min >= 1,
+               "plan spec: min expects an integer >= 1, got '" + value + "'");
+      spec.minTrials = *min;
+    } else if (key == "max") {
+      RF_CHECK(!seenMax, "plan spec: duplicate key 'max'");
+      seenMax = true;
+      const auto max = parseU64(value);
+      RF_CHECK(max && *max >= 1,
+               "plan spec: max expects an integer >= 1, got '" + value + "'");
+      spec.maxTrials = *max;
+    } else {
+      RF_CHECK(false, "plan spec: unknown key '" + key +
+                          "' (expected ci, conf, min or max)");
+    }
+  }
+  RF_CHECK(spec.minTrials <= spec.maxTrials,
+           "plan spec: min " + std::to_string(spec.minTrials) +
+               " exceeds max " + std::to_string(spec.maxTrials));
+  return spec;
+}
+
+bool planConverged(const PlanSpec& spec, const OutcomeCounts& cumulative) {
+  const std::uint64_t n = cumulative.total();
+  if (n == 0) return false;
+  for (const std::uint64_t successes :
+       {cumulative.crash, cumulative.soc, cumulative.benign}) {
+    if (wilsonHalfWidth(successes, n, spec.confidence) > spec.ci) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool planRetired(const PlanSpec& spec, const OutcomeCounts& cumulative) {
+  return cumulative.total() >= spec.maxTrials ||
+         planConverged(spec, cumulative);
+}
+
+std::uint64_t planPredictedTrials(const PlanSpec& spec,
+                                  const OutcomeCounts& cumulative) {
+  const double z = stats::zCritical(spec.confidence);
+  const std::uint64_t n = cumulative.total();
+  if (n == 0) return trialsForHalfWidth(0.5, spec.ci, z);
+  std::uint64_t needed = 1;
+  for (const std::uint64_t successes :
+       {cumulative.crash, cumulative.soc, cumulative.benign}) {
+    const stats::Interval iv =
+        stats::wilsonInterval(successes, n, spec.confidence);
+    needed = std::max(needed, trialsForHalfWidth(towardHalf(iv), spec.ci, z));
+  }
+  return needed;
+}
+
+std::uint64_t planNextBatch(const PlanSpec& spec, std::uint64_t round,
+                            const OutcomeCounts& cumulative) {
+  const std::uint64_t done = cumulative.total();
+  if (planRetired(spec, cumulative)) return 0;
+  // Geometric bound min·2^round, saturating well past any usable count.
+  const std::uint64_t geometric =
+      (round >= 63 || spec.minTrials > (~std::uint64_t{0} >> round))
+          ? ~std::uint64_t{0}
+          : spec.minTrials << round;
+  const std::uint64_t predicted = planPredictedTrials(spec, cumulative);
+  const std::uint64_t remaining = predicted > done ? predicted - done : 0;
+  std::uint64_t batch = std::min(geometric, std::max(spec.minTrials,
+                                                     remaining));
+  // done < maxTrials here (planRetired covers the cap), so batch >= 1.
+  batch = std::min(batch, spec.maxTrials - done);
+  return batch;
+}
+
+PlanProgress replayPlanRounds(const PlanSpec& spec,
+                              const std::vector<const CampaignResult*>& rounds,
+                              const std::string& what) {
+  std::vector<const CampaignResult*> byRound(rounds.size(), nullptr);
+  for (const CampaignResult* record : rounds) {
+    RF_CHECK(record->planRound.has_value(),
+             what + ": holds a flat (round-less) record; it cannot belong "
+                    "to this planned campaign");
+    const std::uint64_t round = *record->planRound;
+    RF_CHECK(round < byRound.size(),
+             what + ": round " + std::to_string(round) +
+                 " present but earlier rounds are missing (not a prefix of "
+                 "the plan)");
+    RF_CHECK(byRound[round] == nullptr,
+             what + ": duplicate record for round " + std::to_string(round));
+    byRound[round] = record;
+  }
+
+  PlanProgress progress;
+  for (const CampaignResult* record : byRound) {
+    const std::uint64_t expected =
+        planNextBatch(spec, progress.roundsDone, progress.counts);
+    RF_CHECK(record->counts.total() == expected,
+             what + ": round " + std::to_string(progress.roundsDone) +
+                 " holds " + std::to_string(record->counts.total()) +
+                 " trials but the plan schedules " + std::to_string(expected) +
+                 " (store from a different plan or campaign)");
+    if (progress.roundsDone == 0) {
+      progress.dynamicTargets = record->dynamicTargets;
+      progress.profileInstrs = record->profileInstrs;
+      progress.binarySize = record->binarySize;
+    } else {
+      RF_CHECK(progress.dynamicTargets == record->dynamicTargets &&
+                   progress.profileInstrs == record->profileInstrs &&
+                   progress.binarySize == record->binarySize,
+               what + ": rounds disagree on deterministic per-cell fields "
+                      "(did the app source change between sessions?)");
+    }
+    progress.counts += record->counts;
+    progress.seconds += record->totalTrialSeconds;
+    ++progress.roundsDone;
+  }
+  return progress;
+}
+
+std::vector<PlannedCell> foldPlannedRecords(
+    const std::vector<CampaignResult>& records, const PlanSpec& spec) {
+  std::map<std::pair<std::string, std::string>,
+           std::vector<const CampaignResult*>>
+      byCell;
+  for (const CampaignResult& record : records) {
+    byCell[{record.app, record.tool}].push_back(&record);
+  }
+  std::vector<PlannedCell> cells;
+  cells.reserve(byCell.size());
+  for (const auto& [key, rounds] : byCell) {
+    const PlanProgress progress = replayPlanRounds(
+        spec, rounds, "cell " + key.first + " x " + key.second);
+    PlannedCell cell;
+    cell.total.app = key.first;
+    cell.total.tool = key.second;
+    cell.total.counts = progress.counts;
+    cell.total.totalTrialSeconds = progress.seconds;
+    cell.total.dynamicTargets = progress.dynamicTargets;
+    cell.total.profileInstrs = progress.profileInstrs;
+    cell.total.binarySize = progress.binarySize;
+    cell.rounds = progress.roundsDone;
+    cell.converged = planConverged(spec, progress.counts);
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+std::string plannedCountsCsv(const std::vector<PlannedCell>& cells,
+                             const PlanSpec& spec) {
+  std::vector<const PlannedCell*> sorted;
+  sorted.reserve(cells.size());
+  for (const PlannedCell& cell : cells) sorted.push_back(&cell);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const PlannedCell* a, const PlannedCell* b) {
+              return std::tie(a->total.app, a->total.tool) <
+                     std::tie(b->total.app, b->total.tool);
+            });
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row("app", "tool", "trials_used", "crash", "soc", "benign", "ci_low",
+          "ci_high", "rounds", "converged", "dynamic_targets",
+          "profile_instrs", "binary_size");
+  for (const PlannedCell* cell : sorted) {
+    const OutcomeCounts& c = cell->total.counts;
+    // Wilson bounds on the SDC (SOC) rate, the paper's headline metric.
+    const stats::Interval iv =
+        stats::wilsonInterval(c.soc, c.total(), spec.confidence);
+    csv.row(cell->total.app, cell->total.tool, c.total(), c.crash, c.soc,
+            c.benign, iv.low, iv.high, cell->rounds,
+            static_cast<int>(cell->converged), cell->total.dynamicTargets,
+            cell->total.profileInstrs, cell->total.binarySize);
+  }
+  return os.str();
+}
+
+std::vector<PlannedCell> runPlannedMatrix(
+    CampaignEngine& engine, const std::vector<MatrixJob>& jobs,
+    const PlanSpec& spec, const PlannedMatrixOptions& options,
+    const CampaignEngine::ResultCallback& onRoundDone) {
+  RF_CHECK(options.shard.count >= 1, "shard count must be at least 1");
+  RF_CHECK(options.shard.index < options.shard.count,
+           "shard index out of range");
+  RF_CHECK(!engine.config().recordPerTrial,
+           "planned campaigns persist counts only; per-trial analyses must "
+           "run as flat fixed-trial campaigns");
+
+  if (options.checkpoint != nullptr) {
+    // trials records the plan's cap: the one fixed trial bound a planned
+    // campaign has. The canonical plan spelling makes a resume under any
+    // other plan (or a flat resume) a meta mismatch.
+    options.checkpoint->bindCampaign({engine.config().baseSeed,
+                                      spec.maxTrials,
+                                      engine.config().timeoutFactor,
+                                      checkpointToolList(jobs),
+                                      spec.canonical()});
+  }
+
+  struct Cell {
+    std::size_t job = 0;
+    PlanProgress progress;
+    ToolInstance* instance = nullptr;
+  };
+  std::vector<Cell> cells;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!options.shard.contains(i)) continue;
+    Cell cell;
+    cell.job = i;
+    cells.push_back(std::move(cell));
+  }
+
+  // Resume: fold each cell's persisted rounds back into planner state. The
+  // record pointers are transient — the store's backing vector grows as
+  // live rounds append — so everything is copied out here, before any run.
+  if (options.checkpoint != nullptr) {
+    for (Cell& cell : cells) {
+      const MatrixJob& job = jobs[cell.job];
+      std::vector<const CampaignResult*> rounds;
+      for (const CampaignResult& record : options.checkpoint->records()) {
+        if (record.app == job.app && record.tool == job.tool) {
+          rounds.push_back(&record);
+        }
+      }
+      if (rounds.empty()) continue;
+      cell.progress = replayPlanRounds(
+          spec, rounds,
+          "checkpoint " + options.checkpoint->path() + " cell " + job.app +
+              " x " + job.tool);
+    }
+  }
+
+  // Compile + profile each unretired cell exactly once; retired (fully
+  // resumed) cells never rebuild.
+  std::vector<std::size_t> built;
+  std::vector<MatrixJob> buildJobs;
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    if (planRetired(spec, cells[c].progress.counts)) continue;
+    built.push_back(c);
+    buildJobs.push_back(jobs[cells[c].job]);
+  }
+  const std::vector<std::unique_ptr<ToolInstance>> instances =
+      engine.buildInstances(buildJobs);
+  for (std::size_t k = 0; k < built.size(); ++k) {
+    cells[built[k]].instance = instances[k].get();
+  }
+
+  // Round loop: every unretired cell runs its next batch; all batches of a
+  // sweep share the pool with no per-cell barrier. Cells resumed mid-plan
+  // are simply at different round indices than their neighbours.
+  while (true) {
+    std::vector<BatchJob> batches;
+    std::vector<std::size_t> owner;
+    for (const std::size_t c : built) {
+      Cell& cell = cells[c];
+      if (planRetired(spec, cell.progress.counts)) continue;
+      const std::uint64_t batch =
+          planNextBatch(spec, cell.progress.roundsDone, cell.progress.counts);
+      const std::uint64_t begin = cell.progress.counts.total();
+      const MatrixJob& job = jobs[cell.job];
+      batches.push_back({cell.instance, job.app, job.tool, begin,
+                         begin + batch, cell.progress.roundsDone});
+      owner.push_back(c);
+    }
+    if (batches.empty()) break;
+    const std::vector<CampaignResult> results =
+        engine.runBatches(batches, options.checkpoint, onRoundDone);
+    for (std::size_t k = 0; k < results.size(); ++k) {
+      PlanProgress& p = cells[owner[k]].progress;
+      const CampaignResult& r = results[k];
+      if (p.roundsDone == 0) {
+        p.dynamicTargets = r.dynamicTargets;
+        p.profileInstrs = r.profileInstrs;
+        p.binarySize = r.binarySize;
+      } else {
+        RF_CHECK(p.dynamicTargets == r.dynamicTargets &&
+                     p.profileInstrs == r.profileInstrs &&
+                     p.binarySize == r.binarySize,
+                 "cell " + r.app + " x " + r.tool +
+                     " changed its deterministic profile between rounds "
+                     "(did the app source change since the checkpoint?)");
+      }
+      p.counts += r.counts;
+      p.seconds += r.totalTrialSeconds;
+      ++p.roundsDone;
+    }
+  }
+
+  std::vector<PlannedCell> out(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    const MatrixJob& job = jobs[cells[c].job];
+    const PlanProgress& p = cells[c].progress;
+    out[c].total.app = job.app;
+    out[c].total.tool = job.tool;
+    out[c].total.counts = p.counts;
+    out[c].total.totalTrialSeconds = p.seconds;
+    out[c].total.dynamicTargets = p.dynamicTargets;
+    out[c].total.profileInstrs = p.profileInstrs;
+    out[c].total.binarySize = p.binarySize;
+    out[c].rounds = p.roundsDone;
+    out[c].converged = planConverged(spec, p.counts);
+  }
+  return out;
+}
+
+}  // namespace refine::campaign

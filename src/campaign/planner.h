@@ -1,0 +1,160 @@
+// Adaptive statistical campaign planner: Wilson-bounded trial allocation.
+//
+// The paper sizes every cell with a fixed Leveugle (DATE'09) sample count
+// (1068 trials for a ±3% margin at 95% confidence, worst-case p = 0.5). Most
+// cells are nowhere near the worst case: an SDC rate of 5% pins its Wilson
+// interval below ±3% after a few hundred trials. The planner exploits that:
+// trials are allocated in deterministic ROUNDS — every unconverged cell gets
+// a batch (geometric schedule bounded by a Wilson-derived prediction of how
+// many trials the cell still needs), the round's OutcomeCounts are ingested,
+// and cells whose per-class Wilson half-widths (crash / SOC / benign) are
+// all ≤ the target retire. Cells that refuse to converge retire at the
+// `max` cap.
+//
+// Determinism contract: the batch of round r is a pure function of the
+// cumulative counts after rounds 0..r-1, which are themselves pure in
+// (campaign seed, cell) — trial (target, seed) pairs derive from the
+// absolute trial index exactly as flat campaigns derive them (engine.h), and
+// round r covers indices [Σ batch_0..r-1, +batch_r). So a planned campaign
+// resumes from its CheckpointStore mid-campaign, and sharded or distributed
+// runs (the coordinator grants per-(cell, round) leases and re-plans on
+// ingest) produce byte-identical reports to a single-process planned run.
+// See DESIGN.md "Statistical planner".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "campaign/engine.h"
+#include "campaign/persist.h"
+#include "campaign/runner.h"
+
+namespace refine::campaign {
+
+/// A plan spec: `--plan ci=0.03,conf=0.95,min=64,max=8192`. Parsed like
+/// tool specs (campaign/spec.h): strict key=value pairs in any order, each
+/// key at most once, with defaults for the missing. canonical() always
+/// spells out all four keys in fixed order; the canonical spelling is bound
+/// into checkpoint meta so resumes under a different plan fail loudly.
+struct PlanSpec {
+  double ci = 0.03;          // target Wilson half-width per outcome class
+  double confidence = 0.95;  // 0.90, 0.95 or 0.99 (the zCritical table)
+  std::uint64_t minTrials = 64;    // round-0 batch (and batch floor)
+  std::uint64_t maxTrials = 8192;  // per-cell cap; unconverged cells retire
+
+  std::string canonical() const;
+  friend bool operator==(const PlanSpec&, const PlanSpec&) noexcept = default;
+};
+
+/// Parses a plan spec. Throws CheckError on unknown or duplicate keys,
+/// malformed values, ci outside (0, 1), a confidence outside the zCritical
+/// table, or min/max that are zero or inverted.
+PlanSpec parsePlanSpec(std::string_view text);
+
+/// True when every outcome class's Wilson half-width at `spec.confidence`
+/// is ≤ spec.ci. Zero trials never converge (the Wilson interval over no
+/// data is the whole [0, 1]).
+bool planConverged(const PlanSpec& spec, const OutcomeCounts& cumulative);
+
+/// True when the cell is done drawing trials: converged, or at/past the
+/// `max` cap. Monotone in rounds by construction — a retired cell is never
+/// granted another batch, so no later evidence can un-retire it.
+bool planRetired(const PlanSpec& spec, const OutcomeCounts& cumulative);
+
+/// Batch size for round `round` of a cell whose rounds 0..round-1 summed to
+/// `cumulative`. Pure: (spec, round, cumulative) fully determine the batch,
+/// and cumulative is itself pure in (campaign seed, cell) — the planner's
+/// determinism hinges on this function. Returns 0 iff the cell is retired.
+///
+/// Schedule: round 0 runs `min`; afterwards the batch doubles geometrically
+/// (min·2^round) but is clamped by a conservative Wilson-based prediction
+/// of the trials still needed, so cells whose rates are already resolving
+/// don't overshoot their convergence point — the clamp is what beats the
+/// flat 1068-trial budget by >3× on typical matrices. Never exceeds
+/// max − cumulative.total().
+std::uint64_t planNextBatch(const PlanSpec& spec, std::uint64_t round,
+                            const OutcomeCounts& cumulative);
+
+/// Conservative prediction of the smallest TOTAL trial count at which every
+/// class's Wilson half-width is ≤ spec.ci, assuming each observed rate may
+/// drift within its own current interval toward 0.5 (the variance-maximal
+/// direction). With no data it is the p = 0.5 worst case. Exposed for tests.
+std::uint64_t planPredictedTrials(const PlanSpec& spec,
+                                  const OutcomeCounts& cumulative);
+
+/// Replayed progress of one cell: its per-round records folded back into
+/// the planner state, validating the store on the way.
+struct PlanProgress {
+  std::uint64_t roundsDone = 0;
+  OutcomeCounts counts;  // cumulative over rounds 0..roundsDone-1
+  // Deterministic per-cell fields (identical across rounds; validated).
+  std::uint64_t dynamicTargets = 0;
+  std::uint64_t profileInstrs = 0;
+  std::uint64_t binarySize = 0;
+  double seconds = 0.0;  // summed wall time (not part of any byte contract)
+};
+
+/// Folds all persisted rounds of ONE cell (any order) into PlanProgress.
+/// Throws CheckError unless the records are exactly a prefix of what the
+/// plan would have run: round-tagged, rounds contiguous from 0 with no
+/// duplicates, each round's trial count equal to planNextBatch() over the
+/// rounds before it, and the deterministic fields agreeing across rounds.
+/// `what` labels errors (e.g. "checkpoint foo.ckpt cell EP x REFINE").
+PlanProgress replayPlanRounds(const PlanSpec& spec,
+                              const std::vector<const CampaignResult*>& rounds,
+                              const std::string& what);
+
+/// One planned cell's final state.
+struct PlannedCell {
+  /// Aggregate over all rounds: counts and wall time summed, deterministic
+  /// fields carried through, planRound unset (it tags per-round records,
+  /// not aggregates).
+  CampaignResult total;
+  std::uint64_t rounds = 0;
+  /// False when the cell retired at the `max` cap still unconverged.
+  bool converged = false;
+};
+
+/// Re-aggregates per-round store records (e.g. a mergeCheckpoints() result)
+/// into per-cell PlannedCells, validating each cell via replayPlanRounds().
+/// The distributed and merge paths build their reports from this, which is
+/// why they are byte-identical to a local planned run.
+std::vector<PlannedCell> foldPlannedRecords(
+    const std::vector<CampaignResult>& records, const PlanSpec& spec);
+
+/// Planned-campaign report: one row per cell sorted by (app, tool), with
+/// Wilson bounds on the SDC (SOC) rate — the paper's headline metric — at
+/// the plan's confidence.
+///
+///   app,tool,trials_used,crash,soc,benign,ci_low,ci_high,rounds,converged,
+///   dynamic_targets,profile_instrs,binary_size
+std::string plannedCountsCsv(const std::vector<PlannedCell>& cells,
+                             const PlanSpec& spec);
+
+/// How runPlannedMatrix slices and persists a job list; mirrors
+/// MatrixOptions (engine.h).
+struct PlannedMatrixOptions {
+  ShardSpec shard;
+  /// When set: the store is bound to this campaign's meta (trials = the
+  /// plan's max cap, plan = the canonical spec), completed rounds are
+  /// replayed instead of re-run, and every freshly drained round is
+  /// appended. Replayed rounds do not re-fire the callback.
+  CheckpointStore* checkpoint = nullptr;
+};
+
+/// Runs a planned campaign over this shard's slice of `jobs`: builds each
+/// unretired cell once, then loops rounds — every unretired cell gets its
+/// planNextBatch() trial range via CampaignEngine::runBatches — until all
+/// cells retire. Returns this shard's cells in job order. The engine's
+/// config.trials is ignored (the plan decides trial counts); recordPerTrial
+/// is rejected. `onRoundDone` fires per freshly drained (cell, round)
+/// record, from a worker thread.
+std::vector<PlannedCell> runPlannedMatrix(
+    CampaignEngine& engine, const std::vector<MatrixJob>& jobs,
+    const PlanSpec& spec, const PlannedMatrixOptions& options = {},
+    const CampaignEngine::ResultCallback& onRoundDone = {});
+
+}  // namespace refine::campaign

@@ -9,6 +9,7 @@
 // outcome counts are bit-identical to each other at any thread count.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -74,6 +75,10 @@ struct CampaignResult {
   /// Per-trial outcome (index = trial); filled only when
   /// CampaignConfig::recordPerTrial is set, empty otherwise.
   std::vector<Outcome> outcomes;
+  /// Planner round that produced this record (campaign/planner.h). Flat
+  /// fixed-trial cells leave it unset; planned campaigns persist one record
+  /// per (cell, round), each covering the round's trial range only.
+  std::optional<std::uint64_t> planRound;
 };
 
 /// Runs the campaign for one (app, tool) cell on a transient pool. The

@@ -112,6 +112,31 @@ void runLease(const LeaseGrant& grant, const std::vector<MatrixJob>& jobs,
         writer.send(MsgType::Heartbeat, encodeLeaseRef(ref));
       });
 
+  if (grant.batch) {
+    // Planned lease: one explicit trial range of the single cell the shard
+    // selects (validated by the caller). The coordinator already did the
+    // planning — the worker just runs [begin, begin+count) and streams the
+    // round-tagged record.
+    const MatrixJob& job = jobs[grant.shard.index];
+    auto instances = engine.buildInstances({job});
+    BatchJob batch;
+    batch.instance = instances.front().get();
+    batch.app = job.app;
+    batch.tool = job.tool;
+    batch.trialBegin = grant.batch->begin;
+    batch.trialEnd = grant.batch->begin + grant.batch->count;
+    batch.round = grant.batch->round;
+    engine.runBatches({batch}, nullptr,
+                      [&](const CampaignResult& result) {
+                        writer.send(MsgType::Record,
+                                    encodeRecord(ref,
+                                                 CheckpointStore::encode(
+                                                     result)));
+                      });
+    writer.send(MsgType::LeaseDone, encodeLeaseRef(ref));
+    return;
+  }
+
   MatrixOptions matrixOptions;
   matrixOptions.shard = grant.shard;
   engine.runMatrix(jobs, matrixOptions,
@@ -179,13 +204,36 @@ int runSession(const std::string& host, std::uint16_t port,
                e.what(), kWorkerExitGrantMismatch);
           return kWorkerExitGrantMismatch;
         }
-        diag("lease %llu (epoch %llu, shard %u/%u): %zu app(s) x %zu "
-             "tool(s), %llu trials/cell",
-             static_cast<unsigned long long>(grant->leaseId),
-             static_cast<unsigned long long>(grant->epoch),
-             grant->shard.index, grant->shard.count, grant->apps.size(),
-             grant->tools.size(),
-             static_cast<unsigned long long>(grant->trials));
+        if (grant->batch && (grant->shard.count != jobs.size() ||
+                             grant->shard.index >= jobs.size())) {
+          // A planned grant's shard must select exactly one cell of the
+          // matrix the grant itself describes; anything else is a grant
+          // this build cannot interpret, same as an unknown app.
+          diag("planned grant's shard %u/%u does not select one cell of a "
+               "%zu-cell matrix (grant mismatch, exit %d)",
+               grant->shard.index, grant->shard.count, jobs.size(),
+               kWorkerExitGrantMismatch);
+          return kWorkerExitGrantMismatch;
+        }
+        if (grant->batch) {
+          diag("lease %llu (epoch %llu, cell %u/%u round %llu): trials "
+               "[%llu, %llu)",
+               static_cast<unsigned long long>(grant->leaseId),
+               static_cast<unsigned long long>(grant->epoch),
+               grant->shard.index, grant->shard.count,
+               static_cast<unsigned long long>(grant->batch->round),
+               static_cast<unsigned long long>(grant->batch->begin),
+               static_cast<unsigned long long>(grant->batch->begin +
+                                               grant->batch->count));
+        } else {
+          diag("lease %llu (epoch %llu, shard %u/%u): %zu app(s) x %zu "
+               "tool(s), %llu trials/cell",
+               static_cast<unsigned long long>(grant->leaseId),
+               static_cast<unsigned long long>(grant->epoch),
+               grant->shard.index, grant->shard.count, grant->apps.size(),
+               grant->tools.size(),
+               static_cast<unsigned long long>(grant->trials));
+        }
         // A grant in hand is progress: the coordinator is alive and
         // talking to us, so the reconnect budget starts over.
         backoff.reset();

@@ -1,5 +1,6 @@
 #include "stats/samplesize.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "stats/special.h"
@@ -9,26 +10,32 @@ namespace refine::stats {
 
 std::uint64_t leveugleSampleSize(std::uint64_t population, double marginOfError,
                                  double confidence, double p) {
-  RF_CHECK(population > 0, "empty fault population");
-  RF_CHECK(marginOfError > 0.0 && marginOfError < 1.0, "bad margin of error");
-  RF_CHECK(p > 0.0 && p < 1.0, "bad proportion estimate");
+  if (population == 0) return 0;
+  if (p <= 0.0 || p >= 1.0) return 0;
+  if (marginOfError >= 1.0) return 0;
+  if (marginOfError <= 0.0) return population;
   const double t = zCritical(confidence);
   const double numerator = static_cast<double>(population);
   const double denominator =
       1.0 + marginOfError * marginOfError *
                 (static_cast<double>(population) - 1.0) / (t * t * p * (1.0 - p));
-  return static_cast<std::uint64_t>(std::ceil(numerator / denominator));
+  const auto n = static_cast<std::uint64_t>(std::ceil(numerator / denominator));
+  // The finite-population formula is <= N analytically; the clamp guards the
+  // double round-trip for astronomically large populations.
+  return std::min(n, population);
 }
 
 double proportionHalfWidth(double pHat, std::uint64_t n, double confidence) {
-  RF_CHECK(n > 0, "empty sample");
+  if (n == 0) return 1.0;
+  const double p = std::clamp(pHat, 0.0, 1.0);
   const double z = zCritical(confidence);
-  return z * std::sqrt(pHat * (1.0 - pHat) / static_cast<double>(n));
+  return z * std::sqrt(p * (1.0 - p) / static_cast<double>(n));
 }
 
 Interval wilsonInterval(std::uint64_t successes, std::uint64_t n,
                         double confidence) {
-  RF_CHECK(n > 0 && successes <= n, "bad Wilson interval inputs");
+  if (n == 0) return Interval{0.0, 1.0};
+  RF_CHECK(successes <= n, "bad Wilson interval inputs");
   const double z = zCritical(confidence);
   const double nD = static_cast<double>(n);
   const double pHat = static_cast<double>(successes) / nD;

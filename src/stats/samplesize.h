@@ -15,11 +15,18 @@ namespace refine::stats {
 /// of `population` possible faults. p = 0.5 is the conservative worst case.
 ///
 ///   n = N / (1 + e^2 * (N - 1) / (t^2 * p * (1 - p)))
+///
+/// Edge cases are defined (the planner feeds live estimates, not the
+/// textbook's hand-picked inputs): an empty population or a degenerate
+/// proportion (p <= 0 or p >= 1, zero variance) needs 0 samples; a margin
+/// >= 1 is met by any estimate (0 samples); a margin <= 0 can only be met
+/// by exhausting the population. The result never exceeds `population`.
 std::uint64_t leveugleSampleSize(std::uint64_t population, double marginOfError,
                                  double confidence, double p = 0.5);
 
 /// Half-width of the normal-approximation confidence interval for an
-/// observed proportion pHat over n samples.
+/// observed proportion pHat over n samples. n = 0 carries no information, so
+/// the half-width is 1 (the whole [0, 1] range); pHat outside [0, 1] clamps.
 double proportionHalfWidth(double pHat, std::uint64_t n, double confidence);
 
 struct Interval {
@@ -29,7 +36,8 @@ struct Interval {
 };
 
 /// Wilson score interval (better behaved than the normal approximation for
-/// proportions near 0 or 1).
+/// proportions near 0 or 1). n = 0 returns the vacuous interval [0, 1] —
+/// no data constrains the proportion at all; successes > n still throws.
 Interval wilsonInterval(std::uint64_t successes, std::uint64_t n,
                         double confidence);
 

@@ -43,6 +43,7 @@
 #include "campaign/engine.h"
 #include "campaign/net.h"
 #include "campaign/persist.h"
+#include "campaign/planner.h"
 #include "campaign/report.h"
 #include "campaign/spec.h"
 #include "campaign/worker.h"
@@ -89,6 +90,16 @@ int usage(std::FILE* out) {
       "                       independent, funcs=glob[+glob...]\n"
       "                       e.g. 'REFINE:instrs=fp,bits=2,funcs=kernel*'\n"
       "  --trials N           trials per cell (default 1068)\n"
+      "  --plan SPEC          adaptive planned campaign instead of a flat\n"
+      "                       trial count (excludes --trials). SPEC =\n"
+      "                       key=value,... over ci (target Wilson\n"
+      "                       half-width, default 0.03), conf (0.9|0.95|\n"
+      "                       0.99, default 0.95), min (round-0 batch,\n"
+      "                       default 64), max (per-cell trial cap, default\n"
+      "                       8192). Cells run in deterministic rounds and\n"
+      "                       retire when every outcome class's interval is\n"
+      "                       tight enough; the report gains ci_low/ci_high/\n"
+      "                       trials_used columns. Also valid with --serve.\n"
       "  --threads N          worker threads (default: hardware)\n"
       "  --seed HEX           base seed (default 5EEDBA5E)\n"
       "  --shard I/N          run only cells i with i % N == I (default "
@@ -174,6 +185,8 @@ struct Options {
   std::vector<std::string> apps;
   std::vector<std::string> tools = {"LLFI", "REFINE", "PINFI"};
   bool toolsExplicit = false;  // first --tool/--tools replaces the default
+  std::optional<campaign::PlanSpec> plan;  // --plan: adaptive rounds
+  bool trialsExplicit = false;             // --trials conflicts with --plan
   campaign::CampaignConfig config;
   campaign::ShardSpec shard;
   std::optional<std::string> checkpointPath;
@@ -246,6 +259,9 @@ Options parseArgs(int argc, char** argv) {
     } else if (arg == "--trials") {
       opt.config.trials = number(i, "--trials");
       RF_CHECK(opt.config.trials > 0, "--trials must be positive");
+      opt.trialsExplicit = true;
+    } else if (arg == "--plan") {
+      opt.plan = campaign::parsePlanSpec(value(i, "--plan"));
     } else if (arg == "--threads") {
       const std::uint64_t threads = number(i, "--threads");
       RF_CHECK(threads <= 4096, "--threads out of range");
@@ -329,6 +345,9 @@ Options parseArgs(int argc, char** argv) {
                           "' (see --help)");
     }
   }
+  RF_CHECK(!(opt.plan && opt.trialsExplicit),
+           "--plan and --trials are mutually exclusive (the plan decides "
+           "every cell's trial count; its max cap bounds it)");
   return opt;
 }
 
@@ -417,6 +436,26 @@ int runMode(const Options& opt) {
     }
   }
 
+  if (opt.plan) {
+    diag("%zu jobs, shard %u/%u, plan %s", jobs.size(), opt.shard.index,
+         opt.shard.count, opt.plan->canonical().c_str());
+    campaign::CampaignEngine engine(opt.config);
+    campaign::PlannedMatrixOptions plannedOptions;
+    plannedOptions.shard = matrixOptions.shard;
+    plannedOptions.checkpoint = matrixOptions.checkpoint;
+    const auto cells = campaign::runPlannedMatrix(
+        engine, jobs, *opt.plan, plannedOptions,
+        [](const campaign::CampaignResult& r) {
+          diag("  round %llu done %-10s %-12s %6llu trials %6.1fs",
+               static_cast<unsigned long long>(r.planRound.value_or(0)),
+               r.app.c_str(), r.tool.c_str(),
+               static_cast<unsigned long long>(r.counts.total()),
+               r.totalTrialSeconds);
+        });
+    emitReport(opt, campaign::plannedCountsCsv(cells, *opt.plan));
+    return 0;
+  }
+
   diag("%zu jobs, shard %u/%u, %llu trials/cell", jobs.size(),
        opt.shard.index, opt.shard.count,
        static_cast<unsigned long long>(opt.config.trials));
@@ -436,13 +475,24 @@ int mergeMode(const Options& opt) {
     return 2;
   }
   std::size_t dropped = 0;
-  const auto merged = campaign::mergeCheckpoints(opt.mergePaths, &dropped);
+  std::optional<campaign::CampaignMeta> meta;
+  const auto merged =
+      campaign::mergeCheckpoints(opt.mergePaths, &dropped, &meta);
   if (dropped > 0) {
     // Diagnostics only ever go to stderr: `--merge ... | tool` must see a
     // byte-clean report on stdout (CI pipes exactly this).
     diag("warning: %zu torn record(s) skipped — the merged report may be "
          "missing cells; resume the affected shard(s), then re-merge",
          dropped);
+  }
+  if (meta && !meta->plan.empty()) {
+    // Planned shards carry their plan in the (already cross-validated)
+    // meta, so a merge needs no --plan flag and cannot be folded under the
+    // wrong spec. Same fold a local planned run performs: byte-identical.
+    const campaign::PlanSpec spec = campaign::parsePlanSpec(meta->plan);
+    emitReport(opt, campaign::plannedCountsCsv(
+                        campaign::foldPlannedRecords(merged, spec), spec));
+    return 0;
   }
   emitReport(opt, campaign::countsCsv(merged));
   return 0;
@@ -458,6 +508,12 @@ int serveMode(const Options& opt) {
   serve.config.apps = *appNames;
   serve.config.tools = *toolKeys;
   serve.config.trials = opt.config.trials;
+  if (opt.plan) {
+    // The coordinator carries the canonical spelling (it is bound into
+    // checkpoint meta) and the plan's max cap as its trial count.
+    serve.config.plan = opt.plan->canonical();
+    serve.config.trials = opt.plan->maxTrials;
+  }
   serve.config.baseSeed = opt.config.baseSeed;
   serve.config.timeoutFactor = opt.config.timeoutFactor;
   serve.config.leaseCount = opt.leaseShards;

@@ -9,7 +9,9 @@
 #include <gtest/gtest.h>
 
 #include "backend/compile.h"
+#include "campaign/planner.h"
 #include "fi/library.h"
+#include "support/check.h"
 #include "fi/refine_pass.h"
 #include "frontend/compile.h"
 #include "ir/interp.h"
@@ -217,6 +219,124 @@ TEST_P(FuzzDifferential, RefineInstrumentationIsTransparent) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzDifferential,
                          ::testing::Range<std::uint64_t>(1, 33));
+
+// ---------------------------------------------------------------------------
+// Plan-spec fuzzing: parsePlanSpec() guards every entry point into planned
+// campaigns (CLI --plan, checkpoint meta, coordinator config), so feed it
+// seeded streams of hostile spec strings. Accepted spellings must round-trip
+// through the canonical form (parse → canonical → parse is the identity and
+// canonical is a fixed point); rejects must surface as CheckError only —
+// never a crash, never a different exception type — and, parsePlanSpec being
+// a pure function returning by value, a throw cannot leave partially
+// mutated state behind.
+// ---------------------------------------------------------------------------
+
+/// Generates spec strings from a seed: a mix of valid fragments, boundary
+/// values, type confusion, duplicate/unknown keys and separator damage.
+class PlanSpecGenerator {
+ public:
+  explicit PlanSpecGenerator(std::uint64_t seed) : rng_(seed) {}
+
+  std::string generate() {
+    const char* keys[] = {"ci",  "conf",  "min",   "max",
+                          "trials", "CI", "ci ", ""};
+    const char* values[] = {"0.03", "0.95", "0.9",  "0.99",  "64",
+                            "8192", "1",    "0",    "1.0",   "-0.5",
+                            "0.5",  "1e-2", "zero", "",      "0.951",
+                            "99999999999999999999999", "0x40"};
+    std::string text;
+    const int parts = static_cast<int>(rng_.nextBelow(6));
+    for (int i = 0; i < parts; ++i) {
+      if (i > 0) text += rng_.nextBool(0.9) ? "," : ";";
+      switch (rng_.nextBelow(10)) {
+        case 0:  // bare token, no '='
+          text += keys[rng_.nextBelow(8)];
+          break;
+        case 1:  // doubled separator or '=' damage
+          text += strf("%s==%s", keys[rng_.nextBelow(8)],
+                       values[rng_.nextBelow(17)]);
+          break;
+        default:
+          text += strf("%s=%s", keys[rng_.nextBelow(8)],
+                       values[rng_.nextBelow(17)]);
+          break;
+      }
+    }
+    return text;
+  }
+
+  /// A spec that is valid by construction: unique keys, in-range values.
+  std::string generateValid() {
+    const char* cis[] = {"0.01", "0.03", "0.05", "0.1", "0.25"};
+    const char* confs[] = {"0.9", "0.95", "0.99"};
+    const std::uint64_t min = 1 + rng_.nextBelow(500);
+    const std::uint64_t max = min + rng_.nextBelow(10000);
+    std::vector<std::string> parts = {
+        strf("ci=%s", cis[rng_.nextBelow(5)]),
+        strf("conf=%s", confs[rng_.nextBelow(3)]),
+        strf("min=%llu", static_cast<unsigned long long>(min)),
+        strf("max=%llu", static_cast<unsigned long long>(max))};
+    // Key order must not matter: emit in a seeded shuffle, and sometimes
+    // drop optional keys so defaults get exercised too.
+    for (std::size_t i = parts.size(); i > 1; --i) {
+      std::swap(parts[i - 1], parts[rng_.nextBelow(i)]);
+    }
+    const std::size_t keep = 1 + rng_.nextBelow(parts.size());
+    std::string text;
+    for (std::size_t i = 0; i < keep; ++i) {
+      if (i > 0) text += ",";
+      text += parts[i];
+    }
+    return text;
+  }
+
+ private:
+  Rng rng_;
+};
+
+class PlanSpecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlanSpecFuzz, AcceptsRoundTripThroughCanonicalRejectsThrowCleanly) {
+  PlanSpecGenerator generator(mixSeed(0x9153CFu, GetParam()));
+  int accepted = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    const std::string text = generator.generate();
+    try {
+      const campaign::PlanSpec spec = campaign::parsePlanSpec(text);
+      ++accepted;
+      // Whatever spelling got in, the parsed spec is internally coherent...
+      EXPECT_GT(spec.ci, 0.0) << text;
+      EXPECT_LT(spec.ci, 1.0) << text;
+      EXPECT_GE(spec.minTrials, 1u) << text;
+      EXPECT_LE(spec.minTrials, spec.maxTrials) << text;
+      // ...and collapses to one canonical spelling that round-trips.
+      const std::string canonical = spec.canonical();
+      const campaign::PlanSpec again = campaign::parsePlanSpec(canonical);
+      EXPECT_EQ(again, spec) << text << " -> " << canonical;
+      EXPECT_EQ(again.canonical(), canonical) << text;
+    } catch (const CheckError&) {
+      // The one sanctioned failure mode. Any other exception type
+      // propagates and fails the test; a crash fails the whole binary.
+    }
+  }
+  // The grammar is small enough that random assembly does find valid
+  // spellings; if this ever drops to zero the generator rotted and the
+  // accept path stopped being fuzzed.
+  EXPECT_GT(accepted, 0);
+}
+
+TEST_P(PlanSpecFuzz, ValidByConstructionSpecsAlwaysParse) {
+  PlanSpecGenerator generator(mixSeed(0x7A11Du, GetParam()));
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::string text = generator.generateValid();
+    const campaign::PlanSpec spec = campaign::parsePlanSpec(text);
+    const campaign::PlanSpec again = campaign::parsePlanSpec(spec.canonical());
+    EXPECT_EQ(again, spec) << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlanSpecFuzz,
+                         ::testing::Range<std::uint64_t>(1, 9));
 
 }  // namespace
 }  // namespace refine

@@ -1,0 +1,698 @@
+// Adaptive planner tests: spec parsing (accepted spellings canonicalize,
+// rejects throw without side effects), the deterministic round schedule
+// (geometric growth, predictive clamp, max-cap termination, retirement
+// monotonicity), the engine's batch identity (counts over [0,a) + [a,b)
+// equal a flat run of b trials), per-round persistence and replay
+// validation, and the determinism contract end to end: plan+kill+resume,
+// sharded+merged, thread-count-varied and coordinator+worker runs all
+// produce byte-identical planned reports.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/coordinator.h"
+#include "campaign/engine.h"
+#include "campaign/net.h"
+#include "campaign/persist.h"
+#include "campaign/planner.h"
+#include "campaign/worker.h"
+#include "support/check.h"
+#include "support/socket.h"
+#include "support/strings.h"
+
+namespace refine::campaign {
+namespace {
+
+/// Unique temp path per test; removed on destruction.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& stem)
+      : path_((std::filesystem::temp_directory_path() /
+               ("refine_planner_" + stem + "_" +
+                std::to_string(::testing::UnitTest::GetInstance()
+                                   ->random_seed()) +
+                ".ckpt"))
+                  .string()) {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".generation").c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// A fast-converging spec for matrix-level tests: byte-identity across
+// resume/shard/thread/distributed paths is what is under test, not
+// statistical realism, so keep the trial budget tiny.
+PlanSpec quickSpec() {
+  return parsePlanSpec("ci=0.2,conf=0.95,min=8,max=64");
+}
+
+// ---------------------------------------------------------------------------
+// Spec parsing
+// ---------------------------------------------------------------------------
+
+TEST(PlanSpec, DefaultsMatchTheIssueSpelling) {
+  const PlanSpec spec = parsePlanSpec("ci=0.03,conf=0.95,min=64,max=8192");
+  EXPECT_EQ(spec, PlanSpec{});
+  EXPECT_EQ(spec.canonical(), "ci=0.03,conf=0.95,min=64,max=8192");
+}
+
+TEST(PlanSpec, AcceptedSpellingsCanonicalize) {
+  struct Case {
+    const char* input;
+    const char* canonical;
+  };
+  const Case cases[] = {
+      {"ci=0.03,conf=0.95,min=64,max=8192", "ci=0.03,conf=0.95,min=64,max=8192"},
+      // Any key order spells the same plan.
+      {"max=8192,min=64,conf=0.95,ci=0.03", "ci=0.03,conf=0.95,min=64,max=8192"},
+      // Omitted keys take their defaults.
+      {"ci=0.05", "ci=0.05,conf=0.95,min=64,max=8192"},
+      {"conf=0.9", "ci=0.03,conf=0.9,min=64,max=8192"},
+      {"min=32,max=512", "ci=0.03,conf=0.95,min=32,max=512"},
+      {"conf=0.99,ci=0.01", "ci=0.01,conf=0.99,min=64,max=8192"},
+      // min == max degenerates to one fixed-size round; still a valid plan.
+      {"min=100,max=100", "ci=0.03,conf=0.95,min=100,max=100"},
+  };
+  for (const Case& c : cases) {
+    const PlanSpec spec = parsePlanSpec(c.input);
+    EXPECT_EQ(spec.canonical(), c.canonical) << c.input;
+    // Round-trip: the canonical spelling parses back to the same spec.
+    EXPECT_EQ(parsePlanSpec(spec.canonical()), spec) << c.input;
+  }
+}
+
+TEST(PlanSpec, RejectTable) {
+  const char* rejects[] = {
+      "",                      // a plan with no keys is a typo, not a plan
+      "ci",                    // not key=value
+      "=0.03",                 // empty key
+      "ci=",                   // empty value
+      "ci=zero",               // non-numeric
+      "ci=0",                  // half-width must be in (0, 1)
+      "ci=1",                  //
+      "ci=-0.03",              //
+      "conf=0.5",              // outside the zCritical table
+      "conf=0.951",            //
+      "min=0",                 // zero-trial rounds cannot make progress
+      "max=0",                 //
+      "min=65,max=64",         // inverted bounds
+      "ci=0.03,ci=0.03",       // duplicate key, even with equal values
+      "trials=100",            // unknown key
+      "ci=0.03 conf=0.95",     // wrong separator
+  };
+  for (const char* text : rejects) {
+    EXPECT_THROW(parsePlanSpec(text), CheckError) << "'" << text << "'";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Round schedule
+// ---------------------------------------------------------------------------
+
+OutcomeCounts splitCounts(std::uint64_t total) {
+  // Maximally unresolved: the SOC rate sits at 0.5, so the cell keeps
+  // needing close to the worst-case trial count.
+  OutcomeCounts c;
+  c.soc = total / 2;
+  c.benign = total - c.soc;
+  return c;
+}
+
+TEST(PlanSchedule, RoundZeroRunsMin) {
+  const PlanSpec spec = parsePlanSpec("ci=0.03,min=64,max=8192");
+  EXPECT_EQ(planNextBatch(spec, 0, OutcomeCounts{}), 64u);
+}
+
+TEST(PlanSchedule, GeometricGrowthUntilThePredictionClamps) {
+  const PlanSpec spec{};  // ci=0.03, min=64, max=8192
+  // A 50/50 cell needs ~1068 trials; the schedule doubles toward that and
+  // then the Wilson prediction clamps the final batch instead of jumping
+  // to 1024 + 2048.
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> batches;
+  for (std::uint64_t round = 0; round < 64; ++round) {
+    const std::uint64_t batch = planNextBatch(spec, round, splitCounts(total));
+    if (batch == 0) break;
+    batches.push_back(batch);
+    total += batch;
+  }
+  ASSERT_GE(batches.size(), 4u);
+  EXPECT_EQ(batches[0], 64u);
+  EXPECT_EQ(batches[1], 128u);
+  EXPECT_EQ(batches[2], 256u);
+  EXPECT_EQ(batches[3], 512u);
+  // Converged near (not at) the flat-campaign worst case, never over it.
+  EXPECT_GT(total, 1000u);
+  EXPECT_LE(total, 1200u);
+  EXPECT_TRUE(planRetired(spec, splitCounts(total)));
+}
+
+TEST(PlanSchedule, PredictionMatchesTheLeveugleWorstCase) {
+  // With no data the prediction is the p = 0.5 worst case — the same
+  // ballpark the paper's 1068 comes from (Wilson vs normal approximation
+  // differ by a hair).
+  const std::uint64_t predicted =
+      planPredictedTrials(PlanSpec{}, OutcomeCounts{});
+  EXPECT_GE(predicted, 1000u);
+  EXPECT_LE(predicted, 1100u);
+}
+
+TEST(PlanSchedule, SkewedCellsRetireEarly) {
+  // A cell whose classes are far from 0.5 converges with a fraction of the
+  // worst-case budget — the entire point of planning.
+  const PlanSpec spec{};
+  OutcomeCounts skewed;
+  skewed.crash = 8;
+  skewed.soc = 8;
+  skewed.benign = 384 - 16;
+  EXPECT_TRUE(planConverged(spec, skewed));
+  EXPECT_EQ(planNextBatch(spec, 3, skewed), 0u);
+}
+
+TEST(PlanSchedule, MaxCapAlwaysTerminates) {
+  // A target far below what the cap allows: the cell never converges, so
+  // retirement must come from the cap — exactly at it, never past it.
+  const PlanSpec spec = parsePlanSpec("ci=0.001,min=32,max=1000");
+  std::uint64_t total = 0;
+  int rounds = 0;
+  for (;; ++rounds) {
+    ASSERT_LE(rounds, 64) << "schedule failed to terminate";
+    const std::uint64_t batch =
+        planNextBatch(spec, static_cast<std::uint64_t>(rounds),
+                      splitCounts(total));
+    if (batch == 0) break;
+    total += batch;
+    ASSERT_LE(total, 1000u);
+  }
+  EXPECT_EQ(total, 1000u);
+  EXPECT_TRUE(planRetired(spec, splitCounts(total)));
+  EXPECT_FALSE(planConverged(spec, splitCounts(total)));
+}
+
+TEST(PlanSchedule, RetirementIsMonotone) {
+  // Retirement never reverts: once at the cap or converged, every later
+  // cumulative state (there are none with more trials, but duplicates of
+  // the same state re-evaluated each round) still reports retired, and
+  // planNextBatch stays 0. This is what lets a resumed campaign re-check
+  // retirement instead of trusting a stored flag.
+  const PlanSpec spec = parsePlanSpec("ci=0.2,min=8,max=64");
+  OutcomeCounts c;
+  std::uint64_t total = 0;
+  for (std::uint64_t round = 0; round < 16; ++round) {
+    const std::uint64_t batch = planNextBatch(spec, round, c);
+    if (batch == 0) break;
+    total += batch;
+    c = splitCounts(total);
+  }
+  ASSERT_TRUE(planRetired(spec, c));
+  for (int again = 0; again < 3; ++again) {
+    EXPECT_TRUE(planRetired(spec, c));
+    EXPECT_EQ(planNextBatch(spec, 16, c), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engine batch identity
+// ---------------------------------------------------------------------------
+
+TEST(PlannedEngine, BatchCountsSumToTheFlatRun) {
+  const auto jobs = buildMatrixJobs({"EP"}, {"REFINE"});
+
+  CampaignConfig config;
+  config.trials = 40;
+  config.threads = 2;
+  CampaignEngine flat(config);
+  const auto flatResults = flat.runMatrix(jobs);
+  ASSERT_EQ(flatResults.size(), 1u);
+
+  CampaignEngine engine(config);
+  auto instances = engine.buildInstances(jobs);
+  ASSERT_EQ(instances.size(), 1u);
+  std::vector<BatchJob> batches;
+  batches.push_back({instances[0].get(), jobs[0].app, jobs[0].tool, 0, 16, 0});
+  batches.push_back({instances[0].get(), jobs[0].app, jobs[0].tool, 16, 40, 1});
+  const auto results = engine.runBatches(batches);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].planRound, 0u);
+  EXPECT_EQ(results[1].planRound, 1u);
+  EXPECT_EQ(results[0].counts.total(), 16u);
+  EXPECT_EQ(results[1].counts.total(), 24u);
+
+  // The identity planned campaigns stand on: trials derive from absolute
+  // indices, so two batches covering [0, 40) sum to the flat 40-trial run.
+  OutcomeCounts summed;
+  summed += results[0].counts;
+  summed += results[1].counts;
+  EXPECT_EQ(summed, flatResults[0].counts);
+  EXPECT_EQ(results[0].dynamicTargets, flatResults[0].dynamicTargets);
+}
+
+// ---------------------------------------------------------------------------
+// Replay validation
+// ---------------------------------------------------------------------------
+
+CampaignResult roundRecord(const PlanSpec& spec, std::uint64_t round,
+                           const OutcomeCounts& cumulativeBefore) {
+  CampaignResult r;
+  r.app = "EP";
+  r.tool = "REFINE";
+  const std::uint64_t batch = planNextBatch(spec, round, cumulativeBefore);
+  r.counts = splitCounts(batch);
+  r.dynamicTargets = 1000;
+  r.profileInstrs = 5000;
+  r.binarySize = 100;
+  r.planRound = round;
+  return r;
+}
+
+TEST(PlanReplay, AcceptsAnExactPrefixAndFoldsIt) {
+  const PlanSpec spec = parsePlanSpec("ci=0.05,min=32,max=512");
+  const CampaignResult r0 = roundRecord(spec, 0, OutcomeCounts{});
+  const CampaignResult r1 = roundRecord(spec, 1, r0.counts);
+
+  const PlanProgress p =
+      replayPlanRounds(spec, {&r1, &r0}, "test");  // any order
+  EXPECT_EQ(p.roundsDone, 2u);
+  EXPECT_EQ(p.counts.total(), r0.counts.total() + r1.counts.total());
+  EXPECT_EQ(p.dynamicTargets, 1000u);
+}
+
+TEST(PlanReplay, RejectsEverythingThatIsNotAPlanPrefix) {
+  const PlanSpec spec = parsePlanSpec("ci=0.05,min=32,max=512");
+  const CampaignResult r0 = roundRecord(spec, 0, OutcomeCounts{});
+  const CampaignResult r1 = roundRecord(spec, 1, r0.counts);
+
+  // A round the plan never ran (round 1 without round 0).
+  EXPECT_THROW(replayPlanRounds(spec, {&r1}, "test"), CheckError);
+  // Duplicate rounds.
+  EXPECT_THROW(replayPlanRounds(spec, {&r0, &r0}, "test"), CheckError);
+  // A record without a round tag (a flat record in a planned store).
+  CampaignResult untagged = r0;
+  untagged.planRound.reset();
+  EXPECT_THROW(replayPlanRounds(spec, {&untagged}, "test"), CheckError);
+  // A round whose trial count contradicts the schedule.
+  CampaignResult wrong = r0;
+  wrong.counts.benign += 1;
+  EXPECT_THROW(replayPlanRounds(spec, {&wrong}, "test"), CheckError);
+  // Deterministic fields that disagree across rounds.
+  CampaignResult diverged = r1;
+  diverged.dynamicTargets = 999;
+  EXPECT_THROW(replayPlanRounds(spec, {&r0, &diverged}, "test"), CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Per-round persistence
+// ---------------------------------------------------------------------------
+
+TEST(PlannedPersist, RoundTagRoundTripsThroughTheCheckpointCodec) {
+  CampaignResult r;
+  r.app = "EP";
+  r.tool = "REFINE";
+  r.counts = splitCounts(64);
+  r.dynamicTargets = 7;
+  r.profileInstrs = 8;
+  r.binarySize = 9;
+  r.planRound = 3;
+  const auto decoded = CheckpointStore::decode(CheckpointStore::encode(r));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->planRound.has_value());
+  EXPECT_EQ(*decoded->planRound, 3u);
+  EXPECT_EQ(decoded->counts, r.counts);
+
+  r.planRound.reset();
+  const auto flat = CheckpointStore::decode(CheckpointStore::encode(r));
+  ASSERT_TRUE(flat.has_value());
+  EXPECT_FALSE(flat->planRound.has_value());
+}
+
+TEST(PlannedPersist, MetaBindsThePlanAndMismatchesFailLoudly) {
+  TempFile ckpt("meta");
+  const std::string plan = PlanSpec{}.canonical();
+  {
+    CheckpointStore store(ckpt.path());
+    store.bindCampaign({0x5EEDULL, 8192, 10.0, "REFINE", plan});
+  }
+  {
+    // Same plan re-binds cleanly (a resume).
+    CheckpointStore store(ckpt.path());
+    store.bindCampaign({0x5EEDULL, 8192, 10.0, "REFINE", plan});
+  }
+  {
+    // A different plan — or no plan at all — must refuse, not silently mix
+    // fixed-trials records with per-round records.
+    CheckpointStore differentPlan(ckpt.path());
+    EXPECT_THROW(differentPlan.bindCampaign(
+                     {0x5EEDULL, 8192, 10.0, "REFINE",
+                      parsePlanSpec("ci=0.05").canonical()}),
+                 CheckError);
+    CheckpointStore flat(ckpt.path());
+    EXPECT_THROW(flat.bindCampaign({0x5EEDULL, 8192, 10.0, "REFINE", ""}),
+                 CheckError);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Planned matrix determinism
+// ---------------------------------------------------------------------------
+
+std::string runPlannedReport(const PlanSpec& spec, unsigned threads,
+                             CheckpointStore* checkpoint = nullptr,
+                             std::size_t* callbackRounds = nullptr,
+                             ShardSpec shard = {}) {
+  const auto jobs = buildMatrixJobs({"EP", "DC"}, {"LLFI", "REFINE"});
+  CampaignConfig config;
+  config.threads = threads;
+  CampaignEngine engine(config);
+  PlannedMatrixOptions options;
+  options.shard = shard;
+  options.checkpoint = checkpoint;
+  std::size_t rounds = 0;
+  const auto cells = runPlannedMatrix(
+      engine, jobs, spec, options,
+      [&rounds](const CampaignResult&) { ++rounds; });
+  if (callbackRounds != nullptr) *callbackRounds = rounds;
+  return plannedCountsCsv(cells, spec);
+}
+
+TEST(PlannedMatrix, ThreadCountInvariantByteForByte) {
+  const std::string one = runPlannedReport(quickSpec(), 1);
+  const std::string four = runPlannedReport(quickSpec(), 4);
+  EXPECT_EQ(one, four);
+  // Sanity: the report carries the planned columns.
+  EXPECT_NE(one.find("trials_used"), std::string::npos);
+  EXPECT_NE(one.find("ci_low"), std::string::npos);
+}
+
+TEST(PlannedMatrix, KillAndResumeByteForByte) {
+  TempFile full("resume_full");
+  std::string uninterrupted;
+  {
+    CheckpointStore store(full.path());
+    uninterrupted = runPlannedReport(quickSpec(), 4, &store);
+  }
+
+  // Simulate a kill mid-campaign: a store holding only a prefix of the
+  // records (the meta line plus the first three per-round records — some
+  // cells mid-plan, some not started).
+  TempFile truncated("resume_cut");
+  {
+    std::ifstream in(full.path());
+    std::ofstream out(truncated.path());
+    std::string line;
+    int records = 0;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line[0] != '#' && ++records > 3) break;
+      out << line << '\n';
+    }
+  }
+  {
+    CheckpointStore store(truncated.path());
+    std::size_t resumedRounds = 0;
+    const std::string resumed =
+        runPlannedReport(quickSpec(), 2, &store, &resumedRounds);
+    EXPECT_EQ(resumed, uninterrupted);
+    EXPECT_GT(resumedRounds, 0u);  // it really had work left to do
+  }
+}
+
+TEST(PlannedMatrix, FinishedStoreRunsZeroNewRounds) {
+  TempFile ckpt("noop");
+  std::string first;
+  {
+    CheckpointStore store(ckpt.path());
+    first = runPlannedReport(quickSpec(), 4, &store);
+  }
+  // Convergence is monotone: re-planning over a finished store retires
+  // every cell during replay, runs nothing, and reproduces the report.
+  CheckpointStore store(ckpt.path());
+  std::size_t rounds = 0;
+  const std::string again = runPlannedReport(quickSpec(), 4, &store, &rounds);
+  EXPECT_EQ(rounds, 0u);
+  EXPECT_EQ(again, first);
+}
+
+TEST(PlannedMatrix, ShardAndMergeByteForByte) {
+  const std::string single = runPlannedReport(quickSpec(), 4);
+
+  TempFile s0("shard0");
+  TempFile s1("shard1");
+  {
+    CheckpointStore store0(s0.path());
+    runPlannedReport(quickSpec(), 2, &store0, nullptr, ShardSpec{0, 2});
+    CheckpointStore store1(s1.path());
+    runPlannedReport(quickSpec(), 2, &store1, nullptr, ShardSpec{1, 2});
+  }
+  std::size_t dropped = 0;
+  std::optional<CampaignMeta> meta;
+  const auto merged =
+      mergeCheckpoints({s0.path(), s1.path()}, &dropped, &meta);
+  EXPECT_EQ(dropped, 0u);
+  ASSERT_TRUE(meta.has_value());
+  ASSERT_FALSE(meta->plan.empty());
+  const PlanSpec spec = parsePlanSpec(meta->plan);
+  EXPECT_EQ(spec, quickSpec());
+  EXPECT_EQ(plannedCountsCsv(foldPlannedRecords(merged, spec), spec), single);
+}
+
+TEST(PlannedMatrix, MaxCapRetiresUnconvergedCells) {
+  // An unreachable target: every cell must terminate at the cap and the
+  // report must say so (converged = 0) instead of spinning.
+  const PlanSpec spec = parsePlanSpec("ci=0.001,min=8,max=32");
+  const auto jobs = buildMatrixJobs({"EP"}, {"REFINE"});
+  CampaignConfig config;
+  config.threads = 2;
+  CampaignEngine engine(config);
+  const auto cells = runPlannedMatrix(engine, jobs, spec);
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].total.counts.total(), 32u);
+  EXPECT_FALSE(cells[0].converged);
+  const std::string csv = plannedCountsCsv(cells, spec);
+  EXPECT_NE(csv.find(",0,"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------------
+
+LeaseGrant plannedGrant() {
+  LeaseGrant grant;
+  grant.leaseId = 3;
+  grant.epoch = 7;
+  grant.shard = ShardSpec{1, 2};
+  grant.baseSeed = 0x5EEDBA5EULL;
+  grant.trials = 64;
+  grant.timeoutFactor = 10.0;
+  grant.heartbeatTimeout = 30.0;
+  grant.apps = {"EP"};
+  grant.tools = {"LLFI", "REFINE"};
+  grant.batch = PlannedBatch{2, 24, 16};
+  return grant;
+}
+
+TEST(PlannedNet, GrantBatchTrioRoundTrips) {
+  const LeaseGrant grant = plannedGrant();
+  const std::string payload = encodeGrant(grant);
+  EXPECT_NE(payload.find(" round=2 begin=24 count=16"), std::string::npos);
+  const auto decoded = decodeGrant(payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, grant);
+}
+
+TEST(PlannedNet, FlatGrantsCarryNoBatchKeys) {
+  LeaseGrant grant = plannedGrant();
+  grant.batch.reset();
+  const std::string payload = encodeGrant(grant);
+  EXPECT_EQ(payload.find("round="), std::string::npos);
+  const auto decoded = decodeGrant(payload);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_FALSE(decoded->batch.has_value());
+  EXPECT_EQ(*decoded, grant);
+}
+
+TEST(PlannedNet, PartialBatchTrioIsRejected) {
+  const std::string payload = encodeGrant(plannedGrant());
+  // Strip one key of the trio at a time: all-or-none means every partial
+  // spelling is a garbled grant, not a smaller plan.
+  for (const char* key : {" round=2", " begin=24", " count=16"}) {
+    std::string cut = payload;
+    const std::size_t at = cut.find(key);
+    ASSERT_NE(at, std::string::npos);
+    cut.erase(at, std::string(key).size());
+    EXPECT_FALSE(decodeGrant(cut).has_value()) << cut;
+  }
+  // A zero-trial batch cannot be a real round.
+  std::string zero = payload;
+  zero.replace(zero.find("count=16"), 8, "count=0");
+  EXPECT_FALSE(decodeGrant(zero).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator core: per-(cell, round) leases, re-planning on ingest
+// ---------------------------------------------------------------------------
+
+CoordinatorConfig plannedConfig(const PlanSpec& spec) {
+  CoordinatorConfig config;
+  config.apps = {"EP"};
+  config.tools = {"REFINE"};
+  config.plan = spec.canonical();
+  config.trials = spec.maxTrials;
+  config.baseSeed = 0x5EEDULL;
+  config.heartbeatTimeout = 100.0;
+  return config;
+}
+
+std::string recordPayload(const LeaseGrant& grant, const CampaignResult& r) {
+  return encodeRecord(LeaseRef{grant.leaseId, grant.epoch},
+                      CheckpointStore::encode(r));
+}
+
+TEST(PlannedCoordinator, LeasesRoundsAndReplansOnIngest) {
+  const PlanSpec spec = parsePlanSpec("ci=0.05,min=32,max=512");
+  TempFile ckpt("core");
+  CheckpointStore store(ckpt.path());
+  Coordinator core(plannedConfig(spec), store, 0.0);
+  EXPECT_EQ(core.cellsTotal(), 1u);
+  EXPECT_FALSE(core.complete());
+  EXPECT_NE(core.statusJson(1.0).find("\"plan\":\"ci=0.05,"),
+            std::string::npos);
+
+  const std::uint64_t worker = core.addWorker();
+  auto reply = core.onRequest(worker, 1.0);
+  ASSERT_EQ(reply.kind, Coordinator::RequestKind::Grant);
+  ASSERT_TRUE(reply.grant.batch.has_value());
+  EXPECT_EQ(reply.grant.batch->round, 0u);
+  EXPECT_EQ(reply.grant.batch->begin, 0u);
+  EXPECT_EQ(reply.grant.batch->count, 32u);
+  EXPECT_EQ(reply.grant.trials, 512u);  // the plan's cap rides as trials
+
+  // While the one lease is out, there is nothing else to grant.
+  EXPECT_EQ(core.onRequest(core.addWorker(), 1.0).kind,
+            Coordinator::RequestKind::Wait);
+
+  // Ingest round 0 (still unresolved at 16/16): the coordinator re-plans
+  // and immediately leases round 1 with the next deterministic batch.
+  CampaignResult r0 = roundRecord(spec, 0, OutcomeCounts{});
+  EXPECT_EQ(core.onRecord(worker, recordPayload(reply.grant, r0), 2.0),
+            Coordinator::Ingest::Accepted);
+  EXPECT_FALSE(core.complete());
+  auto next = core.onRequest(worker, 2.0);
+  ASSERT_EQ(next.kind, Coordinator::RequestKind::Grant);
+  ASSERT_TRUE(next.grant.batch.has_value());
+  EXPECT_EQ(next.grant.batch->round, 1u);
+  EXPECT_EQ(next.grant.batch->begin, 32u);
+  EXPECT_EQ(next.grant.batch->count, planNextBatch(spec, 1, r0.counts));
+
+  // Re-streaming the SAME round is an idempotent duplicate, not progress.
+  auto again = core.onRequest(core.addWorker(), 2.0);
+  EXPECT_EQ(again.kind, Coordinator::RequestKind::Wait);
+}
+
+TEST(PlannedCoordinator, ContradictoryRecordsThrowForContainment) {
+  const PlanSpec spec = parsePlanSpec("ci=0.05,min=32,max=512");
+  TempFile ckpt("contradict");
+  CheckpointStore store(ckpt.path());
+  Coordinator core(plannedConfig(spec), store, 0.0);
+  const std::uint64_t worker = core.addWorker();
+  const auto reply = core.onRequest(worker, 1.0);
+  ASSERT_EQ(reply.kind, Coordinator::RequestKind::Grant);
+
+  // Wrong round tag.
+  CampaignResult wrongRound = roundRecord(spec, 0, OutcomeCounts{});
+  wrongRound.planRound = 5;
+  EXPECT_THROW(core.onRecord(worker, recordPayload(reply.grant, wrongRound),
+                             2.0),
+               CheckError);
+  // No round tag at all (a flat worker's record).
+  CampaignResult untagged = roundRecord(spec, 0, OutcomeCounts{});
+  untagged.planRound.reset();
+  EXPECT_THROW(core.onRecord(worker, recordPayload(reply.grant, untagged),
+                             2.0),
+               CheckError);
+  // Wrong trial count for the leased batch.
+  CampaignResult wrongCount = roundRecord(spec, 0, OutcomeCounts{});
+  wrongCount.counts.benign += 1;
+  EXPECT_THROW(core.onRecord(worker, recordPayload(reply.grant, wrongCount),
+                             2.0),
+               CheckError);
+}
+
+TEST(PlannedCoordinator, ResumesMidPlanFromTheStore) {
+  const PlanSpec spec = parsePlanSpec("ci=0.05,min=32,max=512");
+  TempFile ckpt("resume");
+  const CampaignResult r0 = roundRecord(spec, 0, OutcomeCounts{});
+  {
+    CheckpointStore store(ckpt.path());
+    store.bindCampaign({0x5EEDULL, spec.maxTrials, 10.0, "REFINE",
+                        spec.canonical()});
+    store.append(r0);
+  }
+  CheckpointStore store(ckpt.path());
+  Coordinator core(plannedConfig(spec), store, 0.0);
+  // The replay advanced the cell past round 0: the first grant is round 1.
+  const auto reply = core.onRequest(core.addWorker(), 1.0);
+  ASSERT_EQ(reply.kind, Coordinator::RequestKind::Grant);
+  ASSERT_TRUE(reply.grant.batch.has_value());
+  EXPECT_EQ(reply.grant.batch->round, 1u);
+  EXPECT_EQ(reply.grant.batch->begin, r0.counts.total());
+}
+
+// ---------------------------------------------------------------------------
+// End to end over loopback TCP: planned coordinator + 2 workers == local
+// ---------------------------------------------------------------------------
+
+TEST(PlannedDistributedE2E, ServedReportMatchesLocalPlannedRunByteForByte) {
+  const std::vector<std::string> apps = {"EP"};
+  const std::vector<std::string> tools = {"LLFI", "REFINE"};
+  const PlanSpec spec = quickSpec();
+
+  CampaignConfig config;
+  config.threads = 2;
+  CampaignEngine engine(config);
+  const std::string reference = plannedCountsCsv(
+      runPlannedMatrix(engine, buildMatrixJobs(apps, tools), spec), spec);
+
+  TempFile ckpt("e2e");
+  TempFile report("e2e_report");
+  ServeOptions serve;
+  serve.config.apps = apps;
+  serve.config.tools = tools;
+  serve.config.plan = spec.canonical();
+  serve.config.trials = spec.maxTrials;
+  serve.config.heartbeatTimeout = 30.0;
+  serve.port = 0;
+  serve.checkpointPath = ckpt.path();
+  serve.reportPath = report.path();
+  std::promise<std::uint16_t> portPromise;
+  auto portFuture = portPromise.get_future();
+  serve.onListening = [&](std::uint16_t p) { portPromise.set_value(p); };
+
+  std::thread coordinator([&] { EXPECT_EQ(serveCampaign(serve), 0); });
+  const std::uint16_t port = portFuture.get();
+
+  WorkerOptions workerOptions;
+  workerOptions.threads = 2;
+  std::thread w1(
+      [&] { EXPECT_EQ(runWorker("127.0.0.1", port, workerOptions), 0); });
+  std::thread w2(
+      [&] { EXPECT_EQ(runWorker("127.0.0.1", port, workerOptions), 0); });
+  w1.join();
+  w2.join();
+  coordinator.join();
+
+  EXPECT_EQ(readFile(report.path()), reference);
+}
+
+}  // namespace
+}  // namespace refine::campaign

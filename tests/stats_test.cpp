@@ -184,6 +184,71 @@ TEST(SampleSize, HigherConfidenceNeedsMore) {
             leveugleSampleSize(1'000'000'000ULL, 0.03, 0.95));
 }
 
+// Edge semantics, table-driven: every boundary input has a defined value —
+// no NaNs, no divisions by zero, no results exceeding the population.
+TEST(SampleSize, EdgeCaseTable) {
+  struct Case {
+    std::uint64_t population;
+    double margin;
+    double confidence;
+    double p;
+    std::uint64_t expected;
+  };
+  const Case cases[] = {
+      // Empty population: nothing to sample.
+      {0, 0.03, 0.95, 0.5, 0},
+      {0, 0.5, 0.99, 0.5, 0},
+      // Degenerate p: the proportion is already known exactly.
+      {1'000'000, 0.03, 0.95, 0.0, 0},
+      {1'000'000, 0.03, 0.95, 1.0, 0},
+      // A margin of one (or more) is satisfied by zero samples.
+      {1'000'000, 1.0, 0.95, 0.5, 0},
+      {1'000'000, 2.0, 0.95, 0.5, 0},
+      // A non-positive margin needs the whole population (a census).
+      {1000, 0.0, 0.95, 0.5, 1000},
+      {1000, -0.5, 0.95, 0.5, 1000},
+      // Population smaller than the unconstrained sample: clamp, never
+      // exceed.
+      {1, 0.03, 0.95, 0.5, 1},
+      {10, 0.03, 0.95, 0.5, 10},
+  };
+  for (const Case& c : cases) {
+    EXPECT_EQ(leveugleSampleSize(c.population, c.margin, c.confidence, c.p),
+              c.expected)
+        << "population=" << c.population << " margin=" << c.margin
+        << " p=" << c.p;
+  }
+  // The clamp holds across the whole small-population range.
+  for (std::uint64_t population = 1; population <= 64; ++population) {
+    EXPECT_LE(leveugleSampleSize(population, 0.03, 0.95), population);
+  }
+}
+
+TEST(ConfidenceIntervals, HalfWidthEdgeCaseTable) {
+  // n = 0: no data bounds nothing — the half-width is the maximal 1.
+  EXPECT_DOUBLE_EQ(proportionHalfWidth(0.5, 0, 0.95), 1.0);
+  EXPECT_DOUBLE_EQ(proportionHalfWidth(0.0, 0, 0.99), 1.0);
+  // Degenerate pHat: zero variance, zero width.
+  EXPECT_DOUBLE_EQ(proportionHalfWidth(0.0, 100, 0.95), 0.0);
+  EXPECT_DOUBLE_EQ(proportionHalfWidth(1.0, 100, 0.95), 0.0);
+  // Out-of-range pHat clamps to the same degenerate values instead of
+  // producing a NaN from a negative variance.
+  EXPECT_DOUBLE_EQ(proportionHalfWidth(-0.25, 100, 0.95), 0.0);
+  EXPECT_DOUBLE_EQ(proportionHalfWidth(1.25, 100, 0.95), 0.0);
+  // Interior values stay finite, positive, and monotone in n.
+  EXPECT_GT(proportionHalfWidth(0.5, 10, 0.95),
+            proportionHalfWidth(0.5, 1000, 0.95));
+}
+
+TEST(ConfidenceIntervals, WilsonEdgeCases) {
+  // n = 0: the interval over no data is all of [0, 1].
+  const auto empty = wilsonInterval(0, 0, 0.95);
+  EXPECT_DOUBLE_EQ(empty.low, 0.0);
+  EXPECT_DOUBLE_EQ(empty.high, 1.0);
+  // successes > n is a caller bug, not a value.
+  EXPECT_THROW(wilsonInterval(2, 1, 0.95), ::refine::CheckError);
+}
+
 // ---------------------------------------------------------------------------
 // Confidence intervals
 // ---------------------------------------------------------------------------
