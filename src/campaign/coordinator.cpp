@@ -495,11 +495,14 @@ std::string Coordinator::statusJson(double now) const {
     const OutcomeCounts counts = perTool.count(tool) ? perTool.at(tool)
                                                      : OutcomeCounts{};
     if (!perToolJson.empty()) perToolJson += ',';
-    perToolJson += strf("\"%s\":{\"crash\":%llu,\"soc\":%llu,\"benign\":%llu}",
-                        jsonEscape(tool).c_str(),
-                        static_cast<unsigned long long>(counts.crash),
-                        static_cast<unsigned long long>(counts.soc),
-                        static_cast<unsigned long long>(counts.benign));
+    perToolJson += strf(
+        "\"%s\":{\"crash\":%llu,\"soc\":%llu,\"benign\":%llu,"
+        "\"detected\":%llu}",
+        jsonEscape(tool).c_str(),
+        static_cast<unsigned long long>(counts.crash),
+        static_cast<unsigned long long>(counts.soc),
+        static_cast<unsigned long long>(counts.benign),
+        static_cast<unsigned long long>(counts.detected));
   }
 
   // Planned campaigns interpose a "plan" key (and trials_total becomes the

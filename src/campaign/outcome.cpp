@@ -3,15 +3,17 @@
 namespace refine::campaign {
 
 const char* outcomeName(Outcome o) noexcept {
-  switch (o) {
-    case Outcome::Crash: return "crash";
-    case Outcome::SOC: return "soc";
-    case Outcome::Benign: return "benign";
-  }
-  return "?";
+  const auto index = static_cast<std::size_t>(o);
+  if (index >= kOutcomeClassCount) return "?";
+  return kOutcomeNames[index];
 }
 
 Outcome classify(const vm::ExecResult& result, const std::string& golden) {
+  // A DetectedByCheck trap is a *successful* protection check, not an
+  // architectural failure: classify it before the crash rule.
+  if (result.trapped && result.trap == vm::Trap::DetectedByCheck) {
+    return Outcome::Detected;
+  }
   if (result.trapped || result.exitCode != 0) return Outcome::Crash;
   // A run that streamed against a bound golden already knows the answer
   // (and carries no output to compare); the flag is computed byte-for-byte

@@ -6,15 +6,30 @@
 //   SOC    — Silent Output Corruption: the run completes but its output
 //            differs from the golden (fault-free) output.
 //   Benign — completes with output identical to the golden run.
+//   Detected — a software fault-tolerance check (opt/protect.h: DWC
+//            compare, TMR vote, CFCSS signature) trapped with the distinct
+//            DetectedByCheck code before the fault could crash or corrupt.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "vm/machine.h"
 
 namespace refine::campaign {
 
-enum class Outcome : unsigned char { Crash, SOC, Benign };
+enum class Outcome : unsigned char { Crash, SOC, Benign, Detected };
+
+/// The one canonical outcome-class table: count and names, in enum order.
+/// outcomeName(), report columns, checkpoint records and the planner's
+/// per-class retirement all index this — adding a class touches exactly
+/// here and the enum.
+inline constexpr std::size_t kOutcomeClassCount = 4;
+inline constexpr const char* kOutcomeNames[kOutcomeClassCount] = {
+    "crash", "soc", "benign", "detected"};
+static_assert(static_cast<std::size_t>(Outcome::Detected) + 1 ==
+                  kOutcomeClassCount,
+              "Outcome enum and kOutcomeNames must stay in lockstep");
 
 const char* outcomeName(Outcome o) noexcept;
 

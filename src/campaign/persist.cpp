@@ -17,26 +17,93 @@ namespace refine::campaign {
 
 namespace {
 
-constexpr std::string_view kHeader = "#refine-checkpoint v1";
-constexpr std::size_t kFieldCount = 9;  // payload fields, checksum excluded
-// Planned campaigns append the planner round as a 10th payload field.
+constexpr std::string_view kHeader = "#refine-checkpoint v2";
+// v1 (before the protection passes) had no detected column. Still readable;
+// CheckpointStore upgrades v1 files in place on open.
+constexpr std::string_view kHeaderV1 = "#refine-checkpoint v1";
+constexpr std::size_t kFieldCount = 10;  // payload fields, checksum excluded
+// Planned campaigns append the planner round as one extra payload field.
 constexpr std::size_t kPlannedFieldCount = kFieldCount + 1;
+// A v1 payload is one field shorter (no detected count). Field counts alone
+// cannot distinguish v1-planned from v2-flat (both are 10); the file header
+// is the authority, threaded into decoding as `version`.
+constexpr std::size_t kFieldCountV1 = 9;
 
 std::string encodePayload(const CampaignResult& r) {
   std::ostringstream os;
   CsvWriter csv(os);
   if (r.planRound) {
     csv.row(r.app, r.tool, r.counts.crash, r.counts.soc, r.counts.benign,
-            r.dynamicTargets, r.profileInstrs, r.binarySize,
+            r.counts.detected, r.dynamicTargets, r.profileInstrs, r.binarySize,
             r.totalTrialSeconds, *r.planRound);
   } else {
     csv.row(r.app, r.tool, r.counts.crash, r.counts.soc, r.counts.benign,
-            r.dynamicTargets, r.profileInstrs, r.binarySize,
+            r.counts.detected, r.dynamicTargets, r.profileInstrs, r.binarySize,
             r.totalTrialSeconds);
   }
   std::string line = os.str();
   line.pop_back();  // CsvWriter terminates the row with '\n'
   return line;
+}
+
+std::optional<CampaignResult> decodeVersioned(std::string_view line,
+                                              int version) {
+  // The checksum is always the last field and contains no comma, so the
+  // final ',' frames it even when a quoted payload field holds commas.
+  const std::size_t comma = line.rfind(',');
+  if (comma == std::string_view::npos) return std::nullopt;
+  const std::string_view payload = line.substr(0, comma);
+  const std::string_view sumHex = line.substr(comma + 1);
+  const auto sum = parseU64(sumHex, 16);
+  if (!sum || sumHex.size() != 16 || *sum != fnv1a(payload)) {
+    return std::nullopt;
+  }
+
+  std::vector<std::string> fields;
+  try {
+    fields = csvParseLine(payload);
+  } catch (const CheckError&) {
+    return std::nullopt;
+  }
+  const std::size_t flat = version >= 2 ? kFieldCount : kFieldCountV1;
+  if (fields.size() != flat && fields.size() != flat + 1) {
+    return std::nullopt;
+  }
+
+  std::size_t at = 2;
+  const auto crash = parseU64(fields[at++]);
+  const auto soc = parseU64(fields[at++]);
+  const auto benign = parseU64(fields[at++]);
+  // v1 predates detection-capable targets: zero is exact, not a guess.
+  const auto detected =
+      version >= 2 ? parseU64(fields[at++]) : std::optional<std::uint64_t>(0);
+  const auto targets = parseU64(fields[at++]);
+  const auto instrs = parseU64(fields[at++]);
+  const auto binSize = parseU64(fields[at++]);
+  const auto seconds = parseF64(fields[at++]);
+  if (!crash || !soc || !benign || !detected || !targets || !instrs ||
+      !binSize || !seconds) {
+    return std::nullopt;
+  }
+  std::optional<std::uint64_t> planRound;
+  if (fields.size() == flat + 1) {
+    planRound = parseU64(fields[at]);
+    if (!planRound) return std::nullopt;
+  }
+
+  CampaignResult r;
+  r.app = std::move(fields[0]);
+  r.tool = std::move(fields[1]);
+  r.counts.crash = *crash;
+  r.counts.soc = *soc;
+  r.counts.benign = *benign;
+  r.counts.detected = *detected;
+  r.dynamicTargets = *targets;
+  r.profileInstrs = *instrs;
+  r.binarySize = *binSize;
+  r.totalTrialSeconds = *seconds;
+  r.planRound = planRound;
+  return r;
 }
 
 std::string formatMetaLine(const CampaignMeta& meta) {
@@ -93,14 +160,23 @@ struct ScanResult {
   std::vector<CampaignResult> records;
   std::size_t goodBytes = 0;  // prefix that parsed cleanly
   std::size_t dropped = 0;    // torn/corrupt lines in the tail
+  int version = 2;            // format version named by the header
 };
 
 ScanResult scanContent(const std::string& content, const std::string& path) {
   ScanResult out;
   const std::size_t headerEnd = content.find('\n');
-  RF_CHECK(headerEnd != std::string::npos &&
-               std::string_view(content).substr(0, headerEnd) == kHeader,
+  RF_CHECK(headerEnd != std::string::npos,
            "not a refine checkpoint (bad header): " + path);
+  const std::string_view headerLine =
+      std::string_view(content).substr(0, headerEnd);
+  if (headerLine == kHeader) {
+    out.version = 2;
+  } else if (headerLine == kHeaderV1) {
+    out.version = 1;
+  } else {
+    RF_CHECK(false, "not a refine checkpoint (bad header): " + path);
+  }
   out.goodBytes = headerEnd + 1;
   std::size_t lineStart = out.goodBytes;
   while (lineStart < content.size()) {
@@ -118,7 +194,7 @@ ScanResult scanContent(const std::string& content, const std::string& path) {
       const auto meta = parseMetaLine(line);
       ok = meta && (!out.meta || *out.meta == *meta);
       if (ok) out.meta = meta;
-    } else if (auto record = CheckpointStore::decode(line)) {
+    } else if (auto record = decodeVersioned(line, out.version)) {
       out.records.push_back(*std::move(record));
       ok = true;
     }
@@ -165,56 +241,10 @@ std::string CheckpointStore::encode(const CampaignResult& result) {
 }
 
 std::optional<CampaignResult> CheckpointStore::decode(std::string_view line) {
-  // The checksum is always the last field and contains no comma, so the
-  // final ',' frames it even when a quoted payload field holds commas.
-  const std::size_t comma = line.rfind(',');
-  if (comma == std::string_view::npos) return std::nullopt;
-  const std::string_view payload = line.substr(0, comma);
-  const std::string_view sumHex = line.substr(comma + 1);
-  const auto sum = parseU64(sumHex, 16);
-  if (!sum || sumHex.size() != 16 || *sum != fnv1a(payload)) {
-    return std::nullopt;
-  }
-
-  std::vector<std::string> fields;
-  try {
-    fields = csvParseLine(payload);
-  } catch (const CheckError&) {
-    return std::nullopt;
-  }
-  if (fields.size() != kFieldCount && fields.size() != kPlannedFieldCount) {
-    return std::nullopt;
-  }
-
-  const auto crash = parseU64(fields[2]);
-  const auto soc = parseU64(fields[3]);
-  const auto benign = parseU64(fields[4]);
-  const auto targets = parseU64(fields[5]);
-  const auto instrs = parseU64(fields[6]);
-  const auto binSize = parseU64(fields[7]);
-  const auto seconds = parseF64(fields[8]);
-  if (!crash || !soc || !benign || !targets || !instrs || !binSize ||
-      !seconds) {
-    return std::nullopt;
-  }
-  std::optional<std::uint64_t> planRound;
-  if (fields.size() == kPlannedFieldCount) {
-    planRound = parseU64(fields[9]);
-    if (!planRound) return std::nullopt;
-  }
-
-  CampaignResult r;
-  r.app = std::move(fields[0]);
-  r.tool = std::move(fields[1]);
-  r.counts.crash = *crash;
-  r.counts.soc = *soc;
-  r.counts.benign = *benign;
-  r.dynamicTargets = *targets;
-  r.profileInstrs = *instrs;
-  r.binarySize = *binSize;
-  r.totalTrialSeconds = *seconds;
-  r.planRound = planRound;
-  return r;
+  // Single-line decoding is always current-format: only whole-file readers
+  // (which see the header) can know a line is v1.
+  static_assert(kPlannedFieldCount == kFieldCount + 1);
+  return decodeVersioned(line, 2);
 }
 
 CheckpointStore::CheckpointStore(std::string path) : path_(std::move(path)) {
@@ -237,7 +267,24 @@ CheckpointStore::CheckpointStore(std::string path) : path_(std::move(path)) {
     meta_ = scan.meta;
     records_ = std::move(scan.records);
     dropped_ = scan.dropped;
-    if (scan.goodBytes < content.size()) {
+    if (scan.version < 2) {
+      // Upgrade-on-open: rewrite a v1 store in the current format so the
+      // records appended below produce a uniform file (mixed-version files
+      // would make the header lie about half the lines). Everything scanned
+      // cleanly is preserved; a bad tail is dropped exactly as the truncate
+      // branch below would drop it.
+      std::string upgraded(kHeader);
+      upgraded += '\n';
+      if (meta_) {
+        upgraded += formatMetaLine(*meta_);
+        upgraded += '\n';
+      }
+      for (const auto& r : records_) {
+        upgraded += encode(r);
+        upgraded += '\n';
+      }
+      writeFile(path_, upgraded);
+    } else if (scan.goodBytes < content.size()) {
       // Truncate the bad tail so appended records follow the last good one.
       std::filesystem::resize_file(path_, scan.goodBytes);
     }

@@ -71,16 +71,22 @@ struct CampaignMeta {
 /// Append-only, checksummed store of completed matrix cells.
 ///
 /// File format (see DESIGN.md):
-///   line 1:  #refine-checkpoint v1
+///   line 1:  #refine-checkpoint v2
 ///   line 2:  #campaign seed=<16 hex> trials=<dec> timeout=<double>
 ///            tools=<';'-joined specs>[ plan=<canonical plan spec>]
 ///            (once bound; tools= was added with the fault-model library —
 ///            stores without it no longer resume; plan= only on planned
 ///            campaigns)
-///   line 3+: app,tool,crash,soc,benign,dynamic_targets,profile_instrs,
-///            binary_size,total_trial_seconds[,round],<fnv1a of payload as
-///            16 hex> — the optional 10th field is the planner round of a
-///            planned campaign's per-round record
+///   line 3+: app,tool,crash,soc,benign,detected,dynamic_targets,
+///            profile_instrs,binary_size,total_trial_seconds[,round],
+///            <fnv1a of payload as 16 hex> — the optional 11th field is the
+///            planner round of a planned campaign's per-round record
+///
+/// v1 files (no detected column — it predates the protection passes) are
+/// still read everywhere; opening one for append rewrites it in v2 with
+/// detected=0, which is exact since no v1 target could detect. Field counts
+/// alone cannot tell a v1 planned record (10 fields) from a v2 flat one, so
+/// readers trust the header, never the count.
 ///
 /// Loading stops at the first torn or checksum-failing record; everything
 /// from that point is dropped and the file is truncated back to the last
@@ -147,8 +153,9 @@ class CheckpointStore {
   /// trailing newline). Exposed for tests.
   static std::string encode(const CampaignResult& result);
 
-  /// Parses one checkpoint line; nullopt on any framing, checksum or field
-  /// error. Exposed for tests.
+  /// Parses one checkpoint line in the current (v2) layout; nullopt on any
+  /// framing, checksum or field error. Whole-file readers handle v1
+  /// internally via the header. Exposed for tests.
   static std::optional<CampaignResult> decode(std::string_view line);
 
  private:

@@ -125,9 +125,12 @@ PlanSpec parsePlanSpec(std::string_view text) {
 bool planConverged(const PlanSpec& spec, const OutcomeCounts& cumulative) {
   const std::uint64_t n = cumulative.total();
   if (n == 0) return false;
-  for (const std::uint64_t successes :
-       {cumulative.crash, cumulative.soc, cumulative.benign}) {
-    if (wilsonHalfWidth(successes, n, spec.confidence) > spec.ci) {
+  // Every outcome class must hit the target half-width, whatever classes
+  // the campaign's tools can produce (Detected stays at a degenerate zero
+  // for unprotected cells, which converges for free).
+  for (std::size_t i = 0; i < kOutcomeClassCount; ++i) {
+    if (wilsonHalfWidth(cumulative.classCount(i), n, spec.confidence) >
+        spec.ci) {
       return false;
     }
   }
@@ -145,10 +148,9 @@ std::uint64_t planPredictedTrials(const PlanSpec& spec,
   const std::uint64_t n = cumulative.total();
   if (n == 0) return trialsForHalfWidth(0.5, spec.ci, z);
   std::uint64_t needed = 1;
-  for (const std::uint64_t successes :
-       {cumulative.crash, cumulative.soc, cumulative.benign}) {
+  for (std::size_t i = 0; i < kOutcomeClassCount; ++i) {
     const stats::Interval iv =
-        stats::wilsonInterval(successes, n, spec.confidence);
+        stats::wilsonInterval(cumulative.classCount(i), n, spec.confidence);
     needed = std::max(needed, trialsForHalfWidth(towardHalf(iv), spec.ci, z));
   }
   return needed;
@@ -257,8 +259,8 @@ std::string plannedCountsCsv(const std::vector<PlannedCell>& cells,
             });
   std::ostringstream os;
   CsvWriter csv(os);
-  csv.row("app", "tool", "trials_used", "crash", "soc", "benign", "ci_low",
-          "ci_high", "rounds", "converged", "dynamic_targets",
+  csv.row("app", "tool", "trials_used", "crash", "soc", "benign", "detected",
+          "ci_low", "ci_high", "rounds", "converged", "dynamic_targets",
           "profile_instrs", "binary_size");
   for (const PlannedCell* cell : sorted) {
     const OutcomeCounts& c = cell->total.counts;
@@ -266,7 +268,7 @@ std::string plannedCountsCsv(const std::vector<PlannedCell>& cells,
     const stats::Interval iv =
         stats::wilsonInterval(c.soc, c.total(), spec.confidence);
     csv.row(cell->total.app, cell->total.tool, c.total(), c.crash, c.soc,
-            c.benign, iv.low, iv.high, cell->rounds,
+            c.benign, c.detected, iv.low, iv.high, cell->rounds,
             static_cast<int>(cell->converged), cell->total.dynamicTargets,
             cell->total.profileInstrs, cell->total.binarySize);
   }

@@ -7,9 +7,9 @@
 // trials are allocated in deterministic ROUNDS — every unconverged cell gets
 // a batch (geometric schedule bounded by a Wilson-derived prediction of how
 // many trials the cell still needs), the round's OutcomeCounts are ingested,
-// and cells whose per-class Wilson half-widths (crash / SOC / benign) are
-// all ≤ the target retire. Cells that refuse to converge retire at the
-// `max` cap.
+// and cells whose per-class Wilson half-widths (crash / SOC / benign /
+// detected) are all ≤ the target retire. Cells that refuse to converge
+// retire at the `max` cap.
 //
 // Determinism contract: the batch of round r is a pure function of the
 // cumulative counts after rounds 0..r-1, which are themselves pure in
@@ -129,8 +129,8 @@ std::vector<PlannedCell> foldPlannedRecords(
 /// Wilson bounds on the SDC (SOC) rate — the paper's headline metric — at
 /// the plan's confidence.
 ///
-///   app,tool,trials_used,crash,soc,benign,ci_low,ci_high,rounds,converged,
-///   dynamic_targets,profile_instrs,binary_size
+///   app,tool,trials_used,crash,soc,benign,detected,ci_low,ci_high,rounds,
+///   converged,dynamic_targets,profile_instrs,binary_size
 std::string plannedCountsCsv(const std::vector<PlannedCell>& cells,
                              const PlanSpec& spec);
 

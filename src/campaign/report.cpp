@@ -4,7 +4,9 @@
 #include <sstream>
 #include <tuple>
 
+#include "campaign/spec.h"
 #include "stats/samplesize.h"
+#include "support/check.h"
 #include "support/csv.h"
 #include "support/strings.h"
 
@@ -21,14 +23,17 @@ double pct(std::uint64_t part, std::uint64_t total) {
 std::string figure4Row(const CampaignResult& result) {
   const std::uint64_t n = result.counts.total();
   std::string out = strf("%-10s %-7s", result.app.c_str(), result.tool.c_str());
-  const std::uint64_t parts[3] = {result.counts.crash, result.counts.soc,
-                                  result.counts.benign};
-  const char* names[3] = {"crash", "soc", "benign"};
-  for (int i = 0; i < 3; ++i) {
-    const double p = pct(parts[i], n);
+  for (std::size_t i = 0; i < kOutcomeClassCount; ++i) {
+    const std::uint64_t part = result.counts.classCount(i);
+    // Unprotected campaigns never produce Detected; keep their rows in the
+    // paper's three-class layout.
+    if (i == static_cast<std::size_t>(Outcome::Detected) && part == 0) {
+      continue;
+    }
+    const double p = pct(part, n);
     const double half =
         100.0 * stats::proportionHalfWidth(p / 100.0, n, 0.95);
-    out += strf("  %s=%5.1f%%±%.1f", names[i], p, half);
+    out += strf("  %s=%5.1f%%±%.1f", kOutcomeNames[i], p, half);
   }
   return out;
 }
@@ -38,28 +43,33 @@ std::string table6Block(const std::string& app,
   std::ostringstream os;
   os << app << '\n';
   for (const auto& result : perTool) {
-    os << strf("  %-7s %5llu %5llu %5llu\n", result.tool.c_str(),
+    os << strf("  %-7s %5llu %5llu %5llu %5llu\n", result.tool.c_str(),
                static_cast<unsigned long long>(result.counts.crash),
                static_cast<unsigned long long>(result.counts.soc),
-               static_cast<unsigned long long>(result.counts.benign));
+               static_cast<unsigned long long>(result.counts.benign),
+               static_cast<unsigned long long>(result.counts.detected));
   }
   return os.str();
 }
 
 std::string contingencyTable(const CampaignResult& a, const CampaignResult& b) {
   std::ostringstream os;
-  os << strf("%-8s %7s %7s %7s %7s\n", "Tool", "Crash", "SOC", "Benign", "Total");
+  os << strf("%-8s %7s %7s %7s %9s %7s\n", "Tool", "Crash", "SOC", "Benign",
+             "Detected", "Total");
   for (const CampaignResult* r : {&a, &b}) {
-    os << strf("%-8s %7llu %7llu %7llu %7llu\n", r->tool.c_str(),
+    os << strf("%-8s %7llu %7llu %7llu %9llu %7llu\n", r->tool.c_str(),
                static_cast<unsigned long long>(r->counts.crash),
                static_cast<unsigned long long>(r->counts.soc),
                static_cast<unsigned long long>(r->counts.benign),
+               static_cast<unsigned long long>(r->counts.detected),
                static_cast<unsigned long long>(r->counts.total()));
   }
-  os << strf("%-8s %7llu %7llu %7llu\n", "Total",
+  os << strf("%-8s %7llu %7llu %7llu %9llu\n", "Total",
              static_cast<unsigned long long>(a.counts.crash + b.counts.crash),
              static_cast<unsigned long long>(a.counts.soc + b.counts.soc),
-             static_cast<unsigned long long>(a.counts.benign + b.counts.benign));
+             static_cast<unsigned long long>(a.counts.benign + b.counts.benign),
+             static_cast<unsigned long long>(a.counts.detected +
+                                             b.counts.detected));
   return os.str();
 }
 
@@ -90,13 +100,14 @@ std::string figure5Line(const CampaignResult& tool,
 std::string resultsCsv(const std::vector<CampaignResult>& results) {
   std::ostringstream os;
   CsvWriter csv(os);
-  csv.writeRow({"app", "tool", "trials", "crash", "soc", "benign",
+  csv.writeRow({"app", "tool", "trials", "crash", "soc", "benign", "detected",
                 "dynamic_targets", "profile_instrs", "binary_size",
                 "total_trial_seconds"});
   for (const auto& r : results) {
     csv.writeRow({r.app, r.tool, std::to_string(r.counts.total()),
                   std::to_string(r.counts.crash), std::to_string(r.counts.soc),
                   std::to_string(r.counts.benign),
+                  std::to_string(r.counts.detected),
                   std::to_string(r.dynamicTargets),
                   std::to_string(r.profileInstrs), std::to_string(r.binarySize),
                   strf("%.3f", r.totalTrialSeconds)});
@@ -111,11 +122,88 @@ std::string countsCsv(std::vector<CampaignResult> results) {
             });
   std::ostringstream os;
   CsvWriter csv(os);
-  csv.writeRow({"app", "tool", "trials", "crash", "soc", "benign",
+  csv.writeRow({"app", "tool", "trials", "crash", "soc", "benign", "detected",
                 "dynamic_targets", "profile_instrs", "binary_size"});
   for (const auto& r : results) {
     csv.row(r.app, r.tool, r.counts.total(), r.counts.crash, r.counts.soc,
-            r.counts.benign, r.dynamicTargets, r.profileInstrs, r.binarySize);
+            r.counts.benign, r.counts.detected, r.dynamicTargets,
+            r.profileInstrs, r.binarySize);
+  }
+  return os.str();
+}
+
+std::string protectionSuiteCsv(const std::vector<CampaignResult>& results) {
+  // Key each result by the fault model with protection stripped, so every
+  // protected cell can find its unprotected sibling for the coverage and
+  // overhead ratios. Tool keys that are not specs (named scenarios, legacy
+  // names) group under themselves as scheme "none".
+  struct Row {
+    const CampaignResult* r;
+    std::string model;  // canonical key with protect removed
+    opt::ProtectScheme scheme;
+  };
+  std::vector<Row> rows;
+  rows.reserve(results.size());
+  for (const auto& r : results) {
+    Row row{&r, r.tool, opt::ProtectScheme::None};
+    try {
+      ToolSpec spec = parseToolSpec(r.tool);
+      row.scheme = spec.protect;
+      spec.protect = opt::ProtectScheme::None;
+      row.model = spec.canonical();
+    } catch (const CheckError&) {
+      // Not a spec spelling: stands alone as its own unprotected model.
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return std::tie(a.r->app, a.model, a.scheme) <
+           std::tie(b.r->app, b.model, b.scheme);
+  });
+
+  const auto sibling = [&](const Row& row) -> const CampaignResult* {
+    for (const Row& other : rows) {
+      if (other.r->app == row.r->app && other.model == row.model &&
+          other.scheme == opt::ProtectScheme::None) {
+        return other.r;
+      }
+    }
+    return nullptr;
+  };
+
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.writeRow({"app", "model", "protect", "trials", "crash", "soc", "benign",
+                "detected", "detected_pct", "soc_pct", "soc_covered_pct",
+                "static_overhead", "dynamic_overhead"});
+  for (const Row& row : rows) {
+    const OutcomeCounts& c = row.r->counts;
+    const std::uint64_t n = c.total();
+    std::string covered, staticOv, dynamicOv;
+    if (const CampaignResult* base = sibling(row); base != nullptr) {
+      // Coverage: what fraction of the unprotected SOC mass did the scheme
+      // eliminate (to Detected for DWC/CFCSS, to Benign for TMR)? Rates,
+      // not counts, so protected and unprotected trial budgets may differ.
+      const double socBase = pct(base->counts.soc, base->counts.total());
+      const double socHere = pct(c.soc, n);
+      covered = socBase <= 0.0 ? "0"
+                               : strf("%.2f", 100.0 * (socBase - socHere) /
+                                                  socBase);
+      if (base->binarySize > 0) {
+        staticOv = strf("%.3f", static_cast<double>(row.r->binarySize) /
+                                    static_cast<double>(base->binarySize));
+      }
+      if (base->profileInstrs > 0) {
+        dynamicOv = strf("%.3f", static_cast<double>(row.r->profileInstrs) /
+                                     static_cast<double>(base->profileInstrs));
+      }
+    }
+    csv.writeRow({row.r->app, row.model,
+                  opt::protectSchemeName(row.scheme), std::to_string(n),
+                  std::to_string(c.crash), std::to_string(c.soc),
+                  std::to_string(c.benign), std::to_string(c.detected),
+                  strf("%.2f", pct(c.detected, n)),
+                  strf("%.2f", pct(c.soc, n)), covered, staticOv, dynamicOv});
   }
   return os.str();
 }

@@ -44,4 +44,12 @@ std::string resultsCsv(const std::vector<CampaignResult>& results);
 /// diffs. See DESIGN.md "Checkpointing and sharding".
 std::string countsCsv(std::vector<CampaignResult> results);
 
+/// Protected-vs-unprotected coverage/overhead table (deterministic, sorted
+/// by app/model/scheme): each row is one cell with its outcome counts plus,
+/// where the matrix contains the protect=none sibling of the same fault
+/// model, the fraction of the unprotected SOC rate the scheme eliminated
+/// and the static (binary size) and dynamic (golden-run instruction)
+/// overhead ratios. Bit-stable fields only — safe for CI byte-diffs.
+std::string protectionSuiteCsv(const std::vector<CampaignResult>& results);
+
 }  // namespace refine::campaign

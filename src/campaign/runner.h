@@ -16,6 +16,7 @@
 
 #include "campaign/outcome.h"
 #include "campaign/tools.h"
+#include "support/check.h"
 
 namespace refine::campaign {
 
@@ -34,15 +35,33 @@ struct OutcomeCounts {
   std::uint64_t crash = 0;
   std::uint64_t soc = 0;
   std::uint64_t benign = 0;
+  std::uint64_t detected = 0;
 
-  std::uint64_t total() const noexcept { return crash + soc + benign; }
-  std::vector<std::uint64_t> asVector() const { return {crash, soc, benign}; }
+  std::uint64_t total() const noexcept {
+    return crash + soc + benign + detected;
+  }
+  std::vector<std::uint64_t> asVector() const {
+    return {crash, soc, benign, detected};
+  }
+
+  /// Count of class `i`, indexed in Outcome enum order (kOutcomeNames).
+  /// Lets callers iterate classes instead of hardcoding the field triple.
+  std::uint64_t classCount(std::size_t i) const {
+    switch (static_cast<Outcome>(i)) {
+      case Outcome::Crash: return crash;
+      case Outcome::SOC: return soc;
+      case Outcome::Benign: return benign;
+      case Outcome::Detected: return detected;
+    }
+    RF_UNREACHABLE("outcome class index out of range");
+  }
 
   void add(Outcome o) noexcept {
     switch (o) {
       case Outcome::Crash: ++crash; break;
       case Outcome::SOC: ++soc; break;
       case Outcome::Benign: ++benign; break;
+      case Outcome::Detected: ++detected; break;
     }
   }
 
@@ -50,6 +69,7 @@ struct OutcomeCounts {
     crash += rhs.crash;
     soc += rhs.soc;
     benign += rhs.benign;
+    detected += rhs.detected;
     return *this;
   }
 

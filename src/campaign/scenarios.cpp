@@ -50,5 +50,17 @@ const InjectorRegistration reg4BitScatter =
 const InjectorRegistration regMain = scenario("REFINE-MAIN",
                                               "REFINE:funcs=main");
 
+// Software fault tolerance (opt/protect.h): REFINE's register-file fault
+// model against a target hardened by duplication-with-compare, triple
+// modular redundancy, and control-flow signature checking. Pair any of
+// these with plain REFINE for a protected-vs-unprotected campaign (or let
+// `refine-campaign --protect-suite` build the full matrix).
+const InjectorRegistration regDwc = scenario("REFINE-DWC",
+                                             "REFINE:protect=dwc");
+const InjectorRegistration regTmr = scenario("REFINE-TMR",
+                                             "REFINE:protect=tmr");
+const InjectorRegistration regCfcss = scenario("REFINE-CFCSS",
+                                               "REFINE:protect=cfcss");
+
 }  // namespace
 }  // namespace refine::campaign

@@ -60,7 +60,7 @@ ToolSpec parseToolSpec(std::string_view text) {
   RF_CHECK(!params.empty(),
            "tool spec '" + std::string(text) + "': empty parameter list");
   bool seenInstrs = false, seenBits = false, seenMode = false,
-       seenFuncs = false;
+       seenFuncs = false, seenProtect = false;
   for (const auto& param : split(params, ',')) {
     const std::size_t eq = param.find('=');
     RF_CHECK(eq != std::string::npos && eq > 0,
@@ -105,9 +105,17 @@ ToolSpec parseToolSpec(std::string_view text) {
       }
       RF_CHECK(!spec.funcs.empty(),
                "tool spec: funcs needs at least one glob");
+    } else if (key == "protect") {
+      RF_CHECK(!seenProtect, "tool spec: duplicate key 'protect'");
+      seenProtect = true;
+      const auto scheme = opt::parseProtectScheme(value);
+      RF_CHECK(scheme.has_value(),
+               "tool spec: protect expects none|dwc|tmr|cfcss, got '" +
+                   value + "'");
+      spec.protect = *scheme;
     } else {
       RF_CHECK(false, "tool spec: unknown key '" + key +
-                          "' (known: instrs, bits, mode, funcs)");
+                          "' (known: instrs, bits, mode, funcs, protect)");
     }
   }
   // Normalizations that keep equivalent specs canonically equal: the
@@ -141,6 +149,9 @@ std::string ToolSpec::canonical() const {
     emit("mode", fi::bitModeName(flip.mode));
   }
   if (funcs != std::vector<std::string>{"*"}) emit("funcs", join(funcs, "+"));
+  if (protect != opt::ProtectScheme::None) {
+    emit("protect", opt::protectSchemeName(protect));
+  }
   return out;
 }
 
@@ -149,6 +160,7 @@ fi::FiConfig ToolSpec::apply(fi::FiConfig config) const {
   config.instrs = instrs;
   config.flip = flip;
   config.funcPatterns = funcs;
+  config.protect = protect;
   return config;
 }
 

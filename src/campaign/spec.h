@@ -11,6 +11,9 @@
 //   mode    adjacent | independent bit placement     (default adjacent;
 //                                                     meaningless at bits=1)
 //   funcs   '+'-separated function-name globs        (default *)
+//   protect none | dwc | tmr | cfcss                 (default none;
+//                                                     opt/protect.h scheme
+//                                                     applied to the target)
 //
 // parseToolSpec() turns the text into a ToolSpec; canonical() renders it
 // back in a fixed key order with defaults omitted, so every spelling of the
@@ -36,11 +39,12 @@ struct ToolSpec {
   fi::InstrSel instrs = fi::InstrSel::All;
   fi::BitFlip flip;
   std::vector<std::string> funcs = {"*"};  // sorted + deduped by the parser
+  opt::ProtectScheme protect = opt::ProtectScheme::None;
 
-  /// Canonical spelling: base, then instrs/bits/mode/funcs in that order,
-  /// defaults omitted. A spec that is all defaults canonicalizes to the
-  /// bare base name. Contains no whitespace, ever (checkpoint meta lines
-  /// are space-framed).
+  /// Canonical spelling: base, then instrs/bits/mode/funcs/protect in that
+  /// order, defaults omitted. A spec that is all defaults canonicalizes to
+  /// the bare base name. Contains no whitespace, ever (checkpoint meta
+  /// lines are space-framed).
   std::string canonical() const;
 
   /// Overlays this spec onto `config`: enables injection and replaces the

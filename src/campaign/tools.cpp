@@ -9,6 +9,7 @@
 #include "fi/refine_pass.h"
 #include "frontend/compile.h"
 #include "opt/passes.h"
+#include "opt/protect.h"
 #include "support/check.h"
 
 namespace refine::campaign {
@@ -33,9 +34,14 @@ const ToolInstance::Profile& ToolInstance::profile() {
 
 namespace {
 
-std::unique_ptr<ir::Module> frontendAndOpt(std::string_view source) {
+std::unique_ptr<ir::Module> frontendAndOpt(std::string_view source,
+                                           const fi::FiConfig& config) {
   auto module = fe::compileToIR(source);
   opt::optimize(*module, opt::OptLevel::O2);
+  // Protection runs after optimization (CSE/DCE would fold the shadow
+  // strands back into their originals) and before any instrumentation, so
+  // every injector targets the protected program like a real attack would.
+  opt::applyProtection(*module, config.protect);
   return module;
 }
 
@@ -46,7 +52,7 @@ std::unique_ptr<ir::Module> frontendAndOpt(std::string_view source) {
 class RefineInstance final : public ToolInstance {
  public:
   RefineInstance(std::string_view source, const fi::FiConfig& config)
-      : module_(frontendAndOpt(source)),
+      : module_(frontendAndOpt(source, config)),
         compiled_(fi::compileWithRefine(*module_, config)),
         decoded_(compiled_.program),
         jit_(decoded_),
@@ -120,7 +126,7 @@ class RefineInstance final : public ToolInstance {
 class PinfiInstance final : public ToolInstance {
  public:
   PinfiInstance(std::string_view source, const fi::FiConfig& config)
-      : module_(frontendAndOpt(source)),
+      : module_(frontendAndOpt(source, config)),
         compiled_(backend::compileBackend(*module_)),
         engine_(compiled_.program, config),
         jit_(engine_.decoded()) {
@@ -174,7 +180,7 @@ class PinfiInstance final : public ToolInstance {
 class LlfiInstance final : public ToolInstance {
  public:
   LlfiInstance(std::string_view source, const fi::FiConfig& config)
-      : module_(frontendAndOpt(source)), flip_(config.flip) {
+      : module_(frontendAndOpt(source, config)), flip_(config.flip) {
     info_ = fi::applyLlfiPass(*module_, config);
     RF_CHECK(info_.staticTargets > 0, "LLFI instrumented nothing");
     compiled_ = backend::compileBackend(*module_);

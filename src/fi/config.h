@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "fi/faultmodel.h"
+#include "opt/protect.h"
 
 namespace refine::fi {
 
@@ -38,6 +39,11 @@ struct FiConfig {
   /// Bits flipped per fault and their placement; {1, Adjacent} is the
   /// paper's single-bit model and reproduces it bit-identically.
   BitFlip flip;
+  /// Software fault-tolerance scheme applied to the module after
+  /// optimization, before instrumentation (opt/protect.h). Not a fault
+  /// model parameter: it changes the *program under test*, so the injector
+  /// populations naturally grow to cover the redundant code.
+  opt::ProtectScheme protect = opt::ProtectScheme::None;
 
   /// True when `name` matches any -fi-funcs pattern.
   bool matchesFunction(std::string_view name) const;

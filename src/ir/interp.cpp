@@ -186,6 +186,19 @@ class Interp {
         ret = asBits(std::pow(asF64(args[0]), asF64(args[1])));
         return true;
       case RuntimeFn::Floor: ret = asBits(std::floor(asF64(args[0]))); return true;
+      case RuntimeFn::AssertEq:
+        if (args[0] != args[1]) return fail(InterpTrap::DetectedByCheck);
+        return true;
+      case RuntimeFn::Vote:
+        if (args[0] == args[1] || args[0] == args[2]) {
+          ret = args[0];
+          return true;
+        }
+        if (args[1] == args[2]) {
+          ret = args[1];
+          return true;
+        }
+        return fail(InterpTrap::DetectedByCheck);
     }
     RF_UNREACHABLE("bad runtime function");
   }

@@ -20,6 +20,7 @@ enum class InterpTrap : std::uint8_t {
   DivByZero,      // integer division by zero or INT64_MIN / -1
   StackOverflow,  // stack pointer left the stack segment
   Timeout,        // instruction budget exhausted
+  DetectedByCheck,  // fi_assert_eq/fi_vote caught divergent redundant state
 };
 
 struct InterpResult {

@@ -15,6 +15,9 @@ const std::vector<RuntimeFnInfo>& runtimeFunctions() {
       {RuntimeFn::Cos, "cos", Type::F64, {Type::F64}},
       {RuntimeFn::Pow, "pow", Type::F64, {Type::F64, Type::F64}},
       {RuntimeFn::Floor, "floor", Type::F64, {Type::F64}},
+      {RuntimeFn::AssertEq, "fi_assert_eq", Type::Void,
+       {Type::I64, Type::I64}},
+      {RuntimeFn::Vote, "fi_vote", Type::I64, {Type::I64, Type::I64, Type::I64}},
   };
   return table;
 }

@@ -23,6 +23,12 @@ enum class RuntimeFn : std::uint8_t {
   Cos,       // cos(f64) -> f64
   Pow,       // pow(f64, f64) -> f64
   Floor,     // floor(f64) -> f64
+  // Fault-tolerance check hooks (src/opt/protect.cpp). Both trap with the
+  // distinct DetectedByCheck code instead of returning when the redundant
+  // copies disagree, so a campaign classifies the trial as Detected.
+  AssertEq,  // fi_assert_eq(i64, i64): traps DetectedByCheck on mismatch
+  Vote,      // fi_vote(i64, i64, i64) -> i64: majority of three copies;
+             // traps DetectedByCheck when all three disagree
 };
 
 struct RuntimeFnInfo {

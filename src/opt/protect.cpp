@@ -1,0 +1,371 @@
+#include "opt/protect.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ir/cfg.h"
+#include "ir/runtime.h"
+#include "ir/verifier.h"
+#include "support/check.h"
+
+namespace refine::opt {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::Function;
+using ir::Instruction;
+using ir::Module;
+using ir::Opcode;
+using ir::Type;
+using ir::Value;
+
+Function* declareRuntime(Module& m, ir::RuntimeFn fn) {
+  const ir::RuntimeFnInfo& info = ir::runtimeFnInfo(fn);
+  if (Function* existing = m.findFunction(info.name)) return existing;
+  Function* f =
+      m.addFunction(info.name, info.returnType, ir::FunctionKind::External);
+  for (std::size_t i = 0; i < info.paramTypes.size(); ++i) {
+    f->addParam(info.paramTypes[i], "a" + std::to_string(i));
+  }
+  return f;
+}
+
+/// Non-terminator copy of `inst` sharing its operands (remapped later).
+std::unique_ptr<Instruction> cloneInst(const Instruction& inst) {
+  auto clone = std::make_unique<Instruction>(inst.opcode(), inst.type());
+  if (inst.opcode() == Opcode::Phi) {
+    for (std::size_t i = 0; i < inst.numOperands(); ++i) {
+      clone->addPhiIncoming(inst.operand(i), inst.phiBlocks()[i]);
+    }
+  } else {
+    for (Value* op : inst.operands()) clone->addOperand(op);
+  }
+  clone->setICmpPred(inst.icmpPred());
+  clone->setFCmpPred(inst.fcmpPred());
+  clone->setElemType(inst.elemType());
+  clone->setAllocaCount(inst.allocaCount());
+  clone->setCallee(inst.callee());
+  return clone;
+}
+
+/// Instructions that get a shadow strand. Pointer producers (alloca, gep,
+/// and pointer-typed selects/phis/loads) stay single-stranded — the IR has
+/// no pointer compare, so addresses are protected at their integer roots
+/// (gep indices are sync sites instead). Calls and stores are shared
+/// side-effect points; terminators structure the (shared) CFG.
+bool clonable(const Instruction& inst) {
+  switch (inst.opcode()) {
+    case Opcode::Ret:
+    case Opcode::Br:
+    case Opcode::CondBr:
+    case Opcode::Alloca:
+    case Opcode::Store:
+    case Opcode::Gep:
+    case Opcode::Call:
+      return false;
+    default:
+      return inst.producesValue() && inst.type() != Type::Ptr;
+  }
+}
+
+/// Inserts `inst` at `pos` (bumping it past the insertion) and returns it.
+Instruction* insertAt(BasicBlock* bb, std::size_t& pos,
+                      std::unique_ptr<Instruction> inst) {
+  return bb->insertAt(pos++, std::move(inst));
+}
+
+/// Materializes `v` as an i64 word before `pos`: f64 goes through a
+/// bit-exact bitcast (an FCmp would treat NaN copies as unequal), i1
+/// through zext. Pointer-typed values never reach here — they have no
+/// shadows.
+Value* toWord(BasicBlock* bb, std::size_t& pos, Value* v) {
+  switch (v->type()) {
+    case Type::I64:
+      return v;
+    case Type::F64: {
+      auto cast = std::make_unique<Instruction>(Opcode::BitcastF2I, Type::I64);
+      cast->addOperand(v);
+      return insertAt(bb, pos, std::move(cast));
+    }
+    case Type::I1: {
+      auto zext = std::make_unique<Instruction>(Opcode::ZExt, Type::I64);
+      zext->addOperand(v);
+      return insertAt(bb, pos, std::move(zext));
+    }
+    default:
+      RF_UNREACHABLE("pointer operand in a protection sync");
+  }
+}
+
+/// Inverse of toWord: converts an i64 word back to `type` before `pos`.
+Value* fromWord(Module& m, BasicBlock* bb, std::size_t& pos, Value* word,
+                Type type) {
+  switch (type) {
+    case Type::I64:
+      return word;
+    case Type::F64: {
+      auto cast = std::make_unique<Instruction>(Opcode::BitcastI2F, Type::F64);
+      cast->addOperand(word);
+      return insertAt(bb, pos, std::move(cast));
+    }
+    case Type::I1: {
+      auto cmp = std::make_unique<Instruction>(Opcode::ICmp, Type::I1);
+      cmp->addOperand(word);
+      cmp->addOperand(m.constI64(0));
+      cmp->setICmpPred(ir::ICmpPred::NE);
+      return insertAt(bb, pos, std::move(cmp));
+    }
+    default:
+      RF_UNREACHABLE("pointer operand in a protection sync");
+  }
+}
+
+Instruction* makeCall(Function* callee, const std::vector<Value*>& args) {
+  auto call = std::make_unique<Instruction>(Opcode::Call, callee->returnType());
+  for (Value* a : args) call->addOperand(a);
+  auto* raw = call.get();
+  raw->setCallee(callee);
+  return call.release();
+}
+
+/// Operand indices of `inst` that are synchronization points: places where
+/// a redundant scalar leaves the protected dataflow (memory, calls, the
+/// return value, a branch decision, an address computation).
+std::vector<std::size_t> syncOperands(const Instruction& inst,
+                                      const Function* assertFn,
+                                      const Function* voteFn) {
+  switch (inst.opcode()) {
+    case Opcode::Store:
+      return {0};
+    case Opcode::Gep:
+      return {1};
+    case Opcode::CondBr:
+      return {0};
+    case Opcode::Ret:
+      if (inst.numOperands() == 1) return {0};
+      return {};
+    case Opcode::Call: {
+      // Our own check calls are not sites (their operands ARE the checks).
+      if (inst.callee() == assertFn || inst.callee() == voteFn) return {};
+      std::vector<std::size_t> all(inst.numOperands());
+      for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+      return all;
+    }
+    case Opcode::Select:
+      // Pointer selects stay single-stranded, but their condition is a
+      // protected scalar steering an address: sync it.
+      if (inst.type() == Type::Ptr) return {0};
+      return {};
+    default:
+      return {};
+  }
+}
+
+/// DWC / TMR over one function: clone the scalar dataflow into `copies`
+/// shadow strands, then compare (DWC) or majority-vote (TMR) the strands at
+/// every sync site.
+void applyRedundancy(Module& m, Function& fn, int copies, Function* assertFn,
+                     Function* voteFn, ProtectStats& stats) {
+  std::unordered_map<Value*, Value*> shadow[2];
+  std::vector<std::pair<Instruction*, int>> clones;
+
+  // Pass 1: insert shadow copies right after their originals. Phi clones
+  // land inside the phi prefix (right after a phi), keeping it contiguous.
+  for (const auto& bb : fn.blocks()) {
+    for (std::size_t i = 0; i < bb->size(); ++i) {
+      Instruction* inst = bb->instructions()[i].get();
+      if (!clonable(*inst)) continue;
+      for (int k = 0; k < copies; ++k) {
+        Instruction* c = bb->insertAt(i + 1 + static_cast<std::size_t>(k),
+                                      cloneInst(*inst));
+        shadow[k][inst] = c;
+        clones.emplace_back(c, k);
+        ++stats.clonedInstrs;
+      }
+      i += static_cast<std::size_t>(copies);
+    }
+  }
+
+  // Pass 2: retarget clone operands into their own strand. Deferred until
+  // every shadow exists because phis reference back-edge definitions.
+  for (const auto& [clone, k] : clones) {
+    for (std::size_t i = 0; i < clone->numOperands(); ++i) {
+      auto it = shadow[k].find(clone->operand(i));
+      if (it != shadow[k].end()) clone->setOperand(i, it->second);
+    }
+  }
+
+  // Pass 3: check or vote at sync sites.
+  for (const auto& bb : fn.blocks()) {
+    for (std::size_t i = 0; i < bb->size(); ++i) {
+      Instruction* site = bb->instructions()[i].get();
+      const auto operands = syncOperands(*site, assertFn, voteFn);
+      if (operands.empty()) continue;
+      std::size_t pos = i;  // insertion cursor, always just before the site
+      for (const std::size_t oi : operands) {
+        Value* v = site->operand(oi);
+        auto it = shadow[0].find(v);
+        if (it == shadow[0].end()) continue;  // shared value: single copy
+        Value* a = toWord(bb.get(), pos, v);
+        Value* b = toWord(bb.get(), pos, it->second);
+        if (voteFn == nullptr) {
+          insertAt(bb.get(), pos,
+                   std::unique_ptr<Instruction>(makeCall(assertFn, {a, b})));
+        } else {
+          Value* c = toWord(bb.get(), pos, shadow[1].at(v));
+          Value* voted = insertAt(
+              bb.get(), pos,
+              std::unique_ptr<Instruction>(makeCall(voteFn, {a, b, c})));
+          site->setOperand(oi,
+                           fromWord(m, bb.get(), pos, voted, v->type()));
+        }
+        ++stats.checkSites;
+      }
+      i = pos;  // skip past everything we inserted; ++i moves off the site
+    }
+  }
+}
+
+/// CFCSS over one function: every block gets a distinct compile-time
+/// signature; a runtime signature global is set to the current block's
+/// signature on entry (and re-seeded after calls into protected code), and
+/// each block first asserts that the global holds the signature of one of
+/// its CFG predecessors. A control-flow escape lands with a signature
+/// outside the legal predecessor set and traps DetectedByCheck.
+void applyCfcss(Module& m, Function& fn, std::size_t fnIndex,
+                ir::GlobalVar* sig, Function* assertFn, ProtectStats& stats) {
+  // Distinct, deterministic signatures: (function, block) index pairs.
+  std::unordered_map<const BasicBlock*, std::int64_t> sigOf;
+  {
+    std::int64_t blockIndex = 0;
+    for (const auto& bb : fn.blocks()) {
+      sigOf[bb.get()] =
+          (static_cast<std::int64_t>(fnIndex + 1) << 20) + (++blockIndex);
+    }
+  }
+  const auto preds = ir::predecessorMap(fn);
+
+  for (const auto& bb : fn.blocks()) {
+    const std::int64_t own = sigOf.at(bb.get());
+    std::size_t pos = 0;
+    while (pos < bb->size() &&
+           bb->instructions()[pos]->opcode() == Opcode::Phi) {
+      ++pos;
+    }
+    const auto& incoming = preds.at(bb.get());
+    if (bb.get() != fn.entry() && !incoming.empty()) {
+      auto load = std::make_unique<Instruction>(Opcode::Load, Type::I64);
+      load->addOperand(sig);
+      Value* current = insertAt(bb.get(), pos, std::move(load));
+      if (incoming.size() == 1) {
+        insertAt(bb.get(), pos,
+                 std::unique_ptr<Instruction>(makeCall(
+                     assertFn, {current, m.constI64(sigOf.at(incoming[0]))})));
+      } else {
+        // Fan-in block: assert membership in the predecessor-signature set
+        // (an OR of equality bits), sidestepping classic CFCSS's adjusting
+        // signature and its fan-in aliasing problem.
+        Value* any = nullptr;
+        for (const BasicBlock* p : incoming) {
+          auto cmp = std::make_unique<Instruction>(Opcode::ICmp, Type::I1);
+          cmp->addOperand(current);
+          cmp->addOperand(m.constI64(sigOf.at(p)));
+          cmp->setICmpPred(ir::ICmpPred::EQ);
+          Value* bit = insertAt(bb.get(), pos, std::move(cmp));
+          auto zext = std::make_unique<Instruction>(Opcode::ZExt, Type::I64);
+          zext->addOperand(bit);
+          Value* word = insertAt(bb.get(), pos, std::move(zext));
+          if (any == nullptr) {
+            any = word;
+          } else {
+            auto orInst = std::make_unique<Instruction>(Opcode::Or, Type::I64);
+            orInst->addOperand(any);
+            orInst->addOperand(word);
+            any = insertAt(bb.get(), pos, std::move(orInst));
+          }
+        }
+        insertAt(bb.get(), pos,
+                 std::unique_ptr<Instruction>(
+                     makeCall(assertFn, {any, m.constI64(1)})));
+      }
+      ++stats.checkSites;
+    }
+    // Entering this block sets its signature (the entry block seeds it:
+    // callees own the global while they run).
+    auto seed = std::make_unique<Instruction>(Opcode::Store, Type::Void);
+    seed->addOperand(m.constI64(own));
+    seed->addOperand(sig);
+    insertAt(bb.get(), pos, std::move(seed));
+    ++stats.signedBlocks;
+
+    // A call into protected code leaves the callee's signature in the
+    // global; re-seed ours so the successor's check sees this block.
+    for (std::size_t i = pos; i < bb->size(); ++i) {
+      const Instruction* inst = bb->instructions()[i].get();
+      if (inst->opcode() != Opcode::Call || inst->callee() == nullptr ||
+          inst->callee()->isExternal()) {
+        continue;
+      }
+      auto reseed = std::make_unique<Instruction>(Opcode::Store, Type::Void);
+      reseed->addOperand(m.constI64(own));
+      reseed->addOperand(sig);
+      bb->insertAt(i + 1, std::move(reseed));
+      ++i;
+    }
+  }
+}
+
+}  // namespace
+
+const char* protectSchemeName(ProtectScheme s) noexcept {
+  switch (s) {
+    case ProtectScheme::None: return "none";
+    case ProtectScheme::DWC: return "dwc";
+    case ProtectScheme::TMR: return "tmr";
+    case ProtectScheme::CFCSS: return "cfcss";
+  }
+  return "?";
+}
+
+std::optional<ProtectScheme> parseProtectScheme(std::string_view name) {
+  if (name == "none") return ProtectScheme::None;
+  if (name == "dwc") return ProtectScheme::DWC;
+  if (name == "tmr") return ProtectScheme::TMR;
+  if (name == "cfcss") return ProtectScheme::CFCSS;
+  return std::nullopt;
+}
+
+ProtectStats applyProtection(ir::Module& module, ProtectScheme scheme) {
+  ProtectStats stats;
+  if (scheme == ProtectScheme::None) return stats;
+  Function* assertFn = declareRuntime(module, ir::RuntimeFn::AssertEq);
+  if (scheme == ProtectScheme::CFCSS) {
+    RF_CHECK(module.findGlobal("__cfcss_sig") == nullptr,
+             "CFCSS protection already applied to this module");
+    ir::GlobalVar* sig = module.addGlobal("__cfcss_sig", Type::I64, 1);
+    std::size_t fnIndex = 0;
+    for (const auto& fn : module.functions()) {
+      if (!fn->isExternal()) {
+        applyCfcss(module, *fn, fnIndex, sig, assertFn, stats);
+      }
+      ++fnIndex;
+    }
+  } else {
+    const int copies = scheme == ProtectScheme::TMR ? 2 : 1;
+    Function* voteFn = scheme == ProtectScheme::TMR
+                           ? declareRuntime(module, ir::RuntimeFn::Vote)
+                           : nullptr;
+    for (const auto& fn : module.functions()) {
+      if (fn->isExternal()) continue;
+      applyRedundancy(module, *fn, copies, assertFn, voteFn, stats);
+    }
+  }
+  ir::verifyOrThrow(module);
+  return stats;
+}
+
+}  // namespace refine::opt

@@ -1,0 +1,61 @@
+// Software fault-tolerance passes (COAST-style resilience schemes).
+//
+// Three protection schemes transform a module *after* optimization (so CSE
+// and DCE cannot fold the redundancy away) and *before* the backend or any
+// fault-injection instrumentation — the injectors then draw their target
+// populations from the protected code, exactly as a real protected binary
+// would be attacked:
+//
+//   DWC    duplicate-with-compare (EDDI-style): every scalar value-producing
+//          instruction is cloned into a shadow strand; at synchronization
+//          points (stores, calls, returns, branch conditions, address
+//          indices) master and shadow are compared with fi_assert_eq, which
+//          traps with the distinct DetectedByCheck code on mismatch.
+//   TMR    triple modular redundancy: two shadow strands; at the same sync
+//          points the three copies go through fi_vote, whose majority value
+//          *replaces* the operand — single flips are corrected (trial stays
+//          Benign), three-way disagreement traps DetectedByCheck.
+//   CFCSS  control-flow checking by software signatures: every basic block
+//          gets a distinct compile-time signature; a runtime signature
+//          global is stored at each block exit-point and checked against
+//          the predecessor-signature set at each block entry, so a control
+//          flow escape to a non-successor block traps DetectedByCheck.
+//
+// Pointer-typed values (alloca/gep results) are deliberately left
+// unduplicated: the IR has no pointer compare, so redundancy protects the
+// *integer roots* of address arithmetic (gep indices are synced like any
+// scalar) while the pointer dataflow itself stays single-stranded. Call
+// results are likewise shared between strands — protecting across a call
+// boundary would need function-signature duplication (COAST's
+// dataflowProtection scope problem), out of scope here.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "ir/ir.h"
+
+namespace refine::opt {
+
+enum class ProtectScheme : std::uint8_t { None, DWC, TMR, CFCSS };
+
+/// Lower-case canonical spelling ("none", "dwc", "tmr", "cfcss") — the
+/// `protect=` spec-key vocabulary.
+const char* protectSchemeName(ProtectScheme s) noexcept;
+
+/// Parses a canonical spelling; nullopt for anything else.
+std::optional<ProtectScheme> parseProtectScheme(std::string_view name);
+
+struct ProtectStats {
+  std::uint64_t clonedInstrs = 0;  // shadow copies inserted (DWC/TMR)
+  std::uint64_t checkSites = 0;    // fi_assert_eq / fi_vote calls inserted
+  std::uint64_t signedBlocks = 0;  // CFCSS: blocks given signatures
+};
+
+/// Applies `scheme` to every defined function of `module` and verifies the
+/// result. None is a no-op. Throws CheckError if the module was already
+/// protected or fails post-transform verification.
+ProtectStats applyProtection(ir::Module& module, ProtectScheme scheme);
+
+}  // namespace refine::opt

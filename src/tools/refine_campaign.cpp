@@ -47,6 +47,7 @@
 #include "campaign/report.h"
 #include "campaign/spec.h"
 #include "campaign/worker.h"
+#include "opt/protect.h"
 #include "support/check.h"
 #include "support/strings.h"
 #include "vm/jit.h"
@@ -87,8 +88,16 @@ int usage(std::FILE* out) {
       "                       SPEC = BASE[:key=value,...] with BASE one of\n"
       "                       LLFI|REFINE|PINFI and keys instrs=stack|\n"
       "                       arithm|mem|fp|all, bits=1..64, mode=adjacent|\n"
-      "                       independent, funcs=glob[+glob...]\n"
+      "                       independent, funcs=glob[+glob...],\n"
+      "                       protect=none|dwc|tmr|cfcss (opt/protect.h\n"
+      "                       software fault-tolerance pass on the target)\n"
       "                       e.g. 'REFINE:instrs=fp,bits=2,funcs=kernel*'\n"
+      "  --protect-suite      expand every tool into its four protection\n"
+      "                       variants (protect=none|dwc|tmr|cfcss) and emit\n"
+      "                       the protected-vs-unprotected coverage/overhead\n"
+      "                       table instead of the plain counts report. Also\n"
+      "                       valid with --merge (reads any checkpoints) and\n"
+      "                       --serve (expands the served matrix).\n"
       "  --trials N           trials per cell (default 1068)\n"
       "  --plan SPEC          adaptive planned campaign instead of a flat\n"
       "                       trial count (excludes --trials). SPEC =\n"
@@ -187,6 +196,7 @@ struct Options {
   bool toolsExplicit = false;  // first --tool/--tools replaces the default
   std::optional<campaign::PlanSpec> plan;  // --plan: adaptive rounds
   bool trialsExplicit = false;             // --trials conflicts with --plan
+  bool protectSuite = false;  // --protect-suite: expand tools x schemes
   campaign::CampaignConfig config;
   campaign::ShardSpec shard;
   std::optional<std::string> checkpointPath;
@@ -262,6 +272,8 @@ Options parseArgs(int argc, char** argv) {
       opt.trialsExplicit = true;
     } else if (arg == "--plan") {
       opt.plan = campaign::parsePlanSpec(value(i, "--plan"));
+    } else if (arg == "--protect-suite") {
+      opt.protectSuite = true;
     } else if (arg == "--threads") {
       const std::uint64_t threads = number(i, "--threads");
       RF_CHECK(threads <= 4096, "--threads out of range");
@@ -389,6 +401,46 @@ std::optional<std::vector<std::string>> resolveToolKeys(
   return toolKeys;
 }
 
+/// --protect-suite: expands each resolved tool key into the four protection
+/// variants of its fault model (protect=none, dwc, tmr, cfcss), resolved to
+/// canonical keys so the suite's cells line up with any independently-run
+/// campaign of the same models. Non-spec keys are recovered through their
+/// registered SpecFactory (named scenarios), so REFINE-STACK expands as the
+/// model it aliases. Returns nullopt (after explaining on stderr) on a key
+/// with no recoverable spec.
+std::optional<std::vector<std::string>> expandProtectSuite(
+    const std::vector<std::string>& toolKeys) {
+  std::vector<std::string> out;
+  for (const auto& key : toolKeys) {
+    campaign::ToolSpec spec;
+    try {
+      spec = campaign::parseToolSpec(key);
+    } catch (const CheckError&) {
+      const auto* factory = campaign::InjectorRegistry::global().find(key);
+      const auto* asSpec = dynamic_cast<const campaign::SpecFactory*>(factory);
+      if (asSpec == nullptr) {
+        std::fprintf(stderr,
+                     "--protect-suite cannot expand '%s': not a fault-model "
+                     "spec and not a spec-backed scenario; spell the model "
+                     "out as BASE:key=value,...\n",
+                     key.c_str());
+        return std::nullopt;
+      }
+      spec = asSpec->spec();
+    }
+    for (const auto scheme :
+         {opt::ProtectScheme::None, opt::ProtectScheme::DWC,
+          opt::ProtectScheme::TMR, opt::ProtectScheme::CFCSS}) {
+      spec.protect = scheme;
+      std::string variant = campaign::resolveToolSpec(spec.canonical());
+      if (std::find(out.begin(), out.end(), variant) == out.end()) {
+        out.push_back(std::move(variant));
+      }
+    }
+  }
+  return out;
+}
+
 /// The app-name list of the matrix: --apps as given (paper Table 3 order
 /// by default). Returns nullopt (after explaining on stderr) on an unknown
 /// name.
@@ -411,8 +463,12 @@ std::optional<std::vector<std::string>> resolveAppNames(
 }
 
 int runMode(const Options& opt) {
-  const auto toolKeys = resolveToolKeys(opt.tools);
+  auto toolKeys = resolveToolKeys(opt.tools);
   if (!toolKeys) return 2;
+  if (opt.protectSuite) {
+    toolKeys = expandProtectSuite(*toolKeys);
+    if (!toolKeys) return 2;
+  }
   const auto appNames = resolveAppNames(opt.apps);
   if (!appNames) return 2;
 
@@ -452,7 +508,14 @@ int runMode(const Options& opt) {
                static_cast<unsigned long long>(r.counts.total()),
                r.totalTrialSeconds);
         });
-    emitReport(opt, campaign::plannedCountsCsv(cells, *opt.plan));
+    if (opt.protectSuite) {
+      std::vector<campaign::CampaignResult> totals;
+      totals.reserve(cells.size());
+      for (const auto& cell : cells) totals.push_back(cell.total);
+      emitReport(opt, campaign::protectionSuiteCsv(totals));
+    } else {
+      emitReport(opt, campaign::plannedCountsCsv(cells, *opt.plan));
+    }
     return 0;
   }
 
@@ -465,7 +528,8 @@ int runMode(const Options& opt) {
         diag("  done %-10s %-12s %6.1fs", r.app.c_str(), r.tool.c_str(),
              r.totalTrialSeconds);
       });
-  emitReport(opt, campaign::countsCsv(results));
+  emitReport(opt, opt.protectSuite ? campaign::protectionSuiteCsv(results)
+                                   : campaign::countsCsv(results));
   return 0;
 }
 
@@ -490,17 +554,32 @@ int mergeMode(const Options& opt) {
     // meta, so a merge needs no --plan flag and cannot be folded under the
     // wrong spec. Same fold a local planned run performs: byte-identical.
     const campaign::PlanSpec spec = campaign::parsePlanSpec(meta->plan);
-    emitReport(opt, campaign::plannedCountsCsv(
-                        campaign::foldPlannedRecords(merged, spec), spec));
+    const auto cells = campaign::foldPlannedRecords(merged, spec);
+    if (opt.protectSuite) {
+      std::vector<campaign::CampaignResult> totals;
+      totals.reserve(cells.size());
+      for (const auto& cell : cells) totals.push_back(cell.total);
+      emitReport(opt, campaign::protectionSuiteCsv(totals));
+    } else {
+      emitReport(opt, campaign::plannedCountsCsv(cells, spec));
+    }
     return 0;
   }
-  emitReport(opt, campaign::countsCsv(merged));
+  emitReport(opt, opt.protectSuite ? campaign::protectionSuiteCsv(merged)
+                                   : campaign::countsCsv(merged));
   return 0;
 }
 
 int serveMode(const Options& opt) {
-  const auto toolKeys = resolveToolKeys(opt.tools);
+  auto toolKeys = resolveToolKeys(opt.tools);
   if (!toolKeys) return 2;
+  if (opt.protectSuite) {
+    // The coordinator serves the expanded matrix; its own report stays
+    // countsCsv (suite tables come from `--merge --protect-suite` over the
+    // coordinator checkpoint, byte-identical to a local suite run).
+    toolKeys = expandProtectSuite(*toolKeys);
+    if (!toolKeys) return 2;
+  }
   const auto appNames = resolveAppNames(opt.apps);
   if (!appNames) return 2;
 

@@ -40,6 +40,7 @@ const char* trapName(Trap t) noexcept {
     case Trap::StackOverflow: return "stack-overflow";
     case Trap::InvalidPC: return "invalid-pc";
     case Trap::Timeout: return "timeout";
+    case Trap::DetectedByCheck: return "detected-by-check";
   }
   return "?";
 }
@@ -279,6 +280,23 @@ bool Machine::syscall(std::int64_t code) {
     case RuntimeFn::Floor:
       regfile_[16] = asBits(std::floor(asF64(regfile_[16])));
       return true;
+    case RuntimeFn::AssertEq:
+      if (regfile_[0] != regfile_[1]) return fail(Trap::DetectedByCheck);
+      return true;
+    case RuntimeFn::Vote: {
+      const u64 a = regfile_[0], b = regfile_[1], c = regfile_[2];
+      if (a == b || a == c) {
+        regfile_[0] = a;
+        return true;
+      }
+      if (b == c) {
+        regfile_[0] = b;
+        return true;
+      }
+      // All three copies disagree: majority voting cannot correct, but it
+      // can still detect.
+      return fail(Trap::DetectedByCheck);
+    }
   }
   // An unknown syscall code can only arise from state corruption.
   return fail(Trap::BadMemory);

@@ -56,6 +56,8 @@ enum class Trap : std::uint8_t {
   StackOverflow,  // stack pointer below the stack segment
   InvalidPC,      // return to a corrupted address / jump out of code
   Timeout,        // dynamic instruction budget exhausted
+  DetectedByCheck,  // a software fault-tolerance check (DWC/TMR/CFCSS
+                    // compare or vote) caught divergent redundant state
 };
 
 const char* trapName(Trap t) noexcept;

@@ -512,14 +512,16 @@ TEST(CoordinatorCore, StatusJsonTracksProgress) {
   EXPECT_NE(status.find("\"leases_active\":1"), std::string::npos);
   // Per-tool outcome counts, tools in matrix order.
   const CampaignResult r = makeResult("A", "T1", 12);
-  EXPECT_NE(status.find(strf("\"T1\":{\"crash\":%llu,\"soc\":%llu,"
-                             "\"benign\":%llu}",
-                             static_cast<unsigned long long>(r.counts.crash),
-                             static_cast<unsigned long long>(r.counts.soc),
-                             static_cast<unsigned long long>(
-                                 r.counts.benign))),
-            std::string::npos);
-  EXPECT_NE(status.find("\"T2\":{\"crash\":0,\"soc\":0,\"benign\":0}"),
+  EXPECT_NE(
+      status.find(strf("\"T1\":{\"crash\":%llu,\"soc\":%llu,"
+                       "\"benign\":%llu,\"detected\":%llu}",
+                       static_cast<unsigned long long>(r.counts.crash),
+                       static_cast<unsigned long long>(r.counts.soc),
+                       static_cast<unsigned long long>(r.counts.benign),
+                       static_cast<unsigned long long>(r.counts.detected))),
+      std::string::npos);
+  EXPECT_NE(status.find(
+                "\"T2\":{\"crash\":0,\"soc\":0,\"benign\":0,\"detected\":0}"),
             std::string::npos);
 }
 

@@ -14,6 +14,7 @@
 #include "campaign/persist.h"
 #include "campaign/report.h"
 #include "support/check.h"
+#include "support/rng.h"
 #include "support/strings.h"
 
 namespace refine::campaign {
@@ -146,6 +147,94 @@ TEST(CheckpointRecord, CorruptionIsDetected) {
         << "kept " << keep << " bytes";
   }
   EXPECT_FALSE(CheckpointStore::decode("").has_value());
+}
+
+TEST(CheckpointRecord, DetectedCountRoundTrips) {
+  CampaignResult r = sampleResult();
+  r.tool = "REFINE:protect=dwc";
+  r.counts = {100, 2, 800, 166};  // crash, soc, benign, detected
+  const auto decoded = CheckpointStore::decode(CheckpointStore::encode(r));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->counts.detected, 166u);
+  EXPECT_EQ(decoded->counts, r.counts);
+}
+
+// ---------------------------------------------------------------------------
+// Format v1 compatibility (pre-protection stores: no detected column)
+// ---------------------------------------------------------------------------
+
+/// A hand-built v1 checkpoint line: 9 payload fields (no detected count),
+/// framed by the same fnv1a checksum as v2.
+std::string v1Line(const std::string& app, const std::string& tool,
+                   const std::string& counts3,
+                   const std::string& planRound = "") {
+  std::string payload =
+      app + "," + tool + "," + counts3 + ",78614,179806,3902,1.5";
+  if (!planRound.empty()) payload += "," + planRound;
+  return payload + "," +
+         strf("%016llx", static_cast<unsigned long long>(fnv1a(payload)));
+}
+
+TEST(CheckpointStore, V1StoreUpgradesOnOpen) {
+  TempFile file("v1upgrade");
+  writeFile(file.path(),
+            "#refine-checkpoint v1\n"
+            "#campaign seed=000000005eedba5e trials=40 timeout=10 "
+            "tools=REFINE\n" +
+                v1Line("EP", "REFINE", "10,12,18") + "\n");
+  {
+    CheckpointStore store(file.path());
+    ASSERT_EQ(store.records().size(), 1u);
+    EXPECT_EQ(store.records()[0].counts, (OutcomeCounts{10, 12, 18, 0}));
+    ASSERT_TRUE(store.meta().has_value());
+    EXPECT_EQ(store.meta()->tools, "REFINE");
+    // Appends after the upgrade land in the same (now v2) file.
+    CampaignResult fresh = sampleResult();
+    fresh.app = "DC";
+    fresh.counts = {1, 2, 3, 4};
+    store.append(fresh);
+  }
+  const std::string content = readFile(file.path());
+  EXPECT_EQ(content.rfind("#refine-checkpoint v2\n", 0), 0u)
+      << "v1 store was not rewritten as v2 on open";
+  CheckpointStore reopened(file.path());
+  ASSERT_EQ(reopened.records().size(), 2u);
+  EXPECT_EQ(reopened.records()[0].counts.detected, 0u);
+  EXPECT_EQ(reopened.records()[1].counts.detected, 4u);
+}
+
+TEST(CheckpointStore, V1PlannedRecordIsNotMistakenForV2Flat) {
+  // A v1 planned record has 10 payload fields — the same count as a v2 flat
+  // record. The header, not the field count, must decide the layout.
+  TempFile file("v1planned");
+  writeFile(file.path(), "#refine-checkpoint v1\n" +
+                             v1Line("EP", "REFINE", "10,12,18", "0") + "\n");
+  CheckpointStore store(file.path());
+  ASSERT_EQ(store.records().size(), 1u);
+  const CampaignResult& r = store.records()[0];
+  EXPECT_EQ(r.counts, (OutcomeCounts{10, 12, 18, 0}));
+  ASSERT_TRUE(r.planRound.has_value());
+  EXPECT_EQ(*r.planRound, 0u);
+}
+
+TEST(Merge, V1AndV2ShardsMergeTogether) {
+  TempFile v1("v1shard");
+  writeFile(v1.path(), "#refine-checkpoint v1\n" +
+                           v1Line("EP", "REFINE", "10,12,18") + "\n");
+  TempFile v2("v2shard");
+  {
+    CheckpointStore store(v2.path());
+    CampaignResult r = sampleResult();
+    r.app = "DC";
+    r.counts = {1, 2, 3, 4};
+    store.append(r);
+  }
+  const auto merged = mergeCheckpoints({v1.path(), v2.path()});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].app, "DC");
+  EXPECT_EQ(merged[0].counts.detected, 4u);
+  EXPECT_EQ(merged[1].app, "EP");
+  EXPECT_EQ(merged[1].counts.detected, 0u);
 }
 
 // ---------------------------------------------------------------------------

@@ -181,6 +181,27 @@ TEST(PlanSchedule, SkewedCellsRetireEarly) {
   EXPECT_EQ(planNextBatch(spec, 3, skewed), 0u);
 }
 
+TEST(PlanSchedule, DetectedClassParticipatesInRetirement) {
+  // Four-class generalization: a detected count near 50% keeps the cell
+  // unretired exactly as a crash count would, while an all-zero detected
+  // column (unprotected cells) never delays convergence.
+  const PlanSpec spec{};
+  OutcomeCounts skewed;
+  skewed.crash = 8;
+  skewed.soc = 8;
+  skewed.benign = 384 - 16;
+  ASSERT_TRUE(planConverged(spec, skewed));  // zero detected converges free
+
+  OutcomeCounts split;
+  split.crash = 8;
+  split.soc = 8;
+  split.benign = 192;
+  split.detected = 384 - 16 - 192;  // ~46%: interval too wide at n=384
+  EXPECT_FALSE(planConverged(spec, split));
+  EXPECT_GT(planPredictedTrials(spec, split),
+            planPredictedTrials(spec, skewed));
+}
+
 TEST(PlanSchedule, MaxCapAlwaysTerminates) {
   // A target far below what the cap allows: the cell never converges, so
   // retirement must come from the cap — exactly at it, never past it.

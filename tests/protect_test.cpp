@@ -1,0 +1,411 @@
+// Protection-pass tests: scheme parsing and spec plumbing, the
+// fi_assert_eq / fi_vote runtime check semantics on both execution paths,
+// verifier integrity and fault-free differential equivalence of every
+// protected app at O0 and O2, CFCSS detection of a corrupted signature,
+// Detected classification, and campaign-level detection/correction mass
+// for protected-vs-unprotected matrices.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "apps/apps.h"
+#include "backend/compile.h"
+#include "campaign/engine.h"
+#include "campaign/report.h"
+#include "campaign/spec.h"
+#include "frontend/compile.h"
+#include "ir/builder.h"
+#include "ir/interp.h"
+#include "ir/layout.h"
+#include "ir/verifier.h"
+#include "opt/passes.h"
+#include "opt/protect.h"
+#include "support/check.h"
+#include "vm/machine.h"
+
+namespace refine::campaign {
+namespace {
+
+using opt::ProtectScheme;
+
+// ---------------------------------------------------------------------------
+// Scheme names and spec plumbing
+// ---------------------------------------------------------------------------
+
+TEST(ProtectScheme_, NamesRoundTrip) {
+  for (const auto scheme : {ProtectScheme::None, ProtectScheme::DWC,
+                            ProtectScheme::TMR, ProtectScheme::CFCSS}) {
+    const auto parsed = opt::parseProtectScheme(opt::protectSchemeName(scheme));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, scheme);
+  }
+  EXPECT_FALSE(opt::parseProtectScheme("DWC").has_value());  // case-exact
+  EXPECT_FALSE(opt::parseProtectScheme("").has_value());
+  EXPECT_FALSE(opt::parseProtectScheme("ecc").has_value());
+}
+
+TEST(ProtectSpec, ParsesAndCanonicalizes) {
+  const ToolSpec spec = parseToolSpec("REFINE:protect=tmr");
+  EXPECT_EQ(spec.protect, ProtectScheme::TMR);
+  EXPECT_EQ(spec.canonical(), "REFINE:protect=tmr");
+  // protect=none is the default: it canonicalizes away entirely.
+  EXPECT_EQ(parseToolSpec("REFINE:protect=none").canonical(), "REFINE");
+  // protect comes last in the canonical key order.
+  EXPECT_EQ(parseToolSpec("REFINE:protect=dwc,instrs=fp").canonical(),
+            "REFINE:instrs=fp,protect=dwc");
+}
+
+TEST(ProtectSpec, RejectsBadValuesAndDuplicates) {
+  EXPECT_THROW(parseToolSpec("REFINE:protect=ecc"), CheckError);
+  EXPECT_THROW(parseToolSpec("REFINE:protect=dwc,protect=tmr"), CheckError);
+}
+
+TEST(ProtectSpec, NamedScenariosAreRegistered) {
+  for (const char* name : {"REFINE-DWC", "REFINE-TMR", "REFINE-CFCSS"}) {
+    EXPECT_NE(InjectorRegistry::global().find(name), nullptr) << name;
+  }
+}
+
+TEST(OutcomeTable, DetectedIsTheFourthCanonicalClass) {
+  EXPECT_EQ(kOutcomeClassCount, 4u);
+  EXPECT_STREQ(kOutcomeNames[static_cast<std::size_t>(Outcome::Detected)],
+               "detected");
+  EXPECT_STREQ(outcomeName(Outcome::Detected), "detected");
+  OutcomeCounts counts;
+  counts.add(Outcome::Detected);
+  EXPECT_EQ(counts.detected, 1u);
+  EXPECT_EQ(counts.total(), 1u);
+  EXPECT_EQ(counts.asVector(),
+            (std::vector<std::uint64_t>{0, 0, 0, 1}));
+  EXPECT_EQ(counts.classCount(3), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Runtime check semantics (machine and interpreter)
+// ---------------------------------------------------------------------------
+
+/// main() { return fi_vote(a, b, c) } — or, with `useAssert`,
+/// main() { fi_assert_eq(a, b); return 0 }.
+std::unique_ptr<ir::Module> checkModule(bool useAssert, std::int64_t a,
+                                        std::int64_t b, std::int64_t c = 0) {
+  auto m = std::make_unique<ir::Module>();
+  ir::Function* main =
+      m->addFunction("main", ir::Type::I64, ir::FunctionKind::Defined);
+  ir::BasicBlock* entry = main->addBlock("entry");
+  ir::IRBuilder bld(*m);
+  bld.setInsertPoint(entry);
+  if (useAssert) {
+    ir::Function* check = m->addFunction("fi_assert_eq", ir::Type::Void,
+                                         ir::FunctionKind::External);
+    check->addParam(ir::Type::I64, "a");
+    check->addParam(ir::Type::I64, "b");
+    bld.createCall(check, {m->constI64(a), m->constI64(b)});
+    bld.createRet(m->constI64(0));
+  } else {
+    ir::Function* vote =
+        m->addFunction("fi_vote", ir::Type::I64, ir::FunctionKind::External);
+    vote->addParam(ir::Type::I64, "a");
+    vote->addParam(ir::Type::I64, "b");
+    vote->addParam(ir::Type::I64, "c");
+    ir::Instruction* winner =
+        bld.createCall(vote, {m->constI64(a), m->constI64(b), m->constI64(c)});
+    bld.createRet(winner);
+  }
+  return m;
+}
+
+struct CheckRun {
+  bool detected = false;
+  std::int64_t exitCode = 0;
+};
+
+/// Runs the module on the compiled machine AND the IR interpreter and
+/// requires them to agree — the differential contract extends to the new
+/// runtime calls.
+CheckRun runBothPaths(const ir::Module& module) {
+  const auto compiled = backend::compileBackend(module);
+  vm::Machine machine(compiled.program);
+  const auto mr = machine.run(1'000'000);
+  const auto ir = ir::interpret(module, "main", 1'000'000);
+  EXPECT_EQ(mr.trapped, ir.trapped);
+  EXPECT_EQ(mr.exitCode, ir.exitCode);
+  EXPECT_EQ(mr.trapped && mr.trap == vm::Trap::DetectedByCheck,
+            ir.trapped && ir.trap == ir::InterpTrap::DetectedByCheck);
+  return {mr.trapped && mr.trap == vm::Trap::DetectedByCheck, mr.exitCode};
+}
+
+TEST(CheckRuntime, AssertEqPassesOnEqual) {
+  const CheckRun run = runBothPaths(*checkModule(true, 7, 7));
+  EXPECT_FALSE(run.detected);
+  EXPECT_EQ(run.exitCode, 0);
+}
+
+TEST(CheckRuntime, AssertEqTrapsDetectedOnMismatch) {
+  EXPECT_TRUE(runBothPaths(*checkModule(true, 7, 8)).detected);
+}
+
+TEST(CheckRuntime, VoteReturnsMajority) {
+  // Every 2-of-3 agreement pattern corrects to the majority value.
+  EXPECT_EQ(runBothPaths(*checkModule(false, 5, 5, 9)).exitCode, 5);
+  EXPECT_EQ(runBothPaths(*checkModule(false, 5, 9, 5)).exitCode, 5);
+  EXPECT_EQ(runBothPaths(*checkModule(false, 9, 5, 5)).exitCode, 5);
+  EXPECT_EQ(runBothPaths(*checkModule(false, 5, 5, 5)).exitCode, 5);
+}
+
+TEST(CheckRuntime, VoteTrapsDetectedOnThreeWayDisagreement) {
+  EXPECT_TRUE(runBothPaths(*checkModule(false, 1, 2, 3)).detected);
+}
+
+// ---------------------------------------------------------------------------
+// Classification
+// ---------------------------------------------------------------------------
+
+TEST(Classify, DetectedByCheckTrapIsDetectedNotCrash) {
+  vm::ExecResult r;
+  r.trapped = true;
+  r.trap = vm::Trap::DetectedByCheck;
+  r.exitCode = -1;
+  EXPECT_EQ(classify(r, "golden"), Outcome::Detected);
+}
+
+// ---------------------------------------------------------------------------
+// Every app, every scheme, both opt levels: verifier + fault-free
+// differential equivalence against the unprotected golden run
+// ---------------------------------------------------------------------------
+
+class ProtectedApps : public ::testing::TestWithParam<apps::AppInfo> {};
+
+TEST_P(ProtectedApps, VerifiesAndPreservesFaultFreeBehaviour) {
+  const apps::AppInfo& app = GetParam();
+  for (const auto level : {opt::OptLevel::O0, opt::OptLevel::O2}) {
+    auto goldenModule = fe::compileToIR(app.source);
+    opt::optimize(*goldenModule, level);
+    const auto goldenCompiled = backend::compileBackend(*goldenModule);
+    vm::Machine goldenMachine(goldenCompiled.program);
+    const auto golden = goldenMachine.run(500'000'000);
+    ASSERT_FALSE(golden.trapped) << app.name;
+
+    for (const auto scheme :
+         {ProtectScheme::DWC, ProtectScheme::TMR, ProtectScheme::CFCSS}) {
+      SCOPED_TRACE(std::string(app.name) + " " +
+                   opt::protectSchemeName(scheme) +
+                   (level == opt::OptLevel::O0 ? " O0" : " O2"));
+      auto module = fe::compileToIR(app.source);
+      opt::optimize(*module, level);
+      const opt::ProtectStats stats = opt::applyProtection(*module, scheme);
+      EXPECT_TRUE(ir::verifyModule(*module).empty());
+      if (scheme == ProtectScheme::CFCSS) {
+        EXPECT_GT(stats.signedBlocks, 0u);
+      } else {
+        EXPECT_GT(stats.clonedInstrs, 0u);
+        EXPECT_GT(stats.checkSites, 0u);
+      }
+      const auto compiled = backend::compileBackend(*module);
+      vm::Machine machine(compiled.program);
+      // TMR roughly triples the dynamic instruction stream; 2e9 bounds even
+      // the largest app's protected run with a wide margin.
+      const auto result = machine.run(2'000'000'000);
+      EXPECT_FALSE(result.trapped)
+          << "fault-free protected run trapped: " << vm::trapName(result.trap);
+      EXPECT_EQ(result.exitCode, golden.exitCode);
+      EXPECT_EQ(result.output, golden.output);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, ProtectedApps, ::testing::ValuesIn(apps::benchmarkApps()),
+    [](const ::testing::TestParamInfo<apps::AppInfo>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+TEST(Protect, DoubleProtectionIsRejected) {
+  auto module = fe::compileToIR(apps::benchmarkApps().front().source);
+  opt::optimize(*module, opt::OptLevel::O2);
+  opt::applyProtection(*module, ProtectScheme::CFCSS);
+  EXPECT_THROW(opt::applyProtection(*module, ProtectScheme::CFCSS),
+               CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// CFCSS detects a control-flow signature corruption
+// ---------------------------------------------------------------------------
+
+TEST(Cfcss, CorruptedSignatureGlobalTrapsDetected) {
+  auto module = fe::compileToIR(apps::benchmarkApps().front().source);
+  opt::optimize(*module, opt::OptLevel::O2);
+  opt::applyProtection(*module, ProtectScheme::CFCSS);
+  const ir::GlobalVar* sig = module->findGlobal("__cfcss_sig");
+  ASSERT_NE(sig, nullptr);
+  const std::uint64_t sigAddr = ir::DataLayout(*module).addressOf(sig);
+  const auto compiled = backend::compileBackend(*module);
+  vm::Machine machine(compiled.program);
+  // Simulate a stuck-at control-flow corruption: from step 5000 on, keep the
+  // runtime signature smashed. A single transient poke could be masked by a
+  // call-entry re-seed before any check runs; a held corruption guarantees
+  // the next block-entry check loads a non-predecessor value and traps.
+  std::uint64_t steps = 0;
+  bool poked = false;
+  machine.setHook([&](std::uint64_t, vm::Machine& m) {
+    if (++steps > 5'000) {
+      m.pokeGlobal(sigAddr, 0x0BAD0BAD);
+      poked = true;
+    }
+  });
+  const auto result = machine.run(500'000'000);
+  ASSERT_TRUE(poked);
+  EXPECT_TRUE(result.trapped);
+  EXPECT_EQ(result.trap, vm::Trap::DetectedByCheck);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign level: DWC converts SOC mass into Detected, TMR corrects it
+// into Benign, and the suite table reports the movement
+// ---------------------------------------------------------------------------
+
+const char* kKernelSource =
+    "var vec: f64[48];\n"
+    "fn norm(n: i64) -> f64 {\n"
+    "  var acc: f64 = 0.0;\n"
+    "  for (var i: i64 = 0; i < n; i = i + 1) { acc = acc + vec[i] * vec[i]; }\n"
+    "  return sqrt(acc);\n"
+    "}\n"
+    "fn main() -> i64 {\n"
+    "  for (var i: i64 = 0; i < 48; i = i + 1) { vec[i] = cos(f64(i)) + 1.5; }\n"
+    "  print_f64(norm(48));\n"
+    "  var checksum: i64 = 0;\n"
+    "  for (var i: i64 = 0; i < 48; i = i + 1) {\n"
+    "    checksum = (checksum * 31 + i64(vec[i] * 1000.0)) % 1000003;\n"
+    "  }\n"
+    "  print_i64(checksum);\n"
+    "  return 0;\n"
+    "}\n";
+
+std::vector<MatrixJob> protectionMatrix() {
+  std::vector<MatrixJob> jobs;
+  for (const char* tool :
+       {"REFINE", "REFINE:protect=dwc", "REFINE:protect=tmr",
+        "REFINE:protect=cfcss"}) {
+    jobs.push_back({"kernel", resolveToolSpec(tool), kKernelSource,
+                    fi::FiConfig::allOn()});
+  }
+  return jobs;
+}
+
+const CampaignResult& byTool(const std::vector<CampaignResult>& results,
+                             std::string_view tool) {
+  for (const auto& r : results) {
+    if (r.tool == tool) return r;
+  }
+  RF_UNREACHABLE("tool missing from results");
+}
+
+TEST(ProtectionCampaign, DetectionAndCorrectionMassAreVisible) {
+  CampaignConfig config;
+  config.trials = 120;
+  config.threads = 2;
+  CampaignEngine engine(config);
+  const auto results = engine.runMatrix(protectionMatrix());
+
+  const CampaignResult& plain = byTool(results, "REFINE");
+  const CampaignResult& dwc = byTool(results, "REFINE:protect=dwc");
+  const CampaignResult& tmr = byTool(results, "REFINE:protect=tmr");
+  const CampaignResult& cfcss = byTool(results, "REFINE:protect=cfcss");
+
+  // The unprotected baseline never detects, and must have SOC mass for the
+  // coverage claims below to mean anything.
+  EXPECT_EQ(plain.counts.detected, 0u);
+  ASSERT_GT(plain.counts.soc, 0u);
+
+  // DWC turns silent corruptions into detections.
+  EXPECT_GT(dwc.counts.detected, 0u);
+  EXPECT_LT(static_cast<double>(dwc.counts.soc) /
+                static_cast<double>(dwc.counts.total()),
+            static_cast<double>(plain.counts.soc) /
+                static_cast<double>(plain.counts.total()));
+
+  // TMR corrects single flips: its benign rate beats the baseline's and its
+  // SOC rate drops.
+  EXPECT_GT(static_cast<double>(tmr.counts.benign) /
+                static_cast<double>(tmr.counts.total()),
+            static_cast<double>(plain.counts.benign) /
+                static_cast<double>(plain.counts.total()));
+  EXPECT_LT(static_cast<double>(tmr.counts.soc) /
+                static_cast<double>(tmr.counts.total()),
+            static_cast<double>(plain.counts.soc) /
+                static_cast<double>(plain.counts.total()));
+
+  // CFCSS detects some faults (control-flow checks fire under register
+  // flips that land in signature maintenance).
+  EXPECT_GT(cfcss.counts.detected, 0u);
+
+  // The protected binaries are larger — redundancy is not free.
+  EXPECT_GT(dwc.binarySize, plain.binarySize);
+  EXPECT_GT(tmr.binarySize, dwc.binarySize);
+
+  // The suite table pairs each scheme with its unprotected sibling.
+  const std::string csv = protectionSuiteCsv(results);
+  EXPECT_NE(csv.find("app,model,protect,trials,crash,soc,benign,detected,"
+                     "detected_pct,soc_pct,soc_covered_pct,static_overhead,"
+                     "dynamic_overhead"),
+            std::string::npos);
+  EXPECT_NE(csv.find("kernel,REFINE,none,"), std::string::npos);
+  EXPECT_NE(csv.find("kernel,REFINE,dwc,"), std::string::npos);
+  EXPECT_NE(csv.find("kernel,REFINE,tmr,"), std::string::npos);
+  EXPECT_NE(csv.find("kernel,REFINE,cfcss,"), std::string::npos);
+}
+
+TEST(ProtectionCampaign, CountsAreThreadCountInvariant) {
+  CampaignConfig one;
+  one.trials = 60;
+  one.threads = 1;
+  CampaignConfig four;
+  four.trials = 60;
+  four.threads = 4;
+  CampaignEngine engineOne(one);
+  CampaignEngine engineFour(four);
+  const std::string a = countsCsv(engineOne.runMatrix(protectionMatrix()));
+  const std::string b = countsCsv(engineFour.runMatrix(protectionMatrix()));
+  EXPECT_EQ(a, b);
+  const std::string sa =
+      protectionSuiteCsv(engineOne.runMatrix(protectionMatrix()));
+  const std::string sb =
+      protectionSuiteCsv(engineFour.runMatrix(protectionMatrix()));
+  EXPECT_EQ(sa, sb);
+}
+
+TEST(ProtectionSuiteCsv, PairsSchemesWithSiblingsAndComputesCoverage) {
+  // Synthetic results: coverage and overhead arithmetic must be exact.
+  CampaignResult plain;
+  plain.app = "EP";
+  plain.tool = "REFINE";
+  plain.counts = {10, 20, 70, 0};
+  plain.binarySize = 1000;
+  plain.profileInstrs = 10000;
+  CampaignResult dwc;
+  dwc.app = "EP";
+  dwc.tool = "REFINE:protect=dwc";
+  dwc.counts = {10, 5, 70, 15};
+  dwc.binarySize = 1800;
+  dwc.profileInstrs = 25000;
+  const std::string csv = protectionSuiteCsv({plain, dwc});
+  // Both rows share the stripped model key "REFINE"; the dwc row eliminated
+  // 75% of the baseline's 20% SOC rate and reports 1.8x / 2.5x overheads.
+  EXPECT_NE(
+      csv.find("EP,REFINE,none,100,10,20,70,0,0.00,20.00,0.00,1.000,1.000"),
+      std::string::npos)
+      << csv;
+  EXPECT_NE(
+      csv.find("EP,REFINE,dwc,100,10,5,70,15,15.00,5.00,75.00,1.800,2.500"),
+      std::string::npos)
+      << csv;
+}
+
+}  // namespace
+}  // namespace refine::campaign

@@ -86,6 +86,28 @@ TEST(ChiSquared, DropsZeroColumns) {
   EXPECT_GT(result.statistic, 0.0);
 }
 
+TEST(ChiSquared, FourColumnZeroDetectedMatchesThreeColumn) {
+  // The protection-pass outcome tables carry a fourth (detected) column
+  // that is all-zero for unprotected campaigns; the test must behave
+  // exactly as if the column were never there.
+  const auto three = chiSquaredTest({{395, 168, 505}, {269, 70, 729}});
+  const auto four = chiSquaredTest({{395, 168, 505, 0}, {269, 70, 729, 0}});
+  ASSERT_TRUE(four.valid);
+  EXPECT_EQ(four.dof, three.dof);
+  EXPECT_DOUBLE_EQ(four.statistic, three.statistic);
+  EXPECT_DOUBLE_EQ(four.pValue, three.pValue);
+}
+
+TEST(ChiSquared, FourColumnWithDetectedMassUsesAllClasses) {
+  // Protected-vs-unprotected comparison: the detected column carries the
+  // signal (SOC mass moved into it), so dof covers all four classes.
+  const auto result =
+      chiSquaredTest({{395, 168, 505, 0}, {400, 10, 500, 158}});
+  ASSERT_TRUE(result.valid);
+  EXPECT_EQ(result.dof, 3u);
+  EXPECT_LT(result.pValue, 0.001);
+}
+
 TEST(ChiSquared, DegenerateTablesInvalid) {
   EXPECT_FALSE(chiSquaredTest({{1, 2, 3}}).valid);          // one row
   EXPECT_FALSE(chiSquaredTest({{0, 0}, {0, 0}}).valid);     // all zero
